@@ -1,0 +1,146 @@
+// Ablation benches for the design choices called out in DESIGN.md §6:
+//
+//  1. Expression organization: basic vs. prefix covering vs. access
+//     predicates vs. the trie-DFS extension (one shared pass instead of
+//     per-expression backtracking).
+//  2. Covering evaluation order: longest-first (the paper's heuristic)
+//     vs. shortest-first.
+//  3. Predicate-index probe cost in isolation (insert + match of a
+//     publication against a large predicate population).
+
+#include "core/predicate_index.h"
+#include "core/publication.h"
+#include "bench_util.h"
+#include "xml/path.h"
+#include "xpath/parser.h"
+
+namespace xpred::bench {
+namespace {
+
+// --- 1 & 2: engine-organization ablations ------------------------------------
+
+const char* const kVariants[] = {
+    "basic",
+    "basic-pc",
+    "basic-pc-ap",
+    "basic-pc-ap-shortest",  // Covering order ablation.
+    "basic-pc-ap-cc",        // Containment covering (paper future work).
+    "trie-dfs",              // Our shared-DFS extension.
+};
+
+void BM_AblationOrganization(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.psd = (state.range(2) == 1);
+  spec.distinct = true;
+  spec.expressions = spec.psd ? Scaled(10000) : Scaled(50000);
+  spec.min_length = spec.psd ? 3 : 4;
+  RunFilterBenchmark(state, kVariants[state.range(0)], spec);
+}
+
+// --- 3: predicate index microbench --------------------------------------------
+
+void BM_PredicateIndexMatch(benchmark::State& state) {
+  // Populate the index from a large distinct workload, then measure
+  // Match() alone on the corpus publications.
+  WorkloadSpec spec;
+  spec.psd = false;
+  spec.distinct = true;
+  spec.expressions = static_cast<size_t>(state.range(0));
+  spec.min_length = 3;
+  const Workload& workload = GetWorkload(spec);
+
+  Interner interner;
+  core::PredicateIndex index;
+  for (const std::string& text : workload.expressions) {
+    Result<xpath::PathExpr> expr = xpath::ParseXPath(text);
+    if (!expr.ok()) continue;
+    Result<core::EncodedExpression> enc = core::EncodeExpression(
+        *expr, core::AttributeMode::kInline, &interner);
+    if (!enc.ok()) continue;
+    for (const core::Predicate& p : enc->predicates) {
+      benchmark::DoNotOptimize(index.InsertOrFind(p));
+    }
+  }
+
+  // Pre-extract publications.
+  std::vector<core::Publication> publications;
+  for (const xml::Document& doc : workload.documents) {
+    for (const xml::DocumentPath& path : xml::ExtractPaths(doc)) {
+      publications.emplace_back(path, interner);
+    }
+  }
+
+  core::MatchResultSet results;
+  size_t matches = 0;
+  size_t paths = 0;
+  Stopwatch wall;
+  double elapsed_us = 0;
+  for (auto _ : state) {
+    wall.Reset();
+    for (const core::Publication& pub : publications) {
+      matches += index.Match(pub, &results);
+      ++paths;
+    }
+    elapsed_us += wall.ElapsedMicros();
+  }
+  benchmark::DoNotOptimize(matches);
+  state.counters["distinct_preds"] =
+      static_cast<double>(index.distinct_count());
+  state.counters["us_per_path"] = elapsed_us / static_cast<double>(paths);
+}
+
+// --- Occurrence determination: backtracking vs exhaustive scan -----------------
+
+void BM_OccurrenceDetermination(benchmark::State& state) {
+  // Worst-ish case: long chains with many pairs per predicate and one
+  // threading chain.
+  size_t chain_len = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<core::OccPair>> results(chain_len);
+  for (size_t i = 0; i < chain_len; ++i) {
+    // Decoys that never chain plus one real link i -> i+1.
+    for (uint32_t d = 0; d < 8; ++d) {
+      results[i].push_back({100 + d, 200 + d});
+    }
+    results[i].push_back({static_cast<uint32_t>(i + 1),
+                          static_cast<uint32_t>(i + 2)});
+  }
+  std::vector<const std::vector<core::OccPair>*> views;
+  for (const auto& r : results) views.push_back(&r);
+  for (auto _ : state) {
+    bool match = core::OccurrenceDeterminer::Determine(views);
+    benchmark::DoNotOptimize(match);
+  }
+}
+
+void RegisterAll() {
+  for (long dtd = 0; dtd <= 1; ++dtd) {
+    for (size_t v = 0; v < std::size(kVariants); ++v) {
+      std::string name = std::string("Ablation/organization/") +
+                         (dtd == 1 ? "psd/" : "nitf/") + kVariants[v];
+      benchmark::RegisterBenchmark(name.c_str(), BM_AblationOrganization)
+          ->Args({static_cast<long>(v), 0, dtd})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+  for (long n : {1000L, 10000L, 50000L}) {
+    benchmark::RegisterBenchmark("Ablation/predicate_index_match",
+                                 BM_PredicateIndexMatch)
+        ->Arg(n)
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(5);
+  }
+  for (long len : {2L, 4L, 8L}) {
+    benchmark::RegisterBenchmark("Ablation/occurrence_determination",
+                                 BM_OccurrenceDetermination)
+        ->Arg(len)
+        ->Unit(benchmark::kNanosecond);
+  }
+}
+
+const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace xpred::bench
+
+BENCHMARK_MAIN();

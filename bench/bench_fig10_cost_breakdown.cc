@@ -1,0 +1,86 @@
+// Figure 10: cost breakdown of the filtering time into predicate
+// matching, expression matching (occurrence determination), and other
+// computation (result collection), plus the distinct-predicate counts
+// reported in §6.5.
+//
+// Paper setup: the duplicate-expression workload (1M-5M expressions),
+// NITF plotted (PSD similar). Expected shape: expression matching
+// dominates and grows with the workload; predicate matching rises much
+// more slowly because the number of distinct predicates grows
+// sublinearly (paper: 4019 ... 5843 distinct predicates between 1M and
+// 5M expressions). Parsing time is reported by bench_parsing and is
+// negligible (§6.5).
+
+#include "bench_util.h"
+
+namespace xpred::bench {
+namespace {
+
+const size_t kPaperSizes[] = {1000000, 2000000, 3000000, 4000000, 5000000};
+
+void BM_Fig10Breakdown(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.psd = (state.range(1) == 1);
+  spec.distinct = false;
+  spec.expressions = Scaled(kPaperSizes[state.range(0)]) / 10;
+  spec.max_length = 6;
+  spec.min_length = spec.psd ? 3 : 4;
+
+  core::FilterEngine& engine = GetLoadedEngine("basic-pc-ap", spec);
+  auto* matcher = dynamic_cast<core::Matcher*>(&engine);
+  const Workload& workload = GetWorkload(spec);
+
+  matcher->ResetStats();
+  std::vector<core::ExprId> matched;
+  size_t docs = 0;
+  for (auto _ : state) {
+    for (const xml::Document& doc : workload.documents) {
+      matched.clear();
+      Status st = engine.FilterDocument(doc, &matched);
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(matched.data());
+      ++docs;
+    }
+  }
+
+  const core::EngineStats& stats = matcher->stats();
+  double per_doc = 1.0 / (1000.0 * static_cast<double>(docs));
+  state.counters["encode_ms_doc"] = stats.encode_micros * per_doc;
+  state.counters["pred_ms_doc"] = stats.predicate_micros * per_doc;
+  state.counters["expr_ms_doc"] = stats.expression_micros * per_doc;
+  state.counters["other_ms_doc"] =
+      (stats.collect_micros + stats.verify_micros) * per_doc;
+  state.counters["distinct_preds"] =
+      static_cast<double>(matcher->distinct_predicate_count());
+  state.counters["distinct_exprs"] =
+      static_cast<double>(matcher->distinct_expression_count());
+  state.counters["expressions"] =
+      static_cast<double>(engine.subscription_count());
+  state.counters["occ_runs_doc"] =
+      static_cast<double>(stats.occurrence_runs) /
+      static_cast<double>(docs);
+}
+
+void RegisterAll() {
+  for (long dtd = 0; dtd <= 1; ++dtd) {
+    for (size_t s = 0; s < std::size(kPaperSizes); ++s) {
+      std::string name = std::string("Fig10/") +
+                         (dtd == 1 ? "psd/" : "nitf/") +
+                         std::to_string(Scaled(kPaperSizes[s]) / 10);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Fig10Breakdown)
+          ->Args({static_cast<long>(s), dtd})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace xpred::bench
+
+BENCHMARK_MAIN();

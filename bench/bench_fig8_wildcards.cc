@@ -1,0 +1,67 @@
+// Figure 8: effect of the wildcard probability W (and, as described in
+// §6.3, the descendant-operator probability DO) on matching time.
+//
+// Paper setup: NITF, 2M expressions (duplicates allowed), DO=0.2 while
+// W sweeps 0..0.9; then W=0.2 while DO sweeps 0..0.9. Expected shape
+// for the predicate engine: time first rises with W (wildcards add new
+// predicates with growing range values), peaks around W=0.3, then
+// falls as expressions collapse into fewer distinct ones. YFilter
+// degrades with W and does not recover at high W (wildcard transitions
+// touch many NFA states). Index-Filter is only swept on DO, exactly as
+// in the paper: the original paper does not treat wildcards, and with
+// the all-element wildcard streams the enumeration "augments rapidly"
+// (§6.3) beyond practical time at high W.
+
+#include "bench_util.h"
+
+namespace xpred::bench {
+namespace {
+
+const char* const kEngines[] = {"basic-pc-ap", "yfilter", "index-filter"};
+const double kProbabilities[] = {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
+
+void BM_Fig8(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.psd = false;
+  spec.distinct = false;  // Duplicate workload, as in §6.3.
+  spec.expressions = Scaled(2000000) / 10;
+  spec.max_length = 6;
+  spec.min_length = 4;
+  const bool sweep_wildcard = (state.range(2) == 0);
+  if (sweep_wildcard) {
+    spec.wildcard = kProbabilities[state.range(1)];
+    spec.descendant = 0.2;
+  } else {
+    spec.wildcard = 0.2;
+    spec.descendant = kProbabilities[state.range(1)];
+  }
+  RunFilterBenchmark(state, kEngines[state.range(0)], spec);
+}
+
+void RegisterAll() {
+  for (long sweep = 0; sweep <= 1; ++sweep) {
+    for (size_t e = 0; e < std::size(kEngines); ++e) {
+      // Index-Filter is excluded from the W sweep (paper §6.3).
+      if (sweep == 0 && std::string_view(kEngines[e]) == "index-filter") {
+        continue;
+      }
+      for (size_t p = 0; p < std::size(kProbabilities); ++p) {
+        std::string name =
+            std::string("Fig8/") + (sweep == 0 ? "W" : "DO") + "/" +
+            kEngines[e] + "/" +
+            StringPrintf("%.1f", kProbabilities[p]);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Fig8)
+            ->Args({static_cast<long>(e), static_cast<long>(p), sweep})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(2);
+      }
+    }
+  }
+}
+
+const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace xpred::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Expression-insertion cost. The paper (§6.1) excludes insertion from
+// the filter-time metric but notes: "in our approach, all insertion
+// operations are constant time and the number of predicates encoding
+// an XPE is linear in the number of location steps". This bench
+// demonstrates that constructively: per-expression insertion time must
+// stay flat as the engine grows, for every engine family.
+
+#include "bench_util.h"
+
+namespace xpred::bench {
+namespace {
+
+const char* const kEngines[] = {"basic-pc-ap", "xfilter", "yfilter",
+                                "index-filter"};
+
+void BM_Insertion(benchmark::State& state) {
+  // Pre-generate a large pool of expressions; each iteration builds a
+  // fresh engine and inserts `n` of them, so the reported time is the
+  // total insertion cost at that size (linear total = constant
+  // per-expression).
+  WorkloadSpec spec;
+  spec.psd = false;
+  spec.distinct = false;
+  spec.expressions = static_cast<size_t>(state.range(1));
+  spec.min_length = 3;
+  const Workload& workload = GetWorkload(spec);
+
+  size_t inserted = 0;
+  size_t memory_bytes = 0;
+  for (auto _ : state) {
+    std::unique_ptr<core::FilterEngine> engine =
+        MakeEngine(kEngines[state.range(0)]);
+    for (const std::string& expr : workload.expressions) {
+      Result<core::ExprId> id = engine->AddExpression(expr);
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+      ++inserted;
+    }
+    benchmark::DoNotOptimize(engine->subscription_count());
+    memory_bytes = engine->ApproximateMemoryBytes();
+  }
+  state.counters["us_per_insert"] = benchmark::Counter(
+      static_cast<double>(workload.expressions.size()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+  state.counters["expressions"] =
+      static_cast<double>(workload.expressions.size());
+  state.counters["bytes_per_sub"] =
+      static_cast<double>(memory_bytes) /
+      static_cast<double>(workload.expressions.size());
+}
+
+void RegisterAll() {
+  for (size_t e = 0; e < std::size(kEngines); ++e) {
+    for (long n : {10000L, 50000L, 100000L}) {
+      std::string name = std::string("Insertion/") + kEngines[e] + "/" +
+                         std::to_string(n);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Insertion)
+          ->Args({static_cast<long>(e), n})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace xpred::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,233 @@
+#ifndef XPRED_BENCH_BENCH_UTIL_H_
+#define XPRED_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/matcher.h"
+#include "indexfilter/index_filter.h"
+#include "xfilter/xfilter.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+#include "yfilter/yfilter.h"
+
+namespace xpred::bench {
+
+/// \brief Scale factor for workload sizes, from XPRED_BENCH_SCALE.
+///
+/// The paper's experiments run up to 5 million expressions on 500
+/// documents; the default scale keeps each bench binary in the
+/// seconds-to-a-minute range on a laptop while preserving every trend.
+/// Set XPRED_BENCH_SCALE=10 (and XPRED_BENCH_DOCS=500) to approach
+/// paper-scale workloads.
+inline double Scale() {
+  static double scale = [] {
+    const char* env = std::getenv("XPRED_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    return std::max(0.001, std::atof(env));
+  }();
+  return scale;
+}
+
+/// Number of documents filtered per measurement (paper: 500).
+inline size_t DocCount() {
+  static size_t docs = [] {
+    const char* env = std::getenv("XPRED_BENCH_DOCS");
+    if (env == nullptr) return size_t{20};
+    return static_cast<size_t>(std::max(1L, std::atol(env)));
+  }();
+  return docs;
+}
+
+inline size_t Scaled(size_t paper_count) {
+  return std::max<size_t>(10, static_cast<size_t>(
+                                  static_cast<double>(paper_count) * Scale()));
+}
+
+/// Workload parameters, mirroring the paper's generator knobs.
+struct WorkloadSpec {
+  bool psd = false;          // PSD-like vs NITF-like DTD.
+  size_t expressions = 0;    // Number of expressions (subscriptions).
+  bool distinct = true;      // Paper parameter D.
+  uint32_t max_length = 6;   // Paper parameter L.
+  uint32_t min_length = 3;   // Lower bound on expression length.
+  double wildcard = 0.2;     // Paper parameter W.
+  double descendant = 0.2;   // Paper parameter DO.
+  uint32_t filters = 0;      // Attribute filters per expression.
+  uint32_t doc_depth = 8;    // IBM-generator max levels (paper: 6-10).
+  uint64_t seed = 42;
+
+  std::string Key() const {
+    return StringPrintf("%d|%zu|%d|%u|%u|%.3f|%.3f|%u|%u|%llu",
+                        psd ? 1 : 0, expressions, distinct ? 1 : 0,
+                        max_length, min_length, wildcard, descendant,
+                        filters, doc_depth,
+                        static_cast<unsigned long long>(seed));
+  }
+};
+
+/// A generated workload: expressions + document corpus.
+struct Workload {
+  const xml::Dtd* dtd = nullptr;
+  std::vector<std::string> expressions;
+  std::vector<xml::Document> documents;
+};
+
+/// Builds (and caches) the workload for \p spec. Caching matters:
+/// benchmark registration re-enters with the same parameters for every
+/// engine.
+inline const Workload& GetWorkload(const WorkloadSpec& spec) {
+  static std::map<std::string, std::unique_ptr<Workload>>* cache =
+      new std::map<std::string, std::unique_ptr<Workload>>();
+  std::string key = spec.Key();
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+
+  auto workload = std::make_unique<Workload>();
+  workload->dtd = spec.psd ? &xml::PsdLikeDtd() : &xml::NitfLikeDtd();
+
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = spec.max_length;
+  qopts.min_length = spec.min_length;
+  qopts.wildcard_prob = spec.wildcard;
+  qopts.descendant_prob = spec.descendant;
+  qopts.distinct = spec.distinct;
+  qopts.filters_per_expr = spec.filters;
+  xpath::QueryGenerator qgen(workload->dtd, qopts);
+  workload->expressions =
+      qgen.GenerateWorkloadStrings(spec.expressions, spec.seed);
+
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = spec.doc_depth;
+  if (!spec.psd) {
+    // The NITF content models are heavily optional; richer expansion
+    // keeps the documents near the paper's ~140-tag average.
+    dopts.optional_prob = 0.8;
+    dopts.repeat_prob = 0.6;
+    dopts.max_repeats = 8;
+  }
+  xml::DocumentGenerator dgen(workload->dtd, dopts);
+  workload->documents.reserve(DocCount());
+  for (size_t d = 0; d < DocCount(); ++d) {
+    workload->documents.push_back(dgen.Generate(spec.seed * 7919 + d));
+  }
+
+  const Workload& ref = *workload;
+  cache->emplace(std::move(key), std::move(workload));
+  return ref;
+}
+
+/// Engine factory keyed by the names used in the paper's figures.
+inline std::unique_ptr<core::FilterEngine> MakeEngine(
+    const std::string& name) {
+  core::Matcher::Options options;
+  if (name == "basic") {
+    options.mode = core::Matcher::Mode::kBasic;
+  } else if (name == "basic-pc") {
+    options.mode = core::Matcher::Mode::kPrefixCovering;
+  } else if (name == "basic-pc-ap") {
+    options.mode = core::Matcher::Mode::kPrefixCoveringAccessPredicate;
+  } else if (name == "trie-dfs") {
+    options.mode = core::Matcher::Mode::kTrieDfs;
+  } else if (name == "basic-pc-ap-sp") {
+    options.mode = core::Matcher::Mode::kPrefixCoveringAccessPredicate;
+    options.attribute_mode = core::AttributeMode::kSelectionPostponed;
+  } else if (name == "basic-pc-ap-shortest") {
+    options.mode = core::Matcher::Mode::kPrefixCoveringAccessPredicate;
+    options.covering_longest_first = false;
+  } else if (name == "basic-pc-ap-cc") {
+    options.mode = core::Matcher::Mode::kPrefixCoveringAccessPredicate;
+    options.enable_containment_covering = true;
+  } else if (name == "xfilter") {
+    return std::make_unique<xfilter::XFilter>();
+  } else if (name == "yfilter") {
+    return std::make_unique<yfilter::YFilter>();
+  } else if (name == "index-filter") {
+    return std::make_unique<indexfilter::IndexFilter>();
+  } else {
+    std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+    std::abort();
+  }
+  return std::make_unique<core::Matcher>(options);
+}
+
+/// Engines loaded with a workload, cached across benchmark
+/// registrations (loading 125k expressions takes noticeable time).
+inline core::FilterEngine& GetLoadedEngine(const std::string& engine_name,
+                                           const WorkloadSpec& spec) {
+  static std::map<std::string, std::unique_ptr<core::FilterEngine>>* cache =
+      new std::map<std::string, std::unique_ptr<core::FilterEngine>>();
+  std::string key = engine_name + "@" + spec.Key();
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+
+  const Workload& workload = GetWorkload(spec);
+  std::unique_ptr<core::FilterEngine> engine = MakeEngine(engine_name);
+  for (const std::string& expr : workload.expressions) {
+    Result<core::ExprId> id = engine->AddExpression(expr);
+    if (!id.ok()) {
+      std::fprintf(stderr, "AddExpression(%s) failed: %s\n", expr.c_str(),
+                   id.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  core::FilterEngine& ref = *engine;
+  cache->emplace(std::move(key), std::move(engine));
+  return ref;
+}
+
+/// One measurement pass: filters every document in the corpus once;
+/// sets the paper's metrics as counters:
+///   ms_per_doc  — total filtering time per document (the paper's
+///                 primary metric),
+///   match_pct   — percentage of subscriptions matched, averaged over
+///                 documents (the workload-selectivity regime).
+inline void RunFilterBenchmark(benchmark::State& state,
+                               const std::string& engine_name,
+                               const WorkloadSpec& spec) {
+  core::FilterEngine& engine = GetLoadedEngine(engine_name, spec);
+  const Workload& workload = GetWorkload(spec);
+
+  std::vector<core::ExprId> matched;
+  size_t total_matched = 0;
+  size_t docs_filtered = 0;
+  Stopwatch wall;
+  double elapsed_ms = 0;
+  for (auto _ : state) {
+    wall.Reset();
+    for (const xml::Document& doc : workload.documents) {
+      matched.clear();
+      Status st = engine.FilterDocument(doc, &matched);
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(matched.data());
+      total_matched += matched.size();
+      ++docs_filtered;
+    }
+    elapsed_ms += wall.ElapsedMillis();
+  }
+
+  if (docs_filtered > 0) {
+    double subs = static_cast<double>(engine.subscription_count());
+    state.counters["ms_per_doc"] =
+        elapsed_ms / static_cast<double>(docs_filtered);
+    state.counters["match_pct"] =
+        100.0 * static_cast<double>(total_matched) /
+        (static_cast<double>(docs_filtered) * std::max(1.0, subs));
+    state.counters["expressions"] = subs;
+  }
+}
+
+}  // namespace xpred::bench
+
+#endif  // XPRED_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Summarizes bench_output.txt into per-figure tables.
+
+Usage: scripts/summarize_bench.py [bench_output.txt]
+
+Parses google-benchmark tabular output and prints, per figure, a
+series x x-value grid of ms_per_doc (plus match_pct per x-value),
+ready to paste into EXPERIMENTS.md.
+"""
+
+import re
+import sys
+from collections import defaultdict
+
+
+def parse(path):
+    rows = []
+    header = []
+    for line in open(path):
+        if line.startswith("Benchmark"):
+            header = line.split()
+            continue
+        m = re.match(r"^(Fig\S+|Ablation\S+|Parsing\S+|Insertion\S+)\s", line)
+        if not m:
+            continue
+        parts = line.split()
+        name = parts[0]
+        row = {"name": name}
+        # Align trailing counter columns with the header (Time/CPU have
+        # unit suffixes as separate tokens).
+        counters = header[4:] if header else []
+        if counters:
+            values = parts[-len(counters):]
+            for key, value in zip(counters, values):
+                try:
+                    row[key] = float(value.replace("k", "e3").replace(
+                        "M", "e6").replace("m", "e-3"))
+                except ValueError:
+                    row[key] = value
+        rows.append(row)
+    return rows
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    rows = parse(path)
+    groups = defaultdict(list)
+    for row in rows:
+        # Name shape: Fig6a/<series>/<x>/... or Fig8/W/<series>/<x>/...
+        parts = row["name"].split("/")
+        if parts[0] in ("Fig8", "Fig7", "Fig9"):
+            figure = "/".join(parts[:2])
+            series = parts[2] if parts[0] != "Fig9" else parts[1]
+            x = parts[3] if len(parts) > 3 else "?"
+            if parts[0] == "Fig9":
+                figure, series, x = parts[0] + "/" + parts[1], parts[2], ""
+        else:
+            figure = parts[0]
+            series = parts[1] if len(parts) > 1 else ""
+            x = parts[2] if len(parts) > 2 else ""
+        groups[figure].append((series, x, row))
+
+    for figure in sorted(groups):
+        print(f"\n=== {figure} ===")
+        xs = []
+        table = defaultdict(dict)
+        match = {}
+        for series, x, row in groups[figure]:
+            if x not in xs:
+                xs.append(x)
+            table[series][x] = row.get("ms_per_doc", row.get("us_per_doc"))
+            if "match_pct" in row:
+                match[x] = row["match_pct"]
+        header = "series".ljust(24) + "".join(str(x).rjust(12) for x in xs)
+        print(header)
+        for series in table:
+            line = series.ljust(24)
+            for x in xs:
+                v = table[series].get(x)
+                line += (f"{v:12.3f}" if isinstance(v, float) else
+                         str(v).rjust(12))
+            print(line)
+        if match:
+            line = "match_pct".ljust(24)
+            for x in xs:
+                v = match.get(x)
+                line += (f"{v:12.1f}" if isinstance(v, float) else
+                         " " * 12)
+            print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#ifndef XPRED_COMMON_ARENA_H_
+#define XPRED_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xpred {
+
+/// \brief Bump allocator for long-lived, never-individually-freed
+/// objects (NFA states, trie nodes, interned strings).
+///
+/// Millions of stored expressions produce millions of small index nodes;
+/// allocating them from an arena keeps them dense in memory and makes
+/// teardown O(#blocks). The arena is not thread-safe; each engine owns
+/// one.
+class Arena {
+ public:
+  /// \param block_size size in bytes of each backing block.
+  explicit Arena(size_t block_size = 64 * 1024)
+      : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates \p bytes with the given alignment (must be a power of
+  /// two). The memory lives until the arena is destroyed.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    size_t pos = Align(pos_, alignment);
+    if (blocks_.empty() || pos + bytes > current_capacity_) {
+      NewBlock(bytes, alignment);
+      pos = Align(pos_, alignment);
+    }
+    void* result = blocks_.back().get() + pos;
+    pos_ = pos + bytes;
+    bytes_used_ += bytes;
+    return result;
+  }
+
+  /// Constructs a T in arena memory. T must be trivially destructible
+  /// (its destructor is never run).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Copies \p data into the arena and returns a view of the copy.
+  const char* CopyString(const char* data, size_t size) {
+    char* mem = static_cast<char*>(Allocate(size + 1, 1));
+    std::copy(data, data + size, mem);
+    mem[size] = '\0';
+    return mem;
+  }
+
+  /// Total payload bytes handed out (excluding block slack).
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  static size_t Align(size_t pos, size_t alignment) {
+    return (pos + alignment - 1) & ~(alignment - 1);
+  }
+
+  void NewBlock(size_t min_bytes, size_t alignment) {
+    size_t size = block_size_;
+    // Oversized requests get a dedicated block.
+    if (min_bytes + alignment > size) size = min_bytes + alignment;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    current_capacity_ = size;
+    pos_ = 0;
+    bytes_reserved_ += size;
+  }
+
+  size_t block_size_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t current_capacity_ = 0;
+  size_t pos_ = 0;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_ARENA_H_

@@ -1,0 +1,34 @@
+#ifndef XPRED_COMMON_HASH_H_
+#define XPRED_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xpred {
+
+/// \brief FNV-1a 64-bit hash of a byte string.
+///
+/// Used for tag-name keys in the predicate index and for interning
+/// tables. FNV-1a is small, deterministic, and good enough for short
+/// element-name keys; hot lookups are by interned integer id, not by
+/// string hash.
+inline uint64_t Fnv1a(std::string_view data,
+                      uint64_t seed = 0xCBF29CE484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// \brief Mixes two 64-bit hashes (boost::hash_combine style, 64-bit
+/// constants).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_HASH_H_

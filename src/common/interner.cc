@@ -1,0 +1,31 @@
+#include "common/interner.h"
+
+namespace xpred {
+
+SymbolId Interner::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId Interner::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return kInvalidSymbol;
+  return it->second;
+}
+
+size_t Interner::ApproximateMemoryBytes() const {
+  size_t total = names_.capacity() * sizeof(std::string) +
+                 index_.bucket_count() * sizeof(void*);
+  for (const std::string& name : names_) {
+    if (name.capacity() > sizeof(std::string)) total += name.capacity();
+    // Each index_ node duplicates the key plus hash-node overhead.
+    total += sizeof(std::string) + name.size() + 3 * sizeof(void*);
+  }
+  return total;
+}
+
+}  // namespace xpred

@@ -1,0 +1,54 @@
+#ifndef XPRED_COMMON_INTERNER_H_
+#define XPRED_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xpred {
+
+/// Dense id assigned to an interned string. Ids start at 0 and are
+/// assigned in first-seen order.
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
+
+/// \brief Maps strings (element / attribute names) to dense integer ids.
+///
+/// All hot data structures (predicate index, NFA transition tables,
+/// publications) key on SymbolId instead of strings, so string hashing
+/// happens once per distinct name, at insertion / parse time.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the id for \p name, interning it if necessary.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for \p name, or kInvalidSymbol if it was never
+  /// interned. Never allocates — safe for document-side lookups where
+  /// unknown tags simply cannot match any predicate.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// Returns the string for \p id. Requires a valid id.
+  std::string_view Name(SymbolId id) const { return names_[id]; }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return names_.size(); }
+
+  /// Approximate heap bytes (names plus the lookup table).
+  size_t ApproximateMemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, SymbolId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_INTERNER_H_

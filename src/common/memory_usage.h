@@ -1,0 +1,58 @@
+#ifndef XPRED_COMMON_MEMORY_USAGE_H_
+#define XPRED_COMMON_MEMORY_USAGE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace xpred {
+
+/// \brief Heap-size approximations for container-heavy index
+/// structures (RocksDB's ApproximateMemoryUsage idiom).
+///
+/// These are estimates: they count the containers' backing storage and
+/// per-node overheads, not allocator slack. Used to report
+/// bytes-per-expression scaling for engines holding millions of XPEs.
+
+/// Bytes behind a vector's backing array (element payload only; use
+/// the Deep variants when elements own memory).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Bytes behind a string's heap buffer (0 when SSO applies).
+inline size_t StringBytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+/// Bytes behind a vector of vectors.
+template <typename T>
+size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  size_t total = VectorBytes(v);
+  for (const std::vector<T>& inner : v) total += VectorBytes(inner);
+  return total;
+}
+
+/// Approximate per-node overhead of the libstdc++ unordered
+/// containers: one forward pointer per node plus the bucket array.
+template <typename Map>
+size_t UnorderedOverheadBytes(const Map& m) {
+  return m.bucket_count() * sizeof(void*) + m.size() * 2 * sizeof(void*);
+}
+
+/// Bytes of an unordered_map whose mapped values are vectors.
+template <typename K, typename T>
+size_t MapOfVectorsBytes(const std::unordered_map<K, std::vector<T>>& m) {
+  size_t total = UnorderedOverheadBytes(m);
+  for (const auto& [key, value] : m) {
+    total += sizeof(key) + sizeof(value) + VectorBytes(value);
+  }
+  return total;
+}
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_MEMORY_USAGE_H_

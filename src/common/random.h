@@ -1,0 +1,105 @@
+#ifndef XPRED_COMMON_RANDOM_H_
+#define XPRED_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xpred {
+
+/// \brief Deterministic 64-bit pseudo-random generator (xoshiro256**),
+/// seeded via SplitMix64.
+///
+/// All workload generators in the library take an explicit seed so
+/// experiments are exactly reproducible; std::mt19937 is avoided because
+/// its distributions are not portable across standard library
+/// implementations.
+class Random {
+ public:
+  /// Constructs a generator from a 64-bit seed. Two generators built
+  /// from the same seed produce identical sequences on every platform.
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    // 53 random mantissa bits.
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Picks a uniformly random element of \p items. Requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[Uniform(items.size())];
+  }
+
+  /// Fisher-Yates shuffles \p items in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_RANDOM_H_

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace xpred {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kXmlParseError:
+      return "XmlParseError";
+    case StatusCode::kXPathParseError:
+      return "XPathParseError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCapacityExceeded:
+      return "CapacityExceeded";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+}  // namespace xpred

@@ -1,0 +1,162 @@
+#ifndef XPRED_COMMON_STATUS_H_
+#define XPRED_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xpred {
+
+/// \brief Error categories used across the library.
+///
+/// The library does not throw exceptions from its public API (RocksDB /
+/// Arrow idiom): every fallible operation returns a Status or a
+/// Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller supplied an argument that violates the API contract.
+  kInvalidArgument,
+  /// An XML document failed to parse.
+  kXmlParseError,
+  /// An XPath expression failed to parse or uses unsupported syntax.
+  kXPathParseError,
+  /// A requested entity (expression id, element, ...) does not exist.
+  kNotFound,
+  /// An internal invariant was violated (a library bug).
+  kInternal,
+  /// A configured capacity (e.g., maximum expression length) was exceeded.
+  kCapacityExceeded,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus an optional message.
+///
+/// Statuses are cheap to copy in the OK case (empty message string).
+/// Typical use:
+///
+/// \code
+///   Status s = parser.Parse(text, &doc);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status XmlParseError(std::string msg) {
+    return Status(StatusCode::kXmlParseError, std::move(msg));
+  }
+  static Status XPathParseError(std::string msg) {
+    return Status(StatusCode::kXPathParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Analogous to arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result is a programming error (checked with assert in debug
+/// builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an errored result. \p status must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise \p fallback.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define XPRED_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::xpred::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef XPRED_COMMON_STOPWATCH_H_
+#define XPRED_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xpred {
+
+/// \brief Monotonic stopwatch used for the per-stage cost breakdown
+/// reported by the matcher (paper §6.5) and by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_STOPWATCH_H_

@@ -1,0 +1,39 @@
+#ifndef XPRED_COMMON_STRING_UTIL_H_
+#define XPRED_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xpred {
+
+/// Splits \p input on the separator character. Empty pieces are kept:
+/// Split("a//b", '/') == {"a", "", "b"}.
+std::vector<std::string_view> Split(std::string_view input, char sep);
+
+/// Joins \p pieces with the separator string.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// True iff \p input starts with \p prefix.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// Parses a decimal double. Returns nullopt when \p input is not
+/// entirely a number.
+std::optional<double> ParseDouble(std::string_view input);
+
+/// Parses a non-negative decimal integer. Returns nullopt on overflow
+/// or non-digit characters.
+std::optional<uint64_t> ParseUint(std::string_view input);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_STRING_UTIL_H_

@@ -1,0 +1,197 @@
+#include "core/encoder.h"
+
+#include <algorithm>
+
+namespace xpred::core {
+
+using xpath::Axis;
+using xpath::PathExpr;
+using xpath::Step;
+
+namespace {
+
+/// Canonical ordering of attribute constraints so that syntactically
+/// reordered filters produce identical predicates (maximizing sharing
+/// in the predicate index).
+void NormalizeConstraints(std::vector<AttributeConstraint>* constraints) {
+  std::sort(constraints->begin(), constraints->end(),
+            [](const AttributeConstraint& a, const AttributeConstraint& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.op != b.op) return a.op < b.op;
+              if (a.value.is_number != b.value.is_number) {
+                return a.value.is_number < b.value.is_number;
+              }
+              if (a.value.is_number) return a.value.number < b.value.number;
+              return a.value.text < b.value.text;
+            });
+}
+
+std::vector<AttributeConstraint> StepConstraints(const Step& step) {
+  std::vector<AttributeConstraint> out;
+  out.reserve(step.attribute_filters.size());
+  for (const xpath::AttributeFilter& f : step.attribute_filters) {
+    out.push_back(AttributeConstraint::FromFilter(f));
+  }
+  NormalizeConstraints(&out);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodedExpression::ToString(const Interner& interner) const {
+  std::string out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += predicates[i].ToString(interner);
+  }
+  return out;
+}
+
+Result<EncodedExpression> EncodeExpression(const PathExpr& expr,
+                                           AttributeMode mode,
+                                           Interner* interner) {
+  if (expr.steps.empty()) {
+    return Status::InvalidArgument("expression has no location steps");
+  }
+  if (expr.HasNestedPaths()) {
+    return Status::InvalidArgument(
+        "nested path filters must be decomposed before encoding");
+  }
+
+  const uint32_t n = static_cast<uint32_t>(expr.steps.size());
+  if (n > UINT16_MAX) {
+    return Status::CapacityExceeded("expression too long");
+  }
+
+  EncodedExpression enc;
+  enc.num_steps = static_cast<uint16_t>(n);
+
+  // Collect anchors: the non-wildcard steps, by 1-based index.
+  std::vector<uint32_t> anchors;
+  for (uint32_t i = 1; i <= n; ++i) {
+    const Step& step = expr.steps[i - 1];
+    if (!step.wildcard) {
+      anchors.push_back(i);
+    } else if (step.HasFilters()) {
+      return Status::InvalidArgument(
+          "attribute filters on wildcard steps are not supported by the "
+          "predicate language");
+    }
+  }
+
+  // All-wildcard expression: a single length-of-expression predicate.
+  // The paper deliberately does not distinguish /*/*/* from */*/*
+  // (§3.2: both require a document path of length at least n).
+  if (anchors.empty()) {
+    Predicate p;
+    p.type = PredicateType::kLength;
+    p.op = PredOp::kGe;
+    p.value = n;
+    enc.predicates.push_back(std::move(p));
+    return enc;
+  }
+
+  const size_t m = anchors.size();
+  enc.anchor_steps.reserve(m);
+  enc.anchor_tags.reserve(m);
+  for (uint32_t a : anchors) {
+    enc.anchor_steps.push_back(static_cast<uint16_t>(a));
+    enc.anchor_tags.push_back(interner->Intern(expr.steps[a - 1].tag));
+  }
+  enc.anchor_slots.resize(m);
+
+  // Attribute constraints per anchor (inline mode attaches them to the
+  // introducing predicate below; selection-postponed keeps them aside).
+  std::vector<std::vector<AttributeConstraint>> anchor_attrs(m);
+  for (size_t j = 0; j < m; ++j) {
+    const Step& step = expr.steps[anchors[j] - 1];
+    if (step.attribute_filters.empty()) continue;
+    std::vector<AttributeConstraint> constraints = StepConstraints(step);
+    if (mode == AttributeMode::kInline) {
+      anchor_attrs[j] = std::move(constraints);
+    } else {
+      DeferredFilters deferred;
+      deferred.anchor_index = static_cast<uint16_t>(j);
+      deferred.filters = std::move(constraints);
+      enc.deferred_filters.push_back(std::move(deferred));
+    }
+  }
+
+  const uint32_t a1 = anchors[0];
+
+  // The start is "rooted exactly" when the expression is absolute and
+  // no descendant axis occurs at or before the first anchor: the first
+  // anchor's position is then exactly a1 (e.g. /*/a/b -> (p_a, =, 2)).
+  bool rooted_exact = expr.absolute;
+  for (uint32_t i = 1; i <= a1 && rooted_exact; ++i) {
+    if (expr.steps[i - 1].axis == Axis::kDescendant) rooted_exact = false;
+  }
+
+  // First predicate: records the position of the first anchor. For a
+  // floating start it is included only when informative — i.e. when
+  // leading wildcards force a minimum position (s9: */*/a/*/b ->
+  // (p_a, >=, 3)) or when it is the expression's only predicate
+  // (s2: a -> (p_a, >=, 1)). For a/a/b/c the first predicate is
+  // omitted because (p_a, >=, 1) is vacuous (§3.2).
+  bool first_present =
+      rooted_exact || a1 > 1 || (m == 1);
+  if (first_present) {
+    Predicate p;
+    p.type = PredicateType::kAbsolute;
+    p.op = rooted_exact ? PredOp::kEq : PredOp::kGe;
+    p.value = a1;
+    p.tag1 = enc.anchor_tags[0];
+    p.attrs1 = anchor_attrs[0];
+    enc.predicates.push_back(std::move(p));
+    enc.anchor_slots[0] = AnchorSlot{0, false};
+  }
+
+  // Middle predicates: one relative predicate per adjacent anchor
+  // pair. The distance value counts location steps (wildcards
+  // included); a descendant axis anywhere in the gap turns '=' into
+  // '>='.
+  for (size_t j = 1; j < m; ++j) {
+    uint32_t prev = anchors[j - 1];
+    uint32_t cur = anchors[j];
+    bool has_descendant = false;
+    for (uint32_t i = prev + 1; i <= cur; ++i) {
+      if (expr.steps[i - 1].axis == Axis::kDescendant) has_descendant = true;
+    }
+    Predicate p;
+    p.type = PredicateType::kRelative;
+    p.op = has_descendant ? PredOp::kGe : PredOp::kEq;
+    p.value = cur - prev;
+    p.tag1 = enc.anchor_tags[j - 1];
+    p.tag2 = enc.anchor_tags[j];
+    p.attrs2 = anchor_attrs[j];
+    // The first anchor may be introduced here (when the first
+    // predicate was omitted); its constraints then attach to tag1.
+    if (!first_present && j == 1) {
+      p.attrs1 = anchor_attrs[0];
+      enc.anchor_slots[0] =
+          AnchorSlot{static_cast<uint16_t>(enc.predicates.size()), false};
+    }
+    enc.anchor_slots[j] =
+        AnchorSlot{static_cast<uint16_t>(enc.predicates.size()), true};
+    enc.predicates.push_back(std::move(p));
+  }
+
+  // End-of-path predicate: trailing wildcards require that many more
+  // tags after the last anchor (s5: /a/b/*/* -> (p_b-|, >=, 2)).
+  const uint32_t am = anchors[m - 1];
+  if (am < n) {
+    Predicate p;
+    p.type = PredicateType::kEndOfPath;
+    p.op = PredOp::kGe;
+    p.value = n - am;
+    p.tag1 = enc.anchor_tags[m - 1];
+    // The last anchor was already introduced (first predicate when
+    // m == 1, relative predicate otherwise), so no constraints here:
+    // occurrence chaining propagates them.
+    enc.predicates.push_back(std::move(p));
+  }
+
+  return enc;
+}
+
+}  // namespace xpred::core

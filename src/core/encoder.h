@@ -1,0 +1,84 @@
+#ifndef XPRED_CORE_ENCODER_H_
+#define XPRED_CORE_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "core/predicate.h"
+#include "xpath/ast.h"
+
+namespace xpred::core {
+
+/// \brief Where an anchor's occurrence number appears in the occurrence
+/// chain produced by the occurrence-determination algorithm.
+struct AnchorSlot {
+  /// Index of the predicate that introduces the anchor.
+  uint16_t pred_index = 0;
+  /// True when the anchor is the second tag variable of that predicate.
+  bool on_second = false;
+};
+
+/// \brief Attribute filters of one step, retained outside the
+/// predicates for selection-postponed evaluation (§5).
+struct DeferredFilters {
+  /// Which anchor (index into anchor arrays) the filters apply to.
+  uint16_t anchor_index = 0;
+  std::vector<AttributeConstraint> filters;
+};
+
+/// \brief The ordered predicate encoding of a single-path XPE (§3.2),
+/// plus the anchor metadata later stages need.
+///
+/// "Anchors" are the non-wildcard location steps, in order; every
+/// predicate constrains the absolute position of an anchor, the
+/// distance between two adjacent anchors, or the distance from the
+/// last anchor to the end of the path. All-wildcard expressions encode
+/// to a single length predicate and have no anchors.
+struct EncodedExpression {
+  std::vector<Predicate> predicates;
+  /// anchor_steps[i] = 1-based location-step index of anchor i.
+  std::vector<uint16_t> anchor_steps;
+  /// Where each anchor's occurrence lives in the matching-result chain.
+  std::vector<AnchorSlot> anchor_slots;
+  /// Interned tag of each anchor.
+  std::vector<SymbolId> anchor_tags;
+  /// Selection-postponed attribute filters (empty in inline mode).
+  std::vector<DeferredFilters> deferred_filters;
+  /// Number of location steps of the original expression.
+  uint16_t num_steps = 0;
+
+  /// Paper-style rendering "(p_a, =, 1) -> (d(p_a, p_b), =, 1)".
+  std::string ToString(const Interner& interner) const;
+};
+
+/// How attribute filters are represented (§5).
+enum class AttributeMode : uint8_t {
+  /// Filters become attribute constraints inside the predicates and
+  /// are checked during predicate matching.
+  kInline,
+  /// Predicates stay purely structural; filters are kept per
+  /// expression and checked after structural matching by re-running
+  /// occurrence determination on filtered results.
+  kSelectionPostponed,
+};
+
+/// \brief Translates a single-path XPE into its ordered predicate
+/// encoding.
+///
+/// \p expr must not contain nested path filters (callers decompose
+/// nested expressions first; see core/nested.h). Attribute filters on
+/// wildcard steps are not supported by the predicate language and are
+/// rejected.
+///
+/// Tag names are interned into \p interner (allocating — the
+/// expression side owns the vocabulary).
+Result<EncodedExpression> EncodeExpression(const xpath::PathExpr& expr,
+                                           AttributeMode mode,
+                                           Interner* interner);
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_ENCODER_H_

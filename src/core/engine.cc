@@ -1,0 +1,20 @@
+#include "core/engine.h"
+
+#include "common/stopwatch.h"
+
+namespace xpred::core {
+
+Status FilterEngine::FilterXml(std::string_view xml_text,
+                               std::vector<ExprId>* matched) {
+  Stopwatch watch;
+  Result<xml::Document> doc = xml::Document::Parse(xml_text);
+  if (!doc.ok()) return doc.status();
+  double parse_micros = watch.ElapsedMicros();
+  Status st = FilterDocument(*doc, matched);
+  // Charge parse time after FilterDocument so engines that reset
+  // per-document state don't clobber it.
+  mutable_stats()->encode_micros += parse_micros;
+  return st;
+}
+
+}  // namespace xpred::core

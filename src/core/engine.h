@@ -1,0 +1,100 @@
+#ifndef XPRED_CORE_ENGINE_H_
+#define XPRED_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/predicate.h"
+#include "xml/document.h"
+
+namespace xpred::core {
+
+/// \brief Cumulative per-engine counters and stage timings.
+///
+/// The stage split mirrors the paper's §6.5 cost breakdown: document
+/// parsing/encoding, predicate matching, expression matching
+/// (occurrence determination), and result collection. Baseline engines
+/// fill the fields that apply to them (YFilter: expression_micros is
+/// NFA execution; verify_micros is selection-postponed filter
+/// verification).
+struct EngineStats {
+  uint64_t documents = 0;
+  uint64_t paths = 0;
+
+  /// Publication building / SAX-side encoding time.
+  double encode_micros = 0;
+  /// Stage 1: predicate matching (or NFA execution / stream joins).
+  double predicate_micros = 0;
+  /// Stage 2: expression matching (occurrence determination).
+  double expression_micros = 0;
+  /// Attribute-filter verification (selection-postponed modes).
+  double verify_micros = 0;
+  /// Result collection.
+  double collect_micros = 0;
+
+  /// Times the occurrence determination algorithm executed.
+  uint64_t occurrence_runs = 0;
+  /// Times a nested-path witness enumeration hit its search budget
+  /// (possible false negatives for that sub-expression; raise
+  /// Matcher::Options::nested_chain_budget if ever non-zero).
+  uint64_t nested_enumeration_truncated = 0;
+  /// (pid, pair) predicate matches recorded.
+  uint64_t predicate_matches = 0;
+
+  double total_micros() const {
+    return encode_micros + predicate_micros + expression_micros +
+           verify_micros + collect_micros;
+  }
+};
+
+/// \brief Common interface of all filtering engines (our matcher,
+/// YFilter, Index-Filter), so benchmarks and examples can swap them.
+///
+/// Usage: add all expressions first, then filter documents (the paper
+/// assumes "all XPEs are processed before any XML documents are
+/// matched"). AddExpression returns a subscription id; duplicate
+/// expressions get distinct ids but share all internal state.
+/// FilterDocument appends the ids of every matched subscription.
+class FilterEngine {
+ public:
+  virtual ~FilterEngine() = default;
+
+  /// Registers an XPath expression; returns its subscription id
+  /// (dense, starting at 0).
+  virtual Result<ExprId> AddExpression(std::string_view xpath) = 0;
+
+  /// Filters one parsed document; appends matched subscription ids to
+  /// \p matched (unordered).
+  virtual Status FilterDocument(const xml::Document& document,
+                                std::vector<ExprId>* matched) = 0;
+
+  /// Convenience: parse XML text, then filter. Parsing time is added
+  /// to stats().encode_micros, matching the paper's "total filtering
+  /// time includes the time of parsing the XML document".
+  Status FilterXml(std::string_view xml_text, std::vector<ExprId>* matched);
+
+  /// Number of registered subscriptions (duplicates included).
+  virtual size_t subscription_count() const = 0;
+
+  virtual const EngineStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Short engine name for reports ("basic-pc-ap", "yfilter", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Approximate heap bytes held by the engine's index structures
+  /// (RocksDB idiom; estimates container backing storage, not
+  /// allocator slack). 0 when an engine does not implement it.
+  virtual size_t ApproximateMemoryBytes() const { return 0; }
+
+ protected:
+  /// Mutable access for FilterXml's parse-time accounting.
+  virtual EngineStats* mutable_stats() = 0;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_ENGINE_H_

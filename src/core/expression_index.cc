@@ -1,0 +1,118 @@
+#include "core/expression_index.h"
+
+#include <algorithm>
+
+#include "common/memory_usage.h"
+
+namespace xpred::core {
+
+uint32_t ExpressionTrie::InsertChain(const std::vector<PredicateId>& pids) {
+  uint32_t current = root();
+  for (PredicateId pid : pids) {
+    uint64_t key = (static_cast<uint64_t>(current) << 32) | pid;
+    auto it = edges_.find(key);
+    if (it != edges_.end()) {
+      current = it->second;
+      continue;
+    }
+    uint32_t child = static_cast<uint32_t>(nodes_.size());
+    Node node;
+    node.pid = pid;
+    node.parent = current;
+    node.depth = static_cast<uint16_t>(nodes_[current].depth + 1);
+    nodes_.push_back(std::move(node));
+    nodes_[current].children.push_back(child);
+    edges_.emplace(key, child);
+    current = child;
+  }
+  return current;
+}
+
+void ExpressionTrie::CollectPrefixExpressions(
+    uint32_t node, std::vector<InternalId>* out) const {
+  // The node's own expressions are the match itself; prefixes are the
+  // proper ancestors.
+  uint32_t current = nodes_[node].parent;
+  while (current != UINT32_MAX) {
+    const Node& n = nodes_[current];
+    out->insert(out->end(), n.expressions.begin(), n.expressions.end());
+    current = n.parent;
+  }
+}
+
+void ExpressionTrie::Rebuild() {
+  clusters_.clear();
+  expr_depths_.clear();
+
+  // One DFS per root child collects the cluster's expressions.
+  for (uint32_t cluster_root : nodes_[root()].children) {
+    Cluster cluster;
+    cluster.access_pid = nodes_[cluster_root].pid;
+    std::vector<std::pair<InternalId, uint16_t>> members;
+    std::vector<uint32_t> stack{cluster_root};
+    while (!stack.empty()) {
+      uint32_t id = stack.back();
+      stack.pop_back();
+      const Node& n = nodes_[id];
+      for (InternalId expr : n.expressions) {
+        members.emplace_back(expr, n.depth);
+      }
+      for (uint32_t child : n.children) stack.push_back(child);
+    }
+    const bool longest = longest_first_;
+    std::sort(members.begin(), members.end(),
+              [longest](const auto& a, const auto& b) {
+                if (a.second != b.second) {
+                  return longest ? a.second > b.second : a.second < b.second;
+                }
+                return a.first < b.first;
+              });
+    cluster.expressions_by_length.reserve(members.size());
+    for (const auto& [expr, depth] : members) {
+      cluster.expressions_by_length.push_back(expr);
+      expr_depths_.emplace_back(expr, depth);
+    }
+    clusters_.push_back(std::move(cluster));
+  }
+
+  const bool longest = longest_first_;
+  std::sort(expr_depths_.begin(), expr_depths_.end(),
+            [longest](const auto& a, const auto& b) {
+              if (a.second != b.second) {
+                return longest ? a.second > b.second : a.second < b.second;
+              }
+              return a.first < b.first;
+            });
+  by_length_.clear();
+  by_length_.reserve(expr_depths_.size());
+  for (const auto& [expr, depth] : expr_depths_) by_length_.push_back(expr);
+
+  dirty_ = false;
+}
+
+const std::vector<ExpressionTrie::Cluster>& ExpressionTrie::clusters() {
+  if (dirty_) Rebuild();
+  return clusters_;
+}
+
+const std::vector<InternalId>& ExpressionTrie::expressions_by_length() {
+  if (dirty_) Rebuild();
+  return by_length_;
+}
+
+size_t ExpressionTrie::ApproximateMemoryBytes() const {
+  size_t total = VectorBytes(nodes_);
+  for (const Node& node : nodes_) {
+    total += VectorBytes(node.expressions) + VectorBytes(node.children);
+  }
+  total += UnorderedOverheadBytes(edges_) +
+           edges_.size() * (sizeof(uint64_t) + sizeof(uint32_t));
+  total += VectorBytes(clusters_);
+  for (const Cluster& c : clusters_) {
+    total += VectorBytes(c.expressions_by_length);
+  }
+  total += VectorBytes(by_length_) + VectorBytes(expr_depths_);
+  return total;
+}
+
+}  // namespace xpred::core

@@ -1,0 +1,109 @@
+#ifndef XPRED_CORE_EXPRESSION_INDEX_H_
+#define XPRED_CORE_EXPRESSION_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/predicate.h"
+
+namespace xpred::core {
+
+/// Index of an internal (deduplicated) expression within the matcher.
+using InternalId = uint32_t;
+inline constexpr InternalId kInvalidInternal = UINT32_MAX;
+
+/// \brief Trie over predicate chains (paper §4.2.2, Figure 2).
+///
+/// Expressions are indexed by their ordered pids; an expression whose
+/// chain is a prefix of another's is *covered* by it: if the longer
+/// expression matches a publication, the prefix matches too, without
+/// running occurrence determination again. The trie's root children
+/// partition expressions by their first predicate — the paper's
+/// *access predicates*: when the first predicate has no matching
+/// result, the entire cluster is ruled out.
+class ExpressionTrie {
+ public:
+  struct Node {
+    PredicateId pid = kInvalidPredicate;
+    uint32_t parent = UINT32_MAX;
+    /// Expressions whose chain ends at this node (several are possible:
+    /// e.g. /*/*/* and */*/* share the chain (length, >=, 3), and in
+    /// selection-postponed mode structurally identical expressions
+    /// with different attribute filters share it too).
+    std::vector<InternalId> expressions;
+    std::vector<uint32_t> children;
+    uint16_t depth = 0;
+  };
+
+  ExpressionTrie() {
+    nodes_.push_back(Node{});  // Root.
+  }
+
+  /// Inserts (or finds) the chain and returns its final node.
+  uint32_t InsertChain(const std::vector<PredicateId>& pids);
+
+  /// Registers an expression ending at \p node.
+  void AttachExpression(uint32_t node, InternalId expr) {
+    nodes_[node].expressions.push_back(expr);
+    dirty_ = true;
+  }
+
+  const Node& node(uint32_t id) const { return nodes_[id]; }
+  size_t node_count() const { return nodes_.size(); }
+  uint32_t root() const { return 0; }
+
+  /// \brief One access-predicate cluster: the subtree under a root
+  /// child (all expressions sharing a first predicate).
+  struct Cluster {
+    PredicateId access_pid = kInvalidPredicate;
+    /// Expressions in the subtree, sorted by chain length descending
+    /// (the paper's longest-first covering heuristic).
+    std::vector<InternalId> expressions_by_length;
+  };
+
+  /// Evaluation-order heuristic (paper §4.2.2 uses longest-first to
+  /// maximize covering; shortest-first is kept as an ablation point).
+  void SetOrderLongestFirst(bool longest_first) {
+    if (longest_first_ != longest_first) {
+      longest_first_ = longest_first;
+      dirty_ = true;
+    }
+  }
+
+  /// Clusters for basic-pc-ap; rebuilt lazily after inserts.
+  const std::vector<Cluster>& clusters();
+
+  /// All expressions sorted by chain length descending (basic-pc).
+  const std::vector<InternalId>& expressions_by_length();
+
+  /// Approximate heap bytes of the trie and its evaluation orders.
+  size_t ApproximateMemoryBytes() const;
+
+  /// Expressions at \p node and every ancestor — the covered prefixes
+  /// that a match at \p node subsumes. Appended to \p out.
+  void CollectPrefixExpressions(uint32_t node,
+                                std::vector<InternalId>* out) const;
+
+  /// Final node of an internal expression (as recorded by the caller).
+  /// The trie itself does not store this; the matcher keeps it in its
+  /// expression records.
+
+ private:
+  void Rebuild();
+
+  std::vector<Node> nodes_;
+  /// (parent << 32 | pid) -> child node.
+  std::unordered_map<uint64_t, uint32_t> edges_;
+  std::vector<Cluster> clusters_;
+  std::vector<InternalId> by_length_;
+  /// Chain length per expression (parallel to by_length_ bookkeeping).
+  std::vector<std::pair<InternalId, uint16_t>> expr_depths_;
+  bool longest_first_ = true;
+  bool dirty_ = true;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_EXPRESSION_INDEX_H_

@@ -1,0 +1,723 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/hash.h"
+#include "common/memory_usage.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "xpath/parser.h"
+
+namespace xpred::core {
+
+Matcher::Matcher(Options options)
+    : options_(options),
+      predicate_index_(
+          PredicateIndex::Options{options.max_expression_length}) {
+  trie_.SetOrderLongestFirst(options_.covering_longest_first);
+}
+
+std::string_view Matcher::name() const {
+  switch (options_.mode) {
+    case Mode::kBasic:
+      return "basic";
+    case Mode::kPrefixCovering:
+      return "basic-pc";
+    case Mode::kPrefixCoveringAccessPredicate:
+      return "basic-pc-ap";
+    case Mode::kTrieDfs:
+      return "trie-dfs";
+  }
+  return "matcher";
+}
+
+Result<ExprId> Matcher::AddExpression(std::string_view xpath) {
+  Result<xpath::PathExpr> parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return AddParsedExpression(*parsed);
+}
+
+Result<ExprId> Matcher::AddParsedExpression(const xpath::PathExpr& expr) {
+  std::string canonical = expr.ToString();
+  auto it = dedup_.find(canonical);
+  if (it != dedup_.end()) {
+    // Duplicate expression: a new subscription on shared state. This
+    // also reactivates an expression whose subscribers were all
+    // removed.
+    ExprId sid = next_sid_++;
+    sid_targets_.push_back(it->second);
+    if (it->second.is_group) {
+      NestedGroup& group = groups_[it->second.index];
+      if (group.subscribers.empty()) {
+        for (InternalId sub : group.sub_internal) {
+          hot_[sub].active = true;
+        }
+      }
+      group.subscribers.push_back(sid);
+    } else {
+      exprs_[it->second.index].subscribers.push_back(sid);
+      hot_[it->second.index].active = true;
+    }
+    return sid;
+  }
+
+  if (expr.HasNestedPaths()) {
+    Result<Decomposition> decomposition = DecomposeNested(expr);
+    if (!decomposition.ok()) return decomposition.status();
+    NestedGroup group;
+    group.decomposition = std::move(decomposition).value();
+    const uint32_t group_id = static_cast<uint32_t>(groups_.size());
+
+    for (size_t s = 0; s < group.decomposition.subs.size(); ++s) {
+      const SubExpression& sub = group.decomposition.subs[s];
+      Result<InternalId> internal =
+          AddInternalPath(sub.path, group_id, static_cast<uint32_t>(s));
+      if (!internal.ok()) return internal.status();
+      group.sub_internal.push_back(*internal);
+
+      // Map each interest step to the anchor carrying it.
+      const Internal& rec = exprs_[*internal];
+      std::vector<uint16_t> anchors;
+      for (uint32_t step : sub.interest_steps) {
+        uint16_t anchor = UINT16_MAX;
+        for (size_t j = 0; j < rec.anchor_steps.size(); ++j) {
+          if (rec.anchor_steps[j] == step) {
+            anchor = static_cast<uint16_t>(j);
+            break;
+          }
+        }
+        if (anchor == UINT16_MAX) {
+          return Status::Internal(
+              "nested branch step is not an anchor of its sub-expression");
+        }
+        anchors.push_back(anchor);
+      }
+      group.interest_anchors.push_back(std::move(anchors));
+    }
+    group.witnesses.resize(group.decomposition.subs.size());
+
+    ExprId sid = next_sid_++;
+    sid_targets_.push_back(DedupTarget{true, group_id});
+    group.subscribers.push_back(sid);
+    groups_.push_back(std::move(group));
+    dedup_.emplace(std::move(canonical), DedupTarget{true, group_id});
+    return sid;
+  }
+
+  Result<InternalId> internal =
+      AddInternalPath(expr, UINT32_MAX, UINT32_MAX);
+  if (!internal.ok()) return internal.status();
+  ExprId sid = next_sid_++;
+  sid_targets_.push_back(DedupTarget{false, *internal});
+  exprs_[*internal].subscribers.push_back(sid);
+  dedup_.emplace(std::move(canonical), DedupTarget{false, *internal});
+  return sid;
+}
+
+Status Matcher::RemoveSubscription(ExprId sid) {
+  if (sid >= sid_targets_.size()) {
+    return Status::NotFound(
+        StringPrintf("subscription %u was never issued", sid));
+  }
+  const DedupTarget target = sid_targets_[sid];
+  std::vector<ExprId>* subscribers =
+      target.is_group ? &groups_[target.index].subscribers
+                      : &exprs_[target.index].subscribers;
+  auto it = std::find(subscribers->begin(), subscribers->end(), sid);
+  if (it == subscribers->end()) {
+    return Status::NotFound(
+        StringPrintf("subscription %u already removed", sid));
+  }
+  subscribers->erase(it);
+  if (subscribers->empty()) {
+    // Last subscriber gone: deactivate (shared state stays for cheap
+    // re-subscription; predicates are shared and never removed).
+    if (target.is_group) {
+      for (InternalId sub : groups_[target.index].sub_internal) {
+        hot_[sub].active = false;
+      }
+    } else {
+      hot_[target.index].active = false;
+    }
+  }
+  return Status::OK();
+}
+
+Result<InternalId> Matcher::AddInternalPath(const xpath::PathExpr& path,
+                                            uint32_t group,
+                                            uint32_t sub_index) {
+  // The predicate-index value arrays are sized for the maximum
+  // supported XPE length (§4.1.2); expressions beyond it are rejected
+  // outright rather than failing on some predicate's value.
+  if (path.length() > options_.max_expression_length) {
+    return Status::CapacityExceeded(StringPrintf(
+        "expression has %zu location steps; the engine was configured "
+        "for at most %u (Options::max_expression_length)",
+        path.length(), options_.max_expression_length));
+  }
+  Result<EncodedExpression> encoded =
+      EncodeExpression(path, options_.attribute_mode, &interner_);
+  if (!encoded.ok()) return encoded.status();
+  EncodedExpression& enc = encoded.value();
+
+  Internal rec;
+  rec.pids.reserve(enc.predicates.size());
+  for (const Predicate& p : enc.predicates) {
+    Result<PredicateId> pid = predicate_index_.InsertOrFind(p);
+    if (!pid.ok()) return pid.status();
+    rec.pids.push_back(*pid);
+  }
+  rec.anchor_slots = std::move(enc.anchor_slots);
+  rec.anchor_tags = std::move(enc.anchor_tags);
+  rec.anchor_steps = std::move(enc.anchor_steps);
+  rec.deferred = std::move(enc.deferred_filters);
+  rec.group = group;
+  rec.sub_index = sub_index;
+  rec.trie_node = trie_.InsertChain(rec.pids);
+
+  HotExpr hot;
+  hot.len = static_cast<uint16_t>(rec.pids.size());
+  hot.has_deferred = !rec.deferred.empty();
+  if (rec.pids.size() <= HotExpr::kInlinePids) {
+    std::copy(rec.pids.begin(), rec.pids.end(), hot.pids);
+  } else {
+    hot.overflow = true;
+    hot.pids[0] = static_cast<PredicateId>(pid_overflow_.size());
+    pid_overflow_.insert(pid_overflow_.end(), rec.pids.begin(),
+                         rec.pids.end());
+  }
+
+  InternalId id = static_cast<InternalId>(exprs_.size());
+  exprs_.push_back(std::move(rec));
+  hot_.push_back(hot);
+  if (group == UINT32_MAX) {
+    trie_.AttachExpression(exprs_[id].trie_node, id);
+    plain_exprs_.push_back(id);
+    containment_dirty_ = true;
+  } else {
+    nested_subs_.push_back(id);
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Matching.
+// ---------------------------------------------------------------------------
+
+bool Matcher::GatherResults(
+    InternalId id,
+    std::vector<const std::vector<OccPair>*>* views) const {
+  const HotExpr& hot = hot_[id];
+  const PredicateId* chain = hot.Chain(pid_overflow_);
+  views->clear();
+  for (uint16_t i = 0; i < hot.len; ++i) {
+    const std::vector<OccPair>* r = results_.Find(chain[i]);
+    if (r == nullptr) return false;
+    views->push_back(r);
+  }
+  return true;
+}
+
+bool Matcher::ApplyDeferredFilters(
+    const Internal& expr, const Publication& pub,
+    std::vector<const std::vector<OccPair>*>* views,
+    std::vector<std::vector<OccPair>>* storage) const {
+  storage->clear();
+  storage->reserve(expr.deferred.size());
+  for (const DeferredFilters& df : expr.deferred) {
+    const AnchorSlot& slot = expr.anchor_slots[df.anchor_index];
+    const SymbolId tag = expr.anchor_tags[df.anchor_index];
+    const std::vector<OccPair>& source = *(*views)[slot.pred_index];
+    storage->emplace_back();
+    std::vector<OccPair>& filtered = storage->back();
+    for (const OccPair& pair : source) {
+      uint32_t occ = slot.on_second ? pair.second : pair.first;
+      uint32_t position = pub.PositionOf(tag, occ);
+      if (position == 0) continue;
+      bool ok = true;
+      const std::vector<xml::Attribute>& attrs = pub.AttributesAt(position);
+      for (const AttributeConstraint& c : df.filters) {
+        bool found = false;
+        for (const xml::Attribute& a : attrs) {
+          if (a.name == c.name) {
+            found = true;
+            if (!c.Matches(a.value)) ok = false;
+            break;
+          }
+        }
+        if (!found) ok = false;
+        if (!ok) break;
+      }
+      if (ok) filtered.push_back(pair);
+    }
+    if (filtered.empty()) return false;
+    (*views)[slot.pred_index] = &filtered;
+  }
+  return true;
+}
+
+bool Matcher::VerifyDeferred(InternalId id, const Publication& pub) {
+  if (!GatherResults(id, &views_buf_)) return false;
+  if (!ApplyDeferredFilters(exprs_[id], pub, &views_buf_, &filtered_buf_)) {
+    return false;
+  }
+  ++stats_.occurrence_runs;
+  return OccurrenceDeterminer::Determine(views_buf_);
+}
+
+bool Matcher::EvaluateExpression(InternalId id, const Publication& pub) {
+  if (!GatherResults(id, &views_buf_)) return false;
+  ++stats_.occurrence_runs;
+  if (!OccurrenceDeterminer::Determine(views_buf_)) return false;
+  if (hot_[id].has_deferred) return VerifyDeferred(id, pub);
+  return true;
+}
+
+void Matcher::MarkMatched(InternalId id) {
+  HotExpr& hot = hot_[id];
+  if (hot.matched_epoch == doc_epoch_) return;
+  hot.matched_epoch = doc_epoch_;
+  doc_matched_.push_back(id);
+}
+
+void Matcher::RebuildContainmentIndex() {
+  // Exact-chain index: hash of the pid sequence -> expressions.
+  chain_index_.clear();
+  auto chain_hash = [](const std::vector<PredicateId>& pids, size_t begin,
+                       size_t end) {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (size_t i = begin; i < end; ++i) {
+      h = HashCombine(h, pids[i] + 1);
+    }
+    return h;
+  };
+  for (InternalId id : plain_exprs_) {
+    const std::vector<PredicateId>& pids = exprs_[id].pids;
+    chain_index_[chain_hash(pids, 0, pids.size())].push_back(id);
+  }
+
+  // For each expression, collect expressions equal to one of its
+  // proper, non-prefix contiguous subchains (prefixes are already
+  // covered through the trie). A matched chain's witness restricted to
+  // the subchain is a witness for the contained expression, so no
+  // occurrence determination is needed for it. O(n^2) subchains per
+  // expression with n <= max_expression_length + 2.
+  for (InternalId id : plain_exprs_) {
+    const std::vector<PredicateId>& pids = exprs_[id].pids;
+    std::vector<InternalId> contained;
+    const size_t n = pids.size();
+    for (size_t begin = 1; begin < n; ++begin) {
+      for (size_t end = begin + 1; end <= n; ++end) {
+        auto it = chain_index_.find(chain_hash(pids, begin, end));
+        if (it == chain_index_.end()) continue;
+        for (InternalId candidate : it->second) {
+          if (candidate == id) continue;
+          const std::vector<PredicateId>& other = exprs_[candidate].pids;
+          if (other.size() != end - begin) continue;  // Hash collision.
+          if (!std::equal(other.begin(), other.end(),
+                          pids.begin() + static_cast<ptrdiff_t>(begin))) {
+            continue;
+          }
+          contained.push_back(candidate);
+        }
+      }
+    }
+    std::sort(contained.begin(), contained.end());
+    contained.erase(std::unique(contained.begin(), contained.end()),
+                    contained.end());
+    exprs_[id].contained = std::move(contained);
+  }
+  containment_dirty_ = false;
+}
+
+void Matcher::PropagateCoveredMatches(InternalId id,
+                                      const Publication& pub) {
+  // Same-node expressions share the full chain, prefix expressions a
+  // prefix of it; either way the publication structurally matches them
+  // (§4.2.2's covering argument), so only deferred attribute filters
+  // remain to check.
+  prefix_buf_.clear();
+  const ExpressionTrie::Node& node = trie_.node(exprs_[id].trie_node);
+  prefix_buf_.insert(prefix_buf_.end(), node.expressions.begin(),
+                     node.expressions.end());
+  trie_.CollectPrefixExpressions(exprs_[id].trie_node, &prefix_buf_);
+  if (options_.enable_containment_covering) {
+    const std::vector<InternalId>& contained = exprs_[id].contained;
+    prefix_buf_.insert(prefix_buf_.end(), contained.begin(),
+                       contained.end());
+  }
+  for (InternalId covered_id : prefix_buf_) {
+    if (!hot_[covered_id].active ||
+        hot_[covered_id].matched_epoch == doc_epoch_) {
+      continue;
+    }
+    if (!hot_[covered_id].has_deferred || VerifyDeferred(covered_id, pub)) {
+      MarkMatched(covered_id);
+    }
+  }
+}
+
+void Matcher::RunExpressionStage(const Publication& pub) {
+  switch (options_.mode) {
+    case Mode::kBasic: {
+      for (InternalId id : plain_exprs_) {
+        if (!hot_[id].active || hot_[id].matched_epoch == doc_epoch_) continue;
+        if (EvaluateExpression(id, pub)) MarkMatched(id);
+      }
+      break;
+    }
+    case Mode::kPrefixCovering:
+    case Mode::kPrefixCoveringAccessPredicate: {
+      const bool use_access_predicate =
+          options_.mode == Mode::kPrefixCoveringAccessPredicate;
+      for (const ExpressionTrie::Cluster& cluster : trie_.clusters()) {
+        // Access predicate (ap variant only): no result for the first
+        // predicate rules out every expression in the cluster without
+        // looking at any of them.
+        if (use_access_predicate && !results_.Has(cluster.access_pid)) {
+          continue;
+        }
+        for (InternalId id : cluster.expressions_by_length) {
+          if (!hot_[id].active || hot_[id].matched_epoch == doc_epoch_) {
+            continue;
+          }
+          if (EvaluateExpression(id, pub)) {
+            MarkMatched(id);
+            PropagateCoveredMatches(id, pub);
+          }
+        }
+      }
+      break;
+    }
+    case Mode::kTrieDfs:
+      RunTrieDfs(pub);
+      break;
+  }
+}
+
+void Matcher::RunTrieDfs(const Publication& pub) {
+  // DFS over the trie, propagating the set of occurrence values o2
+  // reachable by a valid chain from the root to each node. A node is
+  // reachable iff some chain exists; expressions at a reachable node
+  // are structurally matched. This evaluates the whole workload in a
+  // single pass without per-expression backtracking (extension; see
+  // DESIGN.md §6).
+  struct Frame {
+    uint32_t node;
+    std::vector<uint32_t> reachable;  // Sorted unique o2 values.
+  };
+  std::vector<Frame> stack;
+  const ExpressionTrie::Node& root = trie_.node(trie_.root());
+
+  auto visit = [&](uint32_t child_id, const std::vector<uint32_t>* parent) {
+    const ExpressionTrie::Node& child = trie_.node(child_id);
+    const std::vector<OccPair>* r = results_.Find(child.pid);
+    if (r == nullptr) return;
+    std::vector<uint32_t> reachable;
+    for (const OccPair& pair : *r) {
+      if (parent != nullptr &&
+          !std::binary_search(parent->begin(), parent->end(), pair.first)) {
+        continue;
+      }
+      reachable.push_back(pair.second);
+    }
+    if (reachable.empty()) return;
+    std::sort(reachable.begin(), reachable.end());
+    reachable.erase(std::unique(reachable.begin(), reachable.end()),
+                    reachable.end());
+    for (InternalId id : child.expressions) {
+      if (!hot_[id].active || hot_[id].matched_epoch == doc_epoch_) continue;
+      if (!hot_[id].has_deferred || VerifyDeferred(id, pub)) {
+        MarkMatched(id);
+      }
+    }
+    stack.push_back(Frame{child_id, std::move(reachable)});
+  };
+
+  for (uint32_t top : root.children) visit(top, nullptr);
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    for (uint32_t child : trie_.node(frame.node).children) {
+      visit(child, &frame.reachable);
+    }
+  }
+}
+
+void Matcher::ProcessNestedSubs(const Publication& pub) {
+  for (InternalId id : nested_subs_) {
+    if (!hot_[id].active) continue;
+    Internal& e = exprs_[id];
+    if (!GatherResults(id, &views_buf_)) continue;
+    if (!e.deferred.empty() &&
+        !ApplyDeferredFilters(e, pub, &views_buf_, &filtered_buf_)) {
+      continue;
+    }
+    NestedGroup& group = groups_[e.group];
+    if (group.touched_epoch != doc_epoch_) {
+      group.touched_epoch = doc_epoch_;
+      for (auto& w : group.witnesses) w.clear();
+    }
+    const std::vector<uint16_t>& anchors =
+        group.interest_anchors[e.sub_index];
+    auto& sink = group.witnesses[e.sub_index];
+    ++stats_.occurrence_runs;
+    bool complete = OccurrenceDeterminer::EnumerateChains(
+        views_buf_, options_.nested_chain_budget,
+        [&](std::span<const OccPair> chain) {
+          std::vector<xml::NodeId> tuple;
+          tuple.reserve(anchors.size());
+          for (uint16_t anchor : anchors) {
+            const AnchorSlot& slot = e.anchor_slots[anchor];
+            const OccPair& pair = chain[slot.pred_index];
+            uint32_t occ = slot.on_second ? pair.second : pair.first;
+            uint32_t position = pub.PositionOf(e.anchor_tags[anchor], occ);
+            tuple.push_back(pub.NodeAt(position));
+          }
+          sink.push_back(std::move(tuple));
+        });
+    if (!complete) ++stats_.nested_enumeration_truncated;
+  }
+}
+
+void Matcher::JoinNestedGroups() {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    NestedGroup& group = groups_[g];
+    if (group.touched_epoch != doc_epoch_) continue;
+
+    const std::vector<SubExpression>& subs = group.decomposition.subs;
+    // valid_nodes[s]: branch nodes of sub s surviving its own
+    // children's constraints. Computed bottom-up; children always have
+    // larger indices than their parent (DecomposeRec order).
+    std::vector<std::vector<xml::NodeId>> valid_nodes(subs.size());
+    bool root_matched = false;
+
+    for (size_t s = subs.size(); s-- > 0;) {
+      const SubExpression& sub = subs[s];
+      const auto& tuples = group.witnesses[s];
+
+      // Index of each interest step within the tuple.
+      auto step_slot = [&](uint32_t step) {
+        for (size_t k = 0; k < sub.interest_steps.size(); ++k) {
+          if (sub.interest_steps[k] == step) return k;
+        }
+        return sub.interest_steps.size();
+      };
+
+      for (const std::vector<xml::NodeId>& tuple : tuples) {
+        bool ok = true;
+        for (uint32_t child : sub.children) {
+          size_t slot = step_slot(subs[child].branch_step);
+          const std::vector<xml::NodeId>& child_nodes = valid_nodes[child];
+          if (!std::binary_search(child_nodes.begin(), child_nodes.end(),
+                                  tuple[slot])) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        if (s == 0) {
+          root_matched = true;
+          break;
+        }
+        valid_nodes[s].push_back(tuple[step_slot(sub.branch_step)]);
+      }
+      if (s > 0) {
+        std::sort(valid_nodes[s].begin(), valid_nodes[s].end());
+        valid_nodes[s].erase(
+            std::unique(valid_nodes[s].begin(), valid_nodes[s].end()),
+            valid_nodes[s].end());
+      }
+    }
+
+    if (root_matched) {
+      matched_groups_.push_back(static_cast<uint32_t>(g));
+    }
+  }
+}
+
+void Matcher::ProcessElements(std::span<const PathElementView> elements) {
+  // Publication-level memoization: two paths with identical
+  // (tag, attributes) sequences produce identical predicate and
+  // expression matching, so the second is skipped. Disabled when
+  // nested expressions are stored -- their witnesses are node
+  // identities, which differ between equal-keyed paths.
+  Stopwatch watch;
+  if (groups_.empty()) {
+    std::string key;
+    for (const PathElementView& element : elements) {
+      key.append(element.tag);
+      if (element.attributes != nullptr) {
+        for (const xml::Attribute& a : *element.attributes) {
+          key.push_back('\x01');
+          key.append(a.name);
+          key.push_back('\x02');
+          key.append(a.value);
+        }
+      }
+      key.push_back('\x03');
+    }
+    bool fresh = seen_path_keys_.insert(std::move(key)).second;
+    if (!fresh) {
+      stats_.encode_micros += watch.ElapsedMicros();
+      return;
+    }
+  }
+
+  Publication pub(elements, interner_);
+  stats_.encode_micros += watch.ElapsedMicros();
+
+  watch.Reset();
+  stats_.predicate_matches += predicate_index_.Match(pub, &results_);
+  stats_.predicate_micros += watch.ElapsedMicros();
+
+  watch.Reset();
+  RunExpressionStage(pub);
+  if (!nested_subs_.empty()) ProcessNestedSubs(pub);
+  stats_.expression_micros += watch.ElapsedMicros();
+}
+
+void Matcher::BeginDocumentStream() {
+  if (options_.enable_containment_covering && containment_dirty_) {
+    RebuildContainmentIndex();
+  }
+  ++doc_epoch_;
+  doc_matched_.clear();
+  matched_groups_.clear();
+  seen_path_keys_.clear();
+  ++stats_.documents;
+}
+
+Status Matcher::ProcessStreamedPath(
+    std::span<const PathElementView> elements) {
+  if (elements.empty()) {
+    return Status::InvalidArgument("path must have at least one element");
+  }
+  ++stats_.paths;
+  ProcessElements(elements);
+  return Status::OK();
+}
+
+Status Matcher::EndDocumentStream(std::vector<ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  Stopwatch watch;
+  if (!groups_.empty()) {
+    JoinNestedGroups();
+    stats_.expression_micros += watch.ElapsedMicros();
+  }
+
+  watch.Reset();
+  for (InternalId id : doc_matched_) {
+    const Internal& e = exprs_[id];
+    matched->insert(matched->end(), e.subscribers.begin(),
+                    e.subscribers.end());
+  }
+  for (uint32_t g : matched_groups_) {
+    const NestedGroup& group = groups_[g];
+    matched->insert(matched->end(), group.subscribers.begin(),
+                    group.subscribers.end());
+  }
+  stats_.collect_micros += watch.ElapsedMicros();
+  return Status::OK();
+}
+
+Status Matcher::FilterDocument(const xml::Document& document,
+                               std::vector<ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  BeginDocumentStream();
+
+  Stopwatch watch;
+  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(document);
+  stats_.paths += paths.size();
+  stats_.encode_micros += watch.ElapsedMicros();
+
+  std::vector<PathElementView> views;
+  for (const xml::DocumentPath& path : paths) {
+    views.clear();
+    const uint32_t n = path.length();
+    views.reserve(n);
+    for (uint32_t pos = 1; pos <= n; ++pos) {
+      PathElementView view;
+      view.tag = path.Tag(pos);
+      view.attributes = &path.Attributes(pos);
+      view.node = path.Node(pos);
+      views.push_back(view);
+    }
+    ProcessElements(views);
+  }
+
+  return EndDocumentStream(matched);
+}
+
+Status Matcher::SaveSubscriptions(std::ostream* out) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("out must not be null");
+  }
+  *out << "# xpred subscriptions v1\n";
+  // One line per live subscription, in subscription-id order, so a
+  // save/load round trip preserves multiplicities.
+  std::vector<const std::string*> by_sid(next_sid_, nullptr);
+  for (const auto& [canonical, target] : dedup_) {
+    const std::vector<ExprId>& subscribers =
+        target.is_group ? groups_[target.index].subscribers
+                        : exprs_[target.index].subscribers;
+    for (ExprId sid : subscribers) by_sid[sid] = &canonical;
+  }
+  for (const std::string* canonical : by_sid) {
+    if (canonical != nullptr) *out << *canonical << "\n";
+  }
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<std::vector<ExprId>> Matcher::LoadSubscriptions(std::istream* in) {
+  if (in == nullptr) {
+    return Status::InvalidArgument("in must not be null");
+  }
+  std::vector<ExprId> loaded;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    Result<ExprId> sid = AddExpression(trimmed);
+    if (!sid.ok()) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu ('%.*s'): %s", line_number,
+                       static_cast<int>(trimmed.size()), trimmed.data(),
+                       sid.status().ToString().c_str()));
+    }
+    loaded.push_back(*sid);
+  }
+  return loaded;
+}
+
+size_t Matcher::ApproximateMemoryBytes() const {
+  size_t total = interner_.ApproximateMemoryBytes() +
+                 predicate_index_.ApproximateMemoryBytes() +
+                 trie_.ApproximateMemoryBytes();
+  total += VectorBytes(exprs_) + VectorBytes(hot_) +
+           VectorBytes(pid_overflow_) + VectorBytes(plain_exprs_) +
+           VectorBytes(nested_subs_) + VectorBytes(sid_targets_);
+  for (const Internal& e : exprs_) {
+    total += VectorBytes(e.pids) + VectorBytes(e.anchor_slots) +
+             VectorBytes(e.anchor_tags) + VectorBytes(e.anchor_steps) +
+             VectorBytes(e.deferred) + VectorBytes(e.subscribers) +
+             VectorBytes(e.contained);
+  }
+  total += UnorderedOverheadBytes(dedup_);
+  for (const auto& [canonical, target] : dedup_) {
+    total += sizeof(target) + sizeof(canonical) + StringBytes(canonical);
+  }
+  total += MapOfVectorsBytes(chain_index_);
+  return total;
+}
+
+}  // namespace xpred::core

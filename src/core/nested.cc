@@ -1,0 +1,108 @@
+#include "core/nested.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xpred::core {
+
+using xpath::PathExpr;
+using xpath::Step;
+
+namespace {
+
+/// Copies \p step without its nested path filters.
+Step StripStep(const Step& step) {
+  Step out;
+  out.axis = step.axis;
+  out.wildcard = step.wildcard;
+  out.tag = step.tag;
+  out.attribute_filters = step.attribute_filters;
+  return out;
+}
+
+Status DecomposeRec(const PathExpr& expr, uint32_t parent,
+                    uint32_t branch_step, size_t max_subs,
+                    Decomposition* out) {
+  if (out->subs.size() >= max_subs) {
+    return Status::CapacityExceeded(
+        StringPrintf("nested decomposition exceeds %zu sub-expressions",
+                     max_subs));
+  }
+
+  // The trunk: this path with every step's nested filters stripped.
+  SubExpression sub;
+  sub.path.absolute = expr.absolute;
+  sub.path.steps.reserve(expr.steps.size());
+  for (const Step& step : expr.steps) {
+    sub.path.steps.push_back(StripStep(step));
+  }
+  sub.branch_step = branch_step;
+  sub.parent = parent;
+
+  const uint32_t index = static_cast<uint32_t>(out->subs.size());
+  out->subs.push_back(std::move(sub));
+  if (parent != UINT32_MAX) {
+    out->subs[parent].children.push_back(index);
+  }
+
+  // Extended sub-expressions, one per nested filter.
+  for (size_t i = 0; i < expr.steps.size(); ++i) {
+    const Step& step = expr.steps[i];
+    if (step.nested_paths.empty()) continue;
+    if (step.wildcard) {
+      return Status::InvalidArgument(
+          "nested path filters on wildcard steps are not supported");
+    }
+    for (const PathExpr& nested : step.nested_paths) {
+      if (nested.steps.empty()) {
+        return Status::InvalidArgument("empty nested path filter");
+      }
+      PathExpr extended;
+      extended.absolute = expr.absolute;
+      // Shared (stripped) prefix up to and including step i...
+      for (size_t k = 0; k <= i; ++k) {
+        extended.steps.push_back(StripStep(expr.steps[k]));
+      }
+      // ...followed by the filter path (its first step keeps its own
+      // axis: [d] attaches as /d, [//d] as //d).
+      for (const Step& nstep : nested.steps) {
+        extended.steps.push_back(nstep);  // May carry nested filters.
+      }
+      XPRED_RETURN_NOT_OK(DecomposeRec(extended, index,
+                                       static_cast<uint32_t>(i + 1),
+                                       max_subs, out));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Decomposition> DecomposeNested(const PathExpr& expr,
+                                      size_t max_subs) {
+  if (!expr.HasNestedPaths()) {
+    return Status::InvalidArgument(
+        "expression has no nested path filters; encode it directly");
+  }
+  Decomposition out;
+  Status st = DecomposeRec(expr, UINT32_MAX, 0, max_subs, &out);
+  if (!st.ok()) return st;
+
+  // Interest steps: own branch point + children's branch points.
+  for (SubExpression& sub : out.subs) {
+    if (sub.parent != UINT32_MAX) {
+      sub.interest_steps.push_back(sub.branch_step);
+    }
+    for (uint32_t child : sub.children) {
+      sub.interest_steps.push_back(out.subs[child].branch_step);
+    }
+    std::sort(sub.interest_steps.begin(), sub.interest_steps.end());
+    sub.interest_steps.erase(
+        std::unique(sub.interest_steps.begin(), sub.interest_steps.end()),
+        sub.interest_steps.end());
+  }
+  return out;
+}
+
+}  // namespace xpred::core

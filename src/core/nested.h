@@ -1,0 +1,55 @@
+#ifndef XPRED_CORE_NESTED_H_
+#define XPRED_CORE_NESTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpred::core {
+
+/// \brief One sub-expression of a decomposed nested-path XPE (§5,
+/// Figure 3).
+///
+/// The decomposition turns the tree-shaped expression into single-path
+/// sub-expressions: the *main* sub-expression is the trunk with all
+/// nested filters stripped; each nested filter at trunk step k yields
+/// an *extended* sub-expression — the stripped trunk prefix up to k
+/// followed by the filter path — annotated with the paper's
+/// (pos, =, k) branch-position predicate (`branch_step` here).
+/// Extended sub-expressions containing further nested filters
+/// decompose recursively.
+struct SubExpression {
+  /// Single-path expression (no nested filters; attribute filters are
+  /// retained).
+  xpath::PathExpr path;
+  /// 1-based step index (in *this* sub-expression, equal to the length
+  /// of the prefix shared with the parent) where this sub-expression
+  /// branches off its parent. 0 for the main sub-expression.
+  uint32_t branch_step = 0;
+  uint32_t parent = UINT32_MAX;
+  std::vector<uint32_t> children;
+
+  /// Steps whose witness nodes the structural join needs: this
+  /// sub-expression's own branch_step plus its children's branch
+  /// steps. Sorted, deduplicated.
+  std::vector<uint32_t> interest_steps;
+};
+
+/// \brief A nested-path XPE decomposed into sub-expressions.
+/// subs[0] is the main sub-expression.
+struct Decomposition {
+  std::vector<SubExpression> subs;
+};
+
+/// Decomposes \p expr (which must contain at least one nested path
+/// filter). Fails when a nested filter is attached to a wildcard step
+/// (the predicate language anchors witnesses to tag variables) or when
+/// the decomposition exceeds \p max_subs sub-expressions.
+Result<Decomposition> DecomposeNested(const xpath::PathExpr& expr,
+                                      size_t max_subs = 64);
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_NESTED_H_

@@ -1,0 +1,65 @@
+#include "core/occurrence.h"
+
+namespace xpred::core {
+
+namespace {
+
+bool DetermineRec(OccurrenceDeterminer::ResultView results, size_t index,
+                  uint32_t required_first) {
+  const std::vector<OccPair>& candidates = *results[index];
+  for (const OccPair& pair : candidates) {
+    // Chaining constraint: this pair must continue the previous pair's
+    // second occurrence (skipped for the first predicate).
+    if (index > 0 && pair.first != required_first) continue;
+    if (index + 1 == results.size()) return true;
+    if (DetermineRec(results, index + 1, pair.second)) return true;
+  }
+  return false;
+}
+
+bool EnumerateRec(OccurrenceDeterminer::ResultView results, size_t index,
+                  uint32_t required_first, std::vector<OccPair>* chain,
+                  size_t* budget,
+                  const std::function<void(std::span<const OccPair>)>& visit) {
+  const std::vector<OccPair>& candidates = *results[index];
+  for (const OccPair& pair : candidates) {
+    if (*budget == 0) return false;
+    --*budget;
+    if (index > 0 && pair.first != required_first) continue;
+    chain->push_back(pair);
+    if (index + 1 == results.size()) {
+      visit(std::span<const OccPair>(*chain));
+    } else if (!EnumerateRec(results, index + 1, pair.second, chain, budget,
+                             visit)) {
+      chain->pop_back();
+      return false;
+    }
+    chain->pop_back();
+  }
+  return true;
+}
+
+}  // namespace
+
+bool OccurrenceDeterminer::Determine(ResultView results) {
+  if (results.empty()) return false;
+  for (const std::vector<OccPair>* r : results) {
+    if (r == nullptr || r->empty()) return false;
+  }
+  return DetermineRec(results, 0, 0);
+}
+
+bool OccurrenceDeterminer::EnumerateChains(
+    ResultView results, size_t max_steps,
+    const std::function<void(std::span<const OccPair>)>& visit) {
+  if (results.empty()) return true;
+  for (const std::vector<OccPair>* r : results) {
+    if (r == nullptr || r->empty()) return true;  // No chains at all.
+  }
+  std::vector<OccPair> chain;
+  chain.reserve(results.size());
+  size_t budget = max_steps;
+  return EnumerateRec(results, 0, 0, &chain, &budget, visit);
+}
+
+}  // namespace xpred::core

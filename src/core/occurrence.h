@@ -1,0 +1,45 @@
+#ifndef XPRED_CORE_OCCURRENCE_H_
+#define XPRED_CORE_OCCURRENCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/predicate.h"
+
+namespace xpred::core {
+
+/// \brief The occurrence determination algorithm (paper §4.2.1,
+/// Algorithm 1).
+///
+/// Given the ordered matching results R = {R_1, ..., R_n} of an
+/// expression's predicates — each R_i a list of (o_1, o_2) occurrence
+/// pairs — decides whether a chained combination exists:
+/// one pair per predicate with o_2^{i-1} = o_1^i for all i. This is a
+/// constraint satisfaction problem solved by depth-first backtracking;
+/// the search stops at the first complete chain (the filtering
+/// semantics need one match, not all).
+class OccurrenceDeterminer {
+ public:
+  /// Result lists, one per predicate in encoding order. A null or
+  /// empty entry means the predicate had no match (line 2-6 of
+  /// Algorithm 1 returns noMatch immediately).
+  using ResultView = std::span<const std::vector<OccPair>* const>;
+
+  /// Returns true iff at least one valid chain exists.
+  static bool Determine(ResultView results);
+
+  /// Enumerates every valid chain, invoking \p visit with the chosen
+  /// pairs (one per predicate). Used by the nested-path join, which
+  /// needs all witnesses, not just one. Stops early and returns false
+  /// when more than \p max_steps search steps were taken (cap against
+  /// pathological inputs); returns true when the enumeration completed.
+  static bool EnumerateChains(
+      ResultView results, size_t max_steps,
+      const std::function<void(std::span<const OccPair>)>& visit);
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_OCCURRENCE_H_

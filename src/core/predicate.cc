@@ -1,0 +1,59 @@
+#include "core/predicate.h"
+
+#include "common/string_util.h"
+
+namespace xpred::core {
+
+std::string AttributeConstraint::ToString() const {
+  std::string out = "[" + name;
+  if (has_comparison) {
+    out += ", ";
+    out += xpath::CompareOpToString(op);
+    out += ", ";
+    out += value.ToString();
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+std::string TagWithAttrs(const Interner& interner, SymbolId tag,
+                         const std::vector<AttributeConstraint>& attrs) {
+  std::string out = "p_" + std::string(interner.Name(tag));
+  if (!attrs.empty()) {
+    out += "(";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += attrs[i].ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Predicate::ToString(const Interner& interner) const {
+  const char* op_name = (op == PredOp::kEq) ? "=" : ">=";
+  switch (type) {
+    case PredicateType::kAbsolute:
+      return StringPrintf("(%s, %s, %u)",
+                          TagWithAttrs(interner, tag1, attrs1).c_str(),
+                          op_name, value);
+    case PredicateType::kRelative:
+      return StringPrintf("(d(%s, %s), %s, %u)",
+                          TagWithAttrs(interner, tag1, attrs1).c_str(),
+                          TagWithAttrs(interner, tag2, attrs2).c_str(),
+                          op_name, value);
+    case PredicateType::kEndOfPath:
+      return StringPrintf("(%s-|, >=, %u)",
+                          TagWithAttrs(interner, tag1, attrs1).c_str(),
+                          value);
+    case PredicateType::kLength:
+      return StringPrintf("(length, >=, %u)", value);
+  }
+  return "(?)";
+}
+
+}  // namespace xpred::core

@@ -1,0 +1,111 @@
+#ifndef XPRED_CORE_PREDICATE_H_
+#define XPRED_CORE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "xpath/ast.h"
+
+namespace xpred::core {
+
+/// Identifier of a distinct predicate in the predicate index (the
+/// paper's "pid").
+using PredicateId = uint32_t;
+inline constexpr PredicateId kInvalidPredicate = UINT32_MAX;
+
+/// Identifier of a stored XPath expression (the paper's "sid").
+using ExprId = uint32_t;
+inline constexpr ExprId kInvalidExpr = UINT32_MAX;
+
+/// The four predicate types of the paper's predicate language (§3.2).
+enum class PredicateType : uint8_t {
+  /// (p_t, op, v) — constraint on the absolute position of tag t.
+  kAbsolute,
+  /// (d(p_t1, p_t2), op, v) — constraint on the distance between two
+  /// tags.
+  kRelative,
+  /// (p_t⊣, >=, v) — constraint on the position of tag t relative to
+  /// the end of the document path.
+  kEndOfPath,
+  /// (length, >=, v) — constraint on the length of the document path.
+  kLength,
+};
+
+/// Relational operator of a position predicate. End-of-path and length
+/// predicates always use kGe.
+enum class PredOp : uint8_t { kEq, kGe };
+
+/// \brief Attribute constraint attached to a tag-name variable of a
+/// predicate (paper §5): `(p_t([attr, op, value]), ...)`.
+struct AttributeConstraint {
+  std::string name;
+  /// False for the bare existence test `[@name]`.
+  bool has_comparison = false;
+  xpath::CompareOp op = xpath::CompareOp::kEq;
+  xpath::Literal value;
+
+  bool operator==(const AttributeConstraint&) const = default;
+
+  /// True iff an attribute with value \p actual satisfies the
+  /// constraint.
+  bool Matches(const std::string& actual) const {
+    xpath::AttributeFilter f;
+    f.name = name;
+    f.has_comparison = has_comparison;
+    f.op = op;
+    f.value = value;
+    return f.Matches(actual);
+  }
+
+  static AttributeConstraint FromFilter(const xpath::AttributeFilter& f) {
+    AttributeConstraint c;
+    c.name = f.name;
+    c.has_comparison = f.has_comparison;
+    c.op = f.op;
+    c.value = f.value;
+    return c;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief One predicate of the paper's predicate language, with
+/// optional attribute constraints on each tag variable (inline
+/// evaluation mode).
+struct Predicate {
+  PredicateType type = PredicateType::kLength;
+  PredOp op = PredOp::kGe;
+  uint32_t value = 1;
+  /// Tag variable: kAbsolute / kEndOfPath use tag1 only; kRelative uses
+  /// both; kLength uses neither.
+  SymbolId tag1 = kInvalidSymbol;
+  SymbolId tag2 = kInvalidSymbol;
+  /// Attribute constraints on tag1 / tag2 (inline mode only; empty in
+  /// selection-postponed mode).
+  std::vector<AttributeConstraint> attrs1;
+  std::vector<AttributeConstraint> attrs2;
+
+  bool operator==(const Predicate&) const = default;
+
+  /// Paper-style rendering, e.g. "(d(p_a, p_b), >=, 1)" — tag names
+  /// resolved through \p interner.
+  std::string ToString(const Interner& interner) const;
+};
+
+/// \brief A pair of tag occurrence numbers recording how a predicate
+/// was matched in the current document path (§4.2.1).
+///
+/// For single-tag predicates the occurrence is duplicated, as in the
+/// paper's notation; kLength predicates use (1, 1).
+struct OccPair {
+  uint32_t first = 0;
+  uint32_t second = 0;
+
+  auto operator<=>(const OccPair&) const = default;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_PREDICATE_H_

@@ -1,0 +1,369 @@
+#include "core/predicate_index.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/memory_usage.h"
+#include "common/string_util.h"
+
+namespace xpred::core {
+
+PredicateIndex::Slot& PredicateIndex::SlotFor(const Predicate& p) {
+  switch (p.type) {
+    case PredicateType::kAbsolute: {
+      OpArrays& arrays = absolute_[p.tag1];
+      std::vector<Slot>& arr = (p.op == PredOp::kEq) ? arrays.eq : arrays.ge;
+      if (arr.size() <= options_.max_value) arr.resize(options_.max_value + 1);
+      return arr[p.value];
+    }
+    case PredicateType::kRelative: {
+      OpArrays& arrays = relative_[p.tag1][p.tag2];
+      std::vector<Slot>& arr = (p.op == PredOp::kEq) ? arrays.eq : arrays.ge;
+      if (arr.size() <= options_.max_value) arr.resize(options_.max_value + 1);
+      return arr[p.value];
+    }
+    case PredicateType::kEndOfPath: {
+      std::vector<Slot>& arr = end_of_path_[p.tag1];
+      if (arr.size() <= options_.max_value) arr.resize(options_.max_value + 1);
+      return arr[p.value];
+    }
+    case PredicateType::kLength: {
+      if (length_.size() <= options_.max_value) {
+        length_.resize(options_.max_value + 1);
+      }
+      return length_[p.value];
+    }
+  }
+  // Unreachable; keep the compiler satisfied.
+  static Slot dummy;
+  return dummy;
+}
+
+namespace {
+
+/// Hash of (kind, name, canonical value). Numeric values hash their
+/// canonical spelling so that "3" and "3.0" collide with the literal 3.
+uint64_t HashKey(char kind, std::string_view name, std::string_view value) {
+  uint64_t h = Fnv1a(name, Fnv1a(std::string_view(&kind, 1)));
+  h = Fnv1a(value, h);
+  return h;
+}
+
+uint64_t HashNumericValue(std::string_view name, double value) {
+  char buf[32];
+  int len = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return HashKey('N', name, std::string_view(buf, static_cast<size_t>(len)));
+}
+
+/// Folds the tag-variable side (first/second) into the hash.
+uint64_t WithSide(uint64_t h, bool on_second) {
+  return HashCombine(h, on_second ? 2 : 1);
+}
+
+}  // namespace
+
+bool PredicateIndex::EqHash(const Predicate& p, uint64_t* hash) {
+  // Qualifies iff the predicate carries exactly one constraint, that
+  // constraint is an equality comparison with a literal.
+  const std::vector<AttributeConstraint>* constraints = nullptr;
+  bool on_second = false;
+  if (p.attrs1.size() + p.attrs2.size() != 1) return false;
+  if (!p.attrs1.empty()) {
+    constraints = &p.attrs1;
+  } else {
+    constraints = &p.attrs2;
+    on_second = true;
+  }
+  const AttributeConstraint& c = (*constraints)[0];
+  if (!c.has_comparison || c.op != xpath::CompareOp::kEq) return false;
+  uint64_t h = c.value.is_number
+                   ? HashNumericValue(c.name, c.value.number)
+                   : HashKey('S', c.name, c.value.text);
+  *hash = WithSide(h, on_second);
+  return true;
+}
+
+Result<PredicateId> PredicateIndex::InsertOrFind(const Predicate& p) {
+  if (p.value == 0 || p.value > options_.max_value) {
+    return Status::CapacityExceeded(StringPrintf(
+        "predicate value %u outside supported range [1, %u] "
+        "(maximum expression length)",
+        p.value, options_.max_value));
+  }
+  Slot& slot = SlotFor(p);
+  // The slot pins (type, tags, op, value); pids differ only in their
+  // attribute constraints, so comparing those suffices. Equality-
+  // indexed predicates only need their own bucket searched.
+  uint64_t hash = 0;
+  std::vector<PredicateId>* bucket;
+  if (EqHash(p, &hash)) {
+    bucket = &slot.eq[hash];
+    has_eq_predicates_ = true;
+  } else {
+    bucket = &slot.scan;
+  }
+  for (PredicateId pid : *bucket) {
+    const Predicate& existing = predicates_[pid];
+    if (existing.attrs1 == p.attrs1 && existing.attrs2 == p.attrs2) {
+      return pid;
+    }
+  }
+  PredicateId pid = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(p);
+  bucket->push_back(pid);
+  return pid;
+}
+
+bool PredicateIndex::ConstraintsHold(
+    const std::vector<AttributeConstraint>& constraints,
+    const std::vector<xml::Attribute>& attrs) {
+  for (const AttributeConstraint& c : constraints) {
+    bool found = false;
+    for (const xml::Attribute& a : attrs) {
+      if (a.name == c.name) {
+        if (!c.Matches(a.value)) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+size_t PredicateIndex::EmitSlot(const Slot& slot,
+                                const Publication& publication,
+                                const Tuple* t1, const Tuple* t2,
+                                OccPair pair, MatchResultSet* results,
+                                const ProbeTable& probes) const {
+  size_t emitted = 0;
+  for (PredicateId pid : slot.scan) {
+    const Predicate& p = predicates_[pid];
+    if (!p.attrs1.empty()) {
+      if (t1 == nullptr ||
+          !ConstraintsHold(p.attrs1,
+                           publication.AttributesAt(t1->position))) {
+        continue;
+      }
+    }
+    if (!p.attrs2.empty()) {
+      if (t2 == nullptr ||
+          !ConstraintsHold(p.attrs2,
+                           publication.AttributesAt(t2->position))) {
+        continue;
+      }
+    }
+    results->Add(pid, pair);
+    ++emitted;
+  }
+
+  if (!slot.eq.empty()) {
+    // Probe the equality index with the precomputed hashes of every
+    // attribute of the involved elements; hits are re-verified against
+    // the predicate's constraints (hash collisions are possible).
+    auto probe = [&](bool on_second, const Tuple* t) {
+      if (t == nullptr) return;
+      for (const AttrHash& ah : probes.by_position[t->position]) {
+        for (int form = 0; form < 2; ++form) {
+          uint64_t h;
+          if (form == 0) {
+            h = ah.string_hash;
+          } else {
+            if (!ah.has_numeric) break;
+            h = ah.numeric_hash;
+          }
+          auto it = slot.eq.find(WithSide(h, on_second));
+          if (it == slot.eq.end()) continue;
+          for (PredicateId pid : it->second) {
+            // Full re-verification (guards against hash collisions,
+            // including cross-side ones).
+            const Predicate& p = predicates_[pid];
+            if (!p.attrs1.empty() &&
+                (t1 == nullptr ||
+                 !ConstraintsHold(p.attrs1,
+                                  publication.AttributesAt(t1->position)))) {
+              continue;
+            }
+            if (!p.attrs2.empty() &&
+                (t2 == nullptr ||
+                 !ConstraintsHold(p.attrs2,
+                                  publication.AttributesAt(t2->position)))) {
+              continue;
+            }
+            results->Add(pid, pair);
+            ++emitted;
+          }
+        }
+      }
+    };
+    probe(false, t1);
+    probe(true, t2);
+  }
+  return emitted;
+}
+
+size_t PredicateIndex::Match(const Publication& publication,
+                             MatchResultSet* results) const {
+  results->BeginPath(predicates_.size());
+  size_t emitted = 0;
+  const uint32_t path_length = publication.length();
+
+  // Precompute equality-probe hashes for each element's attributes
+  // (only when equality-indexed predicates exist).
+  ProbeTable probes;
+  if (has_eq_predicates_) {
+    probes.by_position.resize(path_length + 1);
+    for (uint32_t pos = 1; pos <= path_length; ++pos) {
+      for (const xml::Attribute& attr : publication.AttributesAt(pos)) {
+        AttrHash ah;
+        ah.string_hash = HashKey('S', attr.name, attr.value);
+        const char* begin = attr.value.c_str();
+        char* end = nullptr;
+        double number = std::strtod(begin, &end);
+        if (!attr.value.empty() && end == begin + attr.value.size() &&
+            !std::isspace(static_cast<unsigned char>(attr.value.front()))) {
+          ah.numeric_hash = HashNumericValue(attr.name, number);
+          ah.has_numeric = true;
+        }
+        probes.by_position[pos].push_back(ah);
+      }
+    }
+  }
+
+  // Length-of-expression predicates: (length, >=, v) matches iff
+  // path_length >= v, i.e. every array slot 1..path_length.
+  {
+    uint32_t limit = path_length;
+    if (length_.size() <= limit) {
+      limit = length_.empty() ? 0 : static_cast<uint32_t>(length_.size() - 1);
+    }
+    for (uint32_t v = 1; v <= limit; ++v) {
+      emitted += EmitSlot(length_[v], publication, nullptr, nullptr,
+                          OccPair{1, 1}, results, probes);
+    }
+  }
+
+  const std::vector<Tuple>& tuples = publication.tuples();
+
+  for (const Tuple& t : tuples) {
+    if (t.tag == kInvalidSymbol) continue;  // Unknown to every predicate.
+    const OccPair self{t.occurrence, t.occurrence};
+
+    // Absolute predicates: '=' at exactly the tuple's position; '>='
+    // at every value 1..position.
+    auto abs_it = absolute_.find(t.tag);
+    if (abs_it != absolute_.end()) {
+      const OpArrays& arrays = abs_it->second;
+      if (t.position < arrays.eq.size()) {
+        emitted += EmitSlot(arrays.eq[t.position], publication, &t, nullptr,
+                            self, results, probes);
+      }
+      uint32_t limit = t.position;
+      if (arrays.ge.size() <= limit) {
+        limit = arrays.ge.empty()
+                    ? 0
+                    : static_cast<uint32_t>(arrays.ge.size() - 1);
+      }
+      for (uint32_t v = 1; v <= limit; ++v) {
+        emitted += EmitSlot(arrays.ge[v], publication, &t, nullptr, self,
+                            results, probes);
+      }
+    }
+
+    // End-of-path predicates: (p_t-|, >=, v) matches iff
+    // path_length - position >= v.
+    auto eop_it = end_of_path_.find(t.tag);
+    if (eop_it != end_of_path_.end()) {
+      const std::vector<Slot>& arr = eop_it->second;
+      uint32_t remaining = path_length - t.position;
+      uint32_t limit = remaining;
+      if (arr.size() <= limit) {
+        limit = arr.empty() ? 0 : static_cast<uint32_t>(arr.size() - 1);
+      }
+      for (uint32_t v = 1; v <= limit; ++v) {
+        emitted += EmitSlot(arr[v], publication, &t, nullptr, self, results, probes);
+      }
+    }
+  }
+
+  // Relative predicates: correlate each ordered pair of tuples; the
+  // array position is the position difference (§4.1.2).
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const Tuple& t1 = tuples[i];
+    if (t1.tag == kInvalidSymbol) continue;
+    auto level1 = relative_.find(t1.tag);
+    if (level1 == relative_.end()) continue;
+    const auto& second_level = level1->second;
+    for (size_t j = i + 1; j < tuples.size(); ++j) {
+      const Tuple& t2 = tuples[j];
+      if (t2.tag == kInvalidSymbol) continue;
+      auto level2 = second_level.find(t2.tag);
+      if (level2 == second_level.end()) continue;
+      const OpArrays& arrays = level2->second;
+      const uint32_t distance = t2.position - t1.position;
+      const OccPair pair{t1.occurrence, t2.occurrence};
+      if (distance < arrays.eq.size()) {
+        emitted += EmitSlot(arrays.eq[distance], publication, &t1, &t2, pair,
+                            results, probes);
+      }
+      uint32_t limit = distance;
+      if (arrays.ge.size() <= limit) {
+        limit = arrays.ge.empty()
+                    ? 0
+                    : static_cast<uint32_t>(arrays.ge.size() - 1);
+      }
+      for (uint32_t v = 1; v <= limit; ++v) {
+        emitted += EmitSlot(arrays.ge[v], publication, &t1, &t2, pair,
+                            results, probes);
+      }
+    }
+  }
+
+  return emitted;
+}
+
+namespace {
+
+size_t ConstraintBytes(const std::vector<AttributeConstraint>& attrs) {
+  size_t total = VectorBytes(attrs);
+  for (const AttributeConstraint& c : attrs) {
+    total += StringBytes(c.name) + StringBytes(c.value.text);
+  }
+  return total;
+}
+
+}  // namespace
+
+size_t PredicateIndex::ApproximateMemoryBytes() const {
+  size_t total = VectorBytes(predicates_);
+  for (const Predicate& p : predicates_) {
+    total += ConstraintBytes(p.attrs1) + ConstraintBytes(p.attrs2);
+  }
+  auto slot_bytes = [](const Slot& slot) {
+    return VectorBytes(slot.scan) + MapOfVectorsBytes(slot.eq);
+  };
+  auto arrays_bytes = [&](const OpArrays& arrays) {
+    size_t bytes = VectorBytes(arrays.eq) + VectorBytes(arrays.ge);
+    for (const Slot& s : arrays.eq) bytes += slot_bytes(s);
+    for (const Slot& s : arrays.ge) bytes += slot_bytes(s);
+    return bytes;
+  };
+  total += UnorderedOverheadBytes(absolute_);
+  for (const auto& [tag, arrays] : absolute_) total += arrays_bytes(arrays);
+  total += UnorderedOverheadBytes(relative_);
+  for (const auto& [tag1, inner] : relative_) {
+    total += UnorderedOverheadBytes(inner);
+    for (const auto& [tag2, arrays] : inner) total += arrays_bytes(arrays);
+  }
+  total += UnorderedOverheadBytes(end_of_path_);
+  for (const auto& [tag, arr] : end_of_path_) {
+    total += VectorBytes(arr);
+    for (const Slot& s : arr) total += slot_bytes(s);
+  }
+  total += VectorBytes(length_);
+  for (const Slot& s : length_) total += slot_bytes(s);
+  return total;
+}
+
+}  // namespace xpred::core

@@ -1,0 +1,182 @@
+#ifndef XPRED_CORE_PREDICATE_INDEX_H_
+#define XPRED_CORE_PREDICATE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "core/predicate.h"
+#include "core/publication.h"
+
+namespace xpred::core {
+
+/// \brief Per-path predicate matching results: for each matched pid,
+/// the occurrence pairs that matched it (§4.1.1, Table 1).
+///
+/// Entries are indexed directly by pid and invalidated lazily with an
+/// epoch counter, so resetting between document paths is O(1).
+class MatchResultSet {
+ public:
+  /// Starts a new path; ensures capacity for \p pid_count predicates.
+  void BeginPath(size_t pid_count) {
+    if (entries_.size() < pid_count) entries_.resize(pid_count);
+    ++epoch_;
+    matched_.clear();
+  }
+
+  void Add(PredicateId pid, OccPair pair) {
+    Entry& e = entries_[pid];
+    if (e.epoch != epoch_) {
+      e.epoch = epoch_;
+      e.pairs.clear();
+      matched_.push_back(pid);
+    }
+    e.pairs.push_back(pair);
+  }
+
+  /// Occurrence pairs for \p pid in the current path, or nullptr when
+  /// the predicate did not match.
+  const std::vector<OccPair>* Find(PredicateId pid) const {
+    if (pid >= entries_.size()) return nullptr;
+    const Entry& e = entries_[pid];
+    return e.epoch == epoch_ ? &e.pairs : nullptr;
+  }
+
+  bool Has(PredicateId pid) const { return Find(pid) != nullptr; }
+
+  /// Pids matched in the current path, in first-match order.
+  const std::vector<PredicateId>& matched_pids() const { return matched_; }
+
+ private:
+  struct Entry {
+    uint32_t epoch = 0;
+    std::vector<OccPair> pairs;
+  };
+  std::vector<Entry> entries_;
+  std::vector<PredicateId> matched_;
+  uint32_t epoch_ = 0;
+};
+
+/// \brief The multi-stage predicate index of §4.1.2 / Figure 1.
+///
+/// Distinct predicates are stored once (the paper's central
+/// overlap-sharing idea). The first stage dispatches on predicate
+/// type; tag names key hash tables (one level for absolute /
+/// end-of-path, two levels for relative); the final stage is an array
+/// indexed by the predicate value, one array per operator. An array
+/// slot holds the pids at that (type, tags, op, value) coordinate —
+/// usually one, more when inline attribute constraints differ.
+///
+/// Matching probes the same structure per publication tuple (or tuple
+/// pair, for relative predicates): equality arrays at one position,
+/// greater-or-equal arrays at positions 1..distance.
+class PredicateIndex {
+ public:
+  struct Options {
+    /// Maximum predicate value, i.e. the maximum supported XPE length
+    /// (the paper: "the length of the array depends on the maximum
+    /// length of the XPEs supported by the system").
+    uint32_t max_value = 16;
+  };
+
+  explicit PredicateIndex(Options options) : options_(options) {}
+  PredicateIndex() : PredicateIndex(Options{}) {}
+
+  /// Returns the pid for \p predicate, inserting it if new (the
+  /// paper's insert: hash on tags, index by value; an existing pid at
+  /// the slot with the same attribute constraints is reused).
+  Result<PredicateId> InsertOrFind(const Predicate& predicate);
+
+  const Predicate& predicate(PredicateId pid) const {
+    return predicates_[pid];
+  }
+
+  /// Number of distinct predicates stored (§6.5 reports this count).
+  size_t distinct_count() const { return predicates_.size(); }
+
+  /// Evaluates all stored predicates against \p publication,
+  /// collecting occurrence pairs into \p results (which is reset).
+  /// Returns the number of (pid, pair) matches recorded.
+  size_t Match(const Publication& publication,
+               MatchResultSet* results) const;
+
+  uint32_t max_value() const { return options_.max_value; }
+
+  /// Approximate heap bytes of the index (see common/memory_usage.h).
+  size_t ApproximateMemoryBytes() const;
+
+ private:
+  /// Pids sharing one (type, tags, op, value) coordinate.
+  ///
+  /// Unconstrained pids and pids with complex constraints live in
+  /// `scan` and are checked linearly. Pids whose only constraint is a
+  /// single equality test are indexed by (tag variable, attribute
+  /// name, literal) in `eq` — the equality-predicate indexing of
+  /// Fabret et al. (cited in §4.2.2) — so inline attribute matching
+  /// does hash lookups per document attribute instead of scanning
+  /// every stored value variant.
+  struct Slot {
+    std::vector<PredicateId> scan;
+    /// Keyed by a 64-bit hash of (tag variable, attribute name,
+    /// canonical literal); hits are verified against the predicate's
+    /// constraints, so hash collisions only cost a re-check.
+    std::unordered_map<uint64_t, std::vector<PredicateId>> eq;
+
+    bool empty() const { return scan.empty() && eq.empty(); }
+  };
+  /// Value-indexed arrays, one per operator. Index 0 is unused
+  /// (predicate values start at 1).
+  struct OpArrays {
+    std::vector<Slot> eq;
+    std::vector<Slot> ge;
+  };
+
+  Slot& SlotFor(const Predicate& predicate);
+
+  /// Precomputed equality-probe hashes for one attribute of a
+  /// publication element (string form, plus numeric form when the
+  /// value parses as a number).
+  struct AttrHash {
+    uint64_t string_hash = 0;
+    uint64_t numeric_hash = 0;
+    bool has_numeric = false;
+  };
+  /// Per-position attribute hashes for the current publication,
+  /// computed once per Match() call.
+  struct ProbeTable {
+    std::vector<std::vector<AttrHash>> by_position;  // 1-based -> attrs.
+  };
+
+  /// Equality-index hash for a single-equality constraint. Returns
+  /// false when the predicate does not qualify for the equality index.
+  static bool EqHash(const Predicate& predicate, uint64_t* hash);
+
+  /// True iff every constraint matches some attribute of \p attrs.
+  static bool ConstraintsHold(
+      const std::vector<AttributeConstraint>& constraints,
+      const std::vector<xml::Attribute>& attrs);
+
+  /// Records tuple/pair matches for every pid in \p slot whose
+  /// attribute constraints hold.
+  size_t EmitSlot(const Slot& slot, const Publication& publication,
+                  const Tuple* t1, const Tuple* t2, OccPair pair,
+                  MatchResultSet* results, const ProbeTable& probes) const;
+
+  Options options_;
+  std::vector<Predicate> predicates_;
+  /// True once any equality-indexed predicate exists (gates the
+  /// per-publication probe-hash precomputation).
+  bool has_eq_predicates_ = false;
+
+  std::unordered_map<SymbolId, OpArrays> absolute_;
+  std::unordered_map<SymbolId, std::unordered_map<SymbolId, OpArrays>>
+      relative_;
+  std::unordered_map<SymbolId, std::vector<Slot>> end_of_path_;
+  std::vector<Slot> length_;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_PREDICATE_INDEX_H_

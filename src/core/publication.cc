@@ -1,0 +1,94 @@
+#include "core/publication.h"
+
+#include "common/string_util.h"
+
+namespace xpred::core {
+
+const std::vector<xml::Attribute>& Publication::EmptyAttributes() {
+  // Never destroyed (static storage must be trivially destructible).
+  static const auto& empty = *new std::vector<xml::Attribute>();
+  return empty;
+}
+
+Publication::Publication(std::span<const PathElementView> elements,
+                         const Interner& interner) {
+  Build(elements, interner);
+}
+
+Publication::Publication(const xml::DocumentPath& path,
+                         const Interner& interner) {
+  std::vector<PathElementView> elements;
+  const uint32_t n = path.length();
+  elements.reserve(n);
+  for (uint32_t pos = 1; pos <= n; ++pos) {
+    PathElementView view;
+    view.tag = path.Tag(pos);
+    view.attributes = &path.Attributes(pos);
+    view.node = path.Node(pos);
+    elements.push_back(view);
+  }
+  Build(elements, interner);
+}
+
+void Publication::Build(std::span<const PathElementView> elements,
+                        const Interner& interner) {
+  const size_t n = elements.size();
+  tuples_.reserve(n);
+  attrs_.reserve(n);
+  tag_text_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const PathElementView& element = elements[i];
+    Tuple t;
+    t.tag = interner.Lookup(element.tag);
+    t.position = static_cast<uint32_t>(i + 1);
+    t.node = element.node;
+
+    // Occurrence number: how many times this tag name has appeared in
+    // the path so far (Example 1). Known tags count through the
+    // by-tag index; unknown tags never participate in matching, so
+    // their occurrence stays 1.
+    if (t.tag != kInvalidSymbol) {
+      TagPositions* entry = nullptr;
+      for (TagPositions& tp : by_tag_) {
+        if (tp.tag == t.tag) {
+          entry = &tp;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        by_tag_.push_back(TagPositions{t.tag, {}});
+        entry = &by_tag_.back();
+      }
+      entry->positions.push_back(t.position);
+      t.occurrence = static_cast<uint32_t>(entry->positions.size());
+    }
+
+    tuples_.push_back(t);
+    attrs_.push_back(element.attributes);
+    tag_text_.push_back(element.tag);
+  }
+}
+
+uint32_t Publication::PositionOf(SymbolId tag, uint32_t occurrence) const {
+  for (const TagPositions& tp : by_tag_) {
+    if (tp.tag == tag) {
+      if (occurrence == 0 || occurrence > tp.positions.size()) return 0;
+      return tp.positions[occurrence - 1];
+    }
+  }
+  return 0;
+}
+
+std::string Publication::ToString(const Interner& interner) const {
+  std::string out = StringPrintf("(length, %u)", length());
+  for (const Tuple& t : tuples_) {
+    std::string name = (t.tag == kInvalidSymbol)
+                           ? std::string(tag_text_[t.position - 1])
+                           : std::string(interner.Name(t.tag));
+    out += StringPrintf(", (%s^%u, %u)", name.c_str(), t.occurrence,
+                        t.position);
+  }
+  return out;
+}
+
+}  // namespace xpred::core

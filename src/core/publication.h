@@ -1,0 +1,117 @@
+#ifndef XPRED_CORE_PUBLICATION_H_
+#define XPRED_CORE_PUBLICATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "xml/path.h"
+
+namespace xpred::core {
+
+/// \brief One location step of a document path, as the publication
+/// encoder consumes it. The referenced storage (tag text, attribute
+/// vector) must outlive the Publication — it is owned by the Document
+/// in tree mode, or by the streaming filter's element stack in
+/// streaming mode.
+struct PathElementView {
+  std::string_view tag;
+  /// May be null (no attributes).
+  const std::vector<xml::Attribute>* attributes = nullptr;
+  /// Identity of the element for nested-path joins. Tree mode passes
+  /// the preorder NodeId; streaming mode passes a per-document
+  /// element counter. Must be unique per element within a document.
+  xml::NodeId node = xml::kInvalidNode;
+};
+
+/// \brief One (tag, position) tuple of a publication (§3.3), annotated
+/// with the tag's occurrence number and the underlying document node.
+struct Tuple {
+  /// Interned tag name; kInvalidSymbol when the tag never appears in
+  /// any stored expression (such tuples can only contribute to length /
+  /// distance bookkeeping, never to a predicate match).
+  SymbolId tag = kInvalidSymbol;
+  /// 1-based position within the document path.
+  uint32_t position = 0;
+  /// 1-based occurrence number of this tag within the path (Example 1).
+  uint32_t occurrence = 1;
+  /// Underlying document element (attribute lookups, nested joins).
+  xml::NodeId node = xml::kInvalidNode;
+};
+
+/// \brief A document path translated to the paper's tuple encoding:
+/// {(length, n), (t_1, 1), ..., (t_n, n)} with occurrence annotations.
+///
+/// Also provides the reverse lookups the matching stages need:
+/// position-by-(tag, occurrence) and the element attributes at a
+/// position.
+class Publication {
+ public:
+  /// Builds the publication for a path given as element views (used by
+  /// the streaming filter; the views' storage must outlive this
+  /// object). Tags are resolved through \p interner with Lookup (never
+  /// interning): a document tag that no expression mentions keeps
+  /// tag == kInvalidSymbol. Occurrence numbers are computed here.
+  Publication(std::span<const PathElementView> elements,
+              const Interner& interner);
+
+  /// Convenience: builds the publication for an extracted tree path.
+  Publication(const xml::DocumentPath& path, const Interner& interner);
+
+  /// The (length, n) tuple's value.
+  uint32_t length() const { return static_cast<uint32_t>(tuples_.size()); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  const Tuple& tuple(uint32_t position) const {
+    return tuples_[position - 1];
+  }
+
+  /// 1-based position of the \p occurrence-th occurrence of \p tag, or
+  /// 0 when absent.
+  uint32_t PositionOf(SymbolId tag, uint32_t occurrence) const;
+
+  /// Attributes of the element at 1-based \p position.
+  const std::vector<xml::Attribute>& AttributesAt(uint32_t position) const {
+    const std::vector<xml::Attribute>* attrs = attrs_[position - 1];
+    return attrs != nullptr ? *attrs : EmptyAttributes();
+  }
+
+  /// Document node at 1-based \p position.
+  xml::NodeId NodeAt(uint32_t position) const {
+    return tuples_[position - 1].node;
+  }
+
+  /// Tag text at 1-based \p position (valid while the source path
+  /// storage lives; diagnostics only).
+  std::string_view TagAt(uint32_t position) const {
+    return tag_text_[position - 1];
+  }
+
+  /// Paper-style rendering: "(length, 6), (a^1, 1), (b^1, 2), ...".
+  std::string ToString(const Interner& interner) const;
+
+ private:
+  static const std::vector<xml::Attribute>& EmptyAttributes();
+
+  void Build(std::span<const PathElementView> elements,
+             const Interner& interner);
+
+  std::vector<Tuple> tuples_;
+  std::vector<const std::vector<xml::Attribute>*> attrs_;
+  std::vector<std::string_view> tag_text_;
+  /// Dense reverse index: positions of each occurrence of every known
+  /// tag in this path (small: one entry per distinct known tag).
+  struct TagPositions {
+    SymbolId tag;
+    std::vector<uint32_t> positions;  // positions[k] = occurrence k+1
+  };
+  std::vector<TagPositions> by_tag_;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_PUBLICATION_H_

@@ -1,0 +1,61 @@
+#include "core/streaming.h"
+
+namespace xpred::core {
+
+Status StreamingFilter::FilterXml(std::string_view xml_text,
+                                  std::vector<ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  xml::SaxParser parser;
+  XPRED_RETURN_NOT_OK(parser.Parse(xml_text, this));
+  std::vector<ExprId> result = TakeMatches();
+  matched->insert(matched->end(), result.begin(), result.end());
+  return Status::OK();
+}
+
+Status StreamingFilter::StartDocument() {
+  stack_.clear();
+  matches_.clear();
+  next_node_ = 0;
+  matcher_->BeginDocumentStream();
+  return Status::OK();
+}
+
+Status StreamingFilter::StartElement(
+    std::string_view name, const std::vector<xml::Attribute>& attributes) {
+  if (!stack_.empty()) stack_.back().has_children = true;
+  OpenElement element;
+  element.tag.assign(name);
+  element.attributes = attributes;  // Copy: valid only during the event.
+  element.node = next_node_++;
+  stack_.push_back(std::move(element));
+  max_depth_seen_ = std::max(max_depth_seen_, stack_.size());
+  return Status::OK();
+}
+
+Status StreamingFilter::EndElement(std::string_view name) {
+  (void)name;  // The SAX parser verified tag balance.
+  // A leaf closes: the current stack is a complete root-to-leaf path.
+  if (!stack_.back().has_children) {
+    views_.clear();
+    views_.reserve(stack_.size());
+    for (const OpenElement& element : stack_) {
+      PathElementView view;
+      view.tag = element.tag;
+      view.attributes = &element.attributes;
+      view.node = element.node;
+      views_.push_back(view);
+    }
+    XPRED_RETURN_NOT_OK(matcher_->ProcessStreamedPath(views_));
+  }
+  stack_.pop_back();
+  return Status::OK();
+}
+
+Status StreamingFilter::EndDocument() {
+  matches_.clear();
+  return matcher_->EndDocumentStream(&matches_);
+}
+
+}  // namespace xpred::core

@@ -1,0 +1,77 @@
+#ifndef XPRED_CORE_STREAMING_H_
+#define XPRED_CORE_STREAMING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/matcher.h"
+#include "xml/sax.h"
+
+namespace xpred::core {
+
+/// \brief SAX-driven filtering front end for the Matcher.
+///
+/// The paper's implementation extracts one path at a time while
+/// parsing (§3.1); this class does exactly that: it consumes SAX
+/// events, maintains the current root-to-leaf path on a stack, and
+/// hands each completed path to the matcher. Memory use is
+/// proportional to document depth — the document tree is never built.
+///
+/// Usage:
+///
+/// \code
+///   Matcher matcher;
+///   matcher.AddExpression("/a/b");
+///   StreamingFilter filter(&matcher);
+///   std::vector<ExprId> matched;
+///   Status st = filter.FilterXml(xml_text, &matched);
+/// \endcode
+///
+/// A StreamingFilter can also be driven by a custom event source
+/// through the ContentHandler interface; wrap a document with
+/// StartDocument() / EndDocument() calls and collect results with
+/// TakeMatches().
+class StreamingFilter : public xml::ContentHandler {
+ public:
+  /// \p matcher must outlive this object. The matcher's expression set
+  /// may be modified between documents, not during one.
+  explicit StreamingFilter(Matcher* matcher) : matcher_(matcher) {}
+
+  /// Parses and filters \p xml_text in one pass; appends matched
+  /// subscription ids.
+  Status FilterXml(std::string_view xml_text, std::vector<ExprId>* matched);
+
+  // ContentHandler interface (for custom event sources).
+  Status StartDocument() override;
+  Status EndDocument() override;
+  Status StartElement(std::string_view name,
+                      const std::vector<xml::Attribute>& attributes) override;
+  Status EndElement(std::string_view name) override;
+
+  /// Matches collected by the last successfully ended document.
+  std::vector<ExprId> TakeMatches() { return std::move(matches_); }
+
+  /// Maximum element-stack depth observed (memory footprint metric).
+  size_t max_depth_seen() const { return max_depth_seen_; }
+
+ private:
+  struct OpenElement {
+    std::string tag;
+    std::vector<xml::Attribute> attributes;
+    xml::NodeId node = xml::kInvalidNode;
+    bool has_children = false;
+  };
+
+  Matcher* matcher_;
+  std::vector<OpenElement> stack_;
+  std::vector<PathElementView> views_;
+  std::vector<ExprId> matches_;
+  xml::NodeId next_node_ = 0;
+  size_t max_depth_seen_ = 0;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_STREAMING_H_

@@ -1,0 +1,206 @@
+#include "xfilter/xfilter.h"
+
+#include "common/memory_usage.h"
+#include "common/stopwatch.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpred::xfilter {
+
+using core::ExprId;
+using xpath::Axis;
+using xpath::PathExpr;
+using xpath::Step;
+
+Result<ExprId> XFilter::AddExpression(std::string_view xpath) {
+  Result<PathExpr> parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return AddParsedExpression(*parsed);
+}
+
+Result<ExprId> XFilter::AddParsedExpression(const PathExpr& expr) {
+  if (expr.steps.empty()) {
+    return Status::InvalidArgument("expression has no location steps");
+  }
+  std::string canonical = expr.ToString();
+  auto it = dedup_.find(canonical);
+  if (it != dedup_.end()) {
+    ExprId sid = next_sid_++;
+    exprs_[it->second].subscribers.push_back(sid);
+    return sid;
+  }
+
+  Internal rec;
+  rec.expr = expr;
+  for (size_t i = 0; i < expr.steps.size(); ++i) {
+    const Step& step = expr.steps[i];
+    FsmStep fsm;
+    fsm.wildcard = step.wildcard;
+    if (!step.wildcard) fsm.tag = interner_.Intern(step.tag);
+    fsm.descendant = (step.axis == Axis::kDescendant) ||
+                     (i == 0 && !expr.absolute);
+    rec.steps.push_back(fsm);
+    if (step.HasFilters()) rec.needs_verify = true;
+  }
+
+  uint32_t internal = static_cast<uint32_t>(exprs_.size());
+  exprs_.push_back(std::move(rec));
+
+  // Seed the query index with the expression's first state. Initial
+  // entries are permanent: they apply to every document.
+  Entry entry;
+  entry.internal = internal;
+  entry.step = 0;
+  if (exprs_[internal].steps[0].descendant) {
+    entry.min_level = 1;
+  } else {
+    entry.exact_level = 1;
+  }
+  InsertEntry(entry, /*permanent=*/true);
+
+  ExprId sid = next_sid_++;
+  exprs_[internal].subscribers.push_back(sid);
+  dedup_.emplace(std::move(canonical), internal);
+  return sid;
+}
+
+void XFilter::InsertEntry(const Entry& entry, bool permanent) {
+  const FsmStep& step = exprs_[entry.internal].steps[entry.step];
+  if (step.wildcard) {
+    wildcard_list_.push_back(entry);
+  } else {
+    lists_[step.tag].push_back(entry);
+  }
+  if (!permanent) {
+    promotion_log_.back().push_back(
+        Promotion{step.wildcard ? kInvalidSymbol : step.tag});
+  }
+}
+
+void XFilter::Advance(const Entry& entry, uint32_t level) {
+  const Internal& e = exprs_[entry.internal];
+  if (entry.step + 1u == e.steps.size()) {
+    // Final state reached.
+    Internal& mutable_e = exprs_[entry.internal];
+    if (mutable_e.needs_verify) {
+      if (mutable_e.candidate_epoch != doc_epoch_) {
+        mutable_e.candidate_epoch = doc_epoch_;
+        doc_candidates_.push_back(entry.internal);
+      }
+    } else if (mutable_e.matched_epoch != doc_epoch_) {
+      mutable_e.matched_epoch = doc_epoch_;
+      doc_matched_.push_back(entry.internal);
+    }
+    return;
+  }
+  // Promote the next state; it is only valid within the current
+  // element's subtree and is retracted when this element ends.
+  Entry next;
+  next.internal = entry.internal;
+  next.step = static_cast<uint16_t>(entry.step + 1);
+  if (e.steps[next.step].descendant) {
+    next.min_level = level + 1;
+  } else {
+    next.exact_level = level + 1;
+  }
+  InsertEntry(next, /*permanent=*/false);
+}
+
+void XFilter::ProbeList(std::vector<Entry>* list, uint32_t level) {
+  // Entries appended during the probe belong to deeper levels and can
+  // never satisfy the constraints at `level`; iterate the prefix that
+  // existed on entry (by index: Advance may reallocate the vector).
+  const size_t initial_size = list->size();
+  for (size_t i = 0; i < initial_size; ++i) {
+    Entry entry = (*list)[i];  // Copy: the vector may grow.
+    bool level_ok = (entry.exact_level != 0) ? (level == entry.exact_level)
+                                             : (level >= entry.min_level);
+    if (!level_ok) continue;
+    Advance(entry, level);
+  }
+}
+
+void XFilter::HandleElement(const xml::Document& document, xml::NodeId node,
+                            uint32_t level) {
+  const xml::Element& element = document.element(node);
+  promotion_log_.emplace_back();
+
+  SymbolId tag = interner_.Lookup(element.tag);
+  if (tag != kInvalidSymbol) {
+    auto it = lists_.find(tag);
+    if (it != lists_.end()) ProbeList(&it->second, level);
+  }
+  if (!wildcard_list_.empty()) ProbeList(&wildcard_list_, level);
+
+  for (xml::NodeId child : element.children) {
+    HandleElement(document, child, level + 1);
+  }
+
+  // Element end: retract this element's promotions (they were appended
+  // in order, and all deeper promotions were already retracted, so
+  // they sit at the tails of their lists).
+  for (auto promotion = promotion_log_.back().rbegin();
+       promotion != promotion_log_.back().rend(); ++promotion) {
+    if (promotion->tag == kInvalidSymbol) {
+      wildcard_list_.pop_back();
+    } else {
+      lists_[promotion->tag].pop_back();
+    }
+  }
+  promotion_log_.pop_back();
+}
+
+Status XFilter::FilterDocument(const xml::Document& document,
+                               std::vector<ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  ++doc_epoch_;
+  doc_matched_.clear();
+  doc_candidates_.clear();
+  ++stats_.documents;
+  if (document.empty()) return Status::OK();
+
+  Stopwatch watch;
+  promotion_log_.clear();
+  HandleElement(document, document.root(), /*level=*/1);
+  stats_.predicate_micros += watch.ElapsedMicros();
+
+  if (!doc_candidates_.empty()) {
+    watch.Reset();
+    for (uint32_t internal : doc_candidates_) {
+      Internal& e = exprs_[internal];
+      if (e.matched_epoch == doc_epoch_) continue;
+      if (xpath::Evaluator::Matches(e.expr, document)) {
+        e.matched_epoch = doc_epoch_;
+        doc_matched_.push_back(internal);
+      }
+    }
+    stats_.verify_micros += watch.ElapsedMicros();
+  }
+
+  watch.Reset();
+  for (uint32_t internal : doc_matched_) {
+    const Internal& e = exprs_[internal];
+    matched->insert(matched->end(), e.subscribers.begin(),
+                    e.subscribers.end());
+  }
+  stats_.collect_micros += watch.ElapsedMicros();
+  return Status::OK();
+}
+
+size_t XFilter::ApproximateMemoryBytes() const {
+  size_t total = interner_.ApproximateMemoryBytes() + VectorBytes(exprs_);
+  for (const Internal& e : exprs_) {
+    total += VectorBytes(e.steps) + VectorBytes(e.expr.steps) +
+             VectorBytes(e.subscribers);
+  }
+  total += MapOfVectorsBytes(lists_) + VectorBytes(wildcard_list_);
+  total += UnorderedOverheadBytes(dedup_);
+  for (const auto& [canonical, id] : dedup_) {
+    total += sizeof(canonical) + sizeof(id) + StringBytes(canonical);
+  }
+  return total;
+}
+
+}  // namespace xpred::xfilter

@@ -1,0 +1,117 @@
+#ifndef XPRED_XFILTER_XFILTER_H_
+#define XPRED_XFILTER_XFILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "core/engine.h"
+#include "xpath/ast.h"
+
+namespace xpred::xfilter {
+
+/// \brief Reimplementation of XFilter (Altinel & Franklin, VLDB 2000),
+/// the earliest automaton baseline discussed in the paper's §2.
+///
+/// Each expression is its own finite state machine; a *query index*
+/// maps element names to the FSM states currently waiting for that
+/// name. Element-start events probe the index, check the level
+/// constraint of each candidate, and on success either report a match
+/// (final state) or *promote* the FSM's next state into the index;
+/// element-end events retract the promotions made in the closed
+/// subtree.
+///
+/// Unlike YFilter there is no prefix sharing: expressions with a
+/// common prefix each keep their own states, which is exactly the
+/// shortcoming the paper cites ("not able to adequately handle
+/// overlap, especially prefix overlap"). Kept here to make that
+/// difference measurable.
+///
+/// Attribute and nested-path filters are handled selection-postponed,
+/// as in the other baselines.
+class XFilter : public core::FilterEngine {
+ public:
+  XFilter() = default;
+
+  Result<core::ExprId> AddExpression(std::string_view xpath) override;
+  Result<core::ExprId> AddParsedExpression(const xpath::PathExpr& expr);
+
+  Status FilterDocument(const xml::Document& document,
+                        std::vector<core::ExprId>* matched) override;
+
+  size_t subscription_count() const override { return next_sid_; }
+  const core::EngineStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = core::EngineStats{}; }
+  std::string_view name() const override { return "xfilter"; }
+
+  size_t distinct_expression_count() const { return exprs_.size(); }
+
+  size_t ApproximateMemoryBytes() const override;
+
+ protected:
+  core::EngineStats* mutable_stats() override { return &stats_; }
+
+ private:
+  /// One location step of an expression's FSM.
+  struct FsmStep {
+    SymbolId tag = kInvalidSymbol;  // kInvalidSymbol for '*'.
+    bool wildcard = false;
+    /// True when this step may match at any deeper level (descendant
+    /// axis, or the floating start of a relative expression).
+    bool descendant = false;
+  };
+
+  struct Internal {
+    std::vector<FsmStep> steps;
+    xpath::PathExpr expr;  // For selection-postponed verification.
+    bool needs_verify = false;
+    std::vector<core::ExprId> subscribers;
+    uint32_t matched_epoch = 0;
+    uint32_t candidate_epoch = 0;
+  };
+
+  /// A waiting FSM state in the query index.
+  struct Entry {
+    uint32_t internal = 0;
+    uint16_t step = 0;
+    /// Exact level required (child axis), or 0 when min_level applies.
+    uint32_t exact_level = 0;
+    /// Minimum level (descendant axis); used when exact_level == 0.
+    uint32_t min_level = 0;
+  };
+
+  void InsertEntry(const Entry& entry, bool permanent);
+  void HandleElement(const xml::Document& document, xml::NodeId node,
+                     uint32_t level);
+  void ProbeList(std::vector<Entry>* list, uint32_t level);
+  void Advance(const Entry& entry, uint32_t level);
+
+  Interner interner_;
+  std::vector<Internal> exprs_;
+  std::unordered_map<std::string, uint32_t> dedup_;
+  core::ExprId next_sid_ = 0;
+
+  /// The query index: element name -> waiting states; '*' states live
+  /// in wildcard_list_ and are probed for every element.
+  std::unordered_map<SymbolId, std::vector<Entry>> lists_;
+  std::vector<Entry> wildcard_list_;
+
+  /// Per-depth log of promotions, unwound on element end.
+  struct Promotion {
+    SymbolId tag = kInvalidSymbol;  // kInvalidSymbol -> wildcard_list_.
+  };
+  std::vector<std::vector<Promotion>> promotion_log_;
+
+  uint32_t doc_epoch_ = 0;
+  std::vector<uint32_t> doc_matched_;
+  std::vector<uint32_t> doc_candidates_;
+
+  core::EngineStats stats_;
+};
+
+}  // namespace xpred::xfilter
+
+#endif  // XPRED_XFILTER_XFILTER_H_

@@ -1,0 +1,114 @@
+#include "xml/document.h"
+
+namespace xpred::xml {
+
+Result<Document> Document::Parse(std::string_view text) {
+  SaxParser parser;
+  DocumentBuilder builder;
+  Status st = parser.Parse(text, &builder);
+  if (!st.ok()) return st;
+  return builder.TakeDocument();
+}
+
+NodeId Document::AddElement(std::string tag, NodeId parent) {
+  NodeId id = static_cast<NodeId>(elements_.size());
+  Element element;
+  element.tag = std::move(tag);
+  element.parent = parent;
+  if (parent != kInvalidNode) {
+    Element& p = elements_[parent];
+    p.children.push_back(id);
+    element.child_index = static_cast<uint32_t>(p.children.size());
+    element.depth = p.depth + 1;
+  }
+  elements_.push_back(std::move(element));
+  return id;
+}
+
+std::string Document::ToXml() const {
+  std::string out;
+  if (!elements_.empty()) AppendXml(root(), 0, &out);
+  return out;
+}
+
+void Document::AppendXml(NodeId id, int indent, std::string* out) const {
+  const Element& e = elements_[id];
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->push_back('<');
+  out->append(e.tag);
+  for (const Attribute& a : e.attributes) {
+    out->push_back(' ');
+    out->append(a.name);
+    out->append("=\"");
+    out->append(EscapeXml(a.value));
+    out->push_back('"');
+  }
+  if (e.children.empty() && e.text.empty()) {
+    out->append("/>\n");
+    return;
+  }
+  out->push_back('>');
+  if (!e.text.empty()) out->append(EscapeXml(e.text));
+  if (!e.children.empty()) {
+    out->push_back('\n');
+    for (NodeId child : e.children) AppendXml(child, indent + 1, out);
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+  }
+  out->append("</");
+  out->append(e.tag);
+  out->append(">\n");
+}
+
+Status DocumentBuilder::StartElement(std::string_view name,
+                                     const std::vector<Attribute>& attributes) {
+  if (stack_.empty() && !document_.empty()) {
+    return Status::XmlParseError("multiple root elements");
+  }
+  NodeId parent = stack_.empty() ? kInvalidNode : stack_.back();
+  NodeId id = document_.AddElement(std::string(name), parent);
+  document_.element(id).attributes = attributes;
+  stack_.push_back(id);
+  return Status::OK();
+}
+
+Status DocumentBuilder::EndElement(std::string_view name) {
+  (void)name;  // The SAX parser already verified tag balance.
+  stack_.pop_back();
+  return Status::OK();
+}
+
+Status DocumentBuilder::Characters(std::string_view text) {
+  if (!stack_.empty()) {
+    document_.element(stack_.back()).text.append(text);
+  }
+  return Status::OK();
+}
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&apos;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace xpred::xml

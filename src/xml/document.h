@@ -1,0 +1,112 @@
+#ifndef XPRED_XML_DOCUMENT_H_
+#define XPRED_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/sax.h"
+
+namespace xpred::xml {
+
+/// Pre-order index of an element within its document. The root is node 0.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// \brief An element in a parsed XML document.
+///
+/// Nodes are owned by the Document in a flat pre-order vector;
+/// parent/child links are NodeIds, which makes structural-join ids
+/// (Index-Filter's start/end numbering, the paper's structure tuples)
+/// trivial to derive.
+struct Element {
+  std::string tag;
+  std::vector<Attribute> attributes;
+  /// Concatenated character data directly under this element.
+  std::string text;
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> children;
+  /// 1-based index among the parent's element children; 1 for the root.
+  /// These are the paper's structure-tuple entries m_k (§5, Fig. 4).
+  uint32_t child_index = 1;
+  /// 1-based depth; the root has depth 1.
+  uint32_t depth = 1;
+
+  /// Returns the value of attribute \p name, or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const {
+    for (const Attribute& a : attributes) {
+      if (a.name == name) return &a.value;
+    }
+    return nullptr;
+  }
+};
+
+/// \brief A parsed XML document: a flat pre-order array of elements.
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// Parses \p text into a document.
+  static Result<Document> Parse(std::string_view text);
+
+  bool empty() const { return elements_.empty(); }
+  size_t size() const { return elements_.size(); }
+
+  const Element& element(NodeId id) const { return elements_[id]; }
+  Element& element(NodeId id) { return elements_[id]; }
+
+  NodeId root() const { return 0; }
+
+  const std::vector<Element>& elements() const { return elements_; }
+
+  /// Appends an element and returns its id. \p parent must already
+  /// exist (or kInvalidNode for the root). Used by the builder and the
+  /// document generator.
+  NodeId AddElement(std::string tag, NodeId parent);
+
+  /// Serializes the document back to XML text (no declaration, two-space
+  /// indent).
+  std::string ToXml() const;
+
+  /// Total number of tags — the "140 tags on average" document-size
+  /// metric used in the paper's §6.1.
+  size_t tag_count() const { return elements_.size(); }
+
+ private:
+  void AppendXml(NodeId id, int indent, std::string* out) const;
+
+  std::vector<Element> elements_;
+};
+
+/// \brief SAX handler that builds a Document. Exposed so callers can
+/// feed it from a custom event source.
+class DocumentBuilder : public ContentHandler {
+ public:
+  Status StartElement(std::string_view name,
+                      const std::vector<Attribute>& attributes) override;
+  Status EndElement(std::string_view name) override;
+  Status Characters(std::string_view text) override;
+
+  /// Takes the built document. Call once, after a successful parse.
+  Document TakeDocument() { return std::move(document_); }
+
+ private:
+  Document document_;
+  std::vector<NodeId> stack_;
+};
+
+/// Escapes the five special characters for use in text content or
+/// attribute values.
+std::string EscapeXml(std::string_view text);
+
+}  // namespace xpred::xml
+
+#endif  // XPRED_XML_DOCUMENT_H_

@@ -1,0 +1,301 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xpred::xml {
+
+void ContentParticle::CollectElementNames(
+    std::vector<std::string>* out) const {
+  if (kind == Kind::kElement) out->push_back(name);
+  for (const ContentParticle& child : children) {
+    child.CollectElementNames(out);
+  }
+}
+
+namespace {
+
+/// Recursive-descent parser for DTD declarations.
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view text) : text_(text) {}
+
+  Status Run(std::vector<ElementDecl>* elements) {
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      if (Consume("<!ELEMENT")) {
+        XPRED_RETURN_NOT_OK(ParseElementDecl(elements));
+      } else if (Consume("<!ATTLIST")) {
+        XPRED_RETURN_NOT_OK(ParseAttlistDecl(elements));
+      } else {
+        return Error("expected <!ELEMENT or <!ATTLIST");
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& message) {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::InvalidArgument(
+        StringPrintf("DTD: %s (line %zu)", message.c_str(), line));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void SkipSpaceAndComments() {
+    for (;;) {
+      SkipSpace();
+      if (pos_ + 4 <= text_.size() && text_.substr(pos_, 4) == "<!--") {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_' || c == '.' || c == ':';
+  }
+
+  Status ParseName(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected name");
+    out->assign(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Repeat ParseRepeat() {
+    if (pos_ < text_.size()) {
+      switch (text_[pos_]) {
+        case '?':
+          ++pos_;
+          return Repeat::kOptional;
+        case '*':
+          ++pos_;
+          return Repeat::kStar;
+        case '+':
+          ++pos_;
+          return Repeat::kPlus;
+        default:
+          break;
+      }
+    }
+    return Repeat::kOne;
+  }
+
+  /// Parses a parenthesized group: '(' particle (sep particle)* ')'
+  /// where sep is consistently ',' (sequence) or '|' (choice).
+  Status ParseGroup(ContentParticle* out) {
+    SkipSpace();
+    if (!Consume("(")) return Error("expected '('");
+    std::vector<ContentParticle> parts;
+    char separator = '\0';
+    for (;;) {
+      ContentParticle part;
+      XPRED_RETURN_NOT_OK(ParseParticle(&part));
+      parts.push_back(std::move(part));
+      SkipSpace();
+      if (Consume(")")) break;
+      char sep = (pos_ < text_.size()) ? text_[pos_] : '\0';
+      if (sep != ',' && sep != '|') {
+        return Error("expected ',', '|' or ')' in content model");
+      }
+      if (separator == '\0') {
+        separator = sep;
+      } else if (sep != separator) {
+        return Error("mixed ',' and '|' in one group");
+      }
+      ++pos_;
+    }
+    if (parts.size() == 1 && separator == '\0') {
+      *out = std::move(parts[0]);
+      // Group-level repeat applies on top of the inner particle's
+      // repeat; combining conservatively: outer repeat wins when inner
+      // is kOne.
+      Repeat group_repeat = ParseRepeat();
+      if (group_repeat != Repeat::kOne) out->repeat = group_repeat;
+      return Status::OK();
+    }
+    out->kind = (separator == '|') ? ContentParticle::Kind::kChoice
+                                   : ContentParticle::Kind::kSequence;
+    out->children = std::move(parts);
+    out->repeat = ParseRepeat();
+    return Status::OK();
+  }
+
+  Status ParseParticle(ContentParticle* out) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      return ParseGroup(out);
+    }
+    if (Consume("#PCDATA")) {
+      out->kind = ContentParticle::Kind::kPcdata;
+      return Status::OK();
+    }
+    out->kind = ContentParticle::Kind::kElement;
+    XPRED_RETURN_NOT_OK(ParseName(&out->name));
+    out->repeat = ParseRepeat();
+    return Status::OK();
+  }
+
+  Status ParseElementDecl(std::vector<ElementDecl>* elements) {
+    ElementDecl decl;
+    XPRED_RETURN_NOT_OK(ParseName(&decl.name));
+    SkipSpace();
+    if (Consume("EMPTY")) {
+      decl.content.kind = ContentParticle::Kind::kEmpty;
+    } else if (Consume("ANY")) {
+      // Treated as EMPTY for generation purposes; the embedded DTDs do
+      // not use ANY.
+      decl.content.kind = ContentParticle::Kind::kEmpty;
+    } else {
+      XPRED_RETURN_NOT_OK(ParseGroup(&decl.content));
+    }
+    SkipSpace();
+    if (!Consume(">")) return Error("expected '>' after element model");
+    elements->push_back(std::move(decl));
+    return Status::OK();
+  }
+
+  Status ParseAttlistDecl(std::vector<ElementDecl>* elements) {
+    std::string element_name;
+    XPRED_RETURN_NOT_OK(ParseName(&element_name));
+    ElementDecl* target = nullptr;
+    for (ElementDecl& decl : *elements) {
+      if (decl.name == element_name) {
+        target = &decl;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      return Error("ATTLIST for undeclared element '" + element_name + "'");
+    }
+    for (;;) {
+      SkipSpace();
+      if (Consume(">")) return Status::OK();
+      AttributeDecl attr;
+      XPRED_RETURN_NOT_OK(ParseName(&attr.name));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '(') {
+        // Enumerated type.
+        ++pos_;
+        for (;;) {
+          std::string value;
+          XPRED_RETURN_NOT_OK(ParseName(&value));
+          attr.enum_values.push_back(std::move(value));
+          SkipSpace();
+          if (Consume(")")) break;
+          if (!Consume("|")) return Error("expected '|' in enumeration");
+        }
+      } else {
+        std::string type;
+        XPRED_RETURN_NOT_OK(ParseName(&type));
+        if (type != "CDATA" && type != "ID" && type != "IDREF" &&
+            type != "NMTOKEN" && type != "NMTOKENS") {
+          return Error("unsupported attribute type '" + type + "'");
+        }
+      }
+      SkipSpace();
+      if (Consume("#REQUIRED")) {
+        attr.required = true;
+      } else if (Consume("#IMPLIED")) {
+        attr.required = false;
+      } else if (Consume("#FIXED")) {
+        attr.required = true;
+        SkipSpace();
+        XPRED_RETURN_NOT_OK(SkipQuotedValue());
+      } else if (pos_ < text_.size() &&
+                 (text_[pos_] == '"' || text_[pos_] == '\'')) {
+        XPRED_RETURN_NOT_OK(SkipQuotedValue());
+      } else {
+        return Error("expected attribute default");
+      }
+      target->attributes.push_back(std::move(attr));
+    }
+  }
+
+  Status SkipQuotedValue() {
+    if (pos_ >= text_.size() ||
+        (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      return Error("expected quoted default value");
+    }
+    char quote = text_[pos_++];
+    size_t end = text_.find(quote, pos_);
+    if (end == std::string_view::npos) {
+      return Error("unterminated default value");
+    }
+    pos_ = end + 1;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Dtd> Dtd::Parse(std::string_view text, std::string root_name) {
+  Dtd dtd;
+  dtd.root_ = std::move(root_name);
+  DtdParser parser(text);
+  Status st = parser.Run(&dtd.elements_);
+  if (!st.ok()) return st;
+  for (size_t i = 0; i < dtd.elements_.size(); ++i) {
+    auto [it, inserted] = dtd.index_.emplace(dtd.elements_[i].name, i);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate element declaration '" +
+                                     dtd.elements_[i].name + "'");
+    }
+  }
+  st = dtd.Validate();
+  if (!st.ok()) return st;
+  return dtd;
+}
+
+const ElementDecl* Dtd::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &elements_[it->second];
+}
+
+Status Dtd::Validate() const {
+  if (Find(root_) == nullptr) {
+    return Status::InvalidArgument("root element '" + root_ +
+                                   "' is not declared");
+  }
+  for (const ElementDecl& decl : elements_) {
+    std::vector<std::string> referenced;
+    decl.content.CollectElementNames(&referenced);
+    for (const std::string& child : referenced) {
+      if (Find(child) == nullptr) {
+        return Status::InvalidArgument("element '" + decl.name +
+                                       "' references undeclared '" + child +
+                                       "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xpred::xml

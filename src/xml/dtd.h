@@ -1,0 +1,95 @@
+#ifndef XPRED_XML_DTD_H_
+#define XPRED_XML_DTD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred::xml {
+
+/// Repetition modifier on a content-model particle.
+enum class Repeat {
+  kOne,       ///< exactly once
+  kOptional,  ///< '?'
+  kStar,      ///< '*'
+  kPlus,      ///< '+'
+};
+
+/// \brief A node in an element's content model:
+/// EMPTY | (#PCDATA) | element ref | sequence | choice, each with a
+/// repetition modifier.
+struct ContentParticle {
+  enum class Kind { kEmpty, kPcdata, kElement, kSequence, kChoice };
+
+  Kind kind = Kind::kEmpty;
+  Repeat repeat = Repeat::kOne;
+  /// Element name when kind == kElement.
+  std::string name;
+  /// Sub-particles when kind is kSequence or kChoice.
+  std::vector<ContentParticle> children;
+
+  /// Collects the names of all elements referenced anywhere below this
+  /// particle.
+  void CollectElementNames(std::vector<std::string>* out) const;
+};
+
+/// How attribute values are generated for a declared attribute.
+struct AttributeDecl {
+  std::string name;
+  /// Enumerated values, from "(a|b|c)" declarations; empty means CDATA
+  /// (the generator then emits a small random integer so numeric
+  /// attribute predicates are meaningful).
+  std::vector<std::string> enum_values;
+  /// True for #REQUIRED attributes; optional ones appear with a
+  /// generator-controlled probability.
+  bool required = false;
+};
+
+/// \brief One <!ELEMENT ...> declaration plus its <!ATTLIST ...>.
+struct ElementDecl {
+  std::string name;
+  ContentParticle content;
+  std::vector<AttributeDecl> attributes;
+};
+
+/// \brief A (simplified) Document Type Definition.
+///
+/// Parsed from standard DTD syntax: <!ELEMENT name model> and
+/// <!ATTLIST name attr type default> declarations. Entity declarations
+/// and notations are not supported — the embedded NITF-like / PSD-like
+/// DTDs don't need them.
+class Dtd {
+ public:
+  /// Parses DTD text. \p root_name names the document element (DTD
+  /// syntax itself does not designate a root).
+  static Result<Dtd> Parse(std::string_view text, std::string root_name);
+
+  const std::string& root() const { return root_; }
+
+  /// Looks up a declaration; nullptr when \p name is not declared.
+  const ElementDecl* Find(std::string_view name) const;
+
+  /// All declarations in declaration order.
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+
+  /// Distinct element-name vocabulary size (the knob separating the
+  /// NITF-like and PSD-like workloads).
+  size_t vocabulary_size() const { return elements_.size(); }
+
+  /// Verifies that the root and every referenced child element are
+  /// declared.
+  Status Validate() const;
+
+ private:
+  std::string root_;
+  std::vector<ElementDecl> elements_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+}  // namespace xpred::xml
+
+#endif  // XPRED_XML_DTD_H_

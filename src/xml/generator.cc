@@ -1,0 +1,139 @@
+#include "xml/generator.h"
+
+#include "common/string_util.h"
+
+namespace xpred::xml {
+
+Document DocumentGenerator::Generate(uint64_t seed) const {
+  GenState state(seed);
+  const ElementDecl* root_decl = dtd_->Find(dtd_->root());
+  NodeId root = state.doc.AddElement(dtd_->root(), kInvalidNode);
+  ++state.element_count;
+  ExpandElement(*root_decl, root, /*depth=*/1, &state);
+  return std::move(state.doc);
+}
+
+uint32_t DocumentGenerator::DrawRepeats(Repeat repeat, Random* rng) const {
+  switch (repeat) {
+    case Repeat::kOne:
+      return 1;
+    case Repeat::kOptional:
+      return rng->Bernoulli(options_.optional_prob) ? 1 : 0;
+    case Repeat::kStar:
+    case Repeat::kPlus: {
+      uint32_t n = (repeat == Repeat::kPlus) ? 1 : 0;
+      // '*' starts by deciding whether to emit anything at all, using
+      // the same optional probability as '?'.
+      if (repeat == Repeat::kStar) {
+        if (!rng->Bernoulli(options_.optional_prob)) return 0;
+        n = 1;
+      }
+      while (n < options_.max_repeats &&
+             rng->Bernoulli(options_.repeat_prob)) {
+        ++n;
+      }
+      return n;
+    }
+  }
+  return 1;
+}
+
+void DocumentGenerator::EmitChild(const std::string& name, NodeId parent,
+                                  uint32_t depth, GenState* state) const {
+  if (state->element_count >= options_.max_elements) return;
+  const ElementDecl* decl = dtd_->Find(name);
+  NodeId node = state->doc.AddElement(name, parent);
+  ++state->element_count;
+  ExpandElement(*decl, node, depth + 1, state);
+}
+
+void DocumentGenerator::ExpandElement(const ElementDecl& decl, NodeId node,
+                                      uint32_t depth, GenState* state) const {
+  // Attributes first (content expansion may invalidate no references,
+  // but keeps output deterministic and readable).
+  for (const AttributeDecl& attr : decl.attributes) {
+    if (!attr.required && !state->rng.Bernoulli(options_.attribute_prob)) {
+      continue;
+    }
+    Attribute out;
+    out.name = attr.name;
+    if (!attr.enum_values.empty()) {
+      out.value = state->rng.Pick(attr.enum_values);
+    } else {
+      out.value = StringPrintf(
+          "%u", static_cast<uint32_t>(
+                    state->rng.Uniform(options_.attribute_value_range)));
+    }
+    state->doc.element(node).attributes.push_back(std::move(out));
+  }
+
+  // Prune content below the maximum level, as the IBM generator does.
+  if (depth >= options_.max_depth) {
+    if (decl.content.kind == ContentParticle::Kind::kPcdata ||
+        decl.content.kind == ContentParticle::Kind::kChoice ||
+        decl.content.kind == ContentParticle::Kind::kSequence) {
+      state->doc.element(node).text =
+          StringPrintf("t%u", static_cast<uint32_t>(state->rng.Uniform(1000)));
+    }
+    return;
+  }
+
+  ExpandParticle(decl.content, node, depth, state);
+
+  // Pure-PCDATA elements get a short random token.
+  if (decl.content.kind == ContentParticle::Kind::kPcdata &&
+      state->doc.element(node).children.empty()) {
+    state->doc.element(node).text =
+        StringPrintf("t%u", static_cast<uint32_t>(state->rng.Uniform(1000)));
+  }
+}
+
+void DocumentGenerator::ExpandParticle(const ContentParticle& particle,
+                                       NodeId parent, uint32_t depth,
+                                       GenState* state) const {
+  uint32_t repeats = DrawRepeats(particle.repeat, &state->rng);
+  for (uint32_t r = 0; r < repeats; ++r) {
+    switch (particle.kind) {
+      case ContentParticle::Kind::kEmpty:
+        return;
+      case ContentParticle::Kind::kPcdata:
+        // Text content handled by the caller for pure-PCDATA elements;
+        // inside mixed content we simply skip (structure is what the
+        // filtering workloads exercise).
+        break;
+      case ContentParticle::Kind::kElement:
+        EmitChild(particle.name, parent, depth, state);
+        break;
+      case ContentParticle::Kind::kSequence:
+        for (const ContentParticle& child : particle.children) {
+          ExpandParticle(child, parent, depth, state);
+        }
+        break;
+      case ContentParticle::Kind::kChoice: {
+        // Mixed content ((#PCDATA | a | b)*): bias toward text so
+        // documents don't explode; otherwise pick a uniform branch.
+        bool mixed = false;
+        for (const ContentParticle& child : particle.children) {
+          if (child.kind == ContentParticle::Kind::kPcdata) mixed = true;
+        }
+        if (mixed && !state->rng.Bernoulli(options_.mixed_element_prob)) {
+          break;  // Emit text (implicitly), no element this round.
+        }
+        // Collect non-PCDATA branches.
+        std::vector<const ContentParticle*> branches;
+        for (const ContentParticle& child : particle.children) {
+          if (child.kind != ContentParticle::Kind::kPcdata) {
+            branches.push_back(&child);
+          }
+        }
+        if (branches.empty()) break;
+        const ContentParticle* pick =
+            branches[state->rng.Uniform(branches.size())];
+        ExpandParticle(*pick, parent, depth, state);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace xpred::xml

@@ -1,0 +1,75 @@
+#ifndef XPRED_XML_GENERATOR_H_
+#define XPRED_XML_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+
+namespace xpred::xml {
+
+/// \brief Random XML document generator guided by a DTD.
+///
+/// Substitute for the IBM XML Generator used in the paper (§6.1). Like
+/// that tool, it expands content models randomly from the root element
+/// and prunes the expansion at a configurable maximum number of levels
+/// (the paper varies this from 6 to 10, matching the maximum XPE
+/// length).
+class DocumentGenerator {
+ public:
+  struct Options {
+    /// Maximum number of levels in the generated tree (root = level 1).
+    /// Content below this level is pruned, as in the IBM generator.
+    uint32_t max_depth = 8;
+    /// Probability that an optional ('?') particle is instantiated.
+    double optional_prob = 0.7;
+    /// Probability of adding one more repetition to a '*' / '+'
+    /// particle (geometric; expected extra repeats p/(1-p)).
+    double repeat_prob = 0.55;
+    /// Hard cap on repetitions of a single particle.
+    uint32_t max_repeats = 6;
+    /// Probability that an #IMPLIED attribute is emitted. #REQUIRED
+    /// attributes are always emitted.
+    double attribute_prob = 0.55;
+    /// Numeric CDATA attribute values are drawn uniformly from
+    /// [0, attribute_value_range). Kept small so equality filters have
+    /// realistic selectivity (shared pub/sub interests).
+    uint32_t attribute_value_range = 25;
+    /// Number of items generated for mixed content ((#PCDATA | ...)*) is
+    /// geometric with repeat_prob, but element children within mixed
+    /// content are chosen with this probability (vs. text).
+    double mixed_element_prob = 0.4;
+    /// Safety bound on the number of elements per document.
+    uint32_t max_elements = 5000;
+  };
+
+  DocumentGenerator(const Dtd* dtd, Options options)
+      : dtd_(dtd), options_(options) {}
+
+  /// Generates one document. Deterministic in \p seed.
+  Document Generate(uint64_t seed) const;
+
+ private:
+  struct GenState {
+    Random rng;
+    Document doc;
+    uint32_t element_count = 0;
+    explicit GenState(uint64_t seed) : rng(seed) {}
+  };
+
+  void ExpandElement(const ElementDecl& decl, NodeId node,
+                     uint32_t depth, GenState* state) const;
+  void ExpandParticle(const ContentParticle& particle, NodeId parent,
+                      uint32_t depth, GenState* state) const;
+  void EmitChild(const std::string& name, NodeId parent, uint32_t depth,
+                 GenState* state) const;
+  uint32_t DrawRepeats(Repeat repeat, Random* rng) const;
+
+  const Dtd* dtd_;
+  Options options_;
+};
+
+}  // namespace xpred::xml
+
+#endif  // XPRED_XML_GENERATOR_H_

@@ -1,0 +1,60 @@
+#include "xml/path.h"
+
+#include <unordered_map>
+
+namespace xpred::xml {
+
+std::string DocumentPath::ToString() const {
+  std::string out;
+  for (uint32_t pos = 1; pos <= length(); ++pos) {
+    if (pos > 1) out.push_back('/');
+    out.append(Tag(pos));
+  }
+  return out;
+}
+
+namespace {
+
+/// Iterative DFS that maintains tag occurrence counts along the current
+/// root-to-node path.
+class PathCollector {
+ public:
+  explicit PathCollector(const Document& document) : document_(document) {}
+
+  std::vector<DocumentPath> Collect() {
+    if (document_.empty()) return {};
+    Visit(document_.root());
+    return std::move(paths_);
+  }
+
+ private:
+  void Visit(NodeId node) {
+    const Element& element = document_.element(node);
+    uint32_t& count = tag_counts_[element.tag];
+    ++count;
+    current_.push_back(PathStep{node, count});
+
+    if (element.children.empty()) {
+      paths_.emplace_back(&document_, current_);
+    } else {
+      for (NodeId child : element.children) Visit(child);
+    }
+
+    current_.pop_back();
+    --count;
+  }
+
+  const Document& document_;
+  std::unordered_map<std::string, uint32_t> tag_counts_;
+  std::vector<PathStep> current_;
+  std::vector<DocumentPath> paths_;
+};
+
+}  // namespace
+
+std::vector<DocumentPath> ExtractPaths(const Document& document) {
+  PathCollector collector(document);
+  return collector.Collect();
+}
+
+}  // namespace xpred::xml

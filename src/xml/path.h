@@ -1,0 +1,82 @@
+#ifndef XPRED_XML_PATH_H_
+#define XPRED_XML_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xpred::xml {
+
+/// One location step of a root-to-leaf document path.
+struct PathStep {
+  /// The element this step refers to.
+  NodeId node = kInvalidNode;
+  /// Occurrence number of the tag within the path: counts how many
+  /// times this tag name has already appeared in the path, starting at
+  /// 1 (paper §3.3, Example 1: path (a,b,c,a,b,c) is annotated
+  /// (a^1,b^1,c^1,a^2,b^2,c^2)).
+  uint32_t occurrence = 1;
+};
+
+/// \brief A root-to-leaf path through a document, with the annotations
+/// the paper's encodings need.
+///
+/// Positions are 1-based (the root element is position 1). The
+/// structure tuple <m_1, ..., m_n> of §5 / Fig. 4 is available via
+/// ChildIndex(i).
+class DocumentPath {
+ public:
+  DocumentPath(const Document* document, std::vector<PathStep> steps)
+      : document_(document), steps_(std::move(steps)) {}
+
+  /// Number of location steps (the publication's `length` attribute).
+  uint32_t length() const { return static_cast<uint32_t>(steps_.size()); }
+
+  /// Tag name at 1-based position \p pos.
+  std::string_view Tag(uint32_t pos) const {
+    return document_->element(steps_[pos - 1].node).tag;
+  }
+
+  /// Occurrence number of the tag at 1-based position \p pos.
+  uint32_t Occurrence(uint32_t pos) const {
+    return steps_[pos - 1].occurrence;
+  }
+
+  /// Document node at 1-based position \p pos.
+  NodeId Node(uint32_t pos) const { return steps_[pos - 1].node; }
+
+  /// Structure-tuple entry m_pos: the 1-based child index of the
+  /// element at \p pos within its parent (1 for the root).
+  uint32_t ChildIndex(uint32_t pos) const {
+    return document_->element(steps_[pos - 1].node).child_index;
+  }
+
+  /// Attributes of the element at 1-based position \p pos.
+  const std::vector<Attribute>& Attributes(uint32_t pos) const {
+    return document_->element(steps_[pos - 1].node).attributes;
+  }
+
+  const Document& document() const { return *document_; }
+
+  /// Renders the path as "a/b/c" (diagnostics and tests).
+  std::string ToString() const;
+
+ private:
+  const Document* document_;
+  std::vector<PathStep> steps_;
+};
+
+/// \brief Extracts every root-to-leaf path of \p document, with
+/// per-path tag occurrence numbers.
+///
+/// This is the "collecting" stage of §3.1. The extraction is a single
+/// DFS; occurrence counters are maintained incrementally along the
+/// current path (the paper's per-path hash table).
+std::vector<DocumentPath> ExtractPaths(const Document& document);
+
+}  // namespace xpred::xml
+
+#endif  // XPRED_XML_PATH_H_

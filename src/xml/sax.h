@@ -1,0 +1,87 @@
+#ifndef XPRED_XML_SAX_H_
+#define XPRED_XML_SAX_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred::xml {
+
+/// A single attribute on an element, in document order.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+/// \brief Receiver of SAX events, in the style of org.xml.sax.
+///
+/// The paper's engines (ours and YFilter) are SAX-driven: document paths
+/// are extracted one at a time during parsing (§3.1). Implementations
+/// return a Status from each callback; a non-OK status aborts the parse
+/// and is propagated to the SaxParser::Parse caller.
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+
+  /// Called once before any other event.
+  virtual Status StartDocument() { return Status::OK(); }
+
+  /// Called once after all other events, only on success.
+  virtual Status EndDocument() { return Status::OK(); }
+
+  /// Start tag. \p name and \p attributes are only valid during the
+  /// call.
+  virtual Status StartElement(std::string_view name,
+                              const std::vector<Attribute>& attributes) = 0;
+
+  /// End tag (also emitted for self-closing elements).
+  virtual Status EndElement(std::string_view name) = 0;
+
+  /// Character data between tags, with entities already expanded.
+  /// Whitespace-only runs are reported too; handlers that don't care
+  /// can ignore them.
+  virtual Status Characters(std::string_view text) {
+    (void)text;
+    return Status::OK();
+  }
+};
+
+/// \brief A small, non-validating, namespace-unaware XML parser.
+///
+/// Supports exactly what XML filtering workloads need: elements,
+/// attributes (single- or double-quoted), character data, CDATA
+/// sections, comments, processing instructions, an optional XML
+/// declaration, an optional (skipped) DOCTYPE, the five predefined
+/// entities and decimal/hex character references. It checks
+/// well-formedness (tag balance, attribute syntax, uniqueness of
+/// attribute names per element) and reports errors with line/column
+/// positions.
+class SaxParser {
+ public:
+  struct Options {
+    /// When true, whitespace-only character runs are not reported.
+    bool skip_whitespace_text = true;
+    /// Maximum element nesting depth (guards against pathological
+    /// inputs).
+    size_t max_depth = 512;
+  };
+
+  SaxParser() = default;
+  explicit SaxParser(Options options) : options_(options) {}
+
+  /// Parses \p input, delivering events to \p handler. Returns the
+  /// first error (from the document or from the handler).
+  Status Parse(std::string_view input, ContentHandler* handler);
+
+ private:
+  Options options_;
+};
+
+}  // namespace xpred::xml
+
+#endif  // XPRED_XML_SAX_H_

@@ -1,0 +1,405 @@
+#include "xml/sax.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace xpred::xml {
+
+namespace {
+
+/// Cursor over the input with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t p = pos_ + offset;
+    return p < input_.size() ? input_[p] : '\0';
+  }
+  size_t Remaining() const { return input_.size() - pos_; }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  bool ConsumeIf(std::string_view token) {
+    if (Remaining() < token.size()) return false;
+    if (input_.substr(pos_, token.size()) != token) return false;
+    AdvanceBy(token.size());
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  std::string_view Slice(size_t start, size_t end) const {
+    return input_.substr(start, end - start);
+  }
+
+  size_t pos() const { return pos_; }
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, const SaxParser::Options& options,
+             ContentHandler* handler)
+      : cursor_(input), options_(options), handler_(handler) {}
+
+  Status Run() {
+    XPRED_RETURN_NOT_OK(handler_->StartDocument());
+    XPRED_RETURN_NOT_OK(SkipProlog());
+    if (cursor_.AtEnd() || cursor_.Peek() != '<') {
+      return Error("expected root element");
+    }
+    XPRED_RETURN_NOT_OK(ParseElement());
+    // Only misc (comments/PIs/whitespace) may follow the root element.
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd()) break;
+      if (cursor_.ConsumeIf("<!--")) {
+        XPRED_RETURN_NOT_OK(SkipUntil("-->", "unterminated comment"));
+      } else if (cursor_.ConsumeIf("<?")) {
+        XPRED_RETURN_NOT_OK(
+            SkipUntil("?>", "unterminated processing instruction"));
+      } else {
+        return Error("content after root element");
+      }
+    }
+    return handler_->EndDocument();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::XmlParseError(
+        StringPrintf("%s (line %zu, column %zu)", message.c_str(),
+                     cursor_.line(), cursor_.column()));
+  }
+
+  Status SkipUntil(std::string_view token, const char* error) {
+    while (!cursor_.AtEnd()) {
+      if (cursor_.ConsumeIf(token)) return Status::OK();
+      cursor_.Advance();
+    }
+    return Error(error);
+  }
+
+  /// Skips the XML declaration, DOCTYPE, comments and PIs before the
+  /// root element.
+  Status SkipProlog() {
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.ConsumeIf("<?")) {
+        XPRED_RETURN_NOT_OK(
+            SkipUntil("?>", "unterminated processing instruction"));
+      } else if (cursor_.ConsumeIf("<!--")) {
+        XPRED_RETURN_NOT_OK(SkipUntil("-->", "unterminated comment"));
+      } else if (cursor_.ConsumeIf("<!DOCTYPE")) {
+        XPRED_RETURN_NOT_OK(SkipDoctype());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  /// Skips a DOCTYPE declaration, including an internal subset.
+  Status SkipDoctype() {
+    int bracket_depth = 0;
+    while (!cursor_.AtEnd()) {
+      char c = cursor_.Advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        return Status::OK();
+      }
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Status ParseName(std::string_view* name) {
+    size_t start = cursor_.pos();
+    if (cursor_.AtEnd() || !IsNameStartChar(cursor_.Peek())) {
+      return Error("expected name");
+    }
+    while (!cursor_.AtEnd() && IsNameChar(cursor_.Peek())) cursor_.Advance();
+    *name = cursor_.Slice(start, cursor_.pos());
+    return Status::OK();
+  }
+
+  /// Decodes entity and character references in \p raw into \p out.
+  Status DecodeText(std::string_view raw, std::string* out) {
+    out->clear();
+    out->reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      char c = raw[i];
+      if (c != '&') {
+        out->push_back(c);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out->push_back('&');
+      } else if (entity == "lt") {
+        out->push_back('<');
+      } else if (entity == "gt") {
+        out->push_back('>');
+      } else if (entity == "apos") {
+        out->push_back('\'');
+      } else if (entity == "quot") {
+        out->push_back('"');
+      } else if (!entity.empty() && entity[0] == '#') {
+        uint64_t code = 0;
+        bool ok = entity.size() > 1;
+        if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+          for (size_t k = 2; k < entity.size() && ok; ++k) {
+            char h = entity[k];
+            int digit;
+            if (h >= '0' && h <= '9') {
+              digit = h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              digit = h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = h - 'A' + 10;
+            } else {
+              ok = false;
+              break;
+            }
+            code = code * 16 + static_cast<uint64_t>(digit);
+          }
+          ok = ok && entity.size() > 2;
+        } else {
+          for (size_t k = 1; k < entity.size() && ok; ++k) {
+            if (entity[k] < '0' || entity[k] > '9') {
+              ok = false;
+              break;
+            }
+            code = code * 10 + static_cast<uint64_t>(entity[k] - '0');
+          }
+        }
+        if (!ok || code == 0 || code > 0x10FFFF) {
+          return Error("invalid character reference");
+        }
+        AppendUtf8(static_cast<uint32_t>(code), out);
+      } else {
+        return Error("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseAttributes(std::vector<Attribute>* attributes) {
+    attributes->clear();
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd()) return Error("unterminated start tag");
+      char c = cursor_.Peek();
+      if (c == '>' || c == '/') return Status::OK();
+      std::string_view name;
+      XPRED_RETURN_NOT_OK(ParseName(&name));
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd() || cursor_.Peek() != '=') {
+        return Error("expected '=' after attribute name");
+      }
+      cursor_.Advance();
+      cursor_.SkipWhitespace();
+      if (cursor_.AtEnd() ||
+          (cursor_.Peek() != '"' && cursor_.Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = cursor_.Advance();
+      size_t start = cursor_.pos();
+      while (!cursor_.AtEnd() && cursor_.Peek() != quote) {
+        if (cursor_.Peek() == '<') {
+          return Error("'<' in attribute value");
+        }
+        cursor_.Advance();
+      }
+      if (cursor_.AtEnd()) return Error("unterminated attribute value");
+      std::string_view raw = cursor_.Slice(start, cursor_.pos());
+      cursor_.Advance();  // Closing quote.
+      for (const Attribute& existing : *attributes) {
+        if (existing.name == name) {
+          return Error("duplicate attribute '" + std::string(name) + "'");
+        }
+      }
+      Attribute attr;
+      attr.name.assign(name);
+      XPRED_RETURN_NOT_OK(DecodeText(raw, &attr.value));
+      attributes->push_back(std::move(attr));
+    }
+  }
+
+  /// Parses one element (recursively), starting at its '<'.
+  Status ParseElement() {
+    if (++depth_ > options_.max_depth) {
+      return Status::CapacityExceeded(
+          StringPrintf("element nesting exceeds %zu", options_.max_depth));
+    }
+    cursor_.Advance();  // '<'
+    std::string_view name;
+    XPRED_RETURN_NOT_OK(ParseName(&name));
+    std::string element_name(name);  // Owned: handler calls may recurse.
+    std::vector<Attribute> attributes;
+    XPRED_RETURN_NOT_OK(ParseAttributes(&attributes));
+    if (cursor_.ConsumeIf("/>")) {
+      XPRED_RETURN_NOT_OK(handler_->StartElement(element_name, attributes));
+      XPRED_RETURN_NOT_OK(handler_->EndElement(element_name));
+      --depth_;
+      return Status::OK();
+    }
+    if (!cursor_.ConsumeIf(">")) return Error("expected '>'");
+    XPRED_RETURN_NOT_OK(handler_->StartElement(element_name, attributes));
+    XPRED_RETURN_NOT_OK(ParseContent(element_name));
+    XPRED_RETURN_NOT_OK(handler_->EndElement(element_name));
+    --depth_;
+    return Status::OK();
+  }
+
+  /// Parses element content up to and including the matching end tag.
+  Status ParseContent(std::string_view element_name) {
+    std::string text;
+    for (;;) {
+      size_t start = cursor_.pos();
+      while (!cursor_.AtEnd() && cursor_.Peek() != '<') cursor_.Advance();
+      if (cursor_.pos() > start) {
+        std::string decoded;
+        XPRED_RETURN_NOT_OK(
+            DecodeText(cursor_.Slice(start, cursor_.pos()), &decoded));
+        text += decoded;
+      }
+      if (cursor_.AtEnd()) {
+        return Error("unterminated element '" + std::string(element_name) +
+                     "'");
+      }
+      if (cursor_.ConsumeIf("</")) {
+        XPRED_RETURN_NOT_OK(FlushText(&text));
+        std::string_view end_name;
+        XPRED_RETURN_NOT_OK(ParseName(&end_name));
+        cursor_.SkipWhitespace();
+        if (!cursor_.ConsumeIf(">")) return Error("expected '>' in end tag");
+        if (end_name != element_name) {
+          return Error("mismatched end tag: expected </" +
+                       std::string(element_name) + ">, found </" +
+                       std::string(end_name) + ">");
+        }
+        return Status::OK();
+      }
+      if (cursor_.ConsumeIf("<!--")) {
+        XPRED_RETURN_NOT_OK(SkipUntil("-->", "unterminated comment"));
+      } else if (cursor_.ConsumeIf("<![CDATA[")) {
+        size_t cdata_start = cursor_.pos();
+        for (;;) {
+          if (cursor_.AtEnd()) return Error("unterminated CDATA section");
+          if (cursor_.Peek() == ']' && cursor_.PeekAt(1) == ']' &&
+              cursor_.PeekAt(2) == '>') {
+            break;
+          }
+          cursor_.Advance();
+        }
+        text.append(cursor_.Slice(cdata_start, cursor_.pos()));
+        cursor_.AdvanceBy(3);  // "]]>"
+      } else if (cursor_.ConsumeIf("<?")) {
+        XPRED_RETURN_NOT_OK(
+            SkipUntil("?>", "unterminated processing instruction"));
+      } else {
+        // Child element.
+        XPRED_RETURN_NOT_OK(FlushText(&text));
+        XPRED_RETURN_NOT_OK(ParseElement());
+      }
+    }
+  }
+
+  Status FlushText(std::string* text) {
+    if (text->empty()) return Status::OK();
+    bool all_space = true;
+    for (char c : *text) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        all_space = false;
+        break;
+      }
+    }
+    Status st = Status::OK();
+    if (!all_space || !options_.skip_whitespace_text) {
+      st = handler_->Characters(*text);
+    }
+    text->clear();
+    return st;
+  }
+
+  Cursor cursor_;
+  SaxParser::Options options_;
+  ContentHandler* handler_;
+  size_t depth_ = 0;
+};
+
+}  // namespace
+
+Status SaxParser::Parse(std::string_view input, ContentHandler* handler) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("handler must not be null");
+  }
+  ParserImpl impl(input, options_, handler);
+  return impl.Run();
+}
+
+}  // namespace xpred::xml

@@ -1,0 +1,366 @@
+#include "xml/standard_dtds.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xpred::xml {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// NITF-like DTD. Abridged from the News Industry Text Format structure:
+// nitf -> head (metadata) + body (headlines, rich text with mixed
+// content and entity markup). ~120 elements, many attributes, deep
+// optional branches, recursion through block/p/fn.
+// ---------------------------------------------------------------------------
+const char kNitfLikeDtdText[] = R"DTD(
+<!-- NITF-like news article DTD (abridged reconstruction). -->
+<!ELEMENT nitf (head?, body)>
+<!ATTLIST nitf uno CDATA #IMPLIED
+               version CDATA #IMPLIED
+               change.date CDATA #IMPLIED
+               change.time CDATA #IMPLIED>
+
+<!ELEMENT head (title?, meta*, tobject?, iim?, docdata?, pubdata*, revision-history*)>
+<!ATTLIST head id CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ATTLIST title type (main|subtitle|abbrev) #IMPLIED>
+<!ELEMENT meta EMPTY>
+<!ATTLIST meta name CDATA #REQUIRED content CDATA #REQUIRED>
+<!ELEMENT tobject (tobject.property*, tobject.subject*)>
+<!ATTLIST tobject tobject.type CDATA #IMPLIED>
+<!ELEMENT tobject.property EMPTY>
+<!ATTLIST tobject.property tobject.property.type CDATA #IMPLIED>
+<!ELEMENT tobject.subject EMPTY>
+<!ATTLIST tobject.subject tobject.subject.refnum CDATA #REQUIRED
+                          tobject.subject.code CDATA #IMPLIED
+                          tobject.subject.type CDATA #IMPLIED
+                          tobject.subject.matter CDATA #IMPLIED>
+<!ELEMENT iim (ds*)>
+<!ATTLIST iim ver CDATA #IMPLIED>
+<!ELEMENT ds EMPTY>
+<!ATTLIST ds num CDATA #REQUIRED value CDATA #IMPLIED>
+
+<!ELEMENT docdata (correction?, evloc*, doc-id?, del-list?, urgency?,
+                   fixture?, date.issue?, date.release?, date.expire?,
+                   doc-scope*, series?, ed-msg?, du-key?, doc.copyright?,
+                   doc.rights?, key-list?, identified-content?)>
+<!ELEMENT correction EMPTY>
+<!ATTLIST correction info CDATA #IMPLIED id-string CDATA #IMPLIED>
+<!ELEMENT evloc EMPTY>
+<!ATTLIST evloc iso-cc CDATA #IMPLIED state-prov CDATA #IMPLIED
+                county-dist CDATA #IMPLIED city CDATA #IMPLIED>
+<!ELEMENT doc-id EMPTY>
+<!ATTLIST doc-id regsrc CDATA #IMPLIED id-string CDATA #IMPLIED>
+<!ELEMENT del-list (from-src*)>
+<!ELEMENT from-src EMPTY>
+<!ATTLIST from-src src-name CDATA #IMPLIED level-number CDATA #IMPLIED>
+<!ELEMENT urgency EMPTY>
+<!ATTLIST urgency ed-urg CDATA #IMPLIED>
+<!ELEMENT fixture EMPTY>
+<!ATTLIST fixture fix-id CDATA #IMPLIED>
+<!ELEMENT date.issue EMPTY>
+<!ATTLIST date.issue norm CDATA #IMPLIED>
+<!ELEMENT date.release EMPTY>
+<!ATTLIST date.release norm CDATA #IMPLIED>
+<!ELEMENT date.expire EMPTY>
+<!ATTLIST date.expire norm CDATA #IMPLIED>
+<!ELEMENT doc-scope EMPTY>
+<!ATTLIST doc-scope scope CDATA #IMPLIED>
+<!ELEMENT series EMPTY>
+<!ATTLIST series series.name CDATA #IMPLIED
+                 series.part CDATA #IMPLIED
+                 series.totalpart CDATA #IMPLIED>
+<!ELEMENT ed-msg EMPTY>
+<!ATTLIST ed-msg msg-type CDATA #IMPLIED info CDATA #IMPLIED>
+<!ELEMENT du-key EMPTY>
+<!ATTLIST du-key generation CDATA #IMPLIED part CDATA #IMPLIED
+                 version CDATA #IMPLIED key CDATA #IMPLIED>
+<!ELEMENT doc.copyright EMPTY>
+<!ATTLIST doc.copyright year CDATA #IMPLIED holder CDATA #IMPLIED>
+<!ELEMENT doc.rights EMPTY>
+<!ATTLIST doc.rights owner CDATA #IMPLIED startdate CDATA #IMPLIED
+                     enddate CDATA #IMPLIED agent CDATA #IMPLIED
+                     geography CDATA #IMPLIED limitations CDATA #IMPLIED>
+<!ELEMENT key-list (keyword*)>
+<!ELEMENT keyword EMPTY>
+<!ATTLIST keyword key CDATA #REQUIRED>
+<!ELEMENT identified-content (person | org | location | event | function |
+                              object.title | virtloc | chron | copyrite |
+                              classifier)*>
+
+<!ELEMENT pubdata EMPTY>
+<!ATTLIST pubdata type (print|audio|video|web|appliance|other) #IMPLIED
+                  item-length CDATA #IMPLIED
+                  unit-of-measure (word|character|byte|inch|pica|cm|hour|minute|second|other) #IMPLIED
+                  date.publication CDATA #IMPLIED
+                  name CDATA #IMPLIED
+                  issue CDATA #IMPLIED
+                  edition.name CDATA #IMPLIED
+                  edition.area CDATA #IMPLIED
+                  position.section CDATA #IMPLIED
+                  position.sequence CDATA #IMPLIED>
+<!ELEMENT revision-history EMPTY>
+<!ATTLIST revision-history name CDATA #IMPLIED function CDATA #IMPLIED
+                           norm CDATA #IMPLIED comment CDATA #IMPLIED>
+
+<!ELEMENT body (body.head?, body.content*, body.end?)>
+<!ELEMENT body.head (hedline?, note*, rights?, byline*, distributor?,
+                     dateline*, abstract*, series?)>
+<!ELEMENT hedline (hl1, hl2*)>
+<!ELEMENT hl1 (#PCDATA)>
+<!ATTLIST hl1 id CDATA #IMPLIED>
+<!ELEMENT hl2 (#PCDATA)>
+<!ATTLIST hl2 id CDATA #IMPLIED>
+<!ELEMENT note (body.content)>
+<!ATTLIST note noteclass (cpyrt|end|hd|editorsnote|trademk|undef) #IMPLIED
+               type (std|pa|npa) #IMPLIED>
+<!ELEMENT rights (#PCDATA | rights.owner | rights.startdate | rights.enddate |
+                  rights.agent | rights.geography | rights.type |
+                  rights.limitations)*>
+<!ELEMENT rights.owner (#PCDATA)>
+<!ELEMENT rights.startdate (#PCDATA)>
+<!ELEMENT rights.enddate (#PCDATA)>
+<!ELEMENT rights.agent (#PCDATA)>
+<!ELEMENT rights.geography (#PCDATA)>
+<!ELEMENT rights.type (#PCDATA)>
+<!ELEMENT rights.limitations (#PCDATA)>
+<!ELEMENT byline (#PCDATA | person | byttl | virtloc | location)*>
+<!ELEMENT byttl (#PCDATA | org)*>
+<!ELEMENT distributor (#PCDATA | org)*>
+<!ELEMENT dateline (#PCDATA | location | story.date)*>
+<!ELEMENT story.date (#PCDATA)>
+<!ATTLIST story.date norm CDATA #IMPLIED>
+<!ELEMENT abstract (p*)>
+
+<!ELEMENT body.content (block | p | table | media | ol | ul | dl | bq |
+                        fn | hr | pre | nitf-table)*>
+<!ELEMENT block (tagline?, (p | table | media | ol | ul | dl | bq | fn |
+                 hr | pre)*, datasource?)>
+<!ATTLIST block id CDATA #IMPLIED style CDATA #IMPLIED>
+<!ELEMENT tagline (#PCDATA | a | em)*>
+<!ATTLIST tagline type (print|none) #IMPLIED>
+<!ELEMENT datasource (#PCDATA)>
+<!ELEMENT p (#PCDATA | chron | copyrite | event | function | location |
+             money | num | object.title | org | person | postaddr |
+             virtloc | a | br | em | lang | pronounce | q | classifier)*>
+<!ATTLIST p id CDATA #IMPLIED lede (true|false) #IMPLIED
+            summary (true|false) #IMPLIED
+            optional-text (true|false) #IMPLIED>
+<!ELEMENT q (#PCDATA | em | person | org | location)*>
+<!ATTLIST q quote-source CDATA #IMPLIED>
+<!ELEMENT br EMPTY>
+<!ELEMENT hr EMPTY>
+<!ELEMENT pre (#PCDATA)>
+<!ELEMENT a (#PCDATA | em)*>
+<!ATTLIST a id CDATA #IMPLIED href CDATA #IMPLIED name CDATA #IMPLIED>
+<!ELEMENT em (#PCDATA | a | em)*>
+<!ATTLIST em class CDATA #IMPLIED>
+<!ELEMENT lang (#PCDATA)>
+<!ATTLIST lang lang CDATA #IMPLIED>
+<!ELEMENT pronounce EMPTY>
+<!ATTLIST pronounce guide CDATA #IMPLIED phonetic CDATA #IMPLIED>
+<!ELEMENT fn (p+)>
+<!ELEMENT bq (block, credit?)>
+<!ATTLIST bq nowrap (nowrap) #IMPLIED quote-source CDATA #IMPLIED>
+<!ELEMENT credit (#PCDATA | a | em)*>
+<!ELEMENT ol (li+)>
+<!ATTLIST ol seqnum CDATA #IMPLIED>
+<!ELEMENT ul (li+)>
+<!ELEMENT li (#PCDATA | a | em | q | person | org | location | num)*>
+<!ELEMENT dl (dt | dd)+>
+<!ELEMENT dt (#PCDATA | em)*>
+<!ELEMENT dd (#PCDATA | em | p)*>
+
+<!ELEMENT table (caption?, (col* | colgroup*), thead?, tfoot?, (tbody | tr+))>
+<!ATTLIST table id CDATA #IMPLIED width CDATA #IMPLIED
+                border CDATA #IMPLIED align (left|center|right) #IMPLIED>
+<!ELEMENT nitf-table (nitf-table-metadata, table)>
+<!ELEMENT nitf-table-metadata (nitf-col* , nitf-colgroup*)>
+<!ATTLIST nitf-table-metadata subclass CDATA #IMPLIED status CDATA #IMPLIED>
+<!ELEMENT nitf-col EMPTY>
+<!ATTLIST nitf-col value CDATA #IMPLIED occurrences CDATA #IMPLIED>
+<!ELEMENT nitf-colgroup (nitf-col+)>
+<!ATTLIST nitf-colgroup count CDATA #IMPLIED>
+<!ELEMENT caption (#PCDATA | em)*>
+<!ELEMENT col EMPTY>
+<!ATTLIST col span CDATA #IMPLIED width CDATA #IMPLIED>
+<!ELEMENT colgroup (col*)>
+<!ATTLIST colgroup span CDATA #IMPLIED>
+<!ELEMENT thead (tr+)>
+<!ELEMENT tfoot (tr+)>
+<!ELEMENT tbody (tr+)>
+<!ELEMENT tr (th | td)+>
+<!ATTLIST tr align (left|center|right) #IMPLIED>
+<!ELEMENT th (#PCDATA | em | num)*>
+<!ATTLIST th rowspan CDATA #IMPLIED colspan CDATA #IMPLIED>
+<!ELEMENT td (#PCDATA | em | num)*>
+<!ATTLIST td rowspan CDATA #IMPLIED colspan CDATA #IMPLIED>
+
+<!ELEMENT media (media-reference+, media-metadata*, media-producer?,
+                 media-caption*)>
+<!ATTLIST media media-type (text|audio|image|video|data|other) #REQUIRED>
+<!ELEMENT media-reference (#PCDATA)>
+<!ATTLIST media-reference source CDATA #IMPLIED
+                          mime-type CDATA #IMPLIED
+                          coding (base64|binary) #IMPLIED
+                          time CDATA #IMPLIED
+                          height CDATA #IMPLIED
+                          width CDATA #IMPLIED>
+<!ELEMENT media-metadata EMPTY>
+<!ATTLIST media-metadata name CDATA #REQUIRED value CDATA #IMPLIED>
+<!ELEMENT media-producer (#PCDATA | person | org)*>
+<!ELEMENT media-caption (#PCDATA | p | em)*>
+<!ELEMENT body.end (tagline?, bibliography?)>
+<!ELEMENT bibliography (#PCDATA)>
+
+<!ELEMENT person (#PCDATA | name.given | name.family | function | alt-code)*>
+<!ATTLIST person idsrc CDATA #IMPLIED value CDATA #IMPLIED>
+<!ELEMENT name.given (#PCDATA)>
+<!ELEMENT name.family (#PCDATA)>
+<!ELEMENT org (#PCDATA | alt-code)*>
+<!ATTLIST org idsrc CDATA #IMPLIED value CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA | sublocation | city | state | region | country |
+                    alt-code)*>
+<!ATTLIST location location-code CDATA #IMPLIED code-source CDATA #IMPLIED>
+<!ELEMENT sublocation (#PCDATA)>
+<!ATTLIST sublocation location-code CDATA #IMPLIED>
+<!ELEMENT city (#PCDATA)>
+<!ATTLIST city city-code CDATA #IMPLIED>
+<!ELEMENT state (#PCDATA)>
+<!ATTLIST state state-code CDATA #IMPLIED>
+<!ELEMENT region (#PCDATA)>
+<!ATTLIST region region-code CDATA #IMPLIED>
+<!ELEMENT country (#PCDATA)>
+<!ATTLIST country iso-cc CDATA #IMPLIED>
+<!ELEMENT event (#PCDATA | alt-code)*>
+<!ATTLIST event idsrc CDATA #IMPLIED value CDATA #IMPLIED>
+<!ELEMENT function (#PCDATA)>
+<!ATTLIST function idsrc CDATA #IMPLIED value CDATA #IMPLIED>
+<!ELEMENT object.title (#PCDATA | alt-code)*>
+<!ATTLIST object.title idsrc CDATA #IMPLIED value CDATA #IMPLIED>
+<!ELEMENT virtloc (#PCDATA)>
+<!ATTLIST virtloc idsrc CDATA #IMPLIED value CDATA #IMPLIED>
+<!ELEMENT chron (#PCDATA)>
+<!ATTLIST chron norm CDATA #IMPLIED>
+<!ELEMENT copyrite (#PCDATA | copyrite.year | copyrite.holder)*>
+<!ELEMENT copyrite.year (#PCDATA)>
+<!ELEMENT copyrite.holder (#PCDATA)>
+<!ELEMENT classifier (#PCDATA)>
+<!ATTLIST classifier type CDATA #IMPLIED idsrc CDATA #IMPLIED
+                     value CDATA #IMPLIED>
+<!ELEMENT money (#PCDATA)>
+<!ATTLIST money unit CDATA #IMPLIED>
+<!ELEMENT num (#PCDATA | frac | sub | sup)*>
+<!ATTLIST num units CDATA #IMPLIED decimal-ch CDATA #IMPLIED
+              thousands-ch CDATA #IMPLIED>
+<!ELEMENT frac (frac-num, frac-sep?, frac-den)>
+<!ELEMENT frac-num (#PCDATA)>
+<!ELEMENT frac-sep (#PCDATA)>
+<!ELEMENT frac-den (#PCDATA)>
+<!ELEMENT sub (#PCDATA)>
+<!ELEMENT sup (#PCDATA)>
+<!ELEMENT postaddr (addr-line+)>
+<!ELEMENT addr-line (#PCDATA)>
+<!ELEMENT alt-code EMPTY>
+<!ATTLIST alt-code idsrc CDATA #REQUIRED value CDATA #REQUIRED>
+)DTD";
+
+// ---------------------------------------------------------------------------
+// PSD-like DTD. Abridged from the Protein Sequence Database structure:
+// flat, repetitive records with a small vocabulary and few attributes.
+// ---------------------------------------------------------------------------
+const char kPsdLikeDtdText[] = R"DTD(
+<!-- PSD-like protein sequence database DTD (abridged reconstruction). -->
+<!ELEMENT ProteinDatabase (ProteinEntry+)>
+<!ELEMENT ProteinEntry (header, protein, organism, reference+,
+                        genetics*, complex?, function*, classification?,
+                        keywords?, feature*, summary, sequence)>
+<!ATTLIST ProteinEntry id CDATA #REQUIRED>
+<!ELEMENT header (uid, accession+, created_date, seq-rev_date, ann-rev_date)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT created_date (#PCDATA)>
+<!ELEMENT seq-rev_date (#PCDATA)>
+<!ELEMENT ann-rev_date (#PCDATA)>
+<!ELEMENT protein (name, alt-name*, contains*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT alt-name (#PCDATA)>
+<!ELEMENT contains (#PCDATA)>
+<!ELEMENT organism (source, common?, formal?, variety?, note?)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT formal (#PCDATA)>
+<!ELEMENT variety (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT reference (refinfo, accinfo+)>
+<!ELEMENT refinfo (authors, citation, title?, volume?, year, pages?,
+                   xrefs?, note?)>
+<!ATTLIST refinfo refid CDATA #REQUIRED>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ATTLIST citation type CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT xrefs (xref+)>
+<!ELEMENT xref (db, uid)>
+<!ELEMENT db (#PCDATA)>
+<!ELEMENT accinfo (accession, mol-type?, label?, status?, note?)>
+<!ELEMENT genetics (gene?, gene-map?, codon?, introns?, mosaic?, note?)>
+<!ATTLIST genetics gentype CDATA #IMPLIED>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT gene-map (#PCDATA)>
+<!ELEMENT codon (#PCDATA)>
+<!ELEMENT introns (#PCDATA)>
+<!ELEMENT mosaic (#PCDATA)>
+<!ELEMENT complex (#PCDATA)>
+<!ELEMENT function (description?, pathway?, note?)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT pathway (#PCDATA)>
+<!ELEMENT classification (superfamily+)>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT keywords (keyword+)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature (seq-spec, feature-type, description?, status?, link?)>
+<!ELEMENT seq-spec (#PCDATA)>
+<!ELEMENT feature-type (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+<!ELEMENT link (#PCDATA)>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT label (#PCDATA)>
+<!ELEMENT summary (length, type)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT sequence (#PCDATA)>
+)DTD";
+
+const Dtd* BuildOrDie(const char* text, const char* root, const char* what) {
+  Result<Dtd> result = Dtd::Parse(text, root);
+  if (!result.ok()) {
+    std::fprintf(stderr, "embedded %s DTD failed to parse: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return new Dtd(std::move(result).value());
+}
+
+}  // namespace
+
+const Dtd& NitfLikeDtd() {
+  static const Dtd* dtd = BuildOrDie(kNitfLikeDtdText, "nitf", "NITF-like");
+  return *dtd;
+}
+
+const Dtd& PsdLikeDtd() {
+  static const Dtd* dtd =
+      BuildOrDie(kPsdLikeDtdText, "ProteinDatabase", "PSD-like");
+  return *dtd;
+}
+
+const char* NitfLikeDtdText() { return kNitfLikeDtdText; }
+const char* PsdLikeDtdText() { return kPsdLikeDtdText; }
+
+}  // namespace xpred::xml

@@ -1,0 +1,32 @@
+#ifndef XPRED_XML_STANDARD_DTDS_H_
+#define XPRED_XML_STANDARD_DTDS_H_
+
+#include "xml/dtd.h"
+
+namespace xpred::xml {
+
+/// \brief NITF-like DTD (News Industry Text Format).
+///
+/// Substitute for the real NITF DTD (nitf.org) used in the paper.
+/// Reproduces the characteristics the experiments depend on: a large
+/// element vocabulary (~120 names), deep and heavily optional content
+/// models, mixed content with recursion (p / em / fn), and a high
+/// attribute density. Random query workloads over this DTD are highly
+/// selective (the paper reports ~6% matched expressions).
+const Dtd& NitfLikeDtd();
+
+/// \brief PSD-like DTD (Protein Sequence Database).
+///
+/// Substitute for the real PSD DTD (pir.georgetown.edu). Small
+/// vocabulary (~35 names), shallow and repetitive structure, few
+/// attributes; generated documents instantiate most of the vocabulary,
+/// so random query workloads match often (the paper reports ~75%).
+const Dtd& PsdLikeDtd();
+
+/// Raw DTD text (exposed for tests of the DTD parser).
+const char* NitfLikeDtdText();
+const char* PsdLikeDtdText();
+
+}  // namespace xpred::xml
+
+#endif  // XPRED_XML_STANDARD_DTDS_H_

@@ -1,0 +1,139 @@
+#include "xpath/ast.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace xpred::xpath {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Literal::ToString() const {
+  if (is_number) {
+    // Integers print without a fractional part.
+    if (number == static_cast<double>(static_cast<long long>(number))) {
+      return StringPrintf("%lld", static_cast<long long>(number));
+    }
+    return StringPrintf("%g", number);
+  }
+  return "\"" + text + "\"";
+}
+
+namespace {
+
+template <typename T>
+bool Compare(CompareOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AttributeFilter::Matches(const std::string& actual) const {
+  if (!has_comparison) return true;  // Existence test.
+  if (value.is_number) {
+    // Allocation-free numeric parse: this runs once per (tuple,
+    // constrained pid) during inline predicate matching, which is a
+    // hot path on attribute-heavy workloads (§6.4).
+    const char* begin = actual.c_str();
+    char* end = nullptr;
+    double actual_number = std::strtod(begin, &end);
+    if (end != begin + actual.size() || actual.empty() ||
+        std::isspace(static_cast<unsigned char>(actual.front()))) {
+      // A non-numeric value can only satisfy '!='.
+      return op == CompareOp::kNe;
+    }
+    return Compare(op, actual_number, value.number);
+  }
+  return Compare(op, actual, value.text);
+}
+
+std::string AttributeFilter::ToString() const {
+  std::string out = "[@" + name;
+  if (has_comparison) {
+    out += " ";
+    out += CompareOpToString(op);
+    out += " ";
+    out += value.ToString();
+  }
+  out += "]";
+  return out;
+}
+
+bool Step::operator==(const Step& other) const {
+  return axis == other.axis && wildcard == other.wildcard &&
+         tag == other.tag && attribute_filters == other.attribute_filters &&
+         nested_paths == other.nested_paths;
+}
+
+bool PathExpr::HasFilters() const {
+  for (const Step& step : steps) {
+    if (step.HasFilters()) return true;
+  }
+  return false;
+}
+
+bool PathExpr::HasNestedPaths() const {
+  for (const Step& step : steps) {
+    if (!step.nested_paths.empty()) return true;
+  }
+  return false;
+}
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    if (i == 0) {
+      if (absolute) {
+        out += (step.axis == Axis::kDescendant) ? "//" : "/";
+      } else if (step.axis == Axis::kDescendant) {
+        // A relative expression with a leading descendant axis prints
+        // as "//": semantically identical under the paper's matching.
+        out += "//";
+      }
+    } else {
+      out += (step.axis == Axis::kDescendant) ? "//" : "/";
+    }
+    out += step.wildcard ? "*" : step.tag;
+    for (const AttributeFilter& filter : step.attribute_filters) {
+      out += filter.ToString();
+    }
+    for (const PathExpr& nested : step.nested_paths) {
+      out += "[" + nested.ToString() + "]";
+    }
+  }
+  return out;
+}
+
+}  // namespace xpred::xpath

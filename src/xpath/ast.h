@@ -1,0 +1,119 @@
+#ifndef XPRED_XPATH_AST_H_
+#define XPRED_XPATH_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace xpred::xpath {
+
+/// How a location step relates to the previous one.
+enum class Axis {
+  kChild,       ///< '/'
+  kDescendant,  ///< '//' (one or more levels down)
+};
+
+/// Comparison operator in an attribute filter.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Renders an operator as its XPath spelling ("=", "!=", "<", ...).
+const char* CompareOpToString(CompareOp op);
+
+/// \brief A literal compared against an attribute value.
+///
+/// Numeric literals compare numerically (and coerce the attribute value
+/// to a number; a non-numeric attribute value never matches a numeric
+/// relational comparison). String literals compare as strings.
+struct Literal {
+  bool is_number = false;
+  double number = 0.0;
+  std::string text;
+
+  static Literal Number(double value) {
+    Literal l;
+    l.is_number = true;
+    l.number = value;
+    return l;
+  }
+  static Literal String(std::string value) {
+    Literal l;
+    l.text = std::move(value);
+    return l;
+  }
+
+  bool operator==(const Literal&) const = default;
+
+  /// XPath spelling: `3` or `"abc"`.
+  std::string ToString() const;
+};
+
+/// \brief An attribute-based filter `[@name op literal]` or the
+/// existence test `[@name]`.
+struct AttributeFilter {
+  std::string name;
+  /// False for the bare existence test `[@name]`.
+  bool has_comparison = false;
+  CompareOp op = CompareOp::kEq;
+  Literal value;
+
+  bool operator==(const AttributeFilter&) const = default;
+
+  /// True iff an attribute with value \p actual satisfies this filter.
+  bool Matches(const std::string& actual) const;
+
+  std::string ToString() const;
+};
+
+struct PathExpr;
+
+/// \brief One location step: axis + name test + optional filters.
+struct Step {
+  Axis axis = Axis::kChild;
+  /// True for the '*' name test.
+  bool wildcard = false;
+  /// Element name; empty when wildcard.
+  std::string tag;
+  std::vector<AttributeFilter> attribute_filters;
+  /// Nested path filters `[rel-path]` (paper §5). Each is evaluated
+  /// relative to the element this step matches.
+  std::vector<PathExpr> nested_paths;
+
+  bool operator==(const Step&) const;
+
+  /// True if this step carries any filter (attribute or nested).
+  bool HasFilters() const {
+    return !attribute_filters.empty() || !nested_paths.empty();
+  }
+};
+
+/// \brief A parsed XPath expression of the supported subset:
+///
+///   path  := '/'? step (('/' | '//') step)*
+///   step  := ('*' | NAME) filter*
+///   filter:= '[' '@' NAME (op literal)? ']' | '[' path ']'
+///
+/// `absolute` records whether the expression started with '/'. Per the
+/// paper's matching semantics a relative expression may match starting
+/// at any element (equivalent to an absolute expression whose first
+/// step uses the descendant axis).
+struct PathExpr {
+  bool absolute = false;
+  std::vector<Step> steps;
+
+  bool operator==(const PathExpr&) const = default;
+
+  /// True iff any step carries an attribute or nested filter.
+  bool HasFilters() const;
+
+  /// True iff any step (at any nesting level) has a nested path filter.
+  bool HasNestedPaths() const;
+
+  /// Number of location steps.
+  size_t length() const { return steps.size(); }
+
+  /// Canonical XPath spelling, e.g. "/a/*//b[@x = 3]".
+  std::string ToString() const;
+};
+
+}  // namespace xpred::xpath
+
+#endif  // XPRED_XPATH_AST_H_

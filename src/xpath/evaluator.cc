@@ -1,0 +1,120 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+
+namespace xpred::xpath {
+
+using xml::Document;
+using xml::Element;
+using xml::NodeId;
+
+namespace {
+
+/// Appends all proper descendants of \p node.
+void CollectDescendants(const Document& document, NodeId node,
+                        std::vector<NodeId>* out) {
+  for (NodeId child : document.element(node).children) {
+    out->push_back(child);
+    CollectDescendants(document, child, out);
+  }
+}
+
+void SortUnique(std::vector<NodeId>* nodes) {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+}  // namespace
+
+bool Evaluator::NodeSatisfiesStep(const Step& step, const Document& document,
+                                  NodeId node) {
+  const Element& element = document.element(node);
+  if (!step.wildcard && element.tag != step.tag) return false;
+  for (const AttributeFilter& filter : step.attribute_filters) {
+    const std::string* value = element.FindAttribute(filter.name);
+    if (value == nullptr || !filter.Matches(*value)) return false;
+  }
+  for (const PathExpr& nested : step.nested_paths) {
+    if (!MatchesRelative(nested, document, node)) return false;
+  }
+  return true;
+}
+
+void Evaluator::EvalSteps(const PathExpr& expr, const Document& document,
+                          const std::vector<NodeId>& initial,
+                          std::vector<NodeId>* out) {
+  // `initial` holds the *context* nodes for the first step: candidates
+  // are their children (child axis) or descendants (descendant axis).
+  std::vector<NodeId> contexts = initial;
+  std::vector<NodeId> next;
+  for (const Step& step : expr.steps) {
+    next.clear();
+    for (NodeId ctx : contexts) {
+      std::vector<NodeId> candidates;
+      if (step.axis == Axis::kChild) {
+        candidates = document.element(ctx).children;
+      } else {
+        CollectDescendants(document, ctx, &candidates);
+      }
+      for (NodeId candidate : candidates) {
+        if (NodeSatisfiesStep(step, document, candidate)) {
+          next.push_back(candidate);
+        }
+      }
+    }
+    SortUnique(&next);
+    contexts = next;
+    if (contexts.empty()) break;
+  }
+  *out = std::move(contexts);
+}
+
+std::vector<NodeId> Evaluator::Select(const PathExpr& expr,
+                                      const Document& document) {
+  std::vector<NodeId> result;
+  if (document.empty() || expr.steps.empty()) return result;
+
+  // Model a virtual root above the document element: "/" selects among
+  // its children (the root element); "//" selects among its
+  // descendants (every element). A relative expression matches
+  // starting anywhere, which is exactly the "//" case (paper §3.2:
+  // s2 : a is encoded (p_a, >=, 1)).
+  std::vector<NodeId> first_candidates;
+  Axis first_axis = expr.steps[0].axis;
+  if (!expr.absolute) first_axis = Axis::kDescendant;
+  if (first_axis == Axis::kChild) {
+    first_candidates.push_back(document.root());
+  } else {
+    first_candidates.push_back(document.root());
+    CollectDescendants(document, document.root(), &first_candidates);
+  }
+
+  std::vector<NodeId> contexts;
+  for (NodeId candidate : first_candidates) {
+    if (NodeSatisfiesStep(expr.steps[0], document, candidate)) {
+      contexts.push_back(candidate);
+    }
+  }
+  SortUnique(&contexts);
+  if (expr.steps.size() == 1) return contexts;
+
+  PathExpr rest;
+  rest.absolute = true;
+  rest.steps.assign(expr.steps.begin() + 1, expr.steps.end());
+  EvalSteps(rest, document, contexts, &result);
+  return result;
+}
+
+bool Evaluator::Matches(const PathExpr& expr, const Document& document) {
+  return !Select(expr, document).empty();
+}
+
+bool Evaluator::MatchesRelative(const PathExpr& expr,
+                                const Document& document, NodeId context) {
+  if (expr.steps.empty()) return false;
+  std::vector<NodeId> result;
+  EvalSteps(expr, document, {context}, &result);
+  return !result.empty();
+}
+
+}  // namespace xpred::xpath

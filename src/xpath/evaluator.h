@@ -1,0 +1,48 @@
+#ifndef XPRED_XPATH_EVALUATOR_H_
+#define XPRED_XPATH_EVALUATOR_H_
+
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xpred::xpath {
+
+/// \brief Brute-force tree-walking evaluator for the supported XPath
+/// subset.
+///
+/// Implements the standard node-set semantics directly on the document
+/// tree. This is the correctness oracle for every filtering engine in
+/// the library (paper Appendix A proves the predicate encoding
+/// equivalent to these semantics), and also serves as the
+/// verification stage of the selection-postponed baselines.
+class Evaluator {
+ public:
+  /// True iff \p expr selects a non-empty node set in \p document —
+  /// the paper's definition of "the XPE is matched by the document".
+  static bool Matches(const PathExpr& expr, const xml::Document& document);
+
+  /// Returns the full node set selected by \p expr (primarily for
+  /// tests).
+  static std::vector<xml::NodeId> Select(const PathExpr& expr,
+                                         const xml::Document& document);
+
+  /// True iff \p expr, interpreted relative to \p context (first step
+  /// on the child axis unless written with '//'), selects a non-empty
+  /// node set. Used for nested path filters.
+  static bool MatchesRelative(const PathExpr& expr,
+                              const xml::Document& document,
+                              xml::NodeId context);
+
+ private:
+  static bool NodeSatisfiesStep(const Step& step,
+                                const xml::Document& document,
+                                xml::NodeId node);
+  static void EvalSteps(const PathExpr& expr, const xml::Document& document,
+                        const std::vector<xml::NodeId>& initial,
+                        std::vector<xml::NodeId>* out);
+};
+
+}  // namespace xpred::xpath
+
+#endif  // XPRED_XPATH_EVALUATOR_H_

@@ -1,0 +1,197 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace xpred::xpath {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<PathExpr> Run() {
+    PathExpr expr;
+    Status st = ParsePath(&expr, /*top_level=*/true);
+    if (!st.ok()) return st;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  Status Fail(const std::string& message) const {
+    return Status::XPathParseError(
+        StringPrintf("%s at offset %zu in '%.*s'", message.c_str(), pos_,
+                     static_cast<int>(text_.size()), text_.data()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+  }
+
+  Status ParseName(std::string* out) {
+    if (!IsNameStart(Peek())) return Fail("expected name");
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    out->assign(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  /// path := ('/' | '//')? step (('/' | '//') step)*
+  Status ParsePath(PathExpr* expr, bool top_level) {
+    SkipSpace();
+    Axis first_axis = Axis::kChild;
+    if (Consume("//")) {
+      expr->absolute = top_level;  // In a filter, '//' stays relative.
+      first_axis = Axis::kDescendant;
+    } else if (Consume("/")) {
+      expr->absolute = top_level;
+      first_axis = Axis::kChild;
+    } else {
+      expr->absolute = false;
+    }
+    XPRED_RETURN_NOT_OK(ParseStep(expr, first_axis));
+    for (;;) {
+      if (Consume("//")) {
+        XPRED_RETURN_NOT_OK(ParseStep(expr, Axis::kDescendant));
+      } else if (Consume("/")) {
+        XPRED_RETURN_NOT_OK(ParseStep(expr, Axis::kChild));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status ParseStep(PathExpr* expr, Axis axis) {
+    Step step;
+    step.axis = axis;
+    if (Consume("*")) {
+      step.wildcard = true;
+    } else if (Consume("@")) {
+      return Fail("attribute axis is only supported inside filters");
+    } else {
+      XPRED_RETURN_NOT_OK(ParseName(&step.tag));
+      if (Peek() == '(') return Fail("functions are not supported");
+      if (Peek() == ':' ) return Fail("namespaces/axes are not supported");
+    }
+    while (Peek() == '[') {
+      XPRED_RETURN_NOT_OK(ParseFilter(&step));
+    }
+    expr->steps.push_back(std::move(step));
+    return Status::OK();
+  }
+
+  /// filter := '[' '@' NAME (op literal)? ']' | '[' path ']'
+  Status ParseFilter(Step* step) {
+    Consume("[");
+    SkipSpace();
+    if (Consume("@")) {
+      AttributeFilter filter;
+      XPRED_RETURN_NOT_OK(ParseName(&filter.name));
+      SkipSpace();
+      if (Peek() != ']') {
+        filter.has_comparison = true;
+        XPRED_RETURN_NOT_OK(ParseOp(&filter.op));
+        SkipSpace();
+        XPRED_RETURN_NOT_OK(ParseLiteral(&filter.value));
+        SkipSpace();
+      }
+      if (!Consume("]")) return Fail("expected ']'");
+      step->attribute_filters.push_back(std::move(filter));
+      return Status::OK();
+    }
+    if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("positional predicates are not supported");
+    }
+    PathExpr nested;
+    XPRED_RETURN_NOT_OK(ParsePath(&nested, /*top_level=*/false));
+    SkipSpace();
+    if (!Consume("]")) return Fail("expected ']'");
+    step->nested_paths.push_back(std::move(nested));
+    return Status::OK();
+  }
+
+  Status ParseOp(CompareOp* op) {
+    if (Consume("!=")) {
+      *op = CompareOp::kNe;
+    } else if (Consume("<=")) {
+      *op = CompareOp::kLe;
+    } else if (Consume(">=")) {
+      *op = CompareOp::kGe;
+    } else if (Consume("<")) {
+      *op = CompareOp::kLt;
+    } else if (Consume(">")) {
+      *op = CompareOp::kGt;
+    } else if (Consume("=")) {
+      *op = CompareOp::kEq;
+    } else {
+      return Fail("expected comparison operator");
+    }
+    return Status::OK();
+  }
+
+  Status ParseLiteral(Literal* literal) {
+    char c = Peek();
+    if (c == '"' || c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != c) ++pos_;
+      if (pos_ >= text_.size()) return Fail("unterminated string literal");
+      *literal = Literal::String(std::string(text_.substr(start, pos_ - start)));
+      ++pos_;
+      return Status::OK();
+    }
+    // Number: [-]?digits[.digits]?
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    std::optional<double> value =
+        ParseDouble(text_.substr(start, pos_ - start));
+    if (!value.has_value()) return Fail("expected literal");
+    *literal = Literal::Number(*value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExpr> ParseXPath(std::string_view text) {
+  if (Trim(text).empty()) {
+    return Status::XPathParseError("empty expression");
+  }
+  Parser parser(Trim(text));
+  return parser.Run();
+}
+
+}  // namespace xpred::xpath

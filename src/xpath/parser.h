@@ -1,0 +1,21 @@
+#ifndef XPRED_XPATH_PARSER_H_
+#define XPRED_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xpred::xpath {
+
+/// \brief Parses the XPath subset used for filtering (see PathExpr for
+/// the grammar): child / descendant axes, wildcard name tests,
+/// attribute filters, and nested path filters.
+///
+/// Rejects anything outside the subset (functions, other axes,
+/// positional predicates, unions) with kXPathParseError.
+Result<PathExpr> ParseXPath(std::string_view text);
+
+}  // namespace xpred::xpath
+
+#endif  // XPRED_XPATH_PARSER_H_

@@ -1,0 +1,198 @@
+#include "xpath/query_generator.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace xpred::xpath {
+
+using xml::ContentParticle;
+using xml::Dtd;
+using xml::ElementDecl;
+
+const ElementDecl* QueryGenerator::RandomChild(const ElementDecl& decl,
+                                               Random* rng) const {
+  std::vector<std::string> names;
+  decl.content.CollectElementNames(&names);
+  if (names.empty()) return nullptr;
+  return dtd_->Find(rng->Pick(names));
+}
+
+PathExpr QueryGenerator::Generate(Random* rng) const {
+  PathExpr expr;
+  expr.absolute = options_.absolute;
+
+  uint32_t target_length = static_cast<uint32_t>(
+      rng->UniformInt(options_.min_length, options_.max_length));
+
+  // Walk the DTD from the root; decls[i] is the concrete element
+  // underlying step i (even when rendered as '*'), so that filters can
+  // use declared attributes and children.
+  std::vector<const ElementDecl*> decls;
+  const ElementDecl* current = dtd_->Find(dtd_->root());
+
+  for (uint32_t i = 0; i < target_length; ++i) {
+    Step step;
+    if (i == 0) {
+      step.axis = Axis::kChild;  // Leading axis; '/' + root element.
+    } else {
+      step.axis = rng->Bernoulli(options_.descendant_prob)
+                      ? Axis::kDescendant
+                      : Axis::kChild;
+    }
+
+    if (i > 0) {
+      // Advance the walk: one level down for '/', one or more for '//'.
+      uint32_t levels = 1;
+      if (step.axis == Axis::kDescendant && options_.max_descendant_skip > 0) {
+        levels += static_cast<uint32_t>(
+            rng->Uniform(options_.max_descendant_skip + 1));
+      }
+      const ElementDecl* next = current;
+      bool advanced = false;
+      for (uint32_t l = 0; l < levels; ++l) {
+        const ElementDecl* child = RandomChild(*next, rng);
+        if (child == nullptr) break;
+        next = child;
+        advanced = true;
+      }
+      if (!advanced) break;  // Leaf element: the walk cannot continue.
+      current = next;
+    }
+
+    if (rng->Bernoulli(options_.wildcard_prob)) {
+      step.wildcard = true;
+    } else {
+      step.tag = current->name;
+    }
+    expr.steps.push_back(std::move(step));
+    decls.push_back(current);
+  }
+
+  // Degenerate fallback: an expression must have at least one step.
+  if (expr.steps.empty()) {
+    Step step;
+    step.tag = dtd_->root();
+    expr.steps.push_back(std::move(step));
+    decls.push_back(current);
+  }
+
+  if (options_.filters_per_expr > 0) {
+    AttachAttributeFilters(&expr, decls, rng);
+  }
+  if (options_.nested_path_prob > 0 &&
+      rng->Bernoulli(options_.nested_path_prob)) {
+    AttachNestedPath(&expr, decls, rng);
+  }
+  return expr;
+}
+
+void QueryGenerator::AttachAttributeFilters(
+    PathExpr* expr, const std::vector<const ElementDecl*>& decls,
+    Random* rng) const {
+  // Candidate steps: concrete tag with declared attributes.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < expr->steps.size(); ++i) {
+    if (!expr->steps[i].wildcard && !decls[i]->attributes.empty()) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return;
+  for (uint32_t f = 0; f < options_.filters_per_expr; ++f) {
+    size_t step_index = candidates[rng->Uniform(candidates.size())];
+    const ElementDecl* decl = decls[step_index];
+    const xml::AttributeDecl& attr =
+        decl->attributes[rng->Uniform(decl->attributes.size())];
+    AttributeFilter filter;
+    filter.name = attr.name;
+    filter.has_comparison = true;
+    if (rng->Bernoulli(options_.filter_eq_prob)) {
+      filter.op = CompareOp::kEq;
+    } else {
+      static constexpr CompareOp kOthers[] = {
+          CompareOp::kNe, CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+          CompareOp::kGe};
+      filter.op = kOthers[rng->Uniform(5)];
+    }
+    if (!attr.enum_values.empty()) {
+      filter.op = rng->Bernoulli(options_.filter_eq_prob) ? CompareOp::kEq
+                                                          : CompareOp::kNe;
+      filter.value = Literal::String(rng->Pick(attr.enum_values));
+    } else {
+      filter.value = Literal::Number(static_cast<double>(
+          rng->Uniform(options_.filter_value_range)));
+    }
+    expr->steps[step_index].attribute_filters.push_back(std::move(filter));
+  }
+}
+
+void QueryGenerator::AttachNestedPath(
+    PathExpr* expr, const std::vector<const ElementDecl*>& decls,
+    Random* rng) const {
+  // Attach a short relative path filter at a random non-wildcard,
+  // non-final step whose element has children (the predicate language
+  // anchors nested-filter witnesses to tag variables, so wildcard
+  // steps cannot carry nested filters).
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i + 1 < expr->steps.size(); ++i) {
+    if (expr->steps[i].wildcard) continue;
+    std::vector<std::string> names;
+    decls[i]->content.CollectElementNames(&names);
+    if (!names.empty()) candidates.push_back(i);
+  }
+  if (candidates.empty()) return;
+  size_t step_index = candidates[rng->Uniform(candidates.size())];
+
+  PathExpr nested;
+  nested.absolute = false;
+  const ElementDecl* current = decls[step_index];
+  uint32_t nested_length = 1 + static_cast<uint32_t>(rng->Uniform(2));
+  for (uint32_t i = 0; i < nested_length; ++i) {
+    const ElementDecl* child = RandomChild(*current, rng);
+    if (child == nullptr) break;
+    Step step;
+    step.axis = Axis::kChild;
+    if (rng->Bernoulli(options_.wildcard_prob) && i + 1 < nested_length) {
+      step.wildcard = true;
+    } else {
+      step.tag = child->name;
+    }
+    nested.steps.push_back(std::move(step));
+    current = child;
+  }
+  if (!nested.steps.empty()) {
+    expr->steps[step_index].nested_paths.push_back(std::move(nested));
+  }
+}
+
+std::vector<PathExpr> QueryGenerator::GenerateWorkload(size_t count,
+                                                       uint64_t seed) const {
+  Random rng(seed);
+  std::vector<PathExpr> workload;
+  workload.reserve(count);
+  if (!options_.distinct) {
+    for (size_t i = 0; i < count; ++i) workload.push_back(Generate(&rng));
+    return workload;
+  }
+  std::unordered_set<std::string> seen;
+  // Generous retry budget: distinct pools deplete on small DTDs.
+  size_t budget = count * 60 + 20000;
+  while (workload.size() < count && budget-- > 0) {
+    PathExpr expr = Generate(&rng);
+    if (seen.insert(expr.ToString()).second) {
+      workload.push_back(std::move(expr));
+    }
+  }
+  return workload;
+}
+
+std::vector<std::string> QueryGenerator::GenerateWorkloadStrings(
+    size_t count, uint64_t seed) const {
+  std::vector<std::string> out;
+  for (const PathExpr& expr : GenerateWorkload(count, seed)) {
+    out.push_back(expr.ToString());
+  }
+  return out;
+}
+
+}  // namespace xpred::xpath

@@ -1,0 +1,97 @@
+#ifndef XPRED_XPATH_QUERY_GENERATOR_H_
+#define XPRED_XPATH_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/dtd.h"
+#include "xpath/ast.h"
+
+namespace xpred::xpath {
+
+/// \brief DTD-guided random XPath workload generator.
+///
+/// Substitute for the XPath generator of Diao et al. used in the paper
+/// (§6.1). Expressions are random root-anchored walks through the
+/// DTD's content models, so they are structurally plausible; their
+/// selectivity against generated documents is then governed by the DTD
+/// (NITF-like: ~few percent matched; PSD-like: most matched), which is
+/// the property the experiments rely on.
+///
+/// Parameter names follow the paper: D (distinct), L (maximum length),
+/// W (wildcard probability), DO (descendant-operator probability).
+class QueryGenerator {
+ public:
+  struct Options {
+    /// Maximum number of location steps (paper parameter L).
+    uint32_t max_length = 6;
+    /// Minimum number of location steps.
+    uint32_t min_length = 2;
+    /// Probability that a location step's name test is '*' (paper W).
+    double wildcard_prob = 0.2;
+    /// Probability that a location step uses '//' (paper DO).
+    double descendant_prob = 0.2;
+    /// When true, only distinct expressions are returned (paper D).
+    bool distinct = true;
+    /// Number of attribute filters attached per expression (paper §6.4
+    /// uses 1 and 2). Filters are only attached to steps whose element
+    /// declares attributes; if no step qualifies, the expression
+    /// carries fewer filters.
+    uint32_t filters_per_expr = 0;
+    /// Probability that a generated attribute filter is an equality
+    /// test; the remainder is split uniformly among != < <= > >=.
+    double filter_eq_prob = 0.6;
+    /// Attribute literal values are drawn from [0, filter_value_range),
+    /// matching DocumentGenerator's value range.
+    uint32_t filter_value_range = 25;
+    /// Probability that an expression gets one nested path filter
+    /// (paper §5 workloads).
+    double nested_path_prob = 0.0;
+    /// When false, expressions are relative (do not start with '/').
+    bool absolute = true;
+    /// A '//' step descends up to this many extra DTD levels, so the
+    /// descendant operator actually skips levels in matching documents.
+    uint32_t max_descendant_skip = 2;
+  };
+
+  QueryGenerator(const xml::Dtd* dtd, Options options)
+      : dtd_(dtd), options_(options) {}
+
+  /// Generates one expression. Deterministic in the generator state.
+  PathExpr Generate(Random* rng) const;
+
+  /// Generates a workload of \p count expressions using \p seed.
+  ///
+  /// With distinct=true, generation retries until \p count distinct
+  /// expressions exist or a retry budget is exhausted (the result may
+  /// then be smaller; callers should check). With distinct=false, the
+  /// result contains exactly \p count expressions, typically with many
+  /// duplicates (the paper's §6.2 duplicate workloads).
+  std::vector<PathExpr> GenerateWorkload(size_t count, uint64_t seed) const;
+
+  /// Convenience: workload rendered to strings.
+  std::vector<std::string> GenerateWorkloadStrings(size_t count,
+                                                   uint64_t seed) const;
+
+ private:
+  /// Picks a random element child reachable from \p decl's content
+  /// model; nullptr when \p decl has no element children.
+  const xml::ElementDecl* RandomChild(const xml::ElementDecl& decl,
+                                      Random* rng) const;
+
+  void AttachAttributeFilters(PathExpr* expr,
+                              const std::vector<const xml::ElementDecl*>& decls,
+                              Random* rng) const;
+  void AttachNestedPath(PathExpr* expr,
+                        const std::vector<const xml::ElementDecl*>& decls,
+                        Random* rng) const;
+
+  const xml::Dtd* dtd_;
+  Options options_;
+};
+
+}  // namespace xpred::xpath
+
+#endif  // XPRED_XPATH_QUERY_GENERATOR_H_

@@ -1,0 +1,232 @@
+#include "yfilter/yfilter.h"
+
+#include <algorithm>
+
+#include "common/memory_usage.h"
+#include "common/stopwatch.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xpred::yfilter {
+
+using core::ExprId;
+using xpath::Axis;
+using xpath::PathExpr;
+using xpath::Step;
+
+uint32_t YFilter::NewState() {
+  states_.emplace_back();
+  return static_cast<uint32_t>(states_.size() - 1);
+}
+
+uint32_t YFilter::InsertPath(const PathExpr& expr) {
+  uint32_t current = 0;
+  for (size_t i = 0; i < expr.steps.size(); ++i) {
+    const Step& step = expr.steps[i];
+    // A relative expression may start anywhere: route its first step
+    // through the start state's descendant hub, exactly like a leading
+    // '//'.
+    bool descendant = (step.axis == Axis::kDescendant) ||
+                      (i == 0 && !expr.absolute);
+    if (descendant) {
+      if (states_[current].hub == kNoState) {
+        uint32_t hub = NewState();
+        states_[hub].self_loop = true;
+        states_[current].hub = hub;
+      }
+      current = states_[current].hub;
+    }
+    if (step.wildcard) {
+      if (states_[current].star_move == kNoState) {
+        states_[current].star_move = NewState();
+      }
+      current = states_[current].star_move;
+    } else {
+      SymbolId tag = interner_.Intern(step.tag);
+      auto it = states_[current].tag_moves.find(tag);
+      if (it != states_[current].tag_moves.end()) {
+        current = it->second;
+      } else {
+        uint32_t next = NewState();
+        states_[current].tag_moves.emplace(tag, next);
+        current = next;
+      }
+    }
+  }
+  return current;
+}
+
+Result<ExprId> YFilter::AddExpression(std::string_view xpath) {
+  Result<PathExpr> parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  return AddParsedExpression(*parsed);
+}
+
+Result<ExprId> YFilter::AddParsedExpression(const PathExpr& expr) {
+  if (expr.steps.empty()) {
+    return Status::InvalidArgument("expression has no location steps");
+  }
+  std::string canonical = expr.ToString();
+  auto it = dedup_.find(canonical);
+  if (it != dedup_.end()) {
+    ExprId sid = next_sid_++;
+    exprs_[it->second].subscribers.push_back(sid);
+    return sid;
+  }
+
+  // The NFA matches the structural skeleton: filters are stripped and
+  // verified in the selection-postponed stage.
+  PathExpr skeleton;
+  skeleton.absolute = expr.absolute;
+  bool needs_verify = false;
+  for (const Step& step : expr.steps) {
+    Step s;
+    s.axis = step.axis;
+    s.wildcard = step.wildcard;
+    s.tag = step.tag;
+    skeleton.steps.push_back(std::move(s));
+    if (step.HasFilters()) needs_verify = true;
+  }
+
+  uint32_t accept_state = InsertPath(skeleton);
+  uint32_t internal = static_cast<uint32_t>(exprs_.size());
+  Internal rec;
+  rec.expr = expr;
+  rec.needs_verify = needs_verify;
+  exprs_.push_back(std::move(rec));
+  states_[accept_state].accept.push_back(internal);
+
+  ExprId sid = next_sid_++;
+  exprs_[internal].subscribers.push_back(sid);
+  dedup_.emplace(std::move(canonical), internal);
+  return sid;
+}
+
+void YFilter::Accept(uint32_t state_id) {
+  for (uint32_t internal : states_[state_id].accept) {
+    Internal& e = exprs_[internal];
+    if (e.needs_verify) {
+      if (e.candidate_epoch != doc_epoch_) {
+        e.candidate_epoch = doc_epoch_;
+        doc_candidates_.push_back(internal);
+      }
+    } else if (e.matched_epoch != doc_epoch_) {
+      e.matched_epoch = doc_epoch_;
+      doc_matched_.push_back(internal);
+    }
+  }
+}
+
+void YFilter::ExecuteElement(SymbolId tag,
+                             const std::vector<uint32_t>& current,
+                             std::vector<uint32_t>* next) {
+  next->clear();
+  for (uint32_t state_id : current) {
+    const State& state = states_[state_id];
+    // Descendant hubs stay active for the whole subtree.
+    if (state.self_loop) next->push_back(state_id);
+    if (tag != kInvalidSymbol) {
+      auto it = state.tag_moves.find(tag);
+      if (it != state.tag_moves.end()) next->push_back(it->second);
+    }
+    if (state.star_move != kNoState) next->push_back(state.star_move);
+    // Entering an element also activates the state's hub (the '//'
+    // may skip zero further levels before its tag transition), so hub
+    // transitions must be taken for this element too.
+    if (state.hub != kNoState) {
+      const State& hub = states_[state.hub];
+      next->push_back(state.hub);
+      if (tag != kInvalidSymbol) {
+        auto it = hub.tag_moves.find(tag);
+        if (it != hub.tag_moves.end()) next->push_back(it->second);
+      }
+      if (hub.star_move != kNoState) next->push_back(hub.star_move);
+    }
+  }
+  std::sort(next->begin(), next->end());
+  next->erase(std::unique(next->begin(), next->end()), next->end());
+  for (uint32_t state_id : *next) {
+    if (!states_[state_id].accept.empty()) Accept(state_id);
+  }
+}
+
+void YFilter::Traverse(const xml::Document& document, xml::NodeId node,
+                       std::vector<std::vector<uint32_t>>* stack) {
+  const xml::Element& element = document.element(node);
+  SymbolId tag = interner_.Lookup(element.tag);
+  stack->emplace_back();
+  {
+    // Compute into the new top from the previous top.
+    std::vector<uint32_t>& next = stack->back();
+    const std::vector<uint32_t>& current = (*stack)[stack->size() - 2];
+    ExecuteElement(tag, current, &next);
+  }
+  if (!stack->back().empty()) {
+    for (xml::NodeId child : element.children) {
+      Traverse(document, child, stack);
+    }
+  }
+  stack->pop_back();
+}
+
+Status YFilter::FilterDocument(const xml::Document& document,
+                               std::vector<ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  ++doc_epoch_;
+  doc_matched_.clear();
+  doc_candidates_.clear();
+  ++stats_.documents;
+  if (document.empty()) return Status::OK();
+
+  Stopwatch watch;
+  std::vector<std::vector<uint32_t>> stack;
+  stack.push_back({0});  // Start state active before the root element.
+  Traverse(document, document.root(), &stack);
+  stats_.predicate_micros += watch.ElapsedMicros();
+
+  // Selection-postponed verification of structurally matched
+  // candidates with filters.
+  if (!doc_candidates_.empty()) {
+    watch.Reset();
+    for (uint32_t internal : doc_candidates_) {
+      Internal& e = exprs_[internal];
+      if (e.matched_epoch == doc_epoch_) continue;
+      if (xpath::Evaluator::Matches(e.expr, document)) {
+        e.matched_epoch = doc_epoch_;
+        doc_matched_.push_back(internal);
+      }
+    }
+    stats_.verify_micros += watch.ElapsedMicros();
+  }
+
+  watch.Reset();
+  for (uint32_t internal : doc_matched_) {
+    const Internal& e = exprs_[internal];
+    matched->insert(matched->end(), e.subscribers.begin(),
+                    e.subscribers.end());
+  }
+  stats_.collect_micros += watch.ElapsedMicros();
+  return Status::OK();
+}
+
+size_t YFilter::ApproximateMemoryBytes() const {
+  size_t total = interner_.ApproximateMemoryBytes() + VectorBytes(states_);
+  for (const State& state : states_) {
+    total += UnorderedOverheadBytes(state.tag_moves) +
+             state.tag_moves.size() * (sizeof(SymbolId) + sizeof(uint32_t));
+    total += VectorBytes(state.accept);
+  }
+  total += VectorBytes(exprs_);
+  for (const Internal& e : exprs_) {
+    total += VectorBytes(e.expr.steps) + VectorBytes(e.subscribers);
+  }
+  total += UnorderedOverheadBytes(dedup_);
+  for (const auto& [canonical, id] : dedup_) {
+    total += sizeof(canonical) + sizeof(id) + StringBytes(canonical);
+  }
+  return total;
+}
+
+}  // namespace xpred::yfilter

@@ -1,0 +1,68 @@
+#include "common/arena.h"
+
+#include <cstring>
+
+#include "gtest/gtest.h"
+
+namespace xpred {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDistinctAndWritable) {
+  Arena arena;
+  int* a = arena.New<int>(1);
+  int* b = arena.New<int>(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  *a = 99;
+  EXPECT_EQ(*b, 2);
+}
+
+TEST(ArenaTest, AlignmentHonored) {
+  Arena arena;
+  arena.Allocate(1, 1);
+  void* p8 = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p8) % 8, 0u);
+  arena.Allocate(3, 1);
+  void* p16 = arena.Allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p16) % 16, 0u);
+}
+
+TEST(ArenaTest, GrowsAcrossBlocks) {
+  Arena arena(/*block_size=*/128);
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(64);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xAB, 64);
+  }
+  EXPECT_GE(arena.bytes_used(), 6400u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(/*block_size=*/64);
+  void* big = arena.Allocate(10000);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 10000);
+  // Subsequent small allocations still work.
+  void* small = arena.Allocate(8);
+  EXPECT_NE(small, nullptr);
+}
+
+TEST(ArenaTest, CopyStringNulTerminates) {
+  Arena arena;
+  const char* copy = arena.CopyString("hello", 5);
+  EXPECT_STREQ(copy, "hello");
+  const char* empty = arena.CopyString("", 0);
+  EXPECT_STREQ(empty, "");
+}
+
+TEST(ArenaTest, ByteAccountingMonotone) {
+  Arena arena;
+  size_t before = arena.bytes_used();
+  arena.Allocate(100);
+  EXPECT_EQ(arena.bytes_used(), before + 100);
+}
+
+}  // namespace
+}  // namespace xpred

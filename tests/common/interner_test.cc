@@ -1,0 +1,52 @@
+#include "common/interner.h"
+
+#include "gtest/gtest.h"
+
+namespace xpred {
+namespace {
+
+TEST(InternerTest, DenseIdsInFirstSeenOrder) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("c"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, LookupNeverAllocates) {
+  Interner interner;
+  interner.Intern("known");
+  EXPECT_EQ(interner.Lookup("known"), 0u);
+  EXPECT_EQ(interner.Lookup("unknown"), kInvalidSymbol);
+  EXPECT_EQ(interner.size(), 1u);  // Lookup did not intern.
+}
+
+TEST(InternerTest, NameRoundTrip) {
+  Interner interner;
+  SymbolId a = interner.Intern("alpha");
+  SymbolId b = interner.Intern("beta");
+  EXPECT_EQ(interner.Name(a), "alpha");
+  EXPECT_EQ(interner.Name(b), "beta");
+}
+
+TEST(InternerTest, EmptyStringIsValid) {
+  Interner interner;
+  SymbolId e = interner.Intern("");
+  EXPECT_EQ(interner.Lookup(""), e);
+  EXPECT_EQ(interner.Name(e), "");
+}
+
+TEST(InternerTest, ManySymbols) {
+  Interner interner;
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "sym" + std::to_string(i);
+    EXPECT_EQ(interner.Intern(name), static_cast<SymbolId>(i));
+  }
+  EXPECT_EQ(interner.size(), 1000u);
+  EXPECT_EQ(interner.Lookup("sym500"), 500u);
+  EXPECT_EQ(interner.Name(999), "sym999");
+}
+
+}  // namespace
+}  // namespace xpred

@@ -1,0 +1,80 @@
+#include "common/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace xpred {
+namespace {
+
+TEST(SplitTest, BasicSplitting) {
+  auto pieces = Split("a/b/c", '/');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(SplitTest, EmptyPiecesKept) {
+  auto pieces = Split("a//b", '/');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(Split("", '/').size(), 1u);
+  EXPECT_EQ(Split("/", '/').size(), 2u);
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(TrimTest, TrimsWhitespace) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_FALSE(StartsWith("hello", "el"));
+}
+
+TEST(ParseDoubleTest, ValidNumbers) {
+  EXPECT_EQ(ParseDouble("3.5"), 3.5);
+  EXPECT_EQ(ParseDouble("-2"), -2.0);
+  EXPECT_EQ(ParseDouble("0"), 0.0);
+  EXPECT_EQ(ParseDouble("1e3"), 1000.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble(" 1").has_value());
+}
+
+TEST(ParseUintTest, ValidNumbers) {
+  EXPECT_EQ(ParseUint("0"), 0u);
+  EXPECT_EQ(ParseUint("123456789"), 123456789u);
+  EXPECT_EQ(ParseUint("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseUintTest, Invalid) {
+  EXPECT_FALSE(ParseUint("").has_value());
+  EXPECT_FALSE(ParseUint("-1").has_value());
+  EXPECT_FALSE(ParseUint("12a").has_value());
+  // Overflow.
+  EXPECT_FALSE(ParseUint("18446744073709551616").has_value());
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+  EXPECT_EQ(StringPrintf("%05u", 42u), "00042");
+}
+
+}  // namespace
+}  // namespace xpred

@@ -1,0 +1,157 @@
+// Tests for containment covering — the paper's §4.2.2 future work
+// ("the covering relation also holds, if for two expressions, one
+// constitutes a suffix or a contained expression of the other one").
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+Matcher MakeCc(Matcher::Mode mode = Matcher::Mode::kPrefixCovering) {
+  Matcher::Options options;
+  options.mode = mode;
+  options.enable_containment_covering = true;
+  return Matcher(options);
+}
+
+TEST(ContainmentTest, SuffixExpressionCoveredWithoutExtraRuns) {
+  // b/c is a suffix subchain of /a/b/c: a match of the long expression
+  // must settle the suffix with a single occurrence run.
+  Matcher m = MakeCc();
+  auto long_id = m.AddExpression("/a/b/c");
+  auto suffix_id = m.AddExpression("b/c");
+  ASSERT_TRUE(long_id.ok() && suffix_id.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  EXPECT_EQ(FilterSorted(&m, doc),
+            (std::vector<ExprId>{*long_id, *suffix_id}));
+  EXPECT_EQ(m.stats().occurrence_runs, 1u);
+}
+
+TEST(ContainmentTest, InfixExpressionCovered) {
+  // b/c is an infix subchain of a/b/c/d.
+  Matcher m = MakeCc();
+  auto long_id = m.AddExpression("a/b/c/d");
+  auto infix_id = m.AddExpression("b/c");
+  ASSERT_TRUE(long_id.ok() && infix_id.ok());
+  xml::Document doc = ParseXmlOrDie("<r><a><b><c><d/></c></b></a></r>");
+  EXPECT_EQ(FilterSorted(&m, doc),
+            (std::vector<ExprId>{*long_id, *infix_id}));
+  EXPECT_EQ(m.stats().occurrence_runs, 1u);
+}
+
+TEST(ContainmentTest, ContainedDoesNotImplyContainer) {
+  // Matching only the short expression must not mark the long one.
+  Matcher m = MakeCc();
+  auto long_id = m.AddExpression("/a/b/c");
+  auto suffix_id = m.AddExpression("b/c");
+  ASSERT_TRUE(long_id.ok() && suffix_id.ok());
+  xml::Document doc = ParseXmlOrDie("<x><b><c/></b></x>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*suffix_id}));
+}
+
+TEST(ContainmentTest, DisabledByDefault) {
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kPrefixCovering;
+  Matcher m(options);
+  ASSERT_TRUE(m.AddExpression("/a/b/c").ok());
+  ASSERT_TRUE(m.AddExpression("b/c").ok());
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  EXPECT_EQ(FilterSorted(&m, doc).size(), 2u);
+  // Without containment covering both expressions ran.
+  EXPECT_EQ(m.stats().occurrence_runs, 2u);
+}
+
+TEST(ContainmentTest, LateInsertsRebuildTheIndex) {
+  Matcher m = MakeCc();
+  auto long_id = m.AddExpression("/a/b/c");
+  ASSERT_TRUE(long_id.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  EXPECT_EQ(FilterSorted(&m, doc).size(), 1u);
+  // Insert the contained expression after a document was filtered.
+  auto suffix_id = m.AddExpression("b/c");
+  ASSERT_TRUE(suffix_id.ok());
+  EXPECT_EQ(FilterSorted(&m, doc),
+            (std::vector<ExprId>{*long_id, *suffix_id}));
+}
+
+TEST(ContainmentTest, DeferredFiltersStillVerified) {
+  // The contained expression carries an attribute filter in
+  // selection-postponed mode: covering marks it structurally but the
+  // filter must still be checked.
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kPrefixCovering;
+  options.attribute_mode = AttributeMode::kSelectionPostponed;
+  options.enable_containment_covering = true;
+  Matcher m(options);
+  auto long_id = m.AddExpression("/a/b/c");
+  auto hit = m.AddExpression("b/c[@x = 1]");
+  auto miss = m.AddExpression("b/c[@x = 2]");
+  ASSERT_TRUE(long_id.ok() && hit.ok() && miss.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b><c x=\"1\"/></b></a>");
+  EXPECT_EQ(FilterSorted(&m, doc),
+            (std::vector<ExprId>{*long_id, *hit}));
+}
+
+TEST(ContainmentTest, AgreementWithOracleOnCorpus) {
+  // Containment covering must not change outcomes, only costs.
+  const std::vector<std::string> docs = {
+      "<a><b><c><d/></c></b></a>",
+      "<x><a><b/></a></x>",
+      "<b><c/></b>",
+      "<a><c><b/></c></a>",
+      "<a><b><c><a><b><c/></b></a></c></b></a>",
+  };
+  const std::vector<std::string> exprs = {
+      "/a/b/c", "a/b/c/d", "b/c", "c", "a/b", "c/d", "/a", "b//c",
+      "a//b/c", "b/a",
+  };
+  for (Matcher::Mode mode :
+       {Matcher::Mode::kPrefixCovering,
+        Matcher::Mode::kPrefixCoveringAccessPredicate}) {
+    Matcher m = MakeCc(mode);
+    std::vector<ExprId> ids = xpred::testing::AddAll(&m, exprs);
+    for (const std::string& doc_text : docs) {
+      xml::Document doc = ParseXmlOrDie(doc_text);
+      std::vector<ExprId> matched = FilterSorted(&m, doc);
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        bool expected =
+            xpath::Evaluator::Matches(ParseXPathOrDie(exprs[i]), doc);
+        bool actual =
+            std::binary_search(matched.begin(), matched.end(), ids[i]);
+        EXPECT_EQ(actual, expected)
+            << "doc=" << doc_text << " expr=" << exprs[i];
+      }
+    }
+  }
+}
+
+TEST(ContainmentTest, ReducesOccurrenceRunsOnCoveringWorkload) {
+  auto runs = [](bool enable) {
+    Matcher::Options options;
+    options.mode = Matcher::Mode::kPrefixCovering;
+    options.enable_containment_covering = enable;
+    Matcher m(options);
+    const std::vector<std::string> workload = {
+        "/a/b/c/d", "b/c", "c/d", "b/c/d", "a/b", "/a/b",
+    };
+    xpred::testing::AddAll(&m, workload);
+    xml::Document doc = ParseXmlOrDie("<a><b><c><d/></c></b></a>");
+    FilterSorted(&m, doc);
+    return m.stats().occurrence_runs;
+  };
+  EXPECT_LT(runs(true), runs(false));
+}
+
+}  // namespace
+}  // namespace xpred::core

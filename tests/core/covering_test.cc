@@ -1,0 +1,232 @@
+// Tests for the prefix-covering organization (paper §4.2.2, Figure 2)
+// and the access-predicate clustering.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/expression_index.h"
+#include "core/matcher.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+
+// --- ExpressionTrie unit behavior --------------------------------------------
+
+TEST(ExpressionTrieTest, ChainsSharePrefixNodes) {
+  ExpressionTrie trie;
+  uint32_t n1 = trie.InsertChain({10, 11, 12});
+  uint32_t n2 = trie.InsertChain({10, 11, 13});
+  uint32_t n3 = trie.InsertChain({10, 11});
+  uint32_t n4 = trie.InsertChain({10, 11, 12});
+  EXPECT_EQ(n1, n4);
+  EXPECT_NE(n1, n2);
+  // Root + 10 + 11 + 12 + 13 = 5 nodes.
+  EXPECT_EQ(trie.node_count(), 5u);
+  EXPECT_EQ(trie.node(n3).depth, 2);
+  EXPECT_EQ(trie.node(n1).depth, 3);
+  EXPECT_EQ(trie.node(n1).parent, n3);
+}
+
+TEST(ExpressionTrieTest, PrefixCollection) {
+  ExpressionTrie trie;
+  uint32_t n_ab = trie.InsertChain({1, 2});
+  uint32_t n_abc = trie.InsertChain({1, 2, 3});
+  uint32_t n_a = trie.InsertChain({1});
+  trie.AttachExpression(n_a, 100);
+  trie.AttachExpression(n_ab, 101);
+  trie.AttachExpression(n_abc, 102);
+
+  std::vector<InternalId> prefixes;
+  trie.CollectPrefixExpressions(n_abc, &prefixes);
+  std::sort(prefixes.begin(), prefixes.end());
+  EXPECT_EQ(prefixes, (std::vector<InternalId>{100, 101}));
+
+  prefixes.clear();
+  trie.CollectPrefixExpressions(n_a, &prefixes);
+  EXPECT_TRUE(prefixes.empty());
+}
+
+TEST(ExpressionTrieTest, ClustersGroupByFirstPredicate) {
+  ExpressionTrie trie;
+  trie.AttachExpression(trie.InsertChain({1, 2}), 0);
+  trie.AttachExpression(trie.InsertChain({1, 3}), 1);
+  trie.AttachExpression(trie.InsertChain({7}), 2);
+  const auto& clusters = trie.clusters();
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].access_pid, 1u);
+  EXPECT_EQ(clusters[0].expressions_by_length.size(), 2u);
+  EXPECT_EQ(clusters[1].access_pid, 7u);
+  EXPECT_EQ(clusters[1].expressions_by_length,
+            (std::vector<InternalId>{2}));
+}
+
+TEST(ExpressionTrieTest, LongestFirstOrdering) {
+  ExpressionTrie trie;
+  trie.AttachExpression(trie.InsertChain({1}), 0);
+  trie.AttachExpression(trie.InsertChain({1, 2, 3, 4}), 1);
+  trie.AttachExpression(trie.InsertChain({1, 2}), 2);
+  const auto& order = trie.expressions_by_length();
+  EXPECT_EQ(order, (std::vector<InternalId>{1, 2, 0}));
+}
+
+TEST(ExpressionTrieTest, ShortestFirstOrderingForAblation) {
+  ExpressionTrie trie;
+  trie.SetOrderLongestFirst(false);
+  trie.AttachExpression(trie.InsertChain({1}), 0);
+  trie.AttachExpression(trie.InsertChain({1, 2, 3, 4}), 1);
+  trie.AttachExpression(trie.InsertChain({1, 2}), 2);
+  EXPECT_EQ(trie.expressions_by_length(),
+            (std::vector<InternalId>{0, 2, 1}));
+  // Flipping the order dirties and rebuilds.
+  trie.SetOrderLongestFirst(true);
+  EXPECT_EQ(trie.expressions_by_length(),
+            (std::vector<InternalId>{1, 2, 0}));
+}
+
+TEST(ExpressionTrieTest, RebuildAfterLateInsert) {
+  ExpressionTrie trie;
+  trie.AttachExpression(trie.InsertChain({1}), 0);
+  EXPECT_EQ(trie.clusters().size(), 1u);
+  trie.AttachExpression(trie.InsertChain({2}), 1);
+  EXPECT_EQ(trie.clusters().size(), 2u);  // Lazily rebuilt.
+}
+
+// --- Covering semantics end to end -------------------------------------------
+
+TEST(CoveringTest, CoveredPrefixesReportedWithoutSeparateEvaluation) {
+  // /a/b/c covers /a/b covers /a: one occurrence-determination run
+  // should settle all three when the longest matches.
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kPrefixCovering;
+  Matcher m(options);
+  auto a = m.AddExpression("/a");
+  auto ab = m.AddExpression("/a/b");
+  auto abc = m.AddExpression("/a/b/c");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(abc.ok());
+
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  EXPECT_EQ(matched, (std::vector<ExprId>{*a, *ab, *abc}));
+  // The document has one path; the longest expression is evaluated
+  // once and the two prefixes are derived: exactly 1 run.
+  EXPECT_EQ(m.stats().occurrence_runs, 1u);
+}
+
+TEST(CoveringTest, BasicModeRunsEveryExpression) {
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kBasic;
+  Matcher m(options);
+  ASSERT_TRUE(m.AddExpression("/a").ok());
+  ASSERT_TRUE(m.AddExpression("/a/b").ok());
+  ASSERT_TRUE(m.AddExpression("/a/b/c").ok());
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  EXPECT_EQ(matched.size(), 3u);
+  EXPECT_EQ(m.stats().occurrence_runs, 3u);
+}
+
+TEST(CoveringTest, FailedLongExpressionDoesNotPoisonPrefixes) {
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kPrefixCovering;
+  Matcher m(options);
+  auto ab = m.AddExpression("/a/b");
+  auto abc = m.AddExpression("/a/b/c");
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(abc.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b><d/></b></a>");
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  // /a/b/c fails, /a/b still matches.
+  EXPECT_EQ(matched, (std::vector<ExprId>{*ab}));
+}
+
+TEST(CoveringTest, AccessPredicateSkipsWholeClusters) {
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kPrefixCoveringAccessPredicate;
+  Matcher m(options);
+  // Cluster 1: first predicate (p_z, =, 1) — z never appears in the
+  // document, so the cluster is ruled out without any occurrence run.
+  ASSERT_TRUE(m.AddExpression("/z/a").ok());
+  ASSERT_TRUE(m.AddExpression("/z/b").ok());
+  ASSERT_TRUE(m.AddExpression("/z/a/b").ok());
+  auto hit = m.AddExpression("/a/b");
+  ASSERT_TRUE(hit.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  EXPECT_EQ(matched, (std::vector<ExprId>{*hit}));
+  EXPECT_EQ(m.stats().occurrence_runs, 1u);
+}
+
+TEST(CoveringTest, CoveringAcrossSharedMiddlePredicates) {
+  // b/c is a chain prefix of b/c/d even though both are relative
+  // expressions appearing in larger ones; check reporting stays exact.
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kPrefixCoveringAccessPredicate;
+  Matcher m(options);
+  auto bc = m.AddExpression("b/c");
+  auto bcd = m.AddExpression("b/c/d");
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE(bcd.ok());
+  xml::Document with_d = ParseXmlOrDie("<r><b><c><d/></c></b></r>");
+  xml::Document without_d = ParseXmlOrDie("<r><b><c><e/></c></b></r>");
+  EXPECT_EQ(FilterSorted(&m, with_d),
+            (std::vector<ExprId>{*bc, *bcd}));
+  EXPECT_EQ(FilterSorted(&m, without_d), (std::vector<ExprId>{*bc}));
+}
+
+TEST(CoveringTest, SameChainExpressionsAllReported) {
+  // /*/*/* and */*/* encode to the same single predicate chain
+  // (length, >=, 3): both must be reported from one evaluation.
+  for (Matcher::Mode mode :
+       {Matcher::Mode::kPrefixCovering,
+        Matcher::Mode::kPrefixCoveringAccessPredicate,
+        Matcher::Mode::kTrieDfs}) {
+    Matcher::Options options;
+    options.mode = mode;
+    Matcher m(options);
+    auto abs = m.AddExpression("/*/*/*");
+    auto rel = m.AddExpression("*/*/*");
+    ASSERT_TRUE(abs.ok());
+    ASSERT_TRUE(rel.ok());
+    xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+    std::vector<ExprId> matched = FilterSorted(&m, doc);
+    EXPECT_EQ(matched, (std::vector<ExprId>{*abs, *rel}))
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(CoveringTest, OccurrenceRunsOrderedByModeEfficiency) {
+  // With a covering-heavy workload, pc should need no more runs than
+  // basic, and ap no more than pc.
+  const std::vector<std::string> workload = {
+      "/a",       "/a/b",     "/a/b/c",  "/a/b/c/d", "/a/x",
+      "/z",       "/z/y",     "b/c",     "b/c/d",    "/q/r/s",
+  };
+  xml::Document doc = ParseXmlOrDie("<a><b><c><d/></c></b><x/></a>");
+
+  auto runs = [&](Matcher::Mode mode) {
+    Matcher::Options options;
+    options.mode = mode;
+    Matcher m(options);
+    xpred::testing::AddAll(&m, workload);
+    FilterSorted(&m, doc);
+    return m.stats().occurrence_runs;
+  };
+
+  uint64_t basic = runs(Matcher::Mode::kBasic);
+  uint64_t pc = runs(Matcher::Mode::kPrefixCovering);
+  uint64_t ap = runs(Matcher::Mode::kPrefixCoveringAccessPredicate);
+  EXPECT_LE(pc, basic);
+  EXPECT_LE(ap, pc);
+  EXPECT_LT(ap, basic);
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,296 @@
+// Tests for the XPE -> ordered-predicate encoding (paper §3.2).
+//
+// Every example expression from the paper (s1-s15 plus the
+// order-sensitivity example) is asserted against its published
+// encoding, rendered through EncodedExpression::ToString.
+
+#include "core/encoder.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "common/interner.h"
+#include "xpath/parser.h"
+
+namespace xpred::core {
+namespace {
+
+std::string Encode(const std::string& xpath,
+                   AttributeMode mode = AttributeMode::kInline) {
+  Result<xpath::PathExpr> expr = xpath::ParseXPath(xpath);
+  EXPECT_TRUE(expr.ok()) << expr.status();
+  Interner interner;
+  Result<EncodedExpression> enc = EncodeExpression(*expr, mode, &interner);
+  EXPECT_TRUE(enc.ok()) << xpath << ": " << enc.status();
+  if (!enc.ok()) return "<error>";
+  return enc->ToString(interner);
+}
+
+// --- Simple XPEs (paper §3.2, first table) -------------------------------
+
+TEST(EncoderPaperExamples, S1AbsoluteSimple) {
+  EXPECT_EQ(Encode("/a/b/b"),
+            "(p_a, =, 1) -> (d(p_a, p_b), =, 1) -> (d(p_b, p_b), =, 1)");
+}
+
+TEST(EncoderPaperExamples, S2SingleRelativeTag) {
+  EXPECT_EQ(Encode("a"), "(p_a, >=, 1)");
+}
+
+TEST(EncoderPaperExamples, S3RelativeOmitsVacuousFirstPredicate) {
+  EXPECT_EQ(Encode("a/a/b/c"),
+            "(d(p_a, p_a), =, 1) -> (d(p_a, p_b), =, 1) -> "
+            "(d(p_b, p_c), =, 1)");
+}
+
+// --- Wildcards (paper §3.2, second table) ---------------------------------
+
+TEST(EncoderPaperExamples, S4WildcardsInMiddle) {
+  EXPECT_EQ(Encode("/a/*/*/b"), "(p_a, =, 1) -> (d(p_a, p_b), =, 3)");
+}
+
+TEST(EncoderPaperExamples, S5TrailingWildcards) {
+  EXPECT_EQ(Encode("/a/b/*/*"),
+            "(p_a, =, 1) -> (d(p_a, p_b), =, 1) -> (p_b-|, >=, 2)");
+}
+
+TEST(EncoderPaperExamples, S6LeadingWildcardAbsolute) {
+  EXPECT_EQ(Encode("/*/a/b"), "(p_a, =, 2) -> (d(p_a, p_b), =, 1)");
+}
+
+TEST(EncoderPaperExamples, S7AllWildcardsAbsolute) {
+  EXPECT_EQ(Encode("/*/*/*/*"), "(length, >=, 4)");
+}
+
+TEST(EncoderPaperExamples, S8RelativeTrailingWildcards) {
+  EXPECT_EQ(Encode("a/b/*/*"), "(d(p_a, p_b), =, 1) -> (p_b-|, >=, 2)");
+}
+
+TEST(EncoderPaperExamples, S9RelativeLeadingWildcards) {
+  EXPECT_EQ(Encode("*/*/a/*/b"), "(p_a, >=, 3) -> (d(p_a, p_b), =, 2)");
+}
+
+TEST(EncoderPaperExamples, S10RelativeMiddleWildcards) {
+  EXPECT_EQ(Encode("a/*/*/b/c"),
+            "(d(p_a, p_b), =, 3) -> (d(p_b, p_c), =, 1)");
+}
+
+TEST(EncoderPaperExamples, S11AllWildcardsRelative) {
+  // The paper deliberately gives */*/*/* the same mapping as /*/*/*/*.
+  EXPECT_EQ(Encode("*/*/*/*"), "(length, >=, 4)");
+}
+
+// --- Descendant operators (paper §3.2, third table) -----------------------
+
+TEST(EncoderPaperExamples, S12DescendantAbsolute) {
+  EXPECT_EQ(Encode("/a//b/c"),
+            "(p_a, =, 1) -> (d(p_a, p_b), >=, 1) -> (d(p_b, p_c), =, 1)");
+}
+
+TEST(EncoderPaperExamples, S13DescendantWithWildcards) {
+  EXPECT_EQ(Encode("/*/b//c/*"),
+            "(p_b, =, 2) -> (d(p_b, p_c), >=, 1) -> (p_c-|, >=, 1)");
+}
+
+TEST(EncoderPaperExamples, S14RelativeDescendant) {
+  EXPECT_EQ(Encode("a/b//c"),
+            "(d(p_a, p_b), =, 1) -> (d(p_b, p_c), >=, 1)");
+}
+
+TEST(EncoderPaperExamples, S15Combined) {
+  EXPECT_EQ(Encode("*/a/*/b//c/*/*"),
+            "(p_a, >=, 2) -> (d(p_a, p_b), =, 2) -> (d(p_b, p_c), >=, 1) -> "
+            "(p_c-|, >=, 2)");
+}
+
+// --- Order sensitivity (paper §3.2, closing example) -----------------------
+
+TEST(EncoderPaperExamples, OrderOfPredicatesDistinguishesExpressions) {
+  // a/c/*/a//c and a//c/*/a/c use the same multiset of predicates in
+  // different orders.
+  EXPECT_EQ(Encode("a/c/*/a//c"),
+            "(d(p_a, p_c), =, 1) -> (d(p_c, p_a), =, 2) -> "
+            "(d(p_a, p_c), >=, 1)");
+  EXPECT_EQ(Encode("a//c/*/a/c"),
+            "(d(p_a, p_c), >=, 1) -> (d(p_c, p_a), =, 2) -> "
+            "(d(p_a, p_c), =, 1)");
+}
+
+// --- Additional structural cases -------------------------------------------
+
+TEST(EncoderTest, AbsoluteSingleTag) {
+  EXPECT_EQ(Encode("/a"), "(p_a, =, 1)");
+}
+
+TEST(EncoderTest, LeadingDescendantEqualsRelative) {
+  // //a floats like a relative expression (appendix case 2).
+  EXPECT_EQ(Encode("//a"), "(p_a, >=, 1)");
+  EXPECT_EQ(Encode("//a/b"), Encode("a/b"));
+}
+
+TEST(EncoderTest, DescendantBeforeFirstAnchorForcesGe) {
+  // /a is rooted; /*//a is not (the descendant axis floats a's
+  // position), so the first predicate must be >=.
+  EXPECT_EQ(Encode("/*//a"), "(p_a, >=, 2)");
+}
+
+TEST(EncoderTest, SingleWildcard) {
+  EXPECT_EQ(Encode("*"), "(length, >=, 1)");
+  EXPECT_EQ(Encode("/*"), "(length, >=, 1)");
+}
+
+TEST(EncoderTest, TrailingWildcardAfterSingleAnchor) {
+  EXPECT_EQ(Encode("/a/*"), "(p_a, =, 1) -> (p_a-|, >=, 1)");
+  EXPECT_EQ(Encode("a/*/*"), "(p_a, >=, 1) -> (p_a-|, >=, 2)");
+}
+
+TEST(EncoderTest, TrailingDescendantWildcard) {
+  EXPECT_EQ(Encode("/a//*"), "(p_a, =, 1) -> (p_a-|, >=, 1)");
+}
+
+TEST(EncoderTest, LongMixedExpression) {
+  EXPECT_EQ(Encode("/a/*/b//c/*/d/*"),
+            "(p_a, =, 1) -> (d(p_a, p_b), =, 2) -> (d(p_b, p_c), >=, 1) -> "
+            "(d(p_c, p_d), =, 2) -> (p_d-|, >=, 1)");
+}
+
+// --- Anchor metadata --------------------------------------------------------
+
+TEST(EncoderTest, AnchorStepsAndSlots) {
+  Interner interner;
+  Result<xpath::PathExpr> expr = xpath::ParseXPath("*/a/*/b//c/*/*");
+  ASSERT_TRUE(expr.ok());
+  Result<EncodedExpression> enc =
+      EncodeExpression(*expr, AttributeMode::kInline, &interner);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_EQ(enc->anchor_steps.size(), 3u);
+  EXPECT_EQ(enc->anchor_steps[0], 2);  // a
+  EXPECT_EQ(enc->anchor_steps[1], 4);  // b
+  EXPECT_EQ(enc->anchor_steps[2], 5);  // c
+  EXPECT_EQ(enc->num_steps, 7);
+
+  // a introduced by predicate 0 (the absolute predicate), b and c by
+  // the relative predicates as second tags.
+  EXPECT_EQ(enc->anchor_slots[0].pred_index, 0);
+  EXPECT_FALSE(enc->anchor_slots[0].on_second);
+  EXPECT_EQ(enc->anchor_slots[1].pred_index, 1);
+  EXPECT_TRUE(enc->anchor_slots[1].on_second);
+  EXPECT_EQ(enc->anchor_slots[2].pred_index, 2);
+  EXPECT_TRUE(enc->anchor_slots[2].on_second);
+}
+
+TEST(EncoderTest, AnchorSlotsWhenFirstPredicateOmitted) {
+  Interner interner;
+  Result<xpath::PathExpr> expr = xpath::ParseXPath("a/b/c");
+  ASSERT_TRUE(expr.ok());
+  Result<EncodedExpression> enc =
+      EncodeExpression(*expr, AttributeMode::kInline, &interner);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_EQ(enc->predicates.size(), 2u);
+  // a is introduced as the first tag of the first relative predicate.
+  EXPECT_EQ(enc->anchor_slots[0].pred_index, 0);
+  EXPECT_FALSE(enc->anchor_slots[0].on_second);
+  EXPECT_EQ(enc->anchor_slots[1].pred_index, 0);
+  EXPECT_TRUE(enc->anchor_slots[1].on_second);
+  EXPECT_EQ(enc->anchor_slots[2].pred_index, 1);
+  EXPECT_TRUE(enc->anchor_slots[2].on_second);
+}
+
+// --- Attribute filters (§5) -------------------------------------------------
+
+TEST(EncoderAttributeTest, InlineAttachesToIntroducingPredicate) {
+  EXPECT_EQ(Encode("/*/t1[@x = 3]"), "(p_t1([x, =, 3]), =, 2)");
+  EXPECT_EQ(Encode("/a/b[@y >= 5]"),
+            "(p_a, =, 1) -> (d(p_a, p_b([y, >=, 5])), =, 1)");
+  EXPECT_EQ(Encode("a[@x = 1]/b"), "(d(p_a([x, =, 1]), p_b), =, 1)");
+}
+
+TEST(EncoderAttributeTest, ExistenceFilter) {
+  EXPECT_EQ(Encode("/a[@id]"), "(p_a([id]), =, 1)");
+}
+
+TEST(EncoderAttributeTest, MultipleFiltersAreSortedCanonically) {
+  // Reordered filters must produce the same predicate (sharing).
+  EXPECT_EQ(Encode("/a[@x = 1][@y = 2]"), Encode("/a[@y = 2][@x = 1]"));
+}
+
+TEST(EncoderAttributeTest, SelectionPostponedKeepsPredicatesStructural) {
+  Interner interner;
+  Result<xpath::PathExpr> expr = xpath::ParseXPath("/a/b[@y = 5]");
+  ASSERT_TRUE(expr.ok());
+  Result<EncodedExpression> enc = EncodeExpression(
+      *expr, AttributeMode::kSelectionPostponed, &interner);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->ToString(interner),
+            "(p_a, =, 1) -> (d(p_a, p_b), =, 1)");
+  ASSERT_EQ(enc->deferred_filters.size(), 1u);
+  EXPECT_EQ(enc->deferred_filters[0].anchor_index, 1);
+  ASSERT_EQ(enc->deferred_filters[0].filters.size(), 1u);
+  EXPECT_EQ(enc->deferred_filters[0].filters[0].name, "y");
+}
+
+TEST(EncoderAttributeTest, FilterOnWildcardStepRejected) {
+  Interner interner;
+  Result<xpath::PathExpr> expr = xpath::ParseXPath("/a/*[@x = 1]");
+  ASSERT_TRUE(expr.ok());
+  Result<EncodedExpression> enc =
+      EncodeExpression(*expr, AttributeMode::kInline, &interner);
+  EXPECT_FALSE(enc.ok());
+  EXPECT_EQ(enc.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Error handling ---------------------------------------------------------
+
+TEST(EncoderTest, NestedPathRejected) {
+  Interner interner;
+  Result<xpath::PathExpr> expr = xpath::ParseXPath("/a[b]/c");
+  ASSERT_TRUE(expr.ok());
+  Result<EncodedExpression> enc =
+      EncodeExpression(*expr, AttributeMode::kInline, &interner);
+  EXPECT_FALSE(enc.ok());
+}
+
+// --- Sharing: identical sub-paths map to identical predicates ---------------
+
+TEST(EncoderSharingTest, CommonPartsShareEncodings) {
+  // The paper's motivating example: a/b/c/d and b//b/c share b/c,
+  // which must encode to the same predicate in both.
+  Interner interner;
+  auto enc1 = EncodeExpression(*xpath::ParseXPath("a/b/c/d"),
+                               AttributeMode::kInline, &interner);
+  auto enc2 = EncodeExpression(*xpath::ParseXPath("b//b/c"),
+                               AttributeMode::kInline, &interner);
+  ASSERT_TRUE(enc1.ok());
+  ASSERT_TRUE(enc2.ok());
+  // (d(p_b, p_c), =, 1) appears in both encodings.
+  bool found1 = false;
+  bool found2 = false;
+  for (const Predicate& p : enc1->predicates) {
+    if (p.ToString(interner) == "(d(p_b, p_c), =, 1)") found1 = true;
+  }
+  for (const Predicate& p : enc2->predicates) {
+    if (p.ToString(interner) == "(d(p_b, p_c), =, 1)") found2 = true;
+  }
+  EXPECT_TRUE(found1);
+  EXPECT_TRUE(found2);
+}
+
+TEST(EncoderSharingTest, PositionIndependentRelativePredicates) {
+  // a/b encodes to the same predicate wherever it appears (§3.2: "a/b
+  // is translated into only one predicate ... in spite of the position
+  // it appears in the XPEs").
+  Interner interner;
+  auto enc1 = EncodeExpression(*xpath::ParseXPath("x/a/b"),
+                               AttributeMode::kInline, &interner);
+  auto enc2 = EncodeExpression(*xpath::ParseXPath("a/b/y"),
+                               AttributeMode::kInline, &interner);
+  ASSERT_TRUE(enc1.ok());
+  ASSERT_TRUE(enc2.ok());
+  EXPECT_EQ(enc1->predicates[1].ToString(interner), "(d(p_a, p_b), =, 1)");
+  EXPECT_EQ(enc2->predicates[0].ToString(interner), "(d(p_a, p_b), =, 1)");
+  EXPECT_EQ(enc1->predicates[1], enc2->predicates[0]);
+}
+
+}  // namespace
+}  // namespace xpred::core

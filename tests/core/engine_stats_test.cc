@@ -1,0 +1,135 @@
+// Tests for the FilterEngine interface surface: stats accounting,
+// FilterXml, and cross-engine interface uniformity.
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "indexfilter/index_filter.h"
+#include "test_util.h"
+#include "yfilter/yfilter.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+std::vector<std::unique_ptr<FilterEngine>> AllEngines() {
+  std::vector<std::unique_ptr<FilterEngine>> engines;
+  engines.push_back(std::make_unique<Matcher>());
+  engines.push_back(std::make_unique<yfilter::YFilter>());
+  engines.push_back(std::make_unique<indexfilter::IndexFilter>());
+  return engines;
+}
+
+TEST(EngineInterfaceTest, NamesAreStable) {
+  Matcher::Options options;
+  options.mode = Matcher::Mode::kBasic;
+  EXPECT_EQ(Matcher(options).name(), "basic");
+  options.mode = Matcher::Mode::kPrefixCovering;
+  EXPECT_EQ(Matcher(options).name(), "basic-pc");
+  options.mode = Matcher::Mode::kPrefixCoveringAccessPredicate;
+  EXPECT_EQ(Matcher(options).name(), "basic-pc-ap");
+  options.mode = Matcher::Mode::kTrieDfs;
+  EXPECT_EQ(Matcher(options).name(), "trie-dfs");
+  EXPECT_EQ(yfilter::YFilter().name(), "yfilter");
+  EXPECT_EQ(indexfilter::IndexFilter().name(), "index-filter");
+}
+
+TEST(EngineInterfaceTest, SubscriptionIdsAreDense) {
+  for (auto& engine : AllEngines()) {
+    for (ExprId expected = 0; expected < 5; ++expected) {
+      Result<ExprId> id =
+          engine->AddExpression("/a/e" + std::to_string(expected));
+      ASSERT_TRUE(id.ok());
+      EXPECT_EQ(*id, expected) << engine->name();
+    }
+    EXPECT_EQ(engine->subscription_count(), 5u) << engine->name();
+  }
+}
+
+TEST(EngineInterfaceTest, FilterXmlAccountsParseTime) {
+  for (auto& engine : AllEngines()) {
+    ASSERT_TRUE(engine->AddExpression("/a/b").ok());
+    std::vector<ExprId> matched;
+    ASSERT_TRUE(engine->FilterXml("<a><b/></a>", &matched).ok());
+    EXPECT_EQ(matched.size(), 1u) << engine->name();
+    EXPECT_GT(engine->stats().encode_micros, 0.0) << engine->name();
+    EXPECT_EQ(engine->stats().documents, 1u) << engine->name();
+  }
+}
+
+TEST(EngineInterfaceTest, FilterXmlRejectsBadXml) {
+  for (auto& engine : AllEngines()) {
+    ASSERT_TRUE(engine->AddExpression("/a").ok());
+    std::vector<ExprId> matched;
+    Status st = engine->FilterXml("<a><b></a>", &matched);
+    EXPECT_FALSE(st.ok()) << engine->name();
+    EXPECT_EQ(st.code(), StatusCode::kXmlParseError) << engine->name();
+  }
+}
+
+TEST(EngineInterfaceTest, ResetStatsClearsCounters) {
+  for (auto& engine : AllEngines()) {
+    ASSERT_TRUE(engine->AddExpression("/a").ok());
+    std::vector<ExprId> matched;
+    xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+    ASSERT_TRUE(engine->FilterDocument(doc, &matched).ok());
+    EXPECT_GT(engine->stats().documents, 0u);
+    engine->ResetStats();
+    EXPECT_EQ(engine->stats().documents, 0u) << engine->name();
+    EXPECT_EQ(engine->stats().total_micros(), 0.0) << engine->name();
+  }
+}
+
+TEST(EngineInterfaceTest, TotalMicrosSumsStages) {
+  EngineStats stats;
+  stats.encode_micros = 1;
+  stats.predicate_micros = 2;
+  stats.expression_micros = 3;
+  stats.verify_micros = 4;
+  stats.collect_micros = 5;
+  EXPECT_DOUBLE_EQ(stats.total_micros(), 15.0);
+}
+
+TEST(EngineStatsTest, StageTimersAccumulateAcrossDocuments) {
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/a//b").ok());
+  xml::Document doc = ParseXmlOrDie("<a><x><b/></x><y><b/></y></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(m.FilterDocument(doc, &matched).ok());
+  double after_one = m.stats().total_micros();
+  matched.clear();
+  ASSERT_TRUE(m.FilterDocument(doc, &matched).ok());
+  EXPECT_GT(m.stats().total_micros(), after_one);
+  EXPECT_EQ(m.stats().documents, 2u);
+  EXPECT_EQ(m.stats().paths, 4u);
+}
+
+TEST(EngineStatsTest, PredicateMatchesCounted) {
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/a/b").ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(m.FilterDocument(doc, &matched).ok());
+  // Two predicates, both matched once.
+  EXPECT_EQ(m.stats().predicate_matches, 2u);
+}
+
+TEST(EngineStatsTest, VerifyTimeOnlyInSelectionPostponedMode) {
+  Matcher::Options options;
+  options.attribute_mode = AttributeMode::kSelectionPostponed;
+  Matcher sp(options);
+  ASSERT_TRUE(sp.AddExpression("/a[@x = 1]").ok());
+  xml::Document doc = ParseXmlOrDie("<a x=\"1\"/>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(sp.FilterDocument(doc, &matched).ok());
+  EXPECT_EQ(matched.size(), 1u);
+  // SP re-runs occurrence determination for the filter check.
+  EXPECT_EQ(sp.stats().occurrence_runs, 2u);
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,231 @@
+// Tests for attribute-based filters (paper §5): inline and
+// selection-postponed evaluation must agree with each other and with
+// the oracle.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::EngineMatches;
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+struct AttributeParam {
+  Matcher::Mode mode;
+  AttributeMode attribute_mode;
+};
+
+class AttributeModeTest : public ::testing::TestWithParam<AttributeParam> {
+ protected:
+  Matcher MakeMatcher() {
+    Matcher::Options options;
+    options.mode = GetParam().mode;
+    options.attribute_mode = GetParam().attribute_mode;
+    return Matcher(options);
+  }
+};
+
+TEST_P(AttributeModeTest, EqualityFilter) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a><b x=\"3\"/><b x=\"5\"/></a>");
+  EXPECT_TRUE(EngineMatches(&m, "/a/b[@x = 3]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a/b[@x = 5]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a/b[@x = 4]", doc));
+}
+
+TEST_P(AttributeModeTest, RelationalOperators) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a v=\"10\"><b v=\"20\"/></a>");
+  EXPECT_TRUE(EngineMatches(&m, "/a[@v >= 10]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a[@v < 11]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a/b[@v > 15]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a/b[@v != 10]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a[@v > 10]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a/b[@v <= 19]", doc));
+}
+
+TEST_P(AttributeModeTest, ExistenceFilter) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a id=\"7\"><b/></a>");
+  EXPECT_TRUE(EngineMatches(&m, "/a[@id]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a/b[@id]", doc));
+}
+
+TEST_P(AttributeModeTest, StringValuedFilter) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a kind=\"news\"/>");
+  EXPECT_TRUE(EngineMatches(&m, "/a[@kind = \"news\"]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a[@kind = \"sports\"]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a[@kind != \"sports\"]", doc));
+}
+
+TEST_P(AttributeModeTest, MultipleFiltersOnOneStep) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a x=\"1\" y=\"2\"/>");
+  EXPECT_TRUE(EngineMatches(&m, "/a[@x = 1][@y = 2]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a[@x = 1][@y = 3]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a[@x = 2][@y = 2]", doc));
+}
+
+TEST_P(AttributeModeTest, FiltersOnMultipleSteps) {
+  Matcher m = MakeMatcher();
+  xml::Document doc =
+      ParseXmlOrDie("<a x=\"1\"><m><b y=\"2\"/></m></a>");
+  EXPECT_TRUE(EngineMatches(&m, "/a[@x = 1]/*/b[@y = 2]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a[@x = 1]//b[@y = 2]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a[@x = 2]/*/b[@y = 2]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a[@x = 1]/*/b[@y = 1]", doc));
+}
+
+TEST_P(AttributeModeTest, FilterMustHoldOnTheChainedOccurrence) {
+  // The b at distance 1 from a has x=1; the b at distance 2 has x=2.
+  // a/b[@x = 2] must NOT match: the b adjacent to a carries the wrong
+  // value, and the right-valued b is at the wrong distance.
+  Matcher m = MakeMatcher();
+  xml::Document doc =
+      ParseXmlOrDie("<a><b x=\"1\"><b x=\"2\"/></b></a>");
+  EXPECT_TRUE(EngineMatches(&m, "a/b[@x = 1]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "a/b[@x = 2]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "a//b[@x = 2]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "a/b/b[@x = 2]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "a/b/b[@x = 1]", doc));
+}
+
+TEST_P(AttributeModeTest, OccurrenceInterplay) {
+  // Repeated tags with different attribute values: the witness chain
+  // must pick consistent occurrences.
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie(
+      "<a k=\"1\"><x><a k=\"2\"><y><a k=\"3\"/></y></a></x></a>");
+  EXPECT_TRUE(EngineMatches(&m, "a[@k = 1]//a[@k = 3]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "a[@k = 2]/*/a[@k = 3]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "a[@k = 1]/*/a[@k = 3]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "a[@k = 3]//a[@k = 1]", doc));
+}
+
+TEST_P(AttributeModeTest, NonNumericValueNeverSatisfiesNumericRelation) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a x=\"abc\"/>");
+  EXPECT_FALSE(EngineMatches(&m, "/a[@x = 3]", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a[@x >= 3]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a[@x != 3]", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a[@x]", doc));
+}
+
+TEST_P(AttributeModeTest, AgainstOracleOnAttributeCorpus) {
+  const std::vector<std::string> docs = {
+      "<a x=\"1\"><b y=\"2\"><c/></b></a>",
+      "<a x=\"5\"><b y=\"2\"/><b y=\"7\"/></a>",
+      "<a><a x=\"3\"><b/></a></a>",
+      "<r><a x=\"1\"/><a x=\"2\"/><a x=\"3\"/></r>",
+  };
+  const std::vector<std::string> exprs = {
+      "/a[@x = 1]",        "/a[@x >= 2]",      "a[@x = 3]",
+      "/a/b[@y = 2]",      "/a/b[@y > 2]",     "b[@y != 2]",
+      "a[@x = 3]/b",       "/a[@x = 1]/b/c",   "//a[@x]",
+      "/r/a[@x >= 2]",     "/r/a[@x = 9]",     "a[@x = 1][@x = 2]",
+  };
+  Matcher m = MakeMatcher();
+  std::vector<ExprId> ids = xpred::testing::AddAll(&m, exprs);
+  for (const std::string& doc_text : docs) {
+    xml::Document doc = ParseXmlOrDie(doc_text);
+    std::vector<ExprId> matched = FilterSorted(&m, doc);
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      bool expected =
+          xpath::Evaluator::Matches(ParseXPathOrDie(exprs[i]), doc);
+      bool actual =
+          std::binary_search(matched.begin(), matched.end(), ids[i]);
+      EXPECT_EQ(actual, expected)
+          << "doc=" << doc_text << " expr=" << exprs[i];
+    }
+  }
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<AttributeParam>& info) {
+  std::string name;
+  switch (info.param.mode) {
+    case Matcher::Mode::kBasic:
+      name = "basic";
+      break;
+    case Matcher::Mode::kPrefixCovering:
+      name = "pc";
+      break;
+    case Matcher::Mode::kPrefixCoveringAccessPredicate:
+      name = "pcap";
+      break;
+    case Matcher::Mode::kTrieDfs:
+      name = "triedfs";
+      break;
+  }
+  name += (info.param.attribute_mode == AttributeMode::kInline)
+              ? "_inline"
+              : "_sp";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, AttributeModeTest,
+    ::testing::Values(
+        AttributeParam{Matcher::Mode::kBasic, AttributeMode::kInline},
+        AttributeParam{Matcher::Mode::kBasic,
+                       AttributeMode::kSelectionPostponed},
+        AttributeParam{Matcher::Mode::kPrefixCovering,
+                       AttributeMode::kInline},
+        AttributeParam{Matcher::Mode::kPrefixCovering,
+                       AttributeMode::kSelectionPostponed},
+        AttributeParam{Matcher::Mode::kPrefixCoveringAccessPredicate,
+                       AttributeMode::kInline},
+        AttributeParam{Matcher::Mode::kPrefixCoveringAccessPredicate,
+                       AttributeMode::kSelectionPostponed},
+        AttributeParam{Matcher::Mode::kTrieDfs, AttributeMode::kInline},
+        AttributeParam{Matcher::Mode::kTrieDfs,
+                       AttributeMode::kSelectionPostponed}),
+    ParamName);
+
+// --- Mode-specific structural behavior ---------------------------------------
+
+TEST(AttributeSharingTest, InlineConstraintsShareAcrossExpressions) {
+  // Two expressions with the same constrained step share one
+  // predicate; a third with a different value does not.
+  Matcher::Options options;
+  options.attribute_mode = AttributeMode::kInline;
+  Matcher m(options);
+  ASSERT_TRUE(m.AddExpression("/a[@x = 1]/b").ok());
+  size_t after_first = m.distinct_predicate_count();
+  ASSERT_TRUE(m.AddExpression("/a[@x = 1]/c").ok());
+  // Shares (p_a([x,=,1]),=,1); adds only (d(a,c),=,1).
+  EXPECT_EQ(m.distinct_predicate_count(), after_first + 1);
+  ASSERT_TRUE(m.AddExpression("/a[@x = 2]/b").ok());
+  // New constrained absolute predicate, shares (d(a,b),=,1).
+  EXPECT_EQ(m.distinct_predicate_count(), after_first + 2);
+}
+
+TEST(AttributeSharingTest, SelectionPostponedSharesStructuralPredicates) {
+  // In SP mode the predicates are purely structural, so differently
+  // filtered expressions share everything.
+  Matcher::Options options;
+  options.attribute_mode = AttributeMode::kSelectionPostponed;
+  Matcher m(options);
+  ASSERT_TRUE(m.AddExpression("/a[@x = 1]/b").ok());
+  size_t after_first = m.distinct_predicate_count();
+  ASSERT_TRUE(m.AddExpression("/a[@x = 2]/b").ok());
+  ASSERT_TRUE(m.AddExpression("/a[@x = 3]/b").ok());
+  EXPECT_EQ(m.distinct_predicate_count(), after_first);
+  // And they are distinct subscriptions with distinct outcomes.
+  xml::Document doc = xpred::testing::ParseXmlOrDie("<a x=\"2\"><b/></a>");
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  EXPECT_EQ(matched, (std::vector<ExprId>{1}));
+}
+
+}  // namespace
+}  // namespace xpred::core

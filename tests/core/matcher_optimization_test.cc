@@ -1,0 +1,182 @@
+// Regression tests for the matcher's performance machinery: path
+// deduplication, the hot-expression layout, and the predicate-index
+// equality acceleration. These optimizations must be invisible to the
+// matching semantics.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::EngineMatches;
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+
+TEST(PathDedupTest, IdenticalStructuralPathsSkipped) {
+  // The second a/b path is structurally identical; skipping it must
+  // not change the outcome.
+  Matcher m;
+  auto id = m.AddExpression("/a/b");
+  ASSERT_TRUE(id.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/><b/><b/></a>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*id}));
+  // Three extracted paths, but predicate matching ran once.
+  EXPECT_EQ(m.stats().paths, 3u);
+}
+
+TEST(PathDedupTest, DifferingAttributesAreNotDeduplicated) {
+  // Two paths with the same tags but different attribute values: only
+  // the second satisfies the filter. If dedup ignored attributes the
+  // match would be lost.
+  Matcher m;
+  auto id = m.AddExpression("/a/b[@x = 2]");
+  ASSERT_TRUE(id.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b x=\"1\"/><b x=\"2\"/></a>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*id}));
+}
+
+TEST(PathDedupTest, AttributeOrderAndNamesDistinguishPaths) {
+  Matcher m;
+  auto id = m.AddExpression("/a/b[@y = 1]");
+  ASSERT_TRUE(id.ok());
+  // First b has x=1 (no y), second has y=1.
+  xml::Document doc = ParseXmlOrDie("<a><b x=\"1\"/><b y=\"1\"/></a>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*id}));
+}
+
+TEST(PathDedupTest, SelectionPostponedSeesAttributedPaths) {
+  Matcher::Options options;
+  options.attribute_mode = AttributeMode::kSelectionPostponed;
+  Matcher m(options);
+  auto id = m.AddExpression("/a/b[@x = 2]");
+  ASSERT_TRUE(id.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b x=\"1\"/><b x=\"2\"/></a>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*id}));
+}
+
+TEST(PathDedupTest, NestedExpressionsDisableDedup) {
+  // With a nested expression stored, node-identity witnesses must not
+  // be lost to dedup: the two a children have identical tag paths but
+  // only one of them has both b and c.
+  Matcher m;
+  auto id = m.AddExpression("/r/a[b]/c");
+  ASSERT_TRUE(id.ok());
+  xml::Document doc =
+      ParseXmlOrDie("<r><a><b/></a><a><b/><c/></a></r>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*id}));
+}
+
+TEST(HotLayoutTest, LongChainsUseOverflowStorage) {
+  // Expressions with more than 8 predicates exercise the overflow
+  // path: /a/b/c/d/e/f/g/h/i has 9 predicates (1 absolute + 8
+  // relative).
+  Matcher m;
+  auto long_id = m.AddExpression("/e1/e2/e3/e4/e5/e6/e7/e8/e9");
+  auto short_id = m.AddExpression("/e1/e2");
+  ASSERT_TRUE(long_id.ok());
+  ASSERT_TRUE(short_id.ok());
+  xml::Document hit = ParseXmlOrDie(
+      "<e1><e2><e3><e4><e5><e6><e7><e8><e9/></e8></e7></e6></e5></e4>"
+      "</e3></e2></e1>");
+  std::vector<ExprId> matched = FilterSorted(&m, hit);
+  EXPECT_EQ(matched, (std::vector<ExprId>{*long_id, *short_id}));
+
+  xml::Document miss = ParseXmlOrDie(
+      "<e1><e2><e3><e4><e5><e6><e7><e8><wrong/></e8></e7></e6></e5></e4>"
+      "</e3></e2></e1>");
+  EXPECT_EQ(FilterSorted(&m, miss), (std::vector<ExprId>{*short_id}));
+}
+
+TEST(EqualityIndexTest, NumericCanonicalizationAcrossSpellings) {
+  // The equality acceleration must treat "3", "3.0" and 3.0 as equal
+  // and must not confuse them with the string "3.0".
+  Matcher m;
+  auto num = m.AddExpression("/a[@x = 3]");
+  auto str = m.AddExpression("/a[@x = \"3.0\"]");
+  ASSERT_TRUE(num.ok());
+  ASSERT_TRUE(str.ok());
+
+  xml::Document spelled = ParseXmlOrDie("<a x=\"3.0\"/>");
+  std::vector<ExprId> matched = FilterSorted(&m, spelled);
+  // Numeric filter matches (3.0 == 3); string filter matches ("3.0").
+  EXPECT_EQ(matched, (std::vector<ExprId>{*num, *str}));
+
+  xml::Document plain = ParseXmlOrDie("<a x=\"3\"/>");
+  matched = FilterSorted(&m, plain);
+  // Numeric matches; the string literal "3.0" does not equal "3".
+  EXPECT_EQ(matched, (std::vector<ExprId>{*num}));
+}
+
+TEST(EqualityIndexTest, ManyValueVariantsStaySound) {
+  // 50 equality variants on one coordinate: exactly the right one must
+  // fire for each document.
+  Matcher m;
+  std::vector<ExprId> ids;
+  for (int v = 0; v < 50; ++v) {
+    auto id = m.AddExpression("/a/b[@k = " + std::to_string(v) + "]");
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (int v = 0; v < 50; v += 7) {
+    xml::Document doc = ParseXmlOrDie(
+        "<a><b k=\"" + std::to_string(v) + "\"/></a>");
+    EXPECT_EQ(FilterSorted(&m, doc),
+              (std::vector<ExprId>{ids[static_cast<size_t>(v)]}));
+  }
+}
+
+TEST(EqualityIndexTest, MixedEqualityAndRelationalConstraints) {
+  // Relational and multi-constraint predicates take the scan path;
+  // they must coexist with equality-indexed ones on the same slot.
+  Matcher m;
+  auto eq = m.AddExpression("/a/b[@k = 10]");
+  auto ge = m.AddExpression("/a/b[@k >= 10]");
+  auto both = m.AddExpression("/a/b[@k >= 5][@k <= 15]");
+  auto exists = m.AddExpression("/a/b[@k]");
+  ASSERT_TRUE(eq.ok() && ge.ok() && both.ok() && exists.ok());
+
+  xml::Document at10 = ParseXmlOrDie("<a><b k=\"10\"/></a>");
+  EXPECT_EQ(FilterSorted(&m, at10),
+            (std::vector<ExprId>{*eq, *ge, *both, *exists}));
+
+  xml::Document at20 = ParseXmlOrDie("<a><b k=\"20\"/></a>");
+  EXPECT_EQ(FilterSorted(&m, at20), (std::vector<ExprId>{*ge, *exists}));
+
+  xml::Document at7 = ParseXmlOrDie("<a><b k=\"7\"/></a>");
+  EXPECT_EQ(FilterSorted(&m, at7), (std::vector<ExprId>{*both, *exists}));
+}
+
+TEST(EqualityIndexTest, StringEqualityIndexed) {
+  Matcher m;
+  auto news = m.AddExpression("/a[@kind = \"news\"]");
+  auto sports = m.AddExpression("/a[@kind = \"sports\"]");
+  ASSERT_TRUE(news.ok() && sports.ok());
+  xml::Document doc = ParseXmlOrDie("<a kind=\"news\"/>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*news}));
+}
+
+TEST(EqualityIndexTest, RelativePredicateConstraintOnEitherTag) {
+  // Constraints on the first vs second tag variable of a relative
+  // predicate must not be confused (side is part of the index key).
+  Matcher m;
+  auto on_first = m.AddExpression("a[@k = 1]/b");
+  auto on_second = m.AddExpression("a/b[@k = 1]");
+  ASSERT_TRUE(on_first.ok() && on_second.ok());
+
+  xml::Document first_doc = ParseXmlOrDie("<r><a k=\"1\"><b/></a></r>");
+  EXPECT_EQ(FilterSorted(&m, first_doc),
+            (std::vector<ExprId>{*on_first}));
+
+  xml::Document second_doc = ParseXmlOrDie("<r><a><b k=\"1\"/></a></r>");
+  EXPECT_EQ(FilterSorted(&m, second_doc),
+            (std::vector<ExprId>{*on_second}));
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,279 @@
+// End-to-end tests for the predicate-based matcher: all modes against
+// hand-constructed documents and the brute-force oracle.
+
+#include "core/matcher.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::EngineMatches;
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+Matcher::Options ModeOptions(Matcher::Mode mode) {
+  Matcher::Options options;
+  options.mode = mode;
+  return options;
+}
+
+/// Parameterized over the four expression-matching organizations; each
+/// must produce identical results.
+class MatcherModeTest : public ::testing::TestWithParam<Matcher::Mode> {
+ protected:
+  Matcher MakeMatcher() { return Matcher(ModeOptions(GetParam())); }
+};
+
+TEST_P(MatcherModeTest, SimpleAbsolutePaths) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b><d/></a>");
+  EXPECT_TRUE(EngineMatches(&m, "/a", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a/b", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a/b/c", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a/d", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/b", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a/c", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a/b/c/d", doc));
+}
+
+TEST_P(MatcherModeTest, RelativePathsMatchAnywhere) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<r><x><b><c/></b></x></r>");
+  EXPECT_TRUE(EngineMatches(&m, "b/c", doc));
+  EXPECT_TRUE(EngineMatches(&m, "c", doc));
+  EXPECT_TRUE(EngineMatches(&m, "x//c", doc));
+  EXPECT_FALSE(EngineMatches(&m, "c/b", doc));
+  EXPECT_FALSE(EngineMatches(&m, "r/c", doc));
+}
+
+TEST_P(MatcherModeTest, WildcardsAndDescendants) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie(
+      "<a><x><b/></x><y><z><b/></z></y></a>");
+  EXPECT_TRUE(EngineMatches(&m, "/a/*/b", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a//b", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/a/*/*/b", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/*/*", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a/b", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/*/*/*/*/*", doc));
+  EXPECT_TRUE(EngineMatches(&m, "*/*/*/*", doc));
+}
+
+TEST_P(MatcherModeTest, OccurrenceDisambiguation) {
+  // The paper's Example 2: path (a,b,c,a,b,c) matches a//b/c but NOT
+  // c//b//a.
+  Matcher m = MakeMatcher();
+  xml::Document doc =
+      ParseXmlOrDie("<a><b><c><a><b><c/></b></a></c></b></a>");
+  EXPECT_TRUE(EngineMatches(&m, "a//b/c", doc));
+  EXPECT_FALSE(EngineMatches(&m, "c//b//a", doc));
+}
+
+TEST_P(MatcherModeTest, OrderSensitiveEncodings) {
+  // a/c/*/a//c vs a//c/*/a/c (the paper's order-sensitivity example):
+  // construct a path matching the first but not the second.
+  Matcher m = MakeMatcher();
+  // Path a,c,x,a,y,c: a/c (=1) then c..a (=2) then a..c (>=1: distance 2).
+  xml::Document doc =
+      ParseXmlOrDie("<a><c><x><a><y><c/></y></a></x></c></a>");
+  EXPECT_TRUE(EngineMatches(&m, "a/c/*/a//c", doc));
+  EXPECT_FALSE(EngineMatches(&m, "a//c/*/a/c", doc));
+}
+
+TEST_P(MatcherModeTest, MultiPathDocuments) {
+  // Expressions matched by different paths of the same document.
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie(
+      "<root><left><l1/><l2/></left><right><r1><deep/></r1></right></root>");
+  std::vector<ExprId> ids = xpred::testing::AddAll(
+      &m, {"/root/left/l1", "/root/right/r1/deep", "/root/left/deep",
+           "deep", "l2", "/root/*/r1"});
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  EXPECT_EQ(matched, (std::vector<ExprId>{0, 1, 3, 4, 5}));
+}
+
+TEST_P(MatcherModeTest, DuplicateSubscriptionsAllReported) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  auto id1 = m.AddExpression("/a/b");
+  auto id2 = m.AddExpression("/a/b");
+  auto id3 = m.AddExpression("/a/c");
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(id3.ok());
+  EXPECT_EQ(m.subscription_count(), 3u);
+  EXPECT_EQ(m.distinct_expression_count(), 2u);
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  EXPECT_EQ(matched, (std::vector<ExprId>{*id1, *id2}));
+}
+
+TEST_P(MatcherModeTest, RepeatedFilteringIsStateless) {
+  Matcher m = MakeMatcher();
+  auto id = m.AddExpression("/a/b");
+  ASSERT_TRUE(id.ok());
+  xml::Document hit = ParseXmlOrDie("<a><b/></a>");
+  xml::Document miss = ParseXmlOrDie("<a><c/></a>");
+  EXPECT_EQ(FilterSorted(&m, hit).size(), 1u);
+  EXPECT_EQ(FilterSorted(&m, miss).size(), 0u);
+  EXPECT_EQ(FilterSorted(&m, hit).size(), 1u);
+  EXPECT_EQ(FilterSorted(&m, hit).size(), 1u);
+}
+
+TEST_P(MatcherModeTest, SameNameDifferentTagsInPath) {
+  // /a/b/a/b type repetition exercises occurrence bookkeeping.
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie("<a><b><a><b/></a></b></a>");
+  EXPECT_TRUE(EngineMatches(&m, "/a/b/a/b", doc));
+  EXPECT_TRUE(EngineMatches(&m, "a/b/a", doc));
+  EXPECT_TRUE(EngineMatches(&m, "a//a", doc));
+  EXPECT_TRUE(EngineMatches(&m, "b/a/b", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/a/a", doc));
+  EXPECT_FALSE(EngineMatches(&m, "b/b", doc));
+}
+
+TEST_P(MatcherModeTest, DeepDocumentLongExpression) {
+  Matcher m = MakeMatcher();
+  xml::Document doc = ParseXmlOrDie(
+      "<e1><e2><e3><e4><e5><e6><e7><e8/></e7></e6></e5></e4></e3></e2></e1>");
+  EXPECT_TRUE(EngineMatches(&m, "/e1/e2/e3/e4/e5/e6/e7/e8", doc));
+  EXPECT_TRUE(EngineMatches(&m, "/e1//e4//e8", doc));
+  EXPECT_TRUE(EngineMatches(&m, "e3/*/*/e6", doc));
+  EXPECT_FALSE(EngineMatches(&m, "/e1/e3", doc));
+}
+
+TEST_P(MatcherModeTest, AgainstOracleOnFixedCorpus) {
+  // A compact fixed corpus of documents and expressions, exhaustively
+  // cross-checked against the reference evaluator.
+  const std::vector<std::string> docs = {
+      "<a><b><c/></b></a>",
+      "<a><b/><b><c/></b></a>",
+      "<a><a><b><a/></b></a></a>",
+      "<x><y><z/></y><y><w><z/></w></y></x>",
+      "<a><b><c><d><e/></d></c></b></a>",
+      "<m/>",
+      "<a><c><a><c><a><c/></a></c></a></c></a>",
+  };
+  const std::vector<std::string> exprs = {
+      "/a",        "/a/b",      "/a/b/c",  "a",       "b/c",     "c",
+      "//b",       "/a//c",     "a//a",    "/*/b",    "/*/*",    "*",
+      "*/*/*",     "/a/*/c",    "b//c",    "/x/y/z",  "x//z",    "y/w",
+      "/a/b/*",    "a/*/*",     "//*",     "/m",      "m",       "z",
+      "a/c/a",     "a//c//a",   "/a/c/*/a", "c/a/c",  "/a/a",    "d/e",
+  };
+  Matcher m = MakeMatcher();
+  std::vector<ExprId> ids = xpred::testing::AddAll(&m, exprs);
+  for (const std::string& doc_text : docs) {
+    xml::Document doc = ParseXmlOrDie(doc_text);
+    std::vector<ExprId> matched = FilterSorted(&m, doc);
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      bool expected =
+          xpath::Evaluator::Matches(ParseXPathOrDie(exprs[i]), doc);
+      bool actual = std::binary_search(matched.begin(), matched.end(), ids[i]);
+      EXPECT_EQ(actual, expected)
+          << "doc=" << doc_text << " expr=" << exprs[i] << " mode "
+          << static_cast<int>(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, MatcherModeTest,
+    ::testing::Values(Matcher::Mode::kBasic, Matcher::Mode::kPrefixCovering,
+                      Matcher::Mode::kPrefixCoveringAccessPredicate,
+                      Matcher::Mode::kTrieDfs),
+    [](const ::testing::TestParamInfo<Matcher::Mode>& info) {
+      switch (info.param) {
+        case Matcher::Mode::kBasic:
+          return "basic";
+        case Matcher::Mode::kPrefixCovering:
+          return "pc";
+        case Matcher::Mode::kPrefixCoveringAccessPredicate:
+          return "pcap";
+        case Matcher::Mode::kTrieDfs:
+          return "triedfs";
+      }
+      return "unknown";
+    });
+
+// --- Non-parameterized behaviors ---------------------------------------------
+
+TEST(MatcherTest, InvalidExpressionRejected) {
+  Matcher m;
+  EXPECT_FALSE(m.AddExpression("").ok());
+  EXPECT_FALSE(m.AddExpression("/a[").ok());
+  EXPECT_FALSE(m.AddExpression("/a/following::b").ok());
+  EXPECT_FALSE(m.AddExpression("//").ok());
+  // Rejected expressions must not corrupt the engine.
+  ASSERT_TRUE(m.AddExpression("/a").ok());
+  xml::Document doc = xpred::testing::ParseXmlOrDie("<a/>");
+  EXPECT_EQ(FilterSorted(&m, doc).size(), 1u);
+}
+
+TEST(MatcherTest, ExpressionLongerThanLimitRejected) {
+  Matcher::Options options;
+  options.max_expression_length = 4;
+  Matcher m(options);
+  EXPECT_TRUE(m.AddExpression("/a/b/c/d").ok());
+  EXPECT_FALSE(m.AddExpression("/a/b/c/d/e").ok());
+  EXPECT_FALSE(m.AddExpression("/*/*/*/*/*").ok());
+}
+
+TEST(MatcherTest, NullOutputRejected) {
+  Matcher m;
+  xml::Document doc = xpred::testing::ParseXmlOrDie("<a/>");
+  EXPECT_FALSE(m.FilterDocument(doc, nullptr).ok());
+}
+
+TEST(MatcherTest, EmptyEngineMatchesNothing) {
+  Matcher m;
+  xml::Document doc = xpred::testing::ParseXmlOrDie("<a><b/></a>");
+  EXPECT_TRUE(FilterSorted(&m, doc).empty());
+}
+
+TEST(MatcherTest, StatsAccumulate) {
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/a/b").ok());
+  xml::Document doc = xpred::testing::ParseXmlOrDie("<a><b/><c/></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(m.FilterDocument(doc, &matched).ok());
+  EXPECT_EQ(m.stats().documents, 1u);
+  EXPECT_EQ(m.stats().paths, 2u);
+  EXPECT_GT(m.stats().occurrence_runs, 0u);
+  m.ResetStats();
+  EXPECT_EQ(m.stats().documents, 0u);
+}
+
+TEST(MatcherTest, DistinctPredicateSharing) {
+  // 4 expressions sharing most predicates: far fewer distinct
+  // predicates than predicate slots.
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/a/b/c").ok());
+  ASSERT_TRUE(m.AddExpression("/a/b/d").ok());
+  ASSERT_TRUE(m.AddExpression("/a/b").ok());
+  ASSERT_TRUE(m.AddExpression("a/b").ok());
+  // Predicates: (p_a,=,1), (d(a,b),=,1), (d(b,c),=,1), (d(b,d),=,1),
+  // (p_a,>=... none) — a/b is (d(a,b),=,1) only. Total distinct: 4.
+  EXPECT_EQ(m.distinct_predicate_count(), 4u);
+}
+
+TEST(MatcherTest, FilterXmlParsesAndMatches) {
+  Matcher m;
+  auto id = m.AddExpression("/a/b");
+  ASSERT_TRUE(id.ok());
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(m.FilterXml("<a><b/></a>", &matched).ok());
+  EXPECT_EQ(matched.size(), 1u);
+  matched.clear();
+  EXPECT_FALSE(m.FilterXml("<a><b/>", &matched).ok());
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,94 @@
+// Tests for engine memory accounting: the numbers are estimates, but
+// they must be non-trivial, grow with distinct state, and expose the
+// paper's sharing effects (duplicates are nearly free).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/memory_usage.h"
+#include "core/matcher.h"
+#include "indexfilter/index_filter.h"
+#include "xfilter/xfilter.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+#include "yfilter/yfilter.h"
+
+namespace xpred::core {
+namespace {
+
+std::vector<std::string> Workload(size_t count, bool distinct,
+                                  uint64_t seed) {
+  xpath::QueryGenerator::Options options;
+  options.distinct = distinct;
+  xpath::QueryGenerator gen(&xml::NitfLikeDtd(), options);
+  return gen.GenerateWorkloadStrings(count, seed);
+}
+
+template <typename Engine>
+size_t LoadedBytes(const std::vector<std::string>& exprs) {
+  Engine engine;
+  for (const std::string& e : exprs) {
+    EXPECT_TRUE(engine.AddExpression(e).ok());
+  }
+  return engine.ApproximateMemoryBytes();
+}
+
+TEST(MemoryUsageTest, GrowsWithDistinctExpressions) {
+  auto small = Workload(500, true, 7);
+  auto large = Workload(5000, true, 7);
+  EXPECT_GT(LoadedBytes<Matcher>(large), LoadedBytes<Matcher>(small));
+  EXPECT_GT(LoadedBytes<yfilter::YFilter>(large),
+            LoadedBytes<yfilter::YFilter>(small));
+  EXPECT_GT(LoadedBytes<indexfilter::IndexFilter>(large),
+            LoadedBytes<indexfilter::IndexFilter>(small));
+  EXPECT_GT(LoadedBytes<xfilter::XFilter>(large),
+            LoadedBytes<xfilter::XFilter>(small));
+}
+
+TEST(MemoryUsageTest, DuplicatesAreNearlyFree) {
+  // 10x duplicate subscriptions on the same distinct population must
+  // cost far less than 10x memory (a subscription id per duplicate).
+  auto distinct = Workload(2000, true, 11);
+  std::vector<std::string> duplicated;
+  for (int round = 0; round < 10; ++round) {
+    duplicated.insert(duplicated.end(), distinct.begin(), distinct.end());
+  }
+  size_t base = LoadedBytes<Matcher>(distinct);
+  size_t duped = LoadedBytes<Matcher>(duplicated);
+  EXPECT_LT(duped, base * 3) << "duplicates should share all index state";
+  EXPECT_GT(duped, base) << "subscription ids still cost something";
+}
+
+TEST(MemoryUsageTest, EmptyEngineIsSmall) {
+  Matcher m;
+  EXPECT_LT(m.ApproximateMemoryBytes(), 4096u);
+}
+
+TEST(MemoryUsageTest, BytesPerExpressionIsModest) {
+  // Sanity bound: the engine should hold NITF-scale workloads at well
+  // under ~1 KiB per distinct expression (the paper filters millions
+  // of XPEs in 2 GB of 2006-era RAM).
+  auto exprs = Workload(10000, true, 13);
+  Matcher m;
+  for (const std::string& e : exprs) ASSERT_TRUE(m.AddExpression(e).ok());
+  double per_expr = static_cast<double>(m.ApproximateMemoryBytes()) /
+                    static_cast<double>(m.distinct_expression_count());
+  EXPECT_LT(per_expr, 1024.0) << per_expr << " bytes/expression";
+}
+
+TEST(MemoryUsageHelpersTest, VectorAndStringBytes) {
+  std::vector<int> v;
+  v.reserve(100);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(int));
+
+  std::string sso = "hi";
+  EXPECT_EQ(StringBytes(sso), 0u);
+  std::string heap(200, 'x');
+  EXPECT_GE(StringBytes(heap), 200u);
+}
+
+}  // namespace
+}  // namespace xpred::core

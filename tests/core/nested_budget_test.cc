@@ -1,0 +1,62 @@
+// Tests for the nested-path witness enumeration budget: truncation
+// must be visible in stats, and generous budgets must never truncate
+// on ordinary documents.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+
+/// A pathological document: a deep chain of a-elements with b and c
+/// children sprinkled in, producing combinatorially many witness
+/// chains for a//a//a style trunks.
+xml::Document PathologicalDocument(int depth) {
+  std::string open;
+  std::string close;
+  for (int i = 0; i < depth; ++i) {
+    open += "<a><b/><c/>";
+    close += "</a>";
+  }
+  return ParseXmlOrDie(open + close);
+}
+
+TEST(NestedBudgetTest, OrdinaryDocumentsDoNotTruncate) {
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/a[b]/c").ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  FilterSorted(&m, doc);
+  EXPECT_EQ(m.stats().nested_enumeration_truncated, 0u);
+}
+
+TEST(NestedBudgetTest, TinyBudgetTruncatesVisibly) {
+  Matcher::Options options;
+  options.nested_chain_budget = 4;  // Absurdly small.
+  Matcher m(options);
+  ASSERT_TRUE(m.AddExpression("a//a//a[b]/c").ok());
+  xml::Document doc = PathologicalDocument(10);
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(m.FilterDocument(doc, &matched).ok());
+  EXPECT_GT(m.stats().nested_enumeration_truncated, 0u);
+}
+
+TEST(NestedBudgetTest, DefaultBudgetHandlesModerateFanOut) {
+  Matcher m;
+  auto id = m.AddExpression("a//a[b]/c");
+  ASSERT_TRUE(id.ok());
+  xml::Document doc = PathologicalDocument(8);
+  std::vector<ExprId> matched = FilterSorted(&m, doc);
+  EXPECT_EQ(matched, (std::vector<ExprId>{*id}));
+  EXPECT_EQ(m.stats().nested_enumeration_truncated, 0u);
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,165 @@
+// Tests for the occurrence determination algorithm (paper §4.2.1,
+// Algorithm 1, Example 2).
+
+#include "core/occurrence.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace xpred::core {
+namespace {
+
+using Results = std::vector<std::vector<OccPair>>;
+
+bool Determine(const Results& results) {
+  std::vector<const std::vector<OccPair>*> views;
+  views.reserve(results.size());
+  for (const auto& r : results) views.push_back(&r);
+  return OccurrenceDeterminer::Determine(views);
+}
+
+std::set<std::vector<OccPair>> Enumerate(const Results& results,
+                                         size_t budget = 100000) {
+  std::vector<const std::vector<OccPair>*> views;
+  for (const auto& r : results) views.push_back(&r);
+  std::set<std::vector<OccPair>> chains;
+  OccurrenceDeterminer::EnumerateChains(
+      views, budget, [&](std::span<const OccPair> chain) {
+        chains.emplace(chain.begin(), chain.end());
+      });
+  return chains;
+}
+
+TEST(OccurrenceTest, PaperExample2MatchingExpression) {
+  // a//b/c over (a,b,c,a,b,c): R1 = {(1,1),(1,2),(2,2)},
+  // R2 = {(1,1),(2,2)}. The combination (1,1),(1,1) (boldface in
+  // Table 1) is a true match.
+  Results r = {{{1, 1}, {1, 2}, {2, 2}}, {{1, 1}, {2, 2}}};
+  EXPECT_TRUE(Determine(r));
+}
+
+TEST(OccurrenceTest, PaperExample2NonMatchingExpression) {
+  // c//b//a over the same path: R1 = {(1,2)}, R2 = {(1,2)}.
+  // (1,2) -> requires next first = 2, but R2 only offers first = 1:
+  // no match.
+  Results r = {{{1, 2}}, {{1, 2}}};
+  EXPECT_FALSE(Determine(r));
+}
+
+TEST(OccurrenceTest, EmptyResultListMeansNoMatch) {
+  EXPECT_FALSE(Determine({{{1, 1}}, {}}));
+  EXPECT_FALSE(Determine({{}}));
+}
+
+TEST(OccurrenceTest, NullEntryMeansNoMatch) {
+  std::vector<OccPair> r1 = {{1, 1}};
+  std::vector<const std::vector<OccPair>*> views = {&r1, nullptr};
+  EXPECT_FALSE(OccurrenceDeterminer::Determine(views));
+}
+
+TEST(OccurrenceTest, SinglePredicateAnyPairMatches) {
+  EXPECT_TRUE(Determine({{{3, 3}}}));
+  EXPECT_TRUE(Determine({{{1, 2}, {5, 7}}}));
+}
+
+TEST(OccurrenceTest, ChainingConstraintEnforced) {
+  // (1,1) then (2,3): discontinuous, no match.
+  EXPECT_FALSE(Determine({{{1, 1}}, {{2, 3}}}));
+  // (1,2) then (2,3): continuous.
+  EXPECT_TRUE(Determine({{{1, 2}}, {{2, 3}}}));
+}
+
+TEST(OccurrenceTest, BacktrackingFindsLaterAlternative) {
+  // The first choice in R1 dead-ends; backtracking must try (1,3).
+  Results r = {{{1, 2}, {1, 3}}, {{3, 4}}, {{4, 1}}};
+  EXPECT_TRUE(Determine(r));
+}
+
+TEST(OccurrenceTest, DeepBacktracking) {
+  // Chain must thread 1->2->3->4; decoys at every level.
+  Results r = {
+      {{9, 9}, {1, 2}},
+      {{2, 9}, {2, 3}},
+      {{3, 9}, {3, 4}},
+      {{9, 9}, {4, 4}},
+  };
+  EXPECT_TRUE(Determine(r));
+}
+
+TEST(OccurrenceTest, AllCombinationsFail) {
+  Results r = {{{1, 1}, {2, 2}}, {{3, 3}, {4, 4}}};
+  EXPECT_FALSE(Determine(r));
+}
+
+TEST(OccurrenceTest, DuplicatedSingleTagPairsChain) {
+  // Single-tag predicates duplicate the occurrence (o, o): a chain
+  // (p_a,=,1) -> (d(a,b),=,1) -> (p_b-|,>=,2) threads a's occurrence
+  // then b's.
+  Results r = {{{1, 1}}, {{1, 1}}, {{1, 1}}};
+  EXPECT_TRUE(Determine(r));
+  Results broken = {{{1, 1}}, {{2, 1}}, {{1, 1}}};
+  EXPECT_FALSE(Determine(broken));
+}
+
+TEST(OccurrenceTest, EnumerateFindsAllChains) {
+  Results r = {{{1, 1}, {1, 2}, {2, 2}}, {{1, 1}, {2, 2}}};
+  std::set<std::vector<OccPair>> chains = Enumerate(r);
+  // Valid chains: (1,1)->(1,1); (1,2)->(2,2); (2,2)->(2,2).
+  EXPECT_EQ(chains.size(), 3u);
+  EXPECT_TRUE(chains.count({{1, 1}, {1, 1}}));
+  EXPECT_TRUE(chains.count({{1, 2}, {2, 2}}));
+  EXPECT_TRUE(chains.count({{2, 2}, {2, 2}}));
+}
+
+TEST(OccurrenceTest, EnumerateRespectsBudget) {
+  // 2^10 chains but a budget of 10 steps: enumeration reports
+  // truncation by returning false.
+  Results r;
+  for (int i = 0; i < 10; ++i) {
+    r.push_back({{1, 1}, {1, 1}});
+  }
+  std::vector<const std::vector<OccPair>*> views;
+  for (const auto& x : r) views.push_back(&x);
+  size_t count = 0;
+  bool complete = OccurrenceDeterminer::EnumerateChains(
+      views, 10, [&](std::span<const OccPair>) { ++count; });
+  EXPECT_FALSE(complete);
+}
+
+TEST(OccurrenceTest, EmptyInputHasNoMatch) {
+  EXPECT_FALSE(Determine({}));
+}
+
+// Property sweep: Determine agrees with brute-force enumeration on
+// small random instances.
+class OccurrencePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OccurrencePropertyTest, DetermineAgreesWithEnumeration) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  // Tiny deterministic LCG for instance construction.
+  uint64_t state = seed * 2654435761u + 1;
+  auto next = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  Results r;
+  size_t n = 1 + next() % 4;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<OccPair> list;
+    size_t k = 1 + next() % 4;
+    for (size_t j = 0; j < k; ++j) {
+      list.push_back({1 + next() % 3, 1 + next() % 3});
+    }
+    r.push_back(std::move(list));
+  }
+  bool fast = Determine(r);
+  bool slow = !Enumerate(r).empty();
+  EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OccurrencePropertyTest,
+                         ::testing::Range(0, 200));
+
+}  // namespace
+}  // namespace xpred::core

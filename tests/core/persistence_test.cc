@@ -1,0 +1,89 @@
+// Tests for subscription save/load.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+
+TEST(PersistenceTest, SaveLoadRoundTripPreservesBehavior) {
+  Matcher original;
+  xpred::testing::AddAll(&original,
+                         {"/a/b", "/a/c", "a//d", "/a/b", "/a[b]/c",
+                          "/a/b[@x = 1]"});
+
+  std::ostringstream out;
+  ASSERT_TRUE(original.SaveSubscriptions(&out).ok());
+
+  Matcher restored;
+  std::istringstream in(out.str());
+  Result<std::vector<ExprId>> loaded = restored.LoadSubscriptions(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 6u);
+  EXPECT_EQ(restored.subscription_count(), original.subscription_count());
+  EXPECT_EQ(restored.distinct_expression_count(),
+            original.distinct_expression_count());
+
+  for (const char* doc_text :
+       {"<a><b/><c/></a>", "<a><b x=\"1\"/></a>", "<a><x><d/></x></a>",
+        "<a><c/></a>"}) {
+    xml::Document doc = ParseXmlOrDie(doc_text);
+    EXPECT_EQ(FilterSorted(&restored, doc), FilterSorted(&original, doc))
+        << doc_text;
+  }
+}
+
+TEST(PersistenceTest, SavePreservesMultiplicityAndSkipsRemoved) {
+  Matcher m;
+  auto s1 = m.AddExpression("/a/b");
+  auto s2 = m.AddExpression("/a/b");
+  auto s3 = m.AddExpression("/a/c");
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  ASSERT_TRUE(m.RemoveSubscription(*s3).ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(m.SaveSubscriptions(&out).ok());
+
+  Matcher restored;
+  std::istringstream in(out.str());
+  Result<std::vector<ExprId>> loaded = restored.LoadSubscriptions(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);  // Both /a/b duplicates, not /a/c.
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  EXPECT_EQ(FilterSorted(&restored, doc).size(), 2u);
+}
+
+TEST(PersistenceTest, CommentsAndBlankLinesIgnored) {
+  Matcher m;
+  std::istringstream in("# header\n\n/a/b\n\n# trailing\n/a/c\n");
+  Result<std::vector<ExprId>> loaded = m.LoadSubscriptions(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(PersistenceTest, BadLineReportedWithPosition) {
+  Matcher m;
+  std::istringstream in("/a/b\n/a[\n");
+  Result<std::vector<ExprId>> loaded = m.LoadSubscriptions(&in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status();
+}
+
+TEST(PersistenceTest, NullStreamsRejected) {
+  Matcher m;
+  EXPECT_FALSE(m.SaveSubscriptions(nullptr).ok());
+  EXPECT_FALSE(m.LoadSubscriptions(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace xpred::core

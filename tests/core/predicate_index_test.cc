@@ -1,0 +1,281 @@
+// Tests for the predicate index (paper §4.1): evaluation rules,
+// deduplication, and the Table 1 example.
+
+#include "core/predicate_index.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+#include "core/encoder.h"
+#include "test_util.h"
+#include "xml/path.h"
+#include "xpath/parser.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+class PredicateIndexTest : public ::testing::Test {
+ protected:
+  PredicateId Insert(const Predicate& p) {
+    Result<PredicateId> pid = index_.InsertOrFind(p);
+    EXPECT_TRUE(pid.ok()) << pid.status();
+    return pid.ok() ? *pid : kInvalidPredicate;
+  }
+
+  Predicate Absolute(const std::string& tag, PredOp op, uint32_t v) {
+    Predicate p;
+    p.type = PredicateType::kAbsolute;
+    p.op = op;
+    p.value = v;
+    p.tag1 = interner_.Intern(tag);
+    return p;
+  }
+
+  Predicate Relative(const std::string& t1, const std::string& t2,
+                     PredOp op, uint32_t v) {
+    Predicate p;
+    p.type = PredicateType::kRelative;
+    p.op = op;
+    p.value = v;
+    p.tag1 = interner_.Intern(t1);
+    p.tag2 = interner_.Intern(t2);
+    return p;
+  }
+
+  Predicate EndOfPath(const std::string& tag, uint32_t v) {
+    Predicate p;
+    p.type = PredicateType::kEndOfPath;
+    p.op = PredOp::kGe;
+    p.value = v;
+    p.tag1 = interner_.Intern(tag);
+    return p;
+  }
+
+  Predicate Length(uint32_t v) {
+    Predicate p;
+    p.type = PredicateType::kLength;
+    p.op = PredOp::kGe;
+    p.value = v;
+    return p;
+  }
+
+  /// Matches the single path of \p xml and returns results for \p pid.
+  std::vector<OccPair> MatchPath(const std::string& xml, PredicateId pid) {
+    xml::Document doc = ParseXmlOrDie(xml);
+    std::vector<xml::DocumentPath> paths = xml::ExtractPaths(doc);
+    EXPECT_EQ(paths.size(), 1u);
+    Publication pub(paths[0], interner_);
+    index_.Match(pub, &results_);
+    const std::vector<OccPair>* r = results_.Find(pid);
+    if (r == nullptr) return {};
+    return *r;
+  }
+
+  Interner interner_;
+  PredicateIndex index_;
+  MatchResultSet results_;
+};
+
+// --- Deduplication (the overlap-sharing core idea) -------------------------
+
+TEST_F(PredicateIndexTest, IdenticalPredicatesShareOnePid) {
+  PredicateId p1 = Insert(Relative("a", "c", PredOp::kEq, 2));
+  PredicateId p2 = Insert(Relative("a", "c", PredOp::kEq, 2));
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(index_.distinct_count(), 1u);
+}
+
+TEST_F(PredicateIndexTest, DistinctCoordinatesGetDistinctPids) {
+  PredicateId p1 = Insert(Relative("a", "c", PredOp::kEq, 2));
+  PredicateId p2 = Insert(Relative("a", "c", PredOp::kEq, 3));
+  PredicateId p3 = Insert(Relative("a", "c", PredOp::kGe, 2));
+  PredicateId p4 = Insert(Relative("c", "a", PredOp::kEq, 2));
+  PredicateId p5 = Insert(Absolute("a", PredOp::kEq, 2));
+  EXPECT_EQ(index_.distinct_count(), 5u);
+  EXPECT_NE(p1, p2);
+  EXPECT_NE(p1, p3);
+  EXPECT_NE(p1, p4);
+  EXPECT_NE(p1, p5);
+}
+
+TEST_F(PredicateIndexTest, FigureOneExample) {
+  // Figure 1: /a/*/c and */a/*/c/*/*/* share the predicate
+  // (d(p_a, p_c), =, 2), stored once.
+  Interner shared;
+  auto enc1 = EncodeExpression(*xpath::ParseXPath("/a/*/c"),
+                               AttributeMode::kInline, &shared);
+  auto enc2 = EncodeExpression(*xpath::ParseXPath("*/a/*/c/*/*/*"),
+                               AttributeMode::kInline, &shared);
+  ASSERT_TRUE(enc1.ok());
+  ASSERT_TRUE(enc2.ok());
+  PredicateIndex index;
+  std::vector<PredicateId> pids1;
+  std::vector<PredicateId> pids2;
+  for (const Predicate& p : enc1->predicates) {
+    pids1.push_back(*index.InsertOrFind(p));
+  }
+  for (const Predicate& p : enc2->predicates) {
+    pids2.push_back(*index.InsertOrFind(p));
+  }
+  // enc1: (p_a,=,1), (d(a,c),=,2). enc2: (p_a,>=,2), (d(a,c),=,2),
+  // (p_c-|,>=,3). The relative predicate is shared.
+  EXPECT_EQ(pids1[1], pids2[1]);
+  EXPECT_EQ(index.distinct_count(), 4u);
+}
+
+TEST_F(PredicateIndexTest, ValueOutsideRangeRejected) {
+  PredicateIndex small(PredicateIndex::Options{4});
+  Predicate p = Absolute("a", PredOp::kEq, 5);
+  Result<PredicateId> pid = small.InsertOrFind(p);
+  EXPECT_FALSE(pid.ok());
+  EXPECT_EQ(pid.status().code(), StatusCode::kCapacityExceeded);
+  EXPECT_FALSE(small.InsertOrFind(Length(0)).ok());
+}
+
+// --- Evaluation rules (§4.1.1) ----------------------------------------------
+
+TEST_F(PredicateIndexTest, AbsoluteEqualityRule) {
+  PredicateId pid = Insert(Absolute("b", PredOp::kEq, 2));
+  EXPECT_EQ(MatchPath("<a><b/></a>", pid),
+            (std::vector<OccPair>{{1, 1}}));
+  EXPECT_TRUE(MatchPath("<b><a/></b>", pid).empty());   // b at 1, not 2.
+  EXPECT_TRUE(MatchPath("<a><c><b/></c></a>", pid).empty());  // b at 3.
+}
+
+TEST_F(PredicateIndexTest, AbsoluteGreaterEqualRule) {
+  PredicateId pid = Insert(Absolute("b", PredOp::kGe, 2));
+  EXPECT_TRUE(MatchPath("<b><a/></b>", pid).empty());  // 1 >= 2 fails.
+  EXPECT_EQ(MatchPath("<a><b/></a>", pid), (std::vector<OccPair>{{1, 1}}));
+  EXPECT_EQ(MatchPath("<a><c><b/></c></a>", pid),
+            (std::vector<OccPair>{{1, 1}}));
+}
+
+TEST_F(PredicateIndexTest, RelativeEqualityRule) {
+  // The §4.1.1 example: given tuples (a, 2) and (b, 6),
+  // (d(p_a, p_b), =, 2) is not matched since 6 - 2 = 2 does not hold.
+  PredicateId pid = Insert(Relative("a", "b", PredOp::kEq, 2));
+  EXPECT_TRUE(
+      MatchPath("<r><a><x><y><z><b/></z></y></x></a></r>", pid).empty());
+  EXPECT_EQ(MatchPath("<r><a><x><b/></x></a></r>", pid),
+            (std::vector<OccPair>{{1, 1}}));
+}
+
+TEST_F(PredicateIndexTest, RelativeOrderMatters) {
+  // (d(p_a, p_b), op, v) requires a BEFORE b in the path.
+  PredicateId pid = Insert(Relative("a", "b", PredOp::kGe, 1));
+  EXPECT_TRUE(MatchPath("<b><a/></b>", pid).empty());
+  EXPECT_FALSE(MatchPath("<a><b/></a>", pid).empty());
+}
+
+TEST_F(PredicateIndexTest, EndOfPathRule) {
+  PredicateId pid = Insert(EndOfPath("a", 2));
+  // l - pos(a) >= 2.
+  EXPECT_TRUE(MatchPath("<a><b/></a>", pid).empty());          // 2-1=1.
+  EXPECT_EQ(MatchPath("<a><b><c/></b></a>", pid),              // 3-1=2.
+            (std::vector<OccPair>{{1, 1}}));
+  EXPECT_TRUE(MatchPath("<x><y><a/></y></x>", pid).empty());   // 3-3=0.
+}
+
+TEST_F(PredicateIndexTest, LengthRule) {
+  PredicateId pid = Insert(Length(3));
+  EXPECT_TRUE(MatchPath("<a><b/></a>", pid).empty());
+  EXPECT_EQ(MatchPath("<a><b><c/></b></a>", pid),
+            (std::vector<OccPair>{{1, 1}}));
+  EXPECT_EQ(MatchPath("<a><b><c><d/></c></b></a>", pid),
+            (std::vector<OccPair>{{1, 1}}));
+}
+
+// --- Table 1 -----------------------------------------------------------------
+
+TEST_F(PredicateIndexTest, PaperTable1) {
+  // Path (a, b, c, a, b, c); expressions a//b/c and c//b//a.
+  PredicateId ab_ge1 = Insert(Relative("a", "b", PredOp::kGe, 1));
+  PredicateId bc_eq1 = Insert(Relative("b", "c", PredOp::kEq, 1));
+  PredicateId cb_ge1 = Insert(Relative("c", "b", PredOp::kGe, 1));
+  PredicateId ba_ge1 = Insert(Relative("b", "a", PredOp::kGe, 1));
+
+  xml::Document doc =
+      ParseXmlOrDie("<a><b><c><a><b><c/></b></a></c></b></a>");
+  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  Publication pub(paths[0], interner_);
+  index_.Match(pub, &results_);
+
+  auto sorted = [&](PredicateId pid) {
+    std::vector<OccPair> r;
+    if (const auto* found = results_.Find(pid)) r = *found;
+    std::sort(r.begin(), r.end(), [](OccPair x, OccPair y) {
+      return std::tie(x.first, x.second) < std::tie(y.first, y.second);
+    });
+    return r;
+  };
+
+  // (d(p_a, p_b), >=, 1): (a1,b1), (a1,b2), (a2,b2).
+  EXPECT_EQ(sorted(ab_ge1),
+            (std::vector<OccPair>{{1, 1}, {1, 2}, {2, 2}}));
+  // (d(p_b, p_c), =, 1): (b1,c1), (b2,c2).
+  EXPECT_EQ(sorted(bc_eq1), (std::vector<OccPair>{{1, 1}, {2, 2}}));
+  // (d(p_c, p_b), >=, 1): (c1,b2).
+  EXPECT_EQ(sorted(cb_ge1), (std::vector<OccPair>{{1, 2}}));
+  // (d(p_b, p_a), >=, 1): (b1,a2).
+  EXPECT_EQ(sorted(ba_ge1), (std::vector<OccPair>{{1, 2}}));
+}
+
+// --- Inline attribute constraints (§5) ---------------------------------------
+
+TEST_F(PredicateIndexTest, AttributeConstraintsSplitSlots) {
+  Predicate plain = Absolute("a", PredOp::kEq, 1);
+  Predicate constrained = plain;
+  AttributeConstraint c;
+  c.name = "x";
+  c.has_comparison = true;
+  c.op = xpath::CompareOp::kEq;
+  c.value = xpath::Literal::Number(3);
+  constrained.attrs1.push_back(c);
+
+  PredicateId p1 = Insert(plain);
+  PredicateId p2 = Insert(constrained);
+  PredicateId p3 = Insert(constrained);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(p2, p3);
+  EXPECT_EQ(index_.distinct_count(), 2u);
+
+  // Only the matching element satisfies the constrained pid.
+  EXPECT_FALSE(MatchPath("<a x=\"3\"><b/></a>", p2).empty());
+  EXPECT_TRUE(MatchPath("<a x=\"4\"><b/></a>", p2).empty());
+  EXPECT_TRUE(MatchPath("<a><b/></a>", p2).empty());  // Attribute absent.
+  // The plain pid matches regardless.
+  EXPECT_FALSE(MatchPath("<a x=\"4\"><b/></a>", p1).empty());
+}
+
+TEST_F(PredicateIndexTest, PaperSection5Example) {
+  // Given tuple (a([x, 6]), 5), the predicate (a([x, >=, 3]), >=, 2)
+  // is matched since 6 >= 3 and 5 >= 2.
+  Predicate p = Absolute("a", PredOp::kGe, 2);
+  AttributeConstraint c;
+  c.name = "x";
+  c.has_comparison = true;
+  c.op = xpath::CompareOp::kGe;
+  c.value = xpath::Literal::Number(3);
+  p.attrs1.push_back(c);
+  PredicateId pid = Insert(p);
+  EXPECT_FALSE(
+      MatchPath("<r><q><s><t><a x=\"6\"/></t></s></q></r>", pid).empty());
+  EXPECT_TRUE(
+      MatchPath("<r><q><s><t><a x=\"2\"/></t></s></q></r>", pid).empty());
+}
+
+// --- MatchResultSet epochs ----------------------------------------------------
+
+TEST_F(PredicateIndexTest, ResultsResetBetweenPaths) {
+  PredicateId pid = Insert(Absolute("a", PredOp::kEq, 1));
+  EXPECT_FALSE(MatchPath("<a><b/></a>", pid).empty());
+  // A path without 'a' at position 1 must not leak earlier results.
+  EXPECT_TRUE(MatchPath("<x><a/></x>", pid).empty());
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,135 @@
+// Tests for the predicate model: rendering, equality, and attribute
+// constraints.
+
+#include "core/predicate.h"
+
+#include "gtest/gtest.h"
+
+namespace xpred::core {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() {
+    a_ = interner_.Intern("a");
+    b_ = interner_.Intern("b");
+  }
+
+  Interner interner_;
+  SymbolId a_;
+  SymbolId b_;
+};
+
+TEST_F(PredicateTest, AbsoluteToString) {
+  Predicate p;
+  p.type = PredicateType::kAbsolute;
+  p.op = PredOp::kEq;
+  p.value = 1;
+  p.tag1 = a_;
+  EXPECT_EQ(p.ToString(interner_), "(p_a, =, 1)");
+  p.op = PredOp::kGe;
+  p.value = 3;
+  EXPECT_EQ(p.ToString(interner_), "(p_a, >=, 3)");
+}
+
+TEST_F(PredicateTest, RelativeToString) {
+  Predicate p;
+  p.type = PredicateType::kRelative;
+  p.op = PredOp::kGe;
+  p.value = 1;
+  p.tag1 = a_;
+  p.tag2 = b_;
+  EXPECT_EQ(p.ToString(interner_), "(d(p_a, p_b), >=, 1)");
+}
+
+TEST_F(PredicateTest, EndOfPathAndLengthToString) {
+  Predicate eop;
+  eop.type = PredicateType::kEndOfPath;
+  eop.value = 2;
+  eop.tag1 = b_;
+  EXPECT_EQ(eop.ToString(interner_), "(p_b-|, >=, 2)");
+
+  Predicate len;
+  len.type = PredicateType::kLength;
+  len.value = 4;
+  EXPECT_EQ(len.ToString(interner_), "(length, >=, 4)");
+}
+
+TEST_F(PredicateTest, AttributeConstraintToString) {
+  Predicate p;
+  p.type = PredicateType::kAbsolute;
+  p.op = PredOp::kEq;
+  p.value = 2;
+  p.tag1 = a_;
+  AttributeConstraint c;
+  c.name = "x";
+  c.has_comparison = true;
+  c.op = xpath::CompareOp::kEq;
+  c.value = xpath::Literal::Number(3);
+  p.attrs1.push_back(c);
+  // The paper's §5 spelling: (p_t1([x, =, 3]), =, 2).
+  EXPECT_EQ(p.ToString(interner_), "(p_a([x, =, 3]), =, 2)");
+}
+
+TEST_F(PredicateTest, EqualityIncludesEverything) {
+  Predicate p1;
+  p1.type = PredicateType::kRelative;
+  p1.op = PredOp::kEq;
+  p1.value = 2;
+  p1.tag1 = a_;
+  p1.tag2 = b_;
+  Predicate p2 = p1;
+  EXPECT_EQ(p1, p2);
+  p2.value = 3;
+  EXPECT_FALSE(p1 == p2);
+  p2 = p1;
+  p2.op = PredOp::kGe;
+  EXPECT_FALSE(p1 == p2);
+  p2 = p1;
+  AttributeConstraint c;
+  c.name = "k";
+  p2.attrs2.push_back(c);
+  EXPECT_FALSE(p1 == p2);
+}
+
+TEST(AttributeConstraintTest, ExistenceMatchesAnyValue) {
+  AttributeConstraint c;
+  c.name = "id";
+  EXPECT_TRUE(c.Matches("anything"));
+  EXPECT_TRUE(c.Matches(""));
+}
+
+TEST(AttributeConstraintTest, NumericComparisons) {
+  AttributeConstraint c;
+  c.name = "x";
+  c.has_comparison = true;
+  c.op = xpath::CompareOp::kLe;
+  c.value = xpath::Literal::Number(5);
+  EXPECT_TRUE(c.Matches("5"));
+  EXPECT_TRUE(c.Matches("4.99"));
+  EXPECT_FALSE(c.Matches("5.01"));
+  EXPECT_FALSE(c.Matches("junk"));
+}
+
+TEST(AttributeConstraintTest, RoundTripFromFilter) {
+  xpath::AttributeFilter f;
+  f.name = "k";
+  f.has_comparison = true;
+  f.op = xpath::CompareOp::kGt;
+  f.value = xpath::Literal::String("m");
+  AttributeConstraint c = AttributeConstraint::FromFilter(f);
+  EXPECT_EQ(c.name, "k");
+  EXPECT_TRUE(c.has_comparison);
+  EXPECT_EQ(c.op, xpath::CompareOp::kGt);
+  EXPECT_TRUE(c.Matches("z"));
+  EXPECT_FALSE(c.Matches("a"));
+}
+
+TEST(OccPairTest, Ordering) {
+  EXPECT_EQ((OccPair{1, 2}), (OccPair{1, 2}));
+  EXPECT_LT((OccPair{1, 2}), (OccPair{1, 3}));
+  EXPECT_LT((OccPair{1, 9}), (OccPair{2, 0}));
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,98 @@
+// Tests for the document-path -> tuple encoding (paper §3.3).
+
+#include "core/publication.h"
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+#include "xml/path.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+class PublicationTest : public ::testing::Test {
+ protected:
+  /// Interns the tags predicates would mention.
+  void InternTags(const std::vector<std::string>& tags) {
+    for (const std::string& t : tags) interner_.Intern(t);
+  }
+
+  Interner interner_;
+};
+
+TEST_F(PublicationTest, PaperExample1) {
+  // The path e = (a, b, c, a, b, c) from Example 1 translates to
+  // (length, 6), (a^1, 1), (b^1, 2), (c^1, 3), (a^2, 4), (b^2, 5),
+  // (c^2, 6).
+  InternTags({"a", "b", "c"});
+  xml::Document doc = ParseXmlOrDie(
+      "<a><b><c><a><b><c/></b></a></c></b></a>");
+  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  Publication pub(paths[0], interner_);
+  EXPECT_EQ(pub.ToString(interner_),
+            "(length, 6), (a^1, 1), (b^1, 2), (c^1, 3), (a^2, 4), "
+            "(b^2, 5), (c^2, 6)");
+}
+
+TEST_F(PublicationTest, LengthAndPositions) {
+  InternTags({"x", "y"});
+  xml::Document doc = ParseXmlOrDie("<x><y><x/></y></x>");
+  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  Publication pub(paths[0], interner_);
+  EXPECT_EQ(pub.length(), 3u);
+  SymbolId x = interner_.Lookup("x");
+  SymbolId y = interner_.Lookup("y");
+  EXPECT_EQ(pub.PositionOf(x, 1), 1u);
+  EXPECT_EQ(pub.PositionOf(x, 2), 3u);
+  EXPECT_EQ(pub.PositionOf(y, 1), 2u);
+  EXPECT_EQ(pub.PositionOf(x, 3), 0u);  // No third x.
+  EXPECT_EQ(pub.PositionOf(y, 0), 0u);  // Occurrences start at 1.
+}
+
+TEST_F(PublicationTest, UnknownTagsKeepPositionsButNoSymbol) {
+  // Tags never interned (no expression mentions them) must still
+  // occupy their positions so distances and length stay correct.
+  InternTags({"b"});
+  xml::Document doc = ParseXmlOrDie("<a><b><zz/></b></a>");
+  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  Publication pub(paths[0], interner_);
+  EXPECT_EQ(pub.length(), 3u);
+  EXPECT_EQ(pub.tuple(1).tag, kInvalidSymbol);
+  EXPECT_EQ(pub.tuple(2).tag, interner_.Lookup("b"));
+  EXPECT_EQ(pub.tuple(2).position, 2u);
+  EXPECT_EQ(pub.tuple(3).tag, kInvalidSymbol);
+}
+
+TEST_F(PublicationTest, OccurrencesArePerPathNotPerDocument) {
+  // Two sibling branches each see their own occurrence numbering.
+  InternTags({"a", "b"});
+  xml::Document doc = ParseXmlOrDie("<a><b/><b/></a>");
+  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 2u);
+  Publication p1(paths[0], interner_);
+  Publication p2(paths[1], interner_);
+  // Both paths are (a, b): each b is occurrence 1 of its own path.
+  EXPECT_EQ(p1.tuple(2).occurrence, 1u);
+  EXPECT_EQ(p2.tuple(2).occurrence, 1u);
+  EXPECT_NE(p1.NodeAt(2), p2.NodeAt(2));
+}
+
+TEST_F(PublicationTest, AttributesReachableByPosition) {
+  InternTags({"a", "b"});
+  xml::Document doc = ParseXmlOrDie("<a x=\"1\"><b y=\"2\" z=\"3\"/></a>");
+  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  Publication pub(paths[0], interner_);
+  ASSERT_EQ(pub.AttributesAt(1).size(), 1u);
+  EXPECT_EQ(pub.AttributesAt(1)[0].name, "x");
+  ASSERT_EQ(pub.AttributesAt(2).size(), 2u);
+  EXPECT_EQ(pub.AttributesAt(2)[1].value, "3");
+}
+
+}  // namespace
+}  // namespace xpred::core

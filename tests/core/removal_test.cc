@@ -1,0 +1,128 @@
+// Tests for dynamic subscription removal (an extension; the paper
+// names dynamic maintenance as an advantage over compiled automata).
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+
+class RemovalTest : public ::testing::TestWithParam<Matcher::Mode> {
+ protected:
+  Matcher MakeMatcher() {
+    Matcher::Options options;
+    options.mode = GetParam();
+    return Matcher(options);
+  }
+};
+
+TEST_P(RemovalTest, RemovedSubscriptionStopsMatching) {
+  Matcher m = MakeMatcher();
+  auto a = m.AddExpression("/a/b");
+  auto b = m.AddExpression("/a/c");
+  ASSERT_TRUE(a.ok() && b.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*a, *b}));
+
+  ASSERT_TRUE(m.RemoveSubscription(*a).ok());
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*b}));
+}
+
+TEST_P(RemovalTest, DuplicatesSurviveUntilLastRemoval) {
+  Matcher m = MakeMatcher();
+  auto s1 = m.AddExpression("/a/b");
+  auto s2 = m.AddExpression("/a/b");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+
+  ASSERT_TRUE(m.RemoveSubscription(*s1).ok());
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*s2}));
+  ASSERT_TRUE(m.RemoveSubscription(*s2).ok());
+  EXPECT_TRUE(FilterSorted(&m, doc).empty());
+}
+
+TEST_P(RemovalTest, ResubscriptionReactivates) {
+  Matcher m = MakeMatcher();
+  auto s1 = m.AddExpression("/a/b");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(m.RemoveSubscription(*s1).ok());
+  auto s2 = m.AddExpression("/a/b");
+  ASSERT_TRUE(s2.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*s2}));
+}
+
+TEST_P(RemovalTest, RemovalErrors) {
+  Matcher m = MakeMatcher();
+  auto s = m.AddExpression("/a");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(m.RemoveSubscription(999).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(m.RemoveSubscription(*s).ok());
+  EXPECT_EQ(m.RemoveSubscription(*s).code(), StatusCode::kNotFound);
+}
+
+TEST_P(RemovalTest, CoveringUnaffectedByInactiveExpressions) {
+  // An inactive long expression must not mark covered prefixes, and an
+  // inactive prefix must not be reported via covering propagation.
+  Matcher m = MakeMatcher();
+  auto short_sub = m.AddExpression("/a/b");
+  auto long_sub = m.AddExpression("/a/b/c");
+  ASSERT_TRUE(short_sub.ok() && long_sub.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+
+  ASSERT_TRUE(m.RemoveSubscription(*short_sub).ok());
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*long_sub}));
+
+  ASSERT_TRUE(m.RemoveSubscription(*long_sub).ok());
+  EXPECT_TRUE(FilterSorted(&m, doc).empty());
+}
+
+TEST_P(RemovalTest, NestedGroupRemoval) {
+  Matcher m = MakeMatcher();
+  auto nested = m.AddExpression("/a[b]/c");
+  auto plain = m.AddExpression("/a/c");
+  ASSERT_TRUE(nested.ok() && plain.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  EXPECT_EQ(FilterSorted(&m, doc),
+            (std::vector<ExprId>{*nested, *plain}));
+
+  ASSERT_TRUE(m.RemoveSubscription(*nested).ok());
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*plain}));
+
+  // Re-subscribe the nested expression.
+  auto again = m.AddExpression("/a[b]/c");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(FilterSorted(&m, doc),
+            (std::vector<ExprId>{*plain, *again}));
+}
+
+TEST_P(RemovalTest, SharedPredicatesSurviveRemoval) {
+  // Removing one expression must not disturb others sharing its
+  // predicates.
+  Matcher m = MakeMatcher();
+  auto e1 = m.AddExpression("/a/b/c");
+  auto e2 = m.AddExpression("/a/b/d");
+  auto e3 = m.AddExpression("a/b");
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+  ASSERT_TRUE(m.RemoveSubscription(*e1).ok());
+
+  xml::Document doc = ParseXmlOrDie("<a><b><c/><d/></b></a>");
+  EXPECT_EQ(FilterSorted(&m, doc), (std::vector<ExprId>{*e2, *e3}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, RemovalTest,
+    ::testing::Values(Matcher::Mode::kBasic, Matcher::Mode::kPrefixCovering,
+                      Matcher::Mode::kPrefixCoveringAccessPredicate,
+                      Matcher::Mode::kTrieDfs));
+
+}  // namespace
+}  // namespace xpred::core

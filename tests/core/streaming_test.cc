@@ -1,0 +1,150 @@
+// Tests for the streaming (SAX-driven, one-path-at-a-time) front end.
+
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+std::vector<ExprId> StreamFilter(Matcher* matcher, const std::string& xml) {
+  StreamingFilter filter(matcher);
+  std::vector<ExprId> matched;
+  Status st = filter.FilterXml(xml, &matched);
+  EXPECT_TRUE(st.ok()) << st;
+  std::sort(matched.begin(), matched.end());
+  return matched;
+}
+
+std::vector<ExprId> TreeFilter(Matcher* matcher, const xml::Document& doc) {
+  std::vector<ExprId> matched;
+  Status st = matcher->FilterDocument(doc, &matched);
+  EXPECT_TRUE(st.ok()) << st;
+  std::sort(matched.begin(), matched.end());
+  return matched;
+}
+
+std::vector<ExprId> TreeFilter(Matcher* matcher, const std::string& xml) {
+  return TreeFilter(matcher, ParseXmlOrDie(xml));
+}
+
+TEST(StreamingTest, BasicMatching) {
+  Matcher m;
+  auto ab = m.AddExpression("/a/b");
+  auto ac = m.AddExpression("/a/c");
+  ASSERT_TRUE(ab.ok() && ac.ok());
+  EXPECT_EQ(StreamFilter(&m, "<a><b/></a>"), (std::vector<ExprId>{*ab}));
+  EXPECT_EQ(StreamFilter(&m, "<a><c/></a>"), (std::vector<ExprId>{*ac}));
+  EXPECT_EQ(StreamFilter(&m, "<a><b/><c/></a>"),
+            (std::vector<ExprId>{*ab, *ac}));
+}
+
+TEST(StreamingTest, AgreesWithTreeModeOnFixedCorpus) {
+  const std::vector<std::string> docs = {
+      "<a><b><c/></b></a>",
+      "<a><b/><b><c/></b></a>",
+      "<a x=\"3\"><b y=\"7\"/><b y=\"9\"/></a>",
+      "<a><a><b><a/></b></a></a>",
+      "<r><a><b/></a><a><b/><c/></a></r>",
+  };
+  const std::vector<std::string> exprs = {
+      "/a",       "/a/b",         "b/c",      "a//a",
+      "/a[@x = 3]/b", "/a/b[@y = 9]", "*/*/*",  "/r/a[b]/c",
+      "//b",      "/a/b/c",
+  };
+  Matcher stream_matcher;
+  Matcher tree_matcher;
+  xpred::testing::AddAll(&stream_matcher, exprs);
+  xpred::testing::AddAll(&tree_matcher, exprs);
+  for (const std::string& doc : docs) {
+    EXPECT_EQ(StreamFilter(&stream_matcher, doc),
+              TreeFilter(&tree_matcher, doc))
+        << doc;
+  }
+}
+
+TEST(StreamingTest, AgreesWithTreeModeOnGeneratedCorpus) {
+  const xml::Dtd& dtd = xml::PsdLikeDtd();
+  xpath::QueryGenerator::Options qopts;
+  qopts.filters_per_expr = 1;
+  qopts.nested_path_prob = 0.3;
+  xpath::QueryGenerator qgen(&dtd, qopts);
+  std::vector<std::string> exprs = qgen.GenerateWorkloadStrings(80, 5);
+
+  Matcher stream_matcher;
+  Matcher tree_matcher;
+  xpred::testing::AddAll(&stream_matcher, exprs);
+  xpred::testing::AddAll(&tree_matcher, exprs);
+
+  xml::DocumentGenerator dgen(&dtd, {});
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    xml::Document doc = dgen.Generate(seed);
+    std::string xml = doc.ToXml();
+    EXPECT_EQ(StreamFilter(&stream_matcher, xml),
+              TreeFilter(&tree_matcher, doc))
+        << "seed " << seed;
+  }
+}
+
+TEST(StreamingTest, MalformedXmlPropagatesError) {
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/a").ok());
+  StreamingFilter filter(&m);
+  std::vector<ExprId> matched;
+  EXPECT_FALSE(filter.FilterXml("<a><b></a>", &matched).ok());
+  // The engine is usable afterwards.
+  EXPECT_EQ(StreamFilter(&m, "<a/>").size(), 1u);
+}
+
+TEST(StreamingTest, DepthTracksDocumentDepthNotSize) {
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/r/c").ok());
+  StreamingFilter filter(&m);
+  // Wide document: 200 siblings, depth 2.
+  std::string xml = "<r>";
+  for (int i = 0; i < 200; ++i) xml += "<c/>";
+  xml += "</r>";
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(filter.FilterXml(xml, &matched).ok());
+  EXPECT_EQ(matched.size(), 1u);
+  EXPECT_EQ(filter.max_depth_seen(), 2u);
+}
+
+TEST(StreamingTest, ReusableAcrossDocuments) {
+  Matcher m;
+  auto id = m.AddExpression("/a/b");
+  ASSERT_TRUE(id.ok());
+  StreamingFilter filter(&m);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<ExprId> matched;
+    ASSERT_TRUE(filter.FilterXml("<a><b/></a>", &matched).ok());
+    EXPECT_EQ(matched.size(), 1u);
+    matched.clear();
+    ASSERT_TRUE(filter.FilterXml("<a><c/></a>", &matched).ok());
+    EXPECT_TRUE(matched.empty());
+  }
+}
+
+TEST(StreamingTest, StatsCountPathsAndDocuments) {
+  Matcher m;
+  ASSERT_TRUE(m.AddExpression("/a").ok());
+  StreamingFilter filter(&m);
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(filter.FilterXml("<a><b/><c/><d/></a>", &matched).ok());
+  EXPECT_EQ(m.stats().documents, 1u);
+  EXPECT_EQ(m.stats().paths, 3u);
+}
+
+}  // namespace
+}  // namespace xpred::core

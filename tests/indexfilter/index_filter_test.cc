@@ -1,0 +1,140 @@
+// Tests for the Index-Filter baseline (query prefix tree + per-document
+// element index).
+
+#include "indexfilter/index_filter.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace xpred::indexfilter {
+namespace {
+
+using core::ExprId;
+using xpred::testing::EngineMatches;
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+TEST(IndexFilterTest, SimplePaths) {
+  IndexFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a/b/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/c", doc));
+}
+
+TEST(IndexFilterTest, WildcardAndDescendant) {
+  IndexFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><x><b/></x><y><b><z/></b></y></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a/*/b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a//b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "//b/z", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a/b", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a/*/z", doc));
+}
+
+TEST(IndexFilterTest, RelativeExpressions) {
+  IndexFilter f;
+  xml::Document doc = ParseXmlOrDie("<r><x><b><c/></b></x></r>");
+  EXPECT_TRUE(EngineMatches(&f, "b/c", doc));
+  EXPECT_TRUE(EngineMatches(&f, "x//c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "c/b", doc));
+}
+
+TEST(IndexFilterTest, PrefixTreeSharing) {
+  IndexFilter f;
+  ASSERT_TRUE(f.AddExpression("/a/b/c").ok());
+  size_t after_first = f.query_tree_size();
+  ASSERT_TRUE(f.AddExpression("/a/b/d").ok());
+  EXPECT_EQ(f.query_tree_size(), after_first + 1);
+  ASSERT_TRUE(f.AddExpression("/a/b").ok());
+  EXPECT_EQ(f.query_tree_size(), after_first + 1);
+}
+
+TEST(IndexFilterTest, LevelSensitivity) {
+  // child vs descendant distinguished through levels.
+  IndexFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><m><b/></m></a>");
+  EXPECT_FALSE(EngineMatches(&f, "/a/b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a//b", doc));
+}
+
+TEST(IndexFilterTest, IntervalContainment) {
+  // b outside a's subtree must not join.
+  IndexFilter f;
+  xml::Document doc = ParseXmlOrDie("<r><a><x/></a><b/></r>");
+  EXPECT_FALSE(EngineMatches(&f, "a//b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "r//b", doc));
+}
+
+TEST(IndexFilterTest, DuplicatesShareInternalState) {
+  IndexFilter f;
+  auto id1 = f.AddExpression("/a/b");
+  auto id2 = f.AddExpression("/a/b");
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(f.distinct_expression_count(), 1u);
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  EXPECT_EQ(FilterSorted(&f, doc), (std::vector<ExprId>{*id1, *id2}));
+}
+
+TEST(IndexFilterTest, AttributeAndNestedFilters) {
+  IndexFilter f;
+  xml::Document doc = ParseXmlOrDie("<a x=\"3\"><b/><c/></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a[@x = 3]/b", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a[@x = 4]/b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a[b]/c", doc));
+}
+
+TEST(IndexFilterTest, OccurrenceHeavyPaths) {
+  IndexFilter f;
+  xml::Document doc =
+      ParseXmlOrDie("<a><b><c><a><b><c/></b></a></c></b></a>");
+  EXPECT_TRUE(EngineMatches(&f, "a//b/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "c//b//a", doc));
+}
+
+TEST(IndexFilterTest, AgainstOracleOnFixedCorpus) {
+  const std::vector<std::string> docs = {
+      "<a><b><c/></b></a>",
+      "<a><b/><b><c/></b></a>",
+      "<a><a><b><a/></b></a></a>",
+      "<x><y><z/></y><y><w><z/></w></y></x>",
+      "<a><c><a><c><a><c/></a></c></a></c></a>",
+  };
+  const std::vector<std::string> exprs = {
+      "/a",      "/a/b",   "/a/b/c", "a",      "b/c",    "c",
+      "//b",     "/a//c",  "a//a",   "/*/b",   "/*/*",   "*",
+      "*/*/*",   "/a/*/c", "b//c",   "/x/y/z", "x//z",   "a/c/a",
+      "a//c//a", "/a/c/*/a",
+  };
+  IndexFilter f;
+  std::vector<ExprId> ids = xpred::testing::AddAll(&f, exprs);
+  for (const std::string& doc_text : docs) {
+    xml::Document doc = ParseXmlOrDie(doc_text);
+    std::vector<ExprId> matched = FilterSorted(&f, doc);
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      bool expected =
+          xpath::Evaluator::Matches(ParseXPathOrDie(exprs[i]), doc);
+      bool actual =
+          std::binary_search(matched.begin(), matched.end(), ids[i]);
+      EXPECT_EQ(actual, expected)
+          << "doc=" << doc_text << " expr=" << exprs[i];
+    }
+  }
+}
+
+TEST(IndexFilterTest, InvalidExpressionRejected) {
+  IndexFilter f;
+  EXPECT_FALSE(f.AddExpression("").ok());
+  EXPECT_FALSE(f.AddExpression("/a[").ok());
+}
+
+}  // namespace
+}  // namespace xpred::indexfilter

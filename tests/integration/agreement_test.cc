@@ -1,0 +1,137 @@
+// Property-based integration test: on randomly generated DTD-guided
+// workloads, every engine (all matcher modes x attribute modes,
+// YFilter, Index-Filter) must agree with the brute-force oracle on
+// every (expression, document) pair. This exercises the Appendix A
+// encoding-correctness theorem end to end.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "indexfilter/index_filter.h"
+#include "test_util.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/evaluator.h"
+#include "xpath/query_generator.h"
+#include "yfilter/yfilter.h"
+
+namespace xpred {
+namespace {
+
+using core::ExprId;
+using xpred::testing::ParseXPathOrDie;
+
+struct WorkloadParam {
+  const char* name;
+  bool psd;             // PSD-like (else NITF-like).
+  double wildcard;      // W
+  double descendant;    // DO
+  uint32_t filters;     // Attribute filters per expression.
+  double nested;        // Nested-path probability.
+  uint64_t seed;
+};
+
+std::vector<std::unique_ptr<core::FilterEngine>> AllEngines() {
+  std::vector<std::unique_ptr<core::FilterEngine>> engines;
+  for (core::Matcher::Mode mode :
+       {core::Matcher::Mode::kBasic, core::Matcher::Mode::kPrefixCovering,
+        core::Matcher::Mode::kPrefixCoveringAccessPredicate,
+        core::Matcher::Mode::kTrieDfs}) {
+    for (core::AttributeMode attr_mode :
+         {core::AttributeMode::kInline,
+          core::AttributeMode::kSelectionPostponed}) {
+      core::Matcher::Options options;
+      options.mode = mode;
+      options.attribute_mode = attr_mode;
+      engines.push_back(std::make_unique<core::Matcher>(options));
+    }
+  }
+  engines.push_back(std::make_unique<yfilter::YFilter>());
+  engines.push_back(std::make_unique<indexfilter::IndexFilter>());
+  return engines;
+}
+
+class AgreementTest : public ::testing::TestWithParam<WorkloadParam> {};
+
+TEST_P(AgreementTest, EnginesAgreeWithOracle) {
+  const WorkloadParam& param = GetParam();
+  const xml::Dtd& dtd =
+      param.psd ? xml::PsdLikeDtd() : xml::NitfLikeDtd();
+
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 6;
+  qopts.wildcard_prob = param.wildcard;
+  qopts.descendant_prob = param.descendant;
+  qopts.filters_per_expr = param.filters;
+  qopts.nested_path_prob = param.nested;
+  qopts.distinct = false;
+  xpath::QueryGenerator qgen(&dtd, qopts);
+  std::vector<std::string> exprs =
+      qgen.GenerateWorkloadStrings(60, param.seed);
+  ASSERT_FALSE(exprs.empty());
+
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = 8;
+  xml::DocumentGenerator dgen(&dtd, dopts);
+
+  std::vector<std::unique_ptr<core::FilterEngine>> engines = AllEngines();
+  std::vector<std::vector<ExprId>> ids(engines.size());
+  for (size_t e = 0; e < engines.size(); ++e) {
+    for (const std::string& expr : exprs) {
+      Result<ExprId> id = engines[e]->AddExpression(expr);
+      ASSERT_TRUE(id.ok()) << expr << ": " << id.status();
+      ids[e].push_back(*id);
+    }
+  }
+
+  for (uint64_t d = 0; d < 8; ++d) {
+    xml::Document doc = dgen.Generate(param.seed * 1000 + d);
+    ASSERT_FALSE(doc.empty());
+
+    // Oracle verdicts.
+    std::vector<bool> expected;
+    expected.reserve(exprs.size());
+    for (const std::string& expr : exprs) {
+      expected.push_back(
+          xpath::Evaluator::Matches(ParseXPathOrDie(expr), doc));
+    }
+
+    for (size_t e = 0; e < engines.size(); ++e) {
+      std::vector<ExprId> matched;
+      ASSERT_TRUE(engines[e]->FilterDocument(doc, &matched).ok());
+      std::sort(matched.begin(), matched.end());
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        bool actual =
+            std::binary_search(matched.begin(), matched.end(), ids[e][i]);
+        ASSERT_EQ(actual, expected[i])
+            << "engine=" << engines[e]->name() << " expr=" << exprs[i]
+            << " doc seed=" << param.seed * 1000 + d << " ("
+            << doc.tag_count() << " tags)";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, AgreementTest,
+    ::testing::Values(
+        WorkloadParam{"nitf_plain", false, 0.2, 0.2, 0, 0.0, 11},
+        WorkloadParam{"nitf_wildcards", false, 0.6, 0.2, 0, 0.0, 12},
+        WorkloadParam{"nitf_descendants", false, 0.2, 0.6, 0, 0.0, 13},
+        WorkloadParam{"nitf_filters", false, 0.2, 0.2, 2, 0.0, 14},
+        WorkloadParam{"nitf_nested", false, 0.2, 0.2, 0, 0.5, 15},
+        WorkloadParam{"psd_plain", true, 0.2, 0.2, 0, 0.0, 21},
+        WorkloadParam{"psd_wildcards", true, 0.7, 0.1, 0, 0.0, 22},
+        WorkloadParam{"psd_descendants", true, 0.1, 0.7, 0, 0.0, 23},
+        WorkloadParam{"psd_filters", true, 0.2, 0.2, 1, 0.0, 24},
+        WorkloadParam{"psd_mixed", true, 0.4, 0.4, 1, 0.3, 25}),
+    [](const ::testing::TestParamInfo<WorkloadParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace xpred

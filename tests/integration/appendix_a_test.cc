@@ -1,0 +1,120 @@
+// Appendix A stress test: the paper proves the predicate encoding
+// equivalent to XPath path-matching semantics. This property test
+// hammers the hardest part of that equivalence — repeated tag names
+// and the occurrence-chaining constraint — with random documents and
+// expressions over a tiny alphabet {a, b, c}, cross-checked against
+// the brute-force oracle for every matcher mode.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "core/matcher.h"
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace xpred {
+namespace {
+
+using core::ExprId;
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+const char* const kAlphabet[] = {"a", "b", "c"};
+
+/// Random tree over the tiny alphabet: depth <= 7, fanout <= 3.
+void BuildRandomTree(xml::Document* doc, xml::NodeId parent, int depth,
+                     Random* rng) {
+  if (depth >= 7) return;
+  uint64_t children = rng->Uniform(4);  // 0..3 children.
+  // Bias toward deeper, thinner trees at the top.
+  if (depth < 2 && children == 0) children = 1;
+  for (uint64_t c = 0; c < children; ++c) {
+    xml::NodeId child =
+        doc->AddElement(kAlphabet[rng->Uniform(3)], parent);
+    BuildRandomTree(doc, child, depth + 1, rng);
+  }
+}
+
+xml::Document RandomDocument(uint64_t seed) {
+  Random rng(seed);
+  xml::Document doc;
+  xml::NodeId root = doc.AddElement(kAlphabet[rng.Uniform(3)],
+                                    xml::kInvalidNode);
+  BuildRandomTree(&doc, root, 1, &rng);
+  return doc;
+}
+
+std::string RandomExpression(Random* rng) {
+  std::string out;
+  bool absolute = rng->Bernoulli(0.5);
+  size_t steps = 1 + rng->Uniform(5);
+  for (size_t i = 0; i < steps; ++i) {
+    if (i == 0) {
+      if (absolute) out += rng->Bernoulli(0.25) ? "//" : "/";
+    } else {
+      out += rng->Bernoulli(0.3) ? "//" : "/";
+    }
+    out += rng->Bernoulli(0.25) ? "*" : kAlphabet[rng->Uniform(3)];
+  }
+  return out;
+}
+
+class AppendixATest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppendixATest, EncodingMatchesXPathSemantics) {
+  uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  Random rng(seed);
+
+  // One workload of 25 random expressions...
+  std::vector<std::string> exprs;
+  for (int i = 0; i < 25; ++i) exprs.push_back(RandomExpression(&rng));
+
+  std::vector<std::unique_ptr<core::Matcher>> matchers;
+  for (core::Matcher::Mode mode :
+       {core::Matcher::Mode::kBasic,
+        core::Matcher::Mode::kPrefixCoveringAccessPredicate,
+        core::Matcher::Mode::kTrieDfs}) {
+    core::Matcher::Options options;
+    options.mode = mode;
+    matchers.push_back(std::make_unique<core::Matcher>(options));
+  }
+  std::vector<std::vector<ExprId>> ids(matchers.size());
+  for (size_t m = 0; m < matchers.size(); ++m) {
+    for (const std::string& e : exprs) {
+      Result<ExprId> id = matchers[m]->AddExpression(e);
+      ASSERT_TRUE(id.ok()) << e;
+      ids[m].push_back(*id);
+    }
+  }
+
+  // ... against 6 random occurrence-heavy documents.
+  for (int d = 0; d < 6; ++d) {
+    xml::Document doc = RandomDocument(seed * 17 + static_cast<uint64_t>(d));
+    std::vector<bool> expected;
+    for (const std::string& e : exprs) {
+      expected.push_back(
+          xpath::Evaluator::Matches(ParseXPathOrDie(e), doc));
+    }
+    for (size_t m = 0; m < matchers.size(); ++m) {
+      std::vector<ExprId> matched;
+      ASSERT_TRUE(matchers[m]->FilterDocument(doc, &matched).ok());
+      std::sort(matched.begin(), matched.end());
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        bool actual = std::binary_search(matched.begin(), matched.end(),
+                                         ids[m][i]);
+        ASSERT_EQ(actual, expected[i])
+            << "expr=" << exprs[i] << " doc:\n"
+            << doc.ToXml() << "mode " << m;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AppendixATest, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace xpred

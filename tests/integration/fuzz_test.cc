@@ -1,0 +1,185 @@
+// Failure-injection tests: malformed XML and XPath inputs must produce
+// Status errors, never crashes or state corruption.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "core/matcher.h"
+#include "indexfilter/index_filter.h"
+#include "test_util.h"
+#include "xml/document.h"
+#include "xpath/parser.h"
+#include "yfilter/yfilter.h"
+
+namespace xpred {
+namespace {
+
+const char* const kBadXml[] = {
+    "",
+    "   ",
+    "<",
+    "<a",
+    "<a>",
+    "<a></b>",
+    "<a><b></a></b>",
+    "<a b=></a>",
+    "<a b=\"1></a>",
+    "<a b='1' b='2'/>",
+    "<a>&unknown;</a>",
+    "<a>&#xZZ;</a>",
+    "<a>&#0;</a>",
+    "<a/><b/>",
+    "text only",
+    "<a><!-- unterminated </a>",
+    "<a><![CDATA[ unterminated </a>",
+    "<?xml version=\"1.0\"?>",
+    "</a>",
+    "<a><b/>",
+    "<1a/>",
+    "<a 1b=\"2\"/>",
+    "<a>\xff\xfe</a",
+};
+
+const char* const kBadXPath[] = {
+    "",
+    "   ",
+    "/",
+    "//",
+    "///a",
+    "a//",
+    "/a/",
+    "[a]",
+    "/a[",
+    "/a[]",
+    "/a[@]",
+    "/a[@x=]",
+    "/a[@x >]",
+    "/a[@x = ']",
+    "/a[1]",
+    "/a[b",
+    "/a]b",
+    "/a/b()",
+    "/a:b",
+    "/a/@href",
+    "@x",
+    "/a[@x ~ 3]",
+    "/a/*]",
+    "/a[[b]]",
+    "a b",
+};
+
+TEST(FuzzTest, MalformedXmlReturnsStatus) {
+  for (const char* text : kBadXml) {
+    Result<xml::Document> doc = xml::Document::Parse(text);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << text;
+    if (!doc.ok()) {
+      EXPECT_FALSE(doc.status().message().empty());
+    }
+  }
+}
+
+TEST(FuzzTest, MalformedXPathReturnsStatus) {
+  for (const char* text : kBadXPath) {
+    Result<xpath::PathExpr> expr = xpath::ParseXPath(text);
+    EXPECT_FALSE(expr.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(FuzzTest, EnginesRejectMalformedExpressionsWithoutCorruption) {
+  core::Matcher matcher;
+  yfilter::YFilter yf;
+  indexfilter::IndexFilter ixf;
+  std::vector<core::FilterEngine*> engines = {&matcher, &yf, &ixf};
+  for (core::FilterEngine* engine : engines) {
+    for (const char* text : kBadXPath) {
+      EXPECT_FALSE(engine->AddExpression(text).ok())
+          << engine->name() << " accepted: " << text;
+    }
+    // The engine still works after the rejections.
+    Result<core::ExprId> id = engine->AddExpression("/a/b");
+    ASSERT_TRUE(id.ok());
+    xml::Document doc = xpred::testing::ParseXmlOrDie("<a><b/></a>");
+    std::vector<core::ExprId> matched;
+    ASSERT_TRUE(engine->FilterDocument(doc, &matched).ok());
+    EXPECT_EQ(matched, (std::vector<core::ExprId>{*id}));
+  }
+}
+
+TEST(FuzzTest, RandomBytesNeverCrashTheXmlParser) {
+  Random rng(42);
+  const char alphabet[] = "<>/=\"'ab &;![]-?x\n\t";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input;
+    size_t len = rng.Uniform(60);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    // Must terminate and return a status, not crash; if it parses, the
+    // document must be sane.
+    Result<xml::Document> doc = xml::Document::Parse(input);
+    if (doc.ok()) {
+      EXPECT_FALSE(doc->empty());
+    }
+  }
+}
+
+TEST(FuzzTest, RandomStringsNeverCrashTheXPathParser) {
+  Random rng(43);
+  const char alphabet[] = "/*[]@=<>!ab12 .\"'-";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input;
+    size_t len = rng.Uniform(40);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    Result<xpath::PathExpr> expr = xpath::ParseXPath(input);
+    if (expr.ok()) {
+      // Round-trip: the canonical form must re-parse to itself.
+      std::string canonical = expr->ToString();
+      Result<xpath::PathExpr> again = xpath::ParseXPath(canonical);
+      ASSERT_TRUE(again.ok()) << "canonical form rejected: " << canonical
+                              << " (from " << input << ")";
+      EXPECT_EQ(again->ToString(), canonical);
+    }
+  }
+}
+
+TEST(FuzzTest, DeeplyNestedXmlHitsDepthLimit) {
+  std::string open;
+  std::string close;
+  for (int i = 0; i < 1000; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  Result<xml::Document> doc = xml::Document::Parse(open + close);
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(FuzzTest, HugeAttributeValuesSurvive) {
+  std::string xml = "<a x=\"" + std::string(100000, 'v') + "\"/>";
+  Result<xml::Document> doc = xml::Document::Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->element(0).attributes[0].value.size(), 100000u);
+}
+
+TEST(FuzzTest, ManyPathsDocument) {
+  // A very wide document: 500 leaves, each its own path.
+  std::string xml = "<root>";
+  for (int i = 0; i < 500; ++i) xml += "<leaf/>";
+  xml += "</root>";
+  core::Matcher m;
+  auto id = m.AddExpression("/root/leaf");
+  ASSERT_TRUE(id.ok());
+  std::vector<core::ExprId> matched;
+  xml::Document doc = xpred::testing::ParseXmlOrDie(xml);
+  ASSERT_TRUE(m.FilterDocument(doc, &matched).ok());
+  EXPECT_EQ(matched.size(), 1u);
+  EXPECT_EQ(m.stats().paths, 500u);
+}
+
+}  // namespace
+}  // namespace xpred

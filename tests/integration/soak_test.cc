@@ -1,0 +1,118 @@
+// Randomized soak: larger generated workloads across many seeds, with
+// all engine families cross-checked against each other (pairwise
+// agreement is cheaper than the oracle at this scale, and the oracle
+// itself is exercised in agreement_test). Catches rare interactions
+// the small corpora miss.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "core/streaming.h"
+#include "indexfilter/index_filter.h"
+#include "xfilter/xfilter.h"
+#include "test_util.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+#include "yfilter/yfilter.h"
+
+namespace xpred {
+namespace {
+
+using core::ExprId;
+
+struct SoakParam {
+  const char* name;
+  bool psd;
+  uint64_t seed;
+  double wildcard;
+  double descendant;
+  uint32_t filters;
+};
+
+class SoakTest : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(SoakTest, EngineFamiliesAgreePairwise) {
+  const SoakParam& param = GetParam();
+  const xml::Dtd& dtd =
+      param.psd ? xml::PsdLikeDtd() : xml::NitfLikeDtd();
+
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 7;
+  qopts.wildcard_prob = param.wildcard;
+  qopts.descendant_prob = param.descendant;
+  qopts.filters_per_expr = param.filters;
+  qopts.distinct = false;
+  xpath::QueryGenerator qgen(&dtd, qopts);
+  std::vector<std::string> exprs =
+      qgen.GenerateWorkloadStrings(800, param.seed);
+
+  // One engine per family (plus streaming front end over a second
+  // matcher, and the trie-DFS variant).
+  core::Matcher pcap;
+  core::Matcher::Options dfs_options;
+  dfs_options.mode = core::Matcher::Mode::kTrieDfs;
+  core::Matcher dfs(dfs_options);
+  core::Matcher stream_backend;
+  yfilter::YFilter yf;
+  indexfilter::IndexFilter ixf;
+  xfilter::XFilter xf;
+
+  std::vector<core::FilterEngine*> engines = {&pcap, &dfs, &stream_backend,
+                                              &yf, &ixf, &xf};
+  for (core::FilterEngine* engine : engines) {
+    for (const std::string& e : exprs) {
+      ASSERT_TRUE(engine->AddExpression(e).ok()) << e;
+    }
+  }
+
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = 9;
+  xml::DocumentGenerator dgen(&dtd, dopts);
+  core::StreamingFilter streaming(&stream_backend);
+
+  for (uint64_t d = 0; d < 12; ++d) {
+    xml::Document doc = dgen.Generate(param.seed * 131 + d);
+    std::string xml = doc.ToXml();
+
+    auto run = [&](core::FilterEngine* engine) {
+      std::vector<ExprId> matched;
+      Status st = engine->FilterDocument(doc, &matched);
+      EXPECT_TRUE(st.ok()) << st;
+      std::sort(matched.begin(), matched.end());
+      return matched;
+    };
+
+    std::vector<ExprId> baseline = run(&pcap);
+    EXPECT_EQ(run(&dfs), baseline) << "trie-dfs diverged, doc " << d;
+    EXPECT_EQ(run(&yf), baseline) << "yfilter diverged, doc " << d;
+    EXPECT_EQ(run(&ixf), baseline) << "index-filter diverged, doc " << d;
+    EXPECT_EQ(run(&xf), baseline) << "xfilter diverged, doc " << d;
+
+    std::vector<ExprId> streamed;
+    ASSERT_TRUE(streaming.FilterXml(xml, &streamed).ok());
+    std::sort(streamed.begin(), streamed.end());
+    EXPECT_EQ(streamed, baseline) << "streaming diverged, doc " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SoakTest,
+    ::testing::Values(SoakParam{"nitf_a", false, 101, 0.2, 0.2, 0},
+                      SoakParam{"nitf_b", false, 102, 0.5, 0.1, 0},
+                      SoakParam{"nitf_c", false, 103, 0.1, 0.5, 1},
+                      SoakParam{"nitf_d", false, 104, 0.4, 0.4, 2},
+                      SoakParam{"psd_a", true, 201, 0.2, 0.2, 0},
+                      SoakParam{"psd_b", true, 202, 0.6, 0.2, 0},
+                      SoakParam{"psd_c", true, 203, 0.2, 0.6, 1},
+                      SoakParam{"psd_d", true, 204, 0.3, 0.3, 2}),
+    [](const ::testing::TestParamInfo<SoakParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace xpred

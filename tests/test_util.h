@@ -1,0 +1,67 @@
+#ifndef XPRED_TESTS_TEST_UTIL_H_
+#define XPRED_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/engine.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xpred::testing {
+
+/// Parses XML or aborts the test.
+inline xml::Document ParseXmlOrDie(std::string_view text) {
+  Result<xml::Document> doc = xml::Document::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(doc).value();
+}
+
+/// Parses an XPath or aborts the test.
+inline xpath::PathExpr ParseXPathOrDie(std::string_view text) {
+  Result<xpath::PathExpr> expr = xpath::ParseXPath(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status();
+  return std::move(expr).value();
+}
+
+/// Adds expressions to an engine; returns their subscription ids.
+inline std::vector<core::ExprId> AddAll(
+    core::FilterEngine* engine, const std::vector<std::string>& exprs) {
+  std::vector<core::ExprId> ids;
+  for (const std::string& e : exprs) {
+    Result<core::ExprId> id = engine->AddExpression(e);
+    EXPECT_TRUE(id.ok()) << e << ": " << id.status();
+    ids.push_back(id.ok() ? *id : 0);
+  }
+  return ids;
+}
+
+/// Filters a document and returns the sorted matched subscription ids.
+inline std::vector<core::ExprId> FilterSorted(core::FilterEngine* engine,
+                                              const xml::Document& doc) {
+  std::vector<core::ExprId> matched;
+  Status st = engine->FilterDocument(doc, &matched);
+  EXPECT_TRUE(st.ok()) << st;
+  std::sort(matched.begin(), matched.end());
+  return matched;
+}
+
+/// True iff \p engine matches \p expr (added fresh) on \p doc.
+inline bool EngineMatches(core::FilterEngine* engine, const std::string& expr,
+                          const xml::Document& doc) {
+  Result<core::ExprId> id = engine->AddExpression(expr);
+  EXPECT_TRUE(id.ok()) << expr << ": " << id.status();
+  std::vector<core::ExprId> matched;
+  Status st = engine->FilterDocument(doc, &matched);
+  EXPECT_TRUE(st.ok()) << st;
+  return std::find(matched.begin(), matched.end(), *id) != matched.end();
+}
+
+}  // namespace xpred::testing
+
+#endif  // XPRED_TESTS_TEST_UTIL_H_

@@ -1,0 +1,151 @@
+// Tests for the XFilter baseline (per-expression FSMs + query index).
+
+#include "xfilter/xfilter.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace xpred::xfilter {
+namespace {
+
+using core::ExprId;
+using xpred::testing::EngineMatches;
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+TEST(XFilterTest, SimplePaths) {
+  XFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a/b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a/b/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/b", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a/c", doc));
+}
+
+TEST(XFilterTest, LevelConstraints) {
+  XFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><m><b/></m></a>");
+  EXPECT_FALSE(EngineMatches(&f, "/a/b", doc));  // b is a grandchild.
+  EXPECT_TRUE(EngineMatches(&f, "/a//b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a/*/b", doc));
+}
+
+TEST(XFilterTest, PromotionsRetractedAcrossSubtrees) {
+  // The 'a' in the left subtree must not license a 'b' in the right
+  // subtree.
+  XFilter f;
+  xml::Document doc = ParseXmlOrDie("<r><x><a/></x><y><b/></y></r>");
+  EXPECT_FALSE(EngineMatches(&f, "a/b", doc));
+  EXPECT_FALSE(EngineMatches(&f, "a//b", doc));
+  XFilter f2;
+  xml::Document nested = ParseXmlOrDie("<r><x><a><b/></a></x></r>");
+  EXPECT_TRUE(EngineMatches(&f2, "a/b", nested));
+}
+
+TEST(XFilterTest, RelativeExpressionsFloat) {
+  XFilter f;
+  xml::Document doc = ParseXmlOrDie("<r><x><b><c/></b></x></r>");
+  EXPECT_TRUE(EngineMatches(&f, "b/c", doc));
+  EXPECT_TRUE(EngineMatches(&f, "c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "c/b", doc));
+}
+
+TEST(XFilterTest, WildcardsProbeEveryElement) {
+  XFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><b/><c><d/></c></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/*/c/*", doc));
+  EXPECT_TRUE(EngineMatches(&f, "*/*/*", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/*/*/*/*", doc));
+}
+
+TEST(XFilterTest, SelfRecursiveTags) {
+  XFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><a><a/></a></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a/a/a", doc));
+  EXPECT_TRUE(EngineMatches(&f, "a//a", doc));
+  XFilter f2;
+  EXPECT_FALSE(EngineMatches(&f2, "/a/a/a/a", doc));
+}
+
+TEST(XFilterTest, OccurrenceHeavyPaths) {
+  XFilter f;
+  xml::Document doc =
+      ParseXmlOrDie("<a><b><c><a><b><c/></b></a></c></b></a>");
+  EXPECT_TRUE(EngineMatches(&f, "a//b/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "c//b//a", doc));
+}
+
+TEST(XFilterTest, DuplicatesShareFsms) {
+  XFilter f;
+  auto s1 = f.AddExpression("/a/b");
+  auto s2 = f.AddExpression("/a/b");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(f.distinct_expression_count(), 1u);
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  EXPECT_EQ(FilterSorted(&f, doc), (std::vector<ExprId>{*s1, *s2}));
+}
+
+TEST(XFilterTest, SelectionPostponedFilters) {
+  XFilter f;
+  xml::Document doc = ParseXmlOrDie("<a x=\"3\"><b/><c/></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a[@x = 3]/b", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a[@x = 4]/b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a[b]/c", doc));
+}
+
+TEST(XFilterTest, RepeatedFilteringIsStateless) {
+  XFilter f;
+  auto id = f.AddExpression("/a/b");
+  ASSERT_TRUE(id.ok());
+  xml::Document hit = ParseXmlOrDie("<a><b/></a>");
+  xml::Document miss = ParseXmlOrDie("<a><c/></a>");
+  EXPECT_EQ(FilterSorted(&f, hit).size(), 1u);
+  EXPECT_EQ(FilterSorted(&f, miss).size(), 0u);
+  EXPECT_EQ(FilterSorted(&f, hit).size(), 1u);
+}
+
+TEST(XFilterTest, AgainstOracleOnFixedCorpus) {
+  const std::vector<std::string> docs = {
+      "<a><b><c/></b></a>",
+      "<a><b/><b><c/></b></a>",
+      "<a><a><b><a/></b></a></a>",
+      "<x><y><z/></y><y><w><z/></w></y></x>",
+      "<a><c><a><c><a><c/></a></c></a></c></a>",
+  };
+  const std::vector<std::string> exprs = {
+      "/a",      "/a/b",   "/a/b/c", "a",      "b/c",    "c",
+      "//b",     "/a//c",  "a//a",   "/*/b",   "/*/*",   "*",
+      "*/*/*",   "/a/*/c", "b//c",   "/x/y/z", "x//z",   "a/c/a",
+      "a//c//a", "/a/c/*/a",
+  };
+  XFilter f;
+  std::vector<ExprId> ids = xpred::testing::AddAll(&f, exprs);
+  for (const std::string& doc_text : docs) {
+    xml::Document doc = ParseXmlOrDie(doc_text);
+    std::vector<ExprId> matched = FilterSorted(&f, doc);
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      bool expected =
+          xpath::Evaluator::Matches(ParseXPathOrDie(exprs[i]), doc);
+      bool actual =
+          std::binary_search(matched.begin(), matched.end(), ids[i]);
+      EXPECT_EQ(actual, expected)
+          << "doc=" << doc_text << " expr=" << exprs[i];
+    }
+  }
+}
+
+TEST(XFilterTest, InvalidExpressionRejected) {
+  XFilter f;
+  EXPECT_FALSE(f.AddExpression("").ok());
+  EXPECT_FALSE(f.AddExpression("/a[").ok());
+}
+
+}  // namespace
+}  // namespace xpred::xfilter

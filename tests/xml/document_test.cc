@@ -1,0 +1,101 @@
+#include "xml/document.h"
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+
+namespace xpred::xml {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+TEST(DocumentTest, TreeStructure) {
+  Document doc = ParseXmlOrDie("<a><b><c/></b><d/></a>");
+  ASSERT_EQ(doc.size(), 4u);
+  const Element& a = doc.element(doc.root());
+  EXPECT_EQ(a.tag, "a");
+  EXPECT_EQ(a.parent, kInvalidNode);
+  ASSERT_EQ(a.children.size(), 2u);
+  const Element& b = doc.element(a.children[0]);
+  const Element& d = doc.element(a.children[1]);
+  EXPECT_EQ(b.tag, "b");
+  EXPECT_EQ(d.tag, "d");
+  EXPECT_EQ(b.children.size(), 1u);
+  EXPECT_EQ(doc.element(b.children[0]).tag, "c");
+}
+
+TEST(DocumentTest, PreorderIds) {
+  Document doc = ParseXmlOrDie("<a><b><c/></b><d/></a>");
+  // a=0, b=1, c=2, d=3 in document order.
+  EXPECT_EQ(doc.element(0).tag, "a");
+  EXPECT_EQ(doc.element(1).tag, "b");
+  EXPECT_EQ(doc.element(2).tag, "c");
+  EXPECT_EQ(doc.element(3).tag, "d");
+}
+
+TEST(DocumentTest, DepthAndChildIndex) {
+  Document doc = ParseXmlOrDie("<a><b/><c><d/></c></a>");
+  EXPECT_EQ(doc.element(0).depth, 1u);
+  EXPECT_EQ(doc.element(0).child_index, 1u);
+  EXPECT_EQ(doc.element(1).depth, 2u);       // b
+  EXPECT_EQ(doc.element(1).child_index, 1u); // First child of a.
+  EXPECT_EQ(doc.element(2).depth, 2u);       // c
+  EXPECT_EQ(doc.element(2).child_index, 2u); // Second child of a.
+  EXPECT_EQ(doc.element(3).depth, 3u);       // d
+  EXPECT_EQ(doc.element(3).child_index, 1u);
+}
+
+TEST(DocumentTest, AttributesAndText) {
+  Document doc = ParseXmlOrDie("<a x=\"1\"><b>hello</b></a>");
+  const std::string* x = doc.element(0).FindAttribute("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(*x, "1");
+  EXPECT_EQ(doc.element(0).FindAttribute("y"), nullptr);
+  EXPECT_EQ(doc.element(1).text, "hello");
+}
+
+TEST(DocumentTest, ToXmlRoundTrip) {
+  Document doc = ParseXmlOrDie(
+      "<a x=\"1\"><b>hi &amp; bye</b><c kind='q'/></a>");
+  std::string serialized = doc.ToXml();
+  Document again = ParseXmlOrDie(serialized);
+  ASSERT_EQ(again.size(), doc.size());
+  for (NodeId i = 0; i < doc.size(); ++i) {
+    EXPECT_EQ(again.element(i).tag, doc.element(i).tag);
+    EXPECT_EQ(again.element(i).attributes, doc.element(i).attributes);
+  }
+}
+
+TEST(DocumentTest, MoveSemantics) {
+  Document doc = ParseXmlOrDie("<a><b/></a>");
+  Document moved = std::move(doc);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.element(0).tag, "a");
+}
+
+TEST(DocumentTest, EscapeXml) {
+  EXPECT_EQ(EscapeXml("a<b>&'\"c"),
+            "a&lt;b&gt;&amp;&apos;&quot;c");
+  EXPECT_EQ(EscapeXml(""), "");
+  EXPECT_EQ(EscapeXml("plain"), "plain");
+}
+
+TEST(DocumentTest, AddElementBuildsTree) {
+  Document doc;
+  NodeId root = doc.AddElement("r", kInvalidNode);
+  NodeId c1 = doc.AddElement("c1", root);
+  NodeId c2 = doc.AddElement("c2", root);
+  NodeId g = doc.AddElement("g", c1);
+  EXPECT_EQ(doc.element(root).children,
+            (std::vector<NodeId>{c1, c2}));
+  EXPECT_EQ(doc.element(c2).child_index, 2u);
+  EXPECT_EQ(doc.element(g).depth, 3u);
+}
+
+TEST(DocumentTest, TagCountMetric) {
+  Document doc = ParseXmlOrDie("<a><b/><c><d/><e/></c></a>");
+  EXPECT_EQ(doc.tag_count(), 5u);
+}
+
+}  // namespace
+}  // namespace xpred::xml

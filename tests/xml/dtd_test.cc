@@ -1,0 +1,159 @@
+#include "xml/dtd.h"
+
+#include "gtest/gtest.h"
+
+#include "xml/standard_dtds.h"
+
+namespace xpred::xml {
+namespace {
+
+TEST(DtdParserTest, SimpleElementDecl) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "<!ELEMENT a (b, c?)> <!ELEMENT b (#PCDATA)> <!ELEMENT c EMPTY>", "a");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd->vocabulary_size(), 3u);
+  const ElementDecl* a = dtd->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->content.kind, ContentParticle::Kind::kSequence);
+  ASSERT_EQ(a->content.children.size(), 2u);
+  EXPECT_EQ(a->content.children[0].name, "b");
+  EXPECT_EQ(a->content.children[0].repeat, Repeat::kOne);
+  EXPECT_EQ(a->content.children[1].repeat, Repeat::kOptional);
+  EXPECT_EQ(dtd->Find("b")->content.kind, ContentParticle::Kind::kPcdata);
+  EXPECT_EQ(dtd->Find("c")->content.kind, ContentParticle::Kind::kEmpty);
+}
+
+TEST(DtdParserTest, ChoiceAndRepetition) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "<!ELEMENT a (b | c)*> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>", "a");
+  ASSERT_TRUE(dtd.ok());
+  const ContentParticle& content = dtd->Find("a")->content;
+  EXPECT_EQ(content.kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(content.repeat, Repeat::kStar);
+  EXPECT_EQ(content.children.size(), 2u);
+}
+
+TEST(DtdParserTest, NestedGroups) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "<!ELEMENT a (b, (c | d)+, b?)>"
+      "<!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
+      "a");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const ContentParticle& content = dtd->Find("a")->content;
+  ASSERT_EQ(content.children.size(), 3u);
+  EXPECT_EQ(content.children[1].kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(content.children[1].repeat, Repeat::kPlus);
+}
+
+TEST(DtdParserTest, MixedContent) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "<!ELEMENT p (#PCDATA | em)*> <!ELEMENT em (#PCDATA)>", "p");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const ContentParticle& content = dtd->Find("p")->content;
+  EXPECT_EQ(content.kind, ContentParticle::Kind::kChoice);
+  EXPECT_EQ(content.repeat, Repeat::kStar);
+}
+
+TEST(DtdParserTest, Attlist) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "<!ELEMENT a EMPTY>"
+      "<!ATTLIST a x CDATA #REQUIRED"
+      "            y CDATA #IMPLIED"
+      "            kind (red|green|blue) #IMPLIED"
+      "            fixed CDATA #FIXED \"v\""
+      "            dflt CDATA \"42\">",
+      "a");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const ElementDecl* a = dtd->Find("a");
+  ASSERT_EQ(a->attributes.size(), 5u);
+  EXPECT_TRUE(a->attributes[0].required);
+  EXPECT_FALSE(a->attributes[1].required);
+  EXPECT_EQ(a->attributes[2].enum_values,
+            (std::vector<std::string>{"red", "green", "blue"}));
+  EXPECT_TRUE(a->attributes[3].required);  // #FIXED
+}
+
+TEST(DtdParserTest, CommentsIgnored) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "<!-- header --> <!ELEMENT a EMPTY> <!-- footer -->", "a");
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+}
+
+TEST(DtdParserTest, CollectElementNames) {
+  Result<Dtd> dtd = Dtd::Parse(
+      "<!ELEMENT a (b, (c | d)*, b)> <!ELEMENT b EMPTY>"
+      "<!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
+      "a");
+  ASSERT_TRUE(dtd.ok());
+  std::vector<std::string> names;
+  dtd->Find("a")->content.CollectElementNames(&names);
+  EXPECT_EQ(names, (std::vector<std::string>{"b", "c", "d", "b"}));
+}
+
+// --- Validation ----------------------------------------------------------------
+
+TEST(DtdValidationTest, UndeclaredRootRejected) {
+  Result<Dtd> dtd = Dtd::Parse("<!ELEMENT a EMPTY>", "missing");
+  EXPECT_FALSE(dtd.ok());
+}
+
+TEST(DtdValidationTest, UndeclaredChildRejected) {
+  Result<Dtd> dtd = Dtd::Parse("<!ELEMENT a (ghost)>", "a");
+  EXPECT_FALSE(dtd.ok());
+}
+
+TEST(DtdValidationTest, DuplicateDeclarationRejected) {
+  Result<Dtd> dtd =
+      Dtd::Parse("<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>", "a");
+  EXPECT_FALSE(dtd.ok());
+}
+
+TEST(DtdValidationTest, AttlistForUndeclaredElementRejected) {
+  Result<Dtd> dtd =
+      Dtd::Parse("<!ELEMENT a EMPTY> <!ATTLIST ghost x CDATA #IMPLIED>",
+                 "a");
+  EXPECT_FALSE(dtd.ok());
+}
+
+TEST(DtdValidationTest, SyntaxErrors) {
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b,>", "a").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b | c, d)>", "a").ok());  // Mixed seps.
+  EXPECT_FALSE(Dtd::Parse("<!WHATEVER>", "a").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a BOGUS>", "a").ok());
+}
+
+// --- Embedded standard DTDs -----------------------------------------------------
+
+TEST(StandardDtdsTest, NitfLikeParsesAndValidates) {
+  const Dtd& dtd = NitfLikeDtd();
+  EXPECT_EQ(dtd.root(), "nitf");
+  // Large vocabulary, the workload characteristic the experiments need.
+  EXPECT_GE(dtd.vocabulary_size(), 100u);
+  EXPECT_NE(dtd.Find("body.content"), nullptr);
+  EXPECT_NE(dtd.Find("hl1"), nullptr);
+}
+
+TEST(StandardDtdsTest, PsdLikeParsesAndValidates) {
+  const Dtd& dtd = PsdLikeDtd();
+  EXPECT_EQ(dtd.root(), "ProteinDatabase");
+  // Small vocabulary.
+  EXPECT_LE(dtd.vocabulary_size(), 60u);
+  EXPECT_GE(dtd.vocabulary_size(), 30u);
+  EXPECT_NE(dtd.Find("ProteinEntry"), nullptr);
+  EXPECT_NE(dtd.Find("sequence"), nullptr);
+}
+
+TEST(StandardDtdsTest, NitfHasHigherAttributeDensity) {
+  // The paper relies on NITF documents carrying more attributes than
+  // PSD ones (§6.4).
+  auto density = [](const Dtd& dtd) {
+    size_t attrs = 0;
+    for (const ElementDecl& e : dtd.elements()) attrs += e.attributes.size();
+    return static_cast<double>(attrs) /
+           static_cast<double>(dtd.vocabulary_size());
+  };
+  EXPECT_GT(density(NitfLikeDtd()), 2 * density(PsdLikeDtd()));
+}
+
+}  // namespace
+}  // namespace xpred::xml

@@ -1,0 +1,156 @@
+#include "xml/generator.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "xml/path.h"
+#include "xml/standard_dtds.h"
+
+namespace xpred::xml {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  DocumentGenerator gen(&NitfLikeDtd(), {});
+  Document d1 = gen.Generate(42);
+  Document d2 = gen.Generate(42);
+  EXPECT_EQ(d1.ToXml(), d2.ToXml());
+  Document d3 = gen.Generate(43);
+  EXPECT_NE(d1.ToXml(), d3.ToXml());
+}
+
+TEST(GeneratorTest, RootMatchesDtd) {
+  DocumentGenerator nitf(&NitfLikeDtd(), {});
+  EXPECT_EQ(nitf.Generate(1).element(0).tag, "nitf");
+  DocumentGenerator psd(&PsdLikeDtd(), {});
+  EXPECT_EQ(psd.Generate(1).element(0).tag, "ProteinDatabase");
+}
+
+TEST(GeneratorTest, RespectsMaxDepth) {
+  for (uint32_t depth : {6u, 8u, 10u}) {
+    DocumentGenerator::Options options;
+    options.max_depth = depth;
+    DocumentGenerator gen(&NitfLikeDtd(), options);
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      Document doc = gen.Generate(seed);
+      for (const Element& e : doc.elements()) {
+        EXPECT_LE(e.depth, depth);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ElementsConformToDtdVocabulary) {
+  const Dtd& dtd = PsdLikeDtd();
+  DocumentGenerator gen(&dtd, {});
+  Document doc = gen.Generate(7);
+  for (const Element& e : doc.elements()) {
+    EXPECT_NE(dtd.Find(e.tag), nullptr) << e.tag;
+  }
+}
+
+TEST(GeneratorTest, ChildrenAllowedByContentModel) {
+  const Dtd& dtd = PsdLikeDtd();
+  DocumentGenerator gen(&dtd, {});
+  Document doc = gen.Generate(11);
+  for (const Element& e : doc.elements()) {
+    const ElementDecl* decl = dtd.Find(e.tag);
+    ASSERT_NE(decl, nullptr);
+    std::vector<std::string> allowed;
+    decl->content.CollectElementNames(&allowed);
+    std::set<std::string> allowed_set(allowed.begin(), allowed.end());
+    for (NodeId child : e.children) {
+      EXPECT_TRUE(allowed_set.count(doc.element(child).tag))
+          << e.tag << " -> " << doc.element(child).tag;
+    }
+  }
+}
+
+TEST(GeneratorTest, RequiredAttributesAlwaysPresent) {
+  const Dtd& dtd = NitfLikeDtd();
+  DocumentGenerator::Options options;
+  options.attribute_prob = 0.0;  // Optional attributes suppressed.
+  DocumentGenerator gen(&dtd, options);
+  Document doc = gen.Generate(3);
+  for (const Element& e : doc.elements()) {
+    const ElementDecl* decl = dtd.Find(e.tag);
+    for (const AttributeDecl& attr : decl->attributes) {
+      bool present = e.FindAttribute(attr.name) != nullptr;
+      if (attr.required) {
+        EXPECT_TRUE(present) << e.tag << "/@" << attr.name;
+      } else {
+        EXPECT_FALSE(present) << e.tag << "/@" << attr.name;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, EnumAttributesDrawFromDeclaredValues) {
+  const Dtd& dtd = NitfLikeDtd();
+  DocumentGenerator gen(&dtd, {});
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Document doc = gen.Generate(seed);
+    for (const Element& e : doc.elements()) {
+      const ElementDecl* decl = dtd.Find(e.tag);
+      for (const Attribute& a : e.attributes) {
+        for (const AttributeDecl& ad : decl->attributes) {
+          if (ad.name == a.name && !ad.enum_values.empty()) {
+            EXPECT_NE(std::find(ad.enum_values.begin(),
+                                ad.enum_values.end(), a.value),
+                      ad.enum_values.end())
+                << e.tag << "/@" << a.name << "=" << a.value;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, GeneratedDocumentsAreWellFormedXml) {
+  DocumentGenerator gen(&NitfLikeDtd(), {});
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Document doc = gen.Generate(seed);
+    Result<Document> reparsed = Document::Parse(doc.ToXml());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(reparsed->size(), doc.size());
+  }
+}
+
+TEST(GeneratorTest, DocumentSizesInPaperBallpark) {
+  // The paper's corpus averages ~140 tags per document. Our defaults
+  // should land within a broad factor of that (shape, not exactness).
+  DocumentGenerator gen(&NitfLikeDtd(), {});
+  size_t total = 0;
+  const int kDocs = 50;
+  for (uint64_t seed = 0; seed < kDocs; ++seed) {
+    total += gen.Generate(seed).tag_count();
+  }
+  double avg = static_cast<double>(total) / kDocs;
+  EXPECT_GT(avg, 30.0) << "documents too small to be interesting";
+  EXPECT_LT(avg, 1000.0) << "documents far larger than the paper corpus";
+}
+
+TEST(GeneratorTest, MaxElementsCapHolds) {
+  DocumentGenerator::Options options;
+  options.max_elements = 50;
+  options.max_depth = 30;
+  options.repeat_prob = 0.9;
+  options.max_repeats = 8;
+  DocumentGenerator gen(&NitfLikeDtd(), options);
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_LE(gen.Generate(seed).size(), 50u);
+  }
+}
+
+TEST(GeneratorTest, PathsExtractable) {
+  DocumentGenerator gen(&PsdLikeDtd(), {});
+  Document doc = gen.Generate(9);
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  EXPECT_FALSE(paths.empty());
+  for (const DocumentPath& p : paths) {
+    EXPECT_GE(p.length(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace xpred::xml

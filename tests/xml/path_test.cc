@@ -1,0 +1,106 @@
+#include "xml/path.h"
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+
+namespace xpred::xml {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+TEST(PathTest, OnePathPerLeaf) {
+  Document doc = ParseXmlOrDie("<a><b><c/></b><d/><e><f/><g/></e></a>");
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[0].ToString(), "a/b/c");
+  EXPECT_EQ(paths[1].ToString(), "a/d");
+  EXPECT_EQ(paths[2].ToString(), "a/e/f");
+  EXPECT_EQ(paths[3].ToString(), "a/e/g");
+}
+
+TEST(PathTest, SingleElementDocument) {
+  Document doc = ParseXmlOrDie("<only/>");
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 1u);
+  EXPECT_EQ(paths[0].Tag(1), "only");
+  EXPECT_EQ(paths[0].Occurrence(1), 1u);
+}
+
+TEST(PathTest, EmptyDocumentHasNoPaths) {
+  Document doc;
+  EXPECT_TRUE(ExtractPaths(doc).empty());
+}
+
+TEST(PathTest, OccurrenceNumbersPaperExample) {
+  // Example 1: (a, b, c, a, b, c) annotated (a^1,b^1,c^1,a^2,b^2,c^2).
+  Document doc = ParseXmlOrDie("<a><b><c><a><b><c/></b></a></c></b></a>");
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  const DocumentPath& p = paths[0];
+  ASSERT_EQ(p.length(), 6u);
+  EXPECT_EQ(p.Occurrence(1), 1u);  // a^1
+  EXPECT_EQ(p.Occurrence(2), 1u);  // b^1
+  EXPECT_EQ(p.Occurrence(3), 1u);  // c^1
+  EXPECT_EQ(p.Occurrence(4), 2u);  // a^2
+  EXPECT_EQ(p.Occurrence(5), 2u);  // b^2
+  EXPECT_EQ(p.Occurrence(6), 2u);  // c^2
+}
+
+TEST(PathTest, OccurrenceCountersResetAcrossBranches) {
+  // Each root-to-leaf path counts occurrences independently.
+  Document doc = ParseXmlOrDie("<a><a><a/></a><a/></a>");
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].Occurrence(3), 3u);  // a/a/a
+  ASSERT_EQ(paths[1].length(), 2u);
+  EXPECT_EQ(paths[1].Occurrence(2), 2u);  // Second path: a/a.
+}
+
+TEST(PathTest, ChildIndicesAreStructureTuples) {
+  // Paper Figure 4 style: structure tuple <m1, m2, ...>.
+  Document doc = ParseXmlOrDie("<a><x/><y><z/></y></a>");
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 2u);
+  // Path a/x: <1, 1>.
+  EXPECT_EQ(paths[0].ChildIndex(1), 1u);
+  EXPECT_EQ(paths[0].ChildIndex(2), 1u);
+  // Path a/y/z: <1, 2, 1>.
+  EXPECT_EQ(paths[1].ChildIndex(2), 2u);
+  EXPECT_EQ(paths[1].ChildIndex(3), 1u);
+}
+
+TEST(PathTest, NodesAndAttributesAccessible) {
+  Document doc = ParseXmlOrDie("<a><b k=\"7\"/></a>");
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].Node(1), doc.root());
+  ASSERT_EQ(paths[0].Attributes(2).size(), 1u);
+  EXPECT_EQ(paths[0].Attributes(2)[0].name, "k");
+}
+
+TEST(PathTest, SharedPrefixesShareNodes) {
+  Document doc = ParseXmlOrDie("<a><b><x/><y/></b></a>");
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].Node(1), paths[1].Node(1));
+  EXPECT_EQ(paths[0].Node(2), paths[1].Node(2));
+  EXPECT_NE(paths[0].Node(3), paths[1].Node(3));
+}
+
+TEST(PathTest, WideDocument) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 100; ++i) xml += "<c/>";
+  xml += "</r>";
+  Document doc = ParseXmlOrDie(xml);
+  std::vector<DocumentPath> paths = ExtractPaths(doc);
+  EXPECT_EQ(paths.size(), 100u);
+  for (const DocumentPath& p : paths) {
+    EXPECT_EQ(p.length(), 2u);
+    EXPECT_EQ(p.Occurrence(2), 1u);  // Occurrences are per path.
+  }
+}
+
+}  // namespace
+}  // namespace xpred::xml

@@ -1,0 +1,245 @@
+#include "xml/sax.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xpred::xml {
+namespace {
+
+/// Records events as strings for easy assertions.
+class RecordingHandler : public ContentHandler {
+ public:
+  Status StartDocument() override {
+    events.push_back("startdoc");
+    return Status::OK();
+  }
+  Status EndDocument() override {
+    events.push_back("enddoc");
+    return Status::OK();
+  }
+  Status StartElement(std::string_view name,
+                      const std::vector<Attribute>& attributes) override {
+    std::string e = "<" + std::string(name);
+    for (const Attribute& a : attributes) {
+      e += " " + a.name + "=" + a.value;
+    }
+    e += ">";
+    events.push_back(e);
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name) override {
+    events.push_back("</" + std::string(name) + ">");
+    return Status::OK();
+  }
+  Status Characters(std::string_view text) override {
+    events.push_back("text:" + std::string(text));
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+};
+
+std::vector<std::string> ParseEvents(std::string_view xml,
+                                     Status* status = nullptr) {
+  SaxParser parser;
+  RecordingHandler handler;
+  Status st = parser.Parse(xml, &handler);
+  if (status != nullptr) *status = st;
+  return handler.events;
+}
+
+TEST(SaxParserTest, SimpleElement) {
+  Status st;
+  auto events = ParseEvents("<a/>", &st);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"startdoc", "<a>", "</a>", "enddoc"}));
+}
+
+TEST(SaxParserTest, NestedElementsAndText) {
+  Status st;
+  auto events = ParseEvents("<a><b>hi</b></a>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events, (std::vector<std::string>{"startdoc", "<a>", "<b>",
+                                              "text:hi", "</b>", "</a>",
+                                              "enddoc"}));
+}
+
+TEST(SaxParserTest, Attributes) {
+  Status st;
+  auto events = ParseEvents("<a x=\"1\" y='two'/>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events[1], "<a x=1 y=two>");
+}
+
+TEST(SaxParserTest, AttributeEntityDecoding) {
+  Status st;
+  auto events = ParseEvents("<a t=\"&lt;&amp;&gt;&quot;&apos;\"/>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events[1], "<a t=<&>\"'>");
+}
+
+TEST(SaxParserTest, TextEntitiesAndCharRefs) {
+  Status st;
+  auto events = ParseEvents("<a>x&amp;y&#65;&#x42;</a>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events[2], "text:x&yAB");
+}
+
+TEST(SaxParserTest, Utf8CharRefs) {
+  Status st;
+  auto events = ParseEvents("<a>&#233;&#x4E2D;</a>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events[2], "text:\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(SaxParserTest, CdataPassedVerbatim) {
+  Status st;
+  auto events = ParseEvents("<a><![CDATA[<not>&parsed;]]></a>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events[2], "text:<not>&parsed;");
+}
+
+TEST(SaxParserTest, CommentsAndPisSkipped) {
+  Status st;
+  auto events = ParseEvents(
+      "<?xml version=\"1.0\"?><!-- c --><a><!-- c2 --><?pi data?><b/></a>",
+      &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events, (std::vector<std::string>{"startdoc", "<a>", "<b>",
+                                              "</b>", "</a>", "enddoc"}));
+}
+
+TEST(SaxParserTest, DoctypeSkippedIncludingInternalSubset) {
+  Status st;
+  ParseEvents(
+      "<!DOCTYPE a [ <!ELEMENT a (b*)> <!ATTLIST a x CDATA #IMPLIED> ]>"
+      "<a/>",
+      &st);
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST(SaxParserTest, WhitespaceTextSkippedByDefault) {
+  Status st;
+  auto events = ParseEvents("<a>\n  <b/>\n</a>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events, (std::vector<std::string>{"startdoc", "<a>", "<b>",
+                                              "</b>", "</a>", "enddoc"}));
+}
+
+TEST(SaxParserTest, WhitespaceTextKeptWhenConfigured) {
+  SaxParser::Options options;
+  options.skip_whitespace_text = false;
+  SaxParser parser(options);
+  RecordingHandler handler;
+  ASSERT_TRUE(parser.Parse("<a> <b/></a>", &handler).ok());
+  EXPECT_EQ(handler.events[2], "text: ");
+}
+
+TEST(SaxParserTest, SelfClosingEmitsBothEvents) {
+  Status st;
+  auto events = ParseEvents("<a><b/><c/></a>", &st);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(events, (std::vector<std::string>{"startdoc", "<a>", "<b>",
+                                              "</b>", "<c>", "</c>", "</a>",
+                                              "enddoc"}));
+}
+
+TEST(SaxParserTest, TrailingMiscAllowed) {
+  Status st;
+  ParseEvents("<a/>  <!-- after --> <?pi?> ", &st);
+  EXPECT_TRUE(st.ok());
+}
+
+// --- Error cases --------------------------------------------------------------
+
+struct ErrorCase {
+  const char* xml;
+  const char* description;
+};
+
+class SaxParserErrorTest : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(SaxParserErrorTest, Rejected) {
+  Status st;
+  ParseEvents(GetParam().xml, &st);
+  EXPECT_FALSE(st.ok()) << GetParam().description;
+  EXPECT_EQ(st.code(), StatusCode::kXmlParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SaxParserErrorTest,
+    ::testing::Values(
+        ErrorCase{"", "empty input"},
+        ErrorCase{"<a>", "unterminated element"},
+        ErrorCase{"<a></b>", "mismatched end tag"},
+        ErrorCase{"<a><b></a></b>", "crossed nesting"},
+        ErrorCase{"<a x=1/>", "unquoted attribute"},
+        ErrorCase{"<a x=\"1/>", "unterminated attribute value"},
+        ErrorCase{"<a x=\"1\" x=\"2\"/>", "duplicate attribute"},
+        ErrorCase{"<a>&nope;</a>", "unknown entity"},
+        ErrorCase{"<a>&amp</a>", "unterminated entity"},
+        ErrorCase{"<a>&#xG;</a>", "bad hex char ref"},
+        ErrorCase{"<a>&#;</a>", "empty char ref"},
+        ErrorCase{"<a/><b/>", "two roots"},
+        ErrorCase{"text", "no root element"},
+        ErrorCase{"<a x=\"<\"/>", "lt in attribute value"},
+        ErrorCase{"<a><!-- x </a>", "unterminated comment"},
+        ErrorCase{"<a><![CDATA[x</a>", "unterminated CDATA"},
+        ErrorCase{"<!DOCTYPE a", "unterminated doctype"},
+        ErrorCase{"< a/>", "space before name"},
+        ErrorCase{"<a/>junk", "content after root"}),
+    [](const ::testing::TestParamInfo<ErrorCase>& info) {
+      std::string name = info.param.description;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(SaxParserTest, ErrorsCarryLineNumbers) {
+  Status st;
+  ParseEvents("<a>\n<b>\n</c>\n</a>", &st);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st;
+}
+
+TEST(SaxParserTest, DepthLimitEnforced) {
+  SaxParser::Options options;
+  options.max_depth = 4;
+  SaxParser parser(options);
+  RecordingHandler handler;
+  Status st = parser.Parse("<a><a><a><a><a/></a></a></a></a>", &handler);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(SaxParserTest, HandlerErrorAbortsParse) {
+  class FailingHandler : public RecordingHandler {
+   public:
+    Status StartElement(std::string_view name,
+                        const std::vector<Attribute>& attrs) override {
+      if (name == "bad") return Status::Internal("handler refused");
+      return RecordingHandler::StartElement(name, attrs);
+    }
+  };
+  SaxParser parser;
+  FailingHandler handler;
+  Status st = parser.Parse("<a><ok/><bad/><never/></a>", &handler);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  // <never/> was not reached.
+  for (const std::string& e : handler.events) {
+    EXPECT_EQ(e.find("never"), std::string::npos);
+  }
+}
+
+TEST(SaxParserTest, NullHandlerRejected) {
+  SaxParser parser;
+  EXPECT_FALSE(parser.Parse("<a/>", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace xpred::xml

@@ -1,0 +1,121 @@
+#include "xpath/ast.h"
+
+#include "gtest/gtest.h"
+
+#include "xpath/parser.h"
+
+namespace xpred::xpath {
+namespace {
+
+TEST(AstTest, ToStringRoundTrip) {
+  const char* const cases[] = {
+      "/a/b/c",
+      "a/b",
+      "//a",
+      "/a//b",
+      "/*/a/*",
+      "*",
+      "/a[@x = 3]",
+      "/a[@x != \"s\"]",
+      "/a[@y]",
+      "/a[@x >= 2]/b[@z < 5]",
+      "/a[b/c]/d",
+      "/a[b[c]]/d[@k = 1]",
+      "a//b[@x = 1.5]",
+  };
+  for (const char* text : cases) {
+    Result<PathExpr> expr = ParseXPath(text);
+    ASSERT_TRUE(expr.ok()) << text;
+    EXPECT_EQ(expr->ToString(), text);
+    // Canonical form is a fixed point.
+    Result<PathExpr> again = ParseXPath(expr->ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *expr);
+  }
+}
+
+TEST(AstTest, LiteralToString) {
+  EXPECT_EQ(Literal::Number(3).ToString(), "3");
+  EXPECT_EQ(Literal::Number(3.5).ToString(), "3.5");
+  EXPECT_EQ(Literal::Number(-2).ToString(), "-2");
+  EXPECT_EQ(Literal::String("ab").ToString(), "\"ab\"");
+}
+
+TEST(AstTest, AttributeFilterMatching) {
+  AttributeFilter eq;
+  eq.name = "x";
+  eq.has_comparison = true;
+  eq.op = CompareOp::kEq;
+  eq.value = Literal::Number(3);
+  EXPECT_TRUE(eq.Matches("3"));
+  EXPECT_TRUE(eq.Matches("3.0"));
+  EXPECT_FALSE(eq.Matches("4"));
+  EXPECT_FALSE(eq.Matches("abc"));
+
+  AttributeFilter ne = eq;
+  ne.op = CompareOp::kNe;
+  EXPECT_FALSE(ne.Matches("3"));
+  EXPECT_TRUE(ne.Matches("4"));
+  EXPECT_TRUE(ne.Matches("abc"));  // Non-numeric satisfies only !=.
+
+  AttributeFilter lt = eq;
+  lt.op = CompareOp::kLt;
+  EXPECT_TRUE(lt.Matches("2.9"));
+  EXPECT_FALSE(lt.Matches("3"));
+
+  AttributeFilter str;
+  str.name = "s";
+  str.has_comparison = true;
+  str.op = CompareOp::kEq;
+  str.value = Literal::String("hello");
+  EXPECT_TRUE(str.Matches("hello"));
+  EXPECT_FALSE(str.Matches("world"));
+
+  AttributeFilter exists;
+  exists.name = "e";
+  EXPECT_TRUE(exists.Matches("anything"));
+  EXPECT_TRUE(exists.Matches(""));
+}
+
+TEST(AstTest, HasFiltersAndNestedPaths) {
+  Result<PathExpr> plain = ParseXPath("/a/b");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->HasFilters());
+  EXPECT_FALSE(plain->HasNestedPaths());
+
+  Result<PathExpr> attr = ParseXPath("/a[@x = 1]/b");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(attr->HasFilters());
+  EXPECT_FALSE(attr->HasNestedPaths());
+
+  Result<PathExpr> nested = ParseXPath("/a[b]/c");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_TRUE(nested->HasFilters());
+  EXPECT_TRUE(nested->HasNestedPaths());
+}
+
+TEST(AstTest, StepEquality) {
+  Result<PathExpr> e1 = ParseXPath("/a[@x = 1]/b");
+  Result<PathExpr> e2 = ParseXPath("/a[@x = 1]/b");
+  Result<PathExpr> e3 = ParseXPath("/a[@x = 2]/b");
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+  EXPECT_EQ(*e1, *e2);
+  EXPECT_FALSE(*e1 == *e3);
+}
+
+TEST(AstTest, CompareOpNames) {
+  EXPECT_STREQ(CompareOpToString(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kNe), "!=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGt), ">");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kGe), ">=");
+}
+
+TEST(AstTest, LengthCountsSteps) {
+  EXPECT_EQ(ParseXPath("/a/b/c")->length(), 3u);
+  EXPECT_EQ(ParseXPath("*")->length(), 1u);
+}
+
+}  // namespace
+}  // namespace xpred::xpath

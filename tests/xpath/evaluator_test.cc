@@ -1,0 +1,124 @@
+#include "xpath/evaluator.h"
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+#include "xpath/parser.h"
+
+namespace xpred::xpath {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+bool Matches(const std::string& expr, const std::string& xml) {
+  xml::Document doc = ParseXmlOrDie(xml);
+  return Evaluator::Matches(ParseXPathOrDie(expr), doc);
+}
+
+TEST(EvaluatorTest, AbsoluteChildPaths) {
+  EXPECT_TRUE(Matches("/a", "<a/>"));
+  EXPECT_TRUE(Matches("/a/b", "<a><b/></a>"));
+  EXPECT_FALSE(Matches("/b", "<a><b/></a>"));
+  EXPECT_FALSE(Matches("/a/c", "<a><b/></a>"));
+  EXPECT_FALSE(Matches("/a/a", "<a/>"));
+}
+
+TEST(EvaluatorTest, DescendantAxis) {
+  EXPECT_TRUE(Matches("/a//c", "<a><b><c/></b></a>"));
+  EXPECT_TRUE(Matches("/a//b", "<a><b/></a>"));  // Distance 1 counts.
+  EXPECT_TRUE(Matches("//c", "<a><b><c/></b></a>"));
+  EXPECT_FALSE(Matches("/a//z", "<a><b><c/></b></a>"));
+  EXPECT_FALSE(Matches("//a/c", "<a><b><c/></b></a>"));
+}
+
+TEST(EvaluatorTest, RelativeMatchesAnywhere) {
+  EXPECT_TRUE(Matches("c", "<a><b><c/></b></a>"));
+  EXPECT_TRUE(Matches("b/c", "<a><b><c/></b></a>"));
+  EXPECT_FALSE(Matches("a/c", "<a><b><c/></b></a>"));
+}
+
+TEST(EvaluatorTest, Wildcards) {
+  EXPECT_TRUE(Matches("/*", "<a/>"));
+  EXPECT_TRUE(Matches("/a/*", "<a><b/></a>"));
+  EXPECT_FALSE(Matches("/a/*", "<a/>"));
+  EXPECT_TRUE(Matches("/*/*/c", "<a><b><c/></b></a>"));
+  EXPECT_TRUE(Matches("*/c", "<a><b><c/></b></a>"));
+}
+
+TEST(EvaluatorTest, SelectReturnsNodeSets) {
+  xml::Document doc = ParseXmlOrDie("<a><b/><b><c/></b></a>");
+  std::vector<xml::NodeId> bs =
+      Evaluator::Select(ParseXPathOrDie("/a/b"), doc);
+  EXPECT_EQ(bs.size(), 2u);
+  std::vector<xml::NodeId> all =
+      Evaluator::Select(ParseXPathOrDie("//*"), doc);
+  EXPECT_EQ(all.size(), 4u);
+  std::vector<xml::NodeId> none =
+      Evaluator::Select(ParseXPathOrDie("/a/z"), doc);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(EvaluatorTest, NoDuplicateNodesInSelection) {
+  // Both //b routes reach the same node via different contexts.
+  xml::Document doc = ParseXmlOrDie("<a><a><b/></a></a>");
+  std::vector<xml::NodeId> result =
+      Evaluator::Select(ParseXPathOrDie("//a//b"), doc);
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(EvaluatorTest, AttributeFilters) {
+  EXPECT_TRUE(Matches("/a[@x = 1]", "<a x=\"1\"/>"));
+  EXPECT_FALSE(Matches("/a[@x = 1]", "<a x=\"2\"/>"));
+  EXPECT_FALSE(Matches("/a[@x = 1]", "<a/>"));
+  EXPECT_TRUE(Matches("/a[@x]", "<a x=\"anything\"/>"));
+  EXPECT_TRUE(Matches("/a[@x > 1][@x < 3]", "<a x=\"2\"/>"));
+}
+
+TEST(EvaluatorTest, NestedPathFilters) {
+  EXPECT_TRUE(Matches("/a[b]", "<a><b/></a>"));
+  EXPECT_FALSE(Matches("/a[b]", "<a><c/></a>"));
+  EXPECT_TRUE(Matches("/a[b]/c", "<a><b/><c/></a>"));
+  EXPECT_FALSE(Matches("/a[b]/c", "<a><c/></a>"));
+  EXPECT_TRUE(Matches("/a[b/d]", "<a><b><d/></b></a>"));
+  EXPECT_FALSE(Matches("/a[b/d]", "<a><b/><d/></a>"));
+  EXPECT_TRUE(Matches("/a[//d]", "<a><b><d/></b></a>"));
+  EXPECT_TRUE(Matches("/a[b][c]", "<a><b/><c/></a>"));
+  EXPECT_FALSE(Matches("/a[b][c]", "<a><b/></a>"));
+}
+
+TEST(EvaluatorTest, FilterAndStepShareWitness) {
+  // /a[b]/b is satisfiable with a single b child.
+  EXPECT_TRUE(Matches("/a[b]/b", "<a><b/></a>"));
+}
+
+TEST(EvaluatorTest, MatchesRelativeFromContext) {
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b><d/></a>");
+  xml::NodeId b = 1;
+  EXPECT_TRUE(
+      Evaluator::MatchesRelative(ParseXPathOrDie("c"), doc, b));
+  EXPECT_FALSE(
+      Evaluator::MatchesRelative(ParseXPathOrDie("d"), doc, b));
+  // From the root, d is a child.
+  EXPECT_TRUE(
+      Evaluator::MatchesRelative(ParseXPathOrDie("d"), doc, doc.root()));
+}
+
+TEST(EvaluatorTest, EmptyDocumentNeverMatches) {
+  xml::Document doc;
+  EXPECT_FALSE(Evaluator::Matches(ParseXPathOrDie("/a"), doc));
+  EXPECT_FALSE(Evaluator::Matches(ParseXPathOrDie("*"), doc));
+}
+
+TEST(EvaluatorTest, PaperSemanticsOfAllWildcardExpressions) {
+  // Both /*/*/* and */*/* match iff some path has length >= 3.
+  const char* deep = "<a><b><c/></b></a>";
+  const char* shallow = "<a><b/></a>";
+  EXPECT_TRUE(Matches("/*/*/*", deep));
+  EXPECT_TRUE(Matches("*/*/*", deep));
+  EXPECT_FALSE(Matches("/*/*/*", shallow));
+  EXPECT_FALSE(Matches("*/*/*", shallow));
+}
+
+}  // namespace
+}  // namespace xpred::xpath

@@ -1,0 +1,156 @@
+#include "xpath/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace xpred::xpath {
+namespace {
+
+PathExpr Parse(const std::string& text) {
+  Result<PathExpr> expr = ParseXPath(text);
+  EXPECT_TRUE(expr.ok()) << text << ": " << expr.status();
+  return expr.ok() ? *expr : PathExpr{};
+}
+
+TEST(XPathParserTest, AbsoluteSimplePath) {
+  PathExpr e = Parse("/a/b/c");
+  EXPECT_TRUE(e.absolute);
+  ASSERT_EQ(e.steps.size(), 3u);
+  EXPECT_EQ(e.steps[0].tag, "a");
+  EXPECT_EQ(e.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(e.steps[2].tag, "c");
+}
+
+TEST(XPathParserTest, RelativePath) {
+  PathExpr e = Parse("a/b");
+  EXPECT_FALSE(e.absolute);
+  EXPECT_EQ(e.steps.size(), 2u);
+}
+
+TEST(XPathParserTest, DescendantAxis) {
+  PathExpr e = Parse("/a//b");
+  EXPECT_EQ(e.steps[1].axis, Axis::kDescendant);
+  PathExpr lead = Parse("//a");
+  EXPECT_TRUE(lead.absolute);
+  EXPECT_EQ(lead.steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, Wildcards) {
+  PathExpr e = Parse("/*/a/*");
+  EXPECT_TRUE(e.steps[0].wildcard);
+  EXPECT_FALSE(e.steps[1].wildcard);
+  EXPECT_TRUE(e.steps[2].wildcard);
+}
+
+TEST(XPathParserTest, AttributeFilters) {
+  PathExpr e = Parse("/a[@x = 3]/b[@y != \"s\"][@z]");
+  ASSERT_EQ(e.steps[0].attribute_filters.size(), 1u);
+  const AttributeFilter& f = e.steps[0].attribute_filters[0];
+  EXPECT_EQ(f.name, "x");
+  EXPECT_TRUE(f.has_comparison);
+  EXPECT_EQ(f.op, CompareOp::kEq);
+  EXPECT_TRUE(f.value.is_number);
+  EXPECT_EQ(f.value.number, 3.0);
+
+  ASSERT_EQ(e.steps[1].attribute_filters.size(), 2u);
+  EXPECT_EQ(e.steps[1].attribute_filters[0].op, CompareOp::kNe);
+  EXPECT_FALSE(e.steps[1].attribute_filters[0].value.is_number);
+  EXPECT_EQ(e.steps[1].attribute_filters[0].value.text, "s");
+  EXPECT_FALSE(e.steps[1].attribute_filters[1].has_comparison);
+}
+
+TEST(XPathParserTest, AllComparisonOperators) {
+  EXPECT_EQ(Parse("/a[@x = 1]").steps[0].attribute_filters[0].op,
+            CompareOp::kEq);
+  EXPECT_EQ(Parse("/a[@x != 1]").steps[0].attribute_filters[0].op,
+            CompareOp::kNe);
+  EXPECT_EQ(Parse("/a[@x < 1]").steps[0].attribute_filters[0].op,
+            CompareOp::kLt);
+  EXPECT_EQ(Parse("/a[@x <= 1]").steps[0].attribute_filters[0].op,
+            CompareOp::kLe);
+  EXPECT_EQ(Parse("/a[@x > 1]").steps[0].attribute_filters[0].op,
+            CompareOp::kGt);
+  EXPECT_EQ(Parse("/a[@x >= 1]").steps[0].attribute_filters[0].op,
+            CompareOp::kGe);
+}
+
+TEST(XPathParserTest, NumericLiterals) {
+  EXPECT_EQ(Parse("/a[@x = -2.5]").steps[0].attribute_filters[0].value,
+            Literal::Number(-2.5));
+  EXPECT_EQ(Parse("/a[@x = 10]").steps[0].attribute_filters[0].value,
+            Literal::Number(10));
+}
+
+TEST(XPathParserTest, SingleQuotedStrings) {
+  EXPECT_EQ(Parse("/a[@x = 'hi']").steps[0].attribute_filters[0].value,
+            Literal::String("hi"));
+}
+
+TEST(XPathParserTest, NestedPathFilters) {
+  PathExpr e = Parse("/a[b/c]/d");
+  ASSERT_EQ(e.steps[0].nested_paths.size(), 1u);
+  const PathExpr& nested = e.steps[0].nested_paths[0];
+  EXPECT_FALSE(nested.absolute);
+  ASSERT_EQ(nested.steps.size(), 2u);
+  EXPECT_EQ(nested.steps[0].tag, "b");
+  EXPECT_EQ(nested.steps[1].tag, "c");
+}
+
+TEST(XPathParserTest, NestedPathWithLeadingDescendant) {
+  PathExpr e = Parse("/a[//d]");
+  ASSERT_EQ(e.steps[0].nested_paths.size(), 1u);
+  EXPECT_EQ(e.steps[0].nested_paths[0].steps[0].axis, Axis::kDescendant);
+  EXPECT_FALSE(e.steps[0].nested_paths[0].absolute);
+}
+
+TEST(XPathParserTest, RecursiveNesting) {
+  PathExpr e = Parse("/a[b[c[d]]]/e");
+  const PathExpr& l1 = e.steps[0].nested_paths[0];
+  const PathExpr& l2 = l1.steps[0].nested_paths[0];
+  const PathExpr& l3 = l2.steps[0].nested_paths[0];
+  EXPECT_EQ(l3.steps[0].tag, "d");
+}
+
+TEST(XPathParserTest, MixedFilters) {
+  PathExpr e = Parse("/a[@x = 1][b][@y = 2]");
+  EXPECT_EQ(e.steps[0].attribute_filters.size(), 2u);
+  EXPECT_EQ(e.steps[0].nested_paths.size(), 1u);
+}
+
+TEST(XPathParserTest, WhitespaceTolerated) {
+  PathExpr e = Parse("  /a[ @x = 3 ]/b  ");
+  EXPECT_EQ(e.steps.size(), 2u);
+  EXPECT_EQ(e.ToString(), "/a[@x = 3]/b");
+}
+
+TEST(XPathParserTest, NamesWithDashesDotsUnderscores) {
+  PathExpr e = Parse("/body.content/nitf-table/_x");
+  EXPECT_EQ(e.steps[0].tag, "body.content");
+  EXPECT_EQ(e.steps[1].tag, "nitf-table");
+  EXPECT_EQ(e.steps[2].tag, "_x");
+}
+
+struct BadCase {
+  const char* text;
+};
+
+class XPathParserErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(XPathParserErrorTest, Rejected) {
+  Result<PathExpr> expr = ParseXPath(GetParam().text);
+  EXPECT_FALSE(expr.ok()) << "accepted: " << GetParam().text;
+  EXPECT_EQ(expr.status().code(), StatusCode::kXPathParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XPathParserErrorTest,
+    ::testing::Values(BadCase{""}, BadCase{"/"}, BadCase{"//"},
+                      BadCase{"a/"}, BadCase{"/a//"}, BadCase{"a//b/"},
+                      BadCase{"[b]"}, BadCase{"/a["}, BadCase{"/a[]"},
+                      BadCase{"/a[@]"}, BadCase{"/a[@x ="},
+                      BadCase{"/a[@x = ]"}, BadCase{"/a[1]"},
+                      BadCase{"/a[@x ~ 1]"}, BadCase{"/a/b()"},
+                      BadCase{"/a:b"}, BadCase{"@x"}, BadCase{"/a trailing"},
+                      BadCase{"/a[@x = 'open]"}, BadCase{"/a]"}));
+
+}  // namespace
+}  // namespace xpred::xpath

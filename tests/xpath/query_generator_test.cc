@@ -1,0 +1,198 @@
+#include "xpath/query_generator.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "xml/standard_dtds.h"
+#include "xpath/parser.h"
+
+namespace xpred::xpath {
+namespace {
+
+using xml::NitfLikeDtd;
+using xml::PsdLikeDtd;
+
+TEST(QueryGeneratorTest, DeterministicForSeed) {
+  QueryGenerator gen(&NitfLikeDtd(), {});
+  auto w1 = gen.GenerateWorkloadStrings(50, 7);
+  auto w2 = gen.GenerateWorkloadStrings(50, 7);
+  EXPECT_EQ(w1, w2);
+  auto w3 = gen.GenerateWorkloadStrings(50, 8);
+  EXPECT_NE(w1, w3);
+}
+
+TEST(QueryGeneratorTest, AllExpressionsParse) {
+  QueryGenerator::Options options;
+  options.filters_per_expr = 1;
+  options.nested_path_prob = 0.3;
+  QueryGenerator gen(&NitfLikeDtd(), options);
+  for (const std::string& text : gen.GenerateWorkloadStrings(200, 3)) {
+    Result<PathExpr> expr = ParseXPath(text);
+    EXPECT_TRUE(expr.ok()) << text << ": " << expr.status();
+  }
+}
+
+TEST(QueryGeneratorTest, RespectsMaxLength) {
+  QueryGenerator::Options options;
+  options.max_length = 4;
+  options.min_length = 2;
+  QueryGenerator gen(&PsdLikeDtd(), options);
+  for (const PathExpr& expr : gen.GenerateWorkload(100, 5)) {
+    EXPECT_LE(expr.length(), 4u);
+    EXPECT_GE(expr.length(), 1u);  // Dead-end walks may truncate.
+  }
+}
+
+TEST(QueryGeneratorTest, DistinctWorkloadHasNoDuplicates) {
+  QueryGenerator::Options options;
+  options.distinct = true;
+  QueryGenerator gen(&NitfLikeDtd(), options);
+  auto workload = gen.GenerateWorkloadStrings(300, 9);
+  std::set<std::string> unique(workload.begin(), workload.end());
+  EXPECT_EQ(unique.size(), workload.size());
+}
+
+TEST(QueryGeneratorTest, NonDistinctWorkloadHasDuplicates) {
+  // The paper's duplicate workloads: ~30x more expressions than
+  // distinct ones. On the small PSD DTD, duplicates appear quickly.
+  QueryGenerator::Options options;
+  options.distinct = false;
+  options.max_length = 3;
+  QueryGenerator gen(&PsdLikeDtd(), options);
+  auto workload = gen.GenerateWorkloadStrings(2000, 9);
+  ASSERT_EQ(workload.size(), 2000u);
+  std::set<std::string> unique(workload.begin(), workload.end());
+  EXPECT_LT(unique.size(), workload.size() / 2);
+}
+
+TEST(QueryGeneratorTest, WildcardProbabilityShapesWorkload) {
+  auto wildcard_fraction = [](double w) {
+    QueryGenerator::Options options;
+    options.wildcard_prob = w;
+    // Distinctness filtering would bias the fraction at high W (heavily
+    // wildcarded expressions collide and are regenerated).
+    options.distinct = false;
+    QueryGenerator gen(&NitfLikeDtd(), options);
+    size_t wild = 0;
+    size_t total = 0;
+    for (const PathExpr& e : gen.GenerateWorkload(300, 17)) {
+      for (const Step& s : e.steps) {
+        ++total;
+        if (s.wildcard) ++wild;
+      }
+    }
+    return static_cast<double>(wild) / static_cast<double>(total);
+  };
+  EXPECT_EQ(wildcard_fraction(0.0), 0.0);
+  EXPECT_NEAR(wildcard_fraction(0.2), 0.2, 0.07);
+  EXPECT_NEAR(wildcard_fraction(0.8), 0.8, 0.07);
+}
+
+TEST(QueryGeneratorTest, DescendantProbabilityShapesWorkload) {
+  auto descendant_fraction = [](double p) {
+    QueryGenerator::Options options;
+    options.descendant_prob = p;
+    QueryGenerator gen(&NitfLikeDtd(), options);
+    size_t desc = 0;
+    size_t total = 0;
+    for (const PathExpr& e : gen.GenerateWorkload(300, 19)) {
+      for (size_t i = 1; i < e.steps.size(); ++i) {
+        ++total;
+        if (e.steps[i].axis == Axis::kDescendant) ++desc;
+      }
+    }
+    return static_cast<double>(desc) / static_cast<double>(total);
+  };
+  EXPECT_EQ(descendant_fraction(0.0), 0.0);
+  EXPECT_NEAR(descendant_fraction(0.3), 0.3, 0.08);
+}
+
+TEST(QueryGeneratorTest, AbsoluteFlagHonored) {
+  QueryGenerator::Options options;
+  options.absolute = true;
+  QueryGenerator abs_gen(&PsdLikeDtd(), options);
+  for (const PathExpr& e : abs_gen.GenerateWorkload(50, 23)) {
+    EXPECT_TRUE(e.absolute);
+  }
+  options.absolute = false;
+  QueryGenerator rel_gen(&PsdLikeDtd(), options);
+  for (const PathExpr& e : rel_gen.GenerateWorkload(50, 23)) {
+    EXPECT_FALSE(e.absolute);
+  }
+}
+
+TEST(QueryGeneratorTest, FirstStepFollowsDtdRoot) {
+  QueryGenerator::Options options;
+  options.wildcard_prob = 0.0;
+  QueryGenerator gen(&PsdLikeDtd(), options);
+  for (const PathExpr& e : gen.GenerateWorkload(50, 29)) {
+    EXPECT_EQ(e.steps[0].tag, "ProteinDatabase");
+  }
+}
+
+TEST(QueryGeneratorTest, StepsFollowDtdEdges) {
+  // With no wildcards and no descendant skips, consecutive tags must
+  // be DTD parent-child pairs.
+  QueryGenerator::Options options;
+  options.wildcard_prob = 0.0;
+  options.descendant_prob = 0.0;
+  QueryGenerator gen(&PsdLikeDtd(), options);
+  const xml::Dtd& dtd = PsdLikeDtd();
+  for (const PathExpr& e : gen.GenerateWorkload(100, 31)) {
+    for (size_t i = 1; i < e.steps.size(); ++i) {
+      const xml::ElementDecl* parent = dtd.Find(e.steps[i - 1].tag);
+      ASSERT_NE(parent, nullptr);
+      std::vector<std::string> allowed;
+      parent->content.CollectElementNames(&allowed);
+      EXPECT_NE(std::find(allowed.begin(), allowed.end(), e.steps[i].tag),
+                allowed.end())
+          << e.ToString();
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, AttributeFiltersUseDeclaredAttributes) {
+  QueryGenerator::Options options;
+  options.filters_per_expr = 2;
+  QueryGenerator gen(&NitfLikeDtd(), options);
+  const xml::Dtd& dtd = NitfLikeDtd();
+  size_t with_filters = 0;
+  for (const PathExpr& e : gen.GenerateWorkload(200, 37)) {
+    for (const Step& s : e.steps) {
+      if (s.attribute_filters.empty()) continue;
+      with_filters++;
+      EXPECT_FALSE(s.wildcard);
+      const xml::ElementDecl* decl = dtd.Find(s.tag);
+      ASSERT_NE(decl, nullptr);
+      for (const AttributeFilter& f : s.attribute_filters) {
+        bool declared = false;
+        for (const xml::AttributeDecl& ad : decl->attributes) {
+          if (ad.name == f.name) declared = true;
+        }
+        EXPECT_TRUE(declared) << e.ToString() << " @" << f.name;
+      }
+    }
+  }
+  EXPECT_GT(with_filters, 0u);
+}
+
+TEST(QueryGeneratorTest, NestedPathsOnlyOnTagSteps) {
+  QueryGenerator::Options options;
+  options.nested_path_prob = 1.0;
+  options.wildcard_prob = 0.4;
+  QueryGenerator gen(&NitfLikeDtd(), options);
+  size_t nested_count = 0;
+  for (const PathExpr& e : gen.GenerateWorkload(200, 41)) {
+    for (const Step& s : e.steps) {
+      if (!s.nested_paths.empty()) {
+        ++nested_count;
+        EXPECT_FALSE(s.wildcard) << e.ToString();
+      }
+    }
+  }
+  EXPECT_GT(nested_count, 0u);
+}
+
+}  // namespace
+}  // namespace xpred::xpath

@@ -1,0 +1,149 @@
+// Tests for the YFilter baseline (NFA-based filtering).
+
+#include "yfilter/yfilter.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace xpred::yfilter {
+namespace {
+
+using core::ExprId;
+using xpred::testing::EngineMatches;
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+using xpred::testing::ParseXPathOrDie;
+
+TEST(YFilterTest, SimplePaths) {
+  YFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a/b/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/b", doc));
+}
+
+TEST(YFilterTest, WildcardAndDescendant) {
+  YFilter f;
+  xml::Document doc = ParseXmlOrDie("<a><x><b/></x><y><b><z/></b></y></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a/*/b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a//b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "//b/z", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a//z", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a/b", doc));
+  EXPECT_FALSE(EngineMatches(&f, "//z/b", doc));
+}
+
+TEST(YFilterTest, RelativeExpressions) {
+  YFilter f;
+  xml::Document doc = ParseXmlOrDie("<r><x><b><c/></b></x></r>");
+  EXPECT_TRUE(EngineMatches(&f, "b/c", doc));
+  EXPECT_TRUE(EngineMatches(&f, "x//c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "c/b", doc));
+}
+
+TEST(YFilterTest, PrefixSharingBuildsCompactNfa) {
+  YFilter f;
+  ASSERT_TRUE(f.AddExpression("/a/b/c").ok());
+  size_t after_first = f.state_count();
+  ASSERT_TRUE(f.AddExpression("/a/b/d").ok());
+  // Shares /a/b: exactly one new state for d.
+  EXPECT_EQ(f.state_count(), after_first + 1);
+  ASSERT_TRUE(f.AddExpression("/a/b").ok());
+  // Fully shared: no new state.
+  EXPECT_EQ(f.state_count(), after_first + 1);
+}
+
+TEST(YFilterTest, AllAcceptingStatesVisited) {
+  // Unlike a classical NFA, execution continues past the first accept.
+  YFilter f;
+  auto a = f.AddExpression("/a");
+  auto ab = f.AddExpression("/a/b");
+  auto any = f.AddExpression("*");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(any.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  EXPECT_EQ(FilterSorted(&f, doc), (std::vector<ExprId>{*a, *ab, *any}));
+}
+
+TEST(YFilterTest, DuplicatesShareInternalState) {
+  YFilter f;
+  auto id1 = f.AddExpression("/a/b");
+  auto id2 = f.AddExpression("/a/b");
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(f.distinct_expression_count(), 1u);
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  EXPECT_EQ(FilterSorted(&f, doc), (std::vector<ExprId>{*id1, *id2}));
+}
+
+TEST(YFilterTest, SelectionPostponedAttributeFilters) {
+  YFilter f;
+  xml::Document doc = ParseXmlOrDie("<a x=\"3\"><b y=\"1\"/></a>");
+  EXPECT_TRUE(EngineMatches(&f, "/a[@x = 3]/b", doc));
+  EXPECT_FALSE(EngineMatches(&f, "/a[@x = 4]/b", doc));
+  EXPECT_TRUE(EngineMatches(&f, "/a/b[@y >= 1]", doc));
+  EXPECT_GT(f.stats().verify_micros, 0.0);
+}
+
+TEST(YFilterTest, NestedPathFilters) {
+  YFilter f;
+  xml::Document doc = ParseXmlOrDie("<r><a><b/></a><a><c/></a></r>");
+  EXPECT_FALSE(EngineMatches(&f, "/r/a[b]/c", doc));
+  YFilter f2;
+  xml::Document joined = ParseXmlOrDie("<r><a><b/><c/></a></r>");
+  EXPECT_TRUE(EngineMatches(&f2, "/r/a[b]/c", joined));
+}
+
+TEST(YFilterTest, OccurrenceHeavyPaths) {
+  YFilter f;
+  xml::Document doc =
+      ParseXmlOrDie("<a><b><c><a><b><c/></b></a></c></b></a>");
+  EXPECT_TRUE(EngineMatches(&f, "a//b/c", doc));
+  EXPECT_FALSE(EngineMatches(&f, "c//b//a", doc));
+}
+
+TEST(YFilterTest, AgainstOracleOnFixedCorpus) {
+  const std::vector<std::string> docs = {
+      "<a><b><c/></b></a>",
+      "<a><b/><b><c/></b></a>",
+      "<a><a><b><a/></b></a></a>",
+      "<x><y><z/></y><y><w><z/></w></y></x>",
+      "<a><c><a><c><a><c/></a></c></a></c></a>",
+  };
+  const std::vector<std::string> exprs = {
+      "/a",     "/a/b",   "/a/b/c", "a",      "b/c",    "c",
+      "//b",    "/a//c",  "a//a",   "/*/b",   "/*/*",   "*",
+      "*/*/*",  "/a/*/c", "b//c",   "/x/y/z", "x//z",   "a/c/a",
+      "a//c//a", "/a/c/*/a",
+  };
+  YFilter f;
+  std::vector<ExprId> ids = xpred::testing::AddAll(&f, exprs);
+  for (const std::string& doc_text : docs) {
+    xml::Document doc = ParseXmlOrDie(doc_text);
+    std::vector<ExprId> matched = FilterSorted(&f, doc);
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      bool expected =
+          xpath::Evaluator::Matches(ParseXPathOrDie(exprs[i]), doc);
+      bool actual =
+          std::binary_search(matched.begin(), matched.end(), ids[i]);
+      EXPECT_EQ(actual, expected)
+          << "doc=" << doc_text << " expr=" << exprs[i];
+    }
+  }
+}
+
+TEST(YFilterTest, InvalidExpressionRejected) {
+  YFilter f;
+  EXPECT_FALSE(f.AddExpression("").ok());
+  EXPECT_FALSE(f.AddExpression("/a[").ok());
+}
+
+}  // namespace
+}  // namespace xpred::yfilter

@@ -1,0 +1,290 @@
+// xpred command-line tool.
+//
+//   xpred_cli encode <xpath>...
+//       Print the ordered-predicate encoding of each expression.
+//
+//   xpred_cli filter --exprs=FILE [--engine=NAME] [--stats] <xml-file>...
+//       Load expressions (one per line; '#' comments) and filter each
+//       document, printing the matching expressions.
+//       Engines: basic, basic-pc, basic-pc-ap (default), trie-dfs,
+//       yfilter, index-filter.
+//
+//   xpred_cli generate-queries --dtd=nitf|psd --count=N [--max-length=L]
+//       [--min-length=L] [--wildcard=W] [--descendant=DO] [--filters=K]
+//       [--nested=P] [--seed=S] [--non-distinct]
+//       Print a query workload, one expression per line.
+//
+//   xpred_cli generate-docs --dtd=nitf|psd --count=N [--depth=D] [--seed=S]
+//       Print generated XML documents to stdout, separated by blank
+//       lines (count=1 gives a single well-formed document).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/string_util.h"
+#include "core/encoder.h"
+#include "core/matcher.h"
+#include "indexfilter/index_filter.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/parser.h"
+#include "xpath/query_generator.h"
+#include "yfilter/yfilter.h"
+
+namespace {
+
+using namespace xpred;  // NOLINT: tool brevity.
+
+/// Minimal --key=value flag parser; positional arguments are returned
+/// in order.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  static Args Parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          args.flags[arg.substr(2)] = "true";
+        } else {
+          args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        args.positional.push_back(arg);
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long dflt) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? dflt : std::atol(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xpred_cli encode <xpath>...\n"
+               "  xpred_cli filter --exprs=FILE [--engine=NAME] [--stats] "
+               "<xml-file>...\n"
+               "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
+               "[options]\n"
+               "  xpred_cli generate-docs --dtd=nitf|psd --count=N "
+               "[--depth=D] [--seed=S]\n");
+  return 2;
+}
+
+const xml::Dtd* DtdByName(const std::string& name) {
+  if (name == "nitf") return &xml::NitfLikeDtd();
+  if (name == "psd") return &xml::PsdLikeDtd();
+  return nullptr;
+}
+
+int CmdEncode(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  Interner interner;
+  int rc = 0;
+  for (const std::string& text : args.positional) {
+    Result<xpath::PathExpr> expr = xpath::ParseXPath(text);
+    if (!expr.ok()) {
+      std::fprintf(stderr, "%s: %s\n", text.c_str(),
+                   expr.status().ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    if (expr->HasNestedPaths()) {
+      Result<core::Decomposition> decomposition =
+          core::DecomposeNested(*expr);
+      if (!decomposition.ok()) {
+        std::fprintf(stderr, "%s: %s\n", text.c_str(),
+                     decomposition.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      std::printf("%s   (nested; decomposed)\n", text.c_str());
+      for (const core::SubExpression& sub : decomposition->subs) {
+        Result<core::EncodedExpression> enc = core::EncodeExpression(
+            sub.path, core::AttributeMode::kInline, &interner);
+        std::printf("  %-24s (pos, =, %u)  %s\n",
+                    sub.path.ToString().c_str(), sub.branch_step,
+                    enc.ok() ? enc->ToString(interner).c_str()
+                             : enc.status().ToString().c_str());
+      }
+      continue;
+    }
+    Result<core::EncodedExpression> enc = core::EncodeExpression(
+        *expr, core::AttributeMode::kInline, &interner);
+    if (!enc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", text.c_str(),
+                   enc.status().ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%-28s %s\n", text.c_str(),
+                enc->ToString(interner).c_str());
+  }
+  return rc;
+}
+
+std::unique_ptr<core::FilterEngine> EngineByName(const std::string& name) {
+  core::Matcher::Options options;
+  if (name == "basic") {
+    options.mode = core::Matcher::Mode::kBasic;
+  } else if (name == "basic-pc") {
+    options.mode = core::Matcher::Mode::kPrefixCovering;
+  } else if (name == "basic-pc-ap") {
+    options.mode = core::Matcher::Mode::kPrefixCoveringAccessPredicate;
+  } else if (name == "trie-dfs") {
+    options.mode = core::Matcher::Mode::kTrieDfs;
+  } else if (name == "yfilter") {
+    return std::make_unique<yfilter::YFilter>();
+  } else if (name == "index-filter") {
+    return std::make_unique<indexfilter::IndexFilter>();
+  } else {
+    return nullptr;
+  }
+  return std::make_unique<core::Matcher>(options);
+}
+
+int CmdFilter(const Args& args) {
+  std::string exprs_path = args.Get("exprs", "");
+  if (exprs_path.empty() || args.positional.empty()) return Usage();
+
+  std::ifstream exprs_file(exprs_path);
+  if (!exprs_file) {
+    std::fprintf(stderr, "cannot open %s\n", exprs_path.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<core::FilterEngine> engine =
+      EngineByName(args.Get("engine", "basic-pc-ap"));
+  if (engine == nullptr) {
+    std::fprintf(stderr, "unknown engine '%s'\n",
+                 args.Get("engine", "").c_str());
+    return 2;
+  }
+
+  std::vector<std::string> expressions;
+  std::string line;
+  while (std::getline(exprs_file, line)) {
+    std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    Result<core::ExprId> id = engine->AddExpression(trimmed);
+    if (!id.ok()) {
+      std::fprintf(stderr, "skipping '%s': %s\n", trimmed.c_str(),
+                   id.status().ToString().c_str());
+      continue;
+    }
+    expressions.push_back(trimmed);
+  }
+  std::printf("loaded %zu expressions into %s\n", expressions.size(),
+              std::string(engine->name()).c_str());
+
+  int rc = 0;
+  for (const std::string& path : args.positional) {
+    std::ifstream xml_file(path);
+    if (!xml_file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      rc = 1;
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << xml_file.rdbuf();
+    std::vector<core::ExprId> matched;
+    Status st = engine->FilterXml(buffer.str(), &matched);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%s: %zu match(es)\n", path.c_str(), matched.size());
+    for (core::ExprId id : matched) {
+      std::printf("  [%u] %s\n", id, expressions[id].c_str());
+    }
+  }
+
+  if (args.Has("stats")) {
+    const core::EngineStats& stats = engine->stats();
+    std::printf(
+        "stats: %llu docs, %llu paths | encode %.1fus, predicate %.1fus, "
+        "expression %.1fus, verify %.1fus, collect %.1fus | "
+        "%llu occurrence runs\n",
+        static_cast<unsigned long long>(stats.documents),
+        static_cast<unsigned long long>(stats.paths), stats.encode_micros,
+        stats.predicate_micros, stats.expression_micros,
+        stats.verify_micros, stats.collect_micros,
+        static_cast<unsigned long long>(stats.occurrence_runs));
+  }
+  return rc;
+}
+
+int CmdGenerateQueries(const Args& args) {
+  const xml::Dtd* dtd = DtdByName(args.Get("dtd", "nitf"));
+  if (dtd == nullptr) return Usage();
+  xpath::QueryGenerator::Options options;
+  options.max_length = static_cast<uint32_t>(args.GetInt("max-length", 6));
+  options.min_length = static_cast<uint32_t>(args.GetInt("min-length", 2));
+  options.wildcard_prob = args.GetDouble("wildcard", 0.2);
+  options.descendant_prob = args.GetDouble("descendant", 0.2);
+  options.filters_per_expr =
+      static_cast<uint32_t>(args.GetInt("filters", 0));
+  options.nested_path_prob = args.GetDouble("nested", 0.0);
+  options.distinct = !args.Has("non-distinct");
+  xpath::QueryGenerator generator(dtd, options);
+  auto workload = generator.GenerateWorkloadStrings(
+      static_cast<size_t>(args.GetInt("count", 100)),
+      static_cast<uint64_t>(args.GetInt("seed", 42)));
+  for (const std::string& expr : workload) {
+    std::printf("%s\n", expr.c_str());
+  }
+  return 0;
+}
+
+int CmdGenerateDocs(const Args& args) {
+  const xml::Dtd* dtd = DtdByName(args.Get("dtd", "nitf"));
+  if (dtd == nullptr) return Usage();
+  xml::DocumentGenerator::Options options;
+  options.max_depth = static_cast<uint32_t>(args.GetInt("depth", 8));
+  xml::DocumentGenerator generator(dtd, options);
+  long count = args.GetInt("count", 1);
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  for (long i = 0; i < count; ++i) {
+    xml::Document doc = generator.Generate(seed + static_cast<uint64_t>(i));
+    std::printf("%s\n", doc.ToXml().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args = Args::Parse(argc, argv, 2);
+  if (command == "encode") return CmdEncode(args);
+  if (command == "filter") return CmdFilter(args);
+  if (command == "generate-queries") return CmdGenerateQueries(args);
+  if (command == "generate-docs") return CmdGenerateDocs(args);
+  return Usage();
+}
