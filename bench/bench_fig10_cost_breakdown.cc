@@ -31,6 +31,10 @@ void BM_Fig10Breakdown(benchmark::State& state) {
   const Workload& workload = GetWorkload(spec);
 
   matcher->ResetStats();
+  obs::MetricsSnapshot before;
+  if (MetricsSidecarDir() != nullptr) {
+    before = engine.metrics_registry()->Snapshot();
+  }
   std::vector<core::ExprId> matched;
   size_t docs = 0;
   for (auto _ : state) {
@@ -62,6 +66,13 @@ void BM_Fig10Breakdown(benchmark::State& state) {
   state.counters["occ_runs_doc"] =
       static_cast<double>(stats.occurrence_runs) /
       static_cast<double>(docs);
+  if (MetricsSidecarDir() != nullptr) {
+    WriteBenchMetricsSidecar(
+        engine,
+        std::string("Fig10/") + (spec.psd ? "psd/" : "nitf/") +
+            std::to_string(spec.expressions),
+        before);
+  }
 }
 
 void RegisterAll() {

@@ -1,7 +1,10 @@
 #ifndef XPRED_BENCH_BENCH_UTIL_H_
 #define XPRED_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +16,8 @@
 #include "common/string_util.h"
 #include "core/matcher.h"
 #include "indexfilter/index_filter.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
 #include "xfilter/xfilter.h"
 #include "xml/generator.h"
 #include "xml/standard_dtds.h"
@@ -184,6 +189,40 @@ inline core::FilterEngine& GetLoadedEngine(const std::string& engine_name,
   return ref;
 }
 
+/// Directory for per-benchmark metrics sidecar files, from
+/// XPRED_BENCH_METRICS_DIR. Disabled (nullptr) when unset.
+inline const char* MetricsSidecarDir() {
+  static const char* dir = std::getenv("XPRED_BENCH_METRICS_DIR");
+  return dir;
+}
+
+/// Writes the interval delta of \p engine's metrics since \p before to
+/// `$XPRED_BENCH_METRICS_DIR/<name>.json` (schema: see
+/// scripts/check_metrics_schema.py). \p bench_name may contain
+/// separators ('/', '|', ...); every non-alphanumeric byte is mapped
+/// to '_' in the file name.
+inline void WriteBenchMetricsSidecar(core::FilterEngine& engine,
+                                     const std::string& bench_name,
+                                     const obs::MetricsSnapshot& before) {
+  const char* dir = MetricsSidecarDir();
+  if (dir == nullptr) return;
+  obs::MetricsSnapshot delta =
+      engine.metrics_registry()->Snapshot().DeltaSince(before);
+  std::string file_name = bench_name;
+  for (char& c : file_name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') c = '_';
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string path = std::string(dir) + "/" + file_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open metrics sidecar %s\n", path.c_str());
+    return;
+  }
+  obs::WriteMetricsSidecarJson(delta, bench_name, engine.name(), &out);
+}
+
 /// One measurement pass: filters every document in the corpus once;
 /// sets the paper's metrics as counters:
 ///   ms_per_doc  — total filtering time per document (the paper's
@@ -195,6 +234,11 @@ inline void RunFilterBenchmark(benchmark::State& state,
                                const WorkloadSpec& spec) {
   core::FilterEngine& engine = GetLoadedEngine(engine_name, spec);
   const Workload& workload = GetWorkload(spec);
+
+  obs::MetricsSnapshot before;
+  if (MetricsSidecarDir() != nullptr) {
+    before = engine.metrics_registry()->Snapshot();
+  }
 
   std::vector<core::ExprId> matched;
   size_t total_matched = 0;
@@ -225,6 +269,11 @@ inline void RunFilterBenchmark(benchmark::State& state,
         100.0 * static_cast<double>(total_matched) /
         (static_cast<double>(docs_filtered) * std::max(1.0, subs));
     state.counters["expressions"] = subs;
+  }
+  if (MetricsSidecarDir() != nullptr) {
+    // This benchmark library version has no State::name(); the
+    // engine@spec key identifies the run just as uniquely.
+    WriteBenchMetricsSidecar(engine, engine_name + "@" + spec.Key(), before);
   }
 }
 

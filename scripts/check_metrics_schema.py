@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Validates xpred observability output files.
+
+Three kinds of artifacts are checked:
+
+  * metrics sidecar JSON (bench_util.h / `xpred_cli filter
+    --metrics-json=`): schema_version, provenance, counters, gauges,
+    and histograms with consistent bucket/percentile invariants;
+  * Prometheus text exposition (`xpred_cli filter --metrics=`):
+    HELP/TYPE headers, cumulative non-decreasing histogram buckets,
+    and the _count/+Inf agreement;
+  * trace JSONL (`xpred_cli filter --trace=`): one span object per
+    line with the known stage names.
+
+Usage:
+    check_metrics_schema.py file.json [file2.json ...]
+    check_metrics_schema.py --prom metrics.prom
+    check_metrics_schema.py --trace trace.jsonl
+    check_metrics_schema.py --cli path/to/xpred_cli
+
+The --cli mode is the end-to-end check wired into ctest: it generates
+a tiny workload with the CLI, runs `filter` with every observability
+flag, and validates all three outputs (including that the matcher's
+per-stage histograms have non-zero counts).
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+KNOWN_STAGES = {"parse", "encode", "predicate", "occurrence", "verify",
+                "collect"}
+
+SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[-+0-9.eEinfNa]+)$")
+
+
+def fail(msg):
+    print("check_metrics_schema: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+# ---------------------------------------------------------------- sidecar
+
+def validate_histogram(key, h):
+    for field in ("count", "sum", "min", "max", "p50", "p90", "p99",
+                  "buckets"):
+        check(field in h, "%s: histogram missing field %r" % (key, field))
+    check(isinstance(h["buckets"], list), "%s: buckets not a list" % key)
+    total = 0
+    prev_upper = -1
+    for entry in h["buckets"]:
+        check(isinstance(entry, list) and len(entry) == 2,
+              "%s: bucket entry %r is not [upper, count]" % (key, entry))
+        upper, count = entry
+        check(upper > prev_upper,
+              "%s: bucket uppers not strictly increasing" % key)
+        check(count >= 0, "%s: negative bucket count" % key)
+        prev_upper = upper
+        total += count
+    check(total == h["count"],
+          "%s: bucket counts sum to %d, count says %d"
+          % (key, total, h["count"]))
+    if h["count"] > 0:
+        check(h["min"] <= h["max"], "%s: min > max" % key)
+        for q in ("p50", "p90", "p99"):
+            check(h[q] <= h["max"],
+                  "%s: %s=%s exceeds max=%s" % (key, q, h[q], h["max"]))
+
+
+def validate_sidecar(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(doc.get("schema_version") == 1,
+          "%s: schema_version must be 1" % path)
+    for field in ("source", "engine"):
+        check(isinstance(doc.get(field), str) and doc[field],
+              "%s: missing %r" % (path, field))
+    for section in ("counters", "gauges", "histograms"):
+        check(isinstance(doc.get(section), dict),
+              "%s: missing section %r" % (path, section))
+    for key, value in doc["counters"].items():
+        check(isinstance(value, int) and value >= 0,
+              "%s: counter %s not a non-negative integer" % (path, key))
+    for key, value in doc["gauges"].items():
+        check(isinstance(value, (int, float)),
+              "%s: gauge %s not numeric" % (path, key))
+    for key, h in doc["histograms"].items():
+        check(isinstance(h, dict), "%s: histogram %s not an object"
+              % (path, key))
+        validate_histogram("%s: %s" % (path, key), h)
+    print("check_metrics_schema: OK sidecar %s (%d counters, %d gauges, "
+          "%d histograms)" % (path, len(doc["counters"]),
+                              len(doc["gauges"]), len(doc["histograms"])))
+    return doc
+
+
+# ------------------------------------------------------------- prometheus
+
+def validate_prometheus(path):
+    helps, types, series = {}, {}, []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                helps[line.split(" ", 3)[2]] = True
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                check(len(parts) == 4 and parts[3] in
+                      ("counter", "gauge", "histogram"),
+                      "%s:%d: bad TYPE line" % (path, lineno))
+                types[parts[2]] = parts[3]
+                continue
+            check(not line.startswith("#"),
+                  "%s:%d: unexpected comment" % (path, lineno))
+            m = SERIES_RE.match(line)
+            check(m is not None, "%s:%d: unparsable series: %r"
+                  % (path, lineno, line))
+            series.append((m.group("name"), m.group("labels") or "",
+                           float(m.group("value"))))
+
+    check(series, "%s: no series" % path)
+    for name, _, _ in series:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        check(base in types or name in types,
+              "%s: series %s has no TYPE" % (path, name))
+        check(base in helps or name in helps,
+              "%s: series %s has no HELP" % (path, name))
+
+    # Histogram invariants: cumulative non-decreasing buckets ending in
+    # +Inf, whose value equals _count.
+    hist_names = [n for n, t in types.items() if t == "histogram"]
+    for hist in hist_names:
+        by_instance = {}
+        for name, labels, value in series:
+            if name != hist + "_bucket":
+                continue
+            le = re.search(r'le="([^"]*)"', labels).group(1)
+            rest = re.sub(r',?le="[^"]*"', "", labels)
+            by_instance.setdefault(rest, []).append((le, value))
+        counts = {}
+        for name, labels, value in series:
+            if name == hist + "_count":
+                counts[labels] = value
+        check(by_instance, "%s: histogram %s has no buckets" % (path, hist))
+        for rest, buckets in by_instance.items():
+            check(buckets[-1][0] == "+Inf",
+                  "%s: %s{%s}: last bucket is not +Inf" % (path, hist, rest))
+            values = [v for _, v in buckets]
+            check(values == sorted(values),
+                  "%s: %s{%s}: buckets not cumulative" % (path, hist, rest))
+            check(rest in counts and counts[rest] == values[-1],
+                  "%s: %s{%s}: +Inf bucket != _count" % (path, hist, rest))
+    print("check_metrics_schema: OK prometheus %s (%d series, "
+          "%d histograms)" % (path, len(series), len(hist_names)))
+    return series
+
+
+# ------------------------------------------------------------------ trace
+
+def validate_trace(path):
+    spans = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail("%s:%d: bad JSON: %s" % (path, lineno, e))
+            for field in ("doc", "engine", "span", "start_ns", "dur_ns"):
+                check(field in span, "%s:%d: span missing %r"
+                      % (path, lineno, field))
+            check(span["span"] in KNOWN_STAGES,
+                  "%s:%d: unknown stage %r" % (path, lineno, span["span"]))
+            check(span["doc"] >= 1, "%s:%d: doc must be >= 1"
+                  % (path, lineno))
+            spans.append(span)
+    check(spans, "%s: no spans" % path)
+    print("check_metrics_schema: OK trace %s (%d spans, %d documents)"
+          % (path, len(spans), len({s["doc"] for s in spans})))
+    return spans
+
+
+# ---------------------------------------------------------------- cli e2e
+
+def run_cli_end_to_end(cli):
+    with tempfile.TemporaryDirectory(prefix="xpred_obs_") as tmp:
+        exprs = os.path.join(tmp, "exprs.txt")
+        doc = os.path.join(tmp, "doc.xml")
+        prom = os.path.join(tmp, "metrics.prom")
+        sidecar = os.path.join(tmp, "metrics.json")
+        trace = os.path.join(tmp, "trace.jsonl")
+
+        with open(exprs, "w", encoding="utf-8") as f:
+            f.write(subprocess.check_output(
+                [cli, "generate-queries", "--dtd=nitf", "--count=50",
+                 "--seed=7"], text=True))
+        with open(doc, "w", encoding="utf-8") as f:
+            f.write(subprocess.check_output(
+                [cli, "generate-docs", "--dtd=nitf", "--count=1",
+                 "--seed=7"], text=True))
+
+        subprocess.check_call(
+            [cli, "filter", "--exprs=" + exprs, "--engine=basic-pc-ap",
+             "--metrics=" + prom, "--metrics-json=" + sidecar,
+             "--trace=" + trace, doc, doc],
+            stdout=subprocess.DEVNULL)
+
+        sidecar_doc = validate_sidecar(sidecar)
+        series = validate_prometheus(prom)
+        spans = validate_trace(trace)
+
+        # The acceptance bar: the matcher published non-zero per-stage
+        # latency histogram counts.
+        stage_counts = {}
+        for key, h in sidecar_doc["histograms"].items():
+            if key.startswith("xpred_stage_latency_ns"):
+                stage = re.search(r'stage="([^"]*)"', key).group(1)
+                stage_counts[stage] = h["count"]
+        for stage in ("parse", "encode", "predicate", "occurrence"):
+            check(stage_counts.get(stage, 0) > 0,
+                  "stage %r histogram count is zero" % stage)
+        check(any(n == "xpred_documents_total" and v == 2
+                  for n, _, v in series),
+              "xpred_documents_total != 2 in prometheus output")
+        check({s["doc"] for s in spans} == {1, 2},
+              "trace does not cover both documents")
+        print("check_metrics_schema: OK end-to-end (%s)" % cli)
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--cli":
+        run_cli_end_to_end(argv[1])
+        return
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    # --prom / --trace switch the validator for the files that follow;
+    # files before any flag are sidecar JSON.
+    validators = {"--prom": validate_prometheus, "--trace": validate_trace}
+    validate = validate_sidecar
+    seen_file = False
+    for arg in argv:
+        if arg in validators:
+            validate = validators[arg]
+        elif arg.startswith("-"):
+            print("unknown option %r" % arg, file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        else:
+            validate(arg)
+            seen_file = True
+    if not seen_file:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -23,9 +23,14 @@ size_t VectorBytes(const std::vector<T>& v) {
   return v.capacity() * sizeof(T);
 }
 
-/// Bytes behind a string's heap buffer (0 when SSO applies).
+/// Bytes behind a string's heap buffer (0 when SSO applies). A string
+/// is on the heap exactly when its capacity exceeds the SSO capacity
+/// (what a default-constructed string reports), and the allocation is
+/// capacity() + 1 bytes — capacity() excludes the terminating NUL the
+/// buffer still stores.
 inline size_t StringBytes(const std::string& s) {
-  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+  static const size_t sso_capacity = std::string().capacity();
+  return s.capacity() > sso_capacity ? s.capacity() + 1 : 0;
 }
 
 /// Bytes behind a vector of vectors.

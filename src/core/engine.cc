@@ -9,12 +9,45 @@ Status FilterEngine::FilterXml(std::string_view xml_text,
   Stopwatch watch;
   Result<xml::Document> doc = xml::Document::Parse(xml_text);
   if (!doc.ok()) return doc.status();
-  double parse_micros = watch.ElapsedMicros();
+  const uint64_t parse_nanos = static_cast<uint64_t>(watch.ElapsedNanos());
   Status st = FilterDocument(*doc, matched);
   // Charge parse time after FilterDocument so engines that reset
-  // per-document state don't clobber it.
-  mutable_stats()->encode_micros += parse_micros;
+  // per-document state don't clobber it. The paper includes parsing in
+  // total filtering time; the view folds it into encode_micros.
+  inst().RecordStage(obs::Stage::kParse, parse_nanos);
   return st;
+}
+
+const EngineStats& FilterEngine::stats() const {
+  const obs::EngineInstruments& i = inst();
+  EngineStats view;
+  view.documents = i.documents();
+  view.paths = i.paths();
+  view.encode_micros = i.stage_sum_micros(obs::Stage::kParse) +
+                       i.stage_sum_micros(obs::Stage::kEncode);
+  view.predicate_micros = i.stage_sum_micros(obs::Stage::kPredicate);
+  view.expression_micros = i.stage_sum_micros(obs::Stage::kOccurrence);
+  view.verify_micros = i.stage_sum_micros(obs::Stage::kVerify);
+  view.collect_micros = i.stage_sum_micros(obs::Stage::kCollect);
+  view.occurrence_runs = i.occurrence_runs();
+  view.nested_enumeration_truncated = i.nested_truncated();
+  view.predicate_matches = i.predicate_matches();
+  stats_view_ = view;
+  return stats_view_;
+}
+
+void FilterEngine::ResetStats() { inst().Reset(); }
+
+void FilterEngine::BindMetrics(obs::MetricsRegistry* registry) {
+  instruments_.Bind(registry, name());
+}
+
+obs::MetricsRegistry* FilterEngine::metrics_registry() {
+  return inst().registry();
+}
+
+void FilterEngine::set_tracer(obs::Tracer* tracer) {
+  inst().set_tracer(tracer);
 }
 
 }  // namespace xpred::core

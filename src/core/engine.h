@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/predicate.h"
+#include "obs/engine_instruments.h"
 #include "xml/document.h"
 
 namespace xpred::core {
@@ -20,6 +21,13 @@ namespace xpred::core {
 /// fill the fields that apply to them (YFilter: expression_micros is
 /// NFA execution; verify_micros is selection-postponed filter
 /// verification).
+///
+/// Since the observability layer landed this struct is a *view*: the
+/// numbers live in the engine's obs::MetricsRegistry (per-stage
+/// latency histograms and counters, see FilterEngine::stats()), and
+/// this struct is materialized from them on demand. It is kept because
+/// it is the paper-era reporting surface used by the benchmarks and
+/// tests.
 struct EngineStats {
   uint64_t documents = 0;
   uint64_t paths = 0;
@@ -79,8 +87,33 @@ class FilterEngine {
   /// Number of registered subscriptions (duplicates included).
   virtual size_t subscription_count() const = 0;
 
-  virtual const EngineStats& stats() const = 0;
-  virtual void ResetStats() = 0;
+  /// Cumulative stats view, derived from the metrics registry (same
+  /// numbers the paper reports; see EngineStats). The reference stays
+  /// valid until the next stats() call on this engine.
+  const EngineStats& stats() const;
+  /// Zeroes every counter and latency histogram of this engine —
+  /// including occurrence_runs, nested_enumeration_truncated, and
+  /// predicate_matches — uniformly across all engines. Metrics of
+  /// other engines sharing the registry are untouched.
+  void ResetStats();
+
+  /// \name Observability
+  ///
+  /// Every engine publishes into an obs::MetricsRegistry: the §6.5
+  /// stage split as per-document latency histograms
+  /// (xpred_stage_latency_ns{engine=...,stage=...}) plus the counters
+  /// mirrored by EngineStats. By default each engine lazily creates a
+  /// private registry; BindMetrics() re-homes the metrics into a
+  /// shared registry (values recorded so far are carried over) so one
+  /// exporter can serve several engines.
+  ///@{
+  void BindMetrics(obs::MetricsRegistry* registry);
+  /// The registry currently holding this engine's metrics.
+  obs::MetricsRegistry* metrics_registry();
+  /// Attaches a tracer receiving aggregated per-document stage spans
+  /// (obs::Stage taxonomy); nullptr detaches. Not owned.
+  void set_tracer(obs::Tracer* tracer);
+  ///@}
 
   /// Short engine name for reports ("basic-pc-ap", "yfilter", ...).
   virtual std::string_view name() const = 0;
@@ -91,8 +124,25 @@ class FilterEngine {
   virtual size_t ApproximateMemoryBytes() const { return 0; }
 
  protected:
-  /// Mutable access for FilterXml's parse-time accounting.
-  virtual EngineStats* mutable_stats() = 0;
+  /// This engine's observability handle; binds the private registry on
+  /// first use (name() must be callable, i.e. construction finished).
+  obs::EngineInstruments& inst() const {
+    if (!instruments_.bound()) instruments_.BindOwned(name());
+    return instruments_;
+  }
+
+  /// Hot-path variant of inst() without the lazy-bind branch. The
+  /// bind check hides an out-of-line call, which blocks optimization
+  /// of tight loops around it (measurably so in the per-expression
+  /// matching loop). Only valid once something has bound the
+  /// instruments — in practice, after the per-document inst()
+  /// .BeginDocument() call.
+  obs::EngineInstruments& bound_inst() const { return instruments_; }
+
+ private:
+  mutable obs::EngineInstruments instruments_;
+  /// Backing storage for the stats() view.
+  mutable EngineStats stats_view_;
 };
 
 }  // namespace xpred::core

@@ -6,8 +6,8 @@
 
 #include "common/hash.h"
 #include "common/memory_usage.h"
-#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/scoped_timer.h"
 #include "xpath/parser.h"
 
 namespace xpred::core {
@@ -263,13 +263,13 @@ bool Matcher::VerifyDeferred(InternalId id, const Publication& pub) {
   if (!ApplyDeferredFilters(exprs_[id], pub, &views_buf_, &filtered_buf_)) {
     return false;
   }
-  ++stats_.occurrence_runs;
+  bound_inst().IncOccurrenceRuns();
   return OccurrenceDeterminer::Determine(views_buf_);
 }
 
 bool Matcher::EvaluateExpression(InternalId id, const Publication& pub) {
   if (!GatherResults(id, &views_buf_)) return false;
-  ++stats_.occurrence_runs;
+  bound_inst().IncOccurrenceRuns();
   if (!OccurrenceDeterminer::Determine(views_buf_)) return false;
   if (hot_[id].has_deferred) return VerifyDeferred(id, pub);
   return true;
@@ -463,7 +463,7 @@ void Matcher::ProcessNestedSubs(const Publication& pub) {
     const std::vector<uint16_t>& anchors =
         group.interest_anchors[e.sub_index];
     auto& sink = group.witnesses[e.sub_index];
-    ++stats_.occurrence_runs;
+    bound_inst().IncOccurrenceRuns();
     bool complete = OccurrenceDeterminer::EnumerateChains(
         views_buf_, options_.nested_chain_budget,
         [&](std::span<const OccPair> chain) {
@@ -478,7 +478,7 @@ void Matcher::ProcessNestedSubs(const Publication& pub) {
           }
           sink.push_back(std::move(tuple));
         });
-    if (!complete) ++stats_.nested_enumeration_truncated;
+    if (!complete) bound_inst().IncNestedTruncated();
   }
 }
 
@@ -544,7 +544,7 @@ void Matcher::ProcessElements(std::span<const PathElementView> elements) {
   // expression matching, so the second is skipped. Disabled when
   // nested expressions are stored -- their witnesses are node
   // identities, which differ between equal-keyed paths.
-  Stopwatch watch;
+  obs::ScopedTimer timer(&bound_inst(), obs::Stage::kEncode);
   if (groups_.empty()) {
     std::string key;
     for (const PathElementView& element : elements) {
@@ -560,23 +560,17 @@ void Matcher::ProcessElements(std::span<const PathElementView> elements) {
       key.push_back('\x03');
     }
     bool fresh = seen_path_keys_.insert(std::move(key)).second;
-    if (!fresh) {
-      stats_.encode_micros += watch.ElapsedMicros();
-      return;
-    }
+    if (!fresh) return;
   }
 
   Publication pub(elements, interner_);
-  stats_.encode_micros += watch.ElapsedMicros();
 
-  watch.Reset();
-  stats_.predicate_matches += predicate_index_.Match(pub, &results_);
-  stats_.predicate_micros += watch.ElapsedMicros();
+  timer.Rotate(obs::Stage::kPredicate);
+  bound_inst().AddPredicateMatches(predicate_index_.Match(pub, &results_));
 
-  watch.Reset();
+  timer.Rotate(obs::Stage::kOccurrence);
   RunExpressionStage(pub);
   if (!nested_subs_.empty()) ProcessNestedSubs(pub);
-  stats_.expression_micros += watch.ElapsedMicros();
 }
 
 void Matcher::BeginDocumentStream() {
@@ -587,7 +581,7 @@ void Matcher::BeginDocumentStream() {
   doc_matched_.clear();
   matched_groups_.clear();
   seen_path_keys_.clear();
-  ++stats_.documents;
+  inst().BeginDocument();
 }
 
 Status Matcher::ProcessStreamedPath(
@@ -595,7 +589,7 @@ Status Matcher::ProcessStreamedPath(
   if (elements.empty()) {
     return Status::InvalidArgument("path must have at least one element");
   }
-  ++stats_.paths;
+  bound_inst().AddPaths(1);
   ProcessElements(elements);
   return Status::OK();
 }
@@ -604,24 +598,23 @@ Status Matcher::EndDocumentStream(std::vector<ExprId>* matched) {
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
-  Stopwatch watch;
-  if (!groups_.empty()) {
-    JoinNestedGroups();
-    stats_.expression_micros += watch.ElapsedMicros();
-  }
+  {
+    obs::ScopedTimer timer(&inst(), obs::Stage::kOccurrence);
+    if (!groups_.empty()) JoinNestedGroups();
 
-  watch.Reset();
-  for (InternalId id : doc_matched_) {
-    const Internal& e = exprs_[id];
-    matched->insert(matched->end(), e.subscribers.begin(),
-                    e.subscribers.end());
+    timer.Rotate(obs::Stage::kCollect);
+    for (InternalId id : doc_matched_) {
+      const Internal& e = exprs_[id];
+      matched->insert(matched->end(), e.subscribers.begin(),
+                      e.subscribers.end());
+    }
+    for (uint32_t g : matched_groups_) {
+      const NestedGroup& group = groups_[g];
+      matched->insert(matched->end(), group.subscribers.begin(),
+                      group.subscribers.end());
+    }
   }
-  for (uint32_t g : matched_groups_) {
-    const NestedGroup& group = groups_[g];
-    matched->insert(matched->end(), group.subscribers.begin(),
-                    group.subscribers.end());
-  }
-  stats_.collect_micros += watch.ElapsedMicros();
+  inst().EndDocument();
   return Status::OK();
 }
 
@@ -632,10 +625,12 @@ Status Matcher::FilterDocument(const xml::Document& document,
   }
   BeginDocumentStream();
 
-  Stopwatch watch;
-  std::vector<xml::DocumentPath> paths = xml::ExtractPaths(document);
-  stats_.paths += paths.size();
-  stats_.encode_micros += watch.ElapsedMicros();
+  std::vector<xml::DocumentPath> paths;
+  {
+    obs::ScopedTimer timer(&bound_inst(), obs::Stage::kEncode);
+    paths = xml::ExtractPaths(document);
+    inst().AddPaths(paths.size());
+  }
 
   std::vector<PathElementView> views;
   for (const xml::DocumentPath& path : paths) {

@@ -112,8 +112,6 @@ class Matcher : public FilterEngine {
   ///@}
 
   size_t subscription_count() const override { return next_sid_; }
-  const EngineStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = EngineStats{}; }
   std::string_view name() const override;
 
   /// Distinct predicates stored (the §6.5 metric).
@@ -141,9 +139,6 @@ class Matcher : public FilterEngine {
   Status SaveSubscriptions(std::ostream* out) const;
   Result<std::vector<ExprId>> LoadSubscriptions(std::istream* in);
   ///@}
-
- protected:
-  EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   /// A deduplicated expression (or nested sub-expression) — cold data,
@@ -283,8 +278,6 @@ class Matcher : public FilterEngine {
   std::vector<const std::vector<OccPair>*> views_buf_;
   std::vector<std::vector<OccPair>> filtered_buf_;
   std::vector<InternalId> prefix_buf_;
-
-  EngineStats stats_;
 };
 
 }  // namespace xpred::core

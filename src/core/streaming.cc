@@ -55,7 +55,22 @@ Status StreamingFilter::EndElement(std::string_view name) {
 
 Status StreamingFilter::EndDocument() {
   matches_.clear();
-  return matcher_->EndDocumentStream(&matches_);
+  Status st = matcher_->EndDocumentStream(&matches_);
+  PublishMaxDepth();
+  return st;
+}
+
+void StreamingFilter::PublishMaxDepth() {
+  obs::MetricsRegistry* registry = matcher_->metrics_registry();
+  if (registry == nullptr) return;
+  if (depth_gauge_ == nullptr || gauge_registry_ != registry) {
+    depth_gauge_ = registry->AddGauge(
+        "xpred_stream_max_depth",
+        "Maximum open-element stack depth seen by the streaming filter",
+        {{"engine", std::string(matcher_->name())}});
+    gauge_registry_ = registry;
+  }
+  depth_gauge_->Set(static_cast<double>(max_depth_seen_));
 }
 
 }  // namespace xpred::core

@@ -64,12 +64,19 @@ class StreamingFilter : public xml::ContentHandler {
     bool has_children = false;
   };
 
+  /// Mirrors max_depth_seen_ into the matcher's metrics registry as
+  /// the xpred_stream_max_depth gauge.
+  void PublishMaxDepth();
+
   Matcher* matcher_;
   std::vector<OpenElement> stack_;
   std::vector<PathElementView> views_;
   std::vector<ExprId> matches_;
   xml::NodeId next_node_ = 0;
   size_t max_depth_seen_ = 0;
+  /// Cached gauge (re-resolved if the matcher is re-bound).
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::MetricsRegistry* gauge_registry_ = nullptr;
 };
 
 }  // namespace xpred::core

@@ -4,6 +4,7 @@
 
 #include "common/memory_usage.h"
 #include "common/stopwatch.h"
+#include "obs/scoped_timer.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
 
@@ -95,10 +96,13 @@ void IndexFilter::MarkAccepts(const QueryNode& node,
     Internal& e = exprs_[internal];
     if (e.matched_epoch == doc_epoch_) continue;
     if (e.needs_verify) {
-      // Selection-postponed verification of filter predicates.
+      // Selection-postponed verification of filter predicates. Charged
+      // to the verify stage directly; it remains a subset of the
+      // surrounding expression-stage time, as before.
       Stopwatch watch;
       bool ok = xpath::Evaluator::Matches(e.expr, document);
-      stats_.verify_micros += watch.ElapsedMicros();
+      bound_inst().AddStageNanos(obs::Stage::kVerify,
+                           static_cast<uint64_t>(watch.ElapsedNanos()));
       if (!ok) continue;
     }
     e.matched_epoch = doc_epoch_;
@@ -169,12 +173,16 @@ Status IndexFilter::FilterDocument(const xml::Document& document,
   }
   ++doc_epoch_;
   doc_matched_.clear();
-  ++stats_.documents;
-  if (document.empty()) return Status::OK();
+  obs::EngineInstruments& instruments = inst();
+  instruments.BeginDocument();
+  if (document.empty()) {
+    instruments.EndDocument();
+    return Status::OK();
+  }
 
   // Stage 1: build the per-document element index (interval numbering
   // plus per-tag streams).
-  Stopwatch watch;
+  obs::ScopedTimer timer(&instruments, obs::Stage::kPredicate);
   const size_t n = document.size();
   intervals_.assign(n, Interval{});
   streams_.clear();
@@ -201,14 +209,12 @@ Status IndexFilter::FilterDocument(const xml::Document& document,
       streams_[tag].push_back(static_cast<uint32_t>(i));
     }
   }
-  stats_.predicate_micros += watch.ElapsedMicros();
-
   // Stage 2: top-down evaluation of the query prefix tree from a
   // virtual super-root that contains the whole document.
   // The virtual super-root contains every element, so its children
   // join purely on levels (child axis: level 1 = the document root;
   // descendant axis: any level).
-  watch.Reset();
+  timer.Rotate(obs::Stage::kOccurrence);
   for (uint32_t child_id : nodes_[0].children) {
     const QueryNode& child = nodes_[child_id];
     const std::vector<uint32_t>* stream = &all_elements_;
@@ -227,15 +233,15 @@ Status IndexFilter::FilterDocument(const xml::Document& document,
     }
     EvalNode(child_id, next, document);
   }
-  stats_.expression_micros += watch.ElapsedMicros();
 
-  watch.Reset();
+  timer.Rotate(obs::Stage::kCollect);
   for (uint32_t internal : doc_matched_) {
     const Internal& e = exprs_[internal];
     matched->insert(matched->end(), e.subscribers.begin(),
                     e.subscribers.end());
   }
-  stats_.collect_micros += watch.ElapsedMicros();
+  timer.Charge();
+  instruments.EndDocument();
   return Status::OK();
 }
 

@@ -37,17 +37,12 @@ class IndexFilter : public core::FilterEngine {
                         std::vector<core::ExprId>* matched) override;
 
   size_t subscription_count() const override { return next_sid_; }
-  const core::EngineStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = core::EngineStats{}; }
   std::string_view name() const override { return "index-filter"; }
 
   size_t query_tree_size() const { return nodes_.size(); }
   size_t distinct_expression_count() const { return exprs_.size(); }
 
   size_t ApproximateMemoryBytes() const override;
-
- protected:
-  core::EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   static constexpr uint32_t kNoNode = UINT32_MAX;
@@ -93,8 +88,6 @@ class IndexFilter : public core::FilterEngine {
 
   uint32_t doc_epoch_ = 0;
   std::vector<uint32_t> doc_matched_;
-
-  core::EngineStats stats_;
 };
 
 }  // namespace xpred::indexfilter

@@ -1,0 +1,126 @@
+#include "obs/engine_instruments.h"
+
+namespace xpred::obs {
+
+namespace {
+
+constexpr std::string_view kStageLatencyName = "xpred_stage_latency_ns";
+constexpr std::string_view kStageLatencyHelp =
+    "Per-document filtering-stage latency in nanoseconds.";
+
+/// Carries an already-recorded counter value over to a new registry
+/// binding (no-op when re-binding resolved to the same metric).
+void CarryOver(Counter* fresh, Counter* old) {
+  if (old != nullptr && old != fresh) fresh->Increment(old->value());
+}
+
+}  // namespace
+
+void EngineInstruments::Bind(MetricsRegistry* registry,
+                             std::string_view engine_name) {
+  engine_name_.assign(engine_name);
+  const std::vector<Label> engine_label = {
+      {"engine", engine_name_}};
+
+  Counter* old_documents = documents_;
+  Counter* old_paths = paths_;
+  Counter* old_occurrence = occurrence_runs_;
+  Counter* old_truncated = nested_truncated_;
+  Counter* old_matches = predicate_matches_;
+  std::array<Histogram*, kStageCount> old_hist = stage_hist_;
+
+  registry_ = registry;
+  documents_ = registry->AddCounter(
+      "xpred_documents_total", "Documents filtered.", engine_label);
+  paths_ = registry->AddCounter(
+      "xpred_paths_total", "Root-to-leaf document paths processed.",
+      engine_label);
+  occurrence_runs_ = registry->AddCounter(
+      "xpred_occurrence_runs_total",
+      "Executions of the occurrence determination algorithm (paper "
+      "Alg. 1).",
+      engine_label);
+  nested_truncated_ = registry->AddCounter(
+      "xpred_nested_enumeration_truncated_total",
+      "Nested-path witness enumerations that hit the search budget.",
+      engine_label);
+  predicate_matches_ = registry->AddCounter(
+      "xpred_predicate_matches_total",
+      "(pid, pair) predicate matches recorded.", engine_label);
+  for (size_t s = 0; s < kStageCount; ++s) {
+    stage_hist_[s] = registry->AddHistogram(
+        kStageLatencyName, kStageLatencyHelp,
+        {{"engine", engine_name_},
+         {"stage", std::string(StageName(static_cast<Stage>(s)))}});
+  }
+
+  CarryOver(documents_, old_documents);
+  CarryOver(paths_, old_paths);
+  CarryOver(occurrence_runs_, old_occurrence);
+  CarryOver(nested_truncated_, old_truncated);
+  CarryOver(predicate_matches_, old_matches);
+  for (size_t s = 0; s < kStageCount; ++s) {
+    if (old_hist[s] != nullptr && old_hist[s] != stage_hist_[s]) {
+      stage_hist_[s]->MergeFrom(*old_hist[s]);
+    }
+  }
+}
+
+void EngineInstruments::BindOwned(std::string_view engine_name) {
+  if (owned_registry_ == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+  }
+  Bind(owned_registry_.get(), engine_name);
+}
+
+void EngineInstruments::BeginDocument() {
+  stage_nanos_.fill(0);
+  stage_touched_.fill(false);
+  if (tracer_ != nullptr) {
+    tracer_->BeginDocument();
+    doc_start_nanos_ = tracer_->NowNanos();
+  }
+}
+
+void EngineInstruments::EndDocument() {
+  uint64_t offset = doc_start_nanos_;
+  for (size_t s = 0; s < kStageCount; ++s) {
+    if (!stage_touched_[s]) continue;
+    stage_hist_[s]->Record(stage_nanos_[s]);
+    if (tracer_ != nullptr) {
+      tracer_->EmitSpan(engine_name_, static_cast<Stage>(s), offset,
+                        stage_nanos_[s]);
+      offset += stage_nanos_[s];
+    }
+  }
+  documents_->Increment();
+}
+
+void EngineInstruments::RecordStage(Stage stage, uint64_t nanos) {
+  stage_hist_[static_cast<size_t>(stage)]->Record(nanos);
+  if (tracer_ != nullptr) {
+    const uint64_t now = tracer_->NowNanos();
+    tracer_->EmitSpan(engine_name_, stage, now >= nanos ? now - nanos : 0,
+                      nanos);
+  }
+}
+
+double EngineInstruments::stage_sum_micros(Stage stage) const {
+  const Histogram* hist = stage_hist_[static_cast<size_t>(stage)];
+  if (hist == nullptr) return 0;
+  return static_cast<double>(hist->sum()) / 1e3;
+}
+
+void EngineInstruments::Reset() {
+  if (!bound()) return;
+  documents_->Reset();
+  paths_->Reset();
+  occurrence_runs_->Reset();
+  nested_truncated_->Reset();
+  predicate_matches_->Reset();
+  for (Histogram* hist : stage_hist_) hist->Reset();
+  stage_nanos_.fill(0);
+  stage_touched_.fill(false);
+}
+
+}  // namespace xpred::obs

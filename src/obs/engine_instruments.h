@@ -1,0 +1,117 @@
+#ifndef XPRED_OBS_ENGINE_INSTRUMENTS_H_
+#define XPRED_OBS_ENGINE_INSTRUMENTS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xpred::obs {
+
+/// \brief One engine's handle into the observability layer.
+///
+/// Owns the engine's registered metrics (per-stage latency histograms
+/// plus the paper's counters) and the per-document stage accumulators
+/// that feed them, and forwards aggregated stage spans to an attached
+/// Tracer. core::FilterEngine holds one of these and derives its
+/// legacy EngineStats view from it.
+///
+/// Protocol per document:
+///   BeginDocument();
+///   AddStageNanos(stage, nanos);   // any number of times, any order
+///   ...
+///   EndDocument();                 // flush: one histogram sample and
+///                                  // one trace span per touched
+///                                  // stage, ++documents
+/// RecordStage() bypasses the accumulators for work outside the
+/// document window (XML parse time charged after FilterDocument).
+///
+/// Hot-path calls (AddStageNanos, the counter increments) are plain
+/// array/pointer arithmetic — no allocation, no map lookups. Bind()
+/// must have been called first; core::FilterEngine does this lazily.
+class EngineInstruments {
+ public:
+  EngineInstruments() = default;
+  EngineInstruments(const EngineInstruments&) = delete;
+  EngineInstruments& operator=(const EngineInstruments&) = delete;
+
+  bool bound() const { return registry_ != nullptr; }
+
+  /// Registers this engine's metrics in \p registry under the label
+  /// engine=\p engine_name. Values recorded under a previous binding
+  /// are carried over.
+  void Bind(MetricsRegistry* registry, std::string_view engine_name);
+  /// Binds to a private registry owned by these instruments.
+  void BindOwned(std::string_view engine_name);
+  MetricsRegistry* registry() const { return registry_; }
+
+  /// \p tracer is not owned; nullptr disables span emission.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  void BeginDocument();
+  void AddStageNanos(Stage stage, uint64_t nanos) {
+    stage_nanos_[static_cast<size_t>(stage)] += nanos;
+    stage_touched_[static_cast<size_t>(stage)] = true;
+  }
+  void EndDocument();
+  /// Immediate record: one histogram sample and (if tracing) one span
+  /// ending now.
+  void RecordStage(Stage stage, uint64_t nanos);
+
+  void AddPaths(uint64_t n) { paths_->Increment(n); }
+  void IncOccurrenceRuns() { occurrence_runs_->Increment(); }
+  void IncNestedTruncated() { nested_truncated_->Increment(); }
+  void AddPredicateMatches(uint64_t n) { predicate_matches_->Increment(n); }
+
+  /// \name View accessors (0 when unbound) for the EngineStats shim.
+  ///@{
+  uint64_t documents() const { return bound() ? documents_->value() : 0; }
+  uint64_t paths() const { return bound() ? paths_->value() : 0; }
+  uint64_t occurrence_runs() const {
+    return bound() ? occurrence_runs_->value() : 0;
+  }
+  uint64_t nested_truncated() const {
+    return bound() ? nested_truncated_->value() : 0;
+  }
+  uint64_t predicate_matches() const {
+    return bound() ? predicate_matches_->value() : 0;
+  }
+  double stage_sum_micros(Stage stage) const;
+  const Histogram* stage_histogram(Stage stage) const {
+    return stage_hist_[static_cast<size_t>(stage)];
+  }
+  ///@}
+
+  /// Zeroes this engine's metrics (only them — a shared registry's
+  /// other engines are untouched).
+  void Reset();
+
+  std::string_view engine_name() const { return engine_name_; }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  Tracer* tracer_ = nullptr;
+  std::string engine_name_;
+
+  Counter* documents_ = nullptr;
+  Counter* paths_ = nullptr;
+  Counter* occurrence_runs_ = nullptr;
+  Counter* nested_truncated_ = nullptr;
+  Counter* predicate_matches_ = nullptr;
+  std::array<Histogram*, kStageCount> stage_hist_{};
+
+  // Current-document accumulators.
+  std::array<uint64_t, kStageCount> stage_nanos_{};
+  std::array<bool, kStageCount> stage_touched_{};
+  uint64_t doc_start_nanos_ = 0;
+};
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_ENGINE_INSTRUMENTS_H_

@@ -1,0 +1,182 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace xpred::obs {
+
+namespace {
+
+/// Shortest float rendering that is stable across platforms for the
+/// values we emit (integers stay integral: 7 -> "7", not "7.0").
+std::string FormatNumber(double value) {
+  if (std::isfinite(value) &&
+      value == static_cast<double>(static_cast<int64_t>(value))) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void WriteSeries(std::ostream* out, const std::string& name,
+                 const std::string& labels, std::string_view extra_label,
+                 const std::string& value) {
+  *out << name;
+  if (!labels.empty() || !extra_label.empty()) {
+    *out << '{' << labels;
+    if (!labels.empty() && !extra_label.empty()) *out << ',';
+    *out << extra_label << '}';
+  }
+  *out << ' ' << value << '\n';
+}
+
+void WriteJsonBody(const MetricsSnapshot& snapshot, std::ostream* out,
+                   const char* indent) {
+  *out << indent << "\"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : snapshot.counters) {
+    *out << (first ? "" : ",") << "\n" << indent << "  \""
+         << JsonEscape(key) << "\": " << value;
+    first = false;
+  }
+  *out << (first ? "" : "\n") << (first ? "" : indent) << "},\n";
+
+  *out << indent << "\"gauges\": {";
+  first = true;
+  for (const auto& [key, value] : snapshot.gauges) {
+    *out << (first ? "" : ",") << "\n" << indent << "  \""
+         << JsonEscape(key) << "\": " << FormatNumber(value);
+    first = false;
+  }
+  *out << (first ? "" : "\n") << (first ? "" : indent) << "},\n";
+
+  *out << indent << "\"histograms\": {";
+  first = true;
+  for (const auto& [key, hist] : snapshot.histograms) {
+    *out << (first ? "" : ",") << "\n" << indent << "  \""
+         << JsonEscape(key) << "\": {"
+         << "\"count\": " << hist.count << ", \"sum\": " << hist.sum
+         << ", \"min\": " << hist.min << ", \"max\": " << hist.max
+         << ", \"p50\": " << FormatNumber(hist.Quantile(0.50))
+         << ", \"p90\": " << FormatNumber(hist.Quantile(0.90))
+         << ", \"p99\": " << FormatNumber(hist.Quantile(0.99))
+         << ", \"buckets\": [";
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      *out << (i == 0 ? "" : ", ") << '[' << hist.buckets[i].first << ", "
+           << hist.buckets[i].second << ']';
+    }
+    *out << "]}";
+    first = false;
+  }
+  *out << (first ? "" : "\n") << (first ? "" : indent) << "}\n";
+}
+
+}  // namespace
+
+void WritePrometheusText(const MetricsRegistry& registry, std::ostream* out) {
+  for (const auto& [name, family] : registry.families()) {
+    if (!family.help.empty()) {
+      *out << "# HELP " << name << ' ' << family.help << '\n';
+    }
+    *out << "# TYPE " << name << ' ';
+    switch (family.type) {
+      case MetricType::kCounter:
+        *out << "counter";
+        break;
+      case MetricType::kGauge:
+        *out << "gauge";
+        break;
+      case MetricType::kHistogram:
+        *out << "histogram";
+        break;
+    }
+    *out << '\n';
+
+    for (const auto& [labels, instance] : family.instances) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          WriteSeries(out, name, labels, "",
+                      std::to_string(instance.counter.value()));
+          break;
+        case MetricType::kGauge:
+          WriteSeries(out, name, labels, "",
+                      FormatNumber(instance.gauge.value()));
+          break;
+        case MetricType::kHistogram: {
+          if (instance.histogram == nullptr) break;
+          const Histogram& hist = *instance.histogram;
+          uint64_t cumulative = 0;
+          for (uint32_t i = 0; i < Histogram::kBucketCount; ++i) {
+            if (hist.buckets()[i] == 0) continue;
+            cumulative += hist.buckets()[i];
+            WriteSeries(
+                out, name + "_bucket", labels,
+                "le=\"" + std::to_string(Histogram::BucketUpperBound(i)) +
+                    "\"",
+                std::to_string(cumulative));
+          }
+          WriteSeries(out, name + "_bucket", labels, "le=\"+Inf\"",
+                      std::to_string(hist.count()));
+          WriteSeries(out, name + "_sum", labels, "",
+                      std::to_string(hist.sum()));
+          WriteSeries(out, name + "_count", labels, "",
+                      std::to_string(hist.count()));
+          break;
+        }
+      }
+    }
+  }
+}
+
+void WriteJson(const MetricsSnapshot& snapshot, std::ostream* out) {
+  *out << "{\n";
+  WriteJsonBody(snapshot, out, "  ");
+  *out << "}\n";
+}
+
+void WriteJson(const MetricsRegistry& registry, std::ostream* out) {
+  WriteJson(registry.Snapshot(), out);
+}
+
+void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
+                             std::string_view source,
+                             std::string_view engine_name,
+                             std::ostream* out) {
+  *out << "{\n  \"schema_version\": 1,\n  \"source\": \""
+       << JsonEscape(source) << "\",\n  \"engine\": \""
+       << JsonEscape(engine_name) << "\",\n";
+  WriteJsonBody(snapshot, out, "  ");
+  *out << "}\n";
+}
+
+}  // namespace xpred::obs

@@ -1,0 +1,41 @@
+#ifndef XPRED_OBS_EXPORTERS_H_
+#define XPRED_OBS_EXPORTERS_H_
+
+#include <ostream>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace xpred::obs {
+
+/// Writes the registry in Prometheus text exposition format
+/// (https://prometheus.io/docs/instrumenting/exposition_formats/).
+/// Histograms emit cumulative `_bucket{le=...}` series at every
+/// non-empty bucket's inclusive upper bound plus `le="+Inf"`, and the
+/// usual `_sum`/`_count` series. Output order is deterministic
+/// (name-sorted families, label-sorted instances) so the format is
+/// golden-testable.
+void WritePrometheusText(const MetricsRegistry& registry, std::ostream* out);
+
+/// Writes a flat JSON dump of a snapshot:
+///   {"counters": {"name{labels}": 1, ...},
+///    "gauges": {...},
+///    "histograms": {"name{labels}": {"count":..., "sum":..., "min":...,
+///        "max":..., "p50":..., "p90":..., "p99":...,
+///        "buckets": [[upper, count], ...]}, ...}}
+void WriteJson(const MetricsSnapshot& snapshot, std::ostream* out);
+/// Convenience: Snapshot() + WriteJson.
+void WriteJson(const MetricsRegistry& registry, std::ostream* out);
+
+/// Writes the benchmark metrics sidecar: the JSON dump wrapped with
+/// provenance, the schema validated by scripts/check_metrics_schema.py:
+///   {"schema_version": 1, "source": "...", "engine": "...",
+///    "counters": ..., "gauges": ..., "histograms": ...}
+void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
+                             std::string_view source,
+                             std::string_view engine_name,
+                             std::ostream* out);
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_EXPORTERS_H_

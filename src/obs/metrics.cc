@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace xpred::obs {
+
+uint32_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<uint32_t>(value);
+  const uint32_t msb = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  const uint32_t octave = msb - kSubBucketBits + 1;
+  const uint32_t sub =
+      static_cast<uint32_t>((value >> (octave - 1)) & (kSubBuckets - 1));
+  return octave * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(uint32_t index) {
+  const uint32_t octave = index >> kSubBucketBits;
+  const uint32_t sub = index & (kSubBuckets - 1);
+  if (octave == 0) return sub;
+  return static_cast<uint64_t>(kSubBuckets + sub) << (octave - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(uint32_t index) {
+  const uint32_t octave = index >> kSubBucketBits;
+  if (octave == 0) return index & (kSubBuckets - 1);
+  return BucketLowerBound(index) + ((uint64_t{1} << (octave - 1)) - 1);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      return static_cast<double>(std::min(BucketUpperBound(i), max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (uint32_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1,
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (const auto& [upper, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= rank) return static_cast<double>(std::min(upper, max));
+  }
+  return static_cast<double>(max);
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta;
+  for (const auto& [key, value] : counters) {
+    auto it = base.counters.find(key);
+    const uint64_t before = it == base.counters.end() ? 0 : it->second;
+    delta.counters[key] = value >= before ? value - before : 0;
+  }
+  delta.gauges = gauges;
+  for (const auto& [key, hist] : histograms) {
+    auto it = base.histograms.find(key);
+    if (it == base.histograms.end()) {
+      delta.histograms[key] = hist;
+      continue;
+    }
+    const HistogramSnapshot& before = it->second;
+    HistogramSnapshot d;
+    d.count = hist.count >= before.count ? hist.count - before.count : 0;
+    d.sum = hist.sum >= before.sum ? hist.sum - before.sum : 0;
+    d.min = hist.min;
+    d.max = hist.max;
+    for (const auto& [upper, n] : hist.buckets) {
+      uint64_t prior = 0;
+      for (const auto& [bupper, bn] : before.buckets) {
+        if (bupper == upper) {
+          prior = bn;
+          break;
+        }
+      }
+      if (n > prior) d.buckets.emplace_back(upper, n - prior);
+    }
+    delta.histograms[key] = std::move(d);
+  }
+  return delta;
+}
+
+std::string MetricsRegistry::RenderLabels(const std::vector<Label>& labels) {
+  std::string out;
+  for (const Label& label : labels) {
+    if (!out.empty()) out.push_back(',');
+    out.append(label.name);
+    out.append("=\"");
+    for (char c : label.value) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      if (c == '\n') {
+        out.append("\\n");
+        continue;
+      }
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+MetricsRegistry::Instance& MetricsRegistry::GetInstance(
+    std::string_view name, std::string_view help, MetricType type,
+    const std::vector<Label>& labels) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.help.assign(help);
+    family.type = type;
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  assert(it->second.type == type && "metric re-registered with new type");
+  return it->second.instances[RenderLabels(labels)];
+}
+
+Counter* MetricsRegistry::AddCounter(std::string_view name,
+                                     std::string_view help,
+                                     const std::vector<Label>& labels) {
+  return &GetInstance(name, help, MetricType::kCounter, labels).counter;
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string_view name, std::string_view help,
+                                 const std::vector<Label>& labels) {
+  return &GetInstance(name, help, MetricType::kGauge, labels).gauge;
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string_view name,
+                                         std::string_view help,
+                                         const std::vector<Label>& labels) {
+  Instance& instance = GetInstance(name, help, MetricType::kHistogram, labels);
+  if (instance.histogram == nullptr) {
+    instance.histogram = std::make_unique<Histogram>();
+  }
+  return instance.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, instance] : family.instances) {
+      std::string key =
+          labels.empty() ? name : name + "{" + labels + "}";
+      switch (family.type) {
+        case MetricType::kCounter:
+          snapshot.counters[key] = instance.counter.value();
+          break;
+        case MetricType::kGauge:
+          snapshot.gauges[key] = instance.gauge.value();
+          break;
+        case MetricType::kHistogram: {
+          HistogramSnapshot hist;
+          if (instance.histogram != nullptr) {
+            const Histogram& h = *instance.histogram;
+            hist.count = h.count();
+            hist.sum = h.sum();
+            hist.min = h.min();
+            hist.max = h.max();
+            for (uint32_t i = 0; i < Histogram::kBucketCount; ++i) {
+              if (h.buckets()[i] != 0) {
+                hist.buckets.emplace_back(Histogram::BucketUpperBound(i),
+                                          h.buckets()[i]);
+              }
+            }
+          }
+          snapshot.histograms[key] = std::move(hist);
+          break;
+        }
+      }
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, family] : families_) {
+    for (auto& [labels, instance] : family.instances) {
+      instance.counter.Reset();
+      instance.gauge.Reset();
+      if (instance.histogram != nullptr) instance.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace xpred::obs

@@ -1,0 +1,204 @@
+#ifndef XPRED_OBS_METRICS_H_
+#define XPRED_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xpred::obs {
+
+/// \brief Named-metric registry for the filtering engines: counters,
+/// gauges, and HDR-style log-linear latency histograms.
+///
+/// The paper's evaluation (§6.5) splits filtering cost per stage but
+/// only as cumulative totals; the registry adds distributions
+/// (p50/p90/p99/max per stage) and machine-readable export (Prometheus
+/// text exposition, JSON — see obs/exporters.h) on top.
+///
+/// Design rules:
+///  - Registration (AddCounter/AddGauge/AddHistogram) is a cold-path
+///    operation and may allocate; it is idempotent — re-registering
+///    the same (name, labels) returns the existing metric.
+///  - The returned pointers are stable for the registry's lifetime
+///    (metrics live in std::map nodes), so hot paths hold raw pointers
+///    and never touch the registry maps.
+///  - Increment/Set/Record are allocation-free.
+///  - Like the engines themselves, a registry is not thread-safe.
+
+/// One (name, value) label pair, rendered as name="value".
+struct Label {
+  std::string name;
+  std::string value;
+};
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// \brief Log-linear histogram over non-negative 64-bit values
+/// (the engines record stage latencies in nanoseconds).
+///
+/// Bucket layout (HdrHistogram-style): indexes [0, 16) hold values
+/// 0..15 exactly; every later octave o >= 1 covers
+/// [16 << (o-1), 16 << o) with 16 linear sub-buckets of width
+/// 2^(o-1), so any recorded value lands in a bucket whose width is at
+/// most 1/16 of its magnitude. Record() is a bit-scan, a shift, and
+/// three adds — allocation-free and safe on the hot path.
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBucketBits = 4;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Octave 0 (values < 16) plus one octave per remaining magnitude.
+  static constexpr uint32_t kOctaves = 64 - kSubBucketBits;
+  static constexpr uint32_t kBucketCount = (kOctaves + 1) * kSubBuckets;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)]++;
+    sum_ += value;
+    if (count_ == 0 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// Exact extrema (0 when empty).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  /// Upper bound of the bucket holding the q-quantile observation,
+  /// clamped to the exact max (so Quantile(1.0) == max()). 0 when
+  /// empty.
+  double Quantile(double q) const;
+
+  const std::array<uint64_t, kBucketCount>& buckets() const {
+    return buckets_;
+  }
+
+  void Reset();
+  /// Adds \p other's recordings to this histogram (used when an
+  /// engine's metrics are re-bound into a shared registry).
+  void MergeFrom(const Histogram& other);
+
+  static uint32_t BucketIndex(uint64_t value);
+  /// Smallest value mapping to bucket \p index.
+  static uint64_t BucketLowerBound(uint32_t index);
+  /// Largest value mapping to bucket \p index (inclusive).
+  static uint64_t BucketUpperBound(uint32_t index);
+
+ private:
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Point-in-time copy of one histogram, in sparse form.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  /// (inclusive bucket upper bound, count) for each non-empty bucket,
+  /// ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  /// Same semantics as Histogram::Quantile.
+  double Quantile(double q) const;
+};
+
+/// \brief Point-in-time copy of a whole registry, keyed by
+/// "name{labels}" (or bare "name" when unlabeled). Supports interval
+/// diffing so benchmarks can report per-measurement metrics.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counters and histogram counts/sums/buckets are subtracted;
+  /// gauges keep their current value; histogram min/max keep the
+  /// cumulative values (extrema cannot be un-merged).
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a metric. \p help is kept from the first
+  /// registration of \p name; registering one name with two different
+  /// types is a programming error (the first type wins on export).
+  Counter* AddCounter(std::string_view name, std::string_view help,
+                      const std::vector<Label>& labels = {});
+  Gauge* AddGauge(std::string_view name, std::string_view help,
+                  const std::vector<Label>& labels = {});
+  Histogram* AddHistogram(std::string_view name, std::string_view help,
+                          const std::vector<Label>& labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations are kept).
+  void Reset();
+
+  /// \name Exporter access
+  ///@{
+  struct Instance {
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    /// Keyed by the rendered label string ("k1=\"v1\",k2=\"v2\"", empty
+    /// when unlabeled); map nodes give the metrics stable addresses.
+    std::map<std::string, Instance> instances;
+  };
+  /// Families in deterministic (name-sorted) order.
+  const std::map<std::string, Family, std::less<>>& families() const {
+    return families_;
+  }
+  ///@}
+
+  /// Renders labels Prometheus-style: k1="v1",k2="v2" (values escaped).
+  static std::string RenderLabels(const std::vector<Label>& labels);
+
+ private:
+  Instance& GetInstance(std::string_view name, std::string_view help,
+                        MetricType type, const std::vector<Label>& labels);
+
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_METRICS_H_

@@ -1,0 +1,58 @@
+#ifndef XPRED_OBS_SCOPED_TIMER_H_
+#define XPRED_OBS_SCOPED_TIMER_H_
+
+#include <cstdint>
+
+#include "common/stopwatch.h"
+#include "obs/engine_instruments.h"
+
+namespace xpred::obs {
+
+/// \brief RAII stage timer: charges elapsed wall time to the current
+/// stage of an EngineInstruments' per-document accumulator.
+///
+/// Replaces the old ad-hoc `Stopwatch watch; ...; stats_.x_micros +=
+/// watch.ElapsedMicros()` plumbing. A single timer walks a pipeline by
+/// rotating through its stages; the destructor charges the last one:
+///
+/// \code
+///   obs::ScopedTimer timer(&inst(), obs::Stage::kEncode);
+///   ... encode ...
+///   timer.Rotate(obs::Stage::kPredicate);
+///   ... match predicates ...
+/// \endcode
+class ScopedTimer {
+ public:
+  ScopedTimer(EngineInstruments* instruments, Stage stage)
+      : instruments_(instruments), stage_(stage) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Charges the elapsed time to the current stage and switches to
+  /// \p next.
+  void Rotate(Stage next) {
+    Charge();
+    stage_ = next;
+  }
+
+  /// Charges the elapsed time to the current stage and restarts the
+  /// watch. Call explicitly when the accumulator must be complete
+  /// before the timer's scope ends (e.g. ahead of EndDocument); the
+  /// destructor then only charges the nanoseconds elapsed since.
+  void Charge() {
+    instruments_->AddStageNanos(
+        stage_, static_cast<uint64_t>(watch_.ElapsedNanos()));
+    watch_.Reset();
+  }
+
+  ~ScopedTimer() { Charge(); }
+
+ private:
+  EngineInstruments* instruments_;
+  Stage stage_;
+  Stopwatch watch_;
+};
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_SCOPED_TIMER_H_

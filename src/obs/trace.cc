@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+namespace xpred::obs {
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kEncode:
+      return "encode";
+    case Stage::kPredicate:
+      return "predicate";
+    case Stage::kOccurrence:
+      return "occurrence";
+    case Stage::kVerify:
+      return "verify";
+    case Stage::kCollect:
+      return "collect";
+  }
+  return "unknown";
+}
+
+RingBufferSink::RingBufferSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  spans_.reserve(capacity_);
+}
+
+void RingBufferSink::Emit(const TraceSpan& span) {
+  if (spans_.size() < capacity_) {
+    spans_.push_back(span);
+    ++size_;
+    return;
+  }
+  spans_[next_] = span;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceSpan> RingBufferSink::Drain() {
+  std::vector<TraceSpan> out;
+  out.reserve(size_);
+  // When the buffer wrapped, next_ points at the oldest span.
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(spans_[(next_ + i) % spans_.size()]);
+  }
+  spans_.clear();
+  next_ = 0;
+  size_ = 0;
+  return out;
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)) {
+  if (owned_->is_open()) out_ = owned_.get();
+}
+
+void JsonlSink::Emit(const TraceSpan& span) {
+  if (!ok()) return;
+  *out_ << "{\"doc\":" << span.document << ",\"engine\":\"" << span.engine
+        << "\",\"span\":\"" << StageName(span.stage)
+        << "\",\"start_ns\":" << span.start_nanos
+        << ",\"dur_ns\":" << span.duration_nanos << "}\n";
+}
+
+void JsonlSink::Flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+}  // namespace xpred::obs

@@ -1,0 +1,151 @@
+#ifndef XPRED_OBS_TRACE_H_
+#define XPRED_OBS_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace xpred::obs {
+
+/// \brief Per-document filtering stages, in pipeline order. This is
+/// both the trace-span taxonomy and the per-stage metrics key; it
+/// mirrors the paper's §6.5 cost breakdown (parse/encode = document
+/// preparation, predicate = §4.1 predicate matching, occurrence =
+/// §4.2 expression matching, verify = selection-postponed filter
+/// verification, collect = result collection).
+enum class Stage : uint8_t {
+  kParse = 0,
+  kEncode,
+  kPredicate,
+  kOccurrence,
+  kVerify,
+  kCollect,
+};
+inline constexpr size_t kStageCount = 6;
+
+/// Stable lowercase stage name ("parse", "encode", ...).
+std::string_view StageName(Stage stage);
+
+/// \brief One aggregated per-document stage span.
+///
+/// Spans are aggregates: an engine accumulates each stage's time over
+/// the whole document and emits one span per touched stage when the
+/// document ends, in Stage order (stage work interleaves per path, so
+/// start offsets are synthetic: document start plus the preceding
+/// stages' durations).
+struct TraceSpan {
+  /// 1-based document sequence number (per tracer).
+  uint64_t document = 0;
+  Stage stage = Stage::kParse;
+  /// Engine name; references storage owned by the engine's
+  /// instruments, valid while the engine is alive.
+  std::string_view engine;
+  /// Nanoseconds since the tracer was created.
+  uint64_t start_nanos = 0;
+  uint64_t duration_nanos = 0;
+};
+
+/// Span consumer. Implementations must tolerate Emit on every
+/// document; Flush is called when the producer wants buffered output
+/// durable.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceSpan& span) = 0;
+  virtual void Flush() {}
+};
+
+/// Discards every span (tracing disabled but wired).
+class NullSink : public TraceSink {
+ public:
+  void Emit(const TraceSpan& span) override { (void)span; }
+};
+
+/// Keeps the most recent \p capacity spans in memory (oldest evicted
+/// first). Intended for tests and in-process inspection.
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(size_t capacity = 4096);
+
+  void Emit(const TraceSpan& span) override;
+
+  /// Buffered spans, oldest first; leaves the buffer empty.
+  std::vector<TraceSpan> Drain();
+  size_t size() const { return size_; }
+  /// Spans evicted because the buffer was full.
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<TraceSpan> spans_;
+  size_t capacity_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// Writes one JSON object per span, newline-delimited:
+///   {"doc":1,"engine":"basic-pc-ap","span":"predicate",
+///    "start_ns":123,"dur_ns":456}
+class JsonlSink : public TraceSink {
+ public:
+  /// Writes through \p out (not owned; must outlive the sink).
+  explicit JsonlSink(std::ostream* out) : out_(out) {}
+  /// Opens \p path for writing; check ok() before use.
+  explicit JsonlSink(const std::string& path);
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  void Emit(const TraceSpan& span) override;
+  void Flush() override;
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_ = nullptr;
+};
+
+/// \brief Hands per-document spans from engines to a sink and owns the
+/// document sequence numbering plus the trace clock. Attach one to an
+/// engine with FilterEngine::set_tracer(); multiple engines may share
+/// a tracer (spans carry the engine label).
+class Tracer {
+ public:
+  /// \p sink is not owned and must outlive the tracer.
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  /// Starts the next document; returns its 1-based sequence number.
+  uint64_t BeginDocument() { return ++document_; }
+  uint64_t current_document() const { return document_; }
+
+  /// Nanoseconds since the tracer was created (the span time base).
+  uint64_t NowNanos() const {
+    return static_cast<uint64_t>(epoch_.ElapsedNanos());
+  }
+
+  void EmitSpan(std::string_view engine, Stage stage, uint64_t start_nanos,
+                uint64_t duration_nanos) {
+    TraceSpan span;
+    span.document = document_;
+    span.stage = stage;
+    span.engine = engine;
+    span.start_nanos = start_nanos;
+    span.duration_nanos = duration_nanos;
+    sink_->Emit(span);
+  }
+
+  void Flush() { sink_->Flush(); }
+  TraceSink* sink() const { return sink_; }
+
+ private:
+  TraceSink* sink_;
+  uint64_t document_ = 0;
+  Stopwatch epoch_;
+};
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_TRACE_H_

@@ -1,7 +1,7 @@
 #include "xfilter/xfilter.h"
 
 #include "common/memory_usage.h"
-#include "common/stopwatch.h"
+#include "obs/scoped_timer.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
 
@@ -158,34 +158,39 @@ Status XFilter::FilterDocument(const xml::Document& document,
   ++doc_epoch_;
   doc_matched_.clear();
   doc_candidates_.clear();
-  ++stats_.documents;
-  if (document.empty()) return Status::OK();
+  obs::EngineInstruments& instruments = inst();
+  instruments.BeginDocument();
+  if (document.empty()) {
+    instruments.EndDocument();
+    return Status::OK();
+  }
 
-  Stopwatch watch;
-  promotion_log_.clear();
-  HandleElement(document, document.root(), /*level=*/1);
-  stats_.predicate_micros += watch.ElapsedMicros();
+  {
+    // FSM probing is this engine's stage-1 analogue.
+    obs::ScopedTimer timer(&instruments, obs::Stage::kPredicate);
+    promotion_log_.clear();
+    HandleElement(document, document.root(), /*level=*/1);
 
-  if (!doc_candidates_.empty()) {
-    watch.Reset();
-    for (uint32_t internal : doc_candidates_) {
-      Internal& e = exprs_[internal];
-      if (e.matched_epoch == doc_epoch_) continue;
-      if (xpath::Evaluator::Matches(e.expr, document)) {
-        e.matched_epoch = doc_epoch_;
-        doc_matched_.push_back(internal);
+    if (!doc_candidates_.empty()) {
+      timer.Rotate(obs::Stage::kVerify);
+      for (uint32_t internal : doc_candidates_) {
+        Internal& e = exprs_[internal];
+        if (e.matched_epoch == doc_epoch_) continue;
+        if (xpath::Evaluator::Matches(e.expr, document)) {
+          e.matched_epoch = doc_epoch_;
+          doc_matched_.push_back(internal);
+        }
       }
     }
-    stats_.verify_micros += watch.ElapsedMicros();
-  }
 
-  watch.Reset();
-  for (uint32_t internal : doc_matched_) {
-    const Internal& e = exprs_[internal];
-    matched->insert(matched->end(), e.subscribers.begin(),
-                    e.subscribers.end());
+    timer.Rotate(obs::Stage::kCollect);
+    for (uint32_t internal : doc_matched_) {
+      const Internal& e = exprs_[internal];
+      matched->insert(matched->end(), e.subscribers.begin(),
+                      e.subscribers.end());
+    }
   }
-  stats_.collect_micros += watch.ElapsedMicros();
+  instruments.EndDocument();
   return Status::OK();
 }
 

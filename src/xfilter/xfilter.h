@@ -43,16 +43,11 @@ class XFilter : public core::FilterEngine {
                         std::vector<core::ExprId>* matched) override;
 
   size_t subscription_count() const override { return next_sid_; }
-  const core::EngineStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = core::EngineStats{}; }
   std::string_view name() const override { return "xfilter"; }
 
   size_t distinct_expression_count() const { return exprs_.size(); }
 
   size_t ApproximateMemoryBytes() const override;
-
- protected:
-  core::EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   /// One location step of an expression's FSM.
@@ -108,8 +103,6 @@ class XFilter : public core::FilterEngine {
   uint32_t doc_epoch_ = 0;
   std::vector<uint32_t> doc_matched_;
   std::vector<uint32_t> doc_candidates_;
-
-  core::EngineStats stats_;
 };
 
 }  // namespace xpred::xfilter

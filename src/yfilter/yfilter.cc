@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/memory_usage.h"
-#include "common/stopwatch.h"
+#include "obs/scoped_timer.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
 
@@ -177,37 +177,42 @@ Status YFilter::FilterDocument(const xml::Document& document,
   ++doc_epoch_;
   doc_matched_.clear();
   doc_candidates_.clear();
-  ++stats_.documents;
-  if (document.empty()) return Status::OK();
+  obs::EngineInstruments& instruments = inst();
+  instruments.BeginDocument();
+  if (document.empty()) {
+    instruments.EndDocument();
+    return Status::OK();
+  }
 
-  Stopwatch watch;
-  std::vector<std::vector<uint32_t>> stack;
-  stack.push_back({0});  // Start state active before the root element.
-  Traverse(document, document.root(), &stack);
-  stats_.predicate_micros += watch.ElapsedMicros();
+  {
+    // NFA execution is this engine's stage-1 analogue.
+    obs::ScopedTimer timer(&instruments, obs::Stage::kPredicate);
+    std::vector<std::vector<uint32_t>> stack;
+    stack.push_back({0});  // Start state active before the root element.
+    Traverse(document, document.root(), &stack);
 
-  // Selection-postponed verification of structurally matched
-  // candidates with filters.
-  if (!doc_candidates_.empty()) {
-    watch.Reset();
-    for (uint32_t internal : doc_candidates_) {
-      Internal& e = exprs_[internal];
-      if (e.matched_epoch == doc_epoch_) continue;
-      if (xpath::Evaluator::Matches(e.expr, document)) {
-        e.matched_epoch = doc_epoch_;
-        doc_matched_.push_back(internal);
+    // Selection-postponed verification of structurally matched
+    // candidates with filters.
+    if (!doc_candidates_.empty()) {
+      timer.Rotate(obs::Stage::kVerify);
+      for (uint32_t internal : doc_candidates_) {
+        Internal& e = exprs_[internal];
+        if (e.matched_epoch == doc_epoch_) continue;
+        if (xpath::Evaluator::Matches(e.expr, document)) {
+          e.matched_epoch = doc_epoch_;
+          doc_matched_.push_back(internal);
+        }
       }
     }
-    stats_.verify_micros += watch.ElapsedMicros();
-  }
 
-  watch.Reset();
-  for (uint32_t internal : doc_matched_) {
-    const Internal& e = exprs_[internal];
-    matched->insert(matched->end(), e.subscribers.begin(),
-                    e.subscribers.end());
+    timer.Rotate(obs::Stage::kCollect);
+    for (uint32_t internal : doc_matched_) {
+      const Internal& e = exprs_[internal];
+      matched->insert(matched->end(), e.subscribers.begin(),
+                      e.subscribers.end());
+    }
   }
-  stats_.collect_micros += watch.ElapsedMicros();
+  instruments.EndDocument();
   return Status::OK();
 }
 

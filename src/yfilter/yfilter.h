@@ -39,8 +39,6 @@ class YFilter : public core::FilterEngine {
                         std::vector<core::ExprId>* matched) override;
 
   size_t subscription_count() const override { return next_sid_; }
-  const core::EngineStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = core::EngineStats{}; }
   std::string_view name() const override { return "yfilter"; }
 
   /// NFA size (states), a workload-complexity metric.
@@ -49,9 +47,6 @@ class YFilter : public core::FilterEngine {
   size_t distinct_expression_count() const { return exprs_.size(); }
 
   size_t ApproximateMemoryBytes() const override;
-
- protected:
-  core::EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   static constexpr uint32_t kNoState = UINT32_MAX;
@@ -95,8 +90,6 @@ class YFilter : public core::FilterEngine {
   uint32_t doc_epoch_ = 0;
   std::vector<uint32_t> doc_matched_;
   std::vector<uint32_t> doc_candidates_;
-
-  core::EngineStats stats_;
 };
 
 }  // namespace xpred::yfilter

@@ -9,6 +9,7 @@
 #include "core/matcher.h"
 #include "indexfilter/index_filter.h"
 #include "test_util.h"
+#include "xfilter/xfilter.h"
 #include "yfilter/yfilter.h"
 
 namespace xpred::core {
@@ -20,6 +21,7 @@ std::vector<std::unique_ptr<FilterEngine>> AllEngines() {
   std::vector<std::unique_ptr<FilterEngine>> engines;
   engines.push_back(std::make_unique<Matcher>());
   engines.push_back(std::make_unique<yfilter::YFilter>());
+  engines.push_back(std::make_unique<xfilter::XFilter>());
   engines.push_back(std::make_unique<indexfilter::IndexFilter>());
   return engines;
 }
@@ -35,6 +37,7 @@ TEST(EngineInterfaceTest, NamesAreStable) {
   options.mode = Matcher::Mode::kTrieDfs;
   EXPECT_EQ(Matcher(options).name(), "trie-dfs");
   EXPECT_EQ(yfilter::YFilter().name(), "yfilter");
+  EXPECT_EQ(xfilter::XFilter().name(), "xfilter");
   EXPECT_EQ(indexfilter::IndexFilter().name(), "index-filter");
 }
 
@@ -81,6 +84,33 @@ TEST(EngineInterfaceTest, ResetStatsClearsCounters) {
     engine->ResetStats();
     EXPECT_EQ(engine->stats().documents, 0u) << engine->name();
     EXPECT_EQ(engine->stats().total_micros(), 0.0) << engine->name();
+  }
+}
+
+TEST(EngineInterfaceTest, ResetStatsZeroesAllCounters) {
+  // Every engine must zero every EngineStats field, not just the
+  // timers — occurrence_runs, predicate_matches, and the truncation
+  // counter have historically been engine-local and easy to miss.
+  for (auto& engine : AllEngines()) {
+    ASSERT_TRUE(engine->AddExpression("/a/b").ok());
+    ASSERT_TRUE(engine->AddExpression("/a[@x = 1]").ok());
+    std::vector<ExprId> matched;
+    xml::Document doc = ParseXmlOrDie("<a x=\"1\"><b/></a>");
+    ASSERT_TRUE(engine->FilterDocument(doc, &matched).ok());
+    ASSERT_TRUE(engine->FilterXml("<a><b/></a>", &matched).ok());
+    EXPECT_GT(engine->stats().documents, 0u) << engine->name();
+    engine->ResetStats();
+    const EngineStats& stats = engine->stats();
+    EXPECT_EQ(stats.documents, 0u) << engine->name();
+    EXPECT_EQ(stats.paths, 0u) << engine->name();
+    EXPECT_EQ(stats.occurrence_runs, 0u) << engine->name();
+    EXPECT_EQ(stats.nested_enumeration_truncated, 0u) << engine->name();
+    EXPECT_EQ(stats.predicate_matches, 0u) << engine->name();
+    EXPECT_EQ(stats.total_micros(), 0.0) << engine->name();
+    // The engine keeps working after a reset and counts from zero.
+    matched.clear();
+    ASSERT_TRUE(engine->FilterDocument(doc, &matched).ok());
+    EXPECT_EQ(engine->stats().documents, 1u) << engine->name();
   }
 }
 

@@ -86,8 +86,14 @@ TEST(MemoryUsageHelpersTest, VectorAndStringBytes) {
 
   std::string sso = "hi";
   EXPECT_EQ(StringBytes(sso), 0u);
+  // Anything within the SSO capacity lives inline, not on the heap.
+  std::string sso_full(std::string().capacity(), 'x');
+  EXPECT_EQ(StringBytes(sso_full), 0u);
+  // A heap string's allocation is capacity() + 1 (the terminating NUL).
   std::string heap(200, 'x');
-  EXPECT_GE(StringBytes(heap), 200u);
+  EXPECT_EQ(StringBytes(heap), heap.capacity() + 1);
+  std::string barely(std::string().capacity() + 1, 'x');
+  EXPECT_EQ(StringBytes(barely), barely.capacity() + 1);
 }
 
 }  // namespace

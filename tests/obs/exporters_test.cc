@@ -1,0 +1,140 @@
+// Golden-file tests for the metrics exporters: the Prometheus text
+// exposition and the JSON dump are deterministic for a given registry
+// state, so their exact output is pinned under tests/obs/testdata/.
+//
+// To regenerate after an intentional format change:
+//   XPRED_REGEN_GOLDEN=1 ./exporters_test
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+
+#ifndef XPRED_OBS_TESTDATA_DIR
+#error "XPRED_OBS_TESTDATA_DIR must be defined by the build"
+#endif
+
+namespace xpred::obs {
+namespace {
+
+/// A registry with every metric type, fixed values, two label sets,
+/// and characters that need escaping.
+MetricsRegistry* FixtureRegistry() {
+  auto* registry = new MetricsRegistry();
+  Counter* docs = registry->AddCounter(
+      "xpred_documents_total", "Documents filtered.", {{"engine", "fix"}});
+  docs->Increment(3);
+  Counter* paths = registry->AddCounter(
+      "xpred_paths_total", "Root-to-leaf document paths processed.",
+      {{"engine", "fix"}});
+  paths->Increment(120);
+  Gauge* depth = registry->AddGauge("xpred_stream_max_depth",
+                                    "Maximum open-element stack depth",
+                                    {{"engine", "fix"}});
+  depth->Set(7);
+  Gauge* ratio =
+      registry->AddGauge("fixture_ratio", "A non-integral gauge value.");
+  ratio->Set(0.25);
+  Counter* quoted = registry->AddCounter(
+      "fixture_escaped", "Label escaping.", {{"q", "a\"b\\c\nd"}});
+  quoted->Increment();
+  for (const char* stage : {"encode", "predicate"}) {
+    Histogram* h = registry->AddHistogram(
+        "xpred_stage_latency_ns",
+        "Per-document filtering-stage latency in nanoseconds.",
+        {{"engine", "fix"}, {"stage", stage}});
+    h->Record(7);
+    h->Record(100);
+    h->Record(100);
+    h->Record(123456);
+  }
+  return registry;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(XPRED_OBS_TESTDATA_DIR) + "/" + name;
+}
+
+void CompareOrRegen(const std::string& golden_name,
+                    const std::string& actual) {
+  std::string path = GoldenPath(golden_name);
+  if (std::getenv("XPRED_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with XPRED_REGEN_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str()) << "exporter output changed; if "
+                                    << "intentional, regenerate with "
+                                    << "XPRED_REGEN_GOLDEN=1";
+}
+
+TEST(ExportersGoldenTest, PrometheusText) {
+  std::unique_ptr<MetricsRegistry> registry(FixtureRegistry());
+  std::ostringstream out;
+  WritePrometheusText(*registry, &out);
+  CompareOrRegen("prometheus.golden", out.str());
+}
+
+TEST(ExportersGoldenTest, Json) {
+  std::unique_ptr<MetricsRegistry> registry(FixtureRegistry());
+  std::ostringstream out;
+  WriteJson(*registry, &out);
+  CompareOrRegen("metrics_json.golden", out.str());
+}
+
+TEST(ExportersGoldenTest, SidecarJson) {
+  std::unique_ptr<MetricsRegistry> registry(FixtureRegistry());
+  std::ostringstream out;
+  WriteMetricsSidecarJson(registry->Snapshot(), "exporters_test", "fix",
+                          &out);
+  CompareOrRegen("sidecar_json.golden", out.str());
+}
+
+TEST(ExportersTest, PrometheusHistogramInvariants) {
+  // Beyond the golden bytes: cumulative bucket counts must be
+  // non-decreasing and end at _count.
+  std::unique_ptr<MetricsRegistry> registry(FixtureRegistry());
+  std::ostringstream out;
+  WritePrometheusText(*registry, &out);
+  std::istringstream in(out.str());
+  std::string line;
+  uint64_t last_bucket = 0;
+  bool saw_inf = false;
+  while (std::getline(in, line)) {
+    if (line.find("xpred_stage_latency_ns_bucket") != 0) continue;
+    if (line.find("stage=\"encode\"") == std::string::npos) continue;
+    uint64_t value = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(value, last_bucket) << line;
+    last_bucket = value;
+    if (line.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(last_bucket, 4u);
+}
+
+TEST(ExportersTest, EmptyRegistryProducesEmptyOutputs) {
+  MetricsRegistry registry;
+  std::ostringstream prom;
+  WritePrometheusText(registry, &prom);
+  EXPECT_EQ(prom.str(), "");
+  std::ostringstream json;
+  WriteJson(registry, &json);
+  EXPECT_EQ(json.str(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+}  // namespace
+}  // namespace xpred::obs

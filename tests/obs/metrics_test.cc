@@ -1,0 +1,253 @@
+// Tests for the observability metrics primitives: counters, gauges,
+// log-linear histograms (bucket boundaries and quantiles), registry
+// registration semantics, and snapshot/delta arithmetic.
+
+#include <cstdint>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+#include "obs/metrics.h"
+
+namespace xpred::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramBucketsTest, SmallValuesAreExact) {
+  // Indexes [0, 16) hold values 0..15 exactly: singleton buckets.
+  for (uint64_t v = 0; v < 16; ++v) {
+    uint32_t index = Histogram::BucketIndex(v);
+    EXPECT_EQ(index, v);
+    EXPECT_EQ(Histogram::BucketLowerBound(index), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(index), v);
+  }
+}
+
+TEST(HistogramBucketsTest, OctaveBoundaries) {
+  // Octave o >= 1 covers [16 << (o-1), 16 << o) with 16 sub-buckets of
+  // width 2^(o-1). Check the first octave explicitly...
+  EXPECT_EQ(Histogram::BucketIndex(16), 16u);
+  EXPECT_EQ(Histogram::BucketIndex(17), 17u);
+  EXPECT_EQ(Histogram::BucketIndex(31), 31u);
+  // ...and the second octave (width-2 buckets over [32, 64)).
+  EXPECT_EQ(Histogram::BucketIndex(32), 32u);
+  EXPECT_EQ(Histogram::BucketIndex(33), 32u);
+  EXPECT_EQ(Histogram::BucketIndex(34), 33u);
+  EXPECT_EQ(Histogram::BucketLowerBound(32), 32u);
+  EXPECT_EQ(Histogram::BucketUpperBound(32), 33u);
+}
+
+TEST(HistogramBucketsTest, BoundsAreConsistentEverywhere) {
+  // For a spread of magnitudes: every value lands in a bucket whose
+  // [lower, upper] range contains it, whose width is at most 1/16 of
+  // the value, and bucket indexes are monotone in the value.
+  uint32_t prev_index = 0;
+  for (uint64_t v = 1; v < (uint64_t{1} << 62); v = v * 3 + 1) {
+    uint32_t index = Histogram::BucketIndex(v);
+    EXPECT_GE(index, prev_index);
+    prev_index = index;
+    uint64_t lo = Histogram::BucketLowerBound(index);
+    uint64_t hi = Histogram::BucketUpperBound(index);
+    EXPECT_LE(lo, v);
+    EXPECT_GE(hi, v);
+    if (v >= 16) {
+      EXPECT_LE(hi - lo + 1, v / 8 + 1) << "bucket too wide at " << v;
+    }
+    // Adjacent buckets tile the value axis without gaps or overlap.
+    EXPECT_EQ(Histogram::BucketIndex(lo), index);
+    EXPECT_EQ(Histogram::BucketIndex(hi), index);
+    if (index + 1 < Histogram::kBucketCount) {
+      EXPECT_EQ(Histogram::BucketLowerBound(index + 1), hi + 1);
+    }
+  }
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.Record(100);
+  h.Record(7);
+  h.Record(100000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 100107u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+TEST(HistogramTest, QuantilesOnUniformData) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  // The bucket upper bound over-reports by at most the bucket width
+  // (<= value/16 at these magnitudes).
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 500.0 / 16 + 1);
+  EXPECT_NEAR(h.Quantile(0.9), 900.0, 900.0 / 16 + 1);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 990.0 / 16 + 1);
+  // Quantile(1.0) is clamped to the exact maximum.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+  // Quantiles never exceed the exact max even in the top bucket.
+  EXPECT_LE(h.Quantile(0.999), 1000.0);
+}
+
+TEST(HistogramTest, QuantileOfSingleValue) {
+  Histogram h;
+  h.Record(12345);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 12345.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 12345.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 12345.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  h.Record(3);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 3u);
+}
+
+TEST(HistogramTest, MergeFromCombinesRecordings) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(1000);
+  b.Record(1);
+  b.Record(100000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 101011u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100000u);
+}
+
+TEST(HistogramTest, HandlesHugeValues) {
+  Histogram h;
+  uint64_t huge = std::numeric_limits<uint64_t>::max();
+  h.Record(huge);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_LT(Histogram::BucketIndex(huge), Histogram::kBucketCount);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.AddCounter("reqs", "Requests.", {{"engine", "x"}});
+  Counter* b = registry.AddCounter("reqs", "Requests.", {{"engine", "x"}});
+  EXPECT_EQ(a, b);
+  // Different labels make a different instance of the same family.
+  Counter* c = registry.AddCounter("reqs", "Requests.", {{"engine", "y"}});
+  EXPECT_NE(a, c);
+  a->Increment(3);
+  c->Increment(4);
+  EXPECT_EQ(registry.Snapshot().counters.at("reqs{engine=\"x\"}"), 3u);
+  EXPECT_EQ(registry.Snapshot().counters.at("reqs{engine=\"y\"}"), 4u);
+}
+
+TEST(MetricsRegistryTest, PointersSurviveMoreRegistrations) {
+  MetricsRegistry registry;
+  Counter* first = registry.AddCounter("c0", "h");
+  for (int i = 1; i < 100; ++i) {
+    registry.AddCounter("c" + std::to_string(i), "h");
+  }
+  first->Increment();
+  EXPECT_EQ(registry.Snapshot().counters.at("c0"), 1u);
+}
+
+TEST(MetricsRegistryTest, RenderLabelsEscapes) {
+  EXPECT_EQ(MetricsRegistry::RenderLabels({}), "");
+  EXPECT_EQ(MetricsRegistry::RenderLabels({{"a", "b"}}), "a=\"b\"");
+  EXPECT_EQ(MetricsRegistry::RenderLabels({{"a", "q\"u\\o\nte"}}),
+            "a=\"q\\\"u\\\\o\\nte\"");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.AddCounter("n", "h");
+  Gauge* g = registry.AddGauge("g", "h");
+  Histogram* h = registry.AddHistogram("l", "h");
+  c->Increment(7);
+  g->Set(2.0);
+  h->Record(100);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // Same pointers still registered and usable.
+  EXPECT_EQ(registry.AddCounter("n", "h"), c);
+  c->Increment();
+  EXPECT_EQ(registry.Snapshot().counters.at("n"), 1u);
+}
+
+TEST(MetricsSnapshotTest, DeltaSubtractsCountersAndHistograms) {
+  MetricsRegistry registry;
+  Counter* c = registry.AddCounter("docs", "h");
+  Gauge* g = registry.AddGauge("depth", "h");
+  Histogram* h = registry.AddHistogram("lat", "h");
+  c->Increment(10);
+  g->Set(5.0);
+  h->Record(100);
+  h->Record(200);
+  MetricsSnapshot before = registry.Snapshot();
+  c->Increment(5);
+  g->Set(9.0);
+  h->Record(300);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("docs"), 5u);
+  // Gauges are last-value: the delta keeps the current reading.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("depth"), 9.0);
+  const HistogramSnapshot& hs = delta.histograms.at("lat");
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_EQ(hs.sum, 300u);
+  uint64_t bucket_total = 0;
+  for (const auto& [upper, count] : hs.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, 1u);
+}
+
+TEST(MetricsSnapshotTest, SparseBucketsMatchCount) {
+  MetricsRegistry registry;
+  Histogram* h = registry.AddHistogram("lat", "h");
+  h->Record(3);
+  h->Record(3);
+  h->Record(1000);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot& hs = snap.histograms.at("lat");
+  ASSERT_EQ(hs.buckets.size(), 2u);
+  EXPECT_EQ(hs.buckets[0].first, 3u);  // Exact singleton bucket.
+  EXPECT_EQ(hs.buckets[0].second, 2u);
+  EXPECT_EQ(hs.buckets[1].second, 1u);
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_DOUBLE_EQ(hs.Quantile(0.5), 3.0);
+}
+
+}  // namespace
+}  // namespace xpred::obs

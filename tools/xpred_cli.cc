@@ -3,11 +3,16 @@
 //   xpred_cli encode <xpath>...
 //       Print the ordered-predicate encoding of each expression.
 //
-//   xpred_cli filter --exprs=FILE [--engine=NAME] [--stats] <xml-file>...
+//   xpred_cli filter --exprs=FILE [--engine=NAME] [--stats]
+//       [--metrics=PATH] [--metrics-json=PATH] [--trace=PATH]
+//       <xml-file>...
 //       Load expressions (one per line; '#' comments) and filter each
 //       document, printing the matching expressions.
 //       Engines: basic, basic-pc, basic-pc-ap (default), trie-dfs,
-//       yfilter, index-filter.
+//       yfilter, xfilter, index-filter.
+//       --metrics writes Prometheus text exposition ('-' = stdout),
+//       --metrics-json writes the JSON metrics sidecar, and --trace
+//       writes per-document stage spans as JSONL.
 //
 //   xpred_cli generate-queries --dtd=nitf|psd --count=N [--max-length=L]
 //       [--min-length=L] [--wildcard=W] [--descendant=DO] [--filters=K]
@@ -21,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -32,6 +38,10 @@
 #include "core/encoder.h"
 #include "core/matcher.h"
 #include "indexfilter/index_filter.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "xfilter/xfilter.h"
 #include "xml/generator.h"
 #include "xml/standard_dtds.h"
 #include "xpath/parser.h"
@@ -79,6 +89,23 @@ struct Args {
     return it == flags.end() ? dflt : std::atol(it->second.c_str());
   }
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
+
+  /// Rejects flags a subcommand does not understand; a typo'd
+  /// --metrics must not silently produce a run with no metrics.
+  bool RejectUnknown(std::initializer_list<const char*> known) const {
+    bool ok = true;
+    for (const auto& [key, value] : flags) {
+      bool found = false;
+      for (const char* k : known) {
+        if (key == k) { found = true; break; }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown option '--%s'\n", key.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
 };
 
 int Usage() {
@@ -86,6 +113,7 @@ int Usage() {
                "usage:\n"
                "  xpred_cli encode <xpath>...\n"
                "  xpred_cli filter --exprs=FILE [--engine=NAME] [--stats] "
+               "[--metrics=PATH] [--metrics-json=PATH] [--trace=PATH] "
                "<xml-file>...\n"
                "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
                "[options]\n"
@@ -101,6 +129,7 @@ const xml::Dtd* DtdByName(const std::string& name) {
 }
 
 int CmdEncode(const Args& args) {
+  if (!args.RejectUnknown({})) return Usage();
   if (args.positional.empty()) return Usage();
   Interner interner;
   int rc = 0;
@@ -158,6 +187,8 @@ std::unique_ptr<core::FilterEngine> EngineByName(const std::string& name) {
     options.mode = core::Matcher::Mode::kTrieDfs;
   } else if (name == "yfilter") {
     return std::make_unique<yfilter::YFilter>();
+  } else if (name == "xfilter") {
+    return std::make_unique<xfilter::XFilter>();
   } else if (name == "index-filter") {
     return std::make_unique<indexfilter::IndexFilter>();
   } else {
@@ -167,6 +198,10 @@ std::unique_ptr<core::FilterEngine> EngineByName(const std::string& name) {
 }
 
 int CmdFilter(const Args& args) {
+  if (!args.RejectUnknown({"exprs", "engine", "stats", "metrics",
+                           "metrics-json", "trace"})) {
+    return Usage();
+  }
   std::string exprs_path = args.Get("exprs", "");
   if (exprs_path.empty() || args.positional.empty()) return Usage();
 
@@ -182,6 +217,23 @@ int CmdFilter(const Args& args) {
     std::fprintf(stderr, "unknown engine '%s'\n",
                  args.Get("engine", "").c_str());
     return 2;
+  }
+
+  // Observability wiring: one registry for the run, optional JSONL
+  // trace sink.
+  obs::MetricsRegistry registry;
+  engine->BindMetrics(&registry);
+  std::unique_ptr<obs::JsonlSink> trace_sink;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::string trace_path = args.Get("trace", "");
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<obs::JsonlSink>(trace_path);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    tracer = std::make_unique<obs::Tracer>(trace_sink.get());
+    engine->set_tracer(tracer.get());
   }
 
   std::vector<std::string> expressions;
@@ -236,10 +288,46 @@ int CmdFilter(const Args& args) {
         stats.verify_micros, stats.collect_micros,
         static_cast<unsigned long long>(stats.occurrence_runs));
   }
+
+  if (tracer != nullptr) tracer->Flush();
+  std::string metrics_path = args.Get("metrics", "");
+  if (!metrics_path.empty()) {
+    if (metrics_path == "-") {
+      obs::WritePrometheusText(registry, &std::cout);
+    } else {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+        return 1;
+      }
+      obs::WritePrometheusText(registry, &out);
+    }
+  }
+  std::string metrics_json_path = args.Get("metrics-json", "");
+  if (!metrics_json_path.empty()) {
+    obs::MetricsSnapshot snapshot = registry.Snapshot();
+    if (metrics_json_path == "-") {
+      obs::WriteMetricsSidecarJson(snapshot, "xpred_cli filter",
+                                   engine->name(), &std::cout);
+    } else {
+      std::ofstream out(metrics_json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_json_path.c_str());
+        return 1;
+      }
+      obs::WriteMetricsSidecarJson(snapshot, "xpred_cli filter",
+                                   engine->name(), &out);
+    }
+  }
   return rc;
 }
 
 int CmdGenerateQueries(const Args& args) {
+  if (!args.RejectUnknown({"dtd", "count", "seed", "max-length",
+                           "min-length", "wildcard", "descendant",
+                           "filters", "nested", "non-distinct"})) {
+    return Usage();
+  }
   const xml::Dtd* dtd = DtdByName(args.Get("dtd", "nitf"));
   if (dtd == nullptr) return Usage();
   xpath::QueryGenerator::Options options;
@@ -262,6 +350,9 @@ int CmdGenerateQueries(const Args& args) {
 }
 
 int CmdGenerateDocs(const Args& args) {
+  if (!args.RejectUnknown({"dtd", "count", "seed", "depth"})) {
+    return Usage();
+  }
   const xml::Dtd* dtd = DtdByName(args.Get("dtd", "nitf"));
   if (dtd == nullptr) return Usage();
   xml::DocumentGenerator::Options options;
