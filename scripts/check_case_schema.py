@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Validates xpred differential-testing artifacts.
+
+Two kinds of artifacts are checked:
+
+  * `.xpredcase` regression-corpus files (CorpusStore): the
+    `xpredcase 1` magic, known header keys, section order
+    (document / expressions / expected / engine... / end), verdict
+    lines that are 0 or 1 and agree in count with the expression
+    list, and the `== end` truncation sentinel;
+  * the JSON summary emitted by `xpred_fuzz`: schema_version,
+    counters, the engine roster, and the per-case records.
+
+Usage:
+    check_case_schema.py case1.xpredcase [case2.xpredcase ...]
+    check_case_schema.py --dir tests/testdata/corpus
+    check_case_schema.py --json summary.json
+    check_case_schema.py --fuzz path/to/xpred_fuzz
+
+The --fuzz mode is the end-to-end check wired into ctest: it runs a
+short deterministic fuzzing session twice, requires byte-identical
+JSON (the determinism contract), a zero-mismatch verdict, and a valid
+summary schema.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+MAGIC = "xpredcase 1"
+HEADER_KEYS = {"seed", "dtd", "description"}
+
+SUMMARY_COUNTERS = ("documents", "expressions", "verdicts",
+                    "expr_mutations", "doc_mutations",
+                    "removal_interleavings", "rejected_expressions")
+CASE_KINDS = {"verdict", "status", "acceptance"}
+
+
+def fail(msg):
+    print("check_case_schema: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+# -------------------------------------------------------------- .xpredcase
+
+def validate_case(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # Trailing newline, not an empty final line.
+    check(lines and lines[0] == MAGIC,
+          "%s: missing '%s' magic" % (path, MAGIC))
+
+    i = 1
+    while i < len(lines) and not lines[i].startswith("== "):
+        line = lines[i]
+        i += 1
+        if not line:
+            continue
+        check(": " in line, "%s: malformed header line %r" % (path, line))
+        key = line.split(": ", 1)[0]
+        check(key in HEADER_KEYS, "%s: unknown header key %r" % (path, key))
+        if key == "seed":
+            value = line.split(": ", 1)[1]
+            check(value.isdigit(), "%s: non-numeric seed %r" % (path, value))
+
+    def section(marker):
+        nonlocal i
+        check(i < len(lines) and lines[i] == marker,
+              "%s: missing '%s' section" % (path, marker))
+        i += 1
+        body = []
+        while i < len(lines) and not lines[i].startswith("== "):
+            body.append(lines[i])
+            i += 1
+        return body
+
+    document = section("== document")
+    check(any(line.strip() for line in document),
+          "%s: empty document section" % path)
+    expressions = [line for line in section("== expressions") if line]
+    check(expressions, "%s: no expressions" % path)
+
+    def verdicts(body, where):
+        out = [line for line in body if line]
+        for v in out:
+            check(v in ("0", "1"),
+                  "%s: %s: bad verdict line %r" % (path, where, v))
+        check(len(out) == len(expressions),
+              "%s: %s: %d verdicts for %d expressions"
+              % (path, where, len(out), len(expressions)))
+        return out
+
+    verdicts(section("== expected"), "expected")
+
+    engines = []
+    while i < len(lines) and lines[i] != "== end":
+        marker = lines[i]
+        check(marker.startswith("== engine "),
+              "%s: unexpected section %r" % (path, marker))
+        engine = marker[len("== engine "):]
+        check(engine, "%s: engine section without a label" % path)
+        check(engine not in engines,
+              "%s: duplicate engine section %r" % (path, engine))
+        engines.append(engine)
+        i += 1
+        body = []
+        while i < len(lines) and not lines[i].startswith("== "):
+            body.append(lines[i])
+            i += 1
+        if any(line.startswith("error: ") for line in body):
+            check(len([line for line in body if line]) == 1,
+                  "%s: engine %s mixes error and verdicts" % (path, engine))
+        else:
+            verdicts(body, "engine %s" % engine)
+
+    check(i < len(lines) and lines[i] == "== end",
+          "%s: missing '== end' marker (truncated?)" % path)
+    check(i == len(lines) - 1,
+          "%s: trailing content after '== end'" % path)
+    print("check_case_schema: OK case %s (%d expressions, %d engine "
+          "sections)" % (path, len(expressions), len(engines)))
+
+
+def validate_dir(directory):
+    cases = sorted(name for name in os.listdir(directory)
+                   if name.endswith(".xpredcase"))
+    check(cases, "%s: no .xpredcase files" % directory)
+    for name in cases:
+        validate_case(os.path.join(directory, name))
+    print("check_case_schema: OK corpus %s (%d cases)"
+          % (directory, len(cases)))
+
+
+# ---------------------------------------------------------------- summary
+
+def validate_summary(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(doc.get("schema_version") == 1,
+          "%s: schema_version must be 1" % path)
+    check(doc.get("tool") == "xpred_fuzz", "%s: tool must be xpred_fuzz"
+          % path)
+    for field in ("seed", "runs_requested", "runs_executed", "mismatches"):
+        check(isinstance(doc.get(field), int) and doc[field] >= 0,
+              "%s: missing or negative %r" % (path, field))
+    check(doc["runs_executed"] <= doc["runs_requested"],
+          "%s: executed more runs than requested" % path)
+    check(isinstance(doc.get("engines"), list) and doc["engines"],
+          "%s: missing engine roster" % path)
+    check(len(set(doc["engines"])) == len(doc["engines"]),
+          "%s: duplicate engine labels in roster" % path)
+    counters = doc.get("counters")
+    check(isinstance(counters, dict), "%s: missing counters" % path)
+    for key in SUMMARY_COUNTERS:
+        check(isinstance(counters.get(key), int) and counters[key] >= 0,
+              "%s: counter %r missing or negative" % (path, key))
+    check(doc.get("status") in ("agree", "diverged"),
+          "%s: status must be agree|diverged" % path)
+    check((doc["status"] == "agree") == (doc["mismatches"] == 0),
+          "%s: status disagrees with mismatch count" % path)
+    cases = doc.get("cases")
+    check(isinstance(cases, list), "%s: missing cases list" % path)
+    check(len(cases) <= doc["mismatches"],
+          "%s: more case records than mismatches" % path)
+    for idx, record in enumerate(cases):
+        where = "%s: cases[%d]" % (path, idx)
+        for field in ("engine", "kind", "document", "expressions",
+                      "expected"):
+            check(field in record, "%s: missing %r" % (where, field))
+        check(record["kind"] in CASE_KINDS,
+              "%s: unknown kind %r" % (where, record["kind"]))
+        check(len(record["expected"]) == len(record["expressions"]),
+              "%s: expected/expressions length mismatch" % where)
+    print("check_case_schema: OK summary %s (%d engines, %d runs, "
+          "%d mismatches)" % (path, len(doc["engines"]),
+                              doc["runs_executed"], doc["mismatches"]))
+    return doc
+
+
+# --------------------------------------------------------------- fuzz e2e
+
+def run_fuzz_end_to_end(fuzz):
+    with tempfile.TemporaryDirectory(prefix="xpred_fuzz_") as tmp:
+        a = os.path.join(tmp, "a.json")
+        b = os.path.join(tmp, "b.json")
+        args = ["--runs", "200", "--seed", "1", "--quiet"]
+        subprocess.check_call([fuzz] + args + ["--json", a])
+        # Second run uses the --key=value spelling deliberately: flag
+        # syntax must not leak into the output.
+        subprocess.check_call(
+            [fuzz, "--runs=200", "--seed=1", "--quiet", "--json=" + b])
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            check(fa.read() == fb.read(),
+                  "same seed produced different JSON (determinism broken)")
+        doc = validate_summary(a)
+        check(doc["mismatches"] == 0,
+              "engines diverged on the smoke workload: %s"
+              % json.dumps(doc["cases"])[:2000])
+        check(doc["runs_executed"] == 200, "smoke run did not finish")
+        print("check_case_schema: OK end-to-end (%s)" % fuzz)
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--fuzz":
+        run_fuzz_end_to_end(argv[1])
+        return
+    if len(argv) >= 2 and argv[0] == "--dir":
+        validate_dir(argv[1])
+        return
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    validate = validate_case
+    seen_file = False
+    for arg in argv:
+        if arg == "--json":
+            validate = validate_summary
+        elif arg.startswith("-"):
+            print("unknown option %r" % arg, file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        else:
+            validate(arg)
+            seen_file = True
+    if not seen_file:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,210 @@
+#include "testing/case_minimizer.h"
+
+#include "testing/workload_mutator.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xpred::difftest {
+
+namespace {
+
+/// Shared probe state: counts predicate evaluations and enforces the
+/// budget (an exhausted budget makes every further probe "not
+/// failing", freezing the current reduction).
+struct ProbeState {
+  const CaseMinimizer::Predicate* fails;
+  size_t probes = 0;
+  size_t max_probes;
+  bool exhausted = false;
+
+  bool Probe(const xml::Document& doc, const std::vector<std::string>& exprs) {
+    if (probes >= max_probes) {
+      exhausted = true;
+      return false;
+    }
+    ++probes;
+    return (*fails)(doc, exprs);
+  }
+};
+
+/// One sweep of document edits; true when anything shrank.
+bool ShrinkDocumentOnce(xml::Document* doc, const std::vector<std::string>& exprs,
+                        ProbeState* state) {
+  bool progress = false;
+
+  // Root promotion: replace the document by a failing child subtree.
+  for (bool promoted = true; promoted && doc->size() > 1;) {
+    promoted = false;
+    for (xml::NodeId child : doc->element(doc->root()).children) {
+      xml::Document candidate = ExtractSubtree(*doc, child);
+      if (state->Probe(candidate, exprs)) {
+        *doc = std::move(candidate);
+        progress = promoted = true;
+        break;
+      }
+    }
+  }
+
+  // Subtree deletion, deepest ids first: deleting node i only shifts
+  // ids > i, so a single descending sweep tries every original node.
+  for (xml::NodeId id = static_cast<xml::NodeId>(doc->size()); id-- > 1;) {
+    if (id >= doc->size()) continue;
+    xml::Document candidate = CopyDocument(*doc, id);
+    if (state->Probe(candidate, exprs)) {
+      *doc = std::move(candidate);
+      progress = true;
+    }
+  }
+
+  // Attribute stripping.
+  for (xml::NodeId id = 0; id < doc->size(); ++id) {
+    for (size_t a = doc->element(id).attributes.size(); a-- > 0;) {
+      xml::Document candidate = CopyDocument(*doc);
+      candidate.element(id).attributes.erase(
+          candidate.element(id).attributes.begin() + a);
+      if (state->Probe(candidate, exprs)) {
+        *doc = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+
+  // Text stripping (all at once; text never affects path matching but
+  // keeps repro files noisy).
+  bool has_text = false;
+  for (xml::NodeId id = 0; id < doc->size(); ++id) {
+    if (!doc->element(id).text.empty()) has_text = true;
+  }
+  if (has_text) {
+    xml::Document candidate = CopyDocument(*doc);
+    for (xml::NodeId id = 0; id < candidate.size(); ++id) {
+      candidate.element(id).text.clear();
+    }
+    if (state->Probe(candidate, exprs)) {
+      *doc = std::move(candidate);
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+/// One sweep of expression-set edits; true when the set shrank.
+bool ShrinkExpressionSetOnce(const xml::Document& doc,
+                             std::vector<std::string>* exprs,
+                             ProbeState* state) {
+  if (exprs->size() <= 1) return false;
+  // Fast path: a single expression usually carries the failure.
+  for (const std::string& expr : *exprs) {
+    std::vector<std::string> candidate = {expr};
+    if (state->Probe(doc, candidate)) {
+      *exprs = std::move(candidate);
+      return true;
+    }
+  }
+  // Otherwise drop expressions one at a time.
+  bool progress = false;
+  for (size_t i = exprs->size(); i-- > 0 && exprs->size() > 1;) {
+    std::vector<std::string> candidate = *exprs;
+    candidate.erase(candidate.begin() + i);
+    if (state->Probe(doc, candidate)) {
+      *exprs = std::move(candidate);
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+/// Candidate simplifications of one expression, coarsest first.
+std::vector<std::string> ExpressionEdits(const std::string& text) {
+  std::vector<std::string> edits;
+  Result<xpath::PathExpr> parsed = xpath::ParseXPath(text);
+  if (!parsed.ok()) return edits;
+  const xpath::PathExpr& expr = *parsed;
+
+  auto emit = [&edits, &text](const xpath::PathExpr& candidate) {
+    std::string s = candidate.ToString();
+    // Only offer genuine, still-parseable simplifications.
+    if (s != text && xpath::ParseXPath(s).ok()) edits.push_back(std::move(s));
+  };
+
+  for (size_t i = 0; i < expr.steps.size() && expr.steps.size() > 1; ++i) {
+    xpath::PathExpr candidate = expr;
+    candidate.steps.erase(candidate.steps.begin() + i);
+    emit(candidate);
+  }
+  for (size_t i = 0; i < expr.steps.size(); ++i) {
+    for (size_t f = 0; f < expr.steps[i].nested_paths.size(); ++f) {
+      xpath::PathExpr candidate = expr;
+      candidate.steps[i].nested_paths.erase(
+          candidate.steps[i].nested_paths.begin() + f);
+      emit(candidate);
+    }
+    for (size_t f = 0; f < expr.steps[i].attribute_filters.size(); ++f) {
+      xpath::PathExpr candidate = expr;
+      candidate.steps[i].attribute_filters.erase(
+          candidate.steps[i].attribute_filters.begin() + f);
+      emit(candidate);
+    }
+    if (expr.steps[i].axis == xpath::Axis::kDescendant) {
+      xpath::PathExpr candidate = expr;
+      candidate.steps[i].axis = xpath::Axis::kChild;
+      emit(candidate);
+    }
+  }
+  return edits;
+}
+
+/// One sweep of per-expression simplifications.
+bool ShrinkExpressionsOnce(const xml::Document& doc,
+                           std::vector<std::string>* exprs,
+                           ProbeState* state) {
+  bool progress = false;
+  for (size_t i = 0; i < exprs->size(); ++i) {
+    bool edited = true;
+    while (edited) {
+      edited = false;
+      for (const std::string& edit : ExpressionEdits((*exprs)[i])) {
+        std::vector<std::string> candidate = *exprs;
+        candidate[i] = edit;
+        if (state->Probe(doc, candidate)) {
+          *exprs = std::move(candidate);
+          progress = edited = true;
+          break;
+        }
+      }
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+CaseMinimizer::Output CaseMinimizer::Minimize(
+    const xml::Document& doc, const std::vector<std::string>& exprs,
+    const Predicate& fails, Options options) {
+  xml::Document current = CopyDocument(doc);
+  std::vector<std::string> current_exprs = exprs;
+  ProbeState state{&fails, 0, options.max_probes, false};
+
+  bool progress = true;
+  while (progress && !state.exhausted) {
+    progress = false;
+    if (ShrinkDocumentOnce(&current, current_exprs, &state)) progress = true;
+    if (ShrinkExpressionSetOnce(current, &current_exprs, &state)) {
+      progress = true;
+    }
+    if (ShrinkExpressionsOnce(current, &current_exprs, &state)) {
+      progress = true;
+    }
+  }
+
+  Output out;
+  out.document_xml = current.ToXml();
+  out.expressions = std::move(current_exprs);
+  out.document_nodes = current.size();
+  out.probes = state.probes;
+  out.converged = !state.exhausted;
+  return out;
+}
+
+}  // namespace xpred::difftest

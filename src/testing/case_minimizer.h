@@ -1,0 +1,59 @@
+#ifndef XPRED_TESTING_CASE_MINIMIZER_H_
+#define XPRED_TESTING_CASE_MINIMIZER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xpred::difftest {
+
+/// \brief Delta-debugging minimizer for differential-testing failures.
+///
+/// Given a failing (document, expression set) pair and a predicate
+/// that re-checks the failure, greedily shrinks — in order — the
+/// document (subtree deletion, root promotion, attribute and text
+/// stripping), then the expression set (down to a single expression
+/// when possible), then each surviving expression (step / filter /
+/// nested-path deletion), re-validating the failure after every
+/// candidate edit. The passes repeat until a fixpoint, so document
+/// reductions enabled by a smaller expression set are found too.
+class CaseMinimizer {
+ public:
+  /// Re-runs the failure check on a candidate. Must be deterministic
+  /// and side-effect free (the minimizer probes it many times);
+  /// typically it builds a fresh engine, adds \p exprs, filters
+  /// \p doc, and compares against the oracle.
+  using Predicate = std::function<bool(
+      const xml::Document& doc, const std::vector<std::string>& exprs)>;
+
+  struct Options {
+    /// Upper bound on predicate evaluations; when exhausted, the best
+    /// reduction found so far is returned with converged = false.
+    size_t max_probes = 4000;
+  };
+
+  struct Output {
+    std::string document_xml;
+    std::vector<std::string> expressions;
+    size_t document_nodes = 0;
+    size_t probes = 0;
+    bool converged = true;
+  };
+
+  /// Minimizes a failing case. \p fails(doc, exprs) must be true on
+  /// entry; the returned case also satisfies it.
+  static Output Minimize(const xml::Document& doc,
+                         const std::vector<std::string>& exprs,
+                         const Predicate& fails, Options options);
+  static Output Minimize(const xml::Document& doc,
+                         const std::vector<std::string>& exprs,
+                         const Predicate& fails) {
+    return Minimize(doc, exprs, fails, Options());
+  }
+};
+
+}  // namespace xpred::difftest
+
+#endif  // XPRED_TESTING_CASE_MINIMIZER_H_

@@ -1,0 +1,258 @@
+#include "testing/corpus_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace xpred::difftest {
+
+namespace {
+
+constexpr std::string_view kMagic = "xpredcase 1";
+
+/// FNV-1a, for content-derived file names.
+uint64_t Fnv64(std::string_view text) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void AppendVerdicts(const std::vector<int>& verdicts, std::string* out) {
+  for (int v : verdicts) {
+    out->push_back(v ? '1' : '0');
+    out->push_back('\n');
+  }
+}
+
+/// Splits into lines without the terminators; a trailing newline does
+/// not produce an empty final line.
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string SerializeCase(const Case& c) {
+  std::string out;
+  out.append(kMagic);
+  out.push_back('\n');
+  out += "seed: " + std::to_string(c.seed) + "\n";
+  if (!c.dtd.empty()) out += "dtd: " + c.dtd + "\n";
+  if (!c.description.empty()) {
+    // Header values are single-line; squash any stray newlines.
+    std::string desc = c.description;
+    for (char& ch : desc) {
+      if (ch == '\n' || ch == '\r') ch = ' ';
+    }
+    out += "description: " + desc + "\n";
+  }
+  out += "== document\n";
+  out += c.document_xml;
+  if (!c.document_xml.empty() && c.document_xml.back() != '\n') {
+    out.push_back('\n');
+  }
+  out += "== expressions\n";
+  for (const std::string& expr : c.expressions) {
+    out += expr;
+    out.push_back('\n');
+  }
+  out += "== expected\n";
+  AppendVerdicts(c.expected, &out);
+  for (const EngineOutcome& outcome : c.outcomes) {
+    out += "== engine " + outcome.engine + "\n";
+    if (!outcome.error.empty()) {
+      std::string err = outcome.error;
+      for (char& ch : err) {
+        if (ch == '\n' || ch == '\r') ch = ' ';
+      }
+      out += "error: " + err + "\n";
+    } else {
+      AppendVerdicts(outcome.verdicts, &out);
+    }
+  }
+  out += "== end\n";
+  return out;
+}
+
+Result<Case> DeserializeCase(std::string_view text) {
+  std::vector<std::string_view> lines = SplitLines(text);
+  if (lines.empty() || lines[0] != kMagic) {
+    return Status::InvalidArgument(
+        "not a .xpredcase file (missing 'xpredcase 1' header)");
+  }
+
+  Case c;
+  size_t i = 1;
+  // Header: `key: value` lines until the first section marker.
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) continue;
+    size_t colon = line.find(": ");
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed header line: " +
+                                     std::string(line));
+    }
+    std::string_view key = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 2);
+    if (key == "seed") {
+      c.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "dtd") {
+      c.dtd.assign(value);
+    } else if (key == "description") {
+      c.description.assign(value);
+    } else {
+      return Status::InvalidArgument("unknown header key: " +
+                                     std::string(key));
+    }
+  }
+
+  if (i >= lines.size() || lines[i] != "== document") {
+    return Status::InvalidArgument("missing '== document' section");
+  }
+  ++i;
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    c.document_xml.append(lines[i]);
+    c.document_xml.push_back('\n');
+  }
+
+  if (i >= lines.size() || lines[i] != "== expressions") {
+    return Status::InvalidArgument("missing '== expressions' section");
+  }
+  ++i;
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    if (!lines[i].empty()) c.expressions.emplace_back(lines[i]);
+  }
+
+  if (i >= lines.size() || lines[i] != "== expected") {
+    return Status::InvalidArgument("missing '== expected' section");
+  }
+  ++i;
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    if (lines[i].empty()) continue;
+    if (lines[i] != "0" && lines[i] != "1") {
+      return Status::InvalidArgument("bad verdict line: " +
+                                     std::string(lines[i]));
+    }
+    c.expected.push_back(lines[i] == "1" ? 1 : 0);
+  }
+  if (c.expected.size() != c.expressions.size()) {
+    return Status::InvalidArgument(
+        "expected-verdict count does not match expression count");
+  }
+
+  bool saw_end = false;
+  while (i < lines.size()) {
+    std::string_view marker = lines[i];
+    if (marker == "== end") {
+      saw_end = true;
+      ++i;
+      break;
+    }
+    if (marker.rfind("== engine ", 0) != 0) {
+      return Status::InvalidArgument("unexpected section: " +
+                                     std::string(marker));
+    }
+    EngineOutcome outcome;
+    outcome.engine.assign(marker.substr(10));
+    if (outcome.engine.empty()) {
+      return Status::InvalidArgument("engine section without a label");
+    }
+    ++i;
+    for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+      std::string_view line = lines[i];
+      if (line.empty()) continue;
+      if (line.rfind("error: ", 0) == 0) {
+        outcome.error.assign(line.substr(7));
+      } else if (line == "0" || line == "1") {
+        outcome.verdicts.push_back(line == "1" ? 1 : 0);
+      } else {
+        return Status::InvalidArgument("bad engine verdict line: " +
+                                       std::string(line));
+      }
+    }
+    if (outcome.error.empty() &&
+        outcome.verdicts.size() != c.expressions.size()) {
+      return Status::InvalidArgument(
+          "engine-verdict count does not match expression count for " +
+          outcome.engine);
+    }
+    c.outcomes.push_back(std::move(outcome));
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument("missing '== end' marker (truncated?)");
+  }
+  return c;
+}
+
+Status CorpusStore::Save(const Case& c, std::string* path_out) {
+  std::string serialized = SerializeCase(c);
+  char name[40];
+  std::snprintf(name, sizeof(name), "case-%016llx.xpredcase",
+                static_cast<unsigned long long>(Fnv64(serialized)));
+
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create corpus directory " +
+                                   directory_ + ": " + ec.message());
+  }
+  std::string path = directory_ + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot write " + path);
+  }
+  out << serialized;
+  out.close();
+  if (!out) {
+    return Status::InvalidArgument("write failed for " + path);
+  }
+  if (path_out != nullptr) *path_out = path;
+  return Status::OK();
+}
+
+Result<Case> CorpusStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Case> c = DeserializeCase(buffer.str());
+  if (!c.ok()) {
+    return Status(c.status().code(), path + ": " + c.status().message());
+  }
+  return c;
+}
+
+Result<std::vector<std::string>> CorpusStore::ListCases() const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory_, ec);
+  if (ec) return paths;  // Absent directory: empty corpus.
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".xpredcase") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace xpred::difftest

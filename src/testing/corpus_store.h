@@ -1,0 +1,97 @@
+#ifndef XPRED_TESTING_CORPUS_STORE_H_
+#define XPRED_TESTING_CORPUS_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred::difftest {
+
+/// \brief Per-engine verdicts recorded in a repro case.
+struct EngineOutcome {
+  /// Roster label ("yfilter", "matcher-pc-ap-inline", ...).
+  std::string engine;
+  /// One 0/1 verdict per expression; empty when the engine errored.
+  std::vector<int> verdicts;
+  /// Status error text when the engine failed outright (AddExpression
+  /// or FilterDocument); empty on a clean run.
+  std::string error;
+};
+
+/// \brief A self-contained differential-testing repro: one document,
+/// one expression set, the oracle verdicts, and the disagreeing
+/// engines' actual verdicts at capture time.
+///
+/// Serialized as a `.xpredcase` file — a line-oriented text format:
+///
+///   xpredcase 1
+///   seed: 42
+///   dtd: nitf
+///   description: yfilter disagreed on expr 0
+///   == document
+///   <a>
+///     <b/>
+///   </a>
+///   == expressions
+///   /a/b
+///   == expected
+///   1
+///   == engine yfilter
+///   0
+///   == end
+///
+/// Header keys are `key: value` lines before the first section. The
+/// document section is raw XML; the expressions section has one
+/// canonical XPath per line; expected and engine sections have one
+/// 0/1 verdict per line (aligned with the expressions), or a single
+/// `error: <message>` line. The trailing `== end` guards truncation.
+struct Case {
+  uint64_t seed = 0;
+  std::string dtd;  ///< "nitf", "psd", or "" when unknown/synthetic.
+  std::string description;
+  std::string document_xml;
+  std::vector<std::string> expressions;
+  /// Oracle verdicts, one per expression (the replay contract).
+  std::vector<int> expected;
+  std::vector<EngineOutcome> outcomes;
+};
+
+/// Serializes \p c to .xpredcase text.
+std::string SerializeCase(const Case& c);
+
+/// Parses .xpredcase text; rejects missing sections, verdict counts
+/// that disagree with the expression count, and unknown verdicts.
+Result<Case> DeserializeCase(std::string_view text);
+
+/// \brief Directory of .xpredcase files — the git-tracked regression
+/// corpus plus any fuzzing session's fresh discoveries.
+class CorpusStore {
+ public:
+  explicit CorpusStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  const std::string& directory() const { return directory_; }
+
+  /// Writes \p c under a content-derived file name
+  /// (`case-<fnv64 hex>.xpredcase`, so identical repros dedupe and
+  /// re-runs are idempotent). Creates the directory if needed. On
+  /// success \p path_out (optional) receives the file path.
+  Status Save(const Case& c, std::string* path_out = nullptr);
+
+  /// Loads one case file.
+  static Result<Case> Load(const std::string& path);
+
+  /// Sorted paths of every .xpredcase file in the directory. An absent
+  /// directory is an empty corpus, not an error.
+  Result<std::vector<std::string>> ListCases() const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace xpred::difftest
+
+#endif  // XPRED_TESTING_CORPUS_STORE_H_

@@ -1,0 +1,502 @@
+#include "testing/differential_harness.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "testing/case_minimizer.h"
+#include "testing/workload_mutator.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::difftest {
+
+namespace {
+
+/// SplitMix64 step: decorrelates per-run seeds from the session seed.
+uint64_t MixSeed(uint64_t seed, uint64_t run) {
+  uint64_t z = seed + (run + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\t': out.append("\\t"); break;
+      case '\r': out.append("\\r"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<int> OracleVerdicts(const std::vector<xpath::PathExpr>& exprs,
+                                const xml::Document& doc) {
+  std::vector<int> verdicts;
+  verdicts.reserve(exprs.size());
+  for (const xpath::PathExpr& expr : exprs) {
+    verdicts.push_back(xpath::Evaluator::Matches(expr, doc) ? 1 : 0);
+  }
+  return verdicts;
+}
+
+struct EngineCheck {
+  bool diverged = false;
+  std::string kind;  ///< "verdict", "status", or "acceptance".
+  std::string error;
+  std::vector<int> verdicts;
+};
+
+/// Builds a fresh engine, subscribes \p exprs, filters \p doc, and
+/// compares against the oracle. The unit of work behind both the
+/// minimizer predicate and repro capture.
+EngineCheck CheckEngineFresh(const RosterEntry& entry,
+                             const xml::Document& doc,
+                             const std::vector<std::string>& exprs) {
+  EngineCheck check;
+  std::unique_ptr<core::FilterEngine> engine = entry.make();
+  std::vector<core::ExprId> ids;
+  std::vector<xpath::PathExpr> parsed;
+  for (const std::string& text : exprs) {
+    Result<xpath::PathExpr> expr = xpath::ParseXPath(text);
+    if (!expr.ok()) return check;  // Out of scope: oracle can't judge.
+    Result<core::ExprId> id = engine->AddExpression(text);
+    if (!id.ok()) {
+      check.diverged = true;
+      check.kind = "acceptance";
+      check.error = "AddExpression(" + text + "): " + id.status().ToString();
+      return check;
+    }
+    ids.push_back(*id);
+    parsed.push_back(std::move(*expr));
+  }
+  std::vector<core::ExprId> matched;
+  Status st = engine->FilterDocument(doc, &matched);
+  if (!st.ok()) {
+    check.diverged = true;
+    check.kind = "status";
+    check.error = "FilterDocument: " + st.ToString();
+    return check;
+  }
+  std::sort(matched.begin(), matched.end());
+  std::vector<int> expected = OracleVerdicts(parsed, doc);
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    int actual =
+        std::binary_search(matched.begin(), matched.end(), ids[i]) ? 1 : 0;
+    check.verdicts.push_back(actual);
+    if (actual != expected[i]) {
+      check.diverged = true;
+      check.kind = "verdict";
+    }
+  }
+  return check;
+}
+
+}  // namespace
+
+DifferentialHarness::DifferentialHarness(Options options)
+    : options_(std::move(options)) {}
+
+DifferentialHarness::DifferentialHarness(Options options,
+                                         std::vector<RosterEntry> roster)
+    : options_(std::move(options)),
+      roster_(std::move(roster)),
+      roster_overridden_(true) {}
+
+struct DifferentialHarness::RunContext {
+  uint64_t run = 0;
+  uint64_t run_seed = 0;
+  std::string dtd_name;
+};
+
+EngineOutcome DifferentialHarness::ReplayCase(const RosterEntry& entry,
+                                              const Case& c) {
+  EngineOutcome outcome;
+  outcome.engine = entry.label;
+  Result<xml::Document> doc = xml::Document::Parse(c.document_xml);
+  if (!doc.ok()) {
+    outcome.error = "document: " + doc.status().ToString();
+    return outcome;
+  }
+  EngineCheck check = CheckEngineFresh(entry, *doc, c.expressions);
+  outcome.error = check.error;
+  outcome.verdicts = std::move(check.verdicts);
+  return outcome;
+}
+
+void DifferentialHarness::RecordDivergence(
+    RunContext* ctx, const RosterEntry& entry, const std::string& kind,
+    const xml::Document& doc, const std::vector<std::string>& exprs,
+    Summary* summary) {
+  ++summary->mismatches;
+  if (summary->cases.size() >= options_.max_cases) return;
+
+  CaseRecord record;
+  record.run = ctx->run;
+  record.engine = entry.label;
+  record.dtd = ctx->dtd_name;
+  record.kind = kind;
+
+  std::string doc_xml;
+  std::vector<std::string> min_exprs;
+  if (options_.minimize) {
+    CaseMinimizer::Output minimized = CaseMinimizer::Minimize(
+        doc, exprs,
+        [&entry](const xml::Document& d, const std::vector<std::string>& e) {
+          return CheckEngineFresh(entry, d, e).diverged;
+        });
+    doc_xml = std::move(minimized.document_xml);
+    min_exprs = std::move(minimized.expressions);
+    record.document_nodes = minimized.document_nodes;
+    record.probes = minimized.probes;
+    record.minimized = true;
+    record.converged = minimized.converged;
+  } else {
+    doc_xml = doc.ToXml();
+    min_exprs = exprs;
+    record.document_nodes = doc.size();
+  }
+
+  // Recompute the contract on the (possibly minimized) case.
+  Result<xml::Document> min_doc = xml::Document::Parse(doc_xml);
+  Case repro;
+  repro.seed = ctx->run_seed;
+  repro.dtd = ctx->dtd_name;
+  repro.document_xml = doc_xml;
+  repro.expressions = min_exprs;
+  if (min_doc.ok()) {
+    std::vector<xpath::PathExpr> parsed;
+    for (const std::string& text : min_exprs) {
+      Result<xpath::PathExpr> expr = xpath::ParseXPath(text);
+      if (expr.ok()) parsed.push_back(std::move(*expr));
+    }
+    repro.expected = OracleVerdicts(parsed, *min_doc);
+    EngineCheck check = CheckEngineFresh(entry, *min_doc, min_exprs);
+    EngineOutcome outcome;
+    outcome.engine = entry.label;
+    outcome.error = check.error;
+    outcome.verdicts = std::move(check.verdicts);
+    repro.outcomes.push_back(std::move(outcome));
+  }
+  repro.description =
+      entry.label + " " + kind + " divergence (run " +
+      std::to_string(ctx->run) + ", seed " + std::to_string(ctx->run_seed) +
+      ")";
+
+  // Dedup: the same minimized repro found in several runs is one case.
+  std::string serialized = SerializeCase(repro);
+  if (std::find(seen_cases_.begin(), seen_cases_.end(), serialized) !=
+      seen_cases_.end()) {
+    return;
+  }
+  seen_cases_.push_back(serialized);
+
+  if (!options_.corpus_dir.empty()) {
+    CorpusStore store(options_.corpus_dir);
+    std::string path;
+    if (store.Save(repro, &path).ok()) record.file = path;
+  }
+  record.repro = std::move(repro);
+  summary->cases.push_back(std::move(record));
+}
+
+void DifferentialHarness::RunOne(uint64_t run, Summary* summary) {
+  RunContext ctx;
+  ctx.run = run;
+  ctx.run_seed = MixSeed(options_.seed, run);
+  Random rng(ctx.run_seed);
+
+  bool use_psd = options_.dtd == "psd" ||
+                 (options_.dtd == "both" && run % 2 == 1);
+  const xml::Dtd& dtd = use_psd ? xml::PsdLikeDtd() : xml::NitfLikeDtd();
+  ctx.dtd_name = use_psd ? "psd" : "nitf";
+
+  // Randomized generator knobs: each run probes a different corner of
+  // the workload space (the fixed grid of agreement_test is the
+  // complement: stable, named corners).
+  static constexpr double kProbs[] = {0.0, 0.2, 0.5, 0.8};
+  xpath::QueryGenerator::Options qopts;
+  qopts.min_length = 1;
+  qopts.max_length = 3 + static_cast<uint32_t>(rng.Uniform(4));
+  qopts.wildcard_prob = kProbs[rng.Uniform(4)];
+  qopts.descendant_prob = kProbs[rng.Uniform(3)];
+  qopts.filters_per_expr = static_cast<uint32_t>(rng.Uniform(3));
+  qopts.nested_path_prob = rng.Bernoulli(0.4) ? 0.3 : 0.0;
+  qopts.distinct = false;
+  xpath::QueryGenerator qgen(&dtd, qopts);
+  std::vector<xpath::PathExpr> workload =
+      qgen.GenerateWorkload(options_.exprs_per_run, rng.Next());
+
+  WorkloadMutator mutator(&dtd);
+  for (xpath::PathExpr& expr : workload) {
+    if (rng.Bernoulli(options_.mutation_prob)) {
+      if (!mutator.MutateExpression(&expr, &rng).empty()) {
+        ++summary->expr_mutations;
+      }
+    }
+  }
+
+  // Serialize and re-parse through the public grammar; anything the
+  // oracle-side parser rejects is out of scope for every engine.
+  std::vector<std::string> texts;
+  std::vector<xpath::PathExpr> parsed;
+  for (const xpath::PathExpr& expr : workload) {
+    std::string text = expr.ToString();
+    Result<xpath::PathExpr> reparsed = xpath::ParseXPath(text);
+    if (!reparsed.ok()) {
+      ++summary->rejected_expressions;
+      continue;
+    }
+    texts.push_back(std::move(text));
+    parsed.push_back(std::move(*reparsed));
+  }
+  if (texts.empty()) return;
+
+  // Decoy subscription add/remove interleaving plan (shared by every
+  // removal-capable engine so the session stays deterministic).
+  bool interleave = options_.exercise_removal && rng.Bernoulli(0.4);
+  size_t decoys = interleave ? 1 + rng.Uniform(3) : 0;
+  if (interleave) ++summary->removal_interleavings;
+
+  // Subscribe every engine. Acceptance is judged per expression: a
+  // rejection by some engines but not others is itself a divergence.
+  std::vector<std::unique_ptr<core::FilterEngine>> engines;
+  std::vector<std::vector<std::optional<core::ExprId>>> ids;
+  std::vector<std::vector<std::string>> add_errors;
+  for (const RosterEntry& entry : roster_) {
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    core::Matcher* removable = RemovableMatcherOf(engine.get());
+    std::vector<core::ExprId> decoy_ids;
+    if (removable != nullptr) {
+      for (size_t d = 0; d < decoys; ++d) {
+        Result<core::ExprId> id =
+            engine->AddExpression(texts[d % texts.size()]);
+        if (id.ok()) decoy_ids.push_back(*id);
+      }
+    }
+    std::vector<std::optional<core::ExprId>> engine_ids;
+    std::vector<std::string> engine_errors(texts.size());
+    for (size_t i = 0; i < texts.size(); ++i) {
+      Result<core::ExprId> id = engine->AddExpression(texts[i]);
+      if (id.ok()) {
+        engine_ids.push_back(*id);
+      } else {
+        engine_ids.push_back(std::nullopt);
+        engine_errors[i] = id.status().ToString();
+      }
+    }
+    if (removable != nullptr) {
+      // Decoys leave: ids of real subscriptions must stay valid, and
+      // shared expression state must survive partial unsubscription.
+      for (core::ExprId decoy : decoy_ids) {
+        removable->RemoveSubscription(decoy);
+      }
+    }
+    engines.push_back(std::move(engine));
+    ids.push_back(std::move(engine_ids));
+    add_errors.push_back(std::move(engine_errors));
+  }
+
+  // Partition expressions: kept (accepted everywhere) vs divergent
+  // (mixed acceptance) vs uniformly rejected (excluded, counted).
+  std::vector<size_t> kept;
+  xml::Document trivial_doc;
+  for (size_t i = 0; i < texts.size(); ++i) {
+    size_t rejections = 0;
+    for (size_t e = 0; e < engines.size(); ++e) {
+      if (!ids[e][i].has_value()) ++rejections;
+    }
+    if (rejections == 0) {
+      kept.push_back(i);
+    } else if (rejections == engines.size()) {
+      ++summary->rejected_expressions;
+    } else {
+      if (trivial_doc.empty()) trivial_doc.AddElement(dtd.root(), xml::kInvalidNode);
+      for (size_t e = 0; e < engines.size(); ++e) {
+        if (!ids[e][i].has_value()) {
+          RecordDivergence(&ctx, roster_[e], "acceptance", trivial_doc,
+                           {texts[i]}, summary);
+        }
+      }
+    }
+  }
+  summary->expressions += texts.size();
+  if (kept.empty()) return;
+
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = options_.doc_max_depth;
+  xml::DocumentGenerator dgen(&dtd, dopts);
+
+  for (uint32_t d = 0; d < options_.docs_per_run; ++d) {
+    xml::Document doc = dgen.Generate(rng.Next());
+    if (doc.empty()) continue;
+    if (rng.Bernoulli(options_.mutation_prob)) {
+      uint32_t rounds = 1 + static_cast<uint32_t>(rng.Uniform(2));
+      for (uint32_t m = 0; m < rounds; ++m) {
+        if (!mutator.MutateDocument(&doc, &rng).empty()) {
+          ++summary->doc_mutations;
+        }
+      }
+    }
+    ++summary->documents;
+
+    std::vector<int> expected(kept.size());
+    for (size_t k = 0; k < kept.size(); ++k) {
+      expected[k] = xpath::Evaluator::Matches(parsed[kept[k]], doc) ? 1 : 0;
+    }
+
+    std::vector<std::string> kept_texts;
+    for (size_t k : kept) kept_texts.push_back(texts[k]);
+
+    for (size_t e = 0; e < engines.size(); ++e) {
+      std::vector<core::ExprId> matched;
+      Status st = engines[e]->FilterDocument(doc, &matched);
+      if (!st.ok()) {
+        RecordDivergence(&ctx, roster_[e], "status", doc, kept_texts,
+                         summary);
+        continue;
+      }
+      std::sort(matched.begin(), matched.end());
+      bool diverged = false;
+      for (size_t k = 0; k < kept.size(); ++k) {
+        int actual = std::binary_search(matched.begin(), matched.end(),
+                                        *ids[e][kept[k]])
+                         ? 1
+                         : 0;
+        if (actual != expected[k]) diverged = true;
+      }
+      summary->verdicts += kept.size();
+      if (diverged) {
+        RecordDivergence(&ctx, roster_[e], "verdict", doc, kept_texts,
+                         summary);
+      }
+    }
+  }
+}
+
+Result<DifferentialHarness::Summary> DifferentialHarness::Run() {
+  if (options_.dtd != "nitf" && options_.dtd != "psd" &&
+      options_.dtd != "both") {
+    return Status::InvalidArgument("unknown dtd '" + options_.dtd +
+                                   "' (want nitf, psd, or both)");
+  }
+  if (!roster_overridden_) {
+    std::vector<std::string> unmatched;
+    roster_ = FilteredRoster(options_.engines, &unmatched);
+    if (!unmatched.empty()) {
+      return Status::InvalidArgument("unknown engine filter '" +
+                                     unmatched.front() + "'");
+    }
+  }
+  if (roster_.empty()) {
+    return Status::InvalidArgument("engine roster is empty");
+  }
+
+  Summary summary;
+  summary.seed = options_.seed;
+  summary.runs_requested = options_.runs;
+  for (const RosterEntry& entry : roster_) {
+    summary.engines.push_back(entry.label);
+  }
+
+  Stopwatch budget;
+  for (uint64_t run = 0; run < options_.runs; ++run) {
+    if (options_.time_budget_seconds > 0 &&
+        budget.ElapsedMillis() / 1000.0 >= options_.time_budget_seconds) {
+      summary.time_budget_exhausted = true;
+      break;
+    }
+    RunOne(run, &summary);
+    ++summary.runs_executed;
+  }
+  return summary;
+}
+
+std::string DifferentialHarness::Summary::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"tool\": \"xpred_fuzz\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"runs_requested\": " << runs_requested << ",\n";
+  out << "  \"runs_executed\": " << runs_executed << ",\n";
+  out << "  \"time_budget_exhausted\": "
+      << (time_budget_exhausted ? "true" : "false") << ",\n";
+  out << "  \"engines\": [";
+  for (size_t i = 0; i < engines.size(); ++i) {
+    out << (i ? ", " : "") << '"' << JsonEscape(engines[i]) << '"';
+  }
+  out << "],\n";
+  out << "  \"counters\": {\n";
+  out << "    \"documents\": " << documents << ",\n";
+  out << "    \"expressions\": " << expressions << ",\n";
+  out << "    \"verdicts\": " << verdicts << ",\n";
+  out << "    \"expr_mutations\": " << expr_mutations << ",\n";
+  out << "    \"doc_mutations\": " << doc_mutations << ",\n";
+  out << "    \"removal_interleavings\": " << removal_interleavings << ",\n";
+  out << "    \"rejected_expressions\": " << rejected_expressions << "\n";
+  out << "  },\n";
+  out << "  \"mismatches\": " << mismatches << ",\n";
+  out << "  \"cases\": [";
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const CaseRecord& record = cases[c];
+    out << (c ? "," : "") << "\n    {\n";
+    out << "      \"run\": " << record.run << ",\n";
+    out << "      \"engine\": \"" << JsonEscape(record.engine) << "\",\n";
+    out << "      \"dtd\": \"" << JsonEscape(record.dtd) << "\",\n";
+    out << "      \"kind\": \"" << JsonEscape(record.kind) << "\",\n";
+    out << "      \"document_nodes\": " << record.document_nodes << ",\n";
+    out << "      \"minimized\": " << (record.minimized ? "true" : "false")
+        << ",\n";
+    out << "      \"converged\": " << (record.converged ? "true" : "false")
+        << ",\n";
+    out << "      \"probes\": " << record.probes << ",\n";
+    out << "      \"document\": \"" << JsonEscape(record.repro.document_xml)
+        << "\",\n";
+    out << "      \"expressions\": [";
+    for (size_t i = 0; i < record.repro.expressions.size(); ++i) {
+      out << (i ? ", " : "") << '"'
+          << JsonEscape(record.repro.expressions[i]) << '"';
+    }
+    out << "],\n";
+    out << "      \"expected\": [";
+    for (size_t i = 0; i < record.repro.expected.size(); ++i) {
+      out << (i ? ", " : "") << record.repro.expected[i];
+    }
+    out << "],\n";
+    out << "      \"actual\": [";
+    if (!record.repro.outcomes.empty()) {
+      const EngineOutcome& outcome = record.repro.outcomes.front();
+      for (size_t i = 0; i < outcome.verdicts.size(); ++i) {
+        out << (i ? ", " : "") << outcome.verdicts[i];
+      }
+    }
+    out << "],\n";
+    out << "      \"error\": \""
+        << JsonEscape(record.repro.outcomes.empty()
+                          ? ""
+                          : record.repro.outcomes.front().error)
+        << "\",\n";
+    out << "      \"file\": \"" << JsonEscape(record.file) << "\"\n";
+    out << "    }";
+  }
+  out << (cases.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"status\": \"" << (mismatches == 0 ? "agree" : "diverged")
+      << "\"\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace xpred::difftest

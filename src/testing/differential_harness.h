@@ -1,0 +1,133 @@
+#ifndef XPRED_TESTING_DIFFERENTIAL_HARNESS_H_
+#define XPRED_TESTING_DIFFERENTIAL_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "testing/corpus_store.h"
+#include "testing/engine_roster.h"
+#include "xml/document.h"
+
+namespace xpred::difftest {
+
+/// \brief Generative differential tester for every filtering engine.
+///
+/// Each run draws a DTD-guided expression workload and documents
+/// (randomized generator knobs per run), applies grammar-aware
+/// mutations (WorkloadMutator), optionally interleaves decoy
+/// subscription add/remove cycles on removal-capable engines, and
+/// checks every engine's verdicts against the brute-force
+/// xpath::Evaluator oracle. Any divergence — a wrong verdict, a
+/// Status error on an input other engines and the oracle handle, or an
+/// AddExpression rejection of a parseable expression — is
+/// delta-debugged down to a minimal repro (CaseMinimizer) and recorded
+/// as a self-contained .xpredcase (CorpusStore).
+///
+/// Everything is deterministic in Options::seed: two sessions with the
+/// same options produce byte-identical JSON summaries (the JSON
+/// contains no timestamps; a --time-budget cutoff is the one
+/// deliberate exception, since it depends on wall time).
+class DifferentialHarness {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    uint64_t runs = 100;
+    /// Stop starting new runs after this many seconds (0 = no budget).
+    double time_budget_seconds = 0;
+    /// Roster label prefixes to test (empty = full roster).
+    std::vector<std::string> engines;
+    /// "nitf", "psd", or "both" (alternating per run).
+    std::string dtd = "both";
+    uint32_t exprs_per_run = 12;
+    uint32_t docs_per_run = 2;
+    uint32_t doc_max_depth = 8;
+    /// Per-expression / per-document mutation probability.
+    double mutation_prob = 0.35;
+    /// Exercise decoy subscription add/remove interleavings on engines
+    /// that support removal (Matcher and the streaming front end).
+    bool exercise_removal = true;
+    bool minimize = true;
+    /// Hard cap on minimized repro cases per session; further
+    /// mismatches are still counted.
+    size_t max_cases = 20;
+    /// When non-empty, minimized cases are written here as .xpredcase
+    /// files.
+    std::string corpus_dir;
+  };
+
+  /// One recorded engine/oracle divergence, after minimization (when
+  /// enabled).
+  struct CaseRecord {
+    uint64_t run = 0;
+    std::string engine;
+    std::string dtd;
+    /// "verdict" (wrong match decision), "status" (FilterDocument
+    /// error), or "acceptance" (AddExpression rejected a parseable
+    /// expression).
+    std::string kind;
+    Case repro;            ///< Self-contained repro (post-minimization).
+    size_t document_nodes = 0;
+    size_t probes = 0;     ///< Minimizer probe count (0 = not minimized).
+    bool minimized = false;
+    bool converged = true;
+    std::string file;      ///< Corpus path when written, else "".
+  };
+
+  struct Summary {
+    uint64_t seed = 0;
+    uint64_t runs_requested = 0;
+    uint64_t runs_executed = 0;
+    std::vector<std::string> engines;
+    uint64_t documents = 0;
+    uint64_t expressions = 0;
+    uint64_t verdicts = 0;
+    uint64_t expr_mutations = 0;
+    uint64_t doc_mutations = 0;
+    uint64_t removal_interleavings = 0;
+    /// Expressions rejected by every engine (excluded from checking).
+    uint64_t rejected_expressions = 0;
+    /// Total divergences observed (>= cases.size(); identical repros
+    /// dedupe and max_cases caps the list).
+    uint64_t mismatches = 0;
+    std::vector<CaseRecord> cases;
+    bool time_budget_exhausted = false;
+
+    /// Deterministic JSON rendering (stable key order, no wall times).
+    std::string ToJson() const;
+  };
+
+  explicit DifferentialHarness(Options options);
+  /// Test-only: replaces the engine roster (e.g. to inject a broken
+  /// engine and prove the harness catches it).
+  DifferentialHarness(Options options, std::vector<RosterEntry> roster);
+
+  /// Runs the configured fuzzing session. Fails only on configuration
+  /// errors (unknown engine/dtd); engine divergences are reported in
+  /// the summary, not as a Status.
+  Result<Summary> Run();
+
+  /// Re-checks one stored case against an engine roster entry:
+  /// returns the engine's outcome on the case's document/expressions.
+  static EngineOutcome ReplayCase(const RosterEntry& entry, const Case& c);
+
+ private:
+  struct RunContext;
+
+  void RunOne(uint64_t run, Summary* summary);
+  void RecordDivergence(RunContext* ctx, const RosterEntry& entry,
+                        const std::string& kind, const xml::Document& doc,
+                        const std::vector<std::string>& exprs,
+                        Summary* summary);
+
+  Options options_;
+  std::vector<RosterEntry> roster_;
+  bool roster_overridden_ = false;
+  /// Serialized repros already recorded (dedup across runs).
+  std::vector<std::string> seen_cases_;
+};
+
+}  // namespace xpred::difftest
+
+#endif  // XPRED_TESTING_DIFFERENTIAL_HARNESS_H_

@@ -1,0 +1,119 @@
+#include "testing/engine_roster.h"
+
+#include "indexfilter/index_filter.h"
+#include "xfilter/xfilter.h"
+#include "yfilter/yfilter.h"
+
+namespace xpred::difftest {
+
+Status StreamingEngine::EmitElement(const xml::Document& document,
+                                    xml::NodeId node) {
+  const xml::Element& element = document.element(node);
+  XPRED_RETURN_NOT_OK(filter_.StartElement(element.tag, element.attributes));
+  for (xml::NodeId child : element.children) {
+    XPRED_RETURN_NOT_OK(EmitElement(document, child));
+  }
+  return filter_.EndElement(element.tag);
+}
+
+Status StreamingEngine::FilterDocument(const xml::Document& document,
+                                       std::vector<core::ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  if (document.empty()) {
+    return Status::InvalidArgument("document is empty");
+  }
+  XPRED_RETURN_NOT_OK(filter_.StartDocument());
+  XPRED_RETURN_NOT_OK(EmitElement(document, document.root()));
+  XPRED_RETURN_NOT_OK(filter_.EndDocument());
+  std::vector<core::ExprId> result = filter_.TakeMatches();
+  matched->insert(matched->end(), result.begin(), result.end());
+  return Status::OK();
+}
+
+namespace {
+
+const char* ModeLabel(core::Matcher::Mode mode) {
+  switch (mode) {
+    case core::Matcher::Mode::kBasic:
+      return "basic";
+    case core::Matcher::Mode::kPrefixCovering:
+      return "pc";
+    case core::Matcher::Mode::kPrefixCoveringAccessPredicate:
+      return "pc-ap";
+    case core::Matcher::Mode::kTrieDfs:
+      return "trie-dfs";
+  }
+  return "?";
+}
+
+const char* AttrLabel(core::AttributeMode mode) {
+  return mode == core::AttributeMode::kInline ? "inline" : "sp";
+}
+
+}  // namespace
+
+std::vector<RosterEntry> FullRoster() {
+  std::vector<RosterEntry> roster;
+  for (core::Matcher::Mode mode :
+       {core::Matcher::Mode::kBasic, core::Matcher::Mode::kPrefixCovering,
+        core::Matcher::Mode::kPrefixCoveringAccessPredicate,
+        core::Matcher::Mode::kTrieDfs}) {
+    for (core::AttributeMode attr_mode :
+         {core::AttributeMode::kInline,
+          core::AttributeMode::kSelectionPostponed}) {
+      core::Matcher::Options options;
+      options.mode = mode;
+      options.attribute_mode = attr_mode;
+      roster.push_back(RosterEntry{
+          std::string("matcher-") + ModeLabel(mode) + "-" +
+              AttrLabel(attr_mode),
+          [options] { return std::make_unique<core::Matcher>(options); }});
+    }
+  }
+  roster.push_back(RosterEntry{
+      "yfilter", [] { return std::make_unique<yfilter::YFilter>(); }});
+  roster.push_back(RosterEntry{
+      "xfilter", [] { return std::make_unique<xfilter::XFilter>(); }});
+  roster.push_back(
+      RosterEntry{"index-filter",
+                  [] { return std::make_unique<indexfilter::IndexFilter>(); }});
+  roster.push_back(RosterEntry{
+      "streaming", [] { return std::make_unique<StreamingEngine>(); }});
+  return roster;
+}
+
+std::vector<RosterEntry> FilteredRoster(
+    const std::vector<std::string>& filters,
+    std::vector<std::string>* unmatched) {
+  std::vector<RosterEntry> all = FullRoster();
+  if (filters.empty()) return all;
+  std::vector<RosterEntry> selected;
+  std::vector<bool> used(filters.size(), false);
+  for (RosterEntry& entry : all) {
+    for (size_t f = 0; f < filters.size(); ++f) {
+      if (entry.label.rfind(filters[f], 0) == 0) {
+        selected.push_back(std::move(entry));
+        used[f] = true;
+        break;
+      }
+    }
+  }
+  if (unmatched != nullptr) {
+    for (size_t f = 0; f < filters.size(); ++f) {
+      if (!used[f]) unmatched->push_back(filters[f]);
+    }
+  }
+  return selected;
+}
+
+core::Matcher* RemovableMatcherOf(core::FilterEngine* engine) {
+  if (auto* matcher = dynamic_cast<core::Matcher*>(engine)) return matcher;
+  if (auto* streaming = dynamic_cast<StreamingEngine*>(engine)) {
+    return streaming->matcher();
+  }
+  return nullptr;
+}
+
+}  // namespace xpred::difftest

@@ -1,0 +1,81 @@
+#ifndef XPRED_TESTING_ENGINE_ROSTER_H_
+#define XPRED_TESTING_ENGINE_ROSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/matcher.h"
+#include "core/streaming.h"
+#include "xml/document.h"
+
+namespace xpred::difftest {
+
+/// \brief FilterEngine adapter over core::StreamingFilter.
+///
+/// StreamingFilter is an event-driven front end, not an engine; this
+/// adapter owns a Matcher plus a StreamingFilter and implements
+/// FilterDocument by replaying the document tree as SAX events. It
+/// exists so the differential harness (and the agreement test) can
+/// oracle-check the streaming path extraction against the same
+/// interface as every other engine.
+class StreamingEngine : public core::FilterEngine {
+ public:
+  explicit StreamingEngine(core::Matcher::Options options = {})
+      : matcher_(options), filter_(&matcher_) {}
+
+  Result<core::ExprId> AddExpression(std::string_view xpath) override {
+    return matcher_.AddExpression(xpath);
+  }
+
+  Status FilterDocument(const xml::Document& document,
+                        std::vector<core::ExprId>* matched) override;
+
+  size_t subscription_count() const override {
+    return matcher_.subscription_count();
+  }
+  std::string_view name() const override { return "streaming"; }
+
+  /// The wrapped matcher (for subscription-removal interleavings).
+  core::Matcher* matcher() { return &matcher_; }
+
+ private:
+  Status EmitElement(const xml::Document& document, xml::NodeId node);
+
+  core::Matcher matcher_;
+  core::StreamingFilter filter_;
+};
+
+/// \brief One engine configuration in the differential roster.
+struct RosterEntry {
+  /// Unique, file-name-safe label ("matcher-basic-inline", "yfilter",
+  /// "streaming", ...). This is the name used by --engine filtering,
+  /// the JSON summary, and .xpredcase engine sections.
+  std::string label;
+  /// Builds a fresh engine (no shared state with previous builds).
+  std::function<std::unique_ptr<core::FilterEngine>()> make;
+};
+
+/// All engine configurations under differential test: every Matcher
+/// mode x attribute mode, YFilter, XFilter, IndexFilter, and the
+/// streaming front end.
+std::vector<RosterEntry> FullRoster();
+
+/// FullRoster() restricted to entries whose label equals, or starts
+/// with, one of \p filters (empty filters = everything). Unknown
+/// filter strings are reported via \p unmatched when non-null.
+std::vector<RosterEntry> FilteredRoster(
+    const std::vector<std::string>& filters,
+    std::vector<std::string>* unmatched = nullptr);
+
+/// Returns the Matcher behind \p engine when the engine supports
+/// dynamic subscription removal (Matcher itself or StreamingEngine);
+/// nullptr for the automaton/index baselines.
+core::Matcher* RemovableMatcherOf(core::FilterEngine* engine);
+
+}  // namespace xpred::difftest
+
+#endif  // XPRED_TESTING_ENGINE_ROSTER_H_

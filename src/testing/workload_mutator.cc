@@ -1,0 +1,286 @@
+#include "testing/workload_mutator.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace xpred::difftest {
+
+using xpath::Axis;
+using xpath::AttributeFilter;
+using xpath::CompareOp;
+using xpath::PathExpr;
+using xpath::Step;
+
+namespace {
+
+/// True when \p value spells a plain (optionally negative) integer.
+bool IsIntegerText(const std::string& value) {
+  if (value.empty()) return false;
+  size_t i = value[0] == '-' ? 1 : 0;
+  if (i == value.size()) return false;
+  for (; i < value.size(); ++i) {
+    if (value[i] < '0' || value[i] > '9') return false;
+  }
+  return true;
+}
+
+void CopySubtree(const xml::Document& src, xml::NodeId node,
+                 xml::Document* dst, xml::NodeId dst_parent,
+                 xml::NodeId skip, xml::NodeId dup) {
+  if (node == skip) return;
+  xml::NodeId id = dst->AddElement(src.element(node).tag, dst_parent);
+  dst->element(id).attributes = src.element(node).attributes;
+  dst->element(id).text = src.element(node).text;
+  for (xml::NodeId child : src.element(node).children) {
+    CopySubtree(src, child, dst, id, skip, dup);
+    if (child == dup) {
+      // Second copy of the duplicated subtree (no re-duplication).
+      CopySubtree(src, child, dst, id, skip, xml::kInvalidNode);
+    }
+  }
+}
+
+xml::Document RebuildDocument(const xml::Document& doc, xml::NodeId skip,
+                              xml::NodeId dup) {
+  xml::Document out;
+  CopySubtree(doc, doc.root(), &out, xml::kInvalidNode, skip, dup);
+  return out;
+}
+
+}  // namespace
+
+xml::Document CopyDocument(const xml::Document& doc, xml::NodeId skip) {
+  return RebuildDocument(doc, skip, xml::kInvalidNode);
+}
+
+xml::Document ExtractSubtree(const xml::Document& doc, xml::NodeId node) {
+  xml::Document out;
+  CopySubtree(doc, node, &out, xml::kInvalidNode, xml::kInvalidNode,
+              xml::kInvalidNode);
+  return out;
+}
+
+const std::string& WorkloadMutator::RandomTag(Random* rng) const {
+  const std::vector<xml::ElementDecl>& decls = dtd_->elements();
+  return decls[rng->Uniform(decls.size())].name;
+}
+
+std::string_view WorkloadMutator::TryExpressionMutation(PathExpr* expr,
+                                                        Random* rng,
+                                                        int which) const {
+  std::vector<Step>& steps = expr->steps;
+  switch (which) {
+    case 0: {  // axis-flip: '/' <-> '//' on a non-leading step.
+      if (steps.size() < 2) return "";
+      size_t i = 1 + rng->Uniform(steps.size() - 1);
+      steps[i].axis = steps[i].axis == Axis::kChild ? Axis::kDescendant
+                                                    : Axis::kChild;
+      return "axis-flip";
+    }
+    case 1: {  // wildcard-inject: only filter-free steps may wildcard
+               // (the predicate language anchors filters to tags).
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (!steps[i].wildcard && !steps[i].HasFilters()) {
+          candidates.push_back(i);
+        }
+      }
+      if (candidates.empty()) return "";
+      Step& step = steps[candidates[rng->Uniform(candidates.size())]];
+      step.wildcard = true;
+      step.tag.clear();
+      return "wildcard-inject";
+    }
+    case 2: {  // tag-swap: another DTD name (often a non-matching edge).
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (!steps[i].wildcard) candidates.push_back(i);
+      }
+      if (candidates.empty()) return "";
+      steps[candidates[rng->Uniform(candidates.size())]].tag =
+          RandomTag(rng);
+      return "tag-swap";
+    }
+    case 3: {  // attr-boundary: nudge a numeric comparison by one, or
+               // swap the operator for its boundary sibling.
+      std::vector<AttributeFilter*> filters;
+      for (Step& step : steps) {
+        for (AttributeFilter& f : step.attribute_filters) {
+          if (f.has_comparison && f.value.is_number) filters.push_back(&f);
+        }
+      }
+      if (filters.empty()) return "";
+      AttributeFilter* f = filters[rng->Uniform(filters.size())];
+      switch (rng->Uniform(3)) {
+        case 0:
+          f->value.number += 1;
+          break;
+        case 1:
+          f->value.number -= 1;
+          break;
+        default:
+          switch (f->op) {
+            case CompareOp::kLt: f->op = CompareOp::kLe; break;
+            case CompareOp::kLe: f->op = CompareOp::kLt; break;
+            case CompareOp::kGt: f->op = CompareOp::kGe; break;
+            case CompareOp::kGe: f->op = CompareOp::kGt; break;
+            case CompareOp::kEq: f->op = CompareOp::kNe; break;
+            case CompareOp::kNe: f->op = CompareOp::kEq; break;
+          }
+      }
+      return "attr-boundary";
+    }
+    case 4: {  // nested-graft: a one-step [child] filter on a tag step.
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (!steps[i].wildcard) candidates.push_back(i);
+      }
+      if (candidates.empty()) return "";
+      size_t i = candidates[rng->Uniform(candidates.size())];
+      PathExpr nested;
+      nested.absolute = false;
+      Step child;
+      child.axis = Axis::kChild;
+      // Prefer a DTD child of the step's tag so the filter can match;
+      // fall back to an arbitrary vocabulary name.
+      const xml::ElementDecl* decl = dtd_->Find(steps[i].tag);
+      std::vector<std::string> names;
+      if (decl != nullptr) decl->content.CollectElementNames(&names);
+      child.tag = names.empty() ? RandomTag(rng) : rng->Pick(names);
+      nested.steps.push_back(std::move(child));
+      steps[i].nested_paths.push_back(std::move(nested));
+      return "nested-graft";
+    }
+    case 5: {  // nested-drop.
+      std::vector<Step*> candidates;
+      for (Step& step : steps) {
+        if (!step.nested_paths.empty()) candidates.push_back(&step);
+      }
+      if (candidates.empty()) return "";
+      Step* step = candidates[rng->Uniform(candidates.size())];
+      step->nested_paths.erase(step->nested_paths.begin() +
+                               rng->Uniform(step->nested_paths.size()));
+      return "nested-drop";
+    }
+    case 6: {  // step-dup: repeated tags stress occurrence numbering.
+      size_t i = rng->Uniform(steps.size());
+      Step copy = steps[i];
+      steps.insert(steps.begin() + i, std::move(copy));
+      return "step-dup";
+    }
+    default: {  // step-drop.
+      if (steps.size() < 2) return "";
+      steps.erase(steps.begin() + rng->Uniform(steps.size()));
+      return "step-drop";
+    }
+  }
+}
+
+std::string_view WorkloadMutator::MutateExpression(PathExpr* expr,
+                                                   Random* rng) const {
+  constexpr int kKinds = 8;
+  int first = static_cast<int>(rng->Uniform(kKinds));
+  for (int offset = 0; offset < kKinds; ++offset) {
+    std::string_view name =
+        TryExpressionMutation(expr, rng, (first + offset) % kKinds);
+    if (!name.empty()) return name;
+  }
+  return "";
+}
+
+std::string_view WorkloadMutator::TryDocumentMutation(xml::Document* doc,
+                                                      Random* rng,
+                                                      int which) const {
+  const size_t n = doc->size();
+  if (n == 0) return "";
+  switch (which) {
+    case 0: {  // tag-swap.
+      doc->element(static_cast<xml::NodeId>(rng->Uniform(n))).tag =
+          RandomTag(rng);
+      return "tag-swap";
+    }
+    case 1: {  // attr-perturb: +-1 on an integer attribute value, the
+               // operator-boundary counterpart on the document side.
+      std::vector<std::pair<xml::NodeId, size_t>> candidates;
+      for (xml::NodeId id = 0; id < n; ++id) {
+        const std::vector<xml::Attribute>& attrs =
+            doc->element(id).attributes;
+        for (size_t a = 0; a < attrs.size(); ++a) {
+          if (IsIntegerText(attrs[a].value)) candidates.push_back({id, a});
+        }
+      }
+      if (candidates.empty()) return "";
+      auto [id, a] = candidates[rng->Uniform(candidates.size())];
+      long value = std::strtol(
+          doc->element(id).attributes[a].value.c_str(), nullptr, 10);
+      value += rng->Bernoulli(0.5) ? 1 : -1;
+      doc->element(id).attributes[a].value = std::to_string(value);
+      return "attr-perturb";
+    }
+    case 2: {  // attr-drop.
+      std::vector<xml::NodeId> candidates;
+      for (xml::NodeId id = 0; id < n; ++id) {
+        if (!doc->element(id).attributes.empty()) candidates.push_back(id);
+      }
+      if (candidates.empty()) return "";
+      xml::Element& element =
+          doc->element(candidates[rng->Uniform(candidates.size())]);
+      element.attributes.erase(element.attributes.begin() +
+                               rng->Uniform(element.attributes.size()));
+      return "attr-drop";
+    }
+    case 3: {  // attr-add: a declared attribute when the DTD knows the
+               // tag, an off-DTD one otherwise.
+      xml::NodeId id = static_cast<xml::NodeId>(rng->Uniform(n));
+      xml::Element& element = doc->element(id);
+      xml::Attribute attr;
+      const xml::ElementDecl* decl = dtd_->Find(element.tag);
+      if (decl != nullptr && !decl->attributes.empty()) {
+        const xml::AttributeDecl& ad =
+            decl->attributes[rng->Uniform(decl->attributes.size())];
+        attr.name = ad.name;
+        attr.value = ad.enum_values.empty()
+                         ? std::to_string(rng->Uniform(25))
+                         : rng->Pick(ad.enum_values);
+      } else {
+        attr.name = "fuzz";
+        attr.value = std::to_string(rng->Uniform(25));
+      }
+      // Duplicate attribute names are not well-formed; replace instead.
+      for (xml::Attribute& existing : element.attributes) {
+        if (existing.name == attr.name) {
+          existing.value = attr.value;
+          return "attr-add";
+        }
+      }
+      element.attributes.push_back(std::move(attr));
+      return "attr-add";
+    }
+    case 4: {  // subtree-dup: duplicated occurrence numbers.
+      if (n < 2) return "";
+      xml::NodeId dup = static_cast<xml::NodeId>(1 + rng->Uniform(n - 1));
+      *doc = RebuildDocument(*doc, xml::kInvalidNode, dup);
+      return "subtree-dup";
+    }
+    default: {  // subtree-drop.
+      if (n < 2) return "";
+      xml::NodeId skip = static_cast<xml::NodeId>(1 + rng->Uniform(n - 1));
+      *doc = RebuildDocument(*doc, skip, xml::kInvalidNode);
+      return "subtree-drop";
+    }
+  }
+}
+
+std::string_view WorkloadMutator::MutateDocument(xml::Document* doc,
+                                                 Random* rng) const {
+  constexpr int kKinds = 6;
+  int first = static_cast<int>(rng->Uniform(kKinds));
+  for (int offset = 0; offset < kKinds; ++offset) {
+    std::string_view name =
+        TryDocumentMutation(doc, rng, (first + offset) % kKinds);
+    if (!name.empty()) return name;
+  }
+  return "";
+}
+
+}  // namespace xpred::difftest

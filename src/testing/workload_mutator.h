@@ -1,0 +1,64 @@
+#ifndef XPRED_TESTING_WORKLOAD_MUTATOR_H_
+#define XPRED_TESTING_WORKLOAD_MUTATOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+#include "xpath/ast.h"
+
+namespace xpred::difftest {
+
+/// \brief Grammar-aware mutations over fuzzing workloads.
+///
+/// The query and document generators only produce DTD-conformant,
+/// "typical" inputs; mutations push workloads toward the boundary
+/// cases where engines historically disagree — axis semantics at
+/// skipped levels, wildcard/anchor interactions, attribute comparisons
+/// at operator boundaries, occurrence-count collisions from duplicated
+/// subtrees — while staying inside the supported XPath subset (every
+/// mutated expression still parses; filters never land on wildcard
+/// steps, which the predicate language rejects) and inside well-formed
+/// XML (documents may drift off-DTD; the oracle does not care).
+class WorkloadMutator {
+ public:
+  WorkloadMutator(const xml::Dtd* dtd) : dtd_(dtd) {}
+
+  /// Applies one randomly chosen mutation in place. Returns the
+  /// mutation name ("axis-flip", "wildcard-inject", "tag-swap",
+  /// "attr-boundary", "nested-graft", "nested-drop", "step-dup",
+  /// "step-drop"), or "" when no mutation point applies to \p expr.
+  std::string_view MutateExpression(xpath::PathExpr* expr, Random* rng) const;
+
+  /// Applies one randomly chosen mutation in place ("tag-swap",
+  /// "attr-perturb", "attr-drop", "attr-add", "subtree-dup",
+  /// "subtree-drop"), or "" when none applies. The result is always a
+  /// well-formed single-rooted document.
+  std::string_view MutateDocument(xml::Document* doc, Random* rng) const;
+
+ private:
+  std::string_view TryExpressionMutation(xpath::PathExpr* expr, Random* rng,
+                                         int which) const;
+  std::string_view TryDocumentMutation(xml::Document* doc, Random* rng,
+                                       int which) const;
+
+  /// A random element name from the DTD vocabulary.
+  const std::string& RandomTag(Random* rng) const;
+
+  const xml::Dtd* dtd_;
+};
+
+/// Deep-copies \p doc, skipping the subtree rooted at \p skip
+/// (kInvalidNode = copy everything). Exposed for the minimizer.
+xml::Document CopyDocument(const xml::Document& doc,
+                           xml::NodeId skip = xml::kInvalidNode);
+
+/// Copies the subtree rooted at \p node into a new single-rooted
+/// document (the minimizer's root-promotion edit).
+xml::Document ExtractSubtree(const xml::Document& doc, xml::NodeId node);
+
+}  // namespace xpred::difftest
+
+#endif  // XPRED_TESTING_WORKLOAD_MUTATOR_H_

@@ -1,6 +1,7 @@
 // Property-based integration test: on randomly generated DTD-guided
-// workloads, every engine (all matcher modes x attribute modes,
-// YFilter, Index-Filter) must agree with the brute-force oracle on
+// workloads, every engine in the differential roster (all matcher
+// modes x attribute modes, YFilter, XFilter, Index-Filter, and the
+// streaming front end) must agree with the brute-force oracle on
 // every (expression, document) pair. This exercises the Appendix A
 // encoding-correctness theorem end to end.
 
@@ -11,13 +12,12 @@
 #include "gtest/gtest.h"
 
 #include "core/matcher.h"
-#include "indexfilter/index_filter.h"
 #include "test_util.h"
+#include "testing/engine_roster.h"
 #include "xml/generator.h"
 #include "xml/standard_dtds.h"
 #include "xpath/evaluator.h"
 #include "xpath/query_generator.h"
-#include "yfilter/yfilter.h"
 
 namespace xpred {
 namespace {
@@ -34,26 +34,6 @@ struct WorkloadParam {
   double nested;        // Nested-path probability.
   uint64_t seed;
 };
-
-std::vector<std::unique_ptr<core::FilterEngine>> AllEngines() {
-  std::vector<std::unique_ptr<core::FilterEngine>> engines;
-  for (core::Matcher::Mode mode :
-       {core::Matcher::Mode::kBasic, core::Matcher::Mode::kPrefixCovering,
-        core::Matcher::Mode::kPrefixCoveringAccessPredicate,
-        core::Matcher::Mode::kTrieDfs}) {
-    for (core::AttributeMode attr_mode :
-         {core::AttributeMode::kInline,
-          core::AttributeMode::kSelectionPostponed}) {
-      core::Matcher::Options options;
-      options.mode = mode;
-      options.attribute_mode = attr_mode;
-      engines.push_back(std::make_unique<core::Matcher>(options));
-    }
-  }
-  engines.push_back(std::make_unique<yfilter::YFilter>());
-  engines.push_back(std::make_unique<indexfilter::IndexFilter>());
-  return engines;
-}
 
 class AgreementTest : public ::testing::TestWithParam<WorkloadParam> {};
 
@@ -78,12 +58,18 @@ TEST_P(AgreementTest, EnginesAgreeWithOracle) {
   dopts.max_depth = 8;
   xml::DocumentGenerator dgen(&dtd, dopts);
 
-  std::vector<std::unique_ptr<core::FilterEngine>> engines = AllEngines();
+  std::vector<std::unique_ptr<core::FilterEngine>> engines;
+  std::vector<std::string> labels;
+  for (const difftest::RosterEntry& entry : difftest::FullRoster()) {
+    engines.push_back(entry.make());
+    labels.push_back(entry.label);
+  }
+  ASSERT_EQ(engines.size(), 12u);  // All five engine families.
   std::vector<std::vector<ExprId>> ids(engines.size());
   for (size_t e = 0; e < engines.size(); ++e) {
     for (const std::string& expr : exprs) {
       Result<ExprId> id = engines[e]->AddExpression(expr);
-      ASSERT_TRUE(id.ok()) << expr << ": " << id.status();
+      ASSERT_TRUE(id.ok()) << labels[e] << ": " << expr << ": " << id.status();
       ids[e].push_back(*id);
     }
   }
@@ -108,7 +94,7 @@ TEST_P(AgreementTest, EnginesAgreeWithOracle) {
         bool actual =
             std::binary_search(matched.begin(), matched.end(), ids[e][i]);
         ASSERT_EQ(actual, expected[i])
-            << "engine=" << engines[e]->name() << " expr=" << exprs[i]
+            << "engine=" << labels[e] << " expr=" << exprs[i]
             << " doc seed=" << param.seed * 1000 + d << " ("
             << doc.tag_count() << " tags)";
       }

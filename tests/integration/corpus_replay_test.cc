@@ -1,0 +1,75 @@
+// Replays the git-tracked regression corpus: every .xpredcase under
+// tests/testdata/corpus must (a) carry oracle-correct expected
+// verdicts and (b) be matched identically by every engine in the full
+// roster. Any engine regression reintroducing a previously minimized
+// bug fails here with the self-contained repro named in the message.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "testing/corpus_store.h"
+#include "testing/differential_harness.h"
+#include "testing/engine_roster.h"
+#include "xml/document.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+#ifndef XPRED_CORPUS_DIR
+#error "XPRED_CORPUS_DIR must point at tests/testdata/corpus"
+#endif
+
+namespace xpred::difftest {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  Result<std::vector<std::string>> files =
+      CorpusStore(XPRED_CORPUS_DIR).ListCases();
+  EXPECT_TRUE(files.ok()) << files.status();
+  return files.ok() ? *files : std::vector<std::string>{};
+}
+
+TEST(CorpusReplayTest, CorpusIsSeeded) {
+  // The corpus ships with minimized cases; an empty directory means
+  // the checkout is broken (or someone deleted the repros).
+  EXPECT_GE(CorpusFiles().size(), 3u);
+}
+
+TEST(CorpusReplayTest, StoredExpectationsMatchTheOracle) {
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    Result<Case> c = CorpusStore::Load(file);
+    ASSERT_TRUE(c.ok()) << c.status();
+    ASSERT_EQ(c->expected.size(), c->expressions.size());
+
+    Result<xml::Document> doc = xml::Document::Parse(c->document_xml);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    for (size_t i = 0; i < c->expressions.size(); ++i) {
+      Result<xpath::PathExpr> expr = xpath::ParseXPath(c->expressions[i]);
+      ASSERT_TRUE(expr.ok()) << c->expressions[i] << ": " << expr.status();
+      EXPECT_EQ(xpath::Evaluator::Matches(*expr, *doc) ? 1 : 0,
+                c->expected[i])
+          << "stale expected verdict for " << c->expressions[i];
+    }
+  }
+}
+
+TEST(CorpusReplayTest, EveryEngineMatchesTheExpectedVerdicts) {
+  std::vector<RosterEntry> roster = FullRoster();
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    Result<Case> c = CorpusStore::Load(file);
+    ASSERT_TRUE(c.ok()) << c.status();
+    for (const RosterEntry& entry : roster) {
+      EngineOutcome outcome = DifferentialHarness::ReplayCase(entry, *c);
+      EXPECT_TRUE(outcome.error.empty())
+          << entry.label << " errored: " << outcome.error;
+      EXPECT_EQ(outcome.verdicts, c->expected)
+          << entry.label << " regressed on " << c->description;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpred::difftest

@@ -1,6 +1,7 @@
 // Failure-injection tests: malformed XML and XPath inputs must produce
 // Status errors, never crashes or state corruption.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,8 +9,11 @@
 
 #include "common/random.h"
 #include "core/matcher.h"
+#include "core/streaming.h"
 #include "indexfilter/index_filter.h"
 #include "test_util.h"
+#include "testing/engine_roster.h"
+#include "xfilter/xfilter.h"
 #include "xml/document.h"
 #include "xpath/parser.h"
 #include "yfilter/yfilter.h"
@@ -91,8 +95,11 @@ TEST(FuzzTest, MalformedXPathReturnsStatus) {
 TEST(FuzzTest, EnginesRejectMalformedExpressionsWithoutCorruption) {
   core::Matcher matcher;
   yfilter::YFilter yf;
+  xfilter::XFilter xf;
   indexfilter::IndexFilter ixf;
-  std::vector<core::FilterEngine*> engines = {&matcher, &yf, &ixf};
+  difftest::StreamingEngine streaming;
+  std::vector<core::FilterEngine*> engines = {&matcher, &yf, &xf, &ixf,
+                                              &streaming};
   for (core::FilterEngine* engine : engines) {
     for (const char* text : kBadXPath) {
       EXPECT_FALSE(engine->AddExpression(text).ok())
@@ -106,6 +113,46 @@ TEST(FuzzTest, EnginesRejectMalformedExpressionsWithoutCorruption) {
     ASSERT_TRUE(engine->FilterDocument(doc, &matched).ok());
     EXPECT_EQ(matched, (std::vector<core::ExprId>{*id}));
   }
+}
+
+TEST(FuzzTest, EveryEngineRejectsMalformedXmlWithoutCorruption) {
+  // Each kBadXml input goes through every engine family's FilterXml
+  // path — including the streaming SAX front end and XFilter — and
+  // must come back as a Status error, never a crash; afterwards the
+  // engine still filters well-formed documents correctly.
+  for (const difftest::RosterEntry& entry : difftest::FullRoster()) {
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    Result<core::ExprId> id = engine->AddExpression("/a/b");
+    ASSERT_TRUE(id.ok()) << entry.label;
+    for (const char* text : kBadXml) {
+      std::vector<core::ExprId> matched;
+      Status status = engine->FilterXml(text, &matched);
+      EXPECT_FALSE(status.ok())
+          << entry.label << " accepted malformed XML: " << text;
+      EXPECT_FALSE(status.message().empty()) << entry.label;
+    }
+    std::vector<core::ExprId> matched;
+    ASSERT_TRUE(engine->FilterXml("<a><b/></a>", &matched).ok())
+        << entry.label << " corrupted by malformed input";
+    EXPECT_EQ(matched, (std::vector<core::ExprId>{*id})) << entry.label;
+  }
+}
+
+TEST(FuzzTest, StreamingFilterRejectsMalformedXmlMidStream) {
+  // The one-pass SAX path never builds a tree, so it sees malformed
+  // input mid-stream rather than at a parse boundary; it must still
+  // surface Status errors and recover for the next document.
+  core::Matcher matcher;
+  ASSERT_TRUE(matcher.AddExpression("/a/b").ok());
+  core::StreamingFilter filter(&matcher);
+  for (const char* text : kBadXml) {
+    std::vector<core::ExprId> matched;
+    EXPECT_FALSE(filter.FilterXml(text, &matched).ok())
+        << "streaming accepted: " << text;
+  }
+  std::vector<core::ExprId> matched;
+  ASSERT_TRUE(filter.FilterXml("<a><b/></a>", &matched).ok());
+  EXPECT_EQ(matched.size(), 1u);
 }
 
 TEST(FuzzTest, RandomBytesNeverCrashTheXmlParser) {

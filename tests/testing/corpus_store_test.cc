@@ -1,0 +1,124 @@
+// Round-trip and validation tests for the .xpredcase format and the
+// corpus directory store.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "testing/corpus_store.h"
+
+namespace xpred::difftest {
+namespace {
+
+Case MakeCase() {
+  Case c;
+  c.seed = 42;
+  c.dtd = "nitf";
+  c.description = "yfilter disagreed on expr 1";
+  c.document_xml = "<nitf>\n  <head/>\n</nitf>\n";
+  c.expressions = {"/nitf/head", "/nitf//body"};
+  c.expected = {1, 0};
+  EngineOutcome outcome;
+  outcome.engine = "yfilter";
+  outcome.verdicts = {1, 1};
+  c.outcomes.push_back(outcome);
+  EngineOutcome errored;
+  errored.engine = "xfilter";
+  errored.error = "internal: boom";
+  c.outcomes.push_back(errored);
+  return c;
+}
+
+TEST(CorpusStoreTest, SerializeDeserializeRoundTrip) {
+  Case original = MakeCase();
+  std::string text = SerializeCase(original);
+  Result<Case> parsed = DeserializeCase(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->seed, original.seed);
+  EXPECT_EQ(parsed->dtd, original.dtd);
+  EXPECT_EQ(parsed->description, original.description);
+  EXPECT_EQ(parsed->document_xml, original.document_xml);
+  EXPECT_EQ(parsed->expressions, original.expressions);
+  EXPECT_EQ(parsed->expected, original.expected);
+  ASSERT_EQ(parsed->outcomes.size(), 2u);
+  EXPECT_EQ(parsed->outcomes[0].engine, "yfilter");
+  EXPECT_EQ(parsed->outcomes[0].verdicts, (std::vector<int>{1, 1}));
+  EXPECT_TRUE(parsed->outcomes[0].error.empty());
+  EXPECT_EQ(parsed->outcomes[1].engine, "xfilter");
+  EXPECT_EQ(parsed->outcomes[1].error, "internal: boom");
+  EXPECT_TRUE(parsed->outcomes[1].verdicts.empty());
+
+  // Serialization is canonical: a second round trip is byte-identical.
+  EXPECT_EQ(SerializeCase(*parsed), text);
+}
+
+TEST(CorpusStoreTest, RejectsMalformedText) {
+  const std::string good = SerializeCase(MakeCase());
+
+  EXPECT_FALSE(DeserializeCase("").ok());
+  EXPECT_FALSE(DeserializeCase("xpredcase 2\n== end\n").ok());
+  EXPECT_FALSE(DeserializeCase("not a case at all").ok());
+
+  // Truncation (missing the '== end' sentinel) is rejected.
+  std::string truncated = good.substr(0, good.size() - 7);
+  ASSERT_EQ(good.compare(good.size() - 7, 7, "== end\n"), 0);
+  EXPECT_FALSE(DeserializeCase(truncated).ok());
+
+  // A verdict count that disagrees with the expression count is
+  // rejected.
+  Case bad = MakeCase();
+  bad.expected = {1};
+  EXPECT_FALSE(DeserializeCase(SerializeCase(bad)).ok());
+
+  // Unknown verdict characters are rejected.
+  std::string corrupt = good;
+  size_t pos = corrupt.find("== expected\n");
+  ASSERT_NE(pos, std::string::npos);
+  corrupt.replace(pos + 12, 1, "7");
+  EXPECT_FALSE(DeserializeCase(corrupt).ok());
+}
+
+TEST(CorpusStoreTest, SaveLoadListAndDedup) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "xpred_corpus_store_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  CorpusStore store(dir);
+
+  // An absent directory is an empty corpus.
+  Result<std::vector<std::string>> empty = store.ListCases();
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->empty());
+
+  Case a = MakeCase();
+  std::string path_a;
+  ASSERT_TRUE(store.Save(a, &path_a).ok());
+  EXPECT_TRUE(std::filesystem::exists(path_a));
+
+  // Saving the identical case again is idempotent (content-hash name).
+  std::string path_a2;
+  ASSERT_TRUE(store.Save(a, &path_a2).ok());
+  EXPECT_EQ(path_a, path_a2);
+
+  Case b = MakeCase();
+  b.expressions = {"/nitf/head", "/nitf//docdata"};
+  std::string path_b;
+  ASSERT_TRUE(store.Save(b, &path_b).ok());
+  EXPECT_NE(path_a, path_b);
+
+  Result<std::vector<std::string>> listed = store.ListCases();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), 2u);
+
+  Result<Case> loaded = CorpusStore::Load(path_b);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->expressions, b.expressions);
+
+  EXPECT_FALSE(CorpusStore::Load(dir + "/no-such-file.xpredcase").ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace xpred::difftest

@@ -1,0 +1,183 @@
+// Tests of the differential fuzzing harness: determinism of the
+// summary, zero divergence on the real engine roster, and — the
+// harness's reason to exist — detection plus minimization of an
+// injected engine bug down to a tiny repro.
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "testing/differential_harness.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xpred::difftest {
+namespace {
+
+using Harness = DifferentialHarness;
+
+Harness::Options SmallOptions() {
+  Harness::Options options;
+  options.runs = 30;
+  options.seed = 7;
+  options.exprs_per_run = 8;
+  options.docs_per_run = 2;
+  return options;
+}
+
+TEST(DifferentialHarnessTest, RealEnginesAgreeWithOracle) {
+  Result<Harness::Summary> summary = Harness(SmallOptions()).Run();
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->mismatches, 0u) << summary->ToJson();
+  EXPECT_EQ(summary->runs_executed, 30u);
+  EXPECT_GT(summary->verdicts, 0u);
+  EXPECT_GT(summary->expr_mutations, 0u);
+  EXPECT_GT(summary->doc_mutations, 0u);
+  EXPECT_GT(summary->removal_interleavings, 0u);
+  EXPECT_EQ(summary->engines.size(), 12u);
+}
+
+TEST(DifferentialHarnessTest, SummaryJsonIsDeterministic) {
+  Result<Harness::Summary> a = Harness(SmallOptions()).Run();
+  Result<Harness::Summary> b = Harness(SmallOptions()).Run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToJson(), b->ToJson());
+
+  Harness::Options other = SmallOptions();
+  other.seed = 8;
+  Result<Harness::Summary> c = Harness(other).Run();
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->ToJson(), c->ToJson());
+}
+
+TEST(DifferentialHarnessTest, RejectsUnknownEngineAndDtd) {
+  Harness::Options options = SmallOptions();
+  options.engines = {"no-such-engine"};
+  EXPECT_FALSE(Harness(options).Run().ok());
+
+  options = SmallOptions();
+  options.dtd = "docbook";
+  EXPECT_FALSE(Harness(options).Run().ok());
+}
+
+TEST(DifferentialHarnessTest, EngineFilterRestrictsRoster) {
+  Harness::Options options = SmallOptions();
+  options.runs = 5;
+  options.engines = {"yfilter", "matcher-pc-ap"};
+  Result<Harness::Summary> summary = Harness(options).Run();
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->engines,
+            (std::vector<std::string>{"matcher-pc-ap-inline",
+                                      "matcher-pc-ap-sp", "yfilter"}));
+}
+
+/// An engine with an injected bug: it silently drops every match for
+/// expressions that contain a descendant ('//') step — the kind of
+/// axis-semantics slip the harness exists to catch.
+class BrokenEngine : public core::FilterEngine {
+ public:
+  Result<core::ExprId> AddExpression(std::string_view xpath) override {
+    Result<core::ExprId> id = matcher_.AddExpression(xpath);
+    if (id.ok()) {
+      Result<xpath::PathExpr> expr = xpath::ParseXPath(xpath);
+      bool has_descendant = false;
+      if (expr.ok()) {
+        for (const xpath::Step& step : expr->steps) {
+          if (step.axis == xpath::Axis::kDescendant) has_descendant = true;
+        }
+      }
+      if (has_descendant) broken_.push_back(*id);
+    }
+    return id;
+  }
+
+  Status FilterDocument(const xml::Document& document,
+                        std::vector<core::ExprId>* matched) override {
+    std::vector<core::ExprId> all;
+    XPRED_RETURN_NOT_OK(matcher_.FilterDocument(document, &all));
+    for (core::ExprId id : all) {
+      if (std::find(broken_.begin(), broken_.end(), id) == broken_.end()) {
+        matched->push_back(id);
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t subscription_count() const override {
+    return matcher_.subscription_count();
+  }
+  std::string_view name() const override { return "broken"; }
+
+ private:
+  core::Matcher matcher_;
+  std::vector<core::ExprId> broken_;
+};
+
+TEST(DifferentialHarnessTest, InjectedBugIsCaughtAndMinimized) {
+  std::string corpus_dir =
+      (std::filesystem::temp_directory_path() / "xpred_harness_test_corpus")
+          .string();
+  std::filesystem::remove_all(corpus_dir);
+
+  Harness::Options options;
+  options.runs = 40;
+  options.seed = 3;
+  options.exprs_per_run = 8;
+  options.docs_per_run = 2;
+  options.max_cases = 4;
+  options.corpus_dir = corpus_dir;
+  std::vector<RosterEntry> roster;
+  roster.push_back(
+      RosterEntry{"broken", [] { return std::make_unique<BrokenEngine>(); }});
+  Result<Harness::Summary> summary = Harness(options, roster).Run();
+  ASSERT_TRUE(summary.ok()) << summary.status();
+
+  ASSERT_GT(summary->mismatches, 0u)
+      << "the injected '//' bug was not detected";
+  ASSERT_FALSE(summary->cases.empty());
+
+  // The acceptance bar: delta debugging shrinks a generated workload
+  // failure to a repro of at most 10 document nodes and 1 expression.
+  for (const Harness::CaseRecord& record : summary->cases) {
+    EXPECT_TRUE(record.minimized);
+    EXPECT_TRUE(record.converged);
+    EXPECT_LE(record.document_nodes, 10u) << record.repro.document_xml;
+    EXPECT_EQ(record.repro.expressions.size(), 1u);
+    // The minimized expression still exhibits the bug trigger.
+    ASSERT_FALSE(record.repro.expressions.empty());
+    EXPECT_NE(record.repro.expressions[0].find("//"), std::string::npos);
+    // Repro files landed in the corpus directory and replay cleanly.
+    ASSERT_FALSE(record.file.empty());
+    Result<Case> loaded = CorpusStore::Load(record.file);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EngineOutcome outcome = Harness::ReplayCase(
+        RosterEntry{"broken", [] { return std::make_unique<BrokenEngine>(); }},
+        *loaded);
+    EXPECT_TRUE(outcome.error.empty()) << outcome.error;
+    EXPECT_NE(outcome.verdicts, loaded->expected)
+        << "replayed repro no longer diverges";
+  }
+  std::filesystem::remove_all(corpus_dir);
+}
+
+TEST(DifferentialHarnessTest, ReplayCaseMatchesExpectedOnHealthyEngine) {
+  Case c;
+  c.document_xml = "<a>\n  <b/>\n</a>\n";
+  c.expressions = {"/a/b", "/a/c"};
+  c.expected = {1, 0};
+  for (const RosterEntry& entry : FullRoster()) {
+    EngineOutcome outcome = Harness::ReplayCase(entry, c);
+    EXPECT_TRUE(outcome.error.empty())
+        << entry.label << ": " << outcome.error;
+    EXPECT_EQ(outcome.verdicts, c.expected) << entry.label;
+  }
+}
+
+}  // namespace
+}  // namespace xpred::difftest

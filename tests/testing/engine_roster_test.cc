@@ -1,0 +1,133 @@
+// Tests for the differential-test engine roster: completeness, label
+// filtering, the StreamingFilter adapter, and removal-capability
+// detection.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "testing/engine_roster.h"
+#include "xml/document.h"
+
+namespace xpred::difftest {
+namespace {
+
+TEST(EngineRosterTest, FullRosterCoversEveryEngineFamily) {
+  std::vector<std::string> labels;
+  for (const RosterEntry& entry : FullRoster()) labels.push_back(entry.label);
+
+  // Four Matcher modes x two attribute modes, plus the four other
+  // engine families = 12 configurations.
+  EXPECT_EQ(labels.size(), 12u);
+  const char* const expected[] = {
+      "matcher-basic-inline", "matcher-basic-sp",
+      "matcher-pc-inline",    "matcher-pc-sp",
+      "matcher-pc-ap-inline", "matcher-pc-ap-sp",
+      "matcher-trie-dfs-inline", "matcher-trie-dfs-sp",
+      "yfilter", "xfilter", "index-filter", "streaming",
+  };
+  for (const char* label : expected) {
+    EXPECT_NE(std::find(labels.begin(), labels.end(), label), labels.end())
+        << "missing roster entry: " << label;
+  }
+  // Labels are unique (they name JSON keys and .xpredcase sections).
+  std::vector<std::string> sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(EngineRosterTest, EveryFactoryBuildsAWorkingEngine) {
+  for (const RosterEntry& entry : FullRoster()) {
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    ASSERT_NE(engine, nullptr) << entry.label;
+    Result<core::ExprId> id = engine->AddExpression("/a/b");
+    ASSERT_TRUE(id.ok()) << entry.label << ": " << id.status();
+    EXPECT_EQ(engine->subscription_count(), 1u) << entry.label;
+
+    Result<xml::Document> doc = xml::Document::Parse("<a><b/></a>");
+    ASSERT_TRUE(doc.ok());
+    std::vector<core::ExprId> matched;
+    Status status = engine->FilterDocument(*doc, &matched);
+    ASSERT_TRUE(status.ok()) << entry.label << ": " << status;
+    EXPECT_EQ(matched, std::vector<core::ExprId>{*id}) << entry.label;
+  }
+}
+
+TEST(EngineRosterTest, FilteredRosterMatchesPrefixes) {
+  std::vector<std::string> unmatched;
+  std::vector<RosterEntry> matchers = FilteredRoster({"matcher"}, &unmatched);
+  EXPECT_EQ(matchers.size(), 8u);
+  EXPECT_TRUE(unmatched.empty());
+
+  std::vector<RosterEntry> one =
+      FilteredRoster({"matcher-pc-ap-inline"}, &unmatched);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].label, "matcher-pc-ap-inline");
+  EXPECT_TRUE(unmatched.empty());
+
+  std::vector<RosterEntry> none = FilteredRoster({"saxon"}, &unmatched);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(unmatched, std::vector<std::string>{"saxon"});
+
+  // Empty filter list = full roster.
+  EXPECT_EQ(FilteredRoster({}).size(), FullRoster().size());
+}
+
+TEST(EngineRosterTest, StreamingEngineAgreesWithDirectMatcher) {
+  const char* kXml =
+      "<site><people><person id=\"3\"><name>n</name></person></people>"
+      "<regions><asia><item id=\"3\"/></asia></regions></site>";
+  const char* kExprs[] = {
+      "/site/people/person",  "/site//item",
+      "//person[@id = 3]",    "/site/regions/*/item",
+      "/site/people/person[name]", "/site/closed_auctions",
+  };
+  Result<xml::Document> doc = xml::Document::Parse(kXml);
+  ASSERT_TRUE(doc.ok());
+
+  core::Matcher matcher;
+  StreamingEngine streaming;
+  for (const char* expr : kExprs) {
+    ASSERT_TRUE(matcher.AddExpression(expr).ok()) << expr;
+    ASSERT_TRUE(streaming.AddExpression(expr).ok()) << expr;
+  }
+  std::vector<core::ExprId> direct, streamed;
+  ASSERT_TRUE(matcher.FilterDocument(*doc, &direct).ok());
+  ASSERT_TRUE(streaming.FilterDocument(*doc, &streamed).ok());
+  std::sort(direct.begin(), direct.end());
+  std::sort(streamed.begin(), streamed.end());
+  EXPECT_EQ(direct, streamed);
+  EXPECT_FALSE(direct.empty());
+}
+
+TEST(EngineRosterTest, RemovableMatcherDetection) {
+  size_t removable = 0;
+  for (const RosterEntry& entry : FullRoster()) {
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    core::Matcher* matcher = RemovableMatcherOf(engine.get());
+    bool expect_removable = entry.label.rfind("matcher", 0) == 0 ||
+                            entry.label == "streaming";
+    EXPECT_EQ(matcher != nullptr, expect_removable) << entry.label;
+    if (matcher == nullptr) continue;
+    ++removable;
+
+    // Removal through the exposed matcher is visible in the engine's
+    // verdicts (ids stay dense, so subscription_count() is unchanged).
+    Result<core::ExprId> id = engine->AddExpression("/a/b");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(matcher->RemoveSubscription(*id).ok());
+    Result<xml::Document> doc = xml::Document::Parse("<a><b/></a>");
+    ASSERT_TRUE(doc.ok());
+    std::vector<core::ExprId> matched;
+    ASSERT_TRUE(engine->FilterDocument(*doc, &matched).ok());
+    EXPECT_TRUE(matched.empty())
+        << entry.label << " still matches a removed subscription";
+  }
+  EXPECT_EQ(removable, 9u);  // 8 matcher configs + streaming.
+}
+
+}  // namespace
+}  // namespace xpred::difftest

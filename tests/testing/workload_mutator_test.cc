@@ -1,0 +1,163 @@
+// Tests for the grammar-aware workload mutator: every mutated
+// expression must stay inside the supported XPath subset, every
+// mutated document must stay well-formed, and mutation choices must be
+// deterministic in the RNG seed.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+#include "testing/workload_mutator.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/parser.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::difftest {
+namespace {
+
+xpath::QueryGenerator::Options RichQueryOptions() {
+  xpath::QueryGenerator::Options options;
+  options.max_length = 5;
+  options.wildcard_prob = 0.25;
+  options.descendant_prob = 0.3;
+  options.filters_per_expr = 2;
+  options.nested_path_prob = 0.4;
+  options.distinct = false;
+  return options;
+}
+
+bool NoFilterOnWildcardStep(const xpath::PathExpr& expr) {
+  for (const xpath::Step& step : expr.steps) {
+    if (step.wildcard && step.HasFilters()) return false;
+    for (const xpath::PathExpr& nested : step.nested_paths) {
+      if (!NoFilterOnWildcardStep(nested)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(WorkloadMutatorTest, MutatedExpressionsStayInTheSupportedSubset) {
+  xml::Dtd dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator generator(&dtd, RichQueryOptions());
+  WorkloadMutator mutator(&dtd);
+
+  Random rng(11);
+  std::set<std::string> kinds;
+  size_t mutated = 0;
+  for (int i = 0; i < 400; ++i) {
+    xpath::PathExpr expr = generator.Generate(&rng);
+    std::string before = expr.ToString();
+    std::string_view kind = mutator.MutateExpression(&expr, &rng);
+    if (kind.empty()) continue;
+    ++mutated;
+    kinds.insert(std::string(kind));
+
+    std::string after = expr.ToString();
+    Result<xpath::PathExpr> reparsed = xpath::ParseXPath(after);
+    ASSERT_TRUE(reparsed.ok())
+        << "mutation '" << kind << "' broke '" << before << "' -> '" << after
+        << "': " << reparsed.status();
+    EXPECT_EQ(reparsed->ToString(), after) << "non-canonical: " << after;
+    EXPECT_TRUE(NoFilterOnWildcardStep(expr))
+        << "mutation '" << kind << "' put a filter on a wildcard step: "
+        << after;
+  }
+  // Mutations apply to the overwhelming majority of generated
+  // expressions, and the full move set gets exercised.
+  EXPECT_GT(mutated, 350u);
+  for (const char* kind :
+       {"axis-flip", "wildcard-inject", "tag-swap", "attr-boundary",
+        "nested-graft", "nested-drop", "step-dup", "step-drop"}) {
+    EXPECT_TRUE(kinds.count(kind)) << "mutation kind never chosen: " << kind;
+  }
+}
+
+TEST(WorkloadMutatorTest, MutatedDocumentsStayWellFormed) {
+  xml::Dtd dtd = xml::PsdLikeDtd();
+  xml::DocumentGenerator::Options doc_options;
+  doc_options.max_depth = 6;
+  xml::DocumentGenerator doc_generator(&dtd, doc_options);
+  WorkloadMutator mutator(&dtd);
+
+  Random rng(12);
+  std::set<std::string> kinds;
+  size_t mutated = 0;
+  for (uint64_t i = 0; i < 200; ++i) {
+    xml::Document doc = doc_generator.Generate(/*seed=*/i + 1);
+    std::string_view kind = mutator.MutateDocument(&doc, &rng);
+    if (kind.empty()) continue;
+    ++mutated;
+    kinds.insert(std::string(kind));
+
+    ASSERT_GE(doc.size(), 1u);
+    EXPECT_EQ(doc.element(doc.root()).parent, xml::kInvalidNode);
+    Result<xml::Document> reparsed = xml::Document::Parse(doc.ToXml());
+    ASSERT_TRUE(reparsed.ok())
+        << "mutation '" << kind << "' broke well-formedness: "
+        << reparsed.status();
+    EXPECT_EQ(reparsed->size(), doc.size());
+    EXPECT_EQ(reparsed->ToXml(), doc.ToXml());
+  }
+  EXPECT_GT(mutated, 150u);
+  for (const char* kind : {"tag-swap", "attr-perturb", "attr-drop",
+                           "attr-add", "subtree-dup", "subtree-drop"}) {
+    EXPECT_TRUE(kinds.count(kind)) << "mutation kind never chosen: " << kind;
+  }
+}
+
+TEST(WorkloadMutatorTest, MutationsAreDeterministicInTheSeed) {
+  xml::Dtd dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator generator(&dtd, RichQueryOptions());
+  WorkloadMutator mutator(&dtd);
+
+  auto run = [&] {
+    Random rng(99);
+    std::vector<std::string> out;
+    for (int i = 0; i < 50; ++i) {
+      xpath::PathExpr expr = generator.Generate(&rng);
+      mutator.MutateExpression(&expr, &rng);
+      out.push_back(expr.ToString());
+    }
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WorkloadMutatorTest, CopyDocumentSkipsSubtrees) {
+  Result<xml::Document> doc =
+      xml::Document::Parse("<a><b><c/><d/></b><e x=\"1\">t</e></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->size(), 5u);
+
+  xml::Document full = CopyDocument(*doc);
+  EXPECT_EQ(full.ToXml(), doc->ToXml());
+
+  // Skipping node 1 (<b>) drops its whole subtree.
+  xml::Document skipped = CopyDocument(*doc, 1);
+  EXPECT_EQ(skipped.size(), 2u);
+  EXPECT_EQ(skipped.element(0).tag, "a");
+  EXPECT_EQ(skipped.element(1).tag, "e");
+  EXPECT_EQ(*skipped.element(1).FindAttribute("x"), "1");
+  EXPECT_EQ(skipped.element(1).text, "t");
+}
+
+TEST(WorkloadMutatorTest, ExtractSubtreePromotesToRoot) {
+  Result<xml::Document> doc =
+      xml::Document::Parse("<a><b><c year=\"7\"/><d/></b><e/></a>");
+  ASSERT_TRUE(doc.ok());
+
+  xml::Document sub = ExtractSubtree(*doc, 1);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.element(sub.root()).tag, "b");
+  EXPECT_EQ(sub.element(sub.root()).depth, 1u);
+  EXPECT_EQ(sub.element(1).tag, "c");
+  EXPECT_EQ(*sub.element(1).FindAttribute("year"), "7");
+  EXPECT_EQ(sub.element(2).tag, "d");
+}
+
+}  // namespace
+}  // namespace xpred::difftest

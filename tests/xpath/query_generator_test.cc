@@ -108,6 +108,59 @@ TEST(QueryGeneratorTest, DescendantProbabilityShapesWorkload) {
   EXPECT_NEAR(descendant_fraction(0.3), 0.3, 0.08);
 }
 
+TEST(QueryGeneratorTest, NestedPathProbabilityShapesWorkload) {
+  auto nested_fraction = [](double p) {
+    QueryGenerator::Options options;
+    options.nested_path_prob = p;
+    // Nested paths only attach to tag steps; disable wildcards so
+    // every expression is eligible and the fraction is unbiased.
+    options.wildcard_prob = 0.0;
+    options.distinct = false;
+    QueryGenerator gen(&NitfLikeDtd(), options);
+    size_t nested = 0;
+    size_t total = 0;
+    for (const PathExpr& e : gen.GenerateWorkload(400, 43)) {
+      ++total;
+      if (e.HasNestedPaths()) ++nested;
+    }
+    return static_cast<double>(nested) / static_cast<double>(total);
+  };
+  EXPECT_EQ(nested_fraction(0.0), 0.0);
+  EXPECT_NEAR(nested_fraction(0.3), 0.3, 0.08);
+  EXPECT_NEAR(nested_fraction(0.7), 0.7, 0.08);
+}
+
+TEST(QueryGeneratorTest, FiltersPerExprCountHonored) {
+  auto mean_filters = [](uint32_t n) {
+    QueryGenerator::Options options;
+    options.filters_per_expr = n;
+    options.wildcard_prob = 0.0;  // Wildcard steps cannot carry filters.
+    options.distinct = false;
+    QueryGenerator gen(&NitfLikeDtd(), options);
+    size_t filters = 0;
+    size_t exprs = 0;
+    for (const PathExpr& e : gen.GenerateWorkload(400, 47)) {
+      ++exprs;
+      size_t count = 0;
+      for (const Step& s : e.steps) count += s.attribute_filters.size();
+      // The documented contract: never more than requested; fewer only
+      // when too few steps declare attributes.
+      EXPECT_LE(count, n) << e.ToString();
+      filters += count;
+    }
+    return static_cast<double>(filters) / static_cast<double>(exprs);
+  };
+  EXPECT_EQ(mean_filters(0), 0.0);
+  // NITF-like elements mostly declare attributes, so the mean should
+  // sit near the requested count (short walks through attribute-less
+  // regions account for the slack).
+  EXPECT_GT(mean_filters(1), 0.6);
+  EXPECT_LE(mean_filters(1), 1.0);
+  EXPECT_GT(mean_filters(2), 1.2);
+  EXPECT_LE(mean_filters(2), 2.0);
+  EXPECT_GT(mean_filters(2), mean_filters(1));
+}
+
 TEST(QueryGeneratorTest, AbsoluteFlagHonored) {
   QueryGenerator::Options options;
   options.absolute = true;

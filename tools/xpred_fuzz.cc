@@ -1,0 +1,186 @@
+// Differential fuzzing CLI: cross-checks every filtering engine
+// against the brute-force XPath oracle on generated-and-mutated
+// workloads, delta-debugs any divergence to a minimal repro, and
+// emits a deterministic JSON summary (same seed => byte-identical
+// output; CI and humans consume the same artifact).
+//
+//   xpred_fuzz [--runs N] [--seed S] [--time-budget SECONDS]
+//       [--engine NAME[,NAME...]] [--dtd nitf|psd|both]
+//       [--exprs-per-run N] [--docs-per-run N] [--max-depth D]
+//       [--corpus-dir PATH] [--max-cases N] [--json PATH|-]
+//       [--no-minimize] [--no-mutate] [--no-removal] [--quiet]
+//
+// Flags accept both `--key value` and `--key=value`. --engine matches
+// roster-label prefixes ("matcher" selects all eight matcher
+// configurations; "matcher-pc-ap-inline" exactly one). The JSON
+// summary goes to stdout by default; a human-readable digest goes to
+// stderr unless --quiet.
+//
+// Exit code: 0 = all engines agree with the oracle, 1 = divergence
+// found (see the JSON `cases` array), 2 = usage/configuration error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "testing/differential_harness.h"
+
+namespace {
+
+using namespace xpred;  // NOLINT: tool brevity.
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xpred_fuzz [--runs N] [--seed S] [--time-budget SECONDS]\n"
+      "    [--engine NAME[,NAME...]] [--dtd nitf|psd|both]\n"
+      "    [--exprs-per-run N] [--docs-per-run N] [--max-depth D]\n"
+      "    [--corpus-dir PATH] [--max-cases N] [--json PATH|-]\n"
+      "    [--no-minimize] [--no-mutate] [--no-removal] [--quiet]\n");
+  return 2;
+}
+
+/// --key=value / --key value / bare --switch flag parser.
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  static bool IsSwitch(const std::string& key) {
+    return key == "no-minimize" || key == "no-mutate" ||
+           key == "no-removal" || key == "quiet" || key == "help";
+  }
+
+  static bool Parse(int argc, char** argv, Flags* out) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+        return false;
+      }
+      std::string key = arg.substr(2);
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        out->values[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (IsSwitch(key)) {
+        out->values[key] = "true";
+      } else if (i + 1 < argc) {
+        out->values[key] = argv[++i];
+      } else {
+        std::fprintf(stderr, "option '--%s' needs a value\n", key.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+  }
+  long GetInt(const std::string& key, long dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = values.find(key);
+    return it == values.end() ? dflt : std::atof(it->second.c_str());
+  }
+};
+
+const char* const kKnownFlags[] = {
+    "runs",       "seed",         "time-budget", "engine",
+    "dtd",        "exprs-per-run", "docs-per-run", "max-depth",
+    "corpus-dir", "max-cases",    "json",        "no-minimize",
+    "no-mutate",  "no-removal",   "quiet",       "help",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!Flags::Parse(argc, argv, &flags)) return Usage();
+  if (flags.Has("help")) return Usage();
+  for (const auto& [key, value] : flags.values) {
+    bool known = false;
+    for (const char* k : kKnownFlags) {
+      if (key == k) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown option '--%s'\n", key.c_str());
+      return Usage();
+    }
+  }
+
+  difftest::DifferentialHarness::Options options;
+  options.runs = static_cast<uint64_t>(flags.GetInt("runs", 100));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  options.time_budget_seconds = flags.GetDouble("time-budget", 0);
+  options.dtd = flags.Get("dtd", "both");
+  options.exprs_per_run =
+      static_cast<uint32_t>(flags.GetInt("exprs-per-run", 12));
+  options.docs_per_run =
+      static_cast<uint32_t>(flags.GetInt("docs-per-run", 2));
+  options.doc_max_depth = static_cast<uint32_t>(flags.GetInt("max-depth", 8));
+  options.corpus_dir = flags.Get("corpus-dir", "");
+  options.max_cases = static_cast<size_t>(flags.GetInt("max-cases", 20));
+  options.minimize = !flags.Has("no-minimize");
+  if (flags.Has("no-mutate")) options.mutation_prob = 0;
+  options.exercise_removal = !flags.Has("no-removal");
+  if (flags.Has("engine")) {
+    std::string engine_list = flags.Get("engine", "");
+    for (std::string_view piece : Split(engine_list, ',')) {
+      if (!piece.empty()) options.engines.emplace_back(piece);
+    }
+  }
+
+  Result<difftest::DifferentialHarness::Summary> summary =
+      difftest::DifferentialHarness(options).Run();
+  if (!summary.ok()) {
+    std::fprintf(stderr, "xpred_fuzz: %s\n",
+                 summary.status().ToString().c_str());
+    return 2;
+  }
+
+  std::string json = summary->ToJson();
+  std::string json_path = flags.Get("json", "-");
+  if (json_path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "xpred_fuzz: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out << json;
+  }
+
+  if (!flags.Has("quiet")) {
+    std::fprintf(stderr,
+                 "xpred_fuzz: %llu/%llu runs, %llu documents, %llu verdicts "
+                 "across %zu engines, %llu mismatches%s\n",
+                 static_cast<unsigned long long>(summary->runs_executed),
+                 static_cast<unsigned long long>(summary->runs_requested),
+                 static_cast<unsigned long long>(summary->documents),
+                 static_cast<unsigned long long>(summary->verdicts),
+                 summary->engines.size(),
+                 static_cast<unsigned long long>(summary->mismatches),
+                 summary->time_budget_exhausted ? " (time budget hit)" : "");
+    for (const auto& record : summary->cases) {
+      std::string where =
+          record.file.empty() ? std::string() : (" -> " + record.file);
+      std::fprintf(stderr,
+                   "  case: engine=%s kind=%s run=%llu nodes=%zu exprs=%zu%s\n",
+                   record.engine.c_str(), record.kind.c_str(),
+                   static_cast<unsigned long long>(record.run),
+                   record.document_nodes, record.repro.expressions.size(),
+                   where.c_str());
+    }
+  }
+  return summary->mismatches == 0 ? 0 : 1;
+}
