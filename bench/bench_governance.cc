@@ -1,0 +1,81 @@
+// Governance overhead guard: matcher throughput with resource limits
+// enabled-but-unhit must sit within noise of the ungoverned baseline.
+//
+// Three configurations over the same workload and engine:
+//   unlimited        — every knob 0: checkpoints short-circuit.
+//   production-unhit — ResourceLimits::Production() (deadline widened
+//                      so slow CI cannot trip it): every checkpoint
+//                      active, none firing.
+//   injector-armed   — production-unhit plus an installed FaultInjector
+//                      whose only rule has probability 0: the price of
+//                      consulting an injector that never fires.
+//
+// The fourth axis — checkpoints compiled out entirely — is a build
+// flag, not a runtime option: configure with
+// -DCMAKE_CXX_FLAGS=-DXPRED_DISABLE_FAULT_INJECTION and re-run this
+// binary to compare.
+
+#include "bench_util.h"
+
+#include "common/fault_injection.h"
+#include "common/limits.h"
+
+namespace xpred::bench {
+namespace {
+
+enum Config : long { kUnlimited = 0, kProductionUnhit = 1, kInjectorArmed = 2 };
+
+const char* const kConfigs[] = {"unlimited", "production-unhit",
+                                "injector-armed"};
+
+ResourceLimits ConfigLimits(long config) {
+  if (config == kUnlimited) return ResourceLimits::Unlimited();
+  ResourceLimits limits = ResourceLimits::Production();
+  limits.deadline_ms = 60000;  // Active but untrippable on any CI box.
+  return limits;
+}
+
+void BM_GovernanceOverhead(benchmark::State& state) {
+  WorkloadSpec spec;
+  spec.psd = false;
+  spec.distinct = true;
+  spec.expressions = Scaled(25000);
+  spec.max_length = 6;
+  spec.wildcard = 0.2;
+  spec.descendant = 0.2;
+
+  const long config = state.range(0);
+  FaultInjector injector(1);
+  if (config == kInjectorArmed) {
+    FaultInjector::Rule rule;
+    rule.site = std::string(faultsite::kMatcherProcessPath);
+    rule.probability = 0.0;  // Consulted on every path, never fires.
+    injector.AddRule(rule);
+    FaultInjector::Install(&injector);
+  }
+
+  core::FilterEngine& engine = GetLoadedEngine("basic-pc-ap", spec);
+  engine.set_resource_limits(ConfigLimits(config));
+  RunFilterBenchmark(state, "basic-pc-ap", spec);
+
+  // Leave the shared cached engine ungoverned for other benchmarks.
+  engine.set_resource_limits(ResourceLimits::Unlimited());
+  FaultInjector::Install(nullptr);
+}
+
+void RegisterAll() {
+  for (size_t c = 0; c < std::size(kConfigs); ++c) {
+    std::string name = std::string("Governance/") + kConfigs[c];
+    benchmark::RegisterBenchmark(name.c_str(), BM_GovernanceOverhead)
+        ->Args({static_cast<long>(c)})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
+}
+
+const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace xpred::bench
+
+BENCHMARK_MAIN();

@@ -87,7 +87,6 @@ def validate_case(path):
     check(any(line.strip() for line in document),
           "%s: empty document section" % path)
     expressions = [line for line in section("== expressions") if line]
-    check(expressions, "%s: no expressions" % path)
 
     def verdicts(body, where):
         out = [line for line in body if line]
@@ -99,7 +98,18 @@ def validate_case(path):
               % (path, where, len(out), len(expressions)))
         return out
 
-    verdicts(section("== expected"), "expected")
+    expected = [line for line in section("== expected") if line]
+    if any(line.startswith("error: ") for line in expected):
+        # Expected-error case: the document is poison by contract; a
+        # single error line replaces the verdicts and expressions are
+        # optional (usually absent).
+        check(len(expected) == 1,
+              "%s: expected section mixes error and verdicts" % path)
+        check(expected[0][len("error: "):].strip(),
+              "%s: empty expected error message" % path)
+    else:
+        check(expressions, "%s: no expressions" % path)
+        verdicts(expected, "expected")
 
     engines = []
     while i < len(lines) and lines[i] != "== end":

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Checks that DESIGN.md documents the resource-governance surface.
+
+Two registries in the source of truth are cross-checked against the
+design document:
+
+  * every fault-injection site declared in the `faultsite` namespace of
+    src/common/fault_injection.h (the canonical registry) must appear
+    verbatim in DESIGN.md — an undocumented site means chaos coverage
+    the operators cannot reason about;
+  * every ResourceLimits knob declared in src/common/limits.h must be
+    named in DESIGN.md so the limits table cannot silently drift from
+    the struct.
+
+Usage:
+    check_limits_doc.py [--repo-root DIR]
+
+Exits non-zero with a per-item report when anything is missing.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+
+def fail(msg):
+    print("check_limits_doc: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def read(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def fault_sites(header_text):
+    """Extracts site strings from the faultsite namespace."""
+    match = re.search(r"namespace faultsite \{(.*?)\}  // namespace faultsite",
+                      header_text, re.S)
+    if not match:
+        fail("could not locate the faultsite namespace in fault_injection.h")
+    sites = re.findall(r'"([a-z_]+\.[a-z_]+)"', match.group(1))
+    if not sites:
+        fail("faultsite namespace declares no sites (parse drift?)")
+    return sites
+
+
+def limit_knobs(header_text):
+    """Extracts knob member names from the ResourceLimits struct."""
+    match = re.search(r"struct ResourceLimits \{(.*?)\n\};", header_text, re.S)
+    if not match:
+        fail("could not locate struct ResourceLimits in limits.h")
+    knobs = re.findall(r"^\s*(?:size_t|double|uint\d+_t)\s+(\w+)\s*=",
+                       match.group(1), re.M)
+    if not knobs:
+        fail("ResourceLimits declares no knobs (parse drift?)")
+    return knobs
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repo-root", default=".")
+    args = parser.parse_args()
+
+    design_path = os.path.join(args.repo_root, "DESIGN.md")
+    fault_header = os.path.join(args.repo_root,
+                                "src/common/fault_injection.h")
+    limits_header = os.path.join(args.repo_root, "src/common/limits.h")
+    design = read(design_path)
+
+    sites = fault_sites(read(fault_header))
+    missing_sites = [s for s in sites if s not in design]
+    knobs = limit_knobs(read(limits_header))
+    missing_knobs = [k for k in knobs if k not in design]
+
+    for site in missing_sites:
+        print("check_limits_doc: undocumented fault site: %s" % site,
+              file=sys.stderr)
+    for knob in missing_knobs:
+        print("check_limits_doc: undocumented limits knob: %s" % knob,
+              file=sys.stderr)
+    if missing_sites or missing_knobs:
+        fail("DESIGN.md is missing %d fault site(s) and %d limit knob(s)"
+             % (len(missing_sites), len(missing_knobs)))
+    print("check_limits_doc: OK (%d fault sites, %d limit knobs documented "
+          "in %s)" % (len(sites), len(knobs), design_path))
+
+
+if __name__ == "__main__":
+    main()

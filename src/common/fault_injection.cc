@@ -1,0 +1,121 @@
+#include "common/fault_injection.h"
+
+namespace xpred {
+
+namespace {
+
+/// SplitMix64 — small, well-distributed, dependency-free hash step.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+const char* KindName(FaultInjector::FaultKind kind) {
+  switch (kind) {
+    case FaultInjector::FaultKind::kStatusFailure:
+      return "status";
+    case FaultInjector::FaultKind::kDeadlineExpiry:
+      return "deadline";
+    case FaultInjector::FaultKind::kTruncateInput:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+bool FaultInjector::CoinFlip(std::string_view site, uint64_t visit,
+                             double probability) const {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  uint64_t h = Mix64(seed_ ^ Mix64(HashSite(site) ^ Mix64(visit)));
+  // Top 53 bits -> uniform double in [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+bool FaultInjector::Fires(const Rule& rule, std::string_view site,
+                          uint64_t visit) const {
+  if (rule.site != site) return false;
+  if (visit < rule.offset) return false;
+  if (rule.period == 0) return false;
+  if ((visit - rule.offset) % rule.period != 0) return false;
+  return CoinFlip(site, visit, rule.probability);
+}
+
+Status FaultInjector::Check(std::string_view site) {
+  uint64_t visit = visits_[std::string(site)]++;
+  for (const Rule& rule : rules_) {
+    if (rule.kind == FaultKind::kTruncateInput) continue;
+    if (!Fires(rule, site, visit)) continue;
+    Status status;
+    if (rule.kind == FaultKind::kDeadlineExpiry) {
+      std::string msg = rule.message;
+      if (msg.empty()) {
+        msg = "injected deadline expiry at ";
+        msg += site;
+      }
+      status = Status::DeadlineExceeded(std::move(msg));
+    } else {
+      std::string msg = rule.message;
+      if (msg.empty()) {
+        msg = "injected fault at ";
+        msg += site;
+        msg += " (visit ";
+        msg += std::to_string(visit);
+        msg += ")";
+      }
+      status = Status(rule.code, std::move(msg));
+    }
+    std::string entry(site);
+    entry += "#";
+    entry += std::to_string(visit);
+    entry += " ";
+    entry += KindName(rule.kind);
+    entry += " ";
+    entry += StatusCodeToString(status.code());
+    journal_.push_back(std::move(entry));
+    return status;
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::MaybeTruncate(std::string_view site,
+                                 std::string_view* text) {
+  uint64_t visit = visits_[std::string(site)]++;
+  for (const Rule& rule : rules_) {
+    if (rule.kind != FaultKind::kTruncateInput) continue;
+    if (!Fires(rule, site, visit)) continue;
+    if (rule.truncate_to < text->size()) {
+      *text = text->substr(0, rule.truncate_to);
+    }
+    std::string entry(site);
+    entry += "#";
+    entry += std::to_string(visit);
+    entry += " ";
+    entry += KindName(rule.kind);
+    entry += " ";
+    entry += std::to_string(text->size());
+    journal_.push_back(std::move(entry));
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::visits(std::string_view site) const {
+  auto it = visits_.find(std::string(site));
+  return it == visits_.end() ? 0 : it->second;
+}
+
+}  // namespace xpred

@@ -1,0 +1,176 @@
+#ifndef XPRED_COMMON_FAULT_INJECTION_H_
+#define XPRED_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred {
+
+/// \brief Canonical registry of fault-injection site names.
+///
+/// Every XPRED_FAULT_POINT / FaultInjector call-site in the library
+/// names one of these constants; tests and the chaos harness refer to
+/// them symbolically, and scripts/check_limits_doc.py parses this
+/// namespace to verify DESIGN.md documents each site. Add new sites
+/// here (and to DESIGN.md §11), never as inline string literals.
+namespace faultsite {
+
+/// SaxParser::Parse entry, before any input is consumed.
+inline constexpr std::string_view kParserBeginDocument =
+    "parser.begin_document";
+/// Entity / character-reference decoding inside text and attributes.
+inline constexpr std::string_view kParserDecodeText = "parser.decode_text";
+/// Raw document text before parsing; supports input truncation.
+inline constexpr std::string_view kParserInput = "parser.input";
+/// FilterEngine document-window start (FilterXml / BeginGoverned).
+inline constexpr std::string_view kEngineBeginDocument =
+    "engine.begin_document";
+/// Path-string encoding in the Matcher front end.
+inline constexpr std::string_view kEncoderEncodePath = "encoder.encode_path";
+/// Matcher per-path processing loop.
+inline constexpr std::string_view kMatcherProcessPath = "matcher.process_path";
+/// YFilter NFA document traversal.
+inline constexpr std::string_view kYFilterTraverse = "yfilter.traverse";
+/// XFilter per-element FSM dispatch.
+inline constexpr std::string_view kXFilterElement = "xfilter.element";
+/// IndexFilter interval-index construction (index maintenance).
+inline constexpr std::string_view kIndexFilterBuildIndex =
+    "indexfilter.build_index";
+/// StreamingFilter SAX start-element callback.
+inline constexpr std::string_view kStreamingStartElement =
+    "streaming.start_element";
+
+}  // namespace faultsite
+
+/// \brief Seeded, deterministic fault injector for chaos testing.
+///
+/// A FaultInjector holds a set of rules keyed by injection-site name.
+/// Library code consults it at the same cooperative checkpoints used
+/// for resource governance, via XPRED_FAULT_POINT(site) — a macro that
+/// compiles to a single null-pointer test when no injector is
+/// installed, and to nothing at all under
+/// -DXPRED_DISABLE_FAULT_INJECTION.
+///
+/// Determinism: each site keeps a visit counter; a rule fires when
+/// `visit >= offset && (visit - offset) % period == 0` AND a hash of
+/// (seed, site, visit) clears the rule's probability. Two runs with
+/// the same seed, rules, and workload therefore produce byte-identical
+/// failure sequences (verifiable via journal()).
+///
+/// Not thread-safe: install/uninstall and rule edits must not race
+/// with filtering. The injector is a test-only facility.
+class FaultInjector {
+ public:
+  enum class FaultKind {
+    /// The checkpoint returns the rule's Status code.
+    kStatusFailure,
+    /// The checkpoint returns kDeadlineExceeded, simulating wall-clock
+    /// expiry without waiting for it.
+    kDeadlineExpiry,
+    /// Truncation sites (faultsite::kParserInput) trim the input to
+    /// `truncate_to` bytes before parsing.
+    kTruncateInput,
+  };
+
+  struct Rule {
+    std::string site;
+    FaultKind kind = FaultKind::kStatusFailure;
+    /// Status code for kStatusFailure rules.
+    StatusCode code = StatusCode::kInternal;
+    /// Optional custom message; defaults to a generated one naming the
+    /// site and visit index.
+    std::string message;
+    /// Fire on every period-th visit to the site...
+    uint64_t period = 1;
+    /// ...starting with visit index `offset` (0-based).
+    uint64_t offset = 0;
+    /// Additional seeded coin-flip: 1.0 = always (fully deterministic
+    /// in period/offset alone), 0.0 = never.
+    double probability = 1.0;
+    /// For kTruncateInput: keep this many leading bytes.
+    size_t truncate_to = 0;
+  };
+
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  /// Clears visit counters and the journal; rules and seed persist.
+  void Reset() {
+    visits_.clear();
+    journal_.clear();
+  }
+
+  /// Status-checkpoint evaluation: advances the site's visit counter
+  /// and returns the first firing kStatusFailure/kDeadlineExpiry
+  /// rule's Status (OK when nothing fires). Every fired fault is
+  /// appended to journal().
+  Status Check(std::string_view site);
+
+  /// Truncation-site evaluation: advances the site's visit counter; if
+  /// a kTruncateInput rule fires, trims \p *text to the rule's
+  /// truncate_to bytes and returns true.
+  bool MaybeTruncate(std::string_view site, std::string_view* text);
+
+  /// One line per fired fault: "<site>#<visit> <kind> <code-or-bytes>".
+  /// Byte-identical across runs with equal seed, rules, and workload.
+  const std::vector<std::string>& journal() const { return journal_; }
+  uint64_t visits(std::string_view site) const;
+  uint64_t seed() const { return seed_; }
+
+  /// Installs \p injector (not owned; nullptr uninstalls) as the
+  /// process-global injector consulted by XPRED_FAULT_POINT.
+  static void Install(FaultInjector* injector);
+  static FaultInjector* Installed();
+
+ private:
+  /// Seeded coin flip, deterministic in (seed, site, visit).
+  bool CoinFlip(std::string_view site, uint64_t visit,
+                double probability) const;
+  /// True when \p rule fires at \p visit of \p site.
+  bool Fires(const Rule& rule, std::string_view site, uint64_t visit) const;
+
+  uint64_t seed_;
+  std::vector<Rule> rules_;
+  std::unordered_map<std::string, uint64_t> visits_;
+  std::vector<std::string> journal_;
+};
+
+namespace detail {
+/// Global injector pointer; nullptr (the default) makes every fault
+/// point a single predictable branch.
+inline FaultInjector* g_fault_injector = nullptr;
+}  // namespace detail
+
+inline FaultInjector* FaultInjector::Installed() {
+  return detail::g_fault_injector;
+}
+inline void FaultInjector::Install(FaultInjector* injector) {
+  detail::g_fault_injector = injector;
+}
+
+/// Cooperative fault checkpoint: returns the injected Status from the
+/// enclosing function when an installed injector fires at \p site.
+/// Expands to nothing when fault injection is compiled out.
+#ifdef XPRED_DISABLE_FAULT_INJECTION
+#define XPRED_FAULT_POINT(site) \
+  do {                          \
+  } while (0)
+#else
+#define XPRED_FAULT_POINT(site)                                       \
+  do {                                                                \
+    if (::xpred::detail::g_fault_injector != nullptr) [[unlikely]] {  \
+      ::xpred::Status _xpred_fault_status =                           \
+          ::xpred::detail::g_fault_injector->Check(site);             \
+      if (!_xpred_fault_status.ok()) return _xpred_fault_status;      \
+    }                                                                 \
+  } while (0)
+#endif
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_FAULT_INJECTION_H_

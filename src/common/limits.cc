@@ -1,0 +1,98 @@
+#include "common/limits.h"
+
+#include <string>
+
+namespace xpred {
+
+namespace {
+
+std::string LimitMessage(const char* what, size_t seen, size_t limit) {
+  std::string msg = what;
+  msg += " limit exceeded: ";
+  msg += std::to_string(seen);
+  msg += " > ";
+  msg += std::to_string(limit);
+  return msg;
+}
+
+}  // namespace
+
+void ExecBudget::Arm(const ResourceLimits& limits) {
+  limits_ = limits;
+  armed_ = true;
+  deadline_forced_ = false;
+  paths_ = 0;
+  entity_expansions_ = 0;
+  deadline_calls_ = 0;
+  has_deadline_ = limits.deadline_ms > 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        limits.deadline_ms));
+  }
+}
+
+Status ExecBudget::CheckDocumentBytes(size_t bytes) const {
+  if (!armed_ || limits_.max_document_bytes == 0 ||
+      bytes <= limits_.max_document_bytes) {
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(
+      LimitMessage("document bytes", bytes, limits_.max_document_bytes));
+}
+
+Status ExecBudget::CheckDepth(size_t depth) const {
+  if (!armed_ || limits_.max_element_depth == 0 ||
+      depth <= limits_.max_element_depth) {
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(
+      LimitMessage("element depth", depth, limits_.max_element_depth));
+}
+
+Status ExecBudget::CheckAttributeCount(size_t count) const {
+  if (!armed_ || limits_.max_attributes_per_element == 0 ||
+      count <= limits_.max_attributes_per_element) {
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(LimitMessage(
+      "attributes per element", count, limits_.max_attributes_per_element));
+}
+
+Status ExecBudget::AddPath() {
+  ++paths_;
+  if (!armed_ || limits_.max_extracted_paths == 0 ||
+      paths_ <= limits_.max_extracted_paths) {
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(
+      LimitMessage("extracted paths", paths_, limits_.max_extracted_paths));
+}
+
+Status ExecBudget::AddEntityExpansions(size_t n) {
+  entity_expansions_ += n;
+  if (!armed_ || limits_.max_entity_expansions == 0 ||
+      entity_expansions_ <= limits_.max_entity_expansions) {
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(LimitMessage(
+      "entity expansions", entity_expansions_, limits_.max_entity_expansions));
+}
+
+Status ExecBudget::CheckDeadlineNow() {
+  if (!armed_ || !has_deadline_) return Status::OK();
+  if (deadline_forced_) {
+    return Status::DeadlineExceeded(
+        "document deadline expired (forced by fault injection)");
+  }
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    std::string msg = "document deadline of ";
+    msg += std::to_string(limits_.deadline_ms);
+    msg += " ms expired";
+    return Status::DeadlineExceeded(std::move(msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace xpred

@@ -1,0 +1,145 @@
+#ifndef XPRED_COMMON_LIMITS_H_
+#define XPRED_COMMON_LIMITS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace xpred {
+
+/// \brief Resource-governance knobs for document ingestion.
+///
+/// The paper assumes a well-behaved document stream; a production
+/// filtering service does not get that luxury — a single adversarial
+/// document (pathological depth, entity bombs, millions of
+/// root-to-leaf paths) must not blow the stack, exhaust memory, or
+/// stall the matcher for every other subscriber. Every knob uses
+/// 0 = unlimited; a violated limit is reported as a
+/// StatusCode::kResourceExhausted (never a crash or silent
+/// truncation), and an expired deadline as
+/// StatusCode::kDeadlineExceeded.
+///
+/// The default-constructed value preserves the engine's historical
+/// behavior: only the element-depth guard (512, the old SaxParser
+/// default) is active.
+struct ResourceLimits {
+  /// Maximum accepted XML text size, checked before parsing.
+  size_t max_document_bytes = 0;
+  /// Maximum element nesting depth. The recursive automaton baselines
+  /// (YFilter/XFilter traversal, the XPath oracle) consume native
+  /// stack proportional to this; keep it well under ~10k for them.
+  /// The SAX parser, path extractor, and Matcher are fully iterative
+  /// and handle 100k+ when raised.
+  size_t max_element_depth = 512;
+  /// Maximum attributes on a single element.
+  size_t max_attributes_per_element = 0;
+  /// Maximum root-to-leaf paths extracted per document (a recursive
+  /// DTD can yield exponentially many).
+  size_t max_extracted_paths = 0;
+  /// Maximum entity/character references expanded per document.
+  size_t max_entity_expansions = 0;
+  /// Soft wall-clock deadline per document in milliseconds (checked at
+  /// cooperative checkpoints; granularity is a few hundred hot-loop
+  /// iterations).
+  double deadline_ms = 0;
+
+  /// Every guard off (fuzzing the guards themselves, benchmarks).
+  static ResourceLimits Unlimited() {
+    ResourceLimits limits;
+    limits.max_element_depth = 0;
+    return limits;
+  }
+
+  /// Opinionated production defaults for an engine facing untrusted
+  /// traffic (documented in DESIGN.md §11).
+  static ResourceLimits Production() {
+    ResourceLimits limits;
+    limits.max_document_bytes = 64ull << 20;  // 64 MiB
+    limits.max_element_depth = 512;
+    limits.max_attributes_per_element = 256;
+    limits.max_extracted_paths = 1u << 20;  // ~1M paths
+    limits.max_entity_expansions = 1u << 20;
+    limits.deadline_ms = 1000;
+    return limits;
+  }
+
+  bool any_enabled() const {
+    return max_document_bytes != 0 || max_element_depth != 0 ||
+           max_attributes_per_element != 0 || max_extracted_paths != 0 ||
+           max_entity_expansions != 0 || deadline_ms != 0;
+  }
+};
+
+/// \brief Per-document execution budget: the enforcement half of
+/// ResourceLimits.
+///
+/// An ExecBudget is armed once per document (stamping the deadline and
+/// zeroing the consumption counters) and then consulted at cooperative
+/// checkpoints. Checkpoints are cheap enough for hot loops: limit
+/// checks are integer compares that short-circuit when the knob is 0,
+/// and the deadline checkpoint amortizes the clock read over
+/// kDeadlineStride calls. All checks return Status so violations
+/// propagate through the normal error channel.
+class ExecBudget {
+ public:
+  /// Clock reads per deadline checkpoint: one in kDeadlineStride.
+  static constexpr uint32_t kDeadlineStride = 256;
+
+  ExecBudget() = default;
+
+  /// Starts a document window: records \p limits, zeroes counters, and
+  /// stamps the deadline.
+  void Arm(const ResourceLimits& limits);
+  void Disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+  const ResourceLimits& limits() const { return limits_; }
+
+  /// \name Checkpoints
+  /// Each returns OK when the corresponding knob is 0 (unlimited) or
+  /// the budget is disarmed.
+  ///@{
+  Status CheckDocumentBytes(size_t bytes) const;
+  Status CheckDepth(size_t depth) const;
+  Status CheckAttributeCount(size_t count) const;
+  /// Counting checkpoint: consumes one extracted path.
+  Status AddPath();
+  /// Counting checkpoint: consumes \p n entity expansions.
+  Status AddEntityExpansions(size_t n);
+  /// Amortized deadline checkpoint for hot loops.
+  Status CheckDeadline() {
+    if (!armed_ || !has_deadline_) return Status::OK();
+    if (++deadline_calls_ % kDeadlineStride != 0 && !deadline_forced_) {
+      return Status::OK();
+    }
+    return CheckDeadlineNow();
+  }
+  /// Unamortized deadline check (document boundaries).
+  Status CheckDeadlineNow();
+  ///@}
+
+  uint64_t paths() const { return paths_; }
+  uint64_t entity_expansions() const { return entity_expansions_; }
+
+  /// Fault-injection hook: the next deadline checkpoint fails as if
+  /// the wall clock had expired (cleared by the next Arm()).
+  void ForceDeadlineExpiry() {
+    deadline_forced_ = true;
+    has_deadline_ = true;
+  }
+
+ private:
+  ResourceLimits limits_;
+  bool armed_ = false;
+  bool has_deadline_ = false;
+  bool deadline_forced_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t paths_ = 0;
+  uint64_t entity_expansions_ = 0;
+  uint64_t deadline_calls_ = 0;
+};
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_LIMITS_H_

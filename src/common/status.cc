@@ -18,6 +18,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kCapacityExceeded:
       return "CapacityExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kRejected:
+      return "Rejected";
   }
   return "Unknown";
 }

@@ -29,6 +29,17 @@ enum class StatusCode {
   kInternal,
   /// A configured capacity (e.g., maximum expression length) was exceeded.
   kCapacityExceeded,
+  /// A resource-governance limit (document bytes, element depth,
+  /// attribute count, extracted paths, entity expansions) was hit while
+  /// ingesting a document. Permanent for that document: retrying cannot
+  /// succeed without raising the limit.
+  kResourceExhausted,
+  /// The per-document soft wall-clock deadline expired at a cooperative
+  /// checkpoint. Transient: a retry may succeed on a less loaded system.
+  kDeadlineExceeded,
+  /// The document was refused without being examined (load shedding by
+  /// an open circuit breaker, or an operator fail-fast policy).
+  kRejected,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -77,6 +88,15 @@ class Status {
   }
   static Status CapacityExceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,13 +1,34 @@
 #include "core/engine.h"
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 
 namespace xpred::core {
 
 Status FilterEngine::FilterXml(std::string_view xml_text,
                                std::vector<ExprId>* matched) {
+  BeginGovernedWindow();
+  Status st = GovernedFilterXml(xml_text, matched);
+  EndGovernedWindow();
+  return st;
+}
+
+Status FilterEngine::GovernedFilterXml(std::string_view xml_text,
+                                       std::vector<ExprId>* matched) {
+  XPRED_RETURN_NOT_OK(budget_.CheckDocumentBytes(xml_text.size()));
+#ifndef XPRED_DISABLE_FAULT_INJECTION
+  if (FaultInjector* injector = FaultInjector::Installed()) {
+    injector->MaybeTruncate(faultsite::kParserInput, &xml_text);
+  }
+#endif
   Stopwatch watch;
-  Result<xml::Document> doc = xml::Document::Parse(xml_text);
+  xml::SaxParser::Options options;
+  options.max_depth = limits_.max_element_depth;
+  options.max_attributes_per_element = limits_.max_attributes_per_element;
+  options.max_entity_expansions = limits_.max_entity_expansions;
+  options.budget = &budget_;
+  Result<xml::Document> doc = xml::Document::Parse(xml_text, options);
   if (!doc.ok()) return doc.status();
   const uint64_t parse_nanos = static_cast<uint64_t>(watch.ElapsedNanos());
   Status st = FilterDocument(*doc, matched);
@@ -16,6 +37,34 @@ Status FilterEngine::FilterXml(std::string_view xml_text,
   // total filtering time; the view folds it into encode_micros.
   inst().RecordStage(obs::Stage::kParse, parse_nanos);
   return st;
+}
+
+Status FilterEngine::BeginGoverned(const xml::Document& document) {
+  if (!in_governed_window_) budget_.Arm(limits_);
+  XPRED_FAULT_POINT(faultsite::kEngineBeginDocument);
+  XPRED_RETURN_NOT_OK(budget_.CheckDeadlineNow());
+  if (limits_.max_element_depth == 0 &&
+      limits_.max_attributes_per_element == 0 &&
+      limits_.max_extracted_paths == 0) {
+    return Status::OK();
+  }
+  // Direct FilterDocument callers bypass the parser-side caps; re-check
+  // the structural limits on the parsed tree (O(elements), element
+  // depth is precomputed).
+  size_t leaves = 0;
+  for (const xml::Element& element : document.elements()) {
+    XPRED_RETURN_NOT_OK(budget_.CheckDepth(element.depth));
+    XPRED_RETURN_NOT_OK(
+        budget_.CheckAttributeCount(element.attributes.size()));
+    if (element.children.empty()) ++leaves;
+  }
+  if (limits_.max_extracted_paths != 0 &&
+      leaves > limits_.max_extracted_paths) {
+    return Status::ResourceExhausted(
+        StringPrintf("extracted paths limit exceeded: %zu > %zu", leaves,
+                     limits_.max_extracted_paths));
+  }
+  return Status::OK();
 }
 
 const EngineStats& FilterEngine::stats() const {

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "core/predicate.h"
 #include "obs/engine_instruments.h"
@@ -115,6 +116,41 @@ class FilterEngine {
   void set_tracer(obs::Tracer* tracer);
   ///@}
 
+  /// \name Resource governance
+  ///
+  /// Every engine honors the same ResourceLimits contract (DESIGN.md
+  /// §11): FilterXml / FilterDocument reject an over-limit document
+  /// with kResourceExhausted and a deadline-expired one with
+  /// kDeadlineExceeded — uniformly across engine families, never with
+  /// a crash or silent truncation. The default limits preserve
+  /// historical behavior (depth cap 512, everything else off).
+  ///@{
+  /// Sets the limits governing all subsequent documents. Virtual so
+  /// wrapper engines (e.g. the streaming roster adapter) can forward
+  /// to the engine they delegate to.
+  virtual void set_resource_limits(const ResourceLimits& limits) {
+    limits_ = limits;
+  }
+  const ResourceLimits& resource_limits() const { return limits_; }
+
+  /// The per-document execution budget. Armed by FilterXml (or
+  /// BeginGovernedWindow / BeginGoverned) and consulted at cooperative
+  /// checkpoints inside the engines.
+  ExecBudget& budget() { return budget_; }
+
+  /// Opens a governed document window: arms the budget from the
+  /// current limits so the deadline covers everything the driver does
+  /// next (parse + match). While a window is open, BeginGoverned and
+  /// the streaming begin-document hook do not re-arm. Drivers that
+  /// feed the engine pre-parsed or streamed input (StreamingFilter,
+  /// custom event sources) call this; FilterXml does it internally.
+  void BeginGovernedWindow() {
+    budget_.Arm(limits_);
+    in_governed_window_ = true;
+  }
+  void EndGovernedWindow() { in_governed_window_ = false; }
+  ///@}
+
   /// Short engine name for reports ("basic-pc-ap", "yfilter", ...).
   virtual std::string_view name() const = 0;
 
@@ -124,6 +160,21 @@ class FilterEngine {
   virtual size_t ApproximateMemoryBytes() const { return 0; }
 
  protected:
+  /// First call of every FilterDocument implementation: arms the
+  /// budget (unless an outer governed window already did) and
+  /// validates the parsed document against the structural limits —
+  /// depth, attributes per element, and leaf (= extractable path)
+  /// count. Direct FilterDocument callers thereby get the same
+  /// governance as the FilterXml path, where the parser enforces these
+  /// caps during the parse.
+  Status BeginGoverned(const xml::Document& document);
+
+  /// Arms the budget for a streamed document unless an outer governed
+  /// window already did (streaming begin-document hook).
+  void ArmBudgetIfNeeded() {
+    if (!in_governed_window_) budget_.Arm(limits_);
+  }
+
   /// This engine's observability handle; binds the private registry on
   /// first use (name() must be callable, i.e. construction finished).
   obs::EngineInstruments& inst() const {
@@ -140,9 +191,16 @@ class FilterEngine {
   obs::EngineInstruments& bound_inst() const { return instruments_; }
 
  private:
+  /// FilterXml body, running inside the governed window.
+  Status GovernedFilterXml(std::string_view xml_text,
+                           std::vector<ExprId>* matched);
+
   mutable obs::EngineInstruments instruments_;
   /// Backing storage for the stats() view.
   mutable EngineStats stats_view_;
+  ResourceLimits limits_;
+  ExecBudget budget_;
+  bool in_governed_window_ = false;
 };
 
 }  // namespace xpred::core

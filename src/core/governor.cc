@@ -1,0 +1,137 @@
+#include "core/governor.h"
+
+#include <chrono>
+#include <thread>
+
+namespace xpred::core {
+
+IngestGovernor::IngestGovernor(FilterEngine* engine, Options options)
+    : engine_(engine), options_(std::move(options)) {
+  engine_->set_resource_limits(options_.limits);
+  if (!options_.sleep_ms) {
+    options_.sleep_ms = [](uint32_t ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+  obs::MetricsRegistry* registry = engine_->metrics_registry();
+  const std::vector<obs::Label> labels = {
+      {"engine", std::string(engine_->name())}};
+  rejected_total_ = registry->AddCounter(
+      "xpred_docs_rejected_total",
+      "Documents rejected with a resource-limit violation", labels);
+  deadline_total_ = registry->AddCounter(
+      "xpred_docs_deadline_exceeded_total",
+      "Documents whose per-document deadline expired (terminal, after "
+      "retries)",
+      labels);
+  quarantined_total_ = registry->AddCounter(
+      "xpred_docs_quarantined_total",
+      "Documents quarantined as poison (with recorded cause)", labels);
+  retried_total_ = registry->AddCounter(
+      "xpred_docs_retried_total",
+      "Retry attempts spent on transient document failures", labels);
+  shed_total_ = registry->AddCounter(
+      "xpred_docs_shed_total",
+      "Documents shed unexamined by the open circuit breaker", labels);
+  breaker_gauge_ = registry->AddGauge(
+      "xpred_breaker_state",
+      "Ingestion circuit breaker state (0=closed, 1=open, 2=half-open)",
+      labels);
+  SetBreakerGauge();
+}
+
+Status IngestGovernor::FilterNext(std::string_view xml_text,
+                                  std::vector<ExprId>* matched,
+                                  DocOutcome* outcome) {
+  DocOutcome local;
+  DocOutcome& out = outcome != nullptr ? *outcome : local;
+  out = DocOutcome{};
+  const uint64_t doc_index = docs_seen_++;
+
+  // Open breaker: shed unexamined until the cooldown is spent.
+  if (breaker_state_ == BreakerState::kOpen) {
+    if (cooldown_remaining_ > 0) {
+      --cooldown_remaining_;
+      ++docs_shed_;
+      shed_total_->Increment();
+      out.status = Status::Rejected("circuit breaker open: document shed");
+      return Status::OK();
+    }
+    breaker_state_ = BreakerState::kHalfOpen;
+    SetBreakerGauge();
+  }
+
+  // Filter with bounded retry for transient failures. Matches are
+  // staged into a scratch vector so a failed attempt cannot leak
+  // partial results into the caller's list.
+  Status status;
+  std::vector<ExprId> attempt_matched;
+  for (uint32_t attempt = 0;; ++attempt) {
+    attempt_matched.clear();
+    status = engine_->FilterXml(xml_text, &attempt_matched);
+    if (status.ok() || !IsTransient(status) ||
+        attempt >= options_.max_retries) {
+      break;
+    }
+    ++out.retries;
+    retried_total_->Increment();
+    options_.sleep_ms(options_.backoff_base_ms << attempt);
+  }
+
+  if (status.ok()) {
+    matched->insert(matched->end(), attempt_matched.begin(),
+                    attempt_matched.end());
+    ++docs_ok_;
+    TransitionBreaker(/*doc_failed=*/false);
+    out.status = Status::OK();
+    return Status::OK();
+  }
+
+  if (status.code() == StatusCode::kResourceExhausted) {
+    rejected_total_->Increment();
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_total_->Increment();
+  }
+  out.status = status;
+  if (options_.fail_fast) {
+    TransitionBreaker(/*doc_failed=*/true);
+    return status;
+  }
+  quarantine_.push_back(QuarantineRecord{doc_index, status, out.retries});
+  quarantined_total_->Increment();
+  out.quarantined = true;
+  TransitionBreaker(/*doc_failed=*/true);
+  return Status::OK();
+}
+
+void IngestGovernor::TransitionBreaker(bool doc_failed) {
+  if (options_.breaker_threshold == 0) return;
+  if (!doc_failed) {
+    consecutive_failures_ = 0;
+    if (breaker_state_ != BreakerState::kClosed) {
+      breaker_state_ = BreakerState::kClosed;
+      SetBreakerGauge();
+    }
+    return;
+  }
+  if (breaker_state_ == BreakerState::kHalfOpen) {
+    // Failed probe: re-open for another cooldown.
+    breaker_state_ = BreakerState::kOpen;
+    cooldown_remaining_ = options_.breaker_cooldown_docs;
+    SetBreakerGauge();
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.breaker_threshold &&
+      breaker_state_ == BreakerState::kClosed) {
+    breaker_state_ = BreakerState::kOpen;
+    cooldown_remaining_ = options_.breaker_cooldown_docs;
+    SetBreakerGauge();
+  }
+}
+
+void IngestGovernor::SetBreakerGauge() {
+  breaker_gauge_->Set(static_cast<double>(static_cast<int>(breaker_state_)));
+}
+
+}  // namespace xpred::core

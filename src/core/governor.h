@@ -1,0 +1,142 @@
+#ifndef XPRED_CORE_GOVERNOR_H_
+#define XPRED_CORE_GOVERNOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/limits.h"
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace xpred::core {
+
+/// \brief One quarantined document: its position in the stream and the
+/// Status that condemned it.
+struct QuarantineRecord {
+  /// 0-based index of the document in the ingestion stream.
+  uint64_t doc_index = 0;
+  /// The failure that put it here (after retries, when transient).
+  Status cause;
+  /// Retries attempted before quarantining (0 for permanent failures).
+  uint32_t retries = 0;
+};
+
+/// \brief Fault-tolerant ingestion driver: wraps an engine with error
+/// classification, bounded retry, quarantine, and a circuit breaker.
+///
+/// A production filtering service faces streams where some documents
+/// are poison — over-limit, malformed, or pathological. The governor
+/// keeps the stream flowing: poison documents are quarantined with
+/// their cause, transient failures (deadline expiry, internal faults)
+/// are retried with exponential backoff, and a run of consecutive
+/// failures trips a circuit breaker that sheds load for a cooldown
+/// instead of burning the full deadline on every document of a bad
+/// batch.
+///
+/// Classification (DESIGN.md §11):
+///  - kDeadlineExceeded, kInternal -> transient: retried up to
+///    max_retries with exponential backoff, then quarantined.
+///  - everything else (kResourceExhausted, kXmlParseError, ...) ->
+///    permanent: quarantined immediately; retrying cannot help.
+///
+/// Breaker: closed -> open after breaker_threshold consecutive
+/// document failures; while open, the next breaker_cooldown_docs
+/// documents are shed unexamined with kRejected; then half-open: one
+/// probe document runs — success closes the breaker, failure re-opens
+/// it. With fail_fast, the first failure aborts ingestion instead.
+///
+/// All outcomes are counted in the engine's MetricsRegistry:
+/// xpred_docs_rejected_total, xpred_docs_deadline_exceeded_total,
+/// xpred_docs_quarantined_total, xpred_docs_retried_total,
+/// xpred_docs_shed_total, and the xpred_breaker_state gauge
+/// (0 = closed, 1 = open, 2 = half-open).
+class IngestGovernor {
+ public:
+  enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Options {
+    /// Limits installed into the engine before ingestion starts.
+    ResourceLimits limits;
+    /// Retries per transient-failing document (0 disables retry).
+    uint32_t max_retries = 2;
+    /// First retry backoff; doubles per attempt.
+    uint32_t backoff_base_ms = 10;
+    /// Consecutive failures that trip the breaker. 0 disables it.
+    uint32_t breaker_threshold = 5;
+    /// Documents shed (kRejected, unexamined) while the breaker is
+    /// open, before probing half-open.
+    uint32_t breaker_cooldown_docs = 10;
+    /// Abort the run on the first failed document instead of
+    /// quarantining (operator --fail-fast).
+    bool fail_fast = false;
+    /// Backoff sleeper, injectable so tests run without real delays.
+    /// Defaults to std::this_thread::sleep_for.
+    std::function<void(uint32_t /*ms*/)> sleep_ms;
+  };
+
+  /// Result of one FilterNext call.
+  struct DocOutcome {
+    /// OK when the document was filtered; the terminal failure Status
+    /// otherwise (kRejected when shed by the breaker or fail-fast).
+    Status status;
+    /// True when the failure was recorded in quarantine().
+    bool quarantined = false;
+    /// Retries consumed by this document.
+    uint32_t retries = 0;
+  };
+
+  /// \p engine is borrowed and must outlive the governor. Installs
+  /// options.limits into the engine and registers the governance
+  /// metrics in the engine's registry.
+  IngestGovernor(FilterEngine* engine, Options options);
+
+  /// Ingests one document: breaker check, filter, classify, retry,
+  /// quarantine. Matched subscription ids are appended to \p matched
+  /// only on success. Never returns a non-OK Status for a handled
+  /// (quarantined/shed) failure — inspect the DocOutcome; the returned
+  /// Status is non-OK only under fail_fast.
+  Status FilterNext(std::string_view xml_text, std::vector<ExprId>* matched,
+                    DocOutcome* outcome = nullptr);
+
+  const std::vector<QuarantineRecord>& quarantine() const {
+    return quarantine_;
+  }
+  BreakerState breaker_state() const { return breaker_state_; }
+  uint64_t docs_seen() const { return docs_seen_; }
+  uint64_t docs_ok() const { return docs_ok_; }
+  uint64_t docs_shed() const { return docs_shed_; }
+
+  /// True when \p status is worth retrying (transient classification).
+  static bool IsTransient(const Status& status) {
+    return status.code() == StatusCode::kDeadlineExceeded ||
+           status.code() == StatusCode::kInternal;
+  }
+
+ private:
+  void TransitionBreaker(bool doc_failed);
+  void SetBreakerGauge();
+
+  FilterEngine* engine_;
+  Options options_;
+  std::vector<QuarantineRecord> quarantine_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint32_t cooldown_remaining_ = 0;
+  uint64_t docs_seen_ = 0;
+  uint64_t docs_ok_ = 0;
+  uint64_t docs_shed_ = 0;
+
+  obs::Counter* rejected_total_ = nullptr;
+  obs::Counter* deadline_total_ = nullptr;
+  obs::Counter* quarantined_total_ = nullptr;
+  obs::Counter* retried_total_ = nullptr;
+  obs::Counter* shed_total_ = nullptr;
+  obs::Gauge* breaker_gauge_ = nullptr;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_GOVERNOR_H_

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/memory_usage.h"
 #include "common/string_util.h"
@@ -574,6 +575,7 @@ void Matcher::ProcessElements(std::span<const PathElementView> elements) {
 }
 
 void Matcher::BeginDocumentStream() {
+  ArmBudgetIfNeeded();
   if (options_.enable_containment_covering && containment_dirty_) {
     RebuildContainmentIndex();
   }
@@ -589,6 +591,9 @@ Status Matcher::ProcessStreamedPath(
   if (elements.empty()) {
     return Status::InvalidArgument("path must have at least one element");
   }
+  XPRED_FAULT_POINT(faultsite::kMatcherProcessPath);
+  XPRED_RETURN_NOT_OK(budget().AddPath());
+  XPRED_RETURN_NOT_OK(budget().CheckDeadline());
   bound_inst().AddPaths(1);
   ProcessElements(elements);
   return Status::OK();
@@ -623,17 +628,21 @@ Status Matcher::FilterDocument(const xml::Document& document,
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
+  XPRED_RETURN_NOT_OK(BeginGoverned(document));
   BeginDocumentStream();
 
   std::vector<xml::DocumentPath> paths;
   {
     obs::ScopedTimer timer(&bound_inst(), obs::Stage::kEncode);
-    paths = xml::ExtractPaths(document);
+    XPRED_FAULT_POINT(faultsite::kEncoderEncodePath);
+    XPRED_RETURN_NOT_OK(xml::ExtractPaths(document, &budget(), &paths));
     inst().AddPaths(paths.size());
   }
 
   std::vector<PathElementView> views;
   for (const xml::DocumentPath& path : paths) {
+    XPRED_FAULT_POINT(faultsite::kMatcherProcessPath);
+    XPRED_RETURN_NOT_OK(budget().CheckDeadline());
     views.clear();
     const uint32_t n = path.length();
     views.reserve(n);

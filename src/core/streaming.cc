@@ -1,5 +1,8 @@
 #include "core/streaming.h"
 
+#include "common/fault_injection.h"
+#include "common/limits.h"
+
 namespace xpred::core {
 
 Status StreamingFilter::FilterXml(std::string_view xml_text,
@@ -7,8 +10,29 @@ Status StreamingFilter::FilterXml(std::string_view xml_text,
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
-  xml::SaxParser parser;
-  XPRED_RETURN_NOT_OK(parser.Parse(xml_text, this));
+  // One governed window for the whole parse+match pass, under the
+  // matcher's limits: the streaming front end honors the same contract
+  // as FilterEngine::FilterXml.
+  const ResourceLimits& limits = matcher_->resource_limits();
+  ExecBudget& budget = matcher_->budget();
+  matcher_->BeginGovernedWindow();
+  Status st = [&]() -> Status {
+    XPRED_RETURN_NOT_OK(budget.CheckDocumentBytes(xml_text.size()));
+#ifndef XPRED_DISABLE_FAULT_INJECTION
+    if (FaultInjector* injector = FaultInjector::Installed()) {
+      injector->MaybeTruncate(faultsite::kParserInput, &xml_text);
+    }
+#endif
+    xml::SaxParser::Options options;
+    options.max_depth = limits.max_element_depth;
+    options.max_attributes_per_element = limits.max_attributes_per_element;
+    options.max_entity_expansions = limits.max_entity_expansions;
+    options.budget = &budget;
+    xml::SaxParser parser(options);
+    return parser.Parse(xml_text, this);
+  }();
+  matcher_->EndGovernedWindow();
+  XPRED_RETURN_NOT_OK(st);
   std::vector<ExprId> result = TakeMatches();
   matched->insert(matched->end(), result.begin(), result.end());
   return Status::OK();
@@ -24,6 +48,13 @@ Status StreamingFilter::StartDocument() {
 
 Status StreamingFilter::StartElement(
     std::string_view name, const std::vector<xml::Attribute>& attributes) {
+  XPRED_FAULT_POINT(faultsite::kStreamingStartElement);
+  // Custom event sources bypass the SAX parser's caps; re-check the
+  // structural limits per event.
+  ExecBudget& budget = matcher_->budget();
+  XPRED_RETURN_NOT_OK(budget.CheckDepth(stack_.size() + 1));
+  XPRED_RETURN_NOT_OK(budget.CheckAttributeCount(attributes.size()));
+  XPRED_RETURN_NOT_OK(budget.CheckDeadline());
   if (!stack_.empty()) stack_.back().has_children = true;
   OpenElement element;
   element.tag.assign(name);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/memory_usage.h"
 #include "common/stopwatch.h"
 #include "obs/scoped_timer.h"
@@ -110,13 +111,16 @@ void IndexFilter::MarkAccepts(const QueryNode& node,
   }
 }
 
-void IndexFilter::EvalNode(uint32_t node_id,
-                           const std::vector<Interval>& context,
-                           const xml::Document& document) {
-  if (context.empty()) return;
+// Recursion depth is bounded by the query prefix-tree height (one per
+// location step), not by document shape, so no explicit stack needed.
+Status IndexFilter::EvalNode(uint32_t node_id,
+                             const std::vector<Interval>& context,
+                             const xml::Document& document) {
+  if (context.empty()) return Status::OK();
+  XPRED_RETURN_NOT_OK(budget().CheckDeadline());
   const QueryNode& node = nodes_[node_id];
   if (!node.accept.empty()) MarkAccepts(node, document);
-  if (node.children.empty()) return;
+  if (node.children.empty()) return Status::OK();
 
   for (uint32_t child_id : node.children) {
     const QueryNode& child = nodes_[child_id];
@@ -138,6 +142,7 @@ void IndexFilter::EvalNode(uint32_t node_id,
     // augments rapidly" (§6.3).
     std::vector<Interval> next;
     for (uint32_t element : *stream) {
+      XPRED_RETURN_NOT_OK(budget().CheckDeadline());
       const Interval& e = intervals_[element];
       for (const Interval& c : context) {
         if (e.start <= c.start) continue;
@@ -162,8 +167,9 @@ void IndexFilter::EvalNode(uint32_t node_id,
                              }),
                  next.end());
     }
-    EvalNode(child_id, next, document);
+    XPRED_RETURN_NOT_OK(EvalNode(child_id, next, document));
   }
+  return Status::OK();
 }
 
 Status IndexFilter::FilterDocument(const xml::Document& document,
@@ -171,6 +177,7 @@ Status IndexFilter::FilterDocument(const xml::Document& document,
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
+  XPRED_RETURN_NOT_OK(BeginGoverned(document));
   ++doc_epoch_;
   doc_matched_.clear();
   obs::EngineInstruments& instruments = inst();
@@ -182,6 +189,7 @@ Status IndexFilter::FilterDocument(const xml::Document& document,
 
   // Stage 1: build the per-document element index (interval numbering
   // plus per-tag streams).
+  XPRED_FAULT_POINT(faultsite::kIndexFilterBuildIndex);
   obs::ScopedTimer timer(&instruments, obs::Stage::kPredicate);
   const size_t n = document.size();
   intervals_.assign(n, Interval{});
@@ -231,7 +239,7 @@ Status IndexFilter::FilterDocument(const xml::Document& document,
         next.push_back(e);
       }
     }
-    EvalNode(child_id, next, document);
+    XPRED_RETURN_NOT_OK(EvalNode(child_id, next, document));
   }
 
   timer.Rotate(obs::Stage::kCollect);

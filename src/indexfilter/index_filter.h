@@ -71,7 +71,7 @@ class IndexFilter : public core::FilterEngine {
   };
 
   uint32_t InsertPath(const xpath::PathExpr& expr);
-  void EvalNode(uint32_t node_id, const std::vector<Interval>& context,
+  Status EvalNode(uint32_t node_id, const std::vector<Interval>& context,
                 const xml::Document& document);
   void MarkAccepts(const QueryNode& node, const xml::Document& document);
 

@@ -74,7 +74,15 @@ std::string SerializeCase(const Case& c) {
     out.push_back('\n');
   }
   out += "== expected\n";
-  AppendVerdicts(c.expected, &out);
+  if (!c.expected_error.empty()) {
+    std::string err = c.expected_error;
+    for (char& ch : err) {
+      if (ch == '\n' || ch == '\r') ch = ' ';
+    }
+    out += "error: " + err + "\n";
+  } else {
+    AppendVerdicts(c.expected, &out);
+  }
   for (const EngineOutcome& outcome : c.outcomes) {
     out += "== engine " + outcome.engine + "\n";
     if (!outcome.error.empty()) {
@@ -146,13 +154,26 @@ Result<Case> DeserializeCase(std::string_view text) {
   ++i;
   for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
     if (lines[i].empty()) continue;
+    if (lines[i].rfind("error: ", 0) == 0) {
+      if (!c.expected_error.empty() || !c.expected.empty()) {
+        return Status::InvalidArgument(
+            "expected section mixes error and verdicts");
+      }
+      c.expected_error.assign(lines[i].substr(7));
+      continue;
+    }
+    if (!c.expected_error.empty()) {
+      return Status::InvalidArgument(
+          "expected section mixes error and verdicts");
+    }
     if (lines[i] != "0" && lines[i] != "1") {
       return Status::InvalidArgument("bad verdict line: " +
                                      std::string(lines[i]));
     }
     c.expected.push_back(lines[i] == "1" ? 1 : 0);
   }
-  if (c.expected.size() != c.expressions.size()) {
+  if (c.expected_error.empty() &&
+      c.expected.size() != c.expressions.size()) {
     return Status::InvalidArgument(
         "expected-verdict count does not match expression count");
   }

@@ -48,6 +48,12 @@ struct EngineOutcome {
 /// canonical XPath per line; expected and engine sections have one
 /// 0/1 verdict per line (aligned with the expressions), or a single
 /// `error: <message>` line. The trailing `== end` guards truncation.
+///
+/// An *expected-error* case replaces the expected verdicts with a
+/// single `error: <substring>` line: the document is poison by
+/// contract — ingestion must fail on every engine and the rejection
+/// message must contain the substring. Such cases usually carry no
+/// expressions (there is nothing to match).
 struct Case {
   uint64_t seed = 0;
   std::string dtd;  ///< "nitf", "psd", or "" when unknown/synthetic.
@@ -56,6 +62,9 @@ struct Case {
   std::vector<std::string> expressions;
   /// Oracle verdicts, one per expression (the replay contract).
   std::vector<int> expected;
+  /// Non-empty for expected-error cases: a substring the ingestion
+  /// failure message must contain. Mutually exclusive with expected.
+  std::string expected_error;
   std::vector<EngineOutcome> outcomes;
 };
 

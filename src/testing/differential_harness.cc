@@ -360,12 +360,29 @@ void DifferentialHarness::RunOne(uint64_t run, Summary* summary) {
     std::vector<std::string> kept_texts;
     for (size_t k : kept) kept_texts.push_back(texts[k]);
 
+    // Stage every engine's outcome first so chaos mode can recognize a
+    // uniform failure (same StatusCode from every engine) — that is the
+    // governance contract under fault injection, not a divergence.
+    std::vector<Status> statuses;
+    std::vector<std::vector<core::ExprId>> matched_lists(engines.size());
+    statuses.reserve(engines.size());
     for (size_t e = 0; e < engines.size(); ++e) {
-      std::vector<core::ExprId> matched;
-      Status st = engines[e]->FilterDocument(doc, &matched);
+      statuses.push_back(engines[e]->FilterDocument(doc, &matched_lists[e]));
+    }
+    bool uniform_error = options_.tolerate_uniform_errors;
+    for (size_t e = 0; e < engines.size() && uniform_error; ++e) {
+      uniform_error = !statuses[e].ok() &&
+                      statuses[e].code() == statuses.front().code();
+    }
+
+    for (size_t e = 0; e < engines.size(); ++e) {
+      std::vector<core::ExprId>& matched = matched_lists[e];
+      const Status& st = statuses[e];
       if (!st.ok()) {
-        RecordDivergence(&ctx, roster_[e], "status", doc, kept_texts,
-                         summary);
+        if (!uniform_error) {
+          RecordDivergence(&ctx, roster_[e], "status", doc, kept_texts,
+                           summary);
+        }
         continue;
       }
       std::sort(matched.begin(), matched.end());

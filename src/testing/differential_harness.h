@@ -49,6 +49,12 @@ class DifferentialHarness {
     /// that support removal (Matcher and the streaming front end).
     bool exercise_removal = true;
     bool minimize = true;
+    /// Chaos-mode escape hatch: when set, a document on which EVERY
+    /// engine fails with the SAME StatusCode is not a divergence —
+    /// uniform failure is exactly the governance contract under fault
+    /// injection or resource limits. Mixed outcomes (one engine fails
+    /// while another succeeds, or differing codes) are still recorded.
+    bool tolerate_uniform_errors = false;
     /// Hard cap on minimized repro cases per session; further
     /// mismatches are still counted.
     size_t max_cases = 20;

@@ -6,14 +6,32 @@
 
 namespace xpred::difftest {
 
-Status StreamingEngine::EmitElement(const xml::Document& document,
-                                    xml::NodeId node) {
-  const xml::Element& element = document.element(node);
-  XPRED_RETURN_NOT_OK(filter_.StartElement(element.tag, element.attributes));
-  for (xml::NodeId child : element.children) {
-    XPRED_RETURN_NOT_OK(EmitElement(document, child));
+Status StreamingEngine::EmitElements(const xml::Document& document) {
+  // Iterative replay (explicit stack): document depth must never
+  // translate into native stack depth anywhere in the pipeline.
+  struct Frame {
+    xml::NodeId node;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  const xml::Element& root = document.element(document.root());
+  XPRED_RETURN_NOT_OK(filter_.StartElement(root.tag, root.attributes));
+  stack.push_back(Frame{document.root()});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const xml::Element& element = document.element(frame.node);
+    if (frame.next_child < element.children.size()) {
+      xml::NodeId child = element.children[frame.next_child++];
+      const xml::Element& child_element = document.element(child);
+      XPRED_RETURN_NOT_OK(filter_.StartElement(child_element.tag,
+                                               child_element.attributes));
+      stack.push_back(Frame{child});
+      continue;
+    }
+    XPRED_RETURN_NOT_OK(filter_.EndElement(element.tag));
+    stack.pop_back();
   }
-  return filter_.EndElement(element.tag);
+  return Status::OK();
 }
 
 Status StreamingEngine::FilterDocument(const xml::Document& document,
@@ -24,8 +42,13 @@ Status StreamingEngine::FilterDocument(const xml::Document& document,
   if (document.empty()) {
     return Status::InvalidArgument("document is empty");
   }
+  // Same governance contract as every other engine family: structural
+  // limits and the engine.begin_document fault site apply before any
+  // events are replayed (the streaming filter then re-enforces depth
+  // and attribute caps incrementally through the matcher's budget).
+  XPRED_RETURN_NOT_OK(BeginGoverned(document));
   XPRED_RETURN_NOT_OK(filter_.StartDocument());
-  XPRED_RETURN_NOT_OK(EmitElement(document, document.root()));
+  XPRED_RETURN_NOT_OK(EmitElements(document));
   XPRED_RETURN_NOT_OK(filter_.EndDocument());
   std::vector<core::ExprId> result = filter_.TakeMatches();
   matched->insert(matched->end(), result.begin(), result.end());

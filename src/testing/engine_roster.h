@@ -39,11 +39,18 @@ class StreamingEngine : public core::FilterEngine {
   }
   std::string_view name() const override { return "streaming"; }
 
+  /// Governance lives in the wrapped matcher (the streaming front end
+  /// consults the matcher's budget), so limits must be forwarded.
+  void set_resource_limits(const ResourceLimits& limits) override {
+    core::FilterEngine::set_resource_limits(limits);
+    matcher_.set_resource_limits(limits);
+  }
+
   /// The wrapped matcher (for subscription-removal interleavings).
   core::Matcher* matcher() { return &matcher_; }
 
  private:
-  Status EmitElement(const xml::Document& document, xml::NodeId node);
+  Status EmitElements(const xml::Document& document);
 
   core::Matcher matcher_;
   core::StreamingFilter filter_;

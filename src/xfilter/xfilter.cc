@@ -1,5 +1,6 @@
 #include "xfilter/xfilter.h"
 
+#include "common/fault_injection.h"
 #include "common/memory_usage.h"
 #include "obs/scoped_timer.h"
 #include "xpath/evaluator.h"
@@ -120,8 +121,14 @@ void XFilter::ProbeList(std::vector<Entry>* list, uint32_t level) {
   }
 }
 
-void XFilter::HandleElement(const xml::Document& document, xml::NodeId node,
-                            uint32_t level) {
+// Recursion depth is bounded by the engine's max_element_depth limit,
+// enforced in BeginGoverned before traversal starts. An error return
+// leaves this element's promotions on their lists; FilterDocument
+// unwinds the whole promotion log before propagating the error.
+Status XFilter::HandleElement(const xml::Document& document, xml::NodeId node,
+                              uint32_t level) {
+  XPRED_FAULT_POINT(faultsite::kXFilterElement);
+  XPRED_RETURN_NOT_OK(budget().CheckDeadline());
   const xml::Element& element = document.element(node);
   promotion_log_.emplace_back();
 
@@ -133,12 +140,17 @@ void XFilter::HandleElement(const xml::Document& document, xml::NodeId node,
   if (!wildcard_list_.empty()) ProbeList(&wildcard_list_, level);
 
   for (xml::NodeId child : element.children) {
-    HandleElement(document, child, level + 1);
+    XPRED_RETURN_NOT_OK(HandleElement(document, child, level + 1));
   }
 
   // Element end: retract this element's promotions (they were appended
   // in order, and all deeper promotions were already retracted, so
   // they sit at the tails of their lists).
+  RetractTopPromotions();
+  return Status::OK();
+}
+
+void XFilter::RetractTopPromotions() {
   for (auto promotion = promotion_log_.back().rbegin();
        promotion != promotion_log_.back().rend(); ++promotion) {
     if (promotion->tag == kInvalidSymbol) {
@@ -155,6 +167,7 @@ Status XFilter::FilterDocument(const xml::Document& document,
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
+  XPRED_RETURN_NOT_OK(BeginGoverned(document));
   ++doc_epoch_;
   doc_matched_.clear();
   doc_candidates_.clear();
@@ -169,7 +182,14 @@ Status XFilter::FilterDocument(const xml::Document& document,
     // FSM probing is this engine's stage-1 analogue.
     obs::ScopedTimer timer(&instruments, obs::Stage::kPredicate);
     promotion_log_.clear();
-    HandleElement(document, document.root(), /*level=*/1);
+    Status traverse_status =
+        HandleElement(document, document.root(), /*level=*/1);
+    if (!traverse_status.ok()) {
+      // Unwind the promotions the aborted traversal left behind so the
+      // next document starts from clean per-expression lists.
+      while (!promotion_log_.empty()) RetractTopPromotions();
+      return traverse_status;
+    }
 
     if (!doc_candidates_.empty()) {
       timer.Rotate(obs::Stage::kVerify);

@@ -79,8 +79,10 @@ class XFilter : public core::FilterEngine {
   };
 
   void InsertEntry(const Entry& entry, bool permanent);
-  void HandleElement(const xml::Document& document, xml::NodeId node,
-                     uint32_t level);
+  Status HandleElement(const xml::Document& document, xml::NodeId node,
+                       uint32_t level);
+  /// Pops the innermost element's promotions off their lists.
+  void RetractTopPromotions();
   void ProbeList(std::vector<Entry>* list, uint32_t level);
   void Advance(const Entry& entry, uint32_t level);
 

@@ -3,7 +3,12 @@
 namespace xpred::xml {
 
 Result<Document> Document::Parse(std::string_view text) {
-  SaxParser parser;
+  return Parse(text, SaxParser::Options{});
+}
+
+Result<Document> Document::Parse(std::string_view text,
+                                 const SaxParser::Options& options) {
+  SaxParser parser(options);
   DocumentBuilder builder;
   Status st = parser.Parse(text, &builder);
   if (!st.ok()) return st;
@@ -26,37 +31,55 @@ NodeId Document::AddElement(std::string tag, NodeId parent) {
 }
 
 std::string Document::ToXml() const {
+  // Iterative pre-order walk with an explicit frame stack: serializing
+  // a pathologically deep document must not consume native stack.
+  struct Frame {
+    NodeId id;
+    int indent;
+    size_t next_child = 0;
+  };
   std::string out;
-  if (!elements_.empty()) AppendXml(root(), 0, &out);
+  if (elements_.empty()) return out;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root(), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Element& e = elements_[frame.id];
+    if (frame.next_child == 0) {
+      out.append(static_cast<size_t>(frame.indent) * 2, ' ');
+      out.push_back('<');
+      out.append(e.tag);
+      for (const Attribute& a : e.attributes) {
+        out.push_back(' ');
+        out.append(a.name);
+        out.append("=\"");
+        out.append(EscapeXml(a.value));
+        out.push_back('"');
+      }
+      if (e.children.empty() && e.text.empty()) {
+        out.append("/>\n");
+        stack.pop_back();
+        continue;
+      }
+      out.push_back('>');
+      if (!e.text.empty()) out.append(EscapeXml(e.text));
+      if (!e.children.empty()) out.push_back('\n');
+    }
+    if (frame.next_child < e.children.size()) {
+      NodeId child = e.children[frame.next_child++];
+      int child_indent = frame.indent + 1;
+      stack.push_back(Frame{child, child_indent});
+      continue;
+    }
+    if (!e.children.empty()) {
+      out.append(static_cast<size_t>(frame.indent) * 2, ' ');
+    }
+    out.append("</");
+    out.append(e.tag);
+    out.append(">\n");
+    stack.pop_back();
+  }
   return out;
-}
-
-void Document::AppendXml(NodeId id, int indent, std::string* out) const {
-  const Element& e = elements_[id];
-  out->append(static_cast<size_t>(indent) * 2, ' ');
-  out->push_back('<');
-  out->append(e.tag);
-  for (const Attribute& a : e.attributes) {
-    out->push_back(' ');
-    out->append(a.name);
-    out->append("=\"");
-    out->append(EscapeXml(a.value));
-    out->push_back('"');
-  }
-  if (e.children.empty() && e.text.empty()) {
-    out->append("/>\n");
-    return;
-  }
-  out->push_back('>');
-  if (!e.text.empty()) out->append(EscapeXml(e.text));
-  if (!e.children.empty()) {
-    out->push_back('\n');
-    for (NodeId child : e.children) AppendXml(child, indent + 1, out);
-    out->append(static_cast<size_t>(indent) * 2, ' ');
-  }
-  out->append("</");
-  out->append(e.tag);
-  out->append(">\n");
 }
 
 Status DocumentBuilder::StartElement(std::string_view name,

@@ -57,6 +57,12 @@ class Document {
   /// Parses \p text into a document.
   static Result<Document> Parse(std::string_view text);
 
+  /// Parses \p text under explicit parser options (resource limits,
+  /// deadline budget). Violations surface as kResourceExhausted /
+  /// kDeadlineExceeded.
+  static Result<Document> Parse(std::string_view text,
+                                const SaxParser::Options& options);
+
   bool empty() const { return elements_.empty(); }
   size_t size() const { return elements_.size(); }
 
@@ -81,8 +87,6 @@ class Document {
   size_t tag_count() const { return elements_.size(); }
 
  private:
-  void AppendXml(NodeId id, int indent, std::string* out) const;
-
   std::vector<Element> elements_;
 };
 

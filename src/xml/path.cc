@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/limits.h"
+
 namespace xpred::xml {
 
 std::string DocumentPath::ToString() const {
@@ -16,45 +18,75 @@ std::string DocumentPath::ToString() const {
 namespace {
 
 /// Iterative DFS that maintains tag occurrence counts along the current
-/// root-to-node path.
+/// root-to-node path. An explicit frame stack (not recursion) keeps
+/// native stack usage constant regardless of document depth.
 class PathCollector {
  public:
-  explicit PathCollector(const Document& document) : document_(document) {}
+  PathCollector(const Document& document, ExecBudget* budget)
+      : document_(document), budget_(budget) {}
 
-  std::vector<DocumentPath> Collect() {
-    if (document_.empty()) return {};
-    Visit(document_.root());
-    return std::move(paths_);
+  Status Collect(std::vector<DocumentPath>* out) {
+    if (document_.empty()) return Status::OK();
+    XPRED_RETURN_NOT_OK(Enter(document_.root()));
+    while (!stack_.empty()) {
+      Frame& frame = stack_.back();
+      const Element& element = document_.element(frame.node);
+      if (frame.next_child < element.children.size()) {
+        NodeId child = element.children[frame.next_child++];
+        XPRED_RETURN_NOT_OK(Enter(child));
+        continue;
+      }
+      --tag_counts_[element.tag];
+      current_.pop_back();
+      stack_.pop_back();
+    }
+    *out = std::move(paths_);
+    return Status::OK();
   }
 
  private:
-  void Visit(NodeId node) {
+  struct Frame {
+    NodeId node;
+    size_t next_child = 0;
+  };
+
+  /// Opens \p node on the current path; records the path when it is a
+  /// leaf.
+  Status Enter(NodeId node) {
+    if (budget_ != nullptr) XPRED_RETURN_NOT_OK(budget_->CheckDeadline());
     const Element& element = document_.element(node);
     uint32_t& count = tag_counts_[element.tag];
     ++count;
     current_.push_back(PathStep{node, count});
-
     if (element.children.empty()) {
+      if (budget_ != nullptr) XPRED_RETURN_NOT_OK(budget_->AddPath());
       paths_.emplace_back(&document_, current_);
-    } else {
-      for (NodeId child : element.children) Visit(child);
     }
-
-    current_.pop_back();
-    --count;
+    stack_.push_back(Frame{node});
+    return Status::OK();
   }
 
   const Document& document_;
+  ExecBudget* budget_;
   std::unordered_map<std::string, uint32_t> tag_counts_;
   std::vector<PathStep> current_;
+  std::vector<Frame> stack_;
   std::vector<DocumentPath> paths_;
 };
 
 }  // namespace
 
 std::vector<DocumentPath> ExtractPaths(const Document& document) {
-  PathCollector collector(document);
-  return collector.Collect();
+  std::vector<DocumentPath> paths;
+  // Without a budget the collector cannot fail.
+  Status st = PathCollector(document, nullptr).Collect(&paths);
+  (void)st;
+  return paths;
+}
+
+Status ExtractPaths(const Document& document, ExecBudget* budget,
+                    std::vector<DocumentPath>* out) {
+  return PathCollector(document, budget).Collect(out);
 }
 
 }  // namespace xpred::xml

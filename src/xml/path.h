@@ -77,6 +77,13 @@ class DocumentPath {
 /// current path (the paper's per-path hash table).
 std::vector<DocumentPath> ExtractPaths(const Document& document);
 
+/// Budget-governed variant: honors the budget's extracted-path cap and
+/// deadline checkpoints, failing with kResourceExhausted /
+/// kDeadlineExceeded instead of silently truncating. \p budget may be
+/// null (never fails then).
+Status ExtractPaths(const Document& document, ExecBudget* budget,
+                    std::vector<DocumentPath>* out);
+
 }  // namespace xpred::xml
 
 #endif  // XPRED_XML_PATH_H_

@@ -8,6 +8,10 @@
 
 #include "common/status.h"
 
+namespace xpred {
+class ExecBudget;
+}
+
 namespace xpred::xml {
 
 /// A single attribute on an element, in document order.
@@ -67,8 +71,21 @@ class SaxParser {
     /// When true, whitespace-only character runs are not reported.
     bool skip_whitespace_text = true;
     /// Maximum element nesting depth (guards against pathological
-    /// inputs).
+    /// inputs); exceeding it yields kResourceExhausted. 0 = unlimited —
+    /// safe because the parser is fully iterative.
     size_t max_depth = 512;
+    /// Maximum attributes on a single element (kResourceExhausted when
+    /// exceeded). 0 = unlimited.
+    size_t max_attributes_per_element = 0;
+    /// Maximum entity / character references expanded across the whole
+    /// document, text and attribute values combined (kResourceExhausted
+    /// when exceeded). 0 = unlimited.
+    size_t max_entity_expansions = 0;
+    /// Optional per-document budget; when set, the parser runs its
+    /// amortized deadline checkpoint once per content step so a parse
+    /// of a huge document cannot outlive the document deadline. Not
+    /// owned; must outlive the Parse call.
+    ExecBudget* budget = nullptr;
   };
 
   SaxParser() = default;

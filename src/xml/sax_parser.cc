@@ -2,7 +2,10 @@
 
 #include <cctype>
 #include <string>
+#include <vector>
 
+#include "common/fault_injection.h"
+#include "common/limits.h"
 #include "common/string_util.h"
 
 namespace xpred::xml {
@@ -78,15 +81,16 @@ class ParserImpl {
  public:
   ParserImpl(std::string_view input, const SaxParser::Options& options,
              ContentHandler* handler)
-      : cursor_(input), options_(options), handler_(handler) {}
+      : input_(input), cursor_(input), options_(options), handler_(handler) {}
 
   Status Run() {
+    XPRED_FAULT_POINT(faultsite::kParserBeginDocument);
     XPRED_RETURN_NOT_OK(handler_->StartDocument());
     XPRED_RETURN_NOT_OK(SkipProlog());
     if (cursor_.AtEnd() || cursor_.Peek() != '<') {
       return Error("expected root element");
     }
-    XPRED_RETURN_NOT_OK(ParseElement());
+    XPRED_RETURN_NOT_OK(ParseRootElement());
     // Only misc (comments/PIs/whitespace) may follow the root element.
     for (;;) {
       cursor_.SkipWhitespace();
@@ -173,8 +177,22 @@ class ParserImpl {
         ++i;
         continue;
       }
+      XPRED_FAULT_POINT(faultsite::kParserDecodeText);
+      ++entity_expansions_;
+      if (options_.max_entity_expansions != 0 &&
+          entity_expansions_ > options_.max_entity_expansions) {
+        return Status::ResourceExhausted(
+            StringPrintf("entity expansions exceed %zu",
+                         options_.max_entity_expansions));
+      }
       size_t semi = raw.find(';', i + 1);
       if (semi == std::string_view::npos) {
+        // Distinguish a reference truncated by end-of-input from one
+        // merely interrupted by markup, so truncated documents report
+        // what actually happened.
+        if (raw.data() + raw.size() == input_.data() + input_.size()) {
+          return Error("unterminated entity reference at end of input");
+        }
         return Error("unterminated entity reference");
       }
       std::string_view entity = raw.substr(i + 1, semi - i - 1);
@@ -206,6 +224,10 @@ class ParserImpl {
               break;
             }
             code = code * 16 + static_cast<uint64_t>(digit);
+            // Saturate instead of wrapping: a reference beyond the
+            // Unicode range must be rejected, not silently aliased to
+            // whatever the modular arithmetic lands on.
+            if (code > 0x10FFFF) code = 0x110000;
           }
           ok = ok && entity.size() > 2;
         } else {
@@ -215,6 +237,7 @@ class ParserImpl {
               break;
             }
             code = code * 10 + static_cast<uint64_t>(entity[k] - '0');
+            if (code > 0x10FFFF) code = 0x110000;
           }
         }
         if (!ok || code == 0 || code > 0x10FFFF) {
@@ -286,87 +309,108 @@ class ParserImpl {
       attr.name.assign(name);
       XPRED_RETURN_NOT_OK(DecodeText(raw, &attr.value));
       attributes->push_back(std::move(attr));
+      if (options_.max_attributes_per_element != 0 &&
+          attributes->size() > options_.max_attributes_per_element) {
+        return Status::ResourceExhausted(
+            StringPrintf("attributes per element exceed %zu",
+                         options_.max_attributes_per_element));
+      }
     }
   }
 
-  /// Parses one element (recursively), starting at its '<'.
-  Status ParseElement() {
-    if (++depth_ > options_.max_depth) {
-      return Status::CapacityExceeded(
+  /// Parses the root element and everything inside it.
+  ///
+  /// Iterative with an explicit open-element stack, so document depth
+  /// costs heap, never native stack: a depth cap of 100k+ is safe. The
+  /// text buffer is shared across levels — it is always flushed before
+  /// descending into a child and drained at each end tag, so character
+  /// runs never span an element boundary.
+  Status ParseRootElement() {
+    XPRED_RETURN_NOT_OK(HandleStartTag());
+    while (!open_elements_.empty()) {
+      if (options_.budget != nullptr) {
+        XPRED_RETURN_NOT_OK(options_.budget->CheckDeadline());
+      }
+      XPRED_RETURN_NOT_OK(ParseContentStep());
+    }
+    return Status::OK();
+  }
+
+  /// Parses one start tag at the cursor's '<'. Empty elements emit both
+  /// events immediately; open elements are pushed onto the stack.
+  Status HandleStartTag() {
+    if (options_.max_depth != 0 &&
+        open_elements_.size() + 1 > options_.max_depth) {
+      return Status::ResourceExhausted(
           StringPrintf("element nesting exceeds %zu", options_.max_depth));
     }
     cursor_.Advance();  // '<'
     std::string_view name;
     XPRED_RETURN_NOT_OK(ParseName(&name));
-    std::string element_name(name);  // Owned: handler calls may recurse.
-    std::vector<Attribute> attributes;
-    XPRED_RETURN_NOT_OK(ParseAttributes(&attributes));
+    std::string element_name(name);  // Owned: attribute parsing advances.
+    XPRED_RETURN_NOT_OK(ParseAttributes(&attributes_));
     if (cursor_.ConsumeIf("/>")) {
-      XPRED_RETURN_NOT_OK(handler_->StartElement(element_name, attributes));
-      XPRED_RETURN_NOT_OK(handler_->EndElement(element_name));
-      --depth_;
-      return Status::OK();
+      XPRED_RETURN_NOT_OK(handler_->StartElement(element_name, attributes_));
+      return handler_->EndElement(element_name);
     }
     if (!cursor_.ConsumeIf(">")) return Error("expected '>'");
-    XPRED_RETURN_NOT_OK(handler_->StartElement(element_name, attributes));
-    XPRED_RETURN_NOT_OK(ParseContent(element_name));
-    XPRED_RETURN_NOT_OK(handler_->EndElement(element_name));
-    --depth_;
+    XPRED_RETURN_NOT_OK(handler_->StartElement(element_name, attributes_));
+    open_elements_.push_back(std::move(element_name));
     return Status::OK();
   }
 
-  /// Parses element content up to and including the matching end tag.
-  Status ParseContent(std::string_view element_name) {
-    std::string text;
-    for (;;) {
-      size_t start = cursor_.pos();
-      while (!cursor_.AtEnd() && cursor_.Peek() != '<') cursor_.Advance();
-      if (cursor_.pos() > start) {
-        std::string decoded;
-        XPRED_RETURN_NOT_OK(
-            DecodeText(cursor_.Slice(start, cursor_.pos()), &decoded));
-        text += decoded;
-      }
-      if (cursor_.AtEnd()) {
-        return Error("unterminated element '" + std::string(element_name) +
-                     "'");
-      }
-      if (cursor_.ConsumeIf("</")) {
-        XPRED_RETURN_NOT_OK(FlushText(&text));
-        std::string_view end_name;
-        XPRED_RETURN_NOT_OK(ParseName(&end_name));
-        cursor_.SkipWhitespace();
-        if (!cursor_.ConsumeIf(">")) return Error("expected '>' in end tag");
-        if (end_name != element_name) {
-          return Error("mismatched end tag: expected </" +
-                       std::string(element_name) + ">, found </" +
-                       std::string(end_name) + ">");
-        }
-        return Status::OK();
-      }
-      if (cursor_.ConsumeIf("<!--")) {
-        XPRED_RETURN_NOT_OK(SkipUntil("-->", "unterminated comment"));
-      } else if (cursor_.ConsumeIf("<![CDATA[")) {
-        size_t cdata_start = cursor_.pos();
-        for (;;) {
-          if (cursor_.AtEnd()) return Error("unterminated CDATA section");
-          if (cursor_.Peek() == ']' && cursor_.PeekAt(1) == ']' &&
-              cursor_.PeekAt(2) == '>') {
-            break;
-          }
-          cursor_.Advance();
-        }
-        text.append(cursor_.Slice(cdata_start, cursor_.pos()));
-        cursor_.AdvanceBy(3);  // "]]>"
-      } else if (cursor_.ConsumeIf("<?")) {
-        XPRED_RETURN_NOT_OK(
-            SkipUntil("?>", "unterminated processing instruction"));
-      } else {
-        // Child element.
-        XPRED_RETURN_NOT_OK(FlushText(&text));
-        XPRED_RETURN_NOT_OK(ParseElement());
-      }
+  /// Consumes one unit of content inside the innermost open element: a
+  /// text run plus the markup that terminates it (end tag, child start
+  /// tag, comment, CDATA, or PI).
+  Status ParseContentStep() {
+    size_t start = cursor_.pos();
+    while (!cursor_.AtEnd() && cursor_.Peek() != '<') cursor_.Advance();
+    if (cursor_.pos() > start) {
+      XPRED_RETURN_NOT_OK(
+          DecodeText(cursor_.Slice(start, cursor_.pos()), &decoded_));
+      text_ += decoded_;
     }
+    if (cursor_.AtEnd()) {
+      return Error("unterminated element '" + open_elements_.back() + "'");
+    }
+    if (cursor_.ConsumeIf("</")) {
+      XPRED_RETURN_NOT_OK(FlushText(&text_));
+      std::string_view end_name;
+      XPRED_RETURN_NOT_OK(ParseName(&end_name));
+      cursor_.SkipWhitespace();
+      if (!cursor_.ConsumeIf(">")) return Error("expected '>' in end tag");
+      if (end_name != open_elements_.back()) {
+        return Error("mismatched end tag: expected </" +
+                     open_elements_.back() + ">, found </" +
+                     std::string(end_name) + ">");
+      }
+      XPRED_RETURN_NOT_OK(handler_->EndElement(open_elements_.back()));
+      open_elements_.pop_back();
+      return Status::OK();
+    }
+    if (cursor_.ConsumeIf("<!--")) {
+      return SkipUntil("-->", "unterminated comment");
+    }
+    if (cursor_.ConsumeIf("<![CDATA[")) {
+      size_t cdata_start = cursor_.pos();
+      for (;;) {
+        if (cursor_.AtEnd()) return Error("unterminated CDATA section");
+        if (cursor_.Peek() == ']' && cursor_.PeekAt(1) == ']' &&
+            cursor_.PeekAt(2) == '>') {
+          break;
+        }
+        cursor_.Advance();
+      }
+      text_.append(cursor_.Slice(cdata_start, cursor_.pos()));
+      cursor_.AdvanceBy(3);  // "]]>"
+      return Status::OK();
+    }
+    if (cursor_.ConsumeIf("<?")) {
+      return SkipUntil("?>", "unterminated processing instruction");
+    }
+    // Child element.
+    XPRED_RETURN_NOT_OK(FlushText(&text_));
+    return HandleStartTag();
   }
 
   Status FlushText(std::string* text) {
@@ -386,10 +430,18 @@ class ParserImpl {
     return st;
   }
 
+  std::string_view input_;
   Cursor cursor_;
   SaxParser::Options options_;
   ContentHandler* handler_;
-  size_t depth_ = 0;
+  /// Names of the currently open elements, outermost first.
+  std::vector<std::string> open_elements_;
+  /// Pending character data for the innermost open element.
+  std::string text_;
+  /// Scratch buffers reused across elements.
+  std::string decoded_;
+  std::vector<Attribute> attributes_;
+  uint64_t entity_expansions_ = 0;
 };
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/memory_usage.h"
 #include "obs/scoped_timer.h"
 #include "xpath/evaluator.h"
@@ -150,8 +151,12 @@ void YFilter::ExecuteElement(SymbolId tag,
   }
 }
 
-void YFilter::Traverse(const xml::Document& document, xml::NodeId node,
-                       std::vector<std::vector<uint32_t>>* stack) {
+// Recursion depth is bounded by the engine's max_element_depth limit,
+// enforced in BeginGoverned before traversal starts.
+Status YFilter::Traverse(const xml::Document& document, xml::NodeId node,
+                         std::vector<std::vector<uint32_t>>* stack) {
+  XPRED_FAULT_POINT(faultsite::kYFilterTraverse);
+  XPRED_RETURN_NOT_OK(budget().CheckDeadline());
   const xml::Element& element = document.element(node);
   SymbolId tag = interner_.Lookup(element.tag);
   stack->emplace_back();
@@ -163,10 +168,11 @@ void YFilter::Traverse(const xml::Document& document, xml::NodeId node,
   }
   if (!stack->back().empty()) {
     for (xml::NodeId child : element.children) {
-      Traverse(document, child, stack);
+      XPRED_RETURN_NOT_OK(Traverse(document, child, stack));
     }
   }
   stack->pop_back();
+  return Status::OK();
 }
 
 Status YFilter::FilterDocument(const xml::Document& document,
@@ -174,6 +180,7 @@ Status YFilter::FilterDocument(const xml::Document& document,
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
+  XPRED_RETURN_NOT_OK(BeginGoverned(document));
   ++doc_epoch_;
   doc_matched_.clear();
   doc_candidates_.clear();
@@ -189,7 +196,7 @@ Status YFilter::FilterDocument(const xml::Document& document,
     obs::ScopedTimer timer(&instruments, obs::Stage::kPredicate);
     std::vector<std::vector<uint32_t>> stack;
     stack.push_back({0});  // Start state active before the root element.
-    Traverse(document, document.root(), &stack);
+    XPRED_RETURN_NOT_OK(Traverse(document, document.root(), &stack));
 
     // Selection-postponed verification of structurally matched
     // candidates with filters.

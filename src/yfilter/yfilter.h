@@ -77,8 +77,8 @@ class YFilter : public core::FilterEngine {
 
   void ExecuteElement(SymbolId tag, const std::vector<uint32_t>& current,
                       std::vector<uint32_t>* next);
-  void Traverse(const xml::Document& document, xml::NodeId node,
-                std::vector<std::vector<uint32_t>>* stack);
+  Status Traverse(const xml::Document& document, xml::NodeId node,
+                  std::vector<std::vector<uint32_t>>* stack);
   void Accept(uint32_t state_id);
 
   Interner interner_;

@@ -1,0 +1,197 @@
+// Table-driven coverage of every ResourceLimits knob: consumption at
+// the limit must pass, one past the limit must fail with
+// kResourceExhausted, and a disarmed budget must never fail. The
+// deadline knob (wall clock, not a counter) is exercised separately.
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "common/limits.h"
+#include "common/status.h"
+
+namespace xpred {
+namespace {
+
+TEST(ResourceLimitsTest, DefaultKeepsHistoricalBehavior) {
+  ResourceLimits limits;
+  EXPECT_EQ(limits.max_element_depth, 512u);
+  EXPECT_EQ(limits.max_document_bytes, 0u);
+  EXPECT_EQ(limits.max_attributes_per_element, 0u);
+  EXPECT_EQ(limits.max_extracted_paths, 0u);
+  EXPECT_EQ(limits.max_entity_expansions, 0u);
+  EXPECT_EQ(limits.deadline_ms, 0);
+  EXPECT_TRUE(limits.any_enabled());
+}
+
+TEST(ResourceLimitsTest, UnlimitedDisablesEveryGuard) {
+  EXPECT_FALSE(ResourceLimits::Unlimited().any_enabled());
+}
+
+TEST(ResourceLimitsTest, ProductionEnablesEveryGuard) {
+  ResourceLimits limits = ResourceLimits::Production();
+  EXPECT_GT(limits.max_document_bytes, 0u);
+  EXPECT_GT(limits.max_element_depth, 0u);
+  EXPECT_GT(limits.max_attributes_per_element, 0u);
+  EXPECT_GT(limits.max_extracted_paths, 0u);
+  EXPECT_GT(limits.max_entity_expansions, 0u);
+  EXPECT_GT(limits.deadline_ms, 0);
+}
+
+struct KnobCase {
+  const char* name;
+  /// Sets the knob under test to \p value on \p limits.
+  void (*set)(ResourceLimits* limits, size_t value);
+  /// Consumes/checks \p amount against an armed budget.
+  Status (*probe)(ExecBudget* budget, size_t amount);
+};
+
+const KnobCase kKnobs[] = {
+    {"document_bytes",
+     [](ResourceLimits* l, size_t v) { l->max_document_bytes = v; },
+     [](ExecBudget* b, size_t amount) {
+       return b->CheckDocumentBytes(amount);
+     }},
+    {"element_depth",
+     [](ResourceLimits* l, size_t v) { l->max_element_depth = v; },
+     [](ExecBudget* b, size_t amount) { return b->CheckDepth(amount); }},
+    {"attributes_per_element",
+     [](ResourceLimits* l, size_t v) { l->max_attributes_per_element = v; },
+     [](ExecBudget* b, size_t amount) {
+       return b->CheckAttributeCount(amount);
+     }},
+    {"extracted_paths",
+     [](ResourceLimits* l, size_t v) { l->max_extracted_paths = v; },
+     [](ExecBudget* b, size_t amount) {
+       Status st;
+       for (size_t i = 0; i < amount && st.ok(); ++i) st = b->AddPath();
+       return st;
+     }},
+    {"entity_expansions",
+     [](ResourceLimits* l, size_t v) { l->max_entity_expansions = v; },
+     [](ExecBudget* b, size_t amount) {
+       return b->AddEntityExpansions(amount);
+     }},
+};
+
+constexpr size_t kLimit = 8;
+
+TEST(ExecBudgetTest, EveryKnobPassesAtTheLimit) {
+  for (const KnobCase& knob : kKnobs) {
+    SCOPED_TRACE(knob.name);
+    ResourceLimits limits = ResourceLimits::Unlimited();
+    knob.set(&limits, kLimit);
+    ExecBudget budget;
+    budget.Arm(limits);
+    EXPECT_TRUE(knob.probe(&budget, kLimit).ok());
+  }
+}
+
+TEST(ExecBudgetTest, EveryKnobFailsPastTheLimit) {
+  for (const KnobCase& knob : kKnobs) {
+    SCOPED_TRACE(knob.name);
+    ResourceLimits limits = ResourceLimits::Unlimited();
+    knob.set(&limits, kLimit);
+    ExecBudget budget;
+    budget.Arm(limits);
+    Status st = knob.probe(&budget, kLimit + 1);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+    // The message must name the limit so rejections are actionable.
+    EXPECT_NE(st.message().find(std::to_string(kLimit)), std::string::npos)
+        << st.message();
+  }
+}
+
+TEST(ExecBudgetTest, ZeroMeansUnlimited) {
+  for (const KnobCase& knob : kKnobs) {
+    SCOPED_TRACE(knob.name);
+    ExecBudget budget;
+    budget.Arm(ResourceLimits::Unlimited());
+    EXPECT_TRUE(knob.probe(&budget, 1u << 16).ok());
+  }
+}
+
+TEST(ExecBudgetTest, DisarmedBudgetNeverFails) {
+  for (const KnobCase& knob : kKnobs) {
+    SCOPED_TRACE(knob.name);
+    ResourceLimits limits = ResourceLimits::Unlimited();
+    knob.set(&limits, 1);
+    ExecBudget budget;
+    budget.Arm(limits);
+    budget.Disarm();
+    EXPECT_TRUE(knob.probe(&budget, 100).ok());
+  }
+}
+
+TEST(ExecBudgetTest, ReArmingResetsConsumptionCounters) {
+  ResourceLimits limits = ResourceLimits::Unlimited();
+  limits.max_extracted_paths = 2;
+  ExecBudget budget;
+  budget.Arm(limits);
+  EXPECT_TRUE(budget.AddPath().ok());
+  EXPECT_TRUE(budget.AddPath().ok());
+  EXPECT_FALSE(budget.AddPath().ok());
+  budget.Arm(limits);  // Next document: full budget again.
+  EXPECT_EQ(budget.paths(), 0u);
+  EXPECT_TRUE(budget.AddPath().ok());
+}
+
+TEST(ExecBudgetTest, NoDeadlineMeansCheckpointsAreFree) {
+  ExecBudget budget;
+  budget.Arm(ResourceLimits::Unlimited());
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(budget.CheckDeadline().ok());
+  }
+  EXPECT_TRUE(budget.CheckDeadlineNow().ok());
+}
+
+TEST(ExecBudgetTest, ExpiredDeadlineFailsAtTheNextUnamortizedCheck) {
+  ResourceLimits limits = ResourceLimits::Unlimited();
+  limits.deadline_ms = 1e-6;  // Effectively already expired.
+  ExecBudget budget;
+  budget.Arm(limits);
+  // Spin until the (tiny) deadline has certainly passed.
+  Status st = Status::OK();
+  for (int i = 0; i < 1 << 22 && st.ok(); ++i) {
+    st = budget.CheckDeadlineNow();
+  }
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecBudgetTest, ForcedExpiryFailsEvenMidStride) {
+  ResourceLimits limits = ResourceLimits::Unlimited();
+  limits.deadline_ms = 1e9;  // Far future: only the forced flag can fire.
+  ExecBudget budget;
+  budget.Arm(limits);
+  EXPECT_TRUE(budget.CheckDeadline().ok());
+  budget.ForceDeadlineExpiry();
+  Status st = budget.CheckDeadline();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  // Re-arming clears the forced flag.
+  budget.Arm(limits);
+  EXPECT_TRUE(budget.CheckDeadline().ok());
+}
+
+TEST(ExecBudgetTest, AmortizedCheckpointTripsWithinOneStride) {
+  ResourceLimits limits = ResourceLimits::Unlimited();
+  limits.deadline_ms = 1e-6;
+  ExecBudget budget;
+  budget.Arm(limits);
+  // The amortized checkpoint reads the clock once per stride, so the
+  // expired deadline must surface within kDeadlineStride calls (there
+  // is no path that silently skips the clock forever).
+  Status st = Status::OK();
+  uint32_t calls = 0;
+  while (st.ok() && calls < ExecBudget::kDeadlineStride * 4) {
+    st = budget.CheckDeadline();
+    ++calls;
+  }
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace xpred

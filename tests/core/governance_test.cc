@@ -1,0 +1,231 @@
+// Roster-wide governance contract: every engine family must reject an
+// over-limit or deadline-expired document with the SAME documented
+// StatusCode, whether the document arrives as raw XML (FilterXml) or
+// as a pre-parsed tree (FilterDocument). A healthy document under the
+// same limits must still be filtered.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/fault_injection.h"
+#include "common/limits.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "testing/engine_roster.h"
+#include "xml/document.h"
+
+namespace xpred {
+namespace {
+
+using difftest::FullRoster;
+using difftest::RosterEntry;
+
+std::string NestedXml(size_t depth) {
+  std::string xml;
+  for (size_t i = 0; i < depth; ++i) xml += "<a>";
+  xml += "<b/>";
+  for (size_t i = 0; i < depth; ++i) xml += "</a>";
+  return xml;
+}
+
+/// One over-limit scenario: a limits configuration plus an XML
+/// document that violates exactly one knob.
+struct Scenario {
+  const char* name;
+  ResourceLimits limits;
+  std::string xml;
+  StatusCode want = StatusCode::kResourceExhausted;
+};
+
+std::vector<Scenario> OverLimitScenarios() {
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "document_bytes";
+    s.limits = ResourceLimits::Unlimited();
+    s.limits.max_document_bytes = 16;
+    s.xml = "<a><b/><c/><d/><e/></a>";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "element_depth";
+    s.limits = ResourceLimits::Unlimited();
+    s.limits.max_element_depth = 4;
+    s.xml = NestedXml(6);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "attributes_per_element";
+    s.limits = ResourceLimits::Unlimited();
+    s.limits.max_attributes_per_element = 2;
+    s.xml = "<a w=\"1\" x=\"2\" y=\"3\" z=\"4\"/>";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "extracted_paths";
+    s.limits = ResourceLimits::Unlimited();
+    s.limits.max_extracted_paths = 2;
+    s.xml = "<a><b/><b/><b/><b/></a>";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "entity_expansions";
+    s.limits = ResourceLimits::Unlimited();
+    s.limits.max_entity_expansions = 2;
+    s.xml = "<a>&amp;&amp;&amp;&amp;</a>";
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+TEST(GovernanceTest, EveryEngineRejectsOverLimitXmlWithTheSameCode) {
+  for (const Scenario& scenario : OverLimitScenarios()) {
+    SCOPED_TRACE(scenario.name);
+    for (const RosterEntry& entry : FullRoster()) {
+      SCOPED_TRACE(entry.label);
+      std::unique_ptr<core::FilterEngine> engine = entry.make();
+      ASSERT_TRUE(engine->AddExpression("/a").ok());
+      engine->set_resource_limits(scenario.limits);
+      std::vector<core::ExprId> matched;
+      Status st = engine->FilterXml(scenario.xml, &matched);
+      ASSERT_FALSE(st.ok()) << "over-limit document accepted";
+      EXPECT_EQ(st.code(), scenario.want) << st.message();
+      EXPECT_TRUE(matched.empty());
+    }
+  }
+}
+
+TEST(GovernanceTest, EveryEngineRejectsOverLimitTreesViaFilterDocument) {
+  // Direct FilterDocument callers (no parse step) must get the same
+  // contract through the structural pre-scan. Entity expansion is a
+  // text-level concept, so only the structural knobs apply here.
+  for (const Scenario& scenario : OverLimitScenarios()) {
+    if (std::string(scenario.name) == "entity_expansions" ||
+        std::string(scenario.name) == "document_bytes") {
+      continue;
+    }
+    SCOPED_TRACE(scenario.name);
+    Result<xml::Document> doc = xml::Document::Parse(scenario.xml);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    for (const RosterEntry& entry : FullRoster()) {
+      SCOPED_TRACE(entry.label);
+      std::unique_ptr<core::FilterEngine> engine = entry.make();
+      ASSERT_TRUE(engine->AddExpression("/a").ok());
+      engine->set_resource_limits(scenario.limits);
+      std::vector<core::ExprId> matched;
+      Status st = engine->FilterDocument(*doc, &matched);
+      ASSERT_FALSE(st.ok()) << "over-limit tree accepted";
+      EXPECT_EQ(st.code(), scenario.want) << st.message();
+    }
+  }
+}
+
+TEST(GovernanceTest, EveryEngineStillFiltersHealthyDocumentsUnderLimits) {
+  // Production limits are strict but must be invisible to a normal
+  // document: same verdicts as an unlimited engine.
+  const std::string xml = "<a><b/><c x=\"1\"/></a>";
+  for (const RosterEntry& entry : FullRoster()) {
+    SCOPED_TRACE(entry.label);
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    Result<core::ExprId> id = engine->AddExpression("/a/b");
+    ASSERT_TRUE(id.ok());
+    engine->set_resource_limits(ResourceLimits::Production());
+    std::vector<core::ExprId> matched;
+    ASSERT_TRUE(engine->FilterXml(xml, &matched).ok());
+    EXPECT_EQ(matched, std::vector<core::ExprId>{*id});
+  }
+}
+
+TEST(GovernanceTest, EveryEngineReportsSimulatedDeadlineExpiryUniformly) {
+  // kDeadlineExpiry at the shared engine.begin_document site stands in
+  // for a wall-clock expiry without timing flakiness: every family
+  // must surface kDeadlineExceeded from its governed entry point.
+  FaultInjector injector(7);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kEngineBeginDocument);
+  rule.kind = FaultInjector::FaultKind::kDeadlineExpiry;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+
+  for (const RosterEntry& entry : FullRoster()) {
+    SCOPED_TRACE(entry.label);
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    ASSERT_TRUE(engine->AddExpression("/a").ok());
+    std::vector<core::ExprId> matched;
+    Status st = engine->FilterXml("<a><b/></a>", &matched);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.message();
+  }
+  FaultInjector::Install(nullptr);
+}
+
+TEST(GovernanceTest, RejectionDoesNotPoisonTheNextDocument) {
+  // After an over-limit rejection the engine must filter the next
+  // healthy document correctly — no partial traversal state (e.g.
+  // XFilter promotions) may leak across documents.
+  ResourceLimits limits = ResourceLimits::Unlimited();
+  limits.max_element_depth = 4;
+  for (const RosterEntry& entry : FullRoster()) {
+    SCOPED_TRACE(entry.label);
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    Result<core::ExprId> id = engine->AddExpression("/a/b");
+    ASSERT_TRUE(id.ok());
+    engine->set_resource_limits(limits);
+    std::vector<core::ExprId> matched;
+    ASSERT_FALSE(engine->FilterXml(NestedXml(6), &matched).ok());
+    matched.clear();
+    ASSERT_TRUE(engine->FilterXml("<a><b/></a>", &matched).ok());
+    EXPECT_EQ(matched, std::vector<core::ExprId>{*id});
+  }
+}
+
+TEST(GovernanceTest, MidTraversalAbortDoesNotPoisonTheNextDocument) {
+  // Abort each engine partway through a document (second visit of its
+  // per-element / per-path fault site) and verify the NEXT document is
+  // filtered correctly: aborted traversals must unwind any in-flight
+  // state (e.g. XFilter's promoted FSM entries).
+  for (const RosterEntry& entry : FullRoster()) {
+    SCOPED_TRACE(entry.label);
+    std::string_view site;
+    if (entry.label.rfind("yfilter", 0) == 0) {
+      site = faultsite::kYFilterTraverse;
+    } else if (entry.label.rfind("xfilter", 0) == 0) {
+      site = faultsite::kXFilterElement;
+    } else if (entry.label.rfind("index-filter", 0) == 0) {
+      continue;  // Rebuilds its index per document; no fault site mid-eval.
+    } else {
+      site = faultsite::kMatcherProcessPath;
+    }
+    FaultInjector injector(3);
+    FaultInjector::Rule rule;
+    rule.site = std::string(site);
+    rule.offset = 1;       // Second visit: mid-document.
+    rule.period = 100000;  // Effectively once.
+    injector.AddRule(rule);
+
+    std::unique_ptr<core::FilterEngine> engine = entry.make();
+    Result<core::ExprId> id = engine->AddExpression("/a/b");
+    ASSERT_TRUE(id.ok());
+
+    FaultInjector::Install(&injector);
+    std::vector<core::ExprId> matched;
+    Status st = engine->FilterXml("<a><b/><c/><d/></a>", &matched);
+    FaultInjector::Install(nullptr);
+    ASSERT_FALSE(st.ok()) << "fault did not fire";
+    EXPECT_EQ(injector.journal().size(), 1u);
+
+    matched.clear();
+    ASSERT_TRUE(engine->FilterXml("<a><b/></a>", &matched).ok());
+    EXPECT_EQ(matched, std::vector<core::ExprId>{*id});
+  }
+}
+
+}  // namespace
+}  // namespace xpred

@@ -1,0 +1,271 @@
+// IngestGovernor behavior: poison documents are quarantined with their
+// cause while healthy ones keep flowing, transient failures are
+// retried with exponential backoff, and the circuit breaker follows
+// the closed -> open -> half-open -> closed lifecycle, all mirrored in
+// the engine's metrics registry.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/fault_injection.h"
+#include "common/limits.h"
+#include "common/status.h"
+#include "core/governor.h"
+#include "core/matcher.h"
+#include "obs/metrics.h"
+
+namespace xpred::core {
+namespace {
+
+std::string NestedXml(size_t depth) {
+  std::string xml;
+  for (size_t i = 0; i < depth; ++i) xml += "<a>";
+  xml += "<b/>";
+  for (size_t i = 0; i < depth; ++i) xml += "</a>";
+  return xml;
+}
+
+IngestGovernor::Options TestOptions() {
+  IngestGovernor::Options options;
+  options.limits = ResourceLimits::Unlimited();
+  options.limits.max_element_depth = 4;
+  options.sleep_ms = [](uint32_t) {};  // No real delays in tests.
+  return options;
+}
+
+TEST(GovernorTest, MixedPoisonAndHealthyStreamKeepsFlowing) {
+  Matcher matcher;
+  Result<ExprId> id = matcher.AddExpression("/a/b");
+  ASSERT_TRUE(id.ok());
+  IngestGovernor::Options options = TestOptions();
+  options.breaker_threshold = 0;  // Isolate quarantine behavior.
+  IngestGovernor governor(&matcher, options);
+
+  const std::string healthy = "<a><b/></a>";
+  const std::string poison = NestedXml(6);
+  size_t healthy_matches = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<ExprId> matched;
+    IngestGovernor::DocOutcome outcome;
+    const std::string& doc = (i % 2 == 0) ? poison : healthy;
+    ASSERT_TRUE(governor.FilterNext(doc, &matched, &outcome).ok());
+    if (i % 2 == 0) {
+      EXPECT_TRUE(outcome.quarantined);
+      EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted);
+      EXPECT_TRUE(matched.empty());
+    } else {
+      EXPECT_TRUE(outcome.status.ok());
+      ASSERT_EQ(matched.size(), 1u);
+      EXPECT_EQ(matched[0], *id);
+      ++healthy_matches;
+    }
+  }
+  EXPECT_EQ(healthy_matches, 5u);
+  EXPECT_EQ(governor.docs_seen(), 10u);
+  EXPECT_EQ(governor.docs_ok(), 5u);
+  ASSERT_EQ(governor.quarantine().size(), 5u);
+  EXPECT_EQ(governor.quarantine()[0].doc_index, 0u);
+  EXPECT_EQ(governor.quarantine()[0].cause.code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(GovernorTest, PermanentFailuresAreNotRetried) {
+  Matcher matcher;
+  IngestGovernor::Options options = TestOptions();
+  uint32_t sleeps = 0;
+  options.sleep_ms = [&sleeps](uint32_t) { ++sleeps; };
+  IngestGovernor governor(&matcher, options);
+
+  std::vector<ExprId> matched;
+  IngestGovernor::DocOutcome outcome;
+  ASSERT_TRUE(governor.FilterNext(NestedXml(6), &matched, &outcome).ok());
+  EXPECT_TRUE(outcome.quarantined);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_EQ(sleeps, 0u);
+}
+
+TEST(GovernorTest, TransientFailuresRetryWithExponentialBackoff) {
+  Matcher matcher;
+  ASSERT_TRUE(matcher.AddExpression("/a").ok());
+  IngestGovernor::Options options = TestOptions();
+  options.max_retries = 3;
+  options.backoff_base_ms = 10;
+  std::vector<uint32_t> sleeps;
+  options.sleep_ms = [&sleeps](uint32_t ms) { sleeps.push_back(ms); };
+  IngestGovernor governor(&matcher, options);
+
+  // Simulated deadline expiry on the first two attempts only (visits 0
+  // and 1 of the shared governed-entry site); the third succeeds.
+  FaultInjector injector(5);
+  for (uint64_t offset : {0ull, 1ull}) {
+    FaultInjector::Rule rule;
+    rule.site = std::string(faultsite::kEngineBeginDocument);
+    rule.kind = FaultInjector::FaultKind::kDeadlineExpiry;
+    rule.offset = offset;
+    rule.period = 1u << 20;
+    injector.AddRule(rule);
+  }
+  FaultInjector::Install(&injector);
+  std::vector<ExprId> matched;
+  IngestGovernor::DocOutcome outcome;
+  Status st = governor.FilterNext("<a/>", &matched, &outcome);
+  FaultInjector::Install(nullptr);
+
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_FALSE(outcome.quarantined);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_EQ(sleeps, (std::vector<uint32_t>{10, 20}));
+  EXPECT_EQ(matched.size(), 1u);
+  EXPECT_TRUE(governor.quarantine().empty());
+}
+
+TEST(GovernorTest, ExhaustedRetriesQuarantineWithTheTransientCause) {
+  Matcher matcher;
+  IngestGovernor::Options options = TestOptions();
+  options.max_retries = 2;
+  IngestGovernor governor(&matcher, options);
+
+  FaultInjector injector(5);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kEngineBeginDocument);
+  rule.kind = FaultInjector::FaultKind::kDeadlineExpiry;
+  injector.AddRule(rule);  // period=1: every attempt fails.
+  FaultInjector::Install(&injector);
+  std::vector<ExprId> matched;
+  IngestGovernor::DocOutcome outcome;
+  Status st = governor.FilterNext("<a/>", &matched, &outcome);
+  FaultInjector::Install(nullptr);
+
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(outcome.quarantined);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded);
+  ASSERT_EQ(governor.quarantine().size(), 1u);
+  EXPECT_EQ(governor.quarantine()[0].retries, 2u);
+}
+
+TEST(GovernorTest, FailFastAbortsOnTheFirstPoisonDocument) {
+  Matcher matcher;
+  IngestGovernor::Options options = TestOptions();
+  options.fail_fast = true;
+  IngestGovernor governor(&matcher, options);
+
+  std::vector<ExprId> matched;
+  IngestGovernor::DocOutcome outcome;
+  Status st = governor.FilterNext(NestedXml(6), &matched, &outcome);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(outcome.quarantined);
+  EXPECT_TRUE(governor.quarantine().empty());
+}
+
+TEST(GovernorTest, BreakerLifecycleClosedOpenHalfOpenClosed) {
+  Matcher matcher;
+  ASSERT_TRUE(matcher.AddExpression("/a").ok());
+  IngestGovernor::Options options = TestOptions();
+  options.breaker_threshold = 3;
+  options.breaker_cooldown_docs = 2;
+  IngestGovernor governor(&matcher, options);
+  const std::string poison = NestedXml(6);
+
+  // Three consecutive failures trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    std::vector<ExprId> matched;
+    ASSERT_TRUE(governor.FilterNext(poison, &matched, nullptr).ok());
+    if (i < 2) {
+      EXPECT_EQ(governor.breaker_state(),
+                IngestGovernor::BreakerState::kClosed);
+    }
+  }
+  EXPECT_EQ(governor.breaker_state(), IngestGovernor::BreakerState::kOpen);
+
+  // While open, even healthy documents are shed unexamined.
+  for (int i = 0; i < 2; ++i) {
+    std::vector<ExprId> matched;
+    IngestGovernor::DocOutcome outcome;
+    ASSERT_TRUE(governor.FilterNext("<a/>", &matched, &outcome).ok());
+    EXPECT_EQ(outcome.status.code(), StatusCode::kRejected);
+    EXPECT_FALSE(outcome.quarantined);
+    EXPECT_TRUE(matched.empty());
+  }
+  EXPECT_EQ(governor.docs_shed(), 2u);
+
+  // Cooldown spent: the next document is a half-open probe; success
+  // closes the breaker and normal filtering resumes.
+  std::vector<ExprId> matched;
+  IngestGovernor::DocOutcome outcome;
+  ASSERT_TRUE(governor.FilterNext("<a/>", &matched, &outcome).ok());
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(matched.size(), 1u);
+  EXPECT_EQ(governor.breaker_state(), IngestGovernor::BreakerState::kClosed);
+}
+
+TEST(GovernorTest, FailedHalfOpenProbeReopensTheBreaker) {
+  Matcher matcher;
+  IngestGovernor::Options options = TestOptions();
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_docs = 1;
+  IngestGovernor governor(&matcher, options);
+  const std::string poison = NestedXml(6);
+
+  std::vector<ExprId> matched;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(governor.FilterNext(poison, &matched, nullptr).ok());
+  }
+  EXPECT_EQ(governor.breaker_state(), IngestGovernor::BreakerState::kOpen);
+  ASSERT_TRUE(governor.FilterNext("<a/>", &matched, nullptr).ok());  // Shed.
+
+  // Probe fails: back to open with a fresh cooldown.
+  ASSERT_TRUE(governor.FilterNext(poison, &matched, nullptr).ok());
+  EXPECT_EQ(governor.breaker_state(), IngestGovernor::BreakerState::kOpen);
+  IngestGovernor::DocOutcome outcome;
+  ASSERT_TRUE(governor.FilterNext("<a/>", &matched, &outcome).ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kRejected);
+}
+
+TEST(GovernorTest, OutcomesAreCountedInTheMetricsRegistry) {
+  Matcher matcher;
+  ASSERT_TRUE(matcher.AddExpression("/a").ok());
+  obs::MetricsRegistry registry;
+  matcher.BindMetrics(&registry);
+  IngestGovernor::Options options = TestOptions();
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_docs = 1;
+  IngestGovernor governor(&matcher, options);
+  const std::string poison = NestedXml(6);
+
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(governor.FilterNext("<a/>", &matched, nullptr).ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(governor.FilterNext(poison, &matched, nullptr).ok());
+  }
+  // Breaker now open; one shed document.
+  ASSERT_TRUE(governor.FilterNext("<a/>", &matched, nullptr).ok());
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  auto counter_of = [&snapshot](std::string_view name) -> uint64_t {
+    for (const auto& [key, value] : snapshot.counters) {
+      if (key.rfind(name, 0) == 0) return value;
+    }
+    ADD_FAILURE() << "counter not found: " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter_of("xpred_docs_rejected_total"), 2u);
+  EXPECT_EQ(counter_of("xpred_docs_quarantined_total"), 2u);
+  EXPECT_EQ(counter_of("xpred_docs_shed_total"), 1u);
+  bool found_breaker = false;
+  for (const auto& [key, value] : snapshot.gauges) {
+    if (key.rfind("xpred_breaker_state", 0) == 0) {
+      EXPECT_EQ(value, 1);  // Open.
+      found_breaker = true;
+    }
+  }
+  EXPECT_TRUE(found_breaker);
+}
+
+}  // namespace
+}  // namespace xpred::core

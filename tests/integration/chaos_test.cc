@@ -1,0 +1,136 @@
+// Chaos harness: runs the differential fuzzing harness while a seeded
+// FaultInjector fires at the shared governed-entry site, and asserts
+// the engine families fail IDENTICALLY — same StatusCode on the same
+// documents. Uniform failure under fault injection is the governance
+// acceptance criterion; any engine that swallows, translates, or
+// survives the injected fault shows up as a divergence.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+#include "testing/differential_harness.h"
+
+namespace xpred::difftest {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Install(nullptr); }
+
+  DifferentialHarness::Options HarnessOptions() {
+    DifferentialHarness::Options options;
+    options.seed = 7;
+    options.runs = 6;
+    options.minimize = false;       // Replays would re-trigger faults.
+    options.exercise_removal = false;
+    return options;
+  }
+};
+
+TEST_F(ChaosTest, AllEnginesFailIdenticallyUnderInjectedFaults) {
+  FaultInjector injector(11);
+  FaultInjector::Rule rule;
+  // The shared site every engine family passes through exactly once
+  // per document: with period=1, every FilterDocument call fails.
+  rule.site = std::string(faultsite::kEngineBeginDocument);
+  rule.code = StatusCode::kInternal;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+
+  DifferentialHarness::Options options = HarnessOptions();
+  options.tolerate_uniform_errors = true;
+  Result<DifferentialHarness::Summary> summary =
+      DifferentialHarness(options).Run();
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->mismatches, 0u)
+      << "an engine diverged under uniform fault injection";
+  // The faults actually fired (one per engine per document verdict
+  // round, so far more than the document count).
+  EXPECT_GT(injector.journal().size(), summary->documents);
+}
+
+TEST_F(ChaosTest, HarnessStillSeesNonUniformFailures) {
+  // Same setup WITHOUT tolerance: the harness must report the injected
+  // failures, proving the tolerance flag (and not harness blindness)
+  // explains the zero-mismatch run above.
+  FaultInjector injector(11);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kEngineBeginDocument);
+  rule.code = StatusCode::kInternal;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+
+  DifferentialHarness::Options options = HarnessOptions();
+  options.tolerate_uniform_errors = false;
+  Result<DifferentialHarness::Summary> summary =
+      DifferentialHarness(options).Run();
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_GT(summary->mismatches, 0u);
+}
+
+TEST_F(ChaosTest, SingleEngineFaultIsADivergenceEvenWithTolerance) {
+  // A fault only one family hits must never be excused: tolerance is
+  // strictly for uniform failure.
+  FaultInjector injector(11);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kYFilterTraverse);
+  rule.code = StatusCode::kInternal;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+
+  DifferentialHarness::Options options = HarnessOptions();
+  options.tolerate_uniform_errors = true;
+  Result<DifferentialHarness::Summary> summary =
+      DifferentialHarness(options).Run();
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_GT(summary->mismatches, 0u)
+      << "yfilter-only faults must surface as status divergences";
+}
+
+TEST_F(ChaosTest, ChaosRunsAreDeterministicUnderAFixedSeed) {
+  auto run_once = [this](std::vector<std::string>* journal,
+                         uint64_t* mismatches) {
+    FaultInjector injector(23);
+    FaultInjector::Rule rule;
+    rule.site = std::string(faultsite::kEngineBeginDocument);
+    rule.code = StatusCode::kInternal;
+    rule.period = 3;  // Fail a third of the governed entries.
+    rule.probability = 0.5;
+    injector.AddRule(rule);
+    FaultInjector::Install(&injector);
+    DifferentialHarness::Options options = HarnessOptions();
+    options.tolerate_uniform_errors = false;
+    Result<DifferentialHarness::Summary> summary =
+        DifferentialHarness(options).Run();
+    ASSERT_TRUE(summary.ok()) << summary.status();
+    *journal = injector.journal();
+    *mismatches = summary->mismatches;
+    FaultInjector::Install(nullptr);
+  };
+
+  std::vector<std::string> journal_a;
+  std::vector<std::string> journal_b;
+  uint64_t mismatches_a = 0;
+  uint64_t mismatches_b = 0;
+  run_once(&journal_a, &mismatches_a);
+  run_once(&journal_b, &mismatches_b);
+  ASSERT_FALSE(journal_a.empty());
+  EXPECT_EQ(journal_a, journal_b);  // Byte-identical failure sequence.
+  EXPECT_EQ(mismatches_a, mismatches_b);
+}
+
+TEST_F(ChaosTest, UninstalledInjectorRestoresCleanRuns) {
+  // After chaos, a plain harness run must be green: fault injection
+  // leaves no residue in the engines or the roster.
+  Result<DifferentialHarness::Summary> summary =
+      DifferentialHarness(HarnessOptions()).Run();
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace xpred::difftest

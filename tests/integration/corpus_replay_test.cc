@@ -41,6 +41,18 @@ TEST(CorpusReplayTest, StoredExpectationsMatchTheOracle) {
     SCOPED_TRACE(file);
     Result<Case> c = CorpusStore::Load(file);
     ASSERT_TRUE(c.ok()) << c.status();
+    if (!c->expected_error.empty()) {
+      // Expected-error case: the document is poison by contract and
+      // must be rejected at parse time with the recorded message.
+      Result<xml::Document> doc = xml::Document::Parse(c->document_xml);
+      ASSERT_FALSE(doc.ok())
+          << "poison document parsed cleanly: " << c->description;
+      EXPECT_NE(doc.status().message().find(c->expected_error),
+                std::string::npos)
+          << "rejection message drifted: got '" << doc.status().message()
+          << "', want substring '" << c->expected_error << "'";
+      continue;
+    }
     ASSERT_EQ(c->expected.size(), c->expressions.size());
 
     Result<xml::Document> doc = xml::Document::Parse(c->document_xml);
@@ -61,6 +73,21 @@ TEST(CorpusReplayTest, EveryEngineMatchesTheExpectedVerdicts) {
     SCOPED_TRACE(file);
     Result<Case> c = CorpusStore::Load(file);
     ASSERT_TRUE(c.ok()) << c.status();
+    if (!c->expected_error.empty()) {
+      // Every engine family must reject the poison document through
+      // the governed ingestion path, with the same documented message.
+      for (const RosterEntry& entry : roster) {
+        std::unique_ptr<core::FilterEngine> engine = entry.make();
+        std::vector<core::ExprId> matched;
+        Status st = engine->FilterXml(c->document_xml, &matched);
+        EXPECT_FALSE(st.ok())
+            << entry.label << " accepted poison doc " << c->description;
+        EXPECT_NE(st.message().find(c->expected_error), std::string::npos)
+            << entry.label << " rejection drifted: " << st.message();
+        EXPECT_TRUE(matched.empty()) << entry.label;
+      }
+      continue;
+    }
     for (const RosterEntry& entry : roster) {
       EngineOutcome outcome = DifferentialHarness::ReplayCase(entry, *c);
       EXPECT_TRUE(outcome.error.empty())

@@ -203,7 +203,7 @@ TEST(FuzzTest, DeeplyNestedXmlHitsDepthLimit) {
   }
   Result<xml::Document> doc = xml::Document::Parse(open + close);
   EXPECT_FALSE(doc.ok());
-  EXPECT_EQ(doc.status().code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(FuzzTest, HugeAttributeValuesSurvive) {

@@ -1,0 +1,108 @@
+// Pathological-depth regression tests: with the depth guard lifted,
+// the SAX parser, Document teardown, the path extractor, and the
+// Matcher must all survive a 120k-deep element chain — document depth
+// may cost heap, never native stack. (Serialization is exercised at a
+// shallower depth because indented output grows quadratically with
+// nesting.)
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/limits.h"
+#include "core/matcher.h"
+#include "xml/document.h"
+#include "xml/path.h"
+#include "xml/sax.h"
+
+namespace xpred::xml {
+namespace {
+
+constexpr size_t kDeepDepth = 120000;
+
+std::string ChainXml(size_t depth, const char* tag = "a") {
+  std::string xml;
+  std::string open = std::string("<") + tag + ">";
+  std::string close = std::string("</") + tag + ">";
+  xml.reserve(depth * (open.size() + close.size()));
+  for (size_t i = 0; i < depth; ++i) xml += open;
+  for (size_t i = 0; i < depth; ++i) xml += close;
+  return xml;
+}
+
+SaxParser::Options UnlimitedDepth() {
+  SaxParser::Options options;
+  options.max_depth = 0;
+  return options;
+}
+
+TEST(DeepDocumentTest, ParsesExtractsAndTearsDown120kDepth) {
+  Result<Document> doc = Document::Parse(ChainXml(kDeepDepth),
+                                         UnlimitedDepth());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->size(), kDeepDepth);
+
+  std::vector<DocumentPath> paths = ExtractPaths(*doc);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), kDeepDepth);
+  // Occurrence annotation must count every repetition of the tag.
+  EXPECT_EQ(paths[0].Occurrence(static_cast<uint32_t>(kDeepDepth)),
+            kDeepDepth);
+  // Teardown happens when `doc` leaves scope: it must not recurse.
+}
+
+TEST(DeepDocumentTest, BudgetedExtractionStopsEarlyOnDeepDocuments) {
+  Result<Document> doc = Document::Parse(ChainXml(kDeepDepth),
+                                         UnlimitedDepth());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ResourceLimits limits = ResourceLimits::Unlimited();
+  limits.max_extracted_paths = 0;  // Paths are fine; use the deadline...
+  ExecBudget budget;
+  budget.Arm(limits);
+  budget.ForceDeadlineExpiry();
+  std::vector<DocumentPath> paths;
+  Status st = ExtractPaths(*doc, &budget, &paths);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeepDocumentTest, MatcherFiltersDeepDocumentIteratively) {
+  // Shallower than the parse/extract test: matcher work grows
+  // quadratically with chain depth (per-position occurrence encoding),
+  // and 20k already sits far beyond any native-stack recursion limit
+  // the matcher could be hiding.
+  constexpr size_t kMatcherDepth = 20000;
+  Result<Document> doc = Document::Parse(ChainXml(kMatcherDepth),
+                                         UnlimitedDepth());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  core::Matcher matcher;
+  ASSERT_TRUE(matcher.AddExpression("/a/a").ok());
+  matcher.set_resource_limits(ResourceLimits::Unlimited());
+  std::vector<core::ExprId> matched;
+  EXPECT_TRUE(matcher.FilterDocument(*doc, &matched).ok());
+}
+
+TEST(DeepDocumentTest, SerializationRoundTripsBeyondTheOldDefaultDepth) {
+  // 4096 is deep enough to prove ToXml no longer recurses per element
+  // while keeping the (quadratic, indentation-driven) output tractable.
+  constexpr size_t kDepth = 4096;
+  Result<Document> doc = Document::Parse(ChainXml(kDepth), UnlimitedDepth());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  std::string serialized = doc->ToXml();
+  Result<Document> again = Document::Parse(serialized, UnlimitedDepth());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->size(), kDepth);
+  EXPECT_EQ(again->ToXml(), serialized);
+}
+
+TEST(DeepDocumentTest, DepthGuardStillProtectsRecursiveConsumers) {
+  // The guard itself must not be lost in the iterative rewrite: the
+  // default parser configuration refuses the same chain.
+  Result<Document> doc = Document::Parse(ChainXml(1000));
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace xpred::xml

@@ -213,7 +213,7 @@ TEST(SaxParserTest, DepthLimitEnforced) {
   RecordingHandler handler;
   Status st = parser.Parse("<a><a><a><a><a/></a></a></a></a>", &handler);
   EXPECT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
 }
 
 TEST(SaxParserTest, HandlerErrorAbortsParse) {

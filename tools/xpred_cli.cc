@@ -5,6 +5,8 @@
 //
 //   xpred_cli filter --exprs=FILE [--engine=NAME] [--stats]
 //       [--metrics=PATH] [--metrics-json=PATH] [--trace=PATH]
+//       [--max-depth=N] [--max-doc-bytes=N] [--deadline-ms=MS]
+//       [--fail-fast | --quarantine]
 //       <xml-file>...
 //       Load expressions (one per line; '#' comments) and filter each
 //       document, printing the matching expressions.
@@ -13,6 +15,11 @@
 //       --metrics writes Prometheus text exposition ('-' = stdout),
 //       --metrics-json writes the JSON metrics sidecar, and --trace
 //       writes per-document stage spans as JSONL.
+//       Resource governance: --max-depth caps element nesting (default
+//       512), --max-doc-bytes caps document size (0 = off),
+//       --deadline-ms sets a per-document soft deadline. Failing
+//       documents are quarantined and the run continues (--quarantine,
+//       the default); --fail-fast aborts on the first failure.
 //
 //   xpred_cli generate-queries --dtd=nitf|psd --count=N [--max-length=L]
 //       [--min-length=L] [--wildcard=W] [--descendant=DO] [--filters=K]
@@ -36,6 +43,7 @@
 #include "common/interner.h"
 #include "common/string_util.h"
 #include "core/encoder.h"
+#include "core/governor.h"
 #include "core/matcher.h"
 #include "indexfilter/index_filter.h"
 #include "obs/exporters.h"
@@ -114,7 +122,8 @@ int Usage() {
                "  xpred_cli encode <xpath>...\n"
                "  xpred_cli filter --exprs=FILE [--engine=NAME] [--stats] "
                "[--metrics=PATH] [--metrics-json=PATH] [--trace=PATH] "
-               "<xml-file>...\n"
+               "[--max-depth=N] [--max-doc-bytes=N] [--deadline-ms=MS] "
+               "[--fail-fast|--quarantine] <xml-file>...\n"
                "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
                "[options]\n"
                "  xpred_cli generate-docs --dtd=nitf|psd --count=N "
@@ -199,11 +208,17 @@ std::unique_ptr<core::FilterEngine> EngineByName(const std::string& name) {
 
 int CmdFilter(const Args& args) {
   if (!args.RejectUnknown({"exprs", "engine", "stats", "metrics",
-                           "metrics-json", "trace"})) {
+                           "metrics-json", "trace", "max-depth",
+                           "max-doc-bytes", "deadline-ms", "fail-fast",
+                           "quarantine"})) {
     return Usage();
   }
   std::string exprs_path = args.Get("exprs", "");
   if (exprs_path.empty() || args.positional.empty()) return Usage();
+  if (args.Has("fail-fast") && args.Has("quarantine")) {
+    std::fprintf(stderr, "--fail-fast and --quarantine are exclusive\n");
+    return 2;
+  }
 
   std::ifstream exprs_file(exprs_path);
   if (!exprs_file) {
@@ -252,6 +267,23 @@ int CmdFilter(const Args& args) {
   std::printf("loaded %zu expressions into %s\n", expressions.size(),
               std::string(engine->name()).c_str());
 
+  // Resource governance: limits from the command line (0 = off,
+  // except the depth cap which keeps its engine default), quarantine
+  // by default, abort-on-first-failure with --fail-fast.
+  core::IngestGovernor::Options governor_options;
+  governor_options.limits = engine->resource_limits();
+  governor_options.limits.max_document_bytes =
+      std::strtoull(args.Get("max-doc-bytes", "0").c_str(), nullptr, 10);
+  std::string max_depth = args.Get("max-depth", "");
+  if (!max_depth.empty()) {
+    governor_options.limits.max_element_depth =
+        std::strtoull(max_depth.c_str(), nullptr, 10);
+  }
+  governor_options.limits.deadline_ms =
+      std::strtod(args.Get("deadline-ms", "0").c_str(), nullptr);
+  governor_options.fail_fast = args.Has("fail-fast");
+  core::IngestGovernor governor(engine.get(), governor_options);
+
   int rc = 0;
   for (const std::string& path : args.positional) {
     std::ifstream xml_file(path);
@@ -263,10 +295,18 @@ int CmdFilter(const Args& args) {
     std::stringstream buffer;
     buffer << xml_file.rdbuf();
     std::vector<core::ExprId> matched;
-    Status st = engine->FilterXml(buffer.str(), &matched);
+    core::IngestGovernor::DocOutcome outcome;
+    Status st = governor.FilterNext(buffer.str(), &matched, &outcome);
     if (!st.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   st.ToString().c_str());
+      // fail-fast: abort the run on the first failed document.
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      rc = 1;
+      break;
+    }
+    if (!outcome.status.ok()) {
+      std::fprintf(stderr, "%s: %s%s\n", path.c_str(),
+                   outcome.status.ToString().c_str(),
+                   outcome.quarantined ? " (quarantined)" : "");
       rc = 1;
       continue;
     }
@@ -274,6 +314,10 @@ int CmdFilter(const Args& args) {
     for (core::ExprId id : matched) {
       std::printf("  [%u] %s\n", id, expressions[id].c_str());
     }
+  }
+  if (!governor.quarantine().empty()) {
+    std::fprintf(stderr, "%zu document(s) quarantined\n",
+                 governor.quarantine().size());
   }
 
   if (args.Has("stats")) {
