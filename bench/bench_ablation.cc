@@ -95,7 +95,7 @@ void BM_OccurrenceDetermination(benchmark::State& state) {
   // Worst-ish case: long chains with many pairs per predicate and one
   // threading chain.
   size_t chain_len = static_cast<size_t>(state.range(0));
-  std::vector<std::vector<core::OccPair>> results(chain_len);
+  std::vector<core::OccList> results(chain_len);
   for (size_t i = 0; i < chain_len; ++i) {
     // Decoys that never chain plus one real link i -> i+1.
     for (uint32_t d = 0; d < 8; ++d) {
@@ -104,7 +104,7 @@ void BM_OccurrenceDetermination(benchmark::State& state) {
     results[i].push_back({static_cast<uint32_t>(i + 1),
                           static_cast<uint32_t>(i + 2)});
   }
-  std::vector<const std::vector<core::OccPair>*> views;
+  std::vector<const core::OccList*> views;
   for (const auto& r : results) views.push_back(&r);
   for (auto _ : state) {
     bool match = core::OccurrenceDeterminer::Determine(views);

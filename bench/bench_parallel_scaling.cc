@@ -1,0 +1,219 @@
+// Thread-scaling benchmark for the parallel filtering pipeline.
+//
+// Plain-main binary (no google-benchmark harness): it runs a fixed
+// matrix of thread counts over one workload, prints a table, and —
+// when XPRED_BENCH_METRICS_DIR is set — writes a JSON sidecar
+// (parallel_scaling.json) whose schema is enforced by
+// scripts/check_bench_schema.py, including the >= 2.0x speedup gate at
+// 4 threads in Release builds on machines with >= 4 CPUs.
+//
+// Reported per configuration:
+//   docs_per_sec   — documents filtered per second (batch wall time),
+//   speedup_vs_1t  — docs_per_sec relative to the 1-thread run,
+//   p50_ms / p99_ms — per-batch-slice document latency percentiles.
+// A serial core::Matcher runs first as the pre-parallel baseline; the
+// 1-thread ParallelFilter must stay within a few percent of it (the
+// "no regression when parallelism is off" acceptance bar).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/matcher.h"
+#include "core/streaming.h"
+#include "exec/parallel_filter.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+#ifndef XPRED_BUILD_TYPE
+#define XPRED_BUILD_TYPE "unknown"
+#endif
+
+namespace xpred::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+struct RunResult {
+  size_t threads = 0;
+  size_t partitions = 0;
+  double docs_per_sec = 0;
+  double speedup_vs_1t = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double PercentileSorted(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(samples->size()));
+  if (rank >= samples->size()) rank = samples->size() - 1;
+  return (*samples)[rank];
+}
+
+/// Filters the corpus \p passes times through \p filter's batch API;
+/// returns docs/sec of the best pass (least-noise estimator) and fills
+/// per-pass latency percentiles.
+double MeasureBatch(xpred::exec::ParallelFilter& filter,
+                    const std::vector<xpred::exec::DocRef>& docs,
+                    size_t passes, double* p50_ms, double* p99_ms) {
+  double best = 0;
+  std::vector<double> slice_ms;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    xpred::exec::CollectingResultSink sink;
+    Stopwatch watch;
+    Status st = filter.FilterBatch(docs, sink);
+    double ms = watch.ElapsedMillis();
+    if (!st.ok()) {
+      std::fprintf(stderr, "FilterBatch failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    slice_ms.push_back(ms / static_cast<double>(docs.size()));
+    double dps = 1000.0 * static_cast<double>(docs.size()) / ms;
+    best = std::max(best, dps);
+  }
+  *p50_ms = PercentileSorted(&slice_ms, 0.50);
+  *p99_ms = PercentileSorted(&slice_ms, 0.99);
+  return best;
+}
+
+int Main() {
+  const size_t num_exprs = EnvCount("XPRED_BENCH_EXPRS", 2000);
+  const size_t num_docs = EnvCount("XPRED_BENCH_DOCS", 60);
+  const size_t passes = EnvCount("XPRED_BENCH_PASSES", 3);
+  const size_t partitions = EnvCount("XPRED_BENCH_PARTITIONS", 1);
+
+  const xml::Dtd& dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 6;
+  qopts.min_length = 3;
+  qopts.filters_per_expr = 1;
+  std::vector<std::string> exprs =
+      xpath::QueryGenerator(&dtd, qopts).GenerateWorkloadStrings(num_exprs,
+                                                                 42);
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = 8;
+  dopts.optional_prob = 0.8;
+  dopts.repeat_prob = 0.6;
+  dopts.max_repeats = 8;
+  xml::DocumentGenerator dgen(&dtd, dopts);
+  std::vector<xml::Document> documents;
+  documents.reserve(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    documents.push_back(dgen.Generate(42 * 7919 + d));
+  }
+  std::vector<xpred::exec::DocRef> refs;
+  for (const xml::Document& doc : documents) refs.push_back({&doc});
+
+  // Pre-parallel baseline: the serial Matcher on the same corpus.
+  double baseline_dps = 0;
+  {
+    core::Matcher matcher;
+    for (const std::string& e : exprs) {
+      if (!matcher.AddExpression(e).ok()) std::abort();
+    }
+    std::vector<core::ExprId> matched;
+    for (const xml::Document& doc : documents) {  // Warmup pass.
+      matched.clear();
+      (void)matcher.FilterDocument(doc, &matched);
+    }
+    for (size_t pass = 0; pass < passes; ++pass) {
+      Stopwatch watch;
+      for (const xml::Document& doc : documents) {
+        matched.clear();
+        Status st = matcher.FilterDocument(doc, &matched);
+        if (!st.ok()) std::abort();
+      }
+      double dps = 1000.0 * static_cast<double>(num_docs) /
+                   watch.ElapsedMillis();
+      baseline_dps = std::max(baseline_dps, dps);
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("parallel_scaling: %zu exprs, %zu docs, %zu passes, "
+              "%zu partition(s), hw_concurrency=%u, build=%s\n",
+              num_exprs, num_docs, passes, partitions, hw,
+              XPRED_BUILD_TYPE);
+  std::printf("  serial matcher baseline: %.1f docs/sec\n", baseline_dps);
+
+  std::vector<RunResult> results;
+  double one_thread_dps = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    xpred::exec::ParallelFilter::Options options;
+    options.threads = threads;
+    options.partitions = partitions;
+    xpred::exec::ParallelFilter filter(options);
+    for (const std::string& e : exprs) {
+      if (!filter.AddExpression(e).ok()) std::abort();
+    }
+    {  // Warmup pass pins pooled scratch allocations.
+      xpred::exec::CollectingResultSink sink;
+      (void)filter.FilterBatch(refs, sink);
+    }
+    RunResult r;
+    r.threads = threads;
+    r.partitions = partitions;
+    r.docs_per_sec =
+        MeasureBatch(filter, refs, passes, &r.p50_ms, &r.p99_ms);
+    if (threads == 1) one_thread_dps = r.docs_per_sec;
+    r.speedup_vs_1t =
+        one_thread_dps > 0 ? r.docs_per_sec / one_thread_dps : 0;
+    results.push_back(r);
+    std::printf("  threads=%zu: %.1f docs/sec, speedup %.2fx, "
+                "p50 %.3f ms, p99 %.3f ms\n",
+                r.threads, r.docs_per_sec, r.speedup_vs_1t, r.p50_ms,
+                r.p99_ms);
+  }
+
+  const char* dir = std::getenv("XPRED_BENCH_METRICS_DIR");
+  if (dir != nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = std::string(dir) + "/parallel_scaling.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"parallel_scaling\",\n"
+        << "  \"build_type\": \"" << XPRED_BUILD_TYPE << "\",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"expressions\": " << num_exprs << ",\n"
+        << "  \"documents\": " << num_docs << ",\n"
+        << "  \"partitions\": " << partitions << ",\n"
+        << "  \"baseline_docs_per_sec\": " << baseline_dps << ",\n"
+        << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      out << "    {\"threads\": " << r.threads
+          << ", \"partitions\": " << r.partitions
+          << ", \"docs_per_sec\": " << r.docs_per_sec
+          << ", \"speedup_vs_1t\": " << r.speedup_vs_1t
+          << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpred::bench
+
+int main() { return xpred::bench::Main(); }

@@ -189,6 +189,30 @@ inline core::FilterEngine& GetLoadedEngine(const std::string& engine_name,
   return ref;
 }
 
+/// Warmup passes over the corpus before the first timed iteration,
+/// from XPRED_BENCH_WARMUP (default 1). A pinned warmup pass fills the
+/// engine's pooled per-document scratch (publication buffers, OccPair
+/// lists, path arenas) so steady-state allocation behavior — not
+/// first-touch growth — is what gets measured.
+inline size_t WarmupPasses() {
+  static size_t passes = [] {
+    const char* env = std::getenv("XPRED_BENCH_WARMUP");
+    if (env == nullptr) return size_t{1};
+    return static_cast<size_t>(std::max(0L, std::atol(env)));
+  }();
+  return passes;
+}
+
+/// Percentile of a sample set (nearest-rank); \p samples is sorted in
+/// place.
+inline double Percentile(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(samples->size()));
+  if (rank >= samples->size()) rank = samples->size() - 1;
+  return (*samples)[rank];
+}
+
 /// Directory for per-benchmark metrics sidecar files, from
 /// XPRED_BENCH_METRICS_DIR. Disabled (nullptr) when unset.
 inline const char* MetricsSidecarDir() {
@@ -241,15 +265,30 @@ inline void RunFilterBenchmark(benchmark::State& state,
   }
 
   std::vector<core::ExprId> matched;
+  for (size_t pass = 0; pass < WarmupPasses(); ++pass) {
+    for (const xml::Document& doc : workload.documents) {
+      matched.clear();
+      Status st = engine.FilterDocument(doc, &matched);
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+  }
+
   size_t total_matched = 0;
   size_t docs_filtered = 0;
   Stopwatch wall;
+  Stopwatch doc_watch;
   double elapsed_ms = 0;
+  std::vector<double> doc_ms;
   for (auto _ : state) {
     wall.Reset();
     for (const xml::Document& doc : workload.documents) {
       matched.clear();
+      doc_watch.Reset();
       Status st = engine.FilterDocument(doc, &matched);
+      doc_ms.push_back(doc_watch.ElapsedMillis());
       if (!st.ok()) {
         state.SkipWithError(st.ToString().c_str());
         return;
@@ -265,6 +304,8 @@ inline void RunFilterBenchmark(benchmark::State& state,
     double subs = static_cast<double>(engine.subscription_count());
     state.counters["ms_per_doc"] =
         elapsed_ms / static_cast<double>(docs_filtered);
+    state.counters["p50_ms"] = Percentile(&doc_ms, 0.50);
+    state.counters["p99_ms"] = Percentile(&doc_ms, 0.99);
     state.counters["match_pct"] =
         100.0 * static_cast<double>(total_matched) /
         (static_cast<double>(docs_filtered) * std::max(1.0, subs));

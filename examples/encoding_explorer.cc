@@ -90,7 +90,7 @@ void Table1Demo() {
   for (size_t s = 0; s < exprs.size(); ++s) {
     std::printf("%s  ->  %s\n", exprs[s].c_str(), chain_text[s].c_str());
     bool all_present = true;
-    std::vector<const std::vector<core::OccPair>*> views;
+    std::vector<const core::OccList*> views;
     for (core::PredicateId pid : chains[s]) {
       const auto* r = results.Find(pid);
       std::printf("  %-28s matches:",

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validates the parallel-scaling benchmark sidecar and its speedup gate.
+
+Two modes:
+
+  * file mode: validate an existing parallel_scaling.json;
+  * --bench mode (the ctest hook): run the bench_parallel_scaling
+    binary with a small workload, then validate the sidecar it wrote.
+
+Schema (always enforced): top-level bench/build_type/
+hardware_concurrency/baseline_docs_per_sec and a non-empty results
+array whose entries carry threads, docs_per_sec, and speedup_vs_1t.
+
+Performance gates (enforced only when the build is Release AND the
+machine has >= 4 hardware threads — a 1-CPU CI container cannot
+demonstrate parallel speedup, and sanitizer/debug builds distort it):
+
+  * speedup_vs_1t at threads=4 must be >= 2.0;
+  * the 1-thread configuration must stay within 5% of the serial
+    matcher baseline (parallelism off must not cost anything).
+
+Usage:
+    check_bench_schema.py parallel_scaling.json
+    check_bench_schema.py --bench path/to/bench_parallel_scaling \
+        --build-type Release
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+MIN_SPEEDUP_4T = 2.0
+MAX_1T_REGRESSION = 0.05
+MIN_GATE_CPUS = 4
+
+
+def fail(msg):
+    print("check_bench_schema: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate(path):
+    with open(path) as f:
+        data = json.load(f)
+
+    for field in ("bench", "build_type", "hardware_concurrency",
+                  "baseline_docs_per_sec", "results"):
+        check(field in data, "missing top-level field %r" % field)
+    check(data["bench"] == "parallel_scaling",
+          "bench is %r, want parallel_scaling" % data["bench"])
+    results = data["results"]
+    check(isinstance(results, list) and results,
+          "results must be a non-empty array")
+    by_threads = {}
+    for i, entry in enumerate(results):
+        for field in ("threads", "docs_per_sec", "speedup_vs_1t"):
+            check(field in entry, "results[%d] missing %r" % (i, field))
+        check(entry["docs_per_sec"] > 0,
+              "results[%d] docs_per_sec must be positive" % i)
+        by_threads[entry["threads"]] = entry
+    check(1 in by_threads, "no 1-thread configuration in results")
+    one = by_threads[1]
+    check(abs(one["speedup_vs_1t"] - 1.0) < 1e-9,
+          "1-thread speedup_vs_1t must be 1.0, got %r"
+          % one["speedup_vs_1t"])
+
+    build_type = data["build_type"]
+    cpus = data["hardware_concurrency"]
+    if build_type != "Release":
+        print("check_bench_schema: schema OK; speedup gate skipped "
+              "(build_type=%s, need Release)" % build_type)
+        return
+    if cpus < MIN_GATE_CPUS:
+        print("check_bench_schema: schema OK; speedup gate skipped "
+              "(%d hardware threads, need >= %d)" % (cpus, MIN_GATE_CPUS))
+        return
+
+    check(4 in by_threads, "no 4-thread configuration in results")
+    speedup = by_threads[4]["speedup_vs_1t"]
+    check(speedup >= MIN_SPEEDUP_4T,
+          "4-thread speedup %.2fx below the %.1fx gate"
+          % (speedup, MIN_SPEEDUP_4T))
+
+    baseline = data["baseline_docs_per_sec"]
+    check(baseline > 0, "baseline_docs_per_sec must be positive")
+    ratio = one["docs_per_sec"] / baseline
+    check(ratio >= 1.0 - MAX_1T_REGRESSION,
+          "1-thread throughput is %.1f%% of the serial baseline "
+          "(allowed regression: %d%%)"
+          % (100 * ratio, int(100 * MAX_1T_REGRESSION)))
+    print("check_bench_schema: OK (4-thread speedup %.2fx, "
+          "1-thread at %.1f%% of serial baseline)" % (speedup, 100 * ratio))
+
+
+def run_bench(bench, build_type):
+    with tempfile.TemporaryDirectory() as tmp:
+        env = dict(os.environ)
+        env["XPRED_BENCH_METRICS_DIR"] = tmp
+        # Small-but-meaningful workload: large enough that per-task
+        # overhead cannot dominate, small enough for a CI hook.
+        env.setdefault("XPRED_BENCH_EXPRS", "500")
+        env.setdefault("XPRED_BENCH_DOCS", "24")
+        env.setdefault("XPRED_BENCH_PASSES", "3")
+        proc = subprocess.run([bench], env=env, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True,
+                              timeout=600)
+        sys.stdout.write(proc.stdout)
+        check(proc.returncode == 0,
+              "%s exited with %d" % (bench, proc.returncode))
+        sidecar = os.path.join(tmp, "parallel_scaling.json")
+        check(os.path.exists(sidecar), "bench wrote no %s" % sidecar)
+        if build_type:
+            with open(sidecar) as f:
+                reported = json.load(f).get("build_type")
+            check(reported == build_type,
+                  "sidecar build_type %r != configured %r"
+                  % (reported, build_type))
+        validate(sidecar)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("files", nargs="*", help="sidecar JSON files")
+    parser.add_argument("--bench", help="bench_parallel_scaling binary")
+    parser.add_argument("--build-type", default="",
+                        help="expected CMake build type of the binary")
+    args = parser.parse_args()
+    if not args.files and not args.bench:
+        parser.error("give sidecar files or --bench")
+    for path in args.files:
+        validate(path)
+    if args.bench:
+        run_bench(args.bench, args.build_type)
+
+
+if __name__ == "__main__":
+    main()

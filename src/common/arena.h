@@ -54,6 +54,21 @@ class Arena {
     return mem;
   }
 
+  /// Discards all allocations but keeps the most recent (largest)
+  /// block for reuse, so a per-document scratch arena settles into a
+  /// steady state with zero allocations after the first document.
+  /// Everything previously handed out becomes dangling.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      std::unique_ptr<char[]> keep = std::move(blocks_.back());
+      blocks_.clear();
+      blocks_.push_back(std::move(keep));
+      bytes_reserved_ = current_capacity_;
+    }
+    pos_ = 0;
+    bytes_used_ = 0;
+  }
+
   /// Total payload bytes handed out (excluding block slack).
   size_t bytes_used() const { return bytes_used_; }
 

@@ -1,0 +1,224 @@
+#ifndef XPRED_COMMON_SMALL_VECTOR_H_
+#define XPRED_COMMON_SMALL_VECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xpred::common {
+
+namespace detail {
+
+/// Process-wide count of SmallVector heap spills. Tests assert the
+/// inline fast path stays allocation-free (the hot-path contract the
+/// parallel pipeline depends on: no allocator contention for short
+/// OccPair lists or shallow element stacks).
+inline std::atomic<uint64_t>& SmallVectorHeapAllocations() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+}  // namespace detail
+
+/// \brief Vector with inline storage for the first \p N elements.
+///
+/// Behaves like a pared-down std::vector but stores up to N elements in
+/// the object itself, touching the heap only when the size exceeds N.
+/// Used for per-path OccPair lists (predicate match results are almost
+/// always 1-2 pairs) and the streaming open-element stack (document
+/// depth rarely exceeds 16), where per-path std::vector churn became
+/// the allocator bottleneck under multi-threaded filtering.
+///
+/// Not thread-safe; meant for thread-local scratch state.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(N > 0, "SmallVector requires inline capacity > 0");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = size_t;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(other.data_[i]);
+    }
+    size_ = other.size_;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(other.data_[i]);
+    }
+    size_ = other.size_;
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    DestroyAll();
+    ReleaseHeap();
+    data_ = InlinePtr();
+    capacity_ = N;
+    size_ = 0;
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  ~SmallVector() {
+    DestroyAll();
+    ReleaseHeap();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool is_inline() const { return data_ == InlinePtr(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// Destroys all elements but keeps the current storage (inline or
+  /// heap), so a reused scratch list never re-pays the spill.
+  void clear() {
+    DestroyAll();
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void resize(size_t n) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) data_[i].~T();
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T();
+      }
+    }
+    size_ = n;
+  }
+
+  void resize(size_t n, const T& value) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) data_[i].~T();
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(value);
+      }
+    }
+    size_ = n;
+  }
+
+  bool operator==(const SmallVector& other) const {
+    if (size_ != other.size_) return false;
+    for (size_t i = 0; i < size_; ++i) {
+      if (!(data_[i] == other.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* InlinePtr() { return reinterpret_cast<T*>(inline_); }
+  const T* InlinePtr() const { return reinterpret_cast<const T*>(inline_); }
+
+  void DestroyAll() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+  }
+
+  void ReleaseHeap() {
+    if (!is_inline()) std::allocator<T>().deallocate(data_, capacity_);
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlinePtr();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  void Grow(size_t min_capacity) {
+    size_t next = capacity_ * 2;
+    if (next < min_capacity) next = min_capacity;
+    T* heap = std::allocator<T>().allocate(next);
+    detail::SmallVectorHeapAllocations().fetch_add(1,
+                                                   std::memory_order_relaxed);
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    ReleaseHeap();
+    data_ = heap;
+    capacity_ = next;
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  T* data_ = InlinePtr();
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace xpred::common
+
+#endif  // XPRED_COMMON_SMALL_VECTOR_H_

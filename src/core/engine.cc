@@ -41,11 +41,17 @@ Status FilterEngine::GovernedFilterXml(std::string_view xml_text,
 
 Status FilterEngine::BeginGoverned(const xml::Document& document) {
   if (!in_governed_window_) budget_.Arm(limits_);
+  return ValidateDocumentAgainstBudget(document, &budget_, limits_);
+}
+
+Status FilterEngine::ValidateDocumentAgainstBudget(
+    const xml::Document& document, ExecBudget* budget,
+    const ResourceLimits& limits) {
   XPRED_FAULT_POINT(faultsite::kEngineBeginDocument);
-  XPRED_RETURN_NOT_OK(budget_.CheckDeadlineNow());
-  if (limits_.max_element_depth == 0 &&
-      limits_.max_attributes_per_element == 0 &&
-      limits_.max_extracted_paths == 0) {
+  XPRED_RETURN_NOT_OK(budget->CheckDeadlineNow());
+  if (limits.max_element_depth == 0 &&
+      limits.max_attributes_per_element == 0 &&
+      limits.max_extracted_paths == 0) {
     return Status::OK();
   }
   // Direct FilterDocument callers bypass the parser-side caps; re-check
@@ -53,16 +59,16 @@ Status FilterEngine::BeginGoverned(const xml::Document& document) {
   // depth is precomputed).
   size_t leaves = 0;
   for (const xml::Element& element : document.elements()) {
-    XPRED_RETURN_NOT_OK(budget_.CheckDepth(element.depth));
+    XPRED_RETURN_NOT_OK(budget->CheckDepth(element.depth));
     XPRED_RETURN_NOT_OK(
-        budget_.CheckAttributeCount(element.attributes.size()));
+        budget->CheckAttributeCount(element.attributes.size()));
     if (element.children.empty()) ++leaves;
   }
-  if (limits_.max_extracted_paths != 0 &&
-      leaves > limits_.max_extracted_paths) {
+  if (limits.max_extracted_paths != 0 &&
+      leaves > limits.max_extracted_paths) {
     return Status::ResourceExhausted(
         StringPrintf("extracted paths limit exceeded: %zu > %zu", leaves,
-                     limits_.max_extracted_paths));
+                     limits.max_extracted_paths));
   }
   return Status::OK();
 }

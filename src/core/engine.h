@@ -169,6 +169,15 @@ class FilterEngine {
   /// caps during the parse.
   Status BeginGoverned(const xml::Document& document);
 
+  /// The validation half of BeginGoverned, usable against any armed
+  /// budget (the parallel front end runs it per worker task with the
+  /// task's own budget): fault-injection checkpoint, deadline check,
+  /// and the structural scan (depth, attributes per element, leaf
+  /// count) under \p limits.
+  static Status ValidateDocumentAgainstBudget(const xml::Document& document,
+                                              ExecBudget* budget,
+                                              const ResourceLimits& limits);
+
   /// Arms the budget for a streamed document unless an outer governed
   /// window already did (streaming begin-document hook).
   void ArmBudgetIfNeeded() {

@@ -78,6 +78,21 @@ class ExpressionTrie {
   /// All expressions sorted by chain length descending (basic-pc).
   const std::vector<InternalId>& expressions_by_length();
 
+  /// Rebuilds the evaluation orders now if inserts dirtied them, so
+  /// the const (multi-threaded) filter path can read them through the
+  /// prepared accessors without mutating shared state mid-document.
+  void EnsureOrders() {
+    if (dirty_) Rebuild();
+  }
+  /// \name Prepared-order accessors
+  /// Valid only after EnsureOrders() with no intervening insert.
+  ///@{
+  const std::vector<Cluster>& prepared_clusters() const { return clusters_; }
+  const std::vector<InternalId>& prepared_expressions_by_length() const {
+    return by_length_;
+  }
+  ///@}
+
   /// Approximate heap bytes of the trie and its evaluation orders.
   size_t ApproximateMemoryBytes() const;
 

@@ -1,0 +1,178 @@
+#ifndef XPRED_CORE_MATCH_CONTEXT_H_
+#define XPRED_CORE_MATCH_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/limits.h"
+#include "common/status.h"
+#include "core/expression_index.h"
+#include "core/predicate.h"
+#include "core/predicate_index.h"
+#include "core/publication.h"
+#include "obs/engine_instruments.h"
+#include "xml/path.h"
+
+namespace xpred::core {
+
+/// Paper-era counters mirrored by obs::EngineInstruments. A context
+/// bound to instruments (the single-threaded legacy path) increments
+/// them directly; an unbound context (worker threads, which must not
+/// touch the shared registry) accumulates here and the parallel front
+/// end flushes the totals from the calling thread after the batch.
+struct MatchCounters {
+  uint64_t paths = 0;
+  uint64_t occurrence_runs = 0;
+  uint64_t nested_truncated = 0;
+  uint64_t predicate_matches = 0;
+
+  void Accumulate(const MatchCounters& other) {
+    paths += other.paths;
+    occurrence_runs += other.occurrence_runs;
+    nested_truncated += other.nested_truncated;
+    predicate_matches += other.predicate_matches;
+  }
+  void Reset() { *this = MatchCounters{}; }
+};
+
+/// Status message used when a filter run is abandoned because a
+/// sibling partition of the same document already failed; the parallel
+/// front end recognizes and suppresses it during the result merge.
+inline constexpr std::string_view kMatchCancelledMessage =
+    "cancelled: sibling task of the same document failed";
+
+/// \brief All per-document mutable state of one Matcher filter run.
+///
+/// The Matcher's shared indexes (PredicateIndex, ExpressionTrie, the
+/// expression records) are read-only during filtering; everything that
+/// mutates per path or per document lives here. Any number of threads
+/// may filter through one Matcher concurrently, each with its own
+/// MatchContext (see DESIGN.md §12). Extracting this state also fixes
+/// the latent bug where two interleaved FilterDocument calls on one
+/// engine corrupted each other's match epochs.
+///
+/// Scratch buffers (publication, occurrence views, path keys) persist
+/// across documents so a long-lived context reaches a steady state
+/// with no per-path heap allocation.
+class MatchContext {
+ public:
+  MatchContext() = default;
+  MatchContext(const MatchContext&) = delete;
+  MatchContext& operator=(const MatchContext&) = delete;
+
+  /// The budget consulted at this context's cooperative checkpoints.
+  /// Owned by default; the engine's legacy single-threaded wrappers
+  /// bind the engine-level budget instead so FilterXml governance
+  /// windows keep their historical semantics.
+  ExecBudget& budget() { return bound_budget_ ? *bound_budget_ : budget_; }
+  void BindBudget(ExecBudget* budget) { bound_budget_ = budget; }
+
+  /// Routes counters and stage timers straight into \p inst (nullptr
+  /// reverts to local accumulation). Only the single-threaded legacy
+  /// path binds instruments; they are not thread-safe.
+  void BindInstruments(obs::EngineInstruments* inst) { inst_ = inst; }
+  obs::EngineInstruments* instruments() const { return inst_; }
+
+  /// Cooperative cancellation: when \p cancel becomes true, the next
+  /// per-path checkpoint aborts the run with kMatchCancelledMessage.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
+  Status CheckCancelled() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return Status::Rejected(std::string(kMatchCancelledMessage));
+    }
+    return Status::OK();
+  }
+
+  const MatchCounters& counters() const { return counters_; }
+  /// Returns the counters accumulated since the last take and zeroes
+  /// them (batch-level flush by the parallel front end).
+  MatchCounters TakeCounters() {
+    MatchCounters out = counters_;
+    counters_.Reset();
+    return out;
+  }
+
+ private:
+  friend class Matcher;
+
+  void CountPaths(uint64_t n) {
+    if (inst_ != nullptr) {
+      inst_->AddPaths(n);
+    } else {
+      counters_.paths += n;
+    }
+  }
+  void CountOccurrenceRun() {
+    if (inst_ != nullptr) {
+      inst_->IncOccurrenceRuns();
+    } else {
+      ++counters_.occurrence_runs;
+    }
+  }
+  void CountNestedTruncated() {
+    if (inst_ != nullptr) {
+      inst_->IncNestedTruncated();
+    } else {
+      ++counters_.nested_truncated;
+    }
+  }
+  void CountPredicateMatches(uint64_t n) {
+    if (inst_ != nullptr) {
+      inst_->AddPredicateMatches(n);
+    } else {
+      counters_.predicate_matches += n;
+    }
+  }
+
+  /// Per-group witness state (one slot per Matcher nested group).
+  struct GroupScratch {
+    uint32_t touched_epoch = 0;
+    /// Per sub-expression: witness tuples, one NodeId per interest
+    /// step.
+    std::vector<std::vector<std::vector<xml::NodeId>>> witnesses;
+  };
+
+  // --- bindings ---
+  ExecBudget budget_;
+  ExecBudget* bound_budget_ = nullptr;
+  obs::EngineInstruments* inst_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
+  MatchCounters counters_;
+
+  // --- per-document match state ---
+  uint32_t doc_epoch_ = 0;
+  /// Per InternalId: epoch of the document this expression last
+  /// matched in (replaces the old HotExpr::matched_epoch field, which
+  /// made the hot array per-document mutable).
+  std::vector<uint32_t> matched_epochs_;
+  std::vector<InternalId> doc_matched_;
+  std::vector<uint32_t> matched_groups_;
+  std::vector<GroupScratch> group_scratch_;
+  /// Keys of paths already processed for the current document; the
+  /// key bytes live in key_arena_, reset per document, so the dedup
+  /// set allocates nothing in steady state beyond its own table.
+  std::unordered_set<std::string_view> seen_path_keys_;
+  std::string key_buf_;
+  Arena key_arena_{16 * 1024};
+
+  // --- per-path scratch ---
+  MatchResultSet results_;
+  Publication pub_;
+  std::vector<const OccList*> views_buf_;
+  std::vector<OccList> filtered_buf_;
+  std::vector<InternalId> prefix_buf_;
+  /// EnumerateChains backtracking frames (nested witness search).
+  std::vector<OccPair> chain_buf_;
+  std::vector<PathElementView> path_views_;
+  std::vector<xml::DocumentPath> paths_buf_;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_MATCH_CONTEXT_H_

@@ -97,7 +97,6 @@ Result<ExprId> Matcher::AddParsedExpression(const xpath::PathExpr& expr) {
       }
       group.interest_anchors.push_back(std::move(anchors));
     }
-    group.witnesses.resize(group.decomposition.subs.size());
 
     ExprId sid = next_sid_++;
     sid_targets_.push_back(DedupTarget{true, group_id});
@@ -207,32 +206,36 @@ Result<InternalId> Matcher::AddInternalPath(const xpath::PathExpr& path,
 // Matching.
 // ---------------------------------------------------------------------------
 
-bool Matcher::GatherResults(
-    InternalId id,
-    std::vector<const std::vector<OccPair>*>* views) const {
+bool Matcher::GatherResults(InternalId id, const MatchResultSet& results,
+                            std::vector<const OccList*>* views) const {
   const HotExpr& hot = hot_[id];
   const PredicateId* chain = hot.Chain(pid_overflow_);
   views->clear();
   for (uint16_t i = 0; i < hot.len; ++i) {
-    const std::vector<OccPair>* r = results_.Find(chain[i]);
+    const OccList* r = results.Find(chain[i]);
     if (r == nullptr) return false;
     views->push_back(r);
   }
   return true;
 }
 
-bool Matcher::ApplyDeferredFilters(
-    const Internal& expr, const Publication& pub,
-    std::vector<const std::vector<OccPair>*>* views,
-    std::vector<std::vector<OccPair>>* storage) const {
-  storage->clear();
-  storage->reserve(expr.deferred.size());
+bool Matcher::ApplyDeferredFilters(const Internal& expr,
+                                   const Publication& pub,
+                                   std::vector<const OccList*>* views,
+                                   std::vector<OccList>* storage) const {
+  // The pool is sized up-front so the view pointers taken below stay
+  // valid; each slot keeps its (inline or spilled) capacity across
+  // paths.
+  if (storage->size() < expr.deferred.size()) {
+    storage->resize(expr.deferred.size());
+  }
+  size_t used = 0;
   for (const DeferredFilters& df : expr.deferred) {
     const AnchorSlot& slot = expr.anchor_slots[df.anchor_index];
     const SymbolId tag = expr.anchor_tags[df.anchor_index];
-    const std::vector<OccPair>& source = *(*views)[slot.pred_index];
-    storage->emplace_back();
-    std::vector<OccPair>& filtered = storage->back();
+    const OccList& source = *(*views)[slot.pred_index];
+    OccList& filtered = (*storage)[used++];
+    filtered.clear();
     for (const OccPair& pair : source) {
       uint32_t occ = slot.on_second ? pair.second : pair.first;
       uint32_t position = pub.PositionOf(tag, occ);
@@ -259,28 +262,30 @@ bool Matcher::ApplyDeferredFilters(
   return true;
 }
 
-bool Matcher::VerifyDeferred(InternalId id, const Publication& pub) {
-  if (!GatherResults(id, &views_buf_)) return false;
-  if (!ApplyDeferredFilters(exprs_[id], pub, &views_buf_, &filtered_buf_)) {
+bool Matcher::VerifyDeferred(InternalId id, const Publication& pub,
+                             MatchContext* ctx) const {
+  if (!GatherResults(id, ctx->results_, &ctx->views_buf_)) return false;
+  if (!ApplyDeferredFilters(exprs_[id], pub, &ctx->views_buf_,
+                            &ctx->filtered_buf_)) {
     return false;
   }
-  bound_inst().IncOccurrenceRuns();
-  return OccurrenceDeterminer::Determine(views_buf_);
+  ctx->CountOccurrenceRun();
+  return OccurrenceDeterminer::Determine(ctx->views_buf_);
 }
 
-bool Matcher::EvaluateExpression(InternalId id, const Publication& pub) {
-  if (!GatherResults(id, &views_buf_)) return false;
-  bound_inst().IncOccurrenceRuns();
-  if (!OccurrenceDeterminer::Determine(views_buf_)) return false;
-  if (hot_[id].has_deferred) return VerifyDeferred(id, pub);
+bool Matcher::EvaluateExpression(InternalId id, const Publication& pub,
+                                 MatchContext* ctx) const {
+  if (!GatherResults(id, ctx->results_, &ctx->views_buf_)) return false;
+  ctx->CountOccurrenceRun();
+  if (!OccurrenceDeterminer::Determine(ctx->views_buf_)) return false;
+  if (hot_[id].has_deferred) return VerifyDeferred(id, pub, ctx);
   return true;
 }
 
-void Matcher::MarkMatched(InternalId id) {
-  HotExpr& hot = hot_[id];
-  if (hot.matched_epoch == doc_epoch_) return;
-  hot.matched_epoch = doc_epoch_;
-  doc_matched_.push_back(id);
+void Matcher::MarkMatched(InternalId id, MatchContext* ctx) const {
+  if (ctx->matched_epochs_[id] == ctx->doc_epoch_) return;
+  ctx->matched_epochs_[id] = ctx->doc_epoch_;
+  ctx->doc_matched_.push_back(id);
 }
 
 void Matcher::RebuildContainmentIndex() {
@@ -333,39 +338,44 @@ void Matcher::RebuildContainmentIndex() {
   containment_dirty_ = false;
 }
 
-void Matcher::PropagateCoveredMatches(InternalId id,
-                                      const Publication& pub) {
+void Matcher::PropagateCoveredMatches(InternalId id, const Publication& pub,
+                                      MatchContext* ctx) const {
   // Same-node expressions share the full chain, prefix expressions a
   // prefix of it; either way the publication structurally matches them
   // (§4.2.2's covering argument), so only deferred attribute filters
   // remain to check.
-  prefix_buf_.clear();
+  std::vector<InternalId>& prefix_buf = ctx->prefix_buf_;
+  prefix_buf.clear();
   const ExpressionTrie::Node& node = trie_.node(exprs_[id].trie_node);
-  prefix_buf_.insert(prefix_buf_.end(), node.expressions.begin(),
-                     node.expressions.end());
-  trie_.CollectPrefixExpressions(exprs_[id].trie_node, &prefix_buf_);
+  prefix_buf.insert(prefix_buf.end(), node.expressions.begin(),
+                    node.expressions.end());
+  trie_.CollectPrefixExpressions(exprs_[id].trie_node, &prefix_buf);
   if (options_.enable_containment_covering) {
     const std::vector<InternalId>& contained = exprs_[id].contained;
-    prefix_buf_.insert(prefix_buf_.end(), contained.begin(),
-                       contained.end());
+    prefix_buf.insert(prefix_buf.end(), contained.begin(), contained.end());
   }
-  for (InternalId covered_id : prefix_buf_) {
+  for (InternalId covered_id : prefix_buf) {
     if (!hot_[covered_id].active ||
-        hot_[covered_id].matched_epoch == doc_epoch_) {
+        ctx->matched_epochs_[covered_id] == ctx->doc_epoch_) {
       continue;
     }
-    if (!hot_[covered_id].has_deferred || VerifyDeferred(covered_id, pub)) {
-      MarkMatched(covered_id);
+    if (!hot_[covered_id].has_deferred ||
+        VerifyDeferred(covered_id, pub, ctx)) {
+      MarkMatched(covered_id, ctx);
     }
   }
 }
 
-void Matcher::RunExpressionStage(const Publication& pub) {
+void Matcher::RunExpressionStage(const Publication& pub,
+                                 MatchContext* ctx) const {
   switch (options_.mode) {
     case Mode::kBasic: {
       for (InternalId id : plain_exprs_) {
-        if (!hot_[id].active || hot_[id].matched_epoch == doc_epoch_) continue;
-        if (EvaluateExpression(id, pub)) MarkMatched(id);
+        if (!hot_[id].active ||
+            ctx->matched_epochs_[id] == ctx->doc_epoch_) {
+          continue;
+        }
+        if (EvaluateExpression(id, pub, ctx)) MarkMatched(id, ctx);
       }
       break;
     }
@@ -373,32 +383,36 @@ void Matcher::RunExpressionStage(const Publication& pub) {
     case Mode::kPrefixCoveringAccessPredicate: {
       const bool use_access_predicate =
           options_.mode == Mode::kPrefixCoveringAccessPredicate;
-      for (const ExpressionTrie::Cluster& cluster : trie_.clusters()) {
+      // PrepareForFiltering flushed the lazy rebuild, so the prepared
+      // accessor never mutates shared state mid-document.
+      for (const ExpressionTrie::Cluster& cluster :
+           trie_.prepared_clusters()) {
         // Access predicate (ap variant only): no result for the first
         // predicate rules out every expression in the cluster without
         // looking at any of them.
-        if (use_access_predicate && !results_.Has(cluster.access_pid)) {
+        if (use_access_predicate && !ctx->results_.Has(cluster.access_pid)) {
           continue;
         }
         for (InternalId id : cluster.expressions_by_length) {
-          if (!hot_[id].active || hot_[id].matched_epoch == doc_epoch_) {
+          if (!hot_[id].active ||
+              ctx->matched_epochs_[id] == ctx->doc_epoch_) {
             continue;
           }
-          if (EvaluateExpression(id, pub)) {
-            MarkMatched(id);
-            PropagateCoveredMatches(id, pub);
+          if (EvaluateExpression(id, pub, ctx)) {
+            MarkMatched(id, ctx);
+            PropagateCoveredMatches(id, pub, ctx);
           }
         }
       }
       break;
     }
     case Mode::kTrieDfs:
-      RunTrieDfs(pub);
+      RunTrieDfs(pub, ctx);
       break;
   }
 }
 
-void Matcher::RunTrieDfs(const Publication& pub) {
+void Matcher::RunTrieDfs(const Publication& pub, MatchContext* ctx) const {
   // DFS over the trie, propagating the set of occurrence values o2
   // reachable by a valid chain from the root to each node. A node is
   // reachable iff some chain exists; expressions at a reachable node
@@ -414,7 +428,7 @@ void Matcher::RunTrieDfs(const Publication& pub) {
 
   auto visit = [&](uint32_t child_id, const std::vector<uint32_t>* parent) {
     const ExpressionTrie::Node& child = trie_.node(child_id);
-    const std::vector<OccPair>* r = results_.Find(child.pid);
+    const OccList* r = ctx->results_.Find(child.pid);
     if (r == nullptr) return;
     std::vector<uint32_t> reachable;
     for (const OccPair& pair : *r) {
@@ -429,9 +443,12 @@ void Matcher::RunTrieDfs(const Publication& pub) {
     reachable.erase(std::unique(reachable.begin(), reachable.end()),
                     reachable.end());
     for (InternalId id : child.expressions) {
-      if (!hot_[id].active || hot_[id].matched_epoch == doc_epoch_) continue;
-      if (!hot_[id].has_deferred || VerifyDeferred(id, pub)) {
-        MarkMatched(id);
+      if (!hot_[id].active ||
+          ctx->matched_epochs_[id] == ctx->doc_epoch_) {
+        continue;
+      }
+      if (!hot_[id].has_deferred || VerifyDeferred(id, pub, ctx)) {
+        MarkMatched(id, ctx);
       }
     }
     stack.push_back(Frame{child_id, std::move(reachable)});
@@ -447,26 +464,30 @@ void Matcher::RunTrieDfs(const Publication& pub) {
   }
 }
 
-void Matcher::ProcessNestedSubs(const Publication& pub) {
+void Matcher::ProcessNestedSubs(const Publication& pub,
+                                MatchContext* ctx) const {
   for (InternalId id : nested_subs_) {
     if (!hot_[id].active) continue;
-    Internal& e = exprs_[id];
-    if (!GatherResults(id, &views_buf_)) continue;
+    const Internal& e = exprs_[id];
+    if (!GatherResults(id, ctx->results_, &ctx->views_buf_)) continue;
     if (!e.deferred.empty() &&
-        !ApplyDeferredFilters(e, pub, &views_buf_, &filtered_buf_)) {
+        !ApplyDeferredFilters(e, pub, &ctx->views_buf_,
+                              &ctx->filtered_buf_)) {
       continue;
     }
-    NestedGroup& group = groups_[e.group];
-    if (group.touched_epoch != doc_epoch_) {
-      group.touched_epoch = doc_epoch_;
-      for (auto& w : group.witnesses) w.clear();
+    const NestedGroup& group = groups_[e.group];
+    MatchContext::GroupScratch& scratch = ctx->group_scratch_[e.group];
+    if (scratch.touched_epoch != ctx->doc_epoch_) {
+      scratch.touched_epoch = ctx->doc_epoch_;
+      scratch.witnesses.resize(group.decomposition.subs.size());
+      for (auto& w : scratch.witnesses) w.clear();
     }
     const std::vector<uint16_t>& anchors =
         group.interest_anchors[e.sub_index];
-    auto& sink = group.witnesses[e.sub_index];
-    bound_inst().IncOccurrenceRuns();
+    auto& sink = scratch.witnesses[e.sub_index];
+    ctx->CountOccurrenceRun();
     bool complete = OccurrenceDeterminer::EnumerateChains(
-        views_buf_, options_.nested_chain_budget,
+        ctx->views_buf_, options_.nested_chain_budget,
         [&](std::span<const OccPair> chain) {
           std::vector<xml::NodeId> tuple;
           tuple.reserve(anchors.size());
@@ -478,15 +499,17 @@ void Matcher::ProcessNestedSubs(const Publication& pub) {
             tuple.push_back(pub.NodeAt(position));
           }
           sink.push_back(std::move(tuple));
-        });
-    if (!complete) bound_inst().IncNestedTruncated();
+        },
+        &ctx->chain_buf_);
+    if (!complete) ctx->CountNestedTruncated();
   }
 }
 
-void Matcher::JoinNestedGroups() {
+void Matcher::JoinNestedGroups(MatchContext* ctx) const {
   for (size_t g = 0; g < groups_.size(); ++g) {
-    NestedGroup& group = groups_[g];
-    if (group.touched_epoch != doc_epoch_) continue;
+    const NestedGroup& group = groups_[g];
+    const MatchContext::GroupScratch& scratch = ctx->group_scratch_[g];
+    if (scratch.touched_epoch != ctx->doc_epoch_) continue;
 
     const std::vector<SubExpression>& subs = group.decomposition.subs;
     // valid_nodes[s]: branch nodes of sub s surviving its own
@@ -497,7 +520,7 @@ void Matcher::JoinNestedGroups() {
 
     for (size_t s = subs.size(); s-- > 0;) {
       const SubExpression& sub = subs[s];
-      const auto& tuples = group.witnesses[s];
+      const auto& tuples = scratch.witnesses[s];
 
       // Index of each interest step within the tuple.
       auto step_slot = [&](uint32_t step) {
@@ -534,20 +557,22 @@ void Matcher::JoinNestedGroups() {
     }
 
     if (root_matched) {
-      matched_groups_.push_back(static_cast<uint32_t>(g));
+      ctx->matched_groups_.push_back(static_cast<uint32_t>(g));
     }
   }
 }
 
-void Matcher::ProcessElements(std::span<const PathElementView> elements) {
+void Matcher::ProcessElements(std::span<const PathElementView> elements,
+                              MatchContext* ctx) const {
   // Publication-level memoization: two paths with identical
   // (tag, attributes) sequences produce identical predicate and
   // expression matching, so the second is skipped. Disabled when
   // nested expressions are stored -- their witnesses are node
   // identities, which differ between equal-keyed paths.
-  obs::ScopedTimer timer(&bound_inst(), obs::Stage::kEncode);
+  obs::ScopedTimer timer(ctx->instruments(), obs::Stage::kEncode);
   if (groups_.empty()) {
-    std::string key;
+    std::string& key = ctx->key_buf_;
+    key.clear();
     for (const PathElementView& element : elements) {
       key.append(element.tag);
       if (element.attributes != nullptr) {
@@ -560,89 +585,128 @@ void Matcher::ProcessElements(std::span<const PathElementView> elements) {
       }
       key.push_back('\x03');
     }
-    bool fresh = seen_path_keys_.insert(std::move(key)).second;
-    if (!fresh) return;
+    if (ctx->seen_path_keys_.contains(std::string_view(key))) return;
+    // The stored key bytes live in the per-document arena, so the set
+    // itself never owns (or frees) string storage.
+    const char* stored = ctx->key_arena_.CopyString(key.data(), key.size());
+    ctx->seen_path_keys_.insert(std::string_view(stored, key.size()));
   }
 
-  Publication pub(elements, interner_);
+  ctx->pub_.Assign(elements, interner_);
+  const Publication& pub = ctx->pub_;
 
   timer.Rotate(obs::Stage::kPredicate);
-  bound_inst().AddPredicateMatches(predicate_index_.Match(pub, &results_));
+  ctx->CountPredicateMatches(predicate_index_.Match(pub, &ctx->results_));
 
   timer.Rotate(obs::Stage::kOccurrence);
-  RunExpressionStage(pub);
-  if (!nested_subs_.empty()) ProcessNestedSubs(pub);
+  RunExpressionStage(pub, ctx);
+  if (!nested_subs_.empty()) ProcessNestedSubs(pub, ctx);
+}
+
+void Matcher::PrepareForFiltering() {
+  if (options_.enable_containment_covering && containment_dirty_) {
+    RebuildContainmentIndex();
+  }
+  trie_.EnsureOrders();
+}
+
+void Matcher::BindDefaultContext() {
+  default_context_.BindInstruments(&inst());
+  default_context_.BindBudget(&budget());
+}
+
+void Matcher::BeginDocumentStream(MatchContext* ctx) const {
+  ++ctx->doc_epoch_;
+  if (ctx->matched_epochs_.size() < exprs_.size()) {
+    ctx->matched_epochs_.resize(exprs_.size(), 0);
+  }
+  if (ctx->group_scratch_.size() < groups_.size()) {
+    ctx->group_scratch_.resize(groups_.size());
+  }
+  ctx->doc_matched_.clear();
+  ctx->matched_groups_.clear();
+  ctx->seen_path_keys_.clear();
+  ctx->key_arena_.Reset();
+  if (ctx->instruments() != nullptr) ctx->instruments()->BeginDocument();
 }
 
 void Matcher::BeginDocumentStream() {
   ArmBudgetIfNeeded();
-  if (options_.enable_containment_covering && containment_dirty_) {
-    RebuildContainmentIndex();
-  }
-  ++doc_epoch_;
-  doc_matched_.clear();
-  matched_groups_.clear();
-  seen_path_keys_.clear();
-  inst().BeginDocument();
+  PrepareForFiltering();
+  BindDefaultContext();
+  BeginDocumentStream(&default_context_);
 }
 
-Status Matcher::ProcessStreamedPath(
-    std::span<const PathElementView> elements) {
+Status Matcher::ProcessStreamedPath(std::span<const PathElementView> elements,
+                                    MatchContext* ctx) const {
   if (elements.empty()) {
     return Status::InvalidArgument("path must have at least one element");
   }
   XPRED_FAULT_POINT(faultsite::kMatcherProcessPath);
-  XPRED_RETURN_NOT_OK(budget().AddPath());
-  XPRED_RETURN_NOT_OK(budget().CheckDeadline());
-  bound_inst().AddPaths(1);
-  ProcessElements(elements);
+  XPRED_RETURN_NOT_OK(ctx->budget().AddPath());
+  XPRED_RETURN_NOT_OK(ctx->budget().CheckDeadline());
+  XPRED_RETURN_NOT_OK(ctx->CheckCancelled());
+  ctx->CountPaths(1);
+  ProcessElements(elements, ctx);
   return Status::OK();
 }
 
-Status Matcher::EndDocumentStream(std::vector<ExprId>* matched) {
+Status Matcher::ProcessStreamedPath(
+    std::span<const PathElementView> elements) {
+  return ProcessStreamedPath(elements, &default_context_);
+}
+
+Status Matcher::EndDocumentStream(MatchContext* ctx,
+                                  std::vector<ExprId>* matched) const {
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
   {
-    obs::ScopedTimer timer(&inst(), obs::Stage::kOccurrence);
-    if (!groups_.empty()) JoinNestedGroups();
+    obs::ScopedTimer timer(ctx->instruments(), obs::Stage::kOccurrence);
+    if (!groups_.empty()) JoinNestedGroups(ctx);
 
     timer.Rotate(obs::Stage::kCollect);
-    for (InternalId id : doc_matched_) {
+    for (InternalId id : ctx->doc_matched_) {
       const Internal& e = exprs_[id];
       matched->insert(matched->end(), e.subscribers.begin(),
                       e.subscribers.end());
     }
-    for (uint32_t g : matched_groups_) {
+    for (uint32_t g : ctx->matched_groups_) {
       const NestedGroup& group = groups_[g];
       matched->insert(matched->end(), group.subscribers.begin(),
                       group.subscribers.end());
     }
   }
-  inst().EndDocument();
+  if (ctx->instruments() != nullptr) ctx->instruments()->EndDocument();
   return Status::OK();
 }
 
+Status Matcher::EndDocumentStream(std::vector<ExprId>* matched) {
+  return EndDocumentStream(&default_context_, matched);
+}
+
 Status Matcher::FilterDocument(const xml::Document& document,
-                               std::vector<ExprId>* matched) {
+                               MatchContext* ctx,
+                               std::vector<ExprId>* matched) const {
   if (matched == nullptr) {
     return Status::InvalidArgument("matched must not be null");
   }
-  XPRED_RETURN_NOT_OK(BeginGoverned(document));
-  BeginDocumentStream();
+  BeginDocumentStream(ctx);
 
-  std::vector<xml::DocumentPath> paths;
+  std::vector<xml::DocumentPath>& paths = ctx->paths_buf_;
+  paths.clear();
   {
-    obs::ScopedTimer timer(&bound_inst(), obs::Stage::kEncode);
+    obs::ScopedTimer timer(ctx->instruments(), obs::Stage::kEncode);
     XPRED_FAULT_POINT(faultsite::kEncoderEncodePath);
-    XPRED_RETURN_NOT_OK(xml::ExtractPaths(document, &budget(), &paths));
-    inst().AddPaths(paths.size());
+    XPRED_RETURN_NOT_OK(xml::ExtractPaths(document, &ctx->budget(), &paths));
+    ctx->CountPaths(paths.size());
   }
 
-  std::vector<PathElementView> views;
+  std::vector<PathElementView>& views = ctx->path_views_;
   for (const xml::DocumentPath& path : paths) {
     XPRED_FAULT_POINT(faultsite::kMatcherProcessPath);
-    XPRED_RETURN_NOT_OK(budget().CheckDeadline());
+    XPRED_RETURN_NOT_OK(ctx->budget().CheckDeadline());
+    XPRED_RETURN_NOT_OK(ctx->CheckCancelled());
     views.clear();
     const uint32_t n = path.length();
     views.reserve(n);
@@ -653,10 +717,21 @@ Status Matcher::FilterDocument(const xml::Document& document,
       view.node = path.Node(pos);
       views.push_back(view);
     }
-    ProcessElements(views);
+    ProcessElements(views, ctx);
   }
 
-  return EndDocumentStream(matched);
+  return EndDocumentStream(ctx, matched);
+}
+
+Status Matcher::FilterDocument(const xml::Document& document,
+                               std::vector<ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  XPRED_RETURN_NOT_OK(BeginGoverned(document));
+  PrepareForFiltering();
+  BindDefaultContext();
+  return FilterDocument(document, &default_context_, matched);
 }
 
 Status Matcher::SaveSubscriptions(std::ostream* out) const {

@@ -14,6 +14,7 @@
 #include "core/encoder.h"
 #include "core/engine.h"
 #include "core/expression_index.h"
+#include "core/match_context.h"
 #include "core/nested.h"
 #include "core/occurrence.h"
 #include "core/predicate.h"
@@ -111,6 +112,33 @@ class Matcher : public FilterEngine {
   Status EndDocumentStream(std::vector<ExprId>* matched);
   ///@}
 
+  /// \name Context-based const filter path
+  ///
+  /// The shared indexes are read-only during filtering; all mutable
+  /// per-document state lives in the caller's MatchContext. After
+  /// PrepareForFiltering(), any number of threads may run these
+  /// concurrently on one Matcher — each with its own context — as
+  /// long as no expressions are added or removed meanwhile (see
+  /// DESIGN.md §12). The legacy entry points above are thin wrappers
+  /// over these with an engine-owned default context.
+  ///@{
+  /// Flushes lazily-built evaluation orders (trie clusters,
+  /// containment index) so filtering never mutates shared state. Must
+  /// be called after the last expression mutation and before
+  /// concurrent filtering; the legacy wrappers call it implicitly.
+  void PrepareForFiltering();
+  void BeginDocumentStream(MatchContext* ctx) const;
+  Status ProcessStreamedPath(std::span<const PathElementView> elements,
+                             MatchContext* ctx) const;
+  Status EndDocumentStream(MatchContext* ctx,
+                           std::vector<ExprId>* matched) const;
+  /// Tree-mode filtering against \p ctx. Does NOT run BeginGoverned:
+  /// the caller arms ctx->budget() and validates the document
+  /// (FilterEngine::ValidateDocumentAgainstBudget) first.
+  Status FilterDocument(const xml::Document& document, MatchContext* ctx,
+                        std::vector<ExprId>* matched) const;
+  ///@}
+
   size_t subscription_count() const override { return next_sid_; }
   std::string_view name() const override;
 
@@ -164,12 +192,12 @@ class Matcher : public FilterEngine {
 
   /// Hot per-expression data for the per-path evaluation loop, which
   /// visits every unmatched expression once per document path (the
-  /// dominant cost, §6.5): the matched-epoch flag and the pid chain,
-  /// inline when short. One entry is 40 bytes, so the sweep stays
-  /// cache-friendly even with 10^5+ stored expressions.
+  /// dominant cost, §6.5): the pid chain, inline when short. One entry
+  /// is 40 bytes, so the sweep stays cache-friendly even with 10^5+
+  /// stored expressions. Read-only during filtering (the per-document
+  /// matched epoch lives in MatchContext::matched_epochs_).
   struct HotExpr {
     static constexpr uint16_t kInlinePids = 8;
-    uint32_t matched_epoch = 0;
     uint16_t len = 0;
     /// True when the chain is longer than kInlinePids; pids[0] is then
     /// an offset into pid_overflow_.
@@ -185,17 +213,14 @@ class Matcher : public FilterEngine {
     }
   };
 
-  /// A nested expression: decomposition + per-document witness state.
+  /// A nested expression's shared decomposition. Per-document witness
+  /// state lives in MatchContext::GroupScratch.
   struct NestedGroup {
     Decomposition decomposition;
     std::vector<InternalId> sub_internal;
     /// Per sub, per interest step: the anchor index carrying it.
     std::vector<std::vector<uint16_t>> interest_anchors;
     std::vector<ExprId> subscribers;
-    /// Per-document witness tuples, one vector per sub-expression;
-    /// each tuple has one NodeId per interest step.
-    std::vector<std::vector<std::vector<xml::NodeId>>> witnesses;
-    uint32_t touched_epoch = 0;
   };
 
   Result<InternalId> AddInternalPath(const xpath::PathExpr& path,
@@ -203,39 +228,48 @@ class Matcher : public FilterEngine {
 
   /// Shared per-path pipeline: dedup check, publication encoding,
   /// predicate matching, expression matching.
-  void ProcessElements(std::span<const PathElementView> elements);
-  void RunExpressionStage(const Publication& pub);
-  void RunTrieDfs(const Publication& pub);
-  void ProcessNestedSubs(const Publication& pub);
-  void JoinNestedGroups();
+  void ProcessElements(std::span<const PathElementView> elements,
+                       MatchContext* ctx) const;
+  void RunExpressionStage(const Publication& pub, MatchContext* ctx) const;
+  void RunTrieDfs(const Publication& pub, MatchContext* ctx) const;
+  void ProcessNestedSubs(const Publication& pub, MatchContext* ctx) const;
+  void JoinNestedGroups(MatchContext* ctx) const;
 
   /// Collects result-list views for an expression's predicates.
   /// Returns false when any predicate has no result (Algorithm 1's
   /// early noMatch).
-  bool GatherResults(InternalId id,
-                     std::vector<const std::vector<OccPair>*>* views) const;
+  bool GatherResults(InternalId id, const MatchResultSet& results,
+                     std::vector<const OccList*>* views) const;
 
   /// Structural + (inline is implicit; SP verified) match on the
   /// current path.
-  bool EvaluateExpression(InternalId id, const Publication& pub);
+  bool EvaluateExpression(InternalId id, const Publication& pub,
+                          MatchContext* ctx) const;
 
   /// Re-runs occurrence determination on attribute-filtered results
   /// (selection-postponed verification, §5).
-  bool VerifyDeferred(InternalId id, const Publication& pub);
+  bool VerifyDeferred(InternalId id, const Publication& pub,
+                      MatchContext* ctx) const;
 
   /// Applies \p expr's deferred filters to \p views, storing filtered
   /// copies in \p storage. Returns false if a filtered list is empty.
   bool ApplyDeferredFilters(const Internal& expr, const Publication& pub,
-                            std::vector<const std::vector<OccPair>*>* views,
-                            std::vector<std::vector<OccPair>>* storage) const;
+                            std::vector<const OccList*>* views,
+                            std::vector<OccList>* storage) const;
 
-  void MarkMatched(InternalId id);
+  void MarkMatched(InternalId id, MatchContext* ctx) const;
   /// Propagates a structural match at \p id's trie node to same-node
   /// and prefix expressions (prefix covering), and — when containment
   /// covering is enabled — to contained-subchain expressions.
-  void PropagateCoveredMatches(InternalId id, const Publication& pub);
-  /// Builds each expression's contained-subchain list (lazy).
+  void PropagateCoveredMatches(InternalId id, const Publication& pub,
+                               MatchContext* ctx) const;
+  /// Builds each expression's contained-subchain list (lazy; flushed
+  /// by PrepareForFiltering).
   void RebuildContainmentIndex();
+
+  /// Points the engine-owned default context at the engine budget and
+  /// instruments (legacy single-threaded entry points).
+  void BindDefaultContext();
 
   Options options_;
   Interner interner_;
@@ -264,20 +298,8 @@ class Matcher : public FilterEngine {
   std::unordered_map<uint64_t, std::vector<InternalId>> chain_index_;
   bool containment_dirty_ = true;
 
-  // Per-document state.
-  uint32_t doc_epoch_ = 0;
-  std::vector<InternalId> doc_matched_;
-  std::vector<uint32_t> matched_groups_;
-  /// Keys of paths already processed for the current document: a path
-  /// whose (tag, attributes) sequence already occurred yields exactly
-  /// the same publication-side matching, so it is skipped. Disabled
-  /// when nested expressions are stored (their witnesses are node
-  /// identities, which differ between equal-keyed paths).
-  std::unordered_set<std::string> seen_path_keys_;
-  MatchResultSet results_;
-  std::vector<const std::vector<OccPair>*> views_buf_;
-  std::vector<std::vector<OccPair>> filtered_buf_;
-  std::vector<InternalId> prefix_buf_;
+  /// Per-document state for the legacy (context-free) entry points.
+  MatchContext default_context_;
 };
 
 }  // namespace xpred::core

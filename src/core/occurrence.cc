@@ -6,7 +6,7 @@ namespace {
 
 bool DetermineRec(OccurrenceDeterminer::ResultView results, size_t index,
                   uint32_t required_first) {
-  const std::vector<OccPair>& candidates = *results[index];
+  const OccList& candidates = *results[index];
   for (const OccPair& pair : candidates) {
     // Chaining constraint: this pair must continue the previous pair's
     // second occurrence (skipped for the first predicate).
@@ -21,7 +21,7 @@ bool EnumerateRec(OccurrenceDeterminer::ResultView results, size_t index,
                   uint32_t required_first, std::vector<OccPair>* chain,
                   size_t* budget,
                   const std::function<void(std::span<const OccPair>)>& visit) {
-  const std::vector<OccPair>& candidates = *results[index];
+  const OccList& candidates = *results[index];
   for (const OccPair& pair : candidates) {
     if (*budget == 0) return false;
     --*budget;
@@ -43,7 +43,7 @@ bool EnumerateRec(OccurrenceDeterminer::ResultView results, size_t index,
 
 bool OccurrenceDeterminer::Determine(ResultView results) {
   if (results.empty()) return false;
-  for (const std::vector<OccPair>* r : results) {
+  for (const OccList* r : results) {
     if (r == nullptr || r->empty()) return false;
   }
   return DetermineRec(results, 0, 0);
@@ -51,15 +51,19 @@ bool OccurrenceDeterminer::Determine(ResultView results) {
 
 bool OccurrenceDeterminer::EnumerateChains(
     ResultView results, size_t max_steps,
-    const std::function<void(std::span<const OccPair>)>& visit) {
+    const std::function<void(std::span<const OccPair>)>& visit,
+    std::vector<OccPair>* chain_scratch) {
   if (results.empty()) return true;
-  for (const std::vector<OccPair>* r : results) {
+  for (const OccList* r : results) {
     if (r == nullptr || r->empty()) return true;  // No chains at all.
   }
-  std::vector<OccPair> chain;
-  chain.reserve(results.size());
+  std::vector<OccPair> local;
+  std::vector<OccPair>* chain = chain_scratch != nullptr ? chain_scratch
+                                                         : &local;
+  chain->clear();
+  chain->reserve(results.size());
   size_t budget = max_steps;
-  return EnumerateRec(results, 0, 0, &chain, &budget, visit);
+  return EnumerateRec(results, 0, 0, chain, &budget, visit);
 }
 
 }  // namespace xpred::core

@@ -25,9 +25,12 @@ class OccurrenceDeterminer {
   /// Result lists, one per predicate in encoding order. A null or
   /// empty entry means the predicate had no match (line 2-6 of
   /// Algorithm 1 returns noMatch immediately).
-  using ResultView = std::span<const std::vector<OccPair>* const>;
+  using ResultView = std::span<const OccList* const>;
 
-  /// Returns true iff at least one valid chain exists.
+  /// Returns true iff at least one valid chain exists. The
+  /// backtracking frames live on the native call stack (depth is the
+  /// chain length, at most the engine's max expression length), so the
+  /// search itself never allocates.
   static bool Determine(ResultView results);
 
   /// Enumerates every valid chain, invoking \p visit with the chosen
@@ -35,9 +38,12 @@ class OccurrenceDeterminer {
   /// needs all witnesses, not just one. Stops early and returns false
   /// when more than \p max_steps search steps were taken (cap against
   /// pathological inputs); returns true when the enumeration completed.
+  /// \p chain_scratch, when given, backs the in-progress chain so a
+  /// caller looping over many sub-expressions reuses one buffer.
   static bool EnumerateChains(
       ResultView results, size_t max_steps,
-      const std::function<void(std::span<const OccPair>)>& visit);
+      const std::function<void(std::span<const OccPair>)>& visit,
+      std::vector<OccPair>* chain_scratch = nullptr);
 };
 
 }  // namespace xpred::core

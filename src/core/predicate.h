@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/small_vector.h"
 #include "xpath/ast.h"
 
 namespace xpred::core {
@@ -105,6 +106,11 @@ struct OccPair {
 
   auto operator<=>(const OccPair&) const = default;
 };
+
+/// Occurrence-pair list with inline storage: per-path predicate match
+/// results almost always hold 1-2 pairs, so keeping four inline removes
+/// the dominant per-path heap allocation from the filter hot path.
+using OccList = common::SmallVector<OccPair, 4>;
 
 }  // namespace xpred::core
 

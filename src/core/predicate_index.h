@@ -38,7 +38,7 @@ class MatchResultSet {
 
   /// Occurrence pairs for \p pid in the current path, or nullptr when
   /// the predicate did not match.
-  const std::vector<OccPair>* Find(PredicateId pid) const {
+  const OccList* Find(PredicateId pid) const {
     if (pid >= entries_.size()) return nullptr;
     const Entry& e = entries_[pid];
     return e.epoch == epoch_ ? &e.pairs : nullptr;
@@ -52,7 +52,9 @@ class MatchResultSet {
  private:
   struct Entry {
     uint32_t epoch = 0;
-    std::vector<OccPair> pairs;
+    /// Inline storage for the common 1-2 pair case (hot-path
+    /// allocation elimination; clear() keeps any spilled capacity).
+    OccList pairs;
   };
   std::vector<Entry> entries_;
   std::vector<PredicateId> matched_;

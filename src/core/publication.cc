@@ -30,6 +30,15 @@ Publication::Publication(const xml::DocumentPath& path,
   Build(elements, interner);
 }
 
+void Publication::Assign(std::span<const PathElementView> elements,
+                         const Interner& interner) {
+  tuples_.clear();
+  attrs_.clear();
+  tag_text_.clear();
+  by_tag_used_ = 0;
+  Build(elements, interner);
+}
+
 void Publication::Build(std::span<const PathElementView> elements,
                         const Interner& interner) {
   const size_t n = elements.size();
@@ -49,15 +58,17 @@ void Publication::Build(std::span<const PathElementView> elements,
     // their occurrence stays 1.
     if (t.tag != kInvalidSymbol) {
       TagPositions* entry = nullptr;
-      for (TagPositions& tp : by_tag_) {
-        if (tp.tag == t.tag) {
-          entry = &tp;
+      for (size_t k = 0; k < by_tag_used_; ++k) {
+        if (by_tag_[k].tag == t.tag) {
+          entry = &by_tag_[k];
           break;
         }
       }
       if (entry == nullptr) {
-        by_tag_.push_back(TagPositions{t.tag, {}});
-        entry = &by_tag_.back();
+        if (by_tag_used_ == by_tag_.size()) by_tag_.emplace_back();
+        entry = &by_tag_[by_tag_used_++];
+        entry->tag = t.tag;
+        entry->positions.clear();
       }
       entry->positions.push_back(t.position);
       t.occurrence = static_cast<uint32_t>(entry->positions.size());
@@ -70,7 +81,8 @@ void Publication::Build(std::span<const PathElementView> elements,
 }
 
 uint32_t Publication::PositionOf(SymbolId tag, uint32_t occurrence) const {
-  for (const TagPositions& tp : by_tag_) {
+  for (size_t k = 0; k < by_tag_used_; ++k) {
+    const TagPositions& tp = by_tag_[k];
     if (tp.tag == tag) {
       if (occurrence == 0 || occurrence > tp.positions.size()) return 0;
       return tp.positions[occurrence - 1];

@@ -50,6 +50,12 @@ struct Tuple {
 /// position.
 class Publication {
  public:
+  /// Empty publication; fill with Assign(). Lets a per-thread match
+  /// context keep one Publication alive across paths so the tuple /
+  /// attribute / reverse-index buffers are reused instead of
+  /// reallocated per path.
+  Publication() = default;
+
   /// Builds the publication for a path given as element views (used by
   /// the streaming filter; the views' storage must outlive this
   /// object). Tags are resolved through \p interner with Lookup (never
@@ -60,6 +66,12 @@ class Publication {
 
   /// Convenience: builds the publication for an extracted tree path.
   Publication(const xml::DocumentPath& path, const Interner& interner);
+
+  /// Rebuilds this publication for a new path, reusing all backing
+  /// storage (including the per-tag position vectors of the reverse
+  /// index, which are pooled rather than destroyed).
+  void Assign(std::span<const PathElementView> elements,
+              const Interner& interner);
 
   /// The (length, n) tuple's value.
   uint32_t length() const { return static_cast<uint32_t>(tuples_.size()); }
@@ -106,10 +118,13 @@ class Publication {
   /// Dense reverse index: positions of each occurrence of every known
   /// tag in this path (small: one entry per distinct known tag).
   struct TagPositions {
-    SymbolId tag;
+    SymbolId tag = kInvalidSymbol;
     std::vector<uint32_t> positions;  // positions[k] = occurrence k+1
   };
+  /// Pooled: only the first by_tag_used_ entries are live for the
+  /// current path; the rest keep their capacity for reuse.
   std::vector<TagPositions> by_tag_;
+  size_t by_tag_used_ = 0;
 };
 
 }  // namespace xpred::core

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "core/matcher.h"
 #include "xml/sax.h"
@@ -69,7 +70,9 @@ class StreamingFilter : public xml::ContentHandler {
   void PublishMaxDepth();
 
   Matcher* matcher_;
-  std::vector<OpenElement> stack_;
+  /// Inline up to depth 16: typical documents never touch the heap
+  /// for the open-element stack.
+  common::SmallVector<OpenElement, 16> stack_;
   std::vector<PathElementView> views_;
   std::vector<ExprId> matches_;
   xml::NodeId next_node_ = 0;

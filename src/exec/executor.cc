@@ -1,0 +1,226 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace xpred::exec {
+namespace {
+
+/// SplitMix64 (Steele et al.) — tiny, statistically solid, and
+/// deterministic per seed; used only for steal-victim selection.
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void ChaseLevDeque::Reset(size_t capacity) {
+  size_t cap = NextPowerOfTwo(std::max<size_t>(capacity, 2));
+  buffer_.assign(cap, 0);
+  mask_ = cap - 1;
+  top_.store(0, std::memory_order_relaxed);
+  bottom_.store(0, std::memory_order_relaxed);
+}
+
+void ChaseLevDeque::PushUnsynchronized(size_t value) {
+  int64_t b = bottom_.load(std::memory_order_relaxed);
+  buffer_[static_cast<size_t>(b) & mask_] = value;
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+bool ChaseLevDeque::Pop(size_t* value) {
+  int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_relaxed);
+  // The fence orders the bottom_ store before the top_ load, so a
+  // concurrent thief either sees the shrunken deque or this owner sees
+  // the thief's advanced top_.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_relaxed);
+  if (t > b) {
+    // Empty: undo the speculative decrement.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  *value = buffer_[static_cast<size_t>(b) & mask_];
+  if (t == b) {
+    // Last element: race against thieves via CAS on top_.
+    bool won = top_.compare_exchange_strong(t, t + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+  return true;
+}
+
+bool ChaseLevDeque::Steal(size_t* value) {
+  int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return false;
+  *value = buffer_[static_cast<size_t>(t) & mask_];
+  return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed);
+}
+
+size_t ChaseLevDeque::SizeApprox() const {
+  int64_t b = bottom_.load(std::memory_order_relaxed);
+  int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<size_t>(b - t) : 0;
+}
+
+WorkStealingExecutor::WorkStealingExecutor(const Options& options)
+    : workers_(std::max<size_t>(options.workers, 1)), seed_(options.seed) {
+  states_.reserve(workers_);
+  for (size_t w = 0; w < workers_; ++w) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  threads_.reserve(workers_ - 1);
+  for (size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { RunWorker(w); });
+  }
+}
+
+WorkStealingExecutor::~WorkStealingExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkStealingExecutor::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  Stopwatch wall;
+  if (workers_ == 1 || n == 1) {
+    // Inline fast path: no publication, no atomics.
+    WorkerState& s = *states_[0];
+    Stopwatch busy;
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    s.tasks_executed += n;
+    s.busy_nanos += static_cast<uint64_t>(busy.ElapsedNanos());
+    stats_wall_nanos_ += static_cast<uint64_t>(wall.ElapsedNanos());
+    stats_max_depth_ = std::max<uint64_t>(stats_max_depth_, n);
+    return;
+  }
+
+  // Pre-split the index space round-robin so every worker starts with
+  // local work; filled under quiescence, before the job publishes.
+  const size_t per_worker = (n + workers_ - 1) / workers_;
+  for (size_t w = 0; w < workers_; ++w) {
+    states_[w]->deque.Reset(per_worker);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    states_[i % workers_]->deque.PushUnsynchronized(i);
+  }
+  stats_max_depth_ = std::max<uint64_t>(stats_max_depth_, per_worker);
+  remaining_.store(n, std::memory_order_release);
+
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    active_workers_ = workers_ - 1;
+    epoch = ++job_epoch_;
+  }
+  job_cv_.notify_all();
+
+  WorkUntilJobDone(0, epoch);
+
+  // Wait for background workers to quiesce before the deques (and fn)
+  // can be touched again.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  job_fn_ = nullptr;
+  stats_wall_nanos_ += static_cast<uint64_t>(wall.ElapsedNanos());
+}
+
+void WorkStealingExecutor::RunWorker(size_t worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || job_epoch_ != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+    }
+    WorkUntilJobDone(worker, seen_epoch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkStealingExecutor::WorkUntilJobDone(size_t worker, uint64_t epoch) {
+  WorkerState& self = *states_[worker];
+  const std::function<void(size_t, size_t)>& fn = *job_fn_;
+  // Victim sequence deterministic per (seed, worker, epoch).
+  uint64_t rng = seed_ ^ (0x100000001b3ull * (worker + 1)) ^
+                 (epoch * 0x9e3779b97f4a7c15ull);
+  while (true) {
+    size_t index;
+    if (self.deque.Pop(&index)) {
+      Stopwatch busy;
+      fn(worker, index);
+      self.busy_nanos += static_cast<uint64_t>(busy.ElapsedNanos());
+      ++self.tasks_executed;
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    // Local deque dry: probe a random victim.
+    size_t victim = static_cast<size_t>(SplitMix64Next(&rng) % workers_);
+    if (victim == worker) {
+      std::this_thread::yield();
+      continue;
+    }
+    ++self.steals_attempted;
+    if (states_[victim]->deque.Steal(&index)) {
+      ++self.steals_succeeded;
+      Stopwatch busy;
+      fn(worker, index);
+      self.busy_nanos += static_cast<uint64_t>(busy.ElapsedNanos());
+      ++self.tasks_executed;
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+WorkStealingExecutor::Stats WorkStealingExecutor::ConsumeStats() {
+  Stats out;
+  for (const std::unique_ptr<WorkerState>& s : states_) {
+    out.tasks_executed += s->tasks_executed;
+    out.steals_attempted += s->steals_attempted;
+    out.steals_succeeded += s->steals_succeeded;
+    out.busy_nanos += s->busy_nanos;
+    s->tasks_executed = 0;
+    s->steals_attempted = 0;
+    s->steals_succeeded = 0;
+    s->busy_nanos = 0;
+  }
+  out.wall_nanos = stats_wall_nanos_;
+  out.max_initial_queue_depth = stats_max_depth_;
+  stats_wall_nanos_ = 0;
+  stats_max_depth_ = 0;
+  return out;
+}
+
+}  // namespace xpred::exec

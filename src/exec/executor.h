@@ -1,0 +1,150 @@
+#ifndef XPRED_EXEC_EXECUTOR_H_
+#define XPRED_EXEC_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xpred::exec {
+
+/// \brief Chase–Lev work-stealing deque over task indices.
+///
+/// The owner pushes and pops at the bottom; thieves steal from the
+/// top. This implementation is specialized for ParallelFor's usage:
+/// the deque is filled once, under quiescence, before workers start
+/// (PushUnsynchronized), so only Pop and Steal need the published
+/// memory-model dance (Chase & Lev, SPAA'05; the C11 formulation of
+/// Lê et al., PPoPP'13).
+class ChaseLevDeque {
+ public:
+  /// Re-initializes for a job of at most \p capacity tasks. Must be
+  /// called while no concurrent Pop/Steal is possible.
+  void Reset(size_t capacity);
+
+  /// Owner-only, pre-publication: append without synchronization.
+  void PushUnsynchronized(size_t value);
+
+  /// Owner-only: pop the most recently pushed element (LIFO keeps the
+  /// owner cache-warm). Returns false when empty.
+  bool Pop(size_t* value);
+
+  /// Any thread: steal the oldest element (FIFO spreads the largest
+  /// remaining chunk of work). Returns false when empty or when the
+  /// race for the element was lost.
+  bool Steal(size_t* value);
+
+  /// Racy size estimate for gauges; never used for correctness.
+  size_t SizeApprox() const;
+
+ private:
+  std::vector<size_t> buffer_;
+  size_t mask_ = 0;
+  /// Steal end. Strictly increases.
+  std::atomic<int64_t> top_{0};
+  /// Owner end. Only the owner writes it.
+  std::atomic<int64_t> bottom_{0};
+};
+
+/// \brief Fixed-size work-stealing thread pool executing index-space
+/// parallel-for jobs.
+///
+/// Design (see DESIGN.md §12):
+///  - `workers` fixed threads; the caller of ParallelFor participates
+///    as worker 0, so `workers == 1` means no background threads and
+///    fully inline execution.
+///  - Each worker owns a Chase–Lev deque. The task index space is
+///    pre-split round-robin across deques before the job is
+///    published, so every worker starts with local work.
+///  - An idle worker picks steal victims with a SplitMix64 generator
+///    seeded from (options.seed, worker id, job epoch): runs are
+///    deterministic in *which* victim sequence each worker probes for
+///    a given seed, keeping steal behavior reproducible enough to
+///    debug, while the actual interleaving stays scheduler-dependent
+///    (results must therefore never depend on execution order).
+///  - Completion: an atomic remaining-task counter; workers spin/yield
+///    on steal failure until it hits zero, and the job returns when
+///    every background worker has quiesced.
+class WorkStealingExecutor {
+ public:
+  struct Options {
+    /// Total workers including the calling thread. Clamped to >= 1.
+    size_t workers = 1;
+    /// Seed for deterministic victim-selection sequences.
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  /// Aggregate counters since the last ConsumeStats() call.
+  struct Stats {
+    uint64_t tasks_executed = 0;
+    uint64_t steals_attempted = 0;
+    uint64_t steals_succeeded = 0;
+    /// Sum over workers of time spent running task bodies.
+    uint64_t busy_nanos = 0;
+    /// Sum over jobs of wall time inside ParallelFor.
+    uint64_t wall_nanos = 0;
+    /// Largest per-worker initial queue depth seen in any job.
+    uint64_t max_initial_queue_depth = 0;
+  };
+
+  explicit WorkStealingExecutor(const Options& options);
+  ~WorkStealingExecutor();
+
+  WorkStealingExecutor(const WorkStealingExecutor&) = delete;
+  WorkStealingExecutor& operator=(const WorkStealingExecutor&) = delete;
+
+  /// Runs fn(worker, index) for every index in [0, n), distributed
+  /// over the pool. Blocks until all n calls returned. The calling
+  /// thread executes tasks as worker 0. \p fn must be safe to call
+  /// concurrently from different workers with distinct indices and
+  /// must not call ParallelFor reentrantly.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  size_t workers() const { return workers_; }
+
+  /// Returns counters accumulated since the previous call and resets
+  /// them. Call only while no job is in flight.
+  Stats ConsumeStats();
+
+ private:
+  struct alignas(64) WorkerState {
+    ChaseLevDeque deque;
+    uint64_t tasks_executed = 0;
+    uint64_t steals_attempted = 0;
+    uint64_t steals_succeeded = 0;
+    uint64_t busy_nanos = 0;
+  };
+
+  void RunWorker(size_t worker);
+  /// Drains local work, then steals, until the current job is done.
+  void WorkUntilJobDone(size_t worker, uint64_t epoch);
+
+  const size_t workers_;
+  const uint64_t seed_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  uint64_t job_epoch_ = 0;
+  bool shutdown_ = false;
+  size_t active_workers_ = 0;
+  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+
+  std::atomic<size_t> remaining_{0};
+
+  Stats stats_;
+  uint64_t stats_wall_nanos_ = 0;
+  uint64_t stats_max_depth_ = 0;
+};
+
+}  // namespace xpred::exec
+
+#endif  // XPRED_EXEC_EXECUTOR_H_

@@ -1,0 +1,249 @@
+#include "exec/parallel_filter.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/fault_injection.h"
+#include "common/stopwatch.h"
+
+namespace xpred::exec {
+
+ParallelFilter::ParallelFilter(const Options& options) : options_(options) {
+  options_.threads = std::max<size_t>(options_.threads, 1);
+  options_.partitions = std::max<size_t>(options_.partitions, 1);
+  partitions_.reserve(options_.partitions);
+  for (size_t p = 0; p < options_.partitions; ++p) {
+    partitions_.push_back(std::make_unique<core::Matcher>(options_.matcher));
+  }
+  local_to_global_.resize(options_.partitions);
+  if (options_.threads > 1) {
+    WorkStealingExecutor::Options exec_options;
+    exec_options.workers = options_.threads;
+    exec_options.seed = options_.seed;
+    executor_ = std::make_unique<WorkStealingExecutor>(exec_options);
+  }
+}
+
+ParallelFilter::~ParallelFilter() = default;
+
+Result<core::ExprId> ParallelFilter::AddExpression(std::string_view xpath) {
+  const size_t p = next_partition_;
+  Result<core::ExprId> local = partitions_[p]->AddExpression(xpath);
+  if (!local.ok()) return local.status();
+  // Round-robin only on success, keeping partition loads balanced
+  // even when some expressions fail to parse.
+  next_partition_ = (next_partition_ + 1) % partitions_.size();
+  const core::ExprId global = next_sid_++;
+  SidSlot slot;
+  slot.partition = static_cast<uint32_t>(p);
+  slot.local = *local;
+  sids_.push_back(slot);
+  std::vector<core::ExprId>& map = local_to_global_[p];
+  if (map.size() <= *local) map.resize(*local + 1, 0);
+  map[*local] = global;
+  return global;
+}
+
+Status ParallelFilter::FilterDocument(const xml::Document& document,
+                                      std::vector<core::ExprId>* matched) {
+  if (matched == nullptr) {
+    return Status::InvalidArgument("matched must not be null");
+  }
+  CollectingResultSink sink;
+  DocRef ref;
+  ref.doc = &document;
+  Status st = FilterBatch(std::span<const DocRef>(&ref, 1), sink);
+  if (!sink.results().empty()) {
+    const CollectingResultSink::DocResult& r = sink.results()[0];
+    matched->insert(matched->end(), r.matched.begin(), r.matched.end());
+  }
+  return st;
+}
+
+Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
+                                   ResultSink& sink) {
+  const size_t num_docs = docs.size();
+  if (num_docs == 0) return Status::OK();
+  for (const DocRef& ref : docs) {
+    if (ref.doc == nullptr) {
+      return Status::InvalidArgument("DocRef::doc must not be null");
+    }
+  }
+  Stopwatch batch_watch;
+  const size_t num_parts = partitions_.size();
+  for (const std::unique_ptr<core::Matcher>& m : partitions_) {
+    m->PrepareForFiltering();
+  }
+  const size_t workers = executor_ != nullptr ? executor_->workers() : 1;
+  if (contexts_.size() < workers * num_parts) {
+    contexts_.resize(workers * num_parts);
+  }
+  for (std::unique_ptr<core::MatchContext>& ctx : contexts_) {
+    if (ctx == nullptr) ctx = std::make_unique<core::MatchContext>();
+  }
+
+  const size_t num_tasks = num_docs * num_parts;
+  std::vector<TaskResult> results(num_tasks);
+  // One failure flag per document; sibling partition tasks poll it at
+  // path granularity and bail out early (cooperative cancellation).
+  std::vector<std::atomic<bool>> failed(num_docs);
+  const ResourceLimits& limits = resource_limits();
+
+  auto task = [&](size_t worker, size_t t) {
+    const size_t d = t / num_parts;
+    const size_t p = t % num_parts;
+    TaskResult& out = results[t];
+    if (failed[d].load(std::memory_order_acquire)) {
+      out.cancelled = true;
+      return;
+    }
+    core::MatchContext& ctx = *contexts_[worker * num_parts + p];
+    ctx.budget().Arm(limits);
+    ctx.set_cancel_flag(&failed[d]);
+    Status st = Status::OK();
+    // Structural validation runs once per document (partition 0), the
+    // same single begin-document checkpoint the serial path has.
+    if (p == 0) {
+      st = ValidateDocumentAgainstBudget(*docs[d].doc, &ctx.budget(),
+                                         limits);
+    }
+    if (st.ok()) {
+      st = partitions_[p]->FilterDocument(*docs[d].doc, &ctx, &out.matched);
+    }
+    ctx.set_cancel_flag(nullptr);
+    if (!st.ok()) {
+      out.matched.clear();
+      if (st.code() == StatusCode::kRejected &&
+          st.message() == core::kMatchCancelledMessage) {
+        out.cancelled = true;
+      } else {
+        out.status = st;
+        failed[d].store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  RunTasks(num_tasks, task);
+
+  // Flush counters the worker contexts accumulated (their instruments
+  // are unbound; the registry is not thread-safe). Paths are counted
+  // once per document, from the partition-0 context, since every
+  // partition walks the same paths.
+  core::MatchCounters totals;
+  for (size_t i = 0; i < contexts_.size(); ++i) {
+    if (contexts_[i] == nullptr) continue;
+    core::MatchCounters c = contexts_[i]->TakeCounters();
+    if (i % num_parts != 0) c.paths = 0;
+    totals.Accumulate(c);
+  }
+  obs::EngineInstruments& instruments = inst();
+  if (totals.paths != 0) instruments.AddPaths(totals.paths);
+  if (totals.occurrence_runs != 0) {
+    instruments.AddOccurrenceRuns(totals.occurrence_runs);
+  }
+  if (totals.nested_truncated != 0) {
+    instruments.AddNestedTruncated(totals.nested_truncated);
+  }
+  if (totals.predicate_matches != 0) {
+    instruments.AddPredicateMatches(totals.predicate_matches);
+  }
+
+  // Merge and report per document, in ascending document order.
+  Status first_error = Status::OK();
+  std::vector<core::ExprId> merged;
+  for (size_t d = 0; d < num_docs; ++d) {
+    Status doc_status = Status::OK();
+    for (size_t p = 0; p < num_parts; ++p) {
+      const TaskResult& r = results[d * num_parts + p];
+      if (!r.cancelled && !r.status.ok()) {
+        doc_status = r.status;
+        break;
+      }
+    }
+    merged.clear();
+    if (doc_status.ok()) {
+      for (size_t p = 0; p < num_parts; ++p) {
+        const std::vector<core::ExprId>& local = local_to_global_[p];
+        for (core::ExprId sid : results[d * num_parts + p].matched) {
+          merged.push_back(local[sid]);
+        }
+      }
+      std::sort(merged.begin(), merged.end());
+      instruments.BeginDocument();
+      instruments.EndDocument();
+    } else if (first_error.ok()) {
+      first_error = doc_status;
+    }
+    sink.OnDocument(d, doc_status, merged);
+  }
+
+  PublishPoolMetrics(static_cast<uint64_t>(batch_watch.ElapsedNanos()));
+  return first_error;
+}
+
+void ParallelFilter::RunTasks(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  bool serial = executor_ == nullptr;
+#ifndef XPRED_DISABLE_FAULT_INJECTION
+  // The fault injector is not thread-safe and chaos journals must be
+  // byte-identical across runs: execute inline, in task order.
+  if (FaultInjector::Installed() != nullptr) serial = true;
+#endif
+  if (serial) {
+    for (size_t t = 0; t < n; ++t) fn(0, t);
+    return;
+  }
+  executor_->ParallelFor(n, fn);
+}
+
+void ParallelFilter::PublishPoolMetrics(uint64_t batch_nanos) {
+  obs::MetricsRegistry* registry = metrics_registry();
+  if (registry == nullptr) return;
+  if (pool_registry_ != registry) {
+    const std::vector<obs::Label> labels = {{"engine", std::string(name())}};
+    pool_workers_gauge_ = registry->AddGauge(
+        "xpred_pool_workers", "Worker threads in the filtering pool",
+        labels);
+    pool_queue_depth_gauge_ = registry->AddGauge(
+        "xpred_pool_queue_depth",
+        "Largest per-worker initial task queue depth of recent batches",
+        labels);
+    pool_steal_counter_ = registry->AddCounter(
+        "xpred_pool_steal_count", "Successful work-steal operations",
+        labels);
+    pool_busy_fraction_gauge_ = registry->AddGauge(
+        "xpred_pool_worker_busy_fraction",
+        "Fraction of pool wall time spent executing tasks", labels);
+    pool_batch_latency_ = registry->AddHistogram(
+        "xpred_pool_batch_latency_ns", "FilterBatch wall latency", labels);
+    pool_registry_ = registry;
+  }
+  const size_t workers = executor_ != nullptr ? executor_->workers() : 1;
+  pool_workers_gauge_->Set(static_cast<double>(workers));
+  if (executor_ != nullptr) {
+    WorkStealingExecutor::Stats stats = executor_->ConsumeStats();
+    pool_queue_depth_gauge_->Set(
+        static_cast<double>(stats.max_initial_queue_depth));
+    pool_steal_counter_->Increment(stats.steals_succeeded);
+    if (stats.wall_nanos > 0) {
+      pool_busy_fraction_gauge_->Set(
+          static_cast<double>(stats.busy_nanos) /
+          (static_cast<double>(stats.wall_nanos) *
+           static_cast<double>(workers)));
+    }
+  }
+  pool_batch_latency_->Record(batch_nanos);
+}
+
+size_t ParallelFilter::ApproximateMemoryBytes() const {
+  size_t total = sids_.size() * sizeof(SidSlot);
+  for (const std::unique_ptr<core::Matcher>& m : partitions_) {
+    total += m->ApproximateMemoryBytes();
+  }
+  for (const std::vector<core::ExprId>& map : local_to_global_) {
+    total += map.size() * sizeof(core::ExprId);
+  }
+  return total;
+}
+
+}  // namespace xpred::exec

@@ -1,0 +1,167 @@
+#ifndef XPRED_EXEC_PARALLEL_FILTER_H_
+#define XPRED_EXEC_PARALLEL_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/match_context.h"
+#include "core/matcher.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+
+namespace xpred::exec {
+
+/// A document handed to FilterBatch. The pointed-to document must stay
+/// valid for the duration of the call.
+struct DocRef {
+  const xml::Document* doc = nullptr;
+};
+
+/// \brief Receiver of per-document batch results.
+///
+/// OnDocument is invoked from the thread that called FilterBatch, in
+/// ascending document order, exactly once per input document — so a
+/// sink needs no synchronization. \p matched is sorted ascending and
+/// only valid for the duration of the call.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnDocument(size_t doc_index, const Status& status,
+                          std::span<const core::ExprId> matched) = 0;
+};
+
+/// Sink that copies every result; convenient for tests and the CLI.
+class CollectingResultSink : public ResultSink {
+ public:
+  struct DocResult {
+    Status status;
+    std::vector<core::ExprId> matched;
+  };
+
+  void OnDocument(size_t doc_index, const Status& status,
+                  std::span<const core::ExprId> matched) override {
+    if (results_.size() <= doc_index) results_.resize(doc_index + 1);
+    results_[doc_index].status = status;
+    results_[doc_index].matched.assign(matched.begin(), matched.end());
+  }
+
+  const std::vector<DocResult>& results() const { return results_; }
+  void clear() { results_.clear(); }
+
+ private:
+  std::vector<DocResult> results_;
+};
+
+/// \brief Parallel batch front end over the paper's matcher
+/// (DESIGN.md §12).
+///
+/// Two parallelism axes, composable:
+///  - *Document sharding*: each document of a batch is an independent
+///    task; worker threads filter different documents concurrently
+///    against the shared read-only indexes, each with a thread-local
+///    MatchContext.
+///  - *Expression partitioning*: subscriptions are split round-robin
+///    across `partitions` disjoint Matchers; one document fans out to
+///    one task per partition and the per-partition match sets are
+///    merged. This shrinks the per-task expression sweep, the
+///    dominant §6.5 cost, at the price of encoding the document's
+///    paths once per partition.
+///
+/// Determinism contract: for a given subscription set, the *set* of
+/// (document, subscription) matches is identical for every (threads,
+/// partitions) configuration and identical to a single Matcher's
+/// output; per-document match lists are reported sorted ascending.
+/// Only scheduling order varies across runs — never results.
+class ParallelFilter : public core::FilterEngine {
+ public:
+  struct Options {
+    /// Worker threads (including the calling thread). 1 = inline.
+    size_t threads = 1;
+    /// Expression partitions (disjoint matcher shards). 1 = none.
+    size_t partitions = 1;
+    /// Seed for the executor's deterministic victim selection.
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+    core::Matcher::Options matcher;
+  };
+
+  explicit ParallelFilter(const Options& options);
+  ParallelFilter() : ParallelFilter(Options{}) {}
+  ~ParallelFilter() override;
+
+  Result<core::ExprId> AddExpression(std::string_view xpath) override;
+
+  /// Filters one document — a batch of one (same governance and
+  /// determinism contract as FilterBatch).
+  Status FilterDocument(const xml::Document& document,
+                        std::vector<core::ExprId>* matched) override;
+
+  /// Filters a batch of documents across the pool. Per-document
+  /// status and sorted matches are delivered through \p sink in
+  /// ascending document order from the calling thread. Returns the
+  /// first non-OK per-document status (by document order) or OK; a
+  /// failed document never aborts the rest of the batch.
+  Status FilterBatch(std::span<const DocRef> docs, ResultSink& sink);
+
+  size_t subscription_count() const override { return next_sid_; }
+  std::string_view name() const override { return "parallel"; }
+  size_t ApproximateMemoryBytes() const override;
+
+  size_t threads() const { return options_.threads; }
+  size_t partitions() const { return partitions_.size(); }
+
+ private:
+  struct TaskResult {
+    Status status;
+    /// True when the task aborted because a sibling task of the same
+    /// document failed — excluded from the status merge.
+    bool cancelled = false;
+    std::vector<core::ExprId> matched;  // Partition-local sids.
+  };
+
+  /// Runs fn(worker, task) for every task index; serial (and in
+  /// deterministic ascending order) when no executor exists or a
+  /// fault injector is installed — the injector is not thread-safe
+  /// and chaos journals must stay byte-identical.
+  void RunTasks(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// Publishes executor stats and batch latency into the metrics
+  /// registry (gauge pointers cached per registry).
+  void PublishPoolMetrics(uint64_t batch_nanos);
+
+  Options options_;
+  std::vector<std::unique_ptr<core::Matcher>> partitions_;
+  /// Global sid -> {partition, partition-local sid}.
+  struct SidSlot {
+    uint32_t partition = 0;
+    core::ExprId local = 0;
+  };
+  std::vector<SidSlot> sids_;
+  /// Per partition: local sid -> global sid.
+  std::vector<std::vector<core::ExprId>> local_to_global_;
+  core::ExprId next_sid_ = 0;
+  size_t next_partition_ = 0;
+
+  std::unique_ptr<WorkStealingExecutor> executor_;
+  /// contexts_[worker * partitions + p]: each worker uses its own
+  /// context per partition, so contexts are never shared across
+  /// threads and carry their own ExecBudget.
+  std::vector<std::unique_ptr<core::MatchContext>> contexts_;
+
+  obs::MetricsRegistry* pool_registry_ = nullptr;
+  obs::Gauge* pool_workers_gauge_ = nullptr;
+  obs::Gauge* pool_queue_depth_gauge_ = nullptr;
+  obs::Counter* pool_steal_counter_ = nullptr;
+  obs::Gauge* pool_busy_fraction_gauge_ = nullptr;
+  obs::Histogram* pool_batch_latency_ = nullptr;
+};
+
+}  // namespace xpred::exec
+
+#endif  // XPRED_EXEC_PARALLEL_FILTER_H_

@@ -67,6 +67,10 @@ class EngineInstruments {
   void IncOccurrenceRuns() { occurrence_runs_->Increment(); }
   void IncNestedTruncated() { nested_truncated_->Increment(); }
   void AddPredicateMatches(uint64_t n) { predicate_matches_->Increment(n); }
+  /// Bulk variants for flushing counters accumulated off-thread
+  /// (worker MatchContexts run with unbound instruments).
+  void AddOccurrenceRuns(uint64_t n) { occurrence_runs_->Increment(n); }
+  void AddNestedTruncated(uint64_t n) { nested_truncated_->Increment(n); }
 
   /// \name View accessors (0 when unbound) for the EngineStats shim.
   ///@{

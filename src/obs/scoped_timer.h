@@ -39,7 +39,10 @@ class ScopedTimer {
   /// watch. Call explicitly when the accumulator must be complete
   /// before the timer's scope ends (e.g. ahead of EndDocument); the
   /// destructor then only charges the nanoseconds elapsed since.
+  /// A null instruments pointer (worker-thread match contexts, which
+  /// must not touch the shared registry) makes the timer a no-op.
   void Charge() {
+    if (instruments_ == nullptr) return;
     instruments_->AddStageNanos(
         stage_, static_cast<uint64_t>(watch_.ElapsedNanos()));
     watch_.Reset();

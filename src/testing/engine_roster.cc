@@ -1,5 +1,6 @@
 #include "testing/engine_roster.h"
 
+#include "exec/parallel_filter.h"
 #include "indexfilter/index_filter.h"
 #include "xfilter/xfilter.h"
 #include "yfilter/yfilter.h"
@@ -104,6 +105,13 @@ std::vector<RosterEntry> FullRoster() {
                   [] { return std::make_unique<indexfilter::IndexFilter>(); }});
   roster.push_back(RosterEntry{
       "streaming", [] { return std::make_unique<StreamingEngine>(); }});
+  roster.push_back(RosterEntry{"parallel", [] {
+                                 exec::ParallelFilter::Options options;
+                                 options.threads = 2;
+                                 options.partitions = 2;
+                                 return std::make_unique<exec::ParallelFilter>(
+                                     options);
+                               }});
   return roster;
 }
 

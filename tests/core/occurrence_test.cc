@@ -10,10 +10,10 @@
 namespace xpred::core {
 namespace {
 
-using Results = std::vector<std::vector<OccPair>>;
+using Results = std::vector<OccList>;
 
 bool Determine(const Results& results) {
-  std::vector<const std::vector<OccPair>*> views;
+  std::vector<const OccList*> views;
   views.reserve(results.size());
   for (const auto& r : results) views.push_back(&r);
   return OccurrenceDeterminer::Determine(views);
@@ -21,7 +21,7 @@ bool Determine(const Results& results) {
 
 std::set<std::vector<OccPair>> Enumerate(const Results& results,
                                          size_t budget = 100000) {
-  std::vector<const std::vector<OccPair>*> views;
+  std::vector<const OccList*> views;
   for (const auto& r : results) views.push_back(&r);
   std::set<std::vector<OccPair>> chains;
   OccurrenceDeterminer::EnumerateChains(
@@ -53,8 +53,8 @@ TEST(OccurrenceTest, EmptyResultListMeansNoMatch) {
 }
 
 TEST(OccurrenceTest, NullEntryMeansNoMatch) {
-  std::vector<OccPair> r1 = {{1, 1}};
-  std::vector<const std::vector<OccPair>*> views = {&r1, nullptr};
+  OccList r1 = {{1, 1}};
+  std::vector<const OccList*> views = {&r1, nullptr};
   EXPECT_FALSE(OccurrenceDeterminer::Determine(views));
 }
 
@@ -119,7 +119,7 @@ TEST(OccurrenceTest, EnumerateRespectsBudget) {
   for (int i = 0; i < 10; ++i) {
     r.push_back({{1, 1}, {1, 1}});
   }
-  std::vector<const std::vector<OccPair>*> views;
+  std::vector<const OccList*> views;
   for (const auto& x : r) views.push_back(&x);
   size_t count = 0;
   bool complete = OccurrenceDeterminer::EnumerateChains(
@@ -146,7 +146,7 @@ TEST_P(OccurrencePropertyTest, DetermineAgreesWithEnumeration) {
   Results r;
   size_t n = 1 + next() % 4;
   for (size_t i = 0; i < n; ++i) {
-    std::vector<OccPair> list;
+    OccList list;
     size_t k = 1 + next() % 4;
     for (size_t j = 0; j < k; ++j) {
       list.push_back({1 + next() % 3, 1 + next() % 3});

@@ -69,9 +69,9 @@ class PredicateIndexTest : public ::testing::Test {
     EXPECT_EQ(paths.size(), 1u);
     Publication pub(paths[0], interner_);
     index_.Match(pub, &results_);
-    const std::vector<OccPair>* r = results_.Find(pid);
+    const OccList* r = results_.Find(pid);
     if (r == nullptr) return {};
-    return *r;
+    return std::vector<OccPair>(r->begin(), r->end());
   }
 
   Interner interner_;
@@ -206,7 +206,9 @@ TEST_F(PredicateIndexTest, PaperTable1) {
 
   auto sorted = [&](PredicateId pid) {
     std::vector<OccPair> r;
-    if (const auto* found = results_.Find(pid)) r = *found;
+    if (const auto* found = results_.Find(pid)) {
+      r.assign(found->begin(), found->end());
+    }
     std::sort(r.begin(), r.end(), [](OccPair x, OccPair y) {
       return std::tie(x.first, x.second) < std::tie(y.first, y.second);
     });

@@ -1,0 +1,119 @@
+#include "exec/executor.h"
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xpred::exec {
+namespace {
+
+TEST(ChaseLevDequeTest, OwnerLifoThiefFifo) {
+  ChaseLevDeque deque;
+  deque.Reset(8);
+  for (size_t i = 0; i < 5; ++i) deque.PushUnsynchronized(i);
+  EXPECT_EQ(deque.SizeApprox(), 5u);
+  size_t v = 0;
+  ASSERT_TRUE(deque.Pop(&v));
+  EXPECT_EQ(v, 4u);  // Owner pops newest.
+  ASSERT_TRUE(deque.Steal(&v));
+  EXPECT_EQ(v, 0u);  // Thief steals oldest.
+  ASSERT_TRUE(deque.Steal(&v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(deque.Pop(&v));
+  EXPECT_EQ(v, 3u);
+  ASSERT_TRUE(deque.Pop(&v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(deque.Pop(&v));
+  EXPECT_FALSE(deque.Steal(&v));
+}
+
+TEST(ChaseLevDequeTest, ResetReusesAcrossJobs) {
+  ChaseLevDeque deque;
+  for (int round = 0; round < 3; ++round) {
+    deque.Reset(4);
+    deque.PushUnsynchronized(7);
+    size_t v = 0;
+    ASSERT_TRUE(deque.Pop(&v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_FALSE(deque.Pop(&v));
+  }
+}
+
+TEST(WorkStealingExecutorTest, RunsEveryIndexExactlyOnce) {
+  WorkStealingExecutor::Options options;
+  options.workers = 4;
+  WorkStealingExecutor executor(options);
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  executor.ParallelFor(kTasks, [&](size_t worker, size_t index) {
+    EXPECT_LT(worker, 4u);
+    hits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkStealingExecutorTest, SingleWorkerRunsInline) {
+  WorkStealingExecutor executor(WorkStealingExecutor::Options{});
+  EXPECT_EQ(executor.workers(), 1u);
+  std::vector<size_t> order;
+  executor.ParallelFor(5, [&](size_t worker, size_t index) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(index);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkStealingExecutorTest, ReusableAcrossJobs) {
+  WorkStealingExecutor::Options options;
+  options.workers = 3;
+  WorkStealingExecutor executor(options);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    executor.ParallelFor(17, [&](size_t, size_t index) {
+      sum.fetch_add(index + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 17u * 18u / 2);
+  }
+}
+
+TEST(WorkStealingExecutorTest, ZeroTasksIsANoop) {
+  WorkStealingExecutor::Options options;
+  options.workers = 2;
+  WorkStealingExecutor executor(options);
+  executor.ParallelFor(0, [&](size_t, size_t) { FAIL(); });
+}
+
+TEST(WorkStealingExecutorTest, StatsAccountForAllTasks) {
+  WorkStealingExecutor::Options options;
+  options.workers = 4;
+  WorkStealingExecutor executor(options);
+  executor.ParallelFor(64, [&](size_t, size_t) {});
+  WorkStealingExecutor::Stats stats = executor.ConsumeStats();
+  EXPECT_EQ(stats.tasks_executed, 64u);
+  EXPECT_GE(stats.steals_attempted, stats.steals_succeeded);
+  EXPECT_GE(stats.max_initial_queue_depth, 16u);
+  // Counters reset on consume.
+  stats = executor.ConsumeStats();
+  EXPECT_EQ(stats.tasks_executed, 0u);
+}
+
+TEST(WorkStealingExecutorTest, ConcurrentMutationUnderContention) {
+  WorkStealingExecutor::Options options;
+  options.workers = 8;
+  WorkStealingExecutor executor(options);
+  std::atomic<uint64_t> total{0};
+  executor.ParallelFor(500, [&](size_t, size_t index) {
+    // Uneven task sizes force stealing.
+    uint64_t acc = 0;
+    for (size_t i = 0; i < (index % 7) * 100; ++i) acc += i;
+    total.fetch_add(acc + 1, std::memory_order_relaxed);
+  });
+  EXPECT_GE(total.load(), 500u);
+}
+
+}  // namespace
+}  // namespace xpred::exec

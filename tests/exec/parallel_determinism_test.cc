@@ -1,0 +1,150 @@
+// Determinism contract of the parallel pipeline (DESIGN.md §12): for
+// any (threads, partitions) configuration, the per-document match sets
+// are identical to the serial Matcher's — set-equal, reported sorted,
+// so byte-identical as vectors. Runs under ctest -L parallel and is
+// the primary TSan workload (8 threads racing over the shared
+// read-only indexes with thread-local contexts).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "exec/parallel_filter.h"
+#include "test_util.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::exec {
+namespace {
+
+using xpred::testing::FilterSorted;
+
+struct Corpus {
+  std::vector<std::string> exprs;
+  std::vector<xml::Document> docs;
+};
+
+const Corpus& SharedCorpus() {
+  static const Corpus* corpus = [] {
+    Corpus* c = new Corpus();
+    const xml::Dtd& dtd = xml::NitfLikeDtd();
+    xpath::QueryGenerator::Options qopts;
+    qopts.max_length = 6;
+    qopts.wildcard_prob = 0.2;
+    qopts.descendant_prob = 0.2;
+    qopts.filters_per_expr = 1;
+    qopts.nested_path_prob = 0.1;
+    c->exprs =
+        xpath::QueryGenerator(&dtd, qopts).GenerateWorkloadStrings(200, 42);
+    xml::DocumentGenerator::Options dopts;
+    dopts.max_depth = 8;
+    xml::DocumentGenerator generator(&dtd, dopts);
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+      c->docs.push_back(generator.Generate(seed));
+    }
+    return c;
+  }();
+  return *corpus;
+}
+
+/// Per-document sorted match sets of the serial reference Matcher.
+const std::vector<std::vector<core::ExprId>>& ReferenceMatches() {
+  static const std::vector<std::vector<core::ExprId>>* reference = [] {
+    const Corpus& corpus = SharedCorpus();
+    core::Matcher matcher;
+    for (const std::string& e : corpus.exprs) {
+      Result<core::ExprId> id = matcher.AddExpression(e);
+      EXPECT_TRUE(id.ok()) << e << ": " << id.status();
+    }
+    auto* out = new std::vector<std::vector<core::ExprId>>();
+    for (const xml::Document& doc : corpus.docs) {
+      out->push_back(FilterSorted(&matcher, doc));
+    }
+    return out;
+  }();
+  return *reference;
+}
+
+class ParallelDeterminismTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(ParallelDeterminismTest, MatchSetsIdenticalToSerialReference) {
+  const auto [threads, partitions] = GetParam();
+  const Corpus& corpus = SharedCorpus();
+
+  ParallelFilter::Options options;
+  options.threads = threads;
+  options.partitions = partitions;
+  ParallelFilter parallel(options);
+  for (const std::string& e : corpus.exprs) {
+    ASSERT_TRUE(parallel.AddExpression(e).ok()) << e;
+  }
+
+  // Batch path.
+  std::vector<DocRef> refs;
+  for (const xml::Document& d : corpus.docs) refs.push_back({&d});
+  CollectingResultSink sink;
+  ASSERT_TRUE(parallel.FilterBatch(refs, sink).ok());
+  ASSERT_EQ(sink.results().size(), corpus.docs.size());
+  const std::vector<std::vector<core::ExprId>>& reference =
+      ReferenceMatches();
+  for (size_t d = 0; d < corpus.docs.size(); ++d) {
+    ASSERT_TRUE(sink.results()[d].status.ok()) << sink.results()[d].status;
+    EXPECT_EQ(sink.results()[d].matched, reference[d])
+        << "batch, doc " << d << ", threads=" << threads
+        << ", partitions=" << partitions;
+  }
+
+  // Per-document path agrees with the batch path.
+  for (size_t d = 0; d < corpus.docs.size(); ++d) {
+    EXPECT_EQ(FilterSorted(&parallel, corpus.docs[d]), reference[d])
+        << "per-doc, doc " << d << ", threads=" << threads
+        << ", partitions=" << partitions;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ParallelDeterminismTest,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{1, 3},
+                      std::pair<size_t, size_t>{8, 1},
+                      std::pair<size_t, size_t>{8, 3}),
+    [](const ::testing::TestParamInfo<std::pair<size_t, size_t>>& info) {
+      return "t" + std::to_string(info.param.first) + "p" +
+             std::to_string(info.param.second);
+    });
+
+// Repeated batches on one engine (context reuse across batches) stay
+// deterministic — the allocation-pooling must never leak state.
+TEST(ParallelDeterminismTest2, RepeatedBatchesAreStable) {
+  const Corpus& corpus = SharedCorpus();
+  ParallelFilter::Options options;
+  options.threads = 8;
+  options.partitions = 2;
+  ParallelFilter parallel(options);
+  for (const std::string& e : corpus.exprs) {
+    ASSERT_TRUE(parallel.AddExpression(e).ok());
+  }
+  std::vector<DocRef> refs;
+  for (const xml::Document& d : corpus.docs) refs.push_back({&d});
+  std::vector<std::vector<core::ExprId>> first;
+  for (int round = 0; round < 3; ++round) {
+    CollectingResultSink sink;
+    ASSERT_TRUE(parallel.FilterBatch(refs, sink).ok());
+    if (round == 0) {
+      for (const auto& r : sink.results()) first.push_back(r.matched);
+      continue;
+    }
+    for (size_t d = 0; d < corpus.docs.size(); ++d) {
+      EXPECT_EQ(sink.results()[d].matched, first[d])
+          << "round " << round << ", doc " << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpred::exec

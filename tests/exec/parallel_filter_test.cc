@@ -1,0 +1,228 @@
+#include "exec/parallel_filter.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+#include "xml/generator.h"
+#include "xml/path.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::exec {
+namespace {
+
+using xpred::testing::AddAll;
+using xpred::testing::FilterSorted;
+using xpred::testing::ParseXmlOrDie;
+
+ParallelFilter::Options Config(size_t threads, size_t partitions) {
+  ParallelFilter::Options options;
+  options.threads = threads;
+  options.partitions = partitions;
+  return options;
+}
+
+TEST(ParallelFilterTest, MatchesLikeSerialMatcherOnHandDocs) {
+  const std::vector<std::string> exprs = {
+      "/a/b", "/a/c", "//c", "/a/*", "a//b", "/a/b[@x=1]", "/a[//c]/b"};
+  const std::vector<std::string> docs = {
+      "<a><b x=\"1\"/></a>", "<a><c/><b x=\"2\"/></a>", "<b><c/></b>",
+      "<a><b><c/></b></a>"};
+  for (size_t threads : {1, 4}) {
+    for (size_t partitions : {1, 3}) {
+      core::Matcher reference;
+      ParallelFilter parallel(Config(threads, partitions));
+      AddAll(&reference, exprs);
+      AddAll(&parallel, exprs);
+      for (const std::string& xml : docs) {
+        xml::Document doc = ParseXmlOrDie(xml);
+        EXPECT_EQ(FilterSorted(&parallel, doc), FilterSorted(&reference, doc))
+            << "threads=" << threads << " partitions=" << partitions
+            << " doc=" << xml;
+      }
+    }
+  }
+}
+
+TEST(ParallelFilterTest, DuplicateExpressionsGetDistinctSids) {
+  ParallelFilter parallel(Config(2, 2));
+  Result<core::ExprId> a = parallel.AddExpression("/a/b");
+  Result<core::ExprId> b = parallel.AddExpression("/a/b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  EXPECT_EQ(FilterSorted(&parallel, doc),
+            (std::vector<core::ExprId>{*a, *b}));
+}
+
+TEST(ParallelFilterTest, InvalidExpressionDoesNotSkewPartitions) {
+  ParallelFilter parallel(Config(1, 2));
+  EXPECT_TRUE(parallel.AddExpression("/a").ok());
+  EXPECT_FALSE(parallel.AddExpression("////").ok());
+  EXPECT_TRUE(parallel.AddExpression("/b").ok());
+  EXPECT_EQ(parallel.subscription_count(), 2u);
+  xml::Document doc = ParseXmlOrDie("<b/>");
+  EXPECT_EQ(FilterSorted(&parallel, doc), (std::vector<core::ExprId>{1}));
+}
+
+TEST(ParallelFilterTest, OverLimitDocumentRejected) {
+  for (size_t threads : {1, 4}) {
+    ParallelFilter parallel(Config(threads, 2));
+    ASSERT_TRUE(parallel.AddExpression("//d").ok());
+    ASSERT_TRUE(parallel.AddExpression("//a").ok());
+    ResourceLimits limits;
+    limits.max_element_depth = 2;
+    parallel.set_resource_limits(limits);
+    xml::Document doc = ParseXmlOrDie("<a><b><c><d/></c></b></a>");
+    std::vector<core::ExprId> matched;
+    Status st = parallel.FilterDocument(doc, &matched);
+    EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+    EXPECT_TRUE(matched.empty());
+  }
+}
+
+TEST(ParallelFilterTest, BatchReportsPerDocumentInOrder) {
+  ParallelFilter parallel(Config(4, 2));
+  Result<core::ExprId> ab = parallel.AddExpression("/a/b");
+  Result<core::ExprId> c = parallel.AddExpression("//c");
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(c.ok());
+  ResourceLimits limits;
+  limits.max_element_depth = 3;
+  parallel.set_resource_limits(limits);
+
+  xml::Document d0 = ParseXmlOrDie("<a><b/></a>");
+  xml::Document d1 = ParseXmlOrDie("<a><b><c><d/></c></b></a>");  // Too deep.
+  xml::Document d2 = ParseXmlOrDie("<x><c/></x>");
+  std::vector<DocRef> docs = {{&d0}, {&d1}, {&d2}};
+
+  CollectingResultSink sink;
+  Status st = parallel.FilterBatch(docs, sink);
+  // Batch status is the first failing document's status; the failure
+  // does not abort the rest of the batch.
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  ASSERT_EQ(sink.results().size(), 3u);
+  EXPECT_TRUE(sink.results()[0].status.ok());
+  EXPECT_EQ(sink.results()[0].matched, (std::vector<core::ExprId>{*ab}));
+  EXPECT_EQ(sink.results()[1].status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(sink.results()[1].matched.empty());
+  EXPECT_TRUE(sink.results()[2].status.ok());
+  EXPECT_EQ(sink.results()[2].matched, (std::vector<core::ExprId>{*c}));
+}
+
+TEST(ParallelFilterTest, EmptyBatchAndEmptyEngine) {
+  ParallelFilter parallel(Config(2, 2));
+  CollectingResultSink sink;
+  EXPECT_TRUE(parallel.FilterBatch({}, sink).ok());
+  EXPECT_TRUE(sink.results().empty());
+  xml::Document doc = ParseXmlOrDie("<a/>");
+  EXPECT_TRUE(FilterSorted(&parallel, doc).empty());
+}
+
+TEST(ParallelFilterTest, CountersAggregateAcrossPartitions) {
+  ParallelFilter parallel(Config(2, 2));
+  AddAll(&parallel, {"/a/b", "/a/c"});
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  std::vector<core::ExprId> matched;
+  ASSERT_TRUE(parallel.FilterDocument(doc, &matched).ok());
+  const core::EngineStats& stats = parallel.stats();
+  EXPECT_EQ(stats.documents, 1u);
+  // Paths counted once per document, not once per partition.
+  EXPECT_EQ(stats.paths, 2u);
+  EXPECT_GT(stats.predicate_matches, 0u);
+}
+
+TEST(ParallelFilterTest, BatchAgreesWithGeneratedWorkload) {
+  const xml::Dtd& dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 6;
+  qopts.filters_per_expr = 1;
+  qopts.nested_path_prob = 0.15;
+  std::vector<std::string> exprs =
+      xpath::QueryGenerator(&dtd, qopts).GenerateWorkloadStrings(150, 7);
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = 8;
+  xml::DocumentGenerator generator(&dtd, dopts);
+
+  core::Matcher reference;
+  ParallelFilter parallel(Config(4, 3));
+  for (const std::string& e : exprs) {
+    Result<core::ExprId> a = reference.AddExpression(e);
+    Result<core::ExprId> b = parallel.AddExpression(e);
+    ASSERT_EQ(a.ok(), b.ok()) << e;
+  }
+
+  std::vector<xml::Document> docs;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    docs.push_back(generator.Generate(seed));
+  }
+  std::vector<DocRef> refs;
+  for (const xml::Document& d : docs) refs.push_back({&d});
+  CollectingResultSink sink;
+  ASSERT_TRUE(parallel.FilterBatch(refs, sink).ok());
+  ASSERT_EQ(sink.results().size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(sink.results()[i].matched, FilterSorted(&reference, docs[i]))
+        << "doc seed " << i;
+  }
+}
+
+// Regression for the shared-epoch corruption the MatchContext refactor
+// fixed: two interleaved documents on one Matcher, each with its own
+// context, must not see each other's per-document state.
+TEST(ParallelFilterTest, InterleavedContextsStayIndependent) {
+  core::Matcher matcher;
+  Result<core::ExprId> ab = matcher.AddExpression("/a/b");
+  Result<core::ExprId> ac = matcher.AddExpression("/a/c");
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ac.ok());
+  matcher.PrepareForFiltering();
+
+  xml::Document doc1 = ParseXmlOrDie("<a><b/></a>");
+  xml::Document doc2 = ParseXmlOrDie("<a><c/></a>");
+  std::vector<xml::DocumentPath> paths1 = xml::ExtractPaths(doc1);
+  std::vector<xml::DocumentPath> paths2 = xml::ExtractPaths(doc2);
+  ASSERT_EQ(paths1.size(), 1u);
+  ASSERT_EQ(paths2.size(), 1u);
+
+  auto views_of = [](const xml::DocumentPath& path) {
+    std::vector<core::PathElementView> views;
+    for (uint32_t pos = 1; pos <= path.length(); ++pos) {
+      core::PathElementView v;
+      v.tag = path.Tag(pos);
+      v.attributes = &path.Attributes(pos);
+      v.node = path.Node(pos);
+      views.push_back(v);
+    }
+    return views;
+  };
+
+  core::MatchContext ctx1;
+  core::MatchContext ctx2;
+  matcher.BeginDocumentStream(&ctx1);
+  std::vector<core::PathElementView> v1 = views_of(paths1[0]);
+  ASSERT_TRUE(matcher.ProcessStreamedPath(v1, &ctx1).ok());
+
+  // Start and finish a second document mid-flight on a second context.
+  matcher.BeginDocumentStream(&ctx2);
+  std::vector<core::PathElementView> v2 = views_of(paths2[0]);
+  ASSERT_TRUE(matcher.ProcessStreamedPath(v2, &ctx2).ok());
+  std::vector<core::ExprId> matched2;
+  ASSERT_TRUE(matcher.EndDocumentStream(&ctx2, &matched2).ok());
+
+  std::vector<core::ExprId> matched1;
+  ASSERT_TRUE(matcher.EndDocumentStream(&ctx1, &matched1).ok());
+
+  EXPECT_EQ(matched1, (std::vector<core::ExprId>{*ab}));
+  EXPECT_EQ(matched2, (std::vector<core::ExprId>{*ac}));
+}
+
+}  // namespace
+}  // namespace xpred::exec

@@ -64,7 +64,7 @@ TEST_P(AgreementTest, EnginesAgreeWithOracle) {
     engines.push_back(entry.make());
     labels.push_back(entry.label);
   }
-  ASSERT_EQ(engines.size(), 12u);  // All five engine families.
+  ASSERT_EQ(engines.size(), 13u);  // All six engine families.
   std::vector<std::vector<ExprId>> ids(engines.size());
   for (size_t e = 0; e < engines.size(); ++e) {
     for (const std::string& expr : exprs) {

@@ -39,7 +39,7 @@ TEST(DifferentialHarnessTest, RealEnginesAgreeWithOracle) {
   EXPECT_GT(summary->expr_mutations, 0u);
   EXPECT_GT(summary->doc_mutations, 0u);
   EXPECT_GT(summary->removal_interleavings, 0u);
-  EXPECT_EQ(summary->engines.size(), 12u);
+  EXPECT_EQ(summary->engines.size(), 13u);
 }
 
 TEST(DifferentialHarnessTest, SummaryJsonIsDeterministic) {

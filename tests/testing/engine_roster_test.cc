@@ -19,15 +19,15 @@ TEST(EngineRosterTest, FullRosterCoversEveryEngineFamily) {
   std::vector<std::string> labels;
   for (const RosterEntry& entry : FullRoster()) labels.push_back(entry.label);
 
-  // Four Matcher modes x two attribute modes, plus the four other
-  // engine families = 12 configurations.
-  EXPECT_EQ(labels.size(), 12u);
+  // Four Matcher modes x two attribute modes, plus the five other
+  // engine families = 13 configurations.
+  EXPECT_EQ(labels.size(), 13u);
   const char* const expected[] = {
       "matcher-basic-inline", "matcher-basic-sp",
       "matcher-pc-inline",    "matcher-pc-sp",
       "matcher-pc-ap-inline", "matcher-pc-ap-sp",
       "matcher-trie-dfs-inline", "matcher-trie-dfs-sp",
-      "yfilter", "xfilter", "index-filter", "streaming",
+      "yfilter", "xfilter", "index-filter", "streaming", "parallel",
   };
   for (const char* label : expected) {
     EXPECT_NE(std::find(labels.begin(), labels.end(), label), labels.end())

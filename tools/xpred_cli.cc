@@ -45,6 +45,7 @@
 #include "core/encoder.h"
 #include "core/governor.h"
 #include "core/matcher.h"
+#include "exec/parallel_filter.h"
 #include "indexfilter/index_filter.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
@@ -123,6 +124,7 @@ int Usage() {
                "  xpred_cli filter --exprs=FILE [--engine=NAME] [--stats] "
                "[--metrics=PATH] [--metrics-json=PATH] [--trace=PATH] "
                "[--max-depth=N] [--max-doc-bytes=N] [--deadline-ms=MS] "
+               "[--threads=N] [--partition=P] [--batch] "
                "[--fail-fast|--quarantine] <xml-file>...\n"
                "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
                "[options]\n"
@@ -184,24 +186,39 @@ int CmdEncode(const Args& args) {
   return rc;
 }
 
-std::unique_ptr<core::FilterEngine> EngineByName(const std::string& name) {
+std::unique_ptr<core::FilterEngine> EngineByName(const std::string& name,
+                                                 size_t threads,
+                                                 size_t partitions) {
   core::Matcher::Options options;
   if (name == "basic") {
     options.mode = core::Matcher::Mode::kBasic;
   } else if (name == "basic-pc") {
     options.mode = core::Matcher::Mode::kPrefixCovering;
-  } else if (name == "basic-pc-ap") {
+  } else if (name == "basic-pc-ap" || name == "parallel") {
     options.mode = core::Matcher::Mode::kPrefixCoveringAccessPredicate;
   } else if (name == "trie-dfs") {
     options.mode = core::Matcher::Mode::kTrieDfs;
-  } else if (name == "yfilter") {
-    return std::make_unique<yfilter::YFilter>();
-  } else if (name == "xfilter") {
-    return std::make_unique<xfilter::XFilter>();
-  } else if (name == "index-filter") {
+  } else if (name == "yfilter" || name == "xfilter" ||
+             name == "index-filter") {
+    if (threads > 1 || partitions > 1) {
+      std::fprintf(stderr,
+                   "--threads/--partition require a matcher-family engine "
+                   "(got '%s')\n",
+                   name.c_str());
+      return nullptr;
+    }
+    if (name == "yfilter") return std::make_unique<yfilter::YFilter>();
+    if (name == "xfilter") return std::make_unique<xfilter::XFilter>();
     return std::make_unique<indexfilter::IndexFilter>();
   } else {
     return nullptr;
+  }
+  if (name == "parallel" || threads > 1 || partitions > 1) {
+    exec::ParallelFilter::Options popts;
+    popts.threads = threads;
+    popts.partitions = partitions;
+    popts.matcher = options;
+    return std::make_unique<exec::ParallelFilter>(popts);
   }
   return std::make_unique<core::Matcher>(options);
 }
@@ -210,7 +227,7 @@ int CmdFilter(const Args& args) {
   if (!args.RejectUnknown({"exprs", "engine", "stats", "metrics",
                            "metrics-json", "trace", "max-depth",
                            "max-doc-bytes", "deadline-ms", "fail-fast",
-                           "quarantine"})) {
+                           "quarantine", "threads", "partition", "batch"})) {
     return Usage();
   }
   std::string exprs_path = args.Get("exprs", "");
@@ -226,8 +243,14 @@ int CmdFilter(const Args& args) {
     return 1;
   }
 
+  size_t threads =
+      std::strtoull(args.Get("threads", "1").c_str(), nullptr, 10);
+  size_t partitions =
+      std::strtoull(args.Get("partition", "1").c_str(), nullptr, 10);
+  if (threads == 0) threads = 1;
+  if (partitions == 0) partitions = 1;
   std::unique_ptr<core::FilterEngine> engine =
-      EngineByName(args.Get("engine", "basic-pc-ap"));
+      EngineByName(args.Get("engine", "basic-pc-ap"), threads, partitions);
   if (engine == nullptr) {
     std::fprintf(stderr, "unknown engine '%s'\n",
                  args.Get("engine", "").c_str());
@@ -285,6 +308,60 @@ int CmdFilter(const Args& args) {
   core::IngestGovernor governor(engine.get(), governor_options);
 
   int rc = 0;
+  if (args.Has("batch")) {
+    // Batch mode: parse every document up front, then filter them all
+    // through one FilterBatch call (the parallel fast path). Results
+    // are reported per document, in input order.
+    auto* parallel = dynamic_cast<exec::ParallelFilter*>(engine.get());
+    if (parallel == nullptr) {
+      std::fprintf(stderr,
+                   "--batch requires a matcher-family engine "
+                   "(use --engine=parallel or --threads/--partition)\n");
+      return 2;
+    }
+    parallel->set_resource_limits(governor_options.limits);
+    std::vector<xml::Document> documents;
+    std::vector<std::string> doc_paths;
+    for (const std::string& path : args.positional) {
+      std::ifstream xml_file(path);
+      if (!xml_file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        rc = 1;
+        continue;
+      }
+      std::stringstream buffer;
+      buffer << xml_file.rdbuf();
+      Result<xml::Document> doc = xml::Document::Parse(buffer.str());
+      if (!doc.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     doc.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      documents.push_back(std::move(*doc));
+      doc_paths.push_back(path);
+    }
+    std::vector<exec::DocRef> refs;
+    refs.reserve(documents.size());
+    for (const xml::Document& doc : documents) refs.push_back({&doc});
+    exec::CollectingResultSink sink;
+    (void)parallel->FilterBatch(refs, sink);  // Per-doc statuses below.
+    for (size_t d = 0; d < sink.results().size(); ++d) {
+      const exec::CollectingResultSink::DocResult& result =
+          sink.results()[d];
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", doc_paths[d].c_str(),
+                     result.status.ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      std::printf("%s: %zu match(es)\n", doc_paths[d].c_str(),
+                  result.matched.size());
+      for (core::ExprId id : result.matched) {
+        std::printf("  [%u] %s\n", id, expressions[id].c_str());
+      }
+    }
+  } else {
   for (const std::string& path : args.positional) {
     std::ifstream xml_file(path);
     if (!xml_file) {
@@ -319,6 +396,7 @@ int CmdFilter(const Args& args) {
     std::fprintf(stderr, "%zu document(s) quarantined\n",
                  governor.quarantine().size());
   }
+  }  // !--batch
 
   if (args.Has("stats")) {
     const core::EngineStats& stats = engine->stats();
