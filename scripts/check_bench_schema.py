@@ -1,28 +1,50 @@
 #!/usr/bin/env python3
-"""Validates the parallel-scaling benchmark sidecar and its speedup gate.
+"""Validates benchmark JSON sidecars and their performance gates.
 
-Two modes:
+Covers two benches, dispatched on the sidecar's "bench" field:
 
-  * file mode: validate an existing parallel_scaling.json;
+  * parallel_scaling  — thread-scaling results + speedup gate;
+  * analytics_overhead — attribution/profiler cost + overhead gate.
+
+Three modes:
+
+  * file mode: validate existing sidecar JSON files;
   * --bench mode (the ctest hook): run the bench_parallel_scaling
-    binary with a small workload, then validate the sidecar it wrote.
+    binary with a small workload, then validate the sidecar it wrote;
+  * --analytics-bench mode (the ctest hook): same for
+    bench_analytics_overhead.
 
-Schema (always enforced): top-level bench/build_type/
+parallel_scaling schema (always enforced): top-level bench/build_type/
 hardware_concurrency/baseline_docs_per_sec and a non-empty results
 array whose entries carry threads, docs_per_sec, and speedup_vs_1t.
 
-Performance gates (enforced only when the build is Release AND the
-machine has >= 4 hardware threads — a 1-CPU CI container cannot
-demonstrate parallel speedup, and sanitizer/debug builds distort it):
+parallel_scaling performance gates (enforced only when the build is
+Release AND the machine has >= 4 hardware threads — a 1-CPU CI
+container cannot demonstrate parallel speedup, and sanitizer/debug
+builds distort it):
 
   * speedup_vs_1t at threads=4 must be >= 2.0;
   * the 1-thread configuration must stay within 5% of the serial
     matcher baseline (parallelism off must not cost anything).
 
+analytics_overhead schema (always enforced): bench/build_type/
+baseline_docs_per_sec/profiled_docs_per_sec/overhead_fraction, plus
+tracked_expressions > 0 and attributed_evals > 0 (the profiler must
+actually have seen the workload, otherwise the "overhead" measures
+nothing).
+
+analytics_overhead performance gate (Release builds on >= 4-CPU hosts
+only — debug and sanitizer builds inflate the attribution bookkeeping
+out of proportion, and an oversubscribed single-CPU host turns
+scheduling noise into phantom overhead): overhead_fraction must stay
+below 5%.
+
 Usage:
-    check_bench_schema.py parallel_scaling.json
+    check_bench_schema.py parallel_scaling.json analytics_overhead.json
     check_bench_schema.py --bench path/to/bench_parallel_scaling \
         --build-type Release
+    check_bench_schema.py --analytics-bench \
+        path/to/bench_analytics_overhead --build-type Release
 """
 
 import argparse
@@ -35,6 +57,7 @@ import tempfile
 MIN_SPEEDUP_4T = 2.0
 MAX_1T_REGRESSION = 0.05
 MIN_GATE_CPUS = 4
+MAX_ANALYTICS_OVERHEAD = 0.05
 
 
 def fail(msg):
@@ -47,15 +70,10 @@ def check(cond, msg):
         fail(msg)
 
 
-def validate(path):
-    with open(path) as f:
-        data = json.load(f)
-
-    for field in ("bench", "build_type", "hardware_concurrency",
+def validate_parallel_scaling(data):
+    for field in ("build_type", "hardware_concurrency",
                   "baseline_docs_per_sec", "results"):
         check(field in data, "missing top-level field %r" % field)
-    check(data["bench"] == "parallel_scaling",
-          "bench is %r, want parallel_scaling" % data["bench"])
     results = data["results"]
     check(isinstance(results, list) and results,
           "results must be a non-empty array")
@@ -100,7 +118,64 @@ def validate(path):
           "1-thread at %.1f%% of serial baseline)" % (speedup, 100 * ratio))
 
 
-def run_bench(bench, build_type):
+def validate_analytics_overhead(data):
+    for field in ("build_type", "hardware_concurrency",
+                  "baseline_docs_per_sec", "profiled_docs_per_sec",
+                  "overhead_fraction", "tracked_expressions",
+                  "attributed_evals"):
+        check(field in data, "missing top-level field %r" % field)
+    check(data["baseline_docs_per_sec"] > 0,
+          "baseline_docs_per_sec must be positive")
+    check(data["profiled_docs_per_sec"] > 0,
+          "profiled_docs_per_sec must be positive")
+    check(data["tracked_expressions"] > 0,
+          "profiler tracked no expressions — attribution not exercised")
+    check(data["attributed_evals"] > 0,
+          "profiler attributed no evaluations — attribution not exercised")
+
+    overhead = data["overhead_fraction"]
+    reported = 1.0 - (data["profiled_docs_per_sec"] /
+                      data["baseline_docs_per_sec"])
+    check(abs(overhead - reported) < 1e-6,
+          "overhead_fraction %r inconsistent with throughputs (%r)"
+          % (overhead, reported))
+
+    build_type = data["build_type"]
+    cpus = data["hardware_concurrency"]
+    if build_type != "Release":
+        print("check_bench_schema: schema OK; overhead gate skipped "
+              "(build_type=%s, need Release)" % build_type)
+        return
+    if cpus < MIN_GATE_CPUS:
+        print("check_bench_schema: schema OK; overhead gate skipped "
+              "(%d hardware threads, need >= %d — an oversubscribed "
+              "host turns scheduling noise into phantom overhead)"
+              % (cpus, MIN_GATE_CPUS))
+        return
+    check(overhead < MAX_ANALYTICS_OVERHEAD,
+          "profiler overhead %.2f%% breaches the %d%% gate"
+          % (100 * overhead, int(100 * MAX_ANALYTICS_OVERHEAD)))
+    print("check_bench_schema: OK (profiler overhead %.2f%%, "
+          "gate %d%%)" % (100 * overhead, int(100 * MAX_ANALYTICS_OVERHEAD)))
+
+
+VALIDATORS = {
+    "parallel_scaling": validate_parallel_scaling,
+    "analytics_overhead": validate_analytics_overhead,
+}
+
+
+def validate(path):
+    with open(path) as f:
+        data = json.load(f)
+    check("bench" in data, "missing top-level field 'bench'")
+    bench = data["bench"]
+    check(bench in VALIDATORS,
+          "unknown bench %r (know: %s)" % (bench, sorted(VALIDATORS)))
+    VALIDATORS[bench](data)
+
+
+def run_bench(bench, build_type, sidecar_name):
     with tempfile.TemporaryDirectory() as tmp:
         env = dict(os.environ)
         env["XPRED_BENCH_METRICS_DIR"] = tmp
@@ -115,7 +190,7 @@ def run_bench(bench, build_type):
         sys.stdout.write(proc.stdout)
         check(proc.returncode == 0,
               "%s exited with %d" % (bench, proc.returncode))
-        sidecar = os.path.join(tmp, "parallel_scaling.json")
+        sidecar = os.path.join(tmp, sidecar_name)
         check(os.path.exists(sidecar), "bench wrote no %s" % sidecar)
         if build_type:
             with open(sidecar) as f:
@@ -130,15 +205,20 @@ def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("files", nargs="*", help="sidecar JSON files")
     parser.add_argument("--bench", help="bench_parallel_scaling binary")
+    parser.add_argument("--analytics-bench",
+                        help="bench_analytics_overhead binary")
     parser.add_argument("--build-type", default="",
                         help="expected CMake build type of the binary")
     args = parser.parse_args()
-    if not args.files and not args.bench:
-        parser.error("give sidecar files or --bench")
+    if not args.files and not args.bench and not args.analytics_bench:
+        parser.error("give sidecar files, --bench, or --analytics-bench")
     for path in args.files:
         validate(path)
     if args.bench:
-        run_bench(args.bench, args.build_type)
+        run_bench(args.bench, args.build_type, "parallel_scaling.json")
+    if args.analytics_bench:
+        run_bench(args.analytics_bench, args.build_type,
+                  "analytics_overhead.json")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validates `xpred_cli explain --json` output.
+
+Schema: a single JSON object with schema_version 1, the expression and
+its predicate encoding, the verdict (matched/total_paths/
+first_matching_path), miss attribution (first_failing_predicate +
+first_failing_text), and a per-path trace array whose entries carry
+the publication, per-predicate occurrence rows, and the recorded
+backtracking steps (try/reject/accept/backtrack/match).
+
+Cross-field invariants enforced:
+
+  * matched <=> first_matching_path >= 0;
+  * a miss names a first failing predicate (index and text) and every
+    traced path pinpoints its own failure;
+  * a path's matched flag agrees with its trace: matched paths end in
+    a "match" step (unless truncated), failed paths never contain one;
+  * step kinds come from the known vocabulary and respect the chain
+    constraint fields (reject steps carry a required_first).
+
+Usage:
+    check_explain_schema.py explain.json [explain2.json ...]
+    check_explain_schema.py --cli path/to/xpred_cli
+
+The --cli mode is the end-to-end check wired into ctest: it runs the
+explain subcommand on a seeded match and a seeded miss, validates both
+JSON documents, and checks the exit-code convention (0 match, 1 no
+match, 2 error) plus the human-readable miss output naming the first
+failing predicate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+STEP_KINDS = {"try", "reject", "accept", "backtrack", "match"}
+
+
+def fail(msg):
+    print("check_explain_schema: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate_path(ctx, pe):
+    for field in ("path", "publication", "matched", "structural_match",
+                  "deferred_failed", "first_failing_predicate",
+                  "steps_truncated", "predicates", "steps"):
+        check(field in pe, "%s: missing %r" % (ctx, field))
+    check(isinstance(pe["path"], str) and pe["path"],
+          "%s: empty path" % ctx)
+    check(isinstance(pe["publication"], str),
+          "%s: publication not a string" % ctx)
+
+    for i, ev in enumerate(pe["predicates"]):
+        pctx = "%s predicates[%d]" % (ctx, i)
+        for field in ("chain_pos", "pid", "text", "matched", "pairs"):
+            check(field in ev, "%s: missing %r" % (pctx, field))
+        check(ev["chain_pos"] == i,
+              "%s: chain_pos %r != position %d" % (pctx, ev["chain_pos"], i))
+        check(isinstance(ev["text"], str) and ev["text"],
+              "%s: empty predicate text" % pctx)
+        for pair in ev["pairs"]:
+            check(isinstance(pair, list) and len(pair) == 2 and
+                  all(isinstance(v, int) and v >= 1 for v in pair),
+                  "%s: bad occurrence pair %r" % (pctx, pair))
+        # A predicate with no occurrence rows did not match; rows imply
+        # the row-level predicate held.
+        check(ev["matched"] == bool(ev["pairs"]),
+              "%s: matched=%r but pairs=%r" % (pctx, ev["matched"],
+                                               ev["pairs"]))
+
+    saw_match_step = False
+    for i, step in enumerate(pe["steps"]):
+        sctx = "%s steps[%d]" % (ctx, i)
+        for field in ("kind", "chain_pos", "pair", "required_first"):
+            check(field in step, "%s: missing %r" % (sctx, field))
+        check(step["kind"] in STEP_KINDS,
+              "%s: unknown step kind %r" % (sctx, step["kind"]))
+        saw_match_step |= step["kind"] == "match"
+
+    # The trace must agree with the verdict: a matched path's recorded
+    # search ends in a match step (unless the cap cut it short), and a
+    # failed path never records one.
+    if pe["matched"] and pe["steps"] and not pe["steps_truncated"]:
+        check(pe["steps"][-1]["kind"] == "match",
+              "%s: matched path's trace does not end in a match step" % ctx)
+    if not pe["structural_match"]:
+        check(not saw_match_step,
+              "%s: structurally failed path records a match step" % ctx)
+    if not pe["matched"] and not pe["deferred_failed"]:
+        check(pe["first_failing_predicate"] >= 0,
+              "%s: failed path names no failing predicate" % ctx)
+
+
+def validate(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(doc.get("schema_version") == 1,
+          "%s: schema_version must be 1" % path)
+    for field in ("expression", "encoding", "matched", "total_paths",
+                  "first_matching_path", "first_failing_predicate",
+                  "first_failing_text", "paths"):
+        check(field in doc, "%s: missing top-level field %r" % (path, field))
+    check(isinstance(doc["expression"], str) and doc["expression"],
+          "%s: empty expression" % path)
+    check(isinstance(doc["encoding"], str) and doc["encoding"],
+          "%s: empty encoding" % path)
+    check(isinstance(doc["paths"], list),
+          "%s: paths not an array" % path)
+    check(len(doc["paths"]) <= doc["total_paths"],
+          "%s: more traced paths than total_paths" % path)
+
+    if doc["matched"]:
+        check(doc["first_matching_path"] >= 0,
+              "%s: matched but first_matching_path < 0" % path)
+        check(doc["first_matching_path"] < doc["total_paths"],
+              "%s: first_matching_path out of range" % path)
+    else:
+        check(doc["first_matching_path"] == -1,
+              "%s: miss must report first_matching_path -1" % path)
+        if doc["paths"]:
+            check(doc["first_failing_predicate"] >= 0,
+                  "%s: miss names no first failing predicate" % path)
+            check(doc["first_failing_text"],
+                  "%s: miss has empty first_failing_text" % path)
+
+    for i, pe in enumerate(doc["paths"]):
+        validate_path("%s: paths[%d]" % (path, i), pe)
+    print("check_explain_schema: OK %s (%s, %d/%d paths traced)"
+          % (path, "match" if doc["matched"] else "miss",
+             len(doc["paths"]), doc["total_paths"]))
+    return doc
+
+
+def run_cli_end_to_end(cli):
+    with tempfile.TemporaryDirectory(prefix="xpred_explain_") as tmp:
+        doc = os.path.join(tmp, "doc.xml")
+        with open(doc, "w", encoding="utf-8") as f:
+            f.write("<a><b><c/></b><b><d/></b></a>\n")
+
+        def explain(xpath, *extra):
+            proc = subprocess.run([cli, "explain", *extra, doc, xpath],
+                                  stdout=subprocess.PIPE, text=True,
+                                  timeout=120)
+            return proc.returncode, proc.stdout
+
+        # Seeded match: exit 0, valid JSON, verdict matched.
+        code, out = explain("/a/b/c", "--json")
+        check(code == 0, "match case exited %d, want 0" % code)
+        match_json = os.path.join(tmp, "match.json")
+        with open(match_json, "w", encoding="utf-8") as f:
+            f.write(out)
+        match_doc = validate(match_json)
+        check(match_doc["matched"], "expected /a/b/c to match")
+        check(any(pe["steps"] for pe in match_doc["paths"]),
+              "match trace records no backtracking steps")
+
+        # Seeded miss: exit 1, the JSON and the text output both name
+        # the first failing predicate.
+        code, out = explain("/a/b/e", "--json")
+        check(code == 1, "miss case exited %d, want 1" % code)
+        miss_json = os.path.join(tmp, "miss.json")
+        with open(miss_json, "w", encoding="utf-8") as f:
+            f.write(out)
+        miss_doc = validate(miss_json)
+        check(not miss_doc["matched"], "expected /a/b/e to miss")
+        check(miss_doc["first_failing_predicate"] >= 0,
+              "miss JSON names no first failing predicate")
+
+        code, out = explain("/a/b/e")
+        check(code == 1, "text miss case exited %d, want 1" % code)
+        check("first failing predicate" in out,
+              "text output does not name the first failing predicate")
+        check("NO MATCH" in out, "text output lacks the verdict line")
+
+        # Error case: nested paths are rejected with exit 2.
+        code, _ = explain("/a[//q]/b", "--json")
+        check(code == 2, "nested-path case exited %d, want 2" % code)
+        print("check_explain_schema: OK end-to-end (%s)" % cli)
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--cli":
+        run_cli_end_to_end(argv[1])
+        return
+    if not argv or any(a.startswith("-") for a in argv):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in argv:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

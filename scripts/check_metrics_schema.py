@@ -5,7 +5,10 @@ Three kinds of artifacts are checked:
 
   * metrics sidecar JSON (bench_util.h / `xpred_cli filter
     --metrics-json=`): schema_version, provenance, counters, gauges,
-    and histograms with consistent bucket/percentile invariants;
+    and histograms with consistent bucket/percentile invariants — plus
+    the optional "workload" section that `--profile-workload` embeds
+    (mode, totals, top_expressions, hot_predicates, latency_ns,
+    top10_agreement);
   * Prometheus text exposition (`xpred_cli filter --metrics=`):
     HELP/TYPE headers, cumulative non-decreasing histogram buckets,
     and the _count/+Inf agreement;
@@ -78,6 +81,68 @@ def validate_histogram(key, h):
                   "%s: %s=%s exceeds max=%s" % (key, q, h[q], h["max"]))
 
 
+def validate_workload(path, w):
+    check(isinstance(w, dict), "%s: workload is not an object" % path)
+    check(w.get("schema_version") == 1,
+          "%s: workload schema_version must be 1" % path)
+    check(w.get("mode") in ("exact", "sketch"),
+          "%s: workload mode %r not exact|sketch" % (path, w.get("mode")))
+    totals = w.get("totals")
+    check(isinstance(totals, dict), "%s: workload missing totals" % path)
+    for field in ("evals", "matches", "cost", "predicate_matches",
+                  "deltas", "distinct_expressions"):
+        check(isinstance(totals.get(field), int) and totals[field] >= 0,
+              "%s: workload totals.%s not a non-negative integer"
+              % (path, field))
+    check(totals["matches"] <= totals["evals"],
+          "%s: workload totals has more matches than evals" % path)
+
+    for section, fields in (
+            ("top_expressions",
+             ("key", "name", "evals", "matches", "match_rate", "cost",
+              "cost_share", "cost_error")),
+            ("hot_predicates", ("key", "name", "matches", "share",
+                                "error"))):
+        entries = w.get(section)
+        check(isinstance(entries, list),
+              "%s: workload missing %s" % (path, section))
+        prev_cost = None
+        for i, entry in enumerate(entries):
+            for field in fields:
+                check(field in entry, "%s: workload %s[%d] missing %r"
+                      % (path, section, i, field))
+            check(isinstance(entry["name"], str) and entry["name"],
+                  "%s: workload %s[%d] has no name" % (path, section, i))
+        if section == "top_expressions":
+            costs = [e["cost"] for e in entries]
+            check(costs == sorted(costs, reverse=True),
+                  "%s: top_expressions not sorted by descending cost"
+                  % path)
+            for e in entries:
+                check(0.0 <= e["match_rate"] <= 1.0,
+                      "%s: match_rate %r out of [0,1]"
+                      % (path, e["match_rate"]))
+
+    lat = w.get("latency_ns")
+    check(isinstance(lat, dict), "%s: workload missing latency_ns" % path)
+    for field in ("sampled", "p50", "p99", "max"):
+        check(isinstance(lat.get(field), int) and lat[field] >= 0,
+              "%s: workload latency_ns.%s invalid" % (path, field))
+    if lat["sampled"] > 0:
+        check(lat["p50"] <= lat["max"] and lat["p99"] <= lat["max"],
+              "%s: workload latency percentiles exceed max" % path)
+
+    agreement = w.get("top10_agreement")
+    check(isinstance(agreement, (int, float)),
+          "%s: workload top10_agreement not numeric" % path)
+    check(agreement <= 1.0,
+          "%s: workload top10_agreement %r > 1" % (path, agreement))
+    if w["mode"] == "exact":
+        check(agreement >= 0.0,
+              "%s: exact-mode top10_agreement must be computable (got %r)"
+              % (path, agreement))
+
+
 def validate_sidecar(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -99,9 +164,13 @@ def validate_sidecar(path):
         check(isinstance(h, dict), "%s: histogram %s not an object"
               % (path, key))
         validate_histogram("%s: %s" % (path, key), h)
+    if "workload" in doc:
+        validate_workload(path, doc["workload"])
     print("check_metrics_schema: OK sidecar %s (%d counters, %d gauges, "
-          "%d histograms)" % (path, len(doc["counters"]),
-                              len(doc["gauges"]), len(doc["histograms"])))
+          "%d histograms%s)"
+          % (path, len(doc["counters"]), len(doc["gauges"]),
+             len(doc["histograms"]),
+             ", workload section" if "workload" in doc else ""))
     return doc
 
 
@@ -240,6 +309,30 @@ def run_cli_end_to_end(cli):
               "xpred_documents_total != 2 in prometheus output")
         check({s["doc"] for s in spans} == {1, 2},
               "trace does not cover both documents")
+
+        # Second run with --profile-workload: the sidecar must embed a
+        # valid workload section and the engine must publish the
+        # xpred_workload_* gauges.
+        profiled = os.path.join(tmp, "metrics_workload.json")
+        subprocess.check_call(
+            [cli, "filter", "--exprs=" + exprs, "--engine=basic-pc-ap",
+             "--profile-workload=10", "--metrics-json=" + profiled,
+             doc, doc],
+            stdout=subprocess.DEVNULL)
+        profiled_doc = validate_sidecar(profiled)
+        check("workload" in profiled_doc,
+              "--profile-workload sidecar has no workload section")
+        workload = profiled_doc["workload"]
+        check(workload["totals"]["evals"] > 0,
+              "workload profile attributed no evaluations")
+        check(workload["top_expressions"],
+              "workload profile has no top expressions")
+        published = [g for g in profiled_doc["gauges"]
+                     if g.startswith("xpred_workload_")]
+        for gauge in ("xpred_workload_tracked_expressions",
+                      "xpred_workload_evals", "xpred_workload_matches"):
+            check(any(g.startswith(gauge) for g in published),
+                  "gauge %s not published by --profile-workload" % gauge)
         print("check_metrics_schema: OK end-to-end (%s)" % cli)
 
 

@@ -1,0 +1,406 @@
+#include "analytics/explain.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/interner.h"
+#include "common/string_util.h"
+#include "core/occurrence.h"
+#include "core/predicate_index.h"
+#include "core/publication.h"
+#include "xml/path.h"
+#include "xpath/parser.h"
+
+namespace xpred::analytics {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* StepKindName(ExplainStep::Kind kind) {
+  switch (kind) {
+    case ExplainStep::Kind::kTry:
+      return "try";
+    case ExplainStep::Kind::kReject:
+      return "reject";
+    case ExplainStep::Kind::kAccept:
+      return "accept";
+    case ExplainStep::Kind::kBacktrack:
+      return "backtrack";
+    case ExplainStep::Kind::kMatch:
+      return "match";
+  }
+  return "?";
+}
+
+/// Mirror of OccurrenceDeterminer's DetermineRec, recording every
+/// try / reject / accept / backtrack / match event. The recorded
+/// search aborts at the step cap (sets *truncated); callers use the
+/// real, unrecorded algorithm for the authoritative verdict.
+bool RecordRec(core::OccurrenceDeterminer::ResultView results, size_t index,
+               uint32_t required_first, size_t max_steps,
+               std::vector<ExplainStep>* steps, bool* truncated,
+               size_t* deepest_stuck) {
+  const core::OccList& candidates = *results[index];
+  for (const core::OccPair& pair : candidates) {
+    if (steps->size() + 2 > max_steps) {
+      *truncated = true;
+      return false;
+    }
+    steps->push_back({ExplainStep::Kind::kTry,
+                      static_cast<uint16_t>(index), pair, required_first});
+    if (index > 0 && pair.first != required_first) {
+      steps->push_back({ExplainStep::Kind::kReject,
+                        static_cast<uint16_t>(index), pair,
+                        required_first});
+      continue;
+    }
+    steps->push_back({ExplainStep::Kind::kAccept,
+                      static_cast<uint16_t>(index), pair, required_first});
+    if (index + 1 == results.size()) {
+      steps->push_back({ExplainStep::Kind::kMatch,
+                        static_cast<uint16_t>(index), pair,
+                        required_first});
+      return true;
+    }
+    if (RecordRec(results, index + 1, pair.second, max_steps, steps,
+                  truncated, deepest_stuck)) {
+      return true;
+    }
+    if (*truncated) return false;
+    steps->push_back({ExplainStep::Kind::kBacktrack,
+                      static_cast<uint16_t>(index), pair, required_first});
+  }
+  // No candidate of this predicate extended the current prefix; this
+  // is where the search got stuck (the deepest such index names the
+  // predicate a miss explanation points at).
+  *deepest_stuck = std::max(*deepest_stuck, index);
+  return false;
+}
+
+/// Selection-postponed verification (§5), mirroring
+/// Matcher::ApplyDeferredFilters against the explain-local encoding.
+bool VerifyDeferredFilters(const core::EncodedExpression& enc,
+                           const core::Publication& pub,
+                           std::vector<const core::OccList*>* views,
+                           std::vector<core::OccList>* storage) {
+  storage->clear();
+  storage->resize(enc.deferred_filters.size());
+  size_t used = 0;
+  for (const core::DeferredFilters& df : enc.deferred_filters) {
+    const core::AnchorSlot& slot = enc.anchor_slots[df.anchor_index];
+    const SymbolId tag = enc.anchor_tags[df.anchor_index];
+    const core::OccList& source = *(*views)[slot.pred_index];
+    core::OccList& filtered = (*storage)[used++];
+    for (const core::OccPair& pair : source) {
+      const uint32_t occ = slot.on_second ? pair.second : pair.first;
+      const uint32_t position = pub.PositionOf(tag, occ);
+      if (position == 0) continue;
+      bool ok = true;
+      const std::vector<xml::Attribute>& attrs = pub.AttributesAt(position);
+      for (const core::AttributeConstraint& c : df.filters) {
+        bool found = false;
+        for (const xml::Attribute& a : attrs) {
+          if (a.name == c.name) {
+            found = true;
+            if (!c.Matches(a.value)) ok = false;
+            break;
+          }
+        }
+        if (!found) ok = false;
+        if (!ok) break;
+      }
+      if (ok) filtered.push_back(pair);
+    }
+    if (filtered.empty()) return false;
+    (*views)[slot.pred_index] = &filtered;
+  }
+  return core::OccurrenceDeterminer::Determine(*views);
+}
+
+}  // namespace
+
+Result<ExplainResult> ExplainMatch(const xml::Document& document,
+                                   std::string_view xpath,
+                                   const ExplainOptions& options) {
+  Result<xpath::PathExpr> parsed = xpath::ParseXPath(xpath);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->HasNestedPaths()) {
+    return Status::InvalidArgument(
+        "explain supports single-path expressions only; nested-path "
+        "filters are matched via decomposed witness joins with no "
+        "per-path trace — explain each branch separately");
+  }
+  if (parsed->length() > options.max_expression_length) {
+    return Status::CapacityExceeded(StringPrintf(
+        "expression has %zu location steps; explain was configured for "
+        "at most %u",
+        parsed->length(), options.max_expression_length));
+  }
+
+  // Private pipeline state: the explain engine owns its interner and
+  // predicate index so recording never touches a live engine.
+  Interner interner;
+  Result<core::EncodedExpression> encoded =
+      core::EncodeExpression(*parsed, options.attribute_mode, &interner);
+  if (!encoded.ok()) return encoded.status();
+  const core::EncodedExpression& enc = *encoded;
+
+  core::PredicateIndex index(
+      core::PredicateIndex::Options{options.max_expression_length});
+  std::vector<core::PredicateId> chain;
+  chain.reserve(enc.predicates.size());
+  for (const core::Predicate& p : enc.predicates) {
+    Result<core::PredicateId> pid = index.InsertOrFind(p);
+    if (!pid.ok()) return pid.status();
+    chain.push_back(*pid);
+  }
+
+  ExplainResult result;
+  result.expression = parsed->ToString();
+  result.encoding = enc.ToString(interner);
+
+  const std::vector<xml::DocumentPath> paths = xml::ExtractPaths(document);
+  result.total_paths = paths.size();
+
+  core::Publication pub;
+  core::MatchResultSet results;
+  std::vector<core::PathElementView> views;
+  std::vector<const core::OccList*> occ_views;
+  std::vector<core::OccList> filtered;
+
+  // Miss explanation: track the path that got furthest — the largest
+  // first-failing chain position (a chaining failure counts as the
+  // deepest predicate the backtracking could not extend past).
+  int best_fail_pos = -1;
+
+  for (size_t pi = 0; pi < paths.size(); ++pi) {
+    // Past max_paths the trace is dropped but paths keep being
+    // evaluated — the verdict is never truncated. Once a match is in
+    // hand nothing beyond the cap can change the summary either.
+    const bool record = result.paths.size() < options.max_paths;
+    if (!record && result.matched) break;
+    const xml::DocumentPath& path = paths[pi];
+    views.clear();
+    for (uint32_t pos = 1; pos <= path.length(); ++pos) {
+      core::PathElementView view;
+      view.tag = path.Tag(pos);
+      view.attributes = &path.Attributes(pos);
+      view.node = path.Node(pos);
+      views.push_back(view);
+    }
+    pub.Assign(views, interner);
+
+    PathExplain pe;
+    if (record) {
+      pe.path = path.ToString();
+      pe.publication = pub.ToString(interner);
+    }
+
+    // Stage 1 (§4.1): the real predicate-matching code path.
+    index.Match(pub, &results);
+    occ_views.clear();
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const core::OccList* row = results.Find(chain[i]);
+      const bool row_matched = row != nullptr && !row->empty();
+      if (!row_matched && pe.first_failing_predicate < 0) {
+        pe.first_failing_predicate = static_cast<int>(i);
+      }
+      occ_views.push_back(row);
+      if (record) {
+        PredicateEval ev;
+        ev.chain_pos = static_cast<uint16_t>(i);
+        ev.pid = chain[i];
+        ev.text = enc.predicates[i].ToString(interner);
+        ev.matched = row_matched;
+        if (row_matched) ev.pairs.assign(row->begin(), row->end());
+        pe.evals.push_back(std::move(ev));
+      }
+    }
+
+    // Stage 2 (§4.2.1): authoritative verdict by the real algorithm,
+    // then the recorded re-run for the trace.
+    if (pe.first_failing_predicate < 0 && !chain.empty()) {
+      pe.structural_match = core::OccurrenceDeterminer::Determine(occ_views);
+      size_t deepest_stuck = 0;
+      if (record) {
+        RecordRec(occ_views, 0, 0, options.max_steps_per_path, &pe.steps,
+                  &pe.steps_truncated, &deepest_stuck);
+      }
+      if (pe.structural_match) {
+        pe.matched = true;
+        if (!enc.deferred_filters.empty() &&
+            !VerifyDeferredFilters(enc, pub, &occ_views, &filtered)) {
+          pe.matched = false;
+          pe.deferred_failed = true;
+        }
+      } else {
+        // Every predicate had rows but no valid chain exists: the
+        // failure is the predicate the search could not extend past
+        // (0, the safe lower bound, when the trace was not recorded).
+        pe.first_failing_predicate = static_cast<int>(deepest_stuck);
+      }
+    }
+
+    if (pe.matched && result.first_matching_path == SIZE_MAX) {
+      result.first_matching_path = pi;
+      result.matched = true;
+    }
+    if (!pe.matched && pe.first_failing_predicate > best_fail_pos) {
+      best_fail_pos = pe.first_failing_predicate;
+    }
+    if (record) result.paths.push_back(std::move(pe));
+  }
+
+  if (!result.matched) {
+    if (best_fail_pos < 0 && !chain.empty()) best_fail_pos = 0;
+    if (best_fail_pos >= 0 &&
+        static_cast<size_t>(best_fail_pos) < enc.predicates.size()) {
+      result.first_failing_predicate = best_fail_pos;
+      result.first_failing_text =
+          enc.predicates[static_cast<size_t>(best_fail_pos)]
+              .ToString(interner);
+    }
+  }
+  return result;
+}
+
+std::string ExplainToJson(const ExplainResult& result) {
+  std::string out;
+  out += StringPrintf(
+      "{\"schema_version\": 1, \"expression\": \"%s\", \"encoding\": "
+      "\"%s\", \"matched\": %s, \"total_paths\": %zu, "
+      "\"first_matching_path\": %lld, \"first_failing_predicate\": %d, "
+      "\"first_failing_text\": \"%s\", \"paths\": [",
+      JsonEscape(result.expression).c_str(),
+      JsonEscape(result.encoding).c_str(),
+      result.matched ? "true" : "false", result.total_paths,
+      result.first_matching_path == SIZE_MAX
+          ? -1LL
+          : static_cast<long long>(result.first_matching_path),
+      result.first_failing_predicate,
+      JsonEscape(result.first_failing_text).c_str());
+  for (size_t i = 0; i < result.paths.size(); ++i) {
+    const PathExplain& pe = result.paths[i];
+    out += StringPrintf(
+        "%s{\"path\": \"%s\", \"publication\": \"%s\", \"matched\": %s, "
+        "\"structural_match\": %s, \"deferred_failed\": %s, "
+        "\"first_failing_predicate\": %d, \"steps_truncated\": %s, "
+        "\"predicates\": [",
+        i == 0 ? "" : ", ", JsonEscape(pe.path).c_str(),
+        JsonEscape(pe.publication).c_str(), pe.matched ? "true" : "false",
+        pe.structural_match ? "true" : "false",
+        pe.deferred_failed ? "true" : "false", pe.first_failing_predicate,
+        pe.steps_truncated ? "true" : "false");
+    for (size_t j = 0; j < pe.evals.size(); ++j) {
+      const PredicateEval& ev = pe.evals[j];
+      out += StringPrintf(
+          "%s{\"chain_pos\": %u, \"pid\": %u, \"text\": \"%s\", "
+          "\"matched\": %s, \"pairs\": [",
+          j == 0 ? "" : ", ", ev.chain_pos, ev.pid,
+          JsonEscape(ev.text).c_str(), ev.matched ? "true" : "false");
+      for (size_t m = 0; m < ev.pairs.size(); ++m) {
+        out += StringPrintf("%s[%u, %u]", m == 0 ? "" : ", ",
+                            ev.pairs[m].first, ev.pairs[m].second);
+      }
+      out += "]}";
+    }
+    out += "], \"steps\": [";
+    for (size_t s = 0; s < pe.steps.size(); ++s) {
+      const ExplainStep& step = pe.steps[s];
+      out += StringPrintf(
+          "%s{\"kind\": \"%s\", \"chain_pos\": %u, \"pair\": [%u, %u], "
+          "\"required_first\": %u}",
+          s == 0 ? "" : ", ", StepKindName(step.kind), step.chain_pos,
+          step.pair.first, step.pair.second, step.required_first);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExplainToText(const ExplainResult& result) {
+  std::string out;
+  out += StringPrintf("expression: %s\n", result.expression.c_str());
+  out += StringPrintf("encoding:   %s\n", result.encoding.c_str());
+  if (result.matched) {
+    out += StringPrintf("verdict:    MATCH (path %zu of %zu)\n",
+                        result.first_matching_path + 1, result.total_paths);
+  } else {
+    out += StringPrintf("verdict:    NO MATCH (%zu paths)\n",
+                        result.total_paths);
+    if (result.first_failing_predicate >= 0) {
+      out += StringPrintf("first failing predicate: #%d %s\n",
+                          result.first_failing_predicate,
+                          result.first_failing_text.c_str());
+    }
+  }
+  for (size_t i = 0; i < result.paths.size(); ++i) {
+    const PathExplain& pe = result.paths[i];
+    out += StringPrintf("\npath %zu: %s — %s\n", i + 1, pe.path.c_str(),
+                        pe.matched            ? "match"
+                        : pe.deferred_failed ? "no match (deferred filters)"
+                                              : "no match");
+    out += StringPrintf("  publication: %s\n", pe.publication.c_str());
+    for (const PredicateEval& ev : pe.evals) {
+      out += StringPrintf("  [%u] %s: ", ev.chain_pos, ev.text.c_str());
+      if (!ev.matched) {
+        out += "no occurrence rows";
+        if (pe.first_failing_predicate == static_cast<int>(ev.chain_pos)) {
+          out += "   <- first failing predicate";
+        }
+        out += "\n";
+        continue;
+      }
+      for (size_t m = 0; m < ev.pairs.size(); ++m) {
+        out += StringPrintf("%s(%u,%u)", m == 0 ? "" : " ",
+                            ev.pairs[m].first, ev.pairs[m].second);
+      }
+      if (!pe.matched && !pe.structural_match &&
+          pe.first_failing_predicate == static_cast<int>(ev.chain_pos)) {
+        out += "   <- chain could not be extended past this predicate";
+      }
+      out += "\n";
+    }
+    if (!pe.steps.empty()) {
+      out += StringPrintf("  occurrence determination (%zu steps%s):\n",
+                          pe.steps.size(),
+                          pe.steps_truncated ? ", truncated" : "");
+      for (const ExplainStep& step : pe.steps) {
+        out += StringPrintf("    %-9s #%u (%u,%u)", StepKindName(step.kind),
+                            step.chain_pos, step.pair.first,
+                            step.pair.second);
+        if (step.kind == ExplainStep::Kind::kReject) {
+          out += StringPrintf("  needs first=%u", step.required_first);
+        }
+        out += "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xpred::analytics

@@ -1,0 +1,131 @@
+#ifndef XPRED_ANALYTICS_EXPLAIN_H_
+#define XPRED_ANALYTICS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/encoder.h"
+#include "core/predicate.h"
+#include "xml/document.h"
+
+namespace xpred::analytics {
+
+/// One backtracking event of the recorded occurrence-determination
+/// search (paper §4.2.1, Algorithm 1).
+struct ExplainStep {
+  enum class Kind : uint8_t {
+    /// A candidate pair of predicate chain_pos is considered.
+    kTry,
+    /// The pair violates the chain constraint
+    /// (pair.first != previous pair.second).
+    kReject,
+    /// The pair is accepted; the search descends to the next predicate.
+    kAccept,
+    /// Predicate chain_pos is exhausted under the current prefix; the
+    /// search pops back to the previous predicate.
+    kBacktrack,
+    /// A complete chain was found (one pair per predicate).
+    kMatch,
+  };
+  Kind kind = Kind::kTry;
+  /// 0-based position in the predicate chain.
+  uint16_t chain_pos = 0;
+  core::OccPair pair;
+  /// The chain constraint in force (previous pair's second occurrence;
+  /// unconstrained for the first predicate).
+  uint32_t required_first = 0;
+};
+
+/// The occurrence-table row of one predicate for one path (§4.1.1,
+/// Table 1), plus its verdict.
+struct PredicateEval {
+  /// 0-based position in the predicate chain.
+  uint16_t chain_pos = 0;
+  core::PredicateId pid = 0;
+  /// Paper-style rendering, e.g. "(d(p_a, p_b), >=, 1)".
+  std::string text;
+  bool matched = false;
+  std::vector<core::OccPair> pairs;
+};
+
+/// Full provenance for one document path.
+struct PathExplain {
+  std::string path;         // "a/b/c"
+  std::string publication;  // Paper-style tuple rendering.
+  /// Occurrence determination found a valid chain.
+  bool structural_match = false;
+  /// Final verdict including deferred attribute verification.
+  bool matched = false;
+  /// 0-based chain position of the first predicate with an empty
+  /// occurrence row (Algorithm 1's immediate noMatch), or -1 when
+  /// every predicate had at least one pair.
+  int first_failing_predicate = -1;
+  /// Structural chain existed but a selection-postponed attribute
+  /// filter eliminated every witness (§5).
+  bool deferred_failed = false;
+  std::vector<PredicateEval> evals;
+  std::vector<ExplainStep> steps;
+  /// The recorded trace hit ExplainOptions::max_steps_per_path; the
+  /// verdict above is still authoritative (computed by the real,
+  /// unrecorded algorithm).
+  bool steps_truncated = false;
+};
+
+/// \brief Match provenance for one (document, expression) pair: the
+/// predicate-encoding pipeline re-run in recording mode (DESIGN.md
+/// §13).
+struct ExplainResult {
+  std::string expression;  // Canonical form.
+  std::string encoding;    // EncodedExpression::ToString rendering.
+  bool matched = false;
+  /// 0-based index of the first matching path in the document's path
+  /// list (SIZE_MAX on a miss). May exceed paths.size() when the
+  /// match lies beyond the ExplainOptions::max_paths trace cap — the
+  /// verdict is computed over every path regardless of the cap.
+  size_t first_matching_path = SIZE_MAX;
+  /// For a miss: the first failing predicate on the path that got
+  /// furthest — the 0-based chain position and its rendering. A path
+  /// failing in occurrence chaining (every predicate matched, no valid
+  /// chain) reports the deepest predicate the backtracking could not
+  /// extend past. -1 / empty when the expression matched.
+  int first_failing_predicate = -1;
+  std::string first_failing_text;
+  size_t total_paths = 0;
+  /// Explained paths (capped by ExplainOptions::max_paths).
+  std::vector<PathExplain> paths;
+};
+
+struct ExplainOptions {
+  core::AttributeMode attribute_mode = core::AttributeMode::kInline;
+  uint32_t max_expression_length = 16;
+  /// Cap on recorded backtracking steps per path (the authoritative
+  /// verdict is never truncated, only the trace).
+  size_t max_steps_per_path = 2048;
+  /// Cap on explained paths per document.
+  size_t max_paths = 256;
+};
+
+/// Re-runs the predicate-encoding pipeline for (\p document, \p xpath)
+/// in recording mode: encodes the expression into its ordered
+/// predicate chain, matches every document path through a private
+/// PredicateIndex (the real §4.1 matching code), and records each
+/// occurrence-table row and occurrence-determination backtracking
+/// step. Nested-path expressions are rejected (their witness joins
+/// have no per-path trace; decompose and explain each branch).
+Result<ExplainResult> ExplainMatch(const xml::Document& document,
+                                   std::string_view xpath,
+                                   const ExplainOptions& options = {});
+
+/// Serializes \p result as a single JSON object (schema checked by
+/// scripts/check_explain_schema.py).
+std::string ExplainToJson(const ExplainResult& result);
+
+/// Human-readable rendering for the CLI's `explain` subcommand.
+std::string ExplainToText(const ExplainResult& result);
+
+}  // namespace xpred::analytics
+
+#endif  // XPRED_ANALYTICS_EXPLAIN_H_

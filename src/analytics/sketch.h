@@ -1,0 +1,181 @@
+#ifndef XPRED_ANALYTICS_SKETCH_H_
+#define XPRED_ANALYTICS_SKETCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xpred::analytics {
+
+/// \brief Space-Saving top-K heavy-hitter sketch (Metwally, Agrawal,
+/// El Abbadi: "Efficient Computation of Frequent and Top-k Elements in
+/// Data Streams", 2005).
+///
+/// Keeps at most `capacity` monitored keys. A weight added to an
+/// unmonitored key when the sketch is full evicts the current minimum
+/// entry: the new key inherits the evicted count as its over-estimation
+/// `error`, so for every entry
+///
+///     count - error <= true count <= count
+///
+/// and any key whose true count exceeds total_weight / capacity is
+/// guaranteed to be monitored. Two auxiliary counters ride along with
+/// each entry (the profiler stores evals / matches next to the cost
+/// ranking); they are reset on eviction, so they are exact *since the
+/// entry was created* — lower bounds of the true values.
+///
+/// The minimum entry is tracked with an indexed binary min-heap: Add is
+/// O(log capacity) and memory is O(capacity), independent of the
+/// number of distinct keys streamed through.
+class SpaceSavingSketch {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t count = 0;
+    /// Over-estimation bound inherited from the evicted entry.
+    uint64_t error = 0;
+    uint64_t aux1 = 0;
+    uint64_t aux2 = 0;
+  };
+
+  explicit SpaceSavingSketch(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Add(uint64_t key, uint64_t weight, uint64_t aux1 = 0,
+           uint64_t aux2 = 0) {
+    total_weight_ += weight;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      Entry& e = entries_[it->second];
+      e.count += weight;
+      e.aux1 += aux1;
+      e.aux2 += aux2;
+      SiftDown(pos_[it->second]);
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      const size_t idx = entries_.size();
+      entries_.push_back(Entry{key, weight, 0, aux1, aux2});
+      heap_.push_back(idx);
+      pos_.push_back(heap_.size() - 1);
+      SiftUp(heap_.size() - 1);
+      index_.emplace(key, idx);
+      return;
+    }
+    // Full: replace the minimum-count entry (Space-Saving eviction).
+    const size_t idx = heap_[0];
+    Entry& e = entries_[idx];
+    index_.erase(e.key);
+    e.error = e.count;
+    e.key = key;
+    e.count += weight;
+    e.aux1 = aux1;
+    e.aux2 = aux2;
+    index_.emplace(key, idx);
+    SiftDown(0);
+  }
+
+  /// Monitored entries sorted by count descending (key ascending on
+  /// ties, for determinism), truncated to \p k.
+  std::vector<Entry> TopK(size_t k) const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  const Entry* Find(uint64_t key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_weight() const { return total_weight_; }
+
+ private:
+  bool Less(size_t a, size_t b) const {
+    const Entry& ea = entries_[heap_[a]];
+    const Entry& eb = entries_[heap_[b]];
+    if (ea.count != eb.count) return ea.count < eb.count;
+    return heap_[a] < heap_[b];
+  }
+
+  void Swap(size_t a, size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!Less(i, parent)) break;
+      Swap(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    for (;;) {
+      size_t smallest = i;
+      const size_t l = 2 * i + 1;
+      const size_t r = 2 * i + 2;
+      if (l < n && Less(l, smallest)) smallest = l;
+      if (r < n && Less(r, smallest)) smallest = r;
+      if (smallest == i) return;
+      Swap(i, smallest);
+      i = smallest;
+    }
+  }
+
+  size_t capacity_;
+  uint64_t total_weight_ = 0;
+  std::vector<Entry> entries_;
+  /// heap_ holds entry indices ordered by count (min at the root);
+  /// pos_[entry] is the entry's position in heap_.
+  std::vector<size_t> heap_;
+  std::vector<size_t> pos_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+/// \brief Fixed-size uniform reservoir (Vitter's Algorithm R) over a
+/// stream of values, deterministic via xpred::Random.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity == 0 ? 1 : capacity), rng_(seed) {}
+
+  void Add(const T& value) {
+    ++seen_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(value);
+      return;
+    }
+    const uint64_t j = rng_.Uniform(seen_);
+    if (j < capacity_) samples_[j] = value;
+  }
+
+  const std::vector<T>& samples() const { return samples_; }
+  /// Stream length so far (samples() is a uniform sample of it).
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  xpred::Random rng_;
+  std::vector<T> samples_;
+};
+
+}  // namespace xpred::analytics
+
+#endif  // XPRED_ANALYTICS_SKETCH_H_

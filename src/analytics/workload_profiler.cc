@@ -1,0 +1,306 @@
+#include "analytics/workload_profiler.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace xpred::analytics {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string KeyName(uint64_t key, const char* prefix,
+                    const std::unordered_map<uint64_t, std::string>* names) {
+  if (names != nullptr) {
+    auto it = names->find(key);
+    if (it != names->end()) return it->second;
+  }
+  return StringPrintf("%s:%" PRIx64, prefix, key);
+}
+
+uint64_t Percentile(std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+WorkloadProfiler::WorkloadProfiler(const Options& options)
+    : options_(options),
+      cost_sketch_(options.sketch_capacity),
+      pred_sketch_(options.sketch_capacity),
+      latency_(options.latency_reservoir, options.seed) {}
+
+void WorkloadProfiler::Ingest(const core::AttributionDelta& delta,
+                              uint64_t key_namespace) {
+  ++deltas_;
+  for (const core::AttributionDelta::ExprEntry& e : delta.exprs) {
+    const uint64_t key = key_namespace | e.id;
+    total_evals_ += e.evals;
+    total_matches_ += e.matches;
+    total_cost_ += e.cost;
+    cost_sketch_.Add(key, e.cost, e.evals, e.matches);
+    if (exact_mode_) {
+      ExactExpr& x = exact_[key];
+      x.evals += e.evals;
+      x.matches += e.matches;
+      x.cost += e.cost;
+      if (exact_.size() > options_.exact_threshold) {
+        // O(K) memory from here on: the sketch carries the ranking.
+        exact_.clear();
+        pred_exact_.clear();
+        exact_mode_ = false;
+      }
+    }
+  }
+  for (const core::AttributionDelta::PredEntry& p : delta.predicates) {
+    const uint64_t key = key_namespace | p.pid;
+    total_predicate_matches_ += p.matches;
+    pred_sketch_.Add(key, p.matches);
+    if (exact_mode_) pred_exact_[key] += p.matches;
+  }
+  for (const core::AttributionDelta::LatencySample& s : delta.latencies) {
+    latency_.Add({key_namespace | s.id, s.nanos});
+  }
+}
+
+WorkloadProfiler::Report WorkloadProfiler::TopK(size_t k) const {
+  Report report;
+  report.exact_mode = exact_mode_;
+  report.distinct_expressions = exact_mode_ ? exact_.size() : 0;
+  report.total_evals = total_evals_;
+  report.total_matches = total_matches_;
+  report.total_cost = total_cost_;
+  report.total_predicate_matches = total_predicate_matches_;
+  report.deltas_ingested = deltas_;
+
+  const double cost_denom =
+      total_cost_ == 0 ? 1.0 : static_cast<double>(total_cost_);
+  if (exact_mode_) {
+    std::vector<ExprStats> all;
+    all.reserve(exact_.size());
+    for (const auto& [key, x] : exact_) {
+      ExprStats s;
+      s.key = key;
+      s.evals = x.evals;
+      s.matches = x.matches;
+      s.cost = x.cost;
+      all.push_back(s);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const ExprStats& a, const ExprStats& b) {
+                if (a.cost != b.cost) return a.cost > b.cost;
+                return a.key < b.key;
+              });
+    if (all.size() > k) all.resize(k);
+    report.top_expressions = std::move(all);
+  } else {
+    for (const SpaceSavingSketch::Entry& e : cost_sketch_.TopK(k)) {
+      ExprStats s;
+      s.key = e.key;
+      s.cost = e.count;
+      s.cost_error = e.error;
+      s.evals = e.aux1;
+      s.matches = e.aux2;
+      report.top_expressions.push_back(s);
+    }
+  }
+  for (ExprStats& s : report.top_expressions) {
+    s.match_rate = s.evals == 0
+                       ? 0
+                       : static_cast<double>(s.matches) /
+                             static_cast<double>(s.evals);
+    s.cost_share = static_cast<double>(s.cost) / cost_denom;
+  }
+
+  const double pred_denom = total_predicate_matches_ == 0
+                                ? 1.0
+                                : static_cast<double>(
+                                      total_predicate_matches_);
+  if (exact_mode_) {
+    std::vector<PredStats> all;
+    all.reserve(pred_exact_.size());
+    for (const auto& [key, matches] : pred_exact_) {
+      PredStats p;
+      p.key = key;
+      p.matches = matches;
+      all.push_back(p);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const PredStats& a, const PredStats& b) {
+                if (a.matches != b.matches) return a.matches > b.matches;
+                return a.key < b.key;
+              });
+    if (all.size() > k) all.resize(k);
+    report.hot_predicates = std::move(all);
+  } else {
+    for (const SpaceSavingSketch::Entry& e : pred_sketch_.TopK(k)) {
+      PredStats p;
+      p.key = e.key;
+      p.matches = e.count;
+      p.error = e.error;
+      report.hot_predicates.push_back(p);
+    }
+  }
+  for (PredStats& p : report.hot_predicates) {
+    p.share = static_cast<double>(p.matches) / pred_denom;
+  }
+
+  std::vector<uint64_t> nanos;
+  nanos.reserve(latency_.samples().size());
+  for (const auto& [key, ns] : latency_.samples()) nanos.push_back(ns);
+  std::sort(nanos.begin(), nanos.end());
+  report.latency.sampled = latency_.seen();
+  report.latency.p50_ns = Percentile(nanos, 0.50);
+  report.latency.p99_ns = Percentile(nanos, 0.99);
+  report.latency.max_ns = nanos.empty() ? 0 : nanos.back();
+
+  report.top_agreement = TopKAgreement(k < 10 ? k : 10);
+  return report;
+}
+
+double WorkloadProfiler::TopKAgreement(size_t k) const {
+  if (!exact_mode_ || k == 0) return -1;
+  if (exact_.empty()) return 1;
+
+  std::vector<std::pair<uint64_t, uint64_t>> exact_sorted;  // (cost, key)
+  exact_sorted.reserve(exact_.size());
+  for (const auto& [key, x] : exact_) exact_sorted.push_back({x.cost, key});
+  std::sort(exact_sorted.begin(), exact_sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  // Expand by ties at the k-th cost: when several expressions share
+  // the boundary cost their relative order is arbitrary, so a sketch
+  // picking any of them is correct.
+  const size_t cut = std::min(k, exact_sorted.size());
+  const uint64_t boundary = exact_sorted[cut - 1].first;
+  std::unordered_set<uint64_t> exact_top;
+  for (const auto& [cost, key] : exact_sorted) {
+    if (exact_top.size() >= cut && cost < boundary) break;
+    exact_top.insert(key);
+  }
+
+  const std::vector<SpaceSavingSketch::Entry> sketch_top =
+      cost_sketch_.TopK(cut);
+  if (sketch_top.empty()) return 1;
+  size_t hits = 0;
+  for (const SpaceSavingSketch::Entry& e : sketch_top) {
+    if (exact_top.contains(e.key)) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(sketch_top.size());
+}
+
+std::string RenderWorkloadJson(
+    const WorkloadProfiler::Report& report,
+    const std::unordered_map<uint64_t, std::string>* expr_names,
+    const std::unordered_map<uint64_t, std::string>* pred_names) {
+  std::string out;
+  out += StringPrintf(
+      "{\"schema_version\": 1, \"mode\": \"%s\", "
+      "\"totals\": {\"evals\": %" PRIu64 ", \"matches\": %" PRIu64
+      ", \"cost\": %" PRIu64 ", \"predicate_matches\": %" PRIu64
+      ", \"deltas\": %" PRIu64 ", \"distinct_expressions\": %" PRIu64 "}",
+      report.exact_mode ? "exact" : "sketch", report.total_evals,
+      report.total_matches, report.total_cost,
+      report.total_predicate_matches, report.deltas_ingested,
+      report.distinct_expressions);
+  out += ", \"top_expressions\": [";
+  for (size_t i = 0; i < report.top_expressions.size(); ++i) {
+    const WorkloadProfiler::ExprStats& s = report.top_expressions[i];
+    out += StringPrintf(
+        "%s{\"key\": %" PRIu64 ", \"name\": \"%s\", \"evals\": %" PRIu64
+        ", \"matches\": %" PRIu64 ", \"match_rate\": %.6f, \"cost\": %" PRIu64
+        ", \"cost_share\": %.6f, \"cost_error\": %" PRIu64 "}",
+        i == 0 ? "" : ", ", s.key,
+        JsonEscape(KeyName(s.key, "expr", expr_names)).c_str(), s.evals,
+        s.matches, s.match_rate, s.cost, s.cost_share, s.cost_error);
+  }
+  out += "], \"hot_predicates\": [";
+  for (size_t i = 0; i < report.hot_predicates.size(); ++i) {
+    const WorkloadProfiler::PredStats& p = report.hot_predicates[i];
+    out += StringPrintf(
+        "%s{\"key\": %" PRIu64 ", \"name\": \"%s\", \"matches\": %" PRIu64
+        ", \"share\": %.6f, \"error\": %" PRIu64 "}",
+        i == 0 ? "" : ", ", p.key,
+        JsonEscape(KeyName(p.key, "pid", pred_names)).c_str(), p.matches,
+        p.share, p.error);
+  }
+  out += StringPrintf(
+      "], \"latency_ns\": {\"sampled\": %" PRIu64 ", \"p50\": %" PRIu64
+      ", \"p99\": %" PRIu64 ", \"max\": %" PRIu64 "}",
+      report.latency.sampled, report.latency.p50_ns, report.latency.p99_ns,
+      report.latency.max_ns);
+  out += StringPrintf(", \"top10_agreement\": %.6f}", report.top_agreement);
+  return out;
+}
+
+std::string RenderWorkloadTable(
+    const WorkloadProfiler::Report& report,
+    const std::unordered_map<uint64_t, std::string>* expr_names,
+    const std::unordered_map<uint64_t, std::string>* pred_names) {
+  std::string out;
+  out += StringPrintf(
+      "workload profile (%s mode): %" PRIu64 " evals, %" PRIu64
+      " matches, cost %" PRIu64 ", %" PRIu64 " predicate matches\n",
+      report.exact_mode ? "exact" : "sketch", report.total_evals,
+      report.total_matches, report.total_cost,
+      report.total_predicate_matches);
+  if (report.top_agreement >= 0) {
+    out += StringPrintf("exact-vs-sketch top-10 agreement: %.2f\n",
+                        report.top_agreement);
+  }
+  out += StringPrintf("latency (sampled %" PRIu64 "): p50 %" PRIu64
+                      "ns p99 %" PRIu64 "ns max %" PRIu64 "ns\n",
+                      report.latency.sampled, report.latency.p50_ns,
+                      report.latency.p99_ns, report.latency.max_ns);
+  out += "\n  rank  cost       share   evals      match-rate  expression\n";
+  for (size_t i = 0; i < report.top_expressions.size(); ++i) {
+    const WorkloadProfiler::ExprStats& s = report.top_expressions[i];
+    out += StringPrintf("  %-4zu  %-9" PRIu64 "  %5.1f%%  %-9" PRIu64
+                        "  %9.4f   %s\n",
+                        i + 1, s.cost, 100.0 * s.cost_share, s.evals,
+                        s.match_rate,
+                        KeyName(s.key, "expr", expr_names).c_str());
+  }
+  out += "\n  rank  matches    share   predicate\n";
+  for (size_t i = 0; i < report.hot_predicates.size(); ++i) {
+    const WorkloadProfiler::PredStats& p = report.hot_predicates[i];
+    out += StringPrintf("  %-4zu  %-9" PRIu64 "  %5.1f%%  %s\n", i + 1,
+                        p.matches, 100.0 * p.share,
+                        KeyName(p.key, "pid", pred_names).c_str());
+  }
+  return out;
+}
+
+}  // namespace xpred::analytics

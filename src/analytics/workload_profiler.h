@@ -1,0 +1,154 @@
+#ifndef XPRED_ANALYTICS_WORKLOAD_PROFILER_H_
+#define XPRED_ANALYTICS_WORKLOAD_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analytics/sketch.h"
+#include "core/attribution.h"
+
+namespace xpred::analytics {
+
+/// \brief Per-expression selectivity / cost profiler and per-predicate
+/// heat tracker (DESIGN.md §13).
+///
+/// Implements core::AttributionSink: the matching layer hands it
+/// compact AttributionDelta batches (always from the batch-owning
+/// thread — this class is not thread-safe). Two accounting regimes run
+/// side by side:
+///
+///  - An *exact* hash map per expression (evals / matches / cost),
+///    kept while the number of distinct keys stays at or below
+///    Options::exact_threshold and dropped wholesale the moment it
+///    would exceed it — memory then stops growing with the workload.
+///  - A Space-Saving top-K sketch, *always on*, ranking expressions by
+///    cost with the usual count-error bound. Because both regimes run
+///    together below the threshold, the exact-vs-sketch top-K
+///    agreement is directly measurable (TopKAgreement) before the
+///    exact map is retired.
+///
+/// Predicate heat uses the same exact-then-sketch pattern keyed by
+/// namespaced pid; per-expression latency is reservoir-sampled
+/// (attribution already samples 1-in-N evaluations, the reservoir
+/// bounds memory on top).
+class WorkloadProfiler : public core::AttributionSink {
+ public:
+  struct Options {
+    /// Monitored entries in the cost and predicate sketches (K).
+    size_t sketch_capacity = 256;
+    /// Distinct expression keys tracked exactly before the exact map
+    /// is dropped (sketch-only from then on). Same threshold applies
+    /// to the predicate map.
+    size_t exact_threshold = 65536;
+    /// Latency samples retained (reservoir capacity).
+    size_t latency_reservoir = 512;
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  WorkloadProfiler() : WorkloadProfiler(Options{}) {}
+  explicit WorkloadProfiler(const Options& options);
+
+  void Ingest(const core::AttributionDelta& delta,
+              uint64_t key_namespace) override;
+
+  struct ExprStats {
+    uint64_t key = 0;
+    uint64_t evals = 0;
+    uint64_t matches = 0;
+    uint64_t cost = 0;
+    /// Sketch over-estimation bound on cost (0 in exact mode).
+    uint64_t cost_error = 0;
+    double match_rate = 0;
+    double cost_share = 0;
+  };
+  struct PredStats {
+    uint64_t key = 0;
+    uint64_t matches = 0;
+    uint64_t error = 0;
+    double share = 0;
+  };
+  struct LatencyStats {
+    uint64_t sampled = 0;   // Values that entered the reservoir stream.
+    uint64_t p50_ns = 0;
+    uint64_t p99_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  struct Report {
+    bool exact_mode = true;
+    uint64_t distinct_expressions = 0;  // Exact-mode only; 0 after drop.
+    uint64_t total_evals = 0;
+    uint64_t total_matches = 0;
+    uint64_t total_cost = 0;
+    uint64_t total_predicate_matches = 0;
+    uint64_t deltas_ingested = 0;
+    std::vector<ExprStats> top_expressions;  // Cost-descending.
+    std::vector<PredStats> hot_predicates;   // Matches-descending.
+    LatencyStats latency;
+    /// Fraction of the sketch's top-\p k also in the exact top-k
+    /// (boundary ties included); -1 when the exact map was dropped.
+    double top_agreement = -1;
+  };
+
+  /// Builds the top-\p k report from the current state (cold path).
+  Report TopK(size_t k) const;
+
+  /// Exact-vs-sketch top-\p k ranking agreement in [0, 1]: the
+  /// fraction of the sketch's top-k keys present in the exact top-k
+  /// (expanded by cost ties at the k-th place, so boundary ties never
+  /// count against the sketch). Returns -1 once the exact map has
+  /// been dropped (no ground truth anymore).
+  double TopKAgreement(size_t k) const;
+
+  bool exact_mode() const { return exact_mode_; }
+  uint64_t total_cost() const { return total_cost_; }
+  /// Distinct expression keys currently tracked: the exact map's size,
+  /// or the sketch's monitored-entry count after the exact map drop.
+  size_t tracked() const {
+    return exact_mode_ ? exact_.size() : cost_sketch_.size();
+  }
+  uint64_t total_evals() const { return total_evals_; }
+  uint64_t total_matches() const { return total_matches_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct ExactExpr {
+    uint64_t evals = 0;
+    uint64_t matches = 0;
+    uint64_t cost = 0;
+  };
+
+  Options options_;
+  bool exact_mode_ = true;
+  uint64_t deltas_ = 0;
+  uint64_t total_evals_ = 0;
+  uint64_t total_matches_ = 0;
+  uint64_t total_cost_ = 0;
+  uint64_t total_predicate_matches_ = 0;
+  std::unordered_map<uint64_t, ExactExpr> exact_;
+  std::unordered_map<uint64_t, uint64_t> pred_exact_;
+  SpaceSavingSketch cost_sketch_;
+  SpaceSavingSketch pred_sketch_;
+  ReservoirSampler<std::pair<uint64_t, uint64_t>> latency_;  // (key, ns).
+};
+
+/// Renders \p report as a compact JSON object (the exporter sidecar's
+/// "workload" section; schema checked by scripts/check_metrics_schema.py).
+/// \p names, when given, maps attribution keys to display strings —
+/// unresolved keys render as "expr:<hex key>".
+std::string RenderWorkloadJson(
+    const WorkloadProfiler::Report& report,
+    const std::unordered_map<uint64_t, std::string>* expr_names = nullptr,
+    const std::unordered_map<uint64_t, std::string>* pred_names = nullptr);
+
+/// Renders \p report as an aligned human-readable table for the CLI's
+/// --profile-workload output.
+std::string RenderWorkloadTable(
+    const WorkloadProfiler::Report& report,
+    const std::unordered_map<uint64_t, std::string>* expr_names = nullptr,
+    const std::unordered_map<uint64_t, std::string>* pred_names = nullptr);
+
+}  // namespace xpred::analytics
+
+#endif  // XPRED_ANALYTICS_WORKLOAD_PROFILER_H_

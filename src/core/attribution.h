@@ -1,0 +1,70 @@
+#ifndef XPRED_CORE_ATTRIBUTION_H_
+#define XPRED_CORE_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xpred::core {
+
+/// \brief Per-expression / per-predicate cost attribution accumulated
+/// by one MatchContext between flushes.
+///
+/// This is the hand-off format between the matching hot path and the
+/// analytics layer (analytics::WorkloadProfiler): the context records
+/// into dense epoch-tagged arrays (a few array writes per expression
+/// evaluation, no hashing), and the batch owner drains the compact
+/// touched-entry lists from the calling thread after the batch — the
+/// profiler itself is never touched by worker threads.
+///
+/// Keys are Matcher-internal ids (InternalId for expressions, pid for
+/// predicates); the ingesting side namespaces them per partition (see
+/// AttributionSink::Ingest) and resolves display strings cold via
+/// Matcher::ExpressionStrings().
+struct AttributionDelta {
+  struct ExprEntry {
+    uint32_t id = 0;
+    /// Expression-stage visits (candidate evaluations).
+    uint32_t evals = 0;
+    /// Documents in which the expression matched.
+    uint32_t matches = 0;
+    /// Abstract cost units: 1 per visit plus the predicate-chain
+    /// length whenever occurrence determination ran (the §6.5
+    /// dominant-cost proxy).
+    uint64_t cost = 0;
+  };
+  struct LatencySample {
+    uint32_t id = 0;
+    uint64_t nanos = 0;
+  };
+  struct PredEntry {
+    uint32_t pid = 0;
+    /// (pid, pair) matches recorded for this predicate.
+    uint64_t matches = 0;
+  };
+
+  std::vector<ExprEntry> exprs;
+  std::vector<LatencySample> latencies;
+  std::vector<PredEntry> predicates;
+
+  bool empty() const {
+    return exprs.empty() && latencies.empty() && predicates.empty();
+  }
+};
+
+/// \brief Consumer of attribution deltas (implemented by
+/// analytics::WorkloadProfiler). Not thread-safe: every Ingest call
+/// must come from the batch-owning thread.
+class AttributionSink {
+ public:
+  virtual ~AttributionSink() = default;
+  /// \p key_namespace is OR-ed into the upper 32 bits of every
+  /// expression key so one profiler can serve several expression
+  /// partitions (ParallelFilter passes partition << 32; the serial
+  /// path passes 0). Predicate ids are namespaced the same way.
+  virtual void Ingest(const AttributionDelta& delta,
+                      uint64_t key_namespace) = 0;
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_ATTRIBUTION_H_

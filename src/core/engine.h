@@ -114,6 +114,12 @@ class FilterEngine {
   /// Attaches a tracer receiving aggregated per-document stage spans
   /// (obs::Stage taxonomy); nullptr detaches. Not owned.
   void set_tracer(obs::Tracer* tracer);
+  /// Publishes workload-analytics totals as xpred_workload_* gauges
+  /// under this engine's label (drivers call this after draining their
+  /// profiler; see obs::EngineInstruments::PublishWorkload).
+  void PublishWorkload(const obs::WorkloadSummary& summary) {
+    inst().PublishWorkload(summary);
+  }
   ///@}
 
   /// \name Resource governance

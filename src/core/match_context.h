@@ -11,6 +11,8 @@
 #include "common/arena.h"
 #include "common/limits.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/attribution.h"
 #include "core/expression_index.h"
 #include "core/predicate.h"
 #include "core/predicate_index.h"
@@ -98,6 +100,57 @@ class MatchContext {
     return out;
   }
 
+  /// \name Workload attribution (analytics layer)
+  ///
+  /// When enabled, the matching loops record per-expression visit /
+  /// match / cost counts and per-predicate match heat into dense
+  /// epoch-tagged arrays here (a few array writes per evaluation —
+  /// never a hash lookup or allocation in steady state), plus a
+  /// 1-in-N reservoir-bound latency sample. The owner drains the
+  /// compact delta with TakeAttribution() after the document (serial
+  /// path) or batch (parallel path) and feeds it to an
+  /// AttributionSink. Compiled out entirely with XPRED_NO_ANALYTICS.
+  ///@{
+  void EnableAttribution(bool enabled) {
+#ifndef XPRED_NO_ANALYTICS
+    attribution_enabled_ = enabled;
+#else
+    (void)enabled;
+#endif
+  }
+  bool attribution_enabled() const {
+#ifndef XPRED_NO_ANALYTICS
+    return attribution_enabled_;
+#else
+    return false;
+#endif
+  }
+  /// Every latency_sample_period-th expression evaluation is timed
+  /// (clock calls on every evaluation would dominate the hot loop).
+  void set_latency_sample_period(uint32_t period) {
+#ifndef XPRED_NO_ANALYTICS
+    latency_sample_period_ = period == 0 ? 1 : period;
+#else
+    (void)period;
+#endif
+  }
+
+  /// Moves the accumulated attribution out (entries reset to zero).
+  AttributionDelta TakeAttribution();
+  ///@}
+
+  /// \name Worker-local trace spans
+  ///
+  /// A worker context must not touch the engine's shared Tracer (its
+  /// sinks are not thread-safe); binding a per-worker
+  /// obs::StageSpanBuffer instead lets the matcher's stage timers
+  /// record spans locally, merged and emitted through the tracer by
+  /// the batch owner after the batch (see DESIGN.md §13).
+  ///@{
+  void BindSpanBuffer(obs::StageSpanBuffer* spans) { span_buffer_ = spans; }
+  obs::StageSpanBuffer* span_buffer() const { return span_buffer_; }
+  ///@}
+
  private:
   friend class Matcher;
 
@@ -129,6 +182,65 @@ class MatchContext {
       counters_.predicate_matches += n;
     }
   }
+
+#ifndef XPRED_NO_ANALYTICS
+  /// Dense per-expression attribution entry; epoch-tagged so draining
+  /// resets all entries in O(1) by bumping attr_epoch_.
+  struct ExprAttr {
+    uint32_t epoch = 0;
+    uint32_t evals = 0;
+    uint32_t matches = 0;
+    uint64_t cost = 0;
+  };
+
+  ExprAttr& AttrEntry(InternalId id) {
+    if (expr_attr_.size() <= id) expr_attr_.resize(id + 1);
+    ExprAttr& e = expr_attr_[id];
+    if (e.epoch != attr_epoch_) {
+      e = ExprAttr{};
+      e.epoch = attr_epoch_;
+      touched_exprs_.push_back(id);
+    }
+    return e;
+  }
+
+  /// Called ahead of an expression evaluation; true when this one is
+  /// latency-sampled (the watch is then running).
+  bool AttrBeginEval() {
+    if (++latency_tick_ < latency_sample_period_) return false;
+    latency_tick_ = 0;
+    latency_watch_.Reset();
+    return true;
+  }
+
+  void AttrRecordEval(InternalId id, bool ran_occurrence,
+                      uint16_t chain_len, bool sampled) {
+    ExprAttr& e = AttrEntry(id);
+    ++e.evals;
+    e.cost += 1 + (ran_occurrence ? chain_len : 0);
+    if (sampled) {
+      latency_samples_.push_back(
+          {id, static_cast<uint64_t>(latency_watch_.ElapsedNanos())});
+    }
+  }
+
+  void AttrRecordMatch(InternalId id) { ++AttrEntry(id).matches; }
+
+  void AttrRecordPredicates(const MatchResultSet& results) {
+    for (PredicateId pid : results.matched_pids()) {
+      if (pred_attr_.size() <= pid) {
+        pred_attr_.resize(pid + 1, 0);
+        pred_epoch_.resize(pid + 1, 0);
+      }
+      if (pred_epoch_[pid] != attr_epoch_) {
+        pred_epoch_[pid] = attr_epoch_;
+        pred_attr_[pid] = 0;
+        touched_preds_.push_back(pid);
+      }
+      pred_attr_[pid] += results.Find(pid)->size();
+    }
+  }
+#endif  // XPRED_NO_ANALYTICS
 
   /// Per-group witness state (one slot per Matcher nested group).
   struct GroupScratch {
@@ -171,7 +283,44 @@ class MatchContext {
   std::vector<OccPair> chain_buf_;
   std::vector<PathElementView> path_views_;
   std::vector<xml::DocumentPath> paths_buf_;
+
+  // --- attribution state (drained by TakeAttribution) ---
+#ifndef XPRED_NO_ANALYTICS
+  bool attribution_enabled_ = false;
+  uint32_t attr_epoch_ = 1;
+  uint32_t latency_sample_period_ = 64;
+  uint32_t latency_tick_ = 0;
+  Stopwatch latency_watch_;
+  std::vector<ExprAttr> expr_attr_;
+  std::vector<InternalId> touched_exprs_;
+  std::vector<uint64_t> pred_attr_;
+  std::vector<uint32_t> pred_epoch_;
+  std::vector<PredicateId> touched_preds_;
+  std::vector<AttributionDelta::LatencySample> latency_samples_;
+#endif
+  obs::StageSpanBuffer* span_buffer_ = nullptr;
 };
+
+inline AttributionDelta MatchContext::TakeAttribution() {
+  AttributionDelta delta;
+#ifndef XPRED_NO_ANALYTICS
+  delta.exprs.reserve(touched_exprs_.size());
+  for (InternalId id : touched_exprs_) {
+    const ExprAttr& e = expr_attr_[id];
+    delta.exprs.push_back({id, e.evals, e.matches, e.cost});
+  }
+  touched_exprs_.clear();
+  delta.predicates.reserve(touched_preds_.size());
+  for (PredicateId pid : touched_preds_) {
+    delta.predicates.push_back({pid, pred_attr_[pid]});
+  }
+  touched_preds_.clear();
+  delta.latencies = std::move(latency_samples_);
+  latency_samples_.clear();
+  ++attr_epoch_;
+#endif
+  return delta;
+}
 
 }  // namespace xpred::core
 

@@ -275,17 +275,35 @@ bool Matcher::VerifyDeferred(InternalId id, const Publication& pub,
 
 bool Matcher::EvaluateExpression(InternalId id, const Publication& pub,
                                  MatchContext* ctx) const {
-  if (!GatherResults(id, ctx->results_, &ctx->views_buf_)) return false;
-  ctx->CountOccurrenceRun();
-  if (!OccurrenceDeterminer::Determine(ctx->views_buf_)) return false;
-  if (hot_[id].has_deferred) return VerifyDeferred(id, pub, ctx);
-  return true;
+#ifndef XPRED_NO_ANALYTICS
+  const bool attributed = ctx->attribution_enabled_;
+  const bool sampled = attributed && ctx->AttrBeginEval();
+#endif
+  bool ran_occurrence = false;
+  bool matched = false;
+  if (GatherResults(id, ctx->results_, &ctx->views_buf_)) {
+    ran_occurrence = true;
+    ctx->CountOccurrenceRun();
+    matched = OccurrenceDeterminer::Determine(ctx->views_buf_);
+    if (matched && hot_[id].has_deferred) {
+      matched = VerifyDeferred(id, pub, ctx);
+    }
+  }
+#ifndef XPRED_NO_ANALYTICS
+  if (attributed) {
+    ctx->AttrRecordEval(id, ran_occurrence, hot_[id].len, sampled);
+  }
+#endif
+  return matched;
 }
 
 void Matcher::MarkMatched(InternalId id, MatchContext* ctx) const {
   if (ctx->matched_epochs_[id] == ctx->doc_epoch_) return;
   ctx->matched_epochs_[id] = ctx->doc_epoch_;
   ctx->doc_matched_.push_back(id);
+#ifndef XPRED_NO_ANALYTICS
+  if (ctx->attribution_enabled_) ctx->AttrRecordMatch(id);
+#endif
 }
 
 void Matcher::RebuildContainmentIndex() {
@@ -569,7 +587,7 @@ void Matcher::ProcessElements(std::span<const PathElementView> elements,
   // expression matching, so the second is skipped. Disabled when
   // nested expressions are stored -- their witnesses are node
   // identities, which differ between equal-keyed paths.
-  obs::ScopedTimer timer(ctx->instruments(), obs::Stage::kEncode);
+  obs::ScopedTimer timer(ctx->instruments(), ctx->span_buffer(), obs::Stage::kEncode);
   if (groups_.empty()) {
     std::string& key = ctx->key_buf_;
     key.clear();
@@ -597,6 +615,9 @@ void Matcher::ProcessElements(std::span<const PathElementView> elements,
 
   timer.Rotate(obs::Stage::kPredicate);
   ctx->CountPredicateMatches(predicate_index_.Match(pub, &ctx->results_));
+#ifndef XPRED_NO_ANALYTICS
+  if (ctx->attribution_enabled_) ctx->AttrRecordPredicates(ctx->results_);
+#endif
 
   timer.Rotate(obs::Stage::kOccurrence);
   RunExpressionStage(pub, ctx);
@@ -613,6 +634,30 @@ void Matcher::PrepareForFiltering() {
 void Matcher::BindDefaultContext() {
   default_context_.BindInstruments(&inst());
   default_context_.BindBudget(&budget());
+}
+
+void Matcher::FlushDefaultAttribution() {
+#ifndef XPRED_NO_ANALYTICS
+  if (attribution_sink_ == nullptr) return;
+  AttributionDelta delta = default_context_.TakeAttribution();
+  if (!delta.empty()) attribution_sink_->Ingest(delta, 0);
+#endif
+}
+
+std::vector<std::string> Matcher::ExpressionStrings() const {
+  std::vector<std::string> names(exprs_.size());
+  for (const auto& [canonical, target] : dedup_) {
+    if (!target.is_group) {
+      names[target.index] = canonical;
+      continue;
+    }
+    const NestedGroup& group = groups_[target.index];
+    for (size_t s = 0; s < group.sub_internal.size(); ++s) {
+      names[group.sub_internal[s]] =
+          StringPrintf("%s#sub%zu", canonical.c_str(), s);
+    }
+  }
+  return names;
 }
 
 void Matcher::BeginDocumentStream(MatchContext* ctx) const {
@@ -662,7 +707,7 @@ Status Matcher::EndDocumentStream(MatchContext* ctx,
     return Status::InvalidArgument("matched must not be null");
   }
   {
-    obs::ScopedTimer timer(ctx->instruments(), obs::Stage::kOccurrence);
+    obs::ScopedTimer timer(ctx->instruments(), ctx->span_buffer(), obs::Stage::kOccurrence);
     if (!groups_.empty()) JoinNestedGroups(ctx);
 
     timer.Rotate(obs::Stage::kCollect);
@@ -682,7 +727,9 @@ Status Matcher::EndDocumentStream(MatchContext* ctx,
 }
 
 Status Matcher::EndDocumentStream(std::vector<ExprId>* matched) {
-  return EndDocumentStream(&default_context_, matched);
+  Status status = EndDocumentStream(&default_context_, matched);
+  FlushDefaultAttribution();
+  return status;
 }
 
 Status Matcher::FilterDocument(const xml::Document& document,
@@ -696,7 +743,7 @@ Status Matcher::FilterDocument(const xml::Document& document,
   std::vector<xml::DocumentPath>& paths = ctx->paths_buf_;
   paths.clear();
   {
-    obs::ScopedTimer timer(ctx->instruments(), obs::Stage::kEncode);
+    obs::ScopedTimer timer(ctx->instruments(), ctx->span_buffer(), obs::Stage::kEncode);
     XPRED_FAULT_POINT(faultsite::kEncoderEncodePath);
     XPRED_RETURN_NOT_OK(xml::ExtractPaths(document, &ctx->budget(), &paths));
     ctx->CountPaths(paths.size());
@@ -731,7 +778,9 @@ Status Matcher::FilterDocument(const xml::Document& document,
   XPRED_RETURN_NOT_OK(BeginGoverned(document));
   PrepareForFiltering();
   BindDefaultContext();
-  return FilterDocument(document, &default_context_, matched);
+  Status status = FilterDocument(document, &default_context_, matched);
+  FlushDefaultAttribution();
+  return status;
 }
 
 Status Matcher::SaveSubscriptions(std::ostream* out) const {

@@ -154,6 +154,35 @@ class Matcher : public FilterEngine {
   const Interner& interner() const { return interner_; }
   const Options& options() const { return options_; }
 
+  /// \name Workload attribution (analytics layer)
+  ///
+  /// Setting a sink enables attribution recording on the engine-owned
+  /// default context; the legacy entry points flush the accumulated
+  /// delta to it after each document under key namespace 0.
+  /// Context-based callers (exec::ParallelFilter) instead enable
+  /// attribution on their own contexts and drain them per batch — the
+  /// sink itself is never touched from worker threads.
+  ///@{
+  void set_attribution_sink(AttributionSink* sink) {
+    attribution_sink_ = sink;
+    default_context_.EnableAttribution(sink != nullptr);
+  }
+  AttributionSink* attribution_sink() const { return attribution_sink_; }
+
+  /// Latency sampling period for serial-path attribution: one in
+  /// \p period evaluations is wall-clocked (1 = every evaluation;
+  /// default 64 keeps the clock off the hot path).
+  void set_attribution_latency_period(uint32_t period) {
+    default_context_.set_latency_sample_period(period);
+  }
+
+  /// Canonical display string per InternalId (the attribution key's
+  /// low 32 bits): the expression's canonical XPath, with nested
+  /// sub-expressions suffixed "#sub<k>". Cold path — rebuilt on every
+  /// call from the dedup map.
+  std::vector<std::string> ExpressionStrings() const;
+  ///@}
+
   size_t ApproximateMemoryBytes() const override;
 
   /// \name Subscription persistence
@@ -270,6 +299,9 @@ class Matcher : public FilterEngine {
   /// Points the engine-owned default context at the engine budget and
   /// instruments (legacy single-threaded entry points).
   void BindDefaultContext();
+  /// Drains the default context's attribution into the sink (legacy
+  /// single-threaded entry points; namespace 0).
+  void FlushDefaultAttribution();
 
   Options options_;
   Interner interner_;
@@ -300,6 +332,7 @@ class Matcher : public FilterEngine {
 
   /// Per-document state for the legacy (context-free) entry points.
   MatchContext default_context_;
+  AttributionSink* attribution_sink_ = nullptr;
 };
 
 }  // namespace xpred::core

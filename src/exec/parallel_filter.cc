@@ -78,8 +78,15 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
   if (contexts_.size() < workers * num_parts) {
     contexts_.resize(workers * num_parts);
   }
-  for (std::unique_ptr<core::MatchContext>& ctx : contexts_) {
+  obs::Tracer* tracer = inst().tracer();
+  if (tracer != nullptr && span_buffers_.size() < contexts_.size()) {
+    span_buffers_.resize(contexts_.size());
+  }
+  for (size_t i = 0; i < contexts_.size(); ++i) {
+    std::unique_ptr<core::MatchContext>& ctx = contexts_[i];
     if (ctx == nullptr) ctx = std::make_unique<core::MatchContext>();
+    ctx->BindSpanBuffer(tracer != nullptr ? &span_buffers_[i] : nullptr);
+    ctx->EnableAttribution(attribution_sink_ != nullptr);
   }
 
   const size_t num_tasks = num_docs * num_parts;
@@ -147,6 +154,19 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
   if (totals.predicate_matches != 0) {
     instruments.AddPredicateMatches(totals.predicate_matches);
   }
+  // Drain attribution the same way: worker contexts recorded locally,
+  // the sink is fed only from this (the calling) thread. Keys from
+  // partition p are namespaced p << 32 because each partition's
+  // matcher has its own InternalId space.
+  if (attribution_sink_ != nullptr) {
+    for (size_t i = 0; i < contexts_.size(); ++i) {
+      if (contexts_[i] == nullptr) continue;
+      core::AttributionDelta delta = contexts_[i]->TakeAttribution();
+      if (delta.empty()) continue;
+      attribution_sink_->Ingest(delta,
+                                static_cast<uint64_t>(i % num_parts) << 32);
+    }
+  }
 
   // Merge and report per document, in ascending document order.
   Status first_error = Status::OK();
@@ -175,6 +195,26 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
       first_error = doc_status;
     }
     sink.OnDocument(d, doc_status, merged);
+  }
+
+  // Merge the worker-local stage spans and emit them through the
+  // tracer from this thread, as one aggregate span per touched stage
+  // for the whole batch (attached to the batch's last document).
+  if (tracer != nullptr) {
+    obs::StageSpanBuffer merged;
+    for (obs::StageSpanBuffer& buf : span_buffers_) {
+      merged.Merge(buf);
+      buf.Reset();
+    }
+    if (merged.any_touched()) {
+      uint64_t total = 0;
+      for (size_t s = 0; s < obs::kStageCount; ++s) {
+        total += merged.stage_nanos(static_cast<obs::Stage>(s));
+      }
+      const uint64_t now = tracer->NowNanos();
+      tracer->EmitStageBuffer(name(), &merged,
+                              now >= total ? now - total : 0);
+    }
   }
 
   PublishPoolMetrics(static_cast<uint64_t>(batch_watch.ElapsedNanos()));

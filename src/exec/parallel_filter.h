@@ -116,6 +116,24 @@ class ParallelFilter : public core::FilterEngine {
   size_t threads() const { return options_.threads; }
   size_t partitions() const { return partitions_.size(); }
 
+  /// Enables per-expression attribution on every worker context.
+  /// Deltas are drained and ingested from the FilterBatch caller's
+  /// thread after each batch, keyed `partition << 32 | InternalId` —
+  /// the sink is never touched from worker threads.
+  void set_attribution_sink(core::AttributionSink* sink) {
+    attribution_sink_ = sink;
+  }
+  core::AttributionSink* attribution_sink() const {
+    return attribution_sink_;
+  }
+
+  /// Read-only access to a partition's matcher, for resolving
+  /// attribution keys to display strings
+  /// (core::Matcher::ExpressionStrings) and predicates.
+  const core::Matcher& partition_matcher(size_t p) const {
+    return *partitions_[p];
+  }
+
  private:
   struct TaskResult {
     Status status;
@@ -153,6 +171,12 @@ class ParallelFilter : public core::FilterEngine {
   /// context per partition, so contexts are never shared across
   /// threads and carry their own ExecBudget.
   std::vector<std::unique_ptr<core::MatchContext>> contexts_;
+
+  core::AttributionSink* attribution_sink_ = nullptr;
+  /// One worker-local stage-span buffer per context; merged and
+  /// emitted through the tracer from the calling thread after each
+  /// batch (workers must never touch the tracer's sinks).
+  std::vector<obs::StageSpanBuffer> span_buffers_;
 
   obs::MetricsRegistry* pool_registry_ = nullptr;
   obs::Gauge* pool_workers_gauge_ = nullptr;

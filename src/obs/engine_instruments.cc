@@ -54,6 +54,13 @@ void EngineInstruments::Bind(MetricsRegistry* registry,
          {"stage", std::string(StageName(static_cast<Stage>(s)))}});
   }
 
+  // Workload gauges re-register lazily against the new registry.
+  workload_tracked_ = nullptr;
+  workload_evals_ = nullptr;
+  workload_matches_ = nullptr;
+  workload_cost_ = nullptr;
+  workload_exact_mode_ = nullptr;
+
   CarryOver(documents_, old_documents);
   CarryOver(paths_, old_paths);
   CarryOver(occurrence_runs_, old_occurrence);
@@ -119,8 +126,49 @@ void EngineInstruments::Reset() {
   nested_truncated_->Reset();
   predicate_matches_->Reset();
   for (Histogram* hist : stage_hist_) hist->Reset();
+  if (workload_tracked_ != nullptr) {
+    workload_tracked_->Reset();
+    workload_evals_->Reset();
+    workload_matches_->Reset();
+    workload_cost_->Reset();
+    workload_exact_mode_->Reset();
+  }
   stage_nanos_.fill(0);
   stage_touched_.fill(false);
+}
+
+void EngineInstruments::PublishWorkload(const WorkloadSummary& summary) {
+  if (!bound()) return;
+  if (workload_tracked_ == nullptr) {
+    const std::vector<Label> engine_label = {{"engine", engine_name_}};
+    workload_tracked_ = registry_->AddGauge(
+        "xpred_workload_tracked_expressions",
+        "Distinct expression keys tracked by the workload profiler.",
+        engine_label);
+    workload_evals_ = registry_->AddGauge(
+        "xpred_workload_evals",
+        "Expression evaluations attributed by the workload profiler.",
+        engine_label);
+    workload_matches_ = registry_->AddGauge(
+        "xpred_workload_matches",
+        "Expression matches attributed by the workload profiler.",
+        engine_label);
+    workload_cost_ = registry_->AddGauge(
+        "xpred_workload_cost",
+        "Attributed evaluation cost units (visits + occurrence chain "
+        "lengths).",
+        engine_label);
+    workload_exact_mode_ = registry_->AddGauge(
+        "xpred_workload_exact_mode",
+        "1 while the profiler holds exact per-expression counters, 0 "
+        "after the sketch-only fallback.",
+        engine_label);
+  }
+  workload_tracked_->Set(static_cast<double>(summary.tracked_expressions));
+  workload_evals_->Set(static_cast<double>(summary.evals));
+  workload_matches_->Set(static_cast<double>(summary.matches));
+  workload_cost_->Set(static_cast<double>(summary.cost));
+  workload_exact_mode_->Set(summary.exact_mode ? 1 : 0);
 }
 
 }  // namespace xpred::obs

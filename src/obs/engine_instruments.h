@@ -12,6 +12,21 @@
 
 namespace xpred::obs {
 
+/// Aggregate workload-analytics figures published as gauges. The
+/// analytics layer sits above obs in the dependency order, so it hands
+/// its totals down through this plain struct rather than obs depending
+/// on the profiler type.
+struct WorkloadSummary {
+  /// Distinct expression keys currently tracked (exact map size, or
+  /// the sketch's monitored-entry count once the exact map is dropped).
+  uint64_t tracked_expressions = 0;
+  uint64_t evals = 0;
+  uint64_t matches = 0;
+  uint64_t cost = 0;
+  /// 1 while the profiler still holds exact per-expression counters.
+  bool exact_mode = true;
+};
+
 /// \brief One engine's handle into the observability layer.
 ///
 /// Owns the engine's registered metrics (per-stage latency histograms
@@ -91,6 +106,12 @@ class EngineInstruments {
   }
   ///@}
 
+  /// Publishes workload-analytics totals as xpred_workload_* gauges
+  /// under this engine's label. Gauges are registered lazily on first
+  /// call, so engines that never profile add nothing to the registry.
+  /// No-op while unbound.
+  void PublishWorkload(const WorkloadSummary& summary);
+
   /// Zeroes this engine's metrics (only them — a shared registry's
   /// other engines are untouched).
   void Reset();
@@ -109,6 +130,13 @@ class EngineInstruments {
   Counter* nested_truncated_ = nullptr;
   Counter* predicate_matches_ = nullptr;
   std::array<Histogram*, kStageCount> stage_hist_{};
+
+  // Lazily registered by PublishWorkload (cleared on re-Bind).
+  Gauge* workload_tracked_ = nullptr;
+  Gauge* workload_evals_ = nullptr;
+  Gauge* workload_matches_ = nullptr;
+  Gauge* workload_cost_ = nullptr;
+  Gauge* workload_exact_mode_ = nullptr;
 
   // Current-document accumulators.
   std::array<uint64_t, kStageCount> stage_nanos_{};

@@ -172,9 +172,20 @@ void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
                              std::string_view source,
                              std::string_view engine_name,
                              std::ostream* out) {
+  WriteMetricsSidecarJson(snapshot, source, engine_name, "", out);
+}
+
+void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
+                             std::string_view source,
+                             std::string_view engine_name,
+                             std::string_view workload_json,
+                             std::ostream* out) {
   *out << "{\n  \"schema_version\": 1,\n  \"source\": \""
        << JsonEscape(source) << "\",\n  \"engine\": \""
        << JsonEscape(engine_name) << "\",\n";
+  if (!workload_json.empty()) {
+    *out << "  \"workload\": " << workload_json << ",\n";
+  }
   WriteJsonBody(snapshot, out, "  ");
   *out << "}\n";
 }

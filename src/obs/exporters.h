@@ -36,6 +36,19 @@ void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
                              std::string_view engine_name,
                              std::ostream* out);
 
+/// Sidecar variant with a workload-analytics section:
+///   {"schema_version": 1, "source": ..., "engine": ...,
+///    "workload": <workload_json>, "counters": ...}
+/// \p workload_json must be a pre-rendered JSON object (the analytics
+/// layer's RenderWorkloadJson output — obs does not depend on it);
+/// when empty the section is omitted and the output matches the plain
+/// overload.
+void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
+                             std::string_view source,
+                             std::string_view engine_name,
+                             std::string_view workload_json,
+                             std::ostream* out);
+
 }  // namespace xpred::obs
 
 #endif  // XPRED_OBS_EXPORTERS_H_

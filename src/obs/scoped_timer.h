@@ -25,6 +25,14 @@ class ScopedTimer {
  public:
   ScopedTimer(EngineInstruments* instruments, Stage stage)
       : instruments_(instruments), stage_(stage) {}
+  /// Worker-thread variant: when \p instruments is null (worker
+  /// contexts must not touch the shared registry), elapsed time is
+  /// charged to \p spans instead — a worker-local StageSpanBuffer the
+  /// batch owner merges and emits after the batch. Both null makes the
+  /// timer a no-op, as before.
+  ScopedTimer(EngineInstruments* instruments, StageSpanBuffer* spans,
+              Stage stage)
+      : instruments_(instruments), spans_(spans), stage_(stage) {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
@@ -39,19 +47,23 @@ class ScopedTimer {
   /// watch. Call explicitly when the accumulator must be complete
   /// before the timer's scope ends (e.g. ahead of EndDocument); the
   /// destructor then only charges the nanoseconds elapsed since.
-  /// A null instruments pointer (worker-thread match contexts, which
-  /// must not touch the shared registry) makes the timer a no-op.
   void Charge() {
-    if (instruments_ == nullptr) return;
-    instruments_->AddStageNanos(
-        stage_, static_cast<uint64_t>(watch_.ElapsedNanos()));
-    watch_.Reset();
+    if (instruments_ != nullptr) {
+      instruments_->AddStageNanos(
+          stage_, static_cast<uint64_t>(watch_.ElapsedNanos()));
+      watch_.Reset();
+    } else if (spans_ != nullptr) {
+      spans_->AddStageNanos(stage_,
+                            static_cast<uint64_t>(watch_.ElapsedNanos()));
+      watch_.Reset();
+    }
   }
 
   ~ScopedTimer() { Charge(); }
 
  private:
   EngineInstruments* instruments_;
+  StageSpanBuffer* spans_ = nullptr;
   Stage stage_;
   Stopwatch watch_;
 };

@@ -1,6 +1,7 @@
 #ifndef XPRED_OBS_TRACE_H_
 #define XPRED_OBS_TRACE_H_
 
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -108,6 +109,51 @@ class JsonlSink : public TraceSink {
   std::ostream* out_ = nullptr;
 };
 
+/// \brief Worker-local per-stage duration accumulator.
+///
+/// The Tracer and its sinks are deliberately not thread-safe (spans
+/// normally flow from the single calling thread); ParallelFilter
+/// worker threads therefore must never call EmitSpan directly. Each
+/// worker instead charges stage time here — plain array adds, no
+/// locks, no allocation — and the batch owner merges the buffers and
+/// emits one aggregate span per touched stage through the tracer from
+/// the calling thread after the batch (see DESIGN.md §13).
+class StageSpanBuffer {
+ public:
+  void AddStageNanos(Stage stage, uint64_t nanos) {
+    nanos_[static_cast<size_t>(stage)] += nanos;
+    touched_[static_cast<size_t>(stage)] = true;
+  }
+
+  void Merge(const StageSpanBuffer& other) {
+    for (size_t s = 0; s < kStageCount; ++s) {
+      if (!other.touched_[s]) continue;
+      nanos_[s] += other.nanos_[s];
+      touched_[s] = true;
+    }
+  }
+
+  bool any_touched() const {
+    for (bool t : touched_) {
+      if (t) return true;
+    }
+    return false;
+  }
+  uint64_t stage_nanos(Stage stage) const {
+    return nanos_[static_cast<size_t>(stage)];
+  }
+
+  void Reset() {
+    nanos_.fill(0);
+    touched_.fill(false);
+  }
+
+ private:
+  friend class Tracer;
+  std::array<uint64_t, kStageCount> nanos_{};
+  std::array<bool, kStageCount> touched_{};
+};
+
 /// \brief Hands per-document spans from engines to a sink and owns the
 /// document sequence numbering plus the trace clock. Attach one to an
 /// engine with FilterEngine::set_tracer(); multiple engines may share
@@ -135,6 +181,22 @@ class Tracer {
     span.start_nanos = start_nanos;
     span.duration_nanos = duration_nanos;
     sink_->Emit(span);
+  }
+
+  /// Emits one span per touched stage of \p spans against the current
+  /// document, with synthetic start offsets (the
+  /// EngineInstruments::EndDocument convention: document start plus
+  /// the preceding stages' durations), then resets the buffer. Must be
+  /// called from the thread that owns this tracer.
+  void EmitStageBuffer(std::string_view engine, StageSpanBuffer* spans,
+                       uint64_t start_nanos) {
+    uint64_t offset = start_nanos;
+    for (size_t s = 0; s < kStageCount; ++s) {
+      if (!spans->touched_[s]) continue;
+      EmitSpan(engine, static_cast<Stage>(s), offset, spans->nanos_[s]);
+      offset += spans->nanos_[s];
+    }
+    spans->Reset();
   }
 
   void Flush() { sink_->Flush(); }

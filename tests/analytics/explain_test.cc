@@ -1,0 +1,189 @@
+#include "analytics/explain.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "test_util.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::analytics {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+TEST(ExplainTest, MatchProducesFullTrace) {
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  Result<ExplainResult> result = ExplainMatch(doc, "/a/b/c");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->matched);
+  EXPECT_EQ(result->first_matching_path, 0u);
+  EXPECT_EQ(result->first_failing_predicate, -1);
+  ASSERT_EQ(result->paths.size(), 1u);
+
+  const PathExplain& pe = result->paths[0];
+  EXPECT_TRUE(pe.matched);
+  EXPECT_TRUE(pe.structural_match);
+  ASSERT_EQ(pe.evals.size(), 3u);  // Length + two distance predicates.
+  for (const PredicateEval& ev : pe.evals) {
+    EXPECT_TRUE(ev.matched) << ev.text;
+    EXPECT_FALSE(ev.pairs.empty());
+  }
+  // The recorded search must end in a kMatch step.
+  ASSERT_FALSE(pe.steps.empty());
+  EXPECT_EQ(pe.steps.back().kind, ExplainStep::Kind::kMatch);
+  EXPECT_FALSE(pe.steps_truncated);
+}
+
+TEST(ExplainTest, MissNamesFirstFailingPredicate) {
+  xml::Document doc = ParseXmlOrDie("<a><b><d/></b></a>");
+  Result<ExplainResult> result = ExplainMatch(doc, "/a/b/c");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->matched);
+  // (p_a,=,1) and (d(p_a,p_b),=,1) match; (d(p_b,p_c),=,1) has no
+  // occurrence rows — chain position 2 is the first failure.
+  EXPECT_EQ(result->first_failing_predicate, 2);
+  EXPECT_FALSE(result->first_failing_text.empty());
+  ASSERT_EQ(result->paths.size(), 1u);
+  EXPECT_EQ(result->paths[0].first_failing_predicate, 2);
+}
+
+TEST(ExplainTest, ChainFailureReportsDeepestStuckPredicate) {
+  // Path a/b/a/c: every predicate of //a//a//b has occurrence rows —
+  // p_a: (1,1),(2,2); d(p_a,p_a): (1,2); d(p_a,p_b): (1,1) — but no
+  // chain links them ((1,2) forces the final pair to start at a
+  // occurrence 2, and only (1,1) exists). Occurrence determination
+  // fails and the miss points at the predicate the backtracking could
+  // not extend past.
+  xml::Document doc = ParseXmlOrDie("<a><b><a><c/></a></b></a>");
+  Result<ExplainResult> result = ExplainMatch(doc, "//a//a//b");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->matched);
+  EXPECT_GE(result->first_failing_predicate, 0);
+  bool saw_structural_failure = false;
+  for (const PathExplain& pe : result->paths) {
+    if (pe.first_failing_predicate >= 0 && !pe.evals.empty()) {
+      bool all_rows = true;
+      for (const PredicateEval& ev : pe.evals) all_rows &= ev.matched;
+      if (all_rows) {
+        saw_structural_failure = true;
+        EXPECT_FALSE(pe.structural_match);
+        EXPECT_FALSE(pe.steps.empty());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_structural_failure);
+}
+
+TEST(ExplainTest, RejectStepsRecordChainConstraint) {
+  // Two b leaves: occurrence rows for (d(p_a,p_b),>=,1) hold two
+  // pairs, and matching //a//b//c must reject the pair anchored at
+  // the wrong b before accepting the right one on some path.
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b><b><d/></b></a>");
+  Result<ExplainResult> result = ExplainMatch(doc, "/a/b/c");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->matched);
+  ASSERT_EQ(result->total_paths, 2u);
+  // Path 2 (a/b/d) must fail on the (d(p_b,p_c),=,1) predicate.
+  EXPECT_EQ(result->paths[1].first_failing_predicate, 2);
+}
+
+TEST(ExplainTest, DeferredFilterFailureIsFlagged) {
+  xml::Document doc = ParseXmlOrDie("<a><b x=\"2\"/></a>");
+  ExplainOptions options;
+  options.attribute_mode = core::AttributeMode::kSelectionPostponed;
+  Result<ExplainResult> result = ExplainMatch(doc, "/a/b[@x=1]", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->matched);
+  ASSERT_EQ(result->paths.size(), 1u);
+  // Structurally the path matches; the postponed attribute filter
+  // kills every witness.
+  EXPECT_TRUE(result->paths[0].structural_match);
+  EXPECT_TRUE(result->paths[0].deferred_failed);
+  EXPECT_FALSE(result->paths[0].matched);
+}
+
+TEST(ExplainTest, NestedPathExpressionsRejected) {
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  Result<ExplainResult> result = ExplainMatch(doc, "/a[//c]/b");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplainTest, StepCapTruncatesTraceNotVerdict) {
+  // A long descendant chain over a deep document explodes the
+  // backtracking trace; with a tiny cap the trace truncates but the
+  // verdict (from the unrecorded algorithm) stays correct.
+  std::string xml;
+  for (int i = 0; i < 12; ++i) xml += "<a>";
+  xml += "<z/>";
+  for (int i = 0; i < 12; ++i) xml += "</a>";
+  xml::Document doc = ParseXmlOrDie(xml);
+  ExplainOptions options;
+  options.max_steps_per_path = 8;
+  Result<ExplainResult> result = ExplainMatch(doc, "//a//a//a//z", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->matched);
+  bool truncated = false;
+  for (const PathExplain& pe : result->paths) truncated |= pe.steps_truncated;
+  EXPECT_TRUE(truncated);
+}
+
+TEST(ExplainTest, JsonAndTextRender) {
+  xml::Document doc = ParseXmlOrDie("<a><b><d/></b></a>");
+  Result<ExplainResult> result = ExplainMatch(doc, "/a/b/c");
+  ASSERT_TRUE(result.ok());
+  std::string json = ExplainToJson(*result);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"matched\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"first_failing_predicate\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"predicates\""), std::string::npos);
+  EXPECT_NE(json.find("\"steps\""), std::string::npos);
+
+  std::string text = ExplainToText(*result);
+  EXPECT_NE(text.find("NO MATCH"), std::string::npos);
+  EXPECT_NE(text.find("first failing predicate"), std::string::npos);
+}
+
+TEST(ExplainTest, VerdictAgreesWithMatcherOnGeneratedWorkload) {
+  // The explain engine re-implements the recording half of the
+  // pipeline; its verdict must agree with the production matcher on a
+  // generated workload (both attribute modes).
+  const xml::Dtd& dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 5;
+  qopts.filters_per_expr = 1;
+  xpath::QueryGenerator generator(&dtd, qopts);
+  std::vector<std::string> exprs =
+      generator.GenerateWorkloadStrings(40, 17);
+
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = 6;
+  xml::DocumentGenerator doc_gen(&dtd, dopts);
+
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    xml::Document doc = doc_gen.Generate(seed);
+    for (const std::string& expr : exprs) {
+      core::Matcher matcher;
+      Result<core::ExprId> id = matcher.AddExpression(expr);
+      ASSERT_TRUE(id.ok()) << expr;
+      std::vector<core::ExprId> matched;
+      ASSERT_TRUE(matcher.FilterDocument(doc, &matched).ok());
+
+      Result<ExplainResult> result = ExplainMatch(doc, expr);
+      ASSERT_TRUE(result.ok()) << expr << ": " << result.status();
+      EXPECT_EQ(result->matched, !matched.empty())
+          << "seed=" << seed << " expr=" << expr;
+      if (!result->matched && !result->paths.empty()) {
+        EXPECT_GE(result->first_failing_predicate, 0) << expr;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpred::analytics

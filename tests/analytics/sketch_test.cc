@@ -1,0 +1,144 @@
+#include "analytics/sketch.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/random.h"
+
+namespace xpred::analytics {
+namespace {
+
+TEST(SpaceSavingSketchTest, ExactBelowCapacity) {
+  SpaceSavingSketch sketch(8);
+  sketch.Add(1, 10);
+  sketch.Add(2, 5);
+  sketch.Add(1, 7);
+  sketch.Add(3, 1);
+
+  ASSERT_EQ(sketch.size(), 3u);
+  EXPECT_EQ(sketch.total_weight(), 23u);
+  const SpaceSavingSketch::Entry* e = sketch.Find(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 17u);
+  EXPECT_EQ(e->error, 0u);
+
+  std::vector<SpaceSavingSketch::Entry> top = sketch.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 2u);
+}
+
+TEST(SpaceSavingSketchTest, TopKTieBreaksByKey) {
+  SpaceSavingSketch sketch(8);
+  sketch.Add(9, 3);
+  sketch.Add(4, 3);
+  sketch.Add(7, 3);
+  std::vector<SpaceSavingSketch::Entry> top = sketch.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 4u);
+  EXPECT_EQ(top[1].key, 7u);
+  EXPECT_EQ(top[2].key, 9u);
+}
+
+TEST(SpaceSavingSketchTest, EvictionInheritsCountAsError) {
+  SpaceSavingSketch sketch(2);
+  sketch.Add(1, 10);
+  sketch.Add(2, 3);
+  // 3 is unmonitored and the sketch is full: it replaces the minimum
+  // entry (key 2, count 3) and inherits its count as error.
+  sketch.Add(3, 1);
+  EXPECT_EQ(sketch.size(), 2u);
+  EXPECT_EQ(sketch.Find(2), nullptr);
+  const SpaceSavingSketch::Entry* e = sketch.Find(3);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 4u);  // Evicted count 3 + new weight 1.
+  EXPECT_EQ(e->error, 3u);
+  // The bound count - error <= true count holds: 4 - 3 = 1 = true.
+  EXPECT_EQ(e->count - e->error, 1u);
+}
+
+TEST(SpaceSavingSketchTest, AuxCountersResetOnEviction) {
+  SpaceSavingSketch sketch(2);
+  sketch.Add(1, 10, 2, 1);
+  sketch.Add(2, 3, 5, 5);
+  sketch.Add(1, 10, 2, 1);
+  const SpaceSavingSketch::Entry* e1 = sketch.Find(1);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->aux1, 4u);
+  EXPECT_EQ(e1->aux2, 2u);
+
+  sketch.Add(3, 1, 7, 8);  // Evicts key 2; aux starts fresh.
+  const SpaceSavingSketch::Entry* e3 = sketch.Find(3);
+  ASSERT_NE(e3, nullptr);
+  EXPECT_EQ(e3->aux1, 7u);
+  EXPECT_EQ(e3->aux2, 8u);
+}
+
+TEST(SpaceSavingSketchTest, ErrorBoundsHoldOnSkewedStream) {
+  // Zipf-ish stream over 1000 keys through a K=64 sketch: for every
+  // monitored key, count - error <= true <= count, and every key with
+  // true count > total/K is monitored (the Space-Saving guarantee).
+  SpaceSavingSketch sketch(64);
+  std::map<uint64_t, uint64_t> truth;
+  Random rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    // Skew: low keys vastly more frequent.
+    uint64_t key = rng.Uniform(rng.Uniform(1000) + 1);
+    truth[key] += 1;
+    sketch.Add(key, 1);
+  }
+  EXPECT_EQ(sketch.size(), 64u);
+  EXPECT_EQ(sketch.total_weight(), 20000u);
+
+  for (const auto& [key, true_count] : truth) {
+    const SpaceSavingSketch::Entry* e = sketch.Find(key);
+    if (e != nullptr) {
+      EXPECT_LE(e->count - e->error, true_count) << "key " << key;
+      EXPECT_GE(e->count, true_count) << "key " << key;
+    } else {
+      EXPECT_LE(true_count, sketch.total_weight() / sketch.capacity())
+          << "heavy key " << key << " not monitored";
+    }
+  }
+}
+
+TEST(ReservoirSamplerTest, KeepsEverythingBelowCapacity) {
+  ReservoirSampler<int> sampler(10, 1);
+  for (int i = 0; i < 7; ++i) sampler.Add(i);
+  EXPECT_EQ(sampler.seen(), 7u);
+  ASSERT_EQ(sampler.samples().size(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(sampler.samples()[i], i);
+}
+
+TEST(ReservoirSamplerTest, BoundedAndUniformish) {
+  ReservoirSampler<int> sampler(50, 7);
+  for (int i = 0; i < 10000; ++i) sampler.Add(i);
+  EXPECT_EQ(sampler.seen(), 10000u);
+  ASSERT_EQ(sampler.samples().size(), 50u);
+  // A uniform sample of [0, 10000) should not be stuck in the prefix
+  // the way a fill-and-stop buffer would be.
+  int above = 0;
+  for (int v : sampler.samples()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10000);
+    if (v >= 5000) ++above;
+  }
+  EXPECT_GT(above, 5);
+  EXPECT_LT(above, 45);
+}
+
+TEST(ReservoirSamplerTest, DeterministicForSeed) {
+  ReservoirSampler<int> a(16, 99);
+  ReservoirSampler<int> b(16, 99);
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+}  // namespace
+}  // namespace xpred::analytics

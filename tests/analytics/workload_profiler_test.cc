@@ -1,0 +1,136 @@
+#include "analytics/workload_profiler.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "core/attribution.h"
+
+namespace xpred::analytics {
+namespace {
+
+core::AttributionDelta ExprDelta(uint32_t id, uint32_t evals,
+                                 uint32_t matches, uint64_t cost) {
+  core::AttributionDelta delta;
+  delta.exprs.push_back({id, evals, matches, cost});
+  return delta;
+}
+
+TEST(WorkloadProfilerTest, ExactModeAggregatesAcrossDeltas) {
+  WorkloadProfiler profiler;
+  profiler.Ingest(ExprDelta(0, 10, 2, 100), 0);
+  profiler.Ingest(ExprDelta(0, 5, 1, 50), 0);
+  profiler.Ingest(ExprDelta(1, 20, 0, 30), 0);
+
+  ASSERT_TRUE(profiler.exact_mode());
+  WorkloadProfiler::Report report = profiler.TopK(10);
+  EXPECT_EQ(report.total_evals, 35u);
+  EXPECT_EQ(report.total_matches, 3u);
+  EXPECT_EQ(report.total_cost, 180u);
+  EXPECT_EQ(report.deltas_ingested, 3u);
+  EXPECT_EQ(report.distinct_expressions, 2u);
+
+  ASSERT_EQ(report.top_expressions.size(), 2u);
+  EXPECT_EQ(report.top_expressions[0].key, 0u);  // Cost 150 > 30.
+  EXPECT_EQ(report.top_expressions[0].evals, 15u);
+  EXPECT_EQ(report.top_expressions[0].matches, 3u);
+  EXPECT_DOUBLE_EQ(report.top_expressions[0].match_rate, 0.2);
+  EXPECT_NEAR(report.top_expressions[0].cost_share, 150.0 / 180.0, 1e-9);
+}
+
+TEST(WorkloadProfilerTest, KeyNamespaceSeparatesPartitions) {
+  WorkloadProfiler profiler;
+  profiler.Ingest(ExprDelta(3, 1, 0, 10), 0);
+  profiler.Ingest(ExprDelta(3, 1, 0, 20), uint64_t{1} << 32);
+  WorkloadProfiler::Report report = profiler.TopK(10);
+  ASSERT_EQ(report.top_expressions.size(), 2u);
+  EXPECT_EQ(report.top_expressions[0].key, (uint64_t{1} << 32) | 3);
+  EXPECT_EQ(report.top_expressions[1].key, 3u);
+}
+
+TEST(WorkloadProfilerTest, SketchAgreesWithExactOnSkewedWorkload) {
+  WorkloadProfiler::Options options;
+  options.sketch_capacity = 32;
+  WorkloadProfiler profiler(options);
+  // 500 expressions, cost heavily skewed toward low ids: the top-10 by
+  // cost must be identical between exact and sketch accounting.
+  for (int round = 0; round < 20; ++round) {
+    for (uint32_t id = 0; id < 500; ++id) {
+      const uint64_t cost = id < 10 ? 1000 - 50 * id : 1 + id % 3;
+      profiler.Ingest(ExprDelta(id, 1, 0, cost), 0);
+    }
+  }
+  ASSERT_TRUE(profiler.exact_mode());
+  EXPECT_EQ(profiler.TopKAgreement(10), 1.0);
+  WorkloadProfiler::Report report = profiler.TopK(10);
+  EXPECT_EQ(report.top_agreement, 1.0);
+  ASSERT_EQ(report.top_expressions.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(report.top_expressions[i].key, i);
+  }
+}
+
+TEST(WorkloadProfilerTest, DropsExactMapAtThreshold) {
+  WorkloadProfiler::Options options;
+  options.sketch_capacity = 16;
+  options.exact_threshold = 100;
+  WorkloadProfiler profiler(options);
+  for (uint32_t id = 0; id < 200; ++id) {
+    profiler.Ingest(ExprDelta(id, 1, 0, id < 5 ? 10000 : 1), 0);
+  }
+  EXPECT_FALSE(profiler.exact_mode());
+  EXPECT_LE(profiler.tracked(), 16u);
+  EXPECT_EQ(profiler.TopKAgreement(10), -1);
+
+  // Totals survive the drop, and the sketch still ranks the heavy
+  // hitters first.
+  WorkloadProfiler::Report report = profiler.TopK(5);
+  EXPECT_FALSE(report.exact_mode);
+  EXPECT_EQ(report.total_evals, 200u);
+  EXPECT_EQ(report.top_agreement, -1);
+  ASSERT_EQ(report.top_expressions.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_LT(report.top_expressions[i].key, 5u);
+  }
+}
+
+TEST(WorkloadProfilerTest, PredicateHeatAndLatency) {
+  WorkloadProfiler profiler;
+  core::AttributionDelta delta;
+  delta.predicates.push_back({7, 30});
+  delta.predicates.push_back({9, 10});
+  delta.latencies.push_back({1, 100});
+  delta.latencies.push_back({1, 300});
+  delta.latencies.push_back({2, 200});
+  profiler.Ingest(delta, 0);
+
+  WorkloadProfiler::Report report = profiler.TopK(10);
+  EXPECT_EQ(report.total_predicate_matches, 40u);
+  ASSERT_EQ(report.hot_predicates.size(), 2u);
+  EXPECT_EQ(report.hot_predicates[0].key, 7u);
+  EXPECT_DOUBLE_EQ(report.hot_predicates[0].share, 0.75);
+  EXPECT_EQ(report.latency.sampled, 3u);
+  EXPECT_EQ(report.latency.p50_ns, 200u);
+  EXPECT_EQ(report.latency.max_ns, 300u);
+}
+
+TEST(WorkloadProfilerTest, JsonRenderHasSchemaFields) {
+  WorkloadProfiler profiler;
+  profiler.Ingest(ExprDelta(0, 4, 1, 40), 0);
+  std::unordered_map<uint64_t, std::string> names{{0, "/a/b[@x=1]"}};
+  std::string json = RenderWorkloadJson(profiler.TopK(5), &names, nullptr);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"exact\""), std::string::npos);
+  EXPECT_NE(json.find("\"top_expressions\""), std::string::npos);
+  EXPECT_NE(json.find("\"hot_predicates\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"top10_agreement\""), std::string::npos);
+  EXPECT_NE(json.find("/a/b[@x=1]"), std::string::npos);
+
+  std::string table = RenderWorkloadTable(profiler.TopK(5), &names, nullptr);
+  EXPECT_NE(table.find("workload profile (exact mode)"), std::string::npos);
+  EXPECT_NE(table.find("/a/b[@x=1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpred::analytics

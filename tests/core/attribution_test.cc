@@ -1,0 +1,163 @@
+// Attribution hooks on the serial matcher: deltas flushed per
+// document, epoch-reset correctness across documents, sink detach,
+// and the ExpressionStrings key mapping used to label reports.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/attribution.h"
+#include "core/matcher.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::AddAll;
+using xpred::testing::ParseXmlOrDie;
+
+/// Records every ingested delta verbatim.
+class RecordingSink : public AttributionSink {
+ public:
+  void Ingest(const AttributionDelta& delta,
+              uint64_t key_namespace) override {
+    deltas.push_back(delta);
+    namespaces.push_back(key_namespace);
+  }
+
+  uint64_t TotalEvals() const {
+    uint64_t n = 0;
+    for (const AttributionDelta& d : deltas) {
+      for (const auto& e : d.exprs) n += e.evals;
+    }
+    return n;
+  }
+  uint64_t TotalMatches() const {
+    uint64_t n = 0;
+    for (const AttributionDelta& d : deltas) {
+      for (const auto& e : d.exprs) n += e.matches;
+    }
+    return n;
+  }
+
+  std::vector<AttributionDelta> deltas;
+  std::vector<uint64_t> namespaces;
+};
+
+TEST(AttributionTest, SerialMatcherFlushesPerDocument) {
+  Matcher matcher;
+  AddAll(&matcher, {"/a/b", "/a/c", "//b"});
+  RecordingSink sink;
+  matcher.set_attribution_sink(&sink);
+
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(matcher.FilterDocument(doc, &matched).ok());
+  EXPECT_EQ(matched.size(), 2u);  // /a/b and //b.
+
+  ASSERT_EQ(sink.deltas.size(), 1u);
+  EXPECT_EQ(sink.namespaces[0], 0u);  // Serial namespace.
+  EXPECT_EQ(sink.TotalMatches(), 2u);
+  EXPECT_GT(sink.TotalEvals(), 0u);
+  EXPECT_FALSE(sink.deltas[0].predicates.empty());
+
+  // A second document flushes a fresh delta (epoch reset: counts are
+  // per-flush, not cumulative).
+  std::vector<ExprId> matched2;
+  ASSERT_TRUE(matcher.FilterDocument(doc, &matched2).ok());
+  ASSERT_EQ(sink.deltas.size(), 2u);
+  EXPECT_EQ(sink.TotalMatches(), 4u);
+}
+
+TEST(AttributionTest, CostCountsOccurrenceChainLength) {
+  Matcher matcher;
+  AddAll(&matcher, {"/a/b/c"});
+  RecordingSink sink;
+  matcher.set_attribution_sink(&sink);
+
+  // Structural match: cost = visit (1) + chain length (3 predicates).
+  xml::Document doc = ParseXmlOrDie("<a><b><c/></b></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(matcher.FilterDocument(doc, &matched).ok());
+  ASSERT_EQ(sink.deltas.size(), 1u);
+  uint64_t match_cost = 0;
+  for (const auto& e : sink.deltas[0].exprs) match_cost += e.cost;
+  EXPECT_GT(match_cost, 0u);
+
+  // A path failing predicate matching never runs occurrence
+  // determination: per-eval cost is 1.
+  Matcher miss_matcher;
+  AddAll(&miss_matcher, {"/x/y/z"});
+  RecordingSink miss_sink;
+  miss_matcher.set_attribution_sink(&miss_sink);
+  std::vector<ExprId> no_match;
+  ASSERT_TRUE(miss_matcher.FilterDocument(doc, &no_match).ok());
+  EXPECT_TRUE(no_match.empty());
+  for (const AttributionDelta& d : miss_sink.deltas) {
+    for (const auto& e : d.exprs) EXPECT_EQ(e.cost, e.evals);
+  }
+}
+
+TEST(AttributionTest, DetachStopsAttribution) {
+  Matcher matcher;
+  AddAll(&matcher, {"/a/b"});
+  RecordingSink sink;
+  matcher.set_attribution_sink(&sink);
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(matcher.FilterDocument(doc, &matched).ok());
+  ASSERT_EQ(sink.deltas.size(), 1u);
+
+  matcher.set_attribution_sink(nullptr);
+  std::vector<ExprId> matched2;
+  ASSERT_TRUE(matcher.FilterDocument(doc, &matched2).ok());
+  EXPECT_EQ(sink.deltas.size(), 1u);  // Nothing new.
+}
+
+TEST(AttributionTest, ExpressionStringsCoverInternalIds) {
+  Matcher matcher;
+  AddAll(&matcher, {"/a/b", "/a[//c]/b", "//d"});
+  const std::vector<std::string> names = matcher.ExpressionStrings();
+  // Every name resolves and nested sub-expressions are labelled.
+  ASSERT_FALSE(names.empty());
+  bool saw_sub = false;
+  for (const std::string& name : names) {
+    EXPECT_FALSE(name.empty());
+    saw_sub |= name.find("#sub") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_sub);
+
+  // Attribution keys stay within the name table.
+  RecordingSink sink;
+  matcher.set_attribution_sink(&sink);
+  xml::Document doc = ParseXmlOrDie("<a><c/><b/></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(matcher.FilterDocument(doc, &matched).ok());
+  for (const AttributionDelta& d : sink.deltas) {
+    for (const auto& e : d.exprs) EXPECT_LT(e.id, names.size());
+    for (const auto& s : d.latencies) EXPECT_LT(s.id, names.size());
+  }
+}
+
+TEST(AttributionTest, LatencySamplePeriodOne) {
+  Matcher matcher;
+  AddAll(&matcher, {"/a/b", "//b"});
+  RecordingSink sink;
+  matcher.set_attribution_sink(&sink);
+  matcher.set_attribution_latency_period(1);
+
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(matcher.FilterDocument(doc, &matched).ok());
+  uint64_t samples = 0;
+  uint64_t evals = 0;
+  for (const AttributionDelta& d : sink.deltas) {
+    samples += d.latencies.size();
+    for (const auto& e : d.exprs) evals += e.evals;
+  }
+  // Period 1: every evaluation is timed.
+  EXPECT_EQ(samples, evals);
+}
+
+}  // namespace
+}  // namespace xpred::core

@@ -1,0 +1,115 @@
+// Snapshot / delta semantics for the gauges the work-stealing pool
+// publishes (queue depth, busy fraction, worker count): counters are
+// differenced by DeltaSince, gauges must keep their current reading —
+// a batch-over-batch delta that zeroed the pool gauges would read as
+// "no workers, empty queue".
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "exec/parallel_filter.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::exec {
+namespace {
+
+using xpred::testing::AddAll;
+
+class PoolMetricsDeltaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ParallelFilter::Options options;
+    options.threads = 4;
+    options.partitions = 2;
+    parallel_ = std::make_unique<ParallelFilter>(options);
+
+    xpath::QueryGenerator::Options qopts;
+    qopts.max_length = 5;
+    xpath::QueryGenerator qgen(&xml::NitfLikeDtd(), qopts);
+    AddAll(parallel_.get(), qgen.GenerateWorkloadStrings(30, 5));
+
+    xml::DocumentGenerator::Options dopts;
+    dopts.max_depth = 6;
+    xml::DocumentGenerator dgen(&xml::NitfLikeDtd(), dopts);
+    for (size_t i = 0; i < 16; ++i) docs_.push_back(dgen.Generate(i));
+    for (const xml::Document& doc : docs_) refs_.push_back({&doc});
+
+    parallel_->BindMetrics(&registry_);
+  }
+
+  void RunBatch() {
+    CollectingResultSink sink;
+    ASSERT_TRUE(parallel_->FilterBatch(refs_, sink).ok());
+  }
+
+  static double Value(const obs::MetricsSnapshot& snapshot,
+                      const std::string& name_prefix) {
+    for (const auto& [key, value] : snapshot.gauges) {
+      if (key.rfind(name_prefix, 0) == 0) return value;
+    }
+    ADD_FAILURE() << "gauge " << name_prefix << " not in snapshot";
+    return -1;
+  }
+
+  std::unique_ptr<ParallelFilter> parallel_;
+  std::vector<xml::Document> docs_;
+  std::vector<DocRef> refs_;
+  obs::MetricsRegistry registry_;
+};
+
+TEST_F(PoolMetricsDeltaTest, GaugesKeepCurrentValueAcrossDelta) {
+  RunBatch();
+  obs::MetricsSnapshot before = registry_.Snapshot();
+  RunBatch();
+  obs::MetricsSnapshot after = registry_.Snapshot();
+  obs::MetricsSnapshot delta = after.DeltaSince(before);
+
+  // The pool gauges exist and survived the delta with their current
+  // values (not the difference, which would be ~0 for a steady pool).
+  const double workers = Value(delta, "xpred_pool_workers");
+  EXPECT_EQ(workers, 4.0);
+  EXPECT_EQ(Value(after, "xpred_pool_workers"), workers);
+
+  const double depth = Value(delta, "xpred_pool_queue_depth");
+  EXPECT_GT(depth, 0.0);
+  EXPECT_EQ(Value(after, "xpred_pool_queue_depth"), depth);
+
+  const double busy = Value(delta, "xpred_pool_worker_busy_fraction");
+  EXPECT_GE(busy, 0.0);
+  EXPECT_LE(busy, 1.0);
+  EXPECT_EQ(Value(after, "xpred_pool_worker_busy_fraction"), busy);
+
+  // Counters, by contrast, are differenced: one batch's documents.
+  bool found_docs = false;
+  for (const auto& [key, value] : delta.counters) {
+    if (key.rfind("xpred_documents_total", 0) == 0) {
+      EXPECT_EQ(value, docs_.size());
+      found_docs = true;
+    }
+  }
+  EXPECT_TRUE(found_docs);
+}
+
+TEST_F(PoolMetricsDeltaTest, DeltaExportsPoolGaugesInJson) {
+  RunBatch();
+  obs::MetricsSnapshot before = registry_.Snapshot();
+  RunBatch();
+  obs::MetricsSnapshot delta = registry_.Snapshot().DeltaSince(before);
+
+  std::ostringstream out;
+  obs::WriteJson(delta, &out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("xpred_pool_workers"), std::string::npos);
+  EXPECT_NE(json.find("xpred_pool_queue_depth"), std::string::npos);
+  EXPECT_NE(json.find("xpred_pool_worker_busy_fraction"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpred::exec

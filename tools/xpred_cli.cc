@@ -21,6 +21,19 @@
 //       documents are quarantined and the run continues (--quarantine,
 //       the default); --fail-fast aborts on the first failure.
 //
+//       Workload analytics: --profile-workload[=K] attaches a
+//       WorkloadProfiler to matcher-family engines and prints the
+//       top-K cost/selectivity table (default K=10) after the run;
+//       with --metrics-json the sidecar gains a "workload" section.
+//
+//   xpred_cli explain [--json] [--max-paths=N] [--max-steps=N]
+//       <xml-file> <xpath>
+//       Re-run the predicate-encoding pipeline for one (document,
+//       expression) pair in recording mode and print the per-path
+//       predicate evaluations and occurrence-determination trace —
+//       naming the first failing predicate on a miss. Exit status:
+//       0 match, 1 no match, 2 error (grep convention).
+//
 //   xpred_cli generate-queries --dtd=nitf|psd --count=N [--max-length=L]
 //       [--min-length=L] [--wildcard=W] [--descendant=DO] [--filters=K]
 //       [--nested=P] [--seed=S] [--non-distinct]
@@ -38,8 +51,11 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "analytics/explain.h"
+#include "analytics/workload_profiler.h"
 #include "common/interner.h"
 #include "common/string_util.h"
 #include "core/encoder.h"
@@ -125,7 +141,10 @@ int Usage() {
                "[--metrics=PATH] [--metrics-json=PATH] [--trace=PATH] "
                "[--max-depth=N] [--max-doc-bytes=N] [--deadline-ms=MS] "
                "[--threads=N] [--partition=P] [--batch] "
+               "[--profile-workload[=K]] "
                "[--fail-fast|--quarantine] <xml-file>...\n"
+               "  xpred_cli explain [--json] [--max-paths=N] "
+               "[--max-steps=N] <xml-file> <xpath>\n"
                "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
                "[options]\n"
                "  xpred_cli generate-docs --dtd=nitf|psd --count=N "
@@ -227,7 +246,8 @@ int CmdFilter(const Args& args) {
   if (!args.RejectUnknown({"exprs", "engine", "stats", "metrics",
                            "metrics-json", "trace", "max-depth",
                            "max-doc-bytes", "deadline-ms", "fail-fast",
-                           "quarantine", "threads", "partition", "batch"})) {
+                           "quarantine", "threads", "partition", "batch",
+                           "profile-workload"})) {
     return Usage();
   }
   std::string exprs_path = args.Get("exprs", "");
@@ -272,6 +292,30 @@ int CmdFilter(const Args& args) {
     }
     tracer = std::make_unique<obs::Tracer>(trace_sink.get());
     engine->set_tracer(tracer.get());
+  }
+
+  // Workload analytics: the profiler is an AttributionSink fed by the
+  // matcher-family hot-path hooks (no-op for other engine families).
+  std::unique_ptr<analytics::WorkloadProfiler> profiler;
+  size_t profile_k = 10;
+  auto* matcher_engine = dynamic_cast<core::Matcher*>(engine.get());
+  auto* parallel_engine = dynamic_cast<exec::ParallelFilter*>(engine.get());
+  if (args.Has("profile-workload")) {
+    const std::string k = args.Get("profile-workload", "true");
+    if (k != "true") profile_k = std::strtoull(k.c_str(), nullptr, 10);
+    if (profile_k == 0) profile_k = 10;
+    if (matcher_engine == nullptr && parallel_engine == nullptr) {
+      std::fprintf(stderr,
+                   "--profile-workload requires a matcher-family engine "
+                   "(basic, basic-pc, basic-pc-ap, trie-dfs, parallel)\n");
+      return 2;
+    }
+    profiler = std::make_unique<analytics::WorkloadProfiler>();
+    if (matcher_engine != nullptr) {
+      matcher_engine->set_attribution_sink(profiler.get());
+    } else {
+      parallel_engine->set_attribution_sink(profiler.get());
+    }
   }
 
   std::vector<std::string> expressions;
@@ -411,6 +455,48 @@ int CmdFilter(const Args& args) {
         static_cast<unsigned long long>(stats.occurrence_runs));
   }
 
+  std::string workload_json;
+  if (profiler != nullptr) {
+    // Resolve attribution keys (partition << 32 | internal id) to
+    // expression / predicate display strings.
+    std::unordered_map<uint64_t, std::string> expr_names;
+    std::unordered_map<uint64_t, std::string> pred_names;
+    auto add_names = [&](const core::Matcher& m, uint64_t ns) {
+      std::vector<std::string> names = m.ExpressionStrings();
+      for (size_t i = 0; i < names.size(); ++i) {
+        expr_names[ns | i] = std::move(names[i]);
+      }
+      const core::PredicateIndex& index = m.predicate_index();
+      for (size_t pid = 0; pid < index.distinct_count(); ++pid) {
+        pred_names[ns | pid] =
+            index.predicate(static_cast<core::PredicateId>(pid))
+                .ToString(m.interner());
+      }
+    };
+    if (matcher_engine != nullptr) {
+      add_names(*matcher_engine, 0);
+    } else {
+      for (size_t p = 0; p < parallel_engine->partitions(); ++p) {
+        add_names(parallel_engine->partition_matcher(p),
+                  static_cast<uint64_t>(p) << 32);
+      }
+    }
+    analytics::WorkloadProfiler::Report report = profiler->TopK(profile_k);
+    std::printf("%s", analytics::RenderWorkloadTable(report, &expr_names,
+                                                     &pred_names)
+                          .c_str());
+    workload_json =
+        analytics::RenderWorkloadJson(report, &expr_names, &pred_names);
+
+    obs::WorkloadSummary summary;
+    summary.tracked_expressions = profiler->tracked();
+    summary.evals = profiler->total_evals();
+    summary.matches = profiler->total_matches();
+    summary.cost = profiler->total_cost();
+    summary.exact_mode = profiler->exact_mode();
+    engine->PublishWorkload(summary);
+  }
+
   if (tracer != nullptr) tracer->Flush();
   std::string metrics_path = args.Get("metrics", "");
   if (!metrics_path.empty()) {
@@ -430,7 +516,8 @@ int CmdFilter(const Args& args) {
     obs::MetricsSnapshot snapshot = registry.Snapshot();
     if (metrics_json_path == "-") {
       obs::WriteMetricsSidecarJson(snapshot, "xpred_cli filter",
-                                   engine->name(), &std::cout);
+                                   engine->name(), workload_json,
+                                   &std::cout);
     } else {
       std::ofstream out(metrics_json_path);
       if (!out) {
@@ -438,10 +525,53 @@ int CmdFilter(const Args& args) {
         return 1;
       }
       obs::WriteMetricsSidecarJson(snapshot, "xpred_cli filter",
-                                   engine->name(), &out);
+                                   engine->name(), workload_json, &out);
     }
   }
   return rc;
+}
+
+int CmdExplain(const Args& args) {
+  if (!args.RejectUnknown({"json", "max-paths", "max-steps"})) {
+    return Usage();
+  }
+  if (args.positional.size() != 2) return Usage();
+  const std::string& path = args.positional[0];
+  const std::string& xpath = args.positional[1];
+
+  std::ifstream xml_file(path);
+  if (!xml_file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << xml_file.rdbuf();
+  Result<xml::Document> doc = xml::Document::Parse(buffer.str());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 2;
+  }
+
+  analytics::ExplainOptions options;
+  long max_paths = args.GetInt("max-paths", 0);
+  if (max_paths > 0) options.max_paths = static_cast<size_t>(max_paths);
+  long max_steps = args.GetInt("max-steps", 0);
+  if (max_steps > 0) {
+    options.max_steps_per_path = static_cast<size_t>(max_steps);
+  }
+  Result<analytics::ExplainResult> result =
+      analytics::ExplainMatch(*doc, xpath, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  if (args.Has("json")) {
+    std::printf("%s\n", analytics::ExplainToJson(*result).c_str());
+  } else {
+    std::printf("%s", analytics::ExplainToText(*result).c_str());
+  }
+  return result->matched ? 0 : 1;
 }
 
 int CmdGenerateQueries(const Args& args) {
@@ -497,6 +627,7 @@ int main(int argc, char** argv) {
   Args args = Args::Parse(argc, argv, 2);
   if (command == "encode") return CmdEncode(args);
   if (command == "filter") return CmdFilter(args);
+  if (command == "explain") return CmdExplain(args);
   if (command == "generate-queries") return CmdGenerateQueries(args);
   if (command == "generate-docs") return CmdGenerateDocs(args);
   return Usage();
