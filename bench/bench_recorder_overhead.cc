@@ -1,0 +1,185 @@
+// Flight-recorder overhead benchmark: how much does the always-on
+// event journal cost on the batch filtering hot path?
+//
+// Plain-main binary (no google-benchmark harness): it runs the same
+// workload through an exec::ParallelFilter twice per pass — once with
+// no recorder installed (XPRED_RECORD_EVENT is a single null-test
+// branch, the same cost profile as compiling the recorder out) and
+// once with a FlightRecorder installed so every instrumentation point
+// actually journals — interleaving A/B rounds so frequency scaling
+// and cache warmth hit both sides equally. When
+// XPRED_BENCH_METRICS_DIR is set it writes a JSON sidecar
+// (recorder_overhead.json) whose schema is enforced by
+// scripts/check_bench_schema.py, including the < 3% overhead gate in
+// Release builds.
+//
+// Reported:
+//   baseline_docs_per_sec — FilterBatch throughput, recorder absent,
+//   recorded_docs_per_sec — with an installed recorder journaling,
+//   overhead_fraction     — 1 - recorded/baseline (negative = noise),
+//   recorded_events       — events journaled (drained + overwritten).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "exec/parallel_filter.h"
+#include "obs/flight_recorder.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+#ifndef XPRED_BUILD_TYPE
+#define XPRED_BUILD_TYPE "unknown"
+#endif
+
+namespace xpred::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+/// One timed pass of the corpus through \p filter; returns docs/sec.
+double TimedPass(xpred::exec::ParallelFilter& filter,
+                 const std::vector<xpred::exec::DocRef>& docs) {
+  xpred::exec::CollectingResultSink sink;
+  Stopwatch watch;
+  Status st = filter.FilterBatch(docs, sink);
+  double ms = watch.ElapsedMillis();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FilterBatch failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return 1000.0 * static_cast<double>(docs.size()) / ms;
+}
+
+int Main() {
+  const size_t num_exprs = EnvCount("XPRED_BENCH_EXPRS", 2000);
+  const size_t num_docs = EnvCount("XPRED_BENCH_DOCS", 60);
+  const size_t passes = EnvCount("XPRED_BENCH_PASSES", 5);
+  const size_t threads = EnvCount("XPRED_BENCH_THREADS", 4);
+  const size_t partitions = EnvCount("XPRED_BENCH_PARTITIONS", 2);
+
+  const xml::Dtd& dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 6;
+  qopts.min_length = 3;
+  qopts.filters_per_expr = 1;
+  std::vector<std::string> exprs =
+      xpath::QueryGenerator(&dtd, qopts).GenerateWorkloadStrings(num_exprs,
+                                                                 42);
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = 8;
+  dopts.optional_prob = 0.8;
+  dopts.repeat_prob = 0.6;
+  dopts.max_repeats = 8;
+  xml::DocumentGenerator dgen(&dtd, dopts);
+  std::vector<xml::Document> documents;
+  documents.reserve(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    documents.push_back(dgen.Generate(42 * 7919 + d));
+  }
+  std::vector<xpred::exec::DocRef> refs;
+  for (const xml::Document& doc : documents) refs.push_back({&doc});
+
+  xpred::exec::ParallelFilter::Options options;
+  options.threads = threads;
+  options.partitions = partitions;
+  xpred::exec::ParallelFilter filter(options);
+  for (const std::string& e : exprs) {
+    if (!filter.AddExpression(e).ok()) std::abort();
+  }
+
+  obs::FlightRecorder::Options ropts;
+  ropts.max_threads = threads + 2;
+  obs::FlightRecorder recorder(ropts);
+
+  {  // Warmup both sides: pins pooled scratch allocations.
+    xpred::exec::CollectingResultSink sink;
+    (void)filter.FilterBatch(refs, sink);
+    obs::FlightRecorder::Install(&recorder);
+    (void)filter.FilterBatch(refs, sink);
+    obs::FlightRecorder::Install(nullptr);
+    (void)recorder.Drain();
+  }
+
+  // Interleave A/B passes; best-of estimator on each side. The same
+  // filter serves both sides so index layout and scratch pools are
+  // identical — only the installed recorder differs.
+  double baseline_dps = 0;
+  double recorded_dps = 0;
+  uint64_t recorded_events = 0;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    obs::FlightRecorder::Install(nullptr);
+    baseline_dps = std::max(baseline_dps, TimedPass(filter, refs));
+    obs::FlightRecorder::Install(&recorder);
+    recorded_dps = std::max(recorded_dps, TimedPass(filter, refs));
+    obs::FlightRecorder::Install(nullptr);
+    obs::FlightRecorder::Snapshot snapshot = recorder.Drain();
+    recorded_events += snapshot.events.size() + snapshot.dropped;
+  }
+  const double overhead = 1.0 - recorded_dps / baseline_dps;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("recorder_overhead: %zu exprs, %zu docs, %zu passes, "
+              "threads=%zu, partitions=%zu, hw_concurrency=%u, build=%s\n",
+              num_exprs, num_docs, passes, threads, partitions, hw,
+              XPRED_BUILD_TYPE);
+  std::printf("  baseline: %.1f docs/sec\n", baseline_dps);
+  std::printf("  recorded: %.1f docs/sec (%llu events journaled)\n",
+              recorded_dps,
+              static_cast<unsigned long long>(recorded_events));
+  std::printf("  overhead: %.2f%%\n", 100.0 * overhead);
+
+  if (recorded_events == 0) {
+    std::fprintf(stderr, "recorder journaled no events — the recording "
+                 "path is not exercised\n");
+    return 1;
+  }
+
+  const char* dir = std::getenv("XPRED_BENCH_METRICS_DIR");
+  if (dir != nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = std::string(dir) + "/recorder_overhead.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    out.precision(17);  // Round-trippable doubles: the checker
+                        // recomputes overhead_fraction from the
+                        // throughputs and compares.
+    out << "{\n"
+        << "  \"bench\": \"recorder_overhead\",\n"
+        << "  \"build_type\": \"" << XPRED_BUILD_TYPE << "\",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"expressions\": " << num_exprs << ",\n"
+        << "  \"documents\": " << num_docs << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"partitions\": " << partitions << ",\n"
+        << "  \"events_per_thread\": " << recorder.events_per_thread()
+        << ",\n"
+        << "  \"recorded_events\": " << recorded_events << ",\n"
+        << "  \"baseline_docs_per_sec\": " << baseline_dps << ",\n"
+        << "  \"recorded_docs_per_sec\": " << recorded_dps << ",\n"
+        << "  \"overhead_fraction\": " << overhead << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpred::bench
+
+int main() { return xpred::bench::Main(); }

@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
 """Validates benchmark JSON sidecars and their performance gates.
 
-Covers two benches, dispatched on the sidecar's "bench" field:
+Covers three benches, dispatched on the sidecar's "bench" field:
 
   * parallel_scaling  — thread-scaling results + speedup gate;
-  * analytics_overhead — attribution/profiler cost + overhead gate.
+  * analytics_overhead — attribution/profiler cost + overhead gate;
+  * recorder_overhead — flight-recorder journaling cost + overhead
+    gate.
 
-Three modes:
+Four modes:
 
   * file mode: validate existing sidecar JSON files;
   * --bench mode (the ctest hook): run the bench_parallel_scaling
     binary with a small workload, then validate the sidecar it wrote;
   * --analytics-bench mode (the ctest hook): same for
-    bench_analytics_overhead.
+    bench_analytics_overhead;
+  * --recorder-bench mode (the ctest hook): same for
+    bench_recorder_overhead.
 
 parallel_scaling schema (always enforced): top-level bench/build_type/
 hardware_concurrency/baseline_docs_per_sec and a non-empty results
@@ -39,12 +43,24 @@ out of proportion, and an oversubscribed single-CPU host turns
 scheduling noise into phantom overhead): overhead_fraction must stay
 below 5%.
 
+recorder_overhead schema (always enforced): bench/build_type/
+baseline_docs_per_sec/recorded_docs_per_sec/overhead_fraction, plus
+recorded_events > 0 (the recorder must actually have journaled the
+workload, otherwise the "overhead" measures nothing).
+
+recorder_overhead performance gate (Release builds on >= 4-CPU hosts
+only, for the same reasons as above): overhead_fraction must stay
+below 3% — the flight recorder is always on in production, so its
+budget is tighter than the opt-in profiler's.
+
 Usage:
     check_bench_schema.py parallel_scaling.json analytics_overhead.json
     check_bench_schema.py --bench path/to/bench_parallel_scaling \
         --build-type Release
     check_bench_schema.py --analytics-bench \
         path/to/bench_analytics_overhead --build-type Release
+    check_bench_schema.py --recorder-bench \
+        path/to/bench_recorder_overhead --build-type Release
 """
 
 import argparse
@@ -58,6 +74,7 @@ MIN_SPEEDUP_4T = 2.0
 MAX_1T_REGRESSION = 0.05
 MIN_GATE_CPUS = 4
 MAX_ANALYTICS_OVERHEAD = 0.05
+MAX_RECORDER_OVERHEAD = 0.03
 
 
 def fail(msg):
@@ -159,9 +176,52 @@ def validate_analytics_overhead(data):
           "gate %d%%)" % (100 * overhead, int(100 * MAX_ANALYTICS_OVERHEAD)))
 
 
+def validate_recorder_overhead(data):
+    for field in ("build_type", "hardware_concurrency",
+                  "baseline_docs_per_sec", "recorded_docs_per_sec",
+                  "overhead_fraction", "events_per_thread",
+                  "recorded_events"):
+        check(field in data, "missing top-level field %r" % field)
+    check(data["baseline_docs_per_sec"] > 0,
+          "baseline_docs_per_sec must be positive")
+    check(data["recorded_docs_per_sec"] > 0,
+          "recorded_docs_per_sec must be positive")
+    check(data["events_per_thread"] > 0,
+          "events_per_thread must be positive")
+    check(data["recorded_events"] > 0,
+          "recorder journaled no events — the recording path is not "
+          "exercised")
+
+    overhead = data["overhead_fraction"]
+    reported = 1.0 - (data["recorded_docs_per_sec"] /
+                      data["baseline_docs_per_sec"])
+    check(abs(overhead - reported) < 1e-6,
+          "overhead_fraction %r inconsistent with throughputs (%r)"
+          % (overhead, reported))
+
+    build_type = data["build_type"]
+    cpus = data["hardware_concurrency"]
+    if build_type != "Release":
+        print("check_bench_schema: schema OK; overhead gate skipped "
+              "(build_type=%s, need Release)" % build_type)
+        return
+    if cpus < MIN_GATE_CPUS:
+        print("check_bench_schema: schema OK; overhead gate skipped "
+              "(%d hardware threads, need >= %d — an oversubscribed "
+              "host turns scheduling noise into phantom overhead)"
+              % (cpus, MIN_GATE_CPUS))
+        return
+    check(overhead < MAX_RECORDER_OVERHEAD,
+          "flight-recorder overhead %.2f%% breaches the %d%% gate"
+          % (100 * overhead, int(100 * MAX_RECORDER_OVERHEAD)))
+    print("check_bench_schema: OK (flight-recorder overhead %.2f%%, "
+          "gate %d%%)" % (100 * overhead, int(100 * MAX_RECORDER_OVERHEAD)))
+
+
 VALIDATORS = {
     "parallel_scaling": validate_parallel_scaling,
     "analytics_overhead": validate_analytics_overhead,
+    "recorder_overhead": validate_recorder_overhead,
 }
 
 
@@ -207,11 +267,15 @@ def main():
     parser.add_argument("--bench", help="bench_parallel_scaling binary")
     parser.add_argument("--analytics-bench",
                         help="bench_analytics_overhead binary")
+    parser.add_argument("--recorder-bench",
+                        help="bench_recorder_overhead binary")
     parser.add_argument("--build-type", default="",
                         help="expected CMake build type of the binary")
     args = parser.parse_args()
-    if not args.files and not args.bench and not args.analytics_bench:
-        parser.error("give sidecar files, --bench, or --analytics-bench")
+    if (not args.files and not args.bench and not args.analytics_bench
+            and not args.recorder_bench):
+        parser.error("give sidecar files, --bench, --analytics-bench, "
+                     "or --recorder-bench")
     for path in args.files:
         validate(path)
     if args.bench:
@@ -219,6 +283,9 @@ def main():
     if args.analytics_bench:
         run_bench(args.analytics_bench, args.build_type,
                   "analytics_overhead.json")
+    if args.recorder_bench:
+        run_bench(args.recorder_bench, args.build_type,
+                  "recorder_overhead.json")
 
 
 if __name__ == "__main__":

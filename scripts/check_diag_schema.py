@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Validates xpred diagnostic bundles and diagnose timelines.
+
+Two artifact kinds are checked:
+
+  * diagnostic bundle JSON (written by the crash handler on a fatal
+    signal / std::terminate, by the watchdog on the first stall
+    episode, and by CrashHandler::WriteBundle): bundle magic, reason,
+    the "recorder" section (events with known types, thread docs,
+    drop counters), and the point-in-time "metrics" snapshot;
+  * diagnose timeline JSON (`xpred_cli diagnose bundle.json`): magic,
+    time-sorted events with decoded "detail" strings, and a summary
+    that is consistent with the event stream.
+
+Usage:
+    check_diag_schema.py bundle.json [bundle2.json ...]
+    check_diag_schema.py --timeline timeline.json
+    check_diag_schema.py --cli path/to/xpred_cli
+
+The --cli mode is the end-to-end crash-diagnosis check wired into
+ctest: it generates a tiny workload, runs `xpred_cli filter` with an
+injected abort (--inject-fault=engine.begin_document:abort:1) under
+--flight-recorder/--diag-dir, asserts the process died with SIGABRT
+while leaving a schema-valid crash bundle, feeds the bundle through
+`xpred_cli diagnose`, validates the timeline, and cross-checks the
+two artifacts against each other. It also verifies the clean-run
+contract: a run that does not crash leaves no bundle file behind.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+KNOWN_EVENT_TYPES = {
+    "doc_begin", "doc_end", "stage", "batch_begin", "batch_end",
+    "quarantine", "retry", "breaker", "shed", "steal", "park",
+    "budget_exhausted", "fault_injected", "stall", "watchdog_scan",
+    "dump",
+}
+KNOWN_REASONS = {"signal", "terminate", "watchdog", "manual"}
+KNOWN_METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+
+def fail(msg):
+    print("check_diag_schema: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            return json.load(f)
+        except json.JSONDecodeError as e:
+            fail("%s: bad JSON: %s" % (path, e))
+
+
+def check_uint(obj, field, where):
+    check(field in obj, "%s: missing %r" % (where, field))
+    check(isinstance(obj[field], int) and obj[field] >= 0,
+          "%s: %s=%r is not a non-negative integer"
+          % (where, field, obj[field]))
+
+
+def validate_event(event, where):
+    check(isinstance(event, dict), "%s: event is not an object" % where)
+    for field in ("nanos", "thread", "a", "b"):
+        check_uint(event, field, where)
+    check(event.get("type") in KNOWN_EVENT_TYPES,
+          "%s: unknown event type %r" % (where, event.get("type")))
+
+
+def validate_thread_doc(doc, where):
+    check(isinstance(doc, dict), "%s: thread_doc is not an object" % where)
+    for field in ("thread", "fingerprint", "doc_seq"):
+        check_uint(doc, field, where)
+
+
+# ----------------------------------------------------------------- bundle
+
+def validate_bundle(path):
+    bundle = load_json(path)
+    check(isinstance(bundle, dict), "%s: bundle is not an object" % path)
+    check(bundle.get("xpred_diag_bundle") == 1,
+          "%s: xpred_diag_bundle magic must be 1" % path)
+    check(bundle.get("reason") in KNOWN_REASONS,
+          "%s: unknown reason %r" % (path, bundle.get("reason")))
+    check_uint(bundle, "signal", path)
+    if bundle["reason"] != "signal":
+        check(bundle["signal"] == 0,
+              "%s: non-signal bundle carries signal %d"
+              % (path, bundle["signal"]))
+    check_uint(bundle, "nanos", path)
+
+    recorder = bundle.get("recorder")
+    check(isinstance(recorder, dict), "%s: missing recorder section" % path)
+    check(isinstance(recorder.get("installed"), bool),
+          "%s: recorder.installed is not a bool" % path)
+    if recorder["installed"]:
+        for field in ("events_per_thread", "registered_threads",
+                      "unregistered_drops", "dropped"):
+            check_uint(recorder, field, path + ":recorder")
+        check(recorder["events_per_thread"] >= 1,
+              "%s: events_per_thread must be >= 1" % path)
+        events = recorder.get("events")
+        check(isinstance(events, list), "%s: recorder.events missing" % path)
+        for i, event in enumerate(events):
+            validate_event(event, "%s:events[%d]" % (path, i))
+        thread_docs = recorder.get("thread_docs")
+        check(isinstance(thread_docs, list),
+              "%s: recorder.thread_docs missing" % path)
+        for i, doc in enumerate(thread_docs):
+            validate_thread_doc(doc, "%s:thread_docs[%d]" % (path, i))
+        threads = {e["thread"] for e in events}
+        check(len(thread_docs) >= len(threads),
+              "%s: fewer thread_docs (%d) than writer threads (%d)"
+              % (path, len(thread_docs), len(threads)))
+
+    metrics = bundle.get("metrics")
+    check(isinstance(metrics, list), "%s: metrics is not a list" % path)
+    for i, metric in enumerate(metrics):
+        where = "%s:metrics[%d]" % (path, i)
+        check(isinstance(metric, dict), "%s: not an object" % where)
+        check(isinstance(metric.get("name"), str) and metric["name"],
+              "%s: missing name" % where)
+        mtype = metric.get("type")
+        check(mtype in KNOWN_METRIC_TYPES,
+              "%s: unknown metric type %r" % (where, mtype))
+        if mtype == "counter":
+            check_uint(metric, "value", where)
+        elif mtype == "gauge":
+            check(isinstance(metric.get("value"), (int, float)),
+                  "%s: gauge value not numeric" % where)
+        else:
+            for field in ("count", "sum", "max"):
+                check_uint(metric, field, where)
+
+    n_events = (len(recorder.get("events", []))
+                if recorder.get("installed") else 0)
+    print("check_diag_schema: OK bundle %s (reason=%s, %d events)"
+          % (path, bundle["reason"], n_events))
+    return bundle
+
+
+# --------------------------------------------------------------- timeline
+
+def validate_timeline(path_or_doc, source="timeline"):
+    if isinstance(path_or_doc, str):
+        timeline = load_json(path_or_doc)
+        source = path_or_doc
+    else:
+        timeline = path_or_doc
+    check(isinstance(timeline, dict), "%s: not an object" % source)
+    check(timeline.get("xpred_diag_timeline") == 1,
+          "%s: xpred_diag_timeline magic must be 1" % source)
+    check(isinstance(timeline.get("bundle"), str) and timeline["bundle"],
+          "%s: missing bundle path" % source)
+    check(isinstance(timeline.get("reason"), str),
+          "%s: missing reason" % source)
+    for field in ("signal", "event_count", "dropped",
+                  "unregistered_drops"):
+        check_uint(timeline, field, source)
+
+    events = timeline.get("events")
+    check(isinstance(events, list), "%s: events missing" % source)
+    check(timeline["event_count"] == len(events),
+          "%s: event_count=%d but %d events"
+          % (source, timeline["event_count"], len(events)))
+    counts = {"doc_begin": 0, "doc_end": 0, "stall": 0,
+              "fault_injected": 0}
+    prev_nanos = 0
+    for i, event in enumerate(events):
+        where = "%s:events[%d]" % (source, i)
+        validate_event(event, where)
+        check(isinstance(event.get("detail"), str) and event["detail"],
+              "%s: missing decoded detail" % where)
+        check(event["nanos"] >= prev_nanos,
+              "%s: timeline is not time-sorted" % where)
+        prev_nanos = event["nanos"]
+        if event["type"] in counts:
+            counts[event["type"]] += 1
+
+    for i, doc in enumerate(timeline.get("thread_docs", [])):
+        validate_thread_doc(doc, "%s:thread_docs[%d]" % (source, i))
+
+    summary = timeline.get("summary")
+    check(isinstance(summary, dict), "%s: summary missing" % source)
+    for field, event_type in (("docs_begun", "doc_begin"),
+                              ("docs_done", "doc_end"),
+                              ("stalls", "stall"),
+                              ("faults_injected", "fault_injected")):
+        check_uint(summary, field, source + ":summary")
+        check(summary[field] == counts[event_type],
+              "%s: summary.%s=%d disagrees with %d %s events"
+              % (source, field, summary[field], counts[event_type],
+                 event_type))
+    print("check_diag_schema: OK timeline %s (%d events)"
+          % (source, len(events)))
+    return timeline
+
+
+# ---------------------------------------------------------------- cli e2e
+
+def run_cli_end_to_end(cli):
+    with tempfile.TemporaryDirectory(prefix="xpred_diag_") as tmp:
+        exprs = os.path.join(tmp, "exprs.txt")
+        doc = os.path.join(tmp, "doc.xml")
+        with open(exprs, "w", encoding="utf-8") as f:
+            f.write(subprocess.check_output(
+                [cli, "generate-queries", "--dtd=nitf", "--count=20",
+                 "--seed=7"], text=True))
+        with open(doc, "w", encoding="utf-8") as f:
+            f.write(subprocess.check_output(
+                [cli, "generate-docs", "--dtd=nitf", "--count=1",
+                 "--seed=7"], text=True))
+
+        bundle_path = os.path.join(tmp, "xpred_crash_bundle.json")
+
+        # Clean-run contract first: with diagnostics armed but no
+        # crash, the pre-opened bundle must be unlinked on exit.
+        subprocess.check_call(
+            [cli, "filter", "--exprs=" + exprs, "--flight-recorder",
+             "--diag-dir=" + tmp, doc, doc],
+            stdout=subprocess.DEVNULL)
+        check(not os.path.exists(bundle_path),
+              "clean run left an empty bundle at %s" % bundle_path)
+
+        # Crash run: the second document aborts inside the engine's
+        # begin-document fault point; the process must die with
+        # SIGABRT and leave a schema-valid bundle behind.
+        proc = subprocess.run(
+            [cli, "filter", "--exprs=" + exprs, "--flight-recorder",
+             "--diag-dir=" + tmp,
+             "--inject-fault=engine.begin_document:abort:1",
+             doc, doc],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        check(proc.returncode in (-signal.SIGABRT, 128 + signal.SIGABRT),
+              "injected abort exited with %d, want SIGABRT death"
+              % proc.returncode)
+        check(os.path.exists(bundle_path),
+              "crashed run wrote no bundle at %s" % bundle_path)
+
+        bundle = validate_bundle(bundle_path)
+        check(bundle["reason"] == "signal",
+              "crash bundle reason %r, want signal" % bundle["reason"])
+        check(bundle["signal"] == int(signal.SIGABRT),
+              "crash bundle signal %d, want %d"
+              % (bundle["signal"], int(signal.SIGABRT)))
+        check(bundle["recorder"]["installed"] is True,
+              "crash bundle has no recorder journal")
+        events = bundle["recorder"]["events"]
+        types = [e["type"] for e in events]
+        check("fault_injected" in types,
+              "crash bundle journal has no fault_injected event")
+        check("doc_begin" in types,
+              "crash bundle journal has no doc_begin event")
+        check(bundle["recorder"]["thread_docs"],
+              "crash bundle has no in-flight document fingerprint")
+        check(any(m["name"].startswith("xpred_documents_total")
+                  for m in bundle["metrics"]),
+              "crash bundle metrics lack xpred_documents_total")
+
+        # Diagnose reconstructs a merged, decoded timeline from the
+        # bundle; its summary must agree with the raw journal.
+        out = subprocess.check_output([cli, "diagnose", bundle_path],
+                                      text=True)
+        timeline = validate_timeline(json.loads(out), "diagnose output")
+        check(timeline["reason"] == "signal",
+              "timeline reason %r" % timeline["reason"])
+        check(timeline["signal"] == int(signal.SIGABRT),
+              "timeline signal %d" % timeline["signal"])
+        check(timeline["event_count"] == len(events),
+              "timeline has %d events, bundle has %d"
+              % (timeline["event_count"], len(events)))
+        check(timeline["summary"]["faults_injected"] >= 1,
+              "timeline summary counts no injected faults")
+        fault_details = [e["detail"] for e in timeline["events"]
+                         if e["type"] == "fault_injected"]
+        check(any("engine.begin_document" in d for d in fault_details),
+              "fault_injected detail did not decode the site hash: %r"
+              % fault_details)
+
+        # Non-bundles are rejected with exit code 2.
+        not_bundle = os.path.join(tmp, "not_a_bundle.json")
+        with open(not_bundle, "w", encoding="utf-8") as f:
+            f.write('{"hello": 1}')
+        proc = subprocess.run([cli, "diagnose", not_bundle],
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+        check(proc.returncode == 2,
+              "diagnose accepted a non-bundle (rc=%d)" % proc.returncode)
+
+        print("check_diag_schema: OK end-to-end (%s)" % cli)
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--cli":
+        run_cli_end_to_end(argv[1])
+        return
+    if len(argv) >= 2 and argv[0] == "--timeline":
+        for path in argv[1:]:
+            validate_timeline(path)
+        return
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in argv:
+        validate_bundle(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

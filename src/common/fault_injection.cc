@@ -1,5 +1,7 @@
 #include "common/fault_injection.h"
 
+#include <cstdlib>
+
 namespace xpred {
 
 namespace {
@@ -29,8 +31,16 @@ const char* KindName(FaultInjector::FaultKind kind) {
       return "deadline";
     case FaultInjector::FaultKind::kTruncateInput:
       return "truncate";
+    case FaultInjector::FaultKind::kAbort:
+      return "abort";
   }
   return "unknown";
+}
+
+void NotifyObserver(std::string_view site, uint64_t visit) {
+  if (detail::g_fault_observer != nullptr) {
+    detail::g_fault_observer(site, visit);
+  }
 }
 
 }  // namespace
@@ -59,6 +69,17 @@ Status FaultInjector::Check(std::string_view site) {
   for (const Rule& rule : rules_) {
     if (rule.kind == FaultKind::kTruncateInput) continue;
     if (!Fires(rule, site, visit)) continue;
+    if (rule.kind == FaultKind::kAbort) {
+      std::string entry(site);
+      entry += "#";
+      entry += std::to_string(visit);
+      entry += " ";
+      entry += KindName(rule.kind);
+      entry += " SIGABRT";
+      journal_.push_back(std::move(entry));
+      NotifyObserver(site, visit);
+      std::abort();
+    }
     Status status;
     if (rule.kind == FaultKind::kDeadlineExpiry) {
       std::string msg = rule.message;
@@ -86,6 +107,7 @@ Status FaultInjector::Check(std::string_view site) {
     entry += " ";
     entry += StatusCodeToString(status.code());
     journal_.push_back(std::move(entry));
+    NotifyObserver(site, visit);
     return status;
   }
   return Status::OK();
@@ -108,6 +130,7 @@ bool FaultInjector::MaybeTruncate(std::string_view site,
     entry += " ";
     entry += std::to_string(text->size());
     journal_.push_back(std::move(entry));
+    NotifyObserver(site, visit);
     return true;
   }
   return false;

@@ -75,6 +75,11 @@ class FaultInjector {
     /// Truncation sites (faultsite::kParserInput) trim the input to
     /// `truncate_to` bytes before parsing.
     kTruncateInput,
+    /// The checkpoint calls std::abort() after journaling the firing
+    /// (and notifying the fault observer), for crash-handler e2e
+    /// tests. The process dies with SIGABRT; the crash handler's
+    /// diagnostic bundle is the observable output.
+    kAbort,
   };
 
   struct Rule {
@@ -144,6 +149,12 @@ namespace detail {
 /// Global injector pointer; nullptr (the default) makes every fault
 /// point a single predictable branch.
 inline FaultInjector* g_fault_injector = nullptr;
+/// Optional observer notified of every fired fault (site, visit).
+/// Set by obs::FlightRecorder::Install so injected faults land in the
+/// flight-recorder journal without common depending on obs. Must be
+/// wired while no filtering is running (same contract as Install).
+inline void (*g_fault_observer)(std::string_view site,
+                                uint64_t visit) = nullptr;
 }  // namespace detail
 
 inline FaultInjector* FaultInjector::Installed() {

@@ -1,0 +1,77 @@
+#ifndef XPRED_COMMON_JSON_H_
+#define XPRED_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred {
+
+/// \brief Minimal read-only JSON document model for the diagnostics
+/// tooling (`xpred_cli diagnose` reads crash bundles back in).
+///
+/// Numbers keep their raw source text: bundle payload words are
+/// uint64 values (hashes, fingerprints) that exceed double's 2^53
+/// exact-integer range, so parsing them through double would corrupt
+/// them. AsU64 re-parses the raw text exactly; AsDouble is available
+/// for gauges.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  /// Exact unsigned-integer value of a number token ("18446744..."),
+  /// \p fallback for non-numbers and non-integer text.
+  uint64_t AsU64(uint64_t fallback = 0) const;
+  double AsDouble(double fallback = 0) const;
+  std::string_view AsString(std::string_view fallback = {}) const {
+    return is_string() ? std::string_view(string_) : fallback;
+  }
+  /// Raw source text of a number token.
+  std::string_view raw_number() const { return number_raw_; }
+
+  const std::vector<JsonValue>& array() const { return array_; }
+  /// Object members in source order (duplicate keys are kept;
+  /// Find returns the first).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// First member named \p key, nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Find for nested paths: Find("recorder") then Find("events")...
+  const JsonValue* FindPath(
+      std::initializer_list<std::string_view> keys) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string number_raw_;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Depth-limited; errors carry byte offsets.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace xpred
+
+#endif  // XPRED_COMMON_JSON_H_

@@ -3,6 +3,9 @@
 #include <chrono>
 #include <thread>
 
+#include "common/hash.h"
+#include "obs/flight_recorder.h"
+
 namespace xpred::core {
 
 IngestGovernor::IngestGovernor(FilterEngine* engine, Options options)
@@ -47,6 +50,14 @@ Status IngestGovernor::FilterNext(std::string_view xml_text,
   DocOutcome& out = outcome != nullptr ? *outcome : local;
   out = DocOutcome{};
   const uint64_t doc_index = docs_seen_++;
+#ifndef XPRED_NO_FLIGHT_RECORDER
+  // Publish the in-flight document for crash bundles: a prefix hash
+  // is enough to identify the input post-mortem.
+  if (obs::FlightRecorder* recorder = obs::FlightRecorder::Installed()) {
+    recorder->AnnotateDocument(Fnv1a(xml_text.substr(0, 256)),
+                               doc_index + 1);
+  }
+#endif
 
   // Open breaker: shed unexamined until the cooldown is spent.
   if (breaker_state_ == BreakerState::kOpen) {
@@ -54,6 +65,7 @@ Status IngestGovernor::FilterNext(std::string_view xml_text,
       --cooldown_remaining_;
       ++docs_shed_;
       shed_total_->Increment();
+      XPRED_RECORD_EVENT(obs::EventType::kShed, doc_index, 0);
       out.status = Status::Rejected("circuit breaker open: document shed");
       return Status::OK();
     }
@@ -75,6 +87,7 @@ Status IngestGovernor::FilterNext(std::string_view xml_text,
     }
     ++out.retries;
     retried_total_->Increment();
+    XPRED_RECORD_EVENT(obs::EventType::kRetry, doc_index, out.retries);
     options_.sleep_ms(options_.backoff_base_ms << attempt);
   }
 
@@ -99,6 +112,8 @@ Status IngestGovernor::FilterNext(std::string_view xml_text,
   }
   quarantine_.push_back(QuarantineRecord{doc_index, status, out.retries});
   quarantined_total_->Increment();
+  XPRED_RECORD_EVENT(obs::EventType::kQuarantine, doc_index,
+                     static_cast<uint64_t>(status.code()));
   out.quarantined = true;
   TransitionBreaker(/*doc_failed=*/true);
   return Status::OK();
@@ -132,6 +147,9 @@ void IngestGovernor::TransitionBreaker(bool doc_failed) {
 
 void IngestGovernor::SetBreakerGauge() {
   breaker_gauge_->Set(static_cast<double>(static_cast<int>(breaker_state_)));
+  XPRED_RECORD_EVENT(obs::EventType::kBreaker,
+                     static_cast<uint64_t>(static_cast<int>(breaker_state_)),
+                     consecutive_failures_);
 }
 
 }  // namespace xpred::core

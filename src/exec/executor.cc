@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "obs/flight_recorder.h"
 
 namespace xpred::exec {
 namespace {
@@ -173,9 +174,15 @@ void WorkStealingExecutor::WorkUntilJobDone(size_t worker, uint64_t epoch) {
   // Victim sequence deterministic per (seed, worker, epoch).
   uint64_t rng = seed_ ^ (0x100000001b3ull * (worker + 1)) ^
                  (epoch * 0x9e3779b97f4a7c15ull);
+  // Consecutive failed steal probes; a kPark event fires once when a
+  // dry streak reaches kParkStreak (edge-triggered, so a starved
+  // worker does not flood the recorder).
+  constexpr uint64_t kParkStreak = 64;
+  uint64_t dry_streak = 0;
   while (true) {
     size_t index;
     if (self.deque.Pop(&index)) {
+      dry_streak = 0;
       Stopwatch busy;
       fn(worker, index);
       self.busy_nanos += static_cast<uint64_t>(busy.ElapsedNanos());
@@ -193,12 +200,17 @@ void WorkStealingExecutor::WorkUntilJobDone(size_t worker, uint64_t epoch) {
     ++self.steals_attempted;
     if (states_[victim]->deque.Steal(&index)) {
       ++self.steals_succeeded;
+      XPRED_RECORD_EVENT(obs::EventType::kSteal, worker, victim);
+      dry_streak = 0;
       Stopwatch busy;
       fn(worker, index);
       self.busy_nanos += static_cast<uint64_t>(busy.ElapsedNanos());
       ++self.tasks_executed;
       remaining_.fetch_sub(1, std::memory_order_acq_rel);
     } else {
+      if (++dry_streak == kParkStreak) {
+        XPRED_RECORD_EVENT(obs::EventType::kPark, worker, dry_streak);
+      }
       std::this_thread::yield();
     }
   }

@@ -4,7 +4,9 @@
 #include <atomic>
 
 #include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/stopwatch.h"
+#include "obs/flight_recorder.h"
 
 namespace xpred::exec {
 
@@ -71,6 +73,27 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
   }
   Stopwatch batch_watch;
   const size_t num_parts = partitions_.size();
+#ifndef XPRED_NO_FLIGHT_RECORDER
+  obs::FlightRecorder* recorder = obs::FlightRecorder::Installed();
+#else
+  obs::FlightRecorder* recorder = nullptr;
+#endif
+  // Cheap per-document fingerprints (root tag hash + element count)
+  // for crash-bundle in-flight annotations; computed only when a
+  // recorder is installed.
+  std::vector<uint64_t> fingerprints;
+  if (recorder != nullptr) {
+    fingerprints.reserve(num_docs);
+    for (const DocRef& ref : docs) {
+      if (ref.doc->tag_count() == 0) {
+        fingerprints.push_back(0);
+        continue;
+      }
+      const xml::Element& root = ref.doc->element(ref.doc->root());
+      fingerprints.push_back(
+          HashCombine(Fnv1a(root.tag), ref.doc->tag_count()));
+    }
+  }
   for (const std::unique_ptr<core::Matcher>& m : partitions_) {
     m->PrepareForFiltering();
   }
@@ -104,6 +127,10 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
       out.cancelled = true;
       return;
     }
+    if (watchdog_ != nullptr) watchdog_->BeginWork(worker);
+    if (recorder != nullptr) {
+      recorder->AnnotateDocument(fingerprints[d], d + 1);
+    }
     core::MatchContext& ctx = *contexts_[worker * num_parts + p];
     ctx.budget().Arm(limits);
     ctx.set_cancel_flag(&failed[d]);
@@ -126,10 +153,17 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
       } else {
         out.status = st;
         failed[d].store(true, std::memory_order_release);
+        if (st.code() == StatusCode::kResourceExhausted ||
+            st.code() == StatusCode::kDeadlineExceeded) {
+          XPRED_RECORD_EVENT(obs::EventType::kBudgetExhausted, t,
+                             static_cast<uint64_t>(st.code()));
+        }
       }
     }
+    if (watchdog_ != nullptr) watchdog_->EndWork(worker);
   };
 
+  XPRED_RECORD_EVENT(obs::EventType::kBatchBegin, num_docs, num_tasks);
   RunTasks(num_tasks, task);
 
   // Flush counters the worker contexts accumulated (their instruments
@@ -218,6 +252,8 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
   }
 
   PublishPoolMetrics(static_cast<uint64_t>(batch_watch.ElapsedNanos()));
+  XPRED_RECORD_EVENT(obs::EventType::kBatchEnd, num_docs,
+                     static_cast<uint64_t>(first_error.code()));
   return first_error;
 }
 
@@ -256,6 +292,19 @@ void ParallelFilter::PublishPoolMetrics(uint64_t batch_nanos) {
         "Fraction of pool wall time spent executing tasks", labels);
     pool_batch_latency_ = registry->AddHistogram(
         "xpred_pool_batch_latency_ns", "FilterBatch wall latency", labels);
+    watchdog_scans_counter_ = registry->AddCounter(
+        "xpred_watchdog_scans_total", "Watchdog heartbeat scans completed",
+        labels);
+    watchdog_stalls_counter_ = registry->AddCounter(
+        "xpred_watchdog_stalls_total",
+        "Stalled-worker episodes detected by the watchdog", labels);
+    watchdog_dumps_counter_ = registry->AddCounter(
+        "xpred_watchdog_dumps_total",
+        "Voluntary diagnostic bundles written by the watchdog", labels);
+    watchdog_stalled_gauge_ = registry->AddGauge(
+        "xpred_watchdog_stalled_workers",
+        "Workers currently considered stalled", labels);
+    watchdog_published_ = obs::Watchdog::Stats{};
     pool_registry_ = registry;
   }
   const size_t workers = executor_ != nullptr ? executor_->workers() : 1;
@@ -273,6 +322,20 @@ void ParallelFilter::PublishPoolMetrics(uint64_t batch_nanos) {
     }
   }
   pool_batch_latency_->Record(batch_nanos);
+  if (watchdog_ != nullptr) {
+    // The watchdog thread never touches the registry (registries are
+    // not thread-safe); its atomic totals are converted to counter
+    // increments here, on the registry owner's thread.
+    const obs::Watchdog::Stats stats = watchdog_->stats();
+    watchdog_scans_counter_->Increment(stats.scans -
+                                       watchdog_published_.scans);
+    watchdog_stalls_counter_->Increment(stats.stalls -
+                                        watchdog_published_.stalls);
+    watchdog_dumps_counter_->Increment(stats.dumps -
+                                       watchdog_published_.dumps);
+    watchdog_stalled_gauge_->Set(static_cast<double>(stats.stalled_now));
+    watchdog_published_ = stats;
+  }
 }
 
 size_t ParallelFilter::ApproximateMemoryBytes() const {

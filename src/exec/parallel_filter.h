@@ -15,6 +15,7 @@
 #include "core/matcher.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace xpred::exec {
 
@@ -134,6 +135,14 @@ class ParallelFilter : public core::FilterEngine {
     return *partitions_[p];
   }
 
+  /// Attaches a stall watchdog (not owned; nullptr detaches). Workers
+  /// publish per-task heartbeats during FilterBatch, and
+  /// xpred_watchdog_* metrics are published from the calling thread
+  /// alongside the pool metrics. The watchdog should be sized for at
+  /// least threads() workers.
+  void set_watchdog(obs::Watchdog* watchdog) { watchdog_ = watchdog; }
+  obs::Watchdog* watchdog() const { return watchdog_; }
+
  private:
   struct TaskResult {
     Status status;
@@ -178,12 +187,20 @@ class ParallelFilter : public core::FilterEngine {
   /// batch (workers must never touch the tracer's sinks).
   std::vector<obs::StageSpanBuffer> span_buffers_;
 
+  obs::Watchdog* watchdog_ = nullptr;
+
   obs::MetricsRegistry* pool_registry_ = nullptr;
   obs::Gauge* pool_workers_gauge_ = nullptr;
   obs::Gauge* pool_queue_depth_gauge_ = nullptr;
   obs::Counter* pool_steal_counter_ = nullptr;
   obs::Gauge* pool_busy_fraction_gauge_ = nullptr;
   obs::Histogram* pool_batch_latency_ = nullptr;
+  obs::Counter* watchdog_scans_counter_ = nullptr;
+  obs::Counter* watchdog_stalls_counter_ = nullptr;
+  obs::Counter* watchdog_dumps_counter_ = nullptr;
+  obs::Gauge* watchdog_stalled_gauge_ = nullptr;
+  /// Watchdog totals already published as counter increments.
+  obs::Watchdog::Stats watchdog_published_;
 };
 
 }  // namespace xpred::exec

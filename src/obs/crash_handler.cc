@@ -1,0 +1,353 @@
+#include "obs/crash_handler.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <vector>
+
+namespace xpred::obs {
+
+namespace {
+
+/// One pre-resolved metric the signal handler can read with plain
+/// loads. json_name is already JSON-escaped and includes the rendered
+/// label string, so crash-time output is byte copies only.
+struct MetricEntry {
+  std::string json_name;
+  MetricType type = MetricType::kCounter;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
+struct InstalledState {
+  int fd = -1;
+  std::string path;
+  FlightRecorder* recorder = nullptr;
+  std::vector<MetricEntry> metrics;
+  struct sigaction old_segv;
+  struct sigaction old_bus;
+  struct sigaction old_abrt;
+  std::terminate_handler old_terminate = nullptr;
+  std::atomic<bool> dumped{false};
+};
+
+/// Raw pointer, published before the handlers are armed and read by
+/// them; never freed while handlers are armed.
+std::atomic<InstalledState*> g_state{nullptr};
+
+// --- Async-signal-safe writers -------------------------------------
+//
+// Everything below the bundle writer uses only write(2) and stack
+// buffers. No malloc, no stdio, no locks.
+
+void WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Out of disk / bad fd: keep what we have.
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+void WriteStr(int fd, std::string_view text) {
+  WriteAll(fd, text.data(), text.size());
+}
+
+void WriteU64(int fd, uint64_t value) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  WriteAll(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+/// Fixed-point double rendering (6 fractional digits) so gauges can be
+/// emitted without snprintf. Good to ~2^63 magnitude, which covers
+/// every gauge in the registry.
+void WriteDouble(int fd, double value) {
+  if (value < 0) {
+    WriteStr(fd, "-");
+    value = -value;
+  }
+  if (value > 9.2e18) {  // Out of int64 range; clamp rather than UB.
+    WriteStr(fd, "9.2e18");
+    return;
+  }
+  uint64_t whole = static_cast<uint64_t>(value);
+  uint64_t micros = static_cast<uint64_t>((value - static_cast<double>(whole)) * 1e6 + 0.5);
+  if (micros >= 1000000) {
+    whole += 1;
+    micros = 0;
+  }
+  WriteU64(fd, whole);
+  WriteStr(fd, ".");
+  char frac[6];
+  for (int i = 5; i >= 0; --i) {
+    frac[i] = static_cast<char>('0' + micros % 10);
+    micros /= 10;
+  }
+  WriteAll(fd, frac, sizeof(frac));
+}
+
+/// Writes the whole diagnostic bundle to \p fd. Async-signal-safe:
+/// reads the recorder through the raw (allocation-free) API and the
+/// metric entries through plain value loads.
+void WriteBundleToFd(int fd, DumpReason reason, int signal_number,
+                     FlightRecorder* recorder, const MetricEntry* metrics,
+                     size_t metric_count) {
+  WriteStr(fd, "{\"xpred_diag_bundle\":1,\"reason\":\"");
+  WriteStr(fd, DumpReasonName(reason));
+  WriteStr(fd, "\",\"signal\":");
+  WriteU64(fd, static_cast<uint64_t>(signal_number));
+  WriteStr(fd, ",\"nanos\":");
+  WriteU64(fd, recorder != nullptr ? recorder->NowNanos() : 0);
+
+  WriteStr(fd, ",\"recorder\":{\"installed\":");
+  WriteStr(fd, recorder != nullptr ? "true" : "false");
+  if (recorder != nullptr) {
+    WriteStr(fd, ",\"events_per_thread\":");
+    WriteU64(fd, recorder->events_per_thread());
+    WriteStr(fd, ",\"registered_threads\":");
+    WriteU64(fd, recorder->registered_threads());
+    WriteStr(fd, ",\"unregistered_drops\":");
+    WriteU64(fd, recorder->unregistered_drops());
+
+    uint64_t dropped = 0;
+    const size_t threads = recorder->registered_threads();
+    for (size_t t = 0; t < threads; ++t) {
+      const uint64_t written = recorder->thread_written(t);
+      if (written > recorder->events_per_thread()) {
+        dropped += written - recorder->events_per_thread();
+      }
+    }
+    WriteStr(fd, ",\"dropped\":");
+    WriteU64(fd, dropped);
+
+    WriteStr(fd, ",\"events\":[");
+    bool first = true;
+    for (size_t t = 0; t < threads; ++t) {
+      const uint64_t written = recorder->thread_written(t);
+      const uint64_t oldest =
+          written > recorder->events_per_thread()
+              ? written - recorder->events_per_thread()
+              : 0;
+      for (uint64_t i = oldest; i < written; ++i) {
+        FlightRecorder::Event event;
+        if (!recorder->ReadEventRaw(t, i, &event)) continue;
+        if (!first) WriteStr(fd, ",");
+        first = false;
+        WriteStr(fd, "{\"nanos\":");
+        WriteU64(fd, event.nanos);
+        WriteStr(fd, ",\"thread\":");
+        WriteU64(fd, event.thread);
+        WriteStr(fd, ",\"type\":\"");
+        WriteStr(fd, EventTypeName(event.type));
+        WriteStr(fd, "\",\"a\":");
+        WriteU64(fd, event.a);
+        WriteStr(fd, ",\"b\":");
+        WriteU64(fd, event.b);
+        WriteStr(fd, "}");
+      }
+    }
+    WriteStr(fd, "],\"thread_docs\":[");
+    for (size_t t = 0; t < threads; ++t) {
+      if (t > 0) WriteStr(fd, ",");
+      const FlightRecorder::ThreadDoc doc = recorder->ReadThreadDoc(t);
+      WriteStr(fd, "{\"thread\":");
+      WriteU64(fd, doc.thread);
+      WriteStr(fd, ",\"fingerprint\":");
+      WriteU64(fd, doc.fingerprint);
+      WriteStr(fd, ",\"doc_seq\":");
+      WriteU64(fd, doc.doc_seq);
+      WriteStr(fd, "}");
+    }
+    WriteStr(fd, "]");
+  }
+  WriteStr(fd, "}");
+
+  WriteStr(fd, ",\"metrics\":[");
+  for (size_t m = 0; m < metric_count; ++m) {
+    const MetricEntry& entry = metrics[m];
+    if (m > 0) WriteStr(fd, ",");
+    WriteStr(fd, "{\"name\":\"");
+    WriteStr(fd, entry.json_name);
+    WriteStr(fd, "\",\"type\":\"");
+    switch (entry.type) {
+      case MetricType::kCounter:
+        WriteStr(fd, "counter\",\"value\":");
+        WriteU64(fd, entry.counter->value());
+        break;
+      case MetricType::kGauge:
+        WriteStr(fd, "gauge\",\"value\":");
+        WriteDouble(fd, entry.gauge->value());
+        break;
+      case MetricType::kHistogram:
+        WriteStr(fd, "histogram\",\"count\":");
+        WriteU64(fd, entry.histogram->count());
+        WriteStr(fd, ",\"sum\":");
+        WriteU64(fd, entry.histogram->sum());
+        WriteStr(fd, ",\"max\":");
+        WriteU64(fd, entry.histogram->max());
+        break;
+    }
+    WriteStr(fd, "}");
+  }
+  WriteStr(fd, "]}\n");
+}
+
+// --- Install-time (allocating) helpers -----------------------------
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<MetricEntry> BuildMetricEntries(const MetricsRegistry* registry) {
+  std::vector<MetricEntry> entries;
+  if (registry == nullptr) return entries;
+  for (const auto& [name, family] : registry->families()) {
+    for (const auto& [labels, instance] : family.instances) {
+      MetricEntry entry;
+      entry.json_name = JsonEscape(
+          labels.empty() ? name : name + "{" + labels + "}");
+      entry.type = family.type;
+      entry.counter = &instance.counter;
+      entry.gauge = &instance.gauge;
+      entry.histogram = instance.histogram.get();
+      entries.push_back(std::move(entry));
+    }
+  }
+  return entries;
+}
+
+void RecordDumpEvent(FlightRecorder* recorder, DumpReason reason) {
+  if (recorder != nullptr) {
+    recorder->Record(EventType::kDump, static_cast<uint64_t>(reason), 0);
+  }
+}
+
+// --- Handlers ------------------------------------------------------
+
+void OnFatalSignal(int signal_number) {
+  InstalledState* state = g_state.load(std::memory_order_acquire);
+  if (state != nullptr &&
+      !state->dumped.exchange(true, std::memory_order_acq_rel)) {
+    RecordDumpEvent(state->recorder, DumpReason::kSignal);
+    WriteBundleToFd(state->fd, DumpReason::kSignal, signal_number,
+                    state->recorder, state->metrics.data(),
+                    state->metrics.size());
+    ::fsync(state->fd);
+  }
+  // Restore the default disposition and re-raise so the process dies
+  // with the original signal (exit status preserved for the parent).
+  ::signal(signal_number, SIG_DFL);
+  ::raise(signal_number);
+}
+
+[[noreturn]] void OnTerminate() {
+  InstalledState* state = g_state.load(std::memory_order_acquire);
+  if (state != nullptr &&
+      !state->dumped.exchange(true, std::memory_order_acq_rel)) {
+    RecordDumpEvent(state->recorder, DumpReason::kTerminate);
+    WriteBundleToFd(state->fd, DumpReason::kTerminate, 0, state->recorder,
+                    state->metrics.data(), state->metrics.size());
+    ::fsync(state->fd);
+  }
+  std::abort();  // SIGABRT handler sees dumped == true and re-raises.
+}
+
+}  // namespace
+
+std::string_view DumpReasonName(DumpReason reason) {
+  switch (reason) {
+    case DumpReason::kSignal:
+      return "signal";
+    case DumpReason::kTerminate:
+      return "terminate";
+    case DumpReason::kWatchdog:
+      return "watchdog";
+    case DumpReason::kManual:
+      return "manual";
+  }
+  return "unknown";
+}
+
+Status CrashHandler::Install(const Options& options) {
+  int fd = ::open(options.bundle_path.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot create diagnostic bundle at " +
+                                   options.bundle_path);
+  }
+  Uninstall();
+
+  auto* state = new InstalledState();
+  state->fd = fd;
+  state->path = options.bundle_path;
+  state->recorder = options.recorder;
+  state->metrics = BuildMetricEntries(options.registry);
+
+  struct sigaction action;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  action.sa_handler = &OnFatalSignal;
+  ::sigaction(SIGSEGV, &action, &state->old_segv);
+  ::sigaction(SIGBUS, &action, &state->old_bus);
+  ::sigaction(SIGABRT, &action, &state->old_abrt);
+  state->old_terminate = std::set_terminate(&OnTerminate);
+
+  g_state.store(state, std::memory_order_release);
+  return Status::OK();
+}
+
+void CrashHandler::Uninstall() {
+  InstalledState* state = g_state.exchange(nullptr, std::memory_order_acq_rel);
+  if (state == nullptr) return;
+  ::sigaction(SIGSEGV, &state->old_segv, nullptr);
+  ::sigaction(SIGBUS, &state->old_bus, nullptr);
+  ::sigaction(SIGABRT, &state->old_abrt, nullptr);
+  std::set_terminate(state->old_terminate);
+  ::close(state->fd);
+  if (!state->dumped.load(std::memory_order_acquire)) {
+    ::unlink(state->path.c_str());  // Clean runs leave no empty bundle.
+  }
+  delete state;
+}
+
+bool CrashHandler::Installed() {
+  return g_state.load(std::memory_order_acquire) != nullptr;
+}
+
+Status CrashHandler::WriteBundle(const std::string& path, DumpReason reason,
+                                 FlightRecorder* recorder,
+                                 const MetricsRegistry* registry) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot create diagnostic bundle at " +
+                                   path);
+  }
+  RecordDumpEvent(recorder, reason);
+  const std::vector<MetricEntry> metrics = BuildMetricEntries(registry);
+  WriteBundleToFd(fd, reason, 0, recorder, metrics.data(), metrics.size());
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace xpred::obs

@@ -1,0 +1,87 @@
+#ifndef XPRED_OBS_CRASH_HANDLER_H_
+#define XPRED_OBS_CRASH_HANDLER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace xpred::obs {
+
+/// Why a diagnostic bundle was written. Values are stable wire
+/// constants (they ride in kDump events and in the bundle JSON).
+enum class DumpReason : uint16_t {
+  /// A fatal signal (SIGSEGV / SIGBUS / SIGABRT) was caught.
+  kSignal = 1,
+  /// std::terminate was reached (unhandled exception, etc.).
+  kTerminate = 2,
+  /// The watchdog requested a voluntary dump for a stalled worker.
+  kWatchdog = 3,
+  /// Explicit WriteBundle call (tests, operator request).
+  kManual = 4,
+};
+
+/// Stable lowercase reason name ("signal", "watchdog", ...).
+std::string_view DumpReasonName(DumpReason reason);
+
+/// \brief Async-signal-safe crash-time diagnostics (DESIGN.md §14).
+///
+/// Install() pre-opens the bundle file, pre-builds a flat list of
+/// metric pointers from the registry, and hooks SIGSEGV / SIGBUS /
+/// SIGABRT plus std::terminate. When the process dies, the handler
+/// writes a JSON diagnostic bundle — the flight recorder's events and
+/// per-thread in-flight document fingerprints, plus a point-in-time
+/// metrics snapshot — to the pre-opened fd using nothing but write()
+/// and manual integer formatting (no malloc, no stdio, no locks), then
+/// restores the default disposition and re-raises so the exit status
+/// is unchanged.
+///
+/// The recorder and registry are borrowed, not owned; both must
+/// outlive the installation. The registry's *registrations* must not
+/// change while installed (values may change freely — the handler
+/// reads the plain counter/gauge words at crash time; registering new
+/// metrics after Install would reallocate family nodes under the
+/// handler's pre-built pointer list).
+///
+/// Exactly one installation can be active per process. Install
+/// replaces any previous one.
+class CrashHandler {
+ public:
+  struct Options {
+    /// Bundle destination, opened (O_CREAT | O_TRUNC) at install time.
+    /// Removed again by Uninstall() if no dump was written.
+    std::string bundle_path;
+    /// Drained into the bundle's "recorder" section. May be null.
+    FlightRecorder* recorder = nullptr;
+    /// Snapshot into the bundle's "metrics" section. May be null.
+    const MetricsRegistry* registry = nullptr;
+  };
+
+  /// Hooks the fatal-signal and terminate paths. Fails (without
+  /// installing) when the bundle file cannot be created.
+  static Status Install(const Options& options);
+
+  /// Restores the previous signal dispositions and terminate handler.
+  /// Deletes the pre-opened bundle file when no dump was written (so
+  /// clean runs leave no empty bundles behind). No-op when nothing is
+  /// installed.
+  static void Uninstall();
+
+  static bool Installed();
+
+  /// Writes a voluntary diagnostic bundle for \p reason to a fresh
+  /// file at \p path (the pre-opened crash fd is untouched). Unlike
+  /// the crash path this may allocate; it still reads the recorder
+  /// through the non-consuming raw API, so a later Drain() sees the
+  /// same events. Used by the watchdog and by tests.
+  static Status WriteBundle(const std::string& path, DumpReason reason,
+                            FlightRecorder* recorder,
+                            const MetricsRegistry* registry);
+};
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_CRASH_HANDLER_H_

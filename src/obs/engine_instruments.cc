@@ -1,5 +1,7 @@
 #include "obs/engine_instruments.h"
 
+#include "obs/flight_recorder.h"
+
 namespace xpred::obs {
 
 namespace {
@@ -87,13 +89,17 @@ void EngineInstruments::BeginDocument() {
     tracer_->BeginDocument();
     doc_start_nanos_ = tracer_->NowNanos();
   }
+  XPRED_RECORD_EVENT(EventType::kDocBegin, documents_->value() + 1, 0);
 }
 
 void EngineInstruments::EndDocument() {
   uint64_t offset = doc_start_nanos_;
+  uint64_t total_nanos = 0;
   for (size_t s = 0; s < kStageCount; ++s) {
     if (!stage_touched_[s]) continue;
     stage_hist_[s]->Record(stage_nanos_[s]);
+    total_nanos += stage_nanos_[s];
+    XPRED_RECORD_EVENT(EventType::kStage, s, stage_nanos_[s]);
     if (tracer_ != nullptr) {
       tracer_->EmitSpan(engine_name_, static_cast<Stage>(s), offset,
                         stage_nanos_[s]);
@@ -101,6 +107,7 @@ void EngineInstruments::EndDocument() {
     }
   }
   documents_->Increment();
+  XPRED_RECORD_EVENT(EventType::kDocEnd, documents_->value(), total_nanos);
 }
 
 void EngineInstruments::RecordStage(Stage stage, uint64_t nanos) {

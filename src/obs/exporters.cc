@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
 
 namespace xpred::obs {
@@ -180,14 +181,58 @@ void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
                              std::string_view engine_name,
                              std::string_view workload_json,
                              std::ostream* out) {
+  WriteMetricsSidecarJson(snapshot, source, engine_name, workload_json, "",
+                          out);
+}
+
+void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
+                             std::string_view source,
+                             std::string_view engine_name,
+                             std::string_view workload_json,
+                             std::string_view recorder_json,
+                             std::ostream* out) {
   *out << "{\n  \"schema_version\": 1,\n  \"source\": \""
        << JsonEscape(source) << "\",\n  \"engine\": \""
        << JsonEscape(engine_name) << "\",\n";
   if (!workload_json.empty()) {
     *out << "  \"workload\": " << workload_json << ",\n";
   }
+  if (!recorder_json.empty()) {
+    *out << "  \"recorder\": " << recorder_json << ",\n";
+  }
   WriteJsonBody(snapshot, out, "  ");
   *out << "}\n";
+}
+
+std::string RenderRecorderSidecarJson(
+    const FlightRecorder& recorder,
+    const FlightRecorder::Snapshot& snapshot) {
+  std::map<std::string_view, uint64_t> by_type;
+  for (const FlightRecorder::Event& event : snapshot.events) {
+    ++by_type[EventTypeName(event.type)];
+  }
+  std::string out = "{\"events_per_thread\": ";
+  out += std::to_string(recorder.events_per_thread());
+  out += ", \"registered_threads\": ";
+  out += std::to_string(recorder.registered_threads());
+  out += ", \"events\": ";
+  out += std::to_string(snapshot.events.size());
+  out += ", \"dropped\": ";
+  out += std::to_string(snapshot.dropped);
+  out += ", \"unregistered_drops\": ";
+  out += std::to_string(snapshot.unregistered_drops);
+  out += ", \"events_by_type\": {";
+  bool first = true;
+  for (const auto& [name, count] : by_type) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += name;
+    out += "\": ";
+    out += std::to_string(count);
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace xpred::obs

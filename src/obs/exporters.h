@@ -2,8 +2,10 @@
 #define XPRED_OBS_EXPORTERS_H_
 
 #include <ostream>
+#include <string>
 #include <string_view>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace xpred::obs {
@@ -48,6 +50,25 @@ void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
                              std::string_view engine_name,
                              std::string_view workload_json,
                              std::ostream* out);
+
+/// Sidecar variant with flight-recorder provenance:
+///   {..., "workload": ..., "recorder": <recorder_json>, "counters": ...}
+/// Either pre-rendered section may be empty (omitted).
+void WriteMetricsSidecarJson(const MetricsSnapshot& snapshot,
+                             std::string_view source,
+                             std::string_view engine_name,
+                             std::string_view workload_json,
+                             std::string_view recorder_json,
+                             std::ostream* out);
+
+/// Renders a drained FlightRecorder snapshot as the sidecar
+/// "recorder" section:
+///   {"events_per_thread": N, "registered_threads": N, "events": N,
+///    "dropped": N, "unregistered_drops": N,
+///    "events_by_type": {"doc_begin": 3, ...}}
+std::string RenderRecorderSidecarJson(
+    const FlightRecorder& recorder,
+    const FlightRecorder::Snapshot& snapshot);
 
 }  // namespace xpred::obs
 

@@ -1,0 +1,241 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/fault_injection.h"
+#include "common/hash.h"
+
+namespace xpred::obs {
+
+namespace {
+
+/// Unique per-recorder-instance id, so a thread's cached registration
+/// can never alias a different recorder constructed at the same
+/// address (ABA on install/uninstall cycles).
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+struct TlsRegistration {
+  uint64_t recorder_id = 0;
+  size_t slot = 0;
+  bool overflow = false;
+};
+thread_local TlsRegistration t_registration;
+
+/// common::FaultInjector observer: fired faults become kFaultInjected
+/// events (site carried as its FNV-1a hash; the faultsite registry is
+/// canonical, so `xpred_cli diagnose` reverses the hash offline).
+void RecordFaultEvent(std::string_view site, uint64_t visit) {
+  FlightRecorder* recorder = FlightRecorder::Installed();
+  if (recorder != nullptr) {
+    recorder->Record(EventType::kFaultInjected, Fnv1a(site), visit);
+  }
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kNone:
+      return "none";
+    case EventType::kDocBegin:
+      return "doc_begin";
+    case EventType::kDocEnd:
+      return "doc_end";
+    case EventType::kStage:
+      return "stage";
+    case EventType::kBatchBegin:
+      return "batch_begin";
+    case EventType::kBatchEnd:
+      return "batch_end";
+    case EventType::kQuarantine:
+      return "quarantine";
+    case EventType::kRetry:
+      return "retry";
+    case EventType::kBreaker:
+      return "breaker";
+    case EventType::kShed:
+      return "shed";
+    case EventType::kSteal:
+      return "steal";
+    case EventType::kPark:
+      return "park";
+    case EventType::kBudgetExhausted:
+      return "budget_exhausted";
+    case EventType::kFaultInjected:
+      return "fault_injected";
+    case EventType::kStall:
+      return "stall";
+    case EventType::kWatchdogScan:
+      return "watchdog_scan";
+    case EventType::kDump:
+      return "dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(const Options& options)
+    : capacity_(NextPowerOfTwo(std::max<size_t>(options.events_per_thread,
+                                                16))),
+      mask_(capacity_ - 1),
+      max_threads_(std::max<size_t>(options.max_threads, 1)) {
+  id_ = g_next_recorder_id.fetch_add(1, std::memory_order_relaxed);
+  buffers_.reserve(max_threads_);
+  for (size_t t = 0; t < max_threads_; ++t) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->slots = std::vector<Slot>(capacity_);
+    buffers_.push_back(std::move(buffer));
+  }
+  drained_upto_.assign(max_threads_, 0);
+}
+
+FlightRecorder::~FlightRecorder() {
+  // Installing a recorder and destroying it while installed is a
+  // caller bug; be defensive so tests that forget to uninstall do not
+  // leave a dangling global.
+  FlightRecorder* expected = this;
+  detail::g_flight_recorder.compare_exchange_strong(
+      expected, nullptr, std::memory_order_acq_rel);
+}
+
+FlightRecorder::ThreadBuffer* FlightRecorder::BufferForThisThread() {
+  TlsRegistration& reg = t_registration;
+  if (reg.recorder_id == id_) {
+    return reg.overflow ? nullptr : buffers_[reg.slot].get();
+  }
+  // Cold path: first Record() from this thread against this recorder.
+  const size_t slot = next_thread_.fetch_add(1, std::memory_order_relaxed);
+  reg.recorder_id = id_;
+  if (slot >= max_threads_) {
+    reg.overflow = true;
+    return nullptr;
+  }
+  reg.overflow = false;
+  reg.slot = slot;
+  return buffers_[slot].get();
+}
+
+void FlightRecorder::Record(EventType type, uint64_t a, uint64_t b) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer == nullptr) {
+    unregistered_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t n = buffer->head.load(std::memory_order_relaxed);
+  Slot& slot = buffer->slots[n & mask_];
+  // Seqlock write: mark in-progress (odd), store the payload, publish
+  // the even sequence carrying the write index.
+  slot.seq.store(2 * n + 1, std::memory_order_relaxed);
+  slot.time_type.store((NowNanos() << 16) |
+                           static_cast<uint64_t>(type),
+                       std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.seq.store(2 * (n + 1), std::memory_order_release);
+  buffer->head.store(n + 1, std::memory_order_release);
+}
+
+void FlightRecorder::AnnotateDocument(uint64_t fingerprint,
+                                      uint64_t doc_seq) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer == nullptr) return;
+  buffer->doc_fingerprint.store(fingerprint, std::memory_order_relaxed);
+  buffer->doc_seq.store(doc_seq, std::memory_order_relaxed);
+}
+
+size_t FlightRecorder::registered_threads() const {
+  return std::min(next_thread_.load(std::memory_order_acquire),
+                  max_threads_);
+}
+
+uint64_t FlightRecorder::thread_written(size_t slot) const {
+  return buffers_[slot]->head.load(std::memory_order_acquire);
+}
+
+bool FlightRecorder::ReadEventRaw(size_t slot, size_t index,
+                                  Event* out) const {
+  const Slot& s = buffers_[slot]->slots[index & mask_];
+  const uint64_t s1 = s.seq.load(std::memory_order_acquire);
+  if (s1 == 0 || (s1 & 1) != 0) return false;
+  const uint64_t time_type = s.time_type.load(std::memory_order_relaxed);
+  const uint64_t a = s.a.load(std::memory_order_relaxed);
+  const uint64_t b = s.b.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.seq.load(std::memory_order_relaxed) != s1) return false;  // Torn.
+  out->nanos = time_type >> 16;
+  out->thread = static_cast<uint32_t>(slot);
+  out->type = static_cast<EventType>(time_type & 0xffff);
+  out->a = a;
+  out->b = b;
+  return true;
+}
+
+FlightRecorder::ThreadDoc FlightRecorder::ReadThreadDoc(size_t slot) const {
+  ThreadDoc doc;
+  doc.thread = static_cast<uint32_t>(slot);
+  doc.fingerprint =
+      buffers_[slot]->doc_fingerprint.load(std::memory_order_relaxed);
+  doc.doc_seq = buffers_[slot]->doc_seq.load(std::memory_order_relaxed);
+  return doc;
+}
+
+FlightRecorder::Snapshot FlightRecorder::Drain() {
+  Snapshot out;
+  const size_t threads = registered_threads();
+  for (size_t t = 0; t < threads; ++t) {
+    const uint64_t head = thread_written(t);
+    const uint64_t oldest = head > capacity_ ? head - capacity_ : 0;
+    if (oldest > drained_upto_[t]) {
+      out.dropped += oldest - drained_upto_[t];
+    }
+    for (uint64_t i = std::max(oldest, drained_upto_[t]); i < head; ++i) {
+      Event event;
+      const Slot& s = buffers_[t]->slots[i & mask_];
+      const uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if (s1 != 2 * (i + 1)) {
+        // Either overwritten by a newer event (lapped during this
+        // drain) or an in-progress write; both count as dropped from
+        // this window.
+        ++out.dropped;
+        continue;
+      }
+      event.nanos =
+          s.time_type.load(std::memory_order_relaxed) >> 16;
+      event.type = static_cast<EventType>(
+          s.time_type.load(std::memory_order_relaxed) & 0xffff);
+      event.a = s.a.load(std::memory_order_relaxed);
+      event.b = s.b.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != s1) {
+        ++out.dropped;  // Torn under our feet.
+        continue;
+      }
+      event.thread = static_cast<uint32_t>(t);
+      out.events.push_back(event);
+    }
+    drained_upto_[t] = head;
+    out.thread_docs.push_back(ReadThreadDoc(t));
+  }
+  out.unregistered_drops =
+      unregistered_drops_.exchange(0, std::memory_order_relaxed);
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const Event& x, const Event& y) {
+                     return x.nanos < y.nanos;
+                   });
+  return out;
+}
+
+void FlightRecorder::Install(FlightRecorder* recorder) {
+  detail::g_flight_recorder.store(recorder, std::memory_order_release);
+#ifndef XPRED_DISABLE_FAULT_INJECTION
+  xpred::detail::g_fault_observer =
+      recorder != nullptr ? &RecordFaultEvent : nullptr;
+#endif
+}
+
+}  // namespace xpred::obs

@@ -1,0 +1,257 @@
+#ifndef XPRED_OBS_FLIGHT_RECORDER_H_
+#define XPRED_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace xpred::obs {
+
+/// \brief Flight-recorder event taxonomy (DESIGN.md §14).
+///
+/// Every instrumentation point in the pipeline records one of these.
+/// Values are stable wire constants: they appear verbatim in crash
+/// bundles, so renumbering breaks `xpred_cli diagnose` on old bundles.
+/// Append new types at the end and teach EventTypeName about them.
+enum class EventType : uint16_t {
+  kNone = 0,
+  /// Engine document window opened. a = 1-based document sequence
+  /// number, b = document fingerprint (0 when unknown).
+  kDocBegin = 1,
+  /// Engine document window closed. a = document sequence number,
+  /// b = summed stage nanos charged to the document.
+  kDocEnd = 2,
+  /// One pipeline stage's aggregate for the finished document.
+  /// a = obs::Stage value, b = accumulated nanoseconds.
+  kStage = 3,
+  /// ParallelFilter::FilterBatch entered. a = documents, b = tasks.
+  kBatchBegin = 4,
+  /// FilterBatch returning. a = documents, b = first-error StatusCode
+  /// (0 = OK).
+  kBatchEnd = 5,
+  /// IngestGovernor quarantined a document. a = stream doc index,
+  /// b = StatusCode of the condemning failure.
+  kQuarantine = 6,
+  /// IngestGovernor retrying a transient failure. a = stream doc
+  /// index, b = retry attempt (1-based).
+  kRetry = 7,
+  /// Circuit-breaker state transition. a = new BreakerState value,
+  /// b = consecutive failures at the transition.
+  kBreaker = 8,
+  /// Breaker shed a document unexamined. a = stream doc index, b = 0.
+  kShed = 9,
+  /// Work-steal succeeded. a = thief worker, b = victim worker.
+  kSteal = 10,
+  /// Worker went dry and is parked/spinning. a = worker, b = failed
+  /// steal probes in the current dry streak when the event fired.
+  kPark = 11,
+  /// A worker task died on its ExecBudget. a = task index,
+  /// b = StatusCode (kResourceExhausted or kDeadlineExceeded).
+  kBudgetExhausted = 12,
+  /// common::FaultInjector fired a rule. a = FNV-1a hash of the site
+  /// name (reversible against the faultsite registry), b = visit.
+  kFaultInjected = 13,
+  /// Watchdog detected a stalled worker. a = worker, b = nanoseconds
+  /// of heartbeat silence.
+  kStall = 14,
+  /// Watchdog completed a scan. a = busy workers, b = stalled workers.
+  kWatchdogScan = 15,
+  /// A diagnostic bundle was written. a = reason ordinal (see
+  /// crash_handler.h), b = 0.
+  kDump = 16,
+};
+
+/// Stable lowercase event-type name ("doc_begin", "steal", ...), the
+/// spelling used in bundles and timelines. "unknown" for bad values.
+std::string_view EventTypeName(EventType type);
+
+/// \brief Always-on, bounded-memory, lock-free event journal for
+/// post-mortem diagnosis (DESIGN.md §14).
+///
+/// One fixed-size ring of binary events per writer thread. A thread
+/// registers itself on its first Record() (cold; a single atomic slot
+/// grab) and thereafter appends with a handful of relaxed atomic
+/// stores — no locks, no allocation, wait-free. Each slot is a
+/// seqlock: readers (the drain path, the crash handler) detect and
+/// skip events they raced with instead of observing torn words, so the
+/// recorder may be drained while workers are writing.
+///
+/// Events are 4 machine words: a timestamp (nanoseconds since the
+/// recorder's epoch), the event type, and two payload words whose
+/// meaning the EventType documents. The ring overwrites oldest-first;
+/// overwritten events are counted, never silently lost (`dropped` in
+/// Snapshot).
+///
+/// Installation mirrors common::FaultInjector: `Install()` publishes a
+/// process-global recorder consulted by the XPRED_RECORD_EVENT macro,
+/// which compiles to a single null test when nothing is installed and
+/// to nothing at all under -DXPRED_NO_FLIGHT_RECORDER.
+///
+/// Thread-safety: Record / AnnotateDocument are safe from any thread.
+/// Drain may run concurrently with writers (events being written race
+/// into the next drain or are counted dropped). Install/Uninstall and
+/// destruction must not race with writers.
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Ring capacity per writer thread, in events (rounded up to a
+    /// power of two; 32 bytes/event).
+    size_t events_per_thread = 4096;
+    /// Writer threads that can register; later threads' events are
+    /// counted in Snapshot::unregistered_drops.
+    size_t max_threads = 32;
+  };
+
+  /// One decoded event.
+  struct Event {
+    /// Nanoseconds since the recorder's construction.
+    uint64_t nanos = 0;
+    /// Registration slot of the writing thread.
+    uint32_t thread = 0;
+    EventType type = EventType::kNone;
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+
+  /// Per-thread in-flight document annotation, for crash bundles.
+  struct ThreadDoc {
+    uint32_t thread = 0;
+    uint64_t fingerprint = 0;
+    uint64_t doc_seq = 0;
+  };
+
+  struct Snapshot {
+    /// Events since the previous Drain(), merged across threads and
+    /// sorted by nanos ascending.
+    std::vector<Event> events;
+    /// Events overwritten before they could be drained. Resets with
+    /// each drain (the counter covers the drained window only).
+    uint64_t dropped = 0;
+    /// Events lost because their thread found all slots taken.
+    uint64_t unregistered_drops = 0;
+    /// Last document annotation of every registered thread.
+    std::vector<ThreadDoc> thread_docs;
+  };
+
+  explicit FlightRecorder(const Options& options);
+  FlightRecorder() : FlightRecorder(Options{}) {}
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one event from the calling thread. Wait-free after the
+  /// thread's first call.
+  void Record(EventType type, uint64_t a, uint64_t b);
+
+  /// Publishes the calling thread's in-flight document (fingerprint +
+  /// engine-local sequence number) for crash bundles.
+  void AnnotateDocument(uint64_t fingerprint, uint64_t doc_seq);
+
+  /// Drains every event recorded since the previous Drain() call.
+  /// Safe while writers are active: racing events are either skipped
+  /// (picked up by the next drain) or counted in `dropped`.
+  Snapshot Drain();
+
+  /// Nanoseconds since construction — the event time base.
+  uint64_t NowNanos() const {
+    return static_cast<uint64_t>(epoch_.ElapsedNanos());
+  }
+
+  /// \name Raw access (async-signal-safe, allocation-free)
+  ///
+  /// The crash handler walks the rings with these from a signal
+  /// context. ReadEventRaw returns false for empty or torn slots.
+  ///@{
+  size_t max_threads() const { return max_threads_; }
+  size_t events_per_thread() const { return capacity_; }
+  /// Threads registered so far (clamped to max_threads()).
+  size_t registered_threads() const;
+  /// Events the thread in \p slot has written in total.
+  uint64_t thread_written(size_t slot) const;
+  bool ReadEventRaw(size_t slot, size_t index, Event* out) const;
+  ThreadDoc ReadThreadDoc(size_t slot) const;
+  uint64_t unregistered_drops() const {
+    return unregistered_drops_.load(std::memory_order_relaxed);
+  }
+  ///@}
+
+  /// Installs \p recorder (not owned; nullptr uninstalls) as the
+  /// process-global recorder consulted by XPRED_RECORD_EVENT. Also
+  /// wires the common::FaultInjector observer hook so fired faults
+  /// are recorded as kFaultInjected events.
+  static void Install(FlightRecorder* recorder);
+  static FlightRecorder* Installed();
+
+ private:
+  /// One seqlock slot. seq: 0 = never written, odd = write in
+  /// progress, even 2*(n+1) = stable event with write index n.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    /// nanos << 16 | type.
+    std::atomic<uint64_t> time_type{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+  };
+
+  struct alignas(64) ThreadBuffer {
+    /// Total events written by the owning thread (monotonic).
+    std::atomic<uint64_t> head{0};
+    std::atomic<uint64_t> doc_fingerprint{0};
+    std::atomic<uint64_t> doc_seq{0};
+    std::vector<Slot> slots;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  const size_t capacity_;  // Power of two.
+  const size_t mask_;
+  const size_t max_threads_;
+  /// Process-unique instance id, matched against the thread-local
+  /// registration cache (see flight_recorder.cc).
+  uint64_t id_ = 0;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<size_t> next_thread_{0};
+  std::atomic<uint64_t> unregistered_drops_{0};
+  /// Drainer-only bookkeeping: write index up to which each thread's
+  /// ring has been drained.
+  std::vector<uint64_t> drained_upto_;
+  Stopwatch epoch_;
+};
+
+namespace detail {
+/// Process-global recorder; nullptr (the default) makes every
+/// XPRED_RECORD_EVENT a single predictable branch.
+inline std::atomic<FlightRecorder*> g_flight_recorder{nullptr};
+}  // namespace detail
+
+inline FlightRecorder* FlightRecorder::Installed() {
+  return detail::g_flight_recorder.load(std::memory_order_acquire);
+}
+
+/// Instrumentation checkpoint: records an event when a recorder is
+/// installed. Compiles out entirely under -DXPRED_NO_FLIGHT_RECORDER.
+#ifdef XPRED_NO_FLIGHT_RECORDER
+#define XPRED_RECORD_EVENT(type, a, b) \
+  do {                                 \
+  } while (0)
+#else
+#define XPRED_RECORD_EVENT(type, a, b)                          \
+  do {                                                          \
+    ::xpred::obs::FlightRecorder* _xpred_fr =                   \
+        ::xpred::obs::FlightRecorder::Installed();              \
+    if (_xpred_fr != nullptr) [[unlikely]] {                    \
+      _xpred_fr->Record((type), static_cast<uint64_t>(a),       \
+                        static_cast<uint64_t>(b));              \
+    }                                                           \
+  } while (0)
+#endif
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_FLIGHT_RECORDER_H_

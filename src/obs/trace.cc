@@ -46,6 +46,10 @@ std::vector<TraceSpan> RingBufferSink::Drain() {
   spans_.clear();
   next_ = 0;
   size_ = 0;
+  // The drop counter covers the drained window only: a drain hands
+  // the caller everything still buffered and resets the sink whole,
+  // mirroring FlightRecorder::Drain's per-window `dropped` semantics.
+  dropped_ = 0;
   return out;
 }
 

@@ -1,0 +1,120 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+
+#include "obs/crash_handler.h"
+
+namespace xpred::obs {
+
+Watchdog::Watchdog(size_t workers, const Options& options)
+    : options_(options) {
+  slots_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  scan_state_.resize(workers);
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::BeginWork(size_t worker) {
+  if (worker >= slots_.size()) return;
+  slots_[worker]->beats.fetch_add(1, std::memory_order_relaxed);
+  slots_[worker]->busy.store(true, std::memory_order_release);
+}
+
+void Watchdog::EndWork(size_t worker) {
+  if (worker >= slots_.size()) return;
+  slots_[worker]->busy.store(false, std::memory_order_release);
+  slots_[worker]->beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Watchdog::ScanOnce() {
+  const uint64_t now = static_cast<uint64_t>(epoch_.ElapsedNanos());
+  const uint64_t stall_nanos = options_.stall_timeout_ms * 1000000ull;
+  FlightRecorder* recorder = options_.recorder != nullptr
+                                 ? options_.recorder
+                                 : FlightRecorder::Installed();
+  uint64_t busy = 0;
+  uint64_t stalled = 0;
+  for (size_t w = 0; w < slots_.size(); ++w) {
+    ScanState& state = scan_state_[w];
+    if (!slots_[w]->busy.load(std::memory_order_acquire)) {
+      state.stalled = false;
+      continue;
+    }
+    ++busy;
+    const uint64_t beat = slots_[w]->beats.load(std::memory_order_relaxed);
+    if (beat != state.last_beat || state.last_change_nanos == 0) {
+      state.last_beat = beat;
+      state.last_change_nanos = now;
+      state.stalled = false;
+      continue;
+    }
+    const uint64_t silence = now - state.last_change_nanos;
+    if (silence < stall_nanos) continue;
+    state.stalled = true;
+    ++stalled;
+    if (state.reported_beat == beat) continue;  // Already reported.
+    state.reported_beat = beat;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (recorder != nullptr) {
+      recorder->Record(EventType::kStall, w, silence);
+    }
+    if (!options_.dump_path.empty() &&
+        dumps_.load(std::memory_order_relaxed) == 0) {
+      // One bundle per watchdog lifetime: the first stall episode is
+      // the interesting one, and repeated dumps would overwrite it.
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+      (void)CrashHandler::WriteBundle(options_.dump_path,
+                                      DumpReason::kWatchdog, recorder,
+                                      options_.registry);
+    }
+  }
+  stalled_now_.store(stalled, std::memory_order_relaxed);
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  if (recorder != nullptr) {
+    recorder->Record(EventType::kWatchdogScan, busy, stalled);
+  }
+}
+
+void Watchdog::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms));
+    if (stop_requested_) break;
+    lock.unlock();
+    ScanOnce();
+    lock.lock();
+  }
+}
+
+void Watchdog::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&Watchdog::ThreadMain, this);
+}
+
+void Watchdog::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+Watchdog::Stats Watchdog::stats() const {
+  Stats stats;
+  stats.scans = scans_.load(std::memory_order_relaxed);
+  stats.stalls = stalls_.load(std::memory_order_relaxed);
+  stats.dumps = dumps_.load(std::memory_order_relaxed);
+  stats.stalled_now = stalled_now_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace xpred::obs

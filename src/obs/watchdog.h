@@ -1,0 +1,131 @@
+#ifndef XPRED_OBS_WATCHDOG_H_
+#define XPRED_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace xpred::obs {
+
+/// \brief Stall detector for the parallel pipeline (DESIGN.md §14).
+///
+/// Each worker publishes a heartbeat (a relaxed atomic counter bump)
+/// from its task loop; the watchdog thread polls the heartbeats and
+/// flags any worker that is marked busy but whose counter has not
+/// moved for longer than the stall timeout. A stall is reported once
+/// per stuck heartbeat value (edge-triggered): it records a kStall
+/// flight-recorder event, bumps the internal stall counter, and — when
+/// a dump path is configured — writes one voluntary diagnostic bundle
+/// for the first stall episode via CrashHandler::WriteBundle.
+///
+/// Thread-safety: Beat / BeginWork / EndWork are safe from any thread
+/// (wait-free). stats() is safe from any thread. Start/Stop must come
+/// from one owner thread. The watchdog deliberately does NOT touch a
+/// MetricsRegistry from its own thread (registries are not
+/// thread-safe); owners read stats() and publish xpred_watchdog_*
+/// metrics from the thread that owns the registry.
+class Watchdog {
+ public:
+  struct Options {
+    /// Scan cadence of the watchdog thread.
+    uint64_t poll_interval_ms = 50;
+    /// Heartbeat silence that counts as a stall.
+    uint64_t stall_timeout_ms = 1000;
+    /// When non-empty, the first stall episode writes a voluntary
+    /// diagnostic bundle here.
+    std::string dump_path;
+    /// Recorder for kStall / kWatchdogScan events; when null, the
+    /// process-global FlightRecorder::Installed() is used per scan.
+    FlightRecorder* recorder = nullptr;
+    /// Snapshot source for voluntary dumps only (never touched
+    /// outside WriteBundle). May be null.
+    const MetricsRegistry* registry = nullptr;
+  };
+
+  /// Monotonic totals since construction, for owner-thread metric
+  /// publication (xpred_watchdog_scans_total, _stalls_total,
+  /// _dumps_total, and the xpred_watchdog_stalled_workers gauge).
+  struct Stats {
+    uint64_t scans = 0;
+    uint64_t stalls = 0;
+    uint64_t dumps = 0;
+    uint64_t stalled_now = 0;
+  };
+
+  Watchdog(size_t workers, const Options& options);
+  /// Stops the scan thread if still running.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Spawns the scan thread. Idempotent.
+  void Start();
+  /// Joins the scan thread. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// Worker heartbeat: call from inside long-running work loops.
+  void Beat(size_t worker) {
+    if (worker < slots_.size()) {
+      slots_[worker]->beats.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  /// Marks \p worker as executing work (watched) and beats once.
+  void BeginWork(size_t worker);
+  /// Marks \p worker idle (not watched).
+  void EndWork(size_t worker);
+
+  /// One synchronous scan on the caller's thread; what the scan
+  /// thread runs every poll interval. Exposed for deterministic tests.
+  void ScanOnce();
+
+  Stats stats() const;
+  size_t workers() const { return slots_.size(); }
+
+ private:
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> beats{0};
+    std::atomic<bool> busy{false};
+  };
+
+  /// Scan-thread-only per-worker bookkeeping.
+  struct ScanState {
+    uint64_t last_beat = 0;
+    uint64_t last_change_nanos = 0;
+    /// Beat value whose stall has already been reported (edge
+    /// trigger); ~0 when none.
+    uint64_t reported_beat = ~uint64_t{0};
+    bool stalled = false;
+  };
+
+  void ThreadMain();
+
+  const Options options_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<ScanState> scan_state_;
+  Stopwatch epoch_;
+
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> dumps_{0};
+  std::atomic<uint64_t> stalled_now_{0};
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_WATCHDOG_H_

@@ -1,0 +1,111 @@
+// Tests for the minimal JSON reader behind `xpred_cli diagnose`:
+// value model, exact u64 round-tripping of large payload words,
+// escape handling, and error reporting.
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "common/json.h"
+
+namespace xpred {
+namespace {
+
+JsonValue ParseOrDie(std::string_view text) {
+  Result<JsonValue> value = ParseJson(text);
+  EXPECT_TRUE(value.ok()) << text << ": " << value.status();
+  return value.ok() ? std::move(value).value() : JsonValue();
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(ParseOrDie("null").is_null());
+  EXPECT_TRUE(ParseOrDie("true").AsBool());
+  EXPECT_FALSE(ParseOrDie("false").AsBool(true));
+  EXPECT_EQ(ParseOrDie("42").AsU64(), 42u);
+  EXPECT_DOUBLE_EQ(ParseOrDie("-2.5e2").AsDouble(), -250.0);
+  EXPECT_EQ(ParseOrDie("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, LargeU64PayloadsRoundTripExactly) {
+  // Fingerprints and FNV hashes exceed double's 2^53 exact range;
+  // AsU64 must re-parse the raw token, not go through double.
+  const uint64_t max = 18446744073709551615ull;
+  EXPECT_EQ(ParseOrDie("18446744073709551615").AsU64(), max);
+  EXPECT_EQ(ParseOrDie("9007199254740993").AsU64(), 9007199254740993ull);
+  EXPECT_EQ(ParseOrDie("18446744073709551615").raw_number(),
+            "18446744073709551615");
+}
+
+TEST(JsonTest, AsU64FallsBackForNonIntegers) {
+  EXPECT_EQ(ParseOrDie("1.5").AsU64(7), 7u);
+  EXPECT_EQ(ParseOrDie("-3").AsU64(7), 7u);
+  EXPECT_EQ(ParseOrDie("\"12\"").AsU64(7), 7u);
+  EXPECT_EQ(ParseOrDie("null").AsU64(7), 7u);
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  JsonValue root = ParseOrDie(
+      "{\"a\": [1, {\"b\": \"x\"}, null], \"c\": {\"d\": true}}");
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[0].AsU64(), 1u);
+  EXPECT_EQ(a->array()[1].Find("b")->AsString(), "x");
+  EXPECT_TRUE(a->array()[2].is_null());
+  const JsonValue* d = root.FindPath({"c", "d"});
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->AsBool());
+  EXPECT_EQ(root.FindPath({"c", "missing"}), nullptr);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  EXPECT_EQ(ParseOrDie("\"a\\n\\t\\\"\\\\b\\/\"").AsString(),
+            "a\n\t\"\\b/");
+  EXPECT_EQ(ParseOrDie("\"\\u0041\\u00e9\\u20ac\"").AsString(),
+            "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonTest, DuplicateKeysKeepFirstForFind) {
+  JsonValue root = ParseOrDie("{\"k\": 1, \"k\": 2}");
+  EXPECT_EQ(root.members().size(), 2u);
+  EXPECT_EQ(root.Find("k")->AsU64(), 1u);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // Trailing garbage.
+  EXPECT_FALSE(ParseJson("-").ok());
+  EXPECT_FALSE(ParseJson("1.").ok());
+  EXPECT_FALSE(ParseJson("1e").ok());
+  EXPECT_FALSE(ParseJson("\"\x01\"").ok());  // Raw control char.
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\x\"").ok());
+}
+
+TEST(JsonTest, ErrorsCarryByteOffsets) {
+  Result<JsonValue> value = ParseJson("{\"a\": nope}");
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.status().message().find("at byte"), std::string::npos);
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonTest, AllowsSurroundingWhitespace) {
+  EXPECT_EQ(ParseOrDie(" \t\r\n { \"a\" : 1 } \n").Find("a")->AsU64(), 1u);
+}
+
+}  // namespace
+}  // namespace xpred

@@ -1,0 +1,234 @@
+// Tests for the crash handler: voluntary WriteBundle output, the
+// Install/Uninstall file lifecycle, and — via gtest death tests — the
+// async-signal-safe dump path on a real SIGABRT and on
+// std::terminate.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "common/json.h"
+#include "obs/crash_handler.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace xpred::obs {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return {};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.is_open();
+}
+
+TEST(DumpReasonNameTest, StableWireNames) {
+  EXPECT_EQ(DumpReasonName(DumpReason::kSignal), "signal");
+  EXPECT_EQ(DumpReasonName(DumpReason::kTerminate), "terminate");
+  EXPECT_EQ(DumpReasonName(DumpReason::kWatchdog), "watchdog");
+  EXPECT_EQ(DumpReasonName(DumpReason::kManual), "manual");
+}
+
+TEST(CrashHandlerTest, WriteBundleCapturesRecorderAndMetrics) {
+  const std::string path =
+      ::testing::TempDir() + "/xpred_manual_bundle.json";
+  std::remove(path.c_str());
+
+  FlightRecorder recorder;
+  recorder.Record(EventType::kDocBegin, 1, 0);
+  recorder.Record(EventType::kQuarantine, 1, 9);
+  recorder.AnnotateDocument(/*fingerprint=*/0x1234, /*doc_seq=*/1);
+
+  MetricsRegistry registry;
+  Counter* docs = registry.AddCounter("xpred_docs_total", "docs",
+                                      {{"engine", "test"}});
+  docs->Increment();
+  docs->Increment();
+  registry.AddGauge("xpred_breaker_state", "breaker")->Set(2);
+
+  ASSERT_TRUE(CrashHandler::WriteBundle(path, DumpReason::kManual,
+                                        &recorder, &registry)
+                  .ok());
+
+  Result<JsonValue> bundle = ParseJson(ReadFileOrEmpty(path));
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ(bundle->Find("xpred_diag_bundle")->AsU64(), 1u);
+  EXPECT_EQ(bundle->Find("reason")->AsString(), "manual");
+
+  // The dump itself is journaled: doc_begin, quarantine, then the
+  // kDump marker recorded by WriteBundle.
+  const JsonValue* events = bundle->FindPath({"recorder", "events"});
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array().size(), 3u);
+  EXPECT_EQ(events->array()[0].Find("type")->AsString(), "doc_begin");
+  EXPECT_EQ(events->array()[1].Find("type")->AsString(), "quarantine");
+  EXPECT_EQ(events->array()[1].Find("b")->AsU64(), 9u);
+  EXPECT_EQ(events->array()[2].Find("type")->AsString(), "dump");
+  EXPECT_EQ(events->array()[2].Find("a")->AsU64(),
+            static_cast<uint64_t>(DumpReason::kManual));
+
+  const JsonValue* docs_json = bundle->FindPath({"recorder", "thread_docs"});
+  ASSERT_NE(docs_json, nullptr);
+  ASSERT_EQ(docs_json->array().size(), 1u);
+  EXPECT_EQ(docs_json->array()[0].Find("fingerprint")->AsU64(), 0x1234u);
+
+  const JsonValue* metrics = bundle->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool saw_counter = false, saw_gauge = false;
+  for (const JsonValue& metric : metrics->array()) {
+    const std::string_view name = metric.Find("name")->AsString();
+    if (name == "xpred_docs_total{engine=\"test\"}") {
+      saw_counter = true;
+      EXPECT_EQ(metric.Find("type")->AsString(), "counter");
+      EXPECT_EQ(metric.Find("value")->AsU64(), 2u);
+    } else if (name == "xpred_breaker_state") {
+      saw_gauge = true;
+      EXPECT_EQ(metric.Find("type")->AsString(), "gauge");
+      EXPECT_EQ(metric.Find("value")->AsDouble(), 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+
+  // WriteBundle reads the recorder non-destructively: a later Drain
+  // still sees the events (plus the journaled dump marker).
+  EXPECT_EQ(recorder.Drain().events.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CrashHandlerTest, WriteBundleToleratesNullSources) {
+  const std::string path =
+      ::testing::TempDir() + "/xpred_null_bundle.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(CrashHandler::WriteBundle(path, DumpReason::kManual,
+                                        nullptr, nullptr)
+                  .ok());
+  Result<JsonValue> bundle = ParseJson(ReadFileOrEmpty(path));
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  const JsonValue* installed =
+      bundle->FindPath({"recorder", "installed"});
+  ASSERT_NE(installed, nullptr);
+  EXPECT_FALSE(installed->AsBool(true));
+  std::remove(path.c_str());
+}
+
+TEST(CrashHandlerTest, WriteBundleFailsOnUnwritablePath) {
+  EXPECT_FALSE(CrashHandler::WriteBundle(
+                   "/nonexistent-dir/bundle.json", DumpReason::kManual,
+                   nullptr, nullptr)
+                   .ok());
+}
+
+TEST(CrashHandlerTest, UninstallRemovesBundleWhenNothingDumped) {
+  const std::string path =
+      ::testing::TempDir() + "/xpred_clean_run_bundle.json";
+  std::remove(path.c_str());
+  CrashHandler::Options options;
+  options.bundle_path = path;
+  ASSERT_TRUE(CrashHandler::Install(options).ok());
+  EXPECT_TRUE(CrashHandler::Installed());
+  EXPECT_TRUE(FileExists(path));  // Pre-opened at install time.
+  CrashHandler::Uninstall();
+  EXPECT_FALSE(CrashHandler::Installed());
+  // A clean run leaves no empty bundle behind.
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(CrashHandlerTest, InstallFailsWhenBundleCannotBeCreated) {
+  CrashHandler::Options options;
+  options.bundle_path = "/nonexistent-dir/bundle.json";
+  EXPECT_FALSE(CrashHandler::Install(options).ok());
+  EXPECT_FALSE(CrashHandler::Installed());
+}
+
+/// Runs in the death-test child: installs the handler and dies the
+/// requested way. The bundle lands in a file the parent inspects.
+[[noreturn]] void DieWithHandlerInstalled(const std::string& path,
+                                          bool via_terminate) {
+  static FlightRecorder recorder;  // Outlives the "crash".
+  recorder.Record(EventType::kDocBegin, 1, 0);
+  recorder.AnnotateDocument(/*fingerprint=*/0xdead, /*doc_seq=*/1);
+  CrashHandler::Options options;
+  options.bundle_path = path;
+  options.recorder = &recorder;
+  if (!CrashHandler::Install(options).ok()) _exit(97);
+  if (via_terminate) std::terminate();
+  std::abort();
+}
+
+JsonValue LoadBundleOrDie(const std::string& path) {
+  const std::string text = ReadFileOrEmpty(path);
+  Result<JsonValue> bundle = ParseJson(text);
+  EXPECT_TRUE(bundle.ok()) << bundle.status() << "\n" << text;
+  return bundle.ok() ? std::move(bundle).value() : JsonValue();
+}
+
+TEST(CrashHandlerDeathTest, AbortWritesSignalBundle) {
+  const std::string path =
+      ::testing::TempDir() + "/xpred_abort_bundle.json";
+  std::remove(path.c_str());
+  EXPECT_EXIT(DieWithHandlerInstalled(path, /*via_terminate=*/false),
+              ::testing::KilledBySignal(SIGABRT), "");
+  JsonValue bundle = LoadBundleOrDie(path);
+  ASSERT_TRUE(bundle.is_object());
+  EXPECT_EQ(bundle.Find("xpred_diag_bundle")->AsU64(), 1u);
+  EXPECT_EQ(bundle.Find("reason")->AsString(), "signal");
+  EXPECT_EQ(bundle.Find("signal")->AsU64(), static_cast<uint64_t>(SIGABRT));
+  // doc_begin plus the kDump marker the crash path journals.
+  const JsonValue* events = bundle.FindPath({"recorder", "events"});
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array().size(), 2u);
+  EXPECT_EQ(events->array()[0].Find("type")->AsString(), "doc_begin");
+  EXPECT_EQ(events->array()[1].Find("type")->AsString(), "dump");
+  const JsonValue* docs = bundle.FindPath({"recorder", "thread_docs"});
+  ASSERT_NE(docs, nullptr);
+  ASSERT_EQ(docs->array().size(), 1u);
+  EXPECT_EQ(docs->array()[0].Find("fingerprint")->AsU64(), 0xdeadu);
+  std::remove(path.c_str());
+}
+
+TEST(CrashHandlerDeathTest, TerminateWritesTerminateBundle) {
+  const std::string path =
+      ::testing::TempDir() + "/xpred_terminate_bundle.json";
+  std::remove(path.c_str());
+  EXPECT_EXIT(DieWithHandlerInstalled(path, /*via_terminate=*/true),
+              ::testing::KilledBySignal(SIGABRT), "");
+  JsonValue bundle = LoadBundleOrDie(path);
+  ASSERT_TRUE(bundle.is_object());
+  EXPECT_EQ(bundle.Find("reason")->AsString(), "terminate");
+  std::remove(path.c_str());
+}
+
+TEST(CrashHandlerDeathTest, SegvWritesSignalBundle) {
+  const std::string path =
+      ::testing::TempDir() + "/xpred_segv_bundle.json";
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        CrashHandler::Options options;
+        options.bundle_path = path;
+        if (!CrashHandler::Install(options).ok()) _exit(97);
+        raise(SIGSEGV);
+      },
+      ::testing::KilledBySignal(SIGSEGV), "");
+  JsonValue bundle = LoadBundleOrDie(path);
+  ASSERT_TRUE(bundle.is_object());
+  EXPECT_EQ(bundle.Find("reason")->AsString(), "signal");
+  EXPECT_EQ(bundle.Find("signal")->AsU64(), static_cast<uint64_t>(SIGSEGV));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xpred::obs

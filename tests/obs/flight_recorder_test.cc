@@ -1,0 +1,280 @@
+// Unit tests for the flight recorder: drain-window semantics,
+// overwrite accounting, thread registration limits, the installation
+// hook (including the FaultInjector observer wiring), and the raw
+// slot-access API the crash handler uses.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/fault_injection.h"
+#include "common/hash.h"
+#include "obs/flight_recorder.h"
+
+namespace xpred::obs {
+namespace {
+
+FlightRecorder::Options SmallOptions(size_t events, size_t threads = 4) {
+  FlightRecorder::Options options;
+  options.events_per_thread = events;
+  options.max_threads = threads;
+  return options;
+}
+
+TEST(FlightRecorderTest, RecordsAndDrainsInOrder) {
+  FlightRecorder recorder(SmallOptions(16));
+  recorder.Record(EventType::kDocBegin, 1, 0);
+  recorder.Record(EventType::kStage, 2, 12345);
+  recorder.Record(EventType::kDocEnd, 1, 99);
+
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 3u);
+  EXPECT_EQ(snapshot.dropped, 0u);
+  EXPECT_EQ(snapshot.unregistered_drops, 0u);
+  EXPECT_EQ(snapshot.events[0].type, EventType::kDocBegin);
+  EXPECT_EQ(snapshot.events[1].type, EventType::kStage);
+  EXPECT_EQ(snapshot.events[1].a, 2u);
+  EXPECT_EQ(snapshot.events[1].b, 12345u);
+  EXPECT_EQ(snapshot.events[2].type, EventType::kDocEnd);
+  // Timestamps are monotone non-decreasing within one thread.
+  EXPECT_LE(snapshot.events[0].nanos, snapshot.events[1].nanos);
+  EXPECT_LE(snapshot.events[1].nanos, snapshot.events[2].nanos);
+}
+
+TEST(FlightRecorderTest, DrainWindowsDoNotOverlap) {
+  FlightRecorder recorder(SmallOptions(16));
+  recorder.Record(EventType::kDocBegin, 1, 0);
+  EXPECT_EQ(recorder.Drain().events.size(), 1u);
+  // A second drain with no new events is empty, not a replay.
+  EXPECT_EQ(recorder.Drain().events.size(), 0u);
+  recorder.Record(EventType::kDocEnd, 1, 0);
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].type, EventType::kDocEnd);
+}
+
+TEST(FlightRecorderTest, OverwrittenEventsAreCountedDropped) {
+  // Capacity 16 (the floor): writing 40 events keeps the newest 16
+  // and counts the 24 overwritten ones as dropped.
+  FlightRecorder recorder(SmallOptions(16));
+  for (uint64_t i = 0; i < 40; ++i) {
+    recorder.Record(EventType::kStage, i, 0);
+  }
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 16u);
+  EXPECT_EQ(snapshot.dropped, 24u);
+  EXPECT_EQ(snapshot.events[0].a, 24u);
+  EXPECT_EQ(snapshot.events[15].a, 39u);
+  // The drop counter covers the drained window only.
+  recorder.Record(EventType::kStage, 40, 0);
+  snapshot = recorder.Drain();
+  EXPECT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.dropped, 0u);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder recorder(SmallOptions(17));
+  EXPECT_EQ(recorder.events_per_thread(), 32u);
+  // Tiny requests are clamped to the 16-event floor.
+  FlightRecorder tiny(SmallOptions(2));
+  EXPECT_EQ(tiny.events_per_thread(), 16u);
+}
+
+TEST(FlightRecorderTest, ThreadsBeyondMaxAreCountedNotCrashed) {
+  FlightRecorder recorder(SmallOptions(16, /*threads=*/1));
+  recorder.Record(EventType::kDocBegin, 1, 0);  // Takes the only slot.
+  std::thread other([&recorder] {
+    recorder.Record(EventType::kDocEnd, 2, 0);
+    recorder.Record(EventType::kDocEnd, 3, 0);
+  });
+  other.join();
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].type, EventType::kDocBegin);
+  EXPECT_EQ(snapshot.unregistered_drops, 2u);
+  // unregistered_drops is also a per-window counter.
+  EXPECT_EQ(recorder.Drain().unregistered_drops, 0u);
+}
+
+TEST(FlightRecorderTest, EventsCarryStableThreadSlots) {
+  FlightRecorder recorder(SmallOptions(16));
+  recorder.Record(EventType::kDocBegin, 1, 0);
+  std::thread other([&recorder] {
+    recorder.Record(EventType::kDocBegin, 2, 0);
+    recorder.Record(EventType::kDocEnd, 2, 0);
+  });
+  other.join();
+  EXPECT_EQ(recorder.registered_threads(), 2u);
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 3u);
+  uint32_t main_slot = 0, other_slot = 0;
+  for (const FlightRecorder::Event& event : snapshot.events) {
+    if (event.a == 1) {
+      main_slot = event.thread;
+    } else {
+      other_slot = event.thread;
+    }
+  }
+  EXPECT_NE(main_slot, other_slot);
+}
+
+TEST(FlightRecorderTest, AnnotateDocumentPublishesThreadDocs) {
+  FlightRecorder recorder(SmallOptions(16));
+  recorder.AnnotateDocument(/*fingerprint=*/0xabcdef, /*doc_seq=*/7);
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.thread_docs.size(), 1u);
+  EXPECT_EQ(snapshot.thread_docs[0].fingerprint, 0xabcdefu);
+  EXPECT_EQ(snapshot.thread_docs[0].doc_seq, 7u);
+  // Annotations persist across drains (last-value, not a stream).
+  snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.thread_docs.size(), 1u);
+  EXPECT_EQ(snapshot.thread_docs[0].doc_seq, 7u);
+}
+
+TEST(FlightRecorderTest, RawReadMatchesDrain) {
+  FlightRecorder recorder(SmallOptions(8));
+  recorder.Record(EventType::kSteal, 3, 1);
+  ASSERT_EQ(recorder.registered_threads(), 1u);
+  EXPECT_EQ(recorder.thread_written(0), 1u);
+  FlightRecorder::Event event;
+  ASSERT_TRUE(recorder.ReadEventRaw(0, 0, &event));
+  EXPECT_EQ(event.type, EventType::kSteal);
+  EXPECT_EQ(event.a, 3u);
+  EXPECT_EQ(event.b, 1u);
+  // Raw reads do not consume: Drain still sees the event.
+  EXPECT_EQ(recorder.Drain().events.size(), 1u);
+  // Never-written slots read false.
+  EXPECT_FALSE(recorder.ReadEventRaw(0, 1, &event));
+  EXPECT_FALSE(recorder.ReadEventRaw(1, 0, &event));
+}
+
+TEST(FlightRecorderTest, MacroIsInertWithoutInstallation) {
+  ASSERT_EQ(FlightRecorder::Installed(), nullptr);
+  XPRED_RECORD_EVENT(EventType::kDocBegin, 1, 0);  // Must not crash.
+}
+
+TEST(FlightRecorderTest, InstallRoutesMacroEvents) {
+  FlightRecorder recorder(SmallOptions(16));
+  FlightRecorder::Install(&recorder);
+  XPRED_RECORD_EVENT(EventType::kShed, 42, 0);
+  FlightRecorder::Install(nullptr);
+  XPRED_RECORD_EVENT(EventType::kShed, 43, 0);  // Dropped: uninstalled.
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].a, 42u);
+}
+
+TEST(FlightRecorderTest, DestructionClearsDanglingInstallation) {
+  {
+    FlightRecorder recorder(SmallOptions(16));
+    FlightRecorder::Install(&recorder);
+  }
+  EXPECT_EQ(FlightRecorder::Installed(), nullptr);
+}
+
+TEST(FlightRecorderTest, RecorderIsReusableAcrossInstances) {
+  // Thread registrations are cached in TLS keyed by a per-instance id;
+  // a second recorder must not inherit the first one's slot claims.
+  {
+    FlightRecorder first(SmallOptions(16));
+    first.Record(EventType::kDocBegin, 1, 0);
+  }
+  FlightRecorder second(SmallOptions(16));
+  second.Record(EventType::kDocBegin, 2, 0);
+  FlightRecorder::Snapshot snapshot = second.Drain();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].a, 2u);
+}
+
+TEST(FlightRecorderTest, FaultInjectorFiringsAreRecorded) {
+  FlightRecorder recorder(SmallOptions(16));
+  FlightRecorder::Install(&recorder);
+  FaultInjector injector(/*seed=*/1);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kEngineBeginDocument);
+  rule.kind = FaultInjector::FaultKind::kStatusFailure;
+  rule.code = StatusCode::kInternal;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+
+  EXPECT_FALSE(injector.Check(faultsite::kEngineBeginDocument).ok());
+
+  FaultInjector::Install(nullptr);
+  FlightRecorder::Install(nullptr);
+
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].type, EventType::kFaultInjected);
+  EXPECT_EQ(snapshot.events[0].a, Fnv1a(faultsite::kEngineBeginDocument));
+  EXPECT_EQ(snapshot.events[0].b, 0u);  // First visit.
+}
+
+TEST(EventTypeNameTest, StableWireNames) {
+  EXPECT_EQ(EventTypeName(EventType::kDocBegin), "doc_begin");
+  EXPECT_EQ(EventTypeName(EventType::kDocEnd), "doc_end");
+  EXPECT_EQ(EventTypeName(EventType::kStage), "stage");
+  EXPECT_EQ(EventTypeName(EventType::kBatchBegin), "batch_begin");
+  EXPECT_EQ(EventTypeName(EventType::kBatchEnd), "batch_end");
+  EXPECT_EQ(EventTypeName(EventType::kQuarantine), "quarantine");
+  EXPECT_EQ(EventTypeName(EventType::kRetry), "retry");
+  EXPECT_EQ(EventTypeName(EventType::kBreaker), "breaker");
+  EXPECT_EQ(EventTypeName(EventType::kShed), "shed");
+  EXPECT_EQ(EventTypeName(EventType::kSteal), "steal");
+  EXPECT_EQ(EventTypeName(EventType::kPark), "park");
+  EXPECT_EQ(EventTypeName(EventType::kBudgetExhausted),
+            "budget_exhausted");
+  EXPECT_EQ(EventTypeName(EventType::kFaultInjected), "fault_injected");
+  EXPECT_EQ(EventTypeName(EventType::kStall), "stall");
+  EXPECT_EQ(EventTypeName(EventType::kWatchdogScan), "watchdog_scan");
+  EXPECT_EQ(EventTypeName(EventType::kDump), "dump");
+  EXPECT_EQ(EventTypeName(static_cast<EventType>(999)), "unknown");
+}
+
+/// Concurrent smoke: hammer one recorder from several threads while a
+/// drainer loops. The seqlock contract is "no torn events": every
+/// drained event must be one that some thread actually wrote.
+TEST(FlightRecorderTest, ConcurrentWritersNeverProduceTornEvents) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kEventsPerWriter = 2000;
+  FlightRecorder recorder(SmallOptions(64, kWriters + 1));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (uint64_t i = 0; i < kEventsPerWriter; ++i) {
+        // Payload invariant checked below: b == a * 3 + w.
+        recorder.Record(EventType::kStage, i,
+                        i * 3 + static_cast<uint64_t>(w));
+      }
+    });
+  }
+  uint64_t drained = 0;
+  uint64_t dropped = 0;
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      FlightRecorder::Snapshot snapshot = recorder.Drain();
+      for (const FlightRecorder::Event& event : snapshot.events) {
+        ASSERT_EQ(event.type, EventType::kStage);
+        const uint64_t w = event.b - event.a * 3;
+        ASSERT_LT(w, static_cast<uint64_t>(kWriters))
+            << "torn event: a=" << event.a << " b=" << event.b;
+      }
+      drained += snapshot.events.size();
+      dropped += snapshot.dropped;
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+  FlightRecorder::Snapshot final_snapshot = recorder.Drain();
+  drained += final_snapshot.events.size();
+  dropped += final_snapshot.dropped;
+  // Conservation: every written event was either drained or counted.
+  EXPECT_EQ(drained + dropped, kWriters * kEventsPerWriter);
+}
+
+}  // namespace
+}  // namespace xpred::obs

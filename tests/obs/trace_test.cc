@@ -56,6 +56,28 @@ TEST(RingBufferSinkTest, KeepsMostRecentSpans) {
   EXPECT_EQ(sink.Drain().size(), 1u);
 }
 
+/// Regression: Drain() used to hand back the buffered spans but leave
+/// `dropped_` at its pre-drain value, so the counter double-reported
+/// evictions from earlier windows forever after.
+TEST(RingBufferSinkTest, DrainResetsDroppedCounter) {
+  RingBufferSink sink(2);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    sink.Emit(MakeSpan(i, Stage::kParse, i * 10, i));
+  }
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.Drain().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  // A fresh window that never overflows stays at zero...
+  sink.Emit(MakeSpan(6, Stage::kParse, 60, 1));
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.Drain().size(), 1u);
+  // ...and a window that overflows again counts only its own drops.
+  for (uint64_t i = 7; i <= 9; ++i) {
+    sink.Emit(MakeSpan(i, Stage::kParse, i * 10, i));
+  }
+  EXPECT_EQ(sink.dropped(), 1u);
+}
+
 TEST(RingBufferSinkTest, UnderCapacityKeepsEverything) {
   RingBufferSink sink(10);
   sink.Emit(MakeSpan(1, Stage::kParse, 0, 5));

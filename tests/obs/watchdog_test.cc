@@ -1,0 +1,183 @@
+// Unit tests for the parallel-pipeline watchdog: heartbeat and busy
+// bookkeeping, edge-triggered stall reporting via deterministic
+// ScanOnce calls, flight-recorder integration, and the one-shot
+// voluntary dump.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "common/json.h"
+#include "obs/flight_recorder.h"
+#include "obs/watchdog.h"
+
+namespace xpred::obs {
+namespace {
+
+/// Options with a zero stall timeout: a busy worker whose beat did
+/// not move between two scans counts as stalled immediately, which
+/// makes stall detection fully deterministic (no sleeps).
+Watchdog::Options ImmediateStall() {
+  Watchdog::Options options;
+  options.stall_timeout_ms = 0;
+  return options;
+}
+
+TEST(WatchdogTest, IdleWorkersNeverStall) {
+  Watchdog watchdog(4, ImmediateStall());
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();
+  Watchdog::Stats stats = watchdog.stats();
+  EXPECT_EQ(stats.scans, 2u);
+  EXPECT_EQ(stats.stalls, 0u);
+  EXPECT_EQ(stats.stalled_now, 0u);
+}
+
+TEST(WatchdogTest, StallIsEdgeTriggeredPerBeat) {
+  Watchdog watchdog(2, ImmediateStall());
+  watchdog.BeginWork(0);
+  watchdog.ScanOnce();  // Baseline: beat observed for the first time.
+  EXPECT_EQ(watchdog.stats().stalls, 0u);
+  watchdog.ScanOnce();  // Same beat, silence >= timeout: stall.
+  Watchdog::Stats stats = watchdog.stats();
+  EXPECT_EQ(stats.stalls, 1u);
+  EXPECT_EQ(stats.stalled_now, 1u);
+  // Further scans of the same stuck beat do not re-report.
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();
+  stats = watchdog.stats();
+  EXPECT_EQ(stats.stalls, 1u);
+  EXPECT_EQ(stats.stalled_now, 1u);
+}
+
+TEST(WatchdogTest, HeartbeatClearsStallAndReArms) {
+  Watchdog watchdog(1, ImmediateStall());
+  watchdog.BeginWork(0);
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();
+  EXPECT_EQ(watchdog.stats().stalls, 1u);
+  watchdog.Beat(0);  // Progress: the worker is alive after all.
+  watchdog.ScanOnce();
+  EXPECT_EQ(watchdog.stats().stalled_now, 0u);
+  // A second silent stretch on the new beat value is a new episode.
+  watchdog.ScanOnce();
+  Watchdog::Stats stats = watchdog.stats();
+  EXPECT_EQ(stats.stalls, 2u);
+  EXPECT_EQ(stats.stalled_now, 1u);
+}
+
+TEST(WatchdogTest, EndWorkStopsWatching) {
+  Watchdog watchdog(1, ImmediateStall());
+  watchdog.BeginWork(0);
+  watchdog.ScanOnce();
+  watchdog.EndWork(0);
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();
+  Watchdog::Stats stats = watchdog.stats();
+  EXPECT_EQ(stats.stalls, 0u);
+  EXPECT_EQ(stats.stalled_now, 0u);
+}
+
+TEST(WatchdogTest, OutOfRangeWorkersAreIgnored) {
+  Watchdog watchdog(1, ImmediateStall());
+  watchdog.BeginWork(7);  // Must not crash.
+  watchdog.Beat(7);
+  watchdog.EndWork(7);
+  watchdog.ScanOnce();
+  EXPECT_EQ(watchdog.stats().stalls, 0u);
+}
+
+TEST(WatchdogTest, StallTimeoutIsHonoured) {
+  // A generous timeout means back-to-back scans never see enough
+  // silence to call a busy worker stalled.
+  Watchdog::Options options;
+  options.stall_timeout_ms = 60000;
+  Watchdog watchdog(1, options);
+  watchdog.BeginWork(0);
+  for (int i = 0; i < 5; ++i) watchdog.ScanOnce();
+  EXPECT_EQ(watchdog.stats().stalls, 0u);
+}
+
+TEST(WatchdogTest, RecordsStallAndScanEvents) {
+  FlightRecorder recorder;
+  Watchdog::Options options = ImmediateStall();
+  options.recorder = &recorder;
+  Watchdog watchdog(2, options);
+  watchdog.BeginWork(1);
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();
+  FlightRecorder::Snapshot snapshot = recorder.Drain();
+  bool saw_stall = false;
+  size_t scan_events = 0;
+  for (const FlightRecorder::Event& event : snapshot.events) {
+    if (event.type == EventType::kStall) {
+      saw_stall = true;
+      EXPECT_EQ(event.a, 1u);  // The stalled worker index.
+    } else if (event.type == EventType::kWatchdogScan) {
+      ++scan_events;
+    }
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_EQ(scan_events, 2u);
+}
+
+TEST(WatchdogTest, FirstStallEpisodeWritesOneVoluntaryBundle) {
+  const std::string path =
+      ::testing::TempDir() + "/xpred_watchdog_test_bundle.json";
+  std::remove(path.c_str());
+  FlightRecorder recorder;
+  Watchdog::Options options = ImmediateStall();
+  options.recorder = &recorder;
+  options.dump_path = path;
+  Watchdog watchdog(1, options);
+  watchdog.BeginWork(0);
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();  // First stall: writes the bundle.
+  watchdog.Beat(0);
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();  // Second stall episode: must NOT overwrite.
+  Watchdog::Stats stats = watchdog.stats();
+  EXPECT_EQ(stats.stalls, 2u);
+  EXPECT_EQ(stats.dumps, 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> bundle = ParseJson(buffer.str());
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  const JsonValue* magic = bundle->Find("xpred_diag_bundle");
+  ASSERT_NE(magic, nullptr);
+  EXPECT_EQ(magic->AsU64(), 1u);
+  const JsonValue* reason = bundle->Find("reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_EQ(reason->AsString(), "watchdog");
+  // The bundle carries the stall event that triggered it.
+  const JsonValue* events = bundle->FindPath({"recorder", "events"});
+  ASSERT_NE(events, nullptr);
+  bool saw_stall = false;
+  for (const JsonValue& event : events->array()) {
+    const JsonValue* type = event.Find("type");
+    if (type != nullptr && type->AsString() == "stall") saw_stall = true;
+  }
+  EXPECT_TRUE(saw_stall);
+  std::remove(path.c_str());
+}
+
+TEST(WatchdogTest, StartAndStopAreIdempotent) {
+  Watchdog::Options options;
+  options.poll_interval_ms = 1;
+  Watchdog watchdog(1, options);
+  watchdog.Start();
+  watchdog.Start();
+  watchdog.Stop();
+  watchdog.Stop();
+  watchdog.Start();  // Restartable after a stop.
+  watchdog.Stop();
+}
+
+}  // namespace
+}  // namespace xpred::obs

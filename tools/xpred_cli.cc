@@ -26,6 +26,19 @@
 //       top-K cost/selectivity table (default K=10) after the run;
 //       with --metrics-json the sidecar gains a "workload" section.
 //
+//       Diagnostics: --flight-recorder[=N] installs an always-on
+//       per-thread event journal (N events/thread, default 4096);
+//       with --metrics-json the sidecar gains a "recorder" section.
+//       --diag-dir=DIR arms the crash handler (bundle written to
+//       DIR/xpred_crash_bundle.json on SIGSEGV/SIGBUS/SIGABRT or
+//       std::terminate; implies --flight-recorder).
+//       --watchdog-ms[=MS] attaches a stall watchdog to the parallel
+//       engine (default: 4x --deadline-ms, else 1000ms); with
+//       --diag-dir a stall dumps DIR/xpred_watchdog_bundle.json.
+//       --inject-fault=SITE:KIND[:OFFSET] installs a deterministic
+//       fault rule (KIND: abort, status, deadline) for testing the
+//       crash-diagnosis path.
+//
 //   xpred_cli explain [--json] [--max-paths=N] [--max-steps=N]
 //       <xml-file> <xpath>
 //       Re-run the predicate-encoding pipeline for one (document,
@@ -33,6 +46,12 @@
 //       predicate evaluations and occurrence-determination trace —
 //       naming the first failing predicate on a miss. Exit status:
 //       0 match, 1 no match, 2 error (grep convention).
+//
+//   xpred_cli diagnose <bundle>
+//       Read a diagnostic bundle (crash, watchdog, or manual) back in
+//       and print a merged, time-sorted JSON timeline with decoded
+//       event details (stage names, status codes, fault sites). Exit
+//       status: 0 ok, 2 unreadable or schema-invalid bundle.
 //
 //   xpred_cli generate-queries --dtd=nitf|psd --count=N [--max-length=L]
 //       [--min-length=L] [--wildcard=W] [--descendant=DO] [--filters=K]
@@ -43,8 +62,10 @@
 //       Print generated XML documents to stdout, separated by blank
 //       lines (count=1 gives a single well-formed document).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -56,16 +77,22 @@
 
 #include "analytics/explain.h"
 #include "analytics/workload_profiler.h"
+#include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/interner.h"
+#include "common/json.h"
 #include "common/string_util.h"
 #include "core/encoder.h"
 #include "core/governor.h"
 #include "core/matcher.h"
 #include "exec/parallel_filter.h"
 #include "indexfilter/index_filter.h"
+#include "obs/crash_handler.h"
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "xfilter/xfilter.h"
 #include "xml/generator.h"
 #include "xml/standard_dtds.h"
@@ -142,7 +169,10 @@ int Usage() {
                "[--max-depth=N] [--max-doc-bytes=N] [--deadline-ms=MS] "
                "[--threads=N] [--partition=P] [--batch] "
                "[--profile-workload[=K]] "
+               "[--flight-recorder[=N]] [--diag-dir=DIR] "
+               "[--watchdog-ms[=MS]] [--inject-fault=SITE:KIND[:OFF]] "
                "[--fail-fast|--quarantine] <xml-file>...\n"
+               "  xpred_cli diagnose <bundle>\n"
                "  xpred_cli explain [--json] [--max-paths=N] "
                "[--max-steps=N] <xml-file> <xpath>\n"
                "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
@@ -247,7 +277,8 @@ int CmdFilter(const Args& args) {
                            "metrics-json", "trace", "max-depth",
                            "max-doc-bytes", "deadline-ms", "fail-fast",
                            "quarantine", "threads", "partition", "batch",
-                           "profile-workload"})) {
+                           "profile-workload", "flight-recorder", "diag-dir",
+                           "watchdog-ms", "inject-fault"})) {
     return Usage();
   }
   std::string exprs_path = args.Get("exprs", "");
@@ -294,6 +325,75 @@ int CmdFilter(const Args& args) {
     engine->set_tracer(tracer.get());
   }
 
+  // Diagnostics wiring: flight recorder (always-on event journal),
+  // deterministic fault injection for crash-path testing, and — after
+  // the governor exists — the crash handler and watchdog. The guard
+  // uninstalls every process-global hook on ALL return paths.
+  const std::string diag_dir = args.Get("diag-dir", "");
+  if (!diag_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(diag_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --diag-dir %s: %s\n",
+                   diag_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (args.Has("flight-recorder") || !diag_dir.empty()) {
+    obs::FlightRecorder::Options recorder_options;
+    const std::string n = args.Get("flight-recorder", "true");
+    if (n != "true") {
+      recorder_options.events_per_thread =
+          std::strtoull(n.c_str(), nullptr, 10);
+    }
+    recorder = std::make_unique<obs::FlightRecorder>(recorder_options);
+    obs::FlightRecorder::Install(recorder.get());
+  }
+  struct DiagGuard {
+    ~DiagGuard() {
+      obs::CrashHandler::Uninstall();
+      FaultInjector::Install(nullptr);
+      obs::FlightRecorder::Install(nullptr);
+    }
+  } diag_guard;
+
+  std::unique_ptr<FaultInjector> injector;
+  const std::string inject = args.Get("inject-fault", "");
+  if (!inject.empty() && inject != "true") {
+    // SITE:KIND[:OFFSET] — e.g. engine.begin_document:abort:2
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+      size_t colon = inject.find(':', start);
+      parts.push_back(inject.substr(start, colon - start));
+      if (colon == std::string::npos) break;
+      start = colon + 1;
+    }
+    FaultInjector::Rule rule;
+    rule.site = parts[0];
+    const std::string kind = parts.size() > 1 ? parts[1] : "status";
+    if (kind == "abort") {
+      rule.kind = FaultInjector::FaultKind::kAbort;
+    } else if (kind == "deadline") {
+      rule.kind = FaultInjector::FaultKind::kDeadlineExpiry;
+    } else if (kind == "status") {
+      rule.kind = FaultInjector::FaultKind::kStatusFailure;
+    } else {
+      std::fprintf(stderr,
+                   "--inject-fault kind must be abort, status, or deadline "
+                   "(got '%s')\n",
+                   kind.c_str());
+      return 2;
+    }
+    if (parts.size() > 2) {
+      rule.offset = std::strtoull(parts[2].c_str(), nullptr, 10);
+    }
+    injector = std::make_unique<FaultInjector>(42);
+    injector->AddRule(rule);
+    FaultInjector::Install(injector.get());
+  }
+
   // Workload analytics: the profiler is an AttributionSink fed by the
   // matcher-family hot-path hooks (no-op for other engine families).
   std::unique_ptr<analytics::WorkloadProfiler> profiler;
@@ -316,6 +416,41 @@ int CmdFilter(const Args& args) {
     } else {
       parallel_engine->set_attribution_sink(profiler.get());
     }
+  }
+
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (args.Has("watchdog-ms")) {
+    if (parallel_engine == nullptr) {
+      std::fprintf(stderr,
+                   "--watchdog-ms requires the parallel engine "
+                   "(--engine=parallel or --threads/--partition)\n");
+      return 2;
+    }
+    obs::Watchdog::Options watchdog_options;
+    const std::string ms = args.Get("watchdog-ms", "true");
+    if (ms != "true") {
+      watchdog_options.stall_timeout_ms =
+          std::strtoull(ms.c_str(), nullptr, 10);
+    } else {
+      // Default stall threshold: a multiple of the per-document
+      // deadline when one is set, else one second.
+      const double deadline_ms =
+          std::strtod(args.Get("deadline-ms", "0").c_str(), nullptr);
+      watchdog_options.stall_timeout_ms =
+          deadline_ms > 0 ? static_cast<uint64_t>(4 * deadline_ms) : 1000;
+    }
+    if (watchdog_options.stall_timeout_ms == 0) {
+      watchdog_options.stall_timeout_ms = 1000;
+    }
+    watchdog_options.recorder = recorder.get();
+    watchdog_options.registry = &registry;
+    if (!diag_dir.empty()) {
+      watchdog_options.dump_path = diag_dir + "/xpred_watchdog_bundle.json";
+    }
+    watchdog = std::make_unique<obs::Watchdog>(parallel_engine->threads(),
+                                               watchdog_options);
+    parallel_engine->set_watchdog(watchdog.get());
+    watchdog->Start();
   }
 
   std::vector<std::string> expressions;
@@ -350,6 +485,18 @@ int CmdFilter(const Args& args) {
       std::strtod(args.Get("deadline-ms", "0").c_str(), nullptr);
   governor_options.fail_fast = args.Has("fail-fast");
   core::IngestGovernor governor(engine.get(), governor_options);
+
+  if (!diag_dir.empty()) {
+    obs::CrashHandler::Options crash_options;
+    crash_options.bundle_path = diag_dir + "/xpred_crash_bundle.json";
+    crash_options.recorder = recorder.get();
+    crash_options.registry = &registry;
+    Status st = obs::CrashHandler::Install(crash_options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
 
   int rc = 0;
   if (args.Has("batch")) {
@@ -396,6 +543,9 @@ int CmdFilter(const Args& args) {
       if (!result.status.ok()) {
         std::fprintf(stderr, "%s: %s\n", doc_paths[d].c_str(),
                      result.status.ToString().c_str());
+        // Error path: flush buffered spans now — a subsequent abort
+        // (fail-fast, crash) must not lose the trace so far.
+        if (tracer != nullptr) tracer->Flush();
         rc = 1;
         continue;
       }
@@ -419,8 +569,10 @@ int CmdFilter(const Args& args) {
     core::IngestGovernor::DocOutcome outcome;
     Status st = governor.FilterNext(buffer.str(), &matched, &outcome);
     if (!st.ok()) {
-      // fail-fast: abort the run on the first failed document.
+      // fail-fast: abort the run on the first failed document. Flush
+      // buffered spans before bailing so the abort drops nothing.
       std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      if (tracer != nullptr) tracer->Flush();
       rc = 1;
       break;
     }
@@ -428,6 +580,7 @@ int CmdFilter(const Args& args) {
       std::fprintf(stderr, "%s: %s%s\n", path.c_str(),
                    outcome.status.ToString().c_str(),
                    outcome.quarantined ? " (quarantined)" : "");
+      if (tracer != nullptr) tracer->Flush();
       rc = 1;
       continue;
     }
@@ -513,11 +666,16 @@ int CmdFilter(const Args& args) {
   }
   std::string metrics_json_path = args.Get("metrics-json", "");
   if (!metrics_json_path.empty()) {
+    std::string recorder_json;
+    if (recorder != nullptr) {
+      recorder_json =
+          obs::RenderRecorderSidecarJson(*recorder, recorder->Drain());
+    }
     obs::MetricsSnapshot snapshot = registry.Snapshot();
     if (metrics_json_path == "-") {
       obs::WriteMetricsSidecarJson(snapshot, "xpred_cli filter",
                                    engine->name(), workload_json,
-                                   &std::cout);
+                                   recorder_json, &std::cout);
     } else {
       std::ofstream out(metrics_json_path);
       if (!out) {
@@ -525,10 +683,230 @@ int CmdFilter(const Args& args) {
         return 1;
       }
       obs::WriteMetricsSidecarJson(snapshot, "xpred_cli filter",
-                                   engine->name(), workload_json, &out);
+                                   engine->name(), workload_json,
+                                   recorder_json, &out);
     }
   }
+  if (watchdog != nullptr) watchdog->Stop();
   return rc;
+}
+
+
+/// Known fault-injection sites, for reversing the FNV-1a site hashes
+/// carried in kFaultInjected events back to names.
+const std::string_view kFaultSites[] = {
+    faultsite::kParserBeginDocument, faultsite::kParserDecodeText,
+    faultsite::kParserInput,         faultsite::kEngineBeginDocument,
+    faultsite::kEncoderEncodePath,   faultsite::kMatcherProcessPath,
+    faultsite::kYFilterTraverse,     faultsite::kXFilterElement,
+    faultsite::kIndexFilterBuildIndex,
+    faultsite::kStreamingStartElement,
+};
+
+std::string DiagJsonEscape(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Human-readable interpretation of one bundle event, keyed on the
+/// stable type names the crash handler writes.
+std::string DescribeEvent(std::string_view type, uint64_t a, uint64_t b) {
+  auto code_name = [](uint64_t code) {
+    return std::string(
+        StatusCodeToString(static_cast<StatusCode>(code)));
+  };
+  std::string detail;
+  if (type == "doc_begin") {
+    detail = "doc #" + std::to_string(a) + " begun";
+  } else if (type == "doc_end") {
+    detail = "doc #" + std::to_string(a) + " done in " +
+             std::to_string(b) + " ns";
+  } else if (type == "stage") {
+    const std::string_view stage =
+        a < obs::kStageCount ? obs::StageName(static_cast<obs::Stage>(a))
+                             : std::string_view("?");
+    detail = "stage ";
+    detail += stage;
+    detail += " " + std::to_string(b) + " ns";
+  } else if (type == "batch_begin") {
+    detail = "batch of " + std::to_string(a) + " doc(s), " +
+             std::to_string(b) + " task(s)";
+  } else if (type == "batch_end") {
+    detail = "batch of " + std::to_string(a) +
+             " doc(s) finished: " + code_name(b);
+  } else if (type == "quarantine") {
+    detail = "doc #" + std::to_string(a) + " quarantined: " + code_name(b);
+  } else if (type == "retry") {
+    detail = "doc #" + std::to_string(a) + " retry " + std::to_string(b);
+  } else if (type == "breaker") {
+    const char* states[] = {"closed", "open", "half-open"};
+    detail = "breaker -> ";
+    detail += a < 3 ? states[a] : "?";
+    detail += " after " + std::to_string(b) + " consecutive failure(s)";
+  } else if (type == "shed") {
+    detail = "doc #" + std::to_string(a) + " shed by open breaker";
+  } else if (type == "steal") {
+    detail = "worker " + std::to_string(a) + " stole from worker " +
+             std::to_string(b);
+  } else if (type == "park") {
+    detail = "worker " + std::to_string(a) + " dry after " +
+             std::to_string(b) + " failed probes";
+  } else if (type == "budget_exhausted") {
+    detail = "task " + std::to_string(a) + " died: " + code_name(b);
+  } else if (type == "fault_injected") {
+    detail = "injected fault at ";
+    bool found = false;
+    for (std::string_view site : kFaultSites) {
+      if (Fnv1a(site) == a) {
+        detail += site;
+        found = true;
+        break;
+      }
+    }
+    if (!found) detail += "site#" + std::to_string(a);
+    detail += " (visit " + std::to_string(b) + ")";
+  } else if (type == "stall") {
+    detail = "worker " + std::to_string(a) + " silent for " +
+             std::to_string(b) + " ns";
+  } else if (type == "watchdog_scan") {
+    detail = "watchdog scan: " + std::to_string(a) + " busy, " +
+             std::to_string(b) + " stalled";
+  } else if (type == "dump") {
+    const char* reasons[] = {"?", "signal", "terminate", "watchdog",
+                             "manual"};
+    detail = "diagnostic bundle dumped (";
+    detail += a < 5 ? reasons[a] : "?";
+    detail += ")";
+  } else {
+    detail = "a=" + std::to_string(a) + " b=" + std::to_string(b);
+  }
+  return detail;
+}
+
+int CmdDiagnose(const Args& args) {
+  if (!args.RejectUnknown({})) return Usage();
+  if (args.positional.size() != 1) return Usage();
+  const std::string& bundle_path = args.positional[0];
+  std::ifstream bundle_file(bundle_path);
+  if (!bundle_file) {
+    std::fprintf(stderr, "cannot open %s\n", bundle_path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << bundle_file.rdbuf();
+  Result<JsonValue> parsed = ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", bundle_path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  const JsonValue& bundle = *parsed;
+  const JsonValue* version = bundle.Find("xpred_diag_bundle");
+  if (version == nullptr || version->AsU64() != 1) {
+    std::fprintf(stderr, "%s: not a version-1 xpred diagnostic bundle\n",
+                 bundle_path.c_str());
+    return 2;
+  }
+
+  // Collect (nanos, thread, type, a, b) tuples and time-sort them into
+  // one merged timeline (the crash path writes per-thread ring order).
+  struct TimelineEvent {
+    uint64_t nanos = 0;
+    uint64_t thread = 0;
+    std::string type;
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+  std::vector<TimelineEvent> events;
+  const JsonValue* bundle_events = bundle.FindPath({"recorder", "events"});
+  if (bundle_events != nullptr && bundle_events->is_array()) {
+    for (const JsonValue& e : bundle_events->array()) {
+      TimelineEvent event;
+      if (const JsonValue* v = e.Find("nanos")) event.nanos = v->AsU64();
+      if (const JsonValue* v = e.Find("thread")) event.thread = v->AsU64();
+      if (const JsonValue* v = e.Find("type")) {
+        event.type.assign(v->AsString());
+      }
+      if (const JsonValue* v = e.Find("a")) event.a = v->AsU64();
+      if (const JsonValue* v = e.Find("b")) event.b = v->AsU64();
+      events.push_back(std::move(event));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimelineEvent& x, const TimelineEvent& y) {
+                     return x.nanos < y.nanos;
+                   });
+
+  std::string reason = "unknown";
+  if (const JsonValue* v = bundle.Find("reason")) {
+    reason.assign(v->AsString("unknown"));
+  }
+  const uint64_t signal_number =
+      bundle.Find("signal") != nullptr ? bundle.Find("signal")->AsU64() : 0;
+
+  uint64_t docs_begun = 0;
+  uint64_t docs_done = 0;
+  uint64_t stalls = 0;
+  uint64_t faults = 0;
+  std::string out = "{\"xpred_diag_timeline\": 1,\n  \"bundle\": \"";
+  out += DiagJsonEscape(bundle_path);
+  out += "\",\n  \"reason\": \"" + DiagJsonEscape(reason) + "\"";
+  out += ",\n  \"signal\": " + std::to_string(signal_number);
+  out += ",\n  \"event_count\": " + std::to_string(events.size());
+  for (const char* key : {"dropped", "unregistered_drops"}) {
+    const JsonValue* v = bundle.FindPath({"recorder", key});
+    out += ",\n  \"";
+    out += key;
+    out += "\": " + std::to_string(v != nullptr ? v->AsU64() : 0);
+  }
+  out += ",\n  \"events\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TimelineEvent& e = events[i];
+    if (e.type == "doc_begin") ++docs_begun;
+    if (e.type == "doc_end") ++docs_done;
+    if (e.type == "stall") ++stalls;
+    if (e.type == "fault_injected") ++faults;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"nanos\": " + std::to_string(e.nanos);
+    out += ", \"thread\": " + std::to_string(e.thread);
+    out += ", \"type\": \"" + DiagJsonEscape(e.type) + "\"";
+    out += ", \"a\": " + std::to_string(e.a);
+    out += ", \"b\": " + std::to_string(e.b);
+    out += ", \"detail\": \"" +
+           DiagJsonEscape(DescribeEvent(e.type, e.a, e.b)) + "\"}";
+  }
+  out += "\n  ],\n  \"thread_docs\": [";
+  const JsonValue* thread_docs = bundle.FindPath({"recorder", "thread_docs"});
+  if (thread_docs != nullptr && thread_docs->is_array()) {
+    bool first = true;
+    for (const JsonValue& doc : thread_docs->array()) {
+      uint64_t thread = 0;
+      uint64_t fingerprint = 0;
+      uint64_t doc_seq = 0;
+      if (const JsonValue* v = doc.Find("thread")) thread = v->AsU64();
+      if (const JsonValue* v = doc.Find("fingerprint")) {
+        fingerprint = v->AsU64();
+      }
+      if (const JsonValue* v = doc.Find("doc_seq")) doc_seq = v->AsU64();
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {\"thread\": " + std::to_string(thread);
+      out += ", \"fingerprint\": " + std::to_string(fingerprint);
+      out += ", \"doc_seq\": " + std::to_string(doc_seq) + "}";
+    }
+  }
+  out += "\n  ],\n  \"summary\": {\"docs_begun\": ";
+  out += std::to_string(docs_begun);
+  out += ", \"docs_done\": " + std::to_string(docs_done);
+  out += ", \"stalls\": " + std::to_string(stalls);
+  out += ", \"faults_injected\": " + std::to_string(faults);
+  out += "}\n}";
+  std::printf("%s\n", out.c_str());
+  return 0;
 }
 
 int CmdExplain(const Args& args) {
@@ -627,6 +1005,7 @@ int main(int argc, char** argv) {
   Args args = Args::Parse(argc, argv, 2);
   if (command == "encode") return CmdEncode(args);
   if (command == "filter") return CmdFilter(args);
+  if (command == "diagnose") return CmdDiagnose(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "generate-queries") return CmdGenerateQueries(args);
   if (command == "generate-docs") return CmdGenerateDocs(args);
