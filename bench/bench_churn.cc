@@ -1,0 +1,241 @@
+// Subscription-churn overhead benchmark: how much batch filtering
+// throughput does a live, concurrently-churning subscription table
+// cost versus a frozen one?
+//
+// Plain-main binary (no google-benchmark harness): one live
+// exec::ParallelFilter over a core::IndexEpochManager runs the same
+// document corpus twice per pass — once with the writer quiescent
+// (the epoch pinned at batch start never changes) and once with a
+// dedicated mutation thread subscribing/unsubscribing and publishing
+// epochs as fast as TryPublish allows — interleaving A/B rounds so
+// frequency scaling and cache warmth hit both sides equally. When
+// XPRED_BENCH_METRICS_DIR is set it writes a JSON sidecar
+// (churn.json) whose schema is enforced by
+// scripts/check_bench_schema.py, including the < 10% degradation gate
+// in Release builds on >= 4-CPU hosts.
+//
+// Reported:
+//   baseline_docs_per_sec — FilterBatch throughput, writer quiescent,
+//   churn_docs_per_sec    — with the mutation thread churning,
+//   degradation_fraction  — 1 - churn/baseline (negative = noise),
+//   subscribes_per_sec    — writer-side subscribe rate sustained
+//                           while filtering ran,
+//   epochs_published      — epochs landed during the churn windows.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/epoch_manager.h"
+#include "exec/parallel_filter.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+#ifndef XPRED_BUILD_TYPE
+#define XPRED_BUILD_TYPE "unknown"
+#endif
+
+namespace xpred::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+/// One timed pass of the corpus through \p filter; returns docs/sec.
+double TimedPass(xpred::exec::ParallelFilter& filter,
+                 const std::vector<xpred::exec::DocRef>& docs) {
+  xpred::exec::CollectingResultSink sink;
+  Stopwatch watch;
+  Status st = filter.FilterBatch(docs, sink);
+  double ms = watch.ElapsedMillis();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FilterBatch failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return 1000.0 * static_cast<double>(docs.size()) / ms;
+}
+
+int Main() {
+  const size_t num_exprs = EnvCount("XPRED_BENCH_EXPRS", 2000);
+  const size_t num_docs = EnvCount("XPRED_BENCH_DOCS", 60);
+  const size_t passes = EnvCount("XPRED_BENCH_PASSES", 5);
+  const size_t threads = EnvCount("XPRED_BENCH_THREADS", 4);
+  const size_t partitions = EnvCount("XPRED_BENCH_PARTITIONS", 2);
+  const size_t publish_every = EnvCount("XPRED_BENCH_PUBLISH_EVERY", 8);
+
+  const xml::Dtd& dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 6;
+  qopts.min_length = 3;
+  qopts.filters_per_expr = 1;
+  // One pool serves the initial load and the churn stream; the churn
+  // half is effectively unbounded (the mutation thread cycles it).
+  std::vector<std::string> exprs =
+      xpath::QueryGenerator(&dtd, qopts).GenerateWorkloadStrings(
+          num_exprs * 2, 42);
+  xml::DocumentGenerator::Options dopts;
+  dopts.max_depth = 8;
+  dopts.optional_prob = 0.8;
+  dopts.repeat_prob = 0.6;
+  dopts.max_repeats = 8;
+  xml::DocumentGenerator dgen(&dtd, dopts);
+  std::vector<xml::Document> documents;
+  documents.reserve(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    documents.push_back(dgen.Generate(42 * 7919 + d));
+  }
+  std::vector<xpred::exec::DocRef> refs;
+  for (const xml::Document& doc : documents) refs.push_back({&doc});
+
+  core::IndexEpochManager::Options mopts;
+  mopts.partitions = partitions;
+  core::IndexEpochManager manager(mopts);
+  std::vector<core::ExprId> live;
+  for (size_t i = 0; i < num_exprs; ++i) {
+    Result<core::ExprId> sid = manager.Subscribe(exprs[i]);
+    if (sid.ok()) live.push_back(*sid);
+  }
+  if (!manager.Publish().ok()) std::abort();
+
+  xpred::exec::ParallelFilter::Options options;
+  options.threads = threads;
+  xpred::exec::ParallelFilter filter(options, &manager);
+
+  {  // Warmup: pins pooled scratch allocations on every worker.
+    xpred::exec::CollectingResultSink sink;
+    (void)filter.FilterBatch(refs, sink);
+  }
+
+  // Interleave A/B passes; best-of estimator on each side. The same
+  // filter and manager serve both sides — only the presence of the
+  // mutation thread differs. Churn totals accumulate across every
+  // churn window so subscribes_per_sec reflects the sustained rate.
+  const uint64_t epochs_before = manager.stats().publishes;
+  double baseline_dps = 0;
+  double churn_dps = 0;
+  uint64_t churn_subscribes = 0;
+  double churn_seconds = 0;
+  size_t next_expr = num_exprs;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    baseline_dps = std::max(baseline_dps, TimedPass(filter, refs));
+
+    std::atomic<bool> stop{false};
+    uint64_t window_subs = 0;
+    std::thread churner([&] {
+      // Steady-state churn: alternate subscribe/unsubscribe so the
+      // live set stays at num_exprs, publishing a new epoch every
+      // publish_every ops. TryPublish keeps the writer loop moving
+      // when a slow batch still pins the spare side.
+      size_t since_publish = 0;
+      size_t victim = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        Result<core::ExprId> sid =
+            manager.Subscribe(exprs[next_expr % exprs.size()]);
+        ++next_expr;
+        if (sid.ok()) {
+          ++window_subs;
+          live.push_back(*sid);
+        }
+        if (live.size() > 1) {
+          if (manager.Unsubscribe(live[victim % live.size()]).ok()) {
+            live.erase(live.begin() +
+                       static_cast<ptrdiff_t>(victim % live.size()));
+          }
+          ++victim;
+        }
+        if (++since_publish >= publish_every) {
+          since_publish = 0;
+          (void)manager.TryPublish();
+        }
+      }
+      (void)manager.TryPublish();
+    });
+    Stopwatch window;
+    churn_dps = std::max(churn_dps, TimedPass(filter, refs));
+    churn_seconds += window.ElapsedMillis() / 1000.0;
+    stop.store(true, std::memory_order_release);
+    churner.join();
+    churn_subscribes += window_subs;
+  }
+  const uint64_t epochs_published =
+      manager.stats().publishes - epochs_before;
+  const double degradation = 1.0 - churn_dps / baseline_dps;
+  const double subs_per_sec =
+      churn_seconds > 0 ? static_cast<double>(churn_subscribes) /
+                              churn_seconds
+                        : 0;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("churn: %zu exprs, %zu docs, %zu passes, threads=%zu, "
+              "partitions=%zu, publish_every=%zu, hw_concurrency=%u, "
+              "build=%s\n",
+              num_exprs, num_docs, passes, threads, partitions,
+              publish_every, hw, XPRED_BUILD_TYPE);
+  std::printf("  baseline:   %.1f docs/sec (writer quiescent)\n",
+              baseline_dps);
+  std::printf("  churning:   %.1f docs/sec (%llu epochs published)\n",
+              churn_dps,
+              static_cast<unsigned long long>(epochs_published));
+  std::printf("  subscribes: %.0f/sec sustained\n", subs_per_sec);
+  std::printf("  degradation: %.2f%%\n", 100.0 * degradation);
+
+  if (epochs_published == 0) {
+    std::fprintf(stderr, "no epochs published during churn windows — "
+                 "the live path is not exercised\n");
+    return 1;
+  }
+  if (churn_subscribes == 0) {
+    std::fprintf(stderr, "no subscribes landed during churn windows — "
+                 "the writer never ran\n");
+    return 1;
+  }
+
+  const char* dir = std::getenv("XPRED_BENCH_METRICS_DIR");
+  if (dir != nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = std::string(dir) + "/churn.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    out.precision(17);  // Round-trippable doubles: the checker
+                        // recomputes degradation_fraction from the
+                        // throughputs and compares.
+    out << "{\n"
+        << "  \"bench\": \"churn\",\n"
+        << "  \"build_type\": \"" << XPRED_BUILD_TYPE << "\",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"expressions\": " << num_exprs << ",\n"
+        << "  \"documents\": " << num_docs << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"partitions\": " << partitions << ",\n"
+        << "  \"publish_every\": " << publish_every << ",\n"
+        << "  \"epochs_published\": " << epochs_published << ",\n"
+        << "  \"churn_subscribes\": " << churn_subscribes << ",\n"
+        << "  \"subscribes_per_sec\": " << subs_per_sec << ",\n"
+        << "  \"baseline_docs_per_sec\": " << baseline_dps << ",\n"
+        << "  \"churn_docs_per_sec\": " << churn_dps << ",\n"
+        << "  \"degradation_fraction\": " << degradation << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpred::bench
+
+int main() { return xpred::bench::Main(); }

@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Validates benchmark JSON sidecars and their performance gates.
 
-Covers three benches, dispatched on the sidecar's "bench" field:
+Covers four benches, dispatched on the sidecar's "bench" field:
 
   * parallel_scaling  — thread-scaling results + speedup gate;
   * analytics_overhead — attribution/profiler cost + overhead gate;
   * recorder_overhead — flight-recorder journaling cost + overhead
-    gate.
+    gate;
+  * churn — live-subscription churn cost + degradation gate.
 
-Four modes:
+Five modes:
 
   * file mode: validate existing sidecar JSON files;
   * --bench mode (the ctest hook): run the bench_parallel_scaling
@@ -16,7 +17,8 @@ Four modes:
   * --analytics-bench mode (the ctest hook): same for
     bench_analytics_overhead;
   * --recorder-bench mode (the ctest hook): same for
-    bench_recorder_overhead.
+    bench_recorder_overhead;
+  * --churn-bench mode (the ctest hook): same for bench_churn.
 
 parallel_scaling schema (always enforced): top-level bench/build_type/
 hardware_concurrency/baseline_docs_per_sec and a non-empty results
@@ -53,6 +55,17 @@ only, for the same reasons as above): overhead_fraction must stay
 below 3% — the flight recorder is always on in production, so its
 budget is tighter than the opt-in profiler's.
 
+churn schema (always enforced): bench/build_type/
+baseline_docs_per_sec/churn_docs_per_sec/degradation_fraction/
+subscribes_per_sec, plus epochs_published > 0 and churn_subscribes > 0
+(the writer must actually have churned the subscription table while
+filtering ran, otherwise the "degradation" measures nothing).
+
+churn performance gate (Release builds on >= 4-CPU hosts only — on an
+oversubscribed single-CPU host the mutation thread steals the only
+core from the filter workers and the measurement is pure scheduling):
+degradation_fraction must stay below 10%.
+
 Usage:
     check_bench_schema.py parallel_scaling.json analytics_overhead.json
     check_bench_schema.py --bench path/to/bench_parallel_scaling \
@@ -61,6 +74,8 @@ Usage:
         path/to/bench_analytics_overhead --build-type Release
     check_bench_schema.py --recorder-bench \
         path/to/bench_recorder_overhead --build-type Release
+    check_bench_schema.py --churn-bench path/to/bench_churn \
+        --build-type Release
 """
 
 import argparse
@@ -75,6 +90,7 @@ MAX_1T_REGRESSION = 0.05
 MIN_GATE_CPUS = 4
 MAX_ANALYTICS_OVERHEAD = 0.05
 MAX_RECORDER_OVERHEAD = 0.03
+MAX_CHURN_DEGRADATION = 0.10
 
 
 def fail(msg):
@@ -218,10 +234,56 @@ def validate_recorder_overhead(data):
           "gate %d%%)" % (100 * overhead, int(100 * MAX_RECORDER_OVERHEAD)))
 
 
+def validate_churn(data):
+    for field in ("build_type", "hardware_concurrency",
+                  "baseline_docs_per_sec", "churn_docs_per_sec",
+                  "degradation_fraction", "subscribes_per_sec",
+                  "epochs_published", "churn_subscribes"):
+        check(field in data, "missing top-level field %r" % field)
+    check(data["baseline_docs_per_sec"] > 0,
+          "baseline_docs_per_sec must be positive")
+    check(data["churn_docs_per_sec"] > 0,
+          "churn_docs_per_sec must be positive")
+    check(data["epochs_published"] > 0,
+          "no epochs published — the live path is not exercised")
+    check(data["churn_subscribes"] > 0,
+          "no subscribes landed during churn — the writer never ran")
+    check(data["subscribes_per_sec"] > 0,
+          "subscribes_per_sec must be positive")
+
+    degradation = data["degradation_fraction"]
+    reported = 1.0 - (data["churn_docs_per_sec"] /
+                      data["baseline_docs_per_sec"])
+    check(abs(degradation - reported) < 1e-6,
+          "degradation_fraction %r inconsistent with throughputs (%r)"
+          % (degradation, reported))
+
+    build_type = data["build_type"]
+    cpus = data["hardware_concurrency"]
+    if build_type != "Release":
+        print("check_bench_schema: schema OK; degradation gate skipped "
+              "(build_type=%s, need Release)" % build_type)
+        return
+    if cpus < MIN_GATE_CPUS:
+        print("check_bench_schema: schema OK; degradation gate skipped "
+              "(%d hardware threads, need >= %d — on an oversubscribed "
+              "host the mutation thread steals the filter workers' "
+              "cores)" % (cpus, MIN_GATE_CPUS))
+        return
+    check(degradation < MAX_CHURN_DEGRADATION,
+          "churn degradation %.2f%% breaches the %d%% gate"
+          % (100 * degradation, int(100 * MAX_CHURN_DEGRADATION)))
+    print("check_bench_schema: OK (churn degradation %.2f%%, gate %d%%, "
+          "%.0f subscribes/sec sustained)"
+          % (100 * degradation, int(100 * MAX_CHURN_DEGRADATION),
+             data["subscribes_per_sec"]))
+
+
 VALIDATORS = {
     "parallel_scaling": validate_parallel_scaling,
     "analytics_overhead": validate_analytics_overhead,
     "recorder_overhead": validate_recorder_overhead,
+    "churn": validate_churn,
 }
 
 
@@ -269,13 +331,14 @@ def main():
                         help="bench_analytics_overhead binary")
     parser.add_argument("--recorder-bench",
                         help="bench_recorder_overhead binary")
+    parser.add_argument("--churn-bench", help="bench_churn binary")
     parser.add_argument("--build-type", default="",
                         help="expected CMake build type of the binary")
     args = parser.parse_args()
     if (not args.files and not args.bench and not args.analytics_bench
-            and not args.recorder_bench):
+            and not args.recorder_bench and not args.churn_bench):
         parser.error("give sidecar files, --bench, --analytics-bench, "
-                     "or --recorder-bench")
+                     "--recorder-bench, or --churn-bench")
     for path in args.files:
         validate(path)
     if args.bench:
@@ -286,6 +349,8 @@ def main():
     if args.recorder_bench:
         run_bench(args.recorder_bench, args.build_type,
                   "recorder_overhead.json")
+    if args.churn_bench:
+        run_bench(args.churn_bench, args.build_type, "churn.json")
 
 
 if __name__ == "__main__":

@@ -16,11 +16,16 @@ Usage:
     check_case_schema.py --dir tests/testdata/corpus
     check_case_schema.py --json summary.json
     check_case_schema.py --fuzz path/to/xpred_fuzz
+    check_case_schema.py --churn-fuzz path/to/xpred_fuzz
 
-The --fuzz mode is the end-to-end check wired into ctest: it runs a
-short deterministic fuzzing session twice, requires byte-identical
-JSON (the determinism contract), a zero-mismatch verdict, and a valid
-summary schema.
+`.xpredcase` files come in two layouts: classic differential cases and
+`mode: churn` live-subscription cases (document pool / op script /
+expected match sets — see testing/churn_harness.h); both are checked.
+
+The --fuzz and --churn-fuzz modes are the end-to-end checks wired into
+ctest: each runs a short deterministic fuzzing session twice, requires
+byte-identical JSON (the determinism contract), a zero-mismatch
+verdict, and a valid summary schema.
 """
 
 import json
@@ -30,7 +35,8 @@ import sys
 import tempfile
 
 MAGIC = "xpredcase 1"
-HEADER_KEYS = {"seed", "dtd", "description"}
+HEADER_KEYS = {"seed", "dtd", "description", "mode"}
+CHURN_OPS = ("sub ", "unsub ", "filter ")  # `publish` is bare.
 
 SUMMARY_COUNTERS = ("documents", "expressions", "verdicts",
                     "expr_mutations", "doc_mutations",
@@ -60,17 +66,24 @@ def validate_case(path):
           "%s: missing '%s' magic" % (path, MAGIC))
 
     i = 1
+    mode = ""
     while i < len(lines) and not lines[i].startswith("== "):
         line = lines[i]
         i += 1
         if not line:
             continue
         check(": " in line, "%s: malformed header line %r" % (path, line))
-        key = line.split(": ", 1)[0]
+        key, value = line.split(": ", 1)
         check(key in HEADER_KEYS, "%s: unknown header key %r" % (path, key))
         if key == "seed":
-            value = line.split(": ", 1)[1]
             check(value.isdigit(), "%s: non-numeric seed %r" % (path, value))
+        elif key == "mode":
+            check(value == "churn", "%s: unknown mode %r" % (path, value))
+            mode = value
+
+    if mode == "churn":
+        validate_churn_case(path, lines, i)
+        return
 
     def section(marker):
         nonlocal i
@@ -140,6 +153,70 @@ def validate_case(path):
           "sections)" % (path, len(expressions), len(engines)))
 
 
+def validate_churn_case(path, lines, i):
+    """Validates the section list of a `mode: churn` case: one or more
+    document sections, a script of churn ops, and one expected line
+    (space-separated sorted sids, or `-`) per `filter` op."""
+    documents = 0
+    while i < len(lines) and lines[i] == "== document":
+        i += 1
+        body = []
+        while i < len(lines) and not lines[i].startswith("== "):
+            body.append(lines[i])
+            i += 1
+        check(any(line.strip() for line in body),
+              "%s: empty document section" % path)
+        documents += 1
+    check(documents, "%s: churn case without documents" % path)
+
+    check(i < len(lines) and lines[i] == "== script",
+          "%s: missing '== script' section" % path)
+    i += 1
+    filter_ops = 0
+    script_ops = 0
+    while i < len(lines) and not lines[i].startswith("== "):
+        line = lines[i]
+        i += 1
+        if not line:
+            continue
+        check(line == "publish" or line.startswith(CHURN_OPS),
+              "%s: bad churn script line %r" % (path, line))
+        if line.startswith(("unsub ", "filter ")):
+            check(line.split(" ", 1)[1].isdigit(),
+                  "%s: non-numeric operand in %r" % (path, line))
+        if line.startswith("filter "):
+            filter_ops += 1
+        script_ops += 1
+    check(script_ops, "%s: empty churn script" % path)
+
+    check(i < len(lines) and lines[i] == "== expected",
+          "%s: missing '== expected' section" % path)
+    i += 1
+    expected = 0
+    while i < len(lines) and not lines[i].startswith("== "):
+        line = lines[i]
+        i += 1
+        if not line:
+            continue
+        if line != "-":
+            sids = line.split(" ")
+            check(all(s.isdigit() for s in sids),
+                  "%s: bad expected-match line %r" % (path, line))
+            check(sids == sorted(sids, key=int),
+                  "%s: expected matches not sorted in %r" % (path, line))
+        expected += 1
+    check(expected == filter_ops,
+          "%s: %d expected lines for %d filter ops"
+          % (path, expected, filter_ops))
+
+    check(i < len(lines) and lines[i] == "== end",
+          "%s: missing '== end' marker (truncated?)" % path)
+    check(i == len(lines) - 1,
+          "%s: trailing content after '== end'" % path)
+    print("check_case_schema: OK churn case %s (%d documents, %d ops, "
+          "%d filter ops)" % (path, documents, script_ops, filter_ops))
+
+
 def validate_dir(directory):
     cases = sorted(name for name in os.listdir(directory)
                    if name.endswith(".xpredcase"))
@@ -152,6 +229,44 @@ def validate_dir(directory):
 
 # ---------------------------------------------------------------- summary
 
+CHURN_COUNTERS = ("scripts", "ops", "filters", "subscribes",
+                  "unsubscribes", "epochs_published", "minimize_probes")
+
+
+def validate_churn_summary(path, doc):
+    """Validates the JSON summary of an `xpred_fuzz --churn` session."""
+    for field in ("seed", "runs_requested", "runs_executed", "mismatches"):
+        check(isinstance(doc.get(field), int) and doc[field] >= 0,
+              "%s: missing or negative %r" % (path, field))
+    check(doc["runs_executed"] <= doc["runs_requested"],
+          "%s: executed more runs than requested" % path)
+    counters = doc.get("counters")
+    check(isinstance(counters, dict), "%s: missing counters" % path)
+    for key in CHURN_COUNTERS:
+        check(isinstance(counters.get(key), int) and counters[key] >= 0,
+              "%s: counter %r missing or negative" % (path, key))
+    check(counters["scripts"] == doc["runs_executed"],
+          "%s: script count disagrees with runs_executed" % path)
+    check(doc.get("status") in ("agree", "diverged"),
+          "%s: status must be agree|diverged" % path)
+    check((doc["status"] == "agree") == (doc["mismatches"] == 0),
+          "%s: status disagrees with mismatch count" % path)
+    cases = doc.get("cases")
+    check(isinstance(cases, list), "%s: missing cases list" % path)
+    check(len(cases) <= doc["mismatches"],
+          "%s: more case records than mismatches" % path)
+    for idx, record in enumerate(cases):
+        where = "%s: cases[%d]" % (path, idx)
+        for field in ("run", "seed", "dtd", "op_index", "epoch", "doc",
+                      "ops_before", "ops_after", "file"):
+            check(field in record, "%s: missing %r" % (where, field))
+        check(record["ops_after"] <= record["ops_before"],
+              "%s: minimization grew the script" % where)
+    print("check_case_schema: OK churn summary %s (%d runs, %d mismatches)"
+          % (path, doc["runs_executed"], doc["mismatches"]))
+    return doc
+
+
 def validate_summary(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -159,6 +274,8 @@ def validate_summary(path):
           "%s: schema_version must be 1" % path)
     check(doc.get("tool") == "xpred_fuzz", "%s: tool must be xpred_fuzz"
           % path)
+    if doc.get("mode") == "churn":
+        return validate_churn_summary(path, doc)
     for field in ("seed", "runs_requested", "runs_executed", "mismatches"):
         check(isinstance(doc.get(field), int) and doc[field] >= 0,
               "%s: missing or negative %r" % (path, field))
@@ -219,9 +336,34 @@ def run_fuzz_end_to_end(fuzz):
         print("check_case_schema: OK end-to-end (%s)" % fuzz)
 
 
+def run_churn_fuzz_end_to_end(fuzz):
+    with tempfile.TemporaryDirectory(prefix="xpred_churn_") as tmp:
+        a = os.path.join(tmp, "a.json")
+        b = os.path.join(tmp, "b.json")
+        args = ["--churn", "--runs", "25", "--seed", "1", "--quiet"]
+        subprocess.check_call([fuzz] + args + ["--json", a])
+        subprocess.check_call(
+            [fuzz, "--churn", "--runs=25", "--seed=1", "--quiet",
+             "--json=" + b])
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            check(fa.read() == fb.read(),
+                  "same seed produced different churn JSON "
+                  "(determinism broken)")
+        doc = validate_summary(a)
+        check(doc.get("mode") == "churn", "churn run missing mode marker")
+        check(doc["mismatches"] == 0,
+              "live filter diverged from the epoch oracle: %s"
+              % json.dumps(doc["cases"])[:2000])
+        check(doc["runs_executed"] == 25, "churn smoke run did not finish")
+        print("check_case_schema: OK churn end-to-end (%s)" % fuzz)
+
+
 def main(argv):
     if len(argv) >= 2 and argv[0] == "--fuzz":
         run_fuzz_end_to_end(argv[1])
+        return
+    if len(argv) >= 2 and argv[0] == "--churn-fuzz":
+        run_churn_fuzz_end_to_end(argv[1])
         return
     if len(argv) >= 2 and argv[0] == "--dir":
         validate_dir(argv[1])

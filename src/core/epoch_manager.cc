@@ -1,0 +1,281 @@
+#include "core/epoch_manager.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+
+namespace xpred::core {
+
+IndexEpochManager::IndexEpochManager(const Options& options)
+    : options_(options) {
+  options_.partitions = std::max<size_t>(options_.partitions, 1);
+  for (Snapshot& side : sides_) {
+    side.partitions_.reserve(options_.partitions);
+    for (size_t p = 0; p < options_.partitions; ++p) {
+      side.partitions_.push_back(
+          std::make_unique<Matcher>(options_.matcher));
+    }
+    side.local_to_global_.resize(options_.partitions);
+  }
+  master_ = std::make_unique<Matcher>(options_.matcher);
+  partition_counts_.assign(options_.partitions, 0);
+  current_.store(&sides_[0], std::memory_order_release);
+  if (options_.record_history) {
+    boundaries_.push_back(EpochBoundary{0, 0});
+  }
+}
+
+IndexEpochManager::~IndexEpochManager() = default;
+
+IndexEpochManager::PinnedSnapshot IndexEpochManager::Pin() {
+  for (;;) {
+    Snapshot* snap = current_.load(std::memory_order_acquire);
+    snap->pins_.fetch_add(1, std::memory_order_acq_rel);
+    if (current_.load(std::memory_order_acquire) == snap) {
+      return PinnedSnapshot(snap);
+    }
+    // The writer republished between the load and the pin; this side
+    // may be the next rebuild target. Back off and retry — the other
+    // side is stable for at least one more full publish cycle.
+    snap->pins_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+uint64_t IndexEpochManager::current_pins() const {
+  const Snapshot* snap = current_.load(std::memory_order_acquire);
+  return snap->pins_.load(std::memory_order_acquire);
+}
+
+IndexEpochManager::Stats IndexEpochManager::stats() const {
+  Stats s;
+  s.subscribes = stat_subscribes_.load(std::memory_order_relaxed);
+  s.unsubscribes = stat_unsubscribes_.load(std::memory_order_relaxed);
+  s.publishes = stat_publishes_.load(std::memory_order_relaxed);
+  s.ops_applied = stat_ops_applied_.load(std::memory_order_relaxed);
+  s.retire_waits = stat_retire_waits_.load(std::memory_order_relaxed);
+  s.retire_wait_spins =
+      stat_retire_wait_spins_.load(std::memory_order_relaxed);
+  s.publish_rejected =
+      stat_publish_rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<ExprId> IndexEpochManager::Subscribe(std::string_view xpath) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // The master matcher is the single validation point: parse errors,
+  // capacity limits and canonicalization all happen here, once, so
+  // replaying the logged operation into a side is infallible and both
+  // sides stay byte-for-byte equivalent.
+  Result<ExprId> sid = master_->AddExpression(xpath);
+  if (!sid.ok()) return sid.status();
+
+  Op op;
+  op.kind = OpKind::kSubscribe;
+  op.sid = *sid;
+  op.partition = static_cast<uint32_t>(next_partition_);
+  op.local = partition_counts_[next_partition_]++;
+  op.xpath = std::string(xpath);
+  // Round-robin on success only, mirroring ParallelFilter's routing.
+  next_partition_ = (next_partition_ + 1) % options_.partitions;
+
+  if (op.sid != sid_routes_.size()) {
+    // Matcher sids are dense by contract; a gap means the master and
+    // the routing table diverged.
+    return Status::Internal("epoch manager sid table out of sync");
+  }
+  sid_routes_.push_back(op);
+  log_.push_back(std::move(op));
+  ++last_seq_;
+  ++live_count_;
+  pending_ops_.fetch_add(1, std::memory_order_relaxed);
+  issued_sids_.store(sid_routes_.size(), std::memory_order_release);
+  stat_subscribes_.fetch_add(1, std::memory_order_relaxed);
+  return *sid;
+}
+
+Status IndexEpochManager::Unsubscribe(ExprId sid) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Validates liveness (unknown sid, double-unsubscribe) against the
+  // master, which always reflects every queued operation.
+  XPRED_RETURN_NOT_OK(master_->RemoveSubscription(sid));
+  Op op;
+  op.kind = OpKind::kUnsubscribe;
+  op.sid = sid;
+  op.partition = sid_routes_[sid].partition;
+  op.local = sid_routes_[sid].local;
+  log_.push_back(std::move(op));
+  ++last_seq_;
+  --live_count_;
+  pending_ops_.fetch_add(1, std::memory_order_relaxed);
+  stat_unsubscribes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t IndexEpochManager::pending_ops() const {
+  // Deliberately does NOT take writer_mu_: this is read by metrics
+  // gauges on the filter path, potentially while a batch pin is held.
+  // A blocking Publish() holds writer_mu_ while it waits for pins to
+  // drain, so taking the lock here would invert the ordering and
+  // deadlock. A slightly stale count is fine for a gauge.
+  return static_cast<size_t>(pending_ops_.load(std::memory_order_relaxed));
+}
+
+size_t IndexEpochManager::live_subscriptions() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return live_count_;
+}
+
+Status IndexEpochManager::ApplyBacklog(Snapshot* side) {
+  uint64_t applied = 0;
+  for (uint64_t seq = side->applied_seq_ + 1; seq <= last_seq_; ++seq) {
+    const Op& op = log_[static_cast<size_t>(seq - first_seq_)];
+    Matcher& matcher = *side->partitions_[op.partition];
+    if (op.kind == OpKind::kSubscribe) {
+      Result<ExprId> local = matcher.AddExpression(op.xpath);
+      if (!local.ok()) {
+        return Status::Internal(
+            "epoch replay failed on a validated subscribe: " +
+            local.status().message());
+      }
+      if (*local != op.local) {
+        return Status::Internal("epoch replay produced divergent sids");
+      }
+      std::vector<ExprId>& map = side->local_to_global_[op.partition];
+      if (map.size() <= op.local) map.resize(op.local + 1, 0);
+      map[op.local] = op.sid;
+    } else {
+      Status st = matcher.RemoveSubscription(op.local);
+      if (!st.ok()) {
+        return Status::Internal(
+            "epoch replay failed on a validated unsubscribe: " +
+            st.message());
+      }
+    }
+    ++applied;
+  }
+  side->applied_seq_ = last_seq_;
+  stat_ops_applied_.fetch_add(applied, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<uint64_t> IndexEpochManager::PublishLocked(bool wait) {
+  Snapshot* cur = current_.load(std::memory_order_acquire);
+  Snapshot* spare = (cur == &sides_[0]) ? &sides_[1] : &sides_[0];
+
+  // Grace period: the spare side was current two publishes ago; every
+  // batch that pinned it must unpin before it can be rebuilt. The
+  // release fetch_sub in PinnedSnapshot::Release synchronizes with
+  // this acquire load, so all reader accesses happen-before the
+  // mutations below.
+  uint64_t spins = 0;
+  if (spare->pins_.load(std::memory_order_acquire) != 0) {
+    if (!wait) {
+      stat_publish_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Rejected("spare epoch still pinned by readers");
+    }
+    stat_retire_waits_.fetch_add(1, std::memory_order_relaxed);
+    while (spare->pins_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+      ++spins;
+    }
+    stat_retire_wait_spins_.fetch_add(spins, std::memory_order_relaxed);
+  }
+  XPRED_RECORD_EVENT(obs::EventType::kEpochRetire, spare->epoch_, spins);
+
+  const uint64_t backlog = last_seq_ - spare->applied_seq_;
+  Status applied = ApplyBacklog(spare);
+  if (!applied.ok()) return applied;
+
+  // Flush lazy evaluation orders now, on the writer: once published
+  // the side is filtered concurrently and must never be mutated.
+  for (std::unique_ptr<Matcher>& m : spare->partitions_) {
+    m->PrepareForFiltering();
+  }
+
+  spare->epoch_ = cur->epoch_ + 1;
+  spare->live_count_ = live_count_;
+  current_.store(spare, std::memory_order_release);
+  published_epoch_.store(spare->epoch_, std::memory_order_release);
+  // The new current side has every queued op applied.
+  pending_ops_.store(0, std::memory_order_relaxed);
+  stat_publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.record_history) {
+    boundaries_.push_back(EpochBoundary{spare->epoch_, spare->applied_seq_});
+  } else {
+    TrimLogLocked();
+  }
+  XPRED_RECORD_EVENT(obs::EventType::kEpochPublish, spare->epoch_, backlog);
+  return spare->epoch_;
+}
+
+Result<uint64_t> IndexEpochManager::Publish() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return PublishLocked(/*wait=*/true);
+}
+
+Result<uint64_t> IndexEpochManager::TryPublish() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return PublishLocked(/*wait=*/false);
+}
+
+void IndexEpochManager::TrimLogLocked() {
+  // Entries applied by both sides can never be replayed again.
+  const uint64_t safe =
+      std::min(sides_[0].applied_seq_, sides_[1].applied_seq_);
+  while (first_seq_ <= safe && !log_.empty()) {
+    log_.pop_front();
+    ++first_seq_;
+  }
+}
+
+Result<std::vector<IndexEpochManager::OpView>>
+IndexEpochManager::OpsUpToEpoch(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!options_.record_history) {
+    return Status::InvalidArgument(
+        "OpsUpToEpoch requires Options::record_history");
+  }
+  const EpochBoundary* boundary = nullptr;
+  for (const EpochBoundary& b : boundaries_) {
+    if (b.epoch == epoch) {
+      boundary = &b;
+      break;
+    }
+  }
+  if (boundary == nullptr) {
+    return Status::NotFound("epoch " + std::to_string(epoch) +
+                            " was never published");
+  }
+  std::vector<OpView> ops;
+  ops.reserve(static_cast<size_t>(boundary->applied_seq));
+  for (uint64_t seq = first_seq_; seq <= boundary->applied_seq; ++seq) {
+    const Op& op = log_[static_cast<size_t>(seq - first_seq_)];
+    OpView view;
+    view.subscribe = op.kind == OpKind::kSubscribe;
+    view.sid = op.sid;
+    view.xpath = op.xpath;
+    ops.push_back(std::move(view));
+  }
+  return ops;
+}
+
+size_t IndexEpochManager::ApproximateMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  size_t total = master_->ApproximateMemoryBytes();
+  for (const Snapshot& side : sides_) {
+    for (const std::unique_ptr<Matcher>& m : side.partitions_) {
+      total += m->ApproximateMemoryBytes();
+    }
+    for (const std::vector<ExprId>& map : side.local_to_global_) {
+      total += map.size() * sizeof(ExprId);
+    }
+  }
+  for (const Op& op : log_) {
+    total += sizeof(Op) + op.xpath.size();
+  }
+  total += sid_routes_.size() * sizeof(Op);
+  return total;
+}
+
+}  // namespace xpred::core

@@ -1,0 +1,291 @@
+#ifndef XPRED_CORE_EPOCH_MANAGER_H_
+#define XPRED_CORE_EPOCH_MANAGER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/matcher.h"
+
+namespace xpred::core {
+
+/// \brief Epoch-based snapshot manager for live subscription churn
+/// (DESIGN.md §15).
+///
+/// The paper's indexes are built once and then treated as frozen;
+/// `IndexEpochManager` makes Subscribe/Unsubscribe first-class
+/// concurrent operations without ever locking the filter path. It is
+/// a left-right scheme specialized to the partitioned-matcher layout
+/// `exec::ParallelFilter` already uses:
+///
+///  - Two *sides* are kept, each a full set of partitioned
+///    `core::Matcher` indexes plus local→global subscription-id maps.
+///    Exactly one side is *current* (published); the other is the
+///    *spare* being prepared for the next epoch.
+///  - Readers pin the current side per batch (`Pin()`): one atomic
+///    fetch_add on the side's pin count, a re-check of the current
+///    pointer, done. No mutex, no allocation, no matcher state is
+///    written — the snapshot is immutable for the pin's lifetime.
+///  - A single writer (serialized by an internal mutex) validates
+///    mutations eagerly against a master matcher, queues them in an
+///    operation log, and `Publish()` replays the backlog into the
+///    spare side, prepares its lazy evaluation orders, and swaps the
+///    current pointer with release semantics.
+///  - Reclamation is deferred by grace-period counting: before a side
+///    may be rebuilt it must be fully unpinned (its pin count drained
+///    to zero). The side an epoch retires into is never freed — only
+///    recycled two publishes later, after every batch that pinned it
+///    has unpinned. Readers therefore never observe a matcher being
+///    mutated; TSan-clean by construction.
+///
+/// Determinism: both sides replay the same operation log in the same
+/// order, so partition routing, partition-local subscription ids and
+/// InternalIds are identical across sides and across epochs. A global
+/// subscription id is assigned once, at Subscribe(), and means the
+/// same subscription forever — match sets from different epochs are
+/// directly comparable, which is what the churn-test oracle
+/// (`src/testing/churn_harness`) relies on.
+class IndexEpochManager {
+ public:
+  struct Options {
+    /// Expression partitions per side (mirrors
+    /// exec::ParallelFilter::Options::partitions). Clamped to >= 1.
+    size_t partitions = 1;
+    core::Matcher::Options matcher;
+    /// Retain the full operation log plus per-epoch boundaries so
+    /// OpsUpToEpoch() can rebuild any published epoch from scratch
+    /// (the churn-test oracle). Off by default: the log is trimmed
+    /// once both sides have applied it.
+    bool record_history = false;
+  };
+
+  /// One immutable published view. Obtained only via Pin(); all
+  /// accessors are safe from any number of threads while pinned.
+  class Snapshot {
+   public:
+    uint64_t epoch() const { return epoch_; }
+    size_t partition_count() const { return partitions_.size(); }
+    /// The partition's matcher, prepared for concurrent const
+    /// filtering (PrepareForFiltering already ran before publish).
+    const Matcher& partition(size_t p) const { return *partitions_[p]; }
+    /// Maps a partition-local subscription id to its global id.
+    ExprId GlobalSid(size_t p, ExprId local) const {
+      return local_to_global_[p][local];
+    }
+    /// Live (not unsubscribed) subscriptions at this epoch.
+    size_t live_subscriptions() const { return live_count_; }
+
+   private:
+    friend class IndexEpochManager;
+    Snapshot() = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    std::vector<std::unique_ptr<Matcher>> partitions_;
+    std::vector<std::vector<ExprId>> local_to_global_;
+    uint64_t epoch_ = 0;
+    /// Operations (by sequence number) applied into this side.
+    uint64_t applied_seq_ = 0;
+    size_t live_count_ = 0;
+    /// Grace-period counter: batches currently pinned to this side.
+    std::atomic<uint64_t> pins_{0};
+  };
+
+  /// RAII pin on one published snapshot. Movable; unpins on
+  /// destruction. A default-constructed instance is empty.
+  class PinnedSnapshot {
+   public:
+    PinnedSnapshot() = default;
+    PinnedSnapshot(PinnedSnapshot&& other) noexcept : snap_(other.snap_) {
+      other.snap_ = nullptr;
+    }
+    PinnedSnapshot& operator=(PinnedSnapshot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        snap_ = other.snap_;
+        other.snap_ = nullptr;
+      }
+      return *this;
+    }
+    PinnedSnapshot(const PinnedSnapshot&) = delete;
+    PinnedSnapshot& operator=(const PinnedSnapshot&) = delete;
+    ~PinnedSnapshot() { Release(); }
+
+    bool valid() const { return snap_ != nullptr; }
+    const Snapshot* operator->() const { return snap_; }
+    const Snapshot& operator*() const { return *snap_; }
+
+    /// Unpins early (the destructor is then a no-op).
+    void Release() {
+      if (snap_ != nullptr) {
+        snap_->pins_.fetch_sub(1, std::memory_order_acq_rel);
+        snap_ = nullptr;
+      }
+    }
+
+   private:
+    friend class IndexEpochManager;
+    explicit PinnedSnapshot(Snapshot* snap) : snap_(snap) {}
+    Snapshot* snap_ = nullptr;
+  };
+
+  /// Monotonic totals, readable from any thread.
+  struct Stats {
+    uint64_t subscribes = 0;        ///< Successful Subscribe() calls.
+    uint64_t unsubscribes = 0;      ///< Successful Unsubscribe() calls.
+    uint64_t publishes = 0;         ///< Epochs published.
+    uint64_t ops_applied = 0;       ///< Log entries replayed into sides.
+    uint64_t retire_waits = 0;      ///< Publishes that had to wait.
+    uint64_t retire_wait_spins = 0; ///< Yields spent waiting for pins.
+    uint64_t publish_rejected = 0;  ///< TryPublish refusals (side pinned).
+  };
+
+  /// One logged mutation, exposed for the rebuild-from-scratch oracle.
+  struct OpView {
+    bool subscribe = false;
+    ExprId sid = 0;
+    std::string xpath;  ///< Canonical expression (subscribe only).
+  };
+
+  explicit IndexEpochManager(const Options& options);
+  ~IndexEpochManager();
+
+  IndexEpochManager(const IndexEpochManager&) = delete;
+  IndexEpochManager& operator=(const IndexEpochManager&) = delete;
+
+  /// \name Read path (lock-free; any thread)
+  ///@{
+  /// Pins the current published snapshot for the caller. Never blocks
+  /// and never fails; the returned snapshot stays valid — and
+  /// unmutated — until the pin is released.
+  PinnedSnapshot Pin();
+
+  /// Epoch of the currently published snapshot.
+  uint64_t current_epoch() const {
+    return published_epoch_.load(std::memory_order_acquire);
+  }
+  /// Global subscription ids issued so far (dense; includes
+  /// unsubscribed ones).
+  size_t subscription_count() const {
+    return issued_sids_.load(std::memory_order_acquire);
+  }
+  /// Batches currently pinning the published side (approximate —
+  /// concurrent pins/unpins move it).
+  uint64_t current_pins() const;
+  Stats stats() const;
+  ///@}
+
+  /// \name Write path (mutex-serialized; one logical writer)
+  ///@{
+  /// Validates and queues a subscription. The returned global id is
+  /// final, but the expression only matches documents once the next
+  /// Publish() lands. Parse/capacity errors surface here, eagerly —
+  /// a queued operation can no longer fail.
+  Result<ExprId> Subscribe(std::string_view xpath);
+
+  /// Validates and queues a cancellation. Fails on unknown or
+  /// already-unsubscribed ids; takes effect at the next Publish().
+  Status Unsubscribe(ExprId sid);
+
+  /// Operations queued but not yet published. Lock-free: safe to call
+  /// from the read path (metrics gauges) even while a pin is held —
+  /// it must never contend with a blocking Publish() that is waiting
+  /// for pins to drain.
+  size_t pending_ops() const;
+  /// Live subscriptions after all queued operations land.
+  size_t live_subscriptions() const;
+
+  /// Publishes a new epoch: waits for the spare side's grace period
+  /// (pins drained), replays the op backlog into it, prepares its
+  /// evaluation orders, and atomically swaps it current. Publishing
+  /// with an empty backlog is allowed (it just bumps the epoch).
+  /// Returns the new epoch number.
+  Result<uint64_t> Publish();
+
+  /// Non-blocking Publish: returns StatusCode::kRejected without
+  /// side effects when the spare side is still pinned. Lets a writer
+  /// loop make progress instead of stalling behind a slow batch.
+  Result<uint64_t> TryPublish();
+  ///@}
+
+  /// \name Oracle support (requires Options::record_history)
+  ///@{
+  /// All operations, in order, up to and including published epoch
+  /// \p epoch — replaying them into a fresh Matcher reproduces that
+  /// epoch's match behavior with identical global subscription ids.
+  Result<std::vector<OpView>> OpsUpToEpoch(uint64_t epoch) const;
+  ///@}
+
+  size_t partition_count() const { return options_.partitions; }
+  const Options& options() const { return options_; }
+  size_t ApproximateMemoryBytes() const;
+
+ private:
+  enum class OpKind : uint8_t { kSubscribe, kUnsubscribe };
+  struct Op {
+    OpKind kind = OpKind::kSubscribe;
+    ExprId sid = 0;
+    uint32_t partition = 0;
+    ExprId local = 0;  ///< Partition-local sid (precomputed, both kinds).
+    std::string xpath;
+  };
+  /// First op sequence number of a published epoch, for OpsUpToEpoch.
+  struct EpochBoundary {
+    uint64_t epoch = 0;
+    uint64_t applied_seq = 0;
+  };
+
+  /// Replays log entries (side->applied_seq_, last_seq_] into \p side.
+  Status ApplyBacklog(Snapshot* side);
+  Result<uint64_t> PublishLocked(bool wait);
+  void TrimLogLocked();
+
+  Options options_;
+
+  /// The two sides; pointees are stable for the manager's lifetime
+  /// (readers hold raw pointers while pinned).
+  Snapshot sides_[2];
+  std::atomic<Snapshot*> current_;
+  std::atomic<uint64_t> published_epoch_{0};
+  std::atomic<size_t> issued_sids_{0};
+
+  mutable std::mutex writer_mu_;
+  /// Master matcher (writer-side): validates every mutation eagerly
+  /// and tracks liveness, so replaying into a side cannot fail.
+  std::unique_ptr<Matcher> master_;
+  /// sid -> routing, mirrored by both sides' replays.
+  std::vector<Op> sid_routes_;
+  /// Per-partition successful-subscribe counts (assigns local sids).
+  std::vector<ExprId> partition_counts_;
+  size_t next_partition_ = 0;
+  size_t live_count_ = 0;
+
+  /// Operation log. log_[i] has sequence number first_seq_ + i;
+  /// sequence numbers are 1-based and never reused.
+  std::deque<Op> log_;
+  uint64_t first_seq_ = 1;
+  uint64_t last_seq_ = 0;
+  /// Mirror of last_seq_ - current applied_seq_, maintained under
+  /// writer_mu_ but readable without it (see pending_ops()).
+  std::atomic<uint64_t> pending_ops_{0};
+  std::vector<EpochBoundary> boundaries_;
+
+  std::atomic<uint64_t> stat_subscribes_{0};
+  std::atomic<uint64_t> stat_unsubscribes_{0};
+  std::atomic<uint64_t> stat_publishes_{0};
+  std::atomic<uint64_t> stat_ops_applied_{0};
+  std::atomic<uint64_t> stat_retire_waits_{0};
+  std::atomic<uint64_t> stat_retire_wait_spins_{0};
+  std::atomic<uint64_t> stat_publish_rejected_{0};
+};
+
+}  // namespace xpred::core
+
+#endif  // XPRED_CORE_EPOCH_MANAGER_H_

@@ -524,6 +524,7 @@ void Matcher::ProcessNestedSubs(const Publication& pub,
 }
 
 void Matcher::JoinNestedGroups(MatchContext* ctx) const {
+  EnsureDocumentScratch(ctx);
   for (size_t g = 0; g < groups_.size(); ++g) {
     const NestedGroup& group = groups_[g];
     const MatchContext::GroupScratch& scratch = ctx->group_scratch_[g];
@@ -580,8 +581,23 @@ void Matcher::JoinNestedGroups(MatchContext* ctx) const {
   }
 }
 
+void Matcher::EnsureDocumentScratch(MatchContext* ctx) const {
+  // Context scratch is keyed to the index size, which can grow while
+  // a document stream is open (the streaming API allows AddExpression
+  // between paths, and trie attachments are visible immediately).
+  // Re-ensuring per path keeps MarkMatched/PropagateCoveredMatches in
+  // bounds; fresh entries are epoch 0, i.e. unmatched.
+  if (ctx->matched_epochs_.size() < exprs_.size()) {
+    ctx->matched_epochs_.resize(exprs_.size(), 0);
+  }
+  if (ctx->group_scratch_.size() < groups_.size()) {
+    ctx->group_scratch_.resize(groups_.size());
+  }
+}
+
 void Matcher::ProcessElements(std::span<const PathElementView> elements,
                               MatchContext* ctx) const {
+  EnsureDocumentScratch(ctx);
   // Publication-level memoization: two paths with identical
   // (tag, attributes) sequences produce identical predicate and
   // expression matching, so the second is skipped. Disabled when
@@ -662,12 +678,7 @@ std::vector<std::string> Matcher::ExpressionStrings() const {
 
 void Matcher::BeginDocumentStream(MatchContext* ctx) const {
   ++ctx->doc_epoch_;
-  if (ctx->matched_epochs_.size() < exprs_.size()) {
-    ctx->matched_epochs_.resize(exprs_.size(), 0);
-  }
-  if (ctx->group_scratch_.size() < groups_.size()) {
-    ctx->group_scratch_.resize(groups_.size());
-  }
+  EnsureDocumentScratch(ctx);
   ctx->doc_matched_.clear();
   ctx->matched_groups_.clear();
   ctx->seen_path_keys_.clear();

@@ -255,6 +255,13 @@ class Matcher : public FilterEngine {
   Result<InternalId> AddInternalPath(const xpath::PathExpr& path,
                                      uint32_t group, uint32_t sub_index);
 
+  /// Grows \p ctx's index-size-keyed scratch (matched epochs, group
+  /// witnesses) to the current index size. Called per path and at
+  /// stream end, not just at document start: the streaming API allows
+  /// AddExpression while a document is open, and trie attachments are
+  /// visible immediately.
+  void EnsureDocumentScratch(MatchContext* ctx) const;
+
   /// Shared per-path pipeline: dedup check, publication encoding,
   /// predicate matching, expression matching.
   void ProcessElements(std::span<const PathElementView> elements,

@@ -26,9 +26,29 @@ ParallelFilter::ParallelFilter(const Options& options) : options_(options) {
   }
 }
 
+ParallelFilter::ParallelFilter(const Options& options,
+                               core::IndexEpochManager* manager)
+    : options_(options), manager_(manager) {
+  options_.threads = std::max<size_t>(options_.threads, 1);
+  options_.partitions = manager_->partition_count();
+  if (options_.threads > 1) {
+    WorkStealingExecutor::Options exec_options;
+    exec_options.workers = options_.threads;
+    exec_options.seed = options_.seed;
+    executor_ = std::make_unique<WorkStealingExecutor>(exec_options);
+  }
+}
+
 ParallelFilter::~ParallelFilter() = default;
 
 Result<core::ExprId> ParallelFilter::AddExpression(std::string_view xpath) {
+  if (manager_ != nullptr) {
+    Result<core::ExprId> sid = manager_->Subscribe(xpath);
+    if (!sid.ok()) return sid.status();
+    Result<uint64_t> epoch = manager_->Publish();
+    if (!epoch.ok()) return epoch.status();
+    return *sid;
+  }
   const size_t p = next_partition_;
   Result<core::ExprId> local = partitions_[p]->AddExpression(xpath);
   if (!local.ok()) return local.status();
@@ -72,7 +92,17 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
     }
   }
   Stopwatch batch_watch;
-  const size_t num_parts = partitions_.size();
+  // Live mode: pin the current epoch snapshot for the whole batch.
+  // The pin is the entire read-side protocol — one fetch_add plus a
+  // re-check — and guarantees the writer cannot recycle this side
+  // until the batch completes (grace-period counting, DESIGN.md §15).
+  core::IndexEpochManager::PinnedSnapshot pinned;
+  if (manager_ != nullptr) {
+    pinned = manager_->Pin();
+    last_batch_epoch_ = pinned->epoch();
+  }
+  const size_t num_parts =
+      manager_ != nullptr ? pinned->partition_count() : partitions_.size();
 #ifndef XPRED_NO_FLIGHT_RECORDER
   obs::FlightRecorder* recorder = obs::FlightRecorder::Installed();
 #else
@@ -94,8 +124,14 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
           HashCombine(Fnv1a(root.tag), ref.doc->tag_count()));
     }
   }
-  for (const std::unique_ptr<core::Matcher>& m : partitions_) {
-    m->PrepareForFiltering();
+  // Frozen mode flushes lazy evaluation orders here, between batches.
+  // In live mode this is the writer's job (IndexEpochManager prepares
+  // every partition before publishing): a pinned snapshot is shared
+  // with concurrent batches and must never be written to.
+  if (manager_ == nullptr) {
+    for (const std::unique_ptr<core::Matcher>& m : partitions_) {
+      m->PrepareForFiltering();
+    }
   }
   const size_t workers = executor_ != nullptr ? executor_->workers() : 1;
   if (contexts_.size() < workers * num_parts) {
@@ -142,7 +178,10 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
                                          limits);
     }
     if (st.ok()) {
-      st = partitions_[p]->FilterDocument(*docs[d].doc, &ctx, &out.matched);
+      const core::Matcher& matcher = manager_ != nullptr
+                                         ? pinned->partition(p)
+                                         : *partitions_[p];
+      st = matcher.FilterDocument(*docs[d].doc, &ctx, &out.matched);
     }
     ctx.set_cancel_flag(nullptr);
     if (!st.ok()) {
@@ -217,9 +256,10 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
     merged.clear();
     if (doc_status.ok()) {
       for (size_t p = 0; p < num_parts; ++p) {
-        const std::vector<core::ExprId>& local = local_to_global_[p];
         for (core::ExprId sid : results[d * num_parts + p].matched) {
-          merged.push_back(local[sid]);
+          merged.push_back(manager_ != nullptr
+                               ? pinned->GlobalSid(p, sid)
+                               : local_to_global_[p][sid]);
         }
       }
       std::sort(merged.begin(), merged.end());
@@ -230,6 +270,13 @@ Status ParallelFilter::FilterBatch(std::span<const DocRef> docs,
     }
     sink.OnDocument(d, doc_status, merged);
   }
+
+  // Unpin before anything below touches the manager again. Blocking
+  // publishes hold writer_mu_ while waiting for this side's pins to
+  // drain, so holding the pin across any writer_mu_ acquisition (e.g.
+  // a metrics gauge read) is a lock-order inversion that deadlocks
+  // against a concurrent Publish().
+  pinned.Release();
 
   // Merge the worker-local stage spans and emit them through the
   // tracer from this thread, as one aggregate span per touched stage
@@ -305,6 +352,29 @@ void ParallelFilter::PublishPoolMetrics(uint64_t batch_nanos) {
         "xpred_watchdog_stalled_workers",
         "Workers currently considered stalled", labels);
     watchdog_published_ = obs::Watchdog::Stats{};
+    if (manager_ != nullptr) {
+      epoch_current_gauge_ = registry->AddGauge(
+          "xpred_epoch_current", "Currently published index epoch",
+          labels);
+      epoch_pins_gauge_ = registry->AddGauge(
+          "xpred_epoch_pins",
+          "Batches currently pinning the published epoch snapshot",
+          labels);
+      epoch_pending_ops_gauge_ = registry->AddGauge(
+          "xpred_epoch_pending_ops",
+          "Subscription mutations queued for the next epoch", labels);
+      epoch_publish_counter_ = registry->AddCounter(
+          "xpred_epoch_publishes_total", "Index epochs published",
+          labels);
+      epoch_ops_applied_counter_ = registry->AddCounter(
+          "xpred_epoch_ops_applied_total",
+          "Subscription mutations replayed into epoch sides", labels);
+      epoch_retire_wait_counter_ = registry->AddCounter(
+          "xpred_epoch_retire_waits_total",
+          "Publishes that waited for a side's grace period to drain",
+          labels);
+      epoch_published_ = core::IndexEpochManager::Stats{};
+    }
     pool_registry_ = registry;
   }
   const size_t workers = executor_ != nullptr ? executor_->workers() : 1;
@@ -336,9 +406,31 @@ void ParallelFilter::PublishPoolMetrics(uint64_t batch_nanos) {
     watchdog_stalled_gauge_->Set(static_cast<double>(stats.stalled_now));
     watchdog_published_ = stats;
   }
+  if (manager_ != nullptr) {
+    // Like the watchdog: the manager's atomic totals become counter
+    // increments here, on the registry owner's thread.
+    const core::IndexEpochManager::Stats stats = manager_->stats();
+    epoch_current_gauge_->Set(
+        static_cast<double>(manager_->current_epoch()));
+    epoch_pins_gauge_->Set(static_cast<double>(manager_->current_pins()));
+    epoch_pending_ops_gauge_->Set(
+        static_cast<double>(manager_->pending_ops()));
+    epoch_publish_counter_->Increment(stats.publishes -
+                                      epoch_published_.publishes);
+    epoch_ops_applied_counter_->Increment(stats.ops_applied -
+                                          epoch_published_.ops_applied);
+    epoch_retire_wait_counter_->Increment(stats.retire_waits -
+                                          epoch_published_.retire_waits);
+    epoch_published_ = stats;
+  }
 }
 
 size_t ParallelFilter::ApproximateMemoryBytes() const {
+  if (manager_ != nullptr) {
+    // The manager (shared, possibly across several live filters) owns
+    // the indexes; only the filter's own contexts are counted here.
+    return contexts_.size() * sizeof(core::MatchContext);
+  }
   size_t total = sids_.size() * sizeof(SidSlot);
   for (const std::unique_ptr<core::Matcher>& m : partitions_) {
     total += m->ApproximateMemoryBytes();

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "core/epoch_manager.h"
 #include "core/match_context.h"
 #include "core/matcher.h"
 #include "exec/executor.h"
@@ -94,8 +95,21 @@ class ParallelFilter : public core::FilterEngine {
 
   explicit ParallelFilter(const Options& options);
   ParallelFilter() : ParallelFilter(Options{}) {}
+
+  /// Live-subscription mode: filters against \p manager's published
+  /// epoch snapshots instead of engine-owned frozen matchers
+  /// (DESIGN.md §15). Each FilterBatch pins the current snapshot for
+  /// the batch's lifetime, so Subscribe/Unsubscribe/Publish may run
+  /// concurrently on the manager from another thread. Options::
+  /// partitions and Options::matcher are ignored — the manager owns
+  /// the index layout. \p manager is not owned and must outlive the
+  /// filter.
+  ParallelFilter(const Options& options, core::IndexEpochManager* manager);
   ~ParallelFilter() override;
 
+  /// In live mode, queues the subscription on the epoch manager and
+  /// publishes immediately (one epoch per call — bulk loaders should
+  /// batch Subscribe calls on the manager and Publish once).
   Result<core::ExprId> AddExpression(std::string_view xpath) override;
 
   /// Filters one document — a batch of one (same governance and
@@ -110,12 +124,26 @@ class ParallelFilter : public core::FilterEngine {
   /// failed document never aborts the rest of the batch.
   Status FilterBatch(std::span<const DocRef> docs, ResultSink& sink);
 
-  size_t subscription_count() const override { return next_sid_; }
+  size_t subscription_count() const override {
+    return manager_ != nullptr ? manager_->subscription_count() : next_sid_;
+  }
   std::string_view name() const override { return "parallel"; }
   size_t ApproximateMemoryBytes() const override;
 
   size_t threads() const { return options_.threads; }
-  size_t partitions() const { return partitions_.size(); }
+  size_t partitions() const {
+    return manager_ != nullptr ? manager_->partition_count()
+                               : partitions_.size();
+  }
+
+  /// \name Live-subscription mode
+  ///@{
+  bool live() const { return manager_ != nullptr; }
+  core::IndexEpochManager* epoch_manager() const { return manager_; }
+  /// Epoch pinned by the most recent FilterBatch (0 before the first
+  /// batch). Read it from the FilterBatch caller's thread only.
+  uint64_t last_batch_epoch() const { return last_batch_epoch_; }
+  ///@}
 
   /// Enables per-expression attribution on every worker context.
   /// Deltas are drained and ingested from the FilterBatch caller's
@@ -130,7 +158,9 @@ class ParallelFilter : public core::FilterEngine {
 
   /// Read-only access to a partition's matcher, for resolving
   /// attribution keys to display strings
-  /// (core::Matcher::ExpressionStrings) and predicates.
+  /// (core::Matcher::ExpressionStrings) and predicates. Frozen mode
+  /// only — in live mode pin a snapshot on the epoch manager instead
+  /// (the partitions rotate between epoch sides).
   const core::Matcher& partition_matcher(size_t p) const {
     return *partitions_[p];
   }
@@ -163,6 +193,10 @@ class ParallelFilter : public core::FilterEngine {
   void PublishPoolMetrics(uint64_t batch_nanos);
 
   Options options_;
+  /// Live mode: published-epoch snapshots replace partitions_ (which
+  /// stays empty). Not owned.
+  core::IndexEpochManager* manager_ = nullptr;
+  uint64_t last_batch_epoch_ = 0;
   std::vector<std::unique_ptr<core::Matcher>> partitions_;
   /// Global sid -> {partition, partition-local sid}.
   struct SidSlot {
@@ -201,6 +235,15 @@ class ParallelFilter : public core::FilterEngine {
   obs::Gauge* watchdog_stalled_gauge_ = nullptr;
   /// Watchdog totals already published as counter increments.
   obs::Watchdog::Stats watchdog_published_;
+  /// Live-mode epoch metrics (registered only when manager_ != null).
+  obs::Gauge* epoch_current_gauge_ = nullptr;
+  obs::Gauge* epoch_pins_gauge_ = nullptr;
+  obs::Gauge* epoch_pending_ops_gauge_ = nullptr;
+  obs::Counter* epoch_publish_counter_ = nullptr;
+  obs::Counter* epoch_ops_applied_counter_ = nullptr;
+  obs::Counter* epoch_retire_wait_counter_ = nullptr;
+  /// Epoch totals already published as counter increments.
+  core::IndexEpochManager::Stats epoch_published_;
 };
 
 }  // namespace xpred::exec

@@ -75,6 +75,10 @@ std::string_view EventTypeName(EventType type) {
       return "watchdog_scan";
     case EventType::kDump:
       return "dump";
+    case EventType::kEpochPublish:
+      return "epoch_publish";
+    case EventType::kEpochRetire:
+      return "epoch_retire";
   }
   return "unknown";
 }

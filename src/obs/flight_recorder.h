@@ -64,6 +64,13 @@ enum class EventType : uint16_t {
   /// A diagnostic bundle was written. a = reason ordinal (see
   /// crash_handler.h), b = 0.
   kDump = 16,
+  /// IndexEpochManager published a new epoch. a = new epoch number,
+  /// b = backlog operations replayed into it.
+  kEpochPublish = 17,
+  /// An epoch's side finished its grace period and was reclaimed for
+  /// rebuilding. a = retired epoch number, b = scheduler yields spent
+  /// waiting for readers to unpin (0 = already quiescent).
+  kEpochRetire = 18,
 };
 
 /// Stable lowercase event-type name ("doc_begin", "steal", ...), the

@@ -1,0 +1,599 @@
+#include "testing/churn_harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+#include "core/epoch_manager.h"
+#include "exec/parallel_filter.h"
+#include "testing/workload_mutator.h"
+#include "xml/document.h"
+#include "xml/generator.h"
+#include "xml/standard_dtds.h"
+#include "xpath/parser.h"
+#include "xpath/query_generator.h"
+
+namespace xpred::difftest {
+
+namespace {
+
+std::string FormatSids(const std::vector<core::ExprId>& sids) {
+  std::string out = "[";
+  for (size_t i = 0; i < sids.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out += std::to_string(sids[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+const xml::Dtd& DtdByName(const std::string& name) {
+  return name == "psd" ? xml::PsdLikeDtd() : xml::NitfLikeDtd();
+}
+
+/// Rebuilds a fresh single-threaded matcher representing published
+/// epoch \p epoch of \p manager, with identical global subscription
+/// ids. This is the oracle: it shares no code with the epoch sides'
+/// incremental replay beyond Matcher itself — no partitioning, no
+/// local-sid mapping, no snapshot machinery.
+Result<std::unique_ptr<core::Matcher>> BuildOracleAtEpoch(
+    const core::IndexEpochManager& manager, uint64_t epoch,
+    const core::Matcher::Options& matcher_options) {
+  Result<std::vector<core::IndexEpochManager::OpView>> ops =
+      manager.OpsUpToEpoch(epoch);
+  if (!ops.ok()) return ops.status();
+  auto oracle = std::make_unique<core::Matcher>(matcher_options);
+  for (const core::IndexEpochManager::OpView& op : *ops) {
+    if (op.subscribe) {
+      Result<core::ExprId> sid = oracle->AddExpression(op.xpath);
+      if (!sid.ok()) {
+        return Status::Internal("oracle rejected a logged subscribe: " +
+                                sid.status().message());
+      }
+      if (*sid != op.sid) {
+        return Status::Internal("oracle sid diverged from the log");
+      }
+    } else {
+      Status st = oracle->RemoveSubscription(op.sid);
+      if (!st.ok()) {
+        return Status::Internal("oracle rejected a logged unsubscribe: " +
+                                st.message());
+      }
+    }
+  }
+  oracle->PrepareForFiltering();
+  return oracle;
+}
+
+}  // namespace
+
+std::vector<std::string> SerializeChurnOps(std::span<const ChurnOp> ops) {
+  std::vector<std::string> lines;
+  lines.reserve(ops.size());
+  for (const ChurnOp& op : ops) {
+    switch (op.kind) {
+      case ChurnOp::Kind::kSubscribe:
+        lines.push_back("sub " + op.xpath);
+        break;
+      case ChurnOp::Kind::kUnsubscribe:
+        lines.push_back("unsub " + std::to_string(op.pick));
+        break;
+      case ChurnOp::Kind::kPublish:
+        lines.push_back("publish");
+        break;
+      case ChurnOp::Kind::kFilter:
+        lines.push_back("filter " + std::to_string(op.doc));
+        break;
+    }
+  }
+  return lines;
+}
+
+Result<std::vector<ChurnOp>> ParseChurnOps(
+    std::span<const std::string> lines) {
+  std::vector<ChurnOp> ops;
+  ops.reserve(lines.size());
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    ChurnOp op;
+    if (line.rfind("sub ", 0) == 0) {
+      op.kind = ChurnOp::Kind::kSubscribe;
+      op.xpath = line.substr(4);
+      if (op.xpath.empty()) {
+        return Status::InvalidArgument("churn op 'sub' without expression");
+      }
+    } else if (line.rfind("unsub ", 0) == 0) {
+      op.kind = ChurnOp::Kind::kUnsubscribe;
+      op.pick = static_cast<uint32_t>(
+          std::strtoul(line.c_str() + 6, nullptr, 10));
+    } else if (line == "publish") {
+      op.kind = ChurnOp::Kind::kPublish;
+    } else if (line.rfind("filter ", 0) == 0) {
+      op.kind = ChurnOp::Kind::kFilter;
+      op.doc = static_cast<uint32_t>(
+          std::strtoul(line.c_str() + 7, nullptr, 10));
+    } else {
+      return Status::InvalidArgument("bad churn op line: " + line);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::string ChurnDivergence::ToString() const {
+  return "filter op #" + std::to_string(op_index) + " (doc " +
+         std::to_string(doc) + ") at epoch " + std::to_string(epoch) +
+         ": engine=" + FormatSids(engine) + " oracle=" + FormatSids(oracle);
+}
+
+Result<ChurnReplayResult> ReplayChurnScript(
+    const ChurnScript& script, const ChurnReplayOptions& options) {
+  std::vector<xml::Document> docs;
+  docs.reserve(script.documents.size());
+  for (const std::string& text : script.documents) {
+    Result<xml::Document> doc = xml::Document::Parse(text);
+    if (!doc.ok()) return doc.status();
+    docs.push_back(std::move(*doc));
+  }
+
+  core::IndexEpochManager::Options mgr_options;
+  mgr_options.partitions = options.partitions;
+  mgr_options.matcher = options.matcher;
+  mgr_options.record_history = true;
+  core::IndexEpochManager manager(mgr_options);
+
+  exec::ParallelFilter::Options pf_options;
+  pf_options.threads = options.threads;
+  exec::ParallelFilter filter(pf_options, &manager);
+
+  ChurnReplayResult result;
+  std::vector<core::ExprId> live;
+
+  for (size_t i = 0; i < script.ops.size(); ++i) {
+    const ChurnOp& op = script.ops[i];
+    switch (op.kind) {
+      case ChurnOp::Kind::kSubscribe: {
+        Result<core::ExprId> sid = manager.Subscribe(op.xpath);
+        if (sid.ok()) {
+          live.push_back(*sid);
+          ++result.subscribes;
+        } else {
+          // Rejections (unparseable mutants, capacity) are data, not
+          // errors: the op stays a no-op so subsequences remain valid.
+          ++result.rejected_subscribes;
+        }
+        break;
+      }
+      case ChurnOp::Kind::kUnsubscribe: {
+        if (live.empty()) break;  // No-op by contract.
+        const size_t idx = op.pick % live.size();
+        XPRED_RETURN_NOT_OK(manager.Unsubscribe(live[idx]));
+        live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+        ++result.unsubscribes;
+        break;
+      }
+      case ChurnOp::Kind::kPublish: {
+        Result<uint64_t> epoch = manager.Publish();
+        if (!epoch.ok()) return epoch.status();
+        ++result.epochs_published;
+        break;
+      }
+      case ChurnOp::Kind::kFilter: {
+        if (docs.empty()) {
+          return Status::InvalidArgument(
+              "churn script has a filter op but no documents");
+        }
+        const uint32_t d =
+            op.doc % static_cast<uint32_t>(docs.size());
+        exec::CollectingResultSink sink;
+        exec::DocRef ref;
+        ref.doc = &docs[d];
+        Status st =
+            filter.FilterBatch(std::span<const exec::DocRef>(&ref, 1), sink);
+        XPRED_RETURN_NOT_OK(st);
+        std::vector<core::ExprId> matched = sink.results()[0].matched;
+        result.filter_results.push_back(matched);
+        ++result.filters;
+
+        Result<std::unique_ptr<core::Matcher>> oracle = BuildOracleAtEpoch(
+            manager, filter.last_batch_epoch(), options.matcher);
+        if (!oracle.ok()) return oracle.status();
+        std::vector<core::ExprId> expected;
+        XPRED_RETURN_NOT_OK((*oracle)->FilterDocument(docs[d], &expected));
+        std::sort(expected.begin(), expected.end());
+        if (expected != matched && !result.divergence.has_value()) {
+          ChurnDivergence div;
+          div.op_index = i;
+          div.epoch = filter.last_batch_epoch();
+          div.doc = d;
+          div.engine = matched;
+          div.oracle = expected;
+          result.divergence = std::move(div);
+        }
+        result.oracle_results.push_back(std::move(expected));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+ChurnScript GenerateChurnScript(const ChurnScriptOptions& options) {
+  const xml::Dtd& dtd = DtdByName(options.dtd);
+  Random rng(options.seed);
+
+  ChurnScript script;
+  script.seed = options.seed;
+  script.dtd = options.dtd == "psd" ? "psd" : "nitf";
+
+  xml::DocumentGenerator::Options doc_options;
+  doc_options.max_depth = options.doc_max_depth;
+  xml::DocumentGenerator doc_gen(&dtd, doc_options);
+  const uint32_t num_docs = std::max<uint32_t>(options.documents, 1);
+  for (uint32_t i = 0; i < num_docs; ++i) {
+    script.documents.push_back(doc_gen.Generate(rng.Next()).ToXml());
+  }
+
+  xpath::QueryGenerator::Options query_options;
+  query_options.max_length = 5;
+  query_options.filters_per_expr = 1;
+  query_options.nested_path_prob = 0.15;
+  xpath::QueryGenerator query_gen(&dtd, query_options);
+  WorkloadMutator mutator(&dtd);
+  std::vector<xpath::PathExpr> pool = query_gen.GenerateWorkload(
+      std::max<uint32_t>(options.query_pool, 1), rng.Next());
+  std::vector<std::string> pool_strings;
+  pool_strings.reserve(pool.size());
+  for (xpath::PathExpr& expr : pool) {
+    if (rng.Bernoulli(options.mutation_prob)) {
+      mutator.MutateExpression(&expr, &rng);
+    }
+    pool_strings.push_back(expr.ToString());
+  }
+  if (pool_strings.empty()) pool_strings.push_back("/a");
+
+  const uint32_t num_ops = std::max<uint32_t>(options.ops, 3);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    ChurnOp op;
+    const double r = rng.NextDouble();
+    if (i == 0 || r < options.subscribe_prob) {
+      op.kind = ChurnOp::Kind::kSubscribe;
+      op.xpath = pool_strings[rng.Uniform(pool_strings.size())];
+    } else if (r < options.subscribe_prob + options.unsubscribe_prob) {
+      op.kind = ChurnOp::Kind::kUnsubscribe;
+      op.pick = static_cast<uint32_t>(rng.Uniform(1 << 16));
+    } else if (r < options.subscribe_prob + options.unsubscribe_prob +
+                       options.publish_prob) {
+      op.kind = ChurnOp::Kind::kPublish;
+    } else {
+      op.kind = ChurnOp::Kind::kFilter;
+      op.doc = static_cast<uint32_t>(rng.Uniform(num_docs));
+    }
+    script.ops.push_back(std::move(op));
+  }
+  // Every script ends with a publish + filter so queued mutations are
+  // always exercised at least once.
+  ChurnOp publish;
+  publish.kind = ChurnOp::Kind::kPublish;
+  script.ops.push_back(std::move(publish));
+  ChurnOp filter;
+  filter.kind = ChurnOp::Kind::kFilter;
+  filter.doc = static_cast<uint32_t>(rng.Uniform(num_docs));
+  script.ops.push_back(std::move(filter));
+  return script;
+}
+
+ChurnMinimizeResult MinimizeChurnScript(const ChurnScript& script,
+                                        const ChurnReplayOptions& options,
+                                        size_t max_probes) {
+  ChurnMinimizeResult out;
+  out.script = script;
+
+  auto diverges = [&](const ChurnScript& candidate) {
+    ++out.probes;
+    Result<ChurnReplayResult> replay = ReplayChurnScript(candidate, options);
+    return replay.ok() && replay->divergence.has_value();
+  };
+
+  // Greedy chunked op deletion: try removing windows of halving sizes;
+  // any removal that still diverges is kept and the scan restarts at
+  // the same window size.
+  for (size_t window = std::max<size_t>(out.script.ops.size() / 2, 1);
+       window >= 1; window /= 2) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t start = 0; start + window <= out.script.ops.size();
+           ++start) {
+        if (out.probes >= max_probes) {
+          out.converged = false;
+          return out;
+        }
+        ChurnScript candidate = out.script;
+        candidate.ops.erase(
+            candidate.ops.begin() + static_cast<ptrdiff_t>(start),
+            candidate.ops.begin() + static_cast<ptrdiff_t>(start + window));
+        if (diverges(candidate)) {
+          out.script = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+    }
+    if (window == 1) break;
+  }
+
+  // Documents: canonicalize filter indices, then drop unreferenced
+  // documents (a no-op for replay semantics — no probe needed).
+  if (!out.script.documents.empty()) {
+    const uint32_t num_docs =
+        static_cast<uint32_t>(out.script.documents.size());
+    std::vector<bool> used(num_docs, false);
+    for (ChurnOp& op : out.script.ops) {
+      if (op.kind == ChurnOp::Kind::kFilter) {
+        op.doc %= num_docs;
+        used[op.doc] = true;
+      }
+    }
+    for (uint32_t d = num_docs; d-- > 0;) {
+      if (used[d]) continue;
+      out.script.documents.erase(out.script.documents.begin() + d);
+      for (ChurnOp& op : out.script.ops) {
+        if (op.kind == ChurnOp::Kind::kFilter && op.doc > d) --op.doc;
+      }
+    }
+  }
+  return out;
+}
+
+ChurnHarness::ChurnHarness(Options options) : options_(std::move(options)) {
+  options_.partitions = std::max<size_t>(options_.partitions, 1);
+  options_.filter_threads = std::max<size_t>(options_.filter_threads, 1);
+  options_.documents = std::max<size_t>(options_.documents, 1);
+  options_.batch_size = std::max<size_t>(options_.batch_size, 1);
+  options_.publish_every = std::max<size_t>(options_.publish_every, 1);
+}
+
+Result<ChurnHarness::Report> ChurnHarness::Run() {
+  const xml::Dtd& dtd = DtdByName(options_.dtd);
+  Random rng(options_.seed);
+
+  // Seeded workload: documents, plus one expression pool shared by
+  // the initial load and the mutation thread (pre-generated so the
+  // thread itself never touches the non-thread-safe generators).
+  xml::DocumentGenerator::Options doc_options;
+  doc_options.max_depth = options_.doc_max_depth;
+  xml::DocumentGenerator doc_gen(&dtd, doc_options);
+  std::vector<xml::Document> docs;
+  docs.reserve(options_.documents);
+  for (size_t i = 0; i < options_.documents; ++i) {
+    docs.push_back(doc_gen.Generate(rng.Next()));
+  }
+
+  xpath::QueryGenerator::Options query_options;
+  query_options.max_length = 5;
+  query_options.filters_per_expr = 1;
+  query_options.nested_path_prob = 0.1;
+  xpath::QueryGenerator query_gen(&dtd, query_options);
+  const size_t pool_size =
+      options_.initial_subscriptions + options_.mutation_ops + 1;
+  std::vector<std::string> pool =
+      query_gen.GenerateWorkloadStrings(pool_size, rng.Next());
+  if (pool.empty()) {
+    return Status::Internal("query generator produced no expressions");
+  }
+
+  core::IndexEpochManager::Options mgr_options;
+  mgr_options.partitions = options_.partitions;
+  mgr_options.matcher = options_.matcher;
+  mgr_options.record_history = true;
+  core::IndexEpochManager manager(mgr_options);
+
+  std::vector<core::ExprId> initial_live;
+  for (size_t i = 0; i < options_.initial_subscriptions; ++i) {
+    Result<core::ExprId> sid =
+        manager.Subscribe(pool[i % pool.size()]);
+    if (sid.ok()) initial_live.push_back(*sid);
+  }
+  Result<uint64_t> first_epoch = manager.Publish();
+  if (!first_epoch.ok()) return first_epoch.status();
+
+  // --- The interleaving ---------------------------------------------
+  struct BatchRecord {
+    uint64_t epoch = 0;
+    std::vector<uint32_t> docs;
+    std::vector<Status> statuses;
+    std::vector<std::vector<core::ExprId>> matched;
+  };
+  std::vector<std::vector<BatchRecord>> per_thread_records(
+      options_.filter_threads);
+
+  Report report;
+  uint64_t writer_rejected = 0;
+  uint64_t writer_max_live = initial_live.size();
+
+  // Overlap control: the writer holds off until every filter thread
+  // is constructed, and filter threads pace their batches across the
+  // expected epoch timeline (waiting for epoch progress, never for a
+  // fixed time) — otherwise fast filter threads drain all their
+  // batches against the initial epoch and the "concurrent" run
+  // degenerates into a sequential one.
+  std::atomic<size_t> filters_ready{0};
+  std::atomic<bool> mutation_done{false};
+  const uint64_t base_epoch = *first_epoch;
+  const uint64_t expected_epochs =
+      options_.publish_every > 0
+          ? options_.mutation_ops / options_.publish_every
+          : 0;
+
+  std::thread mutation_thread([&] {
+    while (filters_ready.load(std::memory_order_acquire) <
+           options_.filter_threads) {
+      std::this_thread::yield();
+    }
+    Random wrng(options_.seed ^ 0xc2b2ae3d27d4eb4full);
+    std::vector<core::ExprId> live = initial_live;
+    size_t next_pool = options_.initial_subscriptions;
+    size_t since_publish = 0;
+    for (size_t i = 0; i < options_.mutation_ops; ++i) {
+      const bool do_subscribe =
+          live.size() < 2 || wrng.Bernoulli(0.55);
+      if (do_subscribe) {
+        Result<core::ExprId> sid =
+            manager.Subscribe(pool[next_pool % pool.size()]);
+        ++next_pool;
+        if (sid.ok()) live.push_back(*sid);
+      } else {
+        const size_t idx = wrng.Uniform(live.size());
+        if (manager.Unsubscribe(live[idx]).ok()) {
+          live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+        }
+      }
+      writer_max_live = std::max<uint64_t>(writer_max_live, live.size());
+      if (++since_publish >= options_.publish_every) {
+        since_publish = 0;
+        if (options_.non_blocking_publish) {
+          Result<uint64_t> epoch = manager.TryPublish();
+          if (!epoch.ok()) ++writer_rejected;
+        } else {
+          (void)manager.Publish();
+        }
+      }
+    }
+    // Always land the tail of the mutation log.
+    (void)manager.Publish();
+    mutation_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> filter_threads;
+  filter_threads.reserve(options_.filter_threads);
+  for (size_t tid = 0; tid < options_.filter_threads; ++tid) {
+    filter_threads.emplace_back([&, tid] {
+      Random frng(options_.seed ^ (0x9e3779b97f4a7c15ull * (tid + 1)));
+      exec::ParallelFilter::Options pf_options;
+      pf_options.threads = options_.workers_per_filter;
+      pf_options.seed = frng.Next();
+      exec::ParallelFilter filter(pf_options, &manager);
+      std::vector<BatchRecord>& records = per_thread_records[tid];
+      records.reserve(options_.batches_per_thread);
+      std::vector<exec::DocRef> refs(options_.batch_size);
+      filters_ready.fetch_add(1, std::memory_order_acq_rel);
+      for (size_t b = 0; b < options_.batches_per_thread; ++b) {
+        // Pace this batch to its slot on the epoch timeline so the
+        // run pins a spread of epochs instead of racing ahead of the
+        // writer. Gives up as soon as the writer is done.
+        const uint64_t target =
+            base_epoch + (expected_epochs * b) / options_.batches_per_thread;
+        while (manager.current_epoch() < target &&
+               !mutation_done.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        BatchRecord record;
+        record.docs.reserve(options_.batch_size);
+        for (size_t k = 0; k < options_.batch_size; ++k) {
+          const uint32_t d =
+              static_cast<uint32_t>(frng.Uniform(docs.size()));
+          record.docs.push_back(d);
+          refs[k].doc = &docs[d];
+        }
+        exec::CollectingResultSink sink;
+        (void)filter.FilterBatch(
+            std::span<const exec::DocRef>(refs.data(), refs.size()), sink);
+        record.epoch = filter.last_batch_epoch();
+        for (const exec::CollectingResultSink::DocResult& r :
+             sink.results()) {
+          record.statuses.push_back(r.status);
+          record.matched.push_back(r.matched);
+        }
+        records.push_back(std::move(record));
+      }
+    });
+  }
+
+  mutation_thread.join();
+  for (std::thread& t : filter_threads) t.join();
+
+  // --- The oracle ----------------------------------------------------
+  // Every batch is checked against a from-scratch rebuild at exactly
+  // the epoch it pinned. Oracles and per-(epoch, document) match sets
+  // are cached — correctness needs one comparison per observation,
+  // not one rebuild.
+  std::map<uint64_t, std::unique_ptr<core::Matcher>> oracles;
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<core::ExprId>>
+      oracle_matches;
+
+  const core::IndexEpochManager::Stats stats = manager.stats();
+  report.epochs_published = stats.publishes;
+  report.subscribes = stats.subscribes;
+  report.unsubscribes = stats.unsubscribes;
+  report.publish_rejected = writer_rejected;
+  report.max_live_subscriptions = writer_max_live;
+
+  std::set<uint64_t> epochs_pinned;
+  for (size_t tid = 0; tid < per_thread_records.size(); ++tid) {
+    for (size_t b = 0; b < per_thread_records[tid].size(); ++b) {
+      const BatchRecord& record = per_thread_records[tid][b];
+      ++report.batches;
+      epochs_pinned.insert(record.epoch);
+      bool batch_failed = false;
+      for (size_t k = 0; k < record.docs.size(); ++k) {
+        ++report.documents_filtered;
+        if (!record.statuses[k].ok()) {
+          batch_failed = true;
+          ++report.mismatches;
+          if (report.divergences.size() < options_.max_divergences) {
+            report.divergences.push_back(
+                "thread " + std::to_string(tid) + " batch " +
+                std::to_string(b) + " doc " +
+                std::to_string(record.docs[k]) + " failed: " +
+                record.statuses[k].ToString());
+          }
+          continue;
+        }
+        auto oracle_it = oracles.find(record.epoch);
+        if (oracle_it == oracles.end()) {
+          Result<std::unique_ptr<core::Matcher>> oracle =
+              BuildOracleAtEpoch(manager, record.epoch, options_.matcher);
+          if (!oracle.ok()) return oracle.status();
+          oracle_it =
+              oracles.emplace(record.epoch, std::move(*oracle)).first;
+        }
+        const std::pair<uint64_t, uint32_t> key(record.epoch,
+                                                record.docs[k]);
+        auto match_it = oracle_matches.find(key);
+        if (match_it == oracle_matches.end()) {
+          std::vector<core::ExprId> expected;
+          XPRED_RETURN_NOT_OK(oracle_it->second->FilterDocument(
+              docs[record.docs[k]], &expected));
+          std::sort(expected.begin(), expected.end());
+          match_it = oracle_matches.emplace(key, std::move(expected)).first;
+        }
+        ++report.oracle_checks;
+        if (record.matched[k] != match_it->second) {
+          ++report.mismatches;
+          if (report.divergences.size() < options_.max_divergences) {
+            ChurnDivergence div;
+            div.op_index = b;
+            div.epoch = record.epoch;
+            div.doc = record.docs[k];
+            div.engine = record.matched[k];
+            div.oracle = match_it->second;
+            report.divergences.push_back("thread " + std::to_string(tid) +
+                                         ": " + div.ToString());
+          }
+        }
+      }
+      if (batch_failed) ++report.batch_errors;
+    }
+  }
+  report.distinct_epochs_pinned = epochs_pinned.size();
+  return report;
+}
+
+}  // namespace xpred::difftest

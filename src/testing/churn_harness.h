@@ -1,0 +1,203 @@
+#ifndef XPRED_TESTING_CHURN_HARNESS_H_
+#define XPRED_TESTING_CHURN_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/matcher.h"
+
+namespace xpred::difftest {
+
+/// \brief One step of a churn script — a deterministic, serializable
+/// interleaving of subscription mutations and filtering.
+///
+/// Operands are defined so that *any subsequence of any script is
+/// still a valid script*: an unsubscribe picks its victim as an index
+/// into the currently live subscription list (modulo its size, no-op
+/// when empty) rather than naming a subscription id, and a filter op
+/// picks its document modulo the document count. That closure property
+/// is what lets the minimizer shrink a failing mutation sequence by
+/// plain op deletion.
+struct ChurnOp {
+  enum class Kind : uint8_t { kSubscribe, kUnsubscribe, kPublish, kFilter };
+  Kind kind = Kind::kSubscribe;
+  /// kSubscribe: the expression to subscribe.
+  std::string xpath;
+  /// kUnsubscribe: victim = live[pick % live.size()].
+  uint32_t pick = 0;
+  /// kFilter: document = documents[doc % documents.size()].
+  uint32_t doc = 0;
+};
+
+/// \brief A self-contained churn workload: documents plus an op
+/// sequence. Replayable deterministically by ReplayChurnScript.
+struct ChurnScript {
+  uint64_t seed = 0;
+  std::string dtd;  ///< "nitf", "psd", or "" (informational).
+  std::vector<std::string> documents;  ///< XML text.
+  std::vector<ChurnOp> ops;
+};
+
+/// Script text format, one op per line (the `== script` section of a
+/// churn .xpredcase):
+///   sub <xpath>
+///   unsub <pick>
+///   publish
+///   filter <doc>
+std::vector<std::string> SerializeChurnOps(std::span<const ChurnOp> ops);
+Result<std::vector<ChurnOp>> ParseChurnOps(
+    std::span<const std::string> lines);
+
+/// \brief A filter op whose live-engine match set disagreed with the
+/// rebuild-from-scratch oracle at the batch's pinned epoch.
+struct ChurnDivergence {
+  size_t op_index = 0;   ///< Index of the filter op in the script.
+  uint64_t epoch = 0;    ///< Epoch the batch pinned.
+  uint32_t doc = 0;      ///< Resolved document index.
+  std::vector<core::ExprId> engine;  ///< Sorted global sids.
+  std::vector<core::ExprId> oracle;  ///< Sorted global sids.
+  std::string ToString() const;
+};
+
+struct ChurnReplayOptions {
+  size_t partitions = 2;
+  /// Worker threads of the (single) live ParallelFilter. Replay is
+  /// serial either way — one op at a time — so 1 keeps it inline.
+  size_t threads = 1;
+  core::Matcher::Options matcher;
+};
+
+struct ChurnReplayResult {
+  uint64_t epochs_published = 0;
+  uint64_t subscribes = 0;
+  uint64_t rejected_subscribes = 0;  ///< Parse/capacity rejections.
+  uint64_t unsubscribes = 0;
+  uint64_t filters = 0;
+  /// Sorted global sids matched by each filter op, in op order.
+  std::vector<std::vector<core::ExprId>> filter_results;
+  /// The oracle's sorted match set per filter op (rebuilt from the op
+  /// log at the op's pinned epoch) — the ground truth, and the
+  /// expected-matches lines of a saved churn .xpredcase. Equal to
+  /// filter_results exactly when there is no divergence.
+  std::vector<std::vector<core::ExprId>> oracle_results;
+  /// First engine/oracle disagreement, if any.
+  std::optional<ChurnDivergence> divergence;
+};
+
+/// Replays \p script one op at a time against a live
+/// exec::ParallelFilter over a core::IndexEpochManager, checking every
+/// filter op's match set against a fresh single-threaded core::Matcher
+/// rebuilt from the manager's op log at the batch's pinned epoch.
+/// Deterministic: same script + options => same result. Returns a
+/// Status only for malformed inputs (unparseable document, filter op
+/// with no documents) — divergences are data, not errors.
+Result<ChurnReplayResult> ReplayChurnScript(const ChurnScript& script,
+                                            const ChurnReplayOptions& options);
+
+/// \brief Seeded random churn-script generation (fuzzer + tests).
+struct ChurnScriptOptions {
+  uint64_t seed = 1;
+  std::string dtd = "nitf";  ///< "nitf" or "psd".
+  uint32_t documents = 1;
+  uint32_t doc_max_depth = 7;
+  uint32_t ops = 40;
+  /// Distinct expressions drawn up front; subscribe ops sample from
+  /// this pool (duplicates across subscribes are deliberate — they
+  /// exercise the dedup/reactivation paths).
+  uint32_t query_pool = 12;
+  /// Per-pool-expression grammar-mutation probability
+  /// (WorkloadMutator; mutants still parse).
+  double mutation_prob = 0.35;
+  double subscribe_prob = 0.40;
+  double unsubscribe_prob = 0.20;
+  double publish_prob = 0.15;  ///< Remainder: filter ops.
+};
+ChurnScript GenerateChurnScript(const ChurnScriptOptions& options);
+
+/// \brief Delta-debugs a diverging script to a locally minimal one:
+/// greedy chunked op deletion (halving window sizes), then dropping
+/// documents no remaining filter op references. The result still
+/// diverges under \p options.
+struct ChurnMinimizeResult {
+  ChurnScript script;
+  size_t probes = 0;      ///< Replay attempts spent.
+  bool converged = true;  ///< False when the probe budget ran out.
+};
+ChurnMinimizeResult MinimizeChurnScript(const ChurnScript& script,
+                                        const ChurnReplayOptions& options,
+                                        size_t max_probes = 2000);
+
+/// \brief The tentpole's proof harness: N filter threads running live
+/// batches against one mutation thread, every batch checked after the
+/// run against a rebuild-from-scratch oracle at its pinned epoch.
+///
+/// Determinism: thread *schedules* vary run to run (that is the
+/// point — TSan needs real interleavings), but the checked property
+/// is schedule-independent: whatever epoch a batch pinned, its match
+/// set must equal the oracle's at exactly that epoch. Workloads
+/// (documents, expressions, mutation choices) are seeded.
+class ChurnHarness {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    std::string dtd = "nitf";
+    size_t partitions = 2;
+    /// Concurrent filter threads, each with its own live
+    /// exec::ParallelFilter over the shared manager.
+    size_t filter_threads = 2;
+    /// Worker threads inside each filter (1 = inline filtering).
+    size_t workers_per_filter = 1;
+    size_t documents = 4;
+    uint32_t doc_max_depth = 7;
+    /// Subscriptions loaded (and published) before the run starts.
+    size_t initial_subscriptions = 24;
+    /// Mutation-thread operations (subscribe/unsubscribe mix).
+    size_t mutation_ops = 120;
+    /// Publish after this many mutations (1 = publish every op — the
+    /// epoch-retire stress configuration).
+    size_t publish_every = 5;
+    size_t batches_per_thread = 20;
+    size_t batch_size = 3;
+    /// Use TryPublish instead of Publish: the writer never blocks on
+    /// a pinned side, maximizing swap/retire races.
+    bool non_blocking_publish = false;
+    core::Matcher::Options matcher;
+    /// Cap on recorded divergence descriptions.
+    size_t max_divergences = 8;
+  };
+
+  struct Report {
+    uint64_t epochs_published = 0;
+    uint64_t subscribes = 0;
+    uint64_t unsubscribes = 0;
+    uint64_t publish_rejected = 0;  ///< TryPublish refusals.
+    uint64_t batches = 0;
+    uint64_t documents_filtered = 0;
+    uint64_t batch_errors = 0;   ///< Batches with a non-OK status.
+    uint64_t oracle_checks = 0;  ///< (epoch, document) comparisons.
+    uint64_t mismatches = 0;
+    uint64_t distinct_epochs_pinned = 0;
+    uint64_t max_live_subscriptions = 0;
+    std::vector<std::string> divergences;
+  };
+
+  explicit ChurnHarness(Options options);
+
+  /// Builds the seeded workload, runs the interleaving, then verifies
+  /// every batch against the oracle. A Status error means the harness
+  /// itself failed (setup error); divergences land in the Report.
+  Result<Report> Run();
+
+ private:
+  Options options_;
+};
+
+}  // namespace xpred::difftest
+
+#endif  // XPRED_TESTING_CHURN_HARNESS_H_

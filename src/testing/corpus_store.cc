@@ -47,12 +47,86 @@ std::vector<std::string_view> SplitLines(std::string_view text) {
   return lines;
 }
 
+/// Parses the section list of a `mode: churn` case, starting at the
+/// first section marker (lines[i]). Layout: one or more `== document`
+/// sections, `== script`, `== expected` (one sid line per filter op,
+/// `-` for none), `== end`.
+Result<Case> ParseChurnSections(const std::vector<std::string_view>& lines,
+                                size_t i, Case c) {
+  if (i >= lines.size() || lines[i] != "== document") {
+    return Status::InvalidArgument("churn case missing '== document'");
+  }
+  while (i < lines.size() && lines[i] == "== document") {
+    ++i;
+    std::string doc;
+    for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+      doc.append(lines[i]);
+      doc.push_back('\n');
+    }
+    c.documents.push_back(std::move(doc));
+  }
+
+  if (i >= lines.size() || lines[i] != "== script") {
+    return Status::InvalidArgument("churn case missing '== script'");
+  }
+  ++i;
+  size_t filter_ops = 0;
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    if (lines[i].empty()) continue;
+    // Light syntactic gate; ParseChurnOps does the full validation at
+    // replay time.
+    if (lines[i].rfind("sub ", 0) != 0 && lines[i].rfind("unsub ", 0) != 0 &&
+        lines[i] != "publish" && lines[i].rfind("filter ", 0) != 0) {
+      return Status::InvalidArgument("bad churn script line: " +
+                                     std::string(lines[i]));
+    }
+    if (lines[i].rfind("filter ", 0) == 0) ++filter_ops;
+    c.script.emplace_back(lines[i]);
+  }
+
+  if (i >= lines.size() || lines[i] != "== expected") {
+    return Status::InvalidArgument("churn case missing '== expected'");
+  }
+  ++i;
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    if (lines[i].empty()) continue;
+    std::vector<uint64_t> sids;
+    if (lines[i] != "-") {
+      size_t pos = 0;
+      std::string_view line = lines[i];
+      while (pos < line.size()) {
+        size_t end = line.find(' ', pos);
+        if (end == std::string_view::npos) end = line.size();
+        std::string token(line.substr(pos, end - pos));
+        if (token.empty() ||
+            token.find_first_not_of("0123456789") != std::string::npos) {
+          return Status::InvalidArgument("bad churn expected line: " +
+                                         std::string(line));
+        }
+        sids.push_back(std::strtoull(token.c_str(), nullptr, 10));
+        pos = end + 1;
+      }
+    }
+    c.expected_matches.push_back(std::move(sids));
+  }
+  if (c.expected_matches.size() != filter_ops) {
+    return Status::InvalidArgument(
+        "churn expected-line count does not match filter-op count");
+  }
+
+  if (i >= lines.size() || lines[i] != "== end") {
+    return Status::InvalidArgument("missing '== end' marker (truncated?)");
+  }
+  return c;
+}
+
 }  // namespace
 
 std::string SerializeCase(const Case& c) {
   std::string out;
   out.append(kMagic);
   out.push_back('\n');
+  if (!c.mode.empty()) out += "mode: " + c.mode + "\n";
   out += "seed: " + std::to_string(c.seed) + "\n";
   if (!c.dtd.empty()) out += "dtd: " + c.dtd + "\n";
   if (!c.description.empty()) {
@@ -62,6 +136,32 @@ std::string SerializeCase(const Case& c) {
       if (ch == '\n' || ch == '\r') ch = ' ';
     }
     out += "description: " + desc + "\n";
+  }
+  if (c.mode == "churn") {
+    for (const std::string& doc : c.documents) {
+      out += "== document\n";
+      out += doc;
+      if (!doc.empty() && doc.back() != '\n') out.push_back('\n');
+    }
+    out += "== script\n";
+    for (const std::string& line : c.script) {
+      out += line;
+      out.push_back('\n');
+    }
+    out += "== expected\n";
+    for (const std::vector<uint64_t>& sids : c.expected_matches) {
+      if (sids.empty()) {
+        out += "-\n";
+        continue;
+      }
+      for (size_t i = 0; i < sids.size(); ++i) {
+        if (i != 0) out.push_back(' ');
+        out += std::to_string(sids[i]);
+      }
+      out.push_back('\n');
+    }
+    out += "== end\n";
+    return out;
   }
   out += "== document\n";
   out += c.document_xml;
@@ -121,6 +221,12 @@ Result<Case> DeserializeCase(std::string_view text) {
     std::string_view value = line.substr(colon + 2);
     if (key == "seed") {
       c.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (key == "mode") {
+      if (value != "churn") {
+        return Status::InvalidArgument("unknown case mode: " +
+                                       std::string(value));
+      }
+      c.mode.assign(value);
     } else if (key == "dtd") {
       c.dtd.assign(value);
     } else if (key == "description") {
@@ -130,6 +236,8 @@ Result<Case> DeserializeCase(std::string_view text) {
                                      std::string(key));
     }
   }
+
+  if (c.mode == "churn") return ParseChurnSections(lines, i, std::move(c));
 
   if (i >= lines.size() || lines[i] != "== document") {
     return Status::InvalidArgument("missing '== document' section");

@@ -54,8 +54,36 @@ struct EngineOutcome {
 /// contract — ingestion must fail on every engine and the rejection
 /// message must contain the substring. Such cases usually carry no
 /// expressions (there is nothing to match).
+///
+/// A *churn* case (`mode: churn` header) captures a live-subscription
+/// workload instead of a single static match: repeated `== document`
+/// sections hold the document pool, `== script` holds one churn op
+/// per line (`sub <xpath>` / `unsub <pick>` / `publish` /
+/// `filter <doc>` — see testing/churn_harness.h), and `== expected`
+/// holds one line per *filter op*: the sorted global subscription ids
+/// it must match, space-separated, or `-` for none:
+///
+///   xpredcase 1
+///   mode: churn
+///   seed: 7
+///   == document
+///   <a><b/></a>
+///   == script
+///   sub /a/b
+///   publish
+///   filter 0
+///   == expected
+///   0
+///   == end
+///
+/// Churn cases carry no expressions or engine sections; the replay
+/// contract is ReplayChurnScript agreeing with both the stored lines
+/// and its own rebuild-from-scratch oracle.
 struct Case {
   uint64_t seed = 0;
+  /// "" for classic differential cases, "churn" for live-subscription
+  /// script cases.
+  std::string mode;
   std::string dtd;  ///< "nitf", "psd", or "" when unknown/synthetic.
   std::string description;
   std::string document_xml;
@@ -66,6 +94,15 @@ struct Case {
   /// failure message must contain. Mutually exclusive with expected.
   std::string expected_error;
   std::vector<EngineOutcome> outcomes;
+
+  /// \name Churn mode (mode == "churn")
+  ///@{
+  std::vector<std::string> documents;  ///< XML text, one per section.
+  std::vector<std::string> script;     ///< Serialized churn ops.
+  /// Sorted global sids per filter op, aligned with the script's
+  /// filter lines.
+  std::vector<std::vector<uint64_t>> expected_matches;
+  ///@}
 };
 
 /// Serializes \p c to .xpredcase text.

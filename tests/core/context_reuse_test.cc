@@ -1,0 +1,157 @@
+// Regression tests for context scratch keyed to the index size — the
+// latent assumptions fixed alongside the epoch-snapshot work (ISSUE 7
+// audit): a MatchContext sized at document start must stay in bounds
+// when the index grows mid-stream, and a context must be reusable
+// across differently-sized matchers (the live-filter pattern, where
+// one worker context serves alternating epoch sides).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/matcher.h"
+#include "core/publication.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+std::vector<ExprId> ContextFilter(const Matcher& m, MatchContext* ctx,
+                                  const xml::Document& doc) {
+  std::vector<ExprId> matched;
+  Status st = m.FilterDocument(doc, ctx, &matched);
+  EXPECT_TRUE(st.ok()) << st;
+  std::sort(matched.begin(), matched.end());
+  return matched;
+}
+
+TEST(ContextReuseTest, MidStreamAddExpressionStaysInBounds) {
+  // Trie attachments are visible immediately, so an expression added
+  // while a document stream is open can be reached by the covering
+  // propagation on the very next path. Before the audit fix the
+  // context's matched-epoch array was sized once, at document start,
+  // and the new InternalId indexed out of bounds (caught by ASan).
+  Matcher m;
+  auto ab = m.AddExpression("/a/b");
+  ASSERT_TRUE(ab.ok());
+  m.PrepareForFiltering();
+
+  MatchContext ctx;
+  m.BeginDocumentStream(&ctx);
+  const std::vector<xml::Attribute> no_attrs;
+  std::vector<PathElementView> path(2);
+  path[0].tag = "a";
+  path[0].attributes = &no_attrs;
+  path[0].node = 0;
+  path[1].tag = "b";
+  path[1].attributes = &no_attrs;
+  path[1].node = 1;
+  ASSERT_TRUE(m.ProcessStreamedPath(path, &ctx).ok());
+
+  // "/a" attaches to an existing trie node (a prefix of "/a/b"), so
+  // its slot is reachable by the covering propagation on the very
+  // next path even though the expression only becomes *matchable* at
+  // the next PrepareForFiltering. The guarantee under test is bounds
+  // safety, not early visibility.
+  auto a = m.AddExpression("/a");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(m.ProcessStreamedPath(path, &ctx).ok());
+
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(m.EndDocumentStream(&ctx, &matched).ok());
+  EXPECT_EQ(matched, (std::vector<ExprId>{*ab}));
+
+  // After the next prepare the late expression matches normally.
+  m.PrepareForFiltering();
+  m.BeginDocumentStream(&ctx);
+  ASSERT_TRUE(m.ProcessStreamedPath(path, &ctx).ok());
+  matched.clear();
+  ASSERT_TRUE(m.EndDocumentStream(&ctx, &matched).ok());
+  std::sort(matched.begin(), matched.end());
+  EXPECT_EQ(matched, (std::vector<ExprId>{*ab, *a}));
+}
+
+TEST(ContextReuseTest, MidStreamNestedGroupAddStaysInBounds) {
+  // Same hazard for the group-witness scratch: a nested expression
+  // registered mid-document must not push the end-of-stream join out
+  // of bounds.
+  Matcher m;
+  auto plain = m.AddExpression("/a/b");
+  ASSERT_TRUE(plain.ok());
+  m.PrepareForFiltering();
+
+  MatchContext ctx;
+  m.BeginDocumentStream(&ctx);
+  const std::vector<xml::Attribute> no_attrs;
+  std::vector<PathElementView> path(2);
+  path[0].tag = "a";
+  path[0].attributes = &no_attrs;
+  path[0].node = 0;
+  path[1].tag = "b";
+  path[1].attributes = &no_attrs;
+  path[1].node = 1;
+  ASSERT_TRUE(m.ProcessStreamedPath(path, &ctx).ok());
+
+  auto nested = m.AddExpression("/a[b]/c");
+  ASSERT_TRUE(nested.ok());
+
+  std::vector<ExprId> matched;
+  ASSERT_TRUE(m.EndDocumentStream(&ctx, &matched).ok());
+  std::sort(matched.begin(), matched.end());
+  EXPECT_EQ(matched, (std::vector<ExprId>{*plain}));
+}
+
+TEST(ContextReuseTest, ContextServesMatchersOfDifferentSizes) {
+  // The live-filter pattern: one long-lived worker context is used
+  // against whichever epoch side a batch pins, and sides differ in
+  // index size. Results must not leak between matchers, in either
+  // growth direction.
+  Matcher big;
+  Matcher small;
+  std::vector<std::string> big_exprs = {"/a/b", "/a/c", "/a//d", "/a/b/c",
+                                        "/a[@x = 1]", "//c"};
+  for (const std::string& e : big_exprs) {
+    ASSERT_TRUE(big.AddExpression(e).ok());
+  }
+  auto small_ab = small.AddExpression("/a/b");
+  ASSERT_TRUE(small_ab.ok());
+  big.PrepareForFiltering();
+  small.PrepareForFiltering();
+
+  xml::Document doc = ParseXmlOrDie("<a x=\"1\"><b><c/></b><c/></a>");
+  MatchContext ctx;
+  std::vector<ExprId> from_big = ContextFilter(big, &ctx, doc);
+  EXPECT_FALSE(from_big.empty());
+
+  // Shrinking direction: the context's scratch stays sized for the
+  // big matcher; the small matcher must neither crash nor report the
+  // big matcher's sids.
+  std::vector<ExprId> from_small = ContextFilter(small, &ctx, doc);
+  EXPECT_EQ(from_small, (std::vector<ExprId>{*small_ab}));
+
+  // And back up again.
+  EXPECT_EQ(ContextFilter(big, &ctx, doc), from_big);
+}
+
+TEST(ContextReuseTest, ContextSurvivesIndexGrowthBetweenDocuments) {
+  Matcher m;
+  auto ab = m.AddExpression("/a/b");
+  ASSERT_TRUE(ab.ok());
+  m.PrepareForFiltering();
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+
+  MatchContext ctx;
+  EXPECT_EQ(ContextFilter(m, &ctx, doc), (std::vector<ExprId>{*ab}));
+
+  auto ac = m.AddExpression("/a/c");
+  ASSERT_TRUE(ac.ok());
+  m.PrepareForFiltering();
+  EXPECT_EQ(ContextFilter(m, &ctx, doc), (std::vector<ExprId>{*ab, *ac}));
+}
+
+}  // namespace
+}  // namespace xpred::core

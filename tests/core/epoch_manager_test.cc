@@ -1,0 +1,234 @@
+// Tests for IndexEpochManager: epoch-snapshot semantics of live
+// subscribe/unsubscribe (DESIGN.md §15).
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/epoch_manager.h"
+#include "test_util.h"
+
+namespace xpred::core {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+IndexEpochManager::Options ManagerOptions(size_t partitions,
+                                          bool record_history = false) {
+  IndexEpochManager::Options options;
+  options.partitions = partitions;
+  options.record_history = record_history;
+  return options;
+}
+
+std::vector<ExprId> FilterSnapshot(
+    const IndexEpochManager::Snapshot& snap, const xml::Document& doc) {
+  std::vector<ExprId> merged;
+  for (size_t p = 0; p < snap.partition_count(); ++p) {
+    MatchContext ctx;
+    std::vector<ExprId> local;
+    Status st = snap.partition(p).FilterDocument(doc, &ctx, &local);
+    EXPECT_TRUE(st.ok()) << st;
+    for (ExprId sid : local) merged.push_back(snap.GlobalSid(p, sid));
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+TEST(EpochManagerTest, SubscriptionsInvisibleUntilPublish) {
+  IndexEpochManager manager(ManagerOptions(2));
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+
+  Result<ExprId> sid = manager.Subscribe("/a/b");
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ(manager.current_epoch(), 0u);
+  EXPECT_EQ(manager.pending_ops(), 1u);
+  {
+    IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+    EXPECT_EQ(pin->epoch(), 0u);
+    EXPECT_TRUE(FilterSnapshot(*pin, doc).empty());
+  }
+
+  Result<uint64_t> epoch = manager.Publish();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);
+  EXPECT_EQ(manager.pending_ops(), 0u);
+  IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+  EXPECT_EQ(pin->epoch(), 1u);
+  EXPECT_EQ(FilterSnapshot(*pin, doc), (std::vector<ExprId>{*sid}));
+}
+
+TEST(EpochManagerTest, UnsubscribeTakesEffectAtNextPublish) {
+  IndexEpochManager manager(ManagerOptions(2));
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  Result<ExprId> b = manager.Subscribe("/a/b");
+  Result<ExprId> c = manager.Subscribe("/a/c");
+  ASSERT_TRUE(b.ok() && c.ok());
+  ASSERT_TRUE(manager.Publish().ok());
+
+  ASSERT_TRUE(manager.Unsubscribe(*b).ok());
+  {
+    IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+    EXPECT_EQ(FilterSnapshot(*pin, doc), (std::vector<ExprId>{*b, *c}));
+  }
+  ASSERT_TRUE(manager.Publish().ok());
+  IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+  EXPECT_EQ(FilterSnapshot(*pin, doc), (std::vector<ExprId>{*c}));
+  EXPECT_EQ(pin->live_subscriptions(), 1u);
+}
+
+TEST(EpochManagerTest, UnsubscribeValidatesEagerly) {
+  IndexEpochManager manager(ManagerOptions(1));
+  EXPECT_FALSE(manager.Unsubscribe(7).ok());
+  Result<ExprId> sid = manager.Subscribe("/a");
+  ASSERT_TRUE(sid.ok());
+  EXPECT_TRUE(manager.Unsubscribe(*sid).ok());
+  // Double unsubscribe is rejected even before any publish.
+  EXPECT_FALSE(manager.Unsubscribe(*sid).ok());
+}
+
+TEST(EpochManagerTest, SubscribeValidatesEagerly) {
+  IndexEpochManager manager(ManagerOptions(2));
+  EXPECT_FALSE(manager.Subscribe("not an xpath ]][").ok());
+  EXPECT_EQ(manager.pending_ops(), 0u);
+  // Rejected subscribes consume no sid: the next success is dense.
+  Result<ExprId> sid = manager.Subscribe("/a");
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ(*sid, 0u);
+}
+
+TEST(EpochManagerTest, PinnedSnapshotSurvivesLaterPublishes) {
+  IndexEpochManager manager(ManagerOptions(2));
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  Result<ExprId> b = manager.Subscribe("/a/b");
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(manager.Publish().ok());
+
+  // Hold epoch 1 pinned while epoch 2 publishes.
+  IndexEpochManager::PinnedSnapshot old_pin = manager.Pin();
+  Result<ExprId> c = manager.Subscribe("/a/c");
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(manager.Publish().ok());
+
+  EXPECT_EQ(old_pin->epoch(), 1u);
+  EXPECT_EQ(FilterSnapshot(*old_pin, doc), (std::vector<ExprId>{*b}));
+  IndexEpochManager::PinnedSnapshot new_pin = manager.Pin();
+  EXPECT_EQ(new_pin->epoch(), 2u);
+  EXPECT_EQ(FilterSnapshot(*new_pin, doc), (std::vector<ExprId>{*b, *c}));
+}
+
+TEST(EpochManagerTest, TryPublishRejectsWhileSparePinned) {
+  IndexEpochManager manager(ManagerOptions(1));
+  ASSERT_TRUE(manager.Subscribe("/a").ok());
+  // Pin epoch 0 (side A). Publishing epoch 1 rebuilds side B — fine.
+  IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+  ASSERT_TRUE(manager.TryPublish().ok());
+  // Epoch 2 would need side A back, but the pin holds it.
+  Result<uint64_t> blocked = manager.TryPublish();
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kRejected);
+  EXPECT_EQ(manager.stats().publish_rejected, 1u);
+
+  pin.Release();
+  EXPECT_TRUE(manager.TryPublish().ok());
+  EXPECT_EQ(manager.current_epoch(), 2u);
+}
+
+TEST(EpochManagerTest, PublishWaitsForGracePeriod) {
+  IndexEpochManager manager(ManagerOptions(1));
+  ASSERT_TRUE(manager.Subscribe("/a").ok());
+  IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+  ASSERT_TRUE(manager.Publish().ok());
+
+  // A blocking publish must wait until the epoch-0 pin drains.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pin.Release();
+  });
+  Result<uint64_t> epoch = manager.Publish();
+  releaser.join();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 2u);
+}
+
+TEST(EpochManagerTest, DuplicateExpressionsGetDistinctSids) {
+  IndexEpochManager manager(ManagerOptions(2));
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  Result<ExprId> s1 = manager.Subscribe("/a/b");
+  Result<ExprId> s2 = manager.Subscribe("/a/b");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(*s1, *s2);
+  ASSERT_TRUE(manager.Publish().ok());
+  {
+    IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+    EXPECT_EQ(FilterSnapshot(*pin, doc), (std::vector<ExprId>{*s1, *s2}));
+  }
+  // Removing one subscriber must not silence the duplicate, even
+  // though the copies live in different partitions.
+  ASSERT_TRUE(manager.Unsubscribe(*s1).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+  EXPECT_EQ(FilterSnapshot(*pin, doc), (std::vector<ExprId>{*s2}));
+}
+
+TEST(EpochManagerTest, OpsUpToEpochReplaysHistory) {
+  IndexEpochManager manager(ManagerOptions(3, /*record_history=*/true));
+  Result<ExprId> b = manager.Subscribe("/a/b");
+  Result<ExprId> c = manager.Subscribe("/a/c");
+  ASSERT_TRUE(b.ok() && c.ok());
+  ASSERT_TRUE(manager.Publish().ok());  // epoch 1
+  ASSERT_TRUE(manager.Unsubscribe(*b).ok());
+  ASSERT_TRUE(manager.Publish().ok());  // epoch 2
+
+  Result<std::vector<IndexEpochManager::OpView>> at0 =
+      manager.OpsUpToEpoch(0);
+  ASSERT_TRUE(at0.ok());
+  EXPECT_TRUE(at0->empty());
+
+  Result<std::vector<IndexEpochManager::OpView>> at1 =
+      manager.OpsUpToEpoch(1);
+  ASSERT_TRUE(at1.ok());
+  ASSERT_EQ(at1->size(), 2u);
+  EXPECT_TRUE((*at1)[0].subscribe);
+  EXPECT_EQ((*at1)[0].sid, *b);
+
+  Result<std::vector<IndexEpochManager::OpView>> at2 =
+      manager.OpsUpToEpoch(2);
+  ASSERT_TRUE(at2.ok());
+  ASSERT_EQ(at2->size(), 3u);
+  EXPECT_FALSE((*at2)[2].subscribe);
+  EXPECT_EQ((*at2)[2].sid, *b);
+
+  EXPECT_FALSE(manager.OpsUpToEpoch(9).ok());
+  IndexEpochManager no_history(ManagerOptions(1));
+  EXPECT_FALSE(no_history.OpsUpToEpoch(0).ok());
+}
+
+TEST(EpochManagerTest, EmptyPublishBumpsEpoch) {
+  IndexEpochManager manager(ManagerOptions(1));
+  ASSERT_TRUE(manager.Publish().ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  EXPECT_EQ(manager.current_epoch(), 2u);
+  EXPECT_EQ(manager.stats().publishes, 2u);
+}
+
+TEST(EpochManagerTest, StatsTrackOperations) {
+  IndexEpochManager manager(ManagerOptions(2));
+  ASSERT_TRUE(manager.Subscribe("/a").ok());
+  ASSERT_TRUE(manager.Subscribe("/a/b").ok());
+  ASSERT_TRUE(manager.Unsubscribe(0).ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  IndexEpochManager::Stats stats = manager.stats();
+  EXPECT_EQ(stats.subscribes, 2u);
+  EXPECT_EQ(stats.unsubscribes, 1u);
+  EXPECT_EQ(stats.publishes, 1u);
+  // The first publish replays all three ops into one side.
+  EXPECT_EQ(stats.ops_applied, 3u);
+  EXPECT_EQ(manager.subscription_count(), 2u);
+  EXPECT_EQ(manager.live_subscriptions(), 1u);
+}
+
+}  // namespace
+}  // namespace xpred::core

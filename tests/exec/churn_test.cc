@@ -1,0 +1,255 @@
+// Oracle-differential churn tests (ISSUE 7): live subscription
+// mutations racing concurrent filter batches, every batch's match set
+// checked against a rebuild-from-scratch matcher at the batch's
+// pinned epoch. Labeled `churn parallel` so the TSan suite
+// (`ctest -L parallel`) covers the real interleavings too.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/epoch_manager.h"
+#include "exec/parallel_filter.h"
+#include "test_util.h"
+#include "testing/churn_harness.h"
+
+namespace xpred {
+namespace {
+
+using xpred::testing::ParseXmlOrDie;
+
+std::vector<core::ExprId> BatchMatches(exec::ParallelFilter& filter,
+                                       const xml::Document& doc) {
+  exec::DocRef ref{&doc};
+  exec::CollectingResultSink sink;
+  Status st = filter.FilterBatch({&ref, 1}, sink);
+  EXPECT_TRUE(st.ok()) << st;
+  std::vector<core::ExprId> matched = sink.results().at(0).matched;
+  std::sort(matched.begin(), matched.end());
+  return matched;
+}
+
+TEST(LiveFilterTest, BatchesSeeOnlyPublishedEpochs) {
+  core::IndexEpochManager::Options mopts;
+  mopts.partitions = 2;
+  core::IndexEpochManager manager(mopts);
+  exec::ParallelFilter::Options fopts;
+  fopts.threads = 2;
+  exec::ParallelFilter filter(fopts, &manager);
+  EXPECT_TRUE(filter.live());
+  EXPECT_EQ(filter.partitions(), 2u);
+
+  xml::Document doc = ParseXmlOrDie("<a><b/><c/></a>");
+  Result<core::ExprId> b = manager.Subscribe("/a/b");
+  ASSERT_TRUE(b.ok());
+  // Queued but unpublished: the batch pins epoch 0 and sees nothing.
+  EXPECT_TRUE(BatchMatches(filter, doc).empty());
+  EXPECT_EQ(filter.last_batch_epoch(), 0u);
+
+  ASSERT_TRUE(manager.Publish().ok());
+  EXPECT_EQ(BatchMatches(filter, doc), (std::vector<core::ExprId>{*b}));
+  EXPECT_EQ(filter.last_batch_epoch(), 1u);
+}
+
+TEST(LiveFilterTest, AddExpressionPublishesImmediately) {
+  core::IndexEpochManager::Options mopts;
+  mopts.partitions = 2;
+  core::IndexEpochManager manager(mopts);
+  exec::ParallelFilter filter(exec::ParallelFilter::Options{}, &manager);
+
+  Result<core::ExprId> sid = filter.AddExpression("/a/b");
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ(manager.current_epoch(), 1u);
+  EXPECT_EQ(filter.subscription_count(), 1u);
+
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  std::vector<core::ExprId> matched;
+  ASSERT_TRUE(filter.FilterDocument(doc, &matched).ok());
+  EXPECT_EQ(matched, (std::vector<core::ExprId>{*sid}));
+
+  EXPECT_FALSE(filter.AddExpression("not an xpath ]][").ok());
+}
+
+TEST(LiveFilterTest, TwoFiltersShareOneManager) {
+  // The harness topology in miniature: independent ParallelFilter
+  // front ends over one manager see the same subscription set.
+  core::IndexEpochManager::Options mopts;
+  mopts.partitions = 3;
+  core::IndexEpochManager manager(mopts);
+  exec::ParallelFilter f1(exec::ParallelFilter::Options{}, &manager);
+  exec::ParallelFilter f2(exec::ParallelFilter::Options{}, &manager);
+
+  Result<core::ExprId> sid = f1.AddExpression("//b");
+  ASSERT_TRUE(sid.ok());
+  xml::Document doc = ParseXmlOrDie("<a><b/></a>");
+  EXPECT_EQ(BatchMatches(f1, doc), (std::vector<core::ExprId>{*sid}));
+  EXPECT_EQ(BatchMatches(f2, doc), (std::vector<core::ExprId>{*sid}));
+  EXPECT_EQ(f2.last_batch_epoch(), 1u);
+}
+
+TEST(ChurnScriptTest, OpsRoundTripThroughText) {
+  std::vector<difftest::ChurnOp> ops(4);
+  ops[0].kind = difftest::ChurnOp::Kind::kSubscribe;
+  ops[0].xpath = "/a/b[@x = 1]";
+  ops[1].kind = difftest::ChurnOp::Kind::kUnsubscribe;
+  ops[1].pick = 7;
+  ops[2].kind = difftest::ChurnOp::Kind::kPublish;
+  ops[3].kind = difftest::ChurnOp::Kind::kFilter;
+  ops[3].doc = 2;
+
+  std::vector<std::string> lines = difftest::SerializeChurnOps(ops);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "sub /a/b[@x = 1]");
+  EXPECT_EQ(lines[1], "unsub 7");
+  EXPECT_EQ(lines[2], "publish");
+  EXPECT_EQ(lines[3], "filter 2");
+
+  Result<std::vector<difftest::ChurnOp>> parsed =
+      difftest::ParseChurnOps(lines);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 4u);
+  EXPECT_EQ((*parsed)[0].xpath, ops[0].xpath);
+  EXPECT_EQ((*parsed)[1].pick, 7u);
+  EXPECT_EQ((*parsed)[3].doc, 2u);
+
+  std::vector<std::string> bad = {"subscribe /a"};
+  EXPECT_FALSE(difftest::ParseChurnOps(bad).ok());
+}
+
+TEST(ChurnScriptTest, GenerationIsDeterministic) {
+  difftest::ChurnScriptOptions opts;
+  opts.seed = 42;
+  opts.ops = 30;
+  opts.documents = 2;
+  difftest::ChurnScript a = difftest::GenerateChurnScript(opts);
+  difftest::ChurnScript b = difftest::GenerateChurnScript(opts);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  EXPECT_EQ(difftest::SerializeChurnOps(a.ops),
+            difftest::SerializeChurnOps(b.ops));
+  EXPECT_EQ(a.documents, b.documents);
+  EXPECT_FALSE(a.documents.empty());
+  // Scripts are replayable: end with publish + filter.
+  ASSERT_GE(a.ops.size(), 2u);
+  EXPECT_EQ(a.ops[a.ops.size() - 2].kind, difftest::ChurnOp::Kind::kPublish);
+  EXPECT_EQ(a.ops.back().kind, difftest::ChurnOp::Kind::kFilter);
+
+  opts.seed = 43;
+  difftest::ChurnScript c = difftest::GenerateChurnScript(opts);
+  EXPECT_NE(difftest::SerializeChurnOps(a.ops),
+            difftest::SerializeChurnOps(c.ops));
+}
+
+TEST(ChurnReplayTest, GeneratedScriptsAgreeWithOracle) {
+  // Serial oracle differential over a spread of seeds and DTDs: the
+  // live engine's published epochs must match a from-scratch rebuild
+  // at every filter op.
+  for (uint64_t seed : {1u, 7u, 23u, 77u}) {
+    difftest::ChurnScriptOptions gen;
+    gen.seed = seed;
+    gen.dtd = (seed % 2 == 0) ? "psd" : "nitf";
+    gen.ops = 60;
+    gen.documents = 3;
+    difftest::ChurnScript script = difftest::GenerateChurnScript(gen);
+
+    difftest::ChurnReplayOptions replay;
+    replay.partitions = 1 + seed % 3;
+    Result<difftest::ChurnReplayResult> result =
+        difftest::ReplayChurnScript(script, replay);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->divergence.has_value())
+        << "seed " << seed << ": " << result->divergence->ToString();
+    EXPECT_GT(result->filters, 0u);
+    EXPECT_EQ(result->filter_results.size(), result->filters);
+    EXPECT_GT(result->epochs_published, 0u);
+  }
+}
+
+TEST(ChurnReplayTest, PartitionCountDoesNotChangeResults) {
+  difftest::ChurnScriptOptions gen;
+  gen.seed = 99;
+  gen.ops = 50;
+  gen.documents = 2;
+  difftest::ChurnScript script = difftest::GenerateChurnScript(gen);
+
+  std::vector<std::vector<std::vector<core::ExprId>>> per_partitions;
+  for (size_t partitions : {1u, 2u, 4u}) {
+    difftest::ChurnReplayOptions replay;
+    replay.partitions = partitions;
+    Result<difftest::ChurnReplayResult> result =
+        difftest::ReplayChurnScript(script, replay);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->divergence.has_value());
+    per_partitions.push_back(result->filter_results);
+  }
+  EXPECT_EQ(per_partitions[0], per_partitions[1]);
+  EXPECT_EQ(per_partitions[0], per_partitions[2]);
+}
+
+TEST(ChurnHarnessTest, ConcurrentChurnMatchesOracle) {
+  difftest::ChurnHarness::Options opts;
+  opts.seed = 5;
+  opts.partitions = 2;
+  opts.filter_threads = 3;
+  opts.documents = 4;
+  opts.initial_subscriptions = 16;
+  opts.mutation_ops = 80;
+  opts.publish_every = 4;
+  opts.batches_per_thread = 12;
+  opts.batch_size = 2;
+  difftest::ChurnHarness harness(opts);
+  Result<difftest::ChurnHarness::Report> report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->mismatches, 0u)
+      << (report->divergences.empty() ? std::string()
+                                        : report->divergences.front());
+  EXPECT_EQ(report->batch_errors, 0u);
+  EXPECT_EQ(report->batches, 3u * 12u);
+  EXPECT_GT(report->oracle_checks, 0u);
+  EXPECT_GT(report->epochs_published, 0u);
+  EXPECT_GE(report->distinct_epochs_pinned, 1u);
+}
+
+TEST(ChurnHarnessTest, EpochRetireStress) {
+  // Publish after every mutation with a non-blocking writer: maximal
+  // swap/retire pressure, the configuration the TSan build leans on.
+  difftest::ChurnHarness::Options opts;
+  opts.seed = 11;
+  opts.partitions = 2;
+  opts.filter_threads = 4;
+  opts.workers_per_filter = 2;
+  opts.documents = 3;
+  opts.initial_subscriptions = 12;
+  opts.mutation_ops = 60;
+  opts.publish_every = 1;
+  opts.non_blocking_publish = true;
+  opts.batches_per_thread = 10;
+  opts.batch_size = 2;
+  difftest::ChurnHarness harness(opts);
+  Result<difftest::ChurnHarness::Report> report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->mismatches, 0u)
+      << (report->divergences.empty() ? std::string()
+                                        : report->divergences.front());
+  EXPECT_EQ(report->batch_errors, 0u);
+  EXPECT_GT(report->epochs_published, 0u);
+}
+
+TEST(ChurnHarnessTest, SingleThreadedDegenerateRunStillChecks) {
+  difftest::ChurnHarness::Options opts;
+  opts.seed = 3;
+  opts.filter_threads = 1;
+  opts.mutation_ops = 20;
+  opts.publish_every = 2;
+  opts.batches_per_thread = 5;
+  difftest::ChurnHarness harness(opts);
+  Result<difftest::ChurnHarness::Report> report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->mismatches, 0u);
+  EXPECT_EQ(report->batches, 5u);
+  EXPECT_GT(report->oracle_checks, 0u);
+}
+
+}  // namespace
+}  // namespace xpred

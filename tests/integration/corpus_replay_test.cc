@@ -9,6 +9,7 @@
 
 #include "gtest/gtest.h"
 
+#include "testing/churn_harness.h"
 #include "testing/corpus_store.h"
 #include "testing/differential_harness.h"
 #include "testing/engine_roster.h"
@@ -41,6 +42,7 @@ TEST(CorpusReplayTest, StoredExpectationsMatchTheOracle) {
     SCOPED_TRACE(file);
     Result<Case> c = CorpusStore::Load(file);
     ASSERT_TRUE(c.ok()) << c.status();
+    if (c->mode == "churn") continue;  // Covered by ChurnCasesReplayCleanly.
     if (!c->expected_error.empty()) {
       // Expected-error case: the document is poison by contract and
       // must be rejected at parse time with the recorded message.
@@ -73,6 +75,7 @@ TEST(CorpusReplayTest, EveryEngineMatchesTheExpectedVerdicts) {
     SCOPED_TRACE(file);
     Result<Case> c = CorpusStore::Load(file);
     ASSERT_TRUE(c.ok()) << c.status();
+    if (c->mode == "churn") continue;  // Covered by ChurnCasesReplayCleanly.
     if (!c->expected_error.empty()) {
       // Every engine family must reject the poison document through
       // the governed ingestion path, with the same documented message.
@@ -96,6 +99,45 @@ TEST(CorpusReplayTest, EveryEngineMatchesTheExpectedVerdicts) {
           << entry.label << " regressed on " << c->description;
     }
   }
+}
+
+TEST(CorpusReplayTest, ChurnCasesReplayCleanly) {
+  // Minimized live-subscription repros: the live engine must agree
+  // with both the stored match sets (captured at minimization time)
+  // and its own rebuild-from-scratch oracle at every pinned epoch.
+  size_t churn_cases = 0;
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    Result<Case> c = CorpusStore::Load(file);
+    ASSERT_TRUE(c.ok()) << c.status();
+    if (c->mode != "churn") continue;
+    ++churn_cases;
+
+    Result<std::vector<ChurnOp>> ops = ParseChurnOps(c->script);
+    ASSERT_TRUE(ops.ok()) << ops.status();
+    ChurnScript script;
+    script.seed = c->seed;
+    script.dtd = c->dtd;
+    script.documents = c->documents;
+    script.ops = std::move(*ops);
+
+    ChurnReplayOptions options;
+    Result<ChurnReplayResult> result = ReplayChurnScript(script, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->divergence.has_value())
+        << "regressed on " << c->description << ": "
+        << result->divergence->ToString();
+
+    ASSERT_EQ(result->filter_results.size(), c->expected_matches.size());
+    for (size_t i = 0; i < c->expected_matches.size(); ++i) {
+      std::vector<core::ExprId> want(c->expected_matches[i].begin(),
+                                     c->expected_matches[i].end());
+      EXPECT_EQ(result->filter_results[i], want)
+          << "filter op " << i << " drifted on " << c->description;
+    }
+  }
+  // The corpus ships seeded churn repros alongside the classic ones.
+  EXPECT_GE(churn_cases, 2u);
 }
 
 }  // namespace

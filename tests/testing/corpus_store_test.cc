@@ -120,5 +120,66 @@ TEST(CorpusStoreTest, SaveLoadListAndDedup) {
   std::filesystem::remove_all(dir);
 }
 
+Case MakeChurnCase() {
+  Case c;
+  c.mode = "churn";
+  c.seed = 7;
+  c.dtd = "nitf";
+  c.description = "live filter dropped a publish";
+  c.documents = {"<a><b/></a>\n", "<a><c/></a>\n"};
+  c.script = {"sub /a/b", "sub /a/c", "publish", "filter 0",
+              "unsub 0",  "publish",  "filter 1"};
+  c.expected_matches = {{0}, {1}};
+  return c;
+}
+
+TEST(CorpusStoreTest, ChurnCaseRoundTrip) {
+  Case original = MakeChurnCase();
+  std::string text = SerializeCase(original);
+  Result<Case> parsed = DeserializeCase(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->mode, "churn");
+  EXPECT_EQ(parsed->seed, original.seed);
+  EXPECT_EQ(parsed->documents, original.documents);
+  EXPECT_EQ(parsed->script, original.script);
+  EXPECT_EQ(parsed->expected_matches, original.expected_matches);
+  EXPECT_TRUE(parsed->expressions.empty());
+
+  // Canonical here too: the second round trip is byte-identical.
+  EXPECT_EQ(SerializeCase(*parsed), text);
+
+  // Empty match sets serialize as `-`.
+  original.expected_matches = {{}, {0, 1}};
+  parsed = DeserializeCase(SerializeCase(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->expected_matches, original.expected_matches);
+}
+
+TEST(CorpusStoreTest, ChurnCaseRejectsMalformedText) {
+  const std::string good = SerializeCase(MakeChurnCase());
+
+  // Unknown modes, junk script lines, and expected/filter-op count
+  // drift are all rejected.
+  std::string bad = good;
+  bad.replace(bad.find("mode: churn"), 11, "mode: storm");
+  EXPECT_FALSE(DeserializeCase(bad).ok());
+
+  bad = good;
+  bad.replace(bad.find("sub /a/b"), 8, "subscribe");
+  EXPECT_FALSE(DeserializeCase(bad).ok());
+
+  bad = good;
+  bad.replace(bad.find("filter 1"), 8, "publish");
+  EXPECT_FALSE(DeserializeCase(bad).ok());
+
+  bad = good;
+  bad.replace(bad.find("== end"), 6, "");
+  EXPECT_FALSE(DeserializeCase(bad).ok());
+
+  bad = good;
+  bad.replace(bad.find("\n0\n"), 3, "\nx y\n");
+  EXPECT_FALSE(DeserializeCase(bad).ok());
+}
+
 }  // namespace
 }  // namespace xpred::difftest

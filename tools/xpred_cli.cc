@@ -53,6 +53,20 @@
 //       event details (stage names, status codes, fault sites). Exit
 //       status: 0 ok, 2 unreadable or schema-invalid bundle.
 //
+//   xpred_cli churn [--seed=S] [--dtd=nitf|psd] [--partitions=P]
+//       [--filter-threads=N] [--workers=N] [--docs=N] [--depth=D]
+//       [--subs=N] [--ops=N] [--publish-every=K] [--batches=N]
+//       [--batch-size=N] [--non-blocking] [--quiet]
+//       Run the concurrent subscription-churn harness: N filter
+//       threads batch live documents against epoch-snapshot indexes
+//       while a mutation thread subscribes/unsubscribes and publishes
+//       every K ops (DESIGN.md §15); afterwards every batch's match
+//       set is checked against a rebuild-from-scratch oracle at the
+//       batch's pinned epoch. --non-blocking uses TryPublish so the
+//       writer never waits on pinned snapshots. Exit status: 0 all
+//       batches agree with the oracle, 1 divergence or batch error,
+//       2 setup failure.
+//
 //   xpred_cli generate-queries --dtd=nitf|psd --count=N [--max-length=L]
 //       [--min-length=L] [--wildcard=W] [--descendant=DO] [--filters=K]
 //       [--nested=P] [--seed=S] [--non-distinct]
@@ -93,6 +107,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
+#include "testing/churn_harness.h"
 #include "xfilter/xfilter.h"
 #include "xml/generator.h"
 #include "xml/standard_dtds.h"
@@ -175,6 +190,11 @@ int Usage() {
                "  xpred_cli diagnose <bundle>\n"
                "  xpred_cli explain [--json] [--max-paths=N] "
                "[--max-steps=N] <xml-file> <xpath>\n"
+               "  xpred_cli churn [--seed=S] [--dtd=nitf|psd] "
+               "[--partitions=P] [--filter-threads=N] [--workers=N] "
+               "[--docs=N] [--depth=D] [--subs=N] [--ops=N] "
+               "[--publish-every=K] [--batches=N] [--batch-size=N] "
+               "[--non-blocking] [--quiet]\n"
                "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
                "[options]\n"
                "  xpred_cli generate-docs --dtd=nitf|psd --count=N "
@@ -952,6 +972,74 @@ int CmdExplain(const Args& args) {
   return result->matched ? 0 : 1;
 }
 
+int CmdChurn(const Args& args) {
+  if (!args.RejectUnknown({"seed", "dtd", "partitions", "filter-threads",
+                           "workers", "docs", "depth", "subs", "ops",
+                           "publish-every", "batches", "batch-size",
+                           "non-blocking", "quiet"})) {
+    return Usage();
+  }
+  const std::string dtd = args.Get("dtd", "nitf");
+  if (DtdByName(dtd) == nullptr) return Usage();
+
+  difftest::ChurnHarness::Options options;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.dtd = dtd;
+  options.partitions = static_cast<size_t>(args.GetInt("partitions", 2));
+  options.filter_threads =
+      static_cast<size_t>(args.GetInt("filter-threads", 2));
+  options.workers_per_filter = static_cast<size_t>(args.GetInt("workers", 1));
+  options.documents = static_cast<size_t>(args.GetInt("docs", 4));
+  options.doc_max_depth = static_cast<uint32_t>(args.GetInt("depth", 7));
+  options.initial_subscriptions =
+      static_cast<size_t>(args.GetInt("subs", 24));
+  options.mutation_ops = static_cast<size_t>(args.GetInt("ops", 120));
+  options.publish_every =
+      static_cast<size_t>(args.GetInt("publish-every", 5));
+  options.batches_per_thread =
+      static_cast<size_t>(args.GetInt("batches", 20));
+  options.batch_size = static_cast<size_t>(args.GetInt("batch-size", 3));
+  options.non_blocking_publish = args.Has("non-blocking");
+
+  Result<difftest::ChurnHarness::Report> report =
+      difftest::ChurnHarness(options).Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "churn: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+
+  if (!args.Has("quiet")) {
+    std::printf("epochs_published:       %llu\n",
+                static_cast<unsigned long long>(report->epochs_published));
+    std::printf("subscribes:             %llu\n",
+                static_cast<unsigned long long>(report->subscribes));
+    std::printf("unsubscribes:           %llu\n",
+                static_cast<unsigned long long>(report->unsubscribes));
+    std::printf("publish_rejected:       %llu\n",
+                static_cast<unsigned long long>(report->publish_rejected));
+    std::printf("batches:                %llu\n",
+                static_cast<unsigned long long>(report->batches));
+    std::printf("documents_filtered:     %llu\n",
+                static_cast<unsigned long long>(report->documents_filtered));
+    std::printf("distinct_epochs_pinned: %llu\n",
+                static_cast<unsigned long long>(
+                    report->distinct_epochs_pinned));
+    std::printf("max_live_subscriptions: %llu\n",
+                static_cast<unsigned long long>(
+                    report->max_live_subscriptions));
+    std::printf("oracle_checks:          %llu\n",
+                static_cast<unsigned long long>(report->oracle_checks));
+    std::printf("batch_errors:           %llu\n",
+                static_cast<unsigned long long>(report->batch_errors));
+    std::printf("mismatches:             %llu\n",
+                static_cast<unsigned long long>(report->mismatches));
+  }
+  for (const std::string& divergence : report->divergences) {
+    std::fprintf(stderr, "churn divergence: %s\n", divergence.c_str());
+  }
+  return report->mismatches == 0 && report->batch_errors == 0 ? 0 : 1;
+}
+
 int CmdGenerateQueries(const Args& args) {
   if (!args.RejectUnknown({"dtd", "count", "seed", "max-length",
                            "min-length", "wildcard", "descendant",
@@ -1007,6 +1095,7 @@ int main(int argc, char** argv) {
   if (command == "filter") return CmdFilter(args);
   if (command == "diagnose") return CmdDiagnose(args);
   if (command == "explain") return CmdExplain(args);
+  if (command == "churn") return CmdChurn(args);
   if (command == "generate-queries") return CmdGenerateQueries(args);
   if (command == "generate-docs") return CmdGenerateDocs(args);
   return Usage();

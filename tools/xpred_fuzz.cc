@@ -9,12 +9,24 @@
 //       [--exprs-per-run N] [--docs-per-run N] [--max-depth D]
 //       [--corpus-dir PATH] [--max-cases N] [--json PATH|-]
 //       [--no-minimize] [--no-mutate] [--no-removal] [--quiet]
+//   xpred_fuzz --churn [--runs N] [--seed S] [--churn-ops N]
+//       [--partitions P] [--dtd nitf|psd|both] [--docs-per-run N]
+//       [--max-depth D] [--corpus-dir PATH] [--max-cases N]
+//       [--json PATH|-] [--no-minimize] [--no-mutate] [--quiet]
 //
 // Flags accept both `--key value` and `--key=value`. --engine matches
 // roster-label prefixes ("matcher" selects all eight matcher
 // configurations; "matcher-pc-ap-inline" exactly one). The JSON
 // summary goes to stdout by default; a human-readable digest goes to
 // stderr unless --quiet.
+//
+// --churn switches to live-subscription fuzzing: each run generates a
+// seeded subscription-churn script (subscribe / unsubscribe / publish
+// / filter interleavings over an epoch-snapshot manager, see
+// DESIGN.md §15), replays it against the live ParallelFilter, and
+// checks every filter op against a rebuild-from-scratch oracle at the
+// op's pinned epoch. Divergent scripts are delta-debugged to a
+// minimal op sequence and saved as `mode: churn` .xpredcase repros.
 //
 // Exit code: 0 = all engines agree with the oracle, 1 = divergence
 // found (see the JSON `cases` array), 2 = usage/configuration error.
@@ -28,6 +40,8 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "testing/churn_harness.h"
+#include "testing/corpus_store.h"
 #include "testing/differential_harness.h"
 
 namespace {
@@ -41,7 +55,11 @@ int Usage() {
       "    [--engine NAME[,NAME...]] [--dtd nitf|psd|both]\n"
       "    [--exprs-per-run N] [--docs-per-run N] [--max-depth D]\n"
       "    [--corpus-dir PATH] [--max-cases N] [--json PATH|-]\n"
-      "    [--no-minimize] [--no-mutate] [--no-removal] [--quiet]\n");
+      "    [--no-minimize] [--no-mutate] [--no-removal] [--quiet]\n"
+      "   xpred_fuzz --churn [--runs N] [--seed S] [--churn-ops N]\n"
+      "    [--partitions P] [--dtd nitf|psd|both] [--docs-per-run N]\n"
+      "    [--max-depth D] [--corpus-dir PATH] [--max-cases N]\n"
+      "    [--json PATH|-] [--no-minimize] [--no-mutate] [--quiet]\n");
   return 2;
 }
 
@@ -51,7 +69,8 @@ struct Flags {
 
   static bool IsSwitch(const std::string& key) {
     return key == "no-minimize" || key == "no-mutate" ||
-           key == "no-removal" || key == "quiet" || key == "help";
+           key == "no-removal" || key == "quiet" || key == "help" ||
+           key == "churn";
   }
 
   static bool Parse(int argc, char** argv, Flags* out) {
@@ -97,7 +116,229 @@ const char* const kKnownFlags[] = {
     "dtd",        "exprs-per-run", "docs-per-run", "max-depth",
     "corpus-dir", "max-cases",    "json",        "no-minimize",
     "no-mutate",  "no-removal",   "quiet",       "help",
+    "churn",      "churn-ops",    "partitions",
 };
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+/// One saved/reported churn divergence.
+struct ChurnCaseRecord {
+  uint64_t run = 0;
+  uint64_t seed = 0;
+  std::string dtd;
+  difftest::ChurnDivergence divergence;
+  size_t ops_before = 0;
+  size_t ops_after = 0;  ///< After minimization (== before when off).
+  std::string file;      ///< Saved .xpredcase path, when --corpus-dir.
+};
+
+int EmitJson(const std::string& json, const Flags& flags) {
+  std::string json_path = flags.Get("json", "-");
+  if (json_path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "xpred_fuzz: cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  out << json;
+  return 0;
+}
+
+/// Live-subscription fuzzing (--churn): generate, replay against the
+/// epoch oracle, minimize and save divergences, summarize as JSON.
+int RunChurnFuzz(const Flags& flags) {
+  const uint64_t runs = static_cast<uint64_t>(flags.GetInt("runs", 50));
+  const uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string dtd = flags.Get("dtd", "both");
+  if (dtd != "nitf" && dtd != "psd" && dtd != "both") {
+    std::fprintf(stderr, "xpred_fuzz: bad --dtd '%s'\n", dtd.c_str());
+    return 2;
+  }
+  const std::string corpus_dir = flags.Get("corpus-dir", "");
+  const size_t max_cases = static_cast<size_t>(flags.GetInt("max-cases", 20));
+  const bool minimize = !flags.Has("no-minimize");
+
+  difftest::ChurnScriptOptions gen_template;
+  gen_template.ops = static_cast<uint32_t>(flags.GetInt("churn-ops", 60));
+  gen_template.documents =
+      static_cast<uint32_t>(flags.GetInt("docs-per-run", 2));
+  gen_template.doc_max_depth =
+      static_cast<uint32_t>(flags.GetInt("max-depth", 8));
+  if (flags.Has("no-mutate")) gen_template.mutation_prob = 0;
+
+  struct {
+    uint64_t scripts = 0, ops = 0, filters = 0, subscribes = 0;
+    uint64_t unsubscribes = 0, epochs_published = 0, minimize_probes = 0;
+  } counters;
+  std::vector<ChurnCaseRecord> cases;
+  uint64_t mismatches = 0;
+
+  for (uint64_t run = 0; run < runs; ++run) {
+    difftest::ChurnScriptOptions gen = gen_template;
+    gen.seed = base_seed + run;
+    gen.dtd = dtd == "both" ? (run % 2 == 0 ? "nitf" : "psd") : dtd;
+    difftest::ChurnScript script = difftest::GenerateChurnScript(gen);
+
+    difftest::ChurnReplayOptions replay;
+    replay.partitions = flags.Has("partitions")
+                            ? static_cast<size_t>(flags.GetInt("partitions", 2))
+                            : 1 + run % 3;
+    Result<difftest::ChurnReplayResult> result =
+        difftest::ReplayChurnScript(script, replay);
+    if (!result.ok()) {
+      std::fprintf(stderr, "xpred_fuzz: churn replay failed (seed %llu): %s\n",
+                   static_cast<unsigned long long>(gen.seed),
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    ++counters.scripts;
+    counters.ops += script.ops.size();
+    counters.filters += result->filters;
+    counters.subscribes += result->subscribes;
+    counters.unsubscribes += result->unsubscribes;
+    counters.epochs_published += result->epochs_published;
+    if (!result->divergence.has_value()) continue;
+
+    ++mismatches;
+    ChurnCaseRecord record;
+    record.run = run;
+    record.seed = gen.seed;
+    record.dtd = script.dtd;
+    record.ops_before = script.ops.size();
+    difftest::ChurnScript repro = script;
+    if (minimize) {
+      difftest::ChurnMinimizeResult shrunk =
+          difftest::MinimizeChurnScript(script, replay);
+      counters.minimize_probes += shrunk.probes;
+      repro = std::move(shrunk.script);
+    }
+    record.ops_after = repro.ops.size();
+    Result<difftest::ChurnReplayResult> confirm =
+        difftest::ReplayChurnScript(repro, replay);
+    if (!confirm.ok() || !confirm->divergence.has_value()) {
+      // Minimization must preserve divergence; fall back to the
+      // original script rather than store a passing repro.
+      repro = script;
+      record.ops_after = repro.ops.size();
+      confirm = std::move(result);
+    }
+    record.divergence = *confirm->divergence;
+
+    if (!corpus_dir.empty() && cases.size() < max_cases) {
+      difftest::Case c;
+      c.mode = "churn";
+      c.seed = repro.seed;
+      c.dtd = repro.dtd;
+      c.description = "live filter diverged from epoch oracle at op " +
+                      std::to_string(record.divergence.op_index) +
+                      " (epoch " +
+                      std::to_string(record.divergence.epoch) + ")";
+      c.documents = repro.documents;
+      c.script = difftest::SerializeChurnOps(repro.ops);
+      for (const std::vector<core::ExprId>& sids : confirm->oracle_results) {
+        c.expected_matches.emplace_back(sids.begin(), sids.end());
+      }
+      Status saved = difftest::CorpusStore(corpus_dir).Save(c, &record.file);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "xpred_fuzz: cannot save repro: %s\n",
+                     saved.ToString().c_str());
+      }
+    }
+    if (cases.size() < max_cases) cases.push_back(std::move(record));
+  }
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"tool\": \"xpred_fuzz\",\n";
+  json += "  \"mode\": \"churn\",\n";
+  json += "  \"seed\": " + std::to_string(base_seed) + ",\n";
+  json += "  \"runs_requested\": " + std::to_string(runs) + ",\n";
+  json += "  \"runs_executed\": " + std::to_string(counters.scripts) + ",\n";
+  json += "  \"mismatches\": " + std::to_string(mismatches) + ",\n";
+  json += "  \"counters\": {\n";
+  json += "    \"scripts\": " + std::to_string(counters.scripts) + ",\n";
+  json += "    \"ops\": " + std::to_string(counters.ops) + ",\n";
+  json += "    \"filters\": " + std::to_string(counters.filters) + ",\n";
+  json += "    \"subscribes\": " + std::to_string(counters.subscribes) + ",\n";
+  json += "    \"unsubscribes\": " + std::to_string(counters.unsubscribes) +
+          ",\n";
+  json += "    \"epochs_published\": " +
+          std::to_string(counters.epochs_published) + ",\n";
+  json += "    \"minimize_probes\": " +
+          std::to_string(counters.minimize_probes) + "\n";
+  json += "  },\n";
+  json += std::string("  \"status\": \"") +
+          (mismatches == 0 ? "agree" : "diverged") + "\",\n";
+  json += "  \"cases\": [";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const ChurnCaseRecord& r = cases[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\n";
+    json += "      \"run\": " + std::to_string(r.run) + ",\n";
+    json += "      \"seed\": " + std::to_string(r.seed) + ",\n";
+    json += "      \"dtd\": \"" + JsonEscape(r.dtd) + "\",\n";
+    json += "      \"op_index\": " +
+            std::to_string(r.divergence.op_index) + ",\n";
+    json += "      \"epoch\": " + std::to_string(r.divergence.epoch) + ",\n";
+    json += "      \"doc\": " + std::to_string(r.divergence.doc) + ",\n";
+    json += "      \"ops_before\": " + std::to_string(r.ops_before) + ",\n";
+    json += "      \"ops_after\": " + std::to_string(r.ops_after) + ",\n";
+    json += "      \"file\": \"" + JsonEscape(r.file) + "\"\n";
+    json += "    }";
+  }
+  json += cases.empty() ? "]\n" : "\n  ]\n";
+  json += "}\n";
+  int rc = EmitJson(json, flags);
+  if (rc != 0) return rc;
+
+  if (!flags.Has("quiet")) {
+    std::fprintf(
+        stderr,
+        "xpred_fuzz: churn %llu/%llu scripts, %llu ops, %llu filter ops, "
+        "%llu epochs, %llu mismatches\n",
+        static_cast<unsigned long long>(counters.scripts),
+        static_cast<unsigned long long>(runs),
+        static_cast<unsigned long long>(counters.ops),
+        static_cast<unsigned long long>(counters.filters),
+        static_cast<unsigned long long>(counters.epochs_published),
+        static_cast<unsigned long long>(mismatches));
+    for (const ChurnCaseRecord& r : cases) {
+      std::string where = r.file.empty() ? std::string() : (" -> " + r.file);
+      std::fprintf(stderr,
+                   "  case: seed=%llu op=%zu epoch=%llu ops %zu -> %zu%s\n",
+                   static_cast<unsigned long long>(r.seed),
+                   r.divergence.op_index,
+                   static_cast<unsigned long long>(r.divergence.epoch),
+                   r.ops_before, r.ops_after, where.c_str());
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}
 
 }  // namespace
 
@@ -115,6 +356,8 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+
+  if (flags.Has("churn")) return RunChurnFuzz(flags);
 
   difftest::DifferentialHarness::Options options;
   options.runs = static_cast<uint64_t>(flags.GetInt("runs", 100));
