@@ -1,0 +1,285 @@
+// Durability-tax benchmark: what does the write-ahead log cost the
+// subscription write path, and how fast does a cold store recover?
+//
+// Plain-main binary (no google-benchmark harness): the same generated
+// expression workload is subscribed + published three ways per pass —
+// a bare core::IndexEpochManager (WAL off), a
+// storage::DurableSubscriptionStore at fsync=never (WAL framing +
+// page-cache writes, no fsync), and one at fsync=always (an fsync per
+// record) — interleaved A/B/C so frequency scaling and cache warmth
+// hit every side equally, best-of estimator on each. A separate
+// cold-recovery phase builds a store of XPRED_BENCH_RECOVERY_SUBS
+// subscriptions and times two reopens: pure-WAL replay (no snapshot)
+// and snapshot-seeded (checkpointed first). When
+// XPRED_BENCH_METRICS_DIR is set it writes a JSON sidecar
+// (durability.json) whose schema is enforced by
+// scripts/check_bench_schema.py, including the < 15% fsync=never
+// overhead gate in Release builds on >= 4-CPU hosts.
+//
+// Reported:
+//   baseline_subs_per_sec     — bare manager, no WAL,
+//   wal_never_subs_per_sec    — WAL on, fsync=never,
+//   wal_always_subs_per_sec   — WAL on, fsync per record,
+//   overhead_fraction_never   — 1 - never/baseline (the gated one),
+//   overhead_fraction_always  — 1 - always/baseline,
+//   recovery_wal_millis       — cold open replaying the whole WAL,
+//   recovery_snapshot_millis  — cold open seeded by a checkpoint.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/stopwatch.h"
+#include "core/epoch_manager.h"
+#include "storage/durable_store.h"
+#include "xml/standard_dtds.h"
+#include "xpath/query_generator.h"
+
+#ifndef XPRED_BUILD_TYPE
+#define XPRED_BUILD_TYPE "unknown"
+#endif
+
+namespace xpred::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+/// Fresh per-run scratch root under the system temp dir. Determinism
+/// of the bench numbers does not depend on the path; the PID keeps
+/// concurrent invocations apart.
+std::filesystem::path ScratchRoot() {
+  return std::filesystem::temp_directory_path() /
+         ("xpred-bench-durability-" + std::to_string(::getpid()));
+}
+
+/// Subscribes every expression into the bare manager, publishing an
+/// epoch every \p publish_every ops; returns subscribes/sec.
+double TimedBarePass(const std::vector<std::string>& exprs,
+                     size_t partitions, size_t publish_every) {
+  core::IndexEpochManager::Options mopts;
+  mopts.partitions = partitions;
+  core::IndexEpochManager manager(mopts);
+  Stopwatch watch;
+  size_t since_publish = 0;
+  for (const std::string& expr : exprs) {
+    if (!manager.Subscribe(expr).ok()) std::abort();
+    if (++since_publish >= publish_every) {
+      since_publish = 0;
+      if (!manager.Publish().ok()) std::abort();
+    }
+  }
+  if (!manager.Publish().ok()) std::abort();
+  double ms = watch.ElapsedMillis();
+  return 1000.0 * static_cast<double>(exprs.size()) / ms;
+}
+
+/// Same workload through a durable store at \p fsync; the store
+/// directory is created fresh and removed afterwards so every pass
+/// starts from an empty WAL.
+double TimedDurablePass(const std::vector<std::string>& exprs,
+                        size_t partitions, size_t publish_every,
+                        storage::FsyncPolicy fsync,
+                        const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  storage::DurableSubscriptionStore::Options options;
+  options.directory = dir.string();
+  options.fsync = fsync;
+  options.partitions = partitions;
+  auto store = storage::DurableSubscriptionStore::Open(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", dir.string().c_str(),
+                 store.status().ToString().c_str());
+    std::exit(1);
+  }
+  Stopwatch watch;
+  size_t since_publish = 0;
+  for (const std::string& expr : exprs) {
+    if (!(*store)->Subscribe(expr).ok()) std::abort();
+    if (++since_publish >= publish_every) {
+      since_publish = 0;
+      if (!(*store)->Publish().ok()) std::abort();
+    }
+  }
+  if (!(*store)->Publish().ok()) std::abort();
+  double ms = watch.ElapsedMillis();
+  store->reset();  // Close before the directory goes away.
+  std::filesystem::remove_all(dir, ec);
+  return 1000.0 * static_cast<double>(exprs.size()) / ms;
+}
+
+int Main() {
+  const size_t num_subs = EnvCount("XPRED_BENCH_EXPRS", 2000);
+  const size_t passes = EnvCount("XPRED_BENCH_PASSES", 3);
+  const size_t partitions = EnvCount("XPRED_BENCH_PARTITIONS", 2);
+  const size_t publish_every = EnvCount("XPRED_BENCH_PUBLISH_EVERY", 64);
+  const size_t recovery_subs =
+      EnvCount("XPRED_BENCH_RECOVERY_SUBS", 100000);
+
+  const xml::Dtd& dtd = xml::NitfLikeDtd();
+  xpath::QueryGenerator::Options qopts;
+  qopts.max_length = 6;
+  qopts.min_length = 3;
+  qopts.filters_per_expr = 1;
+  std::vector<std::string> exprs =
+      xpath::QueryGenerator(&dtd, qopts).GenerateWorkloadStrings(
+          std::max(num_subs, recovery_subs), 42);
+  std::vector<std::string> subs(exprs.begin(),
+                                exprs.begin() +
+                                    static_cast<ptrdiff_t>(num_subs));
+
+  const std::filesystem::path root = ScratchRoot();
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+
+  // Interleaved A/B/C passes, best-of on each side: the identical
+  // subscribe+publish loop differs only in what sits behind OpSink.
+  double baseline_sps = 0;
+  double never_sps = 0;
+  double always_sps = 0;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    baseline_sps = std::max(
+        baseline_sps, TimedBarePass(subs, partitions, publish_every));
+    never_sps = std::max(
+        never_sps,
+        TimedDurablePass(subs, partitions, publish_every,
+                         storage::FsyncPolicy::kNever, root / "never"));
+    always_sps = std::max(
+        always_sps,
+        TimedDurablePass(subs, partitions, publish_every,
+                         storage::FsyncPolicy::kAlways, root / "always"));
+  }
+  const double overhead_never = 1.0 - never_sps / baseline_sps;
+  const double overhead_always = 1.0 - always_sps / baseline_sps;
+
+  // Cold recovery: build once at fsync=never, then time two reopens —
+  // replaying the whole WAL, and seeded by a checkpoint.
+  const std::filesystem::path cold = root / "cold";
+  std::filesystem::remove_all(cold, ec);
+  uint64_t recovery_issued = 0;
+  {
+    storage::DurableSubscriptionStore::Options options;
+    options.directory = cold.string();
+    options.fsync = storage::FsyncPolicy::kNever;
+    options.partitions = partitions;
+    auto store = storage::DurableSubscriptionStore::Open(options);
+    if (!store.ok()) std::abort();
+    size_t since_publish = 0;
+    for (size_t i = 0; i < recovery_subs; ++i) {
+      if ((*store)->Subscribe(exprs[i]).ok()) ++recovery_issued;
+      if (++since_publish >= 512) {
+        since_publish = 0;
+        if (!(*store)->Publish().ok()) std::abort();
+      }
+    }
+    if (!(*store)->Publish().ok()) std::abort();
+  }
+  storage::DurableSubscriptionStore::Options ropts;
+  ropts.directory = cold.string();
+  ropts.partitions = partitions;
+  double recovery_wal_ms = 0;
+  uint64_t recovery_records = 0;
+  {
+    Stopwatch watch;
+    auto store = storage::DurableSubscriptionStore::Open(ropts);
+    recovery_wal_ms = watch.ElapsedMillis();
+    if (!store.ok()) std::abort();
+    recovery_records = (*store)->recovery_report().wal_records_replayed;
+    if (!(*store)->Checkpoint().ok()) std::abort();
+  }
+  double recovery_snapshot_ms = 0;
+  uint64_t recovery_snapshot_entries = 0;
+  {
+    Stopwatch watch;
+    auto store = storage::DurableSubscriptionStore::Open(ropts);
+    recovery_snapshot_ms = watch.ElapsedMillis();
+    if (!store.ok()) std::abort();
+    const storage::RecoveryReport& report = (*store)->recovery_report();
+    if (!report.snapshot_loaded) std::abort();
+    recovery_snapshot_entries = report.snapshot_entries;
+    if (report.live_subscriptions != recovery_issued) std::abort();
+  }
+  std::filesystem::remove_all(root, ec);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("durability: %zu subs, %zu passes, partitions=%zu, "
+              "publish_every=%zu, recovery_subs=%zu, hw_concurrency=%u, "
+              "build=%s\n",
+              num_subs, passes, partitions, publish_every, recovery_subs,
+              hw, XPRED_BUILD_TYPE);
+  std::printf("  wal off:      %.0f subscribes/sec\n", baseline_sps);
+  std::printf("  fsync=never:  %.0f subscribes/sec (%.2f%% overhead)\n",
+              never_sps, 100.0 * overhead_never);
+  std::printf("  fsync=always: %.0f subscribes/sec (%.2f%% overhead)\n",
+              always_sps, 100.0 * overhead_always);
+  std::printf("  cold recovery (%llu subscriptions): %.1f ms from the "
+              "WAL (%llu records), %.1f ms from a snapshot (%llu "
+              "entries)\n",
+              static_cast<unsigned long long>(recovery_issued),
+              recovery_wal_ms,
+              static_cast<unsigned long long>(recovery_records),
+              recovery_snapshot_ms,
+              static_cast<unsigned long long>(recovery_snapshot_entries));
+
+  if (recovery_records == 0) {
+    std::fprintf(stderr, "cold recovery replayed no WAL records — the "
+                 "replay path is not exercised\n");
+    return 1;
+  }
+
+  const char* dir = std::getenv("XPRED_BENCH_METRICS_DIR");
+  if (dir != nullptr) {
+    std::filesystem::create_directories(dir, ec);
+    std::string path = std::string(dir) + "/durability.json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    out.precision(17);  // Round-trippable doubles: the checker
+                        // recomputes the overhead fractions from the
+                        // throughputs and compares.
+    out << "{\n"
+        << "  \"bench\": \"durability\",\n"
+        << "  \"build_type\": \"" << XPRED_BUILD_TYPE << "\",\n"
+        << "  \"hardware_concurrency\": " << hw << ",\n"
+        << "  \"subscriptions\": " << num_subs << ",\n"
+        << "  \"passes\": " << passes << ",\n"
+        << "  \"partitions\": " << partitions << ",\n"
+        << "  \"publish_every\": " << publish_every << ",\n"
+        << "  \"baseline_subs_per_sec\": " << baseline_sps << ",\n"
+        << "  \"wal_never_subs_per_sec\": " << never_sps << ",\n"
+        << "  \"wal_always_subs_per_sec\": " << always_sps << ",\n"
+        << "  \"overhead_fraction_never\": " << overhead_never << ",\n"
+        << "  \"overhead_fraction_always\": " << overhead_always << ",\n"
+        << "  \"recovery_subscriptions\": " << recovery_issued << ",\n"
+        << "  \"recovery_records_replayed\": " << recovery_records
+        << ",\n"
+        << "  \"recovery_wal_millis\": " << recovery_wal_ms << ",\n"
+        << "  \"recovery_snapshot_entries\": " << recovery_snapshot_entries
+        << ",\n"
+        << "  \"recovery_snapshot_millis\": " << recovery_snapshot_ms
+        << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xpred::bench
+
+int main() { return xpred::bench::Main(); }

@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
 """Validates benchmark JSON sidecars and their performance gates.
 
-Covers four benches, dispatched on the sidecar's "bench" field:
+Covers five benches, dispatched on the sidecar's "bench" field:
 
   * parallel_scaling  — thread-scaling results + speedup gate;
   * analytics_overhead — attribution/profiler cost + overhead gate;
   * recorder_overhead — flight-recorder journaling cost + overhead
     gate;
-  * churn — live-subscription churn cost + degradation gate.
+  * churn — live-subscription churn cost + degradation gate;
+  * durability — WAL write-path cost + fsync=never overhead gate, and
+    cold-recovery timings.
 
-Five modes:
+Six modes:
 
   * file mode: validate existing sidecar JSON files;
   * --bench mode (the ctest hook): run the bench_parallel_scaling
@@ -18,7 +20,9 @@ Five modes:
     bench_analytics_overhead;
   * --recorder-bench mode (the ctest hook): same for
     bench_recorder_overhead;
-  * --churn-bench mode (the ctest hook): same for bench_churn.
+  * --churn-bench mode (the ctest hook): same for bench_churn;
+  * --durability-bench mode (the ctest hook): same for
+    bench_durability (with a scaled-down cold-recovery store).
 
 parallel_scaling schema (always enforced): top-level bench/build_type/
 hardware_concurrency/baseline_docs_per_sec and a non-empty results
@@ -66,6 +70,22 @@ oversubscribed single-CPU host the mutation thread steals the only
 core from the filter workers and the measurement is pure scheduling):
 degradation_fraction must stay below 10%.
 
+durability schema (always enforced): bench/build_type/
+baseline_subs_per_sec/wal_never_subs_per_sec/wal_always_subs_per_sec/
+overhead_fraction_never/overhead_fraction_always plus the
+cold-recovery block (recovery_subscriptions, recovery_records_replayed
+> 0 so the replay path is actually exercised, recovery_wal_millis,
+recovery_snapshot_entries == recovery_subscriptions, and
+recovery_snapshot_millis). Both overhead fractions are recomputed from
+the throughputs and must match.
+
+durability performance gate (Release builds on >= 4-CPU hosts only —
+debug/sanitizer builds distort the XPath-parse-dominated baseline, and
+an oversubscribed host turns scheduling noise into phantom overhead):
+overhead_fraction_never must stay below 15%. fsync=always is reported
+but never gated — a real fsync per record costs whatever the storage
+stack charges.
+
 Usage:
     check_bench_schema.py parallel_scaling.json analytics_overhead.json
     check_bench_schema.py --bench path/to/bench_parallel_scaling \
@@ -75,6 +95,8 @@ Usage:
     check_bench_schema.py --recorder-bench \
         path/to/bench_recorder_overhead --build-type Release
     check_bench_schema.py --churn-bench path/to/bench_churn \
+        --build-type Release
+    check_bench_schema.py --durability-bench path/to/bench_durability \
         --build-type Release
 """
 
@@ -91,6 +113,7 @@ MIN_GATE_CPUS = 4
 MAX_ANALYTICS_OVERHEAD = 0.05
 MAX_RECORDER_OVERHEAD = 0.03
 MAX_CHURN_DEGRADATION = 0.10
+MAX_DURABILITY_OVERHEAD = 0.15
 
 
 def fail(msg):
@@ -279,11 +302,73 @@ def validate_churn(data):
              data["subscribes_per_sec"]))
 
 
+def validate_durability(data):
+    for field in ("build_type", "hardware_concurrency",
+                  "baseline_subs_per_sec", "wal_never_subs_per_sec",
+                  "wal_always_subs_per_sec", "overhead_fraction_never",
+                  "overhead_fraction_always", "recovery_subscriptions",
+                  "recovery_records_replayed", "recovery_wal_millis",
+                  "recovery_snapshot_entries",
+                  "recovery_snapshot_millis"):
+        check(field in data, "missing top-level field %r" % field)
+    check(data["baseline_subs_per_sec"] > 0,
+          "baseline_subs_per_sec must be positive")
+    check(data["wal_never_subs_per_sec"] > 0,
+          "wal_never_subs_per_sec must be positive")
+    check(data["wal_always_subs_per_sec"] > 0,
+          "wal_always_subs_per_sec must be positive")
+    check(data["recovery_subscriptions"] > 0,
+          "cold-recovery store held no subscriptions")
+    check(data["recovery_records_replayed"] > 0,
+          "cold recovery replayed no WAL records — the replay path is "
+          "not exercised")
+    check(data["recovery_snapshot_entries"] ==
+          data["recovery_subscriptions"],
+          "snapshot entries %r != subscriptions %r — the checkpoint "
+          "did not cover the table"
+          % (data["recovery_snapshot_entries"],
+             data["recovery_subscriptions"]))
+    check(data["recovery_wal_millis"] >= 0
+          and data["recovery_snapshot_millis"] >= 0,
+          "recovery timings must be non-negative")
+
+    for frac, never_or_always in (("overhead_fraction_never", "never"),
+                                  ("overhead_fraction_always", "always")):
+        reported = 1.0 - (data["wal_%s_subs_per_sec" % never_or_always] /
+                          data["baseline_subs_per_sec"])
+        check(abs(data[frac] - reported) < 1e-6,
+              "%s %r inconsistent with throughputs (%r)"
+              % (frac, data[frac], reported))
+
+    build_type = data["build_type"]
+    cpus = data["hardware_concurrency"]
+    if build_type != "Release":
+        print("check_bench_schema: schema OK; durability gate skipped "
+              "(build_type=%s, need Release)" % build_type)
+        return
+    if cpus < MIN_GATE_CPUS:
+        print("check_bench_schema: schema OK; durability gate skipped "
+              "(%d hardware threads, need >= %d — an oversubscribed "
+              "host turns scheduling noise into phantom overhead)"
+              % (cpus, MIN_GATE_CPUS))
+        return
+    overhead = data["overhead_fraction_never"]
+    check(overhead < MAX_DURABILITY_OVERHEAD,
+          "fsync=never WAL overhead %.2f%% breaches the %d%% gate"
+          % (100 * overhead, int(100 * MAX_DURABILITY_OVERHEAD)))
+    print("check_bench_schema: OK (fsync=never WAL overhead %.2f%%, "
+          "gate %d%%, snapshot recovery %.1f ms for %d subscriptions)"
+          % (100 * overhead, int(100 * MAX_DURABILITY_OVERHEAD),
+             data["recovery_snapshot_millis"],
+             data["recovery_subscriptions"]))
+
+
 VALIDATORS = {
     "parallel_scaling": validate_parallel_scaling,
     "analytics_overhead": validate_analytics_overhead,
     "recorder_overhead": validate_recorder_overhead,
     "churn": validate_churn,
+    "durability": validate_durability,
 }
 
 
@@ -297,7 +382,7 @@ def validate(path):
     VALIDATORS[bench](data)
 
 
-def run_bench(bench, build_type, sidecar_name):
+def run_bench(bench, build_type, sidecar_name, extra_env=None):
     with tempfile.TemporaryDirectory() as tmp:
         env = dict(os.environ)
         env["XPRED_BENCH_METRICS_DIR"] = tmp
@@ -306,6 +391,8 @@ def run_bench(bench, build_type, sidecar_name):
         env.setdefault("XPRED_BENCH_EXPRS", "500")
         env.setdefault("XPRED_BENCH_DOCS", "24")
         env.setdefault("XPRED_BENCH_PASSES", "3")
+        for key, value in (extra_env or {}).items():
+            env.setdefault(key, value)
         proc = subprocess.run([bench], env=env, stdout=subprocess.PIPE,
                               stderr=subprocess.STDOUT, text=True,
                               timeout=600)
@@ -332,13 +419,17 @@ def main():
     parser.add_argument("--recorder-bench",
                         help="bench_recorder_overhead binary")
     parser.add_argument("--churn-bench", help="bench_churn binary")
+    parser.add_argument("--durability-bench",
+                        help="bench_durability binary")
     parser.add_argument("--build-type", default="",
                         help="expected CMake build type of the binary")
     args = parser.parse_args()
     if (not args.files and not args.bench and not args.analytics_bench
-            and not args.recorder_bench and not args.churn_bench):
+            and not args.recorder_bench and not args.churn_bench
+            and not args.durability_bench):
         parser.error("give sidecar files, --bench, --analytics-bench, "
-                     "--recorder-bench, or --churn-bench")
+                     "--recorder-bench, --churn-bench, or "
+                     "--durability-bench")
     for path in args.files:
         validate(path)
     if args.bench:
@@ -351,6 +442,12 @@ def main():
                   "recorder_overhead.json")
     if args.churn_bench:
         run_bench(args.churn_bench, args.build_type, "churn.json")
+    if args.durability_bench:
+        # The 100k-subscription cold-recovery default is a standalone
+        # measurement; the CI hook scales it down to stay quick.
+        run_bench(args.durability_bench, args.build_type,
+                  "durability.json",
+                  extra_env={"XPRED_BENCH_RECOVERY_SUBS": "4000"})
 
 
 if __name__ == "__main__":

@@ -17,15 +17,19 @@ Usage:
     check_case_schema.py --json summary.json
     check_case_schema.py --fuzz path/to/xpred_fuzz
     check_case_schema.py --churn-fuzz path/to/xpred_fuzz
+    check_case_schema.py --recovery path/to/xpred_fuzz
 
-`.xpredcase` files come in two layouts: classic differential cases and
+`.xpredcase` files come in three layouts: classic differential cases,
 `mode: churn` live-subscription cases (document pool / op script /
-expected match sets — see testing/churn_harness.h); both are checked.
+expected match sets — see testing/churn_harness.h), and
+`mode: recovery` crash/recovery cases (fsync policy + crash point
+headers, op script, expected recovered subscription table — see
+testing/recovery_harness.h); all are checked.
 
-The --fuzz and --churn-fuzz modes are the end-to-end checks wired into
-ctest: each runs a short deterministic fuzzing session twice, requires
-byte-identical JSON (the determinism contract), a zero-mismatch
-verdict, and a valid summary schema.
+The --fuzz, --churn-fuzz, and --recovery modes are the end-to-end
+checks wired into ctest: each runs a short deterministic fuzzing
+session twice, requires byte-identical JSON (the determinism
+contract), a zero-mismatch verdict, and a valid summary schema.
 """
 
 import json
@@ -35,8 +39,13 @@ import sys
 import tempfile
 
 MAGIC = "xpredcase 1"
-HEADER_KEYS = {"seed", "dtd", "description", "mode"}
+HEADER_KEYS = {"seed", "dtd", "description", "mode",
+               "fsync", "crash_site", "crash_visit"}
 CHURN_OPS = ("sub ", "unsub ", "filter ")  # `publish` is bare.
+RECOVERY_OPS = ("sub ", "unsub ")  # `publish`/`checkpoint` are bare.
+FSYNC_POLICIES = {"never", "publish", "always"}
+STORAGE_SITES = {"storage.wal.write", "storage.wal.fsync",
+                 "storage.snapshot.rename"}
 
 SUMMARY_COUNTERS = ("documents", "expressions", "verdicts",
                     "expr_mutations", "doc_mutations",
@@ -67,6 +76,7 @@ def validate_case(path):
 
     i = 1
     mode = ""
+    headers = {}
     while i < len(lines) and not lines[i].startswith("== "):
         line = lines[i]
         i += 1
@@ -75,14 +85,33 @@ def validate_case(path):
         check(": " in line, "%s: malformed header line %r" % (path, line))
         key, value = line.split(": ", 1)
         check(key in HEADER_KEYS, "%s: unknown header key %r" % (path, key))
+        headers[key] = value
         if key == "seed":
             check(value.isdigit(), "%s: non-numeric seed %r" % (path, value))
         elif key == "mode":
-            check(value == "churn", "%s: unknown mode %r" % (path, value))
+            check(value in ("churn", "recovery"),
+                  "%s: unknown mode %r" % (path, value))
             mode = value
+        elif key == "crash_visit":
+            check(value.isdigit(),
+                  "%s: non-numeric crash_visit %r" % (path, value))
 
+    if mode != "recovery":
+        for key in ("fsync", "crash_site", "crash_visit"):
+            check(key not in headers,
+                  "%s: %r header outside mode: recovery" % (path, key))
     if mode == "churn":
         validate_churn_case(path, lines, i)
+        return
+    if mode == "recovery":
+        check(headers.get("fsync", "publish") in FSYNC_POLICIES,
+              "%s: unknown fsync policy %r" % (path, headers.get("fsync")))
+        if "crash_site" in headers:
+            check(headers["crash_site"] in STORAGE_SITES,
+                  "%s: unknown crash_site %r" % (path, headers["crash_site"]))
+            check("crash_visit" in headers,
+                  "%s: crash_site without crash_visit" % path)
+        validate_recovery_case(path, lines, i)
         return
 
     def section(marker):
@@ -217,6 +246,63 @@ def validate_churn_case(path, lines, i):
           "%d filter ops)" % (path, documents, script_ops, filter_ops))
 
 
+def validate_recovery_case(path, lines, i):
+    """Validates the section list of a `mode: recovery` case: one or
+    more document sections, a script of durable-store ops, and the
+    expected recovered subscription table (live/dead lines)."""
+    documents = 0
+    while i < len(lines) and lines[i] == "== document":
+        i += 1
+        body = []
+        while i < len(lines) and not lines[i].startswith("== "):
+            body.append(lines[i])
+            i += 1
+        check(any(line.strip() for line in body),
+              "%s: empty document section" % path)
+        documents += 1
+    check(documents, "%s: recovery case without documents" % path)
+
+    check(i < len(lines) and lines[i] == "== script",
+          "%s: missing '== script' section" % path)
+    i += 1
+    script_ops = 0
+    while i < len(lines) and not lines[i].startswith("== "):
+        line = lines[i]
+        i += 1
+        if not line:
+            continue
+        check(line in ("publish", "checkpoint")
+              or line.startswith(RECOVERY_OPS),
+              "%s: bad recovery script line %r" % (path, line))
+        if line.startswith("unsub "):
+            check(line.split(" ", 1)[1].isdigit(),
+                  "%s: non-numeric operand in %r" % (path, line))
+        script_ops += 1
+    check(script_ops, "%s: empty recovery script" % path)
+
+    check(i < len(lines) and lines[i] == "== expected",
+          "%s: missing '== expected' section" % path)
+    i += 1
+    table_lines = 0
+    while i < len(lines) and not lines[i].startswith("== "):
+        line = lines[i]
+        i += 1
+        if not line:
+            continue
+        check(line.startswith(("live ", "dead ")),
+              "%s: bad expected-table line %r" % (path, line))
+        check(line.split(" ", 1)[1].strip(),
+              "%s: expected-table line without an expression" % path)
+        table_lines += 1
+
+    check(i < len(lines) and lines[i] == "== end",
+          "%s: missing '== end' marker (truncated?)" % path)
+    check(i == len(lines) - 1,
+          "%s: trailing content after '== end'" % path)
+    print("check_case_schema: OK recovery case %s (%d documents, %d ops, "
+          "%d table lines)" % (path, documents, script_ops, table_lines))
+
+
 def validate_dir(directory):
     cases = sorted(name for name in os.listdir(directory)
                    if name.endswith(".xpredcase"))
@@ -231,6 +317,61 @@ def validate_dir(directory):
 
 CHURN_COUNTERS = ("scripts", "ops", "filters", "subscribes",
                   "unsubscribes", "epochs_published", "minimize_probes")
+RECOVERY_COUNTERS = ("scripts", "ops", "crash_points", "crashes_fired",
+                     "recoveries", "torn_tails", "records_replayed")
+
+
+def validate_recovery_summary(path, doc):
+    """Validates the JSON summary of an `xpred_fuzz --recovery` session."""
+    for field in ("seed", "runs_requested", "runs_executed", "mismatches"):
+        check(isinstance(doc.get(field), int) and doc[field] >= 0,
+              "%s: missing or negative %r" % (path, field))
+    check(doc.get("fsync") in FSYNC_POLICIES,
+          "%s: unknown fsync policy %r" % (path, doc.get("fsync")))
+    counters = doc.get("counters")
+    check(isinstance(counters, dict), "%s: missing counters" % path)
+    for key in RECOVERY_COUNTERS:
+        check(isinstance(counters.get(key), int) and counters[key] >= 0,
+              "%s: counter %r missing or negative" % (path, key))
+    check(counters["scripts"] == doc["runs_executed"],
+          "%s: script count disagrees with runs_executed" % path)
+    check(counters["recoveries"] == counters["crash_points"],
+          "%s: every crash point must recover" % path)
+    sites = doc.get("sites")
+    check(isinstance(sites, list), "%s: missing sites list" % path)
+    seen_sites = set()
+    for idx, site in enumerate(sites):
+        where = "%s: sites[%d]" % (path, idx)
+        check(site.get("site") in STORAGE_SITES,
+              "%s: unknown site %r" % (where, site.get("site")))
+        check(site["site"] not in seen_sites,
+              "%s: duplicate site entry" % where)
+        seen_sites.add(site["site"])
+        for field in ("crash_points", "mismatches"):
+            check(isinstance(site.get(field), int) and site[field] >= 0,
+                  "%s: missing or negative %r" % (where, field))
+    if counters["crash_points"]:
+        check(seen_sites == STORAGE_SITES,
+              "%s: crash points must cover every storage site (got %s)"
+              % (path, sorted(seen_sites)))
+    check(doc.get("status") in ("agree", "diverged"),
+          "%s: status must be agree|diverged" % path)
+    check((doc["status"] == "agree") == (doc["mismatches"] == 0),
+          "%s: status disagrees with mismatch count" % path)
+    cases = doc.get("cases")
+    check(isinstance(cases, list), "%s: missing cases list" % path)
+    check(len(cases) <= doc["mismatches"],
+          "%s: more case records than mismatches" % path)
+    for idx, record in enumerate(cases):
+        where = "%s: cases[%d]" % (path, idx)
+        for field in ("run", "seed", "crash_site", "crash_visit",
+                      "divergence", "file"):
+            check(field in record, "%s: missing %r" % (where, field))
+    print("check_case_schema: OK recovery summary %s (%d runs, %d crash "
+          "points, %d mismatches)"
+          % (path, doc["runs_executed"], counters["crash_points"],
+             doc["mismatches"]))
+    return doc
 
 
 def validate_churn_summary(path, doc):
@@ -276,6 +417,8 @@ def validate_summary(path):
           % path)
     if doc.get("mode") == "churn":
         return validate_churn_summary(path, doc)
+    if doc.get("mode") == "recovery":
+        return validate_recovery_summary(path, doc)
     for field in ("seed", "runs_requested", "runs_executed", "mismatches"):
         check(isinstance(doc.get(field), int) and doc[field] >= 0,
               "%s: missing or negative %r" % (path, field))
@@ -358,12 +501,42 @@ def run_churn_fuzz_end_to_end(fuzz):
         print("check_case_schema: OK churn end-to-end (%s)" % fuzz)
 
 
+def run_recovery_fuzz_end_to_end(fuzz):
+    with tempfile.TemporaryDirectory(prefix="xpred_recovery_") as tmp:
+        a = os.path.join(tmp, "a.json")
+        b = os.path.join(tmp, "b.json")
+        args = ["--recovery", "--runs", "3", "--seed", "1",
+                "--crash-points", "3", "--quiet"]
+        subprocess.check_call([fuzz] + args + ["--json", a])
+        subprocess.check_call(
+            [fuzz, "--recovery", "--runs=3", "--seed=1",
+             "--crash-points=3", "--quiet", "--json=" + b])
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            check(fa.read() == fb.read(),
+                  "same seed produced different recovery JSON "
+                  "(determinism broken)")
+        doc = validate_summary(a)
+        check(doc.get("mode") == "recovery",
+              "recovery run missing mode marker")
+        check(doc["mismatches"] == 0,
+              "recovered index diverged from the durable-prefix oracle: %s"
+              % json.dumps(doc["cases"])[:2000])
+        check(doc["counters"]["crash_points"] > 0,
+              "recovery smoke run exercised no crash points")
+        check(doc["counters"]["torn_tails"] > 0,
+              "recovery smoke run never salvaged a torn tail")
+        print("check_case_schema: OK recovery end-to-end (%s)" % fuzz)
+
+
 def main(argv):
     if len(argv) >= 2 and argv[0] == "--fuzz":
         run_fuzz_end_to_end(argv[1])
         return
     if len(argv) >= 2 and argv[0] == "--churn-fuzz":
         run_churn_fuzz_end_to_end(argv[1])
+        return
+    if len(argv) >= 2 and argv[0] == "--recovery":
+        run_recovery_fuzz_end_to_end(argv[1])
         return
     if len(argv) >= 2 and argv[0] == "--dir":
         validate_dir(argv[1])

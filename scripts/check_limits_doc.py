@@ -40,7 +40,7 @@ def fault_sites(header_text):
                       header_text, re.S)
     if not match:
         fail("could not locate the faultsite namespace in fault_injection.h")
-    sites = re.findall(r'"([a-z_]+\.[a-z_]+)"', match.group(1))
+    sites = re.findall(r'"([a-z_]+(?:\.[a-z_]+)+)"', match.group(1))
     if not sites:
         fail("faultsite namespace declares no sites (parse drift?)")
     return sites

@@ -44,6 +44,19 @@ inline constexpr std::string_view kIndexFilterBuildIndex =
 /// StreamingFilter SAX start-element callback.
 inline constexpr std::string_view kStreamingStartElement =
     "streaming.start_element";
+/// SubscriptionWal record append, before the frame write. A firing
+/// rule simulates a kill mid-write: half the frame reaches the disk
+/// (a torn tail for recovery to salvage) and the log goes dead.
+inline constexpr std::string_view kStorageWalWrite = "storage.wal.write";
+/// SubscriptionWal fsync (policy-driven or explicit Sync). The record
+/// bytes are already written when this fires; only the durability
+/// barrier is lost, and the log goes dead.
+inline constexpr std::string_view kStorageWalFsync = "storage.wal.fsync";
+/// SnapshotWriter, between the synced .tmp file and the rename into
+/// place — the crash window the write-temp-fsync-rename protocol
+/// exists for.
+inline constexpr std::string_view kStorageSnapshotRename =
+    "storage.snapshot.rename";
 
 }  // namespace faultsite
 

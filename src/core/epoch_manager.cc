@@ -63,6 +63,7 @@ IndexEpochManager::Stats IndexEpochManager::stats() const {
 
 Result<ExprId> IndexEpochManager::Subscribe(std::string_view xpath) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!sink_status_.ok()) return sink_status_;
   // The master matcher is the single validation point: parse errors,
   // capacity limits and canonicalization all happen here, once, so
   // replaying the logged operation into a side is infallible and both
@@ -85,17 +86,27 @@ Result<ExprId> IndexEpochManager::Subscribe(std::string_view xpath) {
     return Status::Internal("epoch manager sid table out of sync");
   }
   sid_routes_.push_back(op);
+  sid_live_.push_back(1);
   log_.push_back(std::move(op));
   ++last_seq_;
   ++live_count_;
   pending_ops_.fetch_add(1, std::memory_order_relaxed);
   issued_sids_.store(sid_routes_.size(), std::memory_order_release);
   stat_subscribes_.fetch_add(1, std::memory_order_relaxed);
+  if (op_sink_ != nullptr) {
+    Status mirrored = op_sink_->OnSubscribe(last_seq_, *sid, xpath);
+    if (!mirrored.ok()) {
+      // The op is committed in memory but not durably; see OpSink.
+      sink_status_ = mirrored;
+      return mirrored;
+    }
+  }
   return *sid;
 }
 
 Status IndexEpochManager::Unsubscribe(ExprId sid) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!sink_status_.ok()) return sink_status_;
   // Validates liveness (unknown sid, double-unsubscribe) against the
   // master, which always reflects every queued operation.
   XPRED_RETURN_NOT_OK(master_->RemoveSubscription(sid));
@@ -105,10 +116,18 @@ Status IndexEpochManager::Unsubscribe(ExprId sid) {
   op.partition = sid_routes_[sid].partition;
   op.local = sid_routes_[sid].local;
   log_.push_back(std::move(op));
+  sid_live_[sid] = 0;
   ++last_seq_;
   --live_count_;
   pending_ops_.fetch_add(1, std::memory_order_relaxed);
   stat_unsubscribes_.fetch_add(1, std::memory_order_relaxed);
+  if (op_sink_ != nullptr) {
+    Status mirrored = op_sink_->OnUnsubscribe(last_seq_, sid);
+    if (!mirrored.ok()) {
+      sink_status_ = mirrored;
+      return mirrored;
+    }
+  }
   return Status::OK();
 }
 
@@ -160,6 +179,7 @@ Status IndexEpochManager::ApplyBacklog(Snapshot* side) {
 }
 
 Result<uint64_t> IndexEpochManager::PublishLocked(bool wait) {
+  if (!sink_status_.ok()) return sink_status_;
   Snapshot* cur = current_.load(std::memory_order_acquire);
   Snapshot* spare = (cur == &sides_[0]) ? &sides_[1] : &sides_[0];
 
@@ -202,10 +222,21 @@ Result<uint64_t> IndexEpochManager::PublishLocked(bool wait) {
   stat_publishes_.fetch_add(1, std::memory_order_relaxed);
   if (options_.record_history) {
     boundaries_.push_back(EpochBoundary{spare->epoch_, spare->applied_seq_});
-  } else {
-    TrimLogLocked();
   }
+  // With record_history this only drops entries a TrimHistoryBefore
+  // has already released (history_base_ caps the trim; it is 0 —
+  // nothing trimmable — until the first checkpoint).
+  TrimLogLocked();
   XPRED_RECORD_EVENT(obs::EventType::kEpochPublish, spare->epoch_, backlog);
+  if (op_sink_ != nullptr) {
+    Status mirrored = op_sink_->OnPublish(spare->epoch_, spare->applied_seq_);
+    if (!mirrored.ok()) {
+      // The epoch is live in memory but its boundary never reached the
+      // durable log; poison the writer (see OpSink).
+      sink_status_ = mirrored;
+      return mirrored;
+    }
+  }
   return spare->epoch_;
 }
 
@@ -220,9 +251,12 @@ Result<uint64_t> IndexEpochManager::TryPublish() {
 }
 
 void IndexEpochManager::TrimLogLocked() {
-  // Entries applied by both sides can never be replayed again.
-  const uint64_t safe =
-      std::min(sides_[0].applied_seq_, sides_[1].applied_seq_);
+  // Entries applied by both sides can never be replayed again; with
+  // record_history, additionally only entries a checkpoint has
+  // released (seq <= history_base_.seq) may go — the rest are the
+  // OpsUpToEpoch oracle's source of truth.
+  uint64_t safe = std::min(sides_[0].applied_seq_, sides_[1].applied_seq_);
+  if (options_.record_history) safe = std::min(safe, history_base_.seq);
   while (first_seq_ <= safe && !log_.empty()) {
     log_.pop_front();
     ++first_seq_;
@@ -244,12 +278,21 @@ IndexEpochManager::OpsUpToEpoch(uint64_t epoch) const {
     }
   }
   if (boundary == nullptr) {
+    if (epoch < history_base_.epoch) {
+      return Status::NotFound("epoch " + std::to_string(epoch) +
+                              " was trimmed (history restarts at epoch " +
+                              std::to_string(history_base_.epoch) + ")");
+    }
     return Status::NotFound("epoch " + std::to_string(epoch) +
                             " was never published");
   }
+  // Trimmed history: the view is incremental from history_base_.
+  const uint64_t start = std::max(first_seq_, history_base_.seq + 1);
   std::vector<OpView> ops;
-  ops.reserve(static_cast<size_t>(boundary->applied_seq));
-  for (uint64_t seq = first_seq_; seq <= boundary->applied_seq; ++seq) {
+  ops.reserve(static_cast<size_t>(
+      boundary->applied_seq >= start ? boundary->applied_seq - start + 1
+                                     : 0));
+  for (uint64_t seq = start; seq <= boundary->applied_seq; ++seq) {
     const Op& op = log_[static_cast<size_t>(seq - first_seq_)];
     OpView view;
     view.subscribe = op.kind == OpKind::kSubscribe;
@@ -258,6 +301,87 @@ IndexEpochManager::OpsUpToEpoch(uint64_t epoch) const {
     ops.push_back(std::move(view));
   }
   return ops;
+}
+
+IndexEpochManager::HistoryBase IndexEpochManager::history_base() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return history_base_;
+}
+
+Result<size_t> IndexEpochManager::TrimHistoryBefore(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!options_.record_history) {
+    return Status::InvalidArgument(
+        "TrimHistoryBefore requires Options::record_history");
+  }
+  const EpochBoundary* boundary = nullptr;
+  for (const EpochBoundary& b : boundaries_) {
+    if (b.epoch == epoch) {
+      boundary = &b;
+      break;
+    }
+  }
+  if (boundary == nullptr) {
+    return Status::NotFound("epoch " + std::to_string(epoch) +
+                            " was never published (or already trimmed)");
+  }
+  // A reader still pinning an older epoch keeps its history alive:
+  // OpsUpToEpoch must stay answerable for every pinned epoch. New pins
+  // cannot race us below the bar — Pin() only ever pins the current
+  // side, whose epoch is >= every published boundary.
+  for (const Snapshot& side : sides_) {
+    if (side.pins_.load(std::memory_order_acquire) != 0 &&
+        side.epoch_ < epoch) {
+      return Status::Rejected(
+          "epoch " + std::to_string(side.epoch_) +
+          " is still pinned by readers; trim refused to keep its "
+          "history rebuildable");
+    }
+  }
+  history_base_.epoch = epoch;
+  history_base_.seq = boundary->applied_seq;
+  // The base epoch's own boundary stays: OpsUpToEpoch(base) is the
+  // empty incremental view, the anchor a checkpoint seeds from.
+  boundaries_.erase(
+      std::remove_if(boundaries_.begin(), boundaries_.end(),
+                     [epoch](const EpochBoundary& b) {
+                       return b.epoch < epoch;
+                     }),
+      boundaries_.end());
+  const size_t before = log_.size();
+  TrimLogLocked();
+  return before - log_.size();
+}
+
+void IndexEpochManager::SetOpSink(OpSink* sink) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  op_sink_ = sink;
+  sink_status_ = Status::OK();
+}
+
+Result<IndexEpochManager::SubscriptionExport>
+IndexEpochManager::ExportSubscriptions() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const Snapshot* cur = current_.load(std::memory_order_acquire);
+  if (cur->applied_seq_ != last_seq_) {
+    return Status::Rejected(
+        "subscription export is defined at epoch boundaries only; "
+        "Publish() the " +
+        std::to_string(last_seq_ - cur->applied_seq_) +
+        " queued op(s) first");
+  }
+  SubscriptionExport out;
+  out.epoch = cur->epoch_;
+  out.last_seq = last_seq_;
+  out.entries.reserve(sid_routes_.size());
+  for (size_t sid = 0; sid < sid_routes_.size(); ++sid) {
+    SubscriptionExport::Entry entry;
+    entry.sid = static_cast<ExprId>(sid);
+    entry.live = sid_live_[sid] != 0;
+    entry.xpath = sid_routes_[sid].xpath;
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
 }
 
 size_t IndexEpochManager::ApproximateMemoryBytes() const {

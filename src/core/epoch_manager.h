@@ -54,6 +54,32 @@ namespace xpred::core {
 /// (`src/testing/churn_harness`) relies on.
 class IndexEpochManager {
  public:
+  /// \brief Durability hook: mirrors the single-writer op log to an
+  /// external sink (the storage layer's write-ahead log).
+  ///
+  /// Every callback runs under the writer mutex, after the op has been
+  /// validated and logged in memory, so the sink observes exactly the
+  /// committed op sequence in order — the WAL-mirroring contract of
+  /// DESIGN.md §16. \p seq is the manager's 1-based op sequence
+  /// number; a sink persisting across restarts maps it into its own
+  /// durable numbering.
+  ///
+  /// A non-OK return poisons the manager: the op that hit the failure
+  /// stays applied in memory (rolling it back would desynchronize the
+  /// dense sid assignment), but every later mutation is rejected with
+  /// the sink's status. A writer that cannot persist is expected to
+  /// drain and restart — crash recovery makes that safe.
+  class OpSink {
+   public:
+    virtual ~OpSink() = default;
+    virtual Status OnSubscribe(uint64_t seq, ExprId sid,
+                               std::string_view xpath) = 0;
+    virtual Status OnUnsubscribe(uint64_t seq, ExprId sid) = 0;
+    /// A Publish() landed: \p applied_seq ops are now visible at
+    /// \p epoch.
+    virtual Status OnPublish(uint64_t epoch, uint64_t applied_seq) = 0;
+  };
+
   struct Options {
     /// Expression partitions per side (mirrors
     /// exec::ParallelFilter::Options::partitions). Clamped to >= 1.
@@ -217,10 +243,59 @@ class IndexEpochManager {
 
   /// \name Oracle support (requires Options::record_history)
   ///@{
-  /// All operations, in order, up to and including published epoch
-  /// \p epoch — replaying them into a fresh Matcher reproduces that
-  /// epoch's match behavior with identical global subscription ids.
+  /// All operations, in order, after history_base() up to and
+  /// including published epoch \p epoch. With an untrimmed log
+  /// (history_base().seq == 0, the default) replaying them into a
+  /// fresh Matcher reproduces that epoch's match behavior with
+  /// identical global subscription ids; after TrimHistoryBefore the
+  /// view is incremental — seed from the checkpoint that justified the
+  /// trim, then replay.
   Result<std::vector<OpView>> OpsUpToEpoch(uint64_t epoch) const;
+
+  /// Where trimmed history restarts: ops with seq <= seq are gone and
+  /// epochs earlier than epoch are no longer rebuildable. {0, 0} until
+  /// the first TrimHistoryBefore.
+  struct HistoryBase {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+  };
+  HistoryBase history_base() const;
+
+  /// Bounds record_history memory after a snapshot checkpoint: drops
+  /// op-log entries and epoch boundaries for epochs earlier than
+  /// \p epoch (which must have been published). The trim never
+  /// outruns a side that still needs the ops for its next rebuild,
+  /// and it refuses (kRejected) to drop an epoch some reader still
+  /// has pinned — OpsUpToEpoch stays answerable for every pinned
+  /// epoch. Returns the number of log entries physically dropped.
+  Result<size_t> TrimHistoryBefore(uint64_t epoch);
+  ///@}
+
+  /// \name Durability support
+  ///@{
+  /// Attaches \p sink (nullptr detaches) as the op-log mirror. Must
+  /// not race with mutations: the storage layer attaches it after
+  /// recovery replay, before going live.
+  void SetOpSink(OpSink* sink);
+
+  /// One row of ExportSubscriptions: the full fate of one global sid.
+  struct SubscriptionExport {
+    uint64_t epoch = 0;     ///< Published epoch the export reflects.
+    uint64_t last_seq = 0;  ///< Last op sequence number in the log.
+    struct Entry {
+      ExprId sid = 0;
+      bool live = false;
+      std::string xpath;
+    };
+    std::vector<Entry> entries;  ///< Dense: entries[i].sid == i.
+  };
+  /// The full subscription table — every issued sid, live or dead, in
+  /// sid order — at an epoch boundary. Rejected (kRejected) while ops
+  /// are queued but unpublished: checkpoints are defined at epoch
+  /// boundaries only, so Publish() first. Replaying the entries
+  /// (subscribe all in order, then unsubscribe the dead) into a fresh
+  /// manager reproduces identical sids and partition routing.
+  Result<SubscriptionExport> ExportSubscriptions() const;
   ///@}
 
   size_t partition_count() const { return options_.partitions; }
@@ -262,6 +337,9 @@ class IndexEpochManager {
   std::unique_ptr<Matcher> master_;
   /// sid -> routing, mirrored by both sides' replays.
   std::vector<Op> sid_routes_;
+  /// sid -> liveness, for ExportSubscriptions (the master matcher
+  /// validates liveness but does not expose it per sid).
+  std::vector<uint8_t> sid_live_;
   /// Per-partition successful-subscribe counts (assigns local sids).
   std::vector<ExprId> partition_counts_;
   size_t next_partition_ = 0;
@@ -276,6 +354,13 @@ class IndexEpochManager {
   /// writer_mu_ but readable without it (see pending_ops()).
   std::atomic<uint64_t> pending_ops_{0};
   std::vector<EpochBoundary> boundaries_;
+  /// Logical start of retained history (TrimHistoryBefore).
+  HistoryBase history_base_;
+
+  /// Durability mirror; calls run under writer_mu_. A sink failure
+  /// sticks here and fails every later mutation.
+  OpSink* op_sink_ = nullptr;
+  Status sink_status_;
 
   std::atomic<uint64_t> stat_subscribes_{0};
   std::atomic<uint64_t> stat_unsubscribes_{0};

@@ -79,6 +79,12 @@ std::string_view EventTypeName(EventType type) {
       return "epoch_publish";
     case EventType::kEpochRetire:
       return "epoch_retire";
+    case EventType::kWalRotate:
+      return "wal_rotate";
+    case EventType::kSnapshotWrite:
+      return "snapshot_write";
+    case EventType::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }

@@ -71,6 +71,16 @@ enum class EventType : uint16_t {
   /// rebuilding. a = retired epoch number, b = scheduler yields spent
   /// waiting for readers to unpin (0 = already quiescent).
   kEpochRetire = 18,
+  /// SubscriptionWal opened a fresh segment (rotation or checkpoint
+  /// compaction). a = base sequence number of the new segment,
+  /// b = segments created by this writer so far.
+  kWalRotate = 19,
+  /// SnapshotWriter landed a checkpoint. a = checkpointed epoch,
+  /// b = snapshot bytes.
+  kSnapshotWrite = 20,
+  /// DurableSubscriptionStore finished crash recovery. a = WAL records
+  /// replayed, b = torn-tail bytes truncated.
+  kRecovery = 21,
 };
 
 /// Stable lowercase event-type name ("doc_begin", "steal", ...), the

@@ -1,0 +1,65 @@
+#ifndef XPRED_STORAGE_CRC32C_H_
+#define XPRED_STORAGE_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xpred::storage {
+
+/// \brief CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected form
+/// 0x82F63B78) — the checksum framing every WAL record and snapshot
+/// file (DESIGN.md §16).
+///
+/// Software table implementation, byte-at-a-time: the WAL writer
+/// checksums tens of bytes per subscribe, so table lookup is far from
+/// the bottleneck (fsync is), and it keeps the storage layer free of
+/// platform intrinsics. The table is computed at compile time so the
+/// header stays self-contained.
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace detail
+
+/// Extends \p crc (a previous Crc32c result, or 0 for a fresh stream)
+/// over \p data. Composable: Crc32c(a + b) == Crc32cExtend(Crc32c(a), b).
+inline uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = detail::kCrc32cTable[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data);
+}
+
+/// Masked CRC (the LevelDB/RocksDB trick): storing the CRC of data
+/// that itself embeds CRCs is error-prone, so stored checksums are
+/// rotated and offset. Verification unmasks first.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  uint32_t rot = masked - 0xA282EAD8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace xpred::storage
+
+#endif  // XPRED_STORAGE_CRC32C_H_

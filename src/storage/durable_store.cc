@@ -1,0 +1,386 @@
+#include "storage/durable_store.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace xpred::storage {
+
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToJson() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"xpred_recovery_report\": 1,\n";
+  out += "  \"snapshot_loaded\": ";
+  out += snapshot_loaded ? "true" : "false";
+  out += ",\n";
+  out += "  \"snapshot_path\": \"" + JsonEscape(snapshot_path) + "\",\n";
+  out += "  \"snapshot_epoch\": " + std::to_string(snapshot_epoch) + ",\n";
+  out += "  \"snapshot_seq\": " + std::to_string(snapshot_seq) + ",\n";
+  out += "  \"snapshot_entries\": " + std::to_string(snapshot_entries) +
+         ",\n";
+  out += "  \"snapshots_quarantined\": " +
+         std::to_string(snapshots_quarantined) + ",\n";
+  out += "  \"wal_segments_scanned\": " +
+         std::to_string(wal_segments_scanned) + ",\n";
+  out += "  \"wal_records_replayed\": " +
+         std::to_string(wal_records_replayed) + ",\n";
+  out += "  \"wal_subscribes\": " + std::to_string(wal_subscribes) + ",\n";
+  out += "  \"wal_unsubscribes\": " + std::to_string(wal_unsubscribes) +
+         ",\n";
+  out += "  \"wal_epoch_marks\": " + std::to_string(wal_epoch_marks) + ",\n";
+  out += "  \"wal_bytes_truncated\": " +
+         std::to_string(wal_bytes_truncated) + ",\n";
+  out += "  \"wal_segments_quarantined\": " +
+         std::to_string(wal_segments_quarantined) + ",\n";
+  out += "  \"last_durable_seq\": " + std::to_string(last_durable_seq) +
+         ",\n";
+  out += "  \"issued_subscriptions\": " +
+         std::to_string(issued_subscriptions) + ",\n";
+  out += "  \"live_subscriptions\": " + std::to_string(live_subscriptions) +
+         ",\n";
+  out += "  \"published_epoch\": " + std::to_string(published_epoch) + "\n";
+  out += "}\n";
+  return out;
+}
+
+DurableSubscriptionStore::DurableSubscriptionStore(const Options& options)
+    : options_(options) {
+  options_.snapshots_to_keep = std::max<size_t>(options_.snapshots_to_keep, 1);
+}
+
+DurableSubscriptionStore::~DurableSubscriptionStore() {
+  if (manager_ != nullptr) manager_->SetOpSink(nullptr);
+}
+
+Result<std::unique_ptr<DurableSubscriptionStore>>
+DurableSubscriptionStore::Open(const Options& options,
+                               RecoveryReport* report_out) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument(
+        "DurableSubscriptionStore needs a directory");
+  }
+  std::unique_ptr<DurableSubscriptionStore> store(
+      new DurableSubscriptionStore(options));
+  std::lock_guard<std::mutex> lock(store->store_mu_);
+  XPRED_RETURN_NOT_OK(store->RecoverLocked());
+  if (report_out != nullptr) *report_out = store->report_;
+  return store;
+}
+
+Status DurableSubscriptionStore::RecoverLocked() {
+  core::IndexEpochManager::Options mopts;
+  mopts.partitions = options_.partitions;
+  mopts.matcher = options_.matcher;
+  mopts.record_history = options_.record_history;
+  manager_ = std::make_unique<core::IndexEpochManager>(mopts);
+
+  // Phase 1: seed from the newest valid snapshot. Subscribing every
+  // issued sid in order (then cancelling the dead ones) reproduces
+  // the exact dense sid assignment and round-robin partition routing
+  // the pre-crash process had.
+  Result<std::optional<LoadedSnapshot>> snapshot =
+      SnapshotLoader::LoadNewest(options_.directory,
+                                 &report_.snapshots_quarantined);
+  XPRED_RETURN_NOT_OK(snapshot.status());
+  if (snapshot->has_value()) {
+    const SnapshotData& data = (**snapshot).data;
+    report_.snapshot_loaded = true;
+    report_.snapshot_path = (**snapshot).path;
+    report_.snapshot_epoch = data.epoch;
+    report_.snapshot_seq = data.last_seq;
+    report_.snapshot_entries = data.entries.size();
+    for (const SnapshotData::Entry& entry : data.entries) {
+      Result<core::ExprId> sid = manager_->Subscribe(entry.xpath);
+      if (!sid.ok()) {
+        return Status::Internal(
+            "snapshot replay rejected a checkpointed expression '" +
+            entry.xpath + "': " + sid.status().message());
+      }
+      if (*sid != entry.sid) {
+        return Status::Internal(
+            "snapshot replay diverged: expression '" + entry.xpath +
+            "' got sid " + std::to_string(*sid) + ", checkpoint says " +
+            std::to_string(entry.sid));
+      }
+    }
+    for (const SnapshotData::Entry& entry : data.entries) {
+      if (!entry.live) {
+        XPRED_RETURN_NOT_OK(
+            manager_->Unsubscribe(static_cast<core::ExprId>(entry.sid)));
+      }
+    }
+  }
+
+  // Phase 2: replay WAL records past the snapshot's coverage,
+  // salvaging the longest valid prefix (torn tails truncated, corrupt
+  // segments quarantined — ScanWal documents the rules).
+  Result<WalScanResult> scan =
+      ScanWal(options_.directory, report_.snapshot_seq);
+  XPRED_RETURN_NOT_OK(scan.status());
+  report_.wal_segments_scanned = scan->segments_scanned;
+  report_.wal_bytes_truncated = scan->bytes_truncated;
+  report_.wal_segments_quarantined = scan->segments_quarantined;
+  for (const WalRecord& record : scan->records) {
+    switch (record.kind) {
+      case WalRecord::Kind::kSubscribe: {
+        Result<core::ExprId> sid = manager_->Subscribe(record.xpath);
+        if (!sid.ok()) {
+          return Status::Internal(
+              "WAL replay rejected a logged subscribe (seq " +
+              std::to_string(record.seq) + "): " + sid.status().message());
+        }
+        if (*sid != record.sid) {
+          return Status::Internal(
+              "WAL replay diverged at seq " + std::to_string(record.seq) +
+              ": got sid " + std::to_string(*sid) + ", log says " +
+              std::to_string(record.sid));
+        }
+        ++report_.wal_subscribes;
+        break;
+      }
+      case WalRecord::Kind::kUnsubscribe: {
+        Status st =
+            manager_->Unsubscribe(static_cast<core::ExprId>(record.sid));
+        if (!st.ok()) {
+          return Status::Internal(
+              "WAL replay rejected a logged unsubscribe (seq " +
+              std::to_string(record.seq) + "): " + st.message());
+        }
+        ++report_.wal_unsubscribes;
+        break;
+      }
+      case WalRecord::Kind::kEpochMark:
+        ++report_.wal_epoch_marks;
+        break;
+    }
+    ++report_.wal_records_replayed;
+  }
+
+  // Phase 3: publish the recovered state and go live. Epoch numbering
+  // restarts with the process; the WAL's seq numbering is the durable
+  // continuity.
+  Result<uint64_t> published = manager_->Publish();
+  XPRED_RETURN_NOT_OK(published.status());
+  report_.published_epoch = *published;
+  report_.last_durable_seq =
+      std::max(report_.snapshot_seq, scan->last_seq);
+  report_.issued_subscriptions = manager_->subscription_count();
+  report_.live_subscriptions = manager_->live_subscriptions();
+
+  next_seq_ = report_.last_durable_seq + 1;
+  checkpoint_seq_ = report_.snapshot_seq;
+
+  SubscriptionWal::Options wopts;
+  wopts.directory = options_.directory;
+  wopts.fsync = options_.fsync;
+  wopts.segment_bytes = options_.wal_segment_bytes;
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(wopts, next_seq_);
+  XPRED_RETURN_NOT_OK(wal.status());
+  wal_ = std::move(*wal);
+  manager_->SetOpSink(this);
+
+  BindMetricsLocked();
+  XPRED_RECORD_EVENT(obs::EventType::kRecovery,
+                     report_.wal_records_replayed,
+                     report_.wal_bytes_truncated);
+  return Status::OK();
+}
+
+void DurableSubscriptionStore::BindMetricsLocked() {
+  if (options_.metrics == nullptr) return;
+  obs::MetricsRegistry& reg = *options_.metrics;
+  reg.AddGauge("xpred_storage_recovery_records_replayed",
+               "WAL records replayed by the last recovery")
+      ->Set(static_cast<double>(report_.wal_records_replayed));
+  reg.AddGauge("xpred_storage_recovery_bytes_truncated",
+               "Torn-tail bytes truncated by the last recovery")
+      ->Set(static_cast<double>(report_.wal_bytes_truncated));
+  reg.AddGauge("xpred_storage_recovery_segments_quarantined",
+               "WAL segments quarantined by the last recovery")
+      ->Set(static_cast<double>(report_.wal_segments_quarantined));
+  reg.AddGauge("xpred_storage_recovery_snapshots_quarantined",
+               "Corrupt snapshots set aside by the last recovery")
+      ->Set(static_cast<double>(report_.snapshots_quarantined));
+  reg.AddGauge("xpred_storage_snapshot_epoch",
+               "Epoch of the newest durable checkpoint")
+      ->Set(static_cast<double>(report_.snapshot_epoch));
+  reg.AddGauge("xpred_storage_durable_seq",
+               "Highest durable WAL sequence number")
+      ->Set(static_cast<double>(report_.last_durable_seq));
+}
+
+Result<core::ExprId> DurableSubscriptionStore::Subscribe(
+    std::string_view xpath) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return manager_->Subscribe(xpath);
+}
+
+Status DurableSubscriptionStore::Unsubscribe(core::ExprId sid) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return manager_->Unsubscribe(sid);
+}
+
+Result<uint64_t> DurableSubscriptionStore::Publish() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return manager_->Publish();
+}
+
+uint64_t DurableSubscriptionStore::next_durable_seq() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return next_seq_;
+}
+
+uint64_t DurableSubscriptionStore::last_written_seq() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return wal_ != nullptr ? wal_->last_written_seq() : 0;
+}
+
+bool DurableSubscriptionStore::dead() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return wal_ == nullptr || wal_->dead();
+}
+
+Status DurableSubscriptionStore::OnSubscribe(uint64_t /*seq*/,
+                                             core::ExprId sid,
+                                             std::string_view xpath) {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kSubscribe;
+  record.seq = next_seq_;
+  record.sid = sid;
+  record.xpath.assign(xpath);
+  XPRED_RETURN_NOT_OK(wal_->Append(record));
+  ++next_seq_;
+  return Status::OK();
+}
+
+Status DurableSubscriptionStore::OnUnsubscribe(uint64_t /*seq*/,
+                                               core::ExprId sid) {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kUnsubscribe;
+  record.seq = next_seq_;
+  record.sid = sid;
+  XPRED_RETURN_NOT_OK(wal_->Append(record));
+  ++next_seq_;
+  return Status::OK();
+}
+
+Status DurableSubscriptionStore::OnPublish(uint64_t epoch,
+                                           uint64_t /*applied_seq*/) {
+  WalRecord record;
+  record.kind = WalRecord::Kind::kEpochMark;
+  record.seq = next_seq_;
+  record.epoch = epoch;
+  XPRED_RETURN_NOT_OK(wal_->Append(record));
+  ++next_seq_;
+  return Status::OK();
+}
+
+Status DurableSubscriptionStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  if (wal_->dead()) {
+    return Status::Rejected(
+        "store is poisoned by an earlier WAL failure; reopen to recover");
+  }
+  if (manager_->pending_ops() > 0) {
+    XPRED_RETURN_NOT_OK(manager_->Publish().status());
+  }
+  Result<core::IndexEpochManager::SubscriptionExport> exported =
+      manager_->ExportSubscriptions();
+  XPRED_RETURN_NOT_OK(exported.status());
+
+  // Everything the snapshot will claim to cover must be on disk first:
+  // the checkpoint deletes the WAL segments that would otherwise
+  // re-create it.
+  XPRED_RETURN_NOT_OK(wal_->Sync());
+
+  SnapshotData data;
+  data.epoch = exported->epoch;
+  data.last_seq = next_seq_ - 1;
+  data.entries.reserve(exported->entries.size());
+  for (const core::IndexEpochManager::SubscriptionExport::Entry& entry :
+       exported->entries) {
+    SnapshotData::Entry out;
+    out.sid = entry.sid;
+    out.live = entry.live;
+    out.xpath = entry.xpath;
+    data.entries.push_back(std::move(out));
+  }
+  Result<std::string> path = SnapshotWriter::Write(options_.directory, data);
+  XPRED_RETURN_NOT_OK(path.status());
+  checkpoint_seq_ = data.last_seq;
+
+  // The snapshot is durable: older segments and snapshots are covered.
+  Result<size_t> compacted =
+      wal_->RotateAndCompact(next_seq_, checkpoint_seq_);
+  XPRED_RETURN_NOT_OK(compacted.status());
+  XPRED_RETURN_NOT_OK(
+      SnapshotLoader::PruneOld(options_.directory,
+                               options_.snapshots_to_keep)
+          .status());
+
+  if (options_.record_history) {
+    Result<size_t> trimmed = manager_->TrimHistoryBefore(data.epoch);
+    // kRejected means a reader still pins an older epoch — the trim is
+    // best-effort and the next checkpoint retries; anything else is a
+    // real failure.
+    if (!trimmed.ok() &&
+        trimmed.status().code() != StatusCode::kRejected) {
+      return trimmed.status();
+    }
+  }
+
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->AddGauge("xpred_storage_snapshot_epoch",
+                   "Epoch of the newest durable checkpoint")
+        ->Set(static_cast<double>(data.epoch));
+    options_.metrics
+        ->AddGauge("xpred_storage_durable_seq",
+                   "Highest durable WAL sequence number")
+        ->Set(static_cast<double>(checkpoint_seq_));
+  }
+  return Status::OK();
+}
+
+}  // namespace xpred::storage

@@ -1,0 +1,138 @@
+#ifndef XPRED_STORAGE_DURABLE_STORE_H_
+#define XPRED_STORAGE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/epoch_manager.h"
+#include "storage/recovery_report.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace xpred::obs {
+class MetricsRegistry;
+}  // namespace xpred::obs
+
+namespace xpred::storage {
+
+/// \brief Crash-recoverable subscription state: a live
+/// `core::IndexEpochManager` whose single-writer op log is mirrored
+/// into a `SubscriptionWal`, checkpointed by atomic snapshots, and
+/// rebuilt on open (DESIGN.md §16).
+///
+/// Lifecycle:
+///  - `Open()` recovers: newest valid snapshot seeds the manager
+///    (identical sid assignment and partition routing), WAL records
+///    after the snapshot's seq are replayed, torn tails are salvaged,
+///    and a `RecoveryReport` describes what happened. The store then
+///    goes live with the WAL mirroring every new mutation.
+///  - `Subscribe`/`Unsubscribe`/`Publish` forward to the manager; the
+///    WAL append happens inside the manager's writer lock (OpSink), so
+///    an OK status means the op is as durable as the fsync policy
+///    promises. A WAL failure poisons the store — drain, reopen,
+///    recover.
+///  - `Checkpoint()` snapshots the full table at the current epoch
+///    boundary, compacts every fully-covered WAL segment, prunes old
+///    snapshots, and (under record_history) trims the manager's
+///    in-memory op log — the bounded-memory contract.
+///
+/// Concurrency: reads (manager().Pin(), exec::ParallelFilter batches)
+/// are lock-free as ever. Mutations and Checkpoint are serialized by a
+/// store-level writer mutex on top of the manager's own.
+class DurableSubscriptionStore final
+    : private core::IndexEpochManager::OpSink {
+ public:
+  struct Options {
+    /// Directory holding `wal-*.xwal` segments and
+    /// `snapshot-*.xsnap` checkpoints.
+    std::string directory;
+    FsyncPolicy fsync = FsyncPolicy::kEveryPublish;
+    size_t wal_segment_bytes = 4u << 20;
+    /// Valid snapshots retained after a checkpoint (>= 1; older ones
+    /// are pruned).
+    size_t snapshots_to_keep = 2;
+    size_t partitions = 1;
+    core::Matcher::Options matcher;
+    /// Forwarded to the manager (the churn/recovery oracles need it).
+    bool record_history = false;
+    /// Optional: recovery/WAL gauges are registered here
+    /// (xpred_storage_*).
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Recovers whatever state \p options.directory holds (an empty or
+  /// absent directory is a valid empty store) and goes live. The
+  /// report lands in \p report_out (optional) and in
+  /// recovery_report().
+  static Result<std::unique_ptr<DurableSubscriptionStore>> Open(
+      const Options& options, RecoveryReport* report_out = nullptr);
+  ~DurableSubscriptionStore() override;
+
+  DurableSubscriptionStore(const DurableSubscriptionStore&) = delete;
+  DurableSubscriptionStore& operator=(const DurableSubscriptionStore&) =
+      delete;
+
+  /// The live manager: Pin() for lock-free reads, or hand it to a
+  /// live-mode exec::ParallelFilter.
+  core::IndexEpochManager& manager() { return *manager_; }
+  const core::IndexEpochManager& manager() const { return *manager_; }
+
+  /// \name Durable write path
+  ///@{
+  Result<core::ExprId> Subscribe(std::string_view xpath);
+  Status Unsubscribe(core::ExprId sid);
+  Result<uint64_t> Publish();
+
+  /// Checkpoints at the current epoch boundary (publishing queued ops
+  /// first if needed): atomic snapshot, WAL compaction, snapshot
+  /// pruning, op-log trim. On failure (e.g. an injected rename fault)
+  /// the store keeps running on the previous checkpoint + full WAL —
+  /// a checkpoint failure loses no data.
+  Status Checkpoint();
+  ///@}
+
+  const RecoveryReport& recovery_report() const { return report_; }
+  /// Next durable sequence number the WAL will assign.
+  uint64_t next_durable_seq() const;
+  /// Highest WAL seq whose frame was fully written (survives a process
+  /// kill even if a later fsync failed) — the crash-point harness's
+  /// durable frontier.
+  uint64_t last_written_seq() const;
+  /// True once a WAL failure poisoned the write path.
+  bool dead() const;
+
+ private:
+  explicit DurableSubscriptionStore(const Options& options);
+
+  /// core::IndexEpochManager::OpSink — called under the manager's
+  /// writer lock.
+  Status OnSubscribe(uint64_t seq, core::ExprId sid,
+                     std::string_view xpath) override;
+  Status OnUnsubscribe(uint64_t seq, core::ExprId sid) override;
+  Status OnPublish(uint64_t epoch, uint64_t applied_seq) override;
+
+  Status RecoverLocked();
+  void BindMetricsLocked();
+
+  Options options_;
+  std::unique_ptr<core::IndexEpochManager> manager_;
+  std::unique_ptr<SubscriptionWal> wal_;
+  RecoveryReport report_;
+
+  /// Serializes mutations + checkpoints (the manager's writer lock is
+  /// below this one; OpSink callbacks run under both).
+  mutable std::mutex store_mu_;
+  /// Next durable seq; advanced by the OpSink callbacks, which run
+  /// under the manager's writer mutex.
+  uint64_t next_seq_ = 1;
+  /// Durable seq of the newest snapshot (compaction bound).
+  uint64_t checkpoint_seq_ = 0;
+};
+
+}  // namespace xpred::storage
+
+#endif  // XPRED_STORAGE_DURABLE_STORE_H_

@@ -1,0 +1,51 @@
+#ifndef XPRED_STORAGE_RECOVERY_REPORT_H_
+#define XPRED_STORAGE_RECOVERY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xpred::storage {
+
+/// \brief Structured outcome of DurableSubscriptionStore::Open's
+/// recovery pass (DESIGN.md §16): what was loaded, what was replayed,
+/// and what had to be salvaged. Surfaced three ways — returned to the
+/// caller, exported as obs gauges, and emitted as JSON by
+/// `xpred_cli restore --json` (validated by scripts/check_diag_schema.py).
+struct RecoveryReport {
+  /// \name Snapshot phase
+  ///@{
+  bool snapshot_loaded = false;
+  std::string snapshot_path;       ///< Empty when none was found.
+  uint64_t snapshot_epoch = 0;     ///< Epoch the checkpoint reflected.
+  uint64_t snapshot_seq = 0;       ///< WAL seq the checkpoint covered.
+  uint64_t snapshot_entries = 0;   ///< Sids seeded (live + dead).
+  uint64_t snapshots_quarantined = 0;  ///< Corrupt candidates set aside.
+  ///@}
+
+  /// \name WAL replay phase
+  ///@{
+  uint64_t wal_segments_scanned = 0;
+  uint64_t wal_records_replayed = 0;  ///< Records applied after the snapshot.
+  uint64_t wal_subscribes = 0;
+  uint64_t wal_unsubscribes = 0;
+  uint64_t wal_epoch_marks = 0;
+  uint64_t wal_bytes_truncated = 0;     ///< Torn-tail bytes cut.
+  uint64_t wal_segments_quarantined = 0;
+  ///@}
+
+  /// \name Recovered state
+  ///@{
+  uint64_t last_durable_seq = 0;  ///< Highest seq restored; appends resume after.
+  uint64_t issued_subscriptions = 0;  ///< Dense sid space size.
+  uint64_t live_subscriptions = 0;
+  uint64_t published_epoch = 0;  ///< Manager epoch after the recovery publish.
+  ///@}
+
+  /// Deterministic JSON object (sorted fixed key order, version-tagged
+  /// `"xpred_recovery_report": 1`).
+  std::string ToJson() const;
+};
+
+}  // namespace xpred::storage
+
+#endif  // XPRED_STORAGE_RECOVERY_REPORT_H_

@@ -1,0 +1,262 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/fault_injection.h"
+#include "obs/flight_recorder.h"
+#include "storage/crc32c.h"
+
+namespace xpred::storage {
+
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "XPSNAP01";
+constexpr size_t kFixedHeaderBytes = 8 + 8 + 8 + 8;  // magic, 3 x u64.
+constexpr size_t kMaxXPathBytes = 1u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(std::string_view in, size_t at) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[at])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[at + 1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[at + 2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[at + 3])) << 24;
+}
+
+uint64_t GetU64(std::string_view in, size_t at) {
+  return static_cast<uint64_t>(GetU32(in, at)) |
+         static_cast<uint64_t>(GetU32(in, at + 4)) << 32;
+}
+
+std::string SnapshotName(uint64_t last_seq) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "snapshot-%016llx.xsnap",
+                static_cast<unsigned long long>(last_seq));
+  return name;
+}
+
+bool IsSnapshotName(const std::string& name) {
+  if (name.size() != 9 + 16 + 6) return false;
+  if (name.rfind("snapshot-", 0) != 0) return false;
+  if (name.compare(25, 6, ".xsnap") != 0) return false;
+  return name.find_first_not_of("0123456789abcdef", 9) == 25;
+}
+
+/// Sorted ascending by name == ascending by covered seq.
+std::vector<std::string> ListSnapshots(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return paths;
+  for (const auto& entry : it) {
+    if (IsSnapshotName(entry.path().filename().string())) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Status FsyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("open(dir) for fsync failed: " + dir + ": " +
+                            std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync(dir) failed: " + dir + ": " +
+                            std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+std::string Serialize(const SnapshotData& data) {
+  std::string out;
+  out.append(kSnapshotMagic);
+  PutU64(&out, data.epoch);
+  PutU64(&out, data.last_seq);
+  PutU64(&out, data.entries.size());
+  for (const SnapshotData::Entry& entry : data.entries) {
+    PutU64(&out, entry.sid);
+    out.push_back(entry.live ? 1 : 0);
+    PutU32(&out, static_cast<uint32_t>(entry.xpath.size()));
+    out.append(entry.xpath);
+  }
+  PutU32(&out, MaskCrc32c(Crc32c(out)));
+  return out;
+}
+
+Result<SnapshotData> Deserialize(std::string_view data,
+                                 const std::string& path) {
+  if (data.size() < kFixedHeaderBytes + 4 ||
+      data.substr(0, 8) != kSnapshotMagic) {
+    return Status::InvalidArgument("not a snapshot file: " + path);
+  }
+  uint32_t stored = UnmaskCrc32c(GetU32(data, data.size() - 4));
+  if (Crc32c(data.substr(0, data.size() - 4)) != stored) {
+    return Status::InvalidArgument("snapshot checksum mismatch: " + path);
+  }
+  SnapshotData snap;
+  snap.epoch = GetU64(data, 8);
+  snap.last_seq = GetU64(data, 16);
+  uint64_t count = GetU64(data, 24);
+  size_t at = kFixedHeaderBytes;
+  const size_t end = data.size() - 4;
+  snap.entries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    if (end - at < 8 + 1 + 4) {
+      return Status::InvalidArgument("snapshot entry table truncated: " +
+                                     path);
+    }
+    SnapshotData::Entry entry;
+    entry.sid = GetU64(data, at);
+    entry.live = data[at + 8] != 0;
+    uint32_t xlen = GetU32(data, at + 9);
+    at += 13;
+    if (xlen > kMaxXPathBytes || end - at < xlen) {
+      return Status::InvalidArgument("snapshot entry table truncated: " +
+                                     path);
+    }
+    entry.xpath.assign(data.substr(at, xlen));
+    at += xlen;
+    if (entry.sid != i) {
+      return Status::InvalidArgument("snapshot sids are not dense: " + path);
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  if (at != end) {
+    return Status::InvalidArgument("snapshot has trailing bytes: " + path);
+  }
+  return snap;
+}
+
+}  // namespace
+
+Result<std::string> SnapshotWriter::Write(const std::string& directory,
+                                          const SnapshotData& data) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory " + directory +
+                            ": " + ec.message());
+  }
+  const std::string final_path =
+      directory + "/" + SnapshotName(data.last_seq);
+  const std::string tmp_path = final_path + ".tmp";
+  std::string bytes = Serialize(data);
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create " + tmp_path + ": " +
+                            std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::Internal("snapshot write failed: " + tmp_path + ": " +
+                              std::strerror(saved));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::Internal("snapshot fsync failed: " + tmp_path + ": " +
+                            std::strerror(saved));
+  }
+  ::close(fd);
+
+  // A crash here — modeled by the injection site — leaves only the
+  // .tmp file: the loader ignores it, so the previous snapshot (or
+  // none) stays authoritative and the WAL still covers everything.
+  XPRED_FAULT_POINT(faultsite::kStorageSnapshotRename);
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Internal("snapshot rename failed: " + tmp_path + " -> " +
+                            final_path + ": " + ec.message());
+  }
+  XPRED_RETURN_NOT_OK(FsyncDirectory(directory));
+  XPRED_RECORD_EVENT(obs::EventType::kSnapshotWrite, data.epoch,
+                     bytes.size());
+  return final_path;
+}
+
+Result<SnapshotData> SnapshotLoader::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open snapshot " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Deserialize(data, path);
+}
+
+Result<std::optional<LoadedSnapshot>> SnapshotLoader::LoadNewest(
+    const std::string& directory, uint64_t* quarantined_out) {
+  std::vector<std::string> paths = ListSnapshots(directory);
+  for (size_t i = paths.size(); i-- > 0;) {
+    Result<SnapshotData> snap = LoadFile(paths[i]);
+    if (snap.ok()) {
+      LoadedSnapshot loaded;
+      loaded.data = std::move(*snap);
+      loaded.path = paths[i];
+      return std::optional<LoadedSnapshot>(std::move(loaded));
+    }
+    // Corrupt candidate: set it aside (never retried) and fall back to
+    // the next-newest. The WAL still holds every op after *any* older
+    // snapshot, so falling back only lengthens replay.
+    std::error_code ec;
+    std::filesystem::rename(paths[i], paths[i] + ".quarantined", ec);
+    if (ec) {
+      return Status::Internal("cannot quarantine corrupt snapshot " +
+                              paths[i] + ": " + ec.message());
+    }
+    if (quarantined_out != nullptr) ++*quarantined_out;
+  }
+  return std::optional<LoadedSnapshot>();
+}
+
+Result<size_t> SnapshotLoader::PruneOld(const std::string& directory,
+                                        size_t keep) {
+  std::vector<std::string> paths = ListSnapshots(directory);
+  size_t removed = 0;
+  while (paths.size() > keep) {
+    std::error_code ec;
+    std::filesystem::remove(paths.front(), ec);
+    if (ec) {
+      return Status::Internal("cannot prune snapshot " + paths.front() +
+                              ": " + ec.message());
+    }
+    paths.erase(paths.begin());
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace xpred::storage

@@ -1,0 +1,76 @@
+#ifndef XPRED_STORAGE_SNAPSHOT_H_
+#define XPRED_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred::storage {
+
+/// \brief A full checkpoint of the subscription table at an epoch
+/// boundary: every issued global sid in order, live or dead, with its
+/// expression. Dead sids are kept because global sid assignment is
+/// dense and deterministic — replaying the entries (subscribe all,
+/// then unsubscribe the dead) into a fresh `core::IndexEpochManager`
+/// reproduces identical sids, partition routing, and match sets.
+struct SnapshotData {
+  struct Entry {
+    uint64_t sid = 0;
+    bool live = false;
+    std::string xpath;
+  };
+  uint64_t epoch = 0;     ///< Published epoch the checkpoint reflects.
+  uint64_t last_seq = 0;  ///< Durable WAL seq covered; replay resumes after.
+  std::vector<Entry> entries;  ///< Dense: entries[i].sid == i.
+};
+
+/// \brief Atomic checkpoint writer (DESIGN.md §16).
+///
+/// File format (`snapshot-<lastseq:016x>.xsnap`, little-endian):
+///
+///   magic "XPSNAP01", u64 epoch, u64 last_seq, u64 entry_count,
+///   entry_count x { u64 sid, u8 live, u32 xpath_len, xpath bytes },
+///   u32 masked CRC32C over everything before it.
+///
+/// Atomicity protocol: serialize to `<name>.tmp`, fsync the file,
+/// rename() into place (the injection point `storage.snapshot.rename`
+/// models a crash here), fsync the directory. A reader therefore sees
+/// either the complete old state or the complete new file — never a
+/// partial snapshot under the final name. Stale `.tmp` files are
+/// ignored by the loader and overwritten by the next checkpoint.
+class SnapshotWriter {
+ public:
+  /// Writes \p data under \p directory; returns the final path.
+  static Result<std::string> Write(const std::string& directory,
+                                   const SnapshotData& data);
+};
+
+/// \brief Loads the newest uncorrupted snapshot in a directory.
+struct LoadedSnapshot {
+  SnapshotData data;
+  std::string path;
+};
+
+class SnapshotLoader {
+ public:
+  /// Scans `snapshot-*.xsnap` newest-first, returning the first one
+  /// whose CRC verifies. Corrupt candidates are renamed
+  /// `<name>.quarantined` and counted in \p quarantined_out (they will
+  /// never be retried). std::nullopt when no valid snapshot exists —
+  /// recovery then replays the WAL from seq 1.
+  static Result<std::optional<LoadedSnapshot>> LoadNewest(
+      const std::string& directory, uint64_t* quarantined_out);
+
+  /// Parses + verifies one snapshot file (exposed for tests).
+  static Result<SnapshotData> LoadFile(const std::string& path);
+
+  /// Deletes all but the newest \p keep valid snapshot files.
+  static Result<size_t> PruneOld(const std::string& directory, size_t keep);
+};
+
+}  // namespace xpred::storage
+
+#endif  // XPRED_STORAGE_SNAPSHOT_H_

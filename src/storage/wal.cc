@@ -1,0 +1,502 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/fault_injection.h"
+#include "obs/flight_recorder.h"
+#include "storage/crc32c.h"
+
+namespace xpred::storage {
+
+namespace {
+
+constexpr std::string_view kSegmentMagic = "XPWAL001";
+constexpr size_t kSegmentHeaderBytes = 8 + 8 + 4;  // magic, base_seq, crc.
+constexpr size_t kFrameHeaderBytes = 4 + 4;        // masked crc, payload len.
+/// Frames larger than this are corruption by definition: the longest
+/// legitimate payload is one subscribe record, and expressions are
+/// capped far below this by core::Matcher's limits.
+constexpr size_t kMaxPayloadBytes = 1u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(std::string_view in, size_t at) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[at])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[at + 1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[at + 2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[at + 3])) << 24;
+}
+
+uint64_t GetU64(std::string_view in, size_t at) {
+  return static_cast<uint64_t>(GetU32(in, at)) |
+         static_cast<uint64_t>(GetU32(in, at + 4)) << 32;
+}
+
+std::string SegmentName(uint64_t base_seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%016llx.xwal",
+                static_cast<unsigned long long>(base_seq));
+  return name;
+}
+
+/// True for "wal-<16 hex>.xwal"; \p base_out receives the base seq.
+bool ParseSegmentName(const std::string& name, uint64_t* base_out) {
+  if (name.size() != 4 + 16 + 5) return false;
+  if (name.rfind("wal-", 0) != 0) return false;
+  if (name.compare(20, 5, ".xwal") != 0) return false;
+  uint64_t base = 0;
+  for (size_t i = 4; i < 20; ++i) {
+    char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    base = (base << 4) | digit;
+  }
+  *base_out = base;
+  return true;
+}
+
+std::string EncodeSegmentHeader(uint64_t base_seq) {
+  std::string out;
+  out.append(kSegmentMagic);
+  PutU64(&out, base_seq);
+  PutU32(&out, MaskCrc32c(Crc32c(out)));
+  return out;
+}
+
+Status FsyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("open(dir) for fsync failed: " + dir + ": " +
+                            std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync(dir) failed: " + dir + ": " +
+                            std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+/// Sorted (base_seq, path) of every live segment under \p dir.
+std::vector<std::pair<uint64_t, std::string>> ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return segments;
+  for (const auto& entry : it) {
+    uint64_t base = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &base)) {
+      segments.emplace_back(base, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+Status QuarantineFile(const std::string& path, uint64_t* count) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantined", ec);
+  if (ec) {
+    return Status::Internal("cannot quarantine " + path + ": " +
+                            ec.message());
+  }
+  ++*count;
+  return Status::OK();
+}
+
+/// Decodes one frame at \p at; returns false (without touching
+/// \p record) when the bytes are torn or corrupt. \p end_out receives
+/// the offset one past the frame on success.
+bool DecodeFrame(std::string_view data, size_t at, WalRecord* record,
+                 size_t* end_out) {
+  if (data.size() - at < kFrameHeaderBytes) return false;
+  uint32_t stored = UnmaskCrc32c(GetU32(data, at));
+  uint32_t len = GetU32(data, at + 4);
+  if (len < 1 + 8 || len > kMaxPayloadBytes) return false;
+  if (data.size() - at - kFrameHeaderBytes < len) return false;
+  std::string_view checked = data.substr(at + 4, 4 + len);
+  if (Crc32c(checked) != stored) return false;
+  std::string_view payload = data.substr(at + kFrameHeaderBytes, len);
+  WalRecord rec;
+  rec.kind = static_cast<WalRecord::Kind>(payload[0]);
+  rec.seq = GetU64(payload, 1);
+  switch (rec.kind) {
+    case WalRecord::Kind::kSubscribe: {
+      if (len < 1 + 8 + 8 + 4) return false;
+      rec.sid = GetU64(payload, 9);
+      uint32_t xlen = GetU32(payload, 17);
+      if (len != 1 + 8 + 8 + 4 + xlen) return false;
+      rec.xpath.assign(payload.substr(21, xlen));
+      break;
+    }
+    case WalRecord::Kind::kUnsubscribe:
+      if (len != 1 + 8 + 8) return false;
+      rec.sid = GetU64(payload, 9);
+      break;
+    case WalRecord::Kind::kEpochMark:
+      if (len != 1 + 8 + 8) return false;
+      rec.epoch = GetU64(payload, 9);
+      break;
+    default:
+      return false;
+  }
+  *record = std::move(rec);
+  *end_out = at + kFrameHeaderBytes + len;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.kind));
+  PutU64(&payload, record.seq);
+  switch (record.kind) {
+    case WalRecord::Kind::kSubscribe:
+      PutU64(&payload, record.sid);
+      PutU32(&payload, static_cast<uint32_t>(record.xpath.size()));
+      payload.append(record.xpath);
+      break;
+    case WalRecord::Kind::kUnsubscribe:
+      PutU64(&payload, record.sid);
+      break;
+    case WalRecord::Kind::kEpochMark:
+      PutU64(&payload, record.epoch);
+      break;
+  }
+  std::string checked;
+  PutU32(&checked, static_cast<uint32_t>(payload.size()));
+  checked.append(payload);
+  std::string frame;
+  PutU32(&frame, MaskCrc32c(Crc32c(checked)));
+  frame.append(checked);
+  return frame;
+}
+
+std::string_view FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kEveryPublish:
+      return "publish";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name) {
+  if (name == "never") return FsyncPolicy::kNever;
+  if (name == "publish") return FsyncPolicy::kEveryPublish;
+  if (name == "always") return FsyncPolicy::kAlways;
+  return Status::InvalidArgument("unknown fsync policy: " +
+                                 std::string(name) +
+                                 " (want never|publish|always)");
+}
+
+SubscriptionWal::SubscriptionWal(const Options& options)
+    : options_(options) {}
+
+SubscriptionWal::~SubscriptionWal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<SubscriptionWal>> SubscriptionWal::Open(
+    const Options& options, uint64_t next_seq) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("SubscriptionWal needs a directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create WAL directory " +
+                            options.directory + ": " + ec.message());
+  }
+  std::unique_ptr<SubscriptionWal> wal(new SubscriptionWal(options));
+  wal->next_seq_ = next_seq;
+  XPRED_RETURN_NOT_OK(wal->OpenSegment(next_seq));
+  return wal;
+}
+
+Status SubscriptionWal::OpenSegment(uint64_t base_seq) {
+  segment_path_ = options_.directory + "/" + SegmentName(base_seq);
+  // O_TRUNC: the only way this name already exists is a previous
+  // process that opened a segment here and crashed before its first
+  // durable record — recovery proved seq base_seq-1 is the durable
+  // frontier, so the stale file holds nothing salvageable.
+  fd_ = ::open(segment_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("cannot create WAL segment " + segment_path_ +
+                            ": " + std::strerror(errno));
+  }
+  segment_written_ = 0;
+  ++segments_created_;
+  XPRED_RETURN_NOT_OK(WriteFully(EncodeSegmentHeader(base_seq)));
+  // The segment must be findable after a crash before any record in it
+  // can be considered durable.
+  XPRED_RETURN_NOT_OK(FsyncDirectory(options_.directory));
+  return Status::OK();
+}
+
+Status SubscriptionWal::WriteFully(std::string_view bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      alive_ = false;
+      return Status::Internal("WAL write failed: " + segment_path_ + ": " +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  segment_written_ += bytes.size();
+  return Status::OK();
+}
+
+Status SubscriptionWal::FsyncNow() {
+#ifndef XPRED_DISABLE_FAULT_INJECTION
+  if (FaultInjector* injector = FaultInjector::Installed();
+      injector != nullptr) {
+    Status injected = injector->Check(faultsite::kStorageWalFsync);
+    if (!injected.ok()) {
+      // The record bytes are written (they survive a process crash);
+      // only the sync guarantee is lost — exactly a die-at-fsync.
+      alive_ = false;
+      return injected;
+    }
+  }
+#endif
+  if (::fsync(fd_) != 0) {
+    alive_ = false;
+    return Status::Internal("WAL fsync failed: " + segment_path_ + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SubscriptionWal::Append(const WalRecord& record) {
+  if (!alive_) {
+    return Status::Rejected(
+        "WAL is dead after an earlier write/fsync failure");
+  }
+  if (record.seq != next_seq_) {
+    return Status::Internal("WAL append out of sequence: got " +
+                            std::to_string(record.seq) + ", want " +
+                            std::to_string(next_seq_));
+  }
+  std::string frame = EncodeWalRecord(record);
+  if (segment_written_ + frame.size() > options_.segment_bytes &&
+      segment_written_ > kSegmentHeaderBytes) {
+    XPRED_RETURN_NOT_OK(CloseSegment());
+    XPRED_RETURN_NOT_OK(OpenSegment(record.seq));
+    XPRED_RECORD_EVENT(obs::EventType::kWalRotate, record.seq,
+                       segments_created_);
+  }
+#ifndef XPRED_DISABLE_FAULT_INJECTION
+  if (FaultInjector* injector = FaultInjector::Installed();
+      injector != nullptr) {
+    Status injected = injector->Check(faultsite::kStorageWalWrite);
+    if (!injected.ok()) {
+      // Simulated kill mid-write: tear the frame (half of it reaches
+      // the disk) and poison the log. Recovery must salvage up to the
+      // previous record and truncate this tail.
+      (void)WriteFully(std::string_view(frame).substr(0, frame.size() / 2));
+      alive_ = false;
+      return injected;
+    }
+  }
+#endif
+  XPRED_RETURN_NOT_OK(WriteFully(frame));
+  ++next_seq_;
+  if (options_.fsync == FsyncPolicy::kAlways ||
+      (options_.fsync == FsyncPolicy::kEveryPublish &&
+       record.kind == WalRecord::Kind::kEpochMark)) {
+    XPRED_RETURN_NOT_OK(FsyncNow());
+  }
+  return Status::OK();
+}
+
+Status SubscriptionWal::Sync() {
+  if (!alive_) {
+    return Status::Rejected(
+        "WAL is dead after an earlier write/fsync failure");
+  }
+  return FsyncNow();
+}
+
+Status SubscriptionWal::CloseSegment() {
+  if (fd_ < 0) return Status::OK();
+  // A rotated-away segment is immutable history; sync it regardless of
+  // policy so compaction decisions never race ahead of the disk.
+  Status synced = FsyncNow();
+  ::close(fd_);
+  fd_ = -1;
+  return synced;
+}
+
+Result<size_t> SubscriptionWal::RotateAndCompact(uint64_t next_seq,
+                                                 uint64_t through_seq) {
+  if (!alive_) {
+    return Status::Rejected(
+        "WAL is dead after an earlier write/fsync failure");
+  }
+  if (next_seq != next_seq_) {
+    return Status::Internal("WAL rotate out of sequence");
+  }
+  XPRED_RETURN_NOT_OK(CloseSegment());
+
+  // A segment is fully covered by the checkpoint iff every record in
+  // it has seq <= through_seq, i.e. the *next* segment's base (or, for
+  // the last one, next_seq_) is <= through_seq + 1.
+  std::vector<std::pair<uint64_t, std::string>> segments =
+      ListSegments(options_.directory);
+  size_t removed = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    uint64_t first_after = (i + 1 < segments.size()) ? segments[i + 1].first
+                                                     : next_seq_;
+    if (first_after <= through_seq + 1) {
+      std::error_code ec;
+      std::filesystem::remove(segments[i].second, ec);
+      if (ec) {
+        return Status::Internal("cannot remove compacted segment " +
+                                segments[i].second + ": " + ec.message());
+      }
+      ++removed;
+    }
+  }
+  XPRED_RETURN_NOT_OK(OpenSegment(next_seq));
+  XPRED_RECORD_EVENT(obs::EventType::kWalRotate, next_seq,
+                     segments_created_);
+  return removed;
+}
+
+Result<size_t> SubscriptionWal::SegmentCount() const {
+  return ListSegments(options_.directory).size();
+}
+
+Result<WalScanResult> ScanWal(const std::string& directory,
+                              uint64_t after_seq) {
+  WalScanResult result;
+  std::vector<std::pair<uint64_t, std::string>> segments =
+      ListSegments(directory);
+  uint64_t expected_seq = 0;  // 0: first record of the scan sets it.
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const std::string& path = segments[s].second;
+    const bool is_last = s + 1 == segments.size();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::Internal("cannot open WAL segment " + path);
+    }
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    ++result.segments_scanned;
+
+    bool segment_bad = false;
+    size_t valid_end = 0;
+    if (data.size() < kSegmentHeaderBytes ||
+        std::string_view(data).substr(0, 8) != kSegmentMagic ||
+        Crc32c(std::string_view(data).substr(0, 16)) !=
+            UnmaskCrc32c(GetU32(data, 16)) ||
+        GetU64(data, 8) != segments[s].first) {
+      segment_bad = true;  // Header torn or lying about its base seq.
+    } else {
+      valid_end = kSegmentHeaderBytes;
+      uint64_t base = GetU64(data, 8);
+      if (expected_seq != 0 && base != expected_seq) {
+        // A sequence gap between segments: records here can never be
+        // applied on top of the salvaged prefix.
+        segment_bad = true;
+        valid_end = 0;
+      } else {
+        if (expected_seq == 0) expected_seq = base;
+        size_t at = kSegmentHeaderBytes;
+        WalRecord rec;
+        size_t end = 0;
+        while (at < data.size() && DecodeFrame(data, at, &rec, &end)) {
+          if (rec.seq != expected_seq) break;  // Mid-log seq corruption.
+          ++expected_seq;
+          result.last_seq = rec.seq;
+          if (rec.seq > after_seq) result.records.push_back(std::move(rec));
+          at = end;
+        }
+        valid_end = at;
+      }
+    }
+
+    if (segment_bad) {
+      // Nothing salvageable here; this segment and everything after it
+      // leaves the replayable prefix.
+      for (size_t q = s; q < segments.size(); ++q) {
+        XPRED_RETURN_NOT_OK(
+            QuarantineFile(segments[q].second, &result.segments_quarantined));
+      }
+      break;
+    }
+    if (valid_end < data.size()) {
+      // Invalid bytes after a valid prefix.
+      if (is_last) {
+        // Torn tail of the active segment: truncate and carry on.
+        std::error_code ec;
+        std::filesystem::resize_file(path, valid_end, ec);
+        if (ec) {
+          return Status::Internal("cannot truncate torn WAL tail in " +
+                                  path + ": " + ec.message());
+        }
+        result.bytes_truncated += data.size() - valid_end;
+        result.tail_truncated = true;
+      } else {
+        // Corruption mid-log with later segments present: their
+        // records would leave a gap over the lost ones. Quarantine
+        // everything from the corruption on.
+        std::error_code ec;
+        std::filesystem::resize_file(path, valid_end, ec);
+        if (ec) {
+          return Status::Internal("cannot truncate corrupt WAL data in " +
+                                  path + ": " + ec.message());
+        }
+        result.bytes_truncated += data.size() - valid_end;
+        result.tail_truncated = true;
+        for (size_t q = s + 1; q < segments.size(); ++q) {
+          XPRED_RETURN_NOT_OK(QuarantineFile(segments[q].second,
+                                             &result.segments_quarantined));
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xpred::storage

@@ -1,0 +1,162 @@
+#ifndef XPRED_STORAGE_WAL_H_
+#define XPRED_STORAGE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred::storage {
+
+/// When appended records reach the disk (DESIGN.md §16). Process
+/// crashes never lose written-but-unsynced records (the page cache
+/// survives the process); fsync is the power-loss/backing-store knob
+/// and the dominant cost of `kAlways` (see bench_durability).
+enum class FsyncPolicy : uint8_t {
+  kNever,         ///< write() per record, no fsync.
+  kEveryPublish,  ///< fsync once per epoch-mark record.
+  kAlways,        ///< fsync after every record.
+};
+
+/// One durable subscription-log record, mirroring a validated
+/// `core::IndexEpochManager` op (or an epoch boundary).
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kSubscribe = 1,    ///< sid + xpath.
+    kUnsubscribe = 2,  ///< sid.
+    kEpochMark = 3,    ///< epoch (a Publish() boundary).
+  };
+  Kind kind = Kind::kSubscribe;
+  uint64_t seq = 0;    ///< Durable sequence number, 1-based, contiguous.
+  uint64_t sid = 0;    ///< Global subscription id (subscribe/unsubscribe).
+  uint64_t epoch = 0;  ///< Published epoch (epoch marks only).
+  std::string xpath;   ///< Subscribed expression (subscribe only).
+};
+
+/// \brief Append-only write-ahead log of subscription mutations:
+/// CRC32C-framed records in rotating segment files
+/// (`wal-<firstseq:016x>.xwal`).
+///
+/// Frame layout (little-endian, DESIGN.md §16):
+///
+///   u32 masked_crc32c   over the length field and the payload
+///   u32 payload_len
+///   payload := u8 kind, u64 seq, then per kind:
+///     subscribe:   u64 sid, u32 xpath_len, xpath bytes
+///     unsubscribe: u64 sid
+///     epoch_mark:  u64 epoch
+///
+/// Each segment begins with a 20-byte header: magic "XPWAL001",
+/// u64 base_seq (the seq of its first record), u32 masked header CRC.
+///
+/// A SubscriptionWal is the write side only; recovery reads segments
+/// through ScanWal() below. Not thread-safe: the epoch manager's
+/// single-writer mutex already serializes every append (the WAL is
+/// driven from its OpSink hook).
+///
+/// Failure model: any write or fsync error — real or injected at
+/// `storage.wal.write` / `storage.wal.fsync` — permanently fails the
+/// log (`dead()` becomes true, every later append returns kRejected).
+/// A WAL that cannot persist is indistinguishable from a crashed
+/// process; the recommended response is to drain and restart, which
+/// crash recovery makes safe. An injected write fault additionally
+/// leaves a torn half-frame on disk, so the crash-point harness
+/// exercises the salvage path for real.
+class SubscriptionWal {
+ public:
+  struct Options {
+    std::string directory;
+    FsyncPolicy fsync = FsyncPolicy::kEveryPublish;
+    /// Rotate to a fresh segment once the current one exceeds this.
+    size_t segment_bytes = 4u << 20;
+  };
+
+  /// Opens the log for appending, starting a fresh segment whose first
+  /// record will carry \p next_seq. Creates the directory if needed.
+  /// Existing segments are left untouched (recovery owns them).
+  static Result<std::unique_ptr<SubscriptionWal>> Open(const Options& options,
+                                                       uint64_t next_seq);
+  ~SubscriptionWal();
+
+  SubscriptionWal(const SubscriptionWal&) = delete;
+  SubscriptionWal& operator=(const SubscriptionWal&) = delete;
+
+  /// Appends one record; \p record.seq must be the next contiguous
+  /// sequence number. Applies the fsync policy before returning, so an
+  /// OK status means the record is as durable as the policy promises.
+  Status Append(const WalRecord& record);
+
+  /// Forces the current segment to disk regardless of policy.
+  Status Sync();
+
+  /// Closes the current segment and starts a new one whose first
+  /// record will carry \p next_seq, then deletes every older segment
+  /// whose records all have seq <= \p through_seq (they are covered by
+  /// a snapshot checkpoint). Returns the number of segments removed.
+  Result<size_t> RotateAndCompact(uint64_t next_seq, uint64_t through_seq);
+
+  /// True once a write/fsync failure poisoned the log.
+  bool dead() const { return !alive_; }
+  /// Highest seq whose frame reached the disk in full (0: none). Under
+  /// process-kill semantics this is the recoverable frontier even when
+  /// a later fsync failed — the crash-point harness's ground truth.
+  uint64_t last_written_seq() const { return next_seq_ - 1; }
+  uint64_t segments_created() const { return segments_created_; }
+  /// Segment files currently on disk (including the active one).
+  Result<size_t> SegmentCount() const;
+  const std::string& directory() const { return options_.directory; }
+
+ private:
+  explicit SubscriptionWal(const Options& options);
+  Status OpenSegment(uint64_t base_seq);
+  Status WriteFully(std::string_view bytes);
+  Status FsyncNow();
+  Status CloseSegment();
+
+  Options options_;
+  int fd_ = -1;
+  std::string segment_path_;
+  size_t segment_written_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t segments_created_ = 0;
+  bool alive_ = true;
+};
+
+/// \brief Result of scanning the on-disk WAL during recovery.
+struct WalScanResult {
+  /// Valid records with seq > the scan's `after_seq`, in seq order.
+  std::vector<WalRecord> records;
+  uint64_t last_seq = 0;            ///< Highest valid seq seen (0: none).
+  uint64_t segments_scanned = 0;    ///< Segment files visited.
+  uint64_t bytes_truncated = 0;     ///< Torn tail bytes cut from the log.
+  uint64_t segments_quarantined = 0;  ///< Renamed to `.quarantined`.
+  bool tail_truncated = false;      ///< A torn tail was salvaged.
+};
+
+/// Scans every `wal-*.xwal` segment under \p directory in sequence
+/// order, validating frame CRCs and seq contiguity, and returns the
+/// records after \p after_seq (a snapshot's last covered seq).
+///
+/// Salvage rules (DESIGN.md §16): the replayable log is the longest
+/// valid prefix. The first invalid byte ends it — in the final
+/// segment the tail is physically truncated (torn-write salvage);
+/// an invalid non-final segment is renamed `<name>.quarantined`
+/// along with every later segment (their records would leave a
+/// sequence gap and can never be applied safely).
+Result<WalScanResult> ScanWal(const std::string& directory,
+                              uint64_t after_seq);
+
+/// Serializes one record into its CRC32C frame (exposed for tests).
+std::string EncodeWalRecord(const WalRecord& record);
+
+std::string_view FsyncPolicyName(FsyncPolicy policy);
+/// Parses "never" / "publish" / "always"; kInvalidArgument otherwise.
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name);
+
+}  // namespace xpred::storage
+
+#endif  // XPRED_STORAGE_WAL_H_

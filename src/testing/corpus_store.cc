@@ -120,6 +120,60 @@ Result<Case> ParseChurnSections(const std::vector<std::string_view>& lines,
   return c;
 }
 
+/// Parses the section list of a `mode: recovery` case, starting at the
+/// first section marker (lines[i]). Layout: one or more `== document`
+/// sections, `== script`, `== expected` (one table line per sid, may
+/// be empty), `== end`.
+Result<Case> ParseRecoverySections(const std::vector<std::string_view>& lines,
+                                   size_t i, Case c) {
+  if (i >= lines.size() || lines[i] != "== document") {
+    return Status::InvalidArgument("recovery case missing '== document'");
+  }
+  while (i < lines.size() && lines[i] == "== document") {
+    ++i;
+    std::string doc;
+    for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+      doc.append(lines[i]);
+      doc.push_back('\n');
+    }
+    c.documents.push_back(std::move(doc));
+  }
+
+  if (i >= lines.size() || lines[i] != "== script") {
+    return Status::InvalidArgument("recovery case missing '== script'");
+  }
+  ++i;
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    if (lines[i].empty()) continue;
+    // Light syntactic gate; ParseRecoveryOps does the full validation
+    // at replay time.
+    if (lines[i].rfind("sub ", 0) != 0 && lines[i].rfind("unsub ", 0) != 0 &&
+        lines[i] != "publish" && lines[i] != "checkpoint") {
+      return Status::InvalidArgument("bad recovery script line: " +
+                                     std::string(lines[i]));
+    }
+    c.script.emplace_back(lines[i]);
+  }
+
+  if (i >= lines.size() || lines[i] != "== expected") {
+    return Status::InvalidArgument("recovery case missing '== expected'");
+  }
+  ++i;
+  for (; i < lines.size() && lines[i].rfind("== ", 0) != 0; ++i) {
+    if (lines[i].empty()) continue;
+    if (lines[i].rfind("live ", 0) != 0 && lines[i].rfind("dead ", 0) != 0) {
+      return Status::InvalidArgument("bad recovery expected line: " +
+                                     std::string(lines[i]));
+    }
+    c.expected_table.emplace_back(lines[i]);
+  }
+
+  if (i >= lines.size() || lines[i] != "== end") {
+    return Status::InvalidArgument("missing '== end' marker (truncated?)");
+  }
+  return c;
+}
+
 }  // namespace
 
 std::string SerializeCase(const Case& c) {
@@ -129,6 +183,13 @@ std::string SerializeCase(const Case& c) {
   if (!c.mode.empty()) out += "mode: " + c.mode + "\n";
   out += "seed: " + std::to_string(c.seed) + "\n";
   if (!c.dtd.empty()) out += "dtd: " + c.dtd + "\n";
+  if (c.mode == "recovery") {
+    if (!c.fsync.empty()) out += "fsync: " + c.fsync + "\n";
+    if (!c.crash_site.empty()) {
+      out += "crash_site: " + c.crash_site + "\n";
+      out += "crash_visit: " + std::to_string(c.crash_visit) + "\n";
+    }
+  }
   if (!c.description.empty()) {
     // Header values are single-line; squash any stray newlines.
     std::string desc = c.description;
@@ -158,6 +219,25 @@ std::string SerializeCase(const Case& c) {
         if (i != 0) out.push_back(' ');
         out += std::to_string(sids[i]);
       }
+      out.push_back('\n');
+    }
+    out += "== end\n";
+    return out;
+  }
+  if (c.mode == "recovery") {
+    for (const std::string& doc : c.documents) {
+      out += "== document\n";
+      out += doc;
+      if (!doc.empty() && doc.back() != '\n') out.push_back('\n');
+    }
+    out += "== script\n";
+    for (const std::string& line : c.script) {
+      out += line;
+      out.push_back('\n');
+    }
+    out += "== expected\n";
+    for (const std::string& line : c.expected_table) {
+      out += line;
       out.push_back('\n');
     }
     out += "== end\n";
@@ -222,7 +302,7 @@ Result<Case> DeserializeCase(std::string_view text) {
     if (key == "seed") {
       c.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
     } else if (key == "mode") {
-      if (value != "churn") {
+      if (value != "churn" && value != "recovery") {
         return Status::InvalidArgument("unknown case mode: " +
                                        std::string(value));
       }
@@ -231,6 +311,12 @@ Result<Case> DeserializeCase(std::string_view text) {
       c.dtd.assign(value);
     } else if (key == "description") {
       c.description.assign(value);
+    } else if (key == "fsync") {
+      c.fsync.assign(value);
+    } else if (key == "crash_site") {
+      c.crash_site.assign(value);
+    } else if (key == "crash_visit") {
+      c.crash_visit = std::strtoull(std::string(value).c_str(), nullptr, 10);
     } else {
       return Status::InvalidArgument("unknown header key: " +
                                      std::string(key));
@@ -238,6 +324,13 @@ Result<Case> DeserializeCase(std::string_view text) {
   }
 
   if (c.mode == "churn") return ParseChurnSections(lines, i, std::move(c));
+  if (c.mode == "recovery") {
+    return ParseRecoverySections(lines, i, std::move(c));
+  }
+  if (!c.fsync.empty() || !c.crash_site.empty()) {
+    return Status::InvalidArgument(
+        "fsync/crash_site headers require mode: recovery");
+  }
 
   if (i >= lines.size() || lines[i] != "== document") {
     return Status::InvalidArgument("missing '== document' section");

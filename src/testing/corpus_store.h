@@ -79,10 +79,38 @@ struct EngineOutcome {
 /// Churn cases carry no expressions or engine sections; the replay
 /// contract is ReplayChurnScript agreeing with both the stored lines
 /// and its own rebuild-from-scratch oracle.
+///
+/// A *recovery* case (`mode: recovery` header) captures a durable-store
+/// crash point: `fsync`, `crash_site`, and `crash_visit` headers pin
+/// the kill (an empty `crash_site` replays fault-free), `== document`
+/// sections hold the post-recovery probe pool, `== script` holds one
+/// recovery op per line (`sub <xpath>` / `unsub <pick>` / `publish` /
+/// `checkpoint` — see testing/recovery_harness.h), and `== expected`
+/// holds the recovered subscription table, one `live <xpath>` or
+/// `dead <xpath>` line per sid in sid order:
+///
+///   xpredcase 1
+///   mode: recovery
+///   seed: 7
+///   fsync: publish
+///   crash_site: storage.wal.write
+///   crash_visit: 2
+///   == document
+///   <a><b/></a>
+///   == script
+///   sub /a/b
+///   publish
+///   checkpoint
+///   == expected
+///   live /a/b
+///   == end
+///
+/// The replay contract is ReplayRecoveryScript recovering exactly the
+/// stored table (and agreeing with its own durable-prefix oracle).
 struct Case {
   uint64_t seed = 0;
   /// "" for classic differential cases, "churn" for live-subscription
-  /// script cases.
+  /// script cases, "recovery" for crash/recovery script cases.
   std::string mode;
   std::string dtd;  ///< "nitf", "psd", or "" when unknown/synthetic.
   std::string description;
@@ -95,13 +123,24 @@ struct Case {
   std::string expected_error;
   std::vector<EngineOutcome> outcomes;
 
-  /// \name Churn mode (mode == "churn")
+  /// \name Churn mode (mode == "churn"); documents/script are shared
+  /// with recovery mode.
   ///@{
   std::vector<std::string> documents;  ///< XML text, one per section.
-  std::vector<std::string> script;     ///< Serialized churn ops.
+  std::vector<std::string> script;     ///< Serialized churn/recovery ops.
   /// Sorted global sids per filter op, aligned with the script's
   /// filter lines.
   std::vector<std::vector<uint64_t>> expected_matches;
+  ///@}
+
+  /// \name Recovery mode (mode == "recovery")
+  ///@{
+  std::string fsync;       ///< FsyncPolicyName ("" defaults to publish).
+  std::string crash_site;  ///< Storage fault site; "" = fault-free.
+  uint64_t crash_visit = 0;
+  /// Recovered subscription table, one "live <xpath>" / "dead <xpath>"
+  /// line per sid in sid order.
+  std::vector<std::string> expected_table;
   ///@}
 };
 

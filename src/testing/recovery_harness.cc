@@ -1,0 +1,559 @@
+#include "testing/recovery_harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "core/epoch_manager.h"
+#include "exec/parallel_filter.h"
+#include "storage/durable_store.h"
+#include "testing/churn_harness.h"
+#include "xml/document.h"
+
+namespace xpred::difftest {
+
+namespace {
+
+constexpr std::string_view kStorageSites[] = {
+    faultsite::kStorageWalWrite,
+    faultsite::kStorageWalFsync,
+    faultsite::kStorageSnapshotRename,
+};
+
+std::string FormatSids(const std::vector<core::ExprId>& sids) {
+  std::string out = "[";
+  for (size_t i = 0; i < sids.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out += std::to_string(sids[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+/// One durable-prefix op: exactly what must be reconstructible after
+/// the crash.
+struct OracleOp {
+  bool subscribe = false;
+  core::ExprId sid = 0;  ///< Unsubscribe victim.
+  std::string xpath;     ///< Subscribe expression.
+};
+
+/// Replays \p ops into a fresh history-recording manager — the
+/// ground-truth state machine fed only by records that survived the
+/// kill.
+Result<std::unique_ptr<core::IndexEpochManager>> BuildOracleManager(
+    const std::vector<OracleOp>& ops, const RecoveryReplayOptions& options) {
+  core::IndexEpochManager::Options mopts;
+  mopts.partitions = options.partitions;
+  mopts.matcher = options.matcher;
+  mopts.record_history = true;
+  auto manager = std::make_unique<core::IndexEpochManager>(mopts);
+  for (const OracleOp& op : ops) {
+    if (op.subscribe) {
+      Result<core::ExprId> sid = manager->Subscribe(op.xpath);
+      if (!sid.ok()) {
+        return Status::Internal("oracle rejected a durable subscribe: " +
+                                sid.status().message());
+      }
+    } else {
+      Status st = manager->Unsubscribe(op.sid);
+      if (!st.ok()) {
+        return Status::Internal("oracle rejected a durable unsubscribe: " +
+                                st.message());
+      }
+    }
+  }
+  Result<uint64_t> epoch = manager->Publish();
+  if (!epoch.ok()) return epoch.status();
+  return manager;
+}
+
+/// The "OpsUpToEpoch rebuild": a fresh single-threaded matcher built
+/// from the oracle manager's own op log at its published epoch. Shares
+/// no code with the recovered store's partitioned replay.
+Result<std::unique_ptr<core::Matcher>> BuildOracleMatcher(
+    const core::IndexEpochManager& manager,
+    const core::Matcher::Options& matcher_options) {
+  Result<std::vector<core::IndexEpochManager::OpView>> ops =
+      manager.OpsUpToEpoch(manager.current_epoch());
+  if (!ops.ok()) return ops.status();
+  auto oracle = std::make_unique<core::Matcher>(matcher_options);
+  for (const core::IndexEpochManager::OpView& op : *ops) {
+    if (op.subscribe) {
+      Result<core::ExprId> sid = oracle->AddExpression(op.xpath);
+      if (!sid.ok()) {
+        return Status::Internal("oracle matcher rejected a subscribe: " +
+                                sid.status().message());
+      }
+      if (*sid != op.sid) {
+        return Status::Internal("oracle matcher sid diverged from the log");
+      }
+    } else {
+      Status st = oracle->RemoveSubscription(op.sid);
+      if (!st.ok()) {
+        return Status::Internal("oracle matcher rejected an unsubscribe: " +
+                                st.message());
+      }
+    }
+  }
+  oracle->PrepareForFiltering();
+  return oracle;
+}
+
+Result<std::vector<std::string>> ExportTable(
+    const core::IndexEpochManager& manager) {
+  Result<core::IndexEpochManager::SubscriptionExport> exported =
+      manager.ExportSubscriptions();
+  if (!exported.ok()) return exported.status();
+  std::vector<std::string> lines;
+  lines.reserve(exported->entries.size());
+  for (const core::IndexEpochManager::SubscriptionExport::Entry& entry :
+       exported->entries) {
+    lines.push_back((entry.live ? "live " : "dead ") + entry.xpath);
+  }
+  return lines;
+}
+
+std::string DescribeTableDiff(const std::vector<std::string>& got,
+                              const std::vector<std::string>& want,
+                              std::string_view want_name) {
+  if (got.size() != want.size()) {
+    return "recovered table has " + std::to_string(got.size()) +
+           " sids, " + std::string(want_name) + " has " +
+           std::to_string(want.size());
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      return "sid " + std::to_string(i) + ": recovered '" + got[i] +
+             "', " + std::string(want_name) + " '" + want[i] + "'";
+    }
+  }
+  return "";
+}
+
+/// RAII injector swap: installs \p injector, restores the previous one
+/// on destruction (the harness must never leak its rules into the
+/// recovery pass or the surrounding test).
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(FaultInjector* injector)
+      : previous_(FaultInjector::Installed()) {
+    FaultInjector::Install(injector);
+  }
+  ~ScopedInjector() { FaultInjector::Install(previous_); }
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace
+
+std::vector<std::string> SerializeRecoveryOps(
+    std::span<const RecoveryOp> ops) {
+  std::vector<std::string> lines;
+  lines.reserve(ops.size());
+  for (const RecoveryOp& op : ops) {
+    switch (op.kind) {
+      case RecoveryOp::Kind::kSubscribe:
+        lines.push_back("sub " + op.xpath);
+        break;
+      case RecoveryOp::Kind::kUnsubscribe:
+        lines.push_back("unsub " + std::to_string(op.pick));
+        break;
+      case RecoveryOp::Kind::kPublish:
+        lines.push_back("publish");
+        break;
+      case RecoveryOp::Kind::kCheckpoint:
+        lines.push_back("checkpoint");
+        break;
+    }
+  }
+  return lines;
+}
+
+Result<std::vector<RecoveryOp>> ParseRecoveryOps(
+    std::span<const std::string> lines) {
+  std::vector<RecoveryOp> ops;
+  ops.reserve(lines.size());
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    RecoveryOp op;
+    if (line.rfind("sub ", 0) == 0) {
+      op.kind = RecoveryOp::Kind::kSubscribe;
+      op.xpath = line.substr(4);
+      if (op.xpath.empty()) {
+        return Status::InvalidArgument("recovery op 'sub' without expression");
+      }
+    } else if (line.rfind("unsub ", 0) == 0) {
+      op.kind = RecoveryOp::Kind::kUnsubscribe;
+      op.pick = static_cast<uint32_t>(
+          std::strtoul(line.c_str() + 6, nullptr, 10));
+    } else if (line == "publish") {
+      op.kind = RecoveryOp::Kind::kPublish;
+    } else if (line == "checkpoint") {
+      op.kind = RecoveryOp::Kind::kCheckpoint;
+    } else {
+      return Status::InvalidArgument("bad recovery op line: " + line);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Result<RecoveryReplayResult> ReplayRecoveryScript(
+    const RecoveryScript& script, const RecoveryReplayOptions& options) {
+  if (options.scratch_directory.empty()) {
+    return Status::InvalidArgument(
+        "recovery replay needs a scratch directory");
+  }
+  Result<storage::FsyncPolicy> fsync = storage::ParseFsyncPolicy(script.fsync);
+  if (!fsync.ok()) return fsync.status();
+
+  std::vector<xml::Document> docs;
+  docs.reserve(script.documents.size());
+  for (const std::string& text : script.documents) {
+    Result<xml::Document> doc = xml::Document::Parse(text);
+    if (!doc.ok()) return doc.status();
+    docs.push_back(std::move(*doc));
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(options.scratch_directory, ec);
+  std::filesystem::create_directories(options.scratch_directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create scratch directory " +
+                            options.scratch_directory + ": " + ec.message());
+  }
+
+  RecoveryReplayResult result;
+
+  storage::DurableSubscriptionStore::Options sopts;
+  sopts.directory = options.scratch_directory;
+  sopts.fsync = *fsync;
+  sopts.wal_segment_bytes = options.wal_segment_bytes;
+  sopts.snapshots_to_keep = options.snapshots_to_keep;
+  sopts.partitions = options.partitions;
+  sopts.matcher = options.matcher;
+
+  std::vector<OracleOp> durable;
+  {
+    // The injector stays installed for the whole pre-crash run (an
+    // empty rule set still counts visits — the enumeration domain),
+    // and is swapped out before recovery: recovery itself runs
+    // fault-free.
+    FaultInjector injector(script.seed);
+    if (!script.crash_site.empty()) {
+      FaultInjector::Rule rule;
+      rule.site = script.crash_site;
+      rule.kind = FaultInjector::FaultKind::kStatusFailure;
+      rule.code = StatusCode::kInternal;
+      rule.message = "injected crash";
+      rule.offset = script.crash_visit;
+      rule.period = uint64_t{1} << 62;  // Fire once.
+      injector.AddRule(std::move(rule));
+    }
+    ScopedInjector installed(&injector);
+
+    Result<std::unique_ptr<storage::DurableSubscriptionStore>> opened =
+        storage::DurableSubscriptionStore::Open(sopts);
+    XPRED_RETURN_NOT_OK(opened.status());
+    std::unique_ptr<storage::DurableSubscriptionStore> store =
+        std::move(*opened);
+
+    std::vector<core::ExprId> live;
+    for (const RecoveryOp& op : script.ops) {
+      const size_t journal_before = injector.journal().size();
+      const uint64_t written_before = store->last_written_seq();
+      // True when the op that just failed still reached the disk in
+      // full (e.g. a die-at-fsync after the frame write): under
+      // process-kill semantics its record survives and the oracle must
+      // include it.
+      auto dying_op_durable = [&] {
+        return store->last_written_seq() > written_before;
+      };
+      bool crashed = false;
+      switch (op.kind) {
+        case RecoveryOp::Kind::kSubscribe: {
+          Result<core::ExprId> sid = store->Subscribe(op.xpath);
+          if (sid.ok()) {
+            live.push_back(*sid);
+            durable.push_back({true, 0, op.xpath});
+          } else if (injector.journal().size() > journal_before) {
+            if (dying_op_durable()) durable.push_back({true, 0, op.xpath});
+            crashed = true;
+          }
+          // Other rejections (unparseable mutants, capacity) are
+          // no-ops by the script contract.
+          break;
+        }
+        case RecoveryOp::Kind::kUnsubscribe: {
+          if (live.empty()) break;
+          const size_t idx = op.pick % live.size();
+          const core::ExprId victim = live[idx];
+          Status st = store->Unsubscribe(victim);
+          if (st.ok()) {
+            live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+            durable.push_back({false, victim, ""});
+          } else if (injector.journal().size() > journal_before) {
+            if (dying_op_durable()) durable.push_back({false, victim, ""});
+            crashed = true;
+          } else {
+            return Status::Internal("unsubscribe of a live sid failed: " +
+                                    st.ToString());
+          }
+          break;
+        }
+        case RecoveryOp::Kind::kPublish: {
+          Result<uint64_t> epoch = store->Publish();
+          if (!epoch.ok()) {
+            if (injector.journal().size() > journal_before) {
+              // Epoch marks carry no membership; durable or not, the
+              // oracle's subscription table is unaffected.
+              crashed = true;
+            } else {
+              return epoch.status();
+            }
+          }
+          break;
+        }
+        case RecoveryOp::Kind::kCheckpoint: {
+          Status st = store->Checkpoint();
+          if (!st.ok()) {
+            if (injector.journal().size() > journal_before) {
+              crashed = true;
+            } else {
+              return st;
+            }
+          }
+          break;
+        }
+      }
+      if (crashed) {
+        result.crashed = true;
+        break;
+      }
+    }
+
+    result.injector_journal = injector.journal();
+    for (std::string_view site : kStorageSites) {
+      result.fault_site_visits.emplace_back(std::string(site),
+                                            injector.visits(site));
+    }
+    // The kill: the store object dies here; whatever bytes it wrote
+    // stay on disk.
+    store.reset();
+  }
+  result.durable_ops = durable.size();
+
+  // --- Recovery -------------------------------------------------------
+  Result<std::unique_ptr<storage::DurableSubscriptionStore>> reopened =
+      storage::DurableSubscriptionStore::Open(sopts, &result.report);
+  if (!reopened.ok()) {
+    result.divergence = "recovery failed: " + reopened.status().ToString();
+    return result;
+  }
+  std::unique_ptr<storage::DurableSubscriptionStore> store =
+      std::move(*reopened);
+
+  Result<std::vector<std::string>> recovered_table =
+      ExportTable(store->manager());
+  if (!recovered_table.ok()) return recovered_table.status();
+  result.recovered_table = std::move(*recovered_table);
+
+  // --- The oracle -----------------------------------------------------
+  Result<std::unique_ptr<core::IndexEpochManager>> oracle_mgr =
+      BuildOracleManager(durable, options);
+  if (!oracle_mgr.ok()) return oracle_mgr.status();
+
+  Result<std::vector<std::string>> oracle_table =
+      ExportTable(**oracle_mgr);
+  if (!oracle_table.ok()) return oracle_table.status();
+  std::string table_diff = DescribeTableDiff(result.recovered_table,
+                                             *oracle_table, "oracle");
+  if (!table_diff.empty() && !result.divergence.has_value()) {
+    result.divergence = "subscription table diverged: " + table_diff;
+  }
+  if (!script.expected.empty()) {
+    std::string expected_diff = DescribeTableDiff(
+        result.recovered_table, script.expected, "expected");
+    if (!expected_diff.empty() && !result.divergence.has_value()) {
+      result.divergence = "expected table diverged: " + expected_diff;
+    }
+  }
+
+  if (!docs.empty()) {
+    Result<std::unique_ptr<core::Matcher>> oracle_matcher =
+        BuildOracleMatcher(**oracle_mgr, options.matcher);
+    if (!oracle_matcher.ok()) return oracle_matcher.status();
+
+    exec::ParallelFilter::Options pf_options;
+    pf_options.threads = 1;
+    exec::ParallelFilter filter(pf_options, &store->manager());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      exec::CollectingResultSink sink;
+      exec::DocRef ref;
+      ref.doc = &docs[d];
+      XPRED_RETURN_NOT_OK(
+          filter.FilterBatch(std::span<const exec::DocRef>(&ref, 1), sink));
+      XPRED_RETURN_NOT_OK(sink.results()[0].status);
+      std::vector<core::ExprId> matched = sink.results()[0].matched;
+      std::sort(matched.begin(), matched.end());
+
+      std::vector<core::ExprId> expected;
+      XPRED_RETURN_NOT_OK(
+          (*oracle_matcher)->FilterDocument(docs[d], &expected));
+      std::sort(expected.begin(), expected.end());
+
+      if (matched != expected && !result.divergence.has_value()) {
+        result.divergence = "match set diverged on document " +
+                            std::to_string(d) + ": recovered=" +
+                            FormatSids(matched) + " oracle=" +
+                            FormatSids(expected);
+      }
+      result.engine_matches.push_back(std::move(matched));
+      result.oracle_matches.push_back(std::move(expected));
+    }
+  }
+  return result;
+}
+
+RecoveryScript GenerateRecoveryScript(const RecoveryScriptOptions& options) {
+  // Reuse the seeded churn generator (documents + expression pool +
+  // op mix); its filter ops become checkpoints, so the generated
+  // script always ends publish-then-checkpoint.
+  ChurnScriptOptions churn;
+  churn.seed = options.seed;
+  churn.dtd = options.dtd;
+  churn.documents = options.documents;
+  churn.doc_max_depth = options.doc_max_depth;
+  churn.ops = options.ops;
+  churn.query_pool = options.query_pool;
+  churn.mutation_prob = options.mutation_prob;
+  churn.subscribe_prob = options.subscribe_prob;
+  churn.unsubscribe_prob = options.unsubscribe_prob;
+  churn.publish_prob = options.publish_prob;
+  ChurnScript generated = GenerateChurnScript(churn);
+
+  RecoveryScript script;
+  script.seed = options.seed;
+  script.dtd = generated.dtd;
+  script.fsync = options.fsync;
+  script.documents = std::move(generated.documents);
+  script.ops.reserve(generated.ops.size());
+  for (const ChurnOp& op : generated.ops) {
+    RecoveryOp out;
+    switch (op.kind) {
+      case ChurnOp::Kind::kSubscribe:
+        out.kind = RecoveryOp::Kind::kSubscribe;
+        out.xpath = op.xpath;
+        break;
+      case ChurnOp::Kind::kUnsubscribe:
+        out.kind = RecoveryOp::Kind::kUnsubscribe;
+        out.pick = op.pick;
+        break;
+      case ChurnOp::Kind::kPublish:
+        out.kind = RecoveryOp::Kind::kPublish;
+        break;
+      case ChurnOp::Kind::kFilter:
+        out.kind = RecoveryOp::Kind::kCheckpoint;
+        break;
+    }
+    script.ops.push_back(std::move(out));
+  }
+  return script;
+}
+
+RecoveryHarness::RecoveryHarness(Options options)
+    : options_(std::move(options)) {
+  options_.partitions = std::max<size_t>(options_.partitions, 1);
+  options_.documents = std::max<size_t>(options_.documents, 1);
+  options_.ops = std::max<uint32_t>(options_.ops, 3);
+}
+
+Result<RecoveryHarness::Report> RecoveryHarness::Run() {
+  RecoveryScriptOptions gen;
+  gen.seed = options_.seed;
+  gen.dtd = options_.dtd;
+  gen.fsync = options_.fsync;
+  gen.documents = static_cast<uint32_t>(options_.documents);
+  gen.ops = options_.ops;
+  RecoveryScript script = GenerateRecoveryScript(gen);
+
+  std::string scratch = options_.scratch_directory;
+  if (scratch.empty()) {
+    scratch = (std::filesystem::temp_directory_path() /
+               ("xpred-recovery-" + std::to_string(options_.seed)))
+                  .string();
+  }
+
+  RecoveryReplayOptions replay;
+  replay.partitions = options_.partitions;
+  replay.wal_segment_bytes = options_.wal_segment_bytes;
+  replay.matcher = options_.matcher;
+
+  Report report;
+
+  // Fault-free pass: establishes the per-site visit counts (the
+  // crash-point domain) and proves the script itself recovers cleanly.
+  replay.scratch_directory = scratch + "/baseline";
+  Result<RecoveryReplayResult> baseline =
+      ReplayRecoveryScript(script, replay);
+  if (!baseline.ok()) return baseline.status();
+  if (baseline->divergence.has_value()) {
+    ++report.mismatches;
+    report.divergences.push_back("baseline (no crash): " +
+                                 *baseline->divergence);
+  }
+
+  for (const auto& [site, visits] : baseline->fault_site_visits) {
+    SiteReport sr;
+    sr.site = site;
+    sr.visits = visits;
+    uint64_t stride = 1;
+    if (options_.max_crash_points_per_site > 0 &&
+        visits > options_.max_crash_points_per_site) {
+      stride = (visits + options_.max_crash_points_per_site - 1) /
+               options_.max_crash_points_per_site;
+    }
+    for (uint64_t v = 0; v < visits; v += stride) {
+      RecoveryScript crash = script;
+      crash.crash_site = site;
+      crash.crash_visit = v;
+      std::string site_tag = site;
+      std::replace(site_tag.begin(), site_tag.end(), '.', '_');
+      replay.scratch_directory =
+          scratch + "/" + site_tag + "-v" + std::to_string(v);
+      Result<RecoveryReplayResult> run =
+          ReplayRecoveryScript(crash, replay);
+      if (!run.ok()) return run.status();
+      ++sr.crash_points;
+      ++report.crash_points;
+      if (run->crashed) ++sr.crashes_fired;
+      sr.records_replayed += run->report.wal_records_replayed;
+      if (run->report.wal_bytes_truncated > 0) ++sr.torn_tails;
+      if (run->divergence.has_value()) {
+        ++sr.mismatches;
+        ++report.mismatches;
+        if (report.divergences.size() < options_.max_divergences) {
+          report.divergences.push_back(site + "#" + std::to_string(v) +
+                                       ": " + *run->divergence);
+        }
+      } else {
+        ++sr.recoveries;
+        ++report.recoveries;
+      }
+    }
+    report.sites.push_back(std::move(sr));
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(scratch, ec);
+  return report;
+}
+
+}  // namespace xpred::difftest

@@ -1,0 +1,185 @@
+#ifndef XPRED_TESTING_RECOVERY_HARNESS_H_
+#define XPRED_TESTING_RECOVERY_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/matcher.h"
+#include "storage/recovery_report.h"
+
+namespace xpred::difftest {
+
+/// \brief One step of a recovery script — a deterministic,
+/// serializable sequence of durable-store mutations. Same closure
+/// property as ChurnOp: any subsequence is still a valid script
+/// (unsubscribe victims are picked modulo the live list), which keeps
+/// crash prefixes well-defined.
+struct RecoveryOp {
+  enum class Kind : uint8_t { kSubscribe, kUnsubscribe, kPublish, kCheckpoint };
+  Kind kind = Kind::kSubscribe;
+  /// kSubscribe: the expression to subscribe.
+  std::string xpath;
+  /// kUnsubscribe: victim = live[pick % live.size()] (no-op when empty).
+  uint32_t pick = 0;
+};
+
+/// \brief A self-contained crash/recovery workload: documents, a
+/// mutation script, a crash point (fault site + visit index), and the
+/// expected recovered subscription table. Serialized as a
+/// `mode: recovery` .xpredcase.
+struct RecoveryScript {
+  uint64_t seed = 0;
+  std::string dtd;            ///< "nitf", "psd", or "" (informational).
+  std::string fsync = "publish";  ///< FsyncPolicyName of the run.
+  /// faultsite::kStorageWal* / kStorageSnapshotRename; empty = run the
+  /// script to completion without a crash.
+  std::string crash_site;
+  /// 0-based visit index of \p crash_site at which the kill fires.
+  uint64_t crash_visit = 0;
+  std::vector<std::string> documents;  ///< XML text (post-recovery probes).
+  std::vector<RecoveryOp> ops;
+  /// Expected recovered subscription table, one line per sid in sid
+  /// order: "live <xpath>" or "dead <xpath>". Empty = compute from the
+  /// durable-prefix oracle only (used when seeding new cases).
+  std::vector<std::string> expected;
+};
+
+/// Script text format, one op per line (the `== script` section of a
+/// recovery .xpredcase):
+///   sub <xpath>
+///   unsub <pick>
+///   publish
+///   checkpoint
+std::vector<std::string> SerializeRecoveryOps(std::span<const RecoveryOp> ops);
+Result<std::vector<RecoveryOp>> ParseRecoveryOps(
+    std::span<const std::string> lines);
+
+struct RecoveryReplayOptions {
+  /// Directory holding this replay's WAL/snapshot state. Wiped before
+  /// the run. Required.
+  std::string scratch_directory;
+  size_t partitions = 2;
+  /// Small on purpose: rotation and compaction should actually happen
+  /// inside a 40-op script.
+  size_t wal_segment_bytes = 1024;
+  size_t snapshots_to_keep = 2;
+  core::Matcher::Options matcher;
+};
+
+struct RecoveryReplayResult {
+  /// The injected kill fired (always false for an empty crash_site).
+  bool crashed = false;
+  /// FaultInjector journal lines from the pre-crash run.
+  std::vector<std::string> injector_journal;
+  /// Visit totals for the storage fault sites during the pre-crash
+  /// run — the crash-point enumeration domain.
+  std::vector<std::pair<std::string, uint64_t>> fault_site_visits;
+  /// Ops whose WAL records reached the disk (the oracle's input).
+  uint64_t durable_ops = 0;
+  storage::RecoveryReport report;
+  /// Recovered table, one "live <xpath>" / "dead <xpath>" line per sid.
+  std::vector<std::string> recovered_table;
+  /// Sorted global sids per script document: the recovered live engine
+  /// (exec::ParallelFilter over the reopened store)...
+  std::vector<std::vector<core::ExprId>> engine_matches;
+  /// ...versus a from-scratch OpsUpToEpoch rebuild of the
+  /// durable-prefix oracle manager.
+  std::vector<std::vector<core::ExprId>> oracle_matches;
+  /// First discrepancy (table, match set, or expected-table mismatch);
+  /// empty = recovery was exact.
+  std::optional<std::string> divergence;
+};
+
+/// Replays \p script against a storage::DurableSubscriptionStore in
+/// \p options.scratch_directory: runs ops until the injected crash
+/// point kills the store (torn write / failed fsync / failed rename,
+/// per the site's semantics), drops the store, recovers with
+/// DurableSubscriptionStore::Open, and differentials the recovered
+/// index — subscription table and per-document match sets — against an
+/// oracle built from exactly the ops whose WAL records survived.
+/// Deterministic: same script + options => same result. A Status error
+/// means the harness itself failed; divergences are data.
+Result<RecoveryReplayResult> ReplayRecoveryScript(
+    const RecoveryScript& script, const RecoveryReplayOptions& options);
+
+/// \brief Seeded random recovery-script generation (fuzzer + tests).
+/// The crash point is left empty — callers enumerate or sample crash
+/// points against the generated script.
+struct RecoveryScriptOptions {
+  uint64_t seed = 1;
+  std::string dtd = "nitf";  ///< "nitf" or "psd".
+  std::string fsync = "publish";
+  uint32_t documents = 2;
+  uint32_t doc_max_depth = 7;
+  uint32_t ops = 40;
+  uint32_t query_pool = 12;
+  double mutation_prob = 0.35;
+  double subscribe_prob = 0.45;
+  double unsubscribe_prob = 0.15;
+  double publish_prob = 0.25;  ///< Remainder: checkpoint ops.
+};
+RecoveryScript GenerateRecoveryScript(const RecoveryScriptOptions& options);
+
+/// \brief The tentpole's proof harness: enumerates every visit of
+/// every registered storage fault site under a seeded workload, kills
+/// the store at each one, recovers, and verifies the recovered index
+/// byte-for-byte against the durable-prefix oracle.
+class RecoveryHarness {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    std::string dtd = "nitf";
+    std::string fsync = "publish";
+    size_t documents = 2;
+    uint32_t ops = 40;
+    size_t partitions = 2;
+    size_t wal_segment_bytes = 1024;
+    /// Cap per site; visits beyond it are sampled by striding. 0 = all.
+    size_t max_crash_points_per_site = 0;
+    /// Root for per-crash-point state directories; "" = a seed-derived
+    /// directory under the system temp path. Removed after the run.
+    std::string scratch_directory;
+    core::Matcher::Options matcher;
+    size_t max_divergences = 8;
+  };
+
+  struct SiteReport {
+    std::string site;
+    uint64_t visits = 0;        ///< Fault-free visit count (the domain).
+    uint64_t crash_points = 0;  ///< Kills actually exercised.
+    uint64_t crashes_fired = 0; ///< Rules that fired as scheduled.
+    uint64_t recoveries = 0;    ///< Successful reopen + verification runs.
+    uint64_t torn_tails = 0;    ///< Recoveries that truncated a torn tail.
+    uint64_t records_replayed = 0;
+    uint64_t mismatches = 0;
+  };
+
+  struct Report {
+    std::vector<SiteReport> sites;
+    uint64_t crash_points = 0;
+    uint64_t recoveries = 0;
+    uint64_t mismatches = 0;
+    std::vector<std::string> divergences;
+  };
+
+  explicit RecoveryHarness(Options options);
+
+  /// Generates the seeded workload, enumerates crash points, and runs
+  /// kill/recover/verify for each. A Status error means the harness
+  /// itself failed; divergences land in the Report.
+  Result<Report> Run();
+
+ private:
+  Options options_;
+};
+
+}  // namespace xpred::difftest
+
+#endif  // XPRED_TESTING_RECOVERY_HARNESS_H_

@@ -206,6 +206,75 @@ TEST(EpochManagerTest, OpsUpToEpochReplaysHistory) {
   EXPECT_FALSE(no_history.OpsUpToEpoch(0).ok());
 }
 
+TEST(EpochManagerTest, TrimHistoryBeforeDropsOldOps) {
+  IndexEpochManager manager(ManagerOptions(2, /*record_history=*/true));
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    ASSERT_TRUE(manager.Subscribe("/a/b").ok());
+    ASSERT_TRUE(manager.Publish().ok());
+  }
+  EXPECT_EQ(manager.history_base().epoch, 0u);
+  EXPECT_EQ(manager.history_base().seq, 0u);
+  size_t before = manager.ApproximateMemoryBytes();
+
+  Result<size_t> dropped = manager.TrimHistoryBefore(3);
+  ASSERT_TRUE(dropped.ok()) << dropped.status();
+  EXPECT_EQ(*dropped, 3u);  // Seqs 1..3 are covered by epoch 3's boundary.
+  EXPECT_EQ(manager.history_base().epoch, 3u);
+  EXPECT_EQ(manager.history_base().seq, 3u);
+  EXPECT_LT(manager.ApproximateMemoryBytes(), before);
+
+  // The base epoch is the empty incremental view (the anchor a
+  // checkpoint seeds from); later epochs replay from there.
+  Result<std::vector<IndexEpochManager::OpView>> ops = manager.OpsUpToEpoch(3);
+  ASSERT_TRUE(ops.ok()) << ops.status();
+  EXPECT_TRUE(ops->empty());
+  Result<std::vector<IndexEpochManager::OpView>> all = manager.OpsUpToEpoch(4);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);
+
+  // Epochs before the base are gone, with a trim-specific error.
+  Result<std::vector<IndexEpochManager::OpView>> old = manager.OpsUpToEpoch(2);
+  EXPECT_FALSE(old.ok());
+  EXPECT_NE(old.status().message().find("trimmed"), std::string::npos)
+      << old.status();
+}
+
+TEST(EpochManagerTest, TrimHistoryRefusesWhilePinned) {
+  IndexEpochManager manager(ManagerOptions(1, /*record_history=*/true));
+  ASSERT_TRUE(manager.Subscribe("/a").ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  {
+    IndexEpochManager::PinnedSnapshot pin = manager.Pin();
+    ASSERT_TRUE(manager.Subscribe("/b").ok());
+    ASSERT_TRUE(manager.Publish().ok());
+    // Epoch 1 is still pinned; dropping its ops would strand the
+    // reader's rebuild path.
+    Result<size_t> trim = manager.TrimHistoryBefore(2);
+    EXPECT_FALSE(trim.ok());
+    EXPECT_EQ(trim.status().code(), StatusCode::kRejected);
+  }
+  // Pin released: the same trim now succeeds.
+  Result<size_t> trim = manager.TrimHistoryBefore(2);
+  ASSERT_TRUE(trim.ok()) << trim.status();
+  EXPECT_EQ(manager.history_base().epoch, 2u);
+}
+
+TEST(EpochManagerTest, TrimHistoryValidatesArguments) {
+  IndexEpochManager no_history(ManagerOptions(1));
+  EXPECT_FALSE(no_history.TrimHistoryBefore(0).ok());
+
+  IndexEpochManager manager(ManagerOptions(1, /*record_history=*/true));
+  ASSERT_TRUE(manager.Subscribe("/a").ok());
+  ASSERT_TRUE(manager.Publish().ok());
+  // Unpublished epochs cannot justify a trim.
+  EXPECT_FALSE(manager.TrimHistoryBefore(7).ok());
+  // Trimming is idempotent at the same base.
+  ASSERT_TRUE(manager.TrimHistoryBefore(1).ok());
+  Result<size_t> again = manager.TrimHistoryBefore(1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
 TEST(EpochManagerTest, EmptyPublishBumpsEpoch) {
   IndexEpochManager manager(ManagerOptions(1));
   ASSERT_TRUE(manager.Publish().ok());

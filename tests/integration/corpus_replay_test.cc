@@ -4,6 +4,7 @@
 // roster. Any engine regression reintroducing a previously minimized
 // bug fails here with the self-contained repro named in the message.
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "testing/corpus_store.h"
 #include "testing/differential_harness.h"
 #include "testing/engine_roster.h"
+#include "testing/recovery_harness.h"
 #include "xml/document.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
@@ -42,7 +44,8 @@ TEST(CorpusReplayTest, StoredExpectationsMatchTheOracle) {
     SCOPED_TRACE(file);
     Result<Case> c = CorpusStore::Load(file);
     ASSERT_TRUE(c.ok()) << c.status();
-    if (c->mode == "churn") continue;  // Covered by ChurnCasesReplayCleanly.
+    // Script modes are covered by their own replay tests below.
+    if (c->mode == "churn" || c->mode == "recovery") continue;
     if (!c->expected_error.empty()) {
       // Expected-error case: the document is poison by contract and
       // must be rejected at parse time with the recorded message.
@@ -75,7 +78,8 @@ TEST(CorpusReplayTest, EveryEngineMatchesTheExpectedVerdicts) {
     SCOPED_TRACE(file);
     Result<Case> c = CorpusStore::Load(file);
     ASSERT_TRUE(c.ok()) << c.status();
-    if (c->mode == "churn") continue;  // Covered by ChurnCasesReplayCleanly.
+    // Script modes are covered by their own replay tests below.
+    if (c->mode == "churn" || c->mode == "recovery") continue;
     if (!c->expected_error.empty()) {
       // Every engine family must reject the poison document through
       // the governed ingestion path, with the same documented message.
@@ -138,6 +142,53 @@ TEST(CorpusReplayTest, ChurnCasesReplayCleanly) {
   }
   // The corpus ships seeded churn repros alongside the classic ones.
   EXPECT_GE(churn_cases, 2u);
+}
+
+TEST(CorpusReplayTest, RecoveryCasesReplayCleanly) {
+  // Seeded crash/recovery repros (DESIGN.md §16): replay the script,
+  // kill the durable store at the pinned fault-site visit, recover,
+  // and require the recovered subscription table to match both the
+  // stored expectation and the durable-prefix oracle (including
+  // per-document match sets).
+  size_t recovery_cases = 0;
+  for (const std::string& file : CorpusFiles()) {
+    SCOPED_TRACE(file);
+    Result<Case> c = CorpusStore::Load(file);
+    ASSERT_TRUE(c.ok()) << c.status();
+    if (c->mode != "recovery") continue;
+    ++recovery_cases;
+
+    Result<std::vector<RecoveryOp>> ops = ParseRecoveryOps(c->script);
+    ASSERT_TRUE(ops.ok()) << ops.status();
+    RecoveryScript script;
+    script.seed = c->seed;
+    script.dtd = c->dtd;
+    script.fsync = c->fsync.empty() ? "publish" : c->fsync;
+    script.crash_site = c->crash_site;
+    script.crash_visit = c->crash_visit;
+    script.documents = c->documents;
+    script.ops = std::move(*ops);
+    script.expected = c->expected_table;
+
+    RecoveryReplayOptions options;
+    options.scratch_directory =
+        (std::filesystem::temp_directory_path() /
+         ("xpred-corpus-recovery-" + std::to_string(c->seed)))
+            .string();
+    Result<RecoveryReplayResult> result =
+        ReplayRecoveryScript(script, options);
+    std::error_code ec;
+    std::filesystem::remove_all(options.scratch_directory, ec);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->crashed, !c->crash_site.empty())
+        << "crash point drifted on " << c->description;
+    EXPECT_FALSE(result->divergence.has_value())
+        << "regressed on " << c->description << ": " << *result->divergence;
+    EXPECT_EQ(result->recovered_table, c->expected_table)
+        << "recovered table drifted on " << c->description;
+  }
+  // The corpus ships seeded recovery repros covering each fault site.
+  EXPECT_GE(recovery_cases, 3u);
 }
 
 }  // namespace

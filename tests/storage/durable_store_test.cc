@@ -1,0 +1,287 @@
+// DurableSubscriptionStore lifecycle tests: open/mutate/reopen
+// roundtrips, checkpoint compaction, injected write/fsync/rename
+// crashes, recovery reporting, obs gauges, and the bounded op-log
+// contract under record_history.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/fault_injection.h"
+#include "core/epoch_manager.h"
+#include "obs/metrics.h"
+#include "storage/durable_store.h"
+
+namespace xpred::storage {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+using Store = DurableSubscriptionStore;
+
+Store::Options BaseOptions(const std::string& dir) {
+  Store::Options options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNever;  // Tests don't need the barrier.
+  options.partitions = 2;
+  return options;
+}
+
+std::vector<std::string> Table(const core::IndexEpochManager& manager) {
+  Result<core::IndexEpochManager::SubscriptionExport> exported =
+      manager.ExportSubscriptions();
+  EXPECT_TRUE(exported.ok()) << exported.status();
+  std::vector<std::string> lines;
+  if (!exported.ok()) return lines;
+  for (const auto& entry : exported->entries) {
+    lines.push_back((entry.live ? "live " : "dead ") + entry.xpath);
+  }
+  return lines;
+}
+
+TEST(DurableStoreTest, EmptyDirectoryOpensEmpty) {
+  TempDir dir("xpred_store_empty");
+  RecoveryReport report;
+  Result<std::unique_ptr<Store>> store =
+      Store::Open(BaseOptions(dir.path()), &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_FALSE(report.snapshot_loaded);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  EXPECT_EQ(report.issued_subscriptions, 0u);
+  EXPECT_EQ((*store)->next_durable_seq(), 1u);
+}
+
+TEST(DurableStoreTest, ReopenReplaysTheWal) {
+  TempDir dir("xpred_store_reopen");
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(BaseOptions(dir.path()));
+    ASSERT_TRUE(store.ok()) << store.status();
+    Result<core::ExprId> a = (*store)->Subscribe("/a/b");
+    Result<core::ExprId> b = (*store)->Subscribe("/a[c]");
+    Result<core::ExprId> c = (*store)->Subscribe("/d//e");
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+    ASSERT_TRUE((*store)->Unsubscribe(*b).ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+  }
+
+  RecoveryReport report;
+  Result<std::unique_ptr<Store>> store =
+      Store::Open(BaseOptions(dir.path()), &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_FALSE(report.snapshot_loaded);  // No checkpoint was taken.
+  EXPECT_EQ(report.wal_subscribes, 3u);
+  EXPECT_EQ(report.wal_unsubscribes, 1u);
+  EXPECT_EQ(report.wal_epoch_marks, 2u);
+  EXPECT_EQ(report.issued_subscriptions, 3u);
+  EXPECT_EQ(report.live_subscriptions, 2u);
+  std::vector<std::string> want = {"live /a/b", "dead /a[c]", "live /d//e"};
+  EXPECT_EQ(Table((*store)->manager()), want);
+  // Appends resume exactly after the durable frontier.
+  EXPECT_EQ((*store)->next_durable_seq(), report.last_durable_seq + 1);
+}
+
+TEST(DurableStoreTest, CheckpointCompactsAndSeedsRecovery) {
+  TempDir dir("xpred_store_checkpoint");
+  Store::Options options = BaseOptions(dir.path());
+  options.wal_segment_bytes = 128;  // Force rotations.
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)->Subscribe("/a/b").ok());
+    }
+    ASSERT_TRUE((*store)->Publish().ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    // Post-checkpoint mutations land in the fresh WAL tail.
+    ASSERT_TRUE((*store)->Subscribe("/tail").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+  }
+
+  RecoveryReport report;
+  Result<std::unique_ptr<Store>> store = Store::Open(options, &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE(report.snapshot_loaded);
+  EXPECT_EQ(report.snapshot_entries, 10u);
+  // Only the post-checkpoint tail is replayed from the WAL.
+  EXPECT_EQ(report.wal_subscribes, 1u);
+  EXPECT_EQ(report.issued_subscriptions, 11u);
+  EXPECT_EQ(report.live_subscriptions, 11u);
+  EXPECT_EQ(Table((*store)->manager()).back(), "live /tail");
+}
+
+TEST(DurableStoreTest, CheckpointPublishesPendingOpsFirst) {
+  TempDir dir("xpred_store_pending");
+  Result<std::unique_ptr<Store>> store = Store::Open(BaseOptions(dir.path()));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Subscribe("/a").ok());
+  // No explicit Publish: Checkpoint is defined at epoch boundaries and
+  // must publish the queued op itself.
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  EXPECT_EQ((*store)->manager().pending_ops(), 0u);
+}
+
+TEST(DurableStoreTest, InjectedWriteFaultTearsTailAndRecoverySalvages) {
+  TempDir dir("xpred_store_torn");
+  FaultInjector injector(1);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kStorageWalWrite);
+  rule.offset = 2;  // The third record (seq 3) dies mid-write.
+  rule.period = uint64_t{1} << 62;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(BaseOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a").ok());
+    ASSERT_TRUE((*store)->Subscribe("/b").ok());
+    Result<core::ExprId> dying = (*store)->Subscribe("/c");
+    EXPECT_FALSE(dying.ok());
+    EXPECT_TRUE((*store)->dead());
+    // The poison is sticky: later mutations fail without touching the
+    // dead WAL.
+    EXPECT_FALSE((*store)->Subscribe("/d").ok());
+  }
+  FaultInjector::Install(nullptr);
+
+  RecoveryReport report;
+  Result<std::unique_ptr<Store>> store =
+      Store::Open(BaseOptions(dir.path()), &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_GT(report.wal_bytes_truncated, 0u);  // The torn half-frame.
+  EXPECT_EQ(report.wal_subscribes, 2u);
+  std::vector<std::string> want = {"live /a", "live /b"};
+  EXPECT_EQ(Table((*store)->manager()), want);
+}
+
+TEST(DurableStoreTest, InjectedFsyncFaultLeavesRecordDurable) {
+  TempDir dir("xpred_store_fsync");
+  Store::Options options = BaseOptions(dir.path());
+  options.fsync = FsyncPolicy::kAlways;
+  FaultInjector injector(1);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kStorageWalFsync);
+  rule.offset = 1;  // The second record's fsync dies.
+  rule.period = uint64_t{1} << 62;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a").ok());
+    uint64_t written_before = (*store)->last_written_seq();
+    Result<core::ExprId> dying = (*store)->Subscribe("/b");
+    EXPECT_FALSE(dying.ok());
+    // Die-at-fsync: the frame reached the disk before the barrier.
+    EXPECT_EQ((*store)->last_written_seq(), written_before + 1);
+  }
+  FaultInjector::Install(nullptr);
+
+  Result<std::unique_ptr<Store>> store = Store::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  std::vector<std::string> want = {"live /a", "live /b"};
+  EXPECT_EQ(Table((*store)->manager()), want);
+}
+
+TEST(DurableStoreTest, InjectedRenameFaultLosesNoData) {
+  TempDir dir("xpred_store_rename");
+  FaultInjector injector(1);
+  FaultInjector::Rule rule;
+  rule.site = std::string(faultsite::kStorageSnapshotRename);
+  rule.period = uint64_t{1} << 62;
+  injector.AddRule(rule);
+  FaultInjector::Install(&injector);
+  std::vector<std::string> want;
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(BaseOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a").ok());
+    ASSERT_TRUE((*store)->Subscribe("/b").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+    want = Table((*store)->manager());
+    Status st = (*store)->Checkpoint();
+    EXPECT_FALSE(st.ok());  // The rename died...
+    EXPECT_FALSE((*store)->dead());  // ...but the WAL is intact.
+  }
+  FaultInjector::Install(nullptr);
+
+  RecoveryReport report;
+  Result<std::unique_ptr<Store>> store =
+      Store::Open(BaseOptions(dir.path()), &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  // The .tmp never became a snapshot; the WAL still covers everything.
+  EXPECT_FALSE(report.snapshot_loaded);
+  EXPECT_EQ(Table((*store)->manager()), want);
+}
+
+TEST(DurableStoreTest, RecoveryReportJsonAndGauges) {
+  TempDir dir("xpred_store_obs");
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(BaseOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a/b").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+  }
+  obs::MetricsRegistry metrics;
+  Store::Options options = BaseOptions(dir.path());
+  options.metrics = &metrics;
+  RecoveryReport report;
+  Result<std::unique_ptr<Store>> store = Store::Open(options, &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"xpred_recovery_report\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"wal_records_replayed\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"live_subscriptions\": 1"), std::string::npos);
+
+  obs::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.gauges.at("xpred_storage_recovery_records_replayed"), 2.0);
+  EXPECT_EQ(snap.gauges.at("xpred_storage_durable_seq"), 2.0);
+  EXPECT_EQ(snap.gauges.at("xpred_storage_recovery_bytes_truncated"), 0.0);
+}
+
+TEST(DurableStoreTest, CheckpointTrimsRecordedHistory) {
+  TempDir dir("xpred_store_trim");
+  Store::Options options = BaseOptions(dir.path());
+  options.record_history = true;
+  Result<std::unique_ptr<Store>> store = Store::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*store)->Subscribe("/a/b").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+  }
+  core::IndexEpochManager& manager = (*store)->manager();
+  EXPECT_EQ(manager.history_base().seq, 0u);
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  // The checkpoint's epoch became the new history base: earlier epochs
+  // are no longer rebuildable, the current one still is.
+  EXPECT_GT(manager.history_base().seq, 0u);
+  uint64_t base_epoch = manager.history_base().epoch;
+  ASSERT_GT(base_epoch, 1u);
+  Result<std::vector<core::IndexEpochManager::OpView>> old_ops =
+      manager.OpsUpToEpoch(1);
+  EXPECT_FALSE(old_ops.ok());
+  EXPECT_NE(old_ops.status().message().find("trimmed"), std::string::npos);
+  EXPECT_TRUE(manager.OpsUpToEpoch(base_epoch).ok());
+}
+
+}  // namespace
+}  // namespace xpred::storage

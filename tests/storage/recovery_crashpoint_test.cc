@@ -1,0 +1,137 @@
+// The tentpole acceptance test (ctest -L recovery): enumerate every
+// visit of every registered storage fault site under a seeded
+// workload, kill the durable store at each one, recover, and verify
+// the recovered index byte-for-byte against the durable-prefix oracle
+// (subscription table + per-document sorted match sets).
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "common/fault_injection.h"
+#include "testing/recovery_harness.h"
+
+namespace xpred::difftest {
+namespace {
+
+std::string ScratchRoot(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void ExpectCleanSweep(const RecoveryHarness::Report& report) {
+  EXPECT_EQ(report.mismatches, 0u);
+  for (const std::string& d : report.divergences) {
+    ADD_FAILURE() << "divergence: " << d;
+  }
+  EXPECT_GT(report.crash_points, 0u);
+  EXPECT_EQ(report.recoveries, report.crash_points);
+  ASSERT_EQ(report.sites.size(), 3u);
+  for (const auto& site : report.sites) {
+    SCOPED_TRACE(site.site);
+    // The workload must actually drive every registered site: a site
+    // with zero visits means the sweep proved nothing about it.
+    EXPECT_GT(site.visits, 0u);
+    EXPECT_GT(site.crash_points, 0u);
+    EXPECT_EQ(site.crashes_fired, site.crash_points);
+    EXPECT_EQ(site.recoveries, site.crash_points);
+    EXPECT_EQ(site.mismatches, 0u);
+  }
+}
+
+TEST(RecoveryCrashpointTest, SweepAllSitesFsyncPublish) {
+  RecoveryHarness::Options options;
+  options.seed = 11;
+  options.fsync = "publish";
+  options.ops = 40;
+  options.scratch_directory = ScratchRoot("xpred_crashpoints_publish");
+  // Keep the sweep fast under TSan while still covering every site.
+  options.max_crash_points_per_site = 12;
+  RecoveryHarness harness(options);
+  Result<RecoveryHarness::Report> report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ExpectCleanSweep(*report);
+
+  // A mid-write kill leaves a torn tail; at least one of the wal.write
+  // crash points must exercise the salvage-and-truncate path.
+  const auto write_site = std::find_if(
+      report->sites.begin(), report->sites.end(), [](const auto& s) {
+        return s.site == faultsite::kStorageWalWrite;
+      });
+  ASSERT_NE(write_site, report->sites.end());
+  EXPECT_GT(write_site->torn_tails, 0u);
+}
+
+TEST(RecoveryCrashpointTest, SweepAllSitesFsyncAlways) {
+  // fsync=always fires the fsync site after every record, so the
+  // dying-op-durable classification (record on disk, barrier lost)
+  // gets dense coverage.
+  RecoveryHarness::Options options;
+  options.seed = 23;
+  options.fsync = "always";
+  options.ops = 30;
+  options.scratch_directory = ScratchRoot("xpred_crashpoints_always");
+  options.max_crash_points_per_site = 10;
+  RecoveryHarness harness(options);
+  Result<RecoveryHarness::Report> report = harness.Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ExpectCleanSweep(*report);
+}
+
+TEST(RecoveryCrashpointTest, HandcraftedCrashPointReplay) {
+  // A pinned script + crash point, the same shape the mode:recovery
+  // corpus cases replay: subscribe, checkpoint, then die mid-write on
+  // the post-checkpoint subscribe.
+  RecoveryScript script;
+  script.seed = 5;
+  script.fsync = "publish";
+  script.documents = {"<a><b/><c/></a>", "<a><c><b/></c></a>"};
+  script.ops.push_back({RecoveryOp::Kind::kSubscribe, "/a/b", 0});
+  script.ops.push_back({RecoveryOp::Kind::kSubscribe, "/a//c", 0});
+  script.ops.push_back({RecoveryOp::Kind::kPublish, "", 0});
+  script.ops.push_back({RecoveryOp::Kind::kCheckpoint, "", 0});
+  script.ops.push_back({RecoveryOp::Kind::kSubscribe, "/a/c/b", 0});
+  script.crash_site = std::string(faultsite::kStorageWalWrite);
+  // Write visits: the two subscribes, the publish's epoch mark, then
+  // the dying post-checkpoint subscribe.
+  script.crash_visit = 3;
+
+  RecoveryReplayOptions options;
+  options.scratch_directory = ScratchRoot("xpred_crashpoint_pinned");
+  Result<RecoveryReplayResult> result = ReplayRecoveryScript(script, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->crashed);
+  EXPECT_FALSE(result->divergence.has_value())
+      << *result->divergence;
+  // The torn post-checkpoint record is gone; the checkpointed table
+  // survives via the snapshot.
+  EXPECT_TRUE(result->report.snapshot_loaded);
+  std::vector<std::string> want = {"live /a/b", "live /a//c"};
+  EXPECT_EQ(result->recovered_table, want);
+  std::error_code ec;
+  std::filesystem::remove_all(options.scratch_directory, ec);
+}
+
+TEST(RecoveryCrashpointTest, FaultFreeReplayMatchesOracle) {
+  // Sanity: with no crash point the replay still differentials the
+  // reopened store against the oracle — a clean shutdown/reopen cycle.
+  RecoveryScriptOptions gen;
+  gen.seed = 31;
+  gen.ops = 25;
+  RecoveryScript script = GenerateRecoveryScript(gen);
+  ASSERT_TRUE(script.crash_site.empty());
+
+  RecoveryReplayOptions options;
+  options.scratch_directory = ScratchRoot("xpred_crashpoint_faultfree");
+  Result<RecoveryReplayResult> result = ReplayRecoveryScript(script, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->crashed);
+  EXPECT_FALSE(result->divergence.has_value()) << *result->divergence;
+  EXPECT_EQ(result->engine_matches, result->oracle_matches);
+  std::error_code ec;
+  std::filesystem::remove_all(options.scratch_directory, ec);
+}
+
+}  // namespace
+}  // namespace xpred::difftest

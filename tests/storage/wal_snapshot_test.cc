@@ -1,0 +1,398 @@
+// Unit tests for the WAL framing/salvage layer and the snapshot
+// checkpoint files (DESIGN.md §16): CRC vectors, append/scan
+// roundtrips, segment rotation, torn-tail truncation, quarantine
+// rules, and snapshot atomicity.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "storage/crc32c.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace xpred::storage {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+WalRecord Sub(uint64_t seq, uint64_t sid, std::string xpath) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kSubscribe;
+  r.seq = seq;
+  r.sid = sid;
+  r.xpath = std::move(xpath);
+  return r;
+}
+
+WalRecord Unsub(uint64_t seq, uint64_t sid) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kUnsubscribe;
+  r.seq = seq;
+  r.sid = sid;
+  return r;
+}
+
+WalRecord Mark(uint64_t seq, uint64_t epoch) {
+  WalRecord r;
+  r.kind = WalRecord::Kind::kEpochMark;
+  r.seq = seq;
+  r.epoch = epoch;
+  return r;
+}
+
+void AppendRawBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  ASSERT_TRUE(out.good());
+  out << bytes;
+}
+
+std::vector<std::string> SegmentFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // Masking is reversible and moves the value (LevelDB property).
+  uint32_t crc = Crc32c("hello");
+  EXPECT_NE(MaskCrc32c(crc), crc);
+  EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+}
+
+TEST(WalTest, AppendScanRoundtrip) {
+  TempDir dir("xpred_wal_roundtrip");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(options, 1);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  ASSERT_TRUE((*wal)->Append(Sub(1, 0, "/a/b")).ok());
+  ASSERT_TRUE((*wal)->Append(Sub(2, 1, "/a[c]")).ok());
+  ASSERT_TRUE((*wal)->Append(Mark(3, 1)).ok());
+  ASSERT_TRUE((*wal)->Append(Unsub(4, 0)).ok());
+  EXPECT_EQ((*wal)->last_written_seq(), 4u);
+  wal->reset();
+
+  Result<WalScanResult> scan = ScanWal(dir.path(), 0);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 4u);
+  EXPECT_EQ(scan->last_seq, 4u);
+  EXPECT_EQ(scan->bytes_truncated, 0u);
+  EXPECT_EQ(scan->segments_quarantined, 0u);
+  EXPECT_EQ(scan->records[0].kind, WalRecord::Kind::kSubscribe);
+  EXPECT_EQ(scan->records[0].xpath, "/a/b");
+  EXPECT_EQ(scan->records[1].xpath, "/a[c]");
+  EXPECT_EQ(scan->records[2].kind, WalRecord::Kind::kEpochMark);
+  EXPECT_EQ(scan->records[2].epoch, 1u);
+  EXPECT_EQ(scan->records[3].kind, WalRecord::Kind::kUnsubscribe);
+  EXPECT_EQ(scan->records[3].sid, 0u);
+
+  // after_seq skips the covered prefix.
+  Result<WalScanResult> tail = ScanWal(dir.path(), 2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->records.size(), 2u);
+  EXPECT_EQ(tail->records[0].seq, 3u);
+}
+
+TEST(WalTest, OutOfSequenceAppendIsRejected) {
+  TempDir dir("xpred_wal_outofseq");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(options, 5);
+  ASSERT_TRUE(wal.ok());
+  Status st = (*wal)->Append(Sub(7, 0, "/a"));
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("out of sequence"), std::string::npos);
+}
+
+TEST(WalTest, RotationSplitsSegmentsAndScanStitchesThem) {
+  TempDir dir("xpred_wal_rotate");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  options.segment_bytes = 64;  // A few records per segment.
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(options, 1);
+  ASSERT_TRUE(wal.ok());
+  for (uint64_t seq = 1; seq <= 20; ++seq) {
+    ASSERT_TRUE((*wal)->Append(Sub(seq, seq - 1, "/a/b/c")).ok()) << seq;
+  }
+  EXPECT_GT((*wal)->segments_created(), 1u);
+  wal->reset();
+
+  Result<WalScanResult> scan = ScanWal(dir.path(), 0);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 20u);
+  for (uint64_t seq = 1; seq <= 20; ++seq) {
+    EXPECT_EQ(scan->records[seq - 1].seq, seq);
+  }
+  EXPECT_GT(scan->segments_scanned, 1u);
+}
+
+TEST(WalTest, TornTailIsTruncated) {
+  TempDir dir("xpred_wal_torn");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(options, 1);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Sub(1, 0, "/a")).ok());
+  ASSERT_TRUE((*wal)->Append(Sub(2, 1, "/b")).ok());
+  wal->reset();
+
+  // Simulate a kill mid-write: half a frame lands after the valid
+  // records.
+  std::string torn = EncodeWalRecord(Sub(3, 2, "/c"));
+  torn.resize(torn.size() / 2);
+  std::vector<std::string> files = SegmentFiles(dir.path());
+  ASSERT_EQ(files.size(), 1u);
+  const std::string segment = dir.path() + "/" + files[0];
+  const auto before = std::filesystem::file_size(segment);
+  AppendRawBytes(segment, torn);
+
+  Result<WalScanResult> scan = ScanWal(dir.path(), 0);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->last_seq, 2u);
+  EXPECT_EQ(scan->bytes_truncated, torn.size());
+  EXPECT_TRUE(scan->tail_truncated);
+  // The truncation is physical: a second scan sees a clean log.
+  EXPECT_EQ(std::filesystem::file_size(segment), before);
+  Result<WalScanResult> rescan = ScanWal(dir.path(), 0);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->bytes_truncated, 0u);
+  EXPECT_EQ(rescan->records.size(), 2u);
+}
+
+TEST(WalTest, CorruptHeaderQuarantinesSegmentAndSuccessors) {
+  TempDir dir("xpred_wal_badheader");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  options.segment_bytes = 48;
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(options, 1);
+  ASSERT_TRUE(wal.ok());
+  for (uint64_t seq = 1; seq <= 12; ++seq) {
+    ASSERT_TRUE((*wal)->Append(Sub(seq, seq - 1, "/a/b")).ok());
+  }
+  wal->reset();
+  std::vector<std::string> files = SegmentFiles(dir.path());
+  ASSERT_GE(files.size(), 3u);
+
+  // Flip a byte in the second segment's header.
+  const std::string victim = dir.path() + "/" + files[1];
+  {
+    std::fstream f(victim, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(2);
+    f.put('!');
+  }
+
+  Result<WalScanResult> scan = ScanWal(dir.path(), 0);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  // Only the first segment's records survive; the corrupt one and all
+  // its successors are quarantined (their records would leave a gap).
+  EXPECT_EQ(scan->segments_quarantined, files.size() - 1);
+  ASSERT_FALSE(scan->records.empty());
+  for (const WalRecord& rec : scan->records) {
+    EXPECT_LT(rec.seq, 13u);
+  }
+  uint64_t expected = scan->records.front().seq;
+  for (const WalRecord& rec : scan->records) {
+    EXPECT_EQ(rec.seq, expected++);  // Contiguous prefix only.
+  }
+  // Quarantined files keep their bytes under a new name.
+  size_t quarantined = 0;
+  for (const std::string& name : SegmentFiles(dir.path())) {
+    if (name.find(".quarantined") != std::string::npos) ++quarantined;
+  }
+  EXPECT_EQ(quarantined, scan->segments_quarantined);
+}
+
+TEST(WalTest, RotateAndCompactDropsCoveredSegments) {
+  TempDir dir("xpred_wal_compact");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  options.segment_bytes = 48;
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(options, 1);
+  ASSERT_TRUE(wal.ok());
+  for (uint64_t seq = 1; seq <= 12; ++seq) {
+    ASSERT_TRUE((*wal)->Append(Sub(seq, seq - 1, "/a/b")).ok());
+  }
+  Result<size_t> before = (*wal)->SegmentCount();
+  ASSERT_TRUE(before.ok());
+  ASSERT_GE(*before, 3u);
+
+  // Checkpoint through seq 12: every closed segment is covered.
+  Result<size_t> removed = (*wal)->RotateAndCompact(13, 12);
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, *before);
+  Result<size_t> after = (*wal)->SegmentCount();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, 1u);  // Only the fresh segment remains.
+
+  // Appends continue seamlessly and scans see only the tail.
+  ASSERT_TRUE((*wal)->Append(Sub(13, 12, "/z")).ok());
+  wal->reset();
+  Result<WalScanResult> scan = ScanWal(dir.path(), 12);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].seq, 13u);
+}
+
+TEST(WalTest, PartialCompactionKeepsUncoveredSegments) {
+  TempDir dir("xpred_wal_partial");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  options.segment_bytes = 48;
+  Result<std::unique_ptr<SubscriptionWal>> wal =
+      SubscriptionWal::Open(options, 1);
+  ASSERT_TRUE(wal.ok());
+  for (uint64_t seq = 1; seq <= 12; ++seq) {
+    ASSERT_TRUE((*wal)->Append(Sub(seq, seq - 1, "/a/b")).ok());
+  }
+  // A checkpoint through seq 5 must keep every segment holding a
+  // record > 5.
+  Result<size_t> removed = (*wal)->RotateAndCompact(13, 5);
+  ASSERT_TRUE(removed.ok());
+  wal->reset();
+  Result<WalScanResult> scan = ScanWal(dir.path(), 5);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_FALSE(scan->records.empty());
+  EXPECT_EQ(scan->records.front().seq, 6u);
+  EXPECT_EQ(scan->records.back().seq, 12u);
+}
+
+TEST(SnapshotTest, WriteLoadRoundtrip) {
+  TempDir dir("xpred_snap_roundtrip");
+  SnapshotData data;
+  data.epoch = 7;
+  data.last_seq = 42;
+  data.entries.push_back({0, true, "/a/b"});
+  data.entries.push_back({1, false, "/a[c]"});
+  data.entries.push_back({2, true, "/d//e"});
+  Result<std::string> path = SnapshotWriter::Write(dir.path(), data);
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_TRUE(std::filesystem::exists(*path));
+
+  uint64_t quarantined = 0;
+  Result<std::optional<LoadedSnapshot>> loaded =
+      SnapshotLoader::LoadNewest(dir.path(), &quarantined);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->has_value());
+  EXPECT_EQ(quarantined, 0u);
+  const SnapshotData& got = (**loaded).data;
+  EXPECT_EQ(got.epoch, 7u);
+  EXPECT_EQ(got.last_seq, 42u);
+  ASSERT_EQ(got.entries.size(), 3u);
+  EXPECT_EQ(got.entries[0].xpath, "/a/b");
+  EXPECT_TRUE(got.entries[0].live);
+  EXPECT_FALSE(got.entries[1].live);
+  EXPECT_EQ(got.entries[2].xpath, "/d//e");
+}
+
+TEST(SnapshotTest, EmptyDirectoryLoadsNothing) {
+  TempDir dir("xpred_snap_empty");
+  Result<std::optional<LoadedSnapshot>> loaded =
+      SnapshotLoader::LoadNewest(dir.path(), nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->has_value());
+}
+
+TEST(SnapshotTest, CorruptNewestFallsBackToOlderAndQuarantines) {
+  TempDir dir("xpred_snap_corrupt");
+  SnapshotData old_data;
+  old_data.epoch = 1;
+  old_data.last_seq = 10;
+  old_data.entries.push_back({0, true, "/a"});
+  ASSERT_TRUE(SnapshotWriter::Write(dir.path(), old_data).ok());
+
+  SnapshotData new_data = old_data;
+  new_data.epoch = 2;
+  new_data.last_seq = 20;
+  Result<std::string> newest = SnapshotWriter::Write(dir.path(), new_data);
+  ASSERT_TRUE(newest.ok());
+  {
+    // Flip a payload byte: the CRC must catch it.
+    std::fstream f(*newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(12);
+    f.put('\x7f');
+  }
+
+  uint64_t quarantined = 0;
+  Result<std::optional<LoadedSnapshot>> loaded =
+      SnapshotLoader::LoadNewest(dir.path(), &quarantined);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->has_value());
+  EXPECT_EQ(quarantined, 1u);
+  EXPECT_EQ((**loaded).data.last_seq, 10u);  // The older, valid one.
+  EXPECT_FALSE(std::filesystem::exists(*newest));
+  EXPECT_TRUE(std::filesystem::exists(*newest + ".quarantined"));
+}
+
+TEST(SnapshotTest, PruneOldKeepsNewest) {
+  TempDir dir("xpred_snap_prune");
+  for (uint64_t seq = 10; seq <= 50; seq += 10) {
+    SnapshotData data;
+    data.epoch = seq / 10;
+    data.last_seq = seq;
+    ASSERT_TRUE(SnapshotWriter::Write(dir.path(), data).ok());
+  }
+  Result<size_t> removed = SnapshotLoader::PruneOld(dir.path(), 2);
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_EQ(*removed, 3u);
+  Result<std::optional<LoadedSnapshot>> loaded =
+      SnapshotLoader::LoadNewest(dir.path(), nullptr);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->has_value());
+  EXPECT_EQ((**loaded).data.last_seq, 50u);
+}
+
+TEST(SnapshotTest, TruncatedFileIsRejected) {
+  TempDir dir("xpred_snap_trunc");
+  SnapshotData data;
+  data.epoch = 1;
+  data.last_seq = 5;
+  data.entries.push_back({0, true, "/a/b/c"});
+  Result<std::string> path = SnapshotWriter::Write(dir.path(), data);
+  ASSERT_TRUE(path.ok());
+  std::filesystem::resize_file(*path,
+                               std::filesystem::file_size(*path) - 3);
+  Result<SnapshotData> loaded = SnapshotLoader::LoadFile(*path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace xpred::storage

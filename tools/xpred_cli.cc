@@ -107,6 +107,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
+#include "storage/durable_store.h"
 #include "testing/churn_harness.h"
 #include "xfilter/xfilter.h"
 #include "xml/generator.h"
@@ -198,7 +199,10 @@ int Usage() {
                "  xpred_cli generate-queries --dtd=nitf|psd --count=N "
                "[options]\n"
                "  xpred_cli generate-docs --dtd=nitf|psd --count=N "
-               "[--depth=D] [--seed=S]\n");
+               "[--depth=D] [--seed=S]\n"
+               "  xpred_cli snapshot --store=DIR [--exprs=FILE] "
+               "[--fsync=never|publish|always] [--partitions=P] [--quiet]\n"
+               "  xpred_cli restore --store=DIR [--json] [--quiet]\n");
   return 2;
 }
 
@@ -1085,6 +1089,143 @@ int CmdGenerateDocs(const Args& args) {
   return 0;
 }
 
+/// Opens (recovering) the durable store at --store, subscribes any
+/// expressions from --exprs (one canonical XPath per line), publishes,
+/// and checkpoints — leaving an atomic snapshot plus a compacted WAL.
+int CmdSnapshot(const Args& args) {
+  if (!args.RejectUnknown({"store", "exprs", "fsync", "partitions",
+                           "quiet"})) {
+    return Usage();
+  }
+  const std::string dir = args.Get("store", "");
+  if (dir.empty()) return Usage();
+
+  storage::DurableSubscriptionStore::Options options;
+  options.directory = dir;
+  options.partitions = static_cast<size_t>(args.GetInt("partitions", 1));
+  Result<storage::FsyncPolicy> fsync =
+      storage::ParseFsyncPolicy(args.Get("fsync", "publish"));
+  if (!fsync.ok()) {
+    std::fprintf(stderr, "xpred_cli: %s\n", fsync.status().ToString().c_str());
+    return 2;
+  }
+  options.fsync = *fsync;
+
+  Result<std::unique_ptr<storage::DurableSubscriptionStore>> store =
+      storage::DurableSubscriptionStore::Open(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "xpred_cli: cannot open store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t subscribed = 0;
+  const std::string exprs_path = args.Get("exprs", "");
+  if (!exprs_path.empty()) {
+    std::ifstream in(exprs_path);
+    if (!in) {
+      std::fprintf(stderr, "xpred_cli: cannot read %s\n", exprs_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Result<core::ExprId> sid = (*store)->Subscribe(line);
+      if (!sid.ok()) {
+        std::fprintf(stderr, "xpred_cli: subscribe '%s': %s\n", line.c_str(),
+                     sid.status().ToString().c_str());
+        return 1;
+      }
+      ++subscribed;
+    }
+  }
+  Result<uint64_t> epoch = (*store)->Publish();
+  if (!epoch.ok()) {
+    std::fprintf(stderr, "xpred_cli: publish: %s\n",
+                 epoch.status().ToString().c_str());
+    return 1;
+  }
+  Status checkpointed = (*store)->Checkpoint();
+  if (!checkpointed.ok()) {
+    std::fprintf(stderr, "xpred_cli: checkpoint: %s\n",
+                 checkpointed.ToString().c_str());
+    return 1;
+  }
+  if (!args.Has("quiet")) {
+    const core::IndexEpochManager& manager = (*store)->manager();
+    std::printf(
+        "snapshot: %s at epoch %llu (%zu new, %zu live / %zu issued "
+        "subscriptions, durable seq %llu)\n",
+        dir.c_str(),
+        static_cast<unsigned long long>(manager.current_epoch()), subscribed,
+        manager.live_subscriptions(), manager.subscription_count(),
+        static_cast<unsigned long long>((*store)->last_written_seq()));
+  }
+  return 0;
+}
+
+/// Recovers the durable store at --store and reports what happened:
+/// human-readable by default, the versioned RecoveryReport JSON
+/// (validated by scripts/check_diag_schema.py) with --json.
+int CmdRestore(const Args& args) {
+  if (!args.RejectUnknown({"store", "json", "quiet"})) return Usage();
+  const std::string dir = args.Get("store", "");
+  if (dir.empty()) return Usage();
+
+  storage::DurableSubscriptionStore::Options options;
+  options.directory = dir;
+  storage::RecoveryReport report;
+  Result<std::unique_ptr<storage::DurableSubscriptionStore>> store =
+      storage::DurableSubscriptionStore::Open(options, &report);
+  if (!store.ok()) {
+    std::fprintf(stderr, "xpred_cli: recovery failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  if (args.Has("json")) {
+    std::string json = report.ToJson();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::printf("\n");
+  } else if (!args.Has("quiet")) {
+    std::printf("restore: %s\n", dir.c_str());
+    if (report.snapshot_loaded) {
+      std::printf("  snapshot: %s (epoch %llu, seq %llu, %llu entries)\n",
+                  report.snapshot_path.c_str(),
+                  static_cast<unsigned long long>(report.snapshot_epoch),
+                  static_cast<unsigned long long>(report.snapshot_seq),
+                  static_cast<unsigned long long>(report.snapshot_entries));
+    } else {
+      std::printf("  snapshot: none\n");
+    }
+    std::printf(
+        "  wal: %llu records replayed (%llu sub, %llu unsub, %llu epoch "
+        "marks) from %llu segments\n",
+        static_cast<unsigned long long>(report.wal_records_replayed),
+        static_cast<unsigned long long>(report.wal_subscribes),
+        static_cast<unsigned long long>(report.wal_unsubscribes),
+        static_cast<unsigned long long>(report.wal_epoch_marks),
+        static_cast<unsigned long long>(report.wal_segments_scanned));
+    if (report.wal_bytes_truncated > 0 ||
+        report.wal_segments_quarantined > 0 ||
+        report.snapshots_quarantined > 0) {
+      std::printf(
+          "  salvage: %llu torn bytes truncated, %llu segments and %llu "
+          "snapshots quarantined\n",
+          static_cast<unsigned long long>(report.wal_bytes_truncated),
+          static_cast<unsigned long long>(report.wal_segments_quarantined),
+          static_cast<unsigned long long>(report.snapshots_quarantined));
+    }
+    std::printf(
+        "  recovered: %llu live / %llu issued subscriptions at epoch %llu "
+        "(durable seq %llu)\n",
+        static_cast<unsigned long long>(report.live_subscriptions),
+        static_cast<unsigned long long>(report.issued_subscriptions),
+        static_cast<unsigned long long>(report.published_epoch),
+        static_cast<unsigned long long>(report.last_durable_seq));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1098,5 +1239,7 @@ int main(int argc, char** argv) {
   if (command == "churn") return CmdChurn(args);
   if (command == "generate-queries") return CmdGenerateQueries(args);
   if (command == "generate-docs") return CmdGenerateDocs(args);
+  if (command == "snapshot") return CmdSnapshot(args);
+  if (command == "restore") return CmdRestore(args);
   return Usage();
 }

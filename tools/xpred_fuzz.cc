@@ -13,6 +13,10 @@
 //       [--partitions P] [--dtd nitf|psd|both] [--docs-per-run N]
 //       [--max-depth D] [--corpus-dir PATH] [--max-cases N]
 //       [--json PATH|-] [--no-minimize] [--no-mutate] [--quiet]
+//   xpred_fuzz --recovery [--runs N] [--seed S] [--recovery-ops N]
+//       [--fsync never|publish|always] [--crash-points N]
+//       [--partitions P] [--dtd nitf|psd|both] [--corpus-dir PATH]
+//       [--max-cases N] [--json PATH|-] [--quiet]
 //
 // Flags accept both `--key value` and `--key=value`. --engine matches
 // roster-label prefixes ("matcher" selects all eight matcher
@@ -28,11 +32,20 @@
 // op's pinned epoch. Divergent scripts are delta-debugged to a
 // minimal op sequence and saved as `mode: churn` .xpredcase repros.
 //
+// --recovery switches to crash/recovery fuzzing (DESIGN.md §16): each
+// run generates a seeded durable-store script, enumerates the storage
+// fault-site visits with a fault-free baseline, then kills the store
+// at up to --crash-points sampled visits per site, recovers, and
+// differentials the recovered index against the durable-prefix
+// oracle. Divergent crash points are saved as `mode: recovery`
+// .xpredcase repros.
+//
 // Exit code: 0 = all engines agree with the oracle, 1 = divergence
 // found (see the JSON `cases` array), 2 = usage/configuration error.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -43,6 +56,7 @@
 #include "testing/churn_harness.h"
 #include "testing/corpus_store.h"
 #include "testing/differential_harness.h"
+#include "testing/recovery_harness.h"
 
 namespace {
 
@@ -59,7 +73,11 @@ int Usage() {
       "   xpred_fuzz --churn [--runs N] [--seed S] [--churn-ops N]\n"
       "    [--partitions P] [--dtd nitf|psd|both] [--docs-per-run N]\n"
       "    [--max-depth D] [--corpus-dir PATH] [--max-cases N]\n"
-      "    [--json PATH|-] [--no-minimize] [--no-mutate] [--quiet]\n");
+      "    [--json PATH|-] [--no-minimize] [--no-mutate] [--quiet]\n"
+      "   xpred_fuzz --recovery [--runs N] [--seed S] [--recovery-ops N]\n"
+      "    [--fsync never|publish|always] [--crash-points N]\n"
+      "    [--partitions P] [--dtd nitf|psd|both] [--corpus-dir PATH]\n"
+      "    [--max-cases N] [--json PATH|-] [--quiet]\n");
   return 2;
 }
 
@@ -70,7 +88,7 @@ struct Flags {
   static bool IsSwitch(const std::string& key) {
     return key == "no-minimize" || key == "no-mutate" ||
            key == "no-removal" || key == "quiet" || key == "help" ||
-           key == "churn";
+           key == "churn" || key == "recovery";
   }
 
   static bool Parse(int argc, char** argv, Flags* out) {
@@ -116,7 +134,8 @@ const char* const kKnownFlags[] = {
     "dtd",        "exprs-per-run", "docs-per-run", "max-depth",
     "corpus-dir", "max-cases",    "json",        "no-minimize",
     "no-mutate",  "no-removal",   "quiet",       "help",
-    "churn",      "churn-ops",    "partitions",
+    "churn",      "churn-ops",    "partitions",  "recovery",
+    "recovery-ops", "fsync",      "crash-points",
 };
 
 std::string JsonEscape(std::string_view s) {
@@ -340,6 +359,237 @@ int RunChurnFuzz(const Flags& flags) {
   return mismatches == 0 ? 0 : 1;
 }
 
+/// One saved/reported recovery divergence.
+struct RecoveryCaseRecord {
+  uint64_t run = 0;
+  uint64_t seed = 0;
+  std::string crash_site;
+  uint64_t crash_visit = 0;
+  std::string divergence;
+  std::string file;  ///< Saved .xpredcase path, when --corpus-dir.
+};
+
+/// Crash/recovery fuzzing (--recovery): generate scripts, kill the
+/// durable store at sampled fault-site visits, recover, verify against
+/// the durable-prefix oracle, summarize as JSON.
+int RunRecoveryFuzz(const Flags& flags) {
+  const uint64_t runs = static_cast<uint64_t>(flags.GetInt("runs", 10));
+  const uint64_t base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string dtd = flags.Get("dtd", "both");
+  if (dtd != "nitf" && dtd != "psd" && dtd != "both") {
+    std::fprintf(stderr, "xpred_fuzz: bad --dtd '%s'\n", dtd.c_str());
+    return 2;
+  }
+  const std::string fsync = flags.Get("fsync", "publish");
+  if (fsync != "never" && fsync != "publish" && fsync != "always") {
+    std::fprintf(stderr, "xpred_fuzz: bad --fsync '%s'\n", fsync.c_str());
+    return 2;
+  }
+  const std::string corpus_dir = flags.Get("corpus-dir", "");
+  const size_t max_cases = static_cast<size_t>(flags.GetInt("max-cases", 20));
+  const size_t crash_points_per_site =
+      static_cast<size_t>(flags.GetInt("crash-points", 4));
+
+  difftest::RecoveryScriptOptions gen_template;
+  gen_template.ops = static_cast<uint32_t>(flags.GetInt("recovery-ops", 40));
+  gen_template.fsync = fsync;
+
+  difftest::RecoveryReplayOptions replay;
+  if (flags.Has("partitions")) {
+    replay.partitions = static_cast<size_t>(flags.GetInt("partitions", 2));
+  }
+  const std::string scratch_root =
+      (std::filesystem::temp_directory_path() /
+       ("xpred-fuzz-recovery-" + std::to_string(base_seed)))
+          .string();
+
+  struct {
+    uint64_t scripts = 0, ops = 0, crash_points = 0, crashes_fired = 0;
+    uint64_t recoveries = 0, torn_tails = 0, records_replayed = 0;
+  } counters;
+  std::map<std::string, uint64_t> site_crash_points;
+  std::map<std::string, uint64_t> site_mismatches;
+  std::vector<RecoveryCaseRecord> cases;
+  uint64_t mismatches = 0;
+
+  for (uint64_t run = 0; run < runs; ++run) {
+    difftest::RecoveryScriptOptions gen = gen_template;
+    gen.seed = base_seed + run;
+    gen.dtd = dtd == "both" ? (run % 2 == 0 ? "nitf" : "psd") : dtd;
+    difftest::RecoveryScript script = difftest::GenerateRecoveryScript(gen);
+    ++counters.scripts;
+    counters.ops += script.ops.size();
+
+    // Fault-free baseline: enumerates the per-site visit domains and
+    // proves the clean shutdown/reopen cycle is exact.
+    replay.scratch_directory = scratch_root + "/baseline";
+    Result<difftest::RecoveryReplayResult> baseline =
+        difftest::ReplayRecoveryScript(script, replay);
+    if (!baseline.ok()) {
+      std::fprintf(stderr,
+                   "xpred_fuzz: recovery replay failed (seed %llu): %s\n",
+                   static_cast<unsigned long long>(gen.seed),
+                   baseline.status().ToString().c_str());
+      return 2;
+    }
+    if (baseline->divergence.has_value()) {
+      ++mismatches;
+      RecoveryCaseRecord record;
+      record.run = run;
+      record.seed = gen.seed;
+      record.divergence = *baseline->divergence;
+      if (cases.size() < max_cases) cases.push_back(std::move(record));
+      continue;
+    }
+
+    for (const auto& [site, visits] : baseline->fault_site_visits) {
+      if (visits == 0) continue;
+      size_t points = visits;
+      if (crash_points_per_site > 0 && points > crash_points_per_site) {
+        points = crash_points_per_site;
+      }
+      const uint64_t stride = (visits + points - 1) / points;
+      for (uint64_t visit = 0; visit < visits; visit += stride) {
+        difftest::RecoveryScript crash_script = script;
+        crash_script.crash_site = site;
+        crash_script.crash_visit = visit;
+        replay.scratch_directory =
+            scratch_root + "/crash-" + std::to_string(visit);
+        Result<difftest::RecoveryReplayResult> result =
+            difftest::ReplayRecoveryScript(crash_script, replay);
+        if (!result.ok()) {
+          std::fprintf(
+              stderr,
+              "xpred_fuzz: crash replay failed (seed %llu %s#%llu): %s\n",
+              static_cast<unsigned long long>(gen.seed), site.c_str(),
+              static_cast<unsigned long long>(visit),
+              result.status().ToString().c_str());
+          return 2;
+        }
+        ++counters.crash_points;
+        ++site_crash_points[site];
+        if (result->crashed) ++counters.crashes_fired;
+        ++counters.recoveries;
+        if (result->report.wal_bytes_truncated > 0) ++counters.torn_tails;
+        counters.records_replayed += result->report.wal_records_replayed;
+        if (!result->divergence.has_value()) continue;
+
+        ++mismatches;
+        ++site_mismatches[site];
+        RecoveryCaseRecord record;
+        record.run = run;
+        record.seed = gen.seed;
+        record.crash_site = site;
+        record.crash_visit = visit;
+        record.divergence = *result->divergence;
+        if (!corpus_dir.empty() && cases.size() < max_cases) {
+          difftest::Case c;
+          c.mode = "recovery";
+          c.seed = crash_script.seed;
+          c.dtd = crash_script.dtd;
+          c.fsync = crash_script.fsync;
+          c.crash_site = site;
+          c.crash_visit = visit;
+          c.description = "recovered index diverged from durable-prefix "
+                          "oracle after kill at " +
+                          site + "#" + std::to_string(visit);
+          c.documents = crash_script.documents;
+          c.script = difftest::SerializeRecoveryOps(crash_script.ops);
+          // The stored table is what this build recovered; the replay
+          // re-derives the oracle and reports the divergence either way.
+          c.expected_table = result->recovered_table;
+          Status saved =
+              difftest::CorpusStore(corpus_dir).Save(c, &record.file);
+          if (!saved.ok()) {
+            std::fprintf(stderr, "xpred_fuzz: cannot save repro: %s\n",
+                         saved.ToString().c_str());
+          }
+        }
+        if (cases.size() < max_cases) cases.push_back(std::move(record));
+      }
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_root, ec);
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"tool\": \"xpred_fuzz\",\n";
+  json += "  \"mode\": \"recovery\",\n";
+  json += "  \"seed\": " + std::to_string(base_seed) + ",\n";
+  json += "  \"fsync\": \"" + JsonEscape(fsync) + "\",\n";
+  json += "  \"runs_requested\": " + std::to_string(runs) + ",\n";
+  json += "  \"runs_executed\": " + std::to_string(counters.scripts) + ",\n";
+  json += "  \"mismatches\": " + std::to_string(mismatches) + ",\n";
+  json += "  \"counters\": {\n";
+  json += "    \"scripts\": " + std::to_string(counters.scripts) + ",\n";
+  json += "    \"ops\": " + std::to_string(counters.ops) + ",\n";
+  json += "    \"crash_points\": " + std::to_string(counters.crash_points) +
+          ",\n";
+  json += "    \"crashes_fired\": " + std::to_string(counters.crashes_fired) +
+          ",\n";
+  json += "    \"recoveries\": " + std::to_string(counters.recoveries) + ",\n";
+  json += "    \"torn_tails\": " + std::to_string(counters.torn_tails) + ",\n";
+  json += "    \"records_replayed\": " +
+          std::to_string(counters.records_replayed) + "\n";
+  json += "  },\n";
+  json += "  \"sites\": [";
+  bool first_site = true;
+  for (const auto& [site, points] : site_crash_points) {
+    json += first_site ? "\n" : ",\n";
+    first_site = false;
+    json += "    {\n";
+    json += "      \"site\": \"" + JsonEscape(site) + "\",\n";
+    json += "      \"crash_points\": " + std::to_string(points) + ",\n";
+    json += "      \"mismatches\": " + std::to_string(site_mismatches[site]) +
+            "\n";
+    json += "    }";
+  }
+  json += first_site ? "],\n" : "\n  ],\n";
+  json += std::string("  \"status\": \"") +
+          (mismatches == 0 ? "agree" : "diverged") + "\",\n";
+  json += "  \"cases\": [";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const RecoveryCaseRecord& r = cases[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\n";
+    json += "      \"run\": " + std::to_string(r.run) + ",\n";
+    json += "      \"seed\": " + std::to_string(r.seed) + ",\n";
+    json += "      \"crash_site\": \"" + JsonEscape(r.crash_site) + "\",\n";
+    json += "      \"crash_visit\": " + std::to_string(r.crash_visit) + ",\n";
+    json += "      \"divergence\": \"" + JsonEscape(r.divergence) + "\",\n";
+    json += "      \"file\": \"" + JsonEscape(r.file) + "\"\n";
+    json += "    }";
+  }
+  json += cases.empty() ? "]\n" : "\n  ]\n";
+  json += "}\n";
+  int rc = EmitJson(json, flags);
+  if (rc != 0) return rc;
+
+  if (!flags.Has("quiet")) {
+    std::fprintf(
+        stderr,
+        "xpred_fuzz: recovery %llu/%llu scripts, %llu crash points, "
+        "%llu recoveries, %llu torn tails, %llu mismatches\n",
+        static_cast<unsigned long long>(counters.scripts),
+        static_cast<unsigned long long>(runs),
+        static_cast<unsigned long long>(counters.crash_points),
+        static_cast<unsigned long long>(counters.recoveries),
+        static_cast<unsigned long long>(counters.torn_tails),
+        static_cast<unsigned long long>(mismatches));
+    for (const RecoveryCaseRecord& r : cases) {
+      std::string where = r.file.empty() ? std::string() : (" -> " + r.file);
+      std::fprintf(stderr, "  case: seed=%llu %s#%llu %s%s\n",
+                   static_cast<unsigned long long>(r.seed),
+                   r.crash_site.c_str(),
+                   static_cast<unsigned long long>(r.crash_visit),
+                   r.divergence.c_str(), where.c_str());
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,6 +608,7 @@ int main(int argc, char** argv) {
   }
 
   if (flags.Has("churn")) return RunChurnFuzz(flags);
+  if (flags.Has("recovery")) return RunRecoveryFuzz(flags);
 
   difftest::DifferentialHarness::Options options;
   options.runs = static_cast<uint64_t>(flags.GetInt("runs", 100));
