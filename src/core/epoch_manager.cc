@@ -145,6 +145,11 @@ size_t IndexEpochManager::live_subscriptions() const {
   return live_count_;
 }
 
+uint64_t IndexEpochManager::last_op_seq() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return last_seq_;
+}
+
 Status IndexEpochManager::ApplyBacklog(Snapshot* side) {
   uint64_t applied = 0;
   for (uint64_t seq = side->applied_seq_ + 1; seq <= last_seq_; ++seq) {

@@ -228,6 +228,12 @@ class IndexEpochManager {
   /// Live subscriptions after all queued operations land.
   size_t live_subscriptions() const;
 
+  /// Sequence number of the last validated op in the log (0 before
+  /// any). This is the \p seq the OpSink mirror saw last — the
+  /// durability layer uses it to detect mutations that raced a
+  /// checkpoint.
+  uint64_t last_op_seq() const;
+
   /// Publishes a new epoch: waits for the spare side's grace period
   /// (pins drained), replays the op backlog into it, prepares its
   /// evaluation orders, and atomically swaps it current. Publishing

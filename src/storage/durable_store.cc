@@ -118,9 +118,11 @@ Status DurableSubscriptionStore::RecoverLocked() {
   // issued sid in order (then cancelling the dead ones) reproduces
   // the exact dense sid assignment and round-robin partition routing
   // the pre-crash process had.
+  uint64_t max_quarantined_claim = 0;
   Result<std::optional<LoadedSnapshot>> snapshot =
       SnapshotLoader::LoadNewest(options_.directory,
-                                 &report_.snapshots_quarantined);
+                                 &report_.snapshots_quarantined,
+                                 &max_quarantined_claim);
   XPRED_RETURN_NOT_OK(snapshot.status());
   if (snapshot->has_value()) {
     const SnapshotData& data = (**snapshot).data;
@@ -160,6 +162,15 @@ Status DurableSubscriptionStore::RecoverLocked() {
   report_.wal_segments_scanned = scan->segments_scanned;
   report_.wal_bytes_truncated = scan->bytes_truncated;
   report_.wal_segments_quarantined = scan->segments_quarantined;
+  if (!scan->records.empty() &&
+      scan->records.front().seq != report_.snapshot_seq + 1) {
+    // ScanWal's anchoring rule should make this impossible; refuse
+    // rather than replay over a hole if it ever regresses.
+    return Status::Internal(
+        "recovery hole: first WAL record after the snapshot has seq " +
+        std::to_string(scan->records.front().seq) +
+        ", expected " + std::to_string(report_.snapshot_seq + 1));
+  }
   for (const WalRecord& record : scan->records) {
     switch (record.kind) {
       case WalRecord::Kind::kSubscribe: {
@@ -207,7 +218,21 @@ Status DurableSubscriptionStore::RecoverLocked() {
   report_.issued_subscriptions = manager_->subscription_count();
   report_.live_subscriptions = manager_->live_subscriptions();
 
+  if (max_quarantined_claim > report_.last_durable_seq) {
+    // A quarantined checkpoint once claimed coverage past everything
+    // we could rebuild: the ops between are gone (e.g. the WAL was
+    // compacted against that checkpoint and then lost too). Refusing
+    // beats going live on a silently incomplete table.
+    return Status::Internal(
+        "recovery would lose acknowledged state: quarantined snapshot "
+        "claimed coverage through seq " +
+        std::to_string(max_quarantined_claim) +
+        " but only seq " + std::to_string(report_.last_durable_seq) +
+        " could be rebuilt from the remaining snapshot + WAL");
+  }
+
   next_seq_ = report_.last_durable_seq + 1;
+  last_op_manager_seq_ = manager_->last_op_seq();
   checkpoint_seq_ = report_.snapshot_seq;
 
   SubscriptionWal::Options wopts;
@@ -267,23 +292,24 @@ Result<uint64_t> DurableSubscriptionStore::Publish() {
 }
 
 uint64_t DurableSubscriptionStore::next_durable_seq() const {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  std::lock_guard<std::mutex> lock(wal_mu_);
   return next_seq_;
 }
 
 uint64_t DurableSubscriptionStore::last_written_seq() const {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  std::lock_guard<std::mutex> lock(wal_mu_);
   return wal_ != nullptr ? wal_->last_written_seq() : 0;
 }
 
 bool DurableSubscriptionStore::dead() const {
-  std::lock_guard<std::mutex> lock(store_mu_);
+  std::lock_guard<std::mutex> lock(wal_mu_);
   return wal_ == nullptr || wal_->dead();
 }
 
-Status DurableSubscriptionStore::OnSubscribe(uint64_t /*seq*/,
+Status DurableSubscriptionStore::OnSubscribe(uint64_t seq,
                                              core::ExprId sid,
                                              std::string_view xpath) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
   WalRecord record;
   record.kind = WalRecord::Kind::kSubscribe;
   record.seq = next_seq_;
@@ -291,22 +317,26 @@ Status DurableSubscriptionStore::OnSubscribe(uint64_t /*seq*/,
   record.xpath.assign(xpath);
   XPRED_RETURN_NOT_OK(wal_->Append(record));
   ++next_seq_;
+  last_op_manager_seq_ = seq;
   return Status::OK();
 }
 
-Status DurableSubscriptionStore::OnUnsubscribe(uint64_t /*seq*/,
+Status DurableSubscriptionStore::OnUnsubscribe(uint64_t seq,
                                                core::ExprId sid) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
   WalRecord record;
   record.kind = WalRecord::Kind::kUnsubscribe;
   record.seq = next_seq_;
   record.sid = sid;
   XPRED_RETURN_NOT_OK(wal_->Append(record));
   ++next_seq_;
+  last_op_manager_seq_ = seq;
   return Status::OK();
 }
 
 Status DurableSubscriptionStore::OnPublish(uint64_t epoch,
                                            uint64_t /*applied_seq*/) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
   WalRecord record;
   record.kind = WalRecord::Kind::kEpochMark;
   record.seq = next_seq_;
@@ -318,7 +348,7 @@ Status DurableSubscriptionStore::OnPublish(uint64_t epoch,
 
 Status DurableSubscriptionStore::Checkpoint() {
   std::lock_guard<std::mutex> lock(store_mu_);
-  if (wal_->dead()) {
+  if (dead()) {
     return Status::Rejected(
         "store is poisoned by an earlier WAL failure; reopen to recover");
   }
@@ -329,14 +359,24 @@ Status DurableSubscriptionStore::Checkpoint() {
       manager_->ExportSubscriptions();
   XPRED_RETURN_NOT_OK(exported.status());
 
-  // Everything the snapshot will claim to cover must be on disk first:
-  // the checkpoint deletes the WAL segments that would otherwise
-  // re-create it.
-  XPRED_RETURN_NOT_OK(wal_->Sync());
-
   SnapshotData data;
   data.epoch = exported->epoch;
-  data.last_seq = next_seq_ - 1;
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    if (last_op_manager_seq_ != exported->last_seq) {
+      // A mutation issued directly on manager() slipped between the
+      // export and this capture: the snapshot would claim coverage of
+      // an op it does not contain. Give up cleanly; the caller
+      // retries.
+      return Status::Rejected(
+          "a mutation bypassed the store during Checkpoint; retry");
+    }
+    data.last_seq = next_seq_ - 1;
+    // Everything the snapshot will claim to cover must be on disk
+    // first: the checkpoint deletes the WAL segments that would
+    // otherwise re-create it.
+    XPRED_RETURN_NOT_OK(wal_->Sync());
+  }
   data.entries.reserve(exported->entries.size());
   for (const core::IndexEpochManager::SubscriptionExport::Entry& entry :
        exported->entries) {
@@ -350,14 +390,27 @@ Status DurableSubscriptionStore::Checkpoint() {
   XPRED_RETURN_NOT_OK(path.status());
   checkpoint_seq_ = data.last_seq;
 
-  // The snapshot is durable: older segments and snapshots are covered.
-  Result<size_t> compacted =
-      wal_->RotateAndCompact(next_seq_, checkpoint_seq_);
-  XPRED_RETURN_NOT_OK(compacted.status());
+  // The snapshot is durable: prune old checkpoints first, then compact
+  // the WAL only through the oldest snapshot still on disk. Every
+  // retained snapshot therefore stays replayable — if the newest turns
+  // out corrupt at the next recovery, falling back to an older one
+  // finds all of its successor ops still in the WAL instead of a
+  // compacted-away gap.
   XPRED_RETURN_NOT_OK(
       SnapshotLoader::PruneOld(options_.directory,
                                options_.snapshots_to_keep)
           .status());
+  Result<std::optional<uint64_t>> oldest_retained =
+      SnapshotLoader::OldestRetainedSeq(options_.directory);
+  XPRED_RETURN_NOT_OK(oldest_retained.status());
+  const uint64_t compact_through =
+      oldest_retained->value_or(data.last_seq);
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    Result<size_t> compacted =
+        wal_->RotateAndCompact(next_seq_, compact_through);
+    XPRED_RETURN_NOT_OK(compacted.status());
+  }
 
   if (options_.record_history) {
     Result<size_t> trimmed = manager_->TrimHistoryBefore(data.epoch);

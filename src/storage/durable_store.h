@@ -36,13 +36,18 @@ namespace xpred::storage {
 ///    promises. A WAL failure poisons the store — drain, reopen,
 ///    recover.
 ///  - `Checkpoint()` snapshots the full table at the current epoch
-///    boundary, compacts every fully-covered WAL segment, prunes old
-///    snapshots, and (under record_history) trims the manager's
-///    in-memory op log — the bounded-memory contract.
+///    boundary, prunes old snapshots, compacts the WAL through the
+///    oldest *retained* snapshot's seq (so every kept snapshot stays
+///    replayable if a newer one turns out corrupt at recovery), and
+///    (under record_history) trims the manager's in-memory op log —
+///    the bounded-memory contract.
 ///
 /// Concurrency: reads (manager().Pin(), exec::ParallelFilter batches)
 /// are lock-free as ever. Mutations and Checkpoint are serialized by a
-/// store-level writer mutex on top of the manager's own.
+/// store-level writer mutex on top of the manager's own; the WAL state
+/// itself (next durable seq, the active segment) has a dedicated
+/// mutex, so a mutation issued directly on manager() — legal but
+/// discouraged, see manager() — is mirrored race-free too.
 class DurableSubscriptionStore final
     : private core::IndexEpochManager::OpSink {
  public:
@@ -78,6 +83,14 @@ class DurableSubscriptionStore final
 
   /// The live manager: Pin() for lock-free reads, or hand it to a
   /// live-mode exec::ParallelFilter.
+  ///
+  /// Mutations (Subscribe/Unsubscribe/Publish) SHOULD go through the
+  /// store's own write path below. Calling them directly on the
+  /// returned manager is still durable and race-free — the OpSink
+  /// mirror serializes WAL state under its own mutex — but it bypasses
+  /// store_mu_, so a Checkpoint() racing such a mutation gives up with
+  /// kRejected (retry it) instead of risking a snapshot that disagrees
+  /// with the log.
   core::IndexEpochManager& manager() { return *manager_; }
   const core::IndexEpochManager& manager() const { return *manager_; }
 
@@ -88,10 +101,12 @@ class DurableSubscriptionStore final
   Result<uint64_t> Publish();
 
   /// Checkpoints at the current epoch boundary (publishing queued ops
-  /// first if needed): atomic snapshot, WAL compaction, snapshot
-  /// pruning, op-log trim. On failure (e.g. an injected rename fault)
-  /// the store keeps running on the previous checkpoint + full WAL —
-  /// a checkpoint failure loses no data.
+  /// first if needed): atomic snapshot, snapshot pruning, WAL
+  /// compaction through the oldest retained snapshot's seq, op-log
+  /// trim. On failure (e.g. an injected rename fault) the store keeps
+  /// running on the previous checkpoint + full WAL — a checkpoint
+  /// failure loses no data. Returns kRejected (safe to retry) when a
+  /// mutation issued directly on manager() raced the export.
   Status Checkpoint();
   ///@}
 
@@ -123,13 +138,22 @@ class DurableSubscriptionStore final
   std::unique_ptr<SubscriptionWal> wal_;
   RecoveryReport report_;
 
-  /// Serializes mutations + checkpoints (the manager's writer lock is
-  /// below this one; OpSink callbacks run under both).
+  /// Serializes the store's own write path against checkpoints. Lock
+  /// order: store_mu_ -> (manager writer mutex) -> wal_mu_.
   mutable std::mutex store_mu_;
-  /// Next durable seq; advanced by the OpSink callbacks, which run
-  /// under the manager's writer mutex.
+  /// Guards the WAL itself: next_seq_, last_op_manager_seq_, and every
+  /// wal_ operation. Taken by the OpSink callbacks (which run under
+  /// the manager's writer mutex, with or without store_mu_ — direct
+  /// manager() mutations skip the latter) and by Checkpoint().
+  mutable std::mutex wal_mu_;
+  /// Next durable seq; advanced by the OpSink callbacks.
   uint64_t next_seq_ = 1;
-  /// Durable seq of the newest snapshot (compaction bound).
+  /// Manager op seq of the last mirrored subscribe/unsubscribe.
+  /// Checkpoint compares it against ExportSubscriptions().last_seq to
+  /// detect a direct-manager mutation racing the export.
+  uint64_t last_op_manager_seq_ = 0;
+  /// Durable seq of the newest snapshot. The WAL compaction bound is
+  /// the *oldest retained* snapshot's seq, not this.
   uint64_t checkpoint_seq_ = 0;
 };
 

@@ -54,11 +54,31 @@ std::string SnapshotName(uint64_t last_seq) {
   return name;
 }
 
-bool IsSnapshotName(const std::string& name) {
+/// True for "snapshot-<16 hex>.xsnap"; \p seq_out (optional) receives
+/// the covered seq encoded in the name.
+bool ParseSnapshotName(const std::string& name, uint64_t* seq_out) {
   if (name.size() != 9 + 16 + 6) return false;
   if (name.rfind("snapshot-", 0) != 0) return false;
   if (name.compare(25, 6, ".xsnap") != 0) return false;
-  return name.find_first_not_of("0123456789abcdef", 9) == 25;
+  uint64_t seq = 0;
+  for (size_t i = 9; i < 25; ++i) {
+    char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    seq = (seq << 4) | digit;
+  }
+  if (seq_out != nullptr) *seq_out = seq;
+  return true;
+}
+
+bool IsSnapshotName(const std::string& name) {
+  return ParseSnapshotName(name, nullptr);
 }
 
 /// Sorted ascending by name == ascending by covered seq.
@@ -124,6 +144,13 @@ Result<SnapshotData> Deserialize(std::string_view data,
   uint64_t count = GetU64(data, 24);
   size_t at = kFixedHeaderBytes;
   const size_t end = data.size() - 4;
+  // Each entry occupies at least 13 bytes (sid, live flag, xpath
+  // length); a count the remaining bytes cannot possibly hold must be
+  // rejected before reserve() turns it into bad_alloc/length_error.
+  if (count > (end - at) / 13) {
+    return Status::InvalidArgument("snapshot entry count implausible: " +
+                                   path);
+  }
   snap.entries.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
     if (end - at < 8 + 1 + 4) {
@@ -218,7 +245,8 @@ Result<SnapshotData> SnapshotLoader::LoadFile(const std::string& path) {
 }
 
 Result<std::optional<LoadedSnapshot>> SnapshotLoader::LoadNewest(
-    const std::string& directory, uint64_t* quarantined_out) {
+    const std::string& directory, uint64_t* quarantined_out,
+    uint64_t* max_quarantined_seq_out) {
   std::vector<std::string> paths = ListSnapshots(directory);
   for (size_t i = paths.size(); i-- > 0;) {
     Result<SnapshotData> snap = LoadFile(paths[i]);
@@ -229,8 +257,12 @@ Result<std::optional<LoadedSnapshot>> SnapshotLoader::LoadNewest(
       return std::optional<LoadedSnapshot>(std::move(loaded));
     }
     // Corrupt candidate: set it aside (never retried) and fall back to
-    // the next-newest. The WAL still holds every op after *any* older
-    // snapshot, so falling back only lengthens replay.
+    // the next-newest. Checkpoints compact the WAL only through the
+    // oldest *retained* snapshot's seq (DurableSubscriptionStore's
+    // invariant), so falling back to a retained snapshot only
+    // lengthens replay; if the WAL turns out not to reach back this
+    // far after all, ScanWal detects the gap and recovery refuses
+    // rather than replaying over it.
     std::error_code ec;
     std::filesystem::rename(paths[i], paths[i] + ".quarantined", ec);
     if (ec) {
@@ -238,8 +270,31 @@ Result<std::optional<LoadedSnapshot>> SnapshotLoader::LoadNewest(
                               paths[i] + ": " + ec.message());
     }
     if (quarantined_out != nullptr) ++*quarantined_out;
+    uint64_t claimed = 0;
+    if (max_quarantined_seq_out != nullptr &&
+        ParseSnapshotName(
+            std::filesystem::path(paths[i]).filename().string(), &claimed) &&
+        claimed > *max_quarantined_seq_out) {
+      *max_quarantined_seq_out = claimed;
+    }
   }
   return std::optional<LoadedSnapshot>();
+}
+
+Result<std::optional<uint64_t>> SnapshotLoader::OldestRetainedSeq(
+    const std::string& directory) {
+  std::vector<std::string> paths = ListSnapshots(directory);
+  if (paths.empty()) return std::optional<uint64_t>();
+  // Fixed-width hex names sort lexically == numerically; the first
+  // path is the oldest snapshot still on disk.
+  uint64_t seq = 0;
+  if (!ParseSnapshotName(std::filesystem::path(paths.front())
+                             .filename()
+                             .string(),
+                         &seq)) {
+    return Status::Internal("unparseable snapshot name: " + paths.front());
+  }
+  return std::optional<uint64_t>(seq);
 }
 
 Result<size_t> SnapshotLoader::PruneOld(const std::string& directory,

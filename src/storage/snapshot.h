@@ -59,16 +59,27 @@ class SnapshotLoader {
   /// Scans `snapshot-*.xsnap` newest-first, returning the first one
   /// whose CRC verifies. Corrupt candidates are renamed
   /// `<name>.quarantined` and counted in \p quarantined_out (they will
-  /// never be retried). std::nullopt when no valid snapshot exists —
-  /// recovery then replays the WAL from seq 1.
+  /// never be retried); \p max_quarantined_seq_out (optional) receives
+  /// the highest covered seq any quarantined file *claimed* in its
+  /// name, so recovery can prove the fallback state is not behind a
+  /// checkpoint that once existed. std::nullopt when no valid snapshot
+  /// exists — recovery then replays the WAL from seq 1.
   static Result<std::optional<LoadedSnapshot>> LoadNewest(
-      const std::string& directory, uint64_t* quarantined_out);
+      const std::string& directory, uint64_t* quarantined_out,
+      uint64_t* max_quarantined_seq_out = nullptr);
 
   /// Parses + verifies one snapshot file (exposed for tests).
   static Result<SnapshotData> LoadFile(const std::string& path);
 
   /// Deletes all but the newest \p keep valid snapshot files.
   static Result<size_t> PruneOld(const std::string& directory, size_t keep);
+
+  /// Covered seq (from the file name) of the oldest snapshot still on
+  /// disk, or std::nullopt when none exist. Checkpoints compact the
+  /// WAL only through this seq, keeping every retained snapshot
+  /// replayable should a newer one turn out corrupt at recovery.
+  static Result<std::optional<uint64_t>> OldestRetainedSeq(
+      const std::string& directory);
 };
 
 }  // namespace xpred::storage

@@ -410,7 +410,10 @@ Result<WalScanResult> ScanWal(const std::string& directory,
   WalScanResult result;
   std::vector<std::pair<uint64_t, std::string>> segments =
       ListSegments(directory);
-  uint64_t expected_seq = 0;  // 0: first record of the scan sets it.
+  // 0: the chain is not yet anchored. A segment whose base seq is
+  // <= after_seq + 1 (re)anchors it — everything below that base is
+  // covered by the caller's snapshot.
+  uint64_t expected_seq = 0;
   for (size_t s = 0; s < segments.size(); ++s) {
     const std::string& path = segments[s].second;
     const bool is_last = s + 1 == segments.size();
@@ -434,13 +437,34 @@ Result<WalScanResult> ScanWal(const std::string& directory,
     } else {
       valid_end = kSegmentHeaderBytes;
       uint64_t base = GetU64(data, 8);
-      if (expected_seq != 0 && base != expected_seq) {
-        // A sequence gap between segments: records here can never be
-        // applied on top of the salvaged prefix.
+      if (base <= after_seq + 1 &&
+          (expected_seq == 0 || base >= expected_seq)) {
+        // Every seq below `base` is covered by the caller's snapshot,
+        // so the chain may (re)anchor here: an earlier recovery that
+        // truncated corruption below the snapshot's coverage and then
+        // reopened at snapshot_seq+1 leaves a hole between segments
+        // that is fully covered, not data loss.
+        expected_seq = base;
+      }
+      if (expected_seq == 0) {
+        // The earliest usable segment already starts past what the
+        // snapshot covers: the ops in (after_seq, base) were compacted
+        // against a newer checkpoint that can no longer be loaded.
+        // Replaying from here would silently skip acknowledged ops —
+        // refuse instead of recovering an incomplete table.
+        return Status::Internal(
+            "WAL gap: segment " + path + " starts at seq " +
+            std::to_string(base) + " but the recovery snapshot covers " +
+            "only through seq " + std::to_string(after_seq) +
+            "; the intervening records were compacted away");
+      }
+      if (base != expected_seq) {
+        // A sequence gap between segments past the snapshot's
+        // coverage: records here can never be applied on top of the
+        // salvaged prefix.
         segment_bad = true;
         valid_end = 0;
       } else {
-        if (expected_seq == 0) expected_seq = base;
         size_t at = kSegmentHeaderBytes;
         WalRecord rec;
         size_t end = 0;

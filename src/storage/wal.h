@@ -147,6 +147,16 @@ struct WalScanResult {
 /// an invalid non-final segment is renamed `<name>.quarantined`
 /// along with every later segment (their records would leave a
 /// sequence gap and can never be applied safely).
+///
+/// Seq-contiguity is anchored to \p after_seq, not to the first
+/// segment on disk: a segment whose base seq is <= after_seq + 1
+/// (re)starts the chain, so a hole that lies entirely below the
+/// snapshot's coverage (e.g. left by an earlier recovery's mid-log
+/// truncation) is legitimate. If instead the earliest usable segment
+/// starts past after_seq + 1 — acknowledged ops were compacted
+/// against a checkpoint that can no longer be loaded — the scan
+/// refuses with a "WAL gap" error rather than replaying over the
+/// hole.
 Result<WalScanResult> ScanWal(const std::string& directory,
                               uint64_t after_seq);
 

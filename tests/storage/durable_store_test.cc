@@ -4,8 +4,10 @@
 // contract under record_history.
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -256,6 +258,183 @@ TEST(DurableStoreTest, RecoveryReportJsonAndGauges) {
   EXPECT_EQ(snap.gauges.at("xpred_storage_recovery_records_replayed"), 2.0);
   EXPECT_EQ(snap.gauges.at("xpred_storage_durable_seq"), 2.0);
   EXPECT_EQ(snap.gauges.at("xpred_storage_recovery_bytes_truncated"), 0.0);
+}
+
+std::vector<std::string> SnapshotPaths(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0 &&
+        name.find(".xsnap") == name.size() - 6) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void CorruptFile(const std::string& path) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekp(12);
+  f.put('\x7f');
+}
+
+// The newest snapshot goes corrupt; recovery falls back to the older
+// retained one. The ops between the two checkpoints (an unsubscribe —
+// the kind whose loss is silent, not sid-divergent) must come back
+// from the WAL: checkpoints only compact through the *oldest* retained
+// snapshot precisely so this replay is possible.
+TEST(DurableStoreTest, CorruptNewestSnapshotFallsBackWithoutDataLoss) {
+  TempDir dir("xpred_store_fallback");
+  Store::Options options = BaseOptions(dir.path());
+  std::vector<std::string> want;
+  core::ExprId b_sid = 0;
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a").ok());
+    Result<core::ExprId> b = (*store)->Subscribe("/b");
+    ASSERT_TRUE(b.ok());
+    b_sid = *b;
+    ASSERT_TRUE((*store)->Subscribe("/c").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());  // Older snapshot.
+    ASSERT_TRUE((*store)->Unsubscribe(b_sid).ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());  // Newest snapshot.
+    ASSERT_TRUE((*store)->Subscribe("/d").ok());  // WAL tail.
+    ASSERT_TRUE((*store)->Publish().ok());
+    want = Table((*store)->manager());
+  }
+  std::vector<std::string> snapshots = SnapshotPaths(dir.path());
+  ASSERT_EQ(snapshots.size(), 2u);  // snapshots_to_keep default.
+  CorruptFile(snapshots.back());
+
+  RecoveryReport report;
+  Result<std::unique_ptr<Store>> store = Store::Open(options, &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(report.snapshots_quarantined, 1u);
+  EXPECT_TRUE(report.snapshot_loaded);
+  // Everything after the older snapshot replays from the WAL — the
+  // unsubscribe is not silently lost.
+  EXPECT_EQ(Table((*store)->manager()), want);
+  EXPECT_EQ(report.live_subscriptions, 3u);
+}
+
+// With snapshots_to_keep = 1 a corrupt snapshot has no replayable
+// fallback: the WAL was compacted against it. Recovery must refuse
+// with a clear error instead of replaying over the gap.
+TEST(DurableStoreTest, RecoveryRefusesReplayOverCompactedGap) {
+  TempDir dir("xpred_store_gap");
+  Store::Options options = BaseOptions(dir.path());
+  options.snapshots_to_keep = 1;
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a").ok());
+    ASSERT_TRUE((*store)->Subscribe("/b").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    ASSERT_TRUE((*store)->Subscribe("/c").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+  }
+  std::vector<std::string> snapshots = SnapshotPaths(dir.path());
+  ASSERT_EQ(snapshots.size(), 1u);
+  CorruptFile(snapshots.front());
+
+  Result<std::unique_ptr<Store>> store = Store::Open(options);
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.status().message().find("WAL gap"), std::string::npos);
+}
+
+// If the WAL segments are gone too, the gap is invisible to ScanWal —
+// but the quarantined snapshot's name still claims coverage recovery
+// cannot rebuild, which must also refuse.
+TEST(DurableStoreTest, RecoveryRefusesWhenQuarantinedClaimExceedsRebuild) {
+  TempDir dir("xpred_store_claim");
+  Store::Options options = BaseOptions(dir.path());
+  options.snapshots_to_keep = 1;
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a").ok());
+    ASSERT_TRUE((*store)->Publish().ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+  }
+  std::vector<std::string> snapshots = SnapshotPaths(dir.path());
+  ASSERT_EQ(snapshots.size(), 1u);
+  CorruptFile(snapshots.front());
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".xwal") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+
+  Result<std::unique_ptr<Store>> store = Store::Open(options);
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.status().message().find("claimed coverage"),
+            std::string::npos);
+}
+
+// Mutations issued directly on manager() (e.g. by a live
+// ParallelFilter's AddExpression) are mirrored into the WAL without
+// store_mu_; they must still be durable, and a checkpoint that races
+// one must fail cleanly (kRejected) rather than write a snapshot that
+// disagrees with the log.
+TEST(DurableStoreTest, DirectManagerMutationsAreDurable) {
+  TempDir dir("xpred_store_direct");
+  std::vector<std::string> want;
+  {
+    Result<std::unique_ptr<Store>> store = Store::Open(BaseOptions(dir.path()));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Subscribe("/a").ok());
+    core::IndexEpochManager& manager = (*store)->manager();
+    ASSERT_TRUE(manager.Subscribe("/direct").ok());
+    ASSERT_TRUE(manager.Publish().ok());
+    // Quiesced direct mutations checkpoint fine.
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    ASSERT_TRUE(manager.Subscribe("/direct2").ok());
+    ASSERT_TRUE(manager.Publish().ok());
+    want = Table((*store)->manager());
+  }
+  Result<std::unique_ptr<Store>> store = Store::Open(BaseOptions(dir.path()));
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(Table((*store)->manager()), want);
+}
+
+TEST(DurableStoreTest, CheckpointRacingDirectMutationsStaysConsistent) {
+  TempDir dir("xpred_store_race");
+  Result<std::unique_ptr<Store>> opened = Store::Open(BaseOptions(dir.path()));
+  ASSERT_TRUE(opened.ok());
+  Store* store = opened->get();
+  std::thread writer([store] {
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(store->manager().Subscribe("/r").ok());
+      if (i % 8 == 7) ASSERT_TRUE(store->manager().Publish().ok());
+    }
+    ASSERT_TRUE(store->manager().Publish().ok());
+  });
+  int rejected = 0;
+  for (int i = 0; i < 32; ++i) {
+    Status st = store->Checkpoint();
+    // kRejected = the checkpoint raced a direct mutation (or pins); any
+    // other failure is real.
+    if (!st.ok()) {
+      ASSERT_EQ(st.code(), StatusCode::kRejected) << st;
+      ++rejected;
+    }
+  }
+  writer.join();
+  ASSERT_TRUE(store->Checkpoint().ok());
+  std::vector<std::string> want = Table(store->manager());
+  EXPECT_EQ(want.size(), 64u);
+  opened->reset();
+
+  Result<std::unique_ptr<Store>> reopened =
+      Store::Open(BaseOptions(dir.path()));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(Table((*reopened)->manager()), want);
 }
 
 TEST(DurableStoreTest, CheckpointTrimsRecordedHistory) {

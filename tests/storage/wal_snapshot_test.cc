@@ -295,6 +295,75 @@ TEST(WalTest, PartialCompactionKeepsUncoveredSegments) {
   EXPECT_EQ(scan->records.back().seq, 12u);
 }
 
+TEST(WalTest, ScanAnchorsContiguityToSnapshotCoverage) {
+  TempDir dir("xpred_wal_anchor");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  // Segment with records 1..2: an earlier recovery truncated it below
+  // the snapshot's coverage (the snapshot covers through seq 5)...
+  {
+    Result<std::unique_ptr<SubscriptionWal>> wal =
+        SubscriptionWal::Open(options, 1);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Sub(1, 0, "/a")).ok());
+    ASSERT_TRUE((*wal)->Append(Sub(2, 1, "/b")).ok());
+  }
+  // ...and then reopened a fresh segment at snapshot_seq + 1 = 6.
+  {
+    Result<std::unique_ptr<SubscriptionWal>> wal =
+        SubscriptionWal::Open(options, 6);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Sub(6, 5, "/f")).ok());
+    ASSERT_TRUE((*wal)->Append(Sub(7, 6, "/g")).ok());
+  }
+
+  // The segments are non-contiguous (3..5 missing) but the hole is
+  // fully covered by the snapshot: the scan must re-anchor at base 6
+  // and return the acked durable records instead of quarantining them.
+  Result<WalScanResult> scan = ScanWal(dir.path(), 5);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->segments_quarantined, 0u);
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].seq, 6u);
+  EXPECT_EQ(scan->records[1].seq, 7u);
+  EXPECT_EQ(scan->last_seq, 7u);
+}
+
+TEST(WalTest, ScanRefusesGapPastSnapshotCoverage) {
+  TempDir dir("xpred_wal_gap");
+  SubscriptionWal::Options options;
+  options.directory = dir.path();
+  options.fsync = FsyncPolicy::kNever;
+  {
+    Result<std::unique_ptr<SubscriptionWal>> wal =
+        SubscriptionWal::Open(options, 6);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Sub(6, 5, "/f")).ok());
+  }
+
+  // The snapshot only covers through seq 2: seqs 3..5 were compacted
+  // against a newer checkpoint that is gone. Replaying from 6 would
+  // silently skip them — the scan must refuse.
+  Result<WalScanResult> scan = ScanWal(dir.path(), 2);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_NE(scan.status().message().find("WAL gap"), std::string::npos);
+
+  // Even a header-only segment proves the hole (its base seq records
+  // that seqs up to base-1 once existed).
+  TempDir dir2("xpred_wal_gap_empty");
+  options.directory = dir2.path();
+  { ASSERT_TRUE(SubscriptionWal::Open(options, 6).ok()); }
+  Result<WalScanResult> empty = ScanWal(dir2.path(), 2);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("WAL gap"), std::string::npos);
+
+  // With full coverage (snapshot through 5) the same log is fine.
+  Result<WalScanResult> covered = ScanWal(dir.path(), 5);
+  ASSERT_TRUE(covered.ok()) << covered.status();
+  ASSERT_EQ(covered->records.size(), 1u);
+}
+
 TEST(SnapshotTest, WriteLoadRoundtrip) {
   TempDir dir("xpred_snap_roundtrip");
   SnapshotData data;
@@ -378,6 +447,92 @@ TEST(SnapshotTest, PruneOldKeepsNewest) {
   ASSERT_TRUE(loaded.ok());
   ASSERT_TRUE(loaded->has_value());
   EXPECT_EQ((**loaded).data.last_seq, 50u);
+}
+
+TEST(SnapshotTest, ImplausibleEntryCountIsRejected) {
+  TempDir dir("xpred_snap_count");
+  // Hand-craft a header-only snapshot whose entry count claims ~2^64
+  // entries, with a CRC that verifies — reserve() must not be reached
+  // (it would throw length_error/bad_alloc instead of returning a
+  // status).
+  std::string bytes = "XPSNAP01";
+  auto put_u64 = [&bytes](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  put_u64(3);                      // epoch
+  put_u64(9);                      // last_seq
+  put_u64(0xFFFFFFFFFFFFFFFFull);  // entry count
+  uint32_t crc = MaskCrc32c(Crc32c(bytes));
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  }
+  const std::string path =
+      dir.path() + "/snapshot-0000000000000009.xsnap";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+  }
+  Result<SnapshotData> loaded = SnapshotLoader::LoadFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("implausible"),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, OldestRetainedSeqTracksOnDiskFiles) {
+  TempDir dir("xpred_snap_oldest");
+  Result<std::optional<uint64_t>> none =
+      SnapshotLoader::OldestRetainedSeq(dir.path());
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+
+  for (uint64_t seq = 10; seq <= 30; seq += 10) {
+    SnapshotData data;
+    data.epoch = seq / 10;
+    data.last_seq = seq;
+    ASSERT_TRUE(SnapshotWriter::Write(dir.path(), data).ok());
+  }
+  Result<std::optional<uint64_t>> oldest =
+      SnapshotLoader::OldestRetainedSeq(dir.path());
+  ASSERT_TRUE(oldest.ok());
+  ASSERT_TRUE(oldest->has_value());
+  EXPECT_EQ(**oldest, 10u);
+
+  ASSERT_TRUE(SnapshotLoader::PruneOld(dir.path(), 2).ok());
+  oldest = SnapshotLoader::OldestRetainedSeq(dir.path());
+  ASSERT_TRUE(oldest.ok());
+  ASSERT_TRUE(oldest->has_value());
+  EXPECT_EQ(**oldest, 20u);
+}
+
+TEST(SnapshotTest, LoadNewestReportsQuarantinedClaim) {
+  TempDir dir("xpred_snap_claim");
+  SnapshotData old_data;
+  old_data.epoch = 1;
+  old_data.last_seq = 10;
+  ASSERT_TRUE(SnapshotWriter::Write(dir.path(), old_data).ok());
+  SnapshotData new_data;
+  new_data.epoch = 2;
+  new_data.last_seq = 20;
+  Result<std::string> newest = SnapshotWriter::Write(dir.path(), new_data);
+  ASSERT_TRUE(newest.ok());
+  {
+    std::fstream f(*newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(12);
+    f.put('\x7f');
+  }
+  uint64_t quarantined = 0;
+  uint64_t claimed = 0;
+  Result<std::optional<LoadedSnapshot>> loaded =
+      SnapshotLoader::LoadNewest(dir.path(), &quarantined, &claimed);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->has_value());
+  EXPECT_EQ((**loaded).data.last_seq, 10u);
+  EXPECT_EQ(quarantined, 1u);
+  // The corrupt file's name still records what it once covered.
+  EXPECT_EQ(claimed, 20u);
 }
 
 TEST(SnapshotTest, TruncatedFileIsRejected) {
