@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates benchmark JSON sidecars and their performance gates.
 
-Covers five benches, dispatched on the sidecar's "bench" field:
+Covers six benches, dispatched on the sidecar's "bench" field:
 
   * parallel_scaling  — thread-scaling results + speedup gate;
   * analytics_overhead — attribution/profiler cost + overhead gate;
@@ -9,9 +9,11 @@ Covers five benches, dispatched on the sidecar's "bench" field:
     gate;
   * churn — live-subscription churn cost + degradation gate;
   * durability — WAL write-path cost + fsync=never overhead gate, and
-    cold-recovery timings.
+    cold-recovery timings;
+  * obs_endpoint — live introspection-plane scrape cost + overhead
+    gate.
 
-Six modes:
+Seven modes:
 
   * file mode: validate existing sidecar JSON files;
   * --bench mode (the ctest hook): run the bench_parallel_scaling
@@ -22,7 +24,8 @@ Six modes:
     bench_recorder_overhead;
   * --churn-bench mode (the ctest hook): same for bench_churn;
   * --durability-bench mode (the ctest hook): same for
-    bench_durability (with a scaled-down cold-recovery store).
+    bench_durability (with a scaled-down cold-recovery store);
+  * --obs-bench mode (the ctest hook): same for bench_obs_endpoint.
 
 parallel_scaling schema (always enforced): top-level bench/build_type/
 hardware_concurrency/baseline_docs_per_sec and a non-empty results
@@ -86,6 +89,20 @@ overhead_fraction_never must stay below 15%. fsync=always is reported
 but never gated — a real fsync per record costs whatever the storage
 stack charges.
 
+obs_endpoint schema (always enforced): bench/build_type/
+baseline_docs_per_sec/scraped_docs_per_sec/overhead_fraction/
+scrape_hz, plus scrapes_completed > 0 (a scraper must actually have
+fetched /metrics over HTTP while filtering ran, otherwise the
+"overhead" measures nothing). overhead_fraction is recomputed from
+the throughputs and must match.
+
+obs_endpoint performance gate (Release builds on >= 4-CPU hosts only —
+on an oversubscribed host the scraper thread steals the filter
+workers' only core and the measurement is pure scheduling):
+overhead_fraction must stay below 3% — handlers serve published
+immutable snapshots (DESIGN.md §17), so a live scraper should be
+nearly free on the hot path.
+
 Usage:
     check_bench_schema.py parallel_scaling.json analytics_overhead.json
     check_bench_schema.py --bench path/to/bench_parallel_scaling \
@@ -97,6 +114,8 @@ Usage:
     check_bench_schema.py --churn-bench path/to/bench_churn \
         --build-type Release
     check_bench_schema.py --durability-bench path/to/bench_durability \
+        --build-type Release
+    check_bench_schema.py --obs-bench path/to/bench_obs_endpoint \
         --build-type Release
 """
 
@@ -114,6 +133,7 @@ MAX_ANALYTICS_OVERHEAD = 0.05
 MAX_RECORDER_OVERHEAD = 0.03
 MAX_CHURN_DEGRADATION = 0.10
 MAX_DURABILITY_OVERHEAD = 0.15
+MAX_OBS_OVERHEAD = 0.03
 
 
 def fail(msg):
@@ -363,12 +383,56 @@ def validate_durability(data):
              data["recovery_subscriptions"]))
 
 
+def validate_obs_endpoint(data):
+    for field in ("build_type", "hardware_concurrency",
+                  "baseline_docs_per_sec", "scraped_docs_per_sec",
+                  "overhead_fraction", "scrape_hz",
+                  "scrapes_completed"):
+        check(field in data, "missing top-level field %r" % field)
+    check(data["baseline_docs_per_sec"] > 0,
+          "baseline_docs_per_sec must be positive")
+    check(data["scraped_docs_per_sec"] > 0,
+          "scraped_docs_per_sec must be positive")
+    check(data["scrape_hz"] > 0, "scrape_hz must be positive")
+    check(data["scrapes_completed"] > 0,
+          "no /metrics scrape completed — the serving path is not "
+          "exercised")
+
+    overhead = data["overhead_fraction"]
+    reported = 1.0 - (data["scraped_docs_per_sec"] /
+                      data["baseline_docs_per_sec"])
+    check(abs(overhead - reported) < 1e-6,
+          "overhead_fraction %r inconsistent with throughputs (%r)"
+          % (overhead, reported))
+
+    build_type = data["build_type"]
+    cpus = data["hardware_concurrency"]
+    if build_type != "Release":
+        print("check_bench_schema: schema OK; overhead gate skipped "
+              "(build_type=%s, need Release)" % build_type)
+        return
+    if cpus < MIN_GATE_CPUS:
+        print("check_bench_schema: schema OK; overhead gate skipped "
+              "(%d hardware threads, need >= %d — on an oversubscribed "
+              "host the scraper thread steals the filter workers' "
+              "cores)" % (cpus, MIN_GATE_CPUS))
+        return
+    check(overhead < MAX_OBS_OVERHEAD,
+          "scrape-attached overhead %.2f%% breaches the %d%% gate"
+          % (100 * overhead, int(100 * MAX_OBS_OVERHEAD)))
+    print("check_bench_schema: OK (scrape-attached overhead %.2f%%, "
+          "gate %d%%, %d scrapes at %d Hz)"
+          % (100 * overhead, int(100 * MAX_OBS_OVERHEAD),
+             data["scrapes_completed"], data["scrape_hz"]))
+
+
 VALIDATORS = {
     "parallel_scaling": validate_parallel_scaling,
     "analytics_overhead": validate_analytics_overhead,
     "recorder_overhead": validate_recorder_overhead,
     "churn": validate_churn,
     "durability": validate_durability,
+    "obs_endpoint": validate_obs_endpoint,
 }
 
 
@@ -421,15 +485,16 @@ def main():
     parser.add_argument("--churn-bench", help="bench_churn binary")
     parser.add_argument("--durability-bench",
                         help="bench_durability binary")
+    parser.add_argument("--obs-bench", help="bench_obs_endpoint binary")
     parser.add_argument("--build-type", default="",
                         help="expected CMake build type of the binary")
     args = parser.parse_args()
     if (not args.files and not args.bench and not args.analytics_bench
             and not args.recorder_bench and not args.churn_bench
-            and not args.durability_bench):
+            and not args.durability_bench and not args.obs_bench):
         parser.error("give sidecar files, --bench, --analytics-bench, "
-                     "--recorder-bench, --churn-bench, or "
-                     "--durability-bench")
+                     "--recorder-bench, --churn-bench, "
+                     "--durability-bench, or --obs-bench")
     for path in args.files:
         validate(path)
     if args.bench:
@@ -448,6 +513,8 @@ def main():
         run_bench(args.durability_bench, args.build_type,
                   "durability.json",
                   extra_env={"XPRED_BENCH_RECOVERY_SUBS": "4000"})
+    if args.obs_bench:
+        run_bench(args.obs_bench, args.build_type, "obs_endpoint.json")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""Validates the xpred live introspection plane (DESIGN.md §17).
+
+Two modes:
+
+  * file mode: validate a saved /statusz JSON document;
+  * --cli mode (wired into ctest as `obs_endpoints_check`): launch
+    `xpred_cli serve-obs` against a generated workload, scrape every
+    endpoint over real HTTP while the filter loop runs, and validate
+
+      - /metrics against the Prometheus exposition rules of
+        check_metrics_schema.py,
+      - /healthz and /readyz check-list JSON (names, kinds, details),
+      - /statusz against the schema below,
+      - /debug/workload, /debug/recorder (NDJSON), /debug/trace
+        (including the ?doc= filter and its 400 on garbage),
+      - 404/405 routing behavior,
+
+    then re-launch with --stall-test and assert /healthz flips to 503
+    naming the failing "watchdog" check in the JSON body.
+
+Usage:
+    check_statusz_schema.py statusz.json [statusz2.json ...]
+    check_statusz_schema.py --cli path/to/xpred_cli
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_metrics_schema  # noqa: E402  (sibling module)
+
+SERVING_RE = re.compile(r"^serving on (?P<host>[0-9.]+):(?P<port>\d+)$")
+
+
+def fail(msg):
+    print("check_statusz_schema: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+# ---------------------------------------------------------------- statusz
+
+def validate_statusz(source, doc):
+    check(doc.get("service") == "xpred",
+          "%s: service must be 'xpred'" % source)
+    build = doc.get("build")
+    check(isinstance(build, dict), "%s: missing build object" % source)
+    for field in ("version", "build_type", "compiler"):
+        check(isinstance(build.get(field), str) and build[field],
+              "%s: build.%s missing or empty" % (source, field))
+    check(build["build_type"] in ("optimized", "debug"),
+          "%s: build.build_type %r not optimized|debug"
+          % (source, build["build_type"]))
+    check(isinstance(doc.get("uptime_seconds"), (int, float))
+          and doc["uptime_seconds"] >= 0,
+          "%s: uptime_seconds invalid" % source)
+    check(isinstance(doc.get("metrics_publishes"), int)
+          and doc["metrics_publishes"] >= 0,
+          "%s: metrics_publishes invalid" % source)
+    check(isinstance(doc.get("metrics_age_seconds"), (int, float)),
+          "%s: metrics_age_seconds invalid" % source)
+    server = doc.get("server")
+    check(isinstance(server, dict), "%s: missing server object" % source)
+    for field in ("accepted", "requests", "parse_errors",
+                  "deadline_closes", "rejected_over_capacity"):
+        check(isinstance(server.get(field), int) and server[field] >= 0,
+              "%s: server.%s invalid" % (source, field))
+    check(server["requests"] >= 1,
+          "%s: server.requests must count this very request" % source)
+    for section in ("gauges", "counters"):
+        check(isinstance(doc.get(section), dict),
+              "%s: missing %s object" % (source, section))
+        for key, value in doc[section].items():
+            check(isinstance(value, (int, float)),
+                  "%s: %s[%r] not numeric" % (source, section, key))
+    print("check_statusz_schema: OK statusz %s (%d gauges, %d counters)"
+          % (source, len(doc["gauges"]), len(doc["counters"])))
+
+
+def validate_statusz_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        validate_statusz(path, json.load(f))
+
+
+# ----------------------------------------------------------- http helpers
+
+def fetch(port, target, timeout=10):
+    """GET the target; returns (status, body-bytes)."""
+    url = "http://127.0.0.1:%d%s" % (port, target)
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read()
+
+
+def fetch_json(port, target, expect_status=200):
+    status, body = fetch(port, target)
+    check(status == expect_status, "%s: expected HTTP %d, got %d: %r"
+          % (target, expect_status, status, body[:200]))
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as e:
+        fail("%s: invalid JSON: %s" % (target, e))
+
+
+def validate_health_body(target, doc, expect_ok):
+    check(doc.get("status") == ("ok" if expect_ok else "unhealthy"),
+          "%s: status %r" % (target, doc.get("status")))
+    checks = doc.get("checks")
+    check(isinstance(checks, list), "%s: missing checks list" % target)
+    for i, entry in enumerate(checks):
+        for field in ("name", "kind", "ok", "detail"):
+            check(field in entry,
+                  "%s: checks[%d] missing %r" % (target, i, field))
+        check(entry["kind"] in ("liveness", "readiness"),
+              "%s: checks[%d] bad kind %r" % (target, i, entry["kind"]))
+    return checks
+
+
+class ServeObs:
+    """Context manager around one `xpred_cli serve-obs` process."""
+
+    def __init__(self, cli, extra_flags):
+        self.cli = cli
+        self.flags = extra_flags
+        self.process = None
+        self.port = None
+
+    def __enter__(self):
+        self.process = subprocess.Popen(
+            [self.cli, "serve-obs", "--port=0"] + self.flags,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        line = self.process.stdout.readline().strip()
+        m = SERVING_RE.match(line)
+        if m is None:
+            self.process.kill()
+            out, err = self.process.communicate()
+            fail("serve-obs did not announce a port (got %r; stderr %r)"
+                 % (line, err[:500]))
+        self.port = int(m.group("port"))
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            out, err = self.process.communicate(timeout=20)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.communicate()
+            fail("serve-obs did not exit on SIGTERM")
+        if exc_type is None:
+            check(self.process.returncode == 0,
+                  "serve-obs exited %d (stderr %r)"
+                  % (self.process.returncode, err[:500]))
+
+
+# ---------------------------------------------------------------- cli e2e
+
+def check_endpoints(cli):
+    flags = ["--dtd=nitf", "--subs=60", "--docs=4", "--batch-delay-ms=10",
+             "--duration-ms=60000", "--seed=7", "--quiet"]
+    with ServeObs(cli, flags) as server:
+        port = server.port
+
+        # Index lists every endpoint.
+        status, body = fetch(port, "/")
+        check(status == 200, "/ returned %d" % status)
+        for endpoint in ("/metrics", "/healthz", "/readyz", "/statusz",
+                         "/debug/workload", "/debug/recorder",
+                         "/debug/trace"):
+            check(endpoint.encode() in body,
+                  "/ index does not list %s" % endpoint)
+
+        # Let the filter loop publish a few metric snapshots first.
+        time.sleep(0.5)
+
+        # /metrics: full Prometheus exposition validation.
+        status, metrics = fetch(port, "/metrics")
+        check(status == 200, "/metrics returned %d" % status)
+        check(b"xpred_documents_total" in metrics,
+              "/metrics has no xpred_documents_total")
+        with tempfile.NamedTemporaryFile("wb", suffix=".prom",
+                                         delete=False) as f:
+            f.write(metrics)
+            prom_path = f.name
+        try:
+            check_metrics_schema.validate_prometheus(prom_path)
+        finally:
+            os.unlink(prom_path)
+
+        # Health: live and ready while the loop is humming.
+        validate_health_body("/healthz", fetch_json(port, "/healthz"),
+                             expect_ok=True)
+        ready = validate_health_body("/readyz", fetch_json(port, "/readyz"),
+                                     expect_ok=True)
+        check(any(c["name"] == "watchdog" for c in ready),
+              "/readyz does not include the watchdog check")
+        check(any(c["kind"] == "readiness" for c in ready),
+              "/readyz includes no readiness-kind check")
+
+        # /statusz schema, including live server counters.
+        validate_statusz("/statusz", fetch_json(port, "/statusz"))
+
+        # /debug/workload: the profiler report becomes visible at the
+        # slow publication cadence (~0.5s); poll briefly.
+        workload = None
+        for _ in range(40):
+            workload = fetch_json(port, "/debug/workload")
+            if "schema_version" in workload:
+                break
+            time.sleep(0.1)
+        check(workload is not None and "schema_version" in workload,
+              "/debug/workload never published a report")
+        check_metrics_schema.validate_workload("/debug/workload", workload)
+
+        # /debug/recorder: NDJSON, header line first.
+        status, recorder = fetch(port, "/debug/recorder")
+        check(status == 200, "/debug/recorder returned %d" % status)
+        lines = [l for l in recorder.decode().splitlines() if l]
+        check(lines, "/debug/recorder is empty")
+        header = json.loads(lines[0])
+        check("recorder" in header and "events" in header["recorder"],
+              "/debug/recorder header line malformed: %r" % lines[0])
+        check(header["recorder"]["events"] == len(lines) - 1,
+              "/debug/recorder event count %d != %d lines"
+              % (header["recorder"]["events"], len(lines) - 1))
+        for line in lines[1:3]:
+            event = json.loads(line)
+            for field in ("nanos", "thread", "type", "a", "b"):
+                check(field in event,
+                      "/debug/recorder event missing %r: %r" % (field, line))
+
+        # /debug/trace: spans appear at the slow cadence too.
+        trace = None
+        for _ in range(40):
+            trace = fetch_json(port, "/debug/trace")
+            if trace.get("spans"):
+                break
+            time.sleep(0.1)
+        check(trace.get("spans"), "/debug/trace never served spans")
+        span = trace["spans"][0]
+        for field in ("doc", "engine", "span", "start_ns", "dur_ns"):
+            check(field in span, "/debug/trace span missing %r" % field)
+        doc_id = span["doc"]
+        filtered = fetch_json(port, "/debug/trace?doc=%d" % doc_id)
+        check(filtered["spans"]
+              and all(s["doc"] == doc_id for s in filtered["spans"]),
+              "/debug/trace?doc=%d filter broken" % doc_id)
+        status, _ = fetch(port, "/debug/trace?doc=bogus")
+        check(status == 400, "/debug/trace?doc=bogus returned %d" % status)
+
+        # Routing: unknown path 404; POST on a known path 405.
+        status, _ = fetch(port, "/no-such-endpoint")
+        check(status == 404, "unknown path returned %d" % status)
+        request = urllib.request.Request(
+            "http://127.0.0.1:%d/metrics" % port, data=b"x", method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status = response.status
+        except urllib.error.HTTPError as e:
+            status = e.code
+        check(status == 405, "POST /metrics returned %d" % status)
+
+    print("check_statusz_schema: OK endpoints (all 7 served and valid)")
+
+
+def check_stall_flips_healthz(cli):
+    flags = ["--dtd=nitf", "--subs=20", "--docs=2", "--batch-delay-ms=10",
+             "--duration-ms=60000", "--stall-test", "--stall-ms=100",
+             "--seed=7", "--quiet"]
+    with ServeObs(cli, flags) as server:
+        port = server.port
+        # The phantom worker goes silent immediately; the watchdog needs
+        # one stall window (100ms) plus a scan to notice.
+        deadline = time.time() + 10
+        doc = None
+        while time.time() < deadline:
+            status, body = fetch(port, "/healthz")
+            if status == 503:
+                doc = json.loads(body)
+                break
+            time.sleep(0.1)
+        check(doc is not None, "/healthz never flipped to 503")
+        checks = validate_health_body("/healthz", doc, expect_ok=False)
+        failing = [c for c in checks if not c["ok"]]
+        check(failing, "503 /healthz body lists no failing check")
+        check(any(c["name"] == "watchdog" for c in failing),
+              "failing check not named 'watchdog': %r" % failing)
+        check(any("stalled" in c["detail"] for c in failing),
+              "watchdog failure detail does not mention the stall: %r"
+              % failing)
+        # Liveness failures gate readiness too.
+        status, _ = fetch(port, "/readyz")
+        check(status == 503, "/readyz is %d while /healthz is 503" % status)
+    print("check_statusz_schema: OK stall test (healthz flipped to 503 "
+          "naming watchdog)")
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--cli":
+        check_endpoints(argv[1])
+        check_stall_flips_healthz(argv[1])
+        return
+    if not argv or argv[0].startswith("-"):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in argv:
+        validate_statusz_file(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

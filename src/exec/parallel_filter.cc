@@ -351,6 +351,11 @@ void ParallelFilter::PublishPoolMetrics(uint64_t batch_nanos) {
     watchdog_stalled_gauge_ = registry->AddGauge(
         "xpred_watchdog_stalled_workers",
         "Workers currently considered stalled", labels);
+    watchdog_last_stall_gauge_ = registry->AddGauge(
+        "xpred_watchdog_last_stall_ns",
+        "Watchdog-epoch nanoseconds of the most recent stall report "
+        "(0 = never)",
+        labels);
     watchdog_published_ = obs::Watchdog::Stats{};
     if (manager_ != nullptr) {
       epoch_current_gauge_ = registry->AddGauge(
@@ -404,6 +409,8 @@ void ParallelFilter::PublishPoolMetrics(uint64_t batch_nanos) {
     watchdog_dumps_counter_->Increment(stats.dumps -
                                        watchdog_published_.dumps);
     watchdog_stalled_gauge_->Set(static_cast<double>(stats.stalled_now));
+    watchdog_last_stall_gauge_->Set(
+        static_cast<double>(stats.last_stall_nanos));
     watchdog_published_ = stats;
   }
   if (manager_ != nullptr) {

@@ -233,6 +233,7 @@ class ParallelFilter : public core::FilterEngine {
   obs::Counter* watchdog_stalls_counter_ = nullptr;
   obs::Counter* watchdog_dumps_counter_ = nullptr;
   obs::Gauge* watchdog_stalled_gauge_ = nullptr;
+  obs::Gauge* watchdog_last_stall_gauge_ = nullptr;
   /// Watchdog totals already published as counter increments.
   obs::Watchdog::Stats watchdog_published_;
   /// Live-mode epoch metrics (registered only when manager_ != null).

@@ -1,0 +1,296 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xpred::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Token characters legal in a method name (RFC 9110 §5.6.2 tchar).
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  return std::string_view("!#$%&'*+-.^_`|~").find(c) !=
+         std::string_view::npos;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::path() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::query() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view() : t.substr(q + 1);
+}
+
+std::string HttpRequest::QueryParam(std::string_view key) const {
+  std::string_view q = query();
+  while (!q.empty()) {
+    size_t amp = q.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? q : q.substr(0, amp);
+    q = amp == std::string_view::npos ? std::string_view()
+                                      : q.substr(amp + 1);
+    size_t eq = pair.find('=');
+    std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      return eq == std::string_view::npos
+                 ? std::string()
+                 : std::string(pair.substr(eq + 1));
+    }
+  }
+  return std::string();
+}
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return std::string_view();
+}
+
+bool HttpRequest::keep_alive() const {
+  std::string_view connection = Header("connection");
+  if (version == "HTTP/1.1") {
+    return !EqualsIgnoreCase(connection, "close");
+  }
+  return EqualsIgnoreCase(connection, "keep-alive");
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+std::string_view HttpResponse::ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::Serialize(bool close) const {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += ReasonPhrase(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  for (const auto& [name, value] : headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  if (close) out += "\r\nConnection: close";
+  out += "\r\n\r\n";
+  if (!suppress_body) out += body;
+  return out;
+}
+
+void RequestParser::Append(std::string_view data) {
+  // Compact lazily: only when the dead prefix dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+}
+
+RequestParser::Result RequestParser::Fail(int status,
+                                          std::string_view reason) {
+  error_status_ = status;
+  error_reason_ = reason;
+  return Result::kError;
+}
+
+RequestParser::Result RequestParser::TryNext(HttpRequest* out) {
+  if (error_status_ != 0) return Result::kError;
+  std::string_view input(buffer_);
+  input.remove_prefix(consumed_);
+
+  // Tolerate leading CRLF between pipelined requests (RFC 9112 §2.2).
+  size_t skip = 0;
+  while (skip < input.size() &&
+         (input[skip] == '\r' || input[skip] == '\n')) {
+    ++skip;
+  }
+  input.remove_prefix(skip);
+
+  // Find the end of the header section. Accept bare-LF line endings
+  // (robustness rule, RFC 9112 §2.2) by scanning for "\n\r\n" or
+  // "\n\n".
+  size_t header_end = std::string_view::npos;  // Index AFTER the blank line.
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input[i] != '\n') continue;
+    if (i + 1 < input.size() && input[i + 1] == '\n') {
+      header_end = i + 2;
+      break;
+    }
+    if (i + 2 < input.size() && input[i + 1] == '\r' &&
+        input[i + 2] == '\n') {
+      header_end = i + 3;
+      break;
+    }
+  }
+  if (header_end == std::string_view::npos) {
+    if (input.size() > options_.max_header_bytes) {
+      return Fail(431, "header section exceeds limit");
+    }
+    return Result::kNeedMore;
+  }
+  if (header_end > options_.max_header_bytes) {
+    return Fail(431, "header section exceeds limit");
+  }
+
+  // ---- Request line.
+  std::string_view headers_block = input.substr(0, header_end);
+  size_t line_end = headers_block.find('\n');
+  std::string_view request_line = headers_block.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  std::string_view method = request_line.substr(0, sp1);
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (method.empty() ||
+      !std::all_of(method.begin(), method.end(), IsTokenChar)) {
+    return Fail(400, "malformed method");
+  }
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, "target must be origin-form");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(505, "unsupported HTTP version");
+  }
+
+  HttpRequest request;
+  request.method.assign(method);
+  request.target.assign(target);
+  request.version.assign(version);
+
+  // ---- Header fields.
+  size_t content_length = 0;
+  bool have_content_length = false;
+  std::string_view rest = headers_block.substr(line_end + 1);
+  while (!rest.empty()) {
+    size_t nl = rest.find('\n');
+    std::string_view line = rest.substr(0, nl);
+    rest.remove_prefix(nl + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) break;  // Blank line: end of headers.
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Fail(400, "obsolete header folding");
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header field");
+    }
+    std::string_view name = line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), IsTokenChar)) {
+      return Fail(400, "malformed header name");
+    }
+    std::string_view value = TrimOws(line.substr(colon + 1));
+    std::string lower = ToLower(name);
+    if (lower == "transfer-encoding") {
+      return Fail(501, "transfer-encoding not supported");
+    }
+    if (lower == "content-length") {
+      if (value.empty() || !std::all_of(value.begin(), value.end(), [](
+                               char c) { return c >= '0' && c <= '9'; })) {
+        return Fail(400, "malformed content-length");
+      }
+      uint64_t parsed = 0;
+      for (char c : value) {
+        parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+        if (parsed > options_.max_body_bytes) {
+          return Fail(413, "body exceeds limit");
+        }
+      }
+      if (have_content_length && parsed != content_length) {
+        return Fail(400, "conflicting content-length");
+      }
+      content_length = static_cast<size_t>(parsed);
+      have_content_length = true;
+    }
+    request.headers.emplace_back(std::move(lower), std::string(value));
+  }
+
+  // ---- Body (Content-Length framing only).
+  if (input.size() - header_end < content_length) {
+    return Result::kNeedMore;
+  }
+  request.body.assign(input.substr(header_end, content_length));
+
+  consumed_ += skip + header_end + content_length;
+  *out = std::move(request);
+  return Result::kReady;
+}
+
+}  // namespace xpred::net

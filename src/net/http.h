@@ -1,0 +1,121 @@
+#ifndef XPRED_NET_HTTP_H_
+#define XPRED_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xpred::net {
+
+/// \brief One parsed HTTP/1.x request (DESIGN.md §17).
+///
+/// The parser keeps the request line verbatim in `target`; `path()`
+/// and `QueryParam()` split it lazily so routing never allocates for
+/// the common no-query case.
+struct HttpRequest {
+  std::string method;   // "GET", uppercased by the wire already.
+  std::string target;   // "/debug/trace?doc=3" — path + raw query.
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1".
+  /// Header fields in wire order; names are lowercased at parse time
+  /// (field names are case-insensitive, RFC 9110 §5.1).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Target up to the first '?'.
+  std::string_view path() const;
+  /// Raw query string after the first '?' ("" when absent).
+  std::string_view query() const;
+  /// Value of \p key in the query string, percent-decoding left to the
+  /// caller (the introspection plane only uses small integers).
+  /// Returns "" when absent.
+  std::string QueryParam(std::string_view key) const;
+  /// First header value for the lowercase name \p name, "" if absent.
+  std::string_view Header(std::string_view name) const;
+  /// HTTP/1.1 defaults to keep-alive; "connection: close" (any case)
+  /// or HTTP/1.0 without "connection: keep-alive" disables it.
+  bool keep_alive() const;
+};
+
+/// \brief One HTTP response under construction. `Serialize` renders
+/// the status line, standard headers, and body; Content-Length is
+/// always emitted so keep-alive framing is unambiguous.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra headers appended verbatim (name, value).
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// HEAD responses: headers (including the Content-Length the GET
+  /// would have carried, RFC 9110 §9.3.2) without the body bytes.
+  bool suppress_body = false;
+
+  static HttpResponse Text(int status, std::string body);
+  static HttpResponse Json(int status, std::string body);
+
+  /// Standard reason phrase for \p status ("OK", "Not Found", ...).
+  static std::string_view ReasonPhrase(int status);
+  /// Renders the full response; \p close emits "Connection: close".
+  std::string Serialize(bool close) const;
+};
+
+/// \brief Incremental HTTP/1.x request parser with hard input limits.
+///
+/// Bytes are appended as they arrive (`Append`); `TryNext` consumes at
+/// most one complete request per call, so pipelined requests queue up
+/// and drain one dispatch at a time. Torn reads are the normal case:
+/// the parser keeps partial input buffered and reports kNeedMore.
+///
+/// On kError the connection is poisoned: `error_status()` names the
+/// HTTP status to send (400 malformed, 413 oversized body, 431
+/// oversized header section, 501 unsupported transfer encoding, 505
+/// bad version) and every later TryNext repeats kError.
+class RequestParser {
+ public:
+  struct Options {
+    /// Cap on the request line + header section, bytes.
+    size_t max_header_bytes = 16 * 1024;
+    /// Cap on Content-Length (the introspection plane is GET-only in
+    /// practice; bodies are tolerated but tightly bounded).
+    size_t max_body_bytes = 64 * 1024;
+  };
+
+  enum class Result { kNeedMore, kReady, kError };
+
+  RequestParser() : RequestParser(Options{}) {}
+  explicit RequestParser(const Options& options) : options_(options) {}
+
+  /// Buffers \p data for parsing.
+  void Append(std::string_view data);
+
+  /// Parses one complete request out of the buffer into \p out.
+  /// kReady consumes the request's bytes (call again for a pipelined
+  /// successor); kNeedMore leaves partial input buffered.
+  Result TryNext(HttpRequest* out);
+
+  /// HTTP status describing the parse failure (only after kError).
+  int error_status() const { return error_status_; }
+  std::string_view error_reason() const { return error_reason_; }
+
+  /// Bytes currently buffered but not yet consumed.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  /// True when buffered bytes may hold (part of) another request.
+  bool has_buffered_input() const { return buffered_bytes() > 0; }
+
+ private:
+  Result Fail(int status, std::string_view reason);
+
+  Options options_;
+  std::string buffer_;
+  /// Prefix of buffer_ already consumed by completed requests; the
+  /// buffer is compacted opportunistically instead of per byte.
+  size_t consumed_ = 0;
+  int error_status_ = 0;
+  std::string_view error_reason_;
+};
+
+}  // namespace xpred::net
+
+#endif  // XPRED_NET_HTTP_H_

@@ -1,0 +1,151 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace xpred::net {
+
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(std::string_view what) {
+  return Status::Internal(std::string(what) + ": " + strerror(errno));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Waits until \p fd is ready for \p events or the deadline passes.
+Status WaitFd(int fd, short events, int64_t deadline_ms) {
+  int64_t remaining = deadline_ms - NowMillis();
+  if (remaining < 0) remaining = 0;
+  pollfd pfd{fd, events, 0};
+  int ready = poll(&pfd, 1, static_cast<int>(remaining));
+  if (ready < 0) return Errno("poll");
+  if (ready == 0) return Status::DeadlineExceeded("http client timeout");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view FetchResult::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return std::string_view();
+}
+
+Result<FetchResult> HttpGet(std::string_view host, uint16_t port,
+                            std::string_view target, int64_t timeout_ms) {
+  const int64_t deadline_ms = NowMillis() + timeout_ms;
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { close(fd); }
+  } closer{fd};
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, std::string(host).c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + std::string(host));
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("connect");
+  }
+
+  std::string request = "GET " + std::string(target) +
+                        " HTTP/1.1\r\nHost: " + std::string(host) +
+                        "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    if (Status s = WaitFd(fd, POLLOUT, deadline_ms); !s.ok()) return s;
+    ssize_t n = send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // Connection: close framing — read to EOF, then split the message.
+  std::string raw;
+  char buf[8192];
+  for (;;) {
+    if (Status s = WaitFd(fd, POLLIN, deadline_ms); !s.ok()) return s;
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+    if (raw.size() > (64u << 20)) {
+      return Status::CapacityExceeded("http response exceeds 64 MiB");
+    }
+  }
+
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("truncated http response");
+  }
+  FetchResult result;
+  result.body = raw.substr(header_end + 4);
+
+  std::string_view head(raw.data(), header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+    return Status::Internal("malformed status line");
+  }
+  result.status = (status_line[sp + 1] - '0') * 100 +
+                  (status_line[sp + 2] - '0') * 10 +
+                  (status_line[sp + 3] - '0');
+
+  while (line_end != std::string_view::npos) {
+    head.remove_prefix(line_end + 2);
+    line_end = head.find("\r\n");
+    std::string_view line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    result.headers.emplace_back(ToLower(line.substr(0, colon)),
+                                std::string(Trim(line.substr(colon + 1))));
+  }
+  return result;
+}
+
+}  // namespace xpred::net

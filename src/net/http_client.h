@@ -1,0 +1,33 @@
+#ifndef XPRED_NET_HTTP_CLIENT_H_
+#define XPRED_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xpred::net {
+
+/// \brief One fetched HTTP response, minimally parsed.
+struct FetchResult {
+  int status = 0;
+  std::string body;
+  /// Lowercased header names, wire order.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  std::string_view Header(std::string_view name) const;
+};
+
+/// \brief Blocking `GET http://host:port target` with an overall
+/// deadline. Test and bench helper only — the production scrape loop
+/// is an external Prometheus, not this client.
+Result<FetchResult> HttpGet(std::string_view host, uint16_t port,
+                            std::string_view target,
+                            int64_t timeout_ms = 5000);
+
+}  // namespace xpred::net
+
+#endif  // XPRED_NET_HTTP_CLIENT_H_

@@ -1,0 +1,320 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <list>
+
+namespace xpred::net {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(std::string_view what) {
+  return Status::Internal(std::string(what) + ": " + strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Router::Handle(std::string path, Handler handler) {
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  for (const auto& [path, handler] : routes_) {
+    if (request.path() != path) continue;
+    if (request.method != "GET" && request.method != "HEAD") {
+      HttpResponse response =
+          HttpResponse::Text(405, "method not allowed\n");
+      response.headers.emplace_back("Allow", "GET, HEAD");
+      return response;
+    }
+    HttpResponse response = handler(request);
+    if (request.method == "HEAD") response.suppress_body = true;
+    return response;
+  }
+  return HttpResponse::Text(404, "not found\n");
+}
+
+std::vector<std::string> Router::paths() const {
+  std::vector<std::string> out;
+  out.reserve(routes_.size());
+  for (const auto& [path, handler] : routes_) out.push_back(path);
+  return out;
+}
+
+HttpServer::HttpServer(Options options, const Router* router)
+    : options_(std::move(options)), router_(router) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("bind " + options_.bind_address + ":" +
+                     std::to_string(options_.port));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (listen(listen_fd_, 64) < 0) {
+    Status s = Errno("listen");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    Status s = Errno("getsockname");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  bound_port_ = ntohs(addr.sin_port);
+
+  if (Status s = SetNonBlocking(listen_fd_); !s.ok()) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) < 0) {
+    Status s = Errno("pipe");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_).ok();
+  SetNonBlocking(wake_write_fd_).ok();
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  char byte = 'x';
+  // The pipe is empty except across Stop(); a full pipe still wakes.
+  (void)!write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  close(wake_read_fd_);
+  close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_over_capacity =
+      rejected_over_capacity_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.deadline_closes = deadline_closes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HttpServer::AcceptPending(int64_t now_nanos) {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN, or a transient error: retry next poll.
+    if (connections_.size() >= options_.max_connections) {
+      rejected_over_capacity_.fetch_add(1, std::memory_order_relaxed);
+      close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    Connection conn;
+    conn.fd = fd;
+    conn.parser = RequestParser(options_.parser);
+    conn.deadline_nanos =
+        now_nanos + options_.connection_deadline_ms * 1'000'000;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+bool HttpServer::DrainRequests(Connection& conn) {
+  for (;;) {
+    HttpRequest request;
+    RequestParser::Result result = conn.parser.TryNext(&request);
+    if (result == RequestParser::Result::kNeedMore) return true;
+    if (result == RequestParser::Result::kError) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse response = HttpResponse::Text(
+          conn.parser.error_status(),
+          std::string(conn.parser.error_reason()) + "\n");
+      conn.out += response.Serialize(/*close=*/true);
+      conn.close_after_flush = true;
+      return true;  // Flush the error response before closing.
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    bool close = !request.keep_alive();
+    HttpResponse response = router_->Dispatch(request);
+    conn.out += response.Serialize(close);
+    if (close) {
+      conn.close_after_flush = true;
+      return true;
+    }
+  }
+}
+
+bool HttpServer::HandleReadable(Connection& conn) {
+  char buf[8192];
+  for (;;) {
+    ssize_t n = read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.parser.Append(std::string_view(buf, static_cast<size_t>(n)));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) return false;  // Peer closed.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return DrainRequests(conn);
+}
+
+bool HttpServer::HandleWritable(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    ssize_t n = write(conn.fd, conn.out.data() + conn.out_offset,
+                      conn.out.size() - conn.out_offset);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  return !conn.close_after_flush;
+}
+
+void HttpServer::CloseConnection(Connection& conn) {
+  if (conn.fd >= 0) close(conn.fd);
+  conn.fd = -1;
+}
+
+void HttpServer::Serve() {
+  std::vector<pollfd> pollfds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfds.clear();
+    pollfds.push_back({listen_fd_, POLLIN, 0});
+    pollfds.push_back({wake_read_fd_, POLLIN, 0});
+    int64_t now = NowNanos();
+    int64_t nearest_deadline = INT64_MAX;
+    for (Connection& conn : connections_) {
+      short events = POLLIN;
+      if (conn.out_offset < conn.out.size()) events |= POLLOUT;
+      pollfds.push_back({conn.fd, events, 0});
+      nearest_deadline = std::min(nearest_deadline, conn.deadline_nanos);
+    }
+    int timeout_ms = 1000;
+    if (nearest_deadline != INT64_MAX) {
+      int64_t wait_ms = (nearest_deadline - now) / 1'000'000 + 1;
+      timeout_ms = static_cast<int>(std::clamp<int64_t>(wait_ms, 0, 1000));
+    }
+    int ready = poll(pollfds.data(), pollfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    now = NowNanos();
+    if (pollfds[1].revents & POLLIN) {
+      char drain[16];
+      while (read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    // Connections accepted below have no pollfd entry this cycle, so
+    // bound the revents walk to the count that was actually polled.
+    const size_t polled = pollfds.size() - 2;
+    if (pollfds[0].revents & POLLIN) AcceptPending(now);
+
+    size_t i = 0;
+    for (auto it = connections_.begin();
+         it != connections_.end() && i < polled; ++i) {
+      Connection& conn = *it;
+      // pollfds[2 + i] tracks *it: both containers were walked in the
+      // same order and AcceptPending only appends.
+      short revents = pollfds[2 + i].revents;
+      bool alive = true;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+      if (alive && (revents & POLLIN)) alive = HandleReadable(conn);
+      if (alive && (revents & POLLOUT)) alive = HandleWritable(conn);
+      // A handler may queue output without POLLOUT having fired yet;
+      // try an eager flush so short responses complete in one pass.
+      if (alive && conn.out_offset < conn.out.size()) {
+        alive = HandleWritable(conn);
+      }
+      if (alive && now >= conn.deadline_nanos) {
+        deadline_closes_.fetch_add(1, std::memory_order_relaxed);
+        alive = false;
+      }
+      if (!alive) {
+        CloseConnection(conn);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Connection& conn : connections_) CloseConnection(conn);
+  connections_.clear();
+}
+
+}  // namespace xpred::net

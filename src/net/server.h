@@ -1,0 +1,141 @@
+#ifndef XPRED_NET_SERVER_H_
+#define XPRED_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace xpred::net {
+
+/// \brief Exact-path request router. GET/HEAD hit the handler; any
+/// other method on a known path gets 405, an unknown path 404.
+///
+/// Registration is not thread-safe: mount every route before handing
+/// the router to a running `HttpServer`. Dispatch itself is const.
+class Router {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Mounts \p handler at \p path (exact match on the request path;
+  /// the query string is ignored for routing).
+  void Handle(std::string path, Handler handler);
+
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  /// Registered paths in mount order (the index page lists them).
+  std::vector<std::string> paths() const;
+
+ private:
+  std::vector<std::pair<std::string, Handler>> routes_;
+};
+
+/// \brief Minimal poll(2)-based HTTP/1.1 server: one serving thread,
+/// non-blocking sockets, per-connection read/write buffering, absolute
+/// per-connection deadlines (a slowloris writer gets cut off no matter
+/// how steadily it trickles bytes), keep-alive and pipelining.
+///
+/// All handlers run on the serving thread; they must only touch state
+/// that is safe to read from off the owner thread (DESIGN.md §17 — the
+/// introspection plane publishes immutable snapshots for exactly this
+/// reason).
+class HttpServer {
+ public:
+  struct Options {
+    /// Bind address. The introspection plane is loopback-only by
+    /// default; exposing it wider is an explicit operator decision.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (see `port()`).
+    uint16_t port = 0;
+    /// Accepted connections beyond this are closed immediately.
+    size_t max_connections = 64;
+    /// Absolute lifetime budget for one connection, accept to close.
+    /// Generous for a scraper, fatal for a slowloris.
+    int64_t connection_deadline_ms = 10'000;
+    RequestParser::Options parser;
+  };
+
+  /// Monotonic counters, readable from any thread while serving.
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected_over_capacity = 0;
+    uint64_t requests = 0;
+    uint64_t parse_errors = 0;
+    uint64_t deadline_closes = 0;
+  };
+
+  HttpServer(Options options, const Router* router);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. On OK, `port()`
+  /// holds the bound port (resolving port 0).
+  Status Start();
+
+  /// Wakes the serving thread via the self-pipe, joins it, and closes
+  /// every socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return bound_port_; }
+  const std::string& bind_address() const { return options_.bind_address; }
+
+  Stats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    RequestParser parser;
+    /// Bytes queued for the peer; write_offset_ tracks the sent prefix.
+    std::string out;
+    size_t out_offset = 0;
+    /// Steady-clock nanos after which the connection is closed.
+    int64_t deadline_nanos = 0;
+    bool close_after_flush = false;
+  };
+
+  void Serve();
+  void AcceptPending(int64_t now_nanos);
+  /// Returns false when the connection should be closed.
+  bool HandleReadable(Connection& conn);
+  bool HandleWritable(Connection& conn);
+  /// Parses and dispatches every complete buffered request.
+  bool DrainRequests(Connection& conn);
+  void CloseConnection(Connection& conn);
+
+  Options options_;
+  const Router* router_;
+
+  /// Live connections, serving-thread-only.
+  std::list<Connection> connections_;
+
+  int listen_fd_ = -1;
+  /// Self-pipe: Stop() writes one byte to wake poll().
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t bound_port_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_over_capacity_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> deadline_closes_{0};
+};
+
+}  // namespace xpred::net
+
+#endif  // XPRED_NET_SERVER_H_

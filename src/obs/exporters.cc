@@ -49,6 +49,27 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
+/// Prometheus exposition escaping for HELP text: backslash and
+/// newline only (HELP is not quoted, so double quotes pass through —
+/// OpenMetrics §"ABNF", matching promtool's parser).
+std::string PrometheusEscapeHelp(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void WriteSeries(std::ostream* out, const std::string& name,
                  const std::string& labels, std::string_view extra_label,
                  const std::string& value) {
@@ -107,7 +128,8 @@ void WriteJsonBody(const MetricsSnapshot& snapshot, std::ostream* out,
 void WritePrometheusText(const MetricsRegistry& registry, std::ostream* out) {
   for (const auto& [name, family] : registry.families()) {
     if (!family.help.empty()) {
-      *out << "# HELP " << name << ' ' << family.help << '\n';
+      *out << "# HELP " << name << ' ' << PrometheusEscapeHelp(family.help)
+           << '\n';
     }
     *out << "# TYPE " << name << ' ';
     switch (family.type) {

@@ -194,6 +194,35 @@ FlightRecorder::ThreadDoc FlightRecorder::ReadThreadDoc(size_t slot) const {
   return doc;
 }
 
+void FlightRecorder::CollectThread(size_t t, uint64_t from, uint64_t head,
+                                   Snapshot* out) const {
+  for (uint64_t i = from; i < head; ++i) {
+    Event event;
+    const Slot& s = buffers_[t]->slots[i & mask_];
+    const uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 != 2 * (i + 1)) {
+      // Either overwritten by a newer event (lapped during this
+      // walk) or an in-progress write; both count as dropped from
+      // this window.
+      ++out->dropped;
+      continue;
+    }
+    event.nanos =
+        s.time_type.load(std::memory_order_relaxed) >> 16;
+    event.type = static_cast<EventType>(
+        s.time_type.load(std::memory_order_relaxed) & 0xffff);
+    event.a = s.a.load(std::memory_order_relaxed);
+    event.b = s.b.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) {
+      ++out->dropped;  // Torn under our feet.
+      continue;
+    }
+    event.thread = static_cast<uint32_t>(t);
+    out->events.push_back(event);
+  }
+}
+
 FlightRecorder::Snapshot FlightRecorder::Drain() {
   Snapshot out;
   const size_t threads = registered_threads();
@@ -203,36 +232,31 @@ FlightRecorder::Snapshot FlightRecorder::Drain() {
     if (oldest > drained_upto_[t]) {
       out.dropped += oldest - drained_upto_[t];
     }
-    for (uint64_t i = std::max(oldest, drained_upto_[t]); i < head; ++i) {
-      Event event;
-      const Slot& s = buffers_[t]->slots[i & mask_];
-      const uint64_t s1 = s.seq.load(std::memory_order_acquire);
-      if (s1 != 2 * (i + 1)) {
-        // Either overwritten by a newer event (lapped during this
-        // drain) or an in-progress write; both count as dropped from
-        // this window.
-        ++out.dropped;
-        continue;
-      }
-      event.nanos =
-          s.time_type.load(std::memory_order_relaxed) >> 16;
-      event.type = static_cast<EventType>(
-          s.time_type.load(std::memory_order_relaxed) & 0xffff);
-      event.a = s.a.load(std::memory_order_relaxed);
-      event.b = s.b.load(std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_acquire);
-      if (s.seq.load(std::memory_order_relaxed) != s1) {
-        ++out.dropped;  // Torn under our feet.
-        continue;
-      }
-      event.thread = static_cast<uint32_t>(t);
-      out.events.push_back(event);
-    }
+    CollectThread(t, std::max(oldest, drained_upto_[t]), head, &out);
     drained_upto_[t] = head;
     out.thread_docs.push_back(ReadThreadDoc(t));
   }
   out.unregistered_drops =
       unregistered_drops_.exchange(0, std::memory_order_relaxed);
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const Event& x, const Event& y) {
+                     return x.nanos < y.nanos;
+                   });
+  return out;
+}
+
+FlightRecorder::Snapshot FlightRecorder::Peek() const {
+  Snapshot out;
+  const size_t threads = registered_threads();
+  for (size_t t = 0; t < threads; ++t) {
+    const uint64_t head = thread_written(t);
+    const uint64_t oldest = head > capacity_ ? head - capacity_ : 0;
+    CollectThread(t, oldest, head, &out);
+    out.thread_docs.push_back(ReadThreadDoc(t));
+  }
+  // Report without resetting: the exit-time sidecar still owns these.
+  out.unregistered_drops =
+      unregistered_drops_.load(std::memory_order_relaxed);
   std::stable_sort(out.events.begin(), out.events.end(),
                    [](const Event& x, const Event& y) {
                      return x.nanos < y.nanos;

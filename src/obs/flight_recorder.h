@@ -175,6 +175,14 @@ class FlightRecorder {
   /// (picked up by the next drain) or counted in `dropped`.
   Snapshot Drain();
 
+  /// Non-destructive read of everything currently live in the rings
+  /// (the full window, not just the undrained suffix). Unlike Drain it
+  /// advances no cursor and resets no drop counter, so a `/debug/
+  /// recorder` scrape never consumes events a later crash bundle or
+  /// exit-time Drain needs. Touches only atomics — safe from any
+  /// thread, including concurrently with writers and with Drain.
+  Snapshot Peek() const;
+
   /// Nanoseconds since construction — the event time base.
   uint64_t NowNanos() const {
     return static_cast<uint64_t>(epoch_.ElapsedNanos());
@@ -225,6 +233,10 @@ class FlightRecorder {
   };
 
   ThreadBuffer* BufferForThisThread();
+  /// Seqlock walk of one thread's ring over [from, head); torn or
+  /// lapped slots increment Snapshot::dropped instead of appearing.
+  void CollectThread(size_t t, uint64_t from, uint64_t head,
+                     Snapshot* out) const;
 
   const size_t capacity_;  // Power of two.
   const size_t mask_;

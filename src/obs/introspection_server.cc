@@ -1,0 +1,408 @@
+#include "obs/introspection_server.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "obs/exporters.h"
+
+namespace xpred::obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+IntrospectionHub::IntrospectionHub() {
+  build_info_.compiler = __VERSION__;
+#ifdef NDEBUG
+  build_info_.build_type = "optimized";
+#else
+  build_info_.build_type = "debug";
+#endif
+}
+
+void IntrospectionHub::PublishMetrics(const MetricsRegistry& registry) {
+  // Render OUTSIDE the lock: only the pointer swap is shared.
+  std::ostringstream text;
+  WritePrometheusText(registry, &text);
+  auto rendered = std::make_shared<const std::string>(text.str());
+  auto snapshot = std::make_shared<const MetricsSnapshot>(
+      registry.Snapshot());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prometheus_text_ = std::move(rendered);
+    snapshot_ = std::move(snapshot);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  last_publish_nanos_.store(uptime_.ElapsedNanos(),
+                            std::memory_order_relaxed);
+}
+
+bool IntrospectionHub::MaybePublishMetrics(const MetricsRegistry& registry,
+                                           uint64_t min_interval_ms) {
+  const int64_t last = last_publish_nanos_.load(std::memory_order_relaxed);
+  if (last >= 0 && uptime_.ElapsedNanos() - last <
+                       static_cast<int64_t>(min_interval_ms) * 1'000'000) {
+    return false;
+  }
+  PublishMetrics(registry);
+  return true;
+}
+
+void IntrospectionHub::PublishWorkload(std::string workload_json) {
+  auto published =
+      std::make_shared<const std::string>(std::move(workload_json));
+  std::lock_guard<std::mutex> lock(mu_);
+  workload_json_ = std::move(published);
+}
+
+void IntrospectionHub::PublishSpans(std::vector<Span> spans) {
+  auto published =
+      std::make_shared<const std::vector<Span>>(std::move(spans));
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_ = std::move(published);
+}
+
+void IntrospectionHub::AddCheck(std::string name, CheckKind kind,
+                                std::function<HealthCheckResult()> probe) {
+  checks_.push_back(Check{std::move(name), kind, std::move(probe)});
+}
+
+void IntrospectionHub::AddWatchdogCheck(const Watchdog* watchdog) {
+  AddCheck("watchdog", CheckKind::kLiveness, [watchdog] {
+    const Watchdog::Stats stats = watchdog->stats();
+    HealthCheckResult result;
+    if (stats.stalled_now > 0) {
+      result.ok = false;
+      result.detail = std::to_string(stats.stalled_now) +
+                      " worker(s) stalled (" +
+                      std::to_string(stats.stalls) + " episode(s) total)";
+    } else {
+      result.detail = "no stalled workers after " +
+                      std::to_string(stats.scans) + " scan(s)";
+    }
+    return result;
+  });
+}
+
+void IntrospectionHub::AddBreakerCheck() {
+  AddCheck("breaker", CheckKind::kReadiness, [this] {
+    HealthCheckResult result;
+    std::shared_ptr<const MetricsSnapshot> snapshot = metrics_snapshot();
+    if (snapshot == nullptr) {
+      result.ok = false;
+      result.detail = "no metrics published yet";
+      return result;
+    }
+    for (const auto& [key, value] : snapshot->gauges) {
+      if (key.rfind("xpred_breaker_state", 0) != 0) continue;
+      if (value == 1.0) {
+        result.ok = false;
+        result.detail = "circuit breaker open: " + key;
+        return result;
+      }
+    }
+    result.detail = "no open circuit breaker";
+    return result;
+  });
+}
+
+std::shared_ptr<const std::string> IntrospectionHub::prometheus_text()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prometheus_text_;
+}
+
+std::shared_ptr<const MetricsSnapshot> IntrospectionHub::metrics_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const std::string> IntrospectionHub::workload_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workload_json_;
+}
+
+std::shared_ptr<const std::vector<IntrospectionHub::Span>>
+IntrospectionHub::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<IntrospectionHub::CheckOutcome> IntrospectionHub::RunChecks(
+    bool include_readiness) const {
+  std::vector<CheckOutcome> outcomes;
+  for (const Check& check : checks_) {
+    if (check.kind == CheckKind::kReadiness && !include_readiness) {
+      continue;
+    }
+    CheckOutcome outcome;
+    outcome.name = check.name;
+    outcome.kind = check.kind;
+    outcome.result = check.probe();
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+double IntrospectionHub::uptime_seconds() const {
+  return static_cast<double>(uptime_.ElapsedNanos()) / 1e9;
+}
+
+double IntrospectionHub::metrics_age_seconds() const {
+  const int64_t last = last_publish_nanos_.load(std::memory_order_relaxed);
+  if (last < 0) return -1.0;
+  return static_cast<double>(uptime_.ElapsedNanos() - last) / 1e9;
+}
+
+IntrospectionServer::IntrospectionServer(IntrospectionHub* hub,
+                                         const Options& options)
+    : hub_(hub),
+      server_(
+          [&options] {
+            net::HttpServer::Options http;
+            http.bind_address = options.bind_address;
+            http.port = options.port;
+            return http;
+          }(),
+          &router_) {
+  Mount();
+}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+Status IntrospectionServer::Start() { return server_.Start(); }
+
+void IntrospectionServer::Stop() { server_.Stop(); }
+
+void IntrospectionServer::Mount() {
+  router_.Handle("/",
+                 [this](const net::HttpRequest& r) { return Index(r); });
+  router_.Handle("/metrics", [this](const net::HttpRequest& r) {
+    return Metrics(r);
+  });
+  router_.Handle("/healthz", [this](const net::HttpRequest&) {
+    return Health(/*include_readiness=*/false);
+  });
+  router_.Handle("/readyz", [this](const net::HttpRequest&) {
+    return Health(/*include_readiness=*/true);
+  });
+  router_.Handle("/statusz", [this](const net::HttpRequest& r) {
+    return Statusz(r);
+  });
+  router_.Handle("/debug/workload", [this](const net::HttpRequest& r) {
+    return DebugWorkload(r);
+  });
+  router_.Handle("/debug/recorder", [this](const net::HttpRequest& r) {
+    return DebugRecorder(r);
+  });
+  router_.Handle("/debug/trace", [this](const net::HttpRequest& r) {
+    return DebugTrace(r);
+  });
+}
+
+net::HttpResponse IntrospectionServer::Index(
+    const net::HttpRequest&) const {
+  std::string body = "xpred introspection plane\n\n";
+  for (const std::string& path : router_.paths()) {
+    body += path;
+    body += '\n';
+  }
+  return net::HttpResponse::Text(200, std::move(body));
+}
+
+net::HttpResponse IntrospectionServer::Metrics(
+    const net::HttpRequest&) const {
+  std::shared_ptr<const std::string> text = hub_->prometheus_text();
+  net::HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (text != nullptr) response.body = *text;
+  return response;
+}
+
+net::HttpResponse IntrospectionServer::Health(
+    bool include_readiness) const {
+  const std::vector<IntrospectionHub::CheckOutcome> outcomes =
+      hub_->RunChecks(include_readiness);
+  bool healthy = true;
+  std::string body = "{\n  \"checks\": [";
+  bool first = true;
+  for (const IntrospectionHub::CheckOutcome& outcome : outcomes) {
+    healthy = healthy && outcome.result.ok;
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += "    {\"name\": \"" + JsonEscape(outcome.name) +
+            "\", \"kind\": \"";
+    body += outcome.kind == IntrospectionHub::CheckKind::kLiveness
+                ? "liveness"
+                : "readiness";
+    body += "\", \"ok\": ";
+    body += outcome.result.ok ? "true" : "false";
+    body += ", \"detail\": \"" + JsonEscape(outcome.result.detail) + "\"}";
+  }
+  body += first ? "],\n" : "\n  ],\n";
+  body += std::string("  \"status\": \"") +
+          (healthy ? "ok" : "unhealthy") + "\"\n}\n";
+  return net::HttpResponse::Json(healthy ? 200 : 503, std::move(body));
+}
+
+net::HttpResponse IntrospectionServer::Statusz(
+    const net::HttpRequest&) const {
+  const IntrospectionHub::BuildInfo& build = hub_->build_info();
+  const net::HttpServer::Stats http = server_.stats();
+  std::shared_ptr<const MetricsSnapshot> snapshot =
+      hub_->metrics_snapshot();
+
+  std::string body = "{\n";
+  body += "  \"service\": \"xpred\",\n";
+  body += "  \"build\": {\"version\": \"" + JsonEscape(build.version) +
+          "\", \"build_type\": \"" + JsonEscape(build.build_type) +
+          "\", \"compiler\": \"" + JsonEscape(build.compiler) + "\"},\n";
+  body += "  \"uptime_seconds\": " + FormatDouble(hub_->uptime_seconds()) +
+          ",\n";
+  body += "  \"metrics_publishes\": " +
+          std::to_string(hub_->metrics_publishes()) + ",\n";
+  body += "  \"metrics_age_seconds\": " +
+          FormatDouble(hub_->metrics_age_seconds()) + ",\n";
+  body += "  \"server\": {\"accepted\": " + std::to_string(http.accepted) +
+          ", \"requests\": " + std::to_string(http.requests) +
+          ", \"parse_errors\": " + std::to_string(http.parse_errors) +
+          ", \"deadline_closes\": " +
+          std::to_string(http.deadline_closes) +
+          ", \"rejected_over_capacity\": " +
+          std::to_string(http.rejected_over_capacity) + "},\n";
+  body += "  \"gauges\": {";
+  bool first = true;
+  if (snapshot != nullptr) {
+    for (const auto& [key, value] : snapshot->gauges) {
+      body += first ? "\n" : ",\n";
+      first = false;
+      body += "    \"" + JsonEscape(key) + "\": " + FormatDouble(value);
+    }
+  }
+  body += first ? "},\n" : "\n  },\n";
+  body += "  \"counters\": {";
+  first = true;
+  if (snapshot != nullptr) {
+    for (const auto& [key, value] : snapshot->counters) {
+      body += first ? "\n" : ",\n";
+      first = false;
+      body += "    \"" + JsonEscape(key) + "\": " + std::to_string(value);
+    }
+  }
+  body += first ? "}\n" : "\n  }\n";
+  body += "}\n";
+  return net::HttpResponse::Json(200, std::move(body));
+}
+
+net::HttpResponse IntrospectionServer::DebugWorkload(
+    const net::HttpRequest&) const {
+  std::shared_ptr<const std::string> workload = hub_->workload_json();
+  if (workload == nullptr) {
+    return net::HttpResponse::Json(
+        200, "{\"note\": \"no workload report published yet\"}\n");
+  }
+  return net::HttpResponse::Json(200, *workload + "\n");
+}
+
+net::HttpResponse IntrospectionServer::DebugRecorder(
+    const net::HttpRequest&) const {
+  const FlightRecorder* recorder = hub_->recorder();
+  if (recorder == nullptr) {
+    return net::HttpResponse::Text(404, "no flight recorder installed\n");
+  }
+  // Peek, not Drain: the scrape must never consume events a later
+  // crash bundle or the exit-time sidecar needs.
+  const FlightRecorder::Snapshot snapshot = recorder->Peek();
+  std::string body;
+  body.reserve(snapshot.events.size() * 96 + 128);
+  body += "{\"recorder\": {\"events\": " +
+          std::to_string(snapshot.events.size()) +
+          ", \"dropped\": " + std::to_string(snapshot.dropped) +
+          ", \"unregistered_drops\": " +
+          std::to_string(snapshot.unregistered_drops) + "}}\n";
+  for (const FlightRecorder::Event& event : snapshot.events) {
+    body += "{\"nanos\": " + std::to_string(event.nanos) +
+            ", \"thread\": " + std::to_string(event.thread) +
+            ", \"type\": \"" + std::string(EventTypeName(event.type)) +
+            "\", \"a\": " + std::to_string(event.a) +
+            ", \"b\": " + std::to_string(event.b) + "}\n";
+  }
+  net::HttpResponse response = net::HttpResponse::Text(200, std::move(body));
+  response.content_type = "application/x-ndjson";
+  return response;
+}
+
+net::HttpResponse IntrospectionServer::DebugTrace(
+    const net::HttpRequest& request) const {
+  uint64_t doc_filter = 0;
+  bool filtered = false;
+  const std::string doc_param = request.QueryParam("doc");
+  if (!doc_param.empty()) {
+    char* end = nullptr;
+    doc_filter = std::strtoull(doc_param.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return net::HttpResponse::Json(
+          400, "{\"error\": \"doc must be an integer\"}\n");
+    }
+    filtered = true;
+  }
+  std::shared_ptr<const std::vector<IntrospectionHub::Span>> spans =
+      hub_->spans();
+  std::string body = "{\n  \"spans\": [";
+  bool first = true;
+  if (spans != nullptr) {
+    for (const IntrospectionHub::Span& span : *spans) {
+      if (filtered && span.document != doc_filter) continue;
+      body += first ? "\n" : ",\n";
+      first = false;
+      body += "    {\"doc\": " + std::to_string(span.document) +
+              ", \"engine\": \"" + JsonEscape(span.engine) +
+              "\", \"span\": \"" + std::string(StageName(span.stage)) +
+              "\", \"start_ns\": " + std::to_string(span.start_nanos) +
+              ", \"dur_ns\": " + std::to_string(span.duration_nanos) + "}";
+    }
+  }
+  body += first ? "]\n" : "\n  ]\n";
+  body += "}\n";
+  return net::HttpResponse::Json(200, std::move(body));
+}
+
+}  // namespace xpred::obs

@@ -1,0 +1,210 @@
+#ifndef XPRED_OBS_INTROSPECTION_SERVER_H_
+#define XPRED_OBS_INTROSPECTION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+
+namespace xpred::obs {
+
+/// \brief Outcome of one health probe.
+struct HealthCheckResult {
+  bool ok = true;
+  /// Human-readable state, quoted verbatim into the /healthz JSON.
+  std::string detail;
+};
+
+/// \brief Thread-safety bridge between the single-threaded
+/// observability owners (MetricsRegistry, WorkloadProfiler, Tracer —
+/// none of them thread-safe) and the HTTP serving thread
+/// (DESIGN.md §17).
+///
+/// The owner thread *publishes*: it renders the registry into an
+/// immutable Prometheus text + MetricsSnapshot pair (PublishMetrics),
+/// the profiler into a JSON string (PublishWorkload), and recent
+/// tracer spans into owned records (PublishSpans); each publication
+/// swaps a shared_ptr under a tiny mutex. HTTP handlers *copy the
+/// pointer* under the same mutex and serialize outside it, so the
+/// critical section is a pointer copy on both sides — a scraper
+/// stalled mid-response can never hold up the filter hot path, and a
+/// torn read is impossible by construction.
+///
+/// Health checks are registered before serving starts and probed from
+/// the HTTP thread; every probe must therefore be thread-safe
+/// (Watchdog::stats(), DurableSubscriptionStore::dead(), or reads of
+/// this hub's own published snapshots all qualify).
+class IntrospectionHub {
+ public:
+  /// Reported verbatim under /statusz "build".
+  struct BuildInfo {
+    std::string version = "dev";
+    std::string build_type;
+    std::string compiler;
+  };
+
+  /// Liveness gates /healthz (and /readyz); readiness gates /readyz
+  /// only. An open circuit breaker is the canonical readiness-only
+  /// failure: the process is healthy but refusing ingest.
+  enum class CheckKind { kLiveness, kReadiness };
+
+  struct CheckOutcome {
+    std::string name;
+    CheckKind kind = CheckKind::kLiveness;
+    HealthCheckResult result;
+  };
+
+  /// One owned trace span (TraceSpan holds a string_view into
+  /// engine-owned storage, which must not cross threads unpinned).
+  struct Span {
+    uint64_t document = 0;
+    Stage stage = Stage::kParse;
+    std::string engine;
+    uint64_t start_nanos = 0;
+    uint64_t duration_nanos = 0;
+  };
+
+  IntrospectionHub();
+
+  /// \name Owner-thread publication
+  ///@{
+  /// Renders \p registry (Prometheus text + snapshot) and swaps the
+  /// published pointers.
+  void PublishMetrics(const MetricsRegistry& registry);
+  /// PublishMetrics, rate-limited to one render per
+  /// \p min_interval_ms; returns true when it published. Call per
+  /// batch from the filter loop — the render cost is bounded to
+  /// ~10 Hz no matter the batch rate.
+  bool MaybePublishMetrics(const MetricsRegistry& registry,
+                           uint64_t min_interval_ms = 100);
+  void PublishWorkload(std::string workload_json);
+  void PublishSpans(std::vector<Span> spans);
+  ///@}
+
+  /// \name Wiring (before serving starts)
+  ///@{
+  /// Recorder for /debug/recorder (not owned; Peek is thread-safe).
+  void set_recorder(const FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  void set_build_info(BuildInfo info) { build_info_ = std::move(info); }
+
+  /// Registers a probe; \p probe runs on the HTTP thread and must be
+  /// thread-safe.
+  void AddCheck(std::string name, CheckKind kind,
+                std::function<HealthCheckResult()> probe);
+  /// Liveness probe over thread-safe Watchdog::stats(): fails while
+  /// any worker is considered stalled (not owned).
+  void AddWatchdogCheck(const Watchdog* watchdog);
+  /// Readiness probe over the published xpred_breaker_state gauge:
+  /// fails while any breaker reads open (1). Reads this hub's own
+  /// snapshot, so it needs no reference to the (non-thread-safe)
+  /// IngestGovernor.
+  void AddBreakerCheck();
+  ///@}
+
+  /// \name HTTP-thread reads
+  ///@{
+  std::shared_ptr<const std::string> prometheus_text() const;
+  std::shared_ptr<const MetricsSnapshot> metrics_snapshot() const;
+  std::shared_ptr<const std::string> workload_json() const;
+  std::shared_ptr<const std::vector<Span>> spans() const;
+  const FlightRecorder* recorder() const { return recorder_; }
+  const BuildInfo& build_info() const { return build_info_; }
+
+  /// Probes every check of matching scope (liveness for /healthz,
+  /// liveness + readiness for /readyz).
+  std::vector<CheckOutcome> RunChecks(bool include_readiness) const;
+
+  double uptime_seconds() const;
+  uint64_t metrics_publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  /// Seconds since the last PublishMetrics; -1 before the first.
+  double metrics_age_seconds() const;
+  ///@}
+
+ private:
+  struct Check {
+    std::string name;
+    CheckKind kind;
+    std::function<HealthCheckResult()> probe;
+  };
+
+  /// Guards only the shared_ptr swaps/copies below — never held
+  /// across rendering or serialization.
+  mutable std::mutex mu_;
+  std::shared_ptr<const std::string> prometheus_text_;
+  std::shared_ptr<const MetricsSnapshot> snapshot_;
+  std::shared_ptr<const std::string> workload_json_;
+  std::shared_ptr<const std::vector<Span>> spans_;
+
+  /// Immutable once serving starts.
+  std::vector<Check> checks_;
+  const FlightRecorder* recorder_ = nullptr;
+  BuildInfo build_info_;
+
+  Stopwatch uptime_;
+  std::atomic<uint64_t> publishes_{0};
+  std::atomic<int64_t> last_publish_nanos_{-1};
+};
+
+/// \brief The introspection plane itself: a net::HttpServer serving
+/// /metrics, /healthz, /readyz, /statusz, /debug/workload,
+/// /debug/recorder, and /debug/trace off an IntrospectionHub
+/// (DESIGN.md §17).
+class IntrospectionServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back via port().
+    uint16_t port = 0;
+  };
+
+  /// \p hub is not owned and must outlive the server.
+  IntrospectionServer(IntrospectionHub* hub, const Options& options);
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return server_.port(); }
+  const std::string& bind_address() const {
+    return server_.bind_address();
+  }
+  net::HttpServer::Stats http_stats() const { return server_.stats(); }
+
+ private:
+  void Mount();
+
+  net::HttpResponse Index(const net::HttpRequest& request) const;
+  net::HttpResponse Metrics(const net::HttpRequest& request) const;
+  net::HttpResponse Health(bool include_readiness) const;
+  net::HttpResponse Statusz(const net::HttpRequest& request) const;
+  net::HttpResponse DebugWorkload(const net::HttpRequest& request) const;
+  net::HttpResponse DebugRecorder(const net::HttpRequest& request) const;
+  net::HttpResponse DebugTrace(const net::HttpRequest& request) const;
+
+  IntrospectionHub* hub_;
+  net::Router router_;
+  net::HttpServer server_;
+};
+
+}  // namespace xpred::obs
+
+#endif  // XPRED_OBS_INTROSPECTION_SERVER_H_

@@ -58,6 +58,7 @@ void Watchdog::ScanOnce() {
     if (state.reported_beat == beat) continue;  // Already reported.
     state.reported_beat = beat;
     stalls_.fetch_add(1, std::memory_order_relaxed);
+    last_stall_nanos_.store(now, std::memory_order_relaxed);
     if (recorder != nullptr) {
       recorder->Record(EventType::kStall, w, silence);
     }
@@ -114,6 +115,7 @@ Watchdog::Stats Watchdog::stats() const {
   stats.stalls = stalls_.load(std::memory_order_relaxed);
   stats.dumps = dumps_.load(std::memory_order_relaxed);
   stats.stalled_now = stalled_now_.load(std::memory_order_relaxed);
+  stats.last_stall_nanos = last_stall_nanos_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -60,6 +60,9 @@ class Watchdog {
     uint64_t stalls = 0;
     uint64_t dumps = 0;
     uint64_t stalled_now = 0;
+    /// Watchdog-epoch nanos of the most recent stall report
+    /// (0 = never stalled) — xpred_watchdog_last_stall_ns.
+    uint64_t last_stall_nanos = 0;
   };
 
   Watchdog(size_t workers, const Options& options);
@@ -119,6 +122,7 @@ class Watchdog {
   std::atomic<uint64_t> stalls_{0};
   std::atomic<uint64_t> dumps_{0};
   std::atomic<uint64_t> stalled_now_{0};
+  std::atomic<uint64_t> last_stall_nanos_{0};
 
   std::thread thread_;
   std::mutex mutex_;

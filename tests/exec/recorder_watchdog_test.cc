@@ -149,6 +149,63 @@ TEST(RecorderParallelTest, WatchdogHeartbeatsPublishFromWorkers) {
       snapshot.counters.at("xpred_watchdog_stalls_total" + labels), 0u);
   EXPECT_EQ(
       snapshot.gauges.at("xpred_watchdog_stalled_workers" + labels), 0.0);
+  // No stall ever: the last-stall timestamp gauge reads 0.
+  ASSERT_TRUE(
+      snapshot.gauges.count("xpred_watchdog_last_stall_ns" + labels));
+  EXPECT_EQ(snapshot.gauges.at("xpred_watchdog_last_stall_ns" + labels),
+            0.0);
+}
+
+/// A stalled phantom worker flips the registry gauges on the next
+/// publication — the transition /healthz and /metrics must agree on.
+TEST(RecorderParallelTest, StallFlipsRegistryGauges) {
+  obs::Watchdog::Options wd_options;
+  wd_options.stall_timeout_ms = 0;  // Deterministic: see watchdog_test.
+  // One slot beyond the workers: a phantom worker we wedge by hand.
+  obs::Watchdog watchdog(kWorkers + 1, wd_options);
+
+  ParallelFilter parallel(Config(kWorkers));
+  parallel.set_watchdog(&watchdog);
+  AddAll(&parallel, {"/a/b"});
+  std::vector<xml::Document> docs = MakeDocs(8);
+  std::vector<DocRef> refs = Refs(docs);
+  CollectingResultSink sink;
+  const std::string labels = "{engine=\"parallel\"}";
+
+  ASSERT_TRUE(parallel.FilterBatch(refs, sink).ok());
+  obs::MetricsSnapshot before = parallel.metrics_registry()->Snapshot();
+  EXPECT_EQ(before.gauges.at("xpred_watchdog_stalled_workers" + labels),
+            0.0);
+  EXPECT_EQ(before.gauges.at("xpred_watchdog_last_stall_ns" + labels),
+            0.0);
+
+  // Wedge the phantom worker: busy, baseline scan, silent scan.
+  watchdog.BeginWork(kWorkers);
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();
+
+  sink.clear();
+  ASSERT_TRUE(parallel.FilterBatch(refs, sink).ok());
+  obs::MetricsSnapshot stalled = parallel.metrics_registry()->Snapshot();
+  EXPECT_EQ(stalled.counters.at("xpred_watchdog_stalls_total" + labels),
+            1u);
+  EXPECT_EQ(stalled.gauges.at("xpred_watchdog_stalled_workers" + labels),
+            1.0);
+  EXPECT_GT(stalled.gauges.at("xpred_watchdog_last_stall_ns" + labels),
+            0.0);
+
+  // Recovery: the worker beats, stalled_now returns to 0, but the
+  // last-stall timestamp keeps pointing at the episode.
+  watchdog.Beat(kWorkers);
+  watchdog.EndWork(kWorkers);
+  watchdog.ScanOnce();
+  sink.clear();
+  ASSERT_TRUE(parallel.FilterBatch(refs, sink).ok());
+  obs::MetricsSnapshot after = parallel.metrics_registry()->Snapshot();
+  EXPECT_EQ(after.gauges.at("xpred_watchdog_stalled_workers" + labels),
+            0.0);
+  EXPECT_EQ(after.gauges.at("xpred_watchdog_last_stall_ns" + labels),
+            stalled.gauges.at("xpred_watchdog_last_stall_ns" + labels));
 }
 
 /// Metric publication is delta-based: totals already published are

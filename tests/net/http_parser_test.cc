@@ -1,0 +1,238 @@
+// RequestParser wire-format tests: torn reads, pipelining, limits, and
+// the error-status taxonomy the introspection server sends back
+// (DESIGN.md §17). Table-driven where the cases are uniform.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "net/http.h"
+
+namespace xpred::net {
+namespace {
+
+using Result = RequestParser::Result;
+
+HttpRequest ParseOneOrDie(std::string_view wire) {
+  RequestParser parser;
+  parser.Append(wire);
+  HttpRequest request;
+  EXPECT_EQ(parser.TryNext(&request), Result::kReady) << wire;
+  return request;
+}
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  HttpRequest request = ParseOneOrDie(
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/metrics");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.path(), "/metrics");
+  EXPECT_EQ(request.query(), "");
+  EXPECT_EQ(request.Header("host"), "localhost");
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(RequestParserTest, HeaderNamesAreLowercasedValuesTrimmed) {
+  HttpRequest request = ParseOneOrDie(
+      "GET / HTTP/1.1\r\nX-Custom-HEADER:   spaced value  \r\n\r\n");
+  EXPECT_EQ(request.Header("x-custom-header"), "spaced value");
+}
+
+TEST(RequestParserTest, QueryParamSplitting) {
+  HttpRequest request = ParseOneOrDie(
+      "GET /debug/trace?doc=3&verbose=1 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(request.path(), "/debug/trace");
+  EXPECT_EQ(request.query(), "doc=3&verbose=1");
+  EXPECT_EQ(request.QueryParam("doc"), "3");
+  EXPECT_EQ(request.QueryParam("verbose"), "1");
+  EXPECT_EQ(request.QueryParam("absent"), "");
+}
+
+TEST(RequestParserTest, BareLfLineEndingsAccepted) {
+  HttpRequest request =
+      ParseOneOrDie("GET /healthz HTTP/1.1\nHost: x\n\n");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.Header("host"), "x");
+}
+
+TEST(RequestParserTest, ContentLengthBodyConsumed) {
+  HttpRequest request = ParseOneOrDie(
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "hello");
+}
+
+/// Keep-alive semantics per version and Connection header.
+TEST(RequestParserTest, KeepAliveSemantics) {
+  struct Case {
+    const char* wire;
+    bool keep_alive;
+  };
+  const Case kCases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(ParseOneOrDie(c.wire).keep_alive(), c.keep_alive) << c.wire;
+  }
+}
+
+/// The slowloris shape at the parser layer: bytes arrive one at a
+/// time; the parser must report kNeedMore for every proper prefix and
+/// kReady exactly at the final byte.
+TEST(RequestParserTest, TornReadsByteAtATime) {
+  const std::string wire =
+      "GET /statusz?x=1 HTTP/1.1\r\nHost: a\r\nAccept: */*\r\n\r\n";
+  RequestParser parser;
+  HttpRequest request;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.Append(std::string_view(&wire[i], 1));
+    ASSERT_EQ(parser.TryNext(&request), Result::kNeedMore) << i;
+  }
+  parser.Append(std::string_view(&wire[wire.size() - 1], 1));
+  ASSERT_EQ(parser.TryNext(&request), Result::kReady);
+  EXPECT_EQ(request.path(), "/statusz");
+  EXPECT_FALSE(parser.has_buffered_input());
+}
+
+/// A body split across appends must also assemble.
+TEST(RequestParserTest, TornBodyAssembles) {
+  RequestParser parser;
+  parser.Append("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc");
+  HttpRequest request;
+  ASSERT_EQ(parser.TryNext(&request), Result::kNeedMore);
+  parser.Append("defghij");
+  ASSERT_EQ(parser.TryNext(&request), Result::kReady);
+  EXPECT_EQ(request.body, "abcdefghij");
+}
+
+/// Pipelined requests drain one TryNext at a time, in order.
+TEST(RequestParserTest, PipelinedRequestsDrainInOrder) {
+  RequestParser parser;
+  parser.Append(
+      "GET /first HTTP/1.1\r\n\r\n"
+      "GET /second HTTP/1.1\r\nHost: b\r\n\r\n"
+      "GET /third HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.TryNext(&request), Result::kReady);
+  EXPECT_EQ(request.target, "/first");
+  ASSERT_TRUE(parser.has_buffered_input());
+  ASSERT_EQ(parser.TryNext(&request), Result::kReady);
+  EXPECT_EQ(request.target, "/second");
+  ASSERT_EQ(parser.TryNext(&request), Result::kReady);
+  EXPECT_EQ(request.target, "/third");
+  EXPECT_FALSE(parser.has_buffered_input());
+  EXPECT_EQ(parser.TryNext(&request), Result::kNeedMore);
+}
+
+TEST(RequestParserTest, LeadingCrlfBetweenPipelinedRequestsTolerated) {
+  RequestParser parser;
+  parser.Append("GET /a HTTP/1.1\r\n\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.TryNext(&request), Result::kReady);
+  EXPECT_EQ(request.target, "/a");
+  ASSERT_EQ(parser.TryNext(&request), Result::kReady);
+  EXPECT_EQ(request.target, "/b");
+}
+
+/// Malformed input taxonomy: each case must fail with the exact HTTP
+/// status the server sends before closing.
+TEST(RequestParserTest, ErrorStatusTaxonomy) {
+  struct Case {
+    const char* name;
+    std::string wire;
+    int status;
+  };
+  const Case kCases[] = {
+      {"missing version", "GET /\r\n\r\n", 400},
+      {"garbage request line", "%%%\r\n\r\n", 400},
+      {"non-origin-form target", "GET http://evil/ HTTP/1.1\r\n\r\n", 400},
+      {"bad method token", "GE T / HTTP/1.1\r\n\r\n", 400},
+      {"unsupported version", "GET / HTTP/2.0\r\n\r\n", 505},
+      {"obsolete header folding",
+       "GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n", 400},
+      {"transfer-encoding unsupported",
+       "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+      {"non-numeric content-length",
+       "GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400},
+      {"header without colon", "GET / HTTP/1.1\r\nnocolon\r\n\r\n", 400},
+  };
+  for (const Case& c : kCases) {
+    RequestParser parser;
+    parser.Append(c.wire);
+    HttpRequest request;
+    EXPECT_EQ(parser.TryNext(&request), Result::kError) << c.name;
+    EXPECT_EQ(parser.error_status(), c.status) << c.name;
+    EXPECT_FALSE(parser.error_reason().empty()) << c.name;
+    // A poisoned parser stays poisoned, even with fresh valid input.
+    parser.Append("GET / HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(parser.TryNext(&request), Result::kError) << c.name;
+  }
+}
+
+/// The header-section cap fires even when the section never
+/// terminates — the defense against an attacker streaming an
+/// unbounded header.
+TEST(RequestParserTest, OversizedHeaderSectionIs431) {
+  RequestParser::Options options;
+  options.max_header_bytes = 128;
+  RequestParser parser(options);
+  parser.Append("GET / HTTP/1.1\r\n");
+  std::string filler(200, 'a');
+  parser.Append("X-Big: " + filler + "\r\n");
+  HttpRequest request;
+  EXPECT_EQ(parser.TryNext(&request), Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, OversizedBodyIs413) {
+  RequestParser::Options options;
+  options.max_body_bytes = 16;
+  RequestParser parser(options);
+  parser.Append("POST /x HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  HttpRequest request;
+  EXPECT_EQ(parser.TryNext(&request), Result::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParserTest, ConflictingContentLengthsRejected) {
+  RequestParser parser;
+  parser.Append(
+      "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n"
+      "\r\nabcd");
+  HttpRequest request;
+  EXPECT_EQ(parser.TryNext(&request), Result::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+/// Serialize always frames with Content-Length and carries the
+/// requested Connection disposition.
+TEST(HttpResponseTest, SerializeFraming) {
+  HttpResponse response = HttpResponse::Text(200, "hello");
+  const std::string keep = response.Serialize(/*close=*/false);
+  EXPECT_NE(keep.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(keep.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(keep.substr(keep.size() - 5), "hello");
+
+  const std::string close = response.Serialize(/*close=*/true);
+  EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpResponseTest, JsonHelperSetsContentType) {
+  HttpResponse response = HttpResponse::Json(503, "{}");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_EQ(response.content_type, "application/json");
+  const std::string wire = response.Serialize(true);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpred::net

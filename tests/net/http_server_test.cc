@@ -1,0 +1,264 @@
+// HttpServer end-to-end tests over real loopback sockets: routing,
+// keep-alive pipelining, parse-error close, the slowloris deadline,
+// and the over-capacity shed path (DESIGN.md §17).
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "net/http_client.h"
+#include "net/server.h"
+
+namespace xpred::net {
+namespace {
+
+/// Raw loopback TCP client for the shapes HttpGet cannot produce
+/// (trickled bytes, pipelined writes, half-open connections).
+class RawClient {
+ public:
+  explicit RawClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(std::string_view data) {
+    return ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(data.size());
+  }
+
+  /// Reads until EOF or \p timeout_ms of socket silence.
+  std::string ReadAll(int timeout_ms = 2000) {
+    std::string out;
+    char buf[4096];
+    while (true) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+Router TestRouter() {
+  Router router;
+  router.Handle("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong");
+  });
+  router.Handle("/echo-query", [](const HttpRequest& request) {
+    return HttpResponse::Text(200, request.QueryParam("q"));
+  });
+  return router;
+}
+
+TEST(HttpServerTest, ServesAndStops) {
+  Router router = TestRouter();
+  HttpServer server(HttpServer::Options{}, &router);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  Result<FetchResult> result = HttpGet("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(result->body, "pong");
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Stop is idempotent.
+  server.Stop();
+}
+
+TEST(HttpServerTest, QueryParamsReachHandlers) {
+  Router router = TestRouter();
+  HttpServer server(HttpServer::Options{}, &router);
+  ASSERT_TRUE(server.Start().ok());
+  Result<FetchResult> result =
+      HttpGet("127.0.0.1", server.port(), "/echo-query?q=42&x=y");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->body, "42");
+  server.Stop();
+}
+
+TEST(HttpServerTest, UnknownPathIs404KnownPathBadMethodIs405) {
+  Router router = TestRouter();
+  HttpServer server(HttpServer::Options{}, &router);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<FetchResult> missing =
+      HttpGet("127.0.0.1", server.port(), "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+  ASSERT_TRUE(raw.Send("POST /ping HTTP/1.1\r\nConnection: close\r\n"
+                       "Content-Length: 0\r\n\r\n"));
+  const std::string response = raw.ReadAll();
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(response.find("Allow: GET, HEAD"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, HeadMirrorsGetWithoutBody) {
+  Router router = TestRouter();
+  HttpServer server(HttpServer::Options{}, &router);
+  ASSERT_TRUE(server.Start().ok());
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+  ASSERT_TRUE(raw.Send("HEAD /ping HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  const std::string response = raw.ReadAll();
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  // Content-Length reflects the GET body, but no body follows.
+  EXPECT_NE(response.find("Content-Length: 4"), std::string::npos);
+  EXPECT_EQ(response.find("pong"), std::string::npos);
+  server.Stop();
+}
+
+/// Two requests written in one burst on one connection come back as
+/// two responses, in order, on the same connection.
+TEST(HttpServerTest, KeepAlivePipelining) {
+  Router router = TestRouter();
+  HttpServer server(HttpServer::Options{}, &router);
+  ASSERT_TRUE(server.Start().ok());
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+  ASSERT_TRUE(raw.Send("GET /ping HTTP/1.1\r\n\r\n"
+                       "GET /echo-query?q=second HTTP/1.1\r\n"
+                       "Connection: close\r\n\r\n"));
+  const std::string response = raw.ReadAll();
+  const size_t first = response.find("pong");
+  const size_t second = response.find("second");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+
+  HttpServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.accepted, 1u);
+  server.Stop();
+}
+
+/// Garbage on the wire gets a 400 and a close, and is counted.
+TEST(HttpServerTest, ParseErrorAnswers400AndCloses) {
+  Router router = TestRouter();
+  HttpServer server(HttpServer::Options{}, &router);
+  ASSERT_TRUE(server.Start().ok());
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+  ASSERT_TRUE(raw.Send("NOT-HTTP\r\n\r\n"));
+  const std::string response = raw.ReadAll();
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server.stats().parse_errors, 1u);
+  server.Stop();
+}
+
+/// The slowloris defense: a client trickling one byte at a time past
+/// the connection deadline is cut off and counted, and the serving
+/// thread stays responsive for well-behaved clients afterwards.
+TEST(HttpServerTest, SlowlorisHitsConnectionDeadline) {
+  Router router = TestRouter();
+  HttpServer::Options options;
+  options.connection_deadline_ms = 300;
+  HttpServer server(options, &router);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawClient slow(server.port());
+  ASSERT_TRUE(slow.connected());
+  const std::string wire = "GET /ping HTTP/1.1\r\n";
+  const auto start = std::chrono::steady_clock::now();
+  size_t sent = 0;
+  // Trickle a byte every 50ms, never completing the request.
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::milliseconds(900)) {
+    if (sent < wire.size()) {
+      if (!slow.Send(std::string_view(&wire[sent], 1))) break;
+      ++sent;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // The server must have closed on us: recv sees EOF, no response.
+  const std::string response = slow.ReadAll(500);
+  EXPECT_EQ(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(server.stats().deadline_closes, 1u);
+
+  // And a prompt client still gets served.
+  Result<FetchResult> ok = HttpGet("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  server.Stop();
+}
+
+/// Connections beyond max_connections are shed immediately.
+TEST(HttpServerTest, OverCapacityConnectionsAreShed) {
+  Router router = TestRouter();
+  HttpServer::Options options;
+  options.max_connections = 2;
+  HttpServer server(options, &router);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two idle connections occupy the table...
+  RawClient first(server.port());
+  RawClient second(server.port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second.connected());
+  // ...give the serving thread a moment to accept both.
+  for (int i = 0; i < 100 && server.stats().accepted < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server.stats().accepted, 2u);
+
+  // The third is accepted at the socket layer, then closed at once.
+  RawClient third(server.port());
+  ASSERT_TRUE(third.connected());
+  ASSERT_TRUE(third.Send("GET /ping HTTP/1.1\r\n\r\n"));
+  const std::string response = third.ReadAll(1000);
+  EXPECT_TRUE(response.empty()) << response;
+  for (int i = 0; i < 100 && server.stats().rejected_over_capacity < 1;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().rejected_over_capacity, 1u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StartFailsOnPortInUse) {
+  Router router = TestRouter();
+  HttpServer first(HttpServer::Options{}, &router);
+  ASSERT_TRUE(first.Start().ok());
+  HttpServer::Options clash;
+  clash.port = first.port();
+  HttpServer second(clash, &router);
+  Status st = second.Start();
+  EXPECT_FALSE(st.ok());
+  first.Stop();
+}
+
+}  // namespace
+}  // namespace xpred::net

@@ -108,6 +108,37 @@ TEST(CrashHandlerTest, WriteBundleCapturesRecorderAndMetrics) {
   std::remove(path.c_str());
 }
 
+TEST(CrashHandlerTest, PeekScrapeThenCrashStillYieldsFullBundle) {
+  // Regression for the introspection plane: a `/debug/recorder`
+  // scrape (Peek) between the events and the crash must not consume
+  // anything the bundle needs.
+  const std::string path =
+      ::testing::TempDir() + "/xpred_post_scrape_bundle.json";
+  std::remove(path.c_str());
+
+  FlightRecorder recorder;
+  recorder.Record(EventType::kDocBegin, 1, 0);
+  recorder.Record(EventType::kQuarantine, 1, 9);
+
+  // The scrape.
+  EXPECT_EQ(recorder.Peek().events.size(), 2u);
+
+  // The crash.
+  ASSERT_TRUE(CrashHandler::WriteBundle(path, DumpReason::kManual,
+                                        &recorder, nullptr)
+                  .ok());
+  Result<JsonValue> bundle = ParseJson(ReadFileOrEmpty(path));
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  const JsonValue* events = bundle->FindPath({"recorder", "events"});
+  ASSERT_NE(events, nullptr);
+  // Both pre-scrape events plus the journaled dump marker.
+  ASSERT_EQ(events->array().size(), 3u);
+  EXPECT_EQ(events->array()[0].Find("type")->AsString(), "doc_begin");
+  EXPECT_EQ(events->array()[1].Find("type")->AsString(), "quarantine");
+  EXPECT_EQ(events->array()[2].Find("type")->AsString(), "dump");
+  std::remove(path.c_str());
+}
+
 TEST(CrashHandlerTest, WriteBundleToleratesNullSources) {
   const std::string path =
       ::testing::TempDir() + "/xpred_null_bundle.json";

@@ -124,6 +124,83 @@ TEST(ExportersTest, PrometheusHistogramInvariants) {
   EXPECT_EQ(last_bucket, 4u);
 }
 
+/// A registry engineered to break naive exposition writers: HELP text
+/// with backslashes/newlines/quotes, label values with every escaped
+/// character, and series of one family registered interleaved with
+/// other families.
+MetricsRegistry* HostileRegistry() {
+  auto* registry = new MetricsRegistry();
+  registry
+      ->AddCounter("hostile_requests_total",
+                   "Path C:\\temp\\x, a \"quoted\" phrase,\nsecond line.",
+                   {{"tenant", "a\\b"}})
+      ->Increment(1);
+  // Interleave another family before this one's second series; TYPE
+  // and HELP must still appear exactly once per family.
+  registry->AddCounter("innocent_total", "Nothing special.")->Increment(7);
+  registry
+      ->AddCounter("hostile_requests_total",
+                   "Path C:\\temp\\x, a \"quoted\" phrase,\nsecond line.",
+                   {{"tenant", "c\"d\ne\\f"}})
+      ->Increment(3);
+  registry
+      ->AddGauge("hostile_gauge", "Trailing backslash in help \\",
+                 {{"k", "\n\\\""}})
+      ->Set(-1.5);
+  return registry;
+}
+
+TEST(ExportersGoldenTest, PrometheusHostileNames) {
+  std::unique_ptr<MetricsRegistry> registry(HostileRegistry());
+  std::ostringstream out;
+  WritePrometheusText(*registry, &out);
+  CompareOrRegen("prometheus_hostile.golden", out.str());
+}
+
+TEST(ExportersTest, TypeAndHelpEmittedOncePerFamily) {
+  std::unique_ptr<MetricsRegistry> registry(HostileRegistry());
+  std::ostringstream out;
+  WritePrometheusText(*registry, &out);
+  std::istringstream in(out.str());
+  std::string line;
+  int type_lines = 0;
+  int help_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE hostile_requests_total ", 0) == 0) ++type_lines;
+    if (line.rfind("# HELP hostile_requests_total ", 0) == 0) ++help_lines;
+  }
+  EXPECT_EQ(type_lines, 1);
+  EXPECT_EQ(help_lines, 1);
+}
+
+TEST(ExportersTest, HelpAndLabelEscaping) {
+  std::unique_ptr<MetricsRegistry> registry(HostileRegistry());
+  std::ostringstream out;
+  WritePrometheusText(*registry, &out);
+  const std::string text = out.str();
+
+  // Every comment line must be exactly "# HELP" or "# TYPE": a raw
+  // newline in help text would orphan its continuation.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '#') continue;
+    EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                line.rfind("# TYPE ", 0) == 0)
+        << "orphan comment line: " << line;
+  }
+
+  // HELP escaping: backslash doubled, newline as \n (4 raw chars
+  // "\\n" in the C++ literal below is backslash + 'n' on the wire).
+  EXPECT_NE(text.find("C:\\\\temp\\\\x"), std::string::npos);
+  EXPECT_NE(text.find("phrase,\\nsecond line."), std::string::npos);
+  EXPECT_NE(text.find("Trailing backslash in help \\\\\n"),
+            std::string::npos);
+  // Label escaping: value a\b renders as "a\\b", the quote as \".
+  EXPECT_NE(text.find("tenant=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"c\\\"d\\ne\\\\f\""), std::string::npos);
+}
+
 TEST(ExportersTest, EmptyRegistryProducesEmptyOutputs) {
   MetricsRegistry registry;
   std::ostringstream prom;

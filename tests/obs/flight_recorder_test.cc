@@ -276,5 +276,45 @@ TEST(FlightRecorderTest, ConcurrentWritersNeverProduceTornEvents) {
   EXPECT_EQ(drained + dropped, kWriters * kEventsPerWriter);
 }
 
+TEST(FlightRecorderTest, PeekIsNonDestructive) {
+  FlightRecorder recorder(SmallOptions(16));
+  recorder.Record(EventType::kDocBegin, 1, 0);
+  recorder.Record(EventType::kDocEnd, 1, 7);
+
+  // Two scrapes in a row see the same window.
+  FlightRecorder::Snapshot peek1 = recorder.Peek();
+  FlightRecorder::Snapshot peek2 = recorder.Peek();
+  ASSERT_EQ(peek1.events.size(), 2u);
+  ASSERT_EQ(peek2.events.size(), 2u);
+  EXPECT_EQ(peek1.events[0].type, EventType::kDocBegin);
+  EXPECT_EQ(peek1.events[1].type, EventType::kDocEnd);
+
+  // The drain window is untouched: everything is still undrained.
+  FlightRecorder::Snapshot drained = recorder.Drain();
+  EXPECT_EQ(drained.events.size(), 2u);
+
+  // Peek after a drain still sees the full live ring (the events are
+  // consumed from the drain window, not erased from the slots).
+  EXPECT_EQ(recorder.Peek().events.size(), 2u);
+  // ...while a second drain is empty, as ever.
+  EXPECT_EQ(recorder.Drain().events.size(), 0u);
+}
+
+TEST(FlightRecorderTest, PeekDoesNotResetUnregisteredDrops) {
+  FlightRecorder recorder(SmallOptions(16, /*threads=*/1));
+  recorder.Record(EventType::kDocBegin, 1, 0);  // Registers this thread.
+  std::thread extra([&] {
+    // No slot left: counted as an unregistered drop.
+    recorder.Record(EventType::kDocEnd, 2, 0);
+  });
+  extra.join();
+
+  EXPECT_EQ(recorder.Peek().unregistered_drops, 1u);
+  // Peek reported without consuming; Drain still owns the reset.
+  EXPECT_EQ(recorder.Peek().unregistered_drops, 1u);
+  EXPECT_EQ(recorder.Drain().unregistered_drops, 1u);
+  EXPECT_EQ(recorder.Drain().unregistered_drops, 0u);
+}
+
 }  // namespace
 }  // namespace xpred::obs

@@ -1,0 +1,346 @@
+// IntrospectionServer end-to-end tests: every endpoint served over a
+// real socket, health transitions driven by a wedged watchdog slot,
+// and — under -L parallel, i.e. also TSan — concurrent scraping while
+// a ParallelFilter batch loop publishes through the hub
+// (DESIGN.md §17).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "exec/parallel_filter.h"
+#include "net/http_client.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspection_server.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+#include "test_util.h"
+
+namespace xpred::obs {
+namespace {
+
+using net::FetchResult;
+using net::HttpGet;
+using xpred::testing::AddAll;
+using xpred::testing::ParseXmlOrDie;
+
+FetchResult GetOrDie(const IntrospectionServer& server,
+                     std::string_view target) {
+  Result<FetchResult> result =
+      HttpGet("127.0.0.1", server.port(), target);
+  EXPECT_TRUE(result.ok()) << target << ": " << result.status().ToString();
+  return result.ok() ? *result : FetchResult{};
+}
+
+/// A registry with one counter and one gauge, pre-incremented.
+void SeedRegistry(MetricsRegistry* registry) {
+  Counter* docs = registry->AddCounter(
+      "xpred_documents_total", "Documents filtered.", {{"engine", "test"}});
+  docs->Increment(7);
+  Gauge* depth = registry->AddGauge(
+      "xpred_pool_queue_depth", "Queue depth.", {{"engine", "test"}});
+  depth->Set(3);
+}
+
+TEST(IntrospectionServerTest, IndexListsEveryEndpoint) {
+  IntrospectionHub hub;
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+  FetchResult index = GetOrDie(server, "/");
+  EXPECT_EQ(index.status, 200);
+  for (const char* path :
+       {"/metrics", "/healthz", "/readyz", "/statusz", "/debug/workload",
+        "/debug/recorder", "/debug/trace"}) {
+    EXPECT_NE(index.body.find(path), std::string::npos) << path;
+  }
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, MetricsServesPublishedText) {
+  MetricsRegistry registry;
+  SeedRegistry(&registry);
+  IntrospectionHub hub;
+  hub.PublishMetrics(registry);
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  FetchResult metrics = GetOrDie(server, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.Header("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(
+      metrics.body.find("xpred_documents_total{engine=\"test\"} 7"),
+      std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("# TYPE xpred_documents_total counter"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, HealthzTransitionsWithWedgedWorker) {
+  // Two real slots plus a phantom third we wedge by hand.
+  Watchdog::Options options;
+  options.stall_timeout_ms = 0;  // Silent-since-last-scan counts as stalled.
+  Watchdog watchdog(3, options);
+  IntrospectionHub hub;
+  hub.AddWatchdogCheck(&watchdog);
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  FetchResult healthy = GetOrDie(server, "/healthz");
+  EXPECT_EQ(healthy.status, 200);
+  EXPECT_NE(healthy.body.find("\"status\": \"ok\""), std::string::npos);
+
+  // Wedge: slot 2 goes busy, baseline scan, then a scan with no beat.
+  watchdog.BeginWork(2);
+  watchdog.ScanOnce();
+  watchdog.ScanOnce();
+
+  FetchResult unhealthy = GetOrDie(server, "/healthz");
+  EXPECT_EQ(unhealthy.status, 503);
+  // The failing check is named, with its human-readable detail.
+  EXPECT_NE(unhealthy.body.find("\"name\": \"watchdog\""),
+            std::string::npos)
+      << unhealthy.body;
+  EXPECT_NE(unhealthy.body.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(unhealthy.body.find("stalled"), std::string::npos);
+  EXPECT_NE(unhealthy.body.find("\"status\": \"unhealthy\""),
+            std::string::npos);
+
+  // Recovery: the wedged slot beats and finishes; /healthz goes green.
+  watchdog.Beat(2);
+  watchdog.EndWork(2);
+  watchdog.ScanOnce();
+  FetchResult recovered = GetOrDie(server, "/healthz");
+  EXPECT_EQ(recovered.status, 200);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, ReadyzIncludesReadinessChecks) {
+  IntrospectionHub hub;
+  bool ready = false;
+  hub.AddCheck("warmup", IntrospectionHub::CheckKind::kReadiness, [&ready] {
+    HealthCheckResult result;
+    result.ok = ready;
+    result.detail = ready ? "warm" : "still warming up";
+    return result;
+  });
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Not ready: /readyz is 503 but /healthz stays 200 (liveness only).
+  EXPECT_EQ(GetOrDie(server, "/healthz").status, 200);
+  FetchResult not_ready = GetOrDie(server, "/readyz");
+  EXPECT_EQ(not_ready.status, 503);
+  EXPECT_NE(not_ready.body.find("\"kind\": \"readiness\""),
+            std::string::npos);
+  EXPECT_NE(not_ready.body.find("still warming up"), std::string::npos);
+
+  ready = true;
+  EXPECT_EQ(GetOrDie(server, "/readyz").status, 200);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, StatuszReportsBuildUptimeAndGauges) {
+  MetricsRegistry registry;
+  SeedRegistry(&registry);
+  IntrospectionHub hub;
+  IntrospectionHub::BuildInfo build = hub.build_info();
+  build.version = "test-version";
+  hub.set_build_info(std::move(build));
+  hub.PublishMetrics(registry);
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  FetchResult statusz = GetOrDie(server, "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_EQ(statusz.Header("content-type"), "application/json");
+  EXPECT_NE(statusz.body.find("\"service\": \"xpred\""),
+            std::string::npos);
+  EXPECT_NE(statusz.body.find("\"version\": \"test-version\""),
+            std::string::npos);
+  EXPECT_NE(statusz.body.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"metrics_publishes\": 1"),
+            std::string::npos);
+  EXPECT_NE(
+      statusz.body.find("\"xpred_pool_queue_depth{engine=\\\"test\\\"}\""),
+      std::string::npos)
+      << statusz.body;
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, DebugWorkloadServesPublishedJson) {
+  IntrospectionHub hub;
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Before any publication: a JSON note, not an error.
+  FetchResult empty = GetOrDie(server, "/debug/workload");
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_NE(empty.body.find("no workload report"), std::string::npos);
+
+  hub.PublishWorkload("{\"schema_version\": 1, \"totals\": {}}");
+  FetchResult report = GetOrDie(server, "/debug/workload");
+  EXPECT_NE(report.body.find("\"schema_version\": 1"), std::string::npos);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, DebugRecorderStreamsEventsAsJsonl) {
+  FlightRecorder recorder;
+  recorder.Record(EventType::kDocBegin, 11, 0);
+  recorder.Record(EventType::kDocEnd, 11, 42);
+
+  IntrospectionHub hub;
+  hub.set_recorder(&recorder);
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  FetchResult events = GetOrDie(server, "/debug/recorder");
+  EXPECT_EQ(events.status, 200);
+  EXPECT_EQ(events.Header("content-type"), "application/x-ndjson");
+  EXPECT_NE(events.body.find("\"events\": 2"), std::string::npos)
+      << events.body;
+  EXPECT_NE(events.body.find("\"type\": \"doc_begin\""),
+            std::string::npos);
+
+  // The scrape is a Peek: the recorder still holds everything.
+  EXPECT_EQ(recorder.Drain().events.size(), 2u);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, DebugRecorderWithoutRecorderIs404) {
+  IntrospectionHub hub;
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(GetOrDie(server, "/debug/recorder").status, 404);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, DebugTraceFiltersByDocument) {
+  IntrospectionHub hub;
+  std::vector<IntrospectionHub::Span> spans;
+  for (uint64_t doc : {1u, 1u, 2u}) {
+    IntrospectionHub::Span span;
+    span.document = doc;
+    span.stage = Stage::kPredicate;
+    span.engine = "test";
+    span.duration_nanos = 10 * doc;
+    spans.push_back(std::move(span));
+  }
+  hub.PublishSpans(std::move(spans));
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  FetchResult all = GetOrDie(server, "/debug/trace");
+  EXPECT_EQ(all.status, 200);
+  EXPECT_NE(all.body.find("\"doc\": 2"), std::string::npos);
+
+  FetchResult doc1 = GetOrDie(server, "/debug/trace?doc=1");
+  EXPECT_NE(doc1.body.find("\"doc\": 1"), std::string::npos);
+  EXPECT_EQ(doc1.body.find("\"doc\": 2"), std::string::npos);
+
+  EXPECT_EQ(GetOrDie(server, "/debug/trace?doc=bogus").status, 400);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, MaybePublishRateLimits) {
+  MetricsRegistry registry;
+  SeedRegistry(&registry);
+  IntrospectionHub hub;
+  EXPECT_TRUE(hub.MaybePublishMetrics(registry, /*min_interval_ms=*/1000));
+  // Immediately again: inside the interval, skipped.
+  EXPECT_FALSE(hub.MaybePublishMetrics(registry, 1000));
+  EXPECT_EQ(hub.metrics_publishes(), 1u);
+  // Zero interval always publishes.
+  EXPECT_TRUE(hub.MaybePublishMetrics(registry, 0));
+}
+
+/// The TSan-covered contract of the whole plane: HTTP scrapers hammer
+/// every endpoint while the owner thread runs ParallelFilter batches
+/// and publishes metrics/workload/spans through the hub. Any
+/// unsynchronized sharing between the serving thread and the filter
+/// pipeline shows up here as a race.
+TEST(IntrospectionScrapeRaceTest, ConcurrentScrapeAndFilterBatches) {
+  FlightRecorder recorder;
+  FlightRecorder::Install(&recorder);
+
+  exec::ParallelFilter::Options pool;
+  pool.threads = 4;
+  pool.partitions = 2;
+  exec::ParallelFilter engine(pool);
+  MetricsRegistry registry;
+  engine.BindMetrics(&registry);
+  AddAll(&engine, {"/a/b", "//c", "/a/b[@x=1]", "/a/*"});
+
+  Watchdog::Options wd_options;
+  wd_options.poll_interval_ms = 1;
+  wd_options.stall_timeout_ms = 60000;
+  Watchdog watchdog(pool.threads, wd_options);
+  engine.set_watchdog(&watchdog);
+  watchdog.Start();
+
+  IntrospectionHub hub;
+  hub.set_recorder(&recorder);
+  hub.AddWatchdogCheck(&watchdog);
+  hub.AddBreakerCheck();
+  hub.PublishMetrics(registry);
+  IntrospectionServer server(&hub, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<xml::Document> docs;
+  for (int i = 0; i < 32; ++i) {
+    docs.push_back(ParseXmlOrDie(
+        i % 2 == 0 ? "<a><b x=\"1\"/><c/></a>"
+                   : "<a><b><c/></b><b x=\"2\"/></a>"));
+  }
+  std::vector<exec::DocRef> refs;
+  for (const xml::Document& doc : docs) refs.push_back({&doc});
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::vector<std::thread> scrapers;
+  const char* kTargets[] = {"/metrics", "/healthz", "/readyz", "/statusz",
+                            "/debug/recorder", "/debug/trace"};
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        Result<FetchResult> result = HttpGet(
+            "127.0.0.1", server.port(), kTargets[i % 6], /*timeout_ms=*/2000);
+        if (result.ok()) scrapes.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  exec::CollectingResultSink sink;
+  std::vector<IntrospectionHub::Span> spans;
+  for (int round = 0; round < 20; ++round) {
+    sink.clear();
+    ASSERT_TRUE(engine.FilterBatch(refs, sink).ok());
+    ASSERT_EQ(sink.results().size(), docs.size());
+    hub.MaybePublishMetrics(registry, /*min_interval_ms=*/1);
+    IntrospectionHub::Span span;
+    span.document = static_cast<uint64_t>(round);
+    span.engine = "parallel";
+    spans.push_back(std::move(span));
+    hub.PublishSpans(spans);
+    hub.PublishWorkload("{\"round\": " + std::to_string(round) + "}");
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& scraper : scrapers) scraper.join();
+  server.Stop();
+  watchdog.Stop();
+  FlightRecorder::Install(nullptr);
+
+  // The scrapers must have actually exercised the endpoints.
+  EXPECT_GT(scrapes.load(), 0u);
+  EXPECT_GT(server.http_stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace xpred::obs

@@ -179,5 +179,34 @@ TEST(WatchdogTest, StartAndStopAreIdempotent) {
   watchdog.Stop();
 }
 
+TEST(WatchdogTest, LastStallTimestampTransitions) {
+  Watchdog watchdog(1, ImmediateStall());
+  // Never stalled: the timestamp gauge reads 0.
+  watchdog.ScanOnce();
+  EXPECT_EQ(watchdog.stats().last_stall_nanos, 0u);
+
+  watchdog.BeginWork(0);
+  watchdog.ScanOnce();  // Baseline.
+  EXPECT_EQ(watchdog.stats().last_stall_nanos, 0u);
+  watchdog.ScanOnce();  // First stall: timestamp set.
+  const uint64_t first = watchdog.stats().last_stall_nanos;
+  EXPECT_GT(first, 0u);
+
+  // Recovery does not clear the timestamp — it records the *last*
+  // stall, and together with stalled_now=0 reads as "was stalled,
+  // recovered".
+  watchdog.Beat(0);
+  watchdog.ScanOnce();
+  EXPECT_EQ(watchdog.stats().stalled_now, 0u);
+  EXPECT_EQ(watchdog.stats().last_stall_nanos, first);
+
+  // A new stall episode advances it.
+  watchdog.ScanOnce();
+  const uint64_t second = watchdog.stats().last_stall_nanos;
+  EXPECT_EQ(watchdog.stats().stalls, 2u);
+  EXPECT_GE(second, first);
+  EXPECT_EQ(watchdog.stats().stalled_now, 1u);
+}
+
 }  // namespace
 }  // namespace xpred::obs

@@ -75,8 +75,32 @@
 //   xpred_cli generate-docs --dtd=nitf|psd --count=N [--depth=D] [--seed=S]
 //       Print generated XML documents to stdout, separated by blank
 //       lines (count=1 gives a single well-formed document).
+//
+//   xpred_cli serve-obs [--port=N] [--bind=ADDR] [--exprs=FILE]
+//       [--dtd=nitf|psd] [--subs=N] [--docs=N] [--depth=D]
+//       [--threads=N] [--partition=P] [--batches=N] [--duration-ms=MS]
+//       [--batch-delay-ms=MS] [--stall-test] [--stall-ms=MS]
+//       [--store=DIR] [--seed=S] [--topk=K] [--quiet]
+//       Long-running introspection mode: filter generated (or
+//       file-loaded) expressions against generated documents in a
+//       loop while an embedded HTTP server (DESIGN.md §17) serves
+//       /metrics, /healthz, /readyz, /statusz, /debug/workload,
+//       /debug/recorder, and /debug/trace on 127.0.0.1 (--port=0
+//       picks an ephemeral port; the bound address is printed as
+//       "serving on HOST:PORT"). --stall-test wedges a phantom
+//       watchdog slot so /healthz flips to 503 (scrape-test hook).
+//       --store=DIR opens a durable subscription store and surfaces
+//       its recovery/poison state as a health check. Runs until
+//       --batches/--duration-ms or SIGINT/SIGTERM.
+//
+//       The `filter` subcommand accepts --obs-port=N (plus
+//       --obs-linger-ms=MS) to serve the same endpoints for the
+//       duration of a one-shot filtering run.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -86,6 +110,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -101,9 +126,11 @@
 #include "core/matcher.h"
 #include "exec/parallel_filter.h"
 #include "indexfilter/index_filter.h"
+#include "common/stopwatch.h"
 #include "obs/crash_handler.h"
 #include "obs/exporters.h"
 #include "obs/flight_recorder.h"
+#include "obs/introspection_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
@@ -187,7 +214,14 @@ int Usage() {
                "[--profile-workload[=K]] "
                "[--flight-recorder[=N]] [--diag-dir=DIR] "
                "[--watchdog-ms[=MS]] [--inject-fault=SITE:KIND[:OFF]] "
+               "[--obs-port=N] [--obs-linger-ms=MS] "
                "[--fail-fast|--quarantine] <xml-file>...\n"
+               "  xpred_cli serve-obs [--port=N] [--bind=ADDR] "
+               "[--exprs=FILE] [--dtd=nitf|psd] [--subs=N] [--docs=N] "
+               "[--depth=D] [--threads=N] [--partition=P] [--batches=N] "
+               "[--duration-ms=MS] [--batch-delay-ms=MS] [--stall-test] "
+               "[--stall-ms=MS] [--store=DIR] [--seed=S] [--topk=K] "
+               "[--quiet]\n"
                "  xpred_cli diagnose <bundle>\n"
                "  xpred_cli explain [--json] [--max-paths=N] "
                "[--max-steps=N] <xml-file> <xpath>\n"
@@ -302,7 +336,8 @@ int CmdFilter(const Args& args) {
                            "max-doc-bytes", "deadline-ms", "fail-fast",
                            "quarantine", "threads", "partition", "batch",
                            "profile-workload", "flight-recorder", "diag-dir",
-                           "watchdog-ms", "inject-fault"})) {
+                           "watchdog-ms", "inject-fault", "obs-port",
+                           "obs-linger-ms"})) {
     return Usage();
   }
   std::string exprs_path = args.Get("exprs", "");
@@ -522,6 +557,38 @@ int CmdFilter(const Args& args) {
     }
   }
 
+  // Live introspection plane (DESIGN.md §17): --obs-port serves
+  // /metrics, /healthz, and the /debug endpoints for the duration of
+  // the run. All handlers read hub-published snapshots; the filter
+  // loops below publish through the rate-limited MaybePublishMetrics.
+  std::unique_ptr<obs::IntrospectionHub> hub;
+  std::unique_ptr<obs::IntrospectionServer> obs_server;
+  if (args.Has("obs-port")) {
+    hub = std::make_unique<obs::IntrospectionHub>();
+    obs::IntrospectionHub::BuildInfo build = hub->build_info();
+    build.version = "xpred_cli filter";
+    hub->set_build_info(std::move(build));
+    hub->set_recorder(recorder.get());
+    if (watchdog != nullptr) hub->AddWatchdogCheck(watchdog.get());
+    hub->AddBreakerCheck();
+    hub->PublishMetrics(registry);
+    obs::IntrospectionServer::Options obs_options;
+    obs_options.port = static_cast<uint16_t>(
+        std::strtoul(args.Get("obs-port", "0").c_str(), nullptr, 10));
+    obs_server =
+        std::make_unique<obs::IntrospectionServer>(hub.get(), obs_options);
+    Status st = obs_server->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "introspection server: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("introspection: serving on %s:%u\n",
+                obs_server->bind_address().c_str(),
+                static_cast<unsigned>(obs_server->port()));
+    std::fflush(stdout);
+  }
+
   int rc = 0;
   if (args.Has("batch")) {
     // Batch mode: parse every document up front, then filter them all
@@ -561,6 +628,7 @@ int CmdFilter(const Args& args) {
     for (const xml::Document& doc : documents) refs.push_back({&doc});
     exec::CollectingResultSink sink;
     (void)parallel->FilterBatch(refs, sink);  // Per-doc statuses below.
+    if (hub != nullptr) hub->MaybePublishMetrics(registry);
     for (size_t d = 0; d < sink.results().size(); ++d) {
       const exec::CollectingResultSink::DocResult& result =
           sink.results()[d];
@@ -612,6 +680,7 @@ int CmdFilter(const Args& args) {
     for (core::ExprId id : matched) {
       std::printf("  [%u] %s\n", id, expressions[id].c_str());
     }
+    if (hub != nullptr) hub->MaybePublishMetrics(registry);
   }
   if (!governor.quarantine().empty()) {
     std::fprintf(stderr, "%zu document(s) quarantined\n",
@@ -664,6 +733,7 @@ int CmdFilter(const Args& args) {
                           .c_str());
     workload_json =
         analytics::RenderWorkloadJson(report, &expr_names, &pred_names);
+    if (hub != nullptr) hub->PublishWorkload(workload_json);
 
     obs::WorkloadSummary summary;
     summary.tracked_expressions = profiler->tracked();
@@ -711,10 +781,325 @@ int CmdFilter(const Args& args) {
                                    recorder_json, &out);
     }
   }
+  if (obs_server != nullptr) {
+    // Final publication so a last scrape observes the end-of-run
+    // totals; --obs-linger-ms keeps the endpoints up for a scraper
+    // that polls after the filtering work completed.
+    hub->PublishMetrics(registry);
+    const long linger =
+        std::strtol(args.Get("obs-linger-ms", "0").c_str(), nullptr, 10);
+    if (linger > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger));
+    }
+    obs_server->Stop();
+  }
   if (watchdog != nullptr) watchdog->Stop();
   return rc;
 }
 
+
+/// SIGINT/SIGTERM flag for serve-obs; a signal handler may only touch
+/// lock-free atomics.
+std::atomic<bool> g_serve_obs_stop{false};
+
+extern "C" void ServeObsSignalHandler(int) {
+  g_serve_obs_stop.store(true, std::memory_order_relaxed);
+}
+
+/// Long-running introspection mode (DESIGN.md §17): a parallel filter
+/// loop over generated documents with the full observability stack
+/// attached — flight recorder, tracer ring, workload profiler,
+/// watchdog — and the introspection HTTP server scraping it live.
+/// Exists so operators (and the obs end-to-end tests) can exercise
+/// every endpoint against a real running pipeline.
+int CmdServeObs(const Args& args) {
+  if (!args.RejectUnknown({"port", "bind", "exprs", "dtd", "subs", "docs",
+                           "depth", "threads", "partition", "batches",
+                           "duration-ms", "batch-delay-ms", "stall-test",
+                           "stall-ms", "store", "seed", "topk", "quiet"})) {
+    return Usage();
+  }
+  const bool quiet = args.Has("quiet");
+  const uint64_t seed =
+      std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  const xml::Dtd* dtd = DtdByName(args.Get("dtd", "nitf"));
+  if (dtd == nullptr) {
+    std::fprintf(stderr, "unknown --dtd '%s'\n",
+                 args.Get("dtd", "").c_str());
+    return 2;
+  }
+
+  size_t threads =
+      std::strtoull(args.Get("threads", "2").c_str(), nullptr, 10);
+  size_t partitions =
+      std::strtoull(args.Get("partition", "1").c_str(), nullptr, 10);
+  if (threads == 0) threads = 1;
+  if (partitions == 0) partitions = 1;
+  exec::ParallelFilter::Options pool_options;
+  pool_options.threads = threads;
+  pool_options.partitions = partitions;
+  exec::ParallelFilter engine(pool_options);
+  obs::MetricsRegistry registry;
+  engine.BindMetrics(&registry);
+
+  // Expressions: --exprs=FILE, else a DTD-guided generated workload.
+  std::vector<std::string> expressions;
+  const std::string exprs_path = args.Get("exprs", "");
+  if (!exprs_path.empty()) {
+    std::ifstream exprs_file(exprs_path);
+    if (!exprs_file) {
+      std::fprintf(stderr, "cannot open %s\n", exprs_path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(exprs_file, line)) {
+      std::string trimmed(Trim(line));
+      if (!trimmed.empty() && trimmed[0] != '#') {
+        expressions.push_back(std::move(trimmed));
+      }
+    }
+  } else {
+    const size_t subs =
+        std::strtoull(args.Get("subs", "200").c_str(), nullptr, 10);
+    xpath::QueryGenerator::Options query_options;
+    query_options.filters_per_expr = 1;  // Exercise predicate paths.
+    xpath::QueryGenerator generator(dtd, query_options);
+    expressions = generator.GenerateWorkloadStrings(subs, seed);
+  }
+  size_t loaded = 0;
+  for (const std::string& expr : expressions) {
+    if (engine.AddExpression(expr).ok()) ++loaded;
+  }
+  if (loaded == 0) {
+    std::fprintf(stderr, "no expressions loaded\n");
+    return 1;
+  }
+
+  // Documents: a fixed generated set, re-filtered every batch.
+  const size_t doc_count =
+      std::strtoull(args.Get("docs", "16").c_str(), nullptr, 10);
+  xml::DocumentGenerator::Options doc_options;
+  doc_options.max_depth = static_cast<uint32_t>(
+      std::strtoul(args.Get("depth", "8").c_str(), nullptr, 10));
+  xml::DocumentGenerator doc_generator(dtd, doc_options);
+  std::vector<xml::Document> documents;
+  documents.reserve(doc_count);
+  for (size_t i = 0; i < doc_count; ++i) {
+    documents.push_back(doc_generator.Generate(seed + i));
+  }
+  std::vector<exec::DocRef> refs;
+  refs.reserve(documents.size());
+  for (const xml::Document& doc : documents) refs.push_back({&doc});
+
+  // Observability stack: recorder, tracer ring, profiler, watchdog.
+  obs::FlightRecorder::Options recorder_options;
+  recorder_options.max_threads = threads + 4;
+  obs::FlightRecorder recorder(recorder_options);
+  obs::FlightRecorder::Install(&recorder);
+  struct RecorderGuard {
+    ~RecorderGuard() { obs::FlightRecorder::Install(nullptr); }
+  } recorder_guard;
+
+  obs::RingBufferSink trace_ring;
+  obs::Tracer tracer(&trace_ring);
+  engine.set_tracer(&tracer);
+
+  analytics::WorkloadProfiler profiler;
+  engine.set_attribution_sink(&profiler);
+  const size_t topk =
+      std::strtoull(args.Get("topk", "10").c_str(), nullptr, 10);
+
+  // --stall-test wedges one phantom watchdog slot (slot index
+  // `threads`, beyond every real worker) so /healthz goes 503 while
+  // the filter loop itself stays healthy.
+  const bool stall_test = args.Has("stall-test");
+  obs::Watchdog::Options watchdog_options;
+  watchdog_options.stall_timeout_ms =
+      std::strtoull(args.Get("stall-ms", "200").c_str(), nullptr, 10);
+  watchdog_options.poll_interval_ms = 20;
+  watchdog_options.recorder = &recorder;
+  watchdog_options.registry = &registry;
+  obs::Watchdog watchdog(threads + (stall_test ? 1 : 0),
+                         watchdog_options);
+  engine.set_watchdog(&watchdog);
+  watchdog.Start();
+  if (stall_test) watchdog.BeginWork(threads);  // Never beats again.
+
+  // Optional durable store: opened (recovering whatever the directory
+  // holds), loaded with the workload, surfaced as a liveness check.
+  std::unique_ptr<storage::DurableSubscriptionStore> store;
+  storage::RecoveryReport recovery;
+  const std::string store_dir = args.Get("store", "");
+  if (!store_dir.empty()) {
+    storage::DurableSubscriptionStore::Options store_options;
+    store_options.directory = store_dir;
+    auto opened =
+        storage::DurableSubscriptionStore::Open(store_options, &recovery);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open --store %s: %s\n",
+                   store_dir.c_str(),
+                   opened.status().ToString().c_str());
+      watchdog.Stop();
+      return 1;
+    }
+    store = std::move(*opened);
+    for (const std::string& expr : expressions) {
+      (void)store->Subscribe(expr);
+    }
+  }
+
+  // The hub and its health checks; every probe below is thread-safe.
+  obs::IntrospectionHub hub;
+  obs::IntrospectionHub::BuildInfo build = hub.build_info();
+  build.version = "xpred_cli serve-obs";
+  hub.set_build_info(std::move(build));
+  hub.set_recorder(&recorder);
+  hub.AddWatchdogCheck(&watchdog);
+  hub.AddBreakerCheck();
+  if (store != nullptr) {
+    storage::DurableSubscriptionStore* store_ptr = store.get();
+    std::string recovered_detail =
+        "recovered: " + std::to_string(recovery.wal_records_replayed) +
+        " WAL record(s) replayed, " +
+        std::to_string(recovery.wal_segments_quarantined +
+                       recovery.snapshots_quarantined) +
+        " file(s) quarantined, " +
+        std::to_string(recovery.live_subscriptions) +
+        " subscription(s) restored";
+    hub.AddCheck("durable_store", obs::IntrospectionHub::CheckKind::kLiveness,
+                 [store_ptr, recovered_detail] {
+                   obs::HealthCheckResult result;
+                   if (store_ptr->dead()) {
+                     result.ok = false;
+                     result.detail =
+                         "write path poisoned by a WAL failure";
+                   } else {
+                     result.detail = recovered_detail;
+                   }
+                   return result;
+                 });
+  }
+  hub.PublishMetrics(registry);
+
+  obs::IntrospectionServer::Options server_options;
+  server_options.bind_address = args.Get("bind", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(
+      std::strtoul(args.Get("port", "0").c_str(), nullptr, 10));
+  obs::IntrospectionServer server(&hub, server_options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "introspection server: %s\n",
+                 st.ToString().c_str());
+    watchdog.Stop();
+    return 1;
+  }
+  // The harness scripts parse this exact line for the bound port.
+  std::printf("serving on %s:%u\n", server.bind_address().c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, ServeObsSignalHandler);
+  std::signal(SIGTERM, ServeObsSignalHandler);
+
+  // Names for workload attribution keys (partition << 32 | id),
+  // resolved once — the subscription set is fixed for the run.
+  std::unordered_map<uint64_t, std::string> expr_names;
+  std::unordered_map<uint64_t, std::string> pred_names;
+  for (size_t p = 0; p < engine.partitions(); ++p) {
+    const core::Matcher& m = engine.partition_matcher(p);
+    const uint64_t ns = static_cast<uint64_t>(p) << 32;
+    std::vector<std::string> names = m.ExpressionStrings();
+    for (size_t i = 0; i < names.size(); ++i) {
+      expr_names[ns | i] = std::move(names[i]);
+    }
+    const core::PredicateIndex& index = m.predicate_index();
+    for (size_t pid = 0; pid < index.distinct_count(); ++pid) {
+      pred_names[ns | pid] =
+          index.predicate(static_cast<core::PredicateId>(pid))
+              .ToString(m.interner());
+    }
+  }
+
+  const uint64_t max_batches =
+      std::strtoull(args.Get("batches", "0").c_str(), nullptr, 10);
+  const uint64_t duration_ms =
+      std::strtoull(args.Get("duration-ms", "0").c_str(), nullptr, 10);
+  const uint64_t batch_delay_ms =
+      std::strtoull(args.Get("batch-delay-ms", "0").c_str(), nullptr, 10);
+  Stopwatch run_clock;
+  Stopwatch slow_publish_clock;  // Workload/span cadence (~2 Hz).
+  std::vector<obs::IntrospectionHub::Span> recent_spans;
+  uint64_t batches = 0;
+  uint64_t docs_filtered = 0;
+  int rc = 0;
+
+  exec::CollectingResultSink sink;
+  while (!g_serve_obs_stop.load(std::memory_order_relaxed)) {
+    if (max_batches > 0 && batches >= max_batches) break;
+    if (duration_ms > 0 &&
+        run_clock.ElapsedNanos() >= duration_ms * 1'000'000.0) {
+      break;
+    }
+    sink.clear();
+    Status batch_status = engine.FilterBatch(refs, sink);
+    if (!batch_status.ok()) {
+      std::fprintf(stderr, "batch %llu: %s\n",
+                   static_cast<unsigned long long>(batches),
+                   batch_status.ToString().c_str());
+      rc = 1;
+      break;
+    }
+    ++batches;
+    docs_filtered += sink.results().size();
+    hub.MaybePublishMetrics(registry);
+
+    // Heavier publications (profiler render, span conversion) at a
+    // slower cadence than the metrics snapshot.
+    if (slow_publish_clock.ElapsedNanos() >= 500e6) {
+      slow_publish_clock.Reset();
+      hub.PublishWorkload(analytics::RenderWorkloadJson(
+          profiler.TopK(topk), &expr_names, &pred_names));
+      for (const obs::TraceSpan& span : trace_ring.Drain()) {
+        obs::IntrospectionHub::Span owned;
+        owned.document = span.document;
+        owned.stage = span.stage;
+        owned.engine = std::string(span.engine);
+        owned.start_nanos = span.start_nanos;
+        owned.duration_nanos = span.duration_nanos;
+        recent_spans.push_back(std::move(owned));
+      }
+      constexpr size_t kMaxSpans = 4096;
+      if (recent_spans.size() > kMaxSpans) {
+        recent_spans.erase(
+            recent_spans.begin(),
+            recent_spans.begin() +
+                static_cast<ptrdiff_t>(recent_spans.size() - kMaxSpans));
+      }
+      hub.PublishSpans(recent_spans);
+    }
+    if (batch_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(batch_delay_ms));
+    }
+  }
+
+  // Final publications so a last scrape sees end-of-run state.
+  hub.PublishMetrics(registry);
+  hub.PublishWorkload(analytics::RenderWorkloadJson(
+      profiler.TopK(topk), &expr_names, &pred_names));
+  server.Stop();
+  watchdog.Stop();
+  if (!quiet) {
+    std::printf("serve-obs: %llu batch(es), %llu document(s) filtered, "
+                "%llu expression(s), %llu HTTP request(s)\n",
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(docs_filtered),
+                static_cast<unsigned long long>(loaded),
+                static_cast<unsigned long long>(
+                    server.http_stats().requests));
+  }
+  return rc;
+}
 
 /// Known fault-injection sites, for reversing the FNV-1a site hashes
 /// carried in kFaultInjected events back to names.
@@ -1234,6 +1619,7 @@ int main(int argc, char** argv) {
   Args args = Args::Parse(argc, argv, 2);
   if (command == "encode") return CmdEncode(args);
   if (command == "filter") return CmdFilter(args);
+  if (command == "serve-obs") return CmdServeObs(args);
   if (command == "diagnose") return CmdDiagnose(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "churn") return CmdChurn(args);
